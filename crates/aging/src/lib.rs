@@ -1,0 +1,47 @@
+//! Transistor-aging modeling for the Vega workflow.
+//!
+//! Implements the reaction–diffusion model of bias temperature instability
+//! (BTI) the paper builds on (§2.3.3, Eq. 1):
+//!
+//! ```text
+//! ΔVth ∝ exp(Ea / kT) · (t − t₀)^(1/6)
+//! ```
+//!
+//! and the signal-probability-driven stress profile of §2.3.4: a cell
+//! whose output idles at logical `0` keeps its (more BTI-susceptible)
+//! p-type transistors under static stress and therefore ages fastest,
+//! while a regularly toggling cell experiences only AC stress and recovers
+//! partially between stress phases.
+//!
+//! The crate's second half is Vega's substitute for SPICE-based library
+//! characterization: [`AgingAwareTimingLibrary`] converts threshold-voltage
+//! shifts into per-cell propagation-delay multipliers, precomputed per
+//! (cell kind, signal probability, age) exactly like the paper's
+//! pre-computed aging-aware timing library (§3.2.2, Fig. 4).
+//!
+//! # Example
+//!
+//! ```
+//! use vega_aging::{AgingModel, AgingAwareTimingLibrary};
+//! use vega_netlist::{CellKind, StdCellLibrary};
+//!
+//! let model = AgingModel::cmos28_worst_case();
+//! let lib = AgingAwareTimingLibrary::build(StdCellLibrary::cmos28(), model, 10.0);
+//! // A cell stuck at 0 for ten years ages far more than a toggling one.
+//! let stuck = lib.degradation_factor(CellKind::Xor2, 0.0);
+//! let toggling = lib.degradation_factor(CellKind::Xor2, 0.5);
+//! assert!(stuck > toggling);
+//! assert!(stuck > 1.05 && stuck < 1.07); // ~6 % worst case
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod library;
+mod model;
+
+pub use library::{AgingAwareTimingLibrary, DegradationPoint};
+pub use model::AgingModel;
+
+/// Boltzmann constant in eV/K, used by the Arrhenius temperature factor.
+pub const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;

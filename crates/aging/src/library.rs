@@ -1,0 +1,224 @@
+//! Aging-aware timing library generation.
+//!
+//! The paper pre-computes, per standard cell, how signal probability maps
+//! to switching-delay degradation over time, using SPICE analog simulation
+//! (§3.2.2). This module reproduces that artifact: a bucketed lookup table
+//! from `(cell kind, signal probability)` to a delay multiplier at a fixed
+//! age, generated from the analytic [`AgingModel`] instead of SPICE.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use vega_netlist::{CellKind, CellTiming, StdCellLibrary};
+
+use crate::AgingModel;
+
+/// Number of signal-probability buckets in the precomputed table.
+const SP_BUCKETS: usize = 64;
+
+/// One point of a delay-degradation curve (Fig. 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationPoint {
+    /// Age in years.
+    pub years: f64,
+    /// Signal probability of the cell's output.
+    pub sp: f64,
+    /// Fractional delay increase (`0.06` = 6 % slower).
+    pub degradation: f64,
+}
+
+/// A standard-cell library with aging applied: for each cell kind, a
+/// precomputed table of delay multipliers indexed by signal probability,
+/// at a fixed circuit age.
+///
+/// Because many designs share one standard-cell library, the table is
+/// computed once per `(library, model, age)` and reused across netlists,
+/// mirroring the pre-computation the paper performs to accelerate
+/// aging-aware STA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgingAwareTimingLibrary {
+    /// The unaged base library.
+    pub base: StdCellLibrary,
+    /// The aging model used to generate the table.
+    pub model: AgingModel,
+    /// Circuit age, in years, at which the table was generated.
+    pub years: f64,
+    /// Per-kind, per-SP-bucket delay multipliers (≥ 1.0).
+    table: BTreeMap<CellKind, Vec<f64>>,
+}
+
+impl AgingAwareTimingLibrary {
+    /// Characterize `base` under `model` at the given age.
+    pub fn build(base: StdCellLibrary, model: AgingModel, years: f64) -> Self {
+        let mut table = BTreeMap::new();
+        for kind in CellKind::ALL {
+            let weight = Self::kind_weight(kind);
+            let multipliers: Vec<f64> = (0..SP_BUCKETS)
+                .map(|bucket| {
+                    let sp = bucket as f64 / (SP_BUCKETS - 1) as f64;
+                    1.0 + weight * model.delay_degradation(sp, years)
+                })
+                .collect();
+            table.insert(kind, multipliers);
+        }
+        AgingAwareTimingLibrary { base, model, years, table }
+    }
+
+    /// Relative BTI susceptibility per cell kind.
+    ///
+    /// Stacked-PMOS pull-ups (NOR-like gates) degrade slightly faster;
+    /// transmission-gate structures (XOR/MUX) carry the nominal weight;
+    /// pseudo-cells do not age.
+    fn kind_weight(kind: CellKind) -> f64 {
+        match kind {
+            CellKind::Const0 | CellKind::Const1 | CellKind::Random => 0.0,
+            CellKind::Nor2 | CellKind::Or2 => 1.05,
+            CellKind::Nand2 | CellKind::And2 => 0.97,
+            CellKind::Not | CellKind::Buf | CellKind::Delay => 0.95,
+            CellKind::Xor2 | CellKind::Xnor2 | CellKind::Mux2 | CellKind::Maj3 => 1.0,
+            CellKind::Dff => 0.98,
+            CellKind::ClockBuf | CellKind::ClockGate => 0.95,
+        }
+    }
+
+    /// The delay multiplier (≥ 1.0) for a cell of `kind` whose output has
+    /// signal probability `sp`, at this library's age.
+    pub fn degradation_factor(&self, kind: CellKind, sp: f64) -> f64 {
+        let sp = sp.clamp(0.0, 1.0);
+        let buckets = &self.table[&kind];
+        // Linear interpolation between adjacent buckets.
+        let pos = sp * (SP_BUCKETS - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = (lo + 1).min(SP_BUCKETS - 1);
+        let frac = pos - lo as f64;
+        buckets[lo] * (1.0 - frac) + buckets[hi] * frac
+    }
+
+    /// The aged timing of a cell of `kind` at signal probability `sp`.
+    ///
+    /// Both the maximum and minimum propagation delays scale by the same
+    /// degradation factor: an aged cell is slower on every arc, which
+    /// worsens setup slack and (on clock paths) shifts capture edges.
+    pub fn aged_timing(&self, kind: CellKind, sp: f64) -> CellTiming {
+        let factor = self.degradation_factor(kind, sp);
+        let base = self.base.timing(kind);
+        CellTiming {
+            max_delay_ns: base.max_delay_ns * factor,
+            min_delay_ns: base.min_delay_ns * factor,
+        }
+    }
+
+    /// Generate the delay-degradation curve of one cell kind over a grid
+    /// of signal probabilities and ages — the data behind the paper's
+    /// Fig. 4.
+    pub fn degradation_curve(
+        base: &StdCellLibrary,
+        model: &AgingModel,
+        kind: CellKind,
+        sps: &[f64],
+        years: &[f64],
+    ) -> Vec<DegradationPoint> {
+        let _ = base;
+        let weight = Self::kind_weight(kind);
+        let mut points = Vec::with_capacity(sps.len() * years.len());
+        for &sp in sps {
+            for &y in years {
+                points.push(DegradationPoint {
+                    years: y,
+                    sp,
+                    degradation: weight * model.delay_degradation(sp, y),
+                });
+            }
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> AgingAwareTimingLibrary {
+        AgingAwareTimingLibrary::build(
+            StdCellLibrary::cmos28(),
+            AgingModel::cmos28_worst_case(),
+            10.0,
+        )
+    }
+
+    #[test]
+    fn factors_bounded_and_monotone_in_sp() {
+        let l = lib();
+        for kind in [CellKind::Xor2, CellKind::Nand2, CellKind::Dff] {
+            let mut last = f64::INFINITY;
+            for i in 0..=32 {
+                let sp = i as f64 / 32.0;
+                let f = l.degradation_factor(kind, sp);
+                assert!((1.0..1.08).contains(&f), "{kind:?} sp={sp} f={f}");
+                assert!(f <= last + 1e-12);
+                last = f;
+            }
+        }
+    }
+
+    #[test]
+    fn pseudo_cells_do_not_age() {
+        let l = lib();
+        assert_eq!(l.degradation_factor(CellKind::Const0, 0.0), 1.0);
+        assert_eq!(l.degradation_factor(CellKind::Random, 0.0), 1.0);
+    }
+
+    #[test]
+    fn aged_timing_scales_both_arcs() {
+        let l = lib();
+        let base = l.base.timing(CellKind::Xor2);
+        let aged = l.aged_timing(CellKind::Xor2, 0.0);
+        let factor = l.degradation_factor(CellKind::Xor2, 0.0);
+        assert!((aged.max_delay_ns - base.max_delay_ns * factor).abs() < 1e-12);
+        assert!((aged.min_delay_ns - base.min_delay_ns * factor).abs() < 1e-12);
+        assert!(aged.max_delay_ns > base.max_delay_ns);
+    }
+
+    #[test]
+    fn interpolation_matches_extremes() {
+        let l = lib();
+        let model = AgingModel::cmos28_worst_case();
+        let at0 = l.degradation_factor(CellKind::Xor2, 0.0);
+        assert!((at0 - (1.0 + model.delay_degradation(0.0, 10.0))).abs() < 1e-9);
+        let at1 = l.degradation_factor(CellKind::Xor2, 1.0);
+        assert!((at1 - (1.0 + model.delay_degradation(1.0, 10.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degradation_curve_grows_with_age() {
+        let base = StdCellLibrary::cmos28();
+        let model = AgingModel::cmos28_worst_case();
+        let curve = AgingAwareTimingLibrary::degradation_curve(
+            &base,
+            &model,
+            CellKind::Xor2,
+            &[0.1],
+            &[1.0, 5.0, 10.0],
+        );
+        assert_eq!(curve.len(), 3);
+        assert!(curve[0].degradation < curve[1].degradation);
+        assert!(curve[1].degradation < curve[2].degradation);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let l = lib();
+        let json = serde_json::to_string(&l).unwrap();
+        let back: AgingAwareTimingLibrary = serde_json::from_str(&json).unwrap();
+        for kind in [CellKind::Xor2, CellKind::Dff, CellKind::ClockBuf] {
+            for sp in [0.0, 0.25, 0.5, 1.0] {
+                assert!(
+                    (l.degradation_factor(kind, sp) - back.degradation_factor(kind, sp)).abs()
+                        < 1e-12
+                );
+            }
+        }
+        assert_eq!(back.base.name, "cmos28");
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the BTI model: physical sanity over the whole
+//! parameter space.
+
+use proptest::prelude::*;
+
+use vega_aging::{AgingAwareTimingLibrary, AgingModel};
+use vega_netlist::{CellKind, StdCellLibrary};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// ΔVth is nonnegative, bounded by the DC end-of-life budget (scaled
+    /// by the Arrhenius factor), and monotone in time and stress.
+    #[test]
+    fn delta_vth_is_physical(sp in 0.0f64..=1.0, years in 0.0f64..=10.0) {
+        let m = AgingModel::cmos28_worst_case();
+        let v = m.delta_vth_v(sp, years);
+        prop_assert!(v >= 0.0);
+        prop_assert!(v <= m.max_delta_vth_v * m.arrhenius_factor() + 1e-12);
+        // Monotone in time.
+        prop_assert!(m.delta_vth_v(sp, years + 0.5) >= v - 1e-15);
+        // Monotone in stress (lower SP = more stress).
+        if sp >= 0.05 {
+            prop_assert!(m.delta_vth_v(sp - 0.05, years) >= v - 1e-15);
+        }
+    }
+
+    /// Recovery reduces ΔVth but never below half (the recoverable
+    /// component bound), and never increases it.
+    #[test]
+    fn recovery_is_bounded(
+        sp in 0.0f64..=1.0,
+        stress in 0.1f64..=10.0,
+        recovery in 0.0f64..=10.0,
+    ) {
+        let m = AgingModel::cmos28_worst_case();
+        let stressed = m.delta_vth_v(sp, stress);
+        let after = m.delta_vth_after_recovery_v(sp, stress, recovery);
+        prop_assert!(after <= stressed + 1e-15);
+        prop_assert!(after >= stressed * 0.5 - 1e-15);
+    }
+
+    /// Library degradation factors: ≥ 1, monotone decreasing in SP, and
+    /// interpolation stays within the bucket extremes.
+    #[test]
+    fn degradation_factor_properties(sp in 0.0f64..=1.0, years in 0.0f64..=10.0) {
+        let lib = AgingAwareTimingLibrary::build(
+            StdCellLibrary::cmos28(),
+            AgingModel::cmos28_worst_case(),
+            years,
+        );
+        for kind in [CellKind::Xor2, CellKind::Nand2, CellKind::Dff, CellKind::ClockBuf] {
+            let f = lib.degradation_factor(kind, sp);
+            prop_assert!(f >= 1.0 - 1e-12, "{kind:?}");
+            prop_assert!(f <= 1.10, "{kind:?}: {f}");
+            let f_higher_sp = lib.degradation_factor(kind, (sp + 0.1).min(1.0));
+            prop_assert!(f_higher_sp <= f + 1e-9, "{kind:?} not monotone");
+        }
+    }
+
+    /// Aged timing never gets faster, and min stays below max.
+    #[test]
+    fn aged_timing_is_consistent(sp in 0.0f64..=1.0) {
+        let lib = AgingAwareTimingLibrary::build(
+            StdCellLibrary::cmos28(),
+            AgingModel::cmos28_worst_case(),
+            10.0,
+        );
+        for kind in CellKind::ALL {
+            let base = lib.base.timing(kind);
+            let aged = lib.aged_timing(kind, sp);
+            prop_assert!(aged.max_delay_ns >= base.max_delay_ns - 1e-12, "{kind:?}");
+            prop_assert!(aged.min_delay_ns >= base.min_delay_ns - 1e-12, "{kind:?}");
+            prop_assert!(aged.min_delay_ns <= aged.max_delay_ns + 1e-12, "{kind:?}");
+        }
+    }
+}

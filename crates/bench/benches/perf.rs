@@ -1,0 +1,138 @@
+//! Criterion performance benchmarks for Vega's substrates: gate-level
+//! simulation throughput, SAT solving, aging-aware STA, bounded model
+//! checking, and test-suite execution.
+//!
+//! Run: `cargo bench -p vega-bench`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vega::*;
+use vega_circuits::{alu::build_alu, fpu::build_fpu};
+use vega_formal::{check_cover, BmcConfig, Property};
+use vega_sat::{Lit, Solver};
+use vega_sim::{RandomStimulus, Simulator};
+
+fn bench_simulator(c: &mut Criterion) {
+    let alu = build_alu();
+    let fpu = build_fpu();
+    let mut group = c.benchmark_group("simulator");
+    group.bench_function("alu_1000_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&alu);
+            let mut stim = RandomStimulus::new(&alu, 7);
+            stim.drive(&mut sim, 1000);
+            black_box(sim.output("r"))
+        })
+    });
+    group.bench_function("fpu_100_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&fpu);
+            let mut stim = RandomStimulus::new(&fpu, 7);
+            stim.drive(&mut sim, 100);
+            black_box(sim.output("r"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat");
+    group.sample_size(20);
+    group.bench_function("pigeonhole_8_7", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new();
+            let grid: Vec<Vec<_>> =
+                (0..8).map(|_| (0..7).map(|_| solver.new_var()).collect()).collect();
+            for row in &grid {
+                let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+                solver.add_clause(&clause);
+            }
+            for h in 0..7 {
+                for (p1, row1) in grid.iter().enumerate() {
+                    for row2 in grid.iter().skip(p1 + 1) {
+                        solver.add_clause(&[Lit::neg(row1[h]), Lit::neg(row2[h])]);
+                    }
+                }
+            }
+            black_box(solver.solve())
+        })
+    });
+    group.finish();
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let config = WorkflowConfig::cmos28_10y();
+    let alu = prepare_unit(build_alu(), ModuleKind::Alu, &config);
+    let fpu = prepare_unit(build_fpu(), ModuleKind::Fpu, &config);
+    let aged = AgingAwareTimingLibrary::build(config.cell_library.clone(), config.model, 10.0);
+    let mut group = c.benchmark_group("sta");
+    group.sample_size(20);
+    group.bench_function("alu_aged_analysis", |b| {
+        let mut sta = StaConfig::with_period(alu.clock_period_ns);
+        sta.max_paths = 1000;
+        b.iter(|| black_box(analyze(&alu.netlist, &aged, None, &sta)))
+    });
+    group.bench_function("fpu_aged_analysis", |b| {
+        let mut sta = StaConfig::with_period(fpu.clock_period_ns);
+        sta.max_paths = 1000;
+        b.iter(|| black_box(analyze(&fpu.netlist, &aged, None, &sta)))
+    });
+    group.finish();
+}
+
+fn bench_formal(c: &mut Criterion) {
+    let alu = build_alu();
+    let r0 = alu.port("r").unwrap().bits[0];
+    let mut group = c.benchmark_group("formal");
+    group.sample_size(10);
+    group.bench_function("alu_cover_r0", |b| {
+        b.iter(|| {
+            black_box(check_cover(
+                &alu,
+                &Property::net_equals(r0, true),
+                &[],
+                &BmcConfig { max_cycles: 4, max_induction: 1, conflict_budget: 1_000_000 },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_suite(c: &mut Criterion) {
+    let netlist = build_alu();
+    let suite = vega_bench::random_suite(ModuleKind::Alu, 8, 9);
+    let mut group = c.benchmark_group("suite");
+    group.bench_function("alu_8_tests", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&netlist);
+            black_box(run_suite(&mut sim, ModuleKind::Alu, &suite))
+        })
+    });
+    group.finish();
+}
+
+fn bench_aging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aging");
+    group.bench_function("build_timing_library", |b| {
+        b.iter(|| {
+            black_box(AgingAwareTimingLibrary::build(
+                StdCellLibrary::cmos28(),
+                AgingModel::cmos28_worst_case(),
+                10.0,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_sat,
+    bench_sta,
+    bench_formal,
+    bench_suite,
+    bench_aging
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 5: the quantity of generated test cases and the CPU cycles one
+//! full suite execution takes, with and without the mitigation.
+//!
+//! Run: `cargo run --release -p vega-bench --bin table5_cycles`
+
+use vega_bench::{lift, print_table, setup_units};
+
+fn main() {
+    println!("== Table 5: test case quantity and execution cycles ==\n");
+    let (alu, fpu) = setup_units();
+
+    let mut rows = Vec::new();
+    for setup in [&alu, &fpu] {
+        let without = lift(setup, false);
+        let with = lift(setup, true);
+        rows.push(vec![
+            setup.name.to_string(),
+            format!("{}", without.suite().len()),
+            format!("{}", without.suite_cpu_cycles()),
+            format!("{}", with.suite().len()),
+            format!("{}", with.suite_cpu_cycles()),
+        ]);
+    }
+    print_table(
+        &["unit", "tests (w/o)", "cycles (w/o)", "tests (w/)", "cycles (w/)"],
+        &rows,
+    );
+
+    println!("\nshape checks (cf. paper Table 5: ALU 8 tests / 124 cycles,");
+    println!("FPU 42 / 685 w/o mitigation; 8 / 134 and 66 / 1202 w/):");
+    println!("  - whole suites execute in hundreds to a couple thousand cycles,");
+    println!("    so per-second (or faster) scheduling is practical");
+    println!("  - mitigation grows the suite (more activation variants)");
+}

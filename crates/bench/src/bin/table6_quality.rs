@@ -1,0 +1,48 @@
+//! Table 6: quality of the generated test cases, measured by their
+//! ability to detect the failing netlists — overall detection rate
+//! ("Det."), detections by earlier tests ("B"), detections by later
+//! tests after the dedicated test missed ("L"), and CPU stalls ("S");
+//! per failure mode (C = 0, 1, random), with and without the mitigation.
+//!
+//! Run: `cargo run --release -p vega-bench --bin table6_quality`
+
+use vega_bench::{evaluate_suite, lift, print_table, setup_units};
+use vega_riscv::FailureMode;
+
+fn main() {
+    println!("== Table 6: quality of the generated test cases ==\n");
+    let (alu, fpu) = setup_units();
+
+    let mut rows = Vec::new();
+    for setup in [&alu, &fpu] {
+        for mitigation in [false, true] {
+            let report = lift(setup, mitigation);
+            let suite = report.suite();
+            for mode in FailureMode::ALL {
+                let stats = evaluate_suite(setup, &report, &suite, mode);
+                rows.push(vec![
+                    setup.name.to_string(),
+                    if mitigation { "w/" } else { "w/o" }.to_string(),
+                    mode.label().to_string(),
+                    format!("{:.1}", stats.pct(stats.detected)),
+                    format!("{:.1}", stats.pct(stats.before)),
+                    format!("{:.1}", stats.pct(stats.later)),
+                    format!("{:.1}", stats.pct(stats.stalled)),
+                    format!("{}", stats.total),
+                ]);
+            }
+        }
+    }
+    print_table(
+        &["unit", "mitig", "FM", "Det. %", "B %", "L %", "S %", "netlists"],
+        &rows,
+    );
+
+    println!("\nshape checks (cf. paper Table 6: ALU 100% detection in every");
+    println!("mode; FPU 95.4% w/o mitigation rising to 100% w/ mitigation for");
+    println!("constant C; many failures caught by earlier tests (B); stalls");
+    println!("appear for handshake faults):");
+    println!("  - detection is high across modes and rises with the mitigation");
+    println!("  - a large fraction of failures is caught before the dedicated");
+    println!("    test runs, because suites share operand patterns");
+}

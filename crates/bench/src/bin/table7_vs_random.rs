@@ -1,0 +1,54 @@
+//! Table 7: effectiveness of Vega-generated vs randomly generated test
+//! cases, measured by the fraction of failing netlists detected. Random
+//! suites match Vega's style and quantity (one random instruction with
+//! random operands per test case); 10 random experiments are averaged
+//! per configuration (paper §5.2.3).
+//!
+//! Run: `cargo run --release -p vega-bench --bin table7_vs_random`
+
+use vega_bench::{evaluate_suite, lift, print_table, random_suite, setup_units};
+use vega_riscv::FailureMode;
+
+fn main() {
+    println!("== Table 7: Vega vs random test cases ==\n");
+    let (alu, fpu) = setup_units();
+    let experiments = 10;
+
+    let mut rows = Vec::new();
+    for setup in [&alu, &fpu] {
+        let report = lift(setup, false);
+        let vega_suite = report.suite();
+        let report_m = lift(setup, true);
+        let vega_suite_m = report_m.suite();
+        for mode in FailureMode::ALL {
+            let vega_stats = evaluate_suite(setup, &report, &vega_suite, mode);
+            let vega_stats_m = evaluate_suite(setup, &report_m, &vega_suite_m, mode);
+
+            let mut random_total = 0.0;
+            for experiment in 0..experiments {
+                let suite =
+                    random_suite(setup.unit.module, vega_suite.len(), 1000 + experiment);
+                let stats = evaluate_suite(setup, &report, &suite, mode);
+                random_total += stats.pct(stats.detected);
+            }
+            rows.push(vec![
+                setup.name.to_string(),
+                mode.label().to_string(),
+                format!("{:.1}%", vega_stats.pct(vega_stats.detected)),
+                format!("{:.1}%", vega_stats_m.pct(vega_stats_m.detected)),
+                format!("{:.1}%", random_total / f64::from(experiments as u32)),
+            ]);
+        }
+    }
+    print_table(
+        &["unit", "FM", "Vega (w/o mitig)", "Vega (w/ mitig)", "Random (avg of 10)"],
+        &rows,
+    );
+
+    println!("\nshape checks (cf. paper Table 7: Vega 100% almost everywhere;");
+    println!("random 35-50% for ALU and C=0 FPU, but up to ~97% for FPU with");
+    println!("C=1/random, where faults corrupt visibly regardless of operands):");
+    println!("  - Vega dominates where faults need targeted activation");
+    println!("  - random tests close the gap only when the fault is easy to hit");
+    println!("  - only Vega additionally *proves* some paths harmless (Table 4)");
+}

@@ -1,0 +1,273 @@
+//! Shared setup for the experiment binaries that regenerate every table
+//! and figure of the Vega paper's evaluation (§5).
+//!
+//! Each table/figure has a dedicated binary (see `src/bin/`); this
+//! library holds the common pipeline: build the units, sign them off,
+//! profile them under the representative workload, run the aging-aware
+//! STA, and lift the unique pairs. Everything is seeded and
+//! deterministic.
+//!
+//! Set `VEGA_QUICK=1` to shrink workloads and pair counts for smoke runs.
+
+use vega::*;
+use vega_circuits::{alu::build_alu, fpu::build_fpu};
+use vega_integrate::mini_ir::Program;
+use vega_integrate::workloads;
+
+/// Whether quick mode is enabled (`VEGA_QUICK=1`).
+pub fn quick() -> bool {
+    std::env::var("VEGA_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// One prepared-and-analyzed unit.
+pub struct UnitSetup {
+    /// Display name ("ALU"/"FPU").
+    pub name: &'static str,
+    /// The signed-off unit.
+    pub unit: PreparedUnit,
+    /// The workload-driven SP profile.
+    pub profile: SpProfile,
+    /// Phase 1 results.
+    pub analysis: AgingAnalysis,
+}
+
+/// The representative workloads used for SP profiling. The paper uses
+/// embench's `minver` (§4); a couple of integer kernels are added so the
+/// FPU experiences realistic idle stretches.
+pub fn profiling_workloads() -> Vec<Program> {
+    if quick() {
+        vec![workloads::minver()]
+    } else {
+        vec![workloads::minver(), workloads::crc32(), workloads::huff()]
+    }
+}
+
+/// Build, sign off, profile, and analyze both units.
+pub fn setup_units() -> (UnitSetup, UnitSetup) {
+    let mut config = workflow_config();
+    config.max_paths = 10_000; // stored paths; total counts are exact
+
+    let alu_unit = prepare_unit(build_alu(), ModuleKind::Alu, &config);
+    let fpu_unit = prepare_unit(build_fpu(), ModuleKind::Fpu, &config);
+
+    let programs = profiling_workloads();
+    let (alu_profile, fpu_profile) =
+        profile_units(&alu_unit.netlist, &fpu_unit.netlist, &programs, 2024);
+
+    let alu_analysis = analyze_aging(&alu_unit, &alu_profile, &config);
+    let fpu_analysis = analyze_aging(&fpu_unit, &fpu_profile, &config);
+
+    (
+        UnitSetup { name: "ALU", unit: alu_unit, profile: alu_profile, analysis: alu_analysis },
+        UnitSetup { name: "FPU", unit: fpu_unit, profile: fpu_profile, analysis: fpu_analysis },
+    )
+}
+
+/// The evaluation's workflow configuration (28 nm, 10 years, pessimistic
+/// corner).
+pub fn workflow_config() -> WorkflowConfig {
+    WorkflowConfig::cmos28_10y()
+}
+
+/// The unique pairs a lifting experiment works on, optionally capped in
+/// quick mode.
+pub fn pairs_for_lifting(setup: &UnitSetup) -> Vec<AgingPath> {
+    let cap = if quick() { 4 } else { usize::MAX };
+    setup.analysis.unique_pairs.iter().copied().take(cap).collect()
+}
+
+/// Run Error Lifting over the unit's unique pairs.
+pub fn lift(setup: &UnitSetup, mitigation: bool) -> LiftReport {
+    let mut config = workflow_config();
+    config.mitigation = mitigation;
+    let pairs = pairs_for_lifting(setup);
+    lift_errors(&setup.unit, &pairs, &config)
+}
+
+/// Render a simple aligned table to stdout.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let parts: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect();
+        println!("  {}", parts.join("  "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+use std::collections::BTreeMap;
+use vega_circuits::golden::{alu_golden, fpu_golden, AluOp, FpuOp};
+use vega_lift::{Check, TestCase};
+
+/// Generate a random test suite "in the style and quantity of Vega's
+/// trace-generated test cases": each case verifies the functional
+/// correctness of a single random instruction with random inputs
+/// (paper §5.2.3's baseline).
+pub fn random_suite(module: ModuleKind, count: usize, seed: u64) -> Vec<TestCase> {
+    let mut state = seed | 1;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..count)
+        .map(|i| {
+            let mut stimulus = BTreeMap::new();
+            let mut checks = Vec::new();
+            let latency = module.latency();
+            match module {
+                ModuleKind::Alu => {
+                    let op = AluOp::ALL[(rand() % 10) as usize];
+                    let a = rand() as u32;
+                    let b = rand() as u32;
+                    stimulus.insert("op".to_string(), op.encoding());
+                    stimulus.insert("a".to_string(), u64::from(a));
+                    stimulus.insert("b".to_string(), u64::from(b));
+                    checks.push(Check::PortAt {
+                        cycle: latency,
+                        port: "r".into(),
+                        expected: u64::from(alu_golden(op, a, b)),
+                    });
+                }
+                ModuleKind::Fpu => {
+                    let op = FpuOp::ALL[(rand() % 8) as usize];
+                    let a = rand() as u32;
+                    let b = rand() as u32;
+                    stimulus.insert("op".to_string(), op.encoding());
+                    stimulus.insert("valid".to_string(), 1);
+                    stimulus.insert("tag".to_string(), 0);
+                    stimulus.insert("a".to_string(), u64::from(a));
+                    stimulus.insert("b".to_string(), u64::from(b));
+                    let golden = fpu_golden(op, a, b);
+                    checks.push(Check::PortAt {
+                        cycle: latency,
+                        port: "r".into(),
+                        expected: u64::from(golden.bits),
+                    });
+                    checks.push(Check::PortAt {
+                        cycle: latency,
+                        port: "out_valid".into(),
+                        expected: 1,
+                    });
+                    checks.push(Check::StickyOr {
+                        cycles: vec![latency],
+                        port: "flags".into(),
+                        expected: u64::from(golden.flags.to_bits()),
+                    });
+                }
+                ModuleKind::PaperAdder => {
+                    let a = rand() % 4;
+                    let b = rand() % 4;
+                    stimulus.insert("a".to_string(), a);
+                    stimulus.insert("b".to_string(), b);
+                    checks.push(Check::PortAt {
+                        cycle: latency,
+                        port: "o".into(),
+                        expected: (a + b) % 4,
+                    });
+                }
+            }
+            TestCase {
+                name: format!("random_{i}"),
+                target: "random".into(),
+                stimulus: vec![stimulus],
+                checks,
+                instructions: Vec::new(),
+                cpu_cycles: 8,
+            }
+        })
+        .collect()
+}
+
+/// The outcome classification of one failing netlist against a suite —
+/// the columns of the paper's Table 6.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DetectionStats {
+    /// Failing netlists evaluated.
+    pub total: usize,
+    /// Detected by any test ("Det.").
+    pub detected: usize,
+    /// Detected by a test scheduled *before* the pair's own test ("B").
+    pub before: usize,
+    /// Missed by its own test but caught by a later one ("L").
+    pub later: usize,
+    /// Detection manifested as a CPU stall ("S").
+    pub stalled: usize,
+}
+
+impl DetectionStats {
+    /// Percentage helper.
+    pub fn pct(&self, n: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            n as f64 / self.total as f64 * 100.0
+        }
+    }
+}
+
+/// Run `suite` (in order, one simulator, no resets) against the failing
+/// netlist for each pair in `report` that lifted successfully, with the
+/// fault value per `mode`. Classifies per the paper's Table 6.
+pub fn evaluate_suite(
+    setup: &UnitSetup,
+    report: &LiftReport,
+    suite: &[TestCase],
+    mode: vega_riscv::FailureMode,
+) -> DetectionStats {
+    use vega_lift::TestOutcome;
+    let mut stats = DetectionStats::default();
+    for pair in &report.pairs {
+        if pair.class() != PairClass::Success {
+            continue;
+        }
+        let value = match mode {
+            vega_riscv::FailureMode::Const0 => FaultValue::Zero,
+            vega_riscv::FailureMode::Const1 => FaultValue::One,
+            vega_riscv::FailureMode::Random => FaultValue::Random,
+        };
+        let failing = build_failing_netlist(
+            &setup.unit.netlist,
+            pair.path,
+            value,
+            FaultActivation::OnChange,
+        );
+        let mut sim = vega_sim::Simulator::with_seed(&failing, 0xEE);
+        let outcomes = run_suite(&mut sim, setup.unit.module, suite);
+
+        stats.total += 1;
+        let first_detection = outcomes.iter().position(|o| *o != TestOutcome::Pass);
+        let own_indices: Vec<usize> = suite
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.target == pair.label)
+            .map(|(i, _)| i)
+            .collect();
+        let Some(found) = first_detection else { continue };
+        stats.detected += 1;
+        if matches!(outcomes[found], TestOutcome::Stall { .. }) {
+            stats.stalled += 1;
+        }
+        if let (Some(&first_own), Some(&last_own)) = (own_indices.first(), own_indices.last()) {
+            if found < first_own {
+                stats.before += 1;
+            } else if found > last_own {
+                stats.later += 1;
+            }
+        }
+    }
+    stats
+}

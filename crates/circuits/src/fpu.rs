@@ -1,0 +1,728 @@
+//! Gate-level FP32 FPU generator.
+//!
+//! A two-stage pipelined single-precision floating-point unit in the
+//! spirit of the CV32E40P's FPnew: add, subtract, multiply, min/max and
+//! compares, with round-to-nearest-even, flush-to-zero subnormals, IEEE
+//! special cases and `fflags`-style exception flags. Its semantics are
+//! bit-identical to [`crate::golden`]'s software model (the equivalence
+//! tests at the bottom of this file enforce that).
+//!
+//! Microarchitecturally the FPU carries the features the Vega evaluation
+//! leans on:
+//!
+//! * a `valid` handshake — `out_valid` echoes `valid` two cycles later,
+//!   and the data-path pipeline registers sit behind **integrated clock
+//!   gates** enabled by the valid bits. When the FPU idles, its gated
+//!   clock branches rest at logic 0 and age at the DC rate while the
+//!   always-on control branch keeps toggling: the differential aging that
+//!   produces hold violations (paper §3.2.2);
+//! * a handful of direct register-to-register transfers that cross from
+//!   the free-running control branch into the gated output branch (a
+//!   result-routing tag and a busy bit) — the short, hold-critical paths
+//!   where those violations land;
+//! * a deep multiplier array and a 52-bit alignment/normalization
+//!   datapath — the long setup-critical paths aging pushes over the edge.
+//!
+//! Port map:
+//!
+//! | port        | dir | width | meaning |
+//! |-------------|-----|-------|---------|
+//! | `clk`       | in  | 1     | clock |
+//! | `op`        | in  | 3     | [`FpuOp`] encoding (0–7) |
+//! | `valid`     | in  | 1     | operands are valid this cycle |
+//! | `a`, `b`    | in  | 32    | FP32 operands |
+//! | `r`         | out | 32    | result, 2 cycles later |
+//! | `flags`     | out | 5     | `fflags` (NV DZ OF UF NX) |
+//! | `out_valid` | out | 1     | result handshake |
+//! | `tag_out`   | out | 2     | result-routing tag (echoes `tag`) |
+//! | `tag`       | in  | 2     | issue tag |
+
+use vega_netlist::{CellKind, NetId, Netlist, NetlistBuilder};
+
+use crate::golden::FpuOp;
+use crate::words::Words;
+
+/// Cycles from applying inputs (with `valid` high) to reading `r`.
+pub const FPU_LATENCY: usize = 2;
+
+/// Valid `op` port encodings.
+pub fn fpu_valid_ops() -> Vec<u64> {
+    FpuOp::ALL.iter().map(|op| op.encoding()).collect()
+}
+
+struct Unpacked {
+    sign: NetId,
+    exp: Vec<NetId>,   // 8 bits
+    frac: Vec<NetId>,  // 23 bits
+    mant: Vec<NetId>,  // 24 bits with hidden bit
+    zero: NetId,       // FTZ zero (exp == 0)
+    inf: NetId,
+    nan: NetId,
+    snan: NetId,
+    mag: Vec<NetId>,   // 31-bit magnitude after FTZ
+}
+
+fn unpack(w: &mut Words<'_>, x: &[NetId]) -> Unpacked {
+    let sign = x[31];
+    let exp: Vec<NetId> = x[23..31].to_vec();
+    let frac: Vec<NetId> = x[..23].to_vec();
+    let exp_nz = w.reduce_or(&exp);
+    let zero = w.gate(CellKind::Not, "u_z", &[exp_nz]);
+    let exp_ones = w.reduce_and(&exp);
+    let frac_nz = w.reduce_or(&frac);
+    let nan = w.gate(CellKind::And2, "u_nan", &[exp_ones, frac_nz]);
+    let frac_nz_not = w.gate(CellKind::Not, "u_fn", &[frac_nz]);
+    let inf = w.gate(CellKind::And2, "u_inf", &[exp_ones, frac_nz_not]);
+    let quiet_not = w.gate(CellKind::Not, "u_q", &[x[22]]);
+    let snan = w.gate(CellKind::And2, "u_sn", &[nan, quiet_not]);
+    // Hidden bit = 1 for normals (exp != 0).
+    let mut mant = frac.clone();
+    mant.push(exp_nz);
+    // Magnitude after FTZ: exp==0 flushes the whole magnitude to 0.
+    let raw_mag: Vec<NetId> = x[..31].to_vec();
+    let mag = w.and_bit(&raw_mag, exp_nz);
+    Unpacked { sign, exp, frac, mant, zero, inf, nan, snan, mag }
+}
+
+/// Build the FPU netlist.
+pub fn build_fpu() -> Netlist {
+    let mut builder = NetlistBuilder::new("rv32_fpu");
+    let clk = builder.clock("clk");
+    let op_in = builder.input("op", 3);
+    let valid_in = builder.input("valid", 1)[0];
+    let tag_in = builder.input("tag", 2);
+    let a_in = builder.input("a", 32);
+    let b_in = builder.input("b", 32);
+
+    // --- Clock tree -------------------------------------------------
+    // Control branch (always toggling) and two gated data branches.
+    // The control branch keeps toggling (AC stress only); the gated data
+    // branches idle at 0 whenever the FPU is unused and age at the DC
+    // rate. The gated branches are deeper (more insertion delay behind
+    // the gate), so their differential aging shows up as a capture-side
+    // phase shift of several picoseconds — more than the thin post-fix
+    // hold margins on the control→gated register transfers.
+    // Depths are balanced the way clock-tree synthesis would leave
+    // them: the gated branches carry the ICG plus 8 buffers, the control
+    // branch 9 buffers, so static skew is a few picoseconds and the
+    // post-route hold fixes stay tiny. Differential *aging* (DC-stressed
+    // gated buffers vs AC-stressed control buffers) is then what moves
+    // the capture edges apart in the field.
+    let ckroot = builder.clock_buf("ckroot", clk);
+    let mut ck_ctl = ckroot;
+    for i in 0..10 {
+        ck_ctl = builder.clock_buf(format!("ckctl{i}"), ck_ctl);
+    }
+    let icg_in = builder.clock_gate("icg_in", ckroot, valid_in);
+    let mut ck_gin = icg_in;
+    for i in 0..8 {
+        ck_gin = builder.clock_buf(format!("ckgin{i}"), ck_gin);
+    }
+
+    // valid pipeline on the control branch.
+    let valid_q = builder.dff("valid_q", valid_in, ck_ctl);
+    let icg_out = builder.clock_gate("icg_out", ckroot, valid_q);
+    let mut ck_gout = icg_out;
+    for i in 0..9 {
+        ck_gout = builder.clock_buf(format!("ckgout{i}"), ck_gout);
+    }
+
+    let mut w = Words::new(&mut builder, "fpu");
+
+    // --- Stage 1 registers (gated input branch) ----------------------
+    let op_q = w.register("op_q", &op_in, ck_gin);
+    let a_q = w.register("a_q", &a_in, ck_gin);
+    let b_q = w.register("b_q", &b_in, ck_gin);
+
+    // Control-branch registers: issue tag and out_valid pipeline.
+    let tag_q = w.register("tag_q", &tag_in, ck_ctl);
+
+    // Decode.
+    let is_op: Vec<NetId> = FpuOp::ALL
+        .iter()
+        .map(|op| {
+            let pattern = w.const_word(op.encoding(), 3);
+            w.equal(&op_q, &pattern)
+        })
+        .collect();
+    let one_hot = |op: FpuOp| is_op[op as usize];
+
+    let ua = unpack(&mut w, &a_q);
+    // Effective b sign: flipped for subtraction.
+    let ub = unpack(&mut w, &b_q);
+    let sb_eff = w.gate(CellKind::Xor2, "sbe", &[ub.sign, one_hot(FpuOp::Sub)]);
+
+    // =============== ADD/SUB datapath =================================
+    let (add_bits, add_of, add_uf, add_nx, add_nv) = {
+        // Swap to (large, small) by raw magnitude (exp, frac) — both
+        // normal here; special cases overlay later.
+        let mag_a: Vec<NetId> = {
+            let mut m = ua.frac.clone();
+            m.extend(&ua.exp);
+            m
+        };
+        let mag_b: Vec<NetId> = {
+            let mut m = ub.frac.clone();
+            m.extend(&ub.exp);
+            m
+        };
+        let a_lt_b = w.less_unsigned(&mag_a, &mag_b);
+        let sign_l = w.mux_bit(a_lt_b, ua.sign, sb_eff);
+        let sign_s = w.mux_bit(a_lt_b, sb_eff, ua.sign);
+        let exp_l = w.mux(a_lt_b, &ua.exp, &ub.exp);
+        let exp_s = w.mux(a_lt_b, &ub.exp, &ua.exp);
+        let mant_l = w.mux(a_lt_b, &ua.mant, &ub.mant);
+        let mant_s = w.mux(a_lt_b, &ub.mant, &ua.mant);
+
+        let eff_sub = w.gate(CellKind::Xor2, "effs", &[sign_l, sign_s]);
+
+        // d = exp_l - exp_s (8 bits, exact).
+        let (d, _) = w.subtractor(&exp_l, &exp_s);
+        // d > 26?
+        let c26 = w.const_word(26, 8);
+        let d_gt_26 = w.less_unsigned(&c26, &d);
+        // k = 26 - d (low 5 bits; only meaningful when d <= 26).
+        let (k8, _) = w.subtractor(&c26, &d);
+        let k: Vec<NetId> = k8[..5].to_vec();
+
+        // aligned = (mant_s << k) & !d_gt_26, over 52 bits.
+        let zero = w.zero();
+        let mut small52: Vec<NetId> = mant_s.clone();
+        small52.resize(52, zero);
+        let aligned_raw = w.shift_left(&small52, &k);
+        let not_far = w.gate(CellKind::Not, "nfar", &[d_gt_26]);
+        let aligned = w.and_bit(&aligned_raw, not_far);
+        let sticky_extra = d_gt_26;
+
+        // l52 = mant_l << 26.
+        let mut l52: Vec<NetId> = vec![zero; 26];
+        l52.extend(&mant_l);
+        l52.resize(52, zero);
+
+        // Subtraction borrows one extra epsilon when sticky_extra.
+        let sub_operand: Vec<NetId> = {
+            let mut s = aligned.clone();
+            s[0] = w.gate(CellKind::Or2, "sbo", &[aligned[0], sticky_extra]);
+            s
+        };
+        let (sum52, _) = w.adder(&l52, &aligned, zero);
+        let (diff52, _) = w.subtractor(&l52, &sub_operand);
+        let v = w.mux(eff_sub, &sum52, &diff52);
+
+        let v_zero = w.is_zero(&v);
+
+        // Normalize: lzc over 52 bits (6-bit count), MSB to bit 51.
+        let lzc = w.leading_zeros(&v); // 6 bits
+        let w52 = w.shift_left(&v, &lzc);
+        let mant24: Vec<NetId> = w52[28..52].to_vec();
+        let guard = w52[27];
+        let sticky_low = w.reduce_or(&w52[..27]);
+        let sticky = w.gate(CellKind::Or2, "stk", &[sticky_low, sticky_extra]);
+
+        // exp10 = exp_l + 2 - lzc (10-bit two's complement).
+        let mut el10: Vec<NetId> = exp_l.clone();
+        el10.resize(10, zero);
+        let two = w.const_word(2, 10);
+        let (el_plus2, _) = w.adder(&el10, &two, zero);
+        let mut lzc10: Vec<NetId> = lzc.clone();
+        lzc10.resize(10, zero);
+        let (exp10, _) = w.subtractor(&el_plus2, &lzc10);
+
+        let (bits, of, uf, nx) =
+            round_pack(&mut w, sign_l, &exp10, &mant24, guard, sticky);
+
+        // Exact cancellation -> +0 exactly (overrides the packed result).
+        let plus_zero = w.const_word(0, 32);
+        let v_zero_clean = {
+            let nse = w.gate(CellKind::Not, "nse", &[sticky_extra]);
+            w.gate(CellKind::And2, "vz", &[v_zero, nse])
+        };
+        let bits = w.mux(v_zero_clean, &bits, &plus_zero);
+        let nzc = w.gate(CellKind::Not, "nzc", &[v_zero_clean]);
+        let of = w.gate(CellKind::And2, "ofz", &[of, nzc]);
+        let uf = w.gate(CellKind::And2, "ufz", &[uf, nzc]);
+        let nx = w.gate(CellKind::And2, "nxz", &[nx, nzc]);
+
+        // Special-case overlay for add/sub.
+        // zero-operand handling: both zero -> sign = sa & sb_eff; one
+        // zero -> the other (with b's effective sign).
+        let b_eff32: Vec<NetId> = {
+            let mut v: Vec<NetId> = b_q[..31].to_vec();
+            v.push(sb_eff);
+            v
+        };
+        let b_ftz = {
+            let not_zb = w.gate(CellKind::Not, "nzb", &[ub.zero]);
+            let mut v = w.and_bit(&b_eff32[..31], not_zb);
+            v.push(sb_eff);
+            v
+        };
+        let a_ftz = {
+            let not_za = w.gate(CellKind::Not, "nza", &[ua.zero]);
+            let mut v = w.and_bit(&a_q[..31], not_za);
+            v.push(ua.sign);
+            v
+        };
+        let both_zero = w.gate(CellKind::And2, "bz", &[ua.zero, ub.zero]);
+        let zz_sign = w.gate(CellKind::And2, "zzs", &[ua.sign, sb_eff]);
+        let mut zz_bits = w.const_word(0, 31);
+        zz_bits.push(zz_sign);
+
+        let bits = w.mux(ua.zero, &bits, &b_ftz);
+        let bits = w.mux(ub.zero, &bits, &a_ftz);
+        let bits = w.mux(both_zero, &bits, &zz_bits);
+
+        // Infinity handling.
+        let inf_signs_differ = w.gate(CellKind::Xor2, "isd", &[ua.sign, sb_eff]);
+        let both_inf = w.gate(CellKind::And2, "bi", &[ua.inf, ub.inf]);
+        let inf_nv = w.gate(CellKind::And2, "inv", &[both_inf, inf_signs_differ]);
+        let inf_a32: Vec<NetId> = {
+            let mut v = w.const_word(0x7F80_0000u64, 31);
+            v.push(ua.sign);
+            v
+        };
+        let inf_b32: Vec<NetId> = {
+            let mut v = w.const_word(0x7F80_0000u64, 31);
+            v.push(sb_eff);
+            v
+        };
+        let bits = w.mux(ua.inf, &bits, &inf_a32);
+        let bits = w.mux(ub.inf, &bits, &inf_b32);
+
+        // Effect masking: any special case suppresses OF/UF/NX.
+        let s1 = w.gate(CellKind::Or2, "sp1", &[ua.zero, ub.zero]);
+        let s2 = w.gate(CellKind::Or2, "sp2", &[ua.inf, ub.inf]);
+        let special = w.gate(CellKind::Or2, "sp3", &[s1, s2]);
+        let not_special = w.gate(CellKind::Not, "sp4", &[special]);
+        let of = w.gate(CellKind::And2, "of2", &[of, not_special]);
+        let uf = w.gate(CellKind::And2, "uf2", &[uf, not_special]);
+        let nx = w.gate(CellKind::And2, "nx2", &[nx, not_special]);
+
+        (bits, of, uf, nx, inf_nv)
+    };
+
+    // =============== MUL datapath =====================================
+    let (mul_bits, mul_of, mul_uf, mul_nx, mul_nv) = {
+        let zero = w.zero();
+        let sign = w.gate(CellKind::Xor2, "msx", &[ua.sign, ub.sign]);
+        let p48 = w.multiply(&ua.mant, &ub.mant); // 48 bits
+        let p47 = p48[47];
+        // w48 = p47 ? p48 : p48 << 1.
+        let shifted: Vec<NetId> = {
+            let mut s = vec![zero];
+            s.extend(&p48[..47]);
+            s
+        };
+        let w48 = w.mux(p47, &shifted, &p48);
+        let mant24: Vec<NetId> = w48[24..48].to_vec();
+        let guard = w48[23];
+        let sticky = w.reduce_or(&w48[..23]);
+
+        // exp10 = ea + eb - 127 + p47.
+        let mut ea10: Vec<NetId> = ua.exp.clone();
+        ea10.resize(10, zero);
+        let mut eb10: Vec<NetId> = ub.exp.clone();
+        eb10.resize(10, zero);
+        let (esum, _) = w.adder(&ea10, &eb10, p47);
+        let c127 = w.const_word(127, 10);
+        let (exp10, _) = w.subtractor(&esum, &c127);
+
+        let (bits, of, uf, nx) = round_pack(&mut w, sign, &exp10, &mant24, guard, sticky);
+
+        // Specials: inf*0 -> NV (handled by overlay); inf -> inf; zero -> 0.
+        let inf_any = w.gate(CellKind::Or2, "mia", &[ua.inf, ub.inf]);
+        let zero_any = w.gate(CellKind::Or2, "mza", &[ua.zero, ub.zero]);
+        let inf_times_zero = w.gate(CellKind::And2, "miz", &[inf_any, zero_any]);
+
+        let mut signed_zero = w.const_word(0, 31);
+        signed_zero.push(sign);
+        let mut signed_inf = w.const_word(0x7F80_0000u64, 31);
+        signed_inf.push(sign);
+
+        let bits = w.mux(zero_any, &bits, &signed_zero);
+        let bits = w.mux(inf_any, &bits, &signed_inf);
+
+        let special = w.gate(CellKind::Or2, "msp", &[inf_any, zero_any]);
+        let not_special = w.gate(CellKind::Not, "mns", &[special]);
+        let of = w.gate(CellKind::And2, "mof", &[of, not_special]);
+        let uf = w.gate(CellKind::And2, "muf", &[uf, not_special]);
+        let nx = w.gate(CellKind::And2, "mnx", &[nx, not_special]);
+
+        (bits, of, uf, nx, inf_times_zero)
+    };
+
+    // =============== Compare / min / max ==============================
+    let any_nan = w.gate(CellKind::Or2, "cnan", &[ua.nan, ub.nan]);
+    let no_nan = w.gate(CellKind::Not, "cnn", &[any_nan]);
+    let any_snan = w.gate(CellKind::Or2, "csn", &[ua.snan, ub.snan]);
+
+    // Ordered less-than on FTZ magnitudes with sign logic.
+    let lt_ab = ordered_lt(&mut w, ua.sign, &ua.mag, ub.sign, &ub.mag);
+    let lt_ba = ordered_lt(&mut w, ub.sign, &ub.mag, ua.sign, &ua.mag);
+
+    let (cmp_bits, cmp_nv) = {
+        let not_lt_ab = w.gate(CellKind::Not, "c1", &[lt_ab]);
+        let not_lt_ba = w.gate(CellKind::Not, "c2", &[lt_ba]);
+        let eq_raw = w.gate(CellKind::And2, "c3", &[not_lt_ab, not_lt_ba]);
+        let eq_bit = w.gate(CellKind::And2, "c4", &[eq_raw, no_nan]);
+        let lt_bit = w.gate(CellKind::And2, "c5", &[lt_ab, no_nan]);
+        let le_bit = w.gate(CellKind::And2, "c6", &[not_lt_ba, no_nan]);
+        let bit = {
+            let t = w.mux_bit(one_hot(FpuOp::Lt), eq_bit, lt_bit);
+            w.mux_bit(one_hot(FpuOp::Le), t, le_bit)
+        };
+        let mut bits = vec![bit];
+        let z31 = w.const_word(0, 31);
+        bits.extend(z31);
+        // NV: quiet Eq raises on sNaN only; Lt/Le raise on any NaN.
+        let signaling = w.gate(CellKind::Or2, "c7", &[one_hot(FpuOp::Lt), one_hot(FpuOp::Le)]);
+        let nv_sig = w.gate(CellKind::And2, "c8", &[signaling, any_nan]);
+        let nv = w.gate(CellKind::Or2, "c9", &[any_snan, nv_sig]);
+        (bits, nv)
+    };
+
+    let (minmax_bits, minmax_nv) = {
+        // FTZ'd operand encodings.
+        let not_za = w.gate(CellKind::Not, "m0", &[ua.zero]);
+        let mut a_ftz = w.and_bit(&a_q[..31], not_za);
+        a_ftz.push(ua.sign);
+        let not_zb = w.gate(CellKind::Not, "m1", &[ub.zero]);
+        let mut b_ftz = w.and_bit(&b_q[..31], not_zb);
+        b_ftz.push(ub.sign);
+
+        // Tie-break: equal values, a negative, b positive => a < b.
+        let not_lt_ba2 = w.gate(CellKind::Not, "m2", &[lt_ba]);
+        let sb_not = w.gate(CellKind::Not, "m3", &[ub.sign]);
+        let neg_zero_tie = {
+            let t = w.gate(CellKind::And2, "m4", &[ua.sign, sb_not]);
+            w.gate(CellKind::And2, "m5", &[not_lt_ba2, t])
+        };
+        let a_lt = w.gate(CellKind::Or2, "m6", &[lt_ab, neg_zero_tie]);
+        let is_min = one_hot(FpuOp::Min);
+        let not_a_lt = w.gate(CellKind::Not, "m7", &[a_lt]);
+        let pick_a = w.mux_bit(is_min, not_a_lt, a_lt);
+        let ordered = w.mux(pick_a, &b_ftz, &a_ftz);
+
+        // NaN handling: one NaN -> other operand; both -> canonical NaN.
+        let qnan = w.const_word(crate::golden::QNAN as u64, 32);
+        let picked = w.mux(ua.nan, &ordered, &b_ftz);
+        let picked = w.mux(ub.nan, &picked, &a_ftz);
+        let both_nan = w.gate(CellKind::And2, "m8", &[ua.nan, ub.nan]);
+        let bits = w.mux(both_nan, &picked, &qnan);
+        (bits, any_snan)
+    };
+
+    // =============== Result / flag selection =========================
+    let is_addsub = w.gate(CellKind::Or2, "sadd", &[one_hot(FpuOp::Add), one_hot(FpuOp::Sub)]);
+    let is_mul = one_hot(FpuOp::Mul);
+    let is_minmax = w.gate(CellKind::Or2, "smm", &[one_hot(FpuOp::Min), one_hot(FpuOp::Max)]);
+
+    let mut result = cmp_bits;
+    result = w.mux(is_minmax, &result, &minmax_bits);
+    result = w.mux(is_mul, &result, &mul_bits);
+    result = w.mux(is_addsub, &result, &add_bits);
+
+    // Invalid-operation overlay for add/sub/mul: NaN inputs, ∞ − ∞, and
+    // ∞ × 0 all produce the canonical qNaN.
+    let arith = w.gate(CellKind::Or2, "sar", &[is_addsub, is_mul]);
+    let nan_arith = w.gate(CellKind::And2, "snA", &[arith, any_nan]);
+    let invalid_core = w.mux_bit(is_mul, add_nv, mul_nv);
+    let invalid_arith = w.gate(CellKind::And2, "snB", &[arith, invalid_core]);
+    let nan_result = w.gate(CellKind::Or2, "snC", &[nan_arith, invalid_arith]);
+    let qnan32 = w.const_word(crate::golden::QNAN as u64, 32);
+    result = w.mux(nan_result, &result, &qnan32);
+
+    // Flags.
+    let zero_bit = w.zero();
+    let arith_nv_core = {
+        // ∞ − ∞ / ∞ × 0 raise NV only when no NaN is involved (a NaN
+        // input takes priority and raises NV only if signaling).
+        let t2 = w.gate(CellKind::And2, "fnv1", &[invalid_core, no_nan]);
+        w.gate(CellKind::Or2, "fnv2", &[t2, any_snan])
+    };
+    let nv = {
+        let t = w.mux_bit(is_minmax, cmp_nv, minmax_nv);
+        w.mux_bit(arith, t, arith_nv_core)
+    };
+    // OF/UF/NX only from arithmetic, and only without NaN inputs.
+    let of = {
+        let t = w.mux_bit(is_mul, add_of, mul_of);
+        let t = w.gate(CellKind::And2, "fof", &[t, arith]);
+        w.gate(CellKind::And2, "fof2", &[t, no_nan])
+    };
+    let uf = {
+        let t = w.mux_bit(is_mul, add_uf, mul_uf);
+        let t = w.gate(CellKind::And2, "fuf", &[t, arith]);
+        w.gate(CellKind::And2, "fuf2", &[t, no_nan])
+    };
+    let nx = {
+        let t = w.mux_bit(is_mul, add_nx, mul_nx);
+        let t = w.gate(CellKind::And2, "fnx", &[t, arith]);
+        w.gate(CellKind::And2, "fnx2", &[t, no_nan])
+    };
+    let flags_word = vec![nx, uf, of, zero_bit, nv];
+
+    // --- Stage 2 registers (gated output branch) ----------------------
+    let r_q = w.register("r_q", &result, ck_gout);
+    let flags_q = w.register("flags_q", &flags_word, ck_gout);
+    // Cross-branch short paths: tag and busy hop from the control branch
+    // into the gated output branch with no combinational logic between.
+    let tag_q2 = w.register("tag_q2", &tag_q, ck_gout);
+    let busy_q = {
+        let name = w.builder().fresh_name("busy_q");
+        w.builder().dff(name, valid_q, ck_gout)
+    };
+
+    let out_valid = builder.dff("out_valid_q", valid_q, ck_ctl);
+
+    b_finish(builder, &r_q, &flags_q, out_valid, &tag_q2, busy_q)
+}
+
+fn b_finish(
+    mut builder: NetlistBuilder,
+    r: &[NetId],
+    flags: &[NetId],
+    out_valid: NetId,
+    tag_out: &[NetId],
+    busy: NetId,
+) -> Netlist {
+    builder.output("r", r);
+    builder.output("flags", flags);
+    builder.output("out_valid", &[out_valid]);
+    builder.output("tag_out", tag_out);
+    builder.output("busy", &[busy]);
+    builder.finish().expect("generated FPU must validate")
+}
+
+/// Round-to-nearest-even pack: returns (bits32, of, uf, nx).
+///
+/// `exp10` is a 10-bit two's-complement pre-round exponent; `mant24` the
+/// normalized mantissa (MSB = hidden bit); rounding may carry into the
+/// exponent. Overflow produces ±inf, underflow (exp ≤ 0) flushes to ±0.
+fn round_pack(
+    w: &mut Words<'_>,
+    sign: NetId,
+    exp10: &[NetId],
+    mant24: &[NetId],
+    guard: NetId,
+    sticky: NetId,
+) -> (Vec<NetId>, NetId, NetId, NetId) {
+    let lsb = mant24[0];
+    let tie_or_up = {
+        let t = w.gate(CellKind::Or2, "rp0", &[sticky, lsb]);
+        w.gate(CellKind::And2, "rp1", &[guard, t])
+    };
+    // mant + round_up.
+    let zero = w.zero();
+    let zeros24 = vec![zero; 24];
+    let (rounded, carry) = w.adder(mant24, &zeros24, tie_or_up);
+    // Exponent after carry.
+    let mut c10 = vec![carry];
+    c10.resize(10, zero);
+    let (exp_r, _) = w.adder(exp10, &c10, zero);
+    let frac: Vec<NetId> = {
+        let z23 = vec![zero; 23];
+        w.mux(carry, &rounded[..23], &z23)
+    };
+    let nx = w.gate(CellKind::Or2, "rp2", &[guard, sticky]);
+
+    // of: exp_r >= 255 (signed compare against constant).
+    let c255 = w.const_word(255, 10);
+    let ge255 = {
+        let lt = w.less_signed(&exp_r, &c255);
+        w.gate(CellKind::Not, "rp3", &[lt])
+    };
+    // uf: exp_r <= 0.
+    let c1 = w.const_word(1, 10);
+    let le0 = w.less_signed(&exp_r, &c1);
+
+    // Normal pack.
+    let mut bits: Vec<NetId> = frac;
+    bits.extend(&exp_r[..8]);
+    bits.push(sign);
+
+    // Overflow -> ±inf.
+    let mut inf_bits = w.const_word(0x7F80_0000u64, 31);
+    inf_bits.push(sign);
+    let bits = w.mux(ge255, &bits, &inf_bits);
+
+    // Underflow -> ±0.
+    let mut zero_bits = w.const_word(0, 31);
+    zero_bits.push(sign);
+    let bits = w.mux(le0, &bits, &zero_bits);
+
+    // nx forced on overflow/underflow.
+    let edge = w.gate(CellKind::Or2, "rp4", &[ge255, le0]);
+    let nx = w.gate(CellKind::Or2, "rp5", &[nx, edge]);
+    (bits, ge255, le0, nx)
+}
+
+/// Ordered (no NaN) less-than over FTZ'd sign+magnitude encodings.
+fn ordered_lt(
+    w: &mut Words<'_>,
+    sa: NetId,
+    mag_a: &[NetId],
+    sb: NetId,
+    mag_b: &[NetId],
+) -> NetId {
+    let mag_lt = w.less_unsigned(mag_a, mag_b);
+    let mag_gt = w.less_unsigned(mag_b, mag_a);
+    let sa_not = w.gate(CellKind::Not, "ol0", &[sa]);
+    let sb_not = w.gate(CellKind::Not, "ol1", &[sb]);
+    // both positive: mag_a < mag_b
+    let pp = {
+        let t = w.gate(CellKind::And2, "ol2", &[sa_not, sb_not]);
+        w.gate(CellKind::And2, "ol3", &[t, mag_lt])
+    };
+    // both negative: mag_a > mag_b
+    let nn = {
+        let t = w.gate(CellKind::And2, "ol4", &[sa, sb]);
+        w.gate(CellKind::And2, "ol5", &[t, mag_gt])
+    };
+    // a negative, b positive: a < b unless both are zero.
+    let np = {
+        let t = w.gate(CellKind::And2, "ol6", &[sa, sb_not]);
+        let a_nz = w.reduce_or(mag_a);
+        let b_nz = w.reduce_or(mag_b);
+        let any_nz = w.gate(CellKind::Or2, "ol7", &[a_nz, b_nz]);
+        w.gate(CellKind::And2, "ol8", &[t, any_nz])
+    };
+    let t = w.gate(CellKind::Or2, "ol9", &[pp, nn]);
+    w.gate(CellKind::Or2, "ol10", &[t, np])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::{fpu_golden, FpuOp, QNAN};
+    use vega_sim::Simulator;
+
+    fn run_fpu(sim: &mut Simulator<'_>, op: FpuOp, a: u32, b: u32) -> (u32, u32) {
+        sim.set_input("op", op.encoding());
+        sim.set_input("a", a as u64);
+        sim.set_input("b", b as u64);
+        sim.set_input("valid", 1);
+        for _ in 0..FPU_LATENCY {
+            sim.step();
+        }
+        (sim.output("r") as u32, sim.output("flags") as u32)
+    }
+
+    fn interesting_values() -> Vec<u32> {
+        vec![
+            0x0000_0000, // +0
+            0x8000_0000, // -0
+            0x3F80_0000, // 1.0
+            0xBF80_0000, // -1.0
+            0x4000_0000, // 2.0
+            0x4040_0000, // 3.0
+            0x3F00_0000, // 0.5
+            0x7F7F_FFFF, // max normal
+            0xFF7F_FFFF, // -max normal
+            0x0080_0000, // min normal
+            0x8080_0000, // -min normal
+            0x7F80_0000, // +inf
+            0xFF80_0000, // -inf
+            QNAN,        // qNaN
+            0x7F80_0001, // sNaN
+            0x0000_0001, // subnormal (flushes)
+            0x8000_0001, // -subnormal
+            0x3F80_0001, // 1.0 + ulp
+            0x4B00_0000, // 2^23 (rounding boundary)
+            0x4B80_0000, // 2^24
+            0x3FFF_FFFF, // ~2.0 - ulp
+            0x5000_0000,
+            0xD000_0000,
+        ]
+    }
+
+    #[test]
+    fn matches_golden_on_directed_values() {
+        let n = build_fpu();
+        let mut sim = Simulator::new(&n);
+        let values = interesting_values();
+        for op in FpuOp::ALL {
+            for &a in &values {
+                for &b in &values {
+                    let (hw_r, hw_f) = run_fpu(&mut sim, op, a, b);
+                    let sw = fpu_golden(op, a, b);
+                    assert_eq!(
+                        hw_r, sw.bits,
+                        "{op:?}({a:#010x}, {b:#010x}): hw {hw_r:#010x} sw {:#010x}",
+                        sw.bits
+                    );
+                    assert_eq!(
+                        hw_f,
+                        sw.flags.to_bits(),
+                        "{op:?}({a:#010x}, {b:#010x}) flags: hw {hw_f:#07b} sw {:#07b}",
+                        sw.flags.to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_golden_on_random_values() {
+        let n = build_fpu();
+        let mut sim = Simulator::new(&n);
+        let mut state = 0x2468_ACE0u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as u32
+        };
+        for round in 0..400 {
+            let op = FpuOp::ALL[(rand() % 8) as usize];
+            let a = rand();
+            let b = rand();
+            let (hw_r, hw_f) = run_fpu(&mut sim, op, a, b);
+            let sw = fpu_golden(op, a, b);
+            assert_eq!(
+                hw_r, sw.bits,
+                "round {round}: {op:?}({a:#010x}, {b:#010x}): hw {hw_r:#010x} sw {:#010x}",
+                sw.bits
+            );
+            assert_eq!(hw_f, sw.flags.to_bits(), "round {round} flags: {op:?}({a:#010x}, {b:#010x})");
+        }
+    }
+
+    #[test]
+    fn valid_handshake_and_gated_pipeline() {
+        let n = build_fpu();
+        let mut sim = Simulator::new(&n);
+        // Issue one add with tag 2.
+        sim.set_input("op", FpuOp::Add.encoding());
+        sim.set_input("a", 0x3F80_0000);
+        sim.set_input("b", 0x3F80_0000);
+        sim.set_input("valid", 1);
+        sim.set_input("tag", 2);
+        sim.step();
+        sim.set_input("valid", 0);
+        sim.set_input("tag", 0);
+        sim.step();
+        assert_eq!(sim.output("out_valid"), 1, "result handshake");
+        assert_eq!(sim.output("r"), 0x4000_0000, "1.0 + 1.0 = 2.0");
+        assert_eq!(sim.output("tag_out"), 2, "tag travels with the result");
+        // Idle cycles: output registers are gated and must hold.
+        sim.set_input("a", 0xDEAD_BEEF);
+        sim.set_input("b", 0x1234_5678);
+        for _ in 0..5 {
+            sim.step();
+            assert_eq!(sim.output("out_valid"), 0);
+            assert_eq!(sim.output("r"), 0x4000_0000, "gated registers hold");
+        }
+    }
+
+    #[test]
+    fn structure_has_gated_clock_branches() {
+        let n = build_fpu();
+        let gates: Vec<_> = n.cells_of_kind(vega_netlist::CellKind::ClockGate).collect();
+        assert_eq!(gates.len(), 2, "input and output clock gates");
+        let clock_cells = n.cells().filter(|c| c.kind.is_clock_network()).count();
+        assert!(clock_cells >= 10, "deep branches: {clock_cells}");
+        // The FPU dwarfs the ALU, as in the paper.
+        assert!(n.cell_count() > 8_000, "{} cells", n.cell_count());
+    }
+}

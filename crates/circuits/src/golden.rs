@@ -1,0 +1,601 @@
+//! Bit-exact software reference models for the generated hardware.
+//!
+//! The ALU model is ordinary two's-complement arithmetic. The FP32 model
+//! implements exactly the semantics the gate-level FPU realizes:
+//!
+//! * round-to-nearest-even (the only rounding mode, as in many embedded
+//!   FPU configurations),
+//! * **flush-to-zero**: subnormal inputs are treated as (signed) zeros and
+//!   subnormal results flush to signed zero with `UF`+`NX` raised,
+//! * canonical quiet NaN `0x7FC0_0000` on any NaN-producing operation,
+//! * `NV` on signaling NaN inputs, invalid magnitude cancellation
+//!   (`∞ − ∞`), invalid multiplication (`∞ × 0`), and signaling compares.
+//!
+//! Internally both the adder and the multiplier use a single wide exact
+//! datapath (no guard/round case analysis): operands are aligned into a
+//! 52-bit window, added or subtracted exactly, renormalized by a leading-
+//! zero count, and rounded once. The gate-level generators in
+//! [`crate::fpu`] implement the *same* steps so the two stay bit-equal.
+
+use serde::{Deserialize, Serialize};
+
+/// The canonical quiet NaN produced by every NaN-generating operation.
+pub const QNAN: u32 = 0x7FC0_0000;
+
+/// RV32I ALU operations (the encoding used by [`crate::alu::build_alu`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AluOp {
+    /// Addition.
+    Add = 0,
+    /// Subtraction.
+    Sub = 1,
+    /// Shift left logical (amount = low 5 bits of `b`).
+    Sll = 2,
+    /// Set if less than, signed.
+    Slt = 3,
+    /// Set if less than, unsigned.
+    Sltu = 4,
+    /// Bitwise XOR.
+    Xor = 5,
+    /// Shift right logical.
+    Srl = 6,
+    /// Shift right arithmetic.
+    Sra = 7,
+    /// Bitwise OR.
+    Or = 8,
+    /// Bitwise AND.
+    And = 9,
+}
+
+impl AluOp {
+    /// Every ALU operation.
+    pub const ALL: [AluOp; 10] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
+    ];
+
+    /// The operation's port encoding.
+    pub fn encoding(self) -> u64 {
+        self as u64
+    }
+
+    /// Decode a port encoding.
+    pub fn from_encoding(value: u64) -> Option<AluOp> {
+        AluOp::ALL.into_iter().find(|op| op.encoding() == value)
+    }
+}
+
+/// Reference semantics of the ALU.
+pub fn alu_golden(op: AluOp, a: u32, b: u32) -> u32 {
+    let shamt = b & 31;
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a << shamt,
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a >> shamt,
+        AluOp::Sra => ((a as i32) >> shamt) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    }
+}
+
+/// FPU operations (the encoding used by [`crate::fpu::build_fpu`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum FpuOp {
+    /// Addition.
+    Add = 0,
+    /// Subtraction.
+    Sub = 1,
+    /// Multiplication.
+    Mul = 2,
+    /// Minimum (RISC-V `fmin.s` NaN semantics).
+    Min = 3,
+    /// Maximum.
+    Max = 4,
+    /// Quiet equality; result is 0 or 1.
+    Eq = 5,
+    /// Signaling less-than; result is 0 or 1.
+    Lt = 6,
+    /// Signaling less-or-equal; result is 0 or 1.
+    Le = 7,
+}
+
+impl FpuOp {
+    /// Every FPU operation.
+    pub const ALL: [FpuOp; 8] = [
+        FpuOp::Add,
+        FpuOp::Sub,
+        FpuOp::Mul,
+        FpuOp::Min,
+        FpuOp::Max,
+        FpuOp::Eq,
+        FpuOp::Lt,
+        FpuOp::Le,
+    ];
+
+    /// The operation's port encoding.
+    pub fn encoding(self) -> u64 {
+        self as u64
+    }
+
+    /// Decode a port encoding.
+    pub fn from_encoding(value: u64) -> Option<FpuOp> {
+        FpuOp::ALL.into_iter().find(|op| op.encoding() == value)
+    }
+}
+
+/// IEEE exception flags, RISC-V `fflags` bit order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FpFlags {
+    /// Invalid operation (bit 4).
+    pub nv: bool,
+    /// Divide by zero (bit 3; never raised — no divider).
+    pub dz: bool,
+    /// Overflow (bit 2).
+    pub of: bool,
+    /// Underflow (bit 1).
+    pub uf: bool,
+    /// Inexact (bit 0).
+    pub nx: bool,
+}
+
+impl FpFlags {
+    /// Pack into the 5-bit `fflags` layout (NV DZ OF UF NX, MSB first).
+    pub fn to_bits(self) -> u32 {
+        (u32::from(self.nv) << 4)
+            | (u32::from(self.dz) << 3)
+            | (u32::from(self.of) << 2)
+            | (u32::from(self.uf) << 1)
+            | u32::from(self.nx)
+    }
+}
+
+/// An FPU result: value bits plus exception flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FpResult {
+    /// The result encoding (an FP32 value, or 0/1 for compares).
+    pub bits: u32,
+    /// Exception flags raised.
+    pub flags: FpFlags,
+}
+
+#[inline]
+fn sign_of(x: u32) -> u32 {
+    x >> 31
+}
+
+#[inline]
+fn exp_of(x: u32) -> u32 {
+    (x >> 23) & 0xFF
+}
+
+#[inline]
+fn frac_of(x: u32) -> u32 {
+    x & 0x7F_FFFF
+}
+
+#[inline]
+fn is_nan(x: u32) -> bool {
+    exp_of(x) == 255 && frac_of(x) != 0
+}
+
+#[inline]
+fn is_snan(x: u32) -> bool {
+    is_nan(x) && (x >> 22) & 1 == 0
+}
+
+#[inline]
+fn is_inf(x: u32) -> bool {
+    exp_of(x) == 255 && frac_of(x) == 0
+}
+
+/// Flush subnormal inputs to signed zero (FTZ input handling).
+#[inline]
+fn ftz(x: u32) -> u32 {
+    if exp_of(x) == 0 {
+        x & 0x8000_0000
+    } else {
+        x
+    }
+}
+
+#[inline]
+fn is_zero_ftz(x: u32) -> bool {
+    exp_of(x) == 0
+}
+
+fn pack(sign: u32, exp: u32, frac: u32) -> u32 {
+    (sign << 31) | (exp << 23) | frac
+}
+
+/// Round-to-nearest-even from a 24-bit mantissa plus guard and sticky,
+/// with exponent adjustment; returns packed result with OF handling.
+fn round_pack(sign: u32, exp: i32, mant24: u32, guard: bool, sticky: bool) -> FpResult {
+    let mut flags = FpFlags::default();
+    let round_up = guard && (sticky || mant24 & 1 == 1);
+    let mut mant = mant24 + u32::from(round_up);
+    let mut exp = exp;
+    if mant == 1 << 24 {
+        mant >>= 1;
+        exp += 1;
+    }
+    flags.nx = guard || sticky;
+    if exp >= 255 {
+        flags.of = true;
+        flags.nx = true;
+        return FpResult { bits: pack(sign, 255, 0), flags };
+    }
+    if exp <= 0 {
+        // FTZ output: flush to signed zero.
+        flags.uf = true;
+        flags.nx = true;
+        return FpResult { bits: pack(sign, 0, 0), flags };
+    }
+    FpResult { bits: pack(sign, exp as u32, mant & 0x7F_FFFF), flags }
+}
+
+/// FP32 addition/subtraction with FTZ and RNE (`sub` flips `b`'s sign).
+pub fn fp_add_golden(a: u32, b: u32, sub: bool) -> FpResult {
+    let mut flags = FpFlags::default();
+    let a = ftz(a);
+    let b_raw = ftz(b);
+    let b = if sub { b_raw ^ 0x8000_0000 } else { b_raw };
+
+    // NaN handling (on original operands; sign flip does not matter).
+    if is_nan(a) || is_nan(b) {
+        flags.nv = is_snan(a) || is_snan(b);
+        return FpResult { bits: QNAN, flags };
+    }
+    match (is_inf(a), is_inf(b)) {
+        (true, true) => {
+            if sign_of(a) == sign_of(b) {
+                return FpResult { bits: a, flags };
+            }
+            flags.nv = true;
+            return FpResult { bits: QNAN, flags };
+        }
+        (true, false) => return FpResult { bits: a, flags },
+        (false, true) => return FpResult { bits: b, flags },
+        (false, false) => {}
+    }
+    match (is_zero_ftz(a), is_zero_ftz(b)) {
+        (true, true) => {
+            // +0 unless both are -0 (RNE sum-of-zeros rule).
+            let sign = sign_of(a) & sign_of(b);
+            return FpResult { bits: pack(sign, 0, 0), flags };
+        }
+        (true, false) => return FpResult { bits: b, flags },
+        (false, true) => return FpResult { bits: a, flags },
+        (false, false) => {}
+    }
+
+    // Both normal. Order by magnitude (exp, frac).
+    let (large, small) = if (a & 0x7FFF_FFFF) >= (b & 0x7FFF_FFFF) { (a, b) } else { (b, a) };
+    let el = exp_of(large) as i32;
+    let es = exp_of(small) as i32;
+    let fl = (frac_of(large) | 1 << 23) as u64;
+    let fs = (frac_of(small) | 1 << 23) as u64;
+    let eff_sub = sign_of(large) != sign_of(small);
+    let d = (el - es) as u32;
+
+    // Wide exact datapath: L at bit offset 26, small aligned below it.
+    let l_wide = fl << 26;
+    let (aligned, sticky_extra) = if d <= 26 {
+        (fs << (26 - d), false)
+    } else {
+        (0u64, true) // contributes only a sticky epsilon
+    };
+
+    let (v, sticky_extra) = if eff_sub {
+        // Subtracting an epsilon borrows 1 from the exact difference;
+        // the remaining fraction is re-announced via sticky.
+        (l_wide - aligned - u64::from(sticky_extra), sticky_extra)
+    } else {
+        (l_wide + aligned, sticky_extra)
+    };
+
+    if v == 0 && !sticky_extra {
+        // Exact cancellation: RNE yields +0.
+        return FpResult { bits: pack(0, 0, 0), flags };
+    }
+
+    // Normalize: MSB of `v` to position 51-ish window. fl's MSB sits at
+    // bit 49 when unchanged; exponent moves with the MSB position.
+    let msb = 63 - v.leading_zeros() as i32; // v != 0 here (or sticky)
+    let exp = el + (msb - 49);
+    let w = v << (63 - msb); // MSB now at bit 63
+    let mant24 = (w >> 40) as u32;
+    let guard = (w >> 39) & 1 == 1;
+    let sticky = (w & ((1 << 39) - 1)) != 0 || sticky_extra;
+    let sign = sign_of(large);
+    let mut result = round_pack(sign, exp, mant24, guard, sticky);
+    result.flags.nv |= flags.nv;
+    result
+}
+
+/// FP32 multiplication with FTZ and RNE.
+pub fn fp_mul_golden(a: u32, b: u32) -> FpResult {
+    let mut flags = FpFlags::default();
+    let a = ftz(a);
+    let b = ftz(b);
+    let sign = sign_of(a) ^ sign_of(b);
+
+    if is_nan(a) || is_nan(b) {
+        flags.nv = is_snan(a) || is_snan(b);
+        return FpResult { bits: QNAN, flags };
+    }
+    if (is_inf(a) && is_zero_ftz(b)) || (is_zero_ftz(a) && is_inf(b)) {
+        flags.nv = true;
+        return FpResult { bits: QNAN, flags };
+    }
+    if is_inf(a) || is_inf(b) {
+        return FpResult { bits: pack(sign, 255, 0), flags };
+    }
+    if is_zero_ftz(a) || is_zero_ftz(b) {
+        return FpResult { bits: pack(sign, 0, 0), flags };
+    }
+
+    let fa = (frac_of(a) | 1 << 23) as u64;
+    let fb = (frac_of(b) | 1 << 23) as u64;
+    let p = fa * fb; // 48-bit product, MSB at 47 or 46
+    let msb = 63 - p.leading_zeros() as i32;
+    let exp = exp_of(a) as i32 + exp_of(b) as i32 - 127 + (msb - 46);
+    let w = p << (63 - msb);
+    let mant24 = (w >> 40) as u32;
+    let guard = (w >> 39) & 1 == 1;
+    let sticky = (w & ((1 << 39) - 1)) != 0;
+    round_pack(sign, exp, mant24, guard, sticky)
+}
+
+/// Ordered comparison on non-NaN FTZ'd values: `a < b`.
+fn lt_bits(a: u32, b: u32) -> bool {
+    let (sa, sb) = (sign_of(a), sign_of(b));
+    let (ma, mb) = (a & 0x7FFF_FFFF, b & 0x7FFF_FFFF);
+    if ma == 0 && mb == 0 {
+        return false; // ±0 == ±0
+    }
+    match (sa, sb) {
+        (0, 0) => ma < mb,
+        (1, 1) => ma > mb,
+        (1, 0) => true,
+        _ => false,
+    }
+}
+
+/// FP32 compares: `Eq` (quiet), `Lt`/`Le` (signaling). Result is 0 or 1.
+pub fn fp_cmp_golden(op: FpuOp, a: u32, b: u32) -> FpResult {
+    let mut flags = FpFlags::default();
+    let any_nan = is_nan(a) || is_nan(b);
+    let a_f = ftz(a);
+    let b_f = ftz(b);
+    let bits = match op {
+        FpuOp::Eq => {
+            flags.nv = is_snan(a) || is_snan(b);
+            u32::from(!any_nan && !lt_bits(a_f, b_f) && !lt_bits(b_f, a_f))
+        }
+        FpuOp::Lt => {
+            flags.nv = any_nan;
+            u32::from(!any_nan && lt_bits(a_f, b_f))
+        }
+        FpuOp::Le => {
+            flags.nv = any_nan;
+            u32::from(!any_nan && !lt_bits(b_f, a_f))
+        }
+        other => panic!("{other:?} is not a compare"),
+    };
+    FpResult { bits, flags }
+}
+
+/// FP32 min/max with RISC-V NaN semantics: a single NaN input yields the
+/// other operand; two NaNs yield the canonical NaN. `-0 < +0`.
+pub fn fp_minmax_golden(op: FpuOp, a: u32, b: u32) -> FpResult {
+    let flags = FpFlags { nv: is_snan(a) || is_snan(b), ..FpFlags::default() };
+    let bits = match (is_nan(a), is_nan(b)) {
+        (true, true) => QNAN,
+        (true, false) => ftz(b),
+        (false, true) => ftz(a),
+        (false, false) => {
+            let a_f = ftz(a);
+            let b_f = ftz(b);
+            // -0 orders below +0: compare with sign-aware tie-break.
+            let a_lt = lt_bits(a_f, b_f)
+                || (!lt_bits(b_f, a_f) && sign_of(a_f) == 1 && sign_of(b_f) == 0);
+            let pick_a = match op {
+                FpuOp::Min => a_lt,
+                FpuOp::Max => !a_lt,
+                other => panic!("{other:?} is not min/max"),
+            };
+            if pick_a {
+                a_f
+            } else {
+                b_f
+            }
+        }
+    };
+    FpResult { bits, flags }
+}
+
+/// Dispatch any FPU operation to its reference model.
+pub fn fpu_golden(op: FpuOp, a: u32, b: u32) -> FpResult {
+    match op {
+        FpuOp::Add => fp_add_golden(a, b, false),
+        FpuOp::Sub => fp_add_golden(a, b, true),
+        FpuOp::Mul => fp_mul_golden(a, b),
+        FpuOp::Min | FpuOp::Max => fp_minmax_golden(op, a, b),
+        FpuOp::Eq | FpuOp::Lt | FpuOp::Le => fp_cmp_golden(op, a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(bits: u32) -> f32 {
+        f32::from_bits(bits)
+    }
+
+    /// Native f32 arithmetic matches the golden model whenever no
+    /// subnormals are involved (FTZ only differs on subnormals).
+    #[test]
+    fn add_matches_native_on_normal_values() {
+        let mut state = 0xABCDEF12u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as u32
+        };
+        let mut checked = 0;
+        for _ in 0..200_000 {
+            let a = rand();
+            let b = rand();
+            if exp_of(a) == 0 || exp_of(b) == 0 || is_nan(a) || is_nan(b) {
+                continue;
+            }
+            let native = f(a) + f(b);
+            if native.is_nan() || (native != 0.0 && native.abs() < f32::MIN_POSITIVE) {
+                continue; // NaN payloads / subnormal results differ by design
+            }
+            let golden = fp_add_golden(a, b, false);
+            assert_eq!(
+                golden.bits,
+                native.to_bits(),
+                "{a:#010x} + {b:#010x}: golden {:#010x} native {:#010x}",
+                golden.bits,
+                native.to_bits()
+            );
+            checked += 1;
+        }
+        assert!(checked > 100_000, "checked only {checked}");
+    }
+
+    #[test]
+    fn mul_matches_native_on_normal_values() {
+        let mut state = 0x13572468u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as u32
+        };
+        let mut checked = 0;
+        for _ in 0..200_000 {
+            let a = rand();
+            let b = rand();
+            if exp_of(a) == 0 || exp_of(b) == 0 || is_nan(a) || is_nan(b) {
+                continue;
+            }
+            let native = f(a) * f(b);
+            if native.is_nan() || (native != 0.0 && native.abs() < f32::MIN_POSITIVE) {
+                continue;
+            }
+            let golden = fp_mul_golden(a, b);
+            assert_eq!(golden.bits, native.to_bits(), "{a:#010x} * {b:#010x}");
+            checked += 1;
+        }
+        assert!(checked > 100_000, "checked only {checked}");
+    }
+
+    #[test]
+    fn directed_add_cases() {
+        // 1.0 + 1.0 = 2.0
+        assert_eq!(fp_add_golden(0x3F80_0000, 0x3F80_0000, false).bits, 0x4000_0000);
+        // 1.0 - 1.0 = +0
+        let r = fp_add_golden(0x3F80_0000, 0x3F80_0000, true);
+        assert_eq!(r.bits, 0);
+        assert!(!r.flags.nx);
+        // inf - inf = qNaN + NV
+        let r = fp_add_golden(0x7F80_0000, 0x7F80_0000, true);
+        assert_eq!(r.bits, QNAN);
+        assert!(r.flags.nv);
+        // inf + 1 = inf
+        assert_eq!(fp_add_golden(0x7F80_0000, 0x3F80_0000, false).bits, 0x7F80_0000);
+        // -0 + +0 = +0; -0 + -0 = -0
+        assert_eq!(fp_add_golden(0x8000_0000, 0x0000_0000, false).bits, 0);
+        assert_eq!(fp_add_golden(0x8000_0000, 0x8000_0000, false).bits, 0x8000_0000);
+        // Subnormal input flushes: min_subnormal + 1.0 = 1.0 exactly.
+        let r = fp_add_golden(0x0000_0001, 0x3F80_0000, false);
+        assert_eq!(r.bits, 0x3F80_0000);
+        assert!(!r.flags.nx, "flushed input adds exactly");
+        // Overflow: max * ~2 via add of two maxes.
+        let r = fp_add_golden(0x7F7F_FFFF, 0x7F7F_FFFF, false);
+        assert_eq!(r.bits, 0x7F80_0000);
+        assert!(r.flags.of && r.flags.nx);
+    }
+
+    #[test]
+    fn directed_mul_cases() {
+        // 2.0 * 3.0 = 6.0
+        assert_eq!(fp_mul_golden(0x4000_0000, 0x4040_0000).bits, 0x40C0_0000);
+        // inf * 0 = qNaN + NV
+        let r = fp_mul_golden(0x7F80_0000, 0);
+        assert_eq!(r.bits, QNAN);
+        assert!(r.flags.nv);
+        // Underflow: tiny * tiny flushes to zero with UF.
+        let r = fp_mul_golden(0x0080_0000, 0x0080_0000);
+        assert_eq!(r.bits, 0);
+        assert!(r.flags.uf && r.flags.nx);
+        // Sign: -2 * 3 = -6.
+        assert_eq!(fp_mul_golden(0xC000_0000, 0x4040_0000).bits, 0xC0C0_0000);
+    }
+
+    #[test]
+    fn compares_and_minmax() {
+        let one = 0x3F80_0000;
+        let two = 0x4000_0000;
+        assert_eq!(fp_cmp_golden(FpuOp::Lt, one, two).bits, 1);
+        assert_eq!(fp_cmp_golden(FpuOp::Lt, two, one).bits, 0);
+        assert_eq!(fp_cmp_golden(FpuOp::Le, one, one).bits, 1);
+        assert_eq!(fp_cmp_golden(FpuOp::Eq, one, one).bits, 1);
+        // ±0 compare equal.
+        assert_eq!(fp_cmp_golden(FpuOp::Eq, 0x8000_0000, 0).bits, 1);
+        // NaN: quiet Eq is false without NV (qNaN), Lt raises NV.
+        let qnan = QNAN;
+        let r = fp_cmp_golden(FpuOp::Eq, qnan, one);
+        assert_eq!(r.bits, 0);
+        assert!(!r.flags.nv);
+        let r = fp_cmp_golden(FpuOp::Lt, qnan, one);
+        assert_eq!(r.bits, 0);
+        assert!(r.flags.nv);
+        // min/max NaN: single NaN yields the other operand.
+        assert_eq!(fp_minmax_golden(FpuOp::Min, qnan, one).bits, one);
+        assert_eq!(fp_minmax_golden(FpuOp::Max, one, qnan).bits, one);
+        assert_eq!(fp_minmax_golden(FpuOp::Min, qnan, qnan).bits, QNAN);
+        // -0 < +0 for fmin.
+        assert_eq!(fp_minmax_golden(FpuOp::Min, 0x8000_0000, 0).bits, 0x8000_0000);
+        assert_eq!(fp_minmax_golden(FpuOp::Max, 0x8000_0000, 0).bits, 0);
+        // min/max match native on normal values.
+        let vals = [one, two, 0xC000_0000u32, 0x4110_0000];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    f32::from_bits(fp_minmax_golden(FpuOp::Min, a, b).bits),
+                    f32::from_bits(a).min(f32::from_bits(b))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alu_golden_spot_checks() {
+        assert_eq!(alu_golden(AluOp::Add, u32::MAX, 1), 0);
+        assert_eq!(alu_golden(AluOp::Sub, 0, 1), u32::MAX);
+        assert_eq!(alu_golden(AluOp::Sll, 1, 33), 2, "shift amount masked to 5 bits");
+        assert_eq!(alu_golden(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
+        assert_eq!(alu_golden(AluOp::Slt, u32::MAX, 0), 1, "-1 < 0 signed");
+        assert_eq!(alu_golden(AluOp::Sltu, u32::MAX, 0), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Structural gate-level circuit generators for the Vega evaluation.
+//!
+//! The paper evaluates Vega on the ALU and FPU of the CV32E40P RISC-V
+//! core, synthesized into a 28 nm standard-cell library. Those P&R
+//! databases are proprietary, so this crate *builds* equivalent functional
+//! units from scratch as [`vega_netlist::Netlist`]s:
+//!
+//! * [`alu::build_alu`] — a 32-bit RV32I ALU (add, sub, shifts, set-less-
+//!   than, bitwise ops) with registered inputs and outputs and a buffered
+//!   clock tree.
+//! * [`fpu::build_fpu`] — an FP32 floating-point unit (add, sub, mul,
+//!   min/max, compares) with round-to-nearest-even, flush-to-zero
+//!   subnormal handling, IEEE special-case logic, exception flags, a
+//!   valid-bit handshake, and clock-gated pipeline registers — the gating
+//!   that makes its clock branches age at different rates.
+//! * [`adder_example::build_paper_adder`] — the 2-bit pipelined adder of
+//!   the paper's worked example (Listing 1 / Figure 3).
+//! * [`golden`] — bit-exact software models of both units, used by the
+//!   equivalence tests here and as the reference semantics for
+//!   co-simulation in `vega-riscv`.
+//!
+//! All generators produce validated netlists using only the standard
+//! cells in [`vega_netlist::CellKind`], so every downstream phase
+//! (simulation, STA, formal, instrumentation) works on them unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder_example;
+pub mod alu;
+pub mod fpu;
+pub mod golden;
+mod words;
+
+pub use words::Words;

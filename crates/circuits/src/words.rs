@@ -1,0 +1,520 @@
+//! Word-level structural construction helpers.
+//!
+//! [`Words`] wraps a [`NetlistBuilder`] with multi-bit operations — ripple
+//! adders, barrel shifters, comparators, carry-save multiplier arrays —
+//! from which the ALU and FPU generators compose their datapaths. Every
+//! generated cell gets a unique `prefix_tag_N` instance name, so the same
+//! helper can be used many times within one module.
+
+use vega_netlist::{CellKind, NetId, NetlistBuilder};
+
+/// A word-level gate generator over a [`NetlistBuilder`].
+#[derive(Debug)]
+pub struct Words<'a> {
+    builder: &'a mut NetlistBuilder,
+    prefix: String,
+    counter: u64,
+}
+
+impl<'a> Words<'a> {
+    /// Wrap `builder`; generated cell names start with `prefix`.
+    pub fn new(builder: &'a mut NetlistBuilder, prefix: impl Into<String>) -> Self {
+        Words { builder, prefix: prefix.into(), counter: 0 }
+    }
+
+    /// Access the underlying builder.
+    pub fn builder(&mut self) -> &mut NetlistBuilder {
+        self.builder
+    }
+
+    fn name(&mut self, tag: &str) -> String {
+        let name = format!("{}_{}_{}", self.prefix, tag, self.counter);
+        self.counter += 1;
+        name
+    }
+
+    /// Instantiate one gate.
+    pub fn gate(&mut self, kind: CellKind, tag: &str, inputs: &[NetId]) -> NetId {
+        let name = self.name(tag);
+        self.builder.cell(kind, name, inputs)
+    }
+
+    /// Constant 0 bit.
+    pub fn zero(&mut self) -> NetId {
+        self.gate(CellKind::Const0, "tielo", &[])
+    }
+
+    /// Constant 1 bit.
+    pub fn one(&mut self) -> NetId {
+        self.gate(CellKind::Const1, "tiehi", &[])
+    }
+
+    /// A constant word of the given width (LSB first).
+    pub fn const_word(&mut self, value: u64, width: usize) -> Vec<NetId> {
+        // Share the two tie cells across the word.
+        let zero = self.zero();
+        let one = self.one();
+        (0..width).map(|i| if (value >> i) & 1 == 1 { one } else { zero }).collect()
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: &[NetId]) -> Vec<NetId> {
+        a.iter().map(|&bit| self.gate(CellKind::Not, "not", &[bit])).collect()
+    }
+
+    /// Bitwise binary op over equal-width words.
+    fn bitwise(&mut self, kind: CellKind, tag: &str, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.gate(kind, tag, &[x, y]))
+            .collect()
+    }
+
+    /// Bitwise AND.
+    pub fn and(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        self.bitwise(CellKind::And2, "and", a, b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        self.bitwise(CellKind::Or2, "or", a, b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        self.bitwise(CellKind::Xor2, "xor", a, b)
+    }
+
+    /// AND every bit of `a` with the single bit `bit`.
+    pub fn and_bit(&mut self, a: &[NetId], bit: NetId) -> Vec<NetId> {
+        a.iter().map(|&x| self.gate(CellKind::And2, "andb", &[x, bit])).collect()
+    }
+
+    /// XOR every bit of `a` with the single bit `bit`.
+    pub fn xor_bit(&mut self, a: &[NetId], bit: NetId) -> Vec<NetId> {
+        a.iter().map(|&x| self.gate(CellKind::Xor2, "xorb", &[x, bit])).collect()
+    }
+
+    /// Per-bit select: `sel ? when1 : when0`.
+    pub fn mux(&mut self, sel: NetId, when0: &[NetId], when1: &[NetId]) -> Vec<NetId> {
+        assert_eq!(when0.len(), when1.len());
+        when0
+            .iter()
+            .zip(when1)
+            .map(|(&a, &b)| self.gate(CellKind::Mux2, "mux", &[a, b, sel]))
+            .collect()
+    }
+
+    /// Single-bit select: `sel ? when1 : when0`.
+    pub fn mux_bit(&mut self, sel: NetId, when0: NetId, when1: NetId) -> NetId {
+        self.gate(CellKind::Mux2, "muxb", &[when0, when1, sel])
+    }
+
+    /// OR-reduce a word to one bit (balanced tree).
+    pub fn reduce_or(&mut self, a: &[NetId]) -> NetId {
+        self.reduce(CellKind::Or2, "ror", a)
+    }
+
+    /// AND-reduce a word to one bit (balanced tree).
+    pub fn reduce_and(&mut self, a: &[NetId]) -> NetId {
+        self.reduce(CellKind::And2, "rand", a)
+    }
+
+    fn reduce(&mut self, kind: CellKind, tag: &str, a: &[NetId]) -> NetId {
+        assert!(!a.is_empty());
+        let mut level: Vec<NetId> = a.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    self.gate(kind, tag, &[pair[0], pair[1]])
+                } else {
+                    pair[0]
+                });
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// Full adder: returns `(sum, carry)`.
+    pub fn full_adder(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let axb = self.gate(CellKind::Xor2, "fa_x", &[a, b]);
+        let sum = self.gate(CellKind::Xor2, "fa_s", &[axb, cin]);
+        let carry = self.gate(CellKind::Maj3, "fa_c", &[a, b, cin]);
+        (sum, carry)
+    }
+
+    /// Ripple-carry addition: `a + b + cin`, returning `(sum, carry_out)`.
+    pub fn adder(&mut self, a: &[NetId], b: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
+        assert_eq!(a.len(), b.len());
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let (s, c) = self.full_adder(x, y, carry);
+            sum.push(s);
+            carry = c;
+        }
+        (sum, carry)
+    }
+
+    /// Subtraction `a - b`, returning `(difference, no_borrow)`.
+    ///
+    /// `no_borrow` (the adder's carry-out) is 1 iff `a >= b` unsigned.
+    pub fn subtractor(&mut self, a: &[NetId], b: &[NetId]) -> (Vec<NetId>, NetId) {
+        let nb = self.not(b);
+        let one = self.one();
+        self.adder(a, &nb, one)
+    }
+
+    /// Increment by one: `(a + 1, carry_out)`.
+    pub fn increment(&mut self, a: &[NetId]) -> (Vec<NetId>, NetId) {
+        // Half-adder chain.
+        let mut carry = self.one();
+        let mut sum = Vec::with_capacity(a.len());
+        for &x in a {
+            let s = self.gate(CellKind::Xor2, "inc_s", &[x, carry]);
+            let c = self.gate(CellKind::And2, "inc_c", &[x, carry]);
+            sum.push(s);
+            carry = c;
+        }
+        (sum, carry)
+    }
+
+    /// Equality of two words.
+    pub fn equal(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        let x = self.xor(a, b);
+        let any = self.reduce_or(&x);
+        self.gate(CellKind::Not, "eq", &[any])
+    }
+
+    /// Whether the word is zero.
+    pub fn is_zero(&mut self, a: &[NetId]) -> NetId {
+        let any = self.reduce_or(a);
+        self.gate(CellKind::Not, "isz", &[any])
+    }
+
+    /// Unsigned `a < b`.
+    pub fn less_unsigned(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        let (_, no_borrow) = self.subtractor(a, b);
+        self.gate(CellKind::Not, "ltu", &[no_borrow])
+    }
+
+    /// Signed `a < b` (two's complement).
+    pub fn less_signed(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        let (diff, _) = self.subtractor(a, b);
+        let sa = *a.last().unwrap();
+        let sb = *b.last().unwrap();
+        let ds = *diff.last().unwrap();
+        // signs differ ? a_sign : diff_sign
+        let signs_differ = self.gate(CellKind::Xor2, "lts_x", &[sa, sb]);
+        self.gate(CellKind::Mux2, "lts", &[ds, sa, signs_differ])
+    }
+
+    /// Logical/arithmetic barrel shifter right by `amount` (LSB-first
+    /// amount bits). `fill` supplies the shifted-in bit (tie 0 for
+    /// logical, the sign bit for arithmetic).
+    pub fn shift_right(&mut self, a: &[NetId], amount: &[NetId], fill: NetId) -> Vec<NetId> {
+        let mut current = a.to_vec();
+        for (stage, &amt_bit) in amount.iter().enumerate() {
+            let dist = 1usize << stage;
+            if dist >= current.len() {
+                // Shifting by >= width when this bit is set: all fill.
+                let all_fill = vec![fill; current.len()];
+                current = self.mux(amt_bit, &current, &all_fill);
+                continue;
+            }
+            let shifted: Vec<NetId> = (0..current.len())
+                .map(|i| if i + dist < current.len() { current[i + dist] } else { fill })
+                .collect();
+            current = self.mux(amt_bit, &current, &shifted);
+        }
+        current
+    }
+
+    /// Barrel shifter right that also accumulates a sticky bit: returns
+    /// `(shifted, sticky)` where `sticky` ORs every bit shifted out.
+    /// Used by floating-point alignment.
+    pub fn shift_right_sticky(
+        &mut self,
+        a: &[NetId],
+        amount: &[NetId],
+    ) -> (Vec<NetId>, NetId) {
+        let fill = self.zero();
+        let mut sticky = self.zero();
+        let mut current = a.to_vec();
+        for (stage, &amt_bit) in amount.iter().enumerate() {
+            let dist = 1usize << stage;
+            let dropped: Vec<NetId> = current.iter().copied().take(dist.min(current.len())).collect();
+            let dropped_any = self.reduce_or(&dropped);
+            let stage_sticky = self.gate(CellKind::And2, "stk_a", &[dropped_any, amt_bit]);
+            sticky = self.gate(CellKind::Or2, "stk_o", &[sticky, stage_sticky]);
+            if dist >= current.len() {
+                let all_fill = vec![fill; current.len()];
+                current = self.mux(amt_bit, &current, &all_fill);
+                continue;
+            }
+            let shifted: Vec<NetId> = (0..current.len())
+                .map(|i| if i + dist < current.len() { current[i + dist] } else { fill })
+                .collect();
+            current = self.mux(amt_bit, &current, &shifted);
+        }
+        (current, sticky)
+    }
+
+    /// Barrel shifter left by `amount`, filling with zeros.
+    pub fn shift_left(&mut self, a: &[NetId], amount: &[NetId]) -> Vec<NetId> {
+        let fill = self.zero();
+        let mut current = a.to_vec();
+        for (stage, &amt_bit) in amount.iter().enumerate() {
+            let dist = 1usize << stage;
+            if dist >= current.len() {
+                let all_fill = vec![fill; current.len()];
+                current = self.mux(amt_bit, &current, &all_fill);
+                continue;
+            }
+            let shifted: Vec<NetId> = (0..current.len())
+                .map(|i| if i >= dist { current[i - dist] } else { fill })
+                .collect();
+            current = self.mux(amt_bit, &current, &shifted);
+        }
+        current
+    }
+
+    /// Leading-zero count of `a` (counting from the MSB), as a word wide
+    /// enough to hold `a.len()`.
+    pub fn leading_zeros(&mut self, a: &[NetId]) -> Vec<NetId> {
+        // Priority scan from the MSB: lzc = index of first 1 from the top.
+        // Straightforward mux cascade: walk from LSB to MSB, replacing the
+        // count whenever a set bit is seen closer to the MSB.
+        let width = usize::BITS as usize - (a.len()).leading_zeros() as usize;
+        let mut count = self.const_word(a.len() as u64, width); // all zero
+        for (i, &bit) in a.iter().enumerate() {
+            // If bit i (0 = LSB) is set, lzc so far = len-1-i; scanning
+            // from LSB upward means later (more significant) bits override.
+            let candidate = self.const_word((a.len() - 1 - i) as u64, width);
+            count = self.mux(bit, &count, &candidate);
+        }
+        count
+    }
+
+    /// Carry-save multiplier array: unsigned `a * b`, full width
+    /// (`a.len() + b.len()` bits).
+    pub fn multiply(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        let n = a.len();
+        let m = b.len();
+        let width = n + m;
+        let zero = self.zero();
+        // Partial products in carry-save form.
+        let mut sum: Vec<NetId> = vec![zero; width];
+        let mut carry: Vec<NetId> = vec![zero; width];
+        for (j, &bj) in b.iter().enumerate() {
+            // pp = (a & bj) << j
+            let pp_bits = self.and_bit(a, bj);
+            let mut pp: Vec<NetId> = vec![zero; width];
+            pp[j..j + n].copy_from_slice(&pp_bits);
+            // 3:2 compress (sum, carry, pp) -> (sum', carry').
+            let mut new_sum = Vec::with_capacity(width);
+            let mut new_carry = vec![zero; width];
+            for i in 0..width {
+                let (s, c) = self.full_adder(sum[i], carry[i], pp[i]);
+                new_sum.push(s);
+                if i + 1 < width {
+                    new_carry[i + 1] = c;
+                }
+            }
+            sum = new_sum;
+            carry = new_carry;
+        }
+        // Final carry-propagate addition.
+        let (result, _) = self.adder(&sum, &carry, zero);
+        result
+    }
+
+    /// Register a word behind flip-flops clocked by `clock`; returns the
+    /// Q-side word. Names use the given tag.
+    pub fn register(&mut self, tag: &str, word: &[NetId], clock: NetId) -> Vec<NetId> {
+        word.iter()
+            .map(|&bit| {
+                let name = self.name(tag);
+                self.builder.dff(name, bit, clock)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_netlist::Netlist;
+    use vega_sim::Simulator;
+
+    /// Build a combinational test harness: f(a, b) wired to output `y`.
+    fn harness(
+        a_width: usize,
+        b_width: usize,
+        f: impl FnOnce(&mut Words<'_>, &[NetId], &[NetId]) -> Vec<NetId>,
+    ) -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let a_in = b.input("a", a_width);
+        let b_in = b.input("b", b_width);
+        let mut w = Words::new(&mut b, "u");
+        let y = f(&mut w, &a_in, &b_in);
+        b.output("y", &y);
+        b.finish().unwrap()
+    }
+
+    fn eval(n: &Netlist, a: u64, b: u64) -> u64 {
+        let mut sim = Simulator::new(n);
+        sim.set_input("a", a);
+        sim.set_input("b", b);
+        sim.settle_inputs();
+        sim.output("y")
+    }
+
+    #[test]
+    fn adder_matches_arithmetic() {
+        let n = harness(8, 8, |w, a, b| {
+            let zero = w.zero();
+            let (sum, carry) = w.adder(a, b, zero);
+            let mut out = sum;
+            out.push(carry);
+            out
+        });
+        for (a, b) in [(0u64, 0u64), (1, 1), (255, 255), (170, 85), (200, 100), (7, 250)] {
+            assert_eq!(eval(&n, a, b), a + b, "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn subtractor_and_comparisons() {
+        let n = harness(8, 8, |w, a, b| {
+            let (diff, no_borrow) = w.subtractor(a, b);
+            let ltu = w.less_unsigned(a, b);
+            let lts = w.less_signed(a, b);
+            let eq = w.equal(a, b);
+            let mut out = diff;
+            out.extend([no_borrow, ltu, lts, eq]);
+            out
+        });
+        for (a, b) in [(5u64, 3u64), (3, 5), (0, 0), (255, 1), (128, 127), (127, 128)] {
+            let out = eval(&n, a, b);
+            let diff = out & 0xFF;
+            let no_borrow = (out >> 8) & 1;
+            let ltu = (out >> 9) & 1;
+            let lts = (out >> 10) & 1;
+            let eq = (out >> 11) & 1;
+            assert_eq!(diff, (a.wrapping_sub(b)) & 0xFF, "{a}-{b}");
+            assert_eq!(no_borrow, u64::from(a >= b));
+            assert_eq!(ltu, u64::from(a < b));
+            let sa = a as u8 as i8;
+            let sb = b as u8 as i8;
+            assert_eq!(lts, u64::from(sa < sb), "signed {sa} < {sb}");
+            assert_eq!(eq, u64::from(a == b));
+        }
+    }
+
+    #[test]
+    fn shifters() {
+        let logical = harness(16, 4, |w, a, amt| {
+            let zero = w.zero();
+            w.shift_right(a, amt, zero)
+        });
+        let left = harness(16, 4, |w, a, amt| w.shift_left(a, amt));
+        for a in [0xFFFFu64, 0x8001, 0x1234] {
+            for amt in 0..16u64 {
+                assert_eq!(eval(&logical, a, amt), a >> amt, "{a:#x} >> {amt}");
+                assert_eq!(eval(&left, a, amt), (a << amt) & 0xFFFF, "{a:#x} << {amt}");
+            }
+        }
+        let arith = harness(8, 3, |w, a, amt| {
+            let sign = *a.last().unwrap();
+            w.shift_right(a, amt, sign)
+        });
+        for a in [0x80u64, 0xFF, 0x7F, 0x40] {
+            for amt in 0..8u64 {
+                let expected = ((a as u8 as i8) >> amt) as u8 as u64;
+                assert_eq!(eval(&arith, a, amt), expected, "{a:#x} >>a {amt}");
+            }
+        }
+    }
+
+    #[test]
+    fn sticky_shifter_collects_dropped_bits() {
+        let n = harness(8, 3, |w, a, amt| {
+            let (shifted, sticky) = w.shift_right_sticky(a, amt);
+            let mut out = shifted;
+            out.push(sticky);
+            out
+        });
+        for a in [0b1011_0101u64, 0x80, 0x01, 0x00] {
+            for amt in 0..8u64 {
+                let out = eval(&n, a, amt);
+                let shifted = out & 0xFF;
+                let sticky = (out >> 8) & 1;
+                assert_eq!(shifted, a >> amt);
+                let dropped = a & ((1 << amt) - 1);
+                assert_eq!(sticky, u64::from(dropped != 0), "{a:#x} amt={amt}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_exhaustive_6x6() {
+        let n = harness(6, 6, |w, a, b| w.multiply(a, b));
+        for a in 0..64u64 {
+            for b in 0..64u64 {
+                assert_eq!(eval(&n, a, b), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn leading_zeros_count() {
+        let n = harness(8, 1, |w, a, _| w.leading_zeros(a));
+        for a in 0..256u64 {
+            let expected = (a as u8).leading_zeros() as u64;
+            assert_eq!(eval(&n, a, 0), expected, "lzc({a:#010b})");
+        }
+    }
+
+    #[test]
+    fn increment_wraps() {
+        let n = harness(4, 1, |w, a, _| {
+            let (inc, carry) = w.increment(a);
+            let mut out = inc;
+            out.push(carry);
+            out
+        });
+        for a in 0..16u64 {
+            let out = eval(&n, a, 0);
+            assert_eq!(out & 0xF, (a + 1) & 0xF);
+            assert_eq!(out >> 4, u64::from(a == 15));
+        }
+    }
+
+    #[test]
+    fn reductions_and_mux() {
+        let n = harness(5, 1, |w, a, s| {
+            let ror = w.reduce_or(a);
+            let rand = w.reduce_and(a);
+            let zeros = w.const_word(0, 5);
+            let picked = w.mux(s[0], a, &zeros);
+            let mut out = vec![ror, rand];
+            out.extend(picked);
+            out
+        });
+        for a in [0u64, 31, 7, 16] {
+            for s in 0..2u64 {
+                let out = eval(&n, a, s);
+                assert_eq!(out & 1, u64::from(a != 0));
+                assert_eq!((out >> 1) & 1, u64::from(a == 31));
+                let picked = out >> 2;
+                assert_eq!(picked, if s == 1 { 0 } else { a });
+            }
+        }
+    }
+
+    use vega_netlist::NetlistBuilder;
+}

@@ -1,0 +1,261 @@
+//! The `vega` command-line driver: run the workflow phases and export
+//! artifacts without writing Rust.
+//!
+//! ```console
+//! $ vega analyze --unit alu                 # phase 1: SP profile + aging STA
+//! $ vega lift --unit fpu --pairs 4          # phase 2: test-case construction
+//! $ vega suite --unit alu --emit-c out.c    # phase 3: C aging library
+//! $ vega artifacts --unit alu --dir out/    # failing netlists as Verilog
+//! $ vega report --unit fpu                  # synthesis-style netlist report
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency is in the offline
+//! allowlist); every subcommand prints its own usage on `--help`.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use vega::*;
+use vega_circuits::{adder_example::build_paper_adder, alu::build_alu, fpu::build_fpu};
+
+fn usage() -> &'static str {
+    "vega — proactive runtime detection of aging-related SDCs
+
+USAGE:
+    vega <COMMAND> [OPTIONS]
+
+COMMANDS:
+    analyze     phase 1: profile + aging-aware STA (Table 3-style row)
+    lift        phase 2: construct test cases for the worst pairs
+    suite       phases 1-3: build the suite; optionally emit the C library
+    artifacts   export failing netlists as structural Verilog
+    report      synthesis-style netlist statistics
+
+COMMON OPTIONS:
+    --unit <alu|fpu|adder>    unit under analysis     [default: alu]
+    --years <f64>             mission lifetime        [default: 10]
+    --pairs <n>               unique pairs to lift    [default: 4]
+    --mitigation              enable the \u{a7}3.3.4 edge-gated mitigation
+    --profile-cycles <n>      random profiling cycles [default: 2000]
+    --emit-c <path>           (suite) write the C aging library
+    --dir <path>              (artifacts) output directory [default: .]
+"
+}
+
+#[derive(Debug)]
+struct Options {
+    unit: String,
+    years: f64,
+    pairs: usize,
+    mitigation: bool,
+    profile_cycles: usize,
+    emit_c: Option<String>,
+    dir: String,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        unit: "alu".into(),
+        years: 10.0,
+        pairs: 4,
+        mitigation: false,
+        profile_cycles: 2000,
+        emit_c: None,
+        dir: ".".into(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--unit" => options.unit = value("--unit")?,
+            "--years" => {
+                options.years =
+                    value("--years")?.parse().map_err(|e| format!("--years: {e}"))?
+            }
+            "--pairs" => {
+                options.pairs =
+                    value("--pairs")?.parse().map_err(|e| format!("--pairs: {e}"))?
+            }
+            "--profile-cycles" => {
+                options.profile_cycles = value("--profile-cycles")?
+                    .parse()
+                    .map_err(|e| format!("--profile-cycles: {e}"))?
+            }
+            "--mitigation" => options.mitigation = true,
+            "--emit-c" => options.emit_c = Some(value("--emit-c")?),
+            "--dir" => options.dir = value("--dir")?,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown option `{other}`\n\n{}", usage())),
+        }
+    }
+    Ok(options)
+}
+
+fn build_unit(options: &Options) -> Result<(PreparedUnit, WorkflowConfig), String> {
+    let mut config = match options.unit.as_str() {
+        "adder" => WorkflowConfig::paper_demo(),
+        _ => WorkflowConfig::cmos28_10y(),
+    };
+    config.years = options.years;
+    config.mitigation = options.mitigation;
+    let (netlist, module) = match options.unit.as_str() {
+        "alu" => (build_alu(), ModuleKind::Alu),
+        "fpu" => (build_fpu(), ModuleKind::Fpu),
+        "adder" => (build_paper_adder(), ModuleKind::PaperAdder),
+        other => return Err(format!("unknown unit `{other}` (alu|fpu|adder)")),
+    };
+    Ok((prepare_unit(netlist, module, &config), config))
+}
+
+fn phase1(options: &Options) -> Result<(PreparedUnit, WorkflowConfig, AgingAnalysis), String> {
+    let (unit, config) = build_unit(options)?;
+    eprintln!(
+        "prepared {}: {} cells, {:.1} MHz, {} hold buffers",
+        unit.netlist.name(),
+        unit.netlist.cell_count(),
+        unit.frequency_mhz(),
+        unit.hold_buffers
+    );
+    let profile = profile_standalone(&unit.netlist, options.profile_cycles, 42);
+    let analysis = analyze_aging(&unit, &profile, &config);
+    Ok((unit, config, analysis))
+}
+
+fn cmd_analyze(options: &Options) -> Result<(), String> {
+    let (unit, config, analysis) = phase1(options)?;
+    println!("{}", analysis.report.table3_row());
+    println!(
+        "unique pairs: {} | aged clock skew: {:.1} ps | lifetime: {} y",
+        analysis.unique_pairs.len(),
+        analysis.report.max_clock_skew_ns() * 1000.0,
+        config.years
+    );
+    for path in analysis.report.setup_violations.iter().take(5) {
+        println!("  {}", path.describe(&unit.netlist));
+    }
+    for path in analysis.report.hold_violations.iter().take(5) {
+        println!("  {}", path.describe(&unit.netlist));
+    }
+    Ok(())
+}
+
+fn cmd_lift(options: &Options) -> Result<(), String> {
+    let (unit, config, analysis) = phase1(options)?;
+    let pairs: Vec<AgingPath> =
+        analysis.unique_pairs.iter().copied().take(options.pairs).collect();
+    let report = lift_errors(&unit, &pairs, &config);
+    let (s, ur, ff, fc) = report.table4_row();
+    println!("construction: S {s:.1}%  UR {ur:.1}%  FF {ff:.1}%  FC {fc:.1}%");
+    for pair in &report.pairs {
+        println!("  {}: {:?}", pair.label, pair.class());
+        for test in pair.test_cases() {
+            println!(
+                "    {} ({} instructions, {} cycles)",
+                test.name,
+                test.instructions.len(),
+                test.cpu_cycles
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_suite(options: &Options) -> Result<(), String> {
+    let (unit, config, analysis) = phase1(options)?;
+    let pairs: Vec<AgingPath> =
+        analysis.unique_pairs.iter().copied().take(options.pairs).collect();
+    let report = lift_errors(&unit, &pairs, &config);
+    let suite = report.suite();
+    println!(
+        "suite: {} test cases, {} CPU cycles per full run",
+        suite.len(),
+        report.suite_cpu_cycles()
+    );
+    let mut library = AgingLibrary::new(unit.module, suite.clone(), Schedule::Sequential);
+    let mut sim = vega_sim::Simulator::new(&unit.netlist);
+    match library.run_checked(&mut sim) {
+        Ok(()) => println!("healthy-hardware self-check: pass"),
+        Err(fault) => println!("healthy-hardware self-check FAILED: {fault}"),
+    }
+    if let Some(path) = &options.emit_c {
+        let source = emit_c_library(unit.netlist.name(), &suite);
+        std::fs::write(path, source).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote C aging library to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_artifacts(options: &Options) -> Result<(), String> {
+    let (unit, config, analysis) = phase1(options)?;
+    let pairs: Vec<AgingPath> =
+        analysis.unique_pairs.iter().copied().take(options.pairs).collect();
+    let _ = config;
+    std::fs::create_dir_all(&options.dir).map_err(|e| format!("mkdir {}: {e}", options.dir))?;
+    let mut written = BTreeMap::new();
+    for (index, &path) in pairs.iter().enumerate() {
+        for value in [FaultValue::Zero, FaultValue::One, FaultValue::Random] {
+            let failing =
+                build_failing_netlist(&unit.netlist, path, value, FaultActivation::OnChange);
+            let file = format!(
+                "{}/{}_pair{}_{}.v",
+                options.dir,
+                unit.netlist.name(),
+                index,
+                match value {
+                    FaultValue::Zero => "c0",
+                    FaultValue::One => "c1",
+                    FaultValue::Random => "cr",
+                }
+            );
+            std::fs::write(&file, vega_netlist::verilog::write_verilog(&failing))
+                .map_err(|e| format!("writing {file}: {e}"))?;
+            written.insert(file, path.label(&unit.netlist));
+        }
+    }
+    for (file, target) in written {
+        println!("{file}  # {target}");
+    }
+    Ok(())
+}
+
+fn cmd_report(options: &Options) -> Result<(), String> {
+    let (unit, _) = build_unit(options)?;
+    print!("{}", vega_netlist::stats::NetlistStats::of(&unit.netlist));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let options = match parse_options(rest) {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "analyze" => cmd_analyze(&options),
+        "lift" => cmd_lift(&options),
+        "suite" => cmd_suite(&options),
+        "artifacts" => cmd_artifacts(&options),
+        "report" => cmd_report(&options),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

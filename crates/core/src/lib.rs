@@ -1,0 +1,254 @@
+//! # Vega — proactive runtime detection of aging-related silent data corruptions
+//!
+//! A from-scratch Rust reproduction of the ASPLOS 2024 paper
+//! *"Proactive Runtime Detection of Aging-Related Silent Data
+//! Corruptions: A Bottom-Up Approach"*.
+//!
+//! Vega is a three-phase workflow that turns gate-level knowledge of
+//! transistor aging into tiny test cases an application can run every
+//! second:
+//!
+//! 1. **Aging Analysis** ([`profile_units`], [`analyze_aging`]) —
+//!    simulate representative workloads on the synthesized netlist to
+//!    collect a signal-probability profile, then run aging-aware static
+//!    timing analysis to find the register-to-register paths that will
+//!    violate setup or hold constraints after years of BTI stress.
+//! 2. **Error Lifting** ([`lift_errors`]) — instrument each aging-prone
+//!    path with a logical failure model and a shadow replica, use bounded
+//!    model checking to find a module-level input trace that makes the
+//!    fault observable (or prove none exists), and translate the trace
+//!    into RISC-V instructions.
+//! 3. **Test Integration** (re-exported from [`vega_integrate`]) —
+//!    package the suite as a software aging library, or embed it into an
+//!    application with profile-guided integration at sub-1% overhead.
+//!
+//! The substrates (netlist IR, gate-level simulator, BTI model, STA, SAT
+//! solver, model checker, ALU/FPU generators, RISC-V co-simulation) live
+//! in their own crates; this facade wires them into the end-to-end
+//! pipeline and re-exports the public vocabulary types.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vega::*;
+//!
+//! // The paper's worked example: a pipelined 2-bit adder.
+//! let netlist = vega_circuits::adder_example::build_paper_adder();
+//! let config = WorkflowConfig::paper_demo();
+//! let unit = prepare_unit(netlist, ModuleKind::PaperAdder, &config);
+//!
+//! // Phase 1: profile + aging-aware STA.
+//! let profile = profile_standalone(&unit.netlist, 2_000, 42);
+//! let analysis = analyze_aging(&unit, &profile, &config);
+//!
+//! // Phase 2: lift each aging-prone pair into test cases.
+//! let report = lift_errors(&unit, &analysis.unique_pairs, &config);
+//! let suite = report.suite();
+//!
+//! // Phase 3: package as an aging library.
+//! let mut library = AgingLibrary::new(unit.module, suite, Schedule::Sequential);
+//! let mut sim = vega_sim::Simulator::new(&unit.netlist);
+//! assert!(library.run_checked(&mut sim).is_ok(), "healthy hardware passes");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod persist;
+
+pub use vega_aging::{AgingAwareTimingLibrary, AgingModel};
+pub use vega_integrate::{
+    emit_c_library, integrate, AgingFault, AgingLibrary, DetectionReport, IntegratedProgram,
+    PgiConfig, Schedule,
+};
+pub use vega_lift::{
+    build_failing_netlist, generate_suite, run_suite, run_test_case, AgingPath,
+    ConstructionOutcome, FaultActivation, FaultValue, LiftConfig, LiftReport, ModuleKind,
+    PairClass, TestCase, TestOutcome,
+};
+pub use vega_netlist::{Netlist, StdCellLibrary};
+pub use vega_sim::SpProfile;
+pub use vega_sta::{
+    analyze, calibrate_period, fix_hold_violations, Derates, StaConfig, TimingReport,
+    ViolationKind,
+};
+
+/// End-to-end workflow configuration.
+#[derive(Debug, Clone)]
+pub struct WorkflowConfig {
+    /// The standard-cell library the unit was "fabricated" in.
+    pub cell_library: StdCellLibrary,
+    /// The transistor-aging model (temperature corner, ΔVth budget, …).
+    pub model: AgingModel,
+    /// Mission lifetime analyzed, in years (the paper uses 10).
+    pub years: f64,
+    /// Setup guard band left at signoff: the clock period is the minimum
+    /// unaged-clean period times `1 + guard_fraction`.
+    pub guard_fraction: f64,
+    /// Hold margin demanded (and left) by signoff hold fixing, in ns.
+    pub hold_margin_ns: f64,
+    /// STA derates (pessimistic corners).
+    pub derates: Derates,
+    /// Enable the §3.3.4 mitigation during Error Lifting.
+    pub mitigation: bool,
+    /// Cap on the number of violating paths the STA enumerates.
+    pub max_paths: usize,
+}
+
+impl WorkflowConfig {
+    /// A 28 nm, 10-year, worst-case-corner configuration — the paper's
+    /// evaluation setup.
+    pub fn cmos28_10y() -> Self {
+        WorkflowConfig {
+            cell_library: StdCellLibrary::cmos28(),
+            model: AgingModel::cmos28_worst_case(),
+            years: 10.0,
+            guard_fraction: 0.02,
+            hold_margin_ns: 0.002,
+            derates: Derates::default(),
+            mitigation: false,
+            max_paths: 100_000,
+        }
+    }
+
+    /// The worked-example configuration: the paper's demonstration cell
+    /// library (0.3 ns gates, 1 GHz-class periods) with nominal derates.
+    pub fn paper_demo() -> Self {
+        WorkflowConfig {
+            cell_library: StdCellLibrary::paper_demo(),
+            model: AgingModel::cmos28_worst_case(),
+            years: 10.0,
+            guard_fraction: 0.02,
+            hold_margin_ns: 0.004,
+            derates: Derates::nominal(),
+            mitigation: false,
+            max_paths: 100_000,
+        }
+    }
+
+    fn sta_config(&self, period: f64) -> StaConfig {
+        let mut c = StaConfig::with_period(period);
+        c.derates = self.derates;
+        c.max_paths = self.max_paths;
+        c.hold_margin_ns = 0.0;
+        c
+    }
+}
+
+/// A signed-off unit: netlist (hold-fixed), rated clock period, module
+/// protocol.
+#[derive(Debug, Clone)]
+pub struct PreparedUnit {
+    /// The final netlist (including any hold-fix buffers).
+    pub netlist: Netlist,
+    /// The module's port protocol.
+    pub module: ModuleKind,
+    /// Rated clock period, in ns.
+    pub clock_period_ns: f64,
+    /// Hold-fix buffers inserted at signoff.
+    pub hold_buffers: usize,
+}
+
+impl PreparedUnit {
+    /// The rated frequency in MHz.
+    pub fn frequency_mhz(&self) -> f64 {
+        1000.0 / self.clock_period_ns
+    }
+}
+
+/// "Signoff": choose the rated clock period with a small guard band and
+/// repair hold violations down to a thin margin — producing the kind of
+/// design that initially meets timing but has no headroom for aging
+/// (paper §5.2.1).
+pub fn prepare_unit(netlist: Netlist, module: ModuleKind, config: &WorkflowConfig) -> PreparedUnit {
+    let unaged = AgingAwareTimingLibrary::build(config.cell_library.clone(), config.model, 0.0);
+    let mut netlist = netlist;
+    let sta = config.sta_config(1.0);
+    let period = calibrate_period(&netlist, &unaged, None, &sta, config.guard_fraction);
+    let mut hold_config = config.sta_config(period);
+    hold_config.hold_margin_ns = config.hold_margin_ns;
+    let hold_buffers = fix_hold_violations(&mut netlist, &unaged, None, &hold_config);
+    PreparedUnit { netlist, module, clock_period_ns: period, hold_buffers }
+}
+
+/// Phase 1 output: the SP profile used, the aged timing report, and the
+/// unique launch/capture pairs handed to Error Lifting.
+#[derive(Debug, Clone)]
+pub struct AgingAnalysis {
+    /// The aging-aware STA report at end of life.
+    pub report: TimingReport,
+    /// Violating paths collapsed to unique `(launch, capture)` pairs, in
+    /// worst-slack order (setup first, then hold).
+    pub unique_pairs: Vec<AgingPath>,
+}
+
+/// Phase 1: aging-aware static timing analysis under the workload's SP
+/// profile, with violating paths collapsed to unique endpoint pairs
+/// (paths sharing endpoints exhibit identical failure-model behaviour,
+/// §5.2.1).
+pub fn analyze_aging(
+    unit: &PreparedUnit,
+    profile: &SpProfile,
+    config: &WorkflowConfig,
+) -> AgingAnalysis {
+    let aged =
+        AgingAwareTimingLibrary::build(config.cell_library.clone(), config.model, config.years);
+    let sta = config.sta_config(unit.clock_period_ns);
+    let report = analyze(&unit.netlist, &aged, Some(profile), &sta);
+    let mut unique_pairs = Vec::new();
+    for path in report.setup_violations.iter().chain(&report.hold_violations) {
+        if let Some(aging_path) = AgingPath::from_timing_path(path) {
+            if !unique_pairs.contains(&aging_path) {
+                unique_pairs.push(aging_path);
+            }
+        }
+    }
+    AgingAnalysis { report, unique_pairs }
+}
+
+/// Phase 2: lift each unique pair into test cases (or proofs).
+pub fn lift_errors(
+    unit: &PreparedUnit,
+    pairs: &[AgingPath],
+    config: &WorkflowConfig,
+) -> LiftReport {
+    let lift_config = LiftConfig { mitigation: config.mitigation, bmc: None };
+    generate_suite(&unit.netlist, unit.module, pairs, &lift_config)
+}
+
+/// Gather an SP profile for a standalone unit by driving it with seeded
+/// random stimulus (for the worked example; the real units are profiled
+/// by running workloads through [`profile_units`]).
+pub fn profile_standalone(netlist: &Netlist, cycles: usize, seed: u64) -> SpProfile {
+    let mut sim = vega_sim::Simulator::with_seed(netlist, seed);
+    sim.enable_profiling();
+    let mut stimulus = vega_sim::RandomStimulus::new(netlist, seed);
+    stimulus.drive(&mut sim, cycles);
+    sim.profile().expect("profiling enabled")
+}
+
+/// Gather SP profiles for the ALU and FPU by executing the given mini-IR
+/// workloads with gate-level module drivers attached — every interpreted
+/// operation becomes real stimulus on the netlists (paper §3.2.1 with
+/// embench as the representative workloads).
+pub fn profile_units(
+    alu: &Netlist,
+    fpu: &Netlist,
+    programs: &[vega_integrate::mini_ir::Program],
+    seed: u64,
+) -> (SpProfile, SpProfile) {
+    use vega_integrate::mini_ir::{Interpreter, ModuleDrivers};
+    let mut alu_sim = vega_sim::Simulator::with_seed(alu, seed);
+    let mut fpu_sim = vega_sim::Simulator::with_seed(fpu, seed ^ 1);
+    alu_sim.enable_profiling();
+    fpu_sim.enable_profiling();
+    for program in programs {
+        let mut interp = Interpreter::new(program);
+        let mut drivers = ModuleDrivers { alu: &mut alu_sim, fpu: &mut fpu_sim };
+        interp.run(program, Some(&mut drivers));
+    }
+    (
+        alu_sim.profile().expect("profiling enabled"),
+        fpu_sim.profile().expect("profiling enabled"),
+    )
+}

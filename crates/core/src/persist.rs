@@ -1,0 +1,211 @@
+//! Workflow artifact persistence.
+//!
+//! The paper's pipeline passes artifacts between separate tools: SP
+//! profiles from the HDL simulator into STA, timing reports into Error
+//! Lifting, and the finished suite into applications. This module gives
+//! each hand-off a JSON on-disk form so phases can run on different
+//! machines (or different days), mirroring that tool boundary.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use vega_lift::{ModuleKind, TestCase};
+use vega_sim::SpProfile;
+use vega_sta::TimingReport;
+
+/// A persisted test suite plus the context needed to run it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteFile {
+    /// The target module's name (e.g. `rv32_alu`).
+    pub module_name: String,
+    /// The module protocol.
+    pub module: PersistedModuleKind,
+    /// Analysis lifetime, in years.
+    pub years: f64,
+    /// The test cases (instruction listings are regenerable and not
+    /// stored; stimulus and checks — the runnable core — are).
+    pub suite: Vec<TestCase>,
+}
+
+/// Serializable mirror of [`ModuleKind`] (kept separate so the on-disk
+/// format does not depend on the enum's in-memory details).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PersistedModuleKind {
+    /// The RV32 ALU.
+    Alu,
+    /// The FP32 FPU.
+    Fpu,
+    /// The worked-example adder.
+    PaperAdder,
+}
+
+impl From<ModuleKind> for PersistedModuleKind {
+    fn from(value: ModuleKind) -> Self {
+        match value {
+            ModuleKind::Alu => PersistedModuleKind::Alu,
+            ModuleKind::Fpu => PersistedModuleKind::Fpu,
+            ModuleKind::PaperAdder => PersistedModuleKind::PaperAdder,
+        }
+    }
+}
+
+impl From<PersistedModuleKind> for ModuleKind {
+    fn from(value: PersistedModuleKind) -> Self {
+        match value {
+            PersistedModuleKind::Alu => ModuleKind::Alu,
+            PersistedModuleKind::Fpu => ModuleKind::Fpu,
+            PersistedModuleKind::PaperAdder => ModuleKind::PaperAdder,
+        }
+    }
+}
+
+/// An I/O-or-format error while persisting or loading.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON failure.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io: {e}"),
+            PersistError::Json(e) => write!(f, "json: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+/// Write any serializable artifact as pretty JSON.
+pub fn save_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> Result<(), PersistError> {
+    let json = serde_json::to_string_pretty(value)?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Read a JSON artifact back.
+pub fn load_json<T: for<'de> Deserialize<'de>>(
+    path: impl AsRef<Path>,
+) -> Result<T, PersistError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+/// Save an SP profile (the Phase 1 → Phase 1.5 hand-off).
+pub fn save_profile(path: impl AsRef<Path>, profile: &SpProfile) -> Result<(), PersistError> {
+    save_json(path, profile)
+}
+
+/// Load an SP profile.
+pub fn load_profile(path: impl AsRef<Path>) -> Result<SpProfile, PersistError> {
+    load_json(path)
+}
+
+/// Save a timing report (the Phase 1 → Phase 2 hand-off).
+pub fn save_timing_report(
+    path: impl AsRef<Path>,
+    report: &TimingReport,
+) -> Result<(), PersistError> {
+    save_json(path, report)
+}
+
+/// Load a timing report.
+pub fn load_timing_report(path: impl AsRef<Path>) -> Result<TimingReport, PersistError> {
+    load_json(path)
+}
+
+/// Save a suite file (the Phase 2 → Phase 3 hand-off).
+pub fn save_suite(path: impl AsRef<Path>, suite: &SuiteFile) -> Result<(), PersistError> {
+    save_json(path, suite)
+}
+
+/// Load a suite file.
+pub fn load_suite(path: impl AsRef<Path>) -> Result<SuiteFile, PersistError> {
+    load_json(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        analyze_aging, lift_errors, prepare_unit, profile_standalone, AgingLibrary, Schedule,
+        WorkflowConfig,
+    };
+    use vega_circuits::adder_example::build_paper_adder;
+
+    #[test]
+    fn suite_round_trips_through_disk_and_still_detects() {
+        let config = WorkflowConfig::paper_demo();
+        let unit = prepare_unit(build_paper_adder(), ModuleKind::PaperAdder, &config);
+        let profile = profile_standalone(&unit.netlist, 1_000, 5);
+        let analysis = analyze_aging(&unit, &profile, &config);
+        let report = lift_errors(&unit, &analysis.unique_pairs, &config);
+        let suite = report.suite();
+        assert!(!suite.is_empty());
+
+        let dir = std::env::temp_dir().join("vega_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Profile artifact.
+        let profile_path = dir.join("profile.json");
+        save_profile(&profile_path, &profile).unwrap();
+        let profile_back = load_profile(&profile_path).unwrap();
+        assert_eq!(profile_back.cycles, profile.cycles);
+        assert_eq!(profile_back.sp("xor8"), profile.sp("xor8"));
+
+        // Timing-report artifact.
+        let report_path = dir.join("timing.json");
+        save_timing_report(&report_path, &analysis.report).unwrap();
+        let timing_back = load_timing_report(&report_path).unwrap();
+        assert_eq!(timing_back.setup_path_count, analysis.report.setup_path_count);
+        assert_eq!(timing_back.wns_setup_ns, analysis.report.wns_setup_ns);
+
+        // Suite artifact: loadable and still functional.
+        let suite_path = dir.join("suite.json");
+        let file = SuiteFile {
+            module_name: unit.netlist.name().to_string(),
+            module: unit.module.into(),
+            years: config.years,
+            suite: suite.clone(),
+        };
+        save_suite(&suite_path, &file).unwrap();
+        let loaded = load_suite(&suite_path).unwrap();
+        assert_eq!(loaded.suite.len(), suite.len());
+
+        let mut library = AgingLibrary::new(
+            loaded.module.into(),
+            loaded.suite,
+            Schedule::Sequential,
+        );
+        let mut sim = vega_sim::Simulator::new(&unit.netlist);
+        assert!(library.run_checked(&mut sim).is_ok(), "reloaded suite still runs");
+
+        let failing = crate::build_failing_netlist(
+            &unit.netlist,
+            analysis.unique_pairs[0],
+            crate::FaultValue::One,
+            crate::FaultActivation::OnChange,
+        );
+        let mut aged = vega_sim::Simulator::new(&failing);
+        assert!(library.run_checked(&mut aged).is_err(), "reloaded suite still detects");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,409 @@
+//! Tseitin encoding of a sequentially-unrolled netlist into CNF.
+
+use vega_sat::{Lit, Solver, Var};
+
+use vega_netlist::{CellKind, NetDriver, NetId, Netlist};
+
+use crate::property::{Assumption, Property, PropertyTerm};
+
+/// A netlist unrolled over a number of clock cycles into one CNF formula.
+///
+/// Cycle `t` holds a SAT variable for every net; combinational cells
+/// become Tseitin clauses within a cycle, and flip-flops become transition
+/// clauses between consecutive cycles. Flip-flops behind integrated clock
+/// gates hold their value in cycles where any gate on their clock path is
+/// disabled, matching the simulator's semantics.
+#[derive(Debug)]
+pub struct Unrolling<'n> {
+    netlist: &'n Netlist,
+    solver: Solver,
+    cycle_vars: Vec<Vec<Var>>,
+    /// Per-DFF: the clock-gate enable nets along its clock path.
+    dff_enables: Vec<(vega_netlist::CellId, Vec<NetId>)>,
+    free_initial_state: bool,
+}
+
+impl<'n> Unrolling<'n> {
+    /// Start an unrolling with zero cycles.
+    ///
+    /// With `free_initial_state` false, flip-flops start at the reset
+    /// value `0` (the model checker's view after reset, paper §3.3.4);
+    /// with true, the initial state is unconstrained — used for the
+    /// inductive step of k-induction proofs.
+    pub fn new(netlist: &'n Netlist, free_initial_state: bool) -> Self {
+        let dff_enables = netlist
+            .dffs()
+            .map(|dff| {
+                let path = vega_netlist::graph::clock_path(netlist, dff.id)
+                    .expect("sequential netlist has a clock");
+                let enables = path
+                    .iter()
+                    .filter(|&&c| netlist.cell(c).kind == CellKind::ClockGate)
+                    .map(|&c| netlist.cell(c).inputs[1])
+                    .collect();
+                (dff.id, enables)
+            })
+            .collect();
+        Unrolling {
+            netlist,
+            solver: Solver::new(),
+            cycle_vars: Vec::new(),
+            dff_enables,
+            free_initial_state,
+        }
+    }
+
+    /// The number of encoded cycles.
+    pub fn cycles(&self) -> usize {
+        self.cycle_vars.len()
+    }
+
+    /// The SAT variable of `net` at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle has not been encoded yet.
+    pub fn var(&self, net: NetId, cycle: usize) -> Var {
+        self.cycle_vars[cycle][net.index()]
+    }
+
+    /// Access the underlying solver (to solve, set budgets, read models).
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Read-only access to the underlying solver.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Encode one more cycle, returning its index.
+    pub fn add_cycle(&mut self) -> usize {
+        let t = self.cycle_vars.len();
+        let vars: Vec<Var> =
+            (0..self.netlist.net_count()).map(|_| self.solver.new_var()).collect();
+        self.cycle_vars.push(vars);
+
+        // Combinational cells and constants.
+        for cell in self.netlist.cells() {
+            let y = Lit::pos(self.var(cell.output, t));
+            match cell.kind {
+                CellKind::Const0 => {
+                    self.solver.add_clause(&[!y]);
+                }
+                CellKind::Const1 => {
+                    self.solver.add_clause(&[y]);
+                }
+                CellKind::Random => {
+                    // Existentially free: no clauses.
+                }
+                CellKind::Dff | CellKind::ClockBuf | CellKind::ClockGate => {
+                    // Sequential/clock cells handled below or not data.
+                }
+                _ => self.encode_gate(cell, t),
+            }
+        }
+
+        // Flip-flop transitions (or initial state).
+        let dff_enables = self.dff_enables.clone();
+        for (dff_id, enables) in &dff_enables {
+            let dff = self.netlist.cell(*dff_id);
+            let q_now = Lit::pos(self.var(dff.output, t));
+            if t == 0 {
+                if !self.free_initial_state {
+                    self.solver.add_clause(&[!q_now]); // reset to 0
+                }
+                continue;
+            }
+            let d_prev = Lit::pos(self.var(dff.inputs[0], t - 1));
+            let q_prev = Lit::pos(self.var(dff.output, t - 1));
+            if enables.is_empty() {
+                // q_now <-> d_prev
+                self.solver.add_clause(&[!d_prev, q_now]);
+                self.solver.add_clause(&[d_prev, !q_now]);
+            } else {
+                // en := AND of all gate enables at t-1.
+                let en = if enables.len() == 1 {
+                    Lit::pos(self.var(enables[0], t - 1))
+                } else {
+                    let aux = self.solver.new_var();
+                    let aux_lit = Lit::pos(aux);
+                    let mut big = vec![aux_lit];
+                    for &e in enables {
+                        let e_lit = Lit::pos(self.var(e, t - 1));
+                        self.solver.add_clause(&[!aux_lit, e_lit]);
+                        big.push(!e_lit);
+                    }
+                    self.solver.add_clause(&big);
+                    aux_lit
+                };
+                // q_now <-> en ? d_prev : q_prev
+                self.solver.add_clause(&[!en, !d_prev, q_now]);
+                self.solver.add_clause(&[!en, d_prev, !q_now]);
+                self.solver.add_clause(&[en, !q_prev, q_now]);
+                self.solver.add_clause(&[en, q_prev, !q_now]);
+            }
+        }
+        t
+    }
+
+    fn encode_gate(&mut self, cell: &vega_netlist::Cell, t: usize) {
+        let y = Lit::pos(self.var(cell.output, t));
+        let input = |u: &Unrolling<'_>, i: usize| Lit::pos(u.var(cell.inputs[i], t));
+        match cell.kind {
+            CellKind::Buf | CellKind::Delay => {
+                let a = input(self, 0);
+                self.solver.add_clause(&[!a, y]);
+                self.solver.add_clause(&[a, !y]);
+            }
+            CellKind::Not => {
+                let a = input(self, 0);
+                self.solver.add_clause(&[!a, !y]);
+                self.solver.add_clause(&[a, y]);
+            }
+            CellKind::And2 | CellKind::Nand2 => {
+                let a = input(self, 0);
+                let b = input(self, 1);
+                let y = if cell.kind == CellKind::Nand2 { !y } else { y };
+                self.solver.add_clause(&[!a, !b, y]);
+                self.solver.add_clause(&[a, !y]);
+                self.solver.add_clause(&[b, !y]);
+            }
+            CellKind::Or2 | CellKind::Nor2 => {
+                let a = input(self, 0);
+                let b = input(self, 1);
+                let y = if cell.kind == CellKind::Nor2 { !y } else { y };
+                self.solver.add_clause(&[a, b, !y]);
+                self.solver.add_clause(&[!a, y]);
+                self.solver.add_clause(&[!b, y]);
+            }
+            CellKind::Xor2 | CellKind::Xnor2 => {
+                let a = input(self, 0);
+                let b = input(self, 1);
+                let y = if cell.kind == CellKind::Xnor2 { !y } else { y };
+                self.solver.add_clause(&[!a, !b, !y]);
+                self.solver.add_clause(&[a, b, !y]);
+                self.solver.add_clause(&[!a, b, y]);
+                self.solver.add_clause(&[a, !b, y]);
+            }
+            CellKind::Mux2 => {
+                let a = input(self, 0);
+                let b = input(self, 1);
+                let s = input(self, 2);
+                self.solver.add_clause(&[s, !a, y]);
+                self.solver.add_clause(&[s, a, !y]);
+                self.solver.add_clause(&[!s, !b, y]);
+                self.solver.add_clause(&[!s, b, !y]);
+            }
+            CellKind::Maj3 => {
+                let a = input(self, 0);
+                let b = input(self, 1);
+                let c = input(self, 2);
+                self.solver.add_clause(&[!a, !b, y]);
+                self.solver.add_clause(&[!a, !c, y]);
+                self.solver.add_clause(&[!b, !c, y]);
+                self.solver.add_clause(&[a, b, !y]);
+                self.solver.add_clause(&[a, c, !y]);
+                self.solver.add_clause(&[b, c, !y]);
+            }
+            other => unreachable!("{other:?} is not a combinational gate"),
+        }
+    }
+
+    /// A literal that is true iff `property` fires at `cycle`.
+    pub fn fire_literal(&mut self, property: &Property, cycle: usize) -> Lit {
+        let term_lits: Vec<Lit> = property
+            .terms
+            .iter()
+            .map(|term| match *term {
+                PropertyTerm::NetEquals(net, value) => {
+                    let v = Lit::pos(self.var(net, cycle));
+                    if value {
+                        v
+                    } else {
+                        !v
+                    }
+                }
+                PropertyTerm::NetsDiffer(left, right) => {
+                    let l = Lit::pos(self.var(left, cycle));
+                    let r = Lit::pos(self.var(right, cycle));
+                    let d = Lit::pos(self.solver.new_var());
+                    // d <-> l xor r
+                    self.solver.add_clause(&[!l, !r, !d]);
+                    self.solver.add_clause(&[l, r, !d]);
+                    self.solver.add_clause(&[!l, r, d]);
+                    self.solver.add_clause(&[l, !r, d]);
+                    d
+                }
+            })
+            .collect();
+        if term_lits.len() == 1 {
+            return term_lits[0];
+        }
+        let f = Lit::pos(self.solver.new_var());
+        let mut any = vec![!f];
+        for &term in &term_lits {
+            self.solver.add_clause(&[f, !term]);
+            any.push(term);
+        }
+        self.solver.add_clause(&any);
+        f
+    }
+
+    /// Apply `assumption` at `cycle`.
+    pub fn apply_assumption(&mut self, assumption: &Assumption, cycle: usize) {
+        match assumption {
+            Assumption::NetAlways(net, value) => {
+                let v = Lit::pos(self.var(*net, cycle));
+                self.solver.add_clause(&[if *value { v } else { !v }]);
+            }
+            Assumption::PortIn { port, allowed } => {
+                let port = self
+                    .netlist
+                    .port(port)
+                    .unwrap_or_else(|| panic!("no port named `{port}`"))
+                    .clone();
+                assert!(port.width() <= 64, "PortIn supports up to 64 bits");
+                let mut selectors = Vec::with_capacity(allowed.len());
+                for &value in allowed {
+                    let m = Lit::pos(self.solver.new_var());
+                    for (i, &bit_net) in port.bits.iter().enumerate() {
+                        let bit = Lit::pos(self.var(bit_net, cycle));
+                        let want = (value >> i) & 1 == 1;
+                        let lit = if want { bit } else { !bit };
+                        self.solver.add_clause(&[!m, lit]);
+                    }
+                    selectors.push(m);
+                }
+                self.solver.add_clause(&selectors);
+            }
+        }
+    }
+
+    /// The model value of `net` at `cycle` after a SAT answer (false for
+    /// don't-care variables, matching the simulator's reset default).
+    pub fn model_value(&self, net: NetId, cycle: usize) -> bool {
+        self.solver.value(self.var(net, cycle)).unwrap_or(false)
+    }
+
+    /// The netlist being unrolled.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// True if `net` carries clock (is the clock input or driven by a
+    /// clock-network cell) — such nets have unconstrained variables and
+    /// must not be read as data.
+    pub fn is_clock_net(&self, net: NetId) -> bool {
+        if Some(net) == self.netlist.clock() {
+            return true;
+        }
+        match self.netlist.net(net).driver {
+            NetDriver::Cell(c) => self.netlist.cell(c).kind.is_clock_network(),
+            NetDriver::Input => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_netlist::NetlistBuilder;
+    use vega_sat::SolveResult;
+
+    fn inverter_reg() -> vega_netlist::Netlist {
+        let mut b = NetlistBuilder::new("m");
+        let clk = b.clock("clk");
+        let a = b.input("a", 1)[0];
+        let inv = b.cell(CellKind::Not, "inv", &[a]);
+        let q = b.dff("q", inv, clk);
+        b.output("y", &[q]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn unrolling_models_reset_and_transition() {
+        let n = inverter_reg();
+        let q_net = n.cell_by_name("q").unwrap().output;
+        let a_net = n.port("a").unwrap().bits[0];
+
+        // Two cycles; force a=1 at cycle 0 and check q at cycle 1 must be
+        // !a = 0 (any model claiming q=1 at cycle 1 is unsatisfiable).
+        let mut u = Unrolling::new(&n, false);
+        u.add_cycle();
+        u.add_cycle();
+        assert_eq!(u.cycles(), 2);
+        let a0 = Lit::pos(u.var(a_net, 0));
+        let q1 = Lit::pos(u.var(q_net, 1));
+        u.solver_mut().add_clause(&[a0]); // a = 1 at cycle 0
+        u.solver_mut().add_clause(&[q1]); // demand q = 1 at cycle 1
+        assert_eq!(u.solver_mut().solve(), SolveResult::Unsat);
+
+        // And q at cycle 0 is the reset value 0: demanding 1 is UNSAT.
+        let mut u = Unrolling::new(&n, false);
+        u.add_cycle();
+        let q0 = Lit::pos(u.var(q_net, 0));
+        u.solver_mut().add_clause(&[q0]);
+        assert_eq!(u.solver_mut().solve(), SolveResult::Unsat);
+
+        // With a free initial state, q = 1 at cycle 0 is satisfiable.
+        let mut u = Unrolling::new(&n, true);
+        u.add_cycle();
+        let q0 = Lit::pos(u.var(q_net, 0));
+        u.solver_mut().add_clause(&[q0]);
+        assert_eq!(u.solver_mut().solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn port_in_assumption_restricts_models() {
+        let mut b = NetlistBuilder::new("m");
+        let clk = b.clock("clk");
+        let v = b.input("v", 3);
+        let q = b.dff("q", v[2], clk);
+        b.output("y", &[q]);
+        let n = b.finish().unwrap();
+
+        let mut u = Unrolling::new(&n, false);
+        u.add_cycle();
+        u.apply_assumption(
+            &Assumption::PortIn { port: "v".into(), allowed: vec![1, 2, 3] },
+            0,
+        );
+        // v[2] = 1 implies v >= 4, which the assumption forbids.
+        let v2 = Lit::pos(u.var(n.port("v").unwrap().bits[2], 0));
+        u.solver_mut().add_clause(&[v2]);
+        assert_eq!(u.solver_mut().solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn clock_nets_are_recognized() {
+        let mut b = NetlistBuilder::new("m");
+        let clk = b.clock("clk");
+        let en = b.input("en", 1)[0];
+        let gck = b.clock_gate("icg", clk, en);
+        let d = b.input("d", 1)[0];
+        let q = b.dff("q", d, gck);
+        b.output("y", &[q]);
+        let n = b.finish().unwrap();
+        let u = Unrolling::new(&n, false);
+        assert!(u.is_clock_net(n.clock().unwrap()));
+        assert!(u.is_clock_net(n.cell_by_name("icg").unwrap().output));
+        assert!(!u.is_clock_net(n.port("d").unwrap().bits[0]));
+        assert!(!u.is_clock_net(n.cell_by_name("q").unwrap().output));
+    }
+
+    #[test]
+    fn fire_literal_encodes_terms() {
+        let n = inverter_reg();
+        let a_net = n.port("a").unwrap().bits[0];
+        let inv_net = n.cell_by_name("inv").unwrap().output;
+
+        // a and inv always differ combinationally: the differ-literal is
+        // forced true once a cycle is encoded.
+        let mut u = Unrolling::new(&n, false);
+        u.add_cycle();
+        let fire = u.fire_literal(&Property::nets_differ(a_net, inv_net), 0);
+        u.solver_mut().add_clause(&[!fire]);
+        assert_eq!(u.solver_mut().solve(), SolveResult::Unsat, "they always differ");
+    }
+}

@@ -1,0 +1,59 @@
+//! Bounded model checking and inductive proofs over gate-level netlists.
+//!
+//! This crate is Vega's substitute for a commercial hardware formal
+//! verification tool (the paper uses JasperGold, §3.3.3). It supports the
+//! one query shape Error Lifting needs — the *cover property*: find a
+//! cycle-accurate sequence of module inputs under which some condition
+//! (e.g. "the shadow replica's output differs from the original") holds
+//! in at least one cycle; or prove that no such sequence exists.
+//!
+//! Three verdicts are possible, matching the paper's taxonomy (Table 4):
+//!
+//! * [`CoverOutcome::Trace`] — a witness waveform was found (row "S" once
+//!   converted to instructions);
+//! * [`CoverOutcome::ProvedUnreachable`] — a k-induction proof shows the
+//!   condition can never fire (row "UR");
+//! * [`CoverOutcome::BudgetExhausted`] / [`CoverOutcome::BoundedOnly`] —
+//!   the conflict budget ran out, the analogue of a formal-tool timeout
+//!   (row "FF").
+//!
+//! Sequential semantics mirror `vega-sim`: flip-flops reset to `0`,
+//! capture on every cycle unless an integrated clock gate on their clock
+//! path is disabled, and `Random` pseudo-cells are existentially-chosen
+//! fresh bits each cycle.
+//!
+//! # Example
+//!
+//! ```
+//! use vega_netlist::{CellKind, NetlistBuilder};
+//! use vega_formal::{check_cover, BmcConfig, CoverOutcome, Property};
+//!
+//! // q captures a; cover "q == 1" needs one cycle of a=1.
+//! let mut b = NetlistBuilder::new("m");
+//! let clk = b.clock("clk");
+//! let a = b.input("a", 1)[0];
+//! let q = b.dff("q", a, clk);
+//! b.output("y", &[q]);
+//! let n = b.finish().unwrap();
+//!
+//! let property = Property::net_equals(q, true);
+//! match check_cover(&n, &property, &[], &BmcConfig::default()) {
+//!     CoverOutcome::Trace(trace) => {
+//!         assert_eq!(trace.inputs[0]["a"], 1);
+//!     }
+//!     other => panic!("expected a trace, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bmc;
+mod encode;
+mod property;
+mod trace;
+
+pub use bmc::{check_cover, BmcConfig, CoverOutcome};
+pub use encode::Unrolling;
+pub use property::{Assumption, Property};
+pub use trace::Trace;

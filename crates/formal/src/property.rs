@@ -1,0 +1,70 @@
+//! Cover properties and input assumptions.
+
+use vega_netlist::NetId;
+
+/// The condition a cover query tries to make true in some cycle.
+///
+/// The workhorse is [`Property::any_differ`]: Error Lifting covers
+/// "some shadow output bit differs from its original" (paper §3.3.3's
+/// `cover property (o[1] != o_s[1])`, generalized to a set of bit pairs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Property {
+    pub(crate) terms: Vec<PropertyTerm>,
+    /// Earliest cycle (0-based) at which the property may fire; earlier
+    /// fires are ignored. Used to skip reset artifacts.
+    pub earliest_cycle: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum PropertyTerm {
+    /// `net == value`
+    NetEquals(NetId, bool),
+    /// `left != right`
+    NetsDiffer(NetId, NetId),
+}
+
+impl Property {
+    /// Cover `net == value` in some cycle.
+    pub fn net_equals(net: NetId, value: bool) -> Self {
+        Property { terms: vec![PropertyTerm::NetEquals(net, value)], earliest_cycle: 0 }
+    }
+
+    /// Cover `left != right` in some cycle.
+    pub fn nets_differ(left: NetId, right: NetId) -> Self {
+        Property { terms: vec![PropertyTerm::NetsDiffer(left, right)], earliest_cycle: 0 }
+    }
+
+    /// Cover "any of these pairs differ" in some cycle.
+    pub fn any_differ(pairs: impl IntoIterator<Item = (NetId, NetId)>) -> Self {
+        Property {
+            terms: pairs
+                .into_iter()
+                .map(|(l, r)| PropertyTerm::NetsDiffer(l, r))
+                .collect(),
+            earliest_cycle: 0,
+        }
+    }
+
+    /// Restrict the property to fire no earlier than `cycle`.
+    pub fn not_before(mut self, cycle: usize) -> Self {
+        self.earliest_cycle = cycle;
+        self
+    }
+}
+
+/// A constraint on module inputs, applied at every cycle of the unrolling
+/// (the role of SystemVerilog `assume property` in the paper, §3.3.3:
+/// e.g. restricting an ALU's operation encoding to valid operations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Assumption {
+    /// The net holds this value in every cycle.
+    NetAlways(NetId, bool),
+    /// The named input port takes one of the allowed values each cycle
+    /// (the port must be at most 64 bits wide).
+    PortIn {
+        /// Input port name.
+        port: String,
+        /// Allowed values, LSB-first encoding.
+        allowed: Vec<u64>,
+    },
+}

@@ -1,0 +1,44 @@
+//! Counterexample / witness traces.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A cycle-accurate input witness produced by a successful cover query —
+/// the module-level trace of paper Table 2.
+///
+/// `inputs[t]` maps each non-clock input port to its value during cycle
+/// `t`; applying these with `vega_sim::Simulator` (stepping once per
+/// cycle) drives the covered condition true at `fire_cycle`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Per-cycle input assignments, cycle 0 first.
+    pub inputs: Vec<BTreeMap<String, u64>>,
+    /// The (0-based) cycle at which the covered condition holds.
+    pub fire_cycle: usize,
+}
+
+impl Trace {
+    /// Number of cycles in the trace.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace ({} cycles, fires at cycle {}):", self.len(), self.fire_cycle)?;
+        for (t, cycle) in self.inputs.iter().enumerate() {
+            let parts: Vec<String> =
+                cycle.iter().map(|(port, value)| format!("{port}={value:#x}")).collect();
+            writeln!(f, "  cycle {t}: {}", parts.join(" "))?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,390 @@
+//! A textual format for mini-IR programs: print and parse.
+//!
+//! Lets workloads be written, inspected and diffed as plain text — the
+//! same role `.ll` files play for LLVM IR. Every construct of
+//! [`crate::mini_ir`] round-trips. Grammar (one statement per line,
+//! `#` comments):
+//!
+//! ```text
+//! program <name> regs <n> mem <bytes>
+//! block <label>:
+//!   r<d> = const <int>            # decimal or 0x hex
+//!   r<d> = alu.<op> r<a>, r<b>    # add sub sll slt sltu xor srl sra or and
+//!   r<d> = mul r<a>, r<b>
+//!   r<d> = divu r<a>, r<b>
+//!   r<d> = fp.<op> r<a>, r<b>     # add sub mul min max eq lt le
+//!   r<d> = load r<a> + <offset>
+//!   store r<a> + <offset>, r<b>
+//!   r<d> = copy r<s>
+//!   run_aging_tests cost <n> every <n>
+//!   jump <label>
+//!   branch r<c> ? <label> : <label>
+//!   return r<v>
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use vega_circuits::golden::{AluOp, FpuOp};
+
+use crate::mini_ir::{Block, Op, Program, Term};
+
+/// Render a program in the textual format.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "program {} regs {} mem {}",
+        program.name, program.registers, program.memory_bytes
+    );
+    for block in &program.blocks {
+        let _ = writeln!(out, "block {}:", block.label);
+        for op in &block.ops {
+            let _ = writeln!(out, "  {}", print_op(op));
+        }
+        let term = match block.term {
+            Term::Jump(target) => format!("jump {}", program.blocks[target].label),
+            Term::Branch(cond, then_block, else_block) => format!(
+                "branch r{cond} ? {} : {}",
+                program.blocks[then_block].label, program.blocks[else_block].label
+            ),
+            Term::Return(reg) => format!("return r{reg}"),
+        };
+        let _ = writeln!(out, "  {term}");
+    }
+    out
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Sll => "sll",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Xor => "xor",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Or => "or",
+        AluOp::And => "and",
+    }
+}
+
+fn fpu_name(op: FpuOp) -> &'static str {
+    match op {
+        FpuOp::Add => "add",
+        FpuOp::Sub => "sub",
+        FpuOp::Mul => "mul",
+        FpuOp::Min => "min",
+        FpuOp::Max => "max",
+        FpuOp::Eq => "eq",
+        FpuOp::Lt => "lt",
+        FpuOp::Le => "le",
+    }
+}
+
+fn print_op(op: &Op) -> String {
+    match *op {
+        Op::Const(rd, value) => {
+            if value > 0xFFFF {
+                format!("r{rd} = const {value:#x}")
+            } else {
+                format!("r{rd} = const {value}")
+            }
+        }
+        Op::Alu(op, rd, ra, rb) => format!("r{rd} = alu.{} r{ra}, r{rb}", alu_name(op)),
+        Op::Mul(rd, ra, rb) => format!("r{rd} = mul r{ra}, r{rb}"),
+        Op::Divu(rd, ra, rb) => format!("r{rd} = divu r{ra}, r{rb}"),
+        Op::Fp(op, rd, ra, rb) => format!("r{rd} = fp.{} r{ra}, r{rb}", fpu_name(op)),
+        Op::Load(rd, ra, offset) => format!("r{rd} = load r{ra} + {offset}"),
+        Op::Store(ra, offset, rb) => format!("store r{ra} + {offset}, r{rb}"),
+        Op::Copy(rd, rs) => format!("r{rd} = copy r{rs}"),
+        Op::RunAgingTests { cost, every } => {
+            format!("run_aging_tests cost {cost} every {every}")
+        }
+    }
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrParseError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for IrParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for IrParseError {}
+
+/// Parse the textual format back into a [`Program`].
+pub fn parse_program(text: &str) -> Result<Program, IrParseError> {
+    let err = |line: usize, message: String| IrParseError { line, message };
+    let mut name = String::new();
+    let mut registers = 0usize;
+    let mut memory_bytes = 0usize;
+    // First pass: block labels -> indices.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    for line in text.lines() {
+        let line = strip(line);
+        if let Some(rest) = line.strip_prefix("block ") {
+            let label = rest.trim_end_matches(':').trim().to_string();
+            let index = labels.len();
+            labels.insert(label, index);
+        }
+    }
+
+    #[derive(Default)]
+    struct PendingBlock {
+        label: String,
+        ops: Vec<Op>,
+        term: Option<Term>,
+    }
+    let mut blocks: Vec<PendingBlock> = Vec::new();
+
+    for (line_index, raw) in text.lines().enumerate() {
+        let lineno = line_index + 1;
+        let line = strip(raw);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("program ") {
+            let tokens: Vec<&str> = rest.split_whitespace().collect();
+            if tokens.len() != 5 || tokens[1] != "regs" || tokens[3] != "mem" {
+                return Err(err(lineno, "expected `program <name> regs <n> mem <n>`".into()));
+            }
+            name = tokens[0].to_string();
+            registers = tokens[2].parse().map_err(|e| err(lineno, format!("regs: {e}")))?;
+            memory_bytes = tokens[4].parse().map_err(|e| err(lineno, format!("mem: {e}")))?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("block ") {
+            blocks.push(PendingBlock {
+                label: rest.trim_end_matches(':').trim().to_string(),
+                ..Default::default()
+            });
+            continue;
+        }
+        let block = blocks
+            .last_mut()
+            .ok_or_else(|| err(lineno, "statement before any `block`".into()))?;
+        if block.term.is_some() {
+            return Err(err(lineno, "statement after the block terminator".into()));
+        }
+        if let Some(term) = parse_term(line, &labels).transpose() {
+            block.term = Some(term.map_err(|m| err(lineno, m))?);
+            continue;
+        }
+        block.ops.push(parse_op(line).map_err(|m| err(lineno, m))?);
+    }
+
+    if name.is_empty() {
+        return Err(err(1, "missing `program` header".into()));
+    }
+    let blocks: Result<Vec<Block>, IrParseError> = blocks
+        .into_iter()
+        .map(|b| {
+            let term = b
+                .term
+                .ok_or_else(|| err(0, format!("block `{}` has no terminator", b.label)))?;
+            Ok(Block { label: b.label, ops: b.ops, term })
+        })
+        .collect();
+    Ok(Program { name, blocks: blocks?, registers, memory_bytes })
+}
+
+fn strip(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => line[..i].trim(),
+        None => line.trim(),
+    }
+}
+
+fn reg(token: &str) -> Result<usize, String> {
+    token
+        .trim()
+        .trim_end_matches(',')
+        .strip_prefix('r')
+        .ok_or_else(|| format!("expected register, found `{token}`"))?
+        .parse()
+        .map_err(|e| format!("register index: {e}"))
+}
+
+fn int(token: &str) -> Result<u32, String> {
+    let token = token.trim();
+    if let Some(hex) = token.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).map_err(|e| format!("integer: {e}"))
+    } else {
+        token.parse().map_err(|e| format!("integer: {e}"))
+    }
+}
+
+/// Try to parse a terminator; `Ok(None)` means "not a terminator".
+fn parse_term(line: &str, labels: &HashMap<String, usize>) -> Result<Option<Term>, String> {
+    let resolve = |label: &str| {
+        labels
+            .get(label.trim())
+            .copied()
+            .ok_or_else(|| format!("unknown block label `{}`", label.trim()))
+    };
+    if let Some(target) = line.strip_prefix("jump ") {
+        return Ok(Some(Term::Jump(resolve(target)?)));
+    }
+    if let Some(rest) = line.strip_prefix("branch ") {
+        let (cond, targets) =
+            rest.split_once('?').ok_or_else(|| "branch needs `?`".to_string())?;
+        let (then_label, else_label) =
+            targets.split_once(':').ok_or_else(|| "branch needs `:`".to_string())?;
+        return Ok(Some(Term::Branch(
+            reg(cond)?,
+            resolve(then_label)?,
+            resolve(else_label)?,
+        )));
+    }
+    if let Some(value) = line.strip_prefix("return ") {
+        return Ok(Some(Term::Return(reg(value)?)));
+    }
+    Ok(None)
+}
+
+fn parse_op(line: &str) -> Result<Op, String> {
+    if let Some(rest) = line.strip_prefix("store ") {
+        // store r<a> + <offset>, r<b>
+        let (addr, src) = rest.split_once(',').ok_or("store needs `,`")?;
+        let (base, offset) = addr.split_once('+').ok_or("store needs `+`")?;
+        return Ok(Op::Store(reg(base)?, int(offset)?, reg(src)?));
+    }
+    if let Some(rest) = line.strip_prefix("run_aging_tests ") {
+        let tokens: Vec<&str> = rest.split_whitespace().collect();
+        if tokens.len() != 4 || tokens[0] != "cost" || tokens[2] != "every" {
+            return Err("expected `run_aging_tests cost <n> every <n>`".into());
+        }
+        return Ok(Op::RunAgingTests {
+            cost: u64::from(int(tokens[1])?),
+            every: int(tokens[3])?,
+        });
+    }
+    let (dest, rhs) = line.split_once('=').ok_or("expected `r<d> = ...`")?;
+    let rd = reg(dest)?;
+    let rhs = rhs.trim();
+    if let Some(value) = rhs.strip_prefix("const ") {
+        return Ok(Op::Const(rd, int(value)?));
+    }
+    if let Some(rest) = rhs.strip_prefix("alu.") {
+        let (mnemonic, operands) = rest.split_once(' ').ok_or("alu op needs operands")?;
+        let op = AluOp::ALL
+            .into_iter()
+            .find(|o| alu_name(*o) == mnemonic)
+            .ok_or_else(|| format!("unknown alu op `{mnemonic}`"))?;
+        let (ra, rb) = operands.split_once(',').ok_or("alu op needs two operands")?;
+        return Ok(Op::Alu(op, rd, reg(ra)?, reg(rb)?));
+    }
+    if let Some(rest) = rhs.strip_prefix("fp.") {
+        let (mnemonic, operands) = rest.split_once(' ').ok_or("fp op needs operands")?;
+        let op = FpuOp::ALL
+            .into_iter()
+            .find(|o| fpu_name(*o) == mnemonic)
+            .ok_or_else(|| format!("unknown fp op `{mnemonic}`"))?;
+        let (ra, rb) = operands.split_once(',').ok_or("fp op needs two operands")?;
+        return Ok(Op::Fp(op, rd, reg(ra)?, reg(rb)?));
+    }
+    if let Some(operands) = rhs.strip_prefix("mul ") {
+        let (ra, rb) = operands.split_once(',').ok_or("mul needs two operands")?;
+        return Ok(Op::Mul(rd, reg(ra)?, reg(rb)?));
+    }
+    if let Some(operands) = rhs.strip_prefix("divu ") {
+        let (ra, rb) = operands.split_once(',').ok_or("divu needs two operands")?;
+        return Ok(Op::Divu(rd, reg(ra)?, reg(rb)?));
+    }
+    if let Some(rest) = rhs.strip_prefix("load ") {
+        let (base, offset) = rest.split_once('+').ok_or("load needs `+`")?;
+        return Ok(Op::Load(rd, reg(base)?, int(offset)?));
+    }
+    if let Some(src) = rhs.strip_prefix("copy ") {
+        return Ok(Op::Copy(rd, reg(src)?));
+    }
+    Err(format!("unparseable statement `{line}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mini_ir::Interpreter;
+    use crate::workloads;
+
+    #[test]
+    fn every_workload_round_trips() {
+        for program in workloads::all() {
+            let text = print_program(&program);
+            let parsed = parse_program(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", program.name));
+            // Same results and same costs when interpreted.
+            let mut a = Interpreter::new(&program);
+            let mut b = Interpreter::new(&parsed);
+            let ra = a.run(&program, None);
+            let rb = b.run(&parsed, None);
+            assert_eq!(ra.value, rb.value, "{}", program.name);
+            assert_eq!(ra.cycles, rb.cycles, "{}", program.name);
+            assert_eq!(ra.profile, rb.profile, "{}", program.name);
+            // And printing the parse reproduces the text exactly.
+            assert_eq!(text, print_program(&parsed), "{}", program.name);
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_program() {
+        let text = "
+# doubles r0 five times
+program doubler regs 4 mem 0
+block entry:
+  r0 = const 1
+  r1 = const 0
+  r2 = const 5
+  r3 = const 1
+  jump loop
+block loop:
+  r0 = alu.add r0, r0
+  r1 = alu.add r1, r3
+  r3 = alu.sltu r1, r2      # hmm: clobbers the increment register
+  branch r3 ? loop : exit
+block exit:
+  return r0
+";
+        let program = parse_program(text).unwrap();
+        assert_eq!(program.name, "doubler");
+        let mut interp = Interpreter::new(&program);
+        let result = interp.run(&program, None);
+        // r3 becomes the comparison result (1 while looping), so the
+        // increment keeps working until r1 == 5: r0 = 2^5.
+        assert_eq!(result.value, 32);
+    }
+
+    #[test]
+    fn error_reporting_carries_line_numbers() {
+        let text = "program p regs 1 mem 0\nblock b:\n  r0 = bogus r1\n  return r0\n";
+        let e = parse_program(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("unparseable"));
+
+        let text = "program p regs 1 mem 0\nblock b:\n  jump nowhere\n";
+        let e = parse_program(text).unwrap_err();
+        assert!(e.message.contains("unknown block label"));
+    }
+
+    #[test]
+    fn terminator_rules_are_enforced() {
+        let text = "program p regs 1 mem 0\nblock b:\n  r0 = const 1\n";
+        assert!(parse_program(text).unwrap_err().message.contains("no terminator"));
+
+        let text = "program p regs 1 mem 0\nblock b:\n  return r0\n  r0 = const 1\n";
+        assert!(parse_program(text)
+            .unwrap_err()
+            .message
+            .contains("after the block terminator"));
+    }
+}

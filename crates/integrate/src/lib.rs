@@ -1,0 +1,43 @@
+//! Test Integration: putting Vega's test cases into applications.
+//!
+//! Phase 3 of the workflow (paper §3.4) offers two integration styles:
+//!
+//! * **Software aging library** ([`AgingLibrary`]) — the generated test
+//!   cases packaged behind a small API with sequential or randomized
+//!   scheduling and exception-style fault reporting, plus emission of a
+//!   self-contained C source file with the test cases as inline assembly
+//!   (§3.4.1).
+//! * **Profile-guided test integration** ([`pgi`]) — automatic embedding
+//!   of the test suite into an application without source changes: the
+//!   application is profiled at basic-block granularity, an integration
+//!   point that is "not frequently invoked but still routinely accessed"
+//!   is chosen, the expected overhead is estimated from instruction
+//!   counts, and the invocation is probability-gated to stay under a
+//!   user-set overhead threshold (§3.4.2).
+//!
+//! Because the paper's applications are embench programs compiled by
+//! LLVM, and this reproduction builds everything from scratch, the crate
+//! also provides the application substrate itself:
+//!
+//! * [`mini_ir`] — a small basic-block IR with an interpreter, a
+//!   cycle-cost model aligned with `vega-riscv`, per-block execution
+//!   counters, and optional *module drivers* that forward every executed
+//!   operation to gate-level ALU/FPU simulators (this is how the Aging
+//!   Analysis phase gathers realistic signal-probability profiles from
+//!   workloads);
+//! * [`workloads`] — eleven embench-style benchmark programs (including
+//!   `minver`, the paper's representative workload) written in that IR.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod c_emit;
+pub mod ir_text;
+mod library;
+pub mod mini_ir;
+pub mod pgi;
+pub mod workloads;
+
+pub use c_emit::emit_c_library;
+pub use library::{AgingFault, AgingLibrary, DetectionReport, Schedule};
+pub use pgi::{choose_integration_point, integrate, IntegratedProgram, PgiConfig};

@@ -1,0 +1,190 @@
+//! The software aging library (paper §3.4.1).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use vega_lift::{run_test_case, ModuleKind, TestCase, TestOutcome};
+use vega_sim::Simulator;
+
+/// Test scheduling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Run the suite in construction order.
+    Sequential,
+    /// Run a freshly shuffled order each invocation (seeded).
+    Random {
+        /// RNG seed for the shuffle.
+        seed: u64,
+    },
+}
+
+/// A detected aging fault — the library's "exception". For languages
+/// with exceptions, the generated C library raises through a callback;
+/// in Rust the idiomatic equivalent is this error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgingFault {
+    /// Name of the detecting test case.
+    pub test: String,
+    /// The targeted aging-prone path.
+    pub target: String,
+    /// The raw outcome (mismatch or stall).
+    pub outcome: TestOutcome,
+}
+
+impl std::fmt::Display for AgingFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "aging-related fault detected by `{}` (target {}): {:?}",
+            self.test, self.target, self.outcome
+        )
+    }
+}
+
+impl std::error::Error for AgingFault {}
+
+/// What a full suite execution observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionReport {
+    /// Per-test outcomes in the order executed.
+    pub outcomes: Vec<(String, TestOutcome)>,
+    /// The first detection, if any.
+    pub first_detection: Option<AgingFault>,
+}
+
+impl DetectionReport {
+    /// Whether any test detected a fault.
+    pub fn detected(&self) -> bool {
+        self.first_detection.is_some()
+    }
+}
+
+/// The packaged test suite: Vega's generated test cases behind a small
+/// scheduling/reporting API (paper §3.4.1).
+#[derive(Debug, Clone)]
+pub struct AgingLibrary {
+    /// The hardware module the suite targets.
+    pub module: ModuleKind,
+    /// The test cases.
+    pub suite: Vec<TestCase>,
+    /// Scheduling strategy.
+    pub schedule: Schedule,
+    shuffle_rng: StdRng,
+}
+
+impl AgingLibrary {
+    /// Package a suite.
+    pub fn new(module: ModuleKind, suite: Vec<TestCase>, schedule: Schedule) -> Self {
+        let seed = match schedule {
+            Schedule::Random { seed } => seed,
+            Schedule::Sequential => 0,
+        };
+        AgingLibrary { module, suite, schedule, shuffle_rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Total CPU cycles one full suite execution costs (a Table 5 cell).
+    pub fn suite_cpu_cycles(&self) -> u64 {
+        self.suite.iter().map(|t| t.cpu_cycles).sum()
+    }
+
+    /// Execute the whole suite once against the module simulated by
+    /// `sim` (healthy or failing), in schedule order, without resets —
+    /// exactly how the embedded tests run inside an application.
+    pub fn run_once(&mut self, sim: &mut Simulator<'_>) -> DetectionReport {
+        let mut order: Vec<usize> = (0..self.suite.len()).collect();
+        if matches!(self.schedule, Schedule::Random { .. }) {
+            order.shuffle(&mut self.shuffle_rng);
+        }
+        let mut outcomes = Vec::with_capacity(order.len());
+        let mut first_detection = None;
+        for index in order {
+            let test = &self.suite[index];
+            let outcome = run_test_case(sim, self.module, test);
+            if outcome != TestOutcome::Pass && first_detection.is_none() {
+                first_detection = Some(AgingFault {
+                    test: test.name.clone(),
+                    target: test.target.clone(),
+                    outcome: outcome.clone(),
+                });
+            }
+            outcomes.push((test.name.clone(), outcome));
+        }
+        DetectionReport { outcomes, first_detection }
+    }
+
+    /// Exception-style entry point: `Ok(())` on a clean pass, `Err` with
+    /// the first detection otherwise.
+    pub fn run_checked(&mut self, sim: &mut Simulator<'_>) -> Result<(), AgingFault> {
+        match self.run_once(sim).first_detection {
+            None => Ok(()),
+            Some(fault) => Err(fault),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_circuits::adder_example::build_paper_adder;
+    use vega_lift::{generate_suite, AgingPath, LiftConfig};
+    use vega_sta::ViolationKind;
+
+    fn adder_suite() -> (vega_netlist::Netlist, Vec<TestCase>, AgingPath) {
+        let n = build_paper_adder();
+        let path = AgingPath {
+            launch: n.cell_by_name("dff4").unwrap().id,
+            capture: n.cell_by_name("dff10").unwrap().id,
+            violation: ViolationKind::Setup,
+        };
+        let report = generate_suite(&n, ModuleKind::PaperAdder, &[path], &LiftConfig::default());
+        let suite = report.suite();
+        (n, suite, path)
+    }
+
+    #[test]
+    fn healthy_hardware_passes_and_fault_raises() {
+        let (n, suite, path) = adder_suite();
+        assert!(!suite.is_empty());
+
+        let mut library =
+            AgingLibrary::new(ModuleKind::PaperAdder, suite.clone(), Schedule::Sequential);
+        let mut healthy = Simulator::new(&n);
+        assert!(library.run_checked(&mut healthy).is_ok());
+
+        let failing = vega_lift::build_failing_netlist(
+            &n,
+            path,
+            vega_lift::FaultValue::One,
+            vega_lift::FaultActivation::OnChange,
+        );
+        let mut sim = Simulator::new(&failing);
+        let fault = library.run_checked(&mut sim).unwrap_err();
+        assert!(fault.to_string().contains("aging-related fault"));
+    }
+
+    #[test]
+    fn random_schedule_is_seeded_and_permutes() {
+        let (n, suite, _) = adder_suite();
+        if suite.len() < 2 {
+            return; // nothing to permute
+        }
+        let mut a = AgingLibrary::new(
+            ModuleKind::PaperAdder,
+            suite.clone(),
+            Schedule::Random { seed: 1 },
+        );
+        let mut b = AgingLibrary::new(
+            ModuleKind::PaperAdder,
+            suite,
+            Schedule::Random { seed: 1 },
+        );
+        let mut sim1 = Simulator::new(&n);
+        let mut sim2 = Simulator::new(&n);
+        let r1 = a.run_once(&mut sim1);
+        let r2 = b.run_once(&mut sim2);
+        let names1: Vec<_> = r1.outcomes.iter().map(|(n, _)| n.clone()).collect();
+        let names2: Vec<_> = r2.outcomes.iter().map(|(n, _)| n.clone()).collect();
+        assert_eq!(names1, names2, "same seed, same order");
+    }
+}

@@ -1,0 +1,413 @@
+//! A small basic-block IR with an interpreter and block-level profiling.
+//!
+//! The IR plays the role LLVM IR plays in the paper: applications are
+//! functions over basic blocks; a profiler counts block executions; the
+//! integrator splices test-case invocations into a chosen block. The
+//! interpreter charges costs from the same timing model as `vega-riscv`,
+//! so "overhead in cycles" is meaningful, and can optionally forward
+//! every executed operation to gate-level ALU/FPU simulators so workload
+//! runs double as signal-probability profiling runs (paper §3.2.1).
+
+use vega_circuits::golden::{alu_golden, fpu_golden, AluOp, FpuOp};
+use vega_sim::Simulator;
+
+/// A virtual register index.
+pub type VReg = usize;
+
+/// A basic-block index within a program.
+pub type BlockId = usize;
+
+/// One IR operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// `rd = constant`
+    Const(VReg, u32),
+    /// `rd = alu_op(ra, rb)` — executes on the ALU under test.
+    Alu(AluOp, VReg, VReg, VReg),
+    /// `rd = ra * rb` (behavioural multiplier, as in the CV32E40P).
+    Mul(VReg, VReg, VReg),
+    /// `rd = ra / rb` unsigned (behavioural; division by zero yields
+    /// `u32::MAX` per RISC-V).
+    Divu(VReg, VReg, VReg),
+    /// `rd = fp_op(ra, rb)` over raw FP32 bits — executes on the FPU.
+    Fp(FpuOp, VReg, VReg, VReg),
+    /// `rd = mem[ra + offset]` (word).
+    Load(VReg, VReg, u32),
+    /// `mem[ra + offset] = rb` (word).
+    Store(VReg, u32, VReg),
+    /// `rd = rs`
+    Copy(VReg, VReg),
+    /// Invoke the embedded aging test suite. `cost` is the suite's CPU
+    /// cycles; `every` gates the invocation to each N-th arrival
+    /// (probability-gating with a deterministic counter). Inserted by the
+    /// integrator, never written by applications.
+    RunAgingTests {
+        /// CPU cycles one full suite execution costs.
+        cost: u64,
+        /// Invoke only every N-th time this op is reached (N >= 1).
+        every: u32,
+    },
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Term {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Jump to the first block if the register is non-zero, else the
+    /// second.
+    Branch(VReg, BlockId, BlockId),
+    /// Return the register's value.
+    Return(VReg),
+}
+
+/// A basic block: straight-line ops plus a terminator.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Human-readable label.
+    pub label: String,
+    /// Straight-line operations.
+    pub ops: Vec<Op>,
+    /// Control transfer out of the block.
+    pub term: Term,
+}
+
+/// A program: blocks, an entry point, register and memory sizes.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Program name (benchmark name).
+    pub name: String,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Number of virtual registers.
+    pub registers: usize,
+    /// Data memory size in bytes.
+    pub memory_bytes: usize,
+}
+
+impl Program {
+    /// Total static operation count (the integrator's "IR instructions
+    /// before/after" metric).
+    pub fn static_ops(&self) -> usize {
+        self.blocks.iter().map(|b| b.ops.len() + 1).sum()
+    }
+}
+
+/// Per-block execution counts gathered by a profiling run (§3.4.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockProfile {
+    /// `counts[b]` = times block `b` was entered.
+    pub counts: Vec<u64>,
+}
+
+/// Optional gate-level module drivers: every interpreted operation is
+/// forwarded to the hardware simulators, so an application run produces
+/// exactly the stimulus the Aging Analysis phase profiles.
+#[derive(Debug)]
+pub struct ModuleDrivers<'a, 'n> {
+    /// The ALU netlist simulator (ports `op`/`a`/`b`).
+    pub alu: &'a mut Simulator<'n>,
+    /// The FPU netlist simulator (ports `op`/`valid`/`a`/`b`/`tag`).
+    pub fpu: &'a mut Simulator<'n>,
+}
+
+impl ModuleDrivers<'_, '_> {
+    fn drive_alu(&mut self, op: AluOp, a: u32, b: u32) {
+        self.alu.set_input("op", op.encoding());
+        self.alu.set_input("a", a as u64);
+        self.alu.set_input("b", b as u64);
+        self.alu.step();
+        // The FPU sees a bubble.
+        self.fpu.set_input("valid", 0);
+        self.fpu.step();
+    }
+
+    fn drive_fpu(&mut self, op: FpuOp, a: u32, b: u32) {
+        self.fpu.set_input("op", op.encoding());
+        self.fpu.set_input("a", a as u64);
+        self.fpu.set_input("b", b as u64);
+        self.fpu.set_input("valid", 1);
+        self.fpu.set_input("tag", 0);
+        self.fpu.step();
+        // The ALU idles on its previous inputs (it has no clock gate).
+        self.alu.step();
+    }
+}
+
+/// The result of an interpreted run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// The returned value.
+    pub value: u32,
+    /// Total cycles under the timing model (including embedded test
+    /// invocations).
+    pub cycles: u64,
+    /// Dynamic operation count.
+    pub ops: u64,
+    /// Block execution counts.
+    pub profile: BlockProfile,
+    /// How many times the embedded suite actually ran.
+    pub suite_invocations: u64,
+}
+
+/// Interpreter over a [`Program`].
+#[derive(Debug)]
+pub struct Interpreter {
+    regs: Vec<u32>,
+    memory: Vec<u8>,
+    /// Deterministic counters for `RunAgingTests` gating, one per static
+    /// occurrence (keyed by (block, op index)).
+    gate_counters: std::collections::HashMap<(BlockId, usize), u32>,
+}
+
+impl Interpreter {
+    /// Fresh state for `program`.
+    pub fn new(program: &Program) -> Self {
+        Interpreter {
+            regs: vec![0; program.registers],
+            memory: vec![0; program.memory_bytes],
+            gate_counters: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Pre-set a register before running (program inputs).
+    pub fn set_reg(&mut self, reg: VReg, value: u32) {
+        self.regs[reg] = value;
+    }
+
+    /// Pre-fill a memory word (program inputs).
+    pub fn store_word(&mut self, addr: u32, value: u32) {
+        let a = addr as usize;
+        self.memory[a..a + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Read a memory word after a run.
+    pub fn load_word(&self, addr: u32) -> u32 {
+        let a = addr as usize;
+        u32::from_le_bytes(self.memory[a..a + 4].try_into().unwrap())
+    }
+
+    /// Execute the program, optionally forwarding ops to gate-level
+    /// simulators via `drivers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block limit (an internal watchdog of 100 million
+    /// block entries) is exceeded — IR programs here always terminate.
+    pub fn run(&mut self, program: &Program, mut drivers: Option<&mut ModuleDrivers<'_, '_>>) -> RunResult {
+        let mut counts = vec![0u64; program.blocks.len()];
+        let mut cycles = 0u64;
+        let mut ops = 0u64;
+        let mut suite_invocations = 0u64;
+        let mut block = 0usize;
+        let mut entries = 0u64;
+        loop {
+            entries += 1;
+            assert!(entries < 100_000_000, "runaway IR program");
+            counts[block] += 1;
+            let b = &program.blocks[block];
+            for (op_index, op) in b.ops.iter().enumerate() {
+                ops += 1;
+                match *op {
+                    Op::Const(rd, value) => {
+                        cycles += 1;
+                        self.regs[rd] = value;
+                    }
+                    Op::Alu(op, rd, ra, rb) => {
+                        cycles += 1;
+                        let (a, bb) = (self.regs[ra], self.regs[rb]);
+                        if let Some(d) = drivers.as_deref_mut() {
+                            d.drive_alu(op, a, bb);
+                        }
+                        self.regs[rd] = alu_golden(op, a, bb);
+                    }
+                    Op::Mul(rd, ra, rb) => {
+                        cycles += 2;
+                        self.regs[rd] = self.regs[ra].wrapping_mul(self.regs[rb]);
+                    }
+                    Op::Divu(rd, ra, rb) => {
+                        cycles += 9;
+                        let b = self.regs[rb];
+                        self.regs[rd] = self.regs[ra].checked_div(b).unwrap_or(u32::MAX);
+                    }
+                    Op::Fp(op, rd, ra, rb) => {
+                        cycles += 2;
+                        let (a, bb) = (self.regs[ra], self.regs[rb]);
+                        if let Some(d) = drivers.as_deref_mut() {
+                            d.drive_fpu(op, a, bb);
+                        }
+                        self.regs[rd] = fpu_golden(op, a, bb).bits;
+                    }
+                    Op::Load(rd, ra, offset) => {
+                        cycles += 2;
+                        let addr = self.regs[ra].wrapping_add(offset);
+                        self.regs[rd] = self.load_word(addr);
+                        if let Some(d) = drivers.as_deref_mut() {
+                            // Address arithmetic flows through the ALU.
+                            d.drive_alu(AluOp::Add, self.regs[ra], offset);
+                        }
+                    }
+                    Op::Store(ra, offset, rb) => {
+                        cycles += 1;
+                        let addr = self.regs[ra].wrapping_add(offset);
+                        let value = self.regs[rb];
+                        self.store_word(addr, value);
+                        if let Some(d) = drivers.as_deref_mut() {
+                            d.drive_alu(AluOp::Add, self.regs[ra], offset);
+                        }
+                    }
+                    Op::Copy(rd, rs) => {
+                        cycles += 1;
+                        self.regs[rd] = self.regs[rs];
+                    }
+                    Op::RunAgingTests { cost, every } => {
+                        let counter =
+                            self.gate_counters.entry((block, op_index)).or_insert(0);
+                        *counter += 1;
+                        cycles += 1; // the gate check itself
+                        if *counter % every.max(1) == 0 {
+                            cycles += cost;
+                            suite_invocations += 1;
+                        }
+                    }
+                }
+            }
+            cycles += 1; // terminator
+            match b.term {
+                Term::Jump(next) => block = next,
+                Term::Branch(cond, then_block, else_block) => {
+                    block = if self.regs[cond] != 0 { then_block } else { else_block };
+                }
+                Term::Return(reg) => {
+                    return RunResult {
+                        value: self.regs[reg],
+                        cycles,
+                        ops,
+                        profile: BlockProfile { counts },
+                        suite_invocations,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sum 1..=n with a loop.
+    fn sum_program(n: u32) -> Program {
+        Program {
+            name: "sum".into(),
+            registers: 8,
+            memory_bytes: 0,
+            blocks: vec![
+                Block {
+                    label: "entry".into(),
+                    ops: vec![
+                        Op::Const(0, 0),        // acc
+                        Op::Const(1, 1),        // i
+                        Op::Const(2, n + 1),    // limit
+                        Op::Const(3, 1),        // one
+                    ],
+                    term: Term::Jump(1),
+                },
+                Block {
+                    label: "loop".into(),
+                    ops: vec![
+                        Op::Alu(AluOp::Add, 0, 0, 1),
+                        Op::Alu(AluOp::Add, 1, 1, 3),
+                        Op::Alu(AluOp::Sltu, 4, 1, 2), // i < limit
+                    ],
+                    term: Term::Branch(4, 1, 2),
+                },
+                Block { label: "exit".into(), ops: vec![], term: Term::Return(0) },
+            ],
+        }
+    }
+
+    #[test]
+    fn interprets_a_loop() {
+        let p = sum_program(10);
+        let mut interp = Interpreter::new(&p);
+        let result = interp.run(&p, None);
+        assert_eq!(result.value, 55);
+        assert_eq!(result.profile.counts[0], 1);
+        assert_eq!(result.profile.counts[1], 10);
+        assert_eq!(result.profile.counts[2], 1);
+        assert!(result.cycles > result.ops);
+    }
+
+    #[test]
+    fn memory_round_trips() {
+        let p = Program {
+            name: "mem".into(),
+            registers: 4,
+            memory_bytes: 64,
+            blocks: vec![Block {
+                label: "entry".into(),
+                ops: vec![
+                    Op::Const(0, 16),
+                    Op::Const(1, 0xDEADBEEF),
+                    Op::Store(0, 4, 1),
+                    Op::Load(2, 0, 4),
+                ],
+                term: Term::Return(2),
+            }],
+        };
+        let mut interp = Interpreter::new(&p);
+        assert_eq!(interp.run(&p, None).value, 0xDEADBEEF);
+    }
+
+    #[test]
+    fn gated_test_invocation_counts() {
+        let p = Program {
+            name: "gated".into(),
+            registers: 4,
+            memory_bytes: 0,
+            blocks: vec![
+                Block {
+                    label: "entry".into(),
+                    ops: vec![Op::Const(0, 0), Op::Const(1, 10), Op::Const(2, 1)],
+                    term: Term::Jump(1),
+                },
+                Block {
+                    label: "loop".into(),
+                    ops: vec![
+                        Op::RunAgingTests { cost: 100, every: 3 },
+                        Op::Alu(AluOp::Add, 0, 0, 2),
+                        Op::Alu(AluOp::Sltu, 3, 0, 1),
+                    ],
+                    term: Term::Branch(3, 1, 2),
+                },
+                Block { label: "exit".into(), ops: vec![], term: Term::Return(0) },
+            ],
+        };
+        let mut interp = Interpreter::new(&p);
+        let result = interp.run(&p, None);
+        assert_eq!(result.value, 10);
+        assert_eq!(result.suite_invocations, 3, "10 arrivals gated every 3rd");
+    }
+
+    #[test]
+    fn fp_ops_compute() {
+        let p = Program {
+            name: "fp".into(),
+            registers: 4,
+            memory_bytes: 0,
+            blocks: vec![Block {
+                label: "entry".into(),
+                ops: vec![
+                    Op::Const(0, 0x3F80_0000), // 1.0
+                    Op::Const(1, 0x4000_0000), // 2.0
+                    Op::Fp(FpuOp::Add, 2, 0, 1),
+                    Op::Fp(FpuOp::Mul, 3, 2, 1),
+                ],
+                term: Term::Return(3),
+            }],
+        };
+        let mut interp = Interpreter::new(&p);
+        assert_eq!(interp.run(&p, None).value, 0x40C0_0000, "(1+2)*2 = 6.0");
+    }
+}

@@ -1,0 +1,207 @@
+//! Profile-guided test integration (paper §3.4.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::mini_ir::{BlockId, BlockProfile, Interpreter, Op, Program};
+
+/// Configuration of the profile-guided integrator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PgiConfig {
+    /// Minimum executions over the whole profiling period for a block to
+    /// count as "routinely accessed".
+    pub min_invocations: u64,
+    /// Maximum acceptable estimated overhead, as a fraction (0.01 = 1 %).
+    pub overhead_threshold: f64,
+    /// Number of application executions in the profiling period. Blocks
+    /// that run once per execution (e.g. the entry) are *routinely
+    /// accessed* even though they are never hot — exactly the locations
+    /// the paper's integrator prefers.
+    pub profile_runs: u32,
+}
+
+impl Default for PgiConfig {
+    fn default() -> Self {
+        PgiConfig { min_invocations: 4, overhead_threshold: 0.01, profile_runs: 8 }
+    }
+}
+
+/// Profile the program with its representative input over `runs`
+/// back-to-back executions (the mini-IR programs are self-contained, so
+/// plain runs *are* the profiling runs). Returns accumulated block
+/// counts and total cycles.
+pub fn profile(program: &Program, runs: u32) -> (BlockProfile, u64) {
+    let mut interp = Interpreter::new(program);
+    let mut counts = vec![0u64; program.blocks.len()];
+    let mut cycles = 0u64;
+    for _ in 0..runs.max(1) {
+        let result = interp.run(program, None);
+        for (total, c) in counts.iter_mut().zip(&result.profile.counts) {
+            *total += c;
+        }
+        cycles += result.cycles;
+    }
+    (BlockProfile { counts }, cycles)
+}
+
+/// Choose the integration point: among blocks executed at least
+/// `min_invocations` times (routinely accessed), pick the least
+/// frequently invoked one — "not frequently invoked, but still routinely
+/// accessed" (§3.4.2). Ties break toward the earliest block.
+pub fn choose_integration_point(profile: &BlockProfile, config: &PgiConfig) -> Option<BlockId> {
+    profile
+        .counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &count)| count >= config.min_invocations)
+        .min_by_key(|&(block, &count)| (count, block))
+        .map(|(block, _)| block)
+}
+
+/// The outcome of integrating a test suite into a program.
+#[derive(Debug, Clone)]
+pub struct IntegratedProgram {
+    /// The instrumented program.
+    pub program: Program,
+    /// Where the tests were embedded.
+    pub integration_point: BlockId,
+    /// The probability gate chosen (invoke every N-th arrival).
+    pub every: u32,
+    /// Estimated overhead fraction after gating.
+    pub estimated_overhead: f64,
+}
+
+/// Embed a test suite costing `suite_cycles` per execution into
+/// `program`, choosing the integration point from a profiling run and
+/// gating the invocation so the estimated overhead stays below the
+/// configured threshold.
+///
+/// Returns `None` if no block qualifies as routinely accessed.
+pub fn integrate(
+    program: &Program,
+    suite_cycles: u64,
+    config: &PgiConfig,
+) -> Option<IntegratedProgram> {
+    let (profile, base_cycles) = profile(program, config.profile_runs);
+    let point = choose_integration_point(&profile, config)?;
+    let invocations = profile.counts[point];
+
+    // Estimated overhead if the suite ran at every arrival. The gate
+    // check itself costs one cycle per arrival and cannot be gated away.
+    let gate_cost = invocations as f64 / base_cycles.max(1) as f64;
+    let ungated = (suite_cycles * invocations) as f64 / base_cycles.max(1) as f64;
+    let budget = (config.overhead_threshold - gate_cost).max(0.0);
+    let every = if ungated <= budget {
+        1
+    } else if budget > 0.0 {
+        (ungated / budget).ceil() as u32
+    } else {
+        u32::MAX // gate cost alone exceeds the threshold; run minimally
+    };
+    let estimated_overhead = gate_cost + ungated / f64::from(every.max(1));
+
+    let mut instrumented = program.clone();
+    instrumented.blocks[point]
+        .ops
+        .insert(0, Op::RunAgingTests { cost: suite_cycles, every });
+    Some(IntegratedProgram {
+        program: instrumented,
+        integration_point: point,
+        every,
+        estimated_overhead,
+    })
+}
+
+/// Measure the actual overhead of an integrated program against its
+/// baseline over `repeats` back-to-back executions (a long-running
+/// application): `(cycles_with - cycles_without) / cycles_without`,
+/// plus the number of suite invocations observed.
+///
+/// The probability gate's counter persists across executions, exactly
+/// like a static counter in an instrumented binary, so a gate of
+/// `every = N` fires once per `N` arrivals even when one execution sees
+/// fewer than `N`.
+pub fn measured_overhead(base: &Program, integrated: &Program, repeats: u32) -> (f64, u64) {
+    let mut a = Interpreter::new(base);
+    let mut base_cycles = 0u64;
+    for _ in 0..repeats.max(1) {
+        base_cycles += a.run(base, None).cycles;
+    }
+    let mut b = Interpreter::new(integrated);
+    let mut with_cycles = 0u64;
+    let mut invocations = 0u64;
+    for _ in 0..repeats.max(1) {
+        let result = b.run(integrated, None);
+        with_cycles += result.cycles;
+        invocations += result.suite_invocations;
+    }
+    (
+        (with_cycles as f64 - base_cycles as f64) / base_cycles as f64,
+        invocations,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn integration_respects_overhead_threshold() {
+        let config = PgiConfig::default();
+        for program in workloads::all() {
+            let suite_cycles = 700; // a Table-5-sized suite
+            let Some(integrated) = integrate(&program, suite_cycles, &config) else {
+                panic!("{}: no integration point", program.name);
+            };
+            assert!(
+                integrated.estimated_overhead <= config.overhead_threshold * 1.001,
+                "{}: estimated {:.4}",
+                program.name,
+                integrated.estimated_overhead
+            );
+            // Run long enough that the gate fires at least a few times.
+            let (profile_counts, _) = profile(&program, config.profile_runs);
+            let per_run =
+                (profile_counts.counts[integrated.integration_point]
+                    / u64::from(config.profile_runs)).max(1);
+            let repeats = (u64::from(integrated.every) * 3 / per_run + 1) as u32;
+            let (overhead, invocations) =
+                measured_overhead(&program, &integrated.program, repeats);
+            assert!(
+                overhead <= config.overhead_threshold * 2.0 + 0.002,
+                "{}: measured {:.4} (every={})",
+                program.name,
+                overhead,
+                integrated.every
+            );
+            assert!(
+                invocations >= 1,
+                "{}: tests never ran (every={}, repeats={repeats})",
+                program.name,
+                integrated.every
+            );
+        }
+    }
+
+    #[test]
+    fn chooses_quiet_but_routine_block() {
+        let program = workloads::matmult();
+        let (profile, _) = profile(&program, 8);
+        let config = PgiConfig::default();
+        let point = choose_integration_point(&profile, &config).unwrap();
+        let count = profile.counts[point];
+        assert!(count >= config.min_invocations);
+        // It must not be the hottest block.
+        let max = profile.counts.iter().max().unwrap();
+        assert!(count < *max, "picked the hottest block");
+    }
+
+    #[test]
+    fn gating_divides_frequency() {
+        let program = workloads::huff();
+        let config =
+            PgiConfig { min_invocations: 4, overhead_threshold: 0.0005, profile_runs: 8 };
+        let integrated = integrate(&program, 5_000, &config).unwrap();
+        assert!(integrated.every > 1, "tight threshold forces gating");
+    }
+}

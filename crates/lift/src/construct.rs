@@ -1,0 +1,374 @@
+//! Instruction construction: module-level traces → software test cases
+//! (paper §3.3.5).
+
+use std::collections::BTreeMap;
+
+use vega_circuits::golden::{alu_golden, fpu_golden, AluOp, FpuOp};
+use vega_formal::Trace;
+use vega_riscv::{Instr, Reg};
+use vega_sim::Simulator;
+
+use crate::instrument::ShadowInstrumented;
+use crate::module::ModuleKind;
+use crate::testcase::{Check, TestCase};
+
+/// Why a formal waveform could not be turned into a test case — the
+/// paper's "FC" outcome (§5.2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConversionError {
+    /// Replaying the trace produces no difference that software could
+    /// observe: the only corrupted outputs are status flags whose bits an
+    /// earlier instruction of the same trace already raised, or signals
+    /// (like routing tags) that the ISA cannot read.
+    Unobservable,
+    /// The trace used an operation encoding outside the lookup table.
+    UnknownOp {
+        /// The offending encoding.
+        encoding: u64,
+    },
+}
+
+impl std::fmt::Display for ConversionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConversionError::Unobservable => {
+                write!(f, "no software-observable effect (sticky flags already set)")
+            }
+            ConversionError::UnknownOp { encoding } => {
+                write!(f, "trace uses unknown operation encoding {encoding}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConversionError {}
+
+/// Construct a runnable [`TestCase`] from a covering trace.
+///
+/// The conversion (1) schedules one module operation per trace cycle,
+/// back-to-back, with operand values preloaded into registers before the
+/// trace window (the paper's "mapping constant values to specific
+/// registers"); (2) derives each operation's expected result from the
+/// golden model; and (3) *replays* the trace on the shadow-instrumented
+/// netlist to confirm the corruption is software-observable — rejecting
+/// waveforms whose only symptom is a sticky status flag that the trace
+/// itself already raised (the paper's "FC").
+pub fn construct_test_case(
+    module: ModuleKind,
+    instrumented: &ShadowInstrumented,
+    trace: &Trace,
+    name: String,
+    target: String,
+) -> Result<TestCase, ConversionError> {
+    match module {
+        ModuleKind::Alu => construct_alu(instrumented, trace, name, target),
+        ModuleKind::Fpu => construct_fpu(instrumented, trace, name, target),
+        ModuleKind::PaperAdder => construct_adder(instrumented, trace, name, target),
+    }
+}
+
+/// Materialize a 32-bit constant into `rd` (lui+addi, or addi alone).
+fn li(rd: Reg, value: u32, out: &mut Vec<Instr>) {
+    let low = (value & 0xFFF) as i32;
+    let low_sext = (low << 20) >> 20;
+    let high = value.wrapping_sub(low_sext as u32) >> 12;
+    if high == 0 {
+        out.push(Instr::AluImm { op: AluOp::Add, rd, rs1: Reg::ZERO, imm: low_sext });
+    } else {
+        out.push(Instr::Lui { rd, imm20: high });
+        if low_sext != 0 {
+            out.push(Instr::AluImm { op: AluOp::Add, rd, rs1: rd, imm: low_sext });
+        }
+    }
+}
+
+fn estimated_cycles(instructions: &[Instr], module: ModuleKind) -> u64 {
+    instructions
+        .iter()
+        .map(|i| match i {
+            Instr::Fpu { .. } => module.latency() as u64,
+            Instr::Branch { .. } => 1,
+            _ => 1,
+        })
+        .sum()
+}
+
+fn construct_alu(
+    instrumented: &ShadowInstrumented,
+    trace: &Trace,
+    name: String,
+    target: String,
+) -> Result<TestCase, ConversionError> {
+    let latency = ModuleKind::Alu.latency();
+
+    // Decode the trace window into operations.
+    let mut ops: Vec<(AluOp, u32, u32)> = Vec::new();
+    for cycle in &trace.inputs {
+        let encoding = cycle["op"];
+        let op = AluOp::from_encoding(encoding)
+            .ok_or(ConversionError::UnknownOp { encoding })?;
+        ops.push((op, cycle["a"] as u32, cycle["b"] as u32));
+    }
+
+    // Trace-window stimulus + result checks (cycle indices are relative
+    // to the window; the preload offset is added below).
+    let window: Vec<BTreeMap<String, u64>> = trace.inputs.clone();
+    let window_checks: Vec<(usize, String, u64)> = ops
+        .iter()
+        .enumerate()
+        .map(|(t, &(op, a, b))| {
+            (t + latency, "r".to_string(), u64::from(alu_golden(op, a, b)))
+        })
+        .collect();
+
+    // Observability replay on the instrumented netlist.
+    if !replay_observable(instrumented, &window, &window_checks, &[]) {
+        return Err(ConversionError::Unobservable);
+    }
+
+    // Operand preload window: one register materialization per distinct
+    // constant. Each preload op flows through the ALU as an addi-style
+    // transaction (op = Add, a = 0).
+    let mut const_reg: BTreeMap<u32, Reg> = BTreeMap::new();
+    let mut preload: Vec<BTreeMap<String, u64>> = Vec::new();
+    let mut instructions: Vec<Instr> = Vec::new();
+    for &(_, a, b) in &ops {
+        for value in [a, b] {
+            if !const_reg.contains_key(&value) {
+                let reg = Reg(8 + const_reg.len() as u8);
+                const_reg.insert(value, reg);
+                li(reg, value, &mut instructions);
+                let mut tx = BTreeMap::new();
+                tx.insert("op".to_string(), AluOp::Add.encoding());
+                tx.insert("a".to_string(), 0);
+                tx.insert("b".to_string(), u64::from(value));
+                preload.push(tx);
+            }
+        }
+    }
+    let offset = preload.len();
+
+    // The back-to-back operation window.
+    for (i, &(op, a, b)) in ops.iter().enumerate() {
+        instructions.push(Instr::Alu {
+            op,
+            rd: Reg(22 + i as u8 % 6),
+            rs1: const_reg[&a],
+            rs2: const_reg[&b],
+        });
+    }
+    // Compares.
+    for (i, &(op, a, b)) in ops.iter().enumerate() {
+        li(Reg(29), alu_golden(op, a, b), &mut instructions);
+        instructions.push(Instr::Branch {
+            cond: vega_riscv::BranchCond::Ne,
+            rs1: Reg(22 + i as u8 % 6),
+            rs2: Reg(29),
+            offset: 8, // to the failure handler
+        });
+    }
+
+    let mut stimulus = preload;
+    stimulus.extend(window);
+    let checks = window_checks
+        .into_iter()
+        .map(|(cycle, port, expected)| Check::PortAt { cycle: cycle + offset, port, expected })
+        .collect();
+
+    let cpu_cycles = estimated_cycles(&instructions, ModuleKind::Alu);
+    Ok(TestCase { name, target, stimulus, checks, instructions, cpu_cycles })
+}
+
+fn construct_fpu(
+    instrumented: &ShadowInstrumented,
+    trace: &Trace,
+    name: String,
+    target: String,
+) -> Result<TestCase, ConversionError> {
+    let latency = ModuleKind::Fpu.latency();
+
+    // Valid cycles carry FP operations; invalid ones are pipeline
+    // bubbles (non-FP instructions in the real program).
+    struct FpOp {
+        cycle: usize,
+        op: FpuOp,
+        a: u32,
+        b: u32,
+    }
+    let mut ops: Vec<FpOp> = Vec::new();
+    for (t, cycle) in trace.inputs.iter().enumerate() {
+        if cycle["valid"] == 1 {
+            let encoding = cycle["op"];
+            let op = FpuOp::from_encoding(encoding)
+                .ok_or(ConversionError::UnknownOp { encoding })?;
+            ops.push(FpOp { cycle: t, op, a: cycle["a"] as u32, b: cycle["b"] as u32 });
+        }
+    }
+
+    let window: Vec<BTreeMap<String, u64>> = trace.inputs.clone();
+    let mut result_checks: Vec<(usize, String, u64)> = Vec::new();
+    let mut flag_cycles: Vec<usize> = Vec::new();
+    let mut flags_accum = 0u64;
+    for op in &ops {
+        let golden = fpu_golden(op.op, op.a, op.b);
+        result_checks.push((op.cycle + latency, "r".into(), u64::from(golden.bits)));
+        result_checks.push((op.cycle + latency, "out_valid".into(), 1));
+        flag_cycles.push(op.cycle + latency);
+        flags_accum |= u64::from(golden.flags.to_bits());
+    }
+    let sticky = (flag_cycles.clone(), "flags".to_string(), flags_accum);
+
+    if !replay_observable(instrumented, &window, &result_checks, std::slice::from_ref(&sticky)) {
+        return Err(ConversionError::Unobservable);
+    }
+
+    // Instructions: preload operand bit patterns into integer registers,
+    // move them into float registers, run the ops back-to-back (bubbles
+    // become nops), then compare results and the accumulated flags.
+    let mut instructions: Vec<Instr> = Vec::new();
+    let mut const_freg: BTreeMap<u32, u8> = BTreeMap::new();
+    for op in &ops {
+        for value in [op.a, op.b] {
+            if !const_freg.contains_key(&value) {
+                let freg = 1 + const_freg.len() as u8;
+                const_freg.insert(value, freg);
+                li(Reg(29), value, &mut instructions);
+                instructions.push(Instr::FmvWX { rd: freg, rs: Reg(29) });
+            }
+        }
+    }
+    let mut last_cycle = None::<usize>;
+    for (i, op) in ops.iter().enumerate() {
+        // Bubbles between valid cycles become integer nops.
+        if let Some(prev) = last_cycle {
+            for _ in prev + 1..op.cycle {
+                instructions.push(Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg::ZERO,
+                    rs1: Reg::ZERO,
+                    imm: 0,
+                });
+            }
+        }
+        last_cycle = Some(op.cycle);
+        instructions.push(Instr::Fpu {
+            op: op.op,
+            rd: 20 + (i as u8 % 6),
+            rs1: const_freg[&op.a],
+            rs2: const_freg[&op.b],
+        });
+    }
+    for (i, op) in ops.iter().enumerate() {
+        let golden = fpu_golden(op.op, op.a, op.b);
+        instructions.push(Instr::FmvXW { rd: Reg(28), rs: 20 + (i as u8 % 6) });
+        li(Reg(29), golden.bits, &mut instructions);
+        instructions.push(Instr::Branch {
+            cond: vega_riscv::BranchCond::Ne,
+            rs1: Reg(28),
+            rs2: Reg(29),
+            offset: 8,
+        });
+    }
+    instructions.push(Instr::ReadClearFflags { rd: Reg(28) });
+    li(Reg(29), flags_accum as u32, &mut instructions);
+    instructions.push(Instr::Branch {
+        cond: vega_riscv::BranchCond::Ne,
+        rs1: Reg(28),
+        rs2: Reg(29),
+        offset: 8,
+    });
+
+    // FPU operands arrive via the float register file, so there is no
+    // module-visible preload window: the stimulus is the trace itself.
+    let mut checks: Vec<Check> = result_checks
+        .into_iter()
+        .map(|(cycle, port, expected)| Check::PortAt { cycle, port, expected })
+        .collect();
+    checks.push(Check::StickyOr { cycles: sticky.0, port: sticky.1, expected: sticky.2 });
+
+    let cpu_cycles = estimated_cycles(&instructions, ModuleKind::Fpu);
+    Ok(TestCase { name, target, stimulus: window, checks, instructions, cpu_cycles })
+}
+
+fn construct_adder(
+    instrumented: &ShadowInstrumented,
+    trace: &Trace,
+    name: String,
+    target: String,
+) -> Result<TestCase, ConversionError> {
+    let latency = ModuleKind::PaperAdder.latency();
+    let window: Vec<BTreeMap<String, u64>> = trace.inputs.clone();
+    let checks: Vec<(usize, String, u64)> = window
+        .iter()
+        .enumerate()
+        .map(|(t, cycle)| (t + latency, "o".to_string(), (cycle["a"] + cycle["b"]) % 4))
+        .collect();
+    if !replay_observable(instrumented, &window, &checks, &[]) {
+        return Err(ConversionError::Unobservable);
+    }
+    let checks = checks
+        .into_iter()
+        .map(|(cycle, port, expected)| Check::PortAt { cycle, port, expected })
+        .collect();
+    let cpu_cycles = (window.len() + latency) as u64;
+    Ok(TestCase { name, target, stimulus: window, checks, instructions: Vec::new(), cpu_cycles })
+}
+
+/// Replay the trace window on the shadow-instrumented netlist and decide
+/// whether any *software-observable* check would catch the divergence:
+/// a result-port or handshake mismatch at a result cycle, or a change in
+/// the accumulated sticky flags.
+fn replay_observable(
+    instrumented: &ShadowInstrumented,
+    window: &[BTreeMap<String, u64>],
+    port_checks: &[(usize, String, u64)],
+    sticky_checks: &[(Vec<usize>, String, u64)],
+) -> bool {
+    let netlist = &instrumented.netlist;
+    let mut sim = Simulator::new(netlist);
+    let horizon = window.len() + 4;
+    let mut sticky_orig = vec![0u64; sticky_checks.len()];
+    let mut sticky_shadow = vec![0u64; sticky_checks.len()];
+    let mut observable = false;
+
+    let has_valid = netlist.port("valid").is_some();
+    for cycle in 0..horizon {
+        if let Some(inputs) = window.get(cycle) {
+            for (port, value) in inputs {
+                sim.set_input(port, *value);
+            }
+        } else if has_valid {
+            sim.set_input("valid", 0);
+        }
+        sim.settle_inputs();
+
+        for (check_cycle, port, _) in port_checks {
+            if *check_cycle != cycle {
+                continue;
+            }
+            let shadow_port = format!("{port}_s");
+            if netlist.port(&shadow_port).is_some()
+                && sim.output(port) != sim.output(&shadow_port)
+            {
+                observable = true;
+            }
+        }
+        for (index, (cycles, port, _)) in sticky_checks.iter().enumerate() {
+            if cycles.contains(&cycle) {
+                sticky_orig[index] |= sim.output(port);
+                let shadow_port = format!("{port}_s");
+                if netlist.port(&shadow_port).is_some() {
+                    sticky_shadow[index] |= sim.output(&shadow_port);
+                } else {
+                    sticky_shadow[index] |= sim.output(port);
+                }
+            }
+        }
+        sim.step();
+    }
+    if sticky_orig != sticky_shadow {
+        observable = true;
+    }
+    observable
+}

@@ -1,0 +1,214 @@
+//! Fuzzing-based test case generation — the paper's §6.3 future-work
+//! direction, implemented: instead of (or before) the formal cover
+//! search, generate random candidate stimuli and keep the first one that
+//! makes the shadow replica diverge in *simulation*. No proofs, no
+//! completeness — but candidates are screened in microseconds, so this
+//! explores easy faults far faster than bounded model checking, exactly
+//! the trade the paper anticipates ("fast exploration of useful test
+//! cases via random and fuzzing-based methods" + "efficient filtering").
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vega_formal::Trace;
+use vega_sim::Simulator;
+
+use crate::construct::{construct_test_case, ConversionError};
+use crate::instrument::ShadowInstrumented;
+use crate::module::ModuleKind;
+use crate::testcase::TestCase;
+
+/// Fuzzing limits.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Random candidate stimuli to try before giving up.
+    pub candidates: usize,
+    /// Length of each candidate, in cycles.
+    pub max_cycles: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig { candidates: 400, max_cycles: 8, seed: 0xF422 }
+    }
+}
+
+/// Statistics from one fuzzing campaign.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FuzzStats {
+    /// Candidates simulated.
+    pub candidates_tried: usize,
+    /// Total simulated cycles.
+    pub cycles_simulated: u64,
+}
+
+/// One cycle of random module inputs respecting the module's protocol.
+fn random_cycle(module: ModuleKind, rng: &mut StdRng) -> BTreeMap<String, u64> {
+    let mut cycle = BTreeMap::new();
+    match module {
+        ModuleKind::Alu => {
+            let ops = vega_circuits::alu::alu_valid_ops();
+            cycle.insert("op".into(), ops[rng.gen_range(0..ops.len())]);
+            cycle.insert("a".into(), u64::from(rng.gen::<u32>()));
+            cycle.insert("b".into(), u64::from(rng.gen::<u32>()));
+        }
+        ModuleKind::Fpu => {
+            let ops = vega_circuits::fpu::fpu_valid_ops();
+            cycle.insert("op".into(), ops[rng.gen_range(0..ops.len())]);
+            cycle.insert("valid".into(), u64::from(rng.gen_bool(0.85)));
+            cycle.insert("tag".into(), 0);
+            cycle.insert("a".into(), u64::from(rng.gen::<u32>()));
+            cycle.insert("b".into(), u64::from(rng.gen::<u32>()));
+        }
+        ModuleKind::PaperAdder => {
+            cycle.insert("a".into(), rng.gen_range(0..4));
+            cycle.insert("b".into(), rng.gen_range(0..4));
+        }
+    }
+    cycle
+}
+
+/// Search for a divergence-inducing stimulus by random simulation of the
+/// shadow-instrumented netlist. On a hit, the witness is truncated to
+/// its firing cycle and converted through the ordinary instruction-
+/// construction pipeline, so fuzzed and formal test cases are
+/// interchangeable artifacts.
+///
+/// Returns the test case, the witness trace, and campaign statistics;
+/// `Ok(None)` means the budget ran out without a hit (which, unlike the
+/// formal path, proves nothing).
+pub fn fuzz_test_case(
+    module: ModuleKind,
+    instrumented: &ShadowInstrumented,
+    config: &FuzzConfig,
+    name: String,
+    target: String,
+) -> Result<Option<(TestCase, Trace, FuzzStats)>, ConversionError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut stats = FuzzStats::default();
+    let netlist = &instrumented.netlist;
+    if instrumented.observable_pairs.is_empty() {
+        // The fault's fan-out reaches no output; no stimulus can expose
+        // it (the formal path would *prove* this — fuzzing just skips).
+        return Ok(None);
+    }
+
+    for _ in 0..config.candidates {
+        stats.candidates_tried += 1;
+        let mut sim = Simulator::with_seed(netlist, rng.gen());
+        let mut inputs = Vec::with_capacity(config.max_cycles);
+        let mut fire_cycle = None;
+        for t in 0..config.max_cycles {
+            let cycle = random_cycle(module, &mut rng);
+            for (port, value) in &cycle {
+                sim.set_input(port, *value);
+            }
+            inputs.push(cycle);
+            sim.settle_inputs();
+            stats.cycles_simulated += 1;
+            let diverged = instrumented
+                .observable_pairs
+                .iter()
+                .any(|&(orig, shadow)| sim.net_value(orig) != sim.net_value(shadow));
+            if diverged {
+                fire_cycle = Some(t);
+                break;
+            }
+            sim.step();
+        }
+        let Some(fire_cycle) = fire_cycle else { continue };
+        let trace = Trace { inputs, fire_cycle };
+        match construct_test_case(module, instrumented, &trace, name.clone(), target.clone())
+        {
+            Ok(test) => return Ok(Some((test, trace, stats))),
+            Err(ConversionError::Unobservable) => continue, // keep fuzzing
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::{
+        build_failing_netlist, instrument_with_shadow, AgingPath, FaultActivation, FaultValue,
+    };
+    use crate::testcase::{run_test_case, TestOutcome};
+    use vega_circuits::adder_example::build_paper_adder;
+    use vega_sta::ViolationKind;
+
+    #[test]
+    fn fuzzing_finds_and_validates_a_test() {
+        let n = build_paper_adder();
+        let path = AgingPath {
+            launch: n.cell_by_name("dff4").unwrap().id,
+            capture: n.cell_by_name("dff10").unwrap().id,
+            violation: ViolationKind::Setup,
+        };
+        let instrumented =
+            instrument_with_shadow(&n, path, FaultValue::One, FaultActivation::OnChange);
+        let result = fuzz_test_case(
+            ModuleKind::PaperAdder,
+            &instrumented,
+            &FuzzConfig::default(),
+            "fuzzed".into(),
+            path.label(&n),
+        )
+        .expect("no conversion error");
+        let (test, trace, stats) = result.expect("the adder fault is easy to fuzz");
+        assert!(stats.candidates_tried >= 1);
+        assert_eq!(trace.inputs.len(), trace.fire_cycle + 1);
+
+        // Like formal tests: passes on healthy hardware, detects the
+        // failing netlist.
+        let mut healthy = Simulator::new(&n);
+        assert_eq!(
+            run_test_case(&mut healthy, ModuleKind::PaperAdder, &test),
+            TestOutcome::Pass
+        );
+        let failing =
+            build_failing_netlist(&n, path, FaultValue::One, FaultActivation::OnChange);
+        let mut faulty = Simulator::new(&failing);
+        assert_ne!(
+            run_test_case(&mut faulty, ModuleKind::PaperAdder, &test),
+            TestOutcome::Pass
+        );
+    }
+
+    #[test]
+    fn fuzzing_gives_up_within_budget_on_unobservable_faults() {
+        // A fault whose fan-out reaches no output can never diverge.
+        use vega_netlist::NetlistBuilder;
+        let mut b = NetlistBuilder::new("dead");
+        let clk = b.clock("clk");
+        let d = b.input("d", 1)[0];
+        let q1 = b.dff("q1", d, clk);
+        let _q2 = b.dff("q2", q1, clk); // dead end
+        let q3 = b.dff("q3", d, clk);
+        b.output("y", &[q3]);
+        let n = b.finish().unwrap();
+        let path = AgingPath {
+            launch: n.cell_by_name("q1").unwrap().id,
+            capture: n.cell_by_name("q2").unwrap().id,
+            violation: ViolationKind::Setup,
+        };
+        let instrumented =
+            instrument_with_shadow(&n, path, FaultValue::One, FaultActivation::OnChange);
+        assert!(instrumented.observable_pairs.is_empty());
+        let config = FuzzConfig { candidates: 10, max_cycles: 4, seed: 3 };
+        let result = fuzz_test_case(
+            ModuleKind::PaperAdder,
+            &instrumented,
+            &config,
+            "dead".into(),
+            "q1->q2".into(),
+        )
+        .unwrap();
+        assert!(result.is_none(), "nothing to observe, nothing to find");
+    }
+}

@@ -1,0 +1,374 @@
+//! The Error Lifting driver: paths in, test suite + Table 4 taxonomy out.
+
+use vega_formal::{check_cover, CoverOutcome, Property};
+use vega_netlist::Netlist;
+
+use crate::construct::construct_test_case;
+use crate::instrument::{instrument_with_shadow, AgingPath, FaultActivation, FaultValue};
+use crate::module::ModuleKind;
+use crate::testcase::TestCase;
+
+/// Configuration of one Error Lifting run.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct LiftConfig {
+    /// Enable the §3.3.4 mitigation: generate edge-gated variants (up to
+    /// 4 test cases per pair) instead of plain change-gated ones (up to
+    /// 2 per pair).
+    pub mitigation: bool,
+    /// Override the module's default BMC limits (None = per-module
+    /// defaults, whose budgets reproduce the paper's timeout rates).
+    pub bmc: Option<vega_formal::BmcConfig>,
+}
+
+
+/// How one `(pair, C, activation)` attempt ended — the unit behind the
+/// paper's Table 4 percentages.
+#[derive(Debug, Clone)]
+pub enum ConstructionOutcome {
+    /// A test case was constructed ("S").
+    Success(Box<TestCase>),
+    /// Formally proved that the fault can never corrupt an observable
+    /// output ("UR").
+    ProvenSafe {
+        /// k-induction depth of the proof (0 = structurally unobservable:
+        /// the fault's fan-out reaches no output port).
+        induction_depth: usize,
+    },
+    /// The formal budget ran out ("FF").
+    FormalFailure,
+    /// A waveform was found but could not be converted into a test case
+    /// ("FC").
+    ConversionFailure,
+    /// The search was exhaustive to its depth without a witness, but no
+    /// inductive proof closed — counted with "FF" (the tool gave up).
+    BoundedInconclusive,
+}
+
+/// All attempts for one unique endpoint pair.
+#[derive(Debug, Clone)]
+pub struct PairResult {
+    /// The aging-prone path.
+    pub path: AgingPath,
+    /// Human-readable label.
+    pub label: String,
+    /// One outcome per attempted `(C, activation)` combination.
+    pub attempts: Vec<(FaultValue, FaultActivation, ConstructionOutcome)>,
+}
+
+/// The paper's per-pair classification (Table 4 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairClass {
+    /// At least one test case was constructed.
+    Success,
+    /// Every attempt was formally proven harmless.
+    Unreachable,
+    /// The formal tool gave up on at least one attempt (timeout), with no
+    /// success elsewhere.
+    FormalFailure,
+    /// A waveform existed but no attempt could convert it.
+    ConversionFailure,
+}
+
+impl PairResult {
+    /// Classify this pair per the paper's priority: any success counts as
+    /// "S"; otherwise all-proven is "UR"; otherwise a conversion failure
+    /// anywhere is "FC"; otherwise "FF".
+    pub fn class(&self) -> PairClass {
+        let mut any_success = false;
+        let mut all_safe = true;
+        let mut any_conversion_failure = false;
+        for (_, _, outcome) in &self.attempts {
+            match outcome {
+                ConstructionOutcome::Success(_) => any_success = true,
+                ConstructionOutcome::ProvenSafe { .. } => {}
+                ConstructionOutcome::ConversionFailure => {
+                    all_safe = false;
+                    any_conversion_failure = true;
+                }
+                ConstructionOutcome::FormalFailure
+                | ConstructionOutcome::BoundedInconclusive => all_safe = false,
+            }
+        }
+        if any_success {
+            PairClass::Success
+        } else if all_safe {
+            PairClass::Unreachable
+        } else if any_conversion_failure {
+            PairClass::ConversionFailure
+        } else {
+            PairClass::FormalFailure
+        }
+    }
+
+    /// The constructed test cases of this pair.
+    pub fn test_cases(&self) -> Vec<&TestCase> {
+        self.attempts
+            .iter()
+            .filter_map(|(_, _, outcome)| match outcome {
+                ConstructionOutcome::Success(tc) => Some(tc.as_ref()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The result of lifting every unique pair of one module.
+#[derive(Debug, Clone)]
+pub struct LiftReport {
+    /// The analyzed module.
+    pub module: ModuleKind,
+    /// Whether the mitigation was enabled.
+    pub mitigation: bool,
+    /// Per-pair results, in input order.
+    pub pairs: Vec<PairResult>,
+}
+
+impl LiftReport {
+    /// Percentages `(S, UR, FF, FC)` over pairs — one Table 4 row.
+    pub fn table4_row(&self) -> (f64, f64, f64, f64) {
+        let total = self.pairs.len().max(1) as f64;
+        let count = |class: PairClass| {
+            self.pairs.iter().filter(|p| p.class() == class).count() as f64 / total * 100.0
+        };
+        (
+            count(PairClass::Success),
+            count(PairClass::Unreachable),
+            count(PairClass::FormalFailure),
+            count(PairClass::ConversionFailure),
+        )
+    }
+
+    /// The full test suite, in pair order.
+    pub fn suite(&self) -> Vec<TestCase> {
+        self.pairs
+            .iter()
+            .flat_map(|p| p.test_cases().into_iter().cloned())
+            .collect()
+    }
+
+    /// Total estimated CPU cycles for one execution of the whole suite
+    /// (one Table 5 cell).
+    pub fn suite_cpu_cycles(&self) -> u64 {
+        self.suite().iter().map(|t| t.cpu_cycles).sum()
+    }
+}
+
+/// Run Error Lifting for `paths` (already filtered to unique endpoint
+/// pairs) on `netlist`.
+pub fn generate_suite(
+    netlist: &Netlist,
+    module: ModuleKind,
+    paths: &[AgingPath],
+    config: &LiftConfig,
+) -> LiftReport {
+    let bmc = config.bmc.unwrap_or_else(|| module.bmc_config());
+    let assumptions = module.assumptions(netlist);
+    let activations: &[FaultActivation] = if config.mitigation {
+        &FaultActivation::MITIGATED
+    } else {
+        &[FaultActivation::OnChange]
+    };
+
+    let mut pairs = Vec::with_capacity(paths.len());
+    for &path in paths {
+        let label = path.label(netlist);
+        let mut attempts = Vec::new();
+        for &value in &FaultValue::FORMAL {
+            for &activation in activations {
+                let instrumented = instrument_with_shadow(netlist, path, value, activation);
+                if instrumented.observable_pairs.is_empty() {
+                    // The fault's fan-out reaches no output: trivially
+                    // harmless.
+                    attempts.push((
+                        value,
+                        activation,
+                        ConstructionOutcome::ProvenSafe { induction_depth: 0 },
+                    ));
+                    continue;
+                }
+                let property = Property::any_differ(instrumented.observable_pairs.clone());
+                let outcome =
+                    check_cover(&instrumented.netlist, &property, &assumptions, &bmc);
+                let outcome = match outcome {
+                    CoverOutcome::Trace(trace) => {
+                        let name = format!(
+                            "{}_{}_{:?}_{:?}",
+                            netlist.name(),
+                            label.replace(['-', '>', ' ', '(', ')'], "_"),
+                            value,
+                            activation
+                        )
+                        .to_lowercase();
+                        match construct_test_case(
+                            module,
+                            &instrumented,
+                            &trace,
+                            name,
+                            label.clone(),
+                        ) {
+                            Ok(tc) => ConstructionOutcome::Success(Box::new(tc)),
+                            Err(_) => ConstructionOutcome::ConversionFailure,
+                        }
+                    }
+                    CoverOutcome::ProvedUnreachable { induction_depth } => {
+                        ConstructionOutcome::ProvenSafe { induction_depth }
+                    }
+                    CoverOutcome::BudgetExhausted => ConstructionOutcome::FormalFailure,
+                    CoverOutcome::BoundedOnly { .. } => {
+                        ConstructionOutcome::BoundedInconclusive
+                    }
+                };
+                attempts.push((value, activation, outcome));
+            }
+        }
+        pairs.push(PairResult { path, label, attempts });
+    }
+    LiftReport { module, mitigation: config.mitigation, pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testcase::{run_suite, run_test_case, TestOutcome};
+    use vega_circuits::adder_example::build_paper_adder;
+    use vega_sim::Simulator;
+    use vega_sta::ViolationKind;
+
+    fn adder_paths(n: &Netlist) -> Vec<AgingPath> {
+        vec![
+            AgingPath {
+                launch: n.cell_by_name("dff4").unwrap().id,
+                capture: n.cell_by_name("dff10").unwrap().id,
+                violation: ViolationKind::Setup,
+            },
+            AgingPath {
+                launch: n.cell_by_name("dff1").unwrap().id,
+                capture: n.cell_by_name("dff9").unwrap().id,
+                violation: ViolationKind::Hold,
+            },
+        ]
+    }
+
+    #[test]
+    fn generates_tests_for_the_paper_adder() {
+        let n = build_paper_adder();
+        let report = generate_suite(
+            &n,
+            ModuleKind::PaperAdder,
+            &adder_paths(&n),
+            &LiftConfig::default(),
+        );
+        assert_eq!(report.pairs.len(), 2);
+        for pair in &report.pairs {
+            assert_eq!(pair.class(), PairClass::Success, "{}", pair.label);
+            assert!(pair.attempts.len() <= 2);
+        }
+        let suite = report.suite();
+        assert!(!suite.is_empty());
+        assert!(report.suite_cpu_cycles() > 0);
+
+        // The suite passes on the healthy netlist...
+        let mut healthy = Simulator::new(&n);
+        for outcome in run_suite(&mut healthy, ModuleKind::PaperAdder, &suite) {
+            assert_eq!(outcome, TestOutcome::Pass);
+        }
+        // ...and detects each corresponding failing netlist.
+        for pair in &report.pairs {
+            for (value, activation, outcome) in &pair.attempts {
+                let ConstructionOutcome::Success(tc) = outcome else { continue };
+                let failing = crate::instrument::build_failing_netlist(
+                    &n, pair.path, *value, *activation,
+                );
+                let mut sim = Simulator::new(&failing);
+                let result = run_test_case(&mut sim, ModuleKind::PaperAdder, tc);
+                assert_ne!(
+                    result,
+                    TestOutcome::Pass,
+                    "{} must detect its own failure model",
+                    tc.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mitigation_doubles_the_attempt_space() {
+        let n = build_paper_adder();
+        let config = LiftConfig { mitigation: true, bmc: None };
+        let report =
+            generate_suite(&n, ModuleKind::PaperAdder, &adder_paths(&n)[..1], &config);
+        assert_eq!(report.pairs[0].attempts.len(), 4, "2 C values x 2 edges");
+    }
+}
+
+/// Like [`generate_suite`], but lifting pairs on `threads` worker threads
+/// (each pair's instrumentation + formal query is independent). Results
+/// are identical to the sequential path and returned in input order.
+pub fn generate_suite_parallel(
+    netlist: &Netlist,
+    module: ModuleKind,
+    paths: &[AgingPath],
+    config: &LiftConfig,
+    threads: usize,
+) -> LiftReport {
+    let threads = threads.max(1);
+    if threads == 1 || paths.len() <= 1 {
+        return generate_suite(netlist, module, paths, config);
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<PairResult>> = Vec::new();
+    slots.resize_with(paths.len(), || None);
+    let slots = std::sync::Mutex::new(slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(paths.len()) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&path) = paths.get(index) else { break };
+                let report = generate_suite(netlist, module, &[path], config);
+                let pair = report.pairs.into_iter().next().expect("one pair in, one out");
+                slots.lock().expect("no poisoned workers")[index] = Some(pair);
+            });
+        }
+    });
+
+    let pairs = slots
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|slot| slot.expect("every index was processed"))
+        .collect();
+    LiftReport { module, mitigation: config.mitigation, pairs }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use vega_circuits::adder_example::build_paper_adder;
+    use vega_sta::ViolationKind;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = build_paper_adder();
+        let paths: Vec<AgingPath> = [("dff4", "dff10"), ("dff2", "dff10"), ("dff1", "dff9")]
+            .iter()
+            .map(|(launch, capture)| AgingPath {
+                launch: n.cell_by_name(launch).unwrap().id,
+                capture: n.cell_by_name(capture).unwrap().id,
+                violation: ViolationKind::Setup,
+            })
+            .collect();
+        let config = LiftConfig::default();
+        let sequential = generate_suite(&n, ModuleKind::PaperAdder, &paths, &config);
+        let parallel = generate_suite_parallel(&n, ModuleKind::PaperAdder, &paths, &config, 3);
+        assert_eq!(sequential.pairs.len(), parallel.pairs.len());
+        for (a, b) in sequential.pairs.iter().zip(&parallel.pairs) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.class(), b.class());
+            let suite_a: Vec<_> = a.test_cases().iter().map(|t| t.stimulus.clone()).collect();
+            let suite_b: Vec<_> = b.test_cases().iter().map(|t| t.stimulus.clone()).collect();
+            assert_eq!(suite_a, suite_b, "traces must be deterministic across threads");
+        }
+    }
+}

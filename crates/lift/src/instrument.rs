@@ -1,0 +1,498 @@
+//! Failure-model instrumentation and shadow replicas.
+
+use std::collections::HashMap;
+
+use vega_netlist::{CellId, CellKind, NetId, Netlist};
+use vega_sta::{Endpoint, TimingPath, ViolationKind};
+
+/// An aging-prone register-to-register path, the unit Error Lifting works
+/// on: the launching flip-flop `X`, the capturing flip-flop `Y`, and
+/// which timing window the path violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AgingPath {
+    /// The launching flip-flop (`X`).
+    pub launch: CellId,
+    /// The capturing flip-flop (`Y`).
+    pub capture: CellId,
+    /// Setup or hold.
+    pub violation: ViolationKind,
+}
+
+impl AgingPath {
+    /// Convert an STA path; `None` when the path launches at a module
+    /// input port (the failure models need a flip-flop launch point).
+    pub fn from_timing_path(path: &TimingPath) -> Option<AgingPath> {
+        match path.launch {
+            Endpoint::Dff(launch) => Some(AgingPath {
+                launch,
+                capture: path.capture,
+                violation: path.violation,
+            }),
+            Endpoint::Port { .. } => None,
+        }
+    }
+
+    /// A short label like `dff4->dff10 (Setup)`.
+    pub fn label(&self, netlist: &Netlist) -> String {
+        format!(
+            "{}->{} ({:?})",
+            netlist.cell(self.launch).name,
+            netlist.cell(self.capture).name,
+            self.violation
+        )
+    }
+}
+
+/// The wrong value `C` sampled on a violated capture (paper §3.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultValue {
+    /// `C = 0`.
+    Zero,
+    /// `C = 1`.
+    One,
+    /// Fresh random bit each cycle (evaluation-only; the formal search
+    /// always uses a constant to bound the search space).
+    Random,
+}
+
+impl FaultValue {
+    /// The two constants the formal search explores.
+    pub const FORMAL: [FaultValue; 2] = [FaultValue::Zero, FaultValue::One];
+}
+
+/// When the fault is active (paper §3.3.4's mitigation for initial-value
+/// dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultActivation {
+    /// Active whenever the launch value changed (Eqs. 2/3 verbatim).
+    OnChange,
+    /// Active only on a rising edge of the launch value.
+    RisingEdge,
+    /// Active only on a falling edge of the launch value.
+    FallingEdge,
+}
+
+impl FaultActivation {
+    /// The activation variants explored with the mitigation enabled.
+    pub const MITIGATED: [FaultActivation; 2] =
+        [FaultActivation::RisingEdge, FaultActivation::FallingEdge];
+}
+
+/// Construct, inside `netlist`, the "fault fires this cycle" condition
+/// and the faulty-D signal for `path`. Returns the net carrying the value
+/// `Y` would capture under the failure model.
+fn build_fault_signal(
+    netlist: &mut Netlist,
+    path: AgingPath,
+    value: FaultValue,
+    activation: FaultActivation,
+) -> NetId {
+    let launch = netlist.cell(path.launch).clone();
+    let capture = netlist.cell(path.capture).clone();
+    let x_q = launch.output;
+
+    // The wrong value C.
+    let c_net = match value {
+        FaultValue::Zero => {
+            let c = netlist.add_cell(CellKind::Const0, netlist.fresh_name("fault_c0"), &[]);
+            netlist.cell(c).output
+        }
+        FaultValue::One => {
+            let c = netlist.add_cell(CellKind::Const1, netlist.fresh_name("fault_c1"), &[]);
+            netlist.cell(c).output
+        }
+        FaultValue::Random => {
+            let c = netlist.add_cell(CellKind::Random, netlist.fresh_name("fault_rnd"), &[]);
+            netlist.cell(c).output
+        }
+    };
+
+    if path.launch == path.capture {
+        // Self-loop: Y's captured value depends on itself in the same
+        // cycle — permanently meta-stable, always C (paper §3.3.1).
+        return c_net;
+    }
+
+    // "Previous" and "next" views of X for the change detector.
+    let (x_now, x_other) = match path.violation {
+        ViolationKind::Setup => {
+            // X(t) vs X(t-1): a history flip-flop on X's clock.
+            let x_clock = launch.inputs[1];
+            let hist = netlist.add_cell(
+                CellKind::Dff,
+                netlist.fresh_name("fault_hist"),
+                &[x_q, x_clock],
+            );
+            (x_q, netlist.cell(hist).output)
+        }
+        ViolationKind::Hold => {
+            // X(t) vs X(t+1): X's next value is its current D input.
+            (x_q, launch.inputs[0])
+        }
+    };
+
+    // Fault condition per activation mode.
+    let fires = match activation {
+        FaultActivation::OnChange => {
+            let changed = netlist.add_cell(
+                CellKind::Xor2,
+                netlist.fresh_name("fault_chg"),
+                &[x_now, x_other],
+            );
+            netlist.cell(changed).output
+        }
+        FaultActivation::RisingEdge | FaultActivation::FallingEdge => {
+            // Setup compares against the past: rising means X(t)=1 and
+            // X(t-1)=0. Hold compares against the future: rising means
+            // X(t)=0 and X(t+1)=1.
+            let (high_side, low_side) = match (path.violation, activation) {
+                (ViolationKind::Setup, FaultActivation::RisingEdge) => (x_now, x_other),
+                (ViolationKind::Setup, FaultActivation::FallingEdge) => (x_other, x_now),
+                (ViolationKind::Hold, FaultActivation::RisingEdge) => (x_other, x_now),
+                (ViolationKind::Hold, FaultActivation::FallingEdge) => (x_now, x_other),
+                _ => unreachable!(),
+            };
+            let low_inv = netlist.add_cell(
+                CellKind::Not,
+                netlist.fresh_name("fault_inv"),
+                &[low_side],
+            );
+            let low_inv_net = netlist.cell(low_inv).output;
+            let edge = netlist.add_cell(
+                CellKind::And2,
+                netlist.fresh_name("fault_edge"),
+                &[high_side, low_inv_net],
+            );
+            netlist.cell(edge).output
+        }
+    };
+
+    // faulty_D = fires ? C : original_D.
+    let orig_d = capture.inputs[0];
+    let mux = netlist.add_cell(
+        CellKind::Mux2,
+        netlist.fresh_name("fault_mux"),
+        &[orig_d, c_net, fires],
+    );
+    netlist.cell(mux).output
+}
+
+/// Build a **failing netlist**: the circuit-level failure model of paper
+/// §3.3.2, with the fault wired directly into the capture flip-flop.
+/// The module's ports are unchanged, so the failing netlist drops into
+/// any environment that accepts the original (e.g. co-simulation in
+/// `vega-riscv`).
+pub fn build_failing_netlist(
+    netlist: &Netlist,
+    path: AgingPath,
+    value: FaultValue,
+    activation: FaultActivation,
+) -> Netlist {
+    let mut out = netlist.clone();
+    out.set_name(format!("{}_failing", netlist.name()));
+    let faulty_d = build_fault_signal(&mut out, path, value, activation);
+    out.rewire_input(path.capture, 0, faulty_d);
+    out.validate().expect("failing netlist must stay valid");
+    out
+}
+
+/// A netlist instrumented with a failure model feeding a shadow replica.
+#[derive(Debug, Clone)]
+pub struct ShadowInstrumented {
+    /// The instrumented netlist (original behaviour untouched; shadow
+    /// cells added alongside).
+    pub netlist: Netlist,
+    /// `(original, shadow)` net pairs for every module output bit whose
+    /// value the fault can influence — the operands of the cover
+    /// property `original != shadow`.
+    pub observable_pairs: Vec<(NetId, NetId)>,
+    /// Names of the output ports covered by `observable_pairs`, aligned
+    /// index-for-index (`port[bit]` labels).
+    pub observable_labels: Vec<String>,
+}
+
+/// Instrument `netlist` with the failure model for `path` and a shadow
+/// replica of everything the fault can influence (paper Fig. 7).
+///
+/// The original circuit is left fully intact; a copy of the capture
+/// flip-flop and its transitive fan-out (crossing flip-flops, so faults
+/// that take several cycles to surface are tracked) is created, with the
+/// copy of `Y` fed by the failure model. Output bits driven by cloned
+/// cells become the observable pairs for the cover property.
+pub fn instrument_with_shadow(
+    netlist: &Netlist,
+    path: AgingPath,
+    value: FaultValue,
+    activation: FaultActivation,
+) -> ShadowInstrumented {
+    let mut out = netlist.clone();
+    out.set_name(format!("{}_shadow", netlist.name()));
+    let faulty_d = build_fault_signal(&mut out, path, value, activation);
+
+    // The cone: Y plus every cell influenced by Y's output.
+    let y_out = netlist.cell(path.capture).output;
+    let cone = vega_netlist::graph::fanout_cone(
+        netlist,
+        y_out,
+        vega_netlist::graph::ConeOptions { cross_dffs: true, follow_clock: false },
+    );
+    let mut cloned: Vec<CellId> = vec![path.capture];
+    cloned.extend(cone.iter().copied().filter(|&c| c != path.capture));
+
+    // Clone cells; map original output net -> shadow output net.
+    let mut shadow_of: HashMap<NetId, NetId> = HashMap::new();
+    let mut shadow_cell_of: HashMap<CellId, CellId> = HashMap::new();
+    for &cell_id in &cloned {
+        let cell = netlist.cell(cell_id).clone();
+        let name = out.fresh_name(&format!("{}_s", cell.name));
+        let placeholder_inputs: Vec<NetId> = cell.inputs.clone();
+        let new_id = out.add_cell(cell.kind, name, &placeholder_inputs);
+        shadow_of.insert(cell.output, out.cell(new_id).output);
+        shadow_cell_of.insert(cell_id, new_id);
+    }
+    // Rewire shadow inputs: a cloned cell reads the shadow version of any
+    // net that was itself cloned; clock pins always stay original.
+    for &cell_id in &cloned {
+        let orig = netlist.cell(cell_id).clone();
+        let shadow_id = shadow_cell_of[&cell_id];
+        for (pin, &input) in orig.inputs.iter().enumerate() {
+            if Netlist::is_clock_pin(orig.kind, pin) {
+                continue;
+            }
+            if let Some(&shadow_net) = shadow_of.get(&input) {
+                out.rewire_input(shadow_id, pin, shadow_net);
+            }
+        }
+    }
+    // The shadow Y reads the failure model instead of the original D.
+    out.rewire_input(shadow_cell_of[&path.capture], 0, faulty_d);
+
+    // Observable pairs: output port bits driven by cloned cells.
+    let mut observable_pairs = Vec::new();
+    let mut observable_labels = Vec::new();
+    for port in netlist.outputs() {
+        for (bit, &net) in port.bits.iter().enumerate() {
+            if let Some(&shadow_net) = shadow_of.get(&net) {
+                observable_pairs.push((net, shadow_net));
+                observable_labels.push(format!("{}[{bit}]", port.name));
+            }
+        }
+    }
+    // Expose the shadow outputs as ports too, so dumped Verilog shows
+    // them (the paper's `o_s` wires).
+    for port in netlist.outputs() {
+        let shadow_bits: Vec<NetId> = port
+            .bits
+            .iter()
+            .map(|&net| shadow_of.get(&net).copied().unwrap_or(net))
+            .collect();
+        if shadow_bits.iter().zip(&port.bits) .any(|(s, o)| s != o) {
+            out.add_output_port(format!("{}_s", port.name), &shadow_bits);
+        }
+    }
+
+    out.validate().expect("shadow instrumentation must stay valid");
+    ShadowInstrumented { netlist: out, observable_pairs, observable_labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_circuits::adder_example::build_paper_adder;
+    use vega_formal::{check_cover, BmcConfig, CoverOutcome, Property};
+    use vega_sim::Simulator;
+
+    fn adder_path(netlist: &Netlist, launch: &str, capture: &str, v: ViolationKind) -> AgingPath {
+        AgingPath {
+            launch: netlist.cell_by_name(launch).unwrap().id,
+            capture: netlist.cell_by_name(capture).unwrap().id,
+            violation: v,
+        }
+    }
+
+    /// Paper Figure 5/7 + Table 2: the setup violation on $4 -> $10 with
+    /// C = 1 admits a trace in which o[1] and o_s[1] diverge.
+    #[test]
+    fn paper_example_setup_cover_trace() {
+        let n = build_paper_adder();
+        let path = adder_path(&n, "dff4", "dff10", ViolationKind::Setup);
+        let instrumented =
+            instrument_with_shadow(&n, path, FaultValue::One, FaultActivation::OnChange);
+        assert!(!instrumented.observable_pairs.is_empty());
+        assert!(instrumented.observable_labels.contains(&"o[1]".to_string()));
+
+        let property = Property::any_differ(instrumented.observable_pairs.clone());
+        let outcome =
+            check_cover(&instrumented.netlist, &property, &[], &BmcConfig::default());
+        let CoverOutcome::Trace(trace) = outcome else {
+            panic!("expected a trace like the paper's Table 2, got {outcome:?}");
+        };
+        // The paper's trace fires at its cycle 3 (our 0-based cycle 2+).
+        assert!(trace.fire_cycle >= 2, "needs pipeline fill: {trace}");
+        assert!(trace.fire_cycle <= 4);
+
+        // Replay the trace on the instrumented netlist in the simulator
+        // and watch the shadow diverge while the original stays healthy.
+        let mut sim = Simulator::new(&instrumented.netlist);
+        let mut diverged = false;
+        for (t, cycle) in trace.inputs.iter().enumerate() {
+            for (port, value) in cycle {
+                sim.set_input(port, *value);
+            }
+            sim.settle_inputs();
+            if t == trace.fire_cycle {
+                let o = sim.output("o");
+                let o_s = sim.output("o_s");
+                diverged = o != o_s;
+            }
+            sim.step();
+        }
+        assert!(diverged, "replay must reproduce the divergence");
+    }
+
+    /// The hold-violation failure model compares X(t) against X(t+1)
+    /// (paper Fig. 6) and also admits a covering trace on $1 -> $9.
+    #[test]
+    fn paper_example_hold_cover_trace() {
+        let n = build_paper_adder();
+        let path = adder_path(&n, "dff1", "dff9", ViolationKind::Hold);
+        let instrumented =
+            instrument_with_shadow(&n, path, FaultValue::One, FaultActivation::OnChange);
+        let property = Property::any_differ(instrumented.observable_pairs.clone());
+        let outcome =
+            check_cover(&instrumented.netlist, &property, &[], &BmcConfig::default());
+        assert!(matches!(outcome, CoverOutcome::Trace(_)), "{outcome:?}");
+    }
+
+    /// A failing netlist keeps the original ports but miscomputes when
+    /// the launch value toggles.
+    #[test]
+    fn failing_netlist_miscomputes() {
+        let n = build_paper_adder();
+        let path = adder_path(&n, "dff4", "dff10", ViolationKind::Setup);
+        let failing =
+            build_failing_netlist(&n, path, FaultValue::One, FaultActivation::OnChange);
+        assert_eq!(failing.port("o").unwrap().width(), 2);
+
+        // Toggle b[1] (dff4's source) across cycles: the fault fires and
+        // o goes wrong.
+        let mut healthy = Simulator::new(&n);
+        let mut faulty = Simulator::new(&failing);
+        let stimulus = [(0u64, 0u64), (0, 2), (0, 0), (0, 2), (0, 0)];
+        let mut mismatched = false;
+        for &(a, b) in &stimulus {
+            for sim in [&mut healthy, &mut faulty] {
+                sim.set_input("a", a);
+                sim.set_input("b", b);
+                sim.step();
+            }
+            if healthy.output("o") != faulty.output("o") {
+                mismatched = true;
+            }
+        }
+        assert!(mismatched, "toggling the violated path must corrupt o");
+
+        // Hold the inputs steady: per Eq. 2 the fault stays dormant.
+        let mut healthy = Simulator::new(&n);
+        let mut faulty = Simulator::new(&failing);
+        for _ in 0..6 {
+            for sim in [&mut healthy, &mut faulty] {
+                sim.set_input("a", 2);
+                sim.set_input("b", 1);
+                sim.step();
+            }
+        }
+        assert_eq!(
+            healthy.output("o"),
+            faulty.output("o"),
+            "steady launch value must not trigger the setup fault"
+        );
+    }
+
+    /// Edge-gated activation (the §3.3.4 mitigation) restricts firing to
+    /// one polarity of launch transition.
+    #[test]
+    fn edge_gated_activation() {
+        let n = build_paper_adder();
+        let path = adder_path(&n, "dff4", "dff10", ViolationKind::Setup);
+        // C is chosen opposite to the healthy value at the firing moment
+        // so the corruption is visible on `o`.
+        let rising =
+            build_failing_netlist(&n, path, FaultValue::Zero, FaultActivation::RisingEdge);
+        let falling =
+            build_failing_netlist(&n, path, FaultValue::One, FaultActivation::FallingEdge);
+
+        // Drive b[1] (dff4's source); a is held 0.
+        let run = |failing: &Netlist, pattern: &[u64]| -> bool {
+            let mut healthy = Simulator::new(&n);
+            let mut faulty = Simulator::new(failing);
+            let mut mismatch = false;
+            for &b in pattern {
+                for sim in [&mut healthy, &mut faulty] {
+                    sim.set_input("a", 0);
+                    sim.set_input("b", b);
+                    sim.step();
+                }
+                if healthy.output("o") != faulty.output("o") {
+                    mismatch = true;
+                }
+            }
+            mismatch
+        };
+        // b[1]: 0 -> 1 (one rising edge, no falling edge).
+        assert!(run(&rising, &[0, 2, 2, 2, 2]), "rising edge fires");
+        assert!(!run(&falling, &[0, 2, 2, 2, 2]), "no falling edge, no fire");
+        // b[1]: 1 -> 0 (a falling edge after the initial rise; C = 1 vs a
+        // healthy 0 makes it observable).
+        assert!(run(&falling, &[2, 0, 0, 0, 0]), "falling edge fires");
+    }
+
+    /// A self-loop path (X == Y) models permanent meta-stability: the
+    /// flip-flop always samples C.
+    #[test]
+    fn self_loop_is_always_faulty() {
+        use vega_netlist::NetlistBuilder;
+        // A toggler: q = !q every cycle.
+        let mut b = NetlistBuilder::new("toggler");
+        let clk = b.clock("clk");
+        let q_feedback_placeholder = b.input("unused", 1)[0];
+        let inv = b.cell(CellKind::Not, "inv", &[q_feedback_placeholder]);
+        let q = b.dff("q", inv, clk);
+        b.output("y", &[q]);
+        let mut n = b.finish().unwrap();
+        // Close the loop: inv reads q.
+        let inv_id = n.cell_by_name("inv").unwrap().id;
+        n.rewire_input(inv_id, 0, n.cell_by_name("q").unwrap().output);
+        n.validate().unwrap();
+
+        let q_id = n.cell_by_name("q").unwrap().id;
+        let path = AgingPath { launch: q_id, capture: q_id, violation: ViolationKind::Hold };
+        let failing = build_failing_netlist(&n, path, FaultValue::One, FaultActivation::OnChange);
+        let mut sim = Simulator::new(&failing);
+        for _ in 0..4 {
+            sim.step();
+            assert_eq!(sim.output("y"), 1, "stuck at C = 1 instead of toggling");
+        }
+    }
+
+    /// Shadow instrumentation leaves the original behaviour untouched.
+    #[test]
+    fn shadow_preserves_original_behaviour() {
+        let n = build_paper_adder();
+        let path = adder_path(&n, "dff4", "dff10", ViolationKind::Setup);
+        let instrumented =
+            instrument_with_shadow(&n, path, FaultValue::Zero, FaultActivation::OnChange);
+        let mut plain = Simulator::new(&n);
+        let mut inst = Simulator::new(&instrumented.netlist);
+        for step in 0..20u64 {
+            let a = step % 4;
+            let b = (step / 4) % 4;
+            for sim in [&mut plain, &mut inst] {
+                sim.set_input("a", a);
+                sim.set_input("b", b);
+                sim.step();
+            }
+            assert_eq!(plain.output("o"), inst.output("o"), "step {step}");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Error Lifting: from aging-prone signal paths to software test cases.
+//!
+//! This crate implements Phase 2 of the Vega workflow (paper §3.3). For
+//! every aging-prone register-to-register path `X ⤳ Y` found by the
+//! aging-aware STA, it:
+//!
+//! 1. instruments the netlist with a **logical failure model** of the
+//!    timing violation (Eqs. 2 and 3: the capturing flip-flop samples a
+//!    wrong constant `C` whenever the launching value actually changed),
+//!    optionally restricted to rising/falling launch edges — the paper's
+//!    mitigation for initial-value dependency (§3.3.4);
+//! 2. clones the fan-out cone of `Y` into a **shadow replica** wired to
+//!    the failure model, so the module-wide effect of the fault can be
+//!    compared against the healthy original (§3.3.2, Fig. 7);
+//! 3. asks the bounded model checker to **cover** "some shadow output
+//!    differs from its original" — yielding a cycle-accurate module-level
+//!    input trace, a proof that the fault can never corrupt an output, or
+//!    a budget exhaustion (§3.3.3, Table 4's S/UR/FF taxonomy);
+//! 4. **constructs instructions** from the trace using knowledge of the
+//!    module's port protocol, producing a runnable [`TestCase`] whose
+//!    expected outputs come from replaying the stimulus on the healthy
+//!    netlist (§3.3.5). Conversion fails (the paper's "FC") when the only
+//!    observable difference is a sticky status flag that earlier cycles
+//!    of the same trace already raised.
+//!
+//! The same instrumentation also produces standalone **failing netlists**
+//! — circuit-level failure models with `C` held at 0, 1, or randomized —
+//! which the evaluation uses as its fault population (§5.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+
+
+mod construct;
+pub mod fuzz;
+mod generate;
+mod instrument;
+mod module;
+mod testcase;
+
+
+
+
+
+pub use construct::{construct_test_case, ConversionError};
+pub use generate::{
+    generate_suite, generate_suite_parallel, ConstructionOutcome, LiftConfig, LiftReport,
+    PairClass, PairResult,
+};
+pub use instrument::{
+    build_failing_netlist, instrument_with_shadow, AgingPath, FaultActivation, FaultValue,
+    ShadowInstrumented,
+};
+pub use module::ModuleKind;
+pub use testcase::{run_suite, run_test_case, Check, TestCase, TestOutcome};
+
+

@@ -1,0 +1,244 @@
+//! Runnable test cases and the module-level test runner.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use vega_netlist::Netlist;
+use vega_riscv::Instr;
+use vega_sim::Simulator;
+
+use crate::module::ModuleKind;
+
+/// One per-cycle output check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Check {
+    /// `port` must equal `expected` at `cycle` (0-based stimulus cycle).
+    PortAt {
+        /// Cycle index within the run.
+        cycle: usize,
+        /// Output port name.
+        port: String,
+        /// Expected value.
+        expected: u64,
+    },
+    /// The bitwise OR of `port` sampled at each of `cycles` must equal
+    /// `expected` — models a sticky status CSR read once at the end
+    /// (the FPU's accumulated `fflags`).
+    StickyOr {
+        /// Result cycles contributing to the accumulation.
+        cycles: Vec<usize>,
+        /// Output port name.
+        port: String,
+        /// Expected accumulated value.
+        expected: u64,
+    },
+}
+
+/// A compact, software-executable test case for one aging-prone path
+/// (the product of Error Lifting).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestCase {
+    /// Unique name, e.g. `alu_dff42_dff77_setup_c1`.
+    pub name: String,
+    /// Human-readable target path.
+    pub target: String,
+    /// Per-cycle module input assignments (port → value), including any
+    /// operand-preload window before the formally-derived trace window.
+    pub stimulus: Vec<BTreeMap<String, u64>>,
+    /// Output checks, expected values computed from the golden model.
+    pub checks: Vec<Check>,
+    /// The RISC-V realization of the stimulus: operand materialization,
+    /// the back-to-back operations, and result compares.
+    #[serde(skip)]
+    pub instructions: Vec<Instr>,
+    /// Estimated CPU cycles to execute `instructions`.
+    pub cpu_cycles: u64,
+}
+
+impl TestCase {
+    /// Cycles the module-level run occupies (stimulus plus pipeline
+    /// drain).
+    pub fn module_cycles(&self, module: ModuleKind) -> usize {
+        self.stimulus.len() + module.latency()
+    }
+}
+
+/// The result of running one test case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TestOutcome {
+    /// Every check passed.
+    Pass,
+    /// A check failed: the fault was detected.
+    Detected {
+        /// The failing check's cycle (stimulus cycle for sticky checks,
+        /// the compare point otherwise).
+        cycle: usize,
+        /// The mismatching port.
+        port: String,
+    },
+    /// The result handshake (`out_valid`) failed — software would hang
+    /// waiting for the unit (paper Table 6, "S").
+    Stall {
+        /// The cycle at which the handshake was expected.
+        cycle: usize,
+    },
+}
+
+/// Run `test` against the module simulated by `sim` — which may wrap the
+/// healthy netlist or a failing one — **without resetting** the
+/// simulator. Suites run back-to-back on one simulator, so leftover state
+/// from earlier tests is visible to later ones: this is precisely the
+/// initial-value dependency of paper §3.3.4.
+pub fn run_test_case(sim: &mut Simulator<'_>, module: ModuleKind, test: &TestCase) -> TestOutcome {
+    let total = test.module_cycles(module);
+    let mut sticky: BTreeMap<usize, u64> = BTreeMap::new(); // check index -> accum
+    let netlist: &Netlist = sim.netlist();
+    let has_valid = netlist.port("valid").is_some();
+
+    for cycle in 0..total {
+        if let Some(inputs) = test.stimulus.get(cycle) {
+            for (port, value) in inputs {
+                sim.set_input(port, *value);
+            }
+        } else if has_valid {
+            // Drain window: no new operations.
+            sim.set_input("valid", 0);
+        }
+        sim.settle_inputs();
+
+        // Evaluate checks scheduled at this cycle.
+        for (index, check) in test.checks.iter().enumerate() {
+            match check {
+                Check::PortAt { cycle: c, port, expected } if *c == cycle => {
+                    let actual = sim.output(port);
+                    if actual != *expected {
+                        if port == "out_valid" {
+                            return TestOutcome::Stall { cycle };
+                        }
+                        return TestOutcome::Detected { cycle, port: port.clone() };
+                    }
+                }
+                Check::StickyOr { cycles, port, .. } if cycles.contains(&cycle) => {
+                    let entry = sticky.entry(index).or_insert(0);
+                    *entry |= sim.output(port);
+                }
+                _ => {}
+            }
+        }
+        sim.step();
+    }
+
+    // Final sticky comparisons.
+    for (index, check) in test.checks.iter().enumerate() {
+        if let Check::StickyOr { port, expected, cycles } = check {
+            let actual = sticky.get(&index).copied().unwrap_or(0);
+            if actual != *expected {
+                let cycle = cycles.last().copied().unwrap_or(0);
+                return TestOutcome::Detected { cycle, port: port.clone() };
+            }
+        }
+    }
+    TestOutcome::Pass
+}
+
+/// Run a whole suite in order on one simulator (no resets in between).
+/// Returns each test's outcome.
+pub fn run_suite(
+    sim: &mut Simulator<'_>,
+    module: ModuleKind,
+    suite: &[TestCase],
+) -> Vec<TestOutcome> {
+    suite.iter().map(|t| run_test_case(sim, module, t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_circuits::adder_example::build_paper_adder;
+    use vega_sim::Simulator;
+
+    fn one_cycle(a: u64, b: u64) -> BTreeMap<String, u64> {
+        let mut m = BTreeMap::new();
+        m.insert("a".into(), a);
+        m.insert("b".into(), b);
+        m
+    }
+
+    #[test]
+    fn port_checks_pass_and_fail_correctly() {
+        let n = build_paper_adder();
+        let good = TestCase {
+            name: "good".into(),
+            target: "t".into(),
+            stimulus: vec![one_cycle(1, 2), one_cycle(3, 3)],
+            checks: vec![
+                Check::PortAt { cycle: 2, port: "o".into(), expected: 3 },
+                Check::PortAt { cycle: 3, port: "o".into(), expected: 2 },
+            ],
+            instructions: vec![],
+            cpu_cycles: 4,
+        };
+        let mut sim = Simulator::new(&n);
+        assert_eq!(run_test_case(&mut sim, ModuleKind::PaperAdder, &good), TestOutcome::Pass);
+
+        let bad = TestCase {
+            checks: vec![Check::PortAt { cycle: 2, port: "o".into(), expected: 0 }],
+            ..good.clone()
+        };
+        let mut sim = Simulator::new(&n);
+        match run_test_case(&mut sim, ModuleKind::PaperAdder, &bad) {
+            TestOutcome::Detected { cycle: 2, port } => assert_eq!(port, "o"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sticky_or_accumulates_over_cycles() {
+        let n = build_paper_adder();
+        // o over cycles: (1+0)=1 at cycle 2, (2+0)=2 at cycle 3:
+        // OR of samples = 3.
+        let test = TestCase {
+            name: "sticky".into(),
+            target: "t".into(),
+            stimulus: vec![one_cycle(1, 0), one_cycle(2, 0)],
+            checks: vec![Check::StickyOr {
+                cycles: vec![2, 3],
+                port: "o".into(),
+                expected: 3,
+            }],
+            instructions: vec![],
+            cpu_cycles: 4,
+        };
+        let mut sim = Simulator::new(&n);
+        assert_eq!(run_test_case(&mut sim, ModuleKind::PaperAdder, &test), TestOutcome::Pass);
+
+        let wrong = TestCase {
+            checks: vec![Check::StickyOr {
+                cycles: vec![2, 3],
+                port: "o".into(),
+                expected: 1,
+            }],
+            ..test
+        };
+        let mut sim = Simulator::new(&n);
+        assert!(matches!(
+            run_test_case(&mut sim, ModuleKind::PaperAdder, &wrong),
+            TestOutcome::Detected { .. }
+        ));
+    }
+
+    #[test]
+    fn module_cycles_includes_drain() {
+        let test = TestCase {
+            name: "t".into(),
+            target: "t".into(),
+            stimulus: vec![one_cycle(0, 0); 3],
+            checks: vec![],
+            instructions: vec![],
+            cpu_cycles: 3,
+        };
+        assert_eq!(test.module_cycles(ModuleKind::PaperAdder), 5);
+        assert_eq!(test.module_cycles(ModuleKind::Fpu), 5);
+    }
+}

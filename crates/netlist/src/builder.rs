@@ -1,0 +1,262 @@
+//! Ergonomic construction of validated netlists.
+
+use std::collections::HashMap;
+
+use crate::cell::{Cell, CellKind};
+use crate::error::NetlistError;
+use crate::netlist::{CellId, Net, NetDriver, NetId, Netlist, Port, PortDir};
+
+/// Builds a [`Netlist`] incrementally and validates it on [`NetlistBuilder::finish`].
+///
+/// The builder hands out [`NetId`]s for module inputs and cell outputs;
+/// gates are wired by passing those ids back in. Names must be unique; the
+/// builder offers [`NetlistBuilder::fresh_name`] to generate unique suffixed
+/// names, which the instrumentation passes in `vega-lift` rely on.
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    nets: Vec<Net>,
+    cells: Vec<Cell>,
+    ports: Vec<Port>,
+    clock: Option<NetId>,
+    net_by_name: HashMap<String, NetId>,
+    cell_by_name: HashMap<String, CellId>,
+    fresh_counter: u64,
+    error: Option<NetlistError>,
+}
+
+impl NetlistBuilder {
+    /// Start building a module called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            nets: Vec::new(),
+            cells: Vec::new(),
+            ports: Vec::new(),
+            clock: None,
+            net_by_name: HashMap::new(),
+            cell_by_name: HashMap::new(),
+            fresh_counter: 0,
+            error: None,
+        }
+    }
+
+    fn record_error(&mut self, err: NetlistError) {
+        if self.error.is_none() {
+            self.error = Some(err);
+        }
+    }
+
+    fn new_net(&mut self, name: String, driver: NetDriver) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        if self.net_by_name.insert(name.clone(), id).is_some() {
+            self.record_error(NetlistError::DuplicateName { name: name.clone() });
+        }
+        self.nets.push(Net { id, name, driver });
+        id
+    }
+
+    /// Generate a name guaranteed not to collide with any existing net or
+    /// cell name in this builder.
+    pub fn fresh_name(&mut self, prefix: &str) -> String {
+        loop {
+            let candidate = format!("{prefix}_{}", self.fresh_counter);
+            self.fresh_counter += 1;
+            if !self.net_by_name.contains_key(&candidate)
+                && !self.cell_by_name.contains_key(&candidate)
+            {
+                return candidate;
+            }
+        }
+    }
+
+    /// Declare the clock input. Returns the clock net.
+    ///
+    /// Must be called at most once; sequential designs require it.
+    pub fn clock(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        let bits = self.input(name, 1);
+        let id = bits[0];
+        if self.clock.is_some() {
+            self.record_error(NetlistError::DuplicateName { name: "clock".into() });
+        }
+        self.clock = Some(id);
+        id
+    }
+
+    /// Declare a `width`-bit input port. Returns its bit nets, LSB first.
+    ///
+    /// Single-bit ports use the port name as the net name; wider ports name
+    /// their bits `name[i]`.
+    pub fn input(&mut self, name: impl Into<String>, width: usize) -> Vec<NetId> {
+        let name = name.into();
+        let bits: Vec<NetId> = (0..width)
+            .map(|i| {
+                let bit_name = if width == 1 { name.clone() } else { format!("{name}[{i}]") };
+                self.new_net(bit_name, NetDriver::Input)
+            })
+            .collect();
+        self.ports.push(Port { name, dir: PortDir::Input, bits: bits.clone() });
+        bits
+    }
+
+    /// Declare a `width`-bit output port driven by the given nets (LSB first).
+    pub fn output(&mut self, name: impl Into<String>, bits: &[NetId]) {
+        let name = name.into();
+        self.ports.push(Port { name, dir: PortDir::Output, bits: bits.to_vec() });
+    }
+
+    /// Instantiate a combinational or pseudo cell; returns its output net.
+    ///
+    /// The output net is named after the instance (`name`), so instance
+    /// names double as signal names in reports and waveforms.
+    pub fn cell(&mut self, kind: CellKind, name: impl Into<String>, inputs: &[NetId]) -> NetId {
+        let name = name.into();
+        if inputs.len() != kind.arity() {
+            self.record_error(NetlistError::BadArity {
+                cell: name.clone(),
+                expected: kind.arity(),
+                actual: inputs.len(),
+            });
+        }
+        let id = CellId(self.cells.len() as u32);
+        let out = self.new_net(name.clone(), NetDriver::Cell(id));
+        if self.cell_by_name.insert(name.clone(), id).is_some() {
+            self.record_error(NetlistError::DuplicateName { name: name.clone() });
+        }
+        self.cells.push(Cell { id, kind, name, inputs: inputs.to_vec(), output: out });
+        out
+    }
+
+    /// Instantiate a D flip-flop clocked by `clock`; returns its `Q` net.
+    pub fn dff(&mut self, name: impl Into<String>, d: NetId, clock: NetId) -> NetId {
+        self.cell(CellKind::Dff, name, &[d, clock])
+    }
+
+    /// Instantiate a clock buffer on `clock_in`; returns the buffered clock.
+    pub fn clock_buf(&mut self, name: impl Into<String>, clock_in: NetId) -> NetId {
+        self.cell(CellKind::ClockBuf, name, &[clock_in])
+    }
+
+    /// Instantiate an integrated clock gate; returns the gated clock.
+    pub fn clock_gate(&mut self, name: impl Into<String>, clock_in: NetId, enable: NetId) -> NetId {
+        self.cell(CellKind::ClockGate, name, &[clock_in, enable])
+    }
+
+    /// Tie-low constant.
+    pub fn const0(&mut self, name: impl Into<String>) -> NetId {
+        self.cell(CellKind::Const0, name, &[])
+    }
+
+    /// Tie-high constant.
+    pub fn const1(&mut self, name: impl Into<String>) -> NetId {
+        self.cell(CellKind::Const1, name, &[])
+    }
+
+    /// Number of cells added so far.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Validate and return the completed netlist.
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        if let Some(err) = self.error {
+            return Err(err);
+        }
+        let netlist = Netlist {
+            name: self.name,
+            nets: self.nets,
+            cells: self.cells,
+            ports: self.ports,
+            clock: self.clock,
+            net_by_name: self.net_by_name,
+            cell_by_name: self.cell_by_name,
+        };
+        netlist.validate()?;
+        Ok(netlist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_the_paper_example_shape() {
+        // The 2-bit pipelined adder of the paper's Listing 1 / Figure 3.
+        let mut b = NetlistBuilder::new("adder");
+        let clk = b.clock("clk");
+        let a = b.input("a", 2);
+        let bb = b.input("b", 2);
+        let aq0 = b.dff("dff1", a[0], clk);
+        let aq1 = b.dff("dff2", a[1], clk);
+        let bq0 = b.dff("dff3", bb[0], clk);
+        let bq1 = b.dff("dff4", bb[1], clk);
+        let s0 = b.cell(CellKind::Xor2, "xor5", &[aq0, bq0]);
+        let c0 = b.cell(CellKind::And2, "and6", &[aq0, bq0]);
+        let x7 = b.cell(CellKind::Xor2, "xor7", &[aq1, bq1]);
+        let s1 = b.cell(CellKind::Xor2, "xor8", &[x7, c0]);
+        let o0 = b.dff("dff9", s0, clk);
+        let o1 = b.dff("dff10", s1, clk);
+        b.output("o", &[o0, o1]);
+        let n = b.finish().unwrap();
+        assert_eq!(n.cell_count(), 10);
+        assert_eq!(n.dffs().count(), 6);
+        assert_eq!(n.port("o").unwrap().width(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a", 1);
+        b.cell(CellKind::Not, "x", &[a[0]]);
+        b.cell(CellKind::Not, "x", &[a[0]]);
+        assert!(matches!(b.finish(), Err(NetlistError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a", 1);
+        b.cell(CellKind::And2, "g", &[a[0]]);
+        assert!(matches!(b.finish(), Err(NetlistError::BadArity { .. })));
+    }
+
+    #[test]
+    fn sequential_without_clock_rejected() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a", 1);
+        let fake_clk = b.input("c", 1);
+        // Note: `c` is an ordinary input, never registered via `clock()`.
+        b.dff("q", a[0], fake_clk[0]);
+        assert_eq!(b.finish().unwrap_err(), NetlistError::MissingClock);
+    }
+
+    #[test]
+    fn combinational_loop_rejected() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a", 1);
+        // g2 feeds g1 feeds g2: build by pre-creating with placeholder then
+        // rewiring is not offered by the builder, so express the loop with
+        // two NOTs through each other via direct vector manipulation.
+        let g1 = b.cell(CellKind::And2, "g1", &[a[0], a[0]]);
+        let g2 = b.cell(CellKind::Not, "g2", &[g1]);
+        // Rewire g1's second input to g2's output to create the loop.
+        b.cells[0].inputs[1] = g2;
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalLoop { .. }));
+    }
+
+    #[test]
+    fn fresh_names_never_collide() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a", 1);
+        b.cell(CellKind::Not, "n_0", &[a[0]]);
+        let fresh = b.fresh_name("n");
+        assert_ne!(fresh, "n_0");
+        b.cell(CellKind::Not, fresh, &[a[0]]);
+        let names: Vec<_> = b.cells.iter().map(|c| c.name.clone()).collect();
+        assert_eq!(names.len(), 2);
+        assert_ne!(names[0], names[1]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Standard-cell kinds and their combinational semantics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::netlist::{CellId, NetId};
+
+/// A logic level on a net during simulation.
+///
+/// Vega uses two-valued simulation: every net is driven to a definite `0`
+/// or `1` once reset has been applied, which is all that signal-probability
+/// profiling and failure co-simulation require.
+pub type LogicLevel = bool;
+
+/// The kind of a standard cell.
+///
+/// The set mirrors a small CMOS standard-cell library: simple one- and
+/// two-input gates, a 2:1 multiplexer, a three-input majority gate (the
+/// carry function of a full adder, present in real libraries as `MAJ3` or
+/// as part of a full-adder cell), a D flip-flop, and the clock-network
+/// cells (buffer and integrated clock gate). Two pseudo-cells support the
+/// Vega workflow itself: constants (tie-high/tie-low) and [`CellKind::Random`],
+/// which models the nondeterministic value captured by a flip-flop whose
+/// timing window was violated (the paper's `C = random` failure mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Tie-low constant; no inputs.
+    Const0,
+    /// Tie-high constant; no inputs.
+    Const1,
+    /// Non-inverting buffer; inputs: `A`.
+    Buf,
+    /// Small delay cell for hold fixing; logically a buffer. Inputs: `A`.
+    Delay,
+    /// Inverter; inputs: `A`.
+    Not,
+    /// Two-input AND; inputs: `A`, `B`.
+    And2,
+    /// Two-input OR; inputs: `A`, `B`.
+    Or2,
+    /// Two-input NAND; inputs: `A`, `B`.
+    Nand2,
+    /// Two-input NOR; inputs: `A`, `B`.
+    Nor2,
+    /// Two-input XOR; inputs: `A`, `B`.
+    Xor2,
+    /// Two-input XNOR; inputs: `A`, `B`.
+    Xnor2,
+    /// 2:1 multiplexer; inputs: `A` (selected when `S = 0`), `B`
+    /// (selected when `S = 1`), `S`.
+    Mux2,
+    /// Three-input majority (full-adder carry); inputs: `A`, `B`, `C`.
+    Maj3,
+    /// Rising-edge D flip-flop; inputs: `D`, `CK`; output `Q`.
+    ///
+    /// All flip-flops reset to logic `0` when the simulator applies reset.
+    Dff,
+    /// Clock buffer; inputs: `A`. Identical logic to [`CellKind::Buf`] but
+    /// distinguished so the clock network can be analyzed separately
+    /// (clock-tree aging drives the paper's hold-violation analysis).
+    ClockBuf,
+    /// Integrated clock gate; inputs: `CK`, `EN`. The output clock pulses
+    /// only in cycles where `EN` was high at the previous rising edge
+    /// (latch-based gating, glitch-free by construction).
+    ClockGate,
+    /// Pseudo-cell producing a fresh random bit each cycle; no inputs.
+    ///
+    /// Never produced by synthesis; only inserted by failure-model
+    /// instrumentation for the `C = random` failure mode.
+    Random,
+}
+
+impl CellKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [CellKind; 17] = [
+        CellKind::Const0,
+        CellKind::Const1,
+        CellKind::Buf,
+        CellKind::Delay,
+        CellKind::Not,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+        CellKind::Maj3,
+        CellKind::Dff,
+        CellKind::ClockBuf,
+        CellKind::ClockGate,
+        CellKind::Random,
+    ];
+
+    /// The number of input pins this cell kind has.
+    pub fn arity(self) -> usize {
+        match self {
+            CellKind::Const0 | CellKind::Const1 | CellKind::Random => 0,
+            CellKind::Buf | CellKind::Delay | CellKind::Not | CellKind::ClockBuf => 1,
+            CellKind::And2
+            | CellKind::Or2
+            | CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::Xor2
+            | CellKind::Xnor2
+            | CellKind::Dff
+            | CellKind::ClockGate => 2,
+            CellKind::Mux2 | CellKind::Maj3 => 3,
+        }
+    }
+
+    /// Whether this kind is evaluated combinationally each cycle.
+    ///
+    /// Sequential cells ([`CellKind::Dff`]), clock-network cells, and the
+    /// [`CellKind::Random`] pseudo-cell are *not* combinational: the
+    /// simulator and the formal encoder treat them specially.
+    pub fn is_combinational(self) -> bool {
+        !matches!(
+            self,
+            CellKind::Dff | CellKind::ClockGate | CellKind::ClockBuf | CellKind::Random
+        )
+    }
+
+    /// Whether this kind is part of the clock distribution network.
+    pub fn is_clock_network(self) -> bool {
+        matches!(self, CellKind::ClockBuf | CellKind::ClockGate)
+    }
+
+    /// Whether this kind is sequential (holds state across cycles).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Dff)
+    }
+
+    /// The conventional pin names for this kind's inputs, in pin order.
+    pub fn input_pin_names(self) -> &'static [&'static str] {
+        match self {
+            CellKind::Const0 | CellKind::Const1 | CellKind::Random => &[],
+            CellKind::Buf | CellKind::Delay | CellKind::Not => &["A"],
+            CellKind::ClockBuf => &["A"],
+            CellKind::And2
+            | CellKind::Or2
+            | CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::Xor2
+            | CellKind::Xnor2 => &["A", "B"],
+            CellKind::Mux2 => &["A", "B", "S"],
+            CellKind::Maj3 => &["A", "B", "C"],
+            CellKind::Dff => &["D", "CK"],
+            CellKind::ClockGate => &["CK", "EN"],
+        }
+    }
+
+    /// The conventional pin name of this kind's output.
+    pub fn output_pin_name(self) -> &'static str {
+        match self {
+            CellKind::Dff => "Q",
+            CellKind::ClockGate | CellKind::ClockBuf => "GCK",
+            _ => "Y",
+        }
+    }
+
+    /// The library cell name used when emitting structural Verilog.
+    pub fn verilog_name(self) -> &'static str {
+        match self {
+            CellKind::Const0 => "TIELO",
+            CellKind::Const1 => "TIEHI",
+            CellKind::Buf => "BUF",
+            CellKind::Delay => "DEL1",
+            CellKind::Not => "INV",
+            CellKind::And2 => "AND2",
+            CellKind::Or2 => "OR2",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nor2 => "NOR2",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Xnor2 => "XNOR2",
+            CellKind::Mux2 => "MUX2",
+            CellKind::Maj3 => "MAJ3",
+            CellKind::Dff => "DFF",
+            CellKind::ClockBuf => "CKBUF",
+            CellKind::ClockGate => "CKGATE",
+            CellKind::Random => "RANDOM",
+        }
+    }
+
+    /// Look up a kind from its Verilog library-cell name.
+    pub fn from_verilog_name(name: &str) -> Option<CellKind> {
+        CellKind::ALL.iter().copied().find(|k| k.verilog_name() == name)
+    }
+
+    /// Evaluate the combinational function of this kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()` or if the kind is not
+    /// combinational (see [`CellKind::is_combinational`]).
+    pub fn eval(self, inputs: &[LogicLevel]) -> LogicLevel {
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "{self:?} expects {} inputs, got {}",
+            self.arity(),
+            inputs.len()
+        );
+        match self {
+            CellKind::Const0 => false,
+            CellKind::Const1 => true,
+            CellKind::Buf | CellKind::Delay => inputs[0],
+            CellKind::Not => !inputs[0],
+            CellKind::And2 => inputs[0] & inputs[1],
+            CellKind::Or2 => inputs[0] | inputs[1],
+            CellKind::Nand2 => !(inputs[0] & inputs[1]),
+            CellKind::Nor2 => !(inputs[0] | inputs[1]),
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+            CellKind::Maj3 => {
+                (inputs[0] & inputs[1]) | (inputs[1] & inputs[2]) | (inputs[0] & inputs[2])
+            }
+            CellKind::Dff | CellKind::ClockBuf | CellKind::ClockGate | CellKind::Random => {
+                panic!("{self:?} is not combinational")
+            }
+        }
+    }
+}
+
+/// A cell instance inside a [`crate::Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    /// The instance's unique identifier within its netlist.
+    pub id: CellId,
+    /// The standard-cell kind.
+    pub kind: CellKind,
+    /// Instance name, unique within the netlist.
+    pub name: String,
+    /// Input nets, in the pin order given by [`CellKind::input_pin_names`].
+    pub inputs: Vec<NetId>,
+    /// The net driven by this cell's output pin.
+    pub output: NetId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_pin_names() {
+        for kind in CellKind::ALL {
+            assert_eq!(kind.arity(), kind.input_pin_names().len(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn verilog_names_round_trip() {
+        for kind in CellKind::ALL {
+            assert_eq!(CellKind::from_verilog_name(kind.verilog_name()), Some(kind));
+        }
+        assert_eq!(CellKind::from_verilog_name("BOGUS"), None);
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        let t = true;
+        let f = false;
+        assert!(!CellKind::Const0.eval(&[]));
+        assert!(CellKind::Const1.eval(&[]));
+        assert_eq!(CellKind::Buf.eval(&[t]), t);
+        assert_eq!(CellKind::Not.eval(&[t]), f);
+        for a in [f, t] {
+            for b in [f, t] {
+                assert_eq!(CellKind::And2.eval(&[a, b]), a & b);
+                assert_eq!(CellKind::Or2.eval(&[a, b]), a | b);
+                assert_eq!(CellKind::Nand2.eval(&[a, b]), !(a & b));
+                assert_eq!(CellKind::Nor2.eval(&[a, b]), !(a | b));
+                assert_eq!(CellKind::Xor2.eval(&[a, b]), a ^ b);
+                assert_eq!(CellKind::Xnor2.eval(&[a, b]), !(a ^ b));
+                for s in [f, t] {
+                    assert_eq!(CellKind::Mux2.eval(&[a, b, s]), if s { b } else { a });
+                    let maj = (a & b) | (b & s) | (a & s);
+                    assert_eq!(CellKind::Maj3.eval(&[a, b, s]), maj);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not combinational")]
+    fn eval_rejects_dff() {
+        CellKind::Dff.eval(&[false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn eval_rejects_bad_arity() {
+        CellKind::And2.eval(&[true]);
+    }
+
+    #[test]
+    fn classification_is_consistent() {
+        for kind in CellKind::ALL {
+            // A cell is exactly one of: combinational, sequential, clock
+            // network, or the random pseudo-cell.
+            let classes = [
+                kind.is_combinational(),
+                kind.is_sequential(),
+                kind.is_clock_network(),
+                kind == CellKind::Random,
+            ];
+            assert_eq!(classes.iter().filter(|&&c| c).count(), 1, "{kind:?}");
+        }
+    }
+}

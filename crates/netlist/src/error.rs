@@ -1,0 +1,85 @@
+//! Error type for netlist construction and validation.
+
+use std::fmt;
+
+/// Errors produced while building, validating, or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net was driven by more than one source.
+    MultipleDrivers {
+        /// The doubly-driven net's name.
+        net: String,
+    },
+    /// A net had no driver and is not a module input.
+    Undriven {
+        /// The floating net's name.
+        net: String,
+    },
+    /// A cell was connected with the wrong number of inputs.
+    BadArity {
+        /// The offending cell instance name.
+        cell: String,
+        /// Inputs the cell kind expects.
+        expected: usize,
+        /// Inputs actually connected.
+        actual: usize,
+    },
+    /// A cycle exists through combinational cells.
+    CombinationalLoop {
+        /// Name of one cell on the loop.
+        via: String,
+    },
+    /// A duplicate name was used for a port, net, or cell.
+    DuplicateName {
+        /// The clashing name.
+        name: String,
+    },
+    /// A name was referenced but never defined.
+    UnknownName {
+        /// The unresolved name.
+        name: String,
+    },
+    /// The netlist has no clock but contains sequential cells.
+    MissingClock,
+    /// A structural Verilog file could not be parsed.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has multiple drivers")
+            }
+            NetlistError::Undriven { net } => {
+                write!(f, "net `{net}` has no driver and is not a module input")
+            }
+            NetlistError::BadArity { cell, expected, actual } => {
+                write!(f, "cell `{cell}` expects {expected} inputs but {actual} were connected")
+            }
+            NetlistError::CombinationalLoop { via } => {
+                write!(f, "combinational loop through cell `{via}`")
+            }
+            NetlistError::DuplicateName { name } => {
+                write!(f, "duplicate name `{name}`")
+            }
+            NetlistError::UnknownName { name } => {
+                write!(f, "unknown name `{name}`")
+            }
+            NetlistError::MissingClock => {
+                write!(f, "netlist contains sequential cells but no clock input")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,336 @@
+//! Structural graph queries over a [`Netlist`].
+//!
+//! These power the rest of the workflow: levelized simulation needs a
+//! topological order; shadow-replica construction needs transitive fan-out
+//! cones; static timing analysis needs per-level arrival propagation; and
+//! clock-tree analysis needs the buffer path from the clock root to each
+//! flip-flop's clock pin.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::cell::CellKind;
+use crate::error::NetlistError;
+use crate::netlist::{CellId, NetDriver, NetId, Netlist};
+
+/// Returns the combinational cells of `netlist` in topological order.
+///
+/// Sources are module inputs, flip-flop outputs, constants, clock cells and
+/// `Random` pseudo-cells; only combinational cells appear in the result.
+/// The order is deterministic (by cell id among ready cells).
+pub fn topo_order(netlist: &Netlist) -> Result<Vec<CellId>, NetlistError> {
+    // Count, for each combinational cell, how many of its inputs are driven
+    // by other combinational cells.
+    let mut pending: Vec<usize> = vec![0; netlist.cell_count()];
+    let mut ready: VecDeque<CellId> = VecDeque::new();
+    for cell in netlist.cells() {
+        if !cell.kind.is_combinational() {
+            continue;
+        }
+        let count = cell
+            .inputs
+            .iter()
+            .filter(|&&n| is_comb_driven(netlist, n))
+            .count();
+        pending[cell.id.index()] = count;
+        if count == 0 {
+            ready.push_back(cell.id);
+        }
+    }
+
+    let total_comb = netlist.cells().filter(|c| c.kind.is_combinational()).count();
+    let mut order = Vec::with_capacity(total_comb);
+    // readers[net] = combinational cells reading that net.
+    let mut readers: Vec<Vec<CellId>> = vec![Vec::new(); netlist.net_count()];
+    for cell in netlist.cells() {
+        if cell.kind.is_combinational() {
+            for &input in &cell.inputs {
+                readers[input.index()].push(cell.id);
+            }
+        }
+    }
+
+    while let Some(id) = ready.pop_front() {
+        order.push(id);
+        let out = netlist.cell(id).output;
+        for &reader in &readers[out.index()] {
+            let slot = &mut pending[reader.index()];
+            *slot -= 1;
+            if *slot == 0 {
+                ready.push_back(reader);
+            }
+        }
+    }
+
+    if order.len() != total_comb {
+        // Some combinational cell never became ready: it sits on a loop.
+        let on_loop = netlist
+            .cells()
+            .find(|c| c.kind.is_combinational() && pending[c.id.index()] > 0)
+            .expect("loop implies a pending cell");
+        return Err(NetlistError::CombinationalLoop { via: on_loop.name.clone() });
+    }
+    Ok(order)
+}
+
+fn is_comb_driven(netlist: &Netlist, net: NetId) -> bool {
+    match netlist.net(net).driver {
+        NetDriver::Input => false,
+        NetDriver::Cell(c) => netlist.cell(c).kind.is_combinational(),
+    }
+}
+
+/// Validation helper: error if a combinational loop exists.
+pub fn check_no_combinational_loop(netlist: &Netlist) -> Result<(), NetlistError> {
+    topo_order(netlist).map(|_| ())
+}
+
+/// Options controlling cone traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConeOptions {
+    /// Whether traversal continues through flip-flops (i.e. from a DFF's
+    /// `D` pin onward to its `Q` readers). Shadow replicas need this so a
+    /// fault's effect can be tracked across pipeline stages.
+    pub cross_dffs: bool,
+    /// Whether traversal follows clock pins and clock-network cells.
+    pub follow_clock: bool,
+}
+
+impl Default for ConeOptions {
+    fn default() -> Self {
+        ConeOptions { cross_dffs: true, follow_clock: false }
+    }
+}
+
+/// The transitive fan-out cone of `start`: every cell whose output can be
+/// influenced by the value on net `start`, under the given options.
+///
+/// Cells are returned in deterministic breadth-first order.
+pub fn fanout_cone(netlist: &Netlist, start: NetId, options: ConeOptions) -> Vec<CellId> {
+    let mut readers: Vec<Vec<(CellId, usize)>> = vec![Vec::new(); netlist.net_count()];
+    for cell in netlist.cells() {
+        for (pin, &input) in cell.inputs.iter().enumerate() {
+            readers[input.index()].push((cell.id, pin));
+        }
+    }
+
+    let mut seen_cells: HashSet<CellId> = HashSet::new();
+    let mut seen_nets: HashSet<NetId> = HashSet::new();
+    let mut queue: VecDeque<NetId> = VecDeque::new();
+    let mut order = Vec::new();
+    seen_nets.insert(start);
+    queue.push_back(start);
+
+    while let Some(net) = queue.pop_front() {
+        for &(cell_id, pin) in &readers[net.index()] {
+            let cell = netlist.cell(cell_id);
+            if Netlist::is_clock_pin(cell.kind, pin) && !options.follow_clock {
+                continue;
+            }
+            if cell.kind.is_sequential() && !options.cross_dffs {
+                if seen_cells.insert(cell_id) {
+                    order.push(cell_id);
+                }
+                continue;
+            }
+            if seen_cells.insert(cell_id) {
+                order.push(cell_id);
+            }
+            if seen_nets.insert(cell.output) {
+                queue.push_back(cell.output);
+            }
+        }
+    }
+    order
+}
+
+/// The transitive fan-in cone of `start`: every cell whose output can
+/// influence the value on net `start`, under the given options.
+pub fn fanin_cone(netlist: &Netlist, start: NetId, options: ConeOptions) -> Vec<CellId> {
+    let mut seen_cells: HashSet<CellId> = HashSet::new();
+    let mut queue: VecDeque<NetId> = VecDeque::new();
+    let mut order = Vec::new();
+    queue.push_back(start);
+    let mut seen_nets: HashSet<NetId> = HashSet::new();
+    seen_nets.insert(start);
+
+    while let Some(net) = queue.pop_front() {
+        let NetDriver::Cell(cell_id) = netlist.net(net).driver else { continue };
+        let cell = netlist.cell(cell_id);
+        if cell.kind.is_sequential() && !options.cross_dffs && net != start {
+            continue;
+        }
+        if !seen_cells.insert(cell_id) {
+            continue;
+        }
+        order.push(cell_id);
+        if cell.kind.is_sequential() && !options.cross_dffs {
+            continue;
+        }
+        for (pin, &input) in cell.inputs.iter().enumerate() {
+            if Netlist::is_clock_pin(cell.kind, pin) && !options.follow_clock {
+                continue;
+            }
+            if seen_nets.insert(input) {
+                queue.push_back(input);
+            }
+        }
+    }
+    order
+}
+
+/// Assigns each combinational cell its logic level: the length of the
+/// longest combinational path from any source to that cell's output.
+///
+/// Sources (inputs, DFF outputs, constants) have level 0; a cell's level is
+/// `1 + max(level of driving cells)`. Returned indexed by cell id; cells
+/// that are not combinational get level 0.
+pub fn levelize(netlist: &Netlist) -> Result<Vec<u32>, NetlistError> {
+    let order = topo_order(netlist)?;
+    let mut level = vec![0u32; netlist.cell_count()];
+    for id in order {
+        let cell = netlist.cell(id);
+        let mut max_in = 0;
+        for &input in &cell.inputs {
+            if let NetDriver::Cell(src) = netlist.net(input).driver {
+                if netlist.cell(src).kind.is_combinational() {
+                    max_in = max_in.max(level[src.index()] + 1);
+                }
+            }
+        }
+        level[id.index()] = max_in;
+    }
+    Ok(level)
+}
+
+/// The chain of clock-network cells from the clock root to the clock pin
+/// of `dff` (a flip-flop, clock gate, or clock buffer), root-first. Empty
+/// if the cell's clock pin is tied directly to the clock input.
+///
+/// Returns `None` if the netlist has no clock or the cell has no clock pin.
+pub fn clock_path(netlist: &Netlist, dff: CellId) -> Option<Vec<CellId>> {
+    netlist.clock()?;
+    let cell = netlist.cell(dff);
+    let clock_pin = match cell.kind {
+        CellKind::Dff => 1,
+        CellKind::ClockGate | CellKind::ClockBuf => 0,
+        _ => return None,
+    };
+    let mut path = Vec::new();
+    let mut net = cell.inputs[clock_pin];
+    loop {
+        match netlist.net(net).driver {
+            NetDriver::Input => break,
+            NetDriver::Cell(src) => {
+                let src_cell = netlist.cell(src);
+                if !src_cell.kind.is_clock_network() {
+                    // Clock pin driven by data logic: treat as path end.
+                    break;
+                }
+                path.push(src);
+                net = src_cell.inputs[0];
+            }
+        }
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn diamond() -> Netlist {
+        // a -> n1 -> {n2, n3} -> n4 (xor), plus one DFF stage.
+        let mut b = NetlistBuilder::new("diamond");
+        let clk = b.clock("clk");
+        let a = b.input("a", 1)[0];
+        let n1 = b.cell(CellKind::Not, "n1", &[a]);
+        let n2 = b.cell(CellKind::Not, "n2", &[n1]);
+        let n3 = b.cell(CellKind::Buf, "n3", &[n1]);
+        let n4 = b.cell(CellKind::Xor2, "n4", &[n2, n3]);
+        let q = b.dff("q", n4, clk);
+        let n5 = b.cell(CellKind::Not, "n5", &[q]);
+        b.output("y", &[n5]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let n = diamond();
+        let order = topo_order(&n).unwrap();
+        let pos = |name: &str| {
+            let id = n.cell_by_name(name).unwrap().id;
+            order.iter().position(|&c| c == id).unwrap()
+        };
+        assert!(pos("n1") < pos("n2"));
+        assert!(pos("n1") < pos("n3"));
+        assert!(pos("n2") < pos("n4"));
+        assert!(pos("n3") < pos("n4"));
+        // n5 is after the DFF boundary; it only needs to appear somewhere.
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn levelize_longest_path() {
+        let n = diamond();
+        let levels = levelize(&n).unwrap();
+        let level = |name: &str| levels[n.cell_by_name(name).unwrap().id.index()];
+        assert_eq!(level("n1"), 0);
+        assert_eq!(level("n2"), 1);
+        assert_eq!(level("n3"), 1);
+        assert_eq!(level("n4"), 2);
+        assert_eq!(level("n5"), 0); // restarts after the register boundary
+    }
+
+    #[test]
+    fn fanout_cone_crosses_dffs_when_asked() {
+        let n = diamond();
+        let a = n.net_by_name("a").unwrap().id;
+        let crossing = fanout_cone(&n, a, ConeOptions { cross_dffs: true, follow_clock: false });
+        let stopping = fanout_cone(&n, a, ConeOptions { cross_dffs: false, follow_clock: false });
+        let names = |ids: &[CellId]| {
+            ids.iter().map(|&c| n.cell(c).name.clone()).collect::<Vec<_>>()
+        };
+        assert!(names(&crossing).contains(&"n5".to_string()));
+        assert!(!names(&stopping).contains(&"n5".to_string()));
+        // The DFF itself is reached either way.
+        assert!(names(&stopping).contains(&"q".to_string()));
+    }
+
+    #[test]
+    fn fanin_cone_reaches_sources() {
+        let n = diamond();
+        let y = n.net_by_name("n5").unwrap().id;
+        let cone = fanin_cone(&n, y, ConeOptions::default());
+        let names: Vec<_> = cone.iter().map(|&c| n.cell(c).name.clone()).collect();
+        for expected in ["n5", "q", "n4", "n2", "n3", "n1"] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn clock_path_through_buffers() {
+        let mut b = NetlistBuilder::new("ck");
+        let clk = b.clock("clk");
+        let a = b.input("a", 1)[0];
+        let ck1 = b.clock_buf("ck1", clk);
+        let ck2 = b.clock_buf("ck2", ck1);
+        let q = b.dff("q", a, ck2);
+        let q2 = b.dff("q2", a, clk);
+        b.output("y", &[q]);
+        b.output("y2", &[q2]);
+        let n = b.finish().unwrap();
+        let path = clock_path(&n, n.cell_by_name("q").unwrap().id).unwrap();
+        let names: Vec<_> = path.iter().map(|&c| n.cell(c).name.clone()).collect();
+        assert_eq!(names, vec!["ck1", "ck2"]);
+        let direct = clock_path(&n, n.cell_by_name("q2").unwrap().id).unwrap();
+        assert!(direct.is_empty());
+    }
+
+    #[test]
+    fn clock_path_none_for_combinational() {
+        let n = diamond();
+        assert_eq!(clock_path(&n, n.cell_by_name("n1").unwrap().id), None);
+    }
+}

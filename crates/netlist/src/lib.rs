@@ -1,0 +1,58 @@
+//! Gate-level netlist intermediate representation for the Vega workflow.
+//!
+//! This crate provides the data model every other Vega crate consumes:
+//!
+//! * [`Netlist`] — a single-clock-domain, single-driver gate-level circuit
+//!   made of standard cells ([`CellKind`]) connected by single-bit nets,
+//!   with multi-bit module ports.
+//! * [`NetlistBuilder`] — an ergonomic construction API used by the
+//!   structural circuit generators in `vega-circuits` and by the failure
+//!   model instrumentation in `vega-lift`.
+//! * [`StdCellLibrary`] — per-cell timing characteristics (propagation
+//!   delays, flip-flop setup/hold windows) in the style of a foundry
+//!   standard-cell library, including a 28 nm-flavoured instance and the
+//!   demonstration library used by the Vega paper's worked example.
+//! * [`verilog`] — a writer and parser for a structural Verilog subset, so
+//!   netlists (including the *failing netlists* produced by error lifting)
+//!   can round-trip through plain text files.
+//! * [`graph`] — structural queries: topological ordering, levelization,
+//!   fan-in/fan-out cones (optionally crossing flip-flops), and
+//!   combinational-loop detection.
+//!
+//! # Example
+//!
+//! ```
+//! use vega_netlist::{CellKind, NetlistBuilder};
+//!
+//! let mut b = NetlistBuilder::new("half_adder");
+//! let clk = b.clock("clk");
+//! let a = b.input("a", 1)[0];
+//! let bb = b.input("b", 1)[0];
+//! let sum = b.cell(CellKind::Xor2, "s", &[a, bb]);
+//! let carry = b.cell(CellKind::And2, "c", &[a, bb]);
+//! let sq = b.dff("sq", sum, clk);
+//! let cq = b.dff("cq", carry, clk);
+//! b.output("sum", &[sq]);
+//! b.output("carry", &[cq]);
+//! let netlist = b.finish().unwrap();
+//! assert_eq!(netlist.cells().count(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod cell;
+mod error;
+pub mod graph;
+mod library;
+mod netlist;
+pub mod optimize;
+pub mod stats;
+pub mod verilog;
+
+pub use builder::NetlistBuilder;
+pub use cell::{Cell, CellKind, LogicLevel};
+pub use error::NetlistError;
+pub use library::{CellTiming, DffTiming, StdCellLibrary};
+pub use netlist::{CellId, Net, NetDriver, NetId, Netlist, Port, PortDir};

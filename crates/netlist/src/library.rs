@@ -1,0 +1,186 @@
+//! Standard-cell timing libraries.
+//!
+//! A [`StdCellLibrary`] plays the role of the foundry `.lib` file: it gives
+//! each cell kind its unaged maximum/minimum propagation delay and each
+//! flip-flop its setup/hold window and clock-to-Q delay. Aging-aware STA
+//! (in `vega-sta`) combines these base numbers with the delay-degradation
+//! factors computed by `vega-aging`.
+//!
+//! All delays are in nanoseconds.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::CellKind;
+
+/// Propagation delays of one combinational cell kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellTiming {
+    /// Worst-case (slowest-arc) propagation delay, in ns.
+    pub max_delay_ns: f64,
+    /// Best-case (fastest-arc) propagation delay, in ns.
+    pub min_delay_ns: f64,
+}
+
+impl CellTiming {
+    /// A timing entry with the given max delay and a min delay at the
+    /// given fraction of it.
+    pub fn new(max_delay_ns: f64, min_delay_ns: f64) -> Self {
+        assert!(min_delay_ns <= max_delay_ns, "min delay must not exceed max");
+        CellTiming { max_delay_ns, min_delay_ns }
+    }
+}
+
+/// Timing constraints and delays of the flip-flop cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DffTiming {
+    /// Setup window before the capturing clock edge, in ns.
+    pub setup_ns: f64,
+    /// Hold window after the capturing clock edge, in ns.
+    pub hold_ns: f64,
+    /// Worst-case clock-to-Q delay, in ns.
+    pub clk_to_q_max_ns: f64,
+    /// Best-case clock-to-Q delay, in ns.
+    pub clk_to_q_min_ns: f64,
+}
+
+/// A standard-cell library: per-kind timing plus flip-flop constraints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StdCellLibrary {
+    /// Library name (e.g. `"cmos28"`).
+    pub name: String,
+    /// Per-kind combinational propagation delays. Sequential kinds store
+    /// their clock-to-Q here ([`CellKind::Dff`]) or their insertion delay
+    /// (clock network cells).
+    pub cells: BTreeMap<CellKind, CellTiming>,
+    /// Flip-flop constraint windows.
+    pub dff: DffTiming,
+}
+
+impl StdCellLibrary {
+    /// Timing of a cell kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library has no entry for `kind`; both built-in
+    /// libraries cover every kind.
+    pub fn timing(&self, kind: CellKind) -> CellTiming {
+        *self
+            .cells
+            .get(&kind)
+            .unwrap_or_else(|| panic!("library `{}` lacks {kind:?}", self.name))
+    }
+
+    /// The demonstration library used in the Vega paper's worked example
+    /// (§3.1): every cell has a max delay of 0.3 ns and a min delay of
+    /// 0.1 ns; the flip-flop needs 0.06 ns setup and 0.03 ns hold.
+    pub fn paper_demo() -> Self {
+        let uniform = CellTiming::new(0.3, 0.1);
+        let mut cells = BTreeMap::new();
+        for kind in CellKind::ALL {
+            let timing = match kind {
+                CellKind::Const0 | CellKind::Const1 | CellKind::Random => CellTiming::new(0.0, 0.0),
+                _ => uniform,
+            };
+            cells.insert(kind, timing);
+        }
+        StdCellLibrary {
+            name: "paper_demo".into(),
+            cells,
+            dff: DffTiming {
+                setup_ns: 0.06,
+                hold_ns: 0.03,
+                clk_to_q_max_ns: 0.3,
+                clk_to_q_min_ns: 0.1,
+            },
+        }
+    }
+
+    /// A 28 nm-flavoured library with realistic relative delays.
+    ///
+    /// Absolute values are representative of a commercial 28 nm process at
+    /// the slow corner (tens of picoseconds per gate); what matters for the
+    /// workflow is their *relative* ordering (XOR slower than NAND, etc.)
+    /// and the flip-flop windows.
+    pub fn cmos28() -> Self {
+        let mut cells = BTreeMap::new();
+        let entries: &[(CellKind, f64, f64)] = &[
+            (CellKind::Const0, 0.0, 0.0),
+            (CellKind::Const1, 0.0, 0.0),
+            (CellKind::Random, 0.0, 0.0),
+            (CellKind::Buf, 0.022, 0.010),
+            (CellKind::Delay, 0.008, 0.004),
+            (CellKind::Not, 0.014, 0.006),
+            (CellKind::And2, 0.030, 0.013),
+            (CellKind::Or2, 0.032, 0.014),
+            (CellKind::Nand2, 0.020, 0.009),
+            (CellKind::Nor2, 0.024, 0.010),
+            (CellKind::Xor2, 0.046, 0.020),
+            (CellKind::Xnor2, 0.046, 0.020),
+            (CellKind::Mux2, 0.040, 0.017),
+            (CellKind::Maj3, 0.052, 0.022),
+            (CellKind::Dff, 0.060, 0.030), // clock-to-Q, mirrored in `dff`
+            (CellKind::ClockBuf, 0.026, 0.022),
+            (CellKind::ClockGate, 0.034, 0.029),
+        ];
+        for &(kind, max, min) in entries {
+            cells.insert(kind, CellTiming::new(max, min));
+        }
+        StdCellLibrary {
+            name: "cmos28".into(),
+            cells,
+            dff: DffTiming {
+                setup_ns: 0.035,
+                hold_ns: 0.018,
+                clk_to_q_max_ns: 0.060,
+                clk_to_q_min_ns: 0.030,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_libraries_cover_every_kind() {
+        for lib in [StdCellLibrary::paper_demo(), StdCellLibrary::cmos28()] {
+            for kind in CellKind::ALL {
+                let t = lib.timing(kind);
+                assert!(t.min_delay_ns <= t.max_delay_ns, "{}: {kind:?}", lib.name);
+                assert!(t.max_delay_ns >= 0.0);
+            }
+            assert!(lib.dff.setup_ns > 0.0);
+            assert!(lib.dff.hold_ns > 0.0);
+            assert!(lib.dff.hold_ns < lib.dff.setup_ns);
+        }
+    }
+
+    #[test]
+    fn paper_demo_matches_the_worked_example() {
+        let lib = StdCellLibrary::paper_demo();
+        assert_eq!(lib.timing(CellKind::And2).max_delay_ns, 0.3);
+        assert_eq!(lib.timing(CellKind::Xor2).min_delay_ns, 0.1);
+        assert_eq!(lib.dff.setup_ns, 0.06);
+        assert_eq!(lib.dff.hold_ns, 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks")]
+    fn missing_entry_panics() {
+        let mut lib = StdCellLibrary::cmos28();
+        lib.cells.remove(&CellKind::Xor2);
+        lib.timing(CellKind::Xor2);
+    }
+
+    #[test]
+    fn cmos28_relative_ordering() {
+        let lib = StdCellLibrary::cmos28();
+        // XOR is the slow gate, NAND the fast one — the asymmetry the
+        // aging analysis leans on.
+        assert!(lib.timing(CellKind::Xor2).max_delay_ns > lib.timing(CellKind::Nand2).max_delay_ns);
+        assert!(lib.timing(CellKind::Not).max_delay_ns < lib.timing(CellKind::And2).max_delay_ns);
+    }
+}

@@ -1,0 +1,438 @@
+//! The [`Netlist`] container and its identifier types.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::{Cell, CellKind};
+use crate::error::NetlistError;
+
+/// Identifier of a single-bit net within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetId(pub u32);
+
+/// Identifier of a cell instance within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId(pub u32);
+
+impl NetId {
+    /// The net's dense index, suitable for indexing side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl CellId {
+    /// The cell's dense index, suitable for indexing side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The source driving a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetDriver {
+    /// Driven by a module input port bit.
+    Input,
+    /// Driven by the output pin of a cell.
+    Cell(CellId),
+}
+
+/// A single-bit net.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    /// The net's unique identifier.
+    pub id: NetId,
+    /// The net's name, unique within the netlist.
+    pub name: String,
+    /// What drives this net, once validation has completed.
+    pub driver: NetDriver,
+}
+
+/// Direction of a module port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortDir {
+    /// Module input.
+    Input,
+    /// Module output.
+    Output,
+}
+
+/// A (possibly multi-bit) module port.
+///
+/// Bit 0 is the least significant bit, matching Verilog `[n-1:0]` ranges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Port direction.
+    pub dir: PortDir,
+    /// The nets carrying each bit, LSB first.
+    pub bits: Vec<NetId>,
+}
+
+impl Port {
+    /// The port's bit width.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// A validated, single-clock-domain gate-level netlist.
+///
+/// Invariants (established by [`crate::NetlistBuilder::finish`] or by the
+/// Verilog parser, and preserved by the instrumentation passes):
+///
+/// * every net has exactly one driver (a module input or a cell output);
+/// * every cell has exactly [`CellKind::arity`] inputs;
+/// * there are no cycles through combinational cells;
+/// * if any sequential cell exists, [`Netlist::clock`] names the clock
+///   input net at the root of the clock network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) ports: Vec<Port>,
+    pub(crate) clock: Option<NetId>,
+    #[serde(skip)]
+    pub(crate) net_by_name: HashMap<String, NetId>,
+    #[serde(skip)]
+    pub(crate) cell_by_name: HashMap<String, CellId>,
+}
+
+impl Netlist {
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The clock input net, if the design is sequential.
+    pub fn clock(&self) -> Option<NetId> {
+        self.clock
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterate over all nets.
+    pub fn nets(&self) -> impl Iterator<Item = &Net> {
+        self.nets.iter()
+    }
+
+    /// Iterate over all cells.
+    pub fn cells(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.iter()
+    }
+
+    /// Iterate over the identifiers of all cells of a given kind.
+    pub fn cells_of_kind(&self, kind: CellKind) -> impl Iterator<Item = &Cell> {
+        self.cells.iter().filter(move |c| c.kind == kind)
+    }
+
+    /// Iterate over all flip-flops.
+    pub fn dffs(&self) -> impl Iterator<Item = &Cell> {
+        self.cells_of_kind(CellKind::Dff)
+    }
+
+    /// Look up a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Look up a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Find a net by name.
+    pub fn net_by_name(&self, name: &str) -> Option<&Net> {
+        self.net_by_name.get(name).map(|&id| self.net(id))
+    }
+
+    /// Find a cell by instance name.
+    pub fn cell_by_name(&self, name: &str) -> Option<&Cell> {
+        self.cell_by_name.get(name).map(|&id| self.cell(id))
+    }
+
+    /// All module ports, inputs first, in declaration order.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Module input ports in declaration order.
+    pub fn inputs(&self) -> impl Iterator<Item = &Port> {
+        self.ports.iter().filter(|p| p.dir == PortDir::Input)
+    }
+
+    /// Module output ports in declaration order.
+    pub fn outputs(&self) -> impl Iterator<Item = &Port> {
+        self.ports.iter().filter(|p| p.dir == PortDir::Output)
+    }
+
+    /// Find a port by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// The cells whose *data* inputs include `net` (clock pins excluded).
+    pub fn data_readers(&self, net: NetId) -> Vec<CellId> {
+        self.cells
+            .iter()
+            .filter(|c| {
+                c.inputs.iter().enumerate().any(|(pin, &n)| {
+                    n == net && !Self::is_clock_pin(c.kind, pin)
+                })
+            })
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// Whether pin `pin` of a cell of kind `kind` is a clock pin.
+    pub fn is_clock_pin(kind: CellKind, pin: usize) -> bool {
+        match kind {
+            CellKind::Dff => pin == 1,
+            CellKind::ClockGate => pin == 0,
+            _ => false,
+        }
+    }
+
+    /// Rebuild the name-lookup tables (needed after deserialization).
+    pub fn rebuild_indices(&mut self) {
+        self.net_by_name = self.nets.iter().map(|n| (n.name.clone(), n.id)).collect();
+        self.cell_by_name = self.cells.iter().map(|c| (c.name.clone(), c.id)).collect();
+    }
+
+    /// Validate all structural invariants, returning the first violation.
+    ///
+    /// Called by the builder and the parser; public so instrumentation
+    /// passes can re-check netlists they have rewritten.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        // Single driver per net, and arity per cell.
+        let mut driver_count = vec![0usize; self.nets.len()];
+        for port in self.inputs() {
+            for &bit in &port.bits {
+                driver_count[bit.index()] += 1;
+            }
+        }
+        for cell in &self.cells {
+            if cell.inputs.len() != cell.kind.arity() {
+                return Err(NetlistError::BadArity {
+                    cell: cell.name.clone(),
+                    expected: cell.kind.arity(),
+                    actual: cell.inputs.len(),
+                });
+            }
+            driver_count[cell.output.index()] += 1;
+        }
+        for net in &self.nets {
+            match driver_count[net.id.index()] {
+                0 => return Err(NetlistError::Undriven { net: net.name.clone() }),
+                1 => {}
+                _ => return Err(NetlistError::MultipleDrivers { net: net.name.clone() }),
+            }
+        }
+        if self.cells.iter().any(|c| c.kind.is_sequential()) && self.clock.is_none() {
+            return Err(NetlistError::MissingClock);
+        }
+        crate::graph::check_no_combinational_loop(self)?;
+        Ok(())
+    }
+
+    /// A short human-readable summary, e.g. for logs and reports.
+    pub fn summary(&self) -> String {
+        let dffs = self.dffs().count();
+        let clock_cells = self.cells.iter().filter(|c| c.kind.is_clock_network()).count();
+        format!(
+            "{}: {} cells ({} DFFs, {} clock cells), {} nets, {} ports",
+            self.name,
+            self.cells.len(),
+            dffs,
+            clock_cells,
+            self.nets.len(),
+            self.ports.len()
+        )
+    }
+}
+
+/// Mutation API used by instrumentation passes (`vega-lift`) and timing
+/// repair (`vega-sta`). Each method preserves the structural invariants
+/// locally; callers should still run [`Netlist::validate`] after a batch
+/// of edits.
+impl Netlist {
+    /// Add a new cell; its output becomes a fresh net named after the
+    /// instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already taken or the input count mismatches
+    /// the kind's arity.
+    pub fn add_cell(&mut self, kind: CellKind, name: impl Into<String>, inputs: &[NetId]) -> CellId {
+        let name = name.into();
+        assert_eq!(inputs.len(), kind.arity(), "cell `{name}`: wrong input count");
+        assert!(
+            !self.cell_by_name.contains_key(&name) && !self.net_by_name.contains_key(&name),
+            "name `{name}` already in use"
+        );
+        let cell_id = CellId(self.cells.len() as u32);
+        let net_id = NetId(self.nets.len() as u32);
+        self.nets.push(Net { id: net_id, name: name.clone(), driver: NetDriver::Cell(cell_id) });
+        self.net_by_name.insert(name.clone(), net_id);
+        self.cells.push(Cell {
+            id: cell_id,
+            kind,
+            name: name.clone(),
+            inputs: inputs.to_vec(),
+            output: net_id,
+        });
+        self.cell_by_name.insert(name, cell_id);
+        cell_id
+    }
+
+    /// Reconnect input pin `pin` of `cell` to `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin` is out of range for the cell.
+    pub fn rewire_input(&mut self, cell: CellId, pin: usize, net: NetId) {
+        let c = &mut self.cells[cell.index()];
+        assert!(pin < c.inputs.len(), "cell `{}` has no pin {pin}", c.name);
+        c.inputs[pin] = net;
+    }
+
+    /// Insert a buffer between input pin `pin` of `cell` and its current
+    /// driver. Returns the new buffer's cell id.
+    pub fn insert_buffer(&mut self, cell: CellId, pin: usize, name: impl Into<String>) -> CellId {
+        self.insert_on_pin(CellKind::Buf, cell, pin, name)
+    }
+
+    /// Insert a single-input cell of `kind` (a buffer or delay cell)
+    /// between input pin `pin` of `cell` and its current driver. Returns
+    /// the new cell's id. Used for hold fixing with fine-grained delay
+    /// cells.
+    pub fn insert_on_pin(
+        &mut self,
+        kind: CellKind,
+        cell: CellId,
+        pin: usize,
+        name: impl Into<String>,
+    ) -> CellId {
+        assert_eq!(kind.arity(), 1, "insert_on_pin needs a single-input cell");
+        let source = self.cells[cell.index()].inputs[pin];
+        let inserted = self.add_cell(kind, name, &[source]);
+        let out = self.cells[inserted.index()].output;
+        self.rewire_input(cell, pin, out);
+        inserted
+    }
+
+    /// Declare an additional output port over existing nets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a port with this name already exists.
+    pub fn add_output_port(&mut self, name: impl Into<String>, bits: &[NetId]) {
+        let name = name.into();
+        assert!(self.port(&name).is_none(), "port `{name}` already exists");
+        self.ports.push(Port { name, dir: PortDir::Output, bits: bits.to_vec() });
+    }
+
+    /// A fresh name with the given prefix, colliding with no existing net
+    /// or cell name.
+    pub fn fresh_name(&self, prefix: &str) -> String {
+        let mut i = 0u64;
+        loop {
+            let candidate = format!("{prefix}_{i}");
+            if !self.net_by_name.contains_key(&candidate)
+                && !self.cell_by_name.contains_key(&candidate)
+            {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+
+    /// Rename the module (instrumented variants get derived names).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+}
+
+#[cfg(test)]
+mod mutation_tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn base() -> Netlist {
+        let mut b = NetlistBuilder::new("m");
+        let clk = b.clock("clk");
+        let a = b.input("a", 1)[0];
+        let inv = b.cell(CellKind::Not, "inv", &[a]);
+        let q = b.dff("q", inv, clk);
+        b.output("y", &[q]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn add_cell_and_rewire() {
+        let mut n = base();
+        let a = n.net_by_name("a").unwrap().id;
+        let extra = n.add_cell(CellKind::Buf, "extra", &[a]);
+        let extra_out = n.cell(extra).output;
+        let q = n.cell_by_name("q").unwrap().id;
+        n.rewire_input(q, 0, extra_out);
+        n.validate().unwrap();
+        assert_eq!(n.cell(q).inputs[0], extra_out);
+    }
+
+    #[test]
+    fn insert_buffer_preserves_function() {
+        let mut n = base();
+        let q = n.cell_by_name("q").unwrap().id;
+        let buf = n.insert_buffer(q, 0, "holdfix_0");
+        n.validate().unwrap();
+        // The buffer reads what q used to read, and q reads the buffer.
+        let inv_out = n.cell_by_name("inv").unwrap().output;
+        assert_eq!(n.cell(buf).inputs[0], inv_out);
+        assert_eq!(n.cell(q).inputs[0], n.cell(buf).output);
+    }
+
+    #[test]
+    fn add_output_port_exposes_net() {
+        let mut n = base();
+        let inv_out = n.cell_by_name("inv").unwrap().output;
+        n.add_output_port("probe", &[inv_out]);
+        n.validate().unwrap();
+        assert_eq!(n.port("probe").unwrap().bits, vec![inv_out]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in use")]
+    fn add_cell_rejects_duplicate_names() {
+        let mut n = base();
+        let a = n.net_by_name("a").unwrap().id;
+        n.add_cell(CellKind::Buf, "inv", &[a]);
+    }
+
+    #[test]
+    fn fresh_name_skips_taken_names() {
+        let n = base();
+        assert_eq!(n.fresh_name("inv"), "inv_0");
+        let f = n.fresh_name("shadow");
+        assert_eq!(f, "shadow_0");
+    }
+}

@@ -1,0 +1,327 @@
+//! Post-instrumentation netlist cleanup: constant folding and dead-cell
+//! sweeping.
+//!
+//! Instrumentation passes (failure models, shadow replicas) leave
+//! constants and orphaned logic behind; synthesis tools run a cleanup
+//! after such edits and so does Vega. Both passes are semantics-
+//! preserving for every observable port.
+
+use std::collections::HashMap;
+
+use crate::cell::{Cell, CellKind};
+use crate::netlist::{CellId, Net, NetDriver, NetId, Netlist, Port};
+
+/// Statistics from one [`optimize`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Combinational cells replaced by tie cells.
+    pub cells_folded: usize,
+    /// Cells removed because nothing observable reads them.
+    pub cells_swept: usize,
+}
+
+/// Fold constants and sweep dead cells until fixpoint; returns the
+/// cleaned netlist and what was done.
+///
+/// Folding: a combinational cell whose inputs are all driven by constant
+/// cells is replaced by the corresponding tie cell. (Partial-constant
+/// simplifications like `AND(x, 0)` are folded too.) Sweeping: any cell
+/// whose output reaches no module output port and no flip-flop is
+/// removed. Sequential and clock-network cells are never folded; they
+/// are swept only when completely unread.
+pub fn optimize(netlist: &Netlist) -> (Netlist, OptimizeStats) {
+    let mut stats = OptimizeStats::default();
+    let mut current = netlist.clone();
+    loop {
+        let folded = fold_constants(&mut current);
+        let (next, swept) = sweep_dead_cells(&current);
+        stats.cells_folded += folded;
+        stats.cells_swept += swept;
+        current = next;
+        if folded == 0 && swept == 0 {
+            break;
+        }
+    }
+    current.validate().expect("optimization preserves validity");
+    (current, stats)
+}
+
+/// What constant (if any) drives a net.
+fn constant_of(netlist: &Netlist, net: NetId) -> Option<bool> {
+    match netlist.net(net).driver {
+        NetDriver::Cell(c) => match netlist.cell(c).kind {
+            CellKind::Const0 => Some(false),
+            CellKind::Const1 => Some(true),
+            _ => None,
+        },
+        NetDriver::Input => None,
+    }
+}
+
+/// In-place constant folding: rewrite foldable cells into ties. Returns
+/// the number of cells folded.
+fn fold_constants(netlist: &mut Netlist) -> usize {
+    let mut folded = 0;
+    for index in 0..netlist.cell_count() {
+        let id = CellId(index as u32);
+        let cell = netlist.cell(id).clone();
+        if !cell.kind.is_combinational()
+            || matches!(cell.kind, CellKind::Const0 | CellKind::Const1)
+        {
+            continue;
+        }
+        let consts: Vec<Option<bool>> =
+            cell.inputs.iter().map(|&n| constant_of(netlist, n)).collect();
+        let value = if consts.iter().all(Option::is_some) {
+            let bits: Vec<bool> = consts.iter().map(|c| c.unwrap()).collect();
+            Some(cell.kind.eval(&bits))
+        } else {
+            partial_fold(cell.kind, &consts)
+        };
+        let Some(value) = value else { continue };
+        // Rewrite the cell into a tie of the right polarity.
+        let kind = if value { CellKind::Const1 } else { CellKind::Const0 };
+        let slot = &mut netlist.cells[id.index()];
+        slot.kind = kind;
+        slot.inputs.clear();
+        folded += 1;
+    }
+    folded
+}
+
+/// Dominating-input simplifications that fold with only some inputs
+/// constant: `AND(x, 0) = 0`, `OR(x, 1) = 1`, and their inverted forms.
+fn partial_fold(kind: CellKind, consts: &[Option<bool>]) -> Option<bool> {
+    let has = |v: bool| consts.contains(&Some(v));
+    match kind {
+        CellKind::And2 if has(false) => Some(false),
+        CellKind::Nand2 if has(false) => Some(true),
+        CellKind::Or2 if has(true) => Some(true),
+        CellKind::Nor2 if has(true) => Some(false),
+        _ => None,
+    }
+}
+
+/// Rebuild the netlist without cells that influence nothing observable.
+/// Returns the new netlist and the number of removed cells.
+fn sweep_dead_cells(netlist: &Netlist) -> (Netlist, usize) {
+    // Mark live: start from output port nets; walk fan-in through all
+    // pins (including clock pins, so the clock tree of a live flip-flop
+    // stays).
+    let mut live_nets = vec![false; netlist.net_count()];
+    let mut live_cells = vec![false; netlist.cell_count()];
+    let mut stack: Vec<NetId> = Vec::new();
+    for port in netlist.outputs() {
+        for &bit in &port.bits {
+            if !live_nets[bit.index()] {
+                live_nets[bit.index()] = true;
+                stack.push(bit);
+            }
+        }
+    }
+    while let Some(net) = stack.pop() {
+        if let NetDriver::Cell(cell_id) = netlist.net(net).driver {
+            if !live_cells[cell_id.index()] {
+                live_cells[cell_id.index()] = true;
+                for &input in &netlist.cell(cell_id).inputs {
+                    if !live_nets[input.index()] {
+                        live_nets[input.index()] = true;
+                        stack.push(input);
+                    }
+                }
+            }
+        }
+    }
+    // Input port bits stay regardless (ports are part of the interface).
+    for port in netlist.inputs() {
+        for &bit in &port.bits {
+            live_nets[bit.index()] = true;
+        }
+    }
+
+    let removed = netlist.cells().filter(|c| !live_cells[c.id.index()]).count();
+    if removed == 0 {
+        return (netlist.clone(), 0);
+    }
+
+    // Compact ids.
+    let mut net_map: HashMap<NetId, NetId> = HashMap::new();
+    let mut nets: Vec<Net> = Vec::new();
+    for net in netlist.nets() {
+        if live_nets[net.id.index()] {
+            let new_id = NetId(nets.len() as u32);
+            net_map.insert(net.id, new_id);
+            nets.push(Net { id: new_id, name: net.name.clone(), driver: net.driver });
+        }
+    }
+    let mut cell_map: HashMap<CellId, CellId> = HashMap::new();
+    let mut cells: Vec<Cell> = Vec::new();
+    for cell in netlist.cells() {
+        if live_cells[cell.id.index()] {
+            let new_id = CellId(cells.len() as u32);
+            cell_map.insert(cell.id, new_id);
+            cells.push(Cell {
+                id: new_id,
+                kind: cell.kind,
+                name: cell.name.clone(),
+                inputs: cell.inputs.iter().map(|n| net_map[n]).collect(),
+                output: net_map[&cell.output],
+            });
+        }
+    }
+    // Re-point net drivers.
+    for net in &mut nets {
+        if let NetDriver::Cell(old) = net.driver {
+            net.driver = NetDriver::Cell(cell_map[&old]);
+        }
+    }
+    let ports: Vec<Port> = netlist
+        .ports()
+        .iter()
+        .map(|p| Port {
+            name: p.name.clone(),
+            dir: p.dir,
+            bits: p.bits.iter().map(|b| net_map[b]).collect(),
+        })
+        .collect();
+    let clock = netlist.clock().map(|c| net_map[&c]);
+
+    let mut out = Netlist {
+        name: netlist.name().to_string(),
+        nets,
+        cells,
+        ports,
+        clock,
+        net_by_name: HashMap::new(),
+        cell_by_name: HashMap::new(),
+    };
+    out.rebuild_indices();
+    (out, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn folds_full_and_partial_constants() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a", 1)[0];
+        let zero = b.const0("zero");
+        let one = b.const1("one");
+        // AND(0, 1) folds fully; AND(a, 0) folds by domination; OR(a, 1)
+        // folds by domination; XOR(a, 0) does not fold.
+        let full = b.cell(CellKind::And2, "full", &[zero, one]);
+        let dominated = b.cell(CellKind::And2, "dom", &[a, zero]);
+        let dominated_or = b.cell(CellKind::Or2, "dom_or", &[a, one]);
+        let kept = b.cell(CellKind::Xor2, "kept", &[a, zero]);
+        let o1 = b.cell(CellKind::Or2, "o1", &[full, dominated]);
+        let o2 = b.cell(CellKind::And2, "o2", &[dominated_or, kept]);
+        b.output("y", &[o1, o2]);
+        let n = b.finish().unwrap();
+
+        let (optimized, stats) = optimize(&n);
+        assert!(stats.cells_folded >= 3, "{stats:?}");
+        // Behaviour is preserved: y = {0 | 0, 1 & (a ^ 0)} = {0, a}.
+        use vega_sim_check::check_equiv;
+        check_equiv(&n, &optimized, &["a"], &["y"]);
+    }
+
+    #[test]
+    fn sweeps_unobservable_logic() {
+        let mut b = NetlistBuilder::new("m");
+        let clk = b.clock("clk");
+        let a = b.input("a", 1)[0];
+        let live = b.dff("live", a, clk);
+        let dead1 = b.cell(CellKind::Not, "dead1", &[a]);
+        let _dead2 = b.dff("dead2", dead1, clk);
+        b.output("y", &[live]);
+        let n = b.finish().unwrap();
+        assert_eq!(n.cell_count(), 3);
+
+        let (optimized, stats) = optimize(&n);
+        assert_eq!(stats.cells_swept, 2);
+        assert_eq!(optimized.cell_count(), 1);
+        assert!(optimized.cell_by_name("live").is_some());
+        assert!(optimized.cell_by_name("dead1").is_none());
+        optimized.validate().unwrap();
+    }
+
+    #[test]
+    fn keeps_clock_trees_of_live_flops() {
+        let mut b = NetlistBuilder::new("m");
+        let clk = b.clock("clk");
+        let a = b.input("a", 1)[0];
+        let ck1 = b.clock_buf("ck1", clk);
+        let q = b.dff("q", a, ck1);
+        b.output("y", &[q]);
+        let n = b.finish().unwrap();
+        let (optimized, stats) = optimize(&n);
+        assert_eq!(stats.cells_swept, 0);
+        assert!(optimized.cell_by_name("ck1").is_some());
+    }
+
+    #[test]
+    fn optimization_is_idempotent() {
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input("a", 1)[0];
+        let zero = b.const0("zero");
+        let g = b.cell(CellKind::And2, "g", &[a, zero]);
+        b.output("y", &[g]);
+        let n = b.finish().unwrap();
+        let (once, _) = optimize(&n);
+        let (twice, stats) = optimize(&once);
+        assert_eq!(stats, OptimizeStats::default());
+        assert_eq!(once.cell_count(), twice.cell_count());
+    }
+
+    /// Exhaustive behavioural equivalence via direct evaluation (this
+    /// crate cannot depend on `vega-sim`, so a tiny evaluator lives in
+    /// the test).
+    mod vega_sim_check {
+        use crate::graph::topo_order;
+        use crate::netlist::{NetDriver, Netlist};
+
+        pub fn check_equiv(a: &Netlist, b: &Netlist, inputs: &[&str], outputs: &[&str]) {
+            let total_bits: usize =
+                inputs.iter().map(|p| a.port(p).unwrap().width()).sum();
+            assert!(total_bits <= 16, "exhaustive check only for small interfaces");
+            for pattern in 0..(1u32 << total_bits) {
+                for (port, expect_port) in outputs.iter().zip(outputs) {
+                    let va = eval(a, inputs, pattern, port);
+                    let vb = eval(b, inputs, pattern, expect_port);
+                    assert_eq!(va, vb, "pattern {pattern:#b} port {port}");
+                }
+            }
+        }
+
+        fn eval(n: &Netlist, inputs: &[&str], pattern: u32, output: &str) -> u64 {
+            let mut values = vec![false; n.net_count()];
+            let mut bit = 0;
+            for port_name in inputs {
+                let port = n.port(port_name).unwrap();
+                for &net in &port.bits {
+                    values[net.index()] = (pattern >> bit) & 1 == 1;
+                    bit += 1;
+                }
+            }
+            for id in topo_order(n).unwrap() {
+                let cell = n.cell(id);
+                let ins: Vec<bool> =
+                    cell.inputs.iter().map(|&i| values[i.index()]).collect();
+                values[cell.output.index()] = cell.kind.eval(&ins);
+            }
+            let port = n.port(output).unwrap();
+            let mut out = 0u64;
+            for (i, &net) in port.bits.iter().enumerate() {
+                // Output bits driven by DFFs don't exist in these tests.
+                let _ = NetDriver::Input;
+                if values[net.index()] {
+                    out |= 1 << i;
+                }
+            }
+            out
+        }
+    }
+}

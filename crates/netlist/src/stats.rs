@@ -1,0 +1,199 @@
+//! Synthesis-style netlist reports: cell census, area estimate, logic
+//! depth, and Graphviz export.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::cell::CellKind;
+use crate::graph;
+use crate::netlist::{NetDriver, Netlist};
+
+/// A synthesis-report-style summary of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Module name.
+    pub module: String,
+    /// Instance count per cell kind.
+    pub cells_by_kind: BTreeMap<CellKind, usize>,
+    /// Total cell count.
+    pub total_cells: usize,
+    /// Flip-flop count.
+    pub dffs: usize,
+    /// Clock-network cell count.
+    pub clock_cells: usize,
+    /// Estimated area in NAND2-equivalent gate units.
+    pub area_ge: f64,
+    /// Maximum combinational depth in logic levels.
+    pub max_logic_depth: u32,
+}
+
+/// Relative area per cell kind, in NAND2-equivalents (typical standard-
+/// cell library ratios).
+fn area_ge_of(kind: CellKind) -> f64 {
+    match kind {
+        CellKind::Const0 | CellKind::Const1 | CellKind::Random => 0.0,
+        CellKind::Not => 0.7,
+        CellKind::Buf | CellKind::Delay => 1.0,
+        CellKind::Nand2 | CellKind::Nor2 => 1.0,
+        CellKind::And2 | CellKind::Or2 => 1.3,
+        CellKind::Xor2 | CellKind::Xnor2 => 2.3,
+        CellKind::Mux2 => 2.3,
+        CellKind::Maj3 => 2.7,
+        CellKind::Dff => 4.7,
+        CellKind::ClockBuf => 1.3,
+        CellKind::ClockGate => 3.3,
+    }
+}
+
+impl NetlistStats {
+    /// Compute the report for `netlist`.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut cells_by_kind: BTreeMap<CellKind, usize> = BTreeMap::new();
+        let mut area = 0.0;
+        for cell in netlist.cells() {
+            *cells_by_kind.entry(cell.kind).or_insert(0) += 1;
+            area += area_ge_of(cell.kind);
+        }
+        let levels = graph::levelize(netlist).expect("validated netlist");
+        let max_logic_depth = netlist
+            .cells()
+            .filter(|c| c.kind.is_combinational())
+            .map(|c| levels[c.id.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        NetlistStats {
+            module: netlist.name().to_string(),
+            total_cells: netlist.cell_count(),
+            dffs: netlist.dffs().count(),
+            clock_cells: netlist.cells().filter(|c| c.kind.is_clock_network()).count(),
+            cells_by_kind,
+            area_ge: area,
+            max_logic_depth,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} ===", self.module)?;
+        writeln!(f, "cells: {} ({} DFFs, {} clock)", self.total_cells, self.dffs, self.clock_cells)?;
+        writeln!(f, "area:  {:.0} GE", self.area_ge)?;
+        writeln!(f, "depth: {} levels", self.max_logic_depth)?;
+        for (kind, count) in &self.cells_by_kind {
+            writeln!(f, "  {:8} {count}", kind.verilog_name())?;
+        }
+        Ok(())
+    }
+}
+
+/// Render the netlist as a Graphviz `dot` digraph (cells as nodes, nets
+/// as edges). Intended for small netlists — the worked example, failure
+/// models, shadow replicas.
+pub fn to_dot(netlist: &Netlist) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", netlist.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for port in netlist.inputs() {
+        let _ = writeln!(out, "  \"in:{}\" [shape=triangle];", port.name);
+    }
+    for port in netlist.outputs() {
+        let _ = writeln!(out, "  \"out:{}\" [shape=invtriangle];", port.name);
+    }
+    for cell in netlist.cells() {
+        let shape = if cell.kind.is_sequential() {
+            "box"
+        } else if cell.kind.is_clock_network() {
+            "house"
+        } else {
+            "ellipse"
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape={shape} label=\"{}\\n{}\"];",
+            cell.name,
+            cell.name,
+            cell.kind.verilog_name()
+        );
+    }
+    // Edges: driver -> reader per pin.
+    let driver_label = |net| match netlist.net(net).driver {
+        NetDriver::Cell(c) => format!("\"{}\"", netlist.cell(c).name),
+        NetDriver::Input => {
+            let port = netlist
+                .inputs()
+                .find(|p| p.bits.contains(&net))
+                .map(|p| p.name.clone())
+                .unwrap_or_else(|| netlist.net(net).name.clone());
+            format!("\"in:{port}\"")
+        }
+    };
+    for cell in netlist.cells() {
+        for (pin, &input) in cell.inputs.iter().enumerate() {
+            let style = if Netlist::is_clock_pin(cell.kind, pin) {
+                " [style=dashed]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  {} -> \"{}\"{};", driver_label(input), cell.name, style);
+        }
+    }
+    for port in netlist.outputs() {
+        for &bit in &port.bits {
+            let _ = writeln!(out, "  {} -> \"out:{}\";", driver_label(bit), port.name);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("m");
+        let clk = b.clock("clk");
+        let a = b.input("a", 1)[0];
+        let inv = b.cell(CellKind::Not, "inv", &[a]);
+        let x = b.cell(CellKind::Xor2, "x", &[inv, a]);
+        let q = b.dff("q", x, clk);
+        b.output("y", &[q]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn stats_counts_and_depth() {
+        let stats = NetlistStats::of(&sample());
+        assert_eq!(stats.total_cells, 3);
+        assert_eq!(stats.dffs, 1);
+        assert_eq!(stats.cells_by_kind[&CellKind::Not], 1);
+        assert_eq!(stats.max_logic_depth, 2, "NOT -> XOR");
+        assert!(stats.area_ge > 0.0);
+        let text = stats.to_string();
+        assert!(text.contains("cells: 3 (1 DFFs, 0 clock)"));
+        assert!(text.contains("XOR2"));
+    }
+
+    #[test]
+    fn dot_export_is_well_formed() {
+        let dot = to_dot(&sample());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("\"inv\" [shape=ellipse"));
+        assert!(dot.contains("\"q\" [shape=box"));
+        assert!(dot.contains("\"in:a\" -> \"inv\";"));
+        assert!(dot.contains("-> \"q\" [style=dashed];"), "clock edge dashed");
+        assert!(dot.contains("\"q\" -> \"out:y\";"));
+        // Every non-brace line is a node or an edge statement.
+        assert_eq!(dot.matches("->").count(), 6);
+    }
+
+    #[test]
+    fn every_kind_has_an_area() {
+        for kind in CellKind::ALL {
+            assert!(area_ge_of(kind) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests over randomly generated netlists: structural
+//! invariants, graph queries, and Verilog round-tripping.
+
+use proptest::prelude::*;
+
+use vega_netlist::graph::{self, ConeOptions};
+use vega_netlist::verilog::{parse_verilog, write_verilog};
+use vega_netlist::{CellKind, NetId, Netlist, NetlistBuilder};
+
+/// Construction script: each step adds one cell whose inputs are chosen
+/// (by index) among already-existing nets, guaranteeing a DAG.
+#[derive(Debug, Clone)]
+enum Step {
+    Gate(u8, u8, u8, u8), // kind selector, three input selectors
+    Dff(u8),
+    Output(u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(k, a, b, c)| Step::Gate(k, a, b, c)),
+        any::<u8>().prop_map(Step::Dff),
+        any::<u8>().prop_map(Step::Output),
+    ]
+}
+
+const GATE_KINDS: [CellKind; 10] = [
+    CellKind::Buf,
+    CellKind::Not,
+    CellKind::And2,
+    CellKind::Or2,
+    CellKind::Nand2,
+    CellKind::Nor2,
+    CellKind::Xor2,
+    CellKind::Xnor2,
+    CellKind::Mux2,
+    CellKind::Maj3,
+];
+
+fn build(steps: &[Step]) -> Netlist {
+    let mut b = NetlistBuilder::new("prop");
+    let clk = b.clock("clk");
+    let inputs = b.input("in", 4);
+    let mut nets: Vec<NetId> = inputs.clone();
+    let mut outputs = Vec::new();
+    for (i, step) in steps.iter().enumerate() {
+        match step {
+            Step::Gate(k, a, bb, c) => {
+                let kind = GATE_KINDS[*k as usize % GATE_KINDS.len()];
+                let pick = |sel: &u8| nets[*sel as usize % nets.len()];
+                let ins: Vec<NetId> =
+                    [pick(a), pick(bb), pick(c)][..kind.arity()].to_vec();
+                let out = b.cell(kind, format!("g{i}"), &ins);
+                nets.push(out);
+            }
+            Step::Dff(d) => {
+                let src = nets[*d as usize % nets.len()];
+                let out = b.dff(format!("q{i}"), src, clk);
+                nets.push(out);
+            }
+            Step::Output(s) => {
+                outputs.push(nets[*s as usize % nets.len()]);
+            }
+        }
+    }
+    if outputs.is_empty() {
+        outputs.push(*nets.last().unwrap());
+    }
+    b.output("out", &outputs);
+    b.finish().expect("script construction is always valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated netlist validates, and re-validating after a
+    /// rebuild of the name indices is stable.
+    #[test]
+    fn generated_netlists_validate(steps in prop::collection::vec(step_strategy(), 1..60)) {
+        let mut n = build(&steps);
+        prop_assert!(n.validate().is_ok());
+        n.rebuild_indices();
+        prop_assert!(n.validate().is_ok());
+    }
+
+    /// Topological order contains every combinational cell exactly once,
+    /// with every combinational predecessor earlier.
+    #[test]
+    fn topo_order_is_sound(steps in prop::collection::vec(step_strategy(), 1..60)) {
+        let n = build(&steps);
+        let order = graph::topo_order(&n).unwrap();
+        let comb: Vec<_> = n.cells().filter(|c| c.kind.is_combinational()).collect();
+        prop_assert_eq!(order.len(), comb.len());
+        let position: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        for cell in comb {
+            for &input in &cell.inputs {
+                if let vega_netlist::NetDriver::Cell(src) = n.net(input).driver {
+                    if n.cell(src).kind.is_combinational() {
+                        prop_assert!(position[&src] < position[&cell.id]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Verilog emission is a fixed point of parse∘emit, and parsing
+    /// preserves cell and flip-flop counts.
+    #[test]
+    fn verilog_round_trip(steps in prop::collection::vec(step_strategy(), 1..40)) {
+        let n = build(&steps);
+        let text1 = write_verilog(&n);
+        let parsed = parse_verilog(&text1).expect("own output parses");
+        prop_assert_eq!(parsed.cell_count(), n.cell_count());
+        prop_assert_eq!(parsed.dffs().count(), n.dffs().count());
+        let text2 = write_verilog(&parsed);
+        prop_assert_eq!(text1, text2);
+    }
+
+    /// The fan-out cone of any net only contains cells that transitively
+    /// read it, and the fan-in cone of an output contains its driver.
+    #[test]
+    fn cones_are_consistent(steps in prop::collection::vec(step_strategy(), 1..50)) {
+        let n = build(&steps);
+        let some_net = n.port("in").unwrap().bits[0];
+        let cone = graph::fanout_cone(&n, some_net, ConeOptions::default());
+        // Fanout cone cells are unique.
+        let mut seen = std::collections::HashSet::new();
+        for c in &cone {
+            prop_assert!(seen.insert(*c), "duplicate cell in cone");
+        }
+        // Every output bit's fan-in cone includes its driving cell.
+        for port in n.outputs() {
+            for &bit in &port.bits {
+                if let vega_netlist::NetDriver::Cell(driver) = n.net(bit).driver {
+                    let fanin = graph::fanin_cone(&n, bit, ConeOptions::default());
+                    prop_assert!(fanin.contains(&driver));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Execution backends: golden software vs gate-level co-simulation.
+
+use vega_circuits::alu::ALU_LATENCY;
+use vega_circuits::fpu::FPU_LATENCY;
+use vega_circuits::golden::{alu_golden, fpu_golden, AluOp, FpFlags, FpResult, FpuOp};
+use vega_netlist::Netlist;
+use vega_sim::Simulator;
+
+/// The FPU's result handshake never arrived: the co-simulated netlist has
+/// a fault on its ready/valid signals and the CPU would wait forever
+/// (paper Table 6, "S" — stall).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwStall;
+
+impl std::fmt::Display for HwStall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "hardware handshake stalled")
+    }
+}
+
+impl std::error::Error for HwStall {}
+
+/// Executes ALU operations.
+pub trait AluBackend {
+    /// Compute `op(a, b)`.
+    fn alu_exec(&mut self, op: AluOp, a: u32, b: u32) -> Result<u32, HwStall>;
+
+    /// Pipeline cycles one operation occupies.
+    fn alu_cycles(&self) -> u64 {
+        1
+    }
+}
+
+/// Executes FPU operations.
+pub trait FpuBackend {
+    /// Compute `op(a, b)` and the raised flags.
+    fn fpu_exec(&mut self, op: FpuOp, a: u32, b: u32) -> Result<FpResult, HwStall>;
+
+    /// Pipeline cycles one operation occupies.
+    fn fpu_cycles(&self) -> u64 {
+        FPU_LATENCY as u64
+    }
+}
+
+/// Behavioural ALU (the reference model).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GoldenAlu;
+
+impl AluBackend for GoldenAlu {
+    fn alu_exec(&mut self, op: AluOp, a: u32, b: u32) -> Result<u32, HwStall> {
+        Ok(alu_golden(op, a, b))
+    }
+}
+
+/// Behavioural FPU (the reference model).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GoldenFpu;
+
+impl FpuBackend for GoldenFpu {
+    fn fpu_exec(&mut self, op: FpuOp, a: u32, b: u32) -> Result<FpResult, HwStall> {
+        Ok(fpu_golden(op, a, b))
+    }
+}
+
+/// Gate-level ALU: drives an `rv32_alu`-shaped netlist (possibly a
+/// failing netlist) through its port protocol.
+#[derive(Debug)]
+pub struct GateAlu<'n> {
+    sim: Simulator<'n>,
+}
+
+impl<'n> GateAlu<'n> {
+    /// Wrap a netlist with the `rv32_alu` port map: `op`/`a`/`b` in,
+    /// `r` out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist lacks the expected ports.
+    pub fn new(netlist: &'n Netlist) -> Self {
+        Self::with_seed(netlist, 0xA1)
+    }
+
+    /// Like [`GateAlu::new`] with an explicit seed for `Random` fault
+    /// cells in failing netlists.
+    pub fn with_seed(netlist: &'n Netlist, seed: u64) -> Self {
+        for port in ["op", "a", "b", "r"] {
+            assert!(netlist.port(port).is_some(), "ALU netlist lacks port `{port}`");
+        }
+        GateAlu { sim: Simulator::with_seed(netlist, seed) }
+    }
+}
+
+impl AluBackend for GateAlu<'_> {
+    fn alu_exec(&mut self, op: AluOp, a: u32, b: u32) -> Result<u32, HwStall> {
+        self.sim.set_input("op", op.encoding());
+        self.sim.set_input("a", a as u64);
+        self.sim.set_input("b", b as u64);
+        for _ in 0..ALU_LATENCY {
+            self.sim.step();
+        }
+        Ok(self.sim.output("r") as u32)
+    }
+}
+
+/// Gate-level FPU: drives an `rv32_fpu`-shaped netlist (possibly a
+/// failing netlist) through its valid/tag handshake, detecting stalls.
+#[derive(Debug)]
+pub struct GateFpu<'n> {
+    sim: Simulator<'n>,
+    /// Extra cycles to wait for `out_valid` before declaring a stall.
+    grace: usize,
+}
+
+impl<'n> GateFpu<'n> {
+    /// Wrap a netlist with the `rv32_fpu` port map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist lacks the expected ports.
+    pub fn new(netlist: &'n Netlist) -> Self {
+        Self::with_seed(netlist, 0xF9)
+    }
+
+    /// Like [`GateFpu::new`] with an explicit seed for `Random` fault
+    /// cells in failing netlists.
+    pub fn with_seed(netlist: &'n Netlist, seed: u64) -> Self {
+        for port in ["op", "valid", "a", "b", "r", "flags", "out_valid"] {
+            assert!(netlist.port(port).is_some(), "FPU netlist lacks port `{port}`");
+        }
+        GateFpu { sim: Simulator::with_seed(netlist, seed), grace: 4 }
+    }
+}
+
+impl FpuBackend for GateFpu<'_> {
+    fn fpu_exec(&mut self, op: FpuOp, a: u32, b: u32) -> Result<FpResult, HwStall> {
+        self.sim.set_input("op", op.encoding());
+        self.sim.set_input("a", a as u64);
+        self.sim.set_input("b", b as u64);
+        self.sim.set_input("valid", 1);
+        self.sim.set_input("tag", 0);
+        self.sim.step();
+        self.sim.set_input("valid", 0);
+        self.sim.step();
+        // out_valid should be high exactly now; a fault on the handshake
+        // path may delay or lose it.
+        let mut waited = 0;
+        while self.sim.output("out_valid") != 1 {
+            if waited >= self.grace {
+                return Err(HwStall);
+            }
+            self.sim.step();
+            waited += 1;
+        }
+        let bits = self.sim.output("r") as u32;
+        let raw = self.sim.output("flags") as u32;
+        let flags = FpFlags {
+            nv: raw >> 4 & 1 == 1,
+            dz: raw >> 3 & 1 == 1,
+            of: raw >> 2 & 1 == 1,
+            uf: raw >> 1 & 1 == 1,
+            nx: raw & 1 == 1,
+        };
+        Ok(FpResult { bits, flags })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_circuits::{alu::build_alu, fpu::build_fpu};
+
+    #[test]
+    fn gate_backends_agree_with_golden() {
+        let alu_netlist = build_alu();
+        let fpu_netlist = build_fpu();
+        let mut gate_alu = GateAlu::new(&alu_netlist);
+        let mut gate_fpu = GateFpu::new(&fpu_netlist);
+        let mut golden_alu = GoldenAlu;
+        let mut golden_fpu = GoldenFpu;
+
+        for (op, a, b) in [
+            (AluOp::Add, 7u32, 9u32),
+            (AluOp::Sub, 3, 10),
+            (AluOp::Sra, 0x8000_0000, 4),
+            (AluOp::Sltu, 1, 2),
+        ] {
+            assert_eq!(
+                gate_alu.alu_exec(op, a, b).unwrap(),
+                golden_alu.alu_exec(op, a, b).unwrap(),
+                "{op:?}"
+            );
+        }
+        for (op, a, b) in [
+            (FpuOp::Add, 0x3F80_0000u32, 0x4000_0000u32),
+            (FpuOp::Mul, 0x4000_0000, 0x4040_0000),
+            (FpuOp::Lt, 0x3F80_0000, 0x4000_0000),
+        ] {
+            let hw = gate_fpu.fpu_exec(op, a, b).unwrap();
+            let sw = golden_fpu.fpu_exec(op, a, b).unwrap();
+            assert_eq!(hw, sw, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn fpu_stall_detected_when_valid_is_cut() {
+        // Sabotage the handshake: rewire the out_valid DFF's data input
+        // to constant 0 — the co-simulation must report a stall instead
+        // of spinning forever.
+        let mut netlist = build_fpu();
+        let out_valid = netlist.cell_by_name("out_valid_q").unwrap().id;
+        let tie = netlist.add_cell(vega_netlist::CellKind::Const0, "cut_valid", &[]);
+        let tie_net = netlist.cell(tie).output;
+        netlist.rewire_input(out_valid, 0, tie_net);
+        netlist.validate().unwrap();
+
+        let mut fpu = GateFpu::new(&netlist);
+        assert_eq!(fpu.fpu_exec(FpuOp::Add, 1, 2), Err(HwStall));
+    }
+}

@@ -1,0 +1,483 @@
+//! The functional CPU.
+
+
+
+use crate::backend::{AluBackend, FpuBackend};
+use crate::isa::{BranchCond, Instr, LoadWidth, MulDivOp, Reg};
+
+/// Why [`Cpu::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exit {
+    /// A [`Instr::Halt`] was executed.
+    Halted,
+    /// A co-simulated functional unit never produced its result — the
+    /// paper's hardware-stall failure (Table 6, "S"). From software's
+    /// view the program stops making progress, which is itself a
+    /// detectable symptom.
+    Stalled,
+    /// The step limit was reached before halting.
+    StepLimit,
+    /// The program counter left the program.
+    PcOutOfRange,
+}
+
+/// Byte-addressed little-endian memory.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// A zero-filled memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Memory { bytes: vec![0; size] }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Read `width` bytes at `addr` (zero-extended into u32).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range access — the model treats that as a
+    /// program bug, not a recoverable trap.
+    pub fn read(&self, addr: u32, width: LoadWidth) -> u32 {
+        let a = addr as usize;
+        match width {
+            LoadWidth::Byte => self.bytes[a] as u32,
+            LoadWidth::Half => u32::from(self.bytes[a]) | u32::from(self.bytes[a + 1]) << 8,
+            LoadWidth::Word => {
+                u32::from(self.bytes[a])
+                    | u32::from(self.bytes[a + 1]) << 8
+                    | u32::from(self.bytes[a + 2]) << 16
+                    | u32::from(self.bytes[a + 3]) << 24
+            }
+        }
+    }
+
+    /// Write the low `width` bytes of `value` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range access.
+    pub fn write(&mut self, addr: u32, width: LoadWidth, value: u32) {
+        let a = addr as usize;
+        match width {
+            LoadWidth::Byte => self.bytes[a] = value as u8,
+            LoadWidth::Half => {
+                self.bytes[a] = value as u8;
+                self.bytes[a + 1] = (value >> 8) as u8;
+            }
+            LoadWidth::Word => {
+                self.bytes[a] = value as u8;
+                self.bytes[a + 1] = (value >> 8) as u8;
+                self.bytes[a + 2] = (value >> 16) as u8;
+                self.bytes[a + 3] = (value >> 24) as u8;
+            }
+        }
+    }
+}
+
+/// The functional RV32IM(F)-subset CPU, generic over its ALU and FPU
+/// execution backends.
+#[derive(Debug)]
+pub struct Cpu<A, F> {
+    /// Integer register file (`x0` reads as zero).
+    x: [u32; 32],
+    /// Float register file (raw bits).
+    f: [u32; 32],
+    /// Accumulated IEEE exception flags (`fflags` CSR).
+    fflags: u32,
+    /// Data memory.
+    pub mem: Memory,
+    /// Executed-cycle counter (simple timing model: 1 cycle per
+    /// instruction, plus the unit latency for ALU/FPU co-simulated ops,
+    /// plus 1 for taken branches and loads).
+    cycles: u64,
+    /// Retired instruction count.
+    instructions: u64,
+    alu: A,
+    fpu: F,
+}
+
+impl<A: AluBackend, F: FpuBackend> Cpu<A, F> {
+    /// A CPU with the given backends and `mem_size` bytes of memory.
+    pub fn new(alu: A, fpu: F, mem_size: usize) -> Self {
+        Cpu {
+            x: [0; 32],
+            f: [0; 32],
+            fflags: 0,
+            mem: Memory::new(mem_size),
+            cycles: 0,
+            instructions: 0,
+            alu,
+            fpu,
+        }
+    }
+
+    /// Read an integer register.
+    pub fn x(&self, reg: Reg) -> u32 {
+        if reg.0 == 0 {
+            0
+        } else {
+            self.x[reg.0 as usize & 31]
+        }
+    }
+
+    /// Write an integer register (writes to `x0` are ignored).
+    pub fn set_x(&mut self, reg: Reg, value: u32) {
+        if reg.0 != 0 {
+            self.x[reg.0 as usize & 31] = value;
+        }
+    }
+
+    /// Read a float register's raw bits.
+    pub fn f_bits(&self, reg: u8) -> u32 {
+        self.f[reg as usize & 31]
+    }
+
+    /// Write a float register's raw bits.
+    pub fn set_f_bits(&mut self, reg: u8, value: u32) {
+        self.f[reg as usize & 31] = value;
+    }
+
+    /// The accumulated `fflags` value.
+    pub fn fflags(&self) -> u32 {
+        self.fflags
+    }
+
+    /// Cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Run `program` from its first instruction until halt, stall, or
+    /// `max_steps` retired instructions. The program counter addresses
+    /// instructions (not bytes) internally; branch/jump byte offsets are
+    /// divided by 4.
+    pub fn run(&mut self, program: &[Instr], max_steps: u64) -> Exit {
+        let mut pc: i64 = 0;
+        let mut steps = 0u64;
+        loop {
+            if steps >= max_steps {
+                return Exit::StepLimit;
+            }
+            if pc < 0 || pc as usize >= program.len() {
+                return Exit::PcOutOfRange;
+            }
+            let instr = program[pc as usize];
+            steps += 1;
+            self.instructions += 1;
+            self.cycles += 1;
+            let mut next_pc = pc + 1;
+            match instr {
+                Instr::Alu { op, rd, rs1, rs2 } => {
+                    let a = self.x(rs1);
+                    let b = self.x(rs2);
+                    self.cycles += self.alu.alu_cycles() - 1;
+                    match self.alu.alu_exec(op, a, b) {
+                        Ok(r) => self.set_x(rd, r),
+                        Err(_) => return Exit::Stalled,
+                    }
+                }
+                Instr::AluImm { op, rd, rs1, imm } => {
+                    let a = self.x(rs1);
+                    let b = imm as u32;
+                    self.cycles += self.alu.alu_cycles() - 1;
+                    match self.alu.alu_exec(op, a, b) {
+                        Ok(r) => self.set_x(rd, r),
+                        Err(_) => return Exit::Stalled,
+                    }
+                }
+                Instr::Lui { rd, imm20 } => self.set_x(rd, imm20 << 12),
+                Instr::MulDiv { op, rd, rs1, rs2 } => {
+                    let a = self.x(rs1);
+                    let b = self.x(rs2);
+                    let r = mul_div(op, a, b);
+                    // The CV32E40P multiplier takes multiple cycles for
+                    // division; model div/rem as 8 cycles, mul as 1 extra.
+                    self.cycles += match op {
+                        MulDivOp::Div | MulDivOp::Divu | MulDivOp::Rem | MulDivOp::Remu => 8,
+                        _ => 1,
+                    };
+                    self.set_x(rd, r);
+                }
+                Instr::Branch { cond, rs1, rs2, offset } => {
+                    let a = self.x(rs1);
+                    let b = self.x(rs2);
+                    let taken = match cond {
+                        BranchCond::Eq => a == b,
+                        BranchCond::Ne => a != b,
+                        BranchCond::Lt => (a as i32) < (b as i32),
+                        BranchCond::Ge => (a as i32) >= (b as i32),
+                        BranchCond::Ltu => a < b,
+                        BranchCond::Geu => a >= b,
+                    };
+                    if taken {
+                        self.cycles += 1;
+                        next_pc = pc + i64::from(offset / 4);
+                    }
+                }
+                Instr::Jal { rd, offset } => {
+                    self.set_x(rd, ((pc + 1) * 4) as u32);
+                    self.cycles += 1;
+                    next_pc = pc + i64::from(offset / 4);
+                }
+                Instr::Load { width, signed, rd, rs1, offset } => {
+                    let addr = self.x(rs1).wrapping_add(offset as u32);
+                    let raw = self.mem.read(addr, width);
+                    let value = match (width, signed) {
+                        (LoadWidth::Byte, true) => raw as u8 as i8 as i32 as u32,
+                        (LoadWidth::Half, true) => raw as u16 as i16 as i32 as u32,
+                        _ => raw,
+                    };
+                    self.cycles += 1;
+                    self.set_x(rd, value);
+                }
+                Instr::Store { width, rs2, rs1, offset } => {
+                    let addr = self.x(rs1).wrapping_add(offset as u32);
+                    self.mem.write(addr, width, self.x(rs2));
+                }
+                Instr::Fpu { op, rd, rs1, rs2 } => {
+                    let a = self.f_bits(rs1);
+                    let b = self.f_bits(rs2);
+                    self.cycles += self.fpu.fpu_cycles() - 1;
+                    match self.fpu.fpu_exec(op, a, b) {
+                        Ok(result) => {
+                            self.set_f_bits(rd, result.bits);
+                            self.fflags |= result.flags.to_bits();
+                        }
+                        Err(_) => return Exit::Stalled,
+                    }
+                }
+                Instr::FmvWX { rd, rs } => {
+                    let v = self.x(rs);
+                    self.set_f_bits(rd, v);
+                }
+                Instr::FmvXW { rd, rs } => {
+                    let v = self.f_bits(rs);
+                    self.set_x(rd, v);
+                }
+                Instr::ReadClearFflags { rd } => {
+                    let v = self.fflags;
+                    self.fflags = 0;
+                    self.set_x(rd, v);
+                }
+                Instr::Halt => return Exit::Halted,
+            }
+            pc = next_pc;
+        }
+    }
+}
+
+/// Behavioural M-extension semantics.
+fn mul_div(op: MulDivOp, a: u32, b: u32) -> u32 {
+    match op {
+        MulDivOp::Mul => a.wrapping_mul(b),
+        MulDivOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        MulDivOp::Mulhsu => (((a as i32 as i64) * (b as i64)) >> 32) as u32,
+        MulDivOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+        MulDivOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                a
+            } else {
+                ((a as i32) / (b as i32)) as u32
+            }
+        }
+        MulDivOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+        MulDivOp::Rem => {
+            if b == 0 {
+                a
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                0
+            } else {
+                ((a as i32) % (b as i32)) as u32
+            }
+        }
+        MulDivOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{GoldenAlu, GoldenFpu};
+    use vega_circuits::golden::{AluOp, FpuOp};
+
+    fn cpu() -> Cpu<GoldenAlu, GoldenFpu> {
+        Cpu::new(GoldenAlu, GoldenFpu, 4096)
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let mut c = cpu();
+        let program = [
+            Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: 40 },
+            Instr::AluImm { op: AluOp::Add, rd: Reg(2), rs1: Reg(0), imm: 2 },
+            Instr::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) },
+            Instr::Halt,
+        ];
+        assert_eq!(c.run(&program, 100), Exit::Halted);
+        assert_eq!(c.x(Reg(3)), 42);
+        assert_eq!(c.instructions(), 4);
+    }
+
+    #[test]
+    fn loop_with_branches_and_memory() {
+        // Sum 1..=10 into memory, then read back.
+        let mut c = cpu();
+        let program = [
+            // x1 = 0 (acc), x2 = 1 (i), x3 = 11 (limit)
+            Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: 0 },
+            Instr::AluImm { op: AluOp::Add, rd: Reg(2), rs1: Reg(0), imm: 1 },
+            Instr::AluImm { op: AluOp::Add, rd: Reg(3), rs1: Reg(0), imm: 11 },
+            // loop: acc += i; i += 1; if i != limit goto loop
+            Instr::Alu { op: AluOp::Add, rd: Reg(1), rs1: Reg(1), rs2: Reg(2) },
+            Instr::AluImm { op: AluOp::Add, rd: Reg(2), rs1: Reg(2), imm: 1 },
+            Instr::Branch { cond: BranchCond::Ne, rs1: Reg(2), rs2: Reg(3), offset: -8 },
+            // store acc at 100, load it back into x4
+            Instr::Store { width: LoadWidth::Word, rs2: Reg(1), rs1: Reg(0), offset: 100 },
+            Instr::Load { width: LoadWidth::Word, signed: false, rd: Reg(4), rs1: Reg(0), offset: 100 },
+            Instr::Halt,
+        ];
+        assert_eq!(c.run(&program, 1000), Exit::Halted);
+        assert_eq!(c.x(Reg(4)), 55);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut c = cpu();
+        let program = [
+            Instr::AluImm { op: AluOp::Add, rd: Reg(0), rs1: Reg(0), imm: 99 },
+            Instr::Alu { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), rs2: Reg(0) },
+            Instr::Halt,
+        ];
+        assert_eq!(c.run(&program, 10), Exit::Halted);
+        assert_eq!(c.x(Reg(1)), 0);
+    }
+
+    #[test]
+    fn float_program_and_fflags() {
+        let mut c = cpu();
+        let one = 0x3F80_0000u32;
+        let program = [
+            Instr::Lui { rd: Reg(1), imm20: one >> 12 },
+            Instr::FmvWX { rd: 1, rs: Reg(1) },
+            Instr::Fpu { op: FpuOp::Add, rd: 2, rs1: 1, rs2: 1 }, // 2.0
+            Instr::Fpu { op: FpuOp::Mul, rd: 3, rs1: 2, rs2: 2 }, // 4.0
+            Instr::FmvXW { rd: Reg(2), rs: 3 },
+            Instr::ReadClearFflags { rd: Reg(3) },
+            Instr::Halt,
+        ];
+        assert_eq!(c.run(&program, 100), Exit::Halted);
+        assert_eq!(c.x(Reg(2)), 0x4080_0000, "4.0");
+        assert_eq!(c.x(Reg(3)), 0, "exact arithmetic raises nothing");
+        assert_eq!(c.fflags(), 0, "read-and-clear");
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        assert_eq!(mul_div(MulDivOp::Div, 7, 0), u32::MAX);
+        assert_eq!(mul_div(MulDivOp::Rem, 7, 0), 7);
+        assert_eq!(mul_div(MulDivOp::Div, 0x8000_0000, u32::MAX), 0x8000_0000);
+        assert_eq!(mul_div(MulDivOp::Rem, 0x8000_0000, u32::MAX), 0);
+        assert_eq!(mul_div(MulDivOp::Mulh, u32::MAX, u32::MAX), 0, "(-1)*(-1)=1");
+    }
+
+    #[test]
+    fn step_limit_and_pc_range() {
+        let mut c = cpu();
+        let spin = [Instr::Jal { rd: Reg(0), offset: 0 }];
+        assert_eq!(c.run(&spin, 50), Exit::StepLimit);
+        let out = [Instr::Jal { rd: Reg(0), offset: -4 }];
+        assert_eq!(c.run(&out, 50), Exit::PcOutOfRange);
+    }
+
+    #[test]
+    fn cycle_model_counts_unit_latency() {
+        let mut c = cpu();
+        let program = [
+            Instr::Fpu { op: FpuOp::Add, rd: 1, rs1: 0, rs2: 0 },
+            Instr::Halt,
+        ];
+        c.run(&program, 10);
+        // 1 (fpu base) + latency-1 extra + 1 halt.
+        assert_eq!(c.cycles(), 2 + 1);
+    }
+}
+
+impl<A: AluBackend, F: FpuBackend> Cpu<A, F> {
+    /// Decode and run a program given as raw machine words (the form the
+    /// generated C library's inline assembly ultimately takes).
+    ///
+    /// Returns the decode error if any word is outside the modeled
+    /// subset; otherwise behaves exactly like [`Cpu::run`].
+    pub fn run_encoded(
+        &mut self,
+        words: &[u32],
+        max_steps: u64,
+    ) -> Result<Exit, crate::decode::DecodeError> {
+        let program: Result<Vec<Instr>, _> =
+            words.iter().map(|&w| crate::decode::decode(w)).collect();
+        Ok(self.run(&program?, max_steps))
+    }
+}
+
+#[cfg(test)]
+mod encoded_tests {
+    use super::*;
+    use crate::backend::{GoldenAlu, GoldenFpu};
+    use vega_circuits::golden::AluOp;
+
+    #[test]
+    fn encoded_program_matches_direct_execution() {
+        let program = vec![
+            Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: 21 },
+            Instr::Alu { op: AluOp::Add, rd: Reg(2), rs1: Reg(1), rs2: Reg(1) },
+            Instr::Store { width: LoadWidth::Word, rs2: Reg(2), rs1: Reg(0), offset: 8 },
+            Instr::Halt,
+        ];
+        let words: Vec<u32> = program.iter().map(|i| i.encode()).collect();
+
+        let mut direct = Cpu::new(GoldenAlu, GoldenFpu, 64);
+        assert_eq!(direct.run(&program, 100), Exit::Halted);
+
+        let mut encoded = Cpu::new(GoldenAlu, GoldenFpu, 64);
+        assert_eq!(encoded.run_encoded(&words, 100).unwrap(), Exit::Halted);
+
+        assert_eq!(direct.x(Reg(2)), 42);
+        assert_eq!(encoded.x(Reg(2)), 42);
+        assert_eq!(
+            direct.mem.read(8, LoadWidth::Word),
+            encoded.mem.read(8, LoadWidth::Word)
+        );
+    }
+
+    #[test]
+    fn bad_word_is_rejected_before_execution() {
+        let mut cpu = Cpu::new(GoldenAlu, GoldenFpu, 64);
+        assert!(cpu.run_encoded(&[0xFFFF_FFFF], 10).is_err());
+        assert_eq!(cpu.instructions(), 0, "nothing executed");
+    }
+}

@@ -1,0 +1,282 @@
+//! Instruction decoding: RISC-V machine words back into [`Instr`].
+//!
+//! The inverse of [`Instr::encode`], covering exactly the modeled subset.
+//! Vega uses it to audit generated binaries (the C library's inline
+//! assembly can be assembled externally and cross-checked) and it makes
+//! the encoder testable by round-trip.
+
+use vega_circuits::golden::{AluOp, FpuOp};
+
+use crate::isa::{BranchCond, Instr, LoadWidth, MulDivOp, Reg};
+
+/// Why a machine word failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The major opcode is outside the modeled subset.
+    UnknownOpcode(u32),
+    /// The funct fields select an operation the model does not cover.
+    UnknownFunction {
+        /// Major opcode.
+        opcode: u32,
+        /// funct3 field.
+        funct3: u32,
+        /// funct7 field.
+        funct7: u32,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#09b}"),
+            DecodeError::UnknownFunction { opcode, funct3, funct7 } => write!(
+                f,
+                "unknown function (opcode {opcode:#09b}, funct3 {funct3:#05b}, funct7 {funct7:#09b})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decode one machine word.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let opcode = word & 0x7F;
+    let rd = Reg((word >> 7 & 0x1F) as u8);
+    let funct3 = word >> 12 & 0x7;
+    let rs1 = Reg((word >> 15 & 0x1F) as u8);
+    let rs2 = Reg((word >> 20 & 0x1F) as u8);
+    let funct7 = word >> 25 & 0x7F;
+    let unknown = || DecodeError::UnknownFunction { opcode, funct3, funct7 };
+
+    match opcode {
+        0b0110011 => {
+            // R-type: ALU or M extension.
+            if funct7 == 0b0000001 {
+                let op = match funct3 {
+                    0b000 => MulDivOp::Mul,
+                    0b001 => MulDivOp::Mulh,
+                    0b010 => MulDivOp::Mulhsu,
+                    0b011 => MulDivOp::Mulhu,
+                    0b100 => MulDivOp::Div,
+                    0b101 => MulDivOp::Divu,
+                    0b110 => MulDivOp::Rem,
+                    _ => MulDivOp::Remu,
+                };
+                return Ok(Instr::MulDiv { op, rd, rs1, rs2 });
+            }
+            let op = match (funct3, funct7) {
+                (0b000, 0) => AluOp::Add,
+                (0b000, 0b0100000) => AluOp::Sub,
+                (0b001, 0) => AluOp::Sll,
+                (0b010, 0) => AluOp::Slt,
+                (0b011, 0) => AluOp::Sltu,
+                (0b100, 0) => AluOp::Xor,
+                (0b101, 0) => AluOp::Srl,
+                (0b101, 0b0100000) => AluOp::Sra,
+                (0b110, 0) => AluOp::Or,
+                (0b111, 0) => AluOp::And,
+                _ => return Err(unknown()),
+            };
+            Ok(Instr::Alu { op, rd, rs1, rs2 })
+        }
+        0b0010011 => {
+            let imm_raw = word >> 20;
+            let op = match funct3 {
+                0b000 => AluOp::Add,
+                0b001 => AluOp::Sll,
+                0b010 => AluOp::Slt,
+                0b011 => AluOp::Sltu,
+                0b100 => AluOp::Xor,
+                0b101 if funct7 == 0b0100000 => AluOp::Sra,
+                0b101 => AluOp::Srl,
+                0b110 => AluOp::Or,
+                _ => AluOp::And,
+            };
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => (imm_raw & 31) as i32,
+                _ => sign_extend(imm_raw, 12),
+            };
+            Ok(Instr::AluImm { op, rd, rs1, imm })
+        }
+        0b0110111 => Ok(Instr::Lui { rd, imm20: word >> 12 }),
+        0b1100011 => {
+            let cond = match funct3 {
+                0b000 => BranchCond::Eq,
+                0b001 => BranchCond::Ne,
+                0b100 => BranchCond::Lt,
+                0b101 => BranchCond::Ge,
+                0b110 => BranchCond::Ltu,
+                0b111 => BranchCond::Geu,
+                _ => return Err(unknown()),
+            };
+            let imm = (word >> 7 & 1) << 11
+                | (word >> 8 & 0xF) << 1
+                | (word >> 25 & 0x3F) << 5
+                | (word >> 31) << 12;
+            Ok(Instr::Branch { cond, rs1, rs2, offset: sign_extend(imm, 13) })
+        }
+        0b1101111 => {
+            let imm = (word >> 12 & 0xFF) << 12
+                | (word >> 20 & 1) << 11
+                | (word >> 21 & 0x3FF) << 1
+                | (word >> 31) << 20;
+            Ok(Instr::Jal { rd, offset: sign_extend(imm, 21) })
+        }
+        0b0000011 => {
+            let (width, signed) = match funct3 {
+                0b000 => (LoadWidth::Byte, true),
+                0b001 => (LoadWidth::Half, true),
+                0b010 => (LoadWidth::Word, true),
+                0b100 => (LoadWidth::Byte, false),
+                0b101 => (LoadWidth::Half, false),
+                _ => return Err(unknown()),
+            };
+            Ok(Instr::Load { width, signed, rd, rs1, offset: sign_extend(word >> 20, 12) })
+        }
+        0b0100011 => {
+            let width = match funct3 {
+                0b000 => LoadWidth::Byte,
+                0b001 => LoadWidth::Half,
+                0b010 => LoadWidth::Word,
+                _ => return Err(unknown()),
+            };
+            let imm = (word >> 7 & 0x1F) | (word >> 25 & 0x7F) << 5;
+            Ok(Instr::Store { width, rs2, rs1, offset: sign_extend(imm, 12) })
+        }
+        0b1010011 => {
+            let frd = (word >> 7 & 0x1F) as u8;
+            let frs1 = (word >> 15 & 0x1F) as u8;
+            let frs2 = (word >> 20 & 0x1F) as u8;
+            let op = match (funct7, funct3) {
+                (0b0000000, _) => FpuOp::Add,
+                (0b0000100, _) => FpuOp::Sub,
+                (0b0001000, _) => FpuOp::Mul,
+                (0b0010100, 0b000) => FpuOp::Min,
+                (0b0010100, 0b001) => FpuOp::Max,
+                (0b1010000, 0b010) => FpuOp::Eq,
+                (0b1010000, 0b001) => FpuOp::Lt,
+                (0b1010000, 0b000) => FpuOp::Le,
+                (0b1111000, 0b000) => return Ok(Instr::FmvWX { rd: frd, rs: rs1 }),
+                (0b1110000, 0b000) => return Ok(Instr::FmvXW { rd, rs: frs1 }),
+                _ => return Err(unknown()),
+            };
+            Ok(Instr::Fpu { op, rd: frd, rs1: frs1, rs2: frs2 })
+        }
+        0b1110011 => {
+            if word == 0b1110011 {
+                Ok(Instr::Halt)
+            } else if funct3 == 0b101 && word >> 20 == 0x001 {
+                Ok(Instr::ReadClearFflags { rd })
+            } else {
+                Err(unknown())
+            }
+        }
+        other => Err(DecodeError::UnknownOpcode(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_instructions() -> Vec<Instr> {
+        let mut out = Vec::new();
+        for op in AluOp::ALL {
+            out.push(Instr::Alu { op, rd: Reg(5), rs1: Reg(6), rs2: Reg(7) });
+            if op != AluOp::Sub {
+                out.push(Instr::AluImm { op, rd: Reg(8), rs1: Reg(9), imm: -7 & 0xFFF_i32.min(31) });
+            }
+        }
+        for op in [
+            MulDivOp::Mul,
+            MulDivOp::Mulh,
+            MulDivOp::Mulhsu,
+            MulDivOp::Mulhu,
+            MulDivOp::Div,
+            MulDivOp::Divu,
+            MulDivOp::Rem,
+            MulDivOp::Remu,
+        ] {
+            out.push(Instr::MulDiv { op, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) });
+        }
+        for cond in [
+            BranchCond::Eq,
+            BranchCond::Ne,
+            BranchCond::Lt,
+            BranchCond::Ge,
+            BranchCond::Ltu,
+            BranchCond::Geu,
+        ] {
+            out.push(Instr::Branch { cond, rs1: Reg(4), rs2: Reg(5), offset: -16 });
+            out.push(Instr::Branch { cond, rs1: Reg(4), rs2: Reg(5), offset: 2044 });
+        }
+        out.push(Instr::Jal { rd: Reg(1), offset: -2048 });
+        out.push(Instr::Jal { rd: Reg(0), offset: 4096 });
+        out.push(Instr::Lui { rd: Reg(15), imm20: 0xFFFFF });
+        for (width, signed) in [
+            (LoadWidth::Byte, true),
+            (LoadWidth::Half, true),
+            (LoadWidth::Word, true),
+            (LoadWidth::Byte, false),
+            (LoadWidth::Half, false),
+        ] {
+            out.push(Instr::Load { width, signed, rd: Reg(3), rs1: Reg(2), offset: -32 });
+        }
+        for width in [LoadWidth::Byte, LoadWidth::Half, LoadWidth::Word] {
+            out.push(Instr::Store { width, rs2: Reg(3), rs1: Reg(2), offset: 96 });
+        }
+        for op in FpuOp::ALL {
+            out.push(Instr::Fpu { op, rd: 10, rs1: 11, rs2: 12 });
+        }
+        out.push(Instr::FmvWX { rd: 4, rs: Reg(20) });
+        out.push(Instr::FmvXW { rd: Reg(21), rs: 5 });
+        out.push(Instr::ReadClearFflags { rd: Reg(22) });
+        out.push(Instr::Halt);
+        out
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for instr in all_sample_instructions() {
+            let word = instr.encode();
+            let back = decode(word).unwrap_or_else(|e| panic!("{instr:?} ({word:#010x}): {e}"));
+            // Loads always decode Word as signed (signed bit is
+            // meaningless at 32 bits); normalize for comparison.
+            let normalized = match instr {
+                Instr::Load { width: LoadWidth::Word, rd, rs1, offset, .. } => {
+                    Instr::Load { width: LoadWidth::Word, signed: true, rd, rs1, offset }
+                }
+                other => other,
+            };
+            assert_eq!(back, normalized, "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn unknown_words_are_rejected() {
+        assert!(matches!(decode(0x0000_007F), Err(DecodeError::UnknownOpcode(_))));
+        // fdiv.s (funct7 = 0001100) is not modeled.
+        let fdiv = 0b0001100 << 25 | 0b1010011;
+        assert!(matches!(decode(fdiv), Err(DecodeError::UnknownFunction { .. })));
+    }
+
+    #[test]
+    fn immediate_sign_extension() {
+        let i = Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: -2048 };
+        assert_eq!(decode(i.encode()).unwrap(), i);
+        let b = Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg(0),
+            rs2: Reg(0),
+            offset: -4096,
+        };
+        assert_eq!(decode(b.encode()).unwrap(), b);
+    }
+}

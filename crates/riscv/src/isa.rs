@@ -1,0 +1,515 @@
+//! The instruction model: a typed RV32IM(F)-subset with binary encoding
+//! and assembly rendering.
+
+use vega_circuits::golden::{AluOp, FpuOp};
+
+/// An integer register (`x0`–`x31`; `x0` is hardwired to zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The always-zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// ABI name (`zero`, `ra`, `sp`, `a0`, …).
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2",
+            "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
+            "s10", "s11", "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.0 as usize & 31]
+    }
+}
+
+/// Branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// Memory access widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadWidth {
+    /// 8 bits.
+    Byte,
+    /// 16 bits.
+    Half,
+    /// 32 bits.
+    Word,
+}
+
+/// M-extension operations (executed behaviourally — the CV32E40P's
+/// multiplier is a separate unit from the ALU under test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulDivOp {
+    /// Low 32 bits of the product.
+    Mul,
+    /// High 32 bits of the signed×signed product.
+    Mulh,
+    /// High 32 bits of the signed×unsigned product.
+    Mulhsu,
+    /// High 32 bits of the unsigned×unsigned product.
+    Mulhu,
+    /// Signed division.
+    Div,
+    /// Unsigned division.
+    Divu,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned remainder.
+    Remu,
+}
+
+/// One instruction of the modeled subset.
+///
+/// `pc`-relative offsets are in *bytes* (multiples of 4 for this model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Register-register ALU operation (executed by the ALU under test).
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// Register-immediate ALU operation (`addi`, `xori`, `slli`, …).
+    AluImm {
+        /// Operation (`Sub` is not encodable; use `Add` with a negated
+        /// immediate).
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+        /// Sign-extended 12-bit immediate (shift amount for shifts).
+        imm: i32,
+    },
+    /// Load upper immediate.
+    Lui {
+        /// Destination.
+        rd: Reg,
+        /// Upper 20 bits.
+        imm20: u32,
+    },
+    /// M-extension multiply/divide.
+    MulDiv {
+        /// Operation.
+        op: MulDivOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+        /// Byte offset from this instruction.
+        offset: i32,
+    },
+    /// Unconditional jump and link.
+    Jal {
+        /// Destination for the return address (often `zero`).
+        rd: Reg,
+        /// Byte offset from this instruction.
+        offset: i32,
+    },
+    /// Load from memory.
+    Load {
+        /// Access width.
+        width: LoadWidth,
+        /// Sign-extend narrow loads.
+        signed: bool,
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Store to memory.
+    Store {
+        /// Access width.
+        width: LoadWidth,
+        /// Source of the stored value.
+        rs2: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Floating-point operation on the FPU under test. Compares write an
+    /// integer 0/1 — for this model the result always lands in the float
+    /// register file and can be moved out with [`Instr::FmvXW`].
+    Fpu {
+        /// Operation.
+        op: FpuOp,
+        /// Destination float register index.
+        rd: u8,
+        /// First source float register index.
+        rs1: u8,
+        /// Second source float register index.
+        rs2: u8,
+    },
+    /// Move integer register bits into a float register (`fmv.w.x`).
+    FmvWX {
+        /// Destination float register index.
+        rd: u8,
+        /// Integer source.
+        rs: Reg,
+    },
+    /// Move float register bits into an integer register (`fmv.x.w`).
+    FmvXW {
+        /// Integer destination.
+        rd: Reg,
+        /// Float source register index.
+        rs: u8,
+    },
+    /// Read and clear the accumulated `fflags` CSR into `rd`.
+    ReadClearFflags {
+        /// Destination.
+        rd: Reg,
+    },
+    /// Stop execution.
+    Halt,
+}
+
+impl Instr {
+    /// RISC-V binary encoding of the instruction.
+    ///
+    /// Compares (`feq.s`/`flt.s`/`fle.s`) are encoded with their float
+    /// register operands; this model keeps their result in the float
+    /// file, which diverges from hardware (where `rd` is integer) but
+    /// does not affect the encoding of the fields.
+    pub fn encode(self) -> u32 {
+        let r = |op: u32, rd: u8, f3: u32, rs1: u8, rs2: u8, f7: u32| {
+            op | ((rd as u32) << 7)
+                | (f3 << 12)
+                | ((rs1 as u32) << 15)
+                | ((rs2 as u32) << 20)
+                | (f7 << 25)
+        };
+        let i = |op: u32, rd: u8, f3: u32, rs1: u8, imm: i32| {
+            op | ((rd as u32) << 7) | (f3 << 12) | ((rs1 as u32) << 15) | ((imm as u32 & 0xFFF) << 20)
+        };
+        match self {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let (f3, f7) = match op {
+                    AluOp::Add => (0b000, 0),
+                    AluOp::Sub => (0b000, 0b0100000),
+                    AluOp::Sll => (0b001, 0),
+                    AluOp::Slt => (0b010, 0),
+                    AluOp::Sltu => (0b011, 0),
+                    AluOp::Xor => (0b100, 0),
+                    AluOp::Srl => (0b101, 0),
+                    AluOp::Sra => (0b101, 0b0100000),
+                    AluOp::Or => (0b110, 0),
+                    AluOp::And => (0b111, 0),
+                };
+                r(0b0110011, rd.0, f3, rs1.0, rs2.0, f7)
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let f3 = match op {
+                    AluOp::Add => 0b000,
+                    AluOp::Sll => 0b001,
+                    AluOp::Slt => 0b010,
+                    AluOp::Sltu => 0b011,
+                    AluOp::Xor => 0b100,
+                    AluOp::Srl | AluOp::Sra => 0b101,
+                    AluOp::Or => 0b110,
+                    AluOp::And => 0b111,
+                    AluOp::Sub => panic!("subi does not exist; negate the immediate"),
+                };
+                let imm = match op {
+                    AluOp::Sra => (imm & 31) | (0b0100000 << 5),
+                    AluOp::Sll | AluOp::Srl => imm & 31,
+                    _ => imm,
+                };
+                i(0b0010011, rd.0, f3, rs1.0, imm)
+            }
+            Instr::Lui { rd, imm20 } => 0b0110111 | ((rd.0 as u32) << 7) | (imm20 << 12),
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                let f3 = match op {
+                    MulDivOp::Mul => 0b000,
+                    MulDivOp::Mulh => 0b001,
+                    MulDivOp::Mulhsu => 0b010,
+                    MulDivOp::Mulhu => 0b011,
+                    MulDivOp::Div => 0b100,
+                    MulDivOp::Divu => 0b101,
+                    MulDivOp::Rem => 0b110,
+                    MulDivOp::Remu => 0b111,
+                };
+                r(0b0110011, rd.0, f3, rs1.0, rs2.0, 0b0000001)
+            }
+            Instr::Branch { cond, rs1, rs2, offset } => {
+                let f3 = match cond {
+                    BranchCond::Eq => 0b000,
+                    BranchCond::Ne => 0b001,
+                    BranchCond::Lt => 0b100,
+                    BranchCond::Ge => 0b101,
+                    BranchCond::Ltu => 0b110,
+                    BranchCond::Geu => 0b111,
+                };
+                let imm = offset as u32;
+                0b1100011
+                    | (((imm >> 11) & 1) << 7)
+                    | (((imm >> 1) & 0xF) << 8)
+                    | (f3 << 12)
+                    | ((rs1.0 as u32) << 15)
+                    | ((rs2.0 as u32) << 20)
+                    | (((imm >> 5) & 0x3F) << 25)
+                    | (((imm >> 12) & 1) << 31)
+            }
+            Instr::Jal { rd, offset } => {
+                let imm = offset as u32;
+                0b1101111
+                    | ((rd.0 as u32) << 7)
+                    | (((imm >> 12) & 0xFF) << 12)
+                    | (((imm >> 11) & 1) << 20)
+                    | (((imm >> 1) & 0x3FF) << 21)
+                    | (((imm >> 20) & 1) << 31)
+            }
+            Instr::Load { width, signed, rd, rs1, offset } => {
+                let f3 = match (width, signed) {
+                    (LoadWidth::Byte, true) => 0b000,
+                    (LoadWidth::Half, true) => 0b001,
+                    (LoadWidth::Word, _) => 0b010,
+                    (LoadWidth::Byte, false) => 0b100,
+                    (LoadWidth::Half, false) => 0b101,
+                };
+                i(0b0000011, rd.0, f3, rs1.0, offset)
+            }
+            Instr::Store { width, rs2, rs1, offset } => {
+                let f3 = match width {
+                    LoadWidth::Byte => 0b000,
+                    LoadWidth::Half => 0b001,
+                    LoadWidth::Word => 0b010,
+                };
+                let imm = offset as u32;
+                0b0100011
+                    | ((imm & 0x1F) << 7)
+                    | (f3 << 12)
+                    | ((rs1.0 as u32) << 15)
+                    | ((rs2.0 as u32) << 20)
+                    | (((imm >> 5) & 0x7F) << 25)
+            }
+            Instr::Fpu { op, rd, rs1, rs2 } => {
+                let (f7, f3, rs2_field) = match op {
+                    FpuOp::Add => (0b0000000, 0b111, rs2),
+                    FpuOp::Sub => (0b0000100, 0b111, rs2),
+                    FpuOp::Mul => (0b0001000, 0b111, rs2),
+                    FpuOp::Min => (0b0010100, 0b000, rs2),
+                    FpuOp::Max => (0b0010100, 0b001, rs2),
+                    FpuOp::Eq => (0b1010000, 0b010, rs2),
+                    FpuOp::Lt => (0b1010000, 0b001, rs2),
+                    FpuOp::Le => (0b1010000, 0b000, rs2),
+                };
+                r(0b1010011, rd, f3, rs1, rs2_field, f7)
+            }
+            Instr::FmvWX { rd, rs } => r(0b1010011, rd, 0b000, rs.0, 0, 0b1111000),
+            Instr::FmvXW { rd, rs } => r(0b1010011, rd.0, 0b000, rs, 0, 0b1110000),
+            Instr::ReadClearFflags { rd } => {
+                // csrrwi rd, fflags, 0  (fflags = 0x001)
+                i(0b1110011, rd.0, 0b101, 0, 0x001)
+            }
+            Instr::Halt => 0b1110011, // ecall
+        }
+    }
+
+    /// Assembly text for the instruction.
+    pub fn asm(self) -> String {
+        match self {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let mnemonic = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::Sll => "sll",
+                    AluOp::Slt => "slt",
+                    AluOp::Sltu => "sltu",
+                    AluOp::Xor => "xor",
+                    AluOp::Srl => "srl",
+                    AluOp::Sra => "sra",
+                    AluOp::Or => "or",
+                    AluOp::And => "and",
+                };
+                format!("{mnemonic} {}, {}, {}", rd.abi_name(), rs1.abi_name(), rs2.abi_name())
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let mnemonic = match op {
+                    AluOp::Add => "addi",
+                    AluOp::Sll => "slli",
+                    AluOp::Slt => "slti",
+                    AluOp::Sltu => "sltiu",
+                    AluOp::Xor => "xori",
+                    AluOp::Srl => "srli",
+                    AluOp::Sra => "srai",
+                    AluOp::Or => "ori",
+                    AluOp::And => "andi",
+                    AluOp::Sub => "subi?",
+                };
+                format!("{mnemonic} {}, {}, {imm}", rd.abi_name(), rs1.abi_name())
+            }
+            Instr::Lui { rd, imm20 } => format!("lui {}, {imm20:#x}", rd.abi_name()),
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                let mnemonic = match op {
+                    MulDivOp::Mul => "mul",
+                    MulDivOp::Mulh => "mulh",
+                    MulDivOp::Mulhsu => "mulhsu",
+                    MulDivOp::Mulhu => "mulhu",
+                    MulDivOp::Div => "div",
+                    MulDivOp::Divu => "divu",
+                    MulDivOp::Rem => "rem",
+                    MulDivOp::Remu => "remu",
+                };
+                format!("{mnemonic} {}, {}, {}", rd.abi_name(), rs1.abi_name(), rs2.abi_name())
+            }
+            Instr::Branch { cond, rs1, rs2, offset } => {
+                let mnemonic = match cond {
+                    BranchCond::Eq => "beq",
+                    BranchCond::Ne => "bne",
+                    BranchCond::Lt => "blt",
+                    BranchCond::Ge => "bge",
+                    BranchCond::Ltu => "bltu",
+                    BranchCond::Geu => "bgeu",
+                };
+                format!("{mnemonic} {}, {}, {offset}", rs1.abi_name(), rs2.abi_name())
+            }
+            Instr::Jal { rd, offset } => format!("jal {}, {offset}", rd.abi_name()),
+            Instr::Load { width, signed, rd, rs1, offset } => {
+                let mnemonic = match (width, signed) {
+                    (LoadWidth::Byte, true) => "lb",
+                    (LoadWidth::Half, true) => "lh",
+                    (LoadWidth::Word, _) => "lw",
+                    (LoadWidth::Byte, false) => "lbu",
+                    (LoadWidth::Half, false) => "lhu",
+                };
+                format!("{mnemonic} {}, {offset}({})", rd.abi_name(), rs1.abi_name())
+            }
+            Instr::Store { width, rs2, rs1, offset } => {
+                let mnemonic = match width {
+                    LoadWidth::Byte => "sb",
+                    LoadWidth::Half => "sh",
+                    LoadWidth::Word => "sw",
+                };
+                format!("{mnemonic} {}, {offset}({})", rs2.abi_name(), rs1.abi_name())
+            }
+            Instr::Fpu { op, rd, rs1, rs2 } => {
+                let mnemonic = match op {
+                    FpuOp::Add => "fadd.s",
+                    FpuOp::Sub => "fsub.s",
+                    FpuOp::Mul => "fmul.s",
+                    FpuOp::Min => "fmin.s",
+                    FpuOp::Max => "fmax.s",
+                    FpuOp::Eq => "feq.s",
+                    FpuOp::Lt => "flt.s",
+                    FpuOp::Le => "fle.s",
+                };
+                format!("{mnemonic} f{rd}, f{rs1}, f{rs2}")
+            }
+            Instr::FmvWX { rd, rs } => format!("fmv.w.x f{rd}, {}", rs.abi_name()),
+            Instr::FmvXW { rd, rs } => format!("fmv.x.w {}, f{rs}", rd.abi_name()),
+            Instr::ReadClearFflags { rd } => format!("csrrwi {}, fflags, 0", rd.abi_name()),
+            Instr::Halt => "ecall".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_encodings() {
+        // Cross-checked against the RISC-V spec / an external assembler.
+        // add x3, x1, x2
+        assert_eq!(
+            Instr::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) }.encode(),
+            0x0020_81B3
+        );
+        // sub x3, x1, x2
+        assert_eq!(
+            Instr::Alu { op: AluOp::Sub, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) }.encode(),
+            0x4020_81B3
+        );
+        // addi x1, x0, -1
+        assert_eq!(
+            Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: -1 }.encode(),
+            0xFFF0_0093
+        );
+        // lui x5, 0x12345
+        assert_eq!(Instr::Lui { rd: Reg(5), imm20: 0x12345 }.encode(), 0x1234_52B7);
+        // lw x6, 8(x2)
+        assert_eq!(
+            Instr::Load {
+                width: LoadWidth::Word,
+                signed: true,
+                rd: Reg(6),
+                rs1: Reg(2),
+                offset: 8
+            }
+            .encode(),
+            0x0081_2303
+        );
+        // sw x6, 8(x2)
+        assert_eq!(
+            Instr::Store { width: LoadWidth::Word, rs2: Reg(6), rs1: Reg(2), offset: 8 }
+                .encode(),
+            0x0061_2423
+        );
+        // mul x3, x1, x2
+        assert_eq!(
+            Instr::MulDiv { op: MulDivOp::Mul, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) }.encode(),
+            0x0220_81B3
+        );
+        // beq x1, x2, +8
+        assert_eq!(
+            Instr::Branch { cond: BranchCond::Eq, rs1: Reg(1), rs2: Reg(2), offset: 8 }
+                .encode(),
+            0x0020_8463
+        );
+        // jal x0, -4
+        assert_eq!(Instr::Jal { rd: Reg(0), offset: -4 }.encode(), 0xFFDF_F06F);
+        // fadd.s f3, f1, f2 (rm = 111 dynamic)
+        assert_eq!(
+            Instr::Fpu { op: FpuOp::Add, rd: 3, rs1: 1, rs2: 2 }.encode(),
+            0x0020_F1D3
+        );
+        // ecall
+        assert_eq!(Instr::Halt.encode(), 0x0000_0073);
+    }
+
+    #[test]
+    fn asm_rendering() {
+        assert_eq!(
+            Instr::Alu { op: AluOp::Add, rd: Reg(10), rs1: Reg(11), rs2: Reg(12) }.asm(),
+            "add a0, a1, a2"
+        );
+        assert_eq!(
+            Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: -5 }.asm(),
+            "addi ra, zero, -5"
+        );
+        assert_eq!(Instr::Fpu { op: FpuOp::Mul, rd: 1, rs1: 2, rs2: 3 }.asm(), "fmul.s f1, f2, f3");
+    }
+}

@@ -1,0 +1,60 @@
+//! An RV32IM(F) instruction-set model and functional simulator with
+//! gate-level co-simulation.
+//!
+//! This crate reproduces the Vega paper's evaluation rig (§5.1): a
+//! behavioural RISC-V CPU in which only the units under test — the ALU
+//! and the FPU — can be swapped for placed-and-routed gate-level netlists
+//! (including the *failing netlists* produced by error lifting). The
+//! rest of the CPU (register files, memory, control flow, the multiplier)
+//! stays behavioural, exactly like the paper's SystemVerilog-plus-netlist
+//! Verilator setup.
+//!
+//! * [`Instr`] — the instruction model, with RISC-V binary encoding
+//!   ([`Instr::encode`]) and assembly rendering ([`Instr::asm`]).
+//! * [`Cpu`] — the functional simulator: 32 integer + 32 float registers,
+//!   byte-addressed little-endian memory, a cycle counter, and `fflags`.
+//! * [`AluBackend`] / [`FpuBackend`] — execution backends. The golden
+//!   backends compute in software; the gate backends drive a
+//!   [`vega_sim::Simulator`] through the netlist's port protocol and
+//!   report [`HwStall`] when a faulty handshake never produces a result
+//!   (the paper's "CPU stall" failure mode, Table 6 row "S").
+//! * [`FailureMode`] — how a failing netlist's `C` constant behaves:
+//!   held at 0, held at 1, or random per cycle (§5.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod cpu;
+mod decode;
+mod isa;
+
+pub use decode::{decode, DecodeError};
+pub use backend::{AluBackend, FpuBackend, GateAlu, GateFpu, GoldenAlu, GoldenFpu, HwStall};
+pub use cpu::{Cpu, Exit, Memory};
+pub use isa::{BranchCond, Instr, LoadWidth, MulDivOp, Reg};
+
+/// How a failing netlist's wrong-value constant `C` behaves (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureMode {
+    /// The violated flip-flop samples a constant 0.
+    Const0,
+    /// The violated flip-flop samples a constant 1.
+    Const1,
+    /// The violated flip-flop samples a fresh random bit each cycle.
+    Random,
+}
+
+impl FailureMode {
+    /// All three evaluation modes.
+    pub const ALL: [FailureMode; 3] = [FailureMode::Const0, FailureMode::Const1, FailureMode::Random];
+
+    /// Short label used in experiment tables ("0", "1", "R").
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureMode::Const0 => "0",
+            FailureMode::Const1 => "1",
+            FailureMode::Random => "R",
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Max-heap over variables ordered by VSIDS activity.
+
+use crate::lit::Var;
+
+/// A binary max-heap of variables keyed by an external activity array,
+/// with position tracking so activities can be bumped in place
+/// (the classic MiniSat order heap).
+#[derive(Debug, Default)]
+pub(crate) struct ActivityHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    position: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl ActivityHeap {
+    pub fn grow_to(&mut self, vars: usize) {
+        self.position.resize(vars, ABSENT);
+    }
+
+    pub fn contains(&self, var: Var) -> bool {
+        self.position[var.index()] != ABSENT
+    }
+
+    pub fn insert(&mut self, var: Var, activity: &[f64]) {
+        if self.contains(var) {
+            return;
+        }
+        self.position[var.index()] = self.heap.len();
+        self.heap.push(var);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.position[top.index()] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restore heap order for `var` after its activity increased.
+    pub fn bumped(&mut self, var: Var, activity: &[f64]) {
+        if let Some(&pos) = self.position.get(var.index()) {
+            if pos != ABSENT {
+                self.sift_up(pos, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * i + 1;
+            let right = 2 * i + 2;
+            let mut largest = i;
+            if left < self.heap.len()
+                && activity[self.heap[left].index()] > activity[self.heap[largest].index()]
+            {
+                largest = left;
+            }
+            if right < self.heap.len()
+                && activity[self.heap[right].index()] > activity[self.heap[largest].index()]
+            {
+                largest = right;
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.position[self.heap[i].index()] = i;
+        self.position[self.heap[j].index()] = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let mut heap = ActivityHeap::default();
+        heap.grow_to(5);
+        let activity = [3.0, 1.0, 4.0, 1.5, 2.0];
+        for i in 0..5 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        let mut order = Vec::new();
+        while let Some(v) = heap.pop_max(&activity) {
+            order.push(v.index());
+        }
+        assert_eq!(order, vec![2, 0, 4, 3, 1]);
+    }
+
+    #[test]
+    fn bumped_reorders() {
+        let mut heap = ActivityHeap::default();
+        heap.grow_to(3);
+        let mut activity = [1.0, 2.0, 3.0];
+        for i in 0..3 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        activity[0] = 10.0;
+        heap.bumped(Var::from_index(0), &activity);
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(0)));
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut heap = ActivityHeap::default();
+        heap.grow_to(1);
+        let activity = [1.0];
+        heap.insert(Var::from_index(0), &activity);
+        heap.insert(Var::from_index(0), &activity);
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(0)));
+        assert_eq!(heap.pop_max(&activity), None);
+    }
+}

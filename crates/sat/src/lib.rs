@@ -1,0 +1,43 @@
+//! A from-scratch CDCL SAT solver.
+//!
+//! This crate is the engine underneath Vega's formal verification phase
+//! (`vega-formal`), standing in for the SAT/SMT cores inside a commercial
+//! model checker. It implements the standard conflict-driven clause
+//! learning architecture:
+//!
+//! * two-literal watching for unit propagation,
+//! * first-UIP conflict analysis with recursive clause minimization,
+//! * VSIDS variable ordering with phase saving,
+//! * Luby-sequence restarts,
+//! * activity-based learned-clause database reduction,
+//! * incremental solving under assumptions, and
+//! * a conflict budget, which `vega-formal` uses to reproduce the
+//!   formal-tool timeouts the paper reports (the "FF" rows of Table 4)
+//!   deterministically.
+//!
+//! # Example
+//!
+//! ```
+//! use vega_sat::{Lit, Solver, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! // (a ∨ b) ∧ (¬a ∨ b) ∧ (a ∨ ¬b)
+//! solver.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! solver.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+//! solver.add_clause(&[Lit::pos(a), Lit::neg(b)]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.value(a), Some(true));
+//! assert_eq!(solver.value(b), Some(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod heap;
+mod lit;
+mod solver;
+
+pub use lit::{Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};

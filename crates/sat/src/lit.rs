@@ -1,0 +1,100 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The variable's dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The variable with the given dense index.
+    pub fn from_index(index: usize) -> Var {
+        Var(u32::try_from(index).expect("variable index overflow"))
+    }
+}
+
+/// A literal: a variable or its negation, encoded as `2·var + sign`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: Var) -> Lit {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// A literal of `var` with the given polarity (`true` = positive).
+    pub fn with_polarity(var: Var, polarity: bool) -> Lit {
+        if polarity {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index over literals (`2·var + sign`), for watch lists.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.var().0)
+        } else {
+            write!(f, "¬x{}", self.var().0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let v = Var(3);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(Lit::with_polarity(v, true), p);
+        assert_eq!(Lit::with_polarity(v, false), n);
+        assert_eq!(p.to_string(), "x3");
+        assert_eq!(n.to_string(), "¬x3");
+    }
+}

@@ -1,0 +1,842 @@
+//! The CDCL solver.
+
+use crate::heap::ActivityHeap;
+use crate::lit::{Lit, Var};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before an answer was reached.
+    Unknown,
+}
+
+/// Counters describing the work a solve performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: usize,
+    /// A literal of the clause other than the watched one; if it is
+    /// already true the clause is satisfied and can be skipped cheaply.
+    blocker: Lit,
+}
+
+const NO_REASON: usize = usize::MAX;
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// See the [crate documentation](crate) for the feature set and an
+/// example.
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    values: Vec<LBool>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Clause that implied each variable, or `NO_REASON`.
+    reason: Vec<usize>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: ActivityHeap,
+    saved_phase: Vec<bool>,
+    /// Set when an empty clause was added or derived at level 0.
+    unsat: bool,
+    cla_inc: f64,
+    max_learnts: f64,
+    conflict_budget: Option<u64>,
+    stats: SolverStats,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// An empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            values: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: ActivityHeap::default(),
+            saved_phase: Vec::new(),
+            unsat: false,
+            cla_inc: 1.0,
+            max_learnts: 0.0,
+            conflict_budget: None,
+            stats: SolverStats::default(),
+            seen: Vec::new(),
+        }
+    }
+
+    /// Create a fresh variable.
+    ///
+    /// Initial decision phases are a deterministic hash of the variable
+    /// index rather than a constant: constant-false phases bias models
+    /// toward all-zero assignments, which (for Vega) would make every
+    /// formal witness use near-zero operands and leave `C = 0` faults
+    /// invisible to the rest of the suite.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var::from_index(self.values.len());
+        let phase_hash = (self.values.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.values.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.saved_phase.push(phase_hash >> 63 == 1);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.seen.push(false);
+        self.order.grow_to(self.values.len());
+        var
+    }
+
+    /// Number of variables created.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Work counters for the most recent activity.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Limit the number of conflicts the next [`Solver::solve`] may spend;
+    /// `None` removes the limit. When the budget runs out, `solve`
+    /// returns [`SolveResult::Unknown`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    fn lit_value(&self, lit: Lit) -> LBool {
+        match self.values[lit.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if lit.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if lit.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    /// Add a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the solver is already known to be unsatisfiable
+    /// (adding the empty clause, or deriving one at the root level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after a solve that assigned variables at a
+    /// decision level (clauses may only be added at the root level;
+    /// `solve` always returns with the trail backtracked to level 0, so
+    /// interleaving `add_clause` and `solve` is fine).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses must be added at the root level");
+        if self.unsat {
+            return false;
+        }
+        // Normalize: sort, dedupe, drop root-false literals, detect
+        // tautologies and root-satisfied clauses.
+        let mut lits: Vec<Lit> = lits.to_vec();
+        lits.sort_unstable();
+        lits.dedup();
+        let mut filtered = Vec::with_capacity(lits.len());
+        for (i, &lit) in lits.iter().enumerate() {
+            if i + 1 < lits.len() && lits[i + 1] == !lit {
+                return true; // tautology: p ∨ ¬p
+            }
+            match self.lit_value(lit) {
+                LBool::True => return true, // already satisfied at root
+                LBool::False => {}          // drop root-false literal
+                LBool::Undef => filtered.push(lit),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(filtered[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                self.attach_clause(filtered, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len();
+        self.watches[(!lits[0]).index()].push(Watcher { cref, blocker: lits[1] });
+        self.watches[(!lits[1]).index()].push(Watcher { cref, blocker: lits[0] });
+        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
+        if learnt {
+            self.stats.learnt_clauses += 1;
+        }
+        cref
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: usize) {
+        debug_assert_eq!(self.lit_value(lit), LBool::Undef);
+        let var = lit.var();
+        self.values[var.index()] =
+            if lit.is_positive() { LBool::True } else { LBool::False };
+        self.level[var.index()] = self.decision_level() as u32;
+        self.reason[var.index()] = reason;
+        self.saved_phase[var.index()] = lit.is_positive();
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            // Clauses watching ¬p must be inspected.
+            let mut i = 0;
+            let mut watch_list = std::mem::take(&mut self.watches[p.index()]);
+            let mut conflict: Option<usize> = None;
+            'watchers: while i < watch_list.len() {
+                let watcher = watch_list[i];
+                if self.clauses[watcher.cref].deleted {
+                    watch_list.swap_remove(i);
+                    continue;
+                }
+                if self.lit_value(watcher.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let false_lit = !p;
+                // Ensure the false literal is at position 1.
+                {
+                    let clause = &mut self.clauses[watcher.cref];
+                    if clause.lits[0] == false_lit {
+                        clause.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(clause.lits[1], false_lit);
+                }
+                let first = self.clauses[watcher.cref].lits[0];
+                if first != watcher.blocker && self.lit_value(first) == LBool::True {
+                    // Satisfied by the other watch; update blocker.
+                    watch_list[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[watcher.cref].lits.len();
+                for k in 2..len {
+                    let candidate = self.clauses[watcher.cref].lits[k];
+                    if self.lit_value(candidate) != LBool::False {
+                        let clause = &mut self.clauses[watcher.cref];
+                        clause.lits.swap(1, k);
+                        self.watches[(!candidate).index()]
+                            .push(Watcher { cref: watcher.cref, blocker: first });
+                        watch_list.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(watcher.cref);
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.enqueue(first, watcher.cref);
+                i += 1;
+            }
+            // Put back whatever remains of the watch list (plus any new
+            // watchers appended for p while we worked — none are, since
+            // new watches always go to other literals' lists... except a
+            // swapped candidate could equal p itself; merge to be safe).
+            let appended = std::mem::take(&mut self.watches[p.index()]);
+            watch_list.extend(appended);
+            self.watches[p.index()] = watch_list;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        self.activity[var.index()] += self.var_inc;
+        if self.activity[var.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(var, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: usize) {
+        self.clauses[cref].activity += self.cla_inc;
+        if self.clauses[cref].activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut conflict: usize) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var::from_index(0))]; // placeholder slot 0
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut trail_index = self.trail.len();
+
+        loop {
+            self.bump_clause(conflict);
+            let start = usize::from(p.is_some());
+            // (For the conflicting clause all literals matter; for reason
+            // clauses, skip the implied literal at position 0.)
+            let lits: Vec<Lit> = self.clauses[conflict].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] as usize >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                trail_index -= 1;
+                if self.seen[self.trail[trail_index].var().index()] {
+                    break;
+                }
+            }
+            let next = self.trail[trail_index];
+            self.seen[next.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !next;
+                break;
+            }
+            p = Some(next);
+            conflict = self.reason[next.var().index()];
+            debug_assert_ne!(conflict, NO_REASON);
+        }
+
+        // Clause minimization: remove literals implied by the rest.
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&lit| !self.literal_redundant(lit, &learnt))
+            .collect();
+        let mut minimized = vec![learnt[0]];
+        minimized.extend(keep);
+
+        // Clear `seen` for the literals we marked.
+        for lit in &learnt {
+            self.seen[lit.var().index()] = false;
+        }
+
+        // Backtrack level: the highest level among the non-asserting
+        // literals (0 for unit learnt clauses). Put that literal at
+        // position 1 so it is watched.
+        let backtrack_level = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var().index()] as usize
+        };
+        (minimized, backtrack_level)
+    }
+
+    /// Whether `lit` is redundant in the learnt clause: every literal in
+    /// its reason is either already in the clause (seen) or at level 0.
+    /// (One-step minimization — the cheap, always-sound variant.)
+    fn literal_redundant(&self, lit: Lit, _learnt: &[Lit]) -> bool {
+        let reason = self.reason[lit.var().index()];
+        if reason == NO_REASON {
+            return false;
+        }
+        self.clauses[reason].lits[1..].iter().all(|&q| {
+            self.seen[q.var().index()] || self.level[q.var().index()] == 0
+        })
+    }
+
+    fn backtrack_to(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let target = self.trail_lim[level];
+        for i in (target..self.trail.len()).rev() {
+            let var = self.trail[i].var();
+            self.values[var.index()] = LBool::Undef;
+            self.reason[var.index()] = NO_REASON;
+            if !self.order.contains(var) {
+                self.order.insert(var, &self.activity);
+            }
+        }
+        self.trail.truncate(target);
+        self.trail_lim.truncate(level);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_decision(&mut self) -> Option<Lit> {
+        loop {
+            let var = self.order.pop_max(&self.activity)?;
+            if self.values[var.index()] == LBool::Undef {
+                return Some(Lit::with_polarity(var, self.saved_phase[var.index()]));
+            }
+        }
+    }
+
+    /// Reduce the learnt-clause database: drop the less active half.
+    fn reduce_db(&mut self) {
+        let mut learnt_refs: Vec<usize> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(cref, c)| {
+                c.learnt && !c.deleted && c.lits.len() > 2 && !self.is_reason(*cref)
+            })
+            .map(|(cref, _)| cref)
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap()
+        });
+        for &cref in learnt_refs.iter().take(learnt_refs.len() / 2) {
+            self.clauses[cref].deleted = true;
+            self.stats.learnt_clauses = self.stats.learnt_clauses.saturating_sub(1);
+        }
+    }
+
+    fn is_reason(&self, cref: usize) -> bool {
+        let first = self.clauses[cref].lits[0];
+        self.lit_value(first) == LBool::True && self.reason[first.var().index()] == cref
+    }
+
+    /// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …), 0-indexed.
+    fn luby(mut x: u64) -> u64 {
+        let (mut size, mut seq) = (1u64, 0u32);
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        while size - 1 != x {
+            size = (size - 1) / 2;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    /// Solve the formula.
+    pub fn solve(&mut self) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        // (Re)seed the ordering heap with all unassigned variables.
+        for i in 0..self.values.len() {
+            let var = Var::from_index(i);
+            if self.values[i] == LBool::Undef && !self.order.contains(var) {
+                self.order.insert(var, &self.activity);
+            }
+        }
+        self.max_learnts = (self.clauses.len() as f64 / 3.0).max(1000.0);
+        let budget_start = self.stats.conflicts;
+        let mut restart_count: u64 = 0;
+        let mut conflicts_until_restart = 100 * Self::luby(restart_count);
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, backtrack_level) = self.analyze(conflict);
+                self.backtrack_to(backtrack_level);
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], NO_REASON);
+                } else {
+                    let cref = self.attach_clause(learnt.clone(), true);
+                    self.bump_clause(cref);
+                    self.enqueue(learnt[0], cref);
+                }
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= budget {
+                        self.backtrack_to(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+            } else {
+                if conflicts_until_restart == 0 {
+                    restart_count += 1;
+                    self.stats.restarts += 1;
+                    conflicts_until_restart = 100 * Self::luby(restart_count);
+                    self.backtrack_to(0);
+                }
+                if self.stats.learnt_clauses as f64 > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.1;
+                }
+                match self.pick_decision() {
+                    None => return SolveResult::Sat,
+                    Some(lit) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(lit, NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The model value of `var` after a [`SolveResult::Sat`] outcome;
+    /// `None` if the variable is unassigned (did not occur in any clause)
+    /// or no model is available.
+    pub fn value(&self, var: Var) -> Option<bool> {
+        match self.values[var.index()] {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Reset the trail to the root level, keeping all clauses. Call before
+    /// reading root-level implications or adding more clauses after a SAT
+    /// answer.
+    pub fn reset_to_root(&mut self) {
+        self.backtrack_to(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(solver_vars: &[Var], i: i32) -> Lit {
+        let var = solver_vars[(i.unsigned_abs() as usize) - 1];
+        if i > 0 {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    fn solver_with_vars(n: usize) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars = (0..n).map(|_| s.new_var()).collect();
+        (s, vars)
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(Solver::luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let (mut s, v) = solver_with_vars(1);
+        assert!(s.add_clause(&[lit(&v, 1)]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+
+        let (mut s, v) = solver_with_vars(1);
+        assert!(s.add_clause(&[lit(&v, 1)]));
+        assert!(!s.add_clause(&[lit(&v, -1)]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let (mut s, _) = solver_with_vars(1);
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_and_duplicates_are_ignored() {
+        let (mut s, v) = solver_with_vars(2);
+        assert!(s.add_clause(&[lit(&v, 1), lit(&v, -1)]));
+        assert!(s.add_clause(&[lit(&v, 2), lit(&v, 2)]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn implication_chain_forces_assignment() {
+        // x1, x1->x2, x2->x3, ..., x9->x10.
+        let (mut s, v) = solver_with_vars(10);
+        s.add_clause(&[lit(&v, 1)]);
+        for i in 1..10 {
+            s.add_clause(&[lit(&v, -i), lit(&v, i + 1)]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for (i, var) in v.iter().enumerate() {
+            assert_eq!(s.value(*var), Some(true), "x{}", i + 1);
+        }
+    }
+
+    /// All 8 clauses over 3 variables: classically unsatisfiable, and
+    /// requires actual conflict analysis to prove.
+    #[test]
+    fn full_cube_is_unsat() {
+        let (mut s, v) = solver_with_vars(3);
+        for mask in 0..8 {
+            let clause: Vec<Lit> = (0..3)
+                .map(|b| {
+                    let sign = if mask >> b & 1 == 1 { 1 } else { -1 };
+                    lit(&v, sign * (b + 1))
+                })
+                .collect();
+            s.add_clause(&clause);
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// Pigeonhole principle PHP(n+1, n): n+1 pigeons in n holes, UNSAT.
+    fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+        let mut s = Solver::new();
+        let grid: Vec<Vec<Var>> =
+            (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
+        // Each pigeon sits somewhere.
+        for row in &grid {
+            let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&clause);
+        }
+        // No two pigeons share a hole.
+        for h in 0..holes {
+            for (p1, row1) in grid.iter().enumerate() {
+                for row2 in grid.iter().skip(p1 + 1) {
+                    s.add_clause(&[Lit::neg(row1[h]), Lit::neg(row2[h])]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for n in 2..=6 {
+            let mut s = pigeonhole(n + 1, n);
+            assert_eq!(s.solve(), SolveResult::Unsat, "PHP({}, {n})", n + 1);
+            assert!(s.stats().conflicts > 0);
+        }
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_it_fits() {
+        let mut s = pigeonhole(5, 5);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown() {
+        let mut s = pigeonhole(9, 8); // hard enough to exceed a tiny budget
+        s.set_conflict_budget(Some(5));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        // Removing the budget lets it finish.
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn incremental_clause_addition_after_sat() {
+        let (mut s, v) = solver_with_vars(2);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.reset_to_root();
+        // Forbid the all-false and force contradiction step by step.
+        s.add_clause(&[lit(&v, -1)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+        s.reset_to_root();
+        s.add_clause(&[lit(&v, -2)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// Brute-force evaluator for cross-checking.
+    fn brute_force_sat(num_vars: usize, clauses: &[Vec<i32>]) -> bool {
+        (0..1u32 << num_vars).any(|assignment| {
+            clauses.iter().all(|clause| {
+                clause.iter().any(|&l| {
+                    let value = assignment >> (l.unsigned_abs() - 1) & 1 == 1;
+                    if l > 0 {
+                        value
+                    } else {
+                        !value
+                    }
+                })
+            })
+        })
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        // Deterministic xorshift so the test is reproducible.
+        let mut state = 0x12345678u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..200 {
+            let num_vars = 4 + (rand() % 5) as usize; // 4..8
+            let num_clauses = 4 + (rand() % 30) as usize;
+            let clauses: Vec<Vec<i32>> = (0..num_clauses)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = 1 + (rand() % num_vars as u64) as i32;
+                            if rand() % 2 == 0 {
+                                v
+                            } else {
+                                -v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let expected = brute_force_sat(num_vars, &clauses);
+            let (mut s, v) = solver_with_vars(num_vars);
+            for clause in &clauses {
+                let lits: Vec<Lit> = clause.iter().map(|&l| lit(&v, l)).collect();
+                s.add_clause(&lits);
+            }
+            let result = s.solve();
+            assert_eq!(
+                result,
+                if expected { SolveResult::Sat } else { SolveResult::Unsat },
+                "round {round}: vars={num_vars} clauses={clauses:?}"
+            );
+            if result == SolveResult::Sat {
+                // Verify the model actually satisfies every clause.
+                for clause in &clauses {
+                    assert!(
+                        clause.iter().any(|&l| {
+                            let val = s.value(v[(l.unsigned_abs() as usize) - 1]);
+                            match val {
+                                Some(value) => (l > 0) == value,
+                                None => false,
+                            }
+                        }),
+                        "model violates {clause:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_random_instance_terminates() {
+        // A larger under-constrained instance (ratio ~3): SAT, and checks
+        // the watch machinery under stress.
+        let mut state = 0xDEADBEEFu64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let num_vars = 300;
+        let (mut s, v) = solver_with_vars(num_vars);
+        for _ in 0..900 {
+            let mut clause = Vec::new();
+            for _ in 0..3 {
+                let var = 1 + (rand() % num_vars as u64) as i32;
+                clause.push(if rand() % 2 == 0 { var } else { -var });
+            }
+            let lits: Vec<Lit> = clause.iter().map(|&l| lit(&v, l)).collect();
+            s.add_clause(&lits);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+}

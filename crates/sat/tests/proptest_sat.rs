@@ -1,0 +1,103 @@
+//! Property tests: the CDCL solver agrees with brute force on random
+//! small CNF formulas, and its models always satisfy the clauses.
+
+use proptest::prelude::*;
+
+use vega_sat::{Lit, SolveResult, Solver};
+
+/// A clause is a set of signed variable indices (1-based, sign = polarity).
+fn clause_strategy(num_vars: i32) -> impl Strategy<Value = Vec<i32>> {
+    prop::collection::vec(
+        (1..=num_vars, any::<bool>()).prop_map(|(v, sign)| if sign { v } else { -v }),
+        1..4,
+    )
+}
+
+fn brute_force(num_vars: usize, clauses: &[Vec<i32>]) -> bool {
+    (0u32..1 << num_vars).any(|assignment| {
+        clauses.iter().all(|clause| {
+            clause.iter().any(|&literal| {
+                let value = assignment >> (literal.unsigned_abs() - 1) & 1 == 1;
+                (literal > 0) == value
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn agrees_with_brute_force(
+        num_vars in 2usize..9,
+        raw_clauses in prop::collection::vec(clause_strategy(8), 0..40),
+    ) {
+        // Clamp literals to the chosen variable count.
+        let clauses: Vec<Vec<i32>> = raw_clauses
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|&l| {
+                        let v = (l.unsigned_abs() as usize - 1) % num_vars + 1;
+                        if l > 0 { v as i32 } else { -(v as i32) }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut solver = Solver::new();
+        let vars: Vec<_> = (0..num_vars).map(|_| solver.new_var()).collect();
+        for clause in &clauses {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&l| {
+                    let var = vars[l.unsigned_abs() as usize - 1];
+                    if l > 0 { Lit::pos(var) } else { Lit::neg(var) }
+                })
+                .collect();
+            solver.add_clause(&lits);
+        }
+        let expected = brute_force(num_vars, &clauses);
+        let result = solver.solve();
+        prop_assert_eq!(
+            result,
+            if expected { SolveResult::Sat } else { SolveResult::Unsat }
+        );
+        if result == SolveResult::Sat {
+            for clause in &clauses {
+                let satisfied = clause.iter().any(|&l| {
+                    let value = solver
+                        .value(vars[l.unsigned_abs() as usize - 1])
+                        .unwrap_or(false);
+                    (l > 0) == value
+                });
+                prop_assert!(satisfied, "model violates {:?}", clause);
+            }
+        }
+    }
+
+    /// Solving is reproducible: the same formula yields the same verdict
+    /// when solved twice in a row (learned clauses must not change the
+    /// answer).
+    #[test]
+    fn resolving_is_stable(
+        raw_clauses in prop::collection::vec(clause_strategy(6), 0..25),
+    ) {
+        let mut solver = Solver::new();
+        let vars: Vec<_> = (0..6).map(|_| solver.new_var()).collect();
+        for clause in &raw_clauses {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&l| {
+                    let var = vars[l.unsigned_abs() as usize - 1];
+                    if l > 0 { Lit::pos(var) } else { Lit::neg(var) }
+                })
+                .collect();
+            solver.add_clause(&lits);
+        }
+        let first = solver.solve();
+        solver.reset_to_root();
+        let second = solver.solve();
+        prop_assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,45 @@
+//! Cycle-accurate gate-level simulation with signal-probability profiling.
+//!
+//! This crate is Vega's stand-in for an HDL simulator (the paper uses
+//! Verilator): it executes a [`vega_netlist::Netlist`] cycle by cycle,
+//! supports gated clocks, and — crucially for the Aging Analysis phase
+//! (paper §3.2.1) — attaches a *signal-probability counter* to the output
+//! of every cell. The counters are driven by a free-running profiling
+//! clock, so residency keeps accumulating even in cycles where the
+//! circuit's own clock is paused or gated off.
+//!
+//! # Example
+//!
+//! ```
+//! use vega_netlist::{CellKind, NetlistBuilder};
+//! use vega_sim::Simulator;
+//!
+//! let mut b = NetlistBuilder::new("toggler");
+//! let clk = b.clock("clk");
+//! let d = b.input("d", 1)[0];
+//! let q = b.dff("q", d, clk);
+//! b.output("y", &[q]);
+//! let netlist = b.finish().unwrap();
+//!
+//! let mut sim = Simulator::new(&netlist);
+//! sim.enable_profiling();
+//! sim.set_input("d", 1);
+//! sim.step(); // q captures 1 at the end of this cycle
+//! sim.step();
+//! assert_eq!(sim.output("y"), 1);
+//! let profile = sim.profile().unwrap();
+//! assert!(profile.sp("q").unwrap() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod profile;
+mod simulator;
+mod stimulus;
+mod waveform;
+
+pub use profile::{CellSp, SpProfile};
+pub use simulator::Simulator;
+pub use stimulus::{InputVector, RandomStimulus};
+pub use waveform::Waveform;

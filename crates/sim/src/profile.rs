@@ -1,0 +1,231 @@
+//! Signal-probability counters and profiles.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use vega_netlist::{CellKind, Netlist};
+
+/// Raw residency counters, one per cell output, in half-cycle units.
+///
+/// A data cell spends a whole cycle at its settled value, so it earns 2
+/// half-cycles of `1` residency when high. A toggling clock cell spends
+/// half of every cycle high, earning 1; a gated-off (or paused) clock
+/// idles at `0` and earns nothing. Counting in half-cycles keeps the
+/// arithmetic exact in integers.
+#[derive(Debug, Clone)]
+pub(crate) struct SpCounters {
+    /// Per-cell half-cycles spent at logical `1`, indexed by cell id.
+    ones_half_cycles: Vec<u64>,
+    /// Per-cell output transitions observed (toggle counter). For clock
+    /// cells, a toggling cycle counts as one toggle event.
+    toggles: Vec<u64>,
+    /// Previous sampled value per cell, for edge detection.
+    last: Vec<Option<bool>>,
+    /// Total profiled cycles (each contributes 2 half-cycles).
+    cycles: u64,
+}
+
+impl SpCounters {
+    pub(crate) fn new(netlist: &Netlist) -> Self {
+        SpCounters {
+            ones_half_cycles: vec![0; netlist.cell_count()],
+            toggles: vec![0; netlist.cell_count()],
+            last: vec![None; netlist.cell_count()],
+            cycles: 0,
+        }
+    }
+
+    pub(crate) fn sample(
+        &mut self,
+        netlist: &Netlist,
+        values: &[bool],
+        clock_active: &[bool],
+        running: bool,
+    ) {
+        for cell in netlist.cells() {
+            let index = cell.id.index();
+            if cell.kind.is_clock_network() {
+                let active = running && clock_active[index];
+                if active {
+                    self.ones_half_cycles[index] += 1; // high half of the cycle
+                    self.toggles[index] += 1;
+                }
+            } else {
+                let value = values[cell.output.index()];
+                if value {
+                    self.ones_half_cycles[index] += 2;
+                }
+                if self.last[index] == Some(!value) {
+                    self.toggles[index] += 1;
+                }
+                self.last[index] = Some(value);
+            }
+        }
+        self.cycles += 1;
+    }
+
+    pub(crate) fn snapshot(&self, netlist: &Netlist) -> SpProfile {
+        let mut cells = BTreeMap::new();
+        for cell in netlist.cells() {
+            let (sp, toggle_rate) = if self.cycles == 0 {
+                (0.0, 0.0)
+            } else {
+                (
+                    self.ones_half_cycles[cell.id.index()] as f64 / (2 * self.cycles) as f64,
+                    self.toggles[cell.id.index()] as f64 / self.cycles as f64,
+                )
+            };
+            cells.insert(cell.name.clone(), CellSp { kind: cell.kind, sp, toggle_rate });
+        }
+        SpProfile { module: netlist.name().to_string(), cycles: self.cycles, cells }
+    }
+}
+
+/// One cell's entry in a signal-probability profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellSp {
+    /// The cell's kind (so downstream consumers need not re-consult the
+    /// netlist).
+    pub kind: CellKind,
+    /// Fraction of profiled time the cell's output spent at logical `1`,
+    /// in `[0, 1]`.
+    pub sp: f64,
+    /// Output transitions per profiled cycle, in `[0, 1]` — the
+    /// switching-activity factor. BTI stress follows `sp`; dynamic
+    /// effects the paper lists as future aging-analysis extensions
+    /// (IR drop, electromigration, §6.3) follow this instead.
+    #[serde(default)]
+    pub toggle_rate: f64,
+}
+
+/// A signal-probability profile: per-cell `1`-state residency gathered by
+/// simulating representative workloads (paper §3.2.1, Table 1).
+///
+/// Profiles serialize with `serde` so the Aging Analysis phase can be run
+/// separately from workload simulation, mirroring how the paper's SP
+/// profile is an artifact passed between tools.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpProfile {
+    /// The profiled module's name.
+    pub module: String,
+    /// Number of profiled cycles.
+    pub cycles: u64,
+    /// Per-cell signal probabilities, keyed by cell instance name.
+    pub cells: BTreeMap<String, CellSp>,
+}
+
+impl SpProfile {
+    /// The signal probability of the named cell's output, if profiled.
+    pub fn sp(&self, cell: &str) -> Option<f64> {
+        self.cells.get(cell).map(|c| c.sp)
+    }
+
+    /// The switching-activity factor of the named cell, if profiled.
+    pub fn toggle_rate(&self, cell: &str) -> Option<f64> {
+        self.cells.get(cell).map(|c| c.toggle_rate)
+    }
+
+    /// Cells sorted by switching activity, busiest first — the hot spots
+    /// a dynamic-IR-drop analysis would start from.
+    pub fn busiest(&self) -> Vec<(&str, f64)> {
+        let mut v: Vec<(&str, f64)> = self
+            .cells
+            .iter()
+            .map(|(name, c)| (name.as_str(), c.toggle_rate))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(b.0)));
+        v
+    }
+
+    /// Merge another profile gathered on the *same* module (e.g. from a
+    /// different representative workload), weighting by cycle counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two profiles disagree on module name or cell set.
+    pub fn merge(&mut self, other: &SpProfile) {
+        assert_eq!(self.module, other.module, "profiles from different modules");
+        assert_eq!(self.cells.len(), other.cells.len(), "cell sets differ");
+        let total = self.cycles + other.cycles;
+        if total == 0 {
+            return;
+        }
+        for (name, entry) in &mut self.cells {
+            let theirs = other
+                .cells
+                .get(name)
+                .unwrap_or_else(|| panic!("cell `{name}` missing from merged profile"));
+            entry.sp = (entry.sp * self.cycles as f64 + theirs.sp * other.cycles as f64)
+                / total as f64;
+            entry.toggle_rate = (entry.toggle_rate * self.cycles as f64
+                + theirs.toggle_rate * other.cycles as f64)
+                / total as f64;
+        }
+        self.cycles = total;
+    }
+
+    /// Cells sorted by how *extreme* their SP is (distance from 0.5,
+    /// descending) — the cells under the most asymmetric BTI stress.
+    pub fn most_extreme(&self) -> Vec<(&str, f64)> {
+        let mut v: Vec<(&str, f64)> =
+            self.cells.iter().map(|(name, c)| (name.as_str(), c.sp)).collect();
+        v.sort_by(|a, b| {
+            let ka = (a.1 - 0.5).abs();
+            let kb = (b.1 - 0.5).abs();
+            kb.partial_cmp(&ka).unwrap().then_with(|| a.0.cmp(b.0))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_with(cells: &[(&str, f64)], cycles: u64) -> SpProfile {
+        SpProfile {
+            module: "m".into(),
+            cycles,
+            cells: cells
+                .iter()
+                .map(|&(name, sp)| {
+                    (name.to_string(), CellSp { kind: CellKind::Buf, sp, toggle_rate: 0.0 })
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn merge_weights_by_cycles() {
+        let mut a = profile_with(&[("x", 1.0)], 100);
+        let b = profile_with(&[("x", 0.0)], 300);
+        a.merge(&b);
+        assert_eq!(a.cycles, 400);
+        assert!((a.sp("x").unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_extreme_orders_by_distance_from_half() {
+        let p = profile_with(&[("mid", 0.5), ("low", 0.13), ("high", 0.85)], 10);
+        let order: Vec<&str> = p.most_extreme().iter().map(|&(n, _)| n).collect();
+        assert_eq!(order, vec!["low", "high", "mid"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different modules")]
+    fn merge_rejects_mismatched_modules() {
+        let mut a = profile_with(&[("x", 0.5)], 1);
+        let mut b = profile_with(&[("x", 0.5)], 1);
+        b.module = "other".into();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = profile_with(&[("x", 0.25)], 42);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SpProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the gate-level simulator: arithmetic correctness
+//! on the example adder, SP accounting invariants, and determinism.
+
+use proptest::prelude::*;
+
+use vega_netlist::{CellKind, Netlist, NetlistBuilder};
+use vega_sim::{RandomStimulus, Simulator};
+
+fn paper_adder() -> Netlist {
+    let mut b = NetlistBuilder::new("adder");
+    let clk = b.clock("clk");
+    let a = b.input("a", 2);
+    let bb = b.input("b", 2);
+    let aq0 = b.dff("dff1", a[0], clk);
+    let aq1 = b.dff("dff2", a[1], clk);
+    let bq0 = b.dff("dff3", bb[0], clk);
+    let bq1 = b.dff("dff4", bb[1], clk);
+    let s0 = b.cell(CellKind::Xor2, "xor5", &[aq0, bq0]);
+    let c0 = b.cell(CellKind::And2, "and6", &[aq0, bq0]);
+    let x7 = b.cell(CellKind::Xor2, "xor7", &[aq1, bq1]);
+    let s1 = b.cell(CellKind::Xor2, "xor8", &[x7, c0]);
+    let o0 = b.dff("dff9", s0, clk);
+    let o1 = b.dff("dff10", s1, clk);
+    b.output("o", &[o0, o1]);
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pipelined stream: output at cycle t+2 equals the sum of the
+    /// inputs applied at cycle t, for arbitrary input sequences.
+    #[test]
+    fn adder_stream_is_correct(inputs in prop::collection::vec((0u64..4, 0u64..4), 1..30)) {
+        let n = paper_adder();
+        let mut sim = Simulator::new(&n);
+        let mut history = Vec::new();
+        for &(a, b) in &inputs {
+            sim.set_input("a", a);
+            sim.set_input("b", b);
+            sim.step();
+            history.push((a, b));
+            if history.len() >= 2 {
+                let (pa, pb) = history[history.len() - 2];
+                prop_assert_eq!(sim.output("o"), (pa + pb) % 4);
+            }
+        }
+    }
+
+    /// SP values are probabilities, and a constantly-high input yields
+    /// SP → 1 on its register while the profile cycle count matches.
+    #[test]
+    fn sp_profile_invariants(cycles in 1usize..200) {
+        let n = paper_adder();
+        let mut sim = Simulator::new(&n);
+        sim.enable_profiling();
+        sim.set_input("a", 3);
+        sim.set_input("b", 0);
+        for _ in 0..cycles {
+            sim.step();
+        }
+        let profile = sim.profile().unwrap();
+        prop_assert_eq!(profile.cycles, cycles as u64);
+        for (name, cell) in &profile.cells {
+            prop_assert!((0.0..=1.0).contains(&cell.sp), "{}: {}", name, cell.sp);
+        }
+        // dff1 (captures a[0] = 1) spends all but the first cycle high.
+        let expected = (cycles as f64 - 1.0) / cycles as f64;
+        prop_assert!((profile.sp("dff1").unwrap() - expected).abs() < 1e-9);
+    }
+
+    /// Same seed, same trajectory — even with Random fault cells.
+    #[test]
+    fn simulation_is_deterministic(seed in any::<u64>(), cycles in 1usize..100) {
+        let mut b = NetlistBuilder::new("rng");
+        let clk = b.clock("clk");
+        let r = b.cell(CellKind::Random, "r", &[]);
+        let inv = b.cell(CellKind::Not, "inv", &[r]);
+        let q = b.dff("q", inv, clk);
+        b.output("y", &[q]);
+        let n = b.finish().unwrap();
+
+        let run = |seed| -> Vec<u64> {
+            let mut sim = Simulator::with_seed(&n, seed);
+            (0..cycles).map(|_| { sim.step(); sim.output("y") }).collect()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Idle stepping never changes registered outputs, for any prefix of
+    /// live cycles.
+    #[test]
+    fn idle_cycles_freeze_state(
+        live in prop::collection::vec((0u64..4, 0u64..4), 2..10),
+        idle in 1usize..20,
+    ) {
+        let n = paper_adder();
+        let mut sim = Simulator::new(&n);
+        let mut stim = RandomStimulus::new(&n, 5);
+        let _ = &mut stim;
+        for &(a, b) in &live {
+            sim.set_input("a", a);
+            sim.set_input("b", b);
+            sim.step();
+        }
+        let frozen = sim.output("o");
+        for _ in 0..idle {
+            sim.set_input("a", 1);
+            sim.set_input("b", 2);
+            sim.step_idle();
+            prop_assert_eq!(sim.output("o"), frozen);
+        }
+    }
+}

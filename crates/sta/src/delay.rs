@@ -1,0 +1,202 @@
+//! Aged per-cell delays and clock insertion delays.
+
+use vega_aging::AgingAwareTimingLibrary;
+use vega_netlist::{CellId, CellKind, Netlist};
+use vega_sim::SpProfile;
+
+use crate::report::StaConfig;
+
+/// Aged, per-instance timing numbers resolved once per STA run.
+///
+/// Every cell's base library delay is scaled by the degradation factor at
+/// its own profiled signal probability — including the clock buffers and
+/// clock gates, whose nonuniform aging produces the phase shifts behind
+/// aging-induced hold violations (paper §3.2.2).
+#[derive(Debug, Clone)]
+pub struct DelayContext {
+    /// Worst-case propagation delay per cell (clock derates not applied).
+    pub max_ns: Vec<f64>,
+    /// Best-case propagation delay per cell.
+    pub min_ns: Vec<f64>,
+    /// Late clock arrival at each flip-flop's clock pin (clock derate
+    /// applied), indexed by cell id; 0 for non-DFFs.
+    pub insertion_late_ns: Vec<f64>,
+    /// Early clock arrival at each flip-flop's clock pin.
+    pub insertion_early_ns: Vec<f64>,
+    /// Flip-flop setup window, in ns.
+    pub setup_ns: f64,
+    /// Flip-flop hold window, in ns.
+    pub hold_ns: f64,
+}
+
+impl DelayContext {
+    /// Resolve aged delays for `netlist` under `library`, using `profile`
+    /// for per-cell signal probabilities (cells not profiled get
+    /// `config.default_sp`).
+    pub fn resolve(
+        netlist: &Netlist,
+        library: &AgingAwareTimingLibrary,
+        profile: Option<&SpProfile>,
+        config: &StaConfig,
+    ) -> Self {
+        let sp_of = |cell_name: &str| -> f64 {
+            profile
+                .and_then(|p| p.sp(cell_name))
+                .unwrap_or(config.default_sp)
+        };
+
+        let mut max_ns = vec![0.0; netlist.cell_count()];
+        let mut min_ns = vec![0.0; netlist.cell_count()];
+        for cell in netlist.cells() {
+            let sp = sp_of(&cell.name);
+            let timing = library.aged_timing(cell.kind, sp);
+            if cell.kind == CellKind::Dff {
+                // Flip-flop "propagation" is its clock-to-Q arc, aged by
+                // the same per-instance factor.
+                let factor = library.degradation_factor(CellKind::Dff, sp);
+                max_ns[cell.id.index()] = library.base.dff.clk_to_q_max_ns * factor;
+                min_ns[cell.id.index()] = library.base.dff.clk_to_q_min_ns * factor;
+            } else {
+                max_ns[cell.id.index()] = timing.max_delay_ns;
+                min_ns[cell.id.index()] = timing.min_delay_ns;
+            }
+        }
+
+        // Clock insertion per flip-flop: sum the aged delays of the clock
+        // cells along its clock path, then apply clock derates and any
+        // injected phase shift.
+        let mut insertion_late_ns = vec![0.0; netlist.cell_count()];
+        let mut insertion_early_ns = vec![0.0; netlist.cell_count()];
+        for dff in netlist.dffs() {
+            let path = vega_netlist::graph::clock_path(netlist, dff.id)
+                .expect("sequential netlist has a clock");
+            let (mut late, mut early) = (0.0, 0.0);
+            for &clock_cell in &path {
+                late += max_ns[clock_cell.index()];
+                early += min_ns[clock_cell.index()];
+            }
+            late *= config.derates.clock_late;
+            early *= config.derates.clock_early;
+            let injected: f64 = config
+                .injected_capture_skew
+                .iter()
+                .filter(|(name, _)| name == &dff.name)
+                .map(|&(_, s)| s)
+                .sum();
+            insertion_late_ns[dff.id.index()] = late + injected;
+            insertion_early_ns[dff.id.index()] = early + injected;
+        }
+
+        DelayContext {
+            max_ns,
+            min_ns,
+            insertion_late_ns,
+            insertion_early_ns,
+            setup_ns: library.base.dff.setup_ns,
+            hold_ns: library.base.dff.hold_ns,
+        }
+    }
+
+    /// Latest allowed arrival at `capture`'s D pin (setup requirement).
+    pub fn setup_required_ns(&self, capture: CellId, period_ns: f64) -> f64 {
+        period_ns + self.insertion_early_ns[capture.index()] - self.setup_ns
+    }
+
+    /// Earliest allowed change at `capture`'s D pin (hold requirement),
+    /// including any extra margin demanded by the configuration.
+    pub fn hold_required_ns(&self, capture: CellId, margin_ns: f64) -> f64 {
+        self.insertion_late_ns[capture.index()] + self.hold_ns + margin_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_aging::{AgingAwareTimingLibrary, AgingModel};
+    use vega_netlist::{NetlistBuilder, StdCellLibrary};
+
+    fn tree_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.clock("clk");
+        let d = b.input("d", 1)[0];
+        let ck1 = b.clock_buf("ck1", clk);
+        let ck2 = b.clock_buf("ck2", ck1);
+        let q_deep = b.dff("q_deep", d, ck2);
+        let q_root = b.dff("q_root", d, clk);
+        b.output("y", &[q_deep, q_root]);
+        b.finish().unwrap()
+    }
+
+    fn library(years: f64) -> AgingAwareTimingLibrary {
+        AgingAwareTimingLibrary::build(
+            StdCellLibrary::cmos28(),
+            AgingModel::cmos28_worst_case(),
+            years,
+        )
+    }
+
+    #[test]
+    fn insertion_delays_accumulate_along_clock_paths() {
+        let n = tree_netlist();
+        let lib = library(0.0);
+        let config = StaConfig::with_period(2.0);
+        let delays = DelayContext::resolve(&n, &lib, None, &config);
+        let deep = n.cell_by_name("q_deep").unwrap().id;
+        let root = n.cell_by_name("q_root").unwrap().id;
+        assert_eq!(delays.insertion_late_ns[root.index()], 0.0);
+        assert_eq!(delays.insertion_early_ns[root.index()], 0.0);
+        // Two buffers at 0.026 max each, with the late clock derate.
+        let expected_late = 2.0 * 0.026 * config.derates.clock_late;
+        assert!((delays.insertion_late_ns[deep.index()] - expected_late).abs() < 1e-12);
+        assert!(
+            delays.insertion_early_ns[deep.index()] < delays.insertion_late_ns[deep.index()]
+        );
+    }
+
+    #[test]
+    fn injected_skew_shifts_both_edges() {
+        let n = tree_netlist();
+        let lib = library(0.0);
+        let mut config = StaConfig::with_period(2.0);
+        config.injected_capture_skew = vec![("q_root".into(), 0.1)];
+        let delays = DelayContext::resolve(&n, &lib, None, &config);
+        let root = n.cell_by_name("q_root").unwrap().id;
+        assert!((delays.insertion_late_ns[root.index()] - 0.1).abs() < 1e-12);
+        assert!((delays.insertion_early_ns[root.index()] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requirements_move_with_period_and_margin() {
+        let n = tree_netlist();
+        let lib = library(0.0);
+        let config = StaConfig::with_period(3.0);
+        let delays = DelayContext::resolve(&n, &lib, None, &config);
+        let root = n.cell_by_name("q_root").unwrap().id;
+        let setup = delays.setup_required_ns(root, 3.0);
+        assert!((setup - (3.0 - lib.base.dff.setup_ns)).abs() < 1e-12);
+        let hold0 = delays.hold_required_ns(root, 0.0);
+        let hold5 = delays.hold_required_ns(root, 0.005);
+        assert!((hold5 - hold0 - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aging_slows_cells_per_profile() {
+        let n = tree_netlist();
+        let aged = library(10.0);
+        let config = StaConfig::with_period(2.0);
+        // Profile: ck1 rests at 0 (heavy stress), ck2 toggles.
+        let mut cells = std::collections::BTreeMap::new();
+        for cell in n.cells() {
+            let sp = if cell.name == "ck1" { 0.0 } else { 0.5 };
+            cells.insert(cell.name.clone(), vega_sim::CellSp { kind: cell.kind, sp, toggle_rate: 0.0 });
+        }
+        let profile = vega_sim::SpProfile { module: "t".into(), cycles: 1, cells };
+        let delays = DelayContext::resolve(&n, &aged, Some(&profile), &config);
+        let ck1 = n.cell_by_name("ck1").unwrap().id;
+        let ck2 = n.cell_by_name("ck2").unwrap().id;
+        assert!(
+            delays.max_ns[ck1.index()] > delays.max_ns[ck2.index()],
+            "the DC-stressed buffer must age more"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Post-route hold fixing.
+//!
+//! Real designs ship with hold slack shaved thin: hold violations found
+//! after routing are repaired by inserting just enough buffer delay at the
+//! violating endpoints. Vega's evaluation relies on this realism — a
+//! hold-fixed design has margins of a few picoseconds, which is exactly
+//! what a small aging-induced clock phase shift can consume (paper
+//! §2.3.2: hold violations "necessitate chip repair").
+
+use vega_aging::AgingAwareTimingLibrary;
+use vega_netlist::Netlist;
+use vega_sim::SpProfile;
+
+use crate::analysis::analyze;
+use crate::report::StaConfig;
+
+/// Repair hold violations by inserting buffers at violating capture `D`
+/// pins until the design meets hold with `config.hold_margin_ns` of
+/// margin. Returns the number of buffers inserted.
+///
+/// The pass iterates because inserting a buffer changes arrival times;
+/// each iteration fixes every currently-violating endpoint once. The
+/// library should be the *unaged* one — this models design-time repair.
+///
+/// # Panics
+///
+/// Panics if the design still violates hold after 64 iterations (which
+/// would indicate an unfixable structure, e.g. a hold requirement larger
+/// than any insertable delay).
+pub fn fix_hold_violations(
+    netlist: &mut Netlist,
+    library: &AgingAwareTimingLibrary,
+    profile: Option<&SpProfile>,
+    config: &StaConfig,
+) -> usize {
+    let mut inserted = 0usize;
+    for _iteration in 0..64 {
+        let report = analyze(netlist, library, profile, config);
+        if report.hold_violations.is_empty() {
+            return inserted;
+        }
+        // One buffer per violating capture endpoint per iteration; a
+        // deficit larger than one buffer's min delay resolves over
+        // subsequent iterations.
+        let mut endpoints: Vec<_> = report
+            .hold_violations
+            .iter()
+            .map(|p| p.capture)
+            .collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        for capture in endpoints {
+            let name = netlist.fresh_name("holdfix");
+            netlist.insert_on_pin(vega_netlist::CellKind::Delay, capture, 0, name);
+            inserted += 1;
+        }
+    }
+    let report = analyze(netlist, library, profile, config);
+    assert!(
+        report.hold_violations.is_empty(),
+        "hold fixing did not converge: {} violations remain",
+        report.hold_violations.len()
+    );
+    inserted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Derates;
+    use vega_aging::AgingModel;
+    use vega_netlist::{NetlistBuilder, StdCellLibrary};
+
+    #[test]
+    fn fixes_a_shift_register_hold_violation() {
+        // A two-stage shift register where the capture flop's clock is
+        // delayed through buffers: classic hold hazard.
+        let mut b = NetlistBuilder::new("shift");
+        let clk = b.clock("clk");
+        let d = b.input("d", 1)[0];
+        let mut late_ck = clk;
+        for i in 0..4 {
+            late_ck = b.clock_buf(format!("ck{i}"), late_ck);
+        }
+        let q1 = b.dff("q1", d, clk);
+        let q2 = b.dff("q2", q1, late_ck);
+        b.output("y", &[q2]);
+        let mut n = b.finish().unwrap();
+
+        let lib = AgingAwareTimingLibrary::build(
+            StdCellLibrary::cmos28(),
+            AgingModel::cmos28_worst_case(),
+            0.0,
+        );
+        let mut config = StaConfig::with_period(4.0);
+        config.derates = Derates::nominal();
+        config.hold_margin_ns = 0.004;
+
+        let before = analyze(&n, &lib, None, &config);
+        assert!(!before.hold_violations.is_empty(), "test needs a hold hazard");
+
+        let inserted = fix_hold_violations(&mut n, &lib, None, &config);
+        assert!(inserted > 0);
+        n.validate().unwrap();
+
+        let after = analyze(&n, &lib, None, &config);
+        assert!(after.hold_violations.is_empty());
+        // The margin is thin by construction: reanalyzing with a slightly
+        // larger margin must show how close to the edge the fix leaves us.
+        let mut tighter = config.clone();
+        tighter.hold_margin_ns = config.hold_margin_ns + 0.015;
+        let close = analyze(&n, &lib, None, &tighter);
+        assert!(
+            !close.hold_violations.is_empty(),
+            "hold fixing should leave only thin margin"
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! Report types and analysis configuration.
+
+use serde::{Deserialize, Serialize};
+
+use vega_netlist::{CellId, Netlist};
+
+/// Pessimistic analysis derates, per the industry practice the paper
+/// follows: data paths are pushed late for setup and early for hold, and
+/// the clock network gets its own (smaller) uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Derates {
+    /// Multiplier on data-path max delays for setup checks (≥ 1).
+    pub data_late: f64,
+    /// Multiplier on data-path min delays for hold checks (≤ 1).
+    pub data_early: f64,
+    /// Multiplier on the late clock insertion delay (≥ 1).
+    pub clock_late: f64,
+    /// Multiplier on the early clock insertion delay (≤ 1).
+    pub clock_early: f64,
+}
+
+impl Default for Derates {
+    fn default() -> Self {
+        Derates { data_late: 1.05, data_early: 0.95, clock_late: 1.03, clock_early: 0.97 }
+    }
+}
+
+impl Derates {
+    /// No pessimism: nominal delays everywhere. Used by the derate
+    /// ablation experiment.
+    pub fn nominal() -> Self {
+        Derates { data_late: 1.0, data_early: 1.0, clock_late: 1.0, clock_early: 1.0 }
+    }
+}
+
+/// Configuration of one STA run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaConfig {
+    /// Clock period in nanoseconds.
+    pub clock_period_ns: f64,
+    /// Analysis derates.
+    pub derates: Derates,
+    /// Signal probability assumed for cells absent from the profile.
+    pub default_sp: f64,
+    /// Cap on the number of violating paths enumerated per check type.
+    pub max_paths: usize,
+    /// Whether paths launched at module input ports are checked. Off by
+    /// default: Vega's failure models need register-to-register paths,
+    /// and module inputs arrive from upstream pipeline registers anyway.
+    pub check_input_paths: bool,
+    /// Arrival time of module inputs relative to the clock edge, in ns
+    /// (used only when `check_input_paths` is set).
+    pub input_delay_ns: f64,
+    /// Extra capture-clock phase shift injected at named flip-flops, in
+    /// ns. This reproduces the paper's worked example, which *assumes* a
+    /// phase shift between two flip-flops to demonstrate a hold violation.
+    pub injected_capture_skew: Vec<(String, f64)>,
+    /// Additional margin required of hold paths (used by hold fixing to
+    /// leave realistic-but-thin slack).
+    pub hold_margin_ns: f64,
+}
+
+impl StaConfig {
+    /// A configuration with the given clock period and defaults otherwise.
+    pub fn with_period(clock_period_ns: f64) -> Self {
+        StaConfig {
+            clock_period_ns,
+            derates: Derates::default(),
+            default_sp: 0.5,
+            max_paths: 100_000,
+            check_input_paths: false,
+            input_delay_ns: 0.0,
+            injected_capture_skew: Vec::new(),
+            hold_margin_ns: 0.0,
+        }
+    }
+}
+
+/// Which timing window a path violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// Data arrived too late before the capturing edge.
+    Setup,
+    /// Data changed too soon after the capturing edge.
+    Hold,
+}
+
+/// Where a timing path starts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// A module input port bit.
+    Port {
+        /// Port name.
+        name: String,
+        /// Bit index within the port.
+        bit: usize,
+    },
+    /// A flip-flop (path starts at its `Q` output).
+    Dff(CellId),
+}
+
+impl Endpoint {
+    /// Human-readable label resolved against `netlist`.
+    pub fn label(&self, netlist: &Netlist) -> String {
+        match self {
+            Endpoint::Port { name, bit } => format!("{name}[{bit}]"),
+            Endpoint::Dff(id) => netlist.cell(*id).name.clone(),
+        }
+    }
+}
+
+/// One violating signal propagation path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingPath {
+    /// Setup or hold.
+    pub violation: ViolationKind,
+    /// The launching endpoint.
+    pub launch: Endpoint,
+    /// The capturing flip-flop.
+    pub capture: CellId,
+    /// Combinational cells traversed, launch-side first (the capture
+    /// flip-flop itself is not included).
+    pub cells: Vec<CellId>,
+    /// Data arrival time at the capture `D` pin, in ns.
+    pub arrival_ns: f64,
+    /// Required time (setup: latest allowed; hold: earliest allowed).
+    pub required_ns: f64,
+    /// Slack in ns; negative means violating.
+    pub slack_ns: f64,
+}
+
+impl TimingPath {
+    /// `(launch, capture)` — the unique-pair key of paper §5.2.1: paths
+    /// sharing both endpoints exhibit the same misbehaviour under the
+    /// failure model, so Error Lifting treats them as one.
+    pub fn endpoint_pair(&self) -> (Endpoint, CellId) {
+        (self.launch.clone(), self.capture)
+    }
+
+    /// Render a per-stage timing breakdown: each traversed cell with its
+    /// kind, like the stage table of a signoff timing report.
+    pub fn describe_stages(&self, netlist: &Netlist) -> String {
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "{:?} path, slack {:.3} ns (arrival {:.3}, required {:.3})",
+            self.violation, self.slack_ns, self.arrival_ns, self.required_ns
+        );
+        let _ = writeln!(out, "  launch : {}", self.launch.label(netlist));
+        for &cell_id in &self.cells {
+            let cell = netlist.cell(cell_id);
+            let _ = writeln!(out, "  through: {} ({})", cell.name, cell.kind.verilog_name());
+        }
+        let capture = netlist.cell(self.capture);
+        let _ = writeln!(out, "  capture: {} ({})", capture.name, capture.kind.verilog_name());
+        out
+    }
+
+    /// Render the path as `launch -> cell -> ... -> capture`.
+    pub fn describe(&self, netlist: &Netlist) -> String {
+        let mut parts = vec![self.launch.label(netlist)];
+        parts.extend(self.cells.iter().map(|&c| netlist.cell(c).name.clone()));
+        parts.push(netlist.cell(self.capture).name.clone());
+        format!(
+            "[{:?}] {} (arrival {:.3} ns, required {:.3} ns, slack {:.3} ns)",
+            self.violation,
+            parts.join(" -> "),
+            self.arrival_ns,
+            self.required_ns,
+            self.slack_ns
+        )
+    }
+}
+
+/// Per-flip-flop clock arrival information.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockInsertion {
+    /// The flip-flop.
+    pub dff: CellId,
+    /// Earliest clock arrival at its clock pin, in ns.
+    pub early_ns: f64,
+    /// Latest clock arrival at its clock pin, in ns.
+    pub late_ns: f64,
+}
+
+/// The result of one STA run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// The analyzed module's name.
+    pub module: String,
+    /// Clock period used, in ns.
+    pub clock_period_ns: f64,
+    /// All violating setup paths found (worst first), up to the cap.
+    pub setup_violations: Vec<TimingPath>,
+    /// All violating hold paths found (worst first), up to the cap.
+    pub hold_violations: Vec<TimingPath>,
+    /// Worst negative slack across setup checks (0 if clean), in ns.
+    pub wns_setup_ns: f64,
+    /// Worst negative slack across hold checks (0 if clean), in ns.
+    pub wns_hold_ns: f64,
+    /// Total number of violating setup paths (counted even past the
+    /// storage cap, up to an internal ceiling).
+    pub setup_path_count: u64,
+    /// Total number of violating hold paths.
+    pub hold_path_count: u64,
+    /// Whether enumeration hit the `max_paths` cap for either check.
+    pub truncated: bool,
+    /// Clock arrivals per flip-flop, for phase-shift inspection.
+    pub clock_insertions: Vec<ClockInsertion>,
+}
+
+impl TimingReport {
+    /// Whether no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.setup_violations.is_empty() && self.hold_violations.is_empty()
+    }
+
+    /// Unique `(launch, capture)` pairs among setup violations, in worst-
+    /// slack order.
+    pub fn unique_setup_pairs(&self) -> Vec<(Endpoint, CellId)> {
+        Self::unique_pairs(&self.setup_violations)
+    }
+
+    /// Unique `(launch, capture)` pairs among hold violations, in worst-
+    /// slack order.
+    pub fn unique_hold_pairs(&self) -> Vec<(Endpoint, CellId)> {
+        Self::unique_pairs(&self.hold_violations)
+    }
+
+    fn unique_pairs(paths: &[TimingPath]) -> Vec<(Endpoint, CellId)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut pairs = Vec::new();
+        for path in paths {
+            let pair = path.endpoint_pair();
+            if seen.insert(pair.clone()) {
+                pairs.push(pair);
+            }
+        }
+        pairs
+    }
+
+    /// The largest aging-induced clock phase shift between any two
+    /// flip-flops, in ns (late arrival of one vs early arrival of
+    /// another).
+    pub fn max_clock_skew_ns(&self) -> f64 {
+        let mut max_late = f64::NEG_INFINITY;
+        let mut min_early = f64::INFINITY;
+        for ins in &self.clock_insertions {
+            max_late = max_late.max(ins.late_ns);
+            min_early = min_early.min(ins.early_ns);
+        }
+        if self.clock_insertions.is_empty() {
+            0.0
+        } else {
+            (max_late - min_early).max(0.0)
+        }
+    }
+
+    /// A one-line summary in the spirit of the paper's Table 3 rows:
+    /// `WNS / number of violated paths` for setup and hold.
+    pub fn table3_row(&self) -> String {
+        let fmt = |wns: f64, count: usize| {
+            if count == 0 {
+                "- / 0".to_string()
+            } else {
+                format!("{:.0}ps / {}", wns * 1000.0, count)
+            }
+        };
+        format!(
+            "{}: setup {} | hold {}",
+            self.module,
+            fmt(self.wns_setup_ns, self.setup_path_count as usize),
+            fmt(self.wns_hold_ns, self.hold_path_count as usize),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_netlist::{CellKind, NetlistBuilder};
+
+    fn sample_path() -> (vega_netlist::Netlist, TimingPath) {
+        let mut b = NetlistBuilder::new("m");
+        let clk = b.clock("clk");
+        let a = b.input("a", 1)[0];
+        let q1 = b.dff("q1", a, clk);
+        let inv = b.cell(CellKind::Not, "inv", &[q1]);
+        let q2 = b.dff("q2", inv, clk);
+        b.output("y", &[q2]);
+        let n = b.finish().unwrap();
+        let path = TimingPath {
+            violation: ViolationKind::Setup,
+            launch: Endpoint::Dff(n.cell_by_name("q1").unwrap().id),
+            capture: n.cell_by_name("q2").unwrap().id,
+            cells: vec![n.cell_by_name("inv").unwrap().id],
+            arrival_ns: 1.5,
+            required_ns: 1.4,
+            slack_ns: -0.1,
+        };
+        (n, path)
+    }
+
+    #[test]
+    fn describe_and_stages() {
+        let (n, path) = sample_path();
+        let short = path.describe(&n);
+        assert!(short.contains("q1 -> inv -> q2"));
+        assert!(short.contains("slack -0.100 ns"));
+        let stages = path.describe_stages(&n);
+        assert!(stages.contains("launch : q1"));
+        assert!(stages.contains("through: inv (INV)"));
+        assert!(stages.contains("capture: q2 (DFF)"));
+    }
+
+    #[test]
+    fn endpoint_labels() {
+        let (n, path) = sample_path();
+        assert_eq!(path.launch.label(&n), "q1");
+        let port = Endpoint::Port { name: "a".into(), bit: 0 };
+        assert_eq!(port.label(&n), "a[0]");
+    }
+
+    #[test]
+    fn report_summaries() {
+        let (n, path) = sample_path();
+        let report = TimingReport {
+            module: "m".into(),
+            clock_period_ns: 2.0,
+            setup_violations: vec![path.clone(), path.clone()],
+            hold_violations: vec![],
+            wns_setup_ns: -0.1,
+            wns_hold_ns: 0.0,
+            setup_path_count: 2,
+            hold_path_count: 0,
+            truncated: false,
+            clock_insertions: vec![],
+        };
+        let _ = n;
+        assert!(!report.is_clean());
+        assert_eq!(report.unique_setup_pairs().len(), 1, "identical paths collapse");
+        assert_eq!(report.table3_row(), "m: setup -100ps / 2 | hold - / 0");
+        assert_eq!(report.max_clock_skew_ns(), 0.0);
+    }
+
+    #[test]
+    fn derates_default_are_pessimistic() {
+        let d = Derates::default();
+        assert!(d.data_late > 1.0 && d.data_early < 1.0);
+        assert!(d.clock_late > 1.0 && d.clock_early < 1.0);
+        let n = Derates::nominal();
+        assert_eq!((n.data_late, n.data_early), (1.0, 1.0));
+    }
+}

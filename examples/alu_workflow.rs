@@ -1,0 +1,90 @@
+//! The full Vega workflow on the gate-level RV32 ALU.
+//!
+//! Mirrors the paper's ALU evaluation (§5): signoff at a guard-banded
+//! frequency, workload-driven SP profiling, aging-aware STA (Table 3
+//! row), error lifting over the unique pairs (Table 4 row), and a
+//! detection run of the generated suite against failing netlists.
+//!
+//! Run with: `cargo run --release --example alu_workflow`
+
+use vega::*;
+use vega_circuits::{alu::build_alu, fpu::build_fpu};
+use vega_integrate::workloads;
+use vega_sim::Simulator;
+
+fn main() {
+    let config = WorkflowConfig::cmos28_10y();
+
+    println!("== signoff ==");
+    let unit = prepare_unit(build_alu(), ModuleKind::Alu, &config);
+    println!(
+        "rv32_alu: {} cells, rated {:.1} MHz (period {:.3} ns), {} hold buffers",
+        unit.netlist.cell_count(),
+        unit.frequency_mhz(),
+        unit.clock_period_ns,
+        unit.hold_buffers
+    );
+
+    println!("\n== phase 1: aging analysis ==");
+    // Representative workloads: run the embench-style programs with the
+    // gate-level ALU (and FPU) attached as module drivers.
+    let fpu_netlist = build_fpu();
+    let programs: Vec<_> = workloads::all().into_iter().take(4).collect();
+    println!(
+        "profiling workloads: {:?}",
+        programs.iter().map(|p| p.name.clone()).collect::<Vec<_>>()
+    );
+    let (alu_profile, _fpu_profile) = profile_units(&unit.netlist, &fpu_netlist, &programs, 3);
+    println!("profiled {} cycles", alu_profile.cycles);
+
+    let analysis = analyze_aging(&unit, &alu_profile, &config);
+    println!("Table 3 row -> {}", analysis.report.table3_row());
+    println!("unique endpoint pairs: {}", analysis.unique_pairs.len());
+
+    println!("\n== phase 2: error lifting (worst 6 pairs) ==");
+    let pairs: Vec<AgingPath> = analysis.unique_pairs.iter().copied().take(6).collect();
+    let report = lift_errors(&unit, &pairs, &config);
+    let (s, ur, ff, fc) = report.table4_row();
+    println!("Table 4 row -> S {s:.1}%  UR {ur:.1}%  FF {ff:.1}%  FC {fc:.1}%");
+    let suite = report.suite();
+    println!(
+        "Table 5 row -> {} test cases, {} CPU cycles",
+        suite.len(),
+        report.suite_cpu_cycles()
+    );
+    for test in suite.iter().take(3) {
+        println!("  example instructions from {}:", test.name);
+        for instr in test.instructions.iter().take(6) {
+            println!("    {}", instr.asm());
+        }
+    }
+
+    println!("\n== phase 3: detection ==");
+    let mut library = AgingLibrary::new(unit.module, suite, Schedule::Sequential);
+    let mut healthy = Simulator::new(&unit.netlist);
+    println!(
+        "healthy ALU: {}",
+        if library.run_checked(&mut healthy).is_ok() { "all tests pass" } else { "false positive!" }
+    );
+    let mut detected = 0;
+    let mut total = 0;
+    for pair in &report.pairs {
+        if pair.class() != PairClass::Success {
+            continue;
+        }
+        for mode in [FaultValue::Zero, FaultValue::One, FaultValue::Random] {
+            let failing = build_failing_netlist(
+                &unit.netlist,
+                pair.path,
+                mode,
+                FaultActivation::OnChange,
+            );
+            let mut sim = Simulator::new(&failing);
+            total += 1;
+            if library.run_once(&mut sim).detected() {
+                detected += 1;
+            }
+        }
+    }
+    println!("failing netlists detected: {detected}/{total}");
+}

@@ -1,0 +1,89 @@
+//! The Vega workflow on the gate-level FP32 FPU, featuring the
+//! clock-gating story: integer-heavy workloads leave the FPU idle, its
+//! gated clock branches rest at logic 0 and age at the DC rate, and the
+//! resulting phase shift against the free-running control branch is what
+//! turns thin hold margins negative (paper §3.2.2 and Table 3).
+//!
+//! Run with: `cargo run --release --example fpu_workflow`
+
+use vega::*;
+use vega_circuits::{alu::build_alu, fpu::build_fpu};
+use vega_integrate::workloads;
+use vega_sim::Simulator;
+
+fn main() {
+    let config = WorkflowConfig::cmos28_10y();
+
+    println!("== signoff ==");
+    let unit = prepare_unit(build_fpu(), ModuleKind::Fpu, &config);
+    println!(
+        "rv32_fpu: {} cells, rated {:.1} MHz (period {:.3} ns), {} hold buffers",
+        unit.netlist.cell_count(),
+        unit.frequency_mhz(),
+        unit.clock_period_ns,
+        unit.hold_buffers
+    );
+
+    println!("\n== phase 1: aging analysis ==");
+    let alu_netlist = build_alu();
+    // An integer-heavy mix: the FPU idles most of the time, which is the
+    // worst case for its gated clock branches.
+    let programs = vec![
+        workloads::crc32(),
+        workloads::huff(),
+        workloads::mont32(),
+        workloads::minver(), // some FP activity
+    ];
+    let (_alu_profile, fpu_profile) = profile_units(&alu_netlist, &unit.netlist, &programs, 5);
+    let valid_sp = fpu_profile.sp("icg_out").unwrap_or(0.0);
+    println!("profiled {} cycles; output clock-gate SP = {valid_sp:.3}", fpu_profile.cycles);
+
+    let analysis = analyze_aging(&unit, &fpu_profile, &config);
+    println!("Table 3 row -> {}", analysis.report.table3_row());
+    println!(
+        "max aging-induced clock skew: {:.1} ps",
+        analysis.report.max_clock_skew_ns() * 1000.0
+    );
+    let hold_pairs = analysis.report.unique_hold_pairs().len();
+    println!(
+        "unique pairs: {} total ({hold_pairs} hold)",
+        analysis.unique_pairs.len()
+    );
+
+    println!("\n== phase 2: error lifting (worst 4 pairs) ==");
+    let pairs: Vec<AgingPath> = analysis.unique_pairs.iter().copied().take(4).collect();
+    let report = lift_errors(&unit, &pairs, &config);
+    let (s, ur, ff, fc) = report.table4_row();
+    println!("Table 4 row -> S {s:.1}%  UR {ur:.1}%  FF {ff:.1}%  FC {fc:.1}%");
+    let suite = report.suite();
+    println!(
+        "Table 5 row -> {} test cases, {} CPU cycles",
+        suite.len(),
+        report.suite_cpu_cycles()
+    );
+
+    println!("\n== phase 3: detection (including stalls) ==");
+    let mut library = AgingLibrary::new(unit.module, suite, Schedule::Sequential);
+    let mut healthy = Simulator::new(&unit.netlist);
+    println!(
+        "healthy FPU: {}",
+        if library.run_checked(&mut healthy).is_ok() { "all tests pass" } else { "false positive!" }
+    );
+    for pair in &report.pairs {
+        if pair.class() != PairClass::Success {
+            continue;
+        }
+        let failing = build_failing_netlist(
+            &unit.netlist,
+            pair.path,
+            FaultValue::Zero,
+            FaultActivation::OnChange,
+        );
+        let mut sim = Simulator::new(&failing);
+        let outcome = library.run_once(&mut sim);
+        match outcome.first_detection {
+            Some(fault) => println!("  {} -> {:?}", pair.label, fault.outcome),
+            None => println!("  {} -> undetected (initial-value dependency?)", pair.label),
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Runtime detection inside an application: profile-guided integration.
+//!
+//! An application (the `minver` matrix-inversion kernel) gets Vega's test
+//! suite embedded automatically at a profile-chosen location with a
+//! probability gate keeping overhead near the paper's 0.8% average. The
+//! app then runs against healthy hardware — and against an "aged" chip
+//! whose ALU carries a circuit-level failure model, where the embedded
+//! tests raise the fault.
+//!
+//! Also prints a slice of the generated C aging library (paper §3.4.1).
+//!
+//! Run with: `cargo run --release --example runtime_detection`
+
+use vega::*;
+use vega_circuits::alu::build_alu;
+use vega_integrate::mini_ir::Interpreter;
+use vega_integrate::pgi::{integrate as pgi_integrate, measured_overhead, PgiConfig};
+use vega_integrate::workloads;
+use vega_sim::Simulator;
+
+fn main() {
+    // --- Build the suite for the ALU ----------------------------------
+    let config = WorkflowConfig::cmos28_10y();
+    let unit = prepare_unit(build_alu(), ModuleKind::Alu, &config);
+    let profile = profile_standalone(&unit.netlist, 2_000, 9);
+    let analysis = analyze_aging(&unit, &profile, &config);
+    let pairs: Vec<AgingPath> = analysis.unique_pairs.iter().copied().take(4).collect();
+    let report = lift_errors(&unit, &pairs, &config);
+    let suite = report.suite();
+    let suite_cycles = report.suite_cpu_cycles();
+    println!(
+        "suite: {} tests, {} CPU cycles per full execution",
+        suite.len(),
+        suite_cycles
+    );
+
+    // --- Profile-guided integration into minver -----------------------
+    let app = workloads::minver();
+    let pgi_config = PgiConfig::default();
+    let integrated = pgi_integrate(&app, suite_cycles, &pgi_config)
+        .expect("minver has a routine block");
+    println!(
+        "integration point: block {} (`{}`), gate: every {} arrivals, estimated overhead {:.2}%",
+        integrated.integration_point,
+        app.blocks[integrated.integration_point].label,
+        integrated.every,
+        integrated.estimated_overhead * 100.0
+    );
+    let (overhead, invocations) = measured_overhead(&app, &integrated.program, 64);
+    println!(
+        "measured over 64 runs: {:.2}% overhead, {} suite invocations",
+        overhead * 100.0,
+        invocations
+    );
+
+    // --- The runtime story --------------------------------------------
+    // Healthy chip: the app runs, the embedded suite stays silent.
+    let mut library = AgingLibrary::new(unit.module, suite.clone(), Schedule::Sequential);
+    let mut healthy_chip = Simulator::new(&unit.netlist);
+    let mut interp = Interpreter::new(&integrated.program);
+    let result = interp.run(&integrated.program, None);
+    let detection = library.run_once(&mut healthy_chip);
+    println!(
+        "\nhealthy chip: app returned {:#x} in {} cycles; embedded tests: {}",
+        result.value,
+        result.cycles,
+        if detection.detected() { "FAULT!?" } else { "silent" }
+    );
+
+    // Years later: transistor aging has broken the worst path. The same
+    // embedded suite now fires.
+    let Some(success_pair) = report.pairs.iter().find(|p| p.class() == PairClass::Success)
+    else {
+        println!("(no lifted pair to demonstrate detection)");
+        return;
+    };
+    let failing = build_failing_netlist(
+        &unit.netlist,
+        success_pair.path,
+        FaultValue::One,
+        FaultActivation::OnChange,
+    );
+    let mut aged_chip = Simulator::new(&failing);
+    match library.run_checked(&mut aged_chip) {
+        Err(fault) => println!("aged chip:    {fault}"),
+        Ok(()) => println!("aged chip:    fault went undetected"),
+    }
+
+    // --- The C library artifact ---------------------------------------
+    let c_source = emit_c_library("rv32_alu", &suite);
+    println!("\n--- generated C aging library (first 25 lines) ---");
+    for line in c_source.lines().take(25) {
+        println!("{line}");
+    }
+    println!("... ({} lines total)", c_source.lines().count());
+}

@@ -1,0 +1,66 @@
+//! Workspace integration test: the complete three-phase workflow on the
+//! paper's worked example, asserting the shapes the paper reports.
+
+use vega::*;
+
+#[test]
+fn full_workflow_on_the_paper_adder() {
+    let netlist = vega_circuits::adder_example::build_paper_adder();
+    let config = WorkflowConfig::paper_demo();
+    let unit = prepare_unit(netlist, ModuleKind::PaperAdder, &config);
+
+    // Signoff leaves a ~1 GHz-class period: min period 0.96 ns + 2%.
+    assert!((unit.clock_period_ns - 0.9792).abs() < 1e-6, "{}", unit.clock_period_ns);
+    assert_eq!(unit.hold_buffers, 0, "the example adder has no hold hazards");
+
+    // Phase 1 with a pessimistic profile: everything rests near 0.
+    let profile = profile_standalone(&unit.netlist, 500, 7);
+    let analysis = analyze_aging(&unit, &profile, &config);
+    assert!(
+        !analysis.report.setup_violations.is_empty(),
+        "10-year aging must break the 3-stage paths"
+    );
+    assert!(!analysis.unique_pairs.is_empty());
+    // All violations capture at dff10 (the only 3-level endpoint).
+    for path in &analysis.report.setup_violations {
+        assert_eq!(unit.netlist.cell(path.capture).name, "dff10");
+    }
+
+    // Phase 2: each pair lifts to a test case or a proof; at least one
+    // test case overall.
+    let report = lift_errors(&unit, &analysis.unique_pairs, &config);
+    let suite = report.suite();
+    assert!(!suite.is_empty());
+    let (s, ur, ff, fc) = report.table4_row();
+    assert!(s > 0.0);
+    assert_eq!(ff, 0.0, "the adder is tiny; formal must never time out");
+    assert_eq!(fc, 0.0);
+    assert!(s + ur + ff + fc > 99.9);
+
+    // Phase 3: the library passes on healthy hardware and detects every
+    // failing netlist derived from a successfully lifted pair.
+    let mut library = AgingLibrary::new(unit.module, suite, Schedule::Sequential);
+    let mut healthy = vega_sim::Simulator::new(&unit.netlist);
+    assert!(library.run_checked(&mut healthy).is_ok());
+
+    for pair in &report.pairs {
+        if pair.class() != PairClass::Success {
+            continue;
+        }
+        for value in [FaultValue::Zero, FaultValue::One, FaultValue::Random] {
+            let failing = build_failing_netlist(
+                &unit.netlist,
+                pair.path,
+                value,
+                FaultActivation::OnChange,
+            );
+            let mut sim = vega_sim::Simulator::new(&failing);
+            let detection = library.run_once(&mut sim);
+            assert!(
+                detection.detected(),
+                "suite must detect {} with C={value:?}",
+                pair.label
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Workspace integration test: the full workflow on the real gate-level
+//! RV32 ALU, with detection evaluated against failing netlists.
+
+use vega::*;
+
+#[test]
+fn full_workflow_on_the_real_alu() {
+    let config = WorkflowConfig::cmos28_10y();
+    let unit = prepare_unit(vega_circuits::alu::build_alu(), ModuleKind::Alu, &config);
+    assert!(unit.clock_period_ns > 0.1, "32-bit ripple paths take time");
+
+    // Phase 1: profile with the integer workloads (the FPU is not
+    // involved; drive the ALU alone with random stimulus as a stand-in
+    // representative workload for this test).
+    let profile = profile_standalone(&unit.netlist, 2_000, 11);
+    let analysis = analyze_aging(&unit, &profile, &config);
+    assert!(
+        !analysis.report.setup_violations.is_empty(),
+        "a 2% guard band cannot absorb 10-year aging"
+    );
+    assert!(analysis.report.wns_setup_ns < 0.0);
+    assert!(
+        analysis.report.hold_violations.is_empty(),
+        "the ALU has no gated clocks, so no aging hold hazards"
+    );
+
+    // Phase 2 on a handful of the worst pairs (full sweeps are the
+    // benchmark harness's job).
+    let pairs: Vec<AgingPath> = analysis.unique_pairs.iter().copied().take(3).collect();
+    let report = lift_errors(&unit, &pairs, &config);
+    let suite = report.suite();
+    assert!(!suite.is_empty(), "at least one of the worst pairs must lift");
+
+    // Phase 3: detection check against one failing netlist per lifted
+    // pair.
+    let mut library = AgingLibrary::new(unit.module, suite, Schedule::Sequential);
+    let mut healthy = vega_sim::Simulator::new(&unit.netlist);
+    assert!(library.run_checked(&mut healthy).is_ok(), "no false positives");
+
+    let mut checked = 0;
+    for pair in &report.pairs {
+        if pair.class() != PairClass::Success {
+            continue;
+        }
+        let failing = build_failing_netlist(
+            &unit.netlist,
+            pair.path,
+            FaultValue::One,
+            FaultActivation::OnChange,
+        );
+        let mut sim = vega_sim::Simulator::new(&failing);
+        if library.run_once(&mut sim).detected() {
+            checked += 1;
+        }
+    }
+    assert!(checked >= 1, "the suite detects at least one modeled failure");
+}
