@@ -62,7 +62,12 @@ impl AgingAwareTimingLibrary {
                 .collect();
             table.insert(kind, multipliers);
         }
-        AgingAwareTimingLibrary { base, model, years, table }
+        AgingAwareTimingLibrary {
+            base,
+            model,
+            years,
+            table,
+        }
     }
 
     /// Relative BTI susceptibility per cell kind.

@@ -147,7 +147,9 @@ impl AgingModel {
         if years <= 0.0 {
             return 0.0;
         }
-        (years / self.reference_years).powf(self.time_exponent).min(1.0)
+        (years / self.reference_years)
+            .powf(self.time_exponent)
+            .min(1.0)
     }
 }
 
@@ -201,7 +203,10 @@ mod tests {
         hot.temperature_k = 420.0;
         let cool = model();
         assert!(hot.delta_vth_v(0.0, 10.0) > cool.delta_vth_v(0.0, 10.0));
-        assert!((cool.arrhenius_factor() - 1.0).abs() < 1e-12, "reference corner is neutral");
+        assert!(
+            (cool.arrhenius_factor() - 1.0).abs() < 1e-12,
+            "reference corner is neutral"
+        );
     }
 
     #[test]
@@ -210,7 +215,10 @@ mod tests {
         let stressed = m.delta_vth_v(0.0, 5.0);
         let recovered = m.delta_vth_after_recovery_v(0.0, 5.0, 5.0);
         assert!(recovered < stressed);
-        assert!(recovered > 0.5 * stressed, "recoverable component is bounded");
+        assert!(
+            recovered > 0.5 * stressed,
+            "recoverable component is bounded"
+        );
         // No recovery time: unchanged.
         assert_eq!(m.delta_vth_after_recovery_v(0.0, 5.0, 0.0), stressed);
     }

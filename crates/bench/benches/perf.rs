@@ -42,8 +42,9 @@ fn bench_sat(c: &mut Criterion) {
     group.bench_function("pigeonhole_8_7", |b| {
         b.iter(|| {
             let mut solver = Solver::new();
-            let grid: Vec<Vec<_>> =
-                (0..8).map(|_| (0..7).map(|_| solver.new_var()).collect()).collect();
+            let grid: Vec<Vec<_>> = (0..8)
+                .map(|_| (0..7).map(|_| solver.new_var()).collect())
+                .collect();
             for row in &grid {
                 let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
                 solver.add_clause(&clause);
@@ -92,7 +93,11 @@ fn bench_formal(c: &mut Criterion) {
                 &alu,
                 &Property::net_equals(r0, true),
                 &[],
-                &BmcConfig { max_cycles: 4, max_induction: 1, conflict_budget: 1_000_000 },
+                &BmcConfig {
+                    max_cycles: 4,
+                    max_induction: 1,
+                    conflict_budget: 1_000_000,
+                },
             ))
         })
     });

@@ -16,9 +16,16 @@ fn main() {
 
     let mut rows = Vec::new();
     for budget in [10u64, 25, 50, 100, 500, 10_000, 400_000] {
+        // Retries stay disabled (the default policy): this sweep measures
+        // the raw budget cliff, not the escalation that papers over it.
         let config = LiftConfig {
             mitigation: false,
-            bmc: Some(BmcConfig { max_cycles: 6, max_induction: 2, conflict_budget: budget }),
+            bmc: Some(BmcConfig {
+                max_cycles: 6,
+                max_induction: 2,
+                conflict_budget: budget,
+            }),
+            ..LiftConfig::default()
         };
         let report = generate_suite(&fpu.unit.netlist, ModuleKind::Fpu, &pairs, &config);
         let (s, ur, ff, fc) = report.table4_row();

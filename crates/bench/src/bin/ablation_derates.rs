@@ -19,7 +19,12 @@ fn main() {
         ("default", Derates::default()),
         (
             "heavy",
-            Derates { data_late: 1.10, data_early: 0.90, clock_late: 1.06, clock_early: 0.94 },
+            Derates {
+                data_late: 1.10,
+                data_early: 0.90,
+                clock_late: 1.06,
+                clock_early: 0.94,
+            },
         ),
     ];
 
@@ -37,12 +42,23 @@ fn main() {
                 format!("{}", report.setup_path_count.min(9_999_999)),
                 format!("{:.0}ps", report.wns_hold_ns * 1000.0),
                 format!("{}", report.hold_path_count),
-                format!("{}", report.unique_setup_pairs().len() + report.unique_hold_pairs().len()),
+                format!(
+                    "{}",
+                    report.unique_setup_pairs().len() + report.unique_hold_pairs().len()
+                ),
             ]);
         }
     }
     print_table(
-        &["unit", "corner", "setup WNS", "setup paths", "hold WNS", "hold paths", "pairs"],
+        &[
+            "unit",
+            "corner",
+            "setup WNS",
+            "setup paths",
+            "hold WNS",
+            "hold paths",
+            "pairs",
+        ],
         &rows,
     );
     println!("\nreading: pessimistic corners inflate the failing-path population;");

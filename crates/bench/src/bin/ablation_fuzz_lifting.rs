@@ -23,10 +23,16 @@ fn main() {
         let started = Instant::now();
         let formal_report = lift_errors(&setup.unit, &pairs, &vega_bench::workflow_config());
         let formal_time = started.elapsed();
-        let formal_success =
-            formal_report.pairs.iter().filter(|p| p.class() == PairClass::Success).count();
-        let formal_proofs =
-            formal_report.pairs.iter().filter(|p| p.class() == PairClass::Unreachable).count();
+        let formal_success = formal_report
+            .pairs
+            .iter()
+            .filter(|p| p.class() == PairClass::Success)
+            .count();
+        let formal_proofs = formal_report
+            .pairs
+            .iter()
+            .filter(|p| p.class() == PairClass::Unreachable)
+            .count();
 
         // Fuzzing path: one campaign per pair with C = 1 (its easiest
         // configuration).
@@ -40,7 +46,11 @@ fn main() {
                 FaultValue::One,
                 FaultActivation::OnChange,
             );
-            let config = FuzzConfig { candidates: 200, max_cycles: 8, seed: 77 + index as u64 };
+            let config = FuzzConfig {
+                candidates: 200,
+                max_cycles: 8,
+                seed: 77 + index as u64,
+            };
             if let Ok(Some((_, _, stats))) = fuzz_test_case(
                 setup.unit.module,
                 &instrumented,
@@ -65,7 +75,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["unit", "pairs", "formal hits", "formal t", "fuzz hits", "fuzz t", "fuzz cycles"],
+        &[
+            "unit",
+            "pairs",
+            "formal hits",
+            "formal t",
+            "fuzz hits",
+            "fuzz t",
+            "fuzz cycles",
+        ],
         &rows,
     );
     println!("\nreading: fuzzing finds the easy faults quickly but can neither");

@@ -23,11 +23,8 @@ fn main() {
         let mut wns_10y = 0.0;
         for half_years in 0..=20u32 {
             let years = f64::from(half_years) * 0.5;
-            let lib = AgingAwareTimingLibrary::build(
-                config.cell_library.clone(),
-                config.model,
-                years,
-            );
+            let lib =
+                AgingAwareTimingLibrary::build(config.cell_library.clone(), config.model, years);
             let mut sta = StaConfig::with_period(unit.clock_period_ns);
             sta.default_sp = 0.1; // stressed profile
             sta.max_paths = 1;

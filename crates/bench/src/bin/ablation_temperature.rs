@@ -32,7 +32,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["junction T", "Arrhenius", "worst cell slowdown", "setup WNS", "paths"],
+        &[
+            "junction T",
+            "Arrhenius",
+            "worst cell slowdown",
+            "setup WNS",
+            "paths",
+        ],
         &rows,
     );
     println!("\nreading: cooling the part buys headroom exponentially; the");

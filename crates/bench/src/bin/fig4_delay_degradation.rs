@@ -23,7 +23,11 @@ fn main() {
             &years,
         );
         let mut row = vec![format!("SP={sp:.2}")];
-        row.extend(curve.iter().map(|p| format!("{:.2}%", p.degradation * 100.0)));
+        row.extend(
+            curve
+                .iter()
+                .map(|p| format!("{:.2}%", p.degradation * 100.0)),
+        );
         rows.push(row);
     }
     let mut headers = vec!["series".to_string()];

@@ -27,7 +27,8 @@ fn main() {
     println!("== Figure 8: aging-induced delay increase histogram ==\n");
     let config = workflow_config();
     let (alu, fpu) = setup_units();
-    let lib = AgingAwareTimingLibrary::build(config.cell_library.clone(), config.model, config.years);
+    let lib =
+        AgingAwareTimingLibrary::build(config.cell_library.clone(), config.model, config.years);
 
     let mut rows = Vec::new();
     let alu_hist = histogram(&alu.unit.netlist, &alu.profile, &lib);

@@ -34,15 +34,12 @@ fn main() {
                 .expect("every workload has a routine block");
             // Measure over enough executions for the gate to fire several
             // times even on small programs with large gates.
-            let (point_profile, _) =
-                vega_integrate::pgi::profile(program, config.profile_runs);
+            let (point_profile, _) = vega_integrate::pgi::profile(program, config.profile_runs);
             let per_run = (point_profile.counts[integrated.integration_point]
                 / u64::from(config.profile_runs))
             .max(1);
-            let repeats =
-                48u32.max((u64::from(integrated.every) * 3 / per_run + 1) as u32);
-            let (overhead, invocations) =
-                measured_overhead(program, &integrated.program, repeats);
+            let repeats = 48u32.max((u64::from(integrated.every) * 3 / per_run + 1) as u32);
+            let (overhead, invocations) = measured_overhead(program, &integrated.program, repeats);
             row.push(format!("{:+.2}%", overhead * 100.0));
             row.push(format!("{}", invocations));
             if slot == 0 {

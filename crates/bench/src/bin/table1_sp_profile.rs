@@ -35,7 +35,13 @@ fn main() {
     // Paper naming: dff1 is $1 ... dff10 is $10.
     let paper_name = |cell: &str| -> String {
         let digits: String = cell.chars().filter(|c| c.is_ascii_digit()).collect();
-        let kind = if cell.starts_with("dff") { "DFF" } else if cell.starts_with("and") { "AND" } else { "XOR" };
+        let kind = if cell.starts_with("dff") {
+            "DFF"
+        } else if cell.starts_with("and") {
+            "AND"
+        } else {
+            "XOR"
+        };
         format!("{kind}${digits}")
     };
     let mut rows = Vec::new();

@@ -33,7 +33,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["unit", "rated", "setup WNS / paths", "hold WNS / paths", "unique pairs"],
+        &[
+            "unit",
+            "rated",
+            "setup WNS / paths",
+            "hold WNS / paths",
+            "unique pairs",
+        ],
         &rows,
     );
 

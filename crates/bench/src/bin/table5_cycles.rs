@@ -22,7 +22,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["unit", "tests (w/o)", "cycles (w/o)", "tests (w/)", "cycles (w/)"],
+        &[
+            "unit",
+            "tests (w/o)",
+            "cycles (w/o)",
+            "tests (w/)",
+            "cycles (w/)",
+        ],
         &rows,
     );
 

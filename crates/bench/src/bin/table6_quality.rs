@@ -34,7 +34,9 @@ fn main() {
         }
     }
     print_table(
-        &["unit", "mitig", "FM", "Det. %", "B %", "L %", "S %", "netlists"],
+        &[
+            "unit", "mitig", "FM", "Det. %", "B %", "L %", "S %", "netlists",
+        ],
         &rows,
     );
 

@@ -26,8 +26,7 @@ fn main() {
 
             let mut random_total = 0.0;
             for experiment in 0..experiments {
-                let suite =
-                    random_suite(setup.unit.module, vega_suite.len(), 1000 + experiment);
+                let suite = random_suite(setup.unit.module, vega_suite.len(), 1000 + experiment);
                 let stats = evaluate_suite(setup, &report, &suite, mode);
                 random_total += stats.pct(stats.detected);
             }
@@ -41,7 +40,13 @@ fn main() {
         }
     }
     print_table(
-        &["unit", "FM", "Vega (w/o mitig)", "Vega (w/ mitig)", "Random (avg of 10)"],
+        &[
+            "unit",
+            "FM",
+            "Vega (w/o mitig)",
+            "Vega (w/ mitig)",
+            "Random (avg of 10)",
+        ],
         &rows,
     );
 

@@ -16,7 +16,9 @@ use vega_integrate::workloads;
 
 /// Whether quick mode is enabled (`VEGA_QUICK=1`).
 pub fn quick() -> bool {
-    std::env::var("VEGA_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("VEGA_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// One prepared-and-analyzed unit.
@@ -52,14 +54,25 @@ pub fn setup_units() -> (UnitSetup, UnitSetup) {
 
     let programs = profiling_workloads();
     let (alu_profile, fpu_profile) =
-        profile_units(&alu_unit.netlist, &fpu_unit.netlist, &programs, 2024);
+        profile_units(&alu_unit.netlist, &fpu_unit.netlist, &programs, 2024)
+            .expect("profiling enabled");
 
     let alu_analysis = analyze_aging(&alu_unit, &alu_profile, &config);
     let fpu_analysis = analyze_aging(&fpu_unit, &fpu_profile, &config);
 
     (
-        UnitSetup { name: "ALU", unit: alu_unit, profile: alu_profile, analysis: alu_analysis },
-        UnitSetup { name: "FPU", unit: fpu_unit, profile: fpu_profile, analysis: fpu_analysis },
+        UnitSetup {
+            name: "ALU",
+            unit: alu_unit,
+            profile: alu_profile,
+            analysis: alu_analysis,
+        },
+        UnitSetup {
+            name: "FPU",
+            unit: fpu_unit,
+            profile: fpu_profile,
+            analysis: fpu_analysis,
+        },
     )
 }
 
@@ -73,7 +86,13 @@ pub fn workflow_config() -> WorkflowConfig {
 /// quick mode.
 pub fn pairs_for_lifting(setup: &UnitSetup) -> Vec<AgingPath> {
     let cap = if quick() { 4 } else { usize::MAX };
-    setup.analysis.unique_pairs.iter().copied().take(cap).collect()
+    setup
+        .analysis
+        .unique_pairs
+        .iter()
+        .copied()
+        .take(cap)
+        .collect()
 }
 
 /// Run Error Lifting over the unit's unique pairs.
@@ -187,6 +206,7 @@ pub fn random_suite(module: ModuleKind, count: usize, seed: u64) -> Vec<TestCase
                 checks,
                 instructions: Vec::new(),
                 cpu_cycles: 8,
+                provenance: Provenance::Fuzzed,
             }
         })
         .collect()
@@ -256,7 +276,9 @@ pub fn evaluate_suite(
             .filter(|(_, t)| t.target == pair.label)
             .map(|(i, _)| i)
             .collect();
-        let Some(found) = first_detection else { continue };
+        let Some(found) = first_detection else {
+            continue;
+        };
         stats.detected += 1;
         if matches!(outcomes[found], TestOutcome::Stall { .. }) {
             stats.stalled += 1;

@@ -52,7 +52,9 @@ mod tests {
         let n = build_paper_adder();
         assert_eq!(n.cell_count(), 10);
         assert_eq!(n.dffs().count(), 6);
-        for name in ["dff1", "dff4", "xor5", "and6", "xor7", "xor8", "dff9", "dff10"] {
+        for name in [
+            "dff1", "dff4", "xor5", "and6", "xor7", "xor8", "dff9", "dff10",
+        ] {
             assert!(n.cell_by_name(name).is_some(), "missing {name}");
         }
     }

@@ -63,7 +63,11 @@ pub fn build_alu() -> Netlist {
 
     // Shared adder/subtractor: a + (b ^ sub) + sub.
     let sub_like = {
-        let s1 = w.gate(CellKind::Or2, "subl1", &[one_hot(AluOp::Sub), one_hot(AluOp::Slt)]);
+        let s1 = w.gate(
+            CellKind::Or2,
+            "subl1",
+            &[one_hot(AluOp::Sub), one_hot(AluOp::Slt)],
+        );
         w.gate(CellKind::Or2, "subl2", &[s1, one_hot(AluOp::Sltu)])
     };
     let b_eff = w.xor_bit(&b_q, sub_like);

@@ -52,14 +52,14 @@ pub fn fpu_valid_ops() -> Vec<u64> {
 
 struct Unpacked {
     sign: NetId,
-    exp: Vec<NetId>,   // 8 bits
-    frac: Vec<NetId>,  // 23 bits
-    mant: Vec<NetId>,  // 24 bits with hidden bit
-    zero: NetId,       // FTZ zero (exp == 0)
+    exp: Vec<NetId>,  // 8 bits
+    frac: Vec<NetId>, // 23 bits
+    mant: Vec<NetId>, // 24 bits with hidden bit
+    zero: NetId,      // FTZ zero (exp == 0)
     inf: NetId,
     nan: NetId,
     snan: NetId,
-    mag: Vec<NetId>,   // 31-bit magnitude after FTZ
+    mag: Vec<NetId>, // 31-bit magnitude after FTZ
 }
 
 fn unpack(w: &mut Words<'_>, x: &[NetId]) -> Unpacked {
@@ -81,7 +81,17 @@ fn unpack(w: &mut Words<'_>, x: &[NetId]) -> Unpacked {
     // Magnitude after FTZ: exp==0 flushes the whole magnitude to 0.
     let raw_mag: Vec<NetId> = x[..31].to_vec();
     let mag = w.and_bit(&raw_mag, exp_nz);
-    Unpacked { sign, exp, frac, mant, zero, inf, nan, snan, mag }
+    Unpacked {
+        sign,
+        exp,
+        frac,
+        mant,
+        zero,
+        inf,
+        nan,
+        snan,
+        mag,
+    }
 }
 
 /// Build the FPU netlist.
@@ -228,8 +238,7 @@ pub fn build_fpu() -> Netlist {
         lzc10.resize(10, zero);
         let (exp10, _) = w.subtractor(&el_plus2, &lzc10);
 
-        let (bits, of, uf, nx) =
-            round_pack(&mut w, sign_l, &exp10, &mant24, guard, sticky);
+        let (bits, of, uf, nx) = round_pack(&mut w, sign_l, &exp10, &mant24, guard, sticky);
 
         // Exact cancellation -> +0 exactly (overrides the packed result).
         let plus_zero = w.const_word(0, 32);
@@ -375,7 +384,11 @@ pub fn build_fpu() -> Netlist {
         let z31 = w.const_word(0, 31);
         bits.extend(z31);
         // NV: quiet Eq raises on sNaN only; Lt/Le raise on any NaN.
-        let signaling = w.gate(CellKind::Or2, "c7", &[one_hot(FpuOp::Lt), one_hot(FpuOp::Le)]);
+        let signaling = w.gate(
+            CellKind::Or2,
+            "c7",
+            &[one_hot(FpuOp::Lt), one_hot(FpuOp::Le)],
+        );
         let nv_sig = w.gate(CellKind::And2, "c8", &[signaling, any_nan]);
         let nv = w.gate(CellKind::Or2, "c9", &[any_snan, nv_sig]);
         (bits, nv)
@@ -413,9 +426,17 @@ pub fn build_fpu() -> Netlist {
     };
 
     // =============== Result / flag selection =========================
-    let is_addsub = w.gate(CellKind::Or2, "sadd", &[one_hot(FpuOp::Add), one_hot(FpuOp::Sub)]);
+    let is_addsub = w.gate(
+        CellKind::Or2,
+        "sadd",
+        &[one_hot(FpuOp::Add), one_hot(FpuOp::Sub)],
+    );
     let is_mul = one_hot(FpuOp::Mul);
-    let is_minmax = w.gate(CellKind::Or2, "smm", &[one_hot(FpuOp::Min), one_hot(FpuOp::Max)]);
+    let is_minmax = w.gate(
+        CellKind::Or2,
+        "smm",
+        &[one_hot(FpuOp::Min), one_hot(FpuOp::Max)],
+    );
 
     let mut result = cmp_bits;
     result = w.mux(is_minmax, &result, &minmax_bits);
@@ -558,13 +579,7 @@ fn round_pack(
 }
 
 /// Ordered (no NaN) less-than over FTZ'd sign+magnitude encodings.
-fn ordered_lt(
-    w: &mut Words<'_>,
-    sa: NetId,
-    mag_a: &[NetId],
-    sb: NetId,
-    mag_b: &[NetId],
-) -> NetId {
+fn ordered_lt(w: &mut Words<'_>, sa: NetId, mag_a: &[NetId], sb: NetId, mag_b: &[NetId]) -> NetId {
     let mag_lt = w.less_unsigned(mag_a, mag_b);
     let mag_gt = w.less_unsigned(mag_b, mag_a);
     let sa_not = w.gate(CellKind::Not, "ol0", &[sa]);
@@ -684,7 +699,11 @@ mod tests {
                 "round {round}: {op:?}({a:#010x}, {b:#010x}): hw {hw_r:#010x} sw {:#010x}",
                 sw.bits
             );
-            assert_eq!(hw_f, sw.flags.to_bits(), "round {round} flags: {op:?}({a:#010x}, {b:#010x})");
+            assert_eq!(
+                hw_f,
+                sw.flags.to_bits(),
+                "round {round} flags: {op:?}({a:#010x}, {b:#010x})"
+            );
         }
     }
 

@@ -236,15 +236,24 @@ fn round_pack(sign: u32, exp: i32, mant24: u32, guard: bool, sticky: bool) -> Fp
     if exp >= 255 {
         flags.of = true;
         flags.nx = true;
-        return FpResult { bits: pack(sign, 255, 0), flags };
+        return FpResult {
+            bits: pack(sign, 255, 0),
+            flags,
+        };
     }
     if exp <= 0 {
         // FTZ output: flush to signed zero.
         flags.uf = true;
         flags.nx = true;
-        return FpResult { bits: pack(sign, 0, 0), flags };
+        return FpResult {
+            bits: pack(sign, 0, 0),
+            flags,
+        };
     }
-    FpResult { bits: pack(sign, exp as u32, mant & 0x7F_FFFF), flags }
+    FpResult {
+        bits: pack(sign, exp as u32, mant & 0x7F_FFFF),
+        flags,
+    }
 }
 
 /// FP32 addition/subtraction with FTZ and RNE (`sub` flips `b`'s sign).
@@ -275,7 +284,10 @@ pub fn fp_add_golden(a: u32, b: u32, sub: bool) -> FpResult {
         (true, true) => {
             // +0 unless both are -0 (RNE sum-of-zeros rule).
             let sign = sign_of(a) & sign_of(b);
-            return FpResult { bits: pack(sign, 0, 0), flags };
+            return FpResult {
+                bits: pack(sign, 0, 0),
+                flags,
+            };
         }
         (true, false) => return FpResult { bits: b, flags },
         (false, true) => return FpResult { bits: a, flags },
@@ -283,7 +295,11 @@ pub fn fp_add_golden(a: u32, b: u32, sub: bool) -> FpResult {
     }
 
     // Both normal. Order by magnitude (exp, frac).
-    let (large, small) = if (a & 0x7FFF_FFFF) >= (b & 0x7FFF_FFFF) { (a, b) } else { (b, a) };
+    let (large, small) = if (a & 0x7FFF_FFFF) >= (b & 0x7FFF_FFFF) {
+        (a, b)
+    } else {
+        (b, a)
+    };
     let el = exp_of(large) as i32;
     let es = exp_of(small) as i32;
     let fl = (frac_of(large) | 1 << 23) as u64;
@@ -309,7 +325,10 @@ pub fn fp_add_golden(a: u32, b: u32, sub: bool) -> FpResult {
 
     if v == 0 && !sticky_extra {
         // Exact cancellation: RNE yields +0.
-        return FpResult { bits: pack(0, 0, 0), flags };
+        return FpResult {
+            bits: pack(0, 0, 0),
+            flags,
+        };
     }
 
     // Normalize: MSB of `v` to position 51-ish window. fl's MSB sits at
@@ -342,10 +361,16 @@ pub fn fp_mul_golden(a: u32, b: u32) -> FpResult {
         return FpResult { bits: QNAN, flags };
     }
     if is_inf(a) || is_inf(b) {
-        return FpResult { bits: pack(sign, 255, 0), flags };
+        return FpResult {
+            bits: pack(sign, 255, 0),
+            flags,
+        };
     }
     if is_zero_ftz(a) || is_zero_ftz(b) {
-        return FpResult { bits: pack(sign, 0, 0), flags };
+        return FpResult {
+            bits: pack(sign, 0, 0),
+            flags,
+        };
     }
 
     let fa = (frac_of(a) | 1 << 23) as u64;
@@ -402,7 +427,10 @@ pub fn fp_cmp_golden(op: FpuOp, a: u32, b: u32) -> FpResult {
 /// FP32 min/max with RISC-V NaN semantics: a single NaN input yields the
 /// other operand; two NaNs yield the canonical NaN. `-0 < +0`.
 pub fn fp_minmax_golden(op: FpuOp, a: u32, b: u32) -> FpResult {
-    let flags = FpFlags { nv: is_snan(a) || is_snan(b), ..FpFlags::default() };
+    let flags = FpFlags {
+        nv: is_snan(a) || is_snan(b),
+        ..FpFlags::default()
+    };
     let bits = match (is_nan(a), is_nan(b)) {
         (true, true) => QNAN,
         (true, false) => ftz(b),
@@ -411,8 +439,8 @@ pub fn fp_minmax_golden(op: FpuOp, a: u32, b: u32) -> FpResult {
             let a_f = ftz(a);
             let b_f = ftz(b);
             // -0 orders below +0: compare with sign-aware tie-break.
-            let a_lt = lt_bits(a_f, b_f)
-                || (!lt_bits(b_f, a_f) && sign_of(a_f) == 1 && sign_of(b_f) == 0);
+            let a_lt =
+                lt_bits(a_f, b_f) || (!lt_bits(b_f, a_f) && sign_of(a_f) == 1 && sign_of(b_f) == 0);
             let pick_a = match op {
                 FpuOp::Min => a_lt,
                 FpuOp::Max => !a_lt,
@@ -512,7 +540,10 @@ mod tests {
     #[test]
     fn directed_add_cases() {
         // 1.0 + 1.0 = 2.0
-        assert_eq!(fp_add_golden(0x3F80_0000, 0x3F80_0000, false).bits, 0x4000_0000);
+        assert_eq!(
+            fp_add_golden(0x3F80_0000, 0x3F80_0000, false).bits,
+            0x4000_0000
+        );
         // 1.0 - 1.0 = +0
         let r = fp_add_golden(0x3F80_0000, 0x3F80_0000, true);
         assert_eq!(r.bits, 0);
@@ -522,10 +553,16 @@ mod tests {
         assert_eq!(r.bits, QNAN);
         assert!(r.flags.nv);
         // inf + 1 = inf
-        assert_eq!(fp_add_golden(0x7F80_0000, 0x3F80_0000, false).bits, 0x7F80_0000);
+        assert_eq!(
+            fp_add_golden(0x7F80_0000, 0x3F80_0000, false).bits,
+            0x7F80_0000
+        );
         // -0 + +0 = +0; -0 + -0 = -0
         assert_eq!(fp_add_golden(0x8000_0000, 0x0000_0000, false).bits, 0);
-        assert_eq!(fp_add_golden(0x8000_0000, 0x8000_0000, false).bits, 0x8000_0000);
+        assert_eq!(
+            fp_add_golden(0x8000_0000, 0x8000_0000, false).bits,
+            0x8000_0000
+        );
         // Subnormal input flushes: min_subnormal + 1.0 = 1.0 exactly.
         let r = fp_add_golden(0x0000_0001, 0x3F80_0000, false);
         assert_eq!(r.bits, 0x3F80_0000);
@@ -575,7 +612,10 @@ mod tests {
         assert_eq!(fp_minmax_golden(FpuOp::Max, one, qnan).bits, one);
         assert_eq!(fp_minmax_golden(FpuOp::Min, qnan, qnan).bits, QNAN);
         // -0 < +0 for fmin.
-        assert_eq!(fp_minmax_golden(FpuOp::Min, 0x8000_0000, 0).bits, 0x8000_0000);
+        assert_eq!(
+            fp_minmax_golden(FpuOp::Min, 0x8000_0000, 0).bits,
+            0x8000_0000
+        );
         assert_eq!(fp_minmax_golden(FpuOp::Max, 0x8000_0000, 0).bits, 0);
         // min/max match native on normal values.
         let vals = [one, two, 0xC000_0000u32, 0x4110_0000];
@@ -593,7 +633,11 @@ mod tests {
     fn alu_golden_spot_checks() {
         assert_eq!(alu_golden(AluOp::Add, u32::MAX, 1), 0);
         assert_eq!(alu_golden(AluOp::Sub, 0, 1), u32::MAX);
-        assert_eq!(alu_golden(AluOp::Sll, 1, 33), 2, "shift amount masked to 5 bits");
+        assert_eq!(
+            alu_golden(AluOp::Sll, 1, 33),
+            2,
+            "shift amount masked to 5 bits"
+        );
         assert_eq!(alu_golden(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
         assert_eq!(alu_golden(AluOp::Slt, u32::MAX, 0), 1, "-1 < 0 signed");
         assert_eq!(alu_golden(AluOp::Sltu, u32::MAX, 0), 0);

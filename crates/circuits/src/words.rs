@@ -19,7 +19,11 @@ pub struct Words<'a> {
 impl<'a> Words<'a> {
     /// Wrap `builder`; generated cell names start with `prefix`.
     pub fn new(builder: &'a mut NetlistBuilder, prefix: impl Into<String>) -> Self {
-        Words { builder, prefix: prefix.into(), counter: 0 }
+        Words {
+            builder,
+            prefix: prefix.into(),
+            counter: 0,
+        }
     }
 
     /// Access the underlying builder.
@@ -54,12 +58,16 @@ impl<'a> Words<'a> {
         // Share the two tie cells across the word.
         let zero = self.zero();
         let one = self.one();
-        (0..width).map(|i| if (value >> i) & 1 == 1 { one } else { zero }).collect()
+        (0..width)
+            .map(|i| if (value >> i) & 1 == 1 { one } else { zero })
+            .collect()
     }
 
     /// Bitwise NOT.
     pub fn not(&mut self, a: &[NetId]) -> Vec<NetId> {
-        a.iter().map(|&bit| self.gate(CellKind::Not, "not", &[bit])).collect()
+        a.iter()
+            .map(|&bit| self.gate(CellKind::Not, "not", &[bit]))
+            .collect()
     }
 
     /// Bitwise binary op over equal-width words.
@@ -88,12 +96,16 @@ impl<'a> Words<'a> {
 
     /// AND every bit of `a` with the single bit `bit`.
     pub fn and_bit(&mut self, a: &[NetId], bit: NetId) -> Vec<NetId> {
-        a.iter().map(|&x| self.gate(CellKind::And2, "andb", &[x, bit])).collect()
+        a.iter()
+            .map(|&x| self.gate(CellKind::And2, "andb", &[x, bit]))
+            .collect()
     }
 
     /// XOR every bit of `a` with the single bit `bit`.
     pub fn xor_bit(&mut self, a: &[NetId], bit: NetId) -> Vec<NetId> {
-        a.iter().map(|&x| self.gate(CellKind::Xor2, "xorb", &[x, bit])).collect()
+        a.iter()
+            .map(|&x| self.gate(CellKind::Xor2, "xorb", &[x, bit]))
+            .collect()
     }
 
     /// Per-bit select: `sel ? when1 : when0`.
@@ -226,7 +238,13 @@ impl<'a> Words<'a> {
                 continue;
             }
             let shifted: Vec<NetId> = (0..current.len())
-                .map(|i| if i + dist < current.len() { current[i + dist] } else { fill })
+                .map(|i| {
+                    if i + dist < current.len() {
+                        current[i + dist]
+                    } else {
+                        fill
+                    }
+                })
                 .collect();
             current = self.mux(amt_bit, &current, &shifted);
         }
@@ -236,17 +254,17 @@ impl<'a> Words<'a> {
     /// Barrel shifter right that also accumulates a sticky bit: returns
     /// `(shifted, sticky)` where `sticky` ORs every bit shifted out.
     /// Used by floating-point alignment.
-    pub fn shift_right_sticky(
-        &mut self,
-        a: &[NetId],
-        amount: &[NetId],
-    ) -> (Vec<NetId>, NetId) {
+    pub fn shift_right_sticky(&mut self, a: &[NetId], amount: &[NetId]) -> (Vec<NetId>, NetId) {
         let fill = self.zero();
         let mut sticky = self.zero();
         let mut current = a.to_vec();
         for (stage, &amt_bit) in amount.iter().enumerate() {
             let dist = 1usize << stage;
-            let dropped: Vec<NetId> = current.iter().copied().take(dist.min(current.len())).collect();
+            let dropped: Vec<NetId> = current
+                .iter()
+                .copied()
+                .take(dist.min(current.len()))
+                .collect();
             let dropped_any = self.reduce_or(&dropped);
             let stage_sticky = self.gate(CellKind::And2, "stk_a", &[dropped_any, amt_bit]);
             sticky = self.gate(CellKind::Or2, "stk_o", &[sticky, stage_sticky]);
@@ -256,7 +274,13 @@ impl<'a> Words<'a> {
                 continue;
             }
             let shifted: Vec<NetId> = (0..current.len())
-                .map(|i| if i + dist < current.len() { current[i + dist] } else { fill })
+                .map(|i| {
+                    if i + dist < current.len() {
+                        current[i + dist]
+                    } else {
+                        fill
+                    }
+                })
                 .collect();
             current = self.mux(amt_bit, &current, &shifted);
         }
@@ -382,7 +406,14 @@ mod tests {
             out.push(carry);
             out
         });
-        for (a, b) in [(0u64, 0u64), (1, 1), (255, 255), (170, 85), (200, 100), (7, 250)] {
+        for (a, b) in [
+            (0u64, 0u64),
+            (1, 1),
+            (255, 255),
+            (170, 85),
+            (200, 100),
+            (7, 250),
+        ] {
             assert_eq!(eval(&n, a, b), a + b, "{a}+{b}");
         }
     }
@@ -398,7 +429,14 @@ mod tests {
             out.extend([no_borrow, ltu, lts, eq]);
             out
         });
-        for (a, b) in [(5u64, 3u64), (3, 5), (0, 0), (255, 1), (128, 127), (127, 128)] {
+        for (a, b) in [
+            (5u64, 3u64),
+            (3, 5),
+            (0, 0),
+            (255, 1),
+            (128, 127),
+            (127, 128),
+        ] {
             let out = eval(&n, a, b);
             let diff = out & 0xFF;
             let no_borrow = (out >> 8) & 1;

@@ -37,6 +37,13 @@ COMMON OPTIONS:
     --pairs <n>               unique pairs to lift    [default: 4]
     --mitigation              enable the \u{a7}3.3.4 edge-gated mitigation
     --profile-cycles <n>      random profiling cycles [default: 2000]
+    --threads <n>             lifting worker threads  [default: 1]
+    --retries <n>             formal tries per attempt, doubling the
+                              conflict budget each time [default: 1]
+    --fuzz-fallback           degrade budget-exhausted pairs to fuzzing
+    --checkpoint <path>       (lift|suite) record per-pair progress
+    --resume                  (lift|suite) continue from the checkpoint
+    --stop-after <n>          (lift|suite) suspend after n new pairs
     --emit-c <path>           (suite) write the C aging library
     --dir <path>              (artifacts) output directory [default: .]
 "
@@ -49,6 +56,12 @@ struct Options {
     pairs: usize,
     mitigation: bool,
     profile_cycles: usize,
+    threads: usize,
+    retries: usize,
+    fuzz_fallback: bool,
+    checkpoint: Option<String>,
+    resume: bool,
+    stop_after: Option<usize>,
     emit_c: Option<String>,
     dir: String,
 }
@@ -60,23 +73,33 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         pairs: 4,
         mitigation: false,
         profile_cycles: 2000,
+        threads: 1,
+        retries: 1,
+        fuzz_fallback: false,
+        checkpoint: None,
+        resume: false,
+        stop_after: None,
         emit_c: None,
         dir: ".".into(),
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| {
-            iter.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
             "--unit" => options.unit = value("--unit")?,
             "--years" => {
-                options.years =
-                    value("--years")?.parse().map_err(|e| format!("--years: {e}"))?
+                options.years = value("--years")?
+                    .parse()
+                    .map_err(|e| format!("--years: {e}"))?
             }
             "--pairs" => {
-                options.pairs =
-                    value("--pairs")?.parse().map_err(|e| format!("--pairs: {e}"))?
+                options.pairs = value("--pairs")?
+                    .parse()
+                    .map_err(|e| format!("--pairs: {e}"))?
             }
             "--profile-cycles" => {
                 options.profile_cycles = value("--profile-cycles")?
@@ -84,10 +107,42 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--profile-cycles: {e}"))?
             }
             "--mitigation" => options.mitigation = true,
+            "--threads" => {
+                options.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--retries" => {
+                options.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?
+            }
+            "--fuzz-fallback" => options.fuzz_fallback = true,
+            "--checkpoint" => options.checkpoint = Some(value("--checkpoint")?),
+            "--resume" => options.resume = true,
+            "--stop-after" => {
+                options.stop_after = Some(
+                    value("--stop-after")?
+                        .parse()
+                        .map_err(|e| format!("--stop-after: {e}"))?,
+                )
+            }
             "--emit-c" => options.emit_c = Some(value("--emit-c")?),
             "--dir" => options.dir = value("--dir")?,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown option `{other}`\n\n{}", usage())),
+        }
+    }
+    if options.checkpoint.is_none() {
+        if options.stop_after.is_some() {
+            return Err(
+                "--stop-after without --checkpoint would discard the suspended run's \
+                 progress; add --checkpoint <path>"
+                    .to_string(),
+            );
+        }
+        if options.resume {
+            return Err("--resume needs --checkpoint <path> to resume from".to_string());
         }
     }
     Ok(options)
@@ -100,6 +155,11 @@ fn build_unit(options: &Options) -> Result<(PreparedUnit, WorkflowConfig), Strin
     };
     config.years = options.years;
     config.mitigation = options.mitigation;
+    config.threads = options.threads.max(1);
+    config.retry = RetryPolicy::doubling(options.retries.max(1));
+    if options.fuzz_fallback {
+        config.fuzz_fallback = Some(FuzzConfig::default());
+    }
     let (netlist, module) = match options.unit.as_str() {
         "alu" => (build_alu(), ModuleKind::Alu),
         "fpu" => (build_fpu(), ModuleKind::Fpu),
@@ -118,9 +178,53 @@ fn phase1(options: &Options) -> Result<(PreparedUnit, WorkflowConfig, AgingAnaly
         unit.frequency_mhz(),
         unit.hold_buffers
     );
-    let profile = profile_standalone(&unit.netlist, options.profile_cycles, 42);
+    let profile =
+        profile_standalone(&unit.netlist, options.profile_cycles, 42).map_err(|e| e.to_string())?;
     let analysis = analyze_aging(&unit, &profile, &config);
     Ok((unit, config, analysis))
+}
+
+/// Lift through the resumable runner when checkpointing is requested;
+/// `Ok(None)` means the run was suspended by `--stop-after`.
+fn lift_resilient(
+    unit: &PreparedUnit,
+    pairs: &[AgingPath],
+    config: &WorkflowConfig,
+    options: &Options,
+) -> Result<Option<LiftReport>, String> {
+    if options.checkpoint.is_none() && options.stop_after.is_none() {
+        return Ok(Some(lift_errors(unit, pairs, config)));
+    }
+    let runner_options = runner::RunnerOptions {
+        checkpoint: options.checkpoint.as_ref().map(std::path::PathBuf::from),
+        resume: options.resume,
+        stop_after: options.stop_after,
+        chaos: ChaosHook::default(),
+    };
+    match runner::lift_errors_resumable(unit, pairs, config, &runner_options)
+        .map_err(|e| e.to_string())?
+    {
+        runner::RunnerOutcome::Complete {
+            report,
+            resumed_pairs,
+        } => {
+            if resumed_pairs > 0 {
+                eprintln!("resumed {resumed_pairs} pairs from checkpoint");
+            }
+            Ok(Some(report))
+        }
+        runner::RunnerOutcome::Suspended {
+            completed_pairs,
+            total_done,
+        } => {
+            eprintln!(
+                "suspended after {completed_pairs} new pairs ({total_done}/{} done); \
+                 re-run with --resume to continue",
+                pairs.len()
+            );
+            Ok(None)
+        }
+    }
 }
 
 fn cmd_analyze(options: &Options) -> Result<(), String> {
@@ -143,13 +247,45 @@ fn cmd_analyze(options: &Options) -> Result<(), String> {
 
 fn cmd_lift(options: &Options) -> Result<(), String> {
     let (unit, config, analysis) = phase1(options)?;
-    let pairs: Vec<AgingPath> =
-        analysis.unique_pairs.iter().copied().take(options.pairs).collect();
-    let report = lift_errors(&unit, &pairs, &config);
+    let pairs: Vec<AgingPath> = analysis
+        .unique_pairs
+        .iter()
+        .copied()
+        .take(options.pairs)
+        .collect();
+    let Some(report) = lift_resilient(&unit, &pairs, &config, options)? else {
+        return Ok(()); // suspended; progress is in the checkpoint
+    };
     let (s, ur, ff, fc) = report.table4_row();
     println!("construction: S {s:.1}%  UR {ur:.1}%  FF {ff:.1}%  FC {fc:.1}%");
+    println!(
+        "formal effort: {} conflicts total | fuzz-fallback tests: {} | crashed pairs: {}",
+        report.total_conflicts(),
+        report.fallback_test_count(),
+        report.crashed_pair_count()
+    );
     for pair in &report.pairs {
-        println!("  {}: {:?}", pair.label, pair.class());
+        println!(
+            "  {}: {:?} ({} conflicts)",
+            pair.label,
+            pair.class(),
+            pair.conflicts_spent()
+        );
+        for attempt in &pair.attempts {
+            if attempt.rounds.len() > 1 {
+                let rounds: Vec<String> = attempt
+                    .rounds
+                    .iter()
+                    .map(|r| format!("{}/{}", r.spent, r.budget))
+                    .collect();
+                println!(
+                    "    escalation {:?}/{:?}: {}",
+                    attempt.value,
+                    attempt.activation,
+                    rounds.join(" -> ")
+                );
+            }
+        }
         for test in pair.test_cases() {
             println!(
                 "    {} ({} instructions, {} cycles)",
@@ -164,9 +300,15 @@ fn cmd_lift(options: &Options) -> Result<(), String> {
 
 fn cmd_suite(options: &Options) -> Result<(), String> {
     let (unit, config, analysis) = phase1(options)?;
-    let pairs: Vec<AgingPath> =
-        analysis.unique_pairs.iter().copied().take(options.pairs).collect();
-    let report = lift_errors(&unit, &pairs, &config);
+    let pairs: Vec<AgingPath> = analysis
+        .unique_pairs
+        .iter()
+        .copied()
+        .take(options.pairs)
+        .collect();
+    let Some(report) = lift_resilient(&unit, &pairs, &config, options)? else {
+        return Ok(()); // suspended; progress is in the checkpoint
+    };
     let suite = report.suite();
     println!(
         "suite: {} test cases, {} CPU cycles per full run",
@@ -189,8 +331,12 @@ fn cmd_suite(options: &Options) -> Result<(), String> {
 
 fn cmd_artifacts(options: &Options) -> Result<(), String> {
     let (unit, config, analysis) = phase1(options)?;
-    let pairs: Vec<AgingPath> =
-        analysis.unique_pairs.iter().copied().take(options.pairs).collect();
+    let pairs: Vec<AgingPath> = analysis
+        .unique_pairs
+        .iter()
+        .copied()
+        .take(options.pairs)
+        .collect();
     let _ = config;
     std::fs::create_dir_all(&options.dir).map_err(|e| format!("mkdir {}: {e}", options.dir))?;
     let mut written = BTreeMap::new();

@@ -32,13 +32,14 @@
 //! ```
 //! use vega::*;
 //!
+//! # fn main() -> Result<(), VegaError> {
 //! // The paper's worked example: a pipelined 2-bit adder.
 //! let netlist = vega_circuits::adder_example::build_paper_adder();
 //! let config = WorkflowConfig::paper_demo();
 //! let unit = prepare_unit(netlist, ModuleKind::PaperAdder, &config);
 //!
 //! // Phase 1: profile + aging-aware STA.
-//! let profile = profile_standalone(&unit.netlist, 2_000, 42);
+//! let profile = profile_standalone(&unit.netlist, 2_000, 42)?;
 //! let analysis = analyze_aging(&unit, &profile, &config);
 //!
 //! // Phase 2: lift each aging-prone pair into test cases.
@@ -49,12 +50,15 @@
 //! let mut library = AgingLibrary::new(unit.module, suite, Schedule::Sequential);
 //! let mut sim = vega_sim::Simulator::new(&unit.netlist);
 //! assert!(library.run_checked(&mut sim).is_ok(), "healthy hardware passes");
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod persist;
+pub mod runner;
 
 pub use vega_aging::{AgingAwareTimingLibrary, AgingModel};
 pub use vega_integrate::{
@@ -62,16 +66,67 @@ pub use vega_integrate::{
     PgiConfig, Schedule,
 };
 pub use vega_lift::{
-    build_failing_netlist, generate_suite, run_suite, run_test_case, AgingPath,
-    ConstructionOutcome, FaultActivation, FaultValue, LiftConfig, LiftReport, ModuleKind,
-    PairClass, TestCase, TestOutcome,
+    build_failing_netlist, generate_suite, generate_suite_parallel, lift_pair, run_suite,
+    run_test_case, validate_test_case, AgingPath, Attempt, BudgetRound, ChaosHook, Check,
+    ConstructionOutcome, FaultActivation, FaultValue, FuzzConfig, LiftConfig, LiftReport,
+    ModuleKind, PairClass, PairResult, Provenance, RetryPolicy, TestCase, TestOutcome,
 };
 pub use vega_netlist::{Netlist, StdCellLibrary};
 pub use vega_sim::SpProfile;
 pub use vega_sta::{
-    analyze, calibrate_period, fix_hold_violations, Derates, StaConfig, TimingReport,
-    ViolationKind,
+    analyze, calibrate_period, fix_hold_violations, Derates, StaConfig, TimingReport, ViolationKind,
 };
+
+/// The facade's unified error type: every fallible entry point of the
+/// `vega` crate returns this instead of panicking, so embedding
+/// applications (and the CLI) can report and recover.
+#[derive(Debug)]
+pub enum VegaError {
+    /// An internal wiring error: a profile was requested from a simulator
+    /// that never had profiling enabled.
+    ProfilingUnavailable {
+        /// Which profiling run was affected.
+        unit: String,
+    },
+    /// Persisting or loading a workflow artifact failed.
+    Persist(persist::PersistError),
+    /// A checkpoint file exists but belongs to a different run (other
+    /// module, pair count, or mitigation setting) — resuming from it
+    /// would silently mix incompatible results.
+    CheckpointMismatch {
+        /// What differed.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for VegaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VegaError::ProfilingUnavailable { unit } => {
+                write!(f, "profiling was never enabled for {unit}")
+            }
+            VegaError::Persist(e) => write!(f, "persistence: {e}"),
+            VegaError::CheckpointMismatch { reason } => {
+                write!(f, "checkpoint belongs to a different run: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VegaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VegaError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<persist::PersistError> for VegaError {
+    fn from(e: persist::PersistError) -> Self {
+        VegaError::Persist(e)
+    }
+}
 
 /// End-to-end workflow configuration.
 #[derive(Debug, Clone)]
@@ -93,6 +148,13 @@ pub struct WorkflowConfig {
     pub mitigation: bool,
     /// Cap on the number of violating paths the STA enumerates.
     pub max_paths: usize,
+    /// Worker threads for Error Lifting (1 = sequential).
+    pub threads: usize,
+    /// Budget escalation on formal failures during Error Lifting.
+    pub retry: RetryPolicy,
+    /// Fall back to simulation-based fuzzing for pairs whose formal
+    /// search (including retries) exhausts its budget.
+    pub fuzz_fallback: Option<FuzzConfig>,
 }
 
 impl WorkflowConfig {
@@ -108,6 +170,9 @@ impl WorkflowConfig {
             derates: Derates::default(),
             mitigation: false,
             max_paths: 100_000,
+            threads: 1,
+            retry: RetryPolicy::default(),
+            fuzz_fallback: None,
         }
     }
 
@@ -123,6 +188,9 @@ impl WorkflowConfig {
             derates: Derates::nominal(),
             mitigation: false,
             max_paths: 100_000,
+            threads: 1,
+            retry: RetryPolicy::default(),
+            fuzz_fallback: None,
         }
     }
 
@@ -168,7 +236,12 @@ pub fn prepare_unit(netlist: Netlist, module: ModuleKind, config: &WorkflowConfi
     let mut hold_config = config.sta_config(period);
     hold_config.hold_margin_ns = config.hold_margin_ns;
     let hold_buffers = fix_hold_violations(&mut netlist, &unaged, None, &hold_config);
-    PreparedUnit { netlist, module, clock_period_ns: period, hold_buffers }
+    PreparedUnit {
+        netlist,
+        module,
+        clock_period_ns: period,
+        hold_buffers,
+    }
 }
 
 /// Phase 1 output: the SP profile used, the aged timing report, and the
@@ -196,35 +269,66 @@ pub fn analyze_aging(
     let sta = config.sta_config(unit.clock_period_ns);
     let report = analyze(&unit.netlist, &aged, Some(profile), &sta);
     let mut unique_pairs = Vec::new();
-    for path in report.setup_violations.iter().chain(&report.hold_violations) {
+    for path in report
+        .setup_violations
+        .iter()
+        .chain(&report.hold_violations)
+    {
         if let Some(aging_path) = AgingPath::from_timing_path(path) {
             if !unique_pairs.contains(&aging_path) {
                 unique_pairs.push(aging_path);
             }
         }
     }
-    AgingAnalysis { report, unique_pairs }
+    AgingAnalysis {
+        report,
+        unique_pairs,
+    }
 }
 
-/// Phase 2: lift each unique pair into test cases (or proofs).
+/// The Error Lifting configuration a [`WorkflowConfig`] implies.
+pub fn lift_config(config: &WorkflowConfig) -> LiftConfig {
+    LiftConfig {
+        mitigation: config.mitigation,
+        bmc: None,
+        retry: config.retry,
+        fuzz_fallback: config.fuzz_fallback,
+        chaos: ChaosHook::default(),
+    }
+}
+
+/// Phase 2: lift each unique pair into test cases (or proofs), on
+/// `config.threads` worker threads.
 pub fn lift_errors(
     unit: &PreparedUnit,
     pairs: &[AgingPath],
     config: &WorkflowConfig,
 ) -> LiftReport {
-    let lift_config = LiftConfig { mitigation: config.mitigation, bmc: None };
-    generate_suite(&unit.netlist, unit.module, pairs, &lift_config)
+    generate_suite_parallel(
+        &unit.netlist,
+        unit.module,
+        pairs,
+        &lift_config(config),
+        config.threads,
+    )
 }
 
 /// Gather an SP profile for a standalone unit by driving it with seeded
 /// random stimulus (for the worked example; the real units are profiled
 /// by running workloads through [`profile_units`]).
-pub fn profile_standalone(netlist: &Netlist, cycles: usize, seed: u64) -> SpProfile {
+pub fn profile_standalone(
+    netlist: &Netlist,
+    cycles: usize,
+    seed: u64,
+) -> Result<SpProfile, VegaError> {
     let mut sim = vega_sim::Simulator::with_seed(netlist, seed);
     sim.enable_profiling();
     let mut stimulus = vega_sim::RandomStimulus::new(netlist, seed);
     stimulus.drive(&mut sim, cycles);
-    sim.profile().expect("profiling enabled")
+    sim.profile()
+        .ok_or_else(|| VegaError::ProfilingUnavailable {
+            unit: netlist.name().to_string(),
+        })
 }
 
 /// Gather SP profiles for the ALU and FPU by executing the given mini-IR
@@ -236,7 +340,7 @@ pub fn profile_units(
     fpu: &Netlist,
     programs: &[vega_integrate::mini_ir::Program],
     seed: u64,
-) -> (SpProfile, SpProfile) {
+) -> Result<(SpProfile, SpProfile), VegaError> {
     use vega_integrate::mini_ir::{Interpreter, ModuleDrivers};
     let mut alu_sim = vega_sim::Simulator::with_seed(alu, seed);
     let mut fpu_sim = vega_sim::Simulator::with_seed(fpu, seed ^ 1);
@@ -244,11 +348,21 @@ pub fn profile_units(
     fpu_sim.enable_profiling();
     for program in programs {
         let mut interp = Interpreter::new(program);
-        let mut drivers = ModuleDrivers { alu: &mut alu_sim, fpu: &mut fpu_sim };
+        let mut drivers = ModuleDrivers {
+            alu: &mut alu_sim,
+            fpu: &mut fpu_sim,
+        };
         interp.run(program, Some(&mut drivers));
     }
-    (
-        alu_sim.profile().expect("profiling enabled"),
-        fpu_sim.profile().expect("profiling enabled"),
-    )
+    let alu_profile = alu_sim
+        .profile()
+        .ok_or_else(|| VegaError::ProfilingUnavailable {
+            unit: alu.name().to_string(),
+        })?;
+    let fpu_profile = fpu_sim
+        .profile()
+        .ok_or_else(|| VegaError::ProfilingUnavailable {
+            unit: fpu.name().to_string(),
+        })?;
+    Ok((alu_profile, fpu_profile))
 }

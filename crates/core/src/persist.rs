@@ -10,13 +10,30 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
-use vega_lift::{ModuleKind, TestCase};
+use vega_lift::{ModuleKind, PairResult, TestCase};
 use vega_sim::SpProfile;
 use vega_sta::TimingReport;
+
+/// Current [`SuiteFile`] on-disk format version. Version 1 is the
+/// pre-versioned format (no `version` field, no provenance); loaders
+/// accept 1 through this value and reject anything newer with
+/// [`PersistError::UnsupportedVersion`].
+pub const SUITE_FORMAT_VERSION: u32 = 2;
+
+/// Current [`CheckpointFile`] on-disk format version.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+fn legacy_suite_version() -> u32 {
+    1
+}
 
 /// A persisted test suite plus the context needed to run it.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SuiteFile {
+    /// On-disk format version (see [`SUITE_FORMAT_VERSION`]). Absent in
+    /// pre-versioned artifacts, which load as version 1.
+    #[serde(default = "legacy_suite_version")]
+    pub version: u32,
     /// The target module's name (e.g. `rv32_alu`).
     pub module_name: String,
     /// The module protocol.
@@ -61,13 +78,25 @@ impl From<PersistedModuleKind> for ModuleKind {
     }
 }
 
-/// An I/O-or-format error while persisting or loading.
+/// An I/O-or-format error while persisting or loading. Every way an
+/// artifact can be unreadable — missing file, truncated or corrupted
+/// JSON, a format from a future version — maps to a typed variant, so
+/// callers can decide to abort, regenerate, or start fresh.
 #[derive(Debug)]
 pub enum PersistError {
     /// Filesystem failure.
     Io(std::io::Error),
-    /// JSON failure.
+    /// JSON failure: the file exists but is not valid JSON of the
+    /// expected shape (covers truncation and corruption).
     Json(serde_json::Error),
+    /// The artifact is valid JSON but declares a format version newer
+    /// than this build understands.
+    UnsupportedVersion {
+        /// The version the file declares.
+        found: u32,
+        /// The newest version this build can load.
+        supported: u32,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -75,6 +104,12 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "io: {e}"),
             PersistError::Json(e) => write!(f, "json: {e}"),
+            PersistError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "format version {found} is newer than supported {supported}"
+                )
+            }
         }
     }
 }
@@ -100,10 +135,27 @@ pub fn save_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> Result<(), 
     Ok(())
 }
 
-/// Read a JSON artifact back.
-pub fn load_json<T: for<'de> Deserialize<'de>>(
+/// Write any serializable artifact as pretty JSON, atomically: the JSON
+/// goes to a sibling temp file first and is renamed into place, so a
+/// crash (or power cut) mid-write leaves either the previous artifact or
+/// the new one — never a truncated hybrid. This is how checkpoints are
+/// written, since a half-written checkpoint would defeat its purpose.
+pub fn save_json_atomic<T: Serialize>(
     path: impl AsRef<Path>,
-) -> Result<T, PersistError> {
+    value: &T,
+) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let json = serde_json::to_string_pretty(value)?;
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read a JSON artifact back.
+pub fn load_json<T: for<'de> Deserialize<'de>>(path: impl AsRef<Path>) -> Result<T, PersistError> {
     let text = std::fs::read_to_string(path)?;
     Ok(serde_json::from_str(&text)?)
 }
@@ -136,9 +188,88 @@ pub fn save_suite(path: impl AsRef<Path>, suite: &SuiteFile) -> Result<(), Persi
     save_json(path, suite)
 }
 
-/// Load a suite file.
+/// Load a suite file, rejecting formats newer than this build.
 pub fn load_suite(path: impl AsRef<Path>) -> Result<SuiteFile, PersistError> {
-    load_json(path)
+    let file: SuiteFile = load_json(path)?;
+    if file.version > SUITE_FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: file.version,
+            supported: SUITE_FORMAT_VERSION,
+        });
+    }
+    Ok(file)
+}
+
+/// One finished pair recorded in a [`CheckpointFile`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointEntry {
+    /// The pair's index in the run's input order.
+    pub pair_index: usize,
+    /// Its complete result (attempts, outcomes, budget rounds).
+    pub result: PairResult,
+}
+
+/// Durable progress of one Error Lifting run: every finished
+/// [`PairResult`] so far, plus enough run identity to refuse resuming a
+/// different run. Rewritten atomically after each pair, so the file on
+/// disk is always a consistent prefix of the run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointFile {
+    /// On-disk format version (see [`CHECKPOINT_FORMAT_VERSION`]).
+    pub version: u32,
+    /// The target module's netlist name.
+    pub module_name: String,
+    /// The module protocol.
+    pub module: PersistedModuleKind,
+    /// Whether the §3.3.4 mitigation was enabled (it changes the attempt
+    /// space, so results are not interchangeable across this flag).
+    pub mitigation: bool,
+    /// Total pairs the run will lift.
+    pub pair_count: usize,
+    /// Finished pairs, in completion order.
+    pub entries: Vec<CheckpointEntry>,
+}
+
+impl CheckpointFile {
+    /// An empty checkpoint for a new run.
+    pub fn new(
+        module_name: String,
+        module: ModuleKind,
+        mitigation: bool,
+        pair_count: usize,
+    ) -> Self {
+        CheckpointFile {
+            version: CHECKPOINT_FORMAT_VERSION,
+            module_name,
+            module: module.into(),
+            mitigation,
+            pair_count,
+            entries: Vec::new(),
+        }
+    }
+}
+
+/// Save a checkpoint atomically (temp file + rename).
+pub fn save_checkpoint(
+    path: impl AsRef<Path>,
+    checkpoint: &CheckpointFile,
+) -> Result<(), PersistError> {
+    save_json_atomic(path, checkpoint)
+}
+
+/// Load a checkpoint, rejecting formats newer than this build. A
+/// truncated or corrupted file surfaces as [`PersistError::Json`]; the
+/// resumable runner treats any load failure as "no usable checkpoint"
+/// and starts fresh rather than aborting.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<CheckpointFile, PersistError> {
+    let file: CheckpointFile = load_json(path)?;
+    if file.version > CHECKPOINT_FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: file.version,
+            supported: CHECKPOINT_FORMAT_VERSION,
+        });
+    }
+    Ok(file)
 }
 
 #[cfg(test)]
@@ -146,56 +277,66 @@ mod tests {
     use super::*;
     use crate::{
         analyze_aging, lift_errors, prepare_unit, profile_standalone, AgingLibrary, Schedule,
-        WorkflowConfig,
+        VegaError, WorkflowConfig,
     };
     use vega_circuits::adder_example::build_paper_adder;
 
+    fn temp_dir(name: &str) -> Result<std::path::PathBuf, PersistError> {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::create_dir_all(&dir)?;
+        Ok(dir)
+    }
+
     #[test]
-    fn suite_round_trips_through_disk_and_still_detects() {
+    fn suite_round_trips_through_disk_and_still_detects() -> Result<(), VegaError> {
         let config = WorkflowConfig::paper_demo();
         let unit = prepare_unit(build_paper_adder(), ModuleKind::PaperAdder, &config);
-        let profile = profile_standalone(&unit.netlist, 1_000, 5);
+        let profile = profile_standalone(&unit.netlist, 1_000, 5)?;
         let analysis = analyze_aging(&unit, &profile, &config);
         let report = lift_errors(&unit, &analysis.unique_pairs, &config);
         let suite = report.suite();
         assert!(!suite.is_empty());
 
-        let dir = std::env::temp_dir().join("vega_persist_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = temp_dir("vega_persist_test")?;
 
         // Profile artifact.
         let profile_path = dir.join("profile.json");
-        save_profile(&profile_path, &profile).unwrap();
-        let profile_back = load_profile(&profile_path).unwrap();
+        save_profile(&profile_path, &profile)?;
+        let profile_back = load_profile(&profile_path)?;
         assert_eq!(profile_back.cycles, profile.cycles);
         assert_eq!(profile_back.sp("xor8"), profile.sp("xor8"));
 
         // Timing-report artifact.
         let report_path = dir.join("timing.json");
-        save_timing_report(&report_path, &analysis.report).unwrap();
-        let timing_back = load_timing_report(&report_path).unwrap();
-        assert_eq!(timing_back.setup_path_count, analysis.report.setup_path_count);
+        save_timing_report(&report_path, &analysis.report)?;
+        let timing_back = load_timing_report(&report_path)?;
+        assert_eq!(
+            timing_back.setup_path_count,
+            analysis.report.setup_path_count
+        );
         assert_eq!(timing_back.wns_setup_ns, analysis.report.wns_setup_ns);
 
         // Suite artifact: loadable and still functional.
         let suite_path = dir.join("suite.json");
         let file = SuiteFile {
+            version: SUITE_FORMAT_VERSION,
             module_name: unit.netlist.name().to_string(),
             module: unit.module.into(),
             years: config.years,
             suite: suite.clone(),
         };
-        save_suite(&suite_path, &file).unwrap();
-        let loaded = load_suite(&suite_path).unwrap();
+        save_suite(&suite_path, &file)?;
+        let loaded = load_suite(&suite_path)?;
         assert_eq!(loaded.suite.len(), suite.len());
+        assert_eq!(loaded.version, SUITE_FORMAT_VERSION);
 
-        let mut library = AgingLibrary::new(
-            loaded.module.into(),
-            loaded.suite,
-            Schedule::Sequential,
-        );
+        let mut library =
+            AgingLibrary::new(loaded.module.into(), loaded.suite, Schedule::Sequential);
         let mut sim = vega_sim::Simulator::new(&unit.netlist);
-        assert!(library.run_checked(&mut sim).is_ok(), "reloaded suite still runs");
+        assert!(
+            library.run_checked(&mut sim).is_ok(),
+            "reloaded suite still runs"
+        );
 
         let failing = crate::build_failing_netlist(
             &unit.netlist,
@@ -204,8 +345,87 @@ mod tests {
             crate::FaultActivation::OnChange,
         );
         let mut aged = vega_sim::Simulator::new(&failing);
-        assert!(library.run_checked(&mut aged).is_err(), "reloaded suite still detects");
+        assert!(
+            library.run_checked(&mut aged).is_err(),
+            "reloaded suite still detects"
+        );
 
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn corrupted_and_truncated_artifacts_load_as_typed_errors() -> Result<(), PersistError> {
+        let dir = temp_dir("vega_persist_corrupt_test")?;
+
+        // Not JSON at all.
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, b"\x00\xffnot json")?;
+        assert!(matches!(load_suite(&garbage), Err(PersistError::Json(_))));
+
+        // Truncated mid-document (a crash while writing non-atomically).
+        let file = SuiteFile {
+            version: SUITE_FORMAT_VERSION,
+            module_name: "adder".into(),
+            module: PersistedModuleKind::PaperAdder,
+            years: 10.0,
+            suite: Vec::new(),
+        };
+        let full = serde_json::to_string_pretty(&file)?;
+        let truncated = dir.join("truncated.json");
+        std::fs::write(&truncated, &full[..full.len() / 2])?;
+        assert!(matches!(load_suite(&truncated), Err(PersistError::Json(_))));
+
+        // Missing file is an I/O error, not a panic.
+        assert!(matches!(
+            load_suite(dir.join("missing.json")),
+            Err(PersistError::Io(_))
+        ));
+
+        // A format from the future is refused with both versions named.
+        let futuristic = SuiteFile {
+            version: SUITE_FORMAT_VERSION + 7,
+            ..file.clone()
+        };
+        let future_path = dir.join("future.json");
+        save_suite(&future_path, &futuristic)?;
+        match load_suite(&future_path) {
+            Err(PersistError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, SUITE_FORMAT_VERSION + 7);
+                assert_eq!(supported, SUITE_FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+
+        // A pre-versioned artifact (no `version` field) loads as v1.
+        let mut legacy: serde_json::Value = serde_json::from_str(&full)?;
+        if let Some(map) = legacy.as_object_mut() {
+            map.remove("version");
+        }
+        let legacy_path = dir.join("legacy.json");
+        std::fs::write(&legacy_path, serde_json::to_string(&legacy)?)?;
+        assert_eq!(load_suite(&legacy_path)?.version, 1);
+
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_temp_file_behind() -> Result<(), PersistError> {
+        let dir = temp_dir("vega_persist_atomic_test")?;
+        let path = dir.join("checkpoint.json");
+        let checkpoint = CheckpointFile::new("adder".into(), ModuleKind::PaperAdder, false, 3);
+        save_checkpoint(&path, &checkpoint)?;
+        let reloaded = load_checkpoint(&path)?;
+        assert_eq!(reloaded.pair_count, 3);
+        assert_eq!(reloaded.module, PersistedModuleKind::PaperAdder);
+        assert!(reloaded.entries.is_empty());
+        let leftover: Vec<_> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|ext| ext == "tmp"))
+            .collect();
+        assert!(leftover.is_empty(), "temp file was renamed away");
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 }

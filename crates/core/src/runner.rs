@@ -1,0 +1,213 @@
+//! The resilient lifting runner: checkpoint/resume around Error Lifting.
+//!
+//! Error Lifting is the pipeline's long-haul phase — hours of SAT
+//! solving on real units — so losing a run to a crash, an OOM kill, or a
+//! pre-empted batch slot must not mean starting over. This runner
+//! records every finished [`PairResult`] in a [`CheckpointFile`]
+//! (rewritten atomically after each pair), and on resume skips exactly
+//! the pairs the checkpoint already holds. Because each pair is lifted
+//! independently and deterministically, a resumed run produces a report
+//! identical to an uninterrupted one.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use vega_lift::{lift_pair, AgingPath, LiftConfig, LiftReport, PairResult};
+
+use crate::persist::{load_checkpoint, save_checkpoint, CheckpointEntry, CheckpointFile};
+use crate::{lift_config, PreparedUnit, VegaError, WorkflowConfig};
+
+/// How a resumable lifting run should execute.
+#[derive(Debug, Clone, Default)]
+pub struct RunnerOptions {
+    /// Where to record progress (None = no checkpointing: the run is
+    /// equivalent to [`crate::lift_errors`]).
+    pub checkpoint: Option<PathBuf>,
+    /// Load the checkpoint (if any) and skip the pairs it already holds.
+    /// An unreadable checkpoint — corrupted, truncated, or written by a
+    /// newer format — is ignored and the run starts fresh; a checkpoint
+    /// from a *different run* (other module, pair count, or mitigation)
+    /// is an error, since mixing its results in would be silent
+    /// corruption of the very kind this project hunts.
+    pub resume: bool,
+    /// Stop cleanly after this many newly lifted pairs (the checkpoint
+    /// stays valid). This gives tests — and batch schedulers with time
+    /// budgets — a deterministic stand-in for a mid-run kill.
+    pub stop_after: Option<usize>,
+    /// Deterministic fault injection, forwarded to the lifting driver
+    /// (tests only). Pair indices are run-global, so an injection site
+    /// keeps its meaning across suspend/resume.
+    pub chaos: vega_lift::ChaosHook,
+}
+
+/// The result of one resumable run.
+#[derive(Debug, Clone)]
+pub enum RunnerOutcome {
+    /// Every pair is lifted; the full report, in input order.
+    Complete {
+        /// The assembled lift report.
+        report: LiftReport,
+        /// How many pairs were restored from the checkpoint rather than
+        /// lifted in this invocation.
+        resumed_pairs: usize,
+    },
+    /// The run stopped early (`stop_after`); progress is in the
+    /// checkpoint and a later `resume` invocation will finish the job.
+    Suspended {
+        /// Pairs lifted by this invocation.
+        completed_pairs: usize,
+        /// Total pairs finished so far, including resumed ones.
+        total_done: usize,
+    },
+}
+
+/// Load a checkpoint for `resume`, distinguishing "unusable, start
+/// fresh" (Ok(None)) from "belongs to a different run" (Err).
+fn load_resumable_checkpoint(
+    path: &PathBuf,
+    expected: &CheckpointFile,
+) -> Result<Option<CheckpointFile>, VegaError> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let Ok(found) = load_checkpoint(path) else {
+        // Corrupted, truncated, or future-versioned: worthless but
+        // harmless — the run simply starts from scratch.
+        return Ok(None);
+    };
+    if found.module_name != expected.module_name
+        || found.module != expected.module
+        || found.mitigation != expected.mitigation
+        || found.pair_count != expected.pair_count
+    {
+        return Err(VegaError::CheckpointMismatch {
+            reason: format!(
+                "found {}/{:?} (mitigation {}, {} pairs), expected {}/{:?} (mitigation {}, {} pairs)",
+                found.module_name,
+                found.module,
+                found.mitigation,
+                found.pair_count,
+                expected.module_name,
+                expected.module,
+                expected.mitigation,
+                expected.pair_count
+            ),
+        });
+    }
+    Ok(Some(found))
+}
+
+/// Phase 2 with crash resilience: lift `pairs` like
+/// [`crate::lift_errors`], but record every finished pair in a
+/// checkpoint and, when resuming, skip the ones already done. Runs on
+/// `config.threads` workers; results are deterministic and identical to
+/// an uninterrupted sequential run.
+pub fn lift_errors_resumable(
+    unit: &PreparedUnit,
+    pairs: &[AgingPath],
+    config: &WorkflowConfig,
+    options: &RunnerOptions,
+) -> Result<RunnerOutcome, VegaError> {
+    let mut lift_config: LiftConfig = lift_config(config);
+    lift_config.chaos = options.chaos;
+    let mut checkpoint = CheckpointFile::new(
+        unit.netlist.name().to_string(),
+        unit.module,
+        config.mitigation,
+        pairs.len(),
+    );
+
+    // Seed the slots with checkpointed results.
+    let mut slots: Vec<Option<PairResult>> = Vec::new();
+    slots.resize_with(pairs.len(), || None);
+    let mut resumed_pairs = 0;
+    if options.resume {
+        if let Some(path) = &options.checkpoint {
+            if let Some(found) = load_resumable_checkpoint(path, &checkpoint)? {
+                for entry in found.entries {
+                    if entry.pair_index < slots.len() && slots[entry.pair_index].is_none() {
+                        slots[entry.pair_index] = Some(entry.result.clone());
+                        checkpoint.entries.push(entry);
+                        resumed_pairs += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let todo: Vec<usize> = (0..pairs.len())
+        .filter(|&index| slots[index].is_none())
+        .collect();
+    let budget = options.stop_after.unwrap_or(todo.len());
+
+    // Work-stealing over the missing indices. Each worker takes a ticket
+    // against the `stop_after` budget *before* taking work, so the run
+    // stops after exactly `budget` new pairs; finished pairs go through
+    // one mutex that also rewrites the checkpoint atomically.
+    let next = AtomicUsize::new(0);
+    let tickets = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let state = Mutex::new((slots, checkpoint, None::<VegaError>));
+    let threads = config.threads.max(1).min(todo.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed)
+                    || tickets.fetch_add(1, Ordering::Relaxed) >= budget
+                {
+                    break;
+                }
+                let position = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&index) = todo.get(position) else {
+                    break;
+                };
+                let result = lift_pair(
+                    &unit.netlist,
+                    unit.module,
+                    pairs[index],
+                    index,
+                    &lift_config,
+                );
+                let mut state = state.lock().unwrap_or_else(|poison| poison.into_inner());
+                let (slots, checkpoint, error) = &mut *state;
+                slots[index] = Some(result.clone());
+                checkpoint.entries.push(CheckpointEntry {
+                    pair_index: index,
+                    result,
+                });
+                if let Some(path) = &options.checkpoint {
+                    if let Err(e) = save_checkpoint(path, checkpoint) {
+                        *error = Some(e.into());
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    let (slots, checkpoint, error) = state
+        .into_inner()
+        .unwrap_or_else(|poison| poison.into_inner());
+    if let Some(error) = error {
+        return Err(error);
+    }
+    let total_done = checkpoint.entries.len();
+    let completed_pairs = total_done - resumed_pairs;
+    if slots.iter().any(Option::is_none) {
+        return Ok(RunnerOutcome::Suspended {
+            completed_pairs,
+            total_done,
+        });
+    }
+    let report = LiftReport {
+        module: unit.module,
+        mitigation: config.mitigation,
+        pairs: slots.into_iter().flatten().collect(),
+    };
+    Ok(RunnerOutcome::Complete {
+        report,
+        resumed_pairs,
+    })
+}

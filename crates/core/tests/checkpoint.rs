@@ -1,0 +1,329 @@
+//! Checkpoint/resume tests for the resilient lifting runner: round-trip
+//! fidelity (property-tested), resume-equals-clean-run, and recovery
+//! from truncated or mismatched checkpoints.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use vega::persist::{
+    load_checkpoint, save_checkpoint, CheckpointEntry, CheckpointFile, PersistError,
+    CHECKPOINT_FORMAT_VERSION,
+};
+use vega::runner::{lift_errors_resumable, RunnerOptions, RunnerOutcome};
+use vega::{
+    analyze_aging, lift_errors, prepare_unit, profile_standalone, AgingAnalysis, AgingPath,
+    Attempt, BudgetRound, Check, ConstructionOutcome, FaultActivation, FaultValue, ModuleKind,
+    PairResult, PreparedUnit, Provenance, TestCase, VegaError, ViolationKind, WorkflowConfig,
+};
+use vega_circuits::adder_example::build_paper_adder;
+use vega_netlist::CellId;
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("vega_checkpoint_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn adder_pipeline() -> (PreparedUnit, WorkflowConfig, AgingAnalysis) {
+    let config = WorkflowConfig::paper_demo();
+    let unit = prepare_unit(build_paper_adder(), ModuleKind::PaperAdder, &config);
+    let profile = profile_standalone(&unit.netlist, 1_000, 7).expect("profiling enabled");
+    let analysis = analyze_aging(&unit, &profile, &config);
+    (unit, config, analysis)
+}
+
+#[test]
+fn resume_after_suspension_produces_a_suite_identical_to_a_clean_run() {
+    let (unit, config, analysis) = adder_pipeline();
+    let pairs = &analysis.unique_pairs;
+    assert!(
+        pairs.len() >= 2,
+        "need at least two pairs to interrupt between"
+    );
+
+    let clean = lift_errors(&unit, pairs, &config);
+
+    let checkpoint = temp_path("resume_equals_clean.json");
+    std::fs::remove_file(&checkpoint).ok();
+
+    // First invocation: "killed" after one pair (a clean suspension at a
+    // pair boundary — exactly what a checkpointed kill leaves on disk).
+    let first = lift_errors_resumable(
+        &unit,
+        pairs,
+        &config,
+        &RunnerOptions {
+            checkpoint: Some(checkpoint.clone()),
+            resume: false,
+            stop_after: Some(1),
+            ..RunnerOptions::default()
+        },
+    )
+    .expect("runner runs");
+    let RunnerOutcome::Suspended {
+        completed_pairs,
+        total_done,
+    } = first
+    else {
+        panic!("expected suspension, got {first:?}");
+    };
+    assert_eq!(completed_pairs, 1);
+    assert_eq!(total_done, 1);
+
+    // Resume until done (each segment lifts one more pair).
+    let mut resumed_report = None;
+    for _ in 0..pairs.len() {
+        let outcome = lift_errors_resumable(
+            &unit,
+            pairs,
+            &config,
+            &RunnerOptions {
+                checkpoint: Some(checkpoint.clone()),
+                resume: true,
+                stop_after: Some(1),
+                ..RunnerOptions::default()
+            },
+        )
+        .expect("resume runs");
+        if let RunnerOutcome::Complete {
+            report,
+            resumed_pairs,
+        } = outcome
+        {
+            assert!(resumed_pairs >= 1, "the earlier segments were reused");
+            resumed_report = Some(report);
+            break;
+        }
+    }
+    let resumed = resumed_report.expect("the run eventually completes");
+
+    // Identical to the clean run — same pairs, same outcomes, same
+    // suites, compared in serialized form (the canonical artifact).
+    let clean_json = serde_json::to_string(&clean.pairs).expect("serializable");
+    let resumed_json = serde_json::to_string(&resumed.pairs).expect("serializable");
+    assert_eq!(
+        clean_json, resumed_json,
+        "resume must reproduce the clean run exactly"
+    );
+    assert_eq!(clean.table4_row(), resumed.table4_row());
+    assert_eq!(
+        clean
+            .suite()
+            .iter()
+            .map(|t| t.name.clone())
+            .collect::<Vec<_>>(),
+        resumed
+            .suite()
+            .iter()
+            .map(|t| t.name.clone())
+            .collect::<Vec<_>>()
+    );
+
+    std::fs::remove_file(&checkpoint).ok();
+}
+
+#[test]
+fn truncated_checkpoint_is_detected_and_the_run_starts_fresh() {
+    let (unit, config, analysis) = adder_pipeline();
+    let pairs = &analysis.unique_pairs;
+
+    let checkpoint = temp_path("truncated.json");
+    // Write a valid checkpoint, then truncate it mid-document.
+    let done = lift_errors_resumable(
+        &unit,
+        pairs,
+        &config,
+        &RunnerOptions {
+            checkpoint: Some(checkpoint.clone()),
+            resume: false,
+            stop_after: None,
+            ..RunnerOptions::default()
+        },
+    )
+    .expect("clean run");
+    assert!(matches!(done, RunnerOutcome::Complete { .. }));
+    let full = std::fs::read_to_string(&checkpoint).expect("checkpoint written");
+    std::fs::write(&checkpoint, &full[..full.len() / 3]).expect("truncate");
+
+    // The loader reports the truncation as a typed error...
+    assert!(matches!(
+        load_checkpoint(&checkpoint),
+        Err(PersistError::Json(_))
+    ));
+
+    // ...and the runner shrugs it off: fresh full run, nothing resumed.
+    let rerun = lift_errors_resumable(
+        &unit,
+        pairs,
+        &config,
+        &RunnerOptions {
+            checkpoint: Some(checkpoint.clone()),
+            resume: true,
+            stop_after: None,
+            ..RunnerOptions::default()
+        },
+    )
+    .expect("recovery run");
+    let RunnerOutcome::Complete {
+        resumed_pairs,
+        report,
+    } = rerun
+    else {
+        panic!("expected completion");
+    };
+    assert_eq!(resumed_pairs, 0, "a truncated checkpoint resumes nothing");
+    assert_eq!(report.pairs.len(), pairs.len());
+
+    std::fs::remove_file(&checkpoint).ok();
+}
+
+#[test]
+fn checkpoint_from_a_different_run_is_refused() {
+    let (unit, config, analysis) = adder_pipeline();
+    let pairs = &analysis.unique_pairs;
+
+    let checkpoint = temp_path("mismatched.json");
+    // A checkpoint for the same module but a different pair count.
+    let foreign = CheckpointFile::new(
+        unit.netlist.name().to_string(),
+        unit.module,
+        config.mitigation,
+        pairs.len() + 17,
+    );
+    save_checkpoint(&checkpoint, &foreign).expect("saved");
+
+    let result = lift_errors_resumable(
+        &unit,
+        pairs,
+        &config,
+        &RunnerOptions {
+            checkpoint: Some(checkpoint.clone()),
+            resume: true,
+            stop_after: None,
+            ..RunnerOptions::default()
+        },
+    );
+    assert!(
+        matches!(result, Err(VegaError::CheckpointMismatch { .. })),
+        "mixing a different run's results would be silent corruption"
+    );
+
+    std::fs::remove_file(&checkpoint).ok();
+}
+
+// ---- property-tested round trip ------------------------------------------
+
+fn arbitrary_outcome() -> impl Strategy<Value = ConstructionOutcome> {
+    prop_oneof![
+        (0usize..6).prop_map(|d| ConstructionOutcome::ProvenSafe { induction_depth: d }),
+        Just(ConstructionOutcome::FormalFailure),
+        Just(ConstructionOutcome::ConversionFailure),
+        Just(ConstructionOutcome::BoundedInconclusive),
+        ".{0,40}".prop_map(|message| ConstructionOutcome::Crashed { message }),
+        (0u64..16, 0u64..16).prop_map(|(a, b)| {
+            let mut cycle = BTreeMap::new();
+            cycle.insert("a".to_string(), a);
+            cycle.insert("b".to_string(), b);
+            ConstructionOutcome::Success(Box::new(TestCase {
+                name: format!("tc_{a}_{b}"),
+                target: "prop".into(),
+                stimulus: vec![cycle],
+                checks: vec![Check::PortAt {
+                    cycle: 2,
+                    port: "o".into(),
+                    expected: a + b,
+                }],
+                instructions: vec![],
+                cpu_cycles: 4,
+                provenance: if a % 2 == 0 {
+                    Provenance::Formal
+                } else {
+                    Provenance::Fuzzed
+                },
+            }))
+        }),
+    ]
+}
+
+fn arbitrary_attempt() -> impl Strategy<Value = Attempt> {
+    (
+        prop_oneof![Just(FaultValue::Zero), Just(FaultValue::One)],
+        prop_oneof![
+            Just(FaultActivation::OnChange),
+            Just(FaultActivation::RisingEdge),
+            Just(FaultActivation::FallingEdge),
+        ],
+        arbitrary_outcome(),
+        proptest::collection::vec(
+            (1u64..1_000_000, 0u64..1_000_000)
+                .prop_map(|(budget, spent)| BudgetRound { budget, spent }),
+            0..4,
+        ),
+    )
+        .prop_map(|(value, activation, outcome, rounds)| Attempt {
+            value,
+            activation,
+            outcome,
+            rounds,
+        })
+}
+
+fn arbitrary_entry() -> impl Strategy<Value = CheckpointEntry> {
+    (
+        0usize..64,
+        0u32..512,
+        0u32..512,
+        prop_oneof![Just(ViolationKind::Setup), Just(ViolationKind::Hold)],
+        proptest::collection::vec(arbitrary_attempt(), 1..4),
+        "[a-z0-9_>-]{1,24}",
+    )
+        .prop_map(
+            |(pair_index, launch, capture, violation, attempts, label)| CheckpointEntry {
+                pair_index,
+                result: PairResult {
+                    path: AgingPath {
+                        launch: CellId(launch),
+                        capture: CellId(capture),
+                        violation,
+                    },
+                    label,
+                    attempts,
+                },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever mix of outcomes a run produced — successes, proofs,
+    /// escalated retries, crashes, fuzzed fallbacks — the checkpoint must
+    /// reload to the same serialized content.
+    #[test]
+    fn checkpoint_round_trips_losslessly(
+        entries in proptest::collection::vec(arbitrary_entry(), 0..12),
+        pair_count in 0usize..64,
+        mitigation in proptest::bool::ANY,
+        case in 0u64..u64::MAX,
+    ) {
+        let mut checkpoint = CheckpointFile::new(
+            "prop_adder".to_string(),
+            ModuleKind::PaperAdder,
+            mitigation,
+            pair_count,
+        );
+        checkpoint.entries = entries;
+        prop_assert_eq!(checkpoint.version, CHECKPOINT_FORMAT_VERSION);
+
+        let path = temp_path(&format!("roundtrip_{case}.json"));
+        save_checkpoint(&path, &checkpoint).expect("save");
+        let reloaded = load_checkpoint(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        let before = serde_json::to_string(&checkpoint).expect("serialize");
+        let after = serde_json::to_string(&reloaded).expect("serialize");
+        prop_assert_eq!(before, after);
+    }
+}

@@ -23,8 +23,22 @@ pub struct BmcConfig {
 
 impl Default for BmcConfig {
     fn default() -> Self {
-        BmcConfig { max_cycles: 8, max_induction: 4, conflict_budget: 2_000_000 }
+        BmcConfig {
+            max_cycles: 8,
+            max_induction: 4,
+            conflict_budget: 2_000_000,
+        }
     }
+}
+
+/// Resource accounting for one cover query — how much of the conflict
+/// budget was actually consumed. Callers that retry with escalating
+/// budgets (Error Lifting's "FF" recovery) use this to record
+/// per-attempt spend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverStats {
+    /// SAT conflicts spent across all queries of this call.
+    pub conflicts: u64,
 }
 
 /// Outcome of a cover query.
@@ -55,6 +69,20 @@ pub fn check_cover(
     assumptions: &[Assumption],
     config: &BmcConfig,
 ) -> CoverOutcome {
+    check_cover_with_stats(netlist, property, assumptions, config).0
+}
+
+/// Like [`check_cover`], additionally reporting how much of the conflict
+/// budget the query consumed — the observable cost behind a Table 4 "FF"
+/// verdict, and the number a budget-escalation retry loop records per
+/// attempt.
+pub fn check_cover_with_stats(
+    netlist: &Netlist,
+    property: &Property,
+    assumptions: &[Assumption],
+    config: &BmcConfig,
+) -> (CoverOutcome, CoverStats) {
+    let mut stats = CoverStats::default();
     let mut budget_left = config.conflict_budget;
 
     // Phase 1: cover search from reset, one query per depth so the
@@ -71,15 +99,17 @@ pub fn check_cover(
         query.solver_mut().add_clause(&[fire]);
         query.solver_mut().set_conflict_budget(Some(budget_left));
         let result = query.solver_mut().solve();
-        budget_left = budget_left.saturating_sub(query.solver().stats().conflicts);
+        let spent = query.solver().stats().conflicts;
+        stats.conflicts += spent;
+        budget_left = budget_left.saturating_sub(spent);
         match result {
             SolveResult::Sat => {
-                return CoverOutcome::Trace(extract_trace(&query, t));
+                return (CoverOutcome::Trace(extract_trace(&query, t)), stats);
             }
-            SolveResult::Unknown => return CoverOutcome::BudgetExhausted,
+            SolveResult::Unknown => return (CoverOutcome::BudgetExhausted, stats),
             SolveResult::Unsat => {
                 if budget_left == 0 {
-                    return CoverOutcome::BudgetExhausted;
+                    return (CoverOutcome::BudgetExhausted, stats);
                 }
             }
         }
@@ -106,21 +136,31 @@ pub fn check_cover(
         step.solver_mut().add_clause(&[fires[k]]);
         step.solver_mut().set_conflict_budget(Some(budget_left));
         let result = step.solver_mut().solve();
-        budget_left = budget_left.saturating_sub(step.solver().stats().conflicts);
+        let spent = step.solver().stats().conflicts;
+        stats.conflicts += spent;
+        budget_left = budget_left.saturating_sub(spent);
         match result {
             SolveResult::Unsat => {
-                return CoverOutcome::ProvedUnreachable { induction_depth: k };
+                return (
+                    CoverOutcome::ProvedUnreachable { induction_depth: k },
+                    stats,
+                );
             }
-            SolveResult::Unknown => return CoverOutcome::BudgetExhausted,
+            SolveResult::Unknown => return (CoverOutcome::BudgetExhausted, stats),
             SolveResult::Sat => {
                 if budget_left == 0 {
-                    return CoverOutcome::BudgetExhausted;
+                    return (CoverOutcome::BudgetExhausted, stats);
                 }
             }
         }
     }
 
-    CoverOutcome::BoundedOnly { depth: config.max_cycles }
+    (
+        CoverOutcome::BoundedOnly {
+            depth: config.max_cycles,
+        },
+        stats,
+    )
 }
 
 /// Read the witness inputs out of a satisfied unrolling.
@@ -213,8 +253,14 @@ mod tests {
         let o = n.port("o").unwrap().bits.clone();
         let p0 = Property::net_equals(o[0], true);
         let assumptions = vec![
-            Assumption::PortIn { port: "a".into(), allowed: vec![0, 2] },
-            Assumption::PortIn { port: "b".into(), allowed: vec![0, 2] },
+            Assumption::PortIn {
+                port: "a".into(),
+                allowed: vec![0, 2],
+            },
+            Assumption::PortIn {
+                port: "b".into(),
+                allowed: vec![0, 2],
+            },
         ];
         let outcome = check_cover(&n, &p0, &assumptions, &BmcConfig::default());
         assert!(
@@ -235,9 +281,16 @@ mod tests {
         b.output("y", &[q]);
         let n = b.finish().unwrap();
         let q_net = n.cell_by_name("q").unwrap().output;
-        let outcome =
-            check_cover(&n, &Property::net_equals(q_net, true), &[], &BmcConfig::default());
-        assert!(matches!(outcome, CoverOutcome::ProvedUnreachable { .. }), "{outcome:?}");
+        let outcome = check_cover(
+            &n,
+            &Property::net_equals(q_net, true),
+            &[],
+            &BmcConfig::default(),
+        );
+        assert!(
+            matches!(outcome, CoverOutcome::ProvedUnreachable { .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]
@@ -245,14 +298,21 @@ mod tests {
         let n = paper_adder();
         let o = n.port("o").unwrap().bits.clone();
         let property = Property::any_differ(vec![(o[0], o[1])]);
-        let config = BmcConfig { max_cycles: 6, max_induction: 3, conflict_budget: 0 };
+        let config = BmcConfig {
+            max_cycles: 6,
+            max_induction: 3,
+            conflict_budget: 0,
+        };
         // Budget zero: the very first query cannot complete...
         let outcome = check_cover(&n, &property, &[], &config);
         // ...unless it is solved purely by propagation (conflicts = 0 can
         // still SAT). Accept either a trace or exhaustion, but never a
         // proof (proofs need conflicts).
         assert!(
-            matches!(outcome, CoverOutcome::Trace(_) | CoverOutcome::BudgetExhausted),
+            matches!(
+                outcome,
+                CoverOutcome::Trace(_) | CoverOutcome::BudgetExhausted
+            ),
             "{outcome:?}"
         );
     }
@@ -296,7 +356,10 @@ mod tests {
             &[Assumption::NetAlways(en_net, false)],
             &BmcConfig::default(),
         );
-        assert!(matches!(outcome, CoverOutcome::ProvedUnreachable { .. }), "{outcome:?}");
+        assert!(
+            matches!(outcome, CoverOutcome::ProvedUnreachable { .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]

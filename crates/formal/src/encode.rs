@@ -80,8 +80,9 @@ impl<'n> Unrolling<'n> {
     /// Encode one more cycle, returning its index.
     pub fn add_cycle(&mut self) -> usize {
         let t = self.cycle_vars.len();
-        let vars: Vec<Var> =
-            (0..self.netlist.net_count()).map(|_| self.solver.new_var()).collect();
+        let vars: Vec<Var> = (0..self.netlist.net_count())
+            .map(|_| self.solver.new_var())
+            .collect();
         self.cycle_vars.push(vars);
 
         // Combinational cells and constants.
@@ -366,7 +367,10 @@ mod tests {
         let mut u = Unrolling::new(&n, false);
         u.add_cycle();
         u.apply_assumption(
-            &Assumption::PortIn { port: "v".into(), allowed: vec![1, 2, 3] },
+            &Assumption::PortIn {
+                port: "v".into(),
+                allowed: vec![1, 2, 3],
+            },
             0,
         );
         // v[2] = 1 implies v >= 4, which the assumption forbids.
@@ -404,6 +408,10 @@ mod tests {
         u.add_cycle();
         let fire = u.fire_literal(&Property::nets_differ(a_net, inv_net), 0);
         u.solver_mut().add_clause(&[!fire]);
-        assert_eq!(u.solver_mut().solve(), SolveResult::Unsat, "they always differ");
+        assert_eq!(
+            u.solver_mut().solve(),
+            SolveResult::Unsat,
+            "they always differ"
+        );
     }
 }

@@ -53,7 +53,7 @@ mod encode;
 mod property;
 mod trace;
 
-pub use bmc::{check_cover, BmcConfig, CoverOutcome};
+pub use bmc::{check_cover, check_cover_with_stats, BmcConfig, CoverOutcome, CoverStats};
 pub use encode::Unrolling;
 pub use property::{Assumption, Property};
 pub use trace::Trace;

@@ -26,12 +26,18 @@ pub(crate) enum PropertyTerm {
 impl Property {
     /// Cover `net == value` in some cycle.
     pub fn net_equals(net: NetId, value: bool) -> Self {
-        Property { terms: vec![PropertyTerm::NetEquals(net, value)], earliest_cycle: 0 }
+        Property {
+            terms: vec![PropertyTerm::NetEquals(net, value)],
+            earliest_cycle: 0,
+        }
     }
 
     /// Cover `left != right` in some cycle.
     pub fn nets_differ(left: NetId, right: NetId) -> Self {
-        Property { terms: vec![PropertyTerm::NetsDiffer(left, right)], earliest_cycle: 0 }
+        Property {
+            terms: vec![PropertyTerm::NetsDiffer(left, right)],
+            earliest_cycle: 0,
+        }
     }
 
     /// Cover "any of these pairs differ" in some cycle.

@@ -33,10 +33,17 @@ impl Trace {
 
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "trace ({} cycles, fires at cycle {}):", self.len(), self.fire_cycle)?;
+        writeln!(
+            f,
+            "trace ({} cycles, fires at cycle {}):",
+            self.len(),
+            self.fire_cycle
+        )?;
         for (t, cycle) in self.inputs.iter().enumerate() {
-            let parts: Vec<String> =
-                cycle.iter().map(|(port, value)| format!("{port}={value:#x}")).collect();
+            let parts: Vec<String> = cycle
+                .iter()
+                .map(|(port, value)| format!("{port}={value:#x}"))
+                .collect();
             writeln!(f, "  cycle {t}: {}", parts.join(" "))?;
         }
         Ok(())

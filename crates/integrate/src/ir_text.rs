@@ -156,11 +156,18 @@ pub fn parse_program(text: &str) -> Result<Program, IrParseError> {
         if let Some(rest) = line.strip_prefix("program ") {
             let tokens: Vec<&str> = rest.split_whitespace().collect();
             if tokens.len() != 5 || tokens[1] != "regs" || tokens[3] != "mem" {
-                return Err(err(lineno, "expected `program <name> regs <n> mem <n>`".into()));
+                return Err(err(
+                    lineno,
+                    "expected `program <name> regs <n> mem <n>`".into(),
+                ));
             }
             name = tokens[0].to_string();
-            registers = tokens[2].parse().map_err(|e| err(lineno, format!("regs: {e}")))?;
-            memory_bytes = tokens[4].parse().map_err(|e| err(lineno, format!("mem: {e}")))?;
+            registers = tokens[2]
+                .parse()
+                .map_err(|e| err(lineno, format!("regs: {e}")))?;
+            memory_bytes = tokens[4]
+                .parse()
+                .map_err(|e| err(lineno, format!("mem: {e}")))?;
             continue;
         }
         if let Some(rest) = line.strip_prefix("block ") {
@@ -192,10 +199,19 @@ pub fn parse_program(text: &str) -> Result<Program, IrParseError> {
             let term = b
                 .term
                 .ok_or_else(|| err(0, format!("block `{}` has no terminator", b.label)))?;
-            Ok(Block { label: b.label, ops: b.ops, term })
+            Ok(Block {
+                label: b.label,
+                ops: b.ops,
+                term,
+            })
         })
         .collect();
-    Ok(Program { name, blocks: blocks?, registers, memory_bytes })
+    Ok(Program {
+        name,
+        blocks: blocks?,
+        registers,
+        memory_bytes,
+    })
 }
 
 fn strip(line: &str) -> &str {
@@ -236,10 +252,12 @@ fn parse_term(line: &str, labels: &HashMap<String, usize>) -> Result<Option<Term
         return Ok(Some(Term::Jump(resolve(target)?)));
     }
     if let Some(rest) = line.strip_prefix("branch ") {
-        let (cond, targets) =
-            rest.split_once('?').ok_or_else(|| "branch needs `?`".to_string())?;
-        let (then_label, else_label) =
-            targets.split_once(':').ok_or_else(|| "branch needs `:`".to_string())?;
+        let (cond, targets) = rest
+            .split_once('?')
+            .ok_or_else(|| "branch needs `?`".to_string())?;
+        let (then_label, else_label) = targets
+            .split_once(':')
+            .ok_or_else(|| "branch needs `:`".to_string())?;
         return Ok(Some(Term::Branch(
             reg(cond)?,
             resolve(then_label)?,
@@ -281,7 +299,9 @@ fn parse_op(line: &str) -> Result<Op, String> {
             .into_iter()
             .find(|o| alu_name(*o) == mnemonic)
             .ok_or_else(|| format!("unknown alu op `{mnemonic}`"))?;
-        let (ra, rb) = operands.split_once(',').ok_or("alu op needs two operands")?;
+        let (ra, rb) = operands
+            .split_once(',')
+            .ok_or("alu op needs two operands")?;
         return Ok(Op::Alu(op, rd, reg(ra)?, reg(rb)?));
     }
     if let Some(rest) = rhs.strip_prefix("fp.") {
@@ -321,8 +341,8 @@ mod tests {
     fn every_workload_round_trips() {
         for program in workloads::all() {
             let text = print_program(&program);
-            let parsed = parse_program(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", program.name));
+            let parsed =
+                parse_program(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", program.name));
             // Same results and same costs when interpreted.
             let mut a = Interpreter::new(&program);
             let mut b = Interpreter::new(&parsed);
@@ -379,7 +399,10 @@ block exit:
     #[test]
     fn terminator_rules_are_enforced() {
         let text = "program p regs 1 mem 0\nblock b:\n  r0 = const 1\n";
-        assert!(parse_program(text).unwrap_err().message.contains("no terminator"));
+        assert!(parse_program(text)
+            .unwrap_err()
+            .message
+            .contains("no terminator"));
 
         let text = "program p regs 1 mem 0\nblock b:\n  return r0\n  r0 = const 1\n";
         assert!(parse_program(text)

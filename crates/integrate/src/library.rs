@@ -1,10 +1,12 @@
 //! The software aging library (paper §3.4.1).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use vega_lift::{run_test_case, ModuleKind, TestCase, TestOutcome};
+use vega_lift::{run_test_case, validate_test_case, ModuleKind, TestCase, TestOutcome};
 use vega_sim::Simulator;
 
 /// Test scheduling strategy.
@@ -51,6 +53,11 @@ pub struct DetectionReport {
     pub outcomes: Vec<(String, TestOutcome)>,
     /// The first detection, if any.
     pub first_detection: Option<AgingFault>,
+    /// How many tests could not run at all (malformed stimulus, port
+    /// mismatch, or a panicking runner) and were skipped. A skip is
+    /// reported, never silently dropped — and never confused with a
+    /// detection.
+    pub skipped: usize,
 }
 
 impl DetectionReport {
@@ -80,7 +87,12 @@ impl AgingLibrary {
             Schedule::Random { seed } => seed,
             Schedule::Sequential => 0,
         };
-        AgingLibrary { module, suite, schedule, shuffle_rng: StdRng::seed_from_u64(seed) }
+        AgingLibrary {
+            module,
+            suite,
+            schedule,
+            shuffle_rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Total CPU cycles one full suite execution costs (a Table 5 cell).
@@ -98,10 +110,23 @@ impl AgingLibrary {
         }
         let mut outcomes = Vec::with_capacity(order.len());
         let mut first_detection = None;
+        let mut skipped = 0;
         for index in order {
             let test = &self.suite[index];
-            let outcome = run_test_case(sim, self.module, test);
-            if outcome != TestOutcome::Pass && first_detection.is_none() {
+            // An unrunnable test (built for a different unit revision,
+            // corrupted on load, ...) must not take the embedded suite
+            // down: validate first, catch any residual panic, and report
+            // the skip instead.
+            let outcome = match validate_test_case(sim.netlist(), test) {
+                Err(reason) => TestOutcome::Skipped { reason },
+                Ok(()) => catch_unwind(AssertUnwindSafe(|| run_test_case(sim, self.module, test)))
+                    .unwrap_or_else(|_| TestOutcome::Skipped {
+                        reason: "test runner panicked".to_string(),
+                    }),
+            };
+            if matches!(outcome, TestOutcome::Skipped { .. }) {
+                skipped += 1;
+            } else if outcome != TestOutcome::Pass && first_detection.is_none() {
                 first_detection = Some(AgingFault {
                     test: test.name.clone(),
                     target: test.target.clone(),
@@ -110,7 +135,11 @@ impl AgingLibrary {
             }
             outcomes.push((test.name.clone(), outcome));
         }
-        DetectionReport { outcomes, first_detection }
+        DetectionReport {
+            outcomes,
+            first_detection,
+            skipped,
+        }
     }
 
     /// Exception-style entry point: `Ok(())` on a clean pass, `Err` with
@@ -164,6 +193,38 @@ mod tests {
     }
 
     #[test]
+    fn unrunnable_tests_are_skipped_and_reported_not_fatal() {
+        let (n, mut suite, _) = adder_suite();
+        assert!(!suite.is_empty());
+        // A test built for some other unit: drives a port the adder does
+        // not have. Without validation this would panic the simulator and
+        // take the whole suite down.
+        let mut broken = suite[0].clone();
+        broken.name = "foreign_unit_test".into();
+        for cycle in &mut broken.stimulus {
+            cycle.insert("no_such_port".into(), 1);
+        }
+        suite.insert(0, broken);
+
+        let mut library = AgingLibrary::new(ModuleKind::PaperAdder, suite, Schedule::Sequential);
+        let mut healthy = Simulator::new(&n);
+        let report = library.run_once(&mut healthy);
+        assert_eq!(report.skipped, 1, "the broken test is counted as a skip");
+        assert!(
+            matches!(report.outcomes[0].1, TestOutcome::Skipped { .. }),
+            "the skip is reported in order"
+        );
+        assert!(!report.detected(), "a skip is not a detection");
+        // The rest of the suite still ran (and passed on healthy hardware).
+        assert!(report.outcomes[1..]
+            .iter()
+            .all(|(_, o)| *o == TestOutcome::Pass));
+        // The exception-style entry point agrees: skips do not raise.
+        let mut healthy = Simulator::new(&n);
+        assert!(library.run_checked(&mut healthy).is_ok());
+    }
+
+    #[test]
     fn random_schedule_is_seeded_and_permutes() {
         let (n, suite, _) = adder_suite();
         if suite.len() < 2 {
@@ -174,11 +235,7 @@ mod tests {
             suite.clone(),
             Schedule::Random { seed: 1 },
         );
-        let mut b = AgingLibrary::new(
-            ModuleKind::PaperAdder,
-            suite,
-            Schedule::Random { seed: 1 },
-        );
+        let mut b = AgingLibrary::new(ModuleKind::PaperAdder, suite, Schedule::Random { seed: 1 });
         let mut sim1 = Simulator::new(&n);
         let mut sim2 = Simulator::new(&n);
         let r1 = a.run_once(&mut sim1);

@@ -194,7 +194,11 @@ impl Interpreter {
     ///
     /// Panics if the block limit (an internal watchdog of 100 million
     /// block entries) is exceeded — IR programs here always terminate.
-    pub fn run(&mut self, program: &Program, mut drivers: Option<&mut ModuleDrivers<'_, '_>>) -> RunResult {
+    pub fn run(
+        &mut self,
+        program: &Program,
+        mut drivers: Option<&mut ModuleDrivers<'_, '_>>,
+    ) -> RunResult {
         let mut counts = vec![0u64; program.blocks.len()];
         let mut cycles = 0u64;
         let mut ops = 0u64;
@@ -261,8 +265,7 @@ impl Interpreter {
                         self.regs[rd] = self.regs[rs];
                     }
                     Op::RunAgingTests { cost, every } => {
-                        let counter =
-                            self.gate_counters.entry((block, op_index)).or_insert(0);
+                        let counter = self.gate_counters.entry((block, op_index)).or_insert(0);
                         *counter += 1;
                         cycles += 1; // the gate check itself
                         if *counter % every.max(1) == 0 {
@@ -276,7 +279,11 @@ impl Interpreter {
             match b.term {
                 Term::Jump(next) => block = next,
                 Term::Branch(cond, then_block, else_block) => {
-                    block = if self.regs[cond] != 0 { then_block } else { else_block };
+                    block = if self.regs[cond] != 0 {
+                        then_block
+                    } else {
+                        else_block
+                    };
                 }
                 Term::Return(reg) => {
                     return RunResult {
@@ -306,10 +313,10 @@ mod tests {
                 Block {
                     label: "entry".into(),
                     ops: vec![
-                        Op::Const(0, 0),        // acc
-                        Op::Const(1, 1),        // i
-                        Op::Const(2, n + 1),    // limit
-                        Op::Const(3, 1),        // one
+                        Op::Const(0, 0),     // acc
+                        Op::Const(1, 1),     // i
+                        Op::Const(2, n + 1), // limit
+                        Op::Const(3, 1),     // one
                     ],
                     term: Term::Jump(1),
                 },
@@ -322,7 +329,11 @@ mod tests {
                     ],
                     term: Term::Branch(4, 1, 2),
                 },
-                Block { label: "exit".into(), ops: vec![], term: Term::Return(0) },
+                Block {
+                    label: "exit".into(),
+                    ops: vec![],
+                    term: Term::Return(0),
+                },
             ],
         }
     }
@@ -375,13 +386,20 @@ mod tests {
                 Block {
                     label: "loop".into(),
                     ops: vec![
-                        Op::RunAgingTests { cost: 100, every: 3 },
+                        Op::RunAgingTests {
+                            cost: 100,
+                            every: 3,
+                        },
                         Op::Alu(AluOp::Add, 0, 0, 2),
                         Op::Alu(AluOp::Sltu, 3, 0, 1),
                     ],
                     term: Term::Branch(3, 1, 2),
                 },
-                Block { label: "exit".into(), ops: vec![], term: Term::Return(0) },
+                Block {
+                    label: "exit".into(),
+                    ops: vec![],
+                    term: Term::Return(0),
+                },
             ],
         };
         let mut interp = Interpreter::new(&p);

@@ -21,7 +21,11 @@ pub struct PgiConfig {
 
 impl Default for PgiConfig {
     fn default() -> Self {
-        PgiConfig { min_invocations: 4, overhead_threshold: 0.01, profile_runs: 8 }
+        PgiConfig {
+            min_invocations: 4,
+            overhead_threshold: 0.01,
+            profile_runs: 8,
+        }
     }
 }
 
@@ -100,9 +104,13 @@ pub fn integrate(
     let estimated_overhead = gate_cost + ungated / f64::from(every.max(1));
 
     let mut instrumented = program.clone();
-    instrumented.blocks[point]
-        .ops
-        .insert(0, Op::RunAgingTests { cost: suite_cycles, every });
+    instrumented.blocks[point].ops.insert(
+        0,
+        Op::RunAgingTests {
+            cost: suite_cycles,
+            every,
+        },
+    );
     Some(IntegratedProgram {
         program: instrumented,
         integration_point: point,
@@ -161,12 +169,11 @@ mod tests {
             );
             // Run long enough that the gate fires at least a few times.
             let (profile_counts, _) = profile(&program, config.profile_runs);
-            let per_run =
-                (profile_counts.counts[integrated.integration_point]
-                    / u64::from(config.profile_runs)).max(1);
+            let per_run = (profile_counts.counts[integrated.integration_point]
+                / u64::from(config.profile_runs))
+            .max(1);
             let repeats = (u64::from(integrated.every) * 3 / per_run + 1) as u32;
-            let (overhead, invocations) =
-                measured_overhead(&program, &integrated.program, repeats);
+            let (overhead, invocations) = measured_overhead(&program, &integrated.program, repeats);
             assert!(
                 overhead <= config.overhead_threshold * 2.0 + 0.002,
                 "{}: measured {:.4} (every={})",
@@ -199,8 +206,11 @@ mod tests {
     #[test]
     fn gating_divides_frequency() {
         let program = workloads::huff();
-        let config =
-            PgiConfig { min_invocations: 4, overhead_threshold: 0.0005, profile_runs: 8 };
+        let config = PgiConfig {
+            min_invocations: 4,
+            overhead_threshold: 0.0005,
+            profile_runs: 8,
+        };
         let integrated = integrate(&program, 5_000, &config).unwrap();
         assert!(integrated.every > 1, "tight threshold forces gating");
     }

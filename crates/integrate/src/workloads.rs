@@ -21,7 +21,12 @@ struct Pb {
 
 impl Pb {
     fn new(name: &'static str, memory_bytes: usize) -> Self {
-        Pb { name, blocks: Vec::new(), registers: 0, memory_bytes }
+        Pb {
+            name,
+            blocks: Vec::new(),
+            registers: 0,
+            memory_bytes,
+        }
     }
 
     fn reg(&mut self) -> VReg {
@@ -122,9 +127,7 @@ pub fn crc32() -> Program {
     let outer_latch = inner_done - 2 - 1; // fragile; recomputed below
     let _ = outer_latch;
     // Find blocks by label to wire robustly.
-    let find = |pb: &Pb, label: &str| {
-        pb.blocks.iter().position(|b| b.label == label).unwrap()
-    };
+    let find = |pb: &Pb, label: &str| pb.blocks.iter().position(|b| b.label == label).unwrap();
     let bits_done = find(&pb, "bits_done");
     let bytes_latch = find(&pb, "bytes_latch");
     pb.term(bits_done, Term::Jump(bytes_latch));
@@ -189,9 +192,7 @@ pub fn matmult() -> Program {
     pb.push(kloop, Op::Alu(AluOp::Add, acc, acc, t3));
     pb.push(k_done, Op::Alu(AluOp::Xor, checksum, checksum, acc));
     // Wire loop exits: k_done -> j latch, j_done -> i latch.
-    let find = |pb: &Pb, label: &str| {
-        pb.blocks.iter().position(|b| b.label == label).unwrap()
-    };
+    let find = |pb: &Pb, label: &str| pb.blocks.iter().position(|b| b.label == label).unwrap();
     let j_latch = find(&pb, "j_latch");
     let i_latch = find(&pb, "i_latch");
     let k_done_id = find(&pb, "k_done");
@@ -213,9 +214,15 @@ pub fn minver() -> Program {
     let (rep, rep_done, _r) = counted_loop(&mut pb, entry, "rep", 40);
     // Load the matrix [[4,2,1],[2,5,3],[1,3,6]] (f32 bit patterns).
     let bits = [
-        0x4080_0000u32, 0x4000_0000, 0x3F80_0000, // 4 2 1
-        0x4000_0000, 0x40A0_0000, 0x4040_0000, // 2 5 3
-        0x3F80_0000, 0x4040_0000, 0x40C0_0000, // 1 3 6
+        0x4080_0000u32,
+        0x4000_0000,
+        0x3F80_0000, // 4 2 1
+        0x4000_0000,
+        0x40A0_0000,
+        0x4040_0000, // 2 5 3
+        0x3F80_0000,
+        0x4040_0000,
+        0x40C0_0000, // 1 3 6
     ];
     for (reg, &b) in m.iter().zip(&bits) {
         pb.push(rep, Op::Const(*reg, b));
@@ -301,9 +308,7 @@ pub fn fir() -> Program {
     pb.push(taps, Op::Fp(FpuOp::Mul, prod, x, coeff));
     pb.push(taps, Op::Fp(FpuOp::Add, acc, acc, prod));
     pb.push(taps_done, Op::Alu(AluOp::Xor, acc_total, acc_total, acc));
-    let find = |pb: &Pb, label: &str| {
-        pb.blocks.iter().position(|b| b.label == label).unwrap()
-    };
+    let find = |pb: &Pb, label: &str| pb.blocks.iter().position(|b| b.label == label).unwrap();
     let samples_latch = find(&pb, "samples_latch");
     let taps_done_id = find(&pb, "taps_done");
     pb.term(taps_done_id, Term::Jump(samples_latch));
@@ -480,9 +485,7 @@ pub fn primecount() -> Program {
     pb.push(d_done, Op::Const(onec, 1));
     pb.push(d_done, Op::Alu(AluOp::Sltu, is_prime, composite, onec)); // !composite
     pb.push(d_done, Op::Alu(AluOp::Add, count, count, is_prime));
-    let find = |pb: &Pb, label: &str| {
-        pb.blocks.iter().position(|b| b.label == label).unwrap()
-    };
+    let find = |pb: &Pb, label: &str| pb.blocks.iter().position(|b| b.label == label).unwrap();
     let candidates_latch = find(&pb, "candidates_latch");
     let d_done_id = find(&pb, "divisors_done");
     pb.term(d_done_id, Term::Jump(candidates_latch));
@@ -581,9 +584,7 @@ pub fn nsichneu() -> Program {
     pb.term(t_b, Term::Jump(merge));
     pb.push(merge, Op::Alu(AluOp::Xor, acc, acc, state));
     // merge falls through to the loop latch.
-    let find = |pb: &Pb, label: &str| {
-        pb.blocks.iter().position(|b| b.label == label).unwrap()
-    };
+    let find = |pb: &Pb, label: &str| pb.blocks.iter().position(|b| b.label == label).unwrap();
     let latch = find(&pb, "steps_latch");
     pb.term(merge, Term::Jump(latch));
     pb.term(done, Term::Return(acc));
@@ -618,7 +619,12 @@ mod tests {
         for program in all() {
             let mut interp = Interpreter::new(&program);
             let result = interp.run(&program, None);
-            assert!(result.cycles > 1_000, "{}: {} cycles", program.name, result.cycles);
+            assert!(
+                result.cycles > 1_000,
+                "{}: {} cycles",
+                program.name,
+                result.cycles
+            );
             assert!(
                 result.cycles < 5_000_000,
                 "{}: {} cycles is too slow for the harness",
@@ -627,7 +633,12 @@ mod tests {
             );
             // Deterministic: a second run agrees.
             let mut again = Interpreter::new(&program);
-            assert_eq!(again.run(&program, None).value, result.value, "{}", program.name);
+            assert_eq!(
+                again.run(&program, None).value,
+                result.value,
+                "{}",
+                program.name
+            );
         }
     }
 

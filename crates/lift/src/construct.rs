@@ -10,7 +10,7 @@ use vega_sim::Simulator;
 
 use crate::instrument::ShadowInstrumented;
 use crate::module::ModuleKind;
-use crate::testcase::{Check, TestCase};
+use crate::testcase::{Check, Provenance, TestCase};
 
 /// Why a formal waveform could not be turned into a test case — the
 /// paper's "FC" outcome (§5.2.2).
@@ -33,7 +33,10 @@ impl std::fmt::Display for ConversionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConversionError::Unobservable => {
-                write!(f, "no software-observable effect (sticky flags already set)")
+                write!(
+                    f,
+                    "no software-observable effect (sticky flags already set)"
+                )
             }
             ConversionError::UnknownOp { encoding } => {
                 write!(f, "trace uses unknown operation encoding {encoding}")
@@ -74,11 +77,21 @@ fn li(rd: Reg, value: u32, out: &mut Vec<Instr>) {
     let low_sext = (low << 20) >> 20;
     let high = value.wrapping_sub(low_sext as u32) >> 12;
     if high == 0 {
-        out.push(Instr::AluImm { op: AluOp::Add, rd, rs1: Reg::ZERO, imm: low_sext });
+        out.push(Instr::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1: Reg::ZERO,
+            imm: low_sext,
+        });
     } else {
         out.push(Instr::Lui { rd, imm20: high });
         if low_sext != 0 {
-            out.push(Instr::AluImm { op: AluOp::Add, rd, rs1: rd, imm: low_sext });
+            out.push(Instr::AluImm {
+                op: AluOp::Add,
+                rd,
+                rs1: rd,
+                imm: low_sext,
+            });
         }
     }
 }
@@ -106,8 +119,7 @@ fn construct_alu(
     let mut ops: Vec<(AluOp, u32, u32)> = Vec::new();
     for cycle in &trace.inputs {
         let encoding = cycle["op"];
-        let op = AluOp::from_encoding(encoding)
-            .ok_or(ConversionError::UnknownOp { encoding })?;
+        let op = AluOp::from_encoding(encoding).ok_or(ConversionError::UnknownOp { encoding })?;
         ops.push((op, cycle["a"] as u32, cycle["b"] as u32));
     }
 
@@ -118,7 +130,11 @@ fn construct_alu(
         .iter()
         .enumerate()
         .map(|(t, &(op, a, b))| {
-            (t + latency, "r".to_string(), u64::from(alu_golden(op, a, b)))
+            (
+                t + latency,
+                "r".to_string(),
+                u64::from(alu_golden(op, a, b)),
+            )
         })
         .collect();
 
@@ -173,11 +189,23 @@ fn construct_alu(
     stimulus.extend(window);
     let checks = window_checks
         .into_iter()
-        .map(|(cycle, port, expected)| Check::PortAt { cycle: cycle + offset, port, expected })
+        .map(|(cycle, port, expected)| Check::PortAt {
+            cycle: cycle + offset,
+            port,
+            expected,
+        })
         .collect();
 
     let cpu_cycles = estimated_cycles(&instructions, ModuleKind::Alu);
-    Ok(TestCase { name, target, stimulus, checks, instructions, cpu_cycles })
+    Ok(TestCase {
+        name,
+        target,
+        stimulus,
+        checks,
+        instructions,
+        cpu_cycles,
+        provenance: Provenance::Formal,
+    })
 }
 
 fn construct_fpu(
@@ -200,9 +228,14 @@ fn construct_fpu(
     for (t, cycle) in trace.inputs.iter().enumerate() {
         if cycle["valid"] == 1 {
             let encoding = cycle["op"];
-            let op = FpuOp::from_encoding(encoding)
-                .ok_or(ConversionError::UnknownOp { encoding })?;
-            ops.push(FpOp { cycle: t, op, a: cycle["a"] as u32, b: cycle["b"] as u32 });
+            let op =
+                FpuOp::from_encoding(encoding).ok_or(ConversionError::UnknownOp { encoding })?;
+            ops.push(FpOp {
+                cycle: t,
+                op,
+                a: cycle["a"] as u32,
+                b: cycle["b"] as u32,
+            });
         }
     }
 
@@ -219,7 +252,12 @@ fn construct_fpu(
     }
     let sticky = (flag_cycles.clone(), "flags".to_string(), flags_accum);
 
-    if !replay_observable(instrumented, &window, &result_checks, std::slice::from_ref(&sticky)) {
+    if !replay_observable(
+        instrumented,
+        &window,
+        &result_checks,
+        std::slice::from_ref(&sticky),
+    ) {
         return Err(ConversionError::Unobservable);
     }
 
@@ -234,7 +272,10 @@ fn construct_fpu(
                 let freg = 1 + const_freg.len() as u8;
                 const_freg.insert(value, freg);
                 li(Reg(29), value, &mut instructions);
-                instructions.push(Instr::FmvWX { rd: freg, rs: Reg(29) });
+                instructions.push(Instr::FmvWX {
+                    rd: freg,
+                    rs: Reg(29),
+                });
             }
         }
     }
@@ -261,7 +302,10 @@ fn construct_fpu(
     }
     for (i, op) in ops.iter().enumerate() {
         let golden = fpu_golden(op.op, op.a, op.b);
-        instructions.push(Instr::FmvXW { rd: Reg(28), rs: 20 + (i as u8 % 6) });
+        instructions.push(Instr::FmvXW {
+            rd: Reg(28),
+            rs: 20 + (i as u8 % 6),
+        });
         li(Reg(29), golden.bits, &mut instructions);
         instructions.push(Instr::Branch {
             cond: vega_riscv::BranchCond::Ne,
@@ -283,12 +327,28 @@ fn construct_fpu(
     // module-visible preload window: the stimulus is the trace itself.
     let mut checks: Vec<Check> = result_checks
         .into_iter()
-        .map(|(cycle, port, expected)| Check::PortAt { cycle, port, expected })
+        .map(|(cycle, port, expected)| Check::PortAt {
+            cycle,
+            port,
+            expected,
+        })
         .collect();
-    checks.push(Check::StickyOr { cycles: sticky.0, port: sticky.1, expected: sticky.2 });
+    checks.push(Check::StickyOr {
+        cycles: sticky.0,
+        port: sticky.1,
+        expected: sticky.2,
+    });
 
     let cpu_cycles = estimated_cycles(&instructions, ModuleKind::Fpu);
-    Ok(TestCase { name, target, stimulus: window, checks, instructions, cpu_cycles })
+    Ok(TestCase {
+        name,
+        target,
+        stimulus: window,
+        checks,
+        instructions,
+        cpu_cycles,
+        provenance: Provenance::Formal,
+    })
 }
 
 fn construct_adder(
@@ -309,10 +369,22 @@ fn construct_adder(
     }
     let checks = checks
         .into_iter()
-        .map(|(cycle, port, expected)| Check::PortAt { cycle, port, expected })
+        .map(|(cycle, port, expected)| Check::PortAt {
+            cycle,
+            port,
+            expected,
+        })
         .collect();
     let cpu_cycles = (window.len() + latency) as u64;
-    Ok(TestCase { name, target, stimulus: window, checks, instructions: Vec::new(), cpu_cycles })
+    Ok(TestCase {
+        name,
+        target,
+        stimulus: window,
+        checks,
+        instructions: Vec::new(),
+        cpu_cycles,
+        provenance: Provenance::Formal,
+    })
 }
 
 /// Replay the trace window on the shadow-instrumented netlist and decide
@@ -348,8 +420,7 @@ fn replay_observable(
                 continue;
             }
             let shadow_port = format!("{port}_s");
-            if netlist.port(&shadow_port).is_some()
-                && sim.output(port) != sim.output(&shadow_port)
+            if netlist.port(&shadow_port).is_some() && sim.output(port) != sim.output(&shadow_port)
             {
                 observable = true;
             }

@@ -18,7 +18,7 @@ use vega_sim::Simulator;
 use crate::construct::{construct_test_case, ConversionError};
 use crate::instrument::ShadowInstrumented;
 use crate::module::ModuleKind;
-use crate::testcase::TestCase;
+use crate::testcase::{Provenance, TestCase};
 
 /// Fuzzing limits.
 #[derive(Debug, Clone, Copy)]
@@ -33,7 +33,11 @@ pub struct FuzzConfig {
 
 impl Default for FuzzConfig {
     fn default() -> Self {
-        FuzzConfig { candidates: 400, max_cycles: 8, seed: 0xF422 }
+        FuzzConfig {
+            candidates: 400,
+            max_cycles: 8,
+            seed: 0xF422,
+        }
     }
 }
 
@@ -120,11 +124,15 @@ pub fn fuzz_test_case(
             }
             sim.step();
         }
-        let Some(fire_cycle) = fire_cycle else { continue };
+        let Some(fire_cycle) = fire_cycle else {
+            continue;
+        };
         let trace = Trace { inputs, fire_cycle };
-        match construct_test_case(module, instrumented, &trace, name.clone(), target.clone())
-        {
-            Ok(test) => return Ok(Some((test, trace, stats))),
+        match construct_test_case(module, instrumented, &trace, name.clone(), target.clone()) {
+            Ok(mut test) => {
+                test.provenance = Provenance::Fuzzed;
+                return Ok(Some((test, trace, stats)));
+            }
             Err(ConversionError::Unobservable) => continue, // keep fuzzing
             Err(other) => return Err(other),
         }
@@ -163,6 +171,11 @@ mod tests {
         let (test, trace, stats) = result.expect("the adder fault is easy to fuzz");
         assert!(stats.candidates_tried >= 1);
         assert_eq!(trace.inputs.len(), trace.fire_cycle + 1);
+        assert_eq!(
+            test.provenance,
+            Provenance::Fuzzed,
+            "fallback provenance is recorded"
+        );
 
         // Like formal tests: passes on healthy hardware, detects the
         // failing netlist.
@@ -171,8 +184,7 @@ mod tests {
             run_test_case(&mut healthy, ModuleKind::PaperAdder, &test),
             TestOutcome::Pass
         );
-        let failing =
-            build_failing_netlist(&n, path, FaultValue::One, FaultActivation::OnChange);
+        let failing = build_failing_netlist(&n, path, FaultValue::One, FaultActivation::OnChange);
         let mut faulty = Simulator::new(&failing);
         assert_ne!(
             run_test_case(&mut faulty, ModuleKind::PaperAdder, &test),
@@ -200,7 +212,11 @@ mod tests {
         let instrumented =
             instrument_with_shadow(&n, path, FaultValue::One, FaultActivation::OnChange);
         assert!(instrumented.observable_pairs.is_empty());
-        let config = FuzzConfig { candidates: 10, max_cycles: 4, seed: 3 };
+        let config = FuzzConfig {
+            candidates: 10,
+            max_cycles: 4,
+            seed: 3,
+        };
         let result = fuzz_test_case(
             ModuleKind::PaperAdder,
             &instrumented,

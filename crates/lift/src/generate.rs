@@ -1,16 +1,92 @@
 //! The Error Lifting driver: paths in, test suite + Table 4 taxonomy out.
+//!
+//! Lifting is the pipeline's expensive, failure-prone phase, so the
+//! driver is built defensively: every pair runs in panic isolation (a
+//! crashing pair becomes a [`ConstructionOutcome::Crashed`] record
+//! instead of tearing down the suite), exhausted formal budgets can be
+//! retried with escalating limits ([`RetryPolicy`]), and pairs whose
+//! formal search still gives up can degrade to simulation-based fuzzing
+//! ([`LiftConfig::fuzz_fallback`]) so they yield a best-effort test case
+//! rather than nothing. A deterministic fault-injection hook
+//! ([`ChaosHook`]) exercises all of these paths in tests.
 
-use vega_formal::{check_cover, CoverOutcome, Property};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use serde::{Deserialize, Serialize};
+
+use vega_formal::{check_cover_with_stats, BmcConfig, CoverOutcome, Property};
 use vega_netlist::Netlist;
 
 use crate::construct::construct_test_case;
+use crate::fuzz::{fuzz_test_case, FuzzConfig};
 use crate::instrument::{instrument_with_shadow, AgingPath, FaultActivation, FaultValue};
 use crate::module::ModuleKind;
 use crate::testcase::TestCase;
 
+/// Budget-escalation policy for formal failures: when a cover query
+/// exhausts its conflict budget (a Table 4 "FF"), re-attempt with the
+/// budget multiplied by `budget_growth`, up to `max_attempts` total
+/// tries per `(C, activation)` combination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total formal tries per attempt (1 = no retry; the default, so the
+    /// budget ablation still reproduces the FF cliff).
+    pub max_attempts: usize,
+    /// Multiplier applied to the conflict budget on each retry.
+    pub budget_growth: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            budget_growth: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A doubling policy with `max_attempts` total tries.
+    pub fn doubling(max_attempts: usize) -> Self {
+        RetryPolicy {
+            max_attempts,
+            budget_growth: 2.0,
+        }
+    }
+
+    /// The budget for retry round `round` (0-based; round 0 is the
+    /// initial try at `base` conflicts).
+    pub fn budget_for_round(&self, base: u64, round: usize) -> u64 {
+        let mut budget = base.max(1) as f64;
+        for _ in 0..round {
+            budget *= self.budget_growth.max(1.0);
+        }
+        budget.min(u64::MAX as f64) as u64
+    }
+}
+
+/// Deterministic fault injection for resilience testing: make the pair
+/// with a given run-global index panic mid-lift, or force all of its
+/// formal queries to report budget exhaustion. Production runs leave
+/// this at `default()` (no injection).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosHook {
+    /// Panic while lifting the pair with this index.
+    pub panic_at_pair: Option<usize>,
+    /// Report `BudgetExhausted` for every formal query of the pair with
+    /// this index (without running the solver).
+    pub exhaust_budget_at_pair: Option<usize>,
+}
+
+impl ChaosHook {
+    /// Whether any injection is armed.
+    pub fn armed(&self) -> bool {
+        self.panic_at_pair.is_some() || self.exhaust_budget_at_pair.is_some()
+    }
+}
+
 /// Configuration of one Error Lifting run.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LiftConfig {
     /// Enable the §3.3.4 mitigation: generate edge-gated variants (up to
     /// 4 test cases per pair) instead of plain change-gated ones (up to
@@ -18,13 +94,21 @@ pub struct LiftConfig {
     pub mitigation: bool,
     /// Override the module's default BMC limits (None = per-module
     /// defaults, whose budgets reproduce the paper's timeout rates).
-    pub bmc: Option<vega_formal::BmcConfig>,
+    pub bmc: Option<BmcConfig>,
+    /// Budget escalation on formal failures (default: no retries).
+    pub retry: RetryPolicy,
+    /// When the formal search (including retries) exhausts its budget,
+    /// fall back to simulation-based fuzzing so the pair degrades from
+    /// "proof-quality" to "best-effort test case" rather than to nothing
+    /// (None = no fallback).
+    pub fuzz_fallback: Option<FuzzConfig>,
+    /// Deterministic fault injection (tests only).
+    pub chaos: ChaosHook,
 }
-
 
 /// How one `(pair, C, activation)` attempt ended — the unit behind the
 /// paper's Table 4 percentages.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ConstructionOutcome {
     /// A test case was constructed ("S").
     Success(Box<TestCase>),
@@ -43,17 +127,58 @@ pub enum ConstructionOutcome {
     /// The search was exhaustive to its depth without a witness, but no
     /// inductive proof closed — counted with "FF" (the tool gave up).
     BoundedInconclusive,
+    /// The lifting chain panicked; the panic was caught, the pair was
+    /// isolated, and the rest of the suite continued. Counted with "FF"
+    /// (the tool crashed instead of answering).
+    Crashed {
+        /// The captured panic message.
+        message: String,
+    },
+}
+
+/// One formal round within an attempt: the initial try, or an escalated
+/// retry after a budget exhaustion. Recording these makes the cost of a
+/// Table 4 "FF" verdict — and the escalation that recovered from it —
+/// observable in the lift report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetRound {
+    /// The conflict budget this round was allowed.
+    pub budget: u64,
+    /// The conflicts the round actually spent.
+    pub spent: u64,
+}
+
+/// One `(C, activation)` attempt of a pair, with its outcome and the
+/// formal budget spend of every round (empty when the fault was
+/// structurally unobservable, or the attempt crashed before solving).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Attempt {
+    /// The wrong value `C` of the failure model.
+    pub value: FaultValue,
+    /// The activation gating of the failure model.
+    pub activation: FaultActivation,
+    /// How the attempt ended.
+    pub outcome: ConstructionOutcome,
+    /// Per-round conflict budgets and spend, in escalation order.
+    pub rounds: Vec<BudgetRound>,
+}
+
+impl Attempt {
+    /// Total conflicts this attempt spent across all rounds.
+    pub fn conflicts_spent(&self) -> u64 {
+        self.rounds.iter().map(|r| r.spent).sum()
+    }
 }
 
 /// All attempts for one unique endpoint pair.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PairResult {
     /// The aging-prone path.
     pub path: AgingPath,
     /// Human-readable label.
     pub label: String,
     /// One outcome per attempted `(C, activation)` combination.
-    pub attempts: Vec<(FaultValue, FaultActivation, ConstructionOutcome)>,
+    pub attempts: Vec<Attempt>,
 }
 
 /// The paper's per-pair classification (Table 4 columns).
@@ -63,8 +188,8 @@ pub enum PairClass {
     Success,
     /// Every attempt was formally proven harmless.
     Unreachable,
-    /// The formal tool gave up on at least one attempt (timeout), with no
-    /// success elsewhere.
+    /// The formal tool gave up on at least one attempt (timeout or
+    /// crash), with no success elsewhere.
     FormalFailure,
     /// A waveform existed but no attempt could convert it.
     ConversionFailure,
@@ -73,13 +198,14 @@ pub enum PairClass {
 impl PairResult {
     /// Classify this pair per the paper's priority: any success counts as
     /// "S"; otherwise all-proven is "UR"; otherwise a conversion failure
-    /// anywhere is "FC"; otherwise "FF".
+    /// anywhere is "FC"; otherwise "FF" (which also covers crashed
+    /// attempts: the tool gave up without an answer).
     pub fn class(&self) -> PairClass {
         let mut any_success = false;
         let mut all_safe = true;
         let mut any_conversion_failure = false;
-        for (_, _, outcome) in &self.attempts {
-            match outcome {
+        for attempt in &self.attempts {
+            match &attempt.outcome {
                 ConstructionOutcome::Success(_) => any_success = true,
                 ConstructionOutcome::ProvenSafe { .. } => {}
                 ConstructionOutcome::ConversionFailure => {
@@ -87,7 +213,8 @@ impl PairResult {
                     any_conversion_failure = true;
                 }
                 ConstructionOutcome::FormalFailure
-                | ConstructionOutcome::BoundedInconclusive => all_safe = false,
+                | ConstructionOutcome::BoundedInconclusive
+                | ConstructionOutcome::Crashed { .. } => all_safe = false,
             }
         }
         if any_success {
@@ -105,16 +232,28 @@ impl PairResult {
     pub fn test_cases(&self) -> Vec<&TestCase> {
         self.attempts
             .iter()
-            .filter_map(|(_, _, outcome)| match outcome {
+            .filter_map(|attempt| match &attempt.outcome {
                 ConstructionOutcome::Success(tc) => Some(tc.as_ref()),
                 _ => None,
             })
             .collect()
     }
+
+    /// Total conflicts this pair spent across all attempts and rounds.
+    pub fn conflicts_spent(&self) -> u64 {
+        self.attempts.iter().map(Attempt::conflicts_spent).sum()
+    }
+
+    /// Whether any attempt of this pair crashed (and was isolated).
+    pub fn crashed(&self) -> bool {
+        self.attempts
+            .iter()
+            .any(|a| matches!(a.outcome, ConstructionOutcome::Crashed { .. }))
+    }
 }
 
 /// The result of lifting every unique pair of one module.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LiftReport {
     /// The analyzed module.
     pub module: ModuleKind,
@@ -152,6 +291,219 @@ impl LiftReport {
     pub fn suite_cpu_cycles(&self) -> u64 {
         self.suite().iter().map(|t| t.cpu_cycles).sum()
     }
+
+    /// Total SAT conflicts the whole run spent, across every pair,
+    /// attempt, and escalation round.
+    pub fn total_conflicts(&self) -> u64 {
+        self.pairs.iter().map(PairResult::conflicts_spent).sum()
+    }
+
+    /// How many test cases in the suite came from the fuzzing fallback
+    /// rather than a formal witness.
+    pub fn fallback_test_count(&self) -> usize {
+        self.suite()
+            .iter()
+            .filter(|t| t.provenance == crate::testcase::Provenance::Fuzzed)
+            .count()
+    }
+
+    /// How many pairs had at least one isolated crash.
+    pub fn crashed_pair_count(&self) -> usize {
+        self.pairs.iter().filter(|p| p.crashed()).count()
+    }
+}
+
+/// Render a caught panic payload for a [`ConstructionOutcome::Crashed`]
+/// record.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One `(C, activation)` attempt: instrument, run the formal search with
+/// budget escalation, construct instructions — falling back to fuzzing
+/// when every formal round exhausts its budget. Runs inside the caller's
+/// panic isolation.
+#[allow(clippy::too_many_arguments)]
+fn lift_attempt(
+    netlist: &Netlist,
+    module: ModuleKind,
+    path: AgingPath,
+    label: &str,
+    value: FaultValue,
+    activation: FaultActivation,
+    assumptions: &[vega_formal::Assumption],
+    base_bmc: &BmcConfig,
+    config: &LiftConfig,
+    pair_index: usize,
+) -> Attempt {
+    if config.chaos.panic_at_pair == Some(pair_index) {
+        panic!("chaos: injected panic while lifting pair {pair_index} ({label})");
+    }
+    let forced_exhaustion = config.chaos.exhaust_budget_at_pair == Some(pair_index);
+
+    let instrumented = instrument_with_shadow(netlist, path, value, activation);
+    if instrumented.observable_pairs.is_empty() {
+        // The fault's fan-out reaches no output: trivially harmless.
+        return Attempt {
+            value,
+            activation,
+            outcome: ConstructionOutcome::ProvenSafe { induction_depth: 0 },
+            rounds: Vec::new(),
+        };
+    }
+    let property = Property::any_differ(instrumented.observable_pairs.clone());
+    let name = format!(
+        "{}_{}_{:?}_{:?}",
+        netlist.name(),
+        label.replace(['-', '>', ' ', '(', ')'], "_"),
+        value,
+        activation
+    )
+    .to_lowercase();
+
+    let max_rounds = config.retry.max_attempts.max(1);
+    let mut rounds = Vec::with_capacity(1);
+    let mut outcome = ConstructionOutcome::FormalFailure;
+    for round in 0..max_rounds {
+        let mut bmc = *base_bmc;
+        bmc.conflict_budget = config
+            .retry
+            .budget_for_round(base_bmc.conflict_budget, round);
+        if forced_exhaustion {
+            // Pretend the solver burned the whole budget without an
+            // answer (deterministic stand-in for a hard cone).
+            rounds.push(BudgetRound {
+                budget: bmc.conflict_budget,
+                spent: bmc.conflict_budget,
+            });
+            outcome = ConstructionOutcome::FormalFailure;
+            continue;
+        }
+        let (cover, stats) =
+            check_cover_with_stats(&instrumented.netlist, &property, assumptions, &bmc);
+        rounds.push(BudgetRound {
+            budget: bmc.conflict_budget,
+            spent: stats.conflicts,
+        });
+        match cover {
+            CoverOutcome::Trace(trace) => {
+                outcome = match construct_test_case(
+                    module,
+                    &instrumented,
+                    &trace,
+                    name.clone(),
+                    label.to_string(),
+                ) {
+                    Ok(tc) => ConstructionOutcome::Success(Box::new(tc)),
+                    Err(_) => ConstructionOutcome::ConversionFailure,
+                };
+                break;
+            }
+            CoverOutcome::ProvedUnreachable { induction_depth } => {
+                outcome = ConstructionOutcome::ProvenSafe { induction_depth };
+                break;
+            }
+            CoverOutcome::BudgetExhausted => {
+                // Escalate and retry (the loop applies the growth).
+                outcome = ConstructionOutcome::FormalFailure;
+            }
+            CoverOutcome::BoundedOnly { .. } => {
+                // Depth-bounded, not budget-bounded: a bigger budget
+                // cannot change the verdict, so retrying is pointless.
+                outcome = ConstructionOutcome::BoundedInconclusive;
+                break;
+            }
+        }
+    }
+
+    // Graceful degradation: every formal round ran out of budget, so the
+    // pair would otherwise yield nothing. Fuzzing trades the proof away
+    // for a best-effort test case, recorded as such in its provenance.
+    if matches!(outcome, ConstructionOutcome::FormalFailure) {
+        if let Some(fuzz_config) = &config.fuzz_fallback {
+            if let Ok(Some((test, _, _))) = fuzz_test_case(
+                module,
+                &instrumented,
+                fuzz_config,
+                format!("{name}_fuzzed"),
+                label.to_string(),
+            ) {
+                outcome = ConstructionOutcome::Success(Box::new(test));
+            }
+        }
+    }
+
+    Attempt {
+        value,
+        activation,
+        outcome,
+        rounds,
+    }
+}
+
+/// Lift one pair — the `pair_index`-th of its run — with panic
+/// isolation: each `(C, activation)` attempt runs under `catch_unwind`,
+/// so a crash in instrumentation, solving, or construction becomes a
+/// [`ConstructionOutcome::Crashed`] record and the remaining attempts
+/// (and pairs) still run. This is the unit of work the checkpoint/resume
+/// runner in `vega::runner` schedules and persists.
+pub fn lift_pair(
+    netlist: &Netlist,
+    module: ModuleKind,
+    path: AgingPath,
+    pair_index: usize,
+    config: &LiftConfig,
+) -> PairResult {
+    // Even the label can panic on a forged path; keep the pair alive.
+    let label = catch_unwind(AssertUnwindSafe(|| path.label(netlist)))
+        .unwrap_or_else(|_| format!("cell{}->cell{} (?)", path.launch.0, path.capture.0));
+    let base_bmc = config.bmc.unwrap_or_else(|| module.bmc_config());
+    let assumptions = module.assumptions(netlist);
+    let activations: &[FaultActivation] = if config.mitigation {
+        &FaultActivation::MITIGATED
+    } else {
+        &[FaultActivation::OnChange]
+    };
+
+    let mut attempts = Vec::new();
+    for &value in &FaultValue::FORMAL {
+        for &activation in activations {
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                lift_attempt(
+                    netlist,
+                    module,
+                    path,
+                    &label,
+                    value,
+                    activation,
+                    &assumptions,
+                    &base_bmc,
+                    config,
+                    pair_index,
+                )
+            }))
+            .unwrap_or_else(|payload| Attempt {
+                value,
+                activation,
+                outcome: ConstructionOutcome::Crashed {
+                    message: panic_message(payload),
+                },
+                rounds: Vec::new(),
+            });
+            attempts.push(attempt);
+        }
+    }
+    PairResult {
+        path,
+        label,
+        attempts,
+    }
 }
 
 /// Run Error Lifting for `paths` (already filtered to unique endpoint
@@ -162,69 +514,81 @@ pub fn generate_suite(
     paths: &[AgingPath],
     config: &LiftConfig,
 ) -> LiftReport {
-    let bmc = config.bmc.unwrap_or_else(|| module.bmc_config());
-    let assumptions = module.assumptions(netlist);
-    let activations: &[FaultActivation] = if config.mitigation {
-        &FaultActivation::MITIGATED
-    } else {
-        &[FaultActivation::OnChange]
-    };
-
-    let mut pairs = Vec::with_capacity(paths.len());
-    for &path in paths {
-        let label = path.label(netlist);
-        let mut attempts = Vec::new();
-        for &value in &FaultValue::FORMAL {
-            for &activation in activations {
-                let instrumented = instrument_with_shadow(netlist, path, value, activation);
-                if instrumented.observable_pairs.is_empty() {
-                    // The fault's fan-out reaches no output: trivially
-                    // harmless.
-                    attempts.push((
-                        value,
-                        activation,
-                        ConstructionOutcome::ProvenSafe { induction_depth: 0 },
-                    ));
-                    continue;
-                }
-                let property = Property::any_differ(instrumented.observable_pairs.clone());
-                let outcome =
-                    check_cover(&instrumented.netlist, &property, &assumptions, &bmc);
-                let outcome = match outcome {
-                    CoverOutcome::Trace(trace) => {
-                        let name = format!(
-                            "{}_{}_{:?}_{:?}",
-                            netlist.name(),
-                            label.replace(['-', '>', ' ', '(', ')'], "_"),
-                            value,
-                            activation
-                        )
-                        .to_lowercase();
-                        match construct_test_case(
-                            module,
-                            &instrumented,
-                            &trace,
-                            name,
-                            label.clone(),
-                        ) {
-                            Ok(tc) => ConstructionOutcome::Success(Box::new(tc)),
-                            Err(_) => ConstructionOutcome::ConversionFailure,
-                        }
-                    }
-                    CoverOutcome::ProvedUnreachable { induction_depth } => {
-                        ConstructionOutcome::ProvenSafe { induction_depth }
-                    }
-                    CoverOutcome::BudgetExhausted => ConstructionOutcome::FormalFailure,
-                    CoverOutcome::BoundedOnly { .. } => {
-                        ConstructionOutcome::BoundedInconclusive
-                    }
-                };
-                attempts.push((value, activation, outcome));
-            }
-        }
-        pairs.push(PairResult { path, label, attempts });
+    let pairs = paths
+        .iter()
+        .enumerate()
+        .map(|(index, &path)| lift_pair(netlist, module, path, index, config))
+        .collect();
+    LiftReport {
+        module,
+        mitigation: config.mitigation,
+        pairs,
     }
-    LiftReport { module, mitigation: config.mitigation, pairs }
+}
+
+/// Like [`generate_suite`], but lifting pairs on `threads` worker threads
+/// (each pair's instrumentation + formal query is independent). Results
+/// are identical to the sequential path and returned in input order.
+/// Panic isolation holds here too: a pair that crashes is recorded as
+/// [`ConstructionOutcome::Crashed`] and no sibling results are lost.
+pub fn generate_suite_parallel(
+    netlist: &Netlist,
+    module: ModuleKind,
+    paths: &[AgingPath],
+    config: &LiftConfig,
+    threads: usize,
+) -> LiftReport {
+    let threads = threads.max(1);
+    if threads == 1 || paths.len() <= 1 {
+        return generate_suite(netlist, module, paths, config);
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<PairResult>> = Vec::new();
+    slots.resize_with(paths.len(), || None);
+    let slots = std::sync::Mutex::new(slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(paths.len()) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&path) = paths.get(index) else { break };
+                let pair = lift_pair(netlist, module, path, index, config);
+                // A worker that somehow died would poison the mutex;
+                // sibling results must survive, so shrug the poison off.
+                let mut slots = slots.lock().unwrap_or_else(|poison| poison.into_inner());
+                slots[index] = Some(pair);
+            });
+        }
+    });
+
+    let pairs = slots
+        .into_inner()
+        .unwrap_or_else(|poison| poison.into_inner())
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| {
+            slot.unwrap_or_else(|| PairResult {
+                path: paths[index],
+                label: format!(
+                    "cell{}->cell{} (?)",
+                    paths[index].launch.0, paths[index].capture.0
+                ),
+                attempts: vec![Attempt {
+                    value: FaultValue::Zero,
+                    activation: FaultActivation::OnChange,
+                    outcome: ConstructionOutcome::Crashed {
+                        message: "worker died before recording a result".to_string(),
+                    },
+                    rounds: Vec::new(),
+                }],
+            })
+        })
+        .collect();
+    LiftReport {
+        module,
+        mitigation: config.mitigation,
+        pairs,
+    }
 }
 
 #[cfg(test)]
@@ -263,10 +627,15 @@ mod tests {
         for pair in &report.pairs {
             assert_eq!(pair.class(), PairClass::Success, "{}", pair.label);
             assert!(pair.attempts.len() <= 2);
+            for attempt in &pair.attempts {
+                assert_eq!(attempt.rounds.len(), 1, "no retries by default");
+            }
         }
         let suite = report.suite();
         assert!(!suite.is_empty());
         assert!(report.suite_cpu_cycles() > 0);
+        assert_eq!(report.fallback_test_count(), 0, "formal witnesses only");
+        assert_eq!(report.crashed_pair_count(), 0);
 
         // The suite passes on the healthy netlist...
         let mut healthy = Simulator::new(&n);
@@ -275,10 +644,15 @@ mod tests {
         }
         // ...and detects each corresponding failing netlist.
         for pair in &report.pairs {
-            for (value, activation, outcome) in &pair.attempts {
-                let ConstructionOutcome::Success(tc) = outcome else { continue };
+            for attempt in &pair.attempts {
+                let ConstructionOutcome::Success(tc) = &attempt.outcome else {
+                    continue;
+                };
                 let failing = crate::instrument::build_failing_netlist(
-                    &n, pair.path, *value, *activation,
+                    &n,
+                    pair.path,
+                    attempt.value,
+                    attempt.activation,
                 );
                 let mut sim = Simulator::new(&failing);
                 let result = run_test_case(&mut sim, ModuleKind::PaperAdder, tc);
@@ -295,51 +669,30 @@ mod tests {
     #[test]
     fn mitigation_doubles_the_attempt_space() {
         let n = build_paper_adder();
-        let config = LiftConfig { mitigation: true, bmc: None };
-        let report =
-            generate_suite(&n, ModuleKind::PaperAdder, &adder_paths(&n)[..1], &config);
+        let config = LiftConfig {
+            mitigation: true,
+            ..LiftConfig::default()
+        };
+        let report = generate_suite(&n, ModuleKind::PaperAdder, &adder_paths(&n)[..1], &config);
         assert_eq!(report.pairs[0].attempts.len(), 4, "2 C values x 2 edges");
     }
-}
 
-/// Like [`generate_suite`], but lifting pairs on `threads` worker threads
-/// (each pair's instrumentation + formal query is independent). Results
-/// are identical to the sequential path and returned in input order.
-pub fn generate_suite_parallel(
-    netlist: &Netlist,
-    module: ModuleKind,
-    paths: &[AgingPath],
-    config: &LiftConfig,
-    threads: usize,
-) -> LiftReport {
-    let threads = threads.max(1);
-    if threads == 1 || paths.len() <= 1 {
-        return generate_suite(netlist, module, paths, config);
+    #[test]
+    fn budget_for_round_escalates_geometrically() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            budget_growth: 2.0,
+        };
+        assert_eq!(policy.budget_for_round(1000, 0), 1000);
+        assert_eq!(policy.budget_for_round(1000, 1), 2000);
+        assert_eq!(policy.budget_for_round(1000, 2), 4000);
+        // Growth below 1 must never shrink the budget.
+        let shrink = RetryPolicy {
+            max_attempts: 3,
+            budget_growth: 0.5,
+        };
+        assert_eq!(shrink.budget_for_round(1000, 2), 1000);
     }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<PairResult>> = Vec::new();
-    slots.resize_with(paths.len(), || None);
-    let slots = std::sync::Mutex::new(slots);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(paths.len()) {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&path) = paths.get(index) else { break };
-                let report = generate_suite(netlist, module, &[path], config);
-                let pair = report.pairs.into_iter().next().expect("one pair in, one out");
-                slots.lock().expect("no poisoned workers")[index] = Some(pair);
-            });
-        }
-    });
-
-    let pairs = slots
-        .into_inner()
-        .expect("workers joined")
-        .into_iter()
-        .map(|slot| slot.expect("every index was processed"))
-        .collect();
-    LiftReport { module, mitigation: config.mitigation, pairs }
 }
 
 #[cfg(test)]
@@ -368,7 +721,10 @@ mod parallel_tests {
             assert_eq!(a.class(), b.class());
             let suite_a: Vec<_> = a.test_cases().iter().map(|t| t.stimulus.clone()).collect();
             let suite_b: Vec<_> = b.test_cases().iter().map(|t| t.stimulus.clone()).collect();
-            assert_eq!(suite_a, suite_b, "traces must be deterministic across threads");
+            assert_eq!(
+                suite_a, suite_b,
+                "traces must be deterministic across threads"
+            );
         }
     }
 }

@@ -2,13 +2,14 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
 use vega_netlist::{CellId, CellKind, NetId, Netlist};
 use vega_sta::{Endpoint, TimingPath, ViolationKind};
 
 /// An aging-prone register-to-register path, the unit Error Lifting works
 /// on: the launching flip-flop `X`, the capturing flip-flop `Y`, and
 /// which timing window the path violates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AgingPath {
     /// The launching flip-flop (`X`).
     pub launch: CellId,
@@ -44,7 +45,8 @@ impl AgingPath {
 }
 
 /// The wrong value `C` sampled on a violated capture (paper §3.3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum FaultValue {
     /// `C = 0`.
     Zero,
@@ -62,7 +64,8 @@ impl FaultValue {
 
 /// When the fault is active (paper §3.3.4's mitigation for initial-value
 /// dependency).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum FaultActivation {
     /// Active whenever the launch value changed (Eqs. 2/3 verbatim).
     OnChange,
@@ -152,11 +155,8 @@ fn build_fault_signal(
                 (ViolationKind::Hold, FaultActivation::FallingEdge) => (x_now, x_other),
                 _ => unreachable!(),
             };
-            let low_inv = netlist.add_cell(
-                CellKind::Not,
-                netlist.fresh_name("fault_inv"),
-                &[low_side],
-            );
+            let low_inv =
+                netlist.add_cell(CellKind::Not, netlist.fresh_name("fault_inv"), &[low_side]);
             let low_inv_net = netlist.cell(low_inv).output;
             let edge = netlist.add_cell(
                 CellKind::And2,
@@ -234,7 +234,10 @@ pub fn instrument_with_shadow(
     let cone = vega_netlist::graph::fanout_cone(
         netlist,
         y_out,
-        vega_netlist::graph::ConeOptions { cross_dffs: true, follow_clock: false },
+        vega_netlist::graph::ConeOptions {
+            cross_dffs: true,
+            follow_clock: false,
+        },
     );
     let mut cloned: Vec<CellId> = vec![path.capture];
     cloned.extend(cone.iter().copied().filter(|&c| c != path.capture));
@@ -286,13 +289,18 @@ pub fn instrument_with_shadow(
             .iter()
             .map(|&net| shadow_of.get(&net).copied().unwrap_or(net))
             .collect();
-        if shadow_bits.iter().zip(&port.bits) .any(|(s, o)| s != o) {
+        if shadow_bits.iter().zip(&port.bits).any(|(s, o)| s != o) {
             out.add_output_port(format!("{}_s", port.name), &shadow_bits);
         }
     }
 
-    out.validate().expect("shadow instrumentation must stay valid");
-    ShadowInstrumented { netlist: out, observable_pairs, observable_labels }
+    out.validate()
+        .expect("shadow instrumentation must stay valid");
+    ShadowInstrumented {
+        netlist: out,
+        observable_pairs,
+        observable_labels,
+    }
 }
 
 #[cfg(test)]
@@ -322,8 +330,7 @@ mod tests {
         assert!(instrumented.observable_labels.contains(&"o[1]".to_string()));
 
         let property = Property::any_differ(instrumented.observable_pairs.clone());
-        let outcome =
-            check_cover(&instrumented.netlist, &property, &[], &BmcConfig::default());
+        let outcome = check_cover(&instrumented.netlist, &property, &[], &BmcConfig::default());
         let CoverOutcome::Trace(trace) = outcome else {
             panic!("expected a trace like the paper's Table 2, got {outcome:?}");
         };
@@ -359,8 +366,7 @@ mod tests {
         let instrumented =
             instrument_with_shadow(&n, path, FaultValue::One, FaultActivation::OnChange);
         let property = Property::any_differ(instrumented.observable_pairs.clone());
-        let outcome =
-            check_cover(&instrumented.netlist, &property, &[], &BmcConfig::default());
+        let outcome = check_cover(&instrumented.netlist, &property, &[], &BmcConfig::default());
         assert!(matches!(outcome, CoverOutcome::Trace(_)), "{outcome:?}");
     }
 
@@ -370,8 +376,7 @@ mod tests {
     fn failing_netlist_miscomputes() {
         let n = build_paper_adder();
         let path = adder_path(&n, "dff4", "dff10", ViolationKind::Setup);
-        let failing =
-            build_failing_netlist(&n, path, FaultValue::One, FaultActivation::OnChange);
+        let failing = build_failing_netlist(&n, path, FaultValue::One, FaultActivation::OnChange);
         assert_eq!(failing.port("o").unwrap().width(), 2);
 
         // Toggle b[1] (dff4's source) across cycles: the fault fires and
@@ -417,8 +422,7 @@ mod tests {
         let path = adder_path(&n, "dff4", "dff10", ViolationKind::Setup);
         // C is chosen opposite to the healthy value at the firing moment
         // so the corruption is visible on `o`.
-        let rising =
-            build_failing_netlist(&n, path, FaultValue::Zero, FaultActivation::RisingEdge);
+        let rising = build_failing_netlist(&n, path, FaultValue::Zero, FaultActivation::RisingEdge);
         let falling =
             build_failing_netlist(&n, path, FaultValue::One, FaultActivation::FallingEdge);
 
@@ -466,7 +470,11 @@ mod tests {
         n.validate().unwrap();
 
         let q_id = n.cell_by_name("q").unwrap().id;
-        let path = AgingPath { launch: q_id, capture: q_id, violation: ViolationKind::Hold };
+        let path = AgingPath {
+            launch: q_id,
+            capture: q_id,
+            violation: ViolationKind::Hold,
+        };
         let failing = build_failing_netlist(&n, path, FaultValue::One, FaultActivation::OnChange);
         let mut sim = Simulator::new(&failing);
         for _ in 0..4 {

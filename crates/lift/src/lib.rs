@@ -30,8 +30,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-
-
 mod construct;
 pub mod fuzz;
 mod generate;
@@ -39,20 +37,17 @@ mod instrument;
 mod module;
 mod testcase;
 
-
-
-
-
 pub use construct::{construct_test_case, ConversionError};
+pub use fuzz::{fuzz_test_case, FuzzConfig, FuzzStats};
 pub use generate::{
-    generate_suite, generate_suite_parallel, ConstructionOutcome, LiftConfig, LiftReport,
-    PairClass, PairResult,
+    generate_suite, generate_suite_parallel, lift_pair, Attempt, BudgetRound, ChaosHook,
+    ConstructionOutcome, LiftConfig, LiftReport, PairClass, PairResult, RetryPolicy,
 };
 pub use instrument::{
     build_failing_netlist, instrument_with_shadow, AgingPath, FaultActivation, FaultValue,
     ShadowInstrumented,
 };
 pub use module::ModuleKind;
-pub use testcase::{run_suite, run_test_case, Check, TestCase, TestOutcome};
-
-
+pub use testcase::{
+    run_suite, run_test_case, validate_test_case, Check, Provenance, TestCase, TestOutcome,
+};

@@ -48,7 +48,10 @@ impl ModuleKind {
                 },
                 // The issue tag is irrelevant to fault activation; pin it
                 // so traces stay clean.
-                Assumption::PortIn { port: "tag".into(), allowed: vec![0] },
+                Assumption::PortIn {
+                    port: "tag".into(),
+                    allowed: vec![0],
+                },
             ],
             ModuleKind::PaperAdder => Vec::new(),
         }
@@ -69,12 +72,16 @@ impl ModuleKind {
     /// paper's Table 4 "FF" rows arise.
     pub fn bmc_config(self) -> BmcConfig {
         match self {
-            ModuleKind::Alu => {
-                BmcConfig { max_cycles: 6, max_induction: 3, conflict_budget: 2_000_000 }
-            }
-            ModuleKind::Fpu => {
-                BmcConfig { max_cycles: 6, max_induction: 2, conflict_budget: 400_000 }
-            }
+            ModuleKind::Alu => BmcConfig {
+                max_cycles: 6,
+                max_induction: 3,
+                conflict_budget: 2_000_000,
+            },
+            ModuleKind::Fpu => BmcConfig {
+                max_cycles: 6,
+                max_induction: 2,
+                conflict_budget: 400_000,
+            },
             ModuleKind::PaperAdder => BmcConfig::default(),
         }
     }
@@ -89,7 +96,10 @@ mod tests {
     fn detects_modules_by_name() {
         assert_eq!(ModuleKind::detect(&build_alu()), Some(ModuleKind::Alu));
         assert_eq!(ModuleKind::detect(&build_fpu()), Some(ModuleKind::Fpu));
-        assert_eq!(ModuleKind::detect(&build_paper_adder()), Some(ModuleKind::PaperAdder));
+        assert_eq!(
+            ModuleKind::detect(&build_paper_adder()),
+            Some(ModuleKind::PaperAdder)
+        );
         // Derived names (failing netlists) still detect.
         let mut failing = build_alu();
         failing.set_name("rv32_alu_failing");
@@ -125,7 +135,9 @@ mod tests {
     fn budgets_scale_with_module_size() {
         let alu = ModuleKind::Alu.bmc_config();
         let fpu = ModuleKind::Fpu.bmc_config();
-        assert!(alu.conflict_budget > fpu.conflict_budget * 2,
-            "the bigger unit gets the tighter per-query budget (wall-clock parity)");
+        assert!(
+            alu.conflict_budget > fpu.conflict_budget * 2,
+            "the bigger unit gets the tighter per-query budget (wall-clock parity)"
+        );
     }
 }

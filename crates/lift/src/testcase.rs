@@ -35,6 +35,21 @@ pub enum Check {
     },
 }
 
+/// How a test case's witness stimulus was obtained. Formal witnesses are
+/// proof-quality (the trace provably exposes the failure model); fuzzed
+/// witnesses are best-effort fallbacks recorded when the formal budget —
+/// including any escalated retries — ran out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Provenance {
+    /// Constructed from a bounded-model-checking cover trace.
+    #[default]
+    Formal,
+    /// Constructed from a randomized-simulation witness after the formal
+    /// search gave up (graceful degradation, paper §6.3).
+    Fuzzed,
+}
+
 /// A compact, software-executable test case for one aging-prone path
 /// (the product of Error Lifting).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,6 +69,11 @@ pub struct TestCase {
     pub instructions: Vec<Instr>,
     /// Estimated CPU cycles to execute `instructions`.
     pub cpu_cycles: u64,
+    /// Where the witness stimulus came from (formal proof-quality search
+    /// or the fuzzing fallback). Absent in pre-versioned artifacts, which
+    /// were always formal.
+    #[serde(default)]
+    pub provenance: Provenance,
 }
 
 impl TestCase {
@@ -83,6 +103,50 @@ pub enum TestOutcome {
         /// The cycle at which the handshake was expected.
         cycle: usize,
     },
+    /// The test case could not run against this simulator at all (e.g.
+    /// its stimulus drives a port the netlist does not have, or a value
+    /// wider than the port). A skip is not a detection: the scheduler
+    /// reports it and moves on instead of tearing down the suite.
+    Skipped {
+        /// Why the test case was skipped.
+        reason: String,
+    },
+}
+
+/// Check that `test` can actually be driven onto the netlist `sim`
+/// wraps: every stimulus port must exist as an input of the right width,
+/// and every checked port must exist. Returns the first problem found.
+///
+/// The aging library runs this before each test case so that one
+/// malformed or mismatched test (a suite built for a different unit
+/// revision, say) degrades to a reported skip instead of a panic that
+/// takes the whole embedded suite down.
+pub fn validate_test_case(netlist: &Netlist, test: &TestCase) -> Result<(), String> {
+    for (cycle, inputs) in test.stimulus.iter().enumerate() {
+        for (name, value) in inputs {
+            let Some(port) = netlist.port(name) else {
+                return Err(format!(
+                    "stimulus cycle {cycle} drives missing port `{name}`"
+                ));
+            };
+            let needed = 64 - value.leading_zeros() as usize;
+            if port.width() < needed {
+                return Err(format!(
+                    "stimulus cycle {cycle} drives {value:#x} into {}-bit port `{name}`",
+                    port.width()
+                ));
+            }
+        }
+    }
+    for check in &test.checks {
+        let port_name = match check {
+            Check::PortAt { port, .. } | Check::StickyOr { port, .. } => port,
+        };
+        if netlist.port(port_name).is_none() {
+            return Err(format!("check reads missing port `{port_name}`"));
+        }
+    }
+    Ok(())
 }
 
 /// Run `test` against the module simulated by `sim` — which may wrap the
@@ -110,13 +174,20 @@ pub fn run_test_case(sim: &mut Simulator<'_>, module: ModuleKind, test: &TestCas
         // Evaluate checks scheduled at this cycle.
         for (index, check) in test.checks.iter().enumerate() {
             match check {
-                Check::PortAt { cycle: c, port, expected } if *c == cycle => {
+                Check::PortAt {
+                    cycle: c,
+                    port,
+                    expected,
+                } if *c == cycle => {
                     let actual = sim.output(port);
                     if actual != *expected {
                         if port == "out_valid" {
                             return TestOutcome::Stall { cycle };
                         }
-                        return TestOutcome::Detected { cycle, port: port.clone() };
+                        return TestOutcome::Detected {
+                            cycle,
+                            port: port.clone(),
+                        };
                     }
                 }
                 Check::StickyOr { cycles, port, .. } if cycles.contains(&cycle) => {
@@ -131,11 +202,19 @@ pub fn run_test_case(sim: &mut Simulator<'_>, module: ModuleKind, test: &TestCas
 
     // Final sticky comparisons.
     for (index, check) in test.checks.iter().enumerate() {
-        if let Check::StickyOr { port, expected, cycles } = check {
+        if let Check::StickyOr {
+            port,
+            expected,
+            cycles,
+        } = check
+        {
             let actual = sticky.get(&index).copied().unwrap_or(0);
             if actual != *expected {
                 let cycle = cycles.last().copied().unwrap_or(0);
-                return TestOutcome::Detected { cycle, port: port.clone() };
+                return TestOutcome::Detected {
+                    cycle,
+                    port: port.clone(),
+                };
             }
         }
     }
@@ -149,7 +228,10 @@ pub fn run_suite(
     module: ModuleKind,
     suite: &[TestCase],
 ) -> Vec<TestOutcome> {
-    suite.iter().map(|t| run_test_case(sim, module, t)).collect()
+    suite
+        .iter()
+        .map(|t| run_test_case(sim, module, t))
+        .collect()
 }
 
 #[cfg(test)]
@@ -173,17 +255,33 @@ mod tests {
             target: "t".into(),
             stimulus: vec![one_cycle(1, 2), one_cycle(3, 3)],
             checks: vec![
-                Check::PortAt { cycle: 2, port: "o".into(), expected: 3 },
-                Check::PortAt { cycle: 3, port: "o".into(), expected: 2 },
+                Check::PortAt {
+                    cycle: 2,
+                    port: "o".into(),
+                    expected: 3,
+                },
+                Check::PortAt {
+                    cycle: 3,
+                    port: "o".into(),
+                    expected: 2,
+                },
             ],
             instructions: vec![],
             cpu_cycles: 4,
+            provenance: Provenance::Formal,
         };
         let mut sim = Simulator::new(&n);
-        assert_eq!(run_test_case(&mut sim, ModuleKind::PaperAdder, &good), TestOutcome::Pass);
+        assert_eq!(
+            run_test_case(&mut sim, ModuleKind::PaperAdder, &good),
+            TestOutcome::Pass
+        );
 
         let bad = TestCase {
-            checks: vec![Check::PortAt { cycle: 2, port: "o".into(), expected: 0 }],
+            checks: vec![Check::PortAt {
+                cycle: 2,
+                port: "o".into(),
+                expected: 0,
+            }],
             ..good.clone()
         };
         let mut sim = Simulator::new(&n);
@@ -209,9 +307,13 @@ mod tests {
             }],
             instructions: vec![],
             cpu_cycles: 4,
+            provenance: Provenance::Formal,
         };
         let mut sim = Simulator::new(&n);
-        assert_eq!(run_test_case(&mut sim, ModuleKind::PaperAdder, &test), TestOutcome::Pass);
+        assert_eq!(
+            run_test_case(&mut sim, ModuleKind::PaperAdder, &test),
+            TestOutcome::Pass
+        );
 
         let wrong = TestCase {
             checks: vec![Check::StickyOr {
@@ -237,6 +339,7 @@ mod tests {
             checks: vec![],
             instructions: vec![],
             cpu_cycles: 3,
+            provenance: Provenance::Formal,
         };
         assert_eq!(test.module_cycles(ModuleKind::PaperAdder), 5);
         assert_eq!(test.module_cycles(ModuleKind::Fpu), 5);

@@ -29,8 +29,11 @@ fn lift_one_real_alu_path_end_to_end() {
     // Every constructed test passes on the healthy ALU and detects its
     // own failure model.
     let mut verified = 0;
-    for (value, activation, outcome) in &pair.attempts {
-        let ConstructionOutcome::Success(tc) = outcome else { continue };
+    for attempt in &pair.attempts {
+        let ConstructionOutcome::Success(tc) = &attempt.outcome else {
+            continue;
+        };
+        let (value, activation) = (attempt.value, attempt.activation);
         assert!(!tc.instructions.is_empty(), "software realization exists");
         assert!(tc.cpu_cycles > 0);
 
@@ -42,7 +45,7 @@ fn lift_one_real_alu_path_end_to_end() {
             tc.name
         );
 
-        let failing = build_failing_netlist(&netlist, path, *value, *activation);
+        let failing = build_failing_netlist(&netlist, path, value, activation);
         let mut faulty = Simulator::new(&failing);
         assert_ne!(
             run_test_case(&mut faulty, ModuleKind::Alu, tc),
@@ -58,15 +61,16 @@ fn lift_one_real_alu_path_end_to_end() {
 fn summarize(pair: &vega_lift::PairResult) -> Vec<String> {
     pair.attempts
         .iter()
-        .map(|(v, a, o)| {
-            let tag = match o {
+        .map(|attempt| {
+            let tag = match &attempt.outcome {
                 ConstructionOutcome::Success(_) => "S",
                 ConstructionOutcome::ProvenSafe { .. } => "UR",
                 ConstructionOutcome::FormalFailure => "FF",
                 ConstructionOutcome::ConversionFailure => "FC",
                 ConstructionOutcome::BoundedInconclusive => "BI",
+                ConstructionOutcome::Crashed { .. } => "CR",
             };
-            format!("{v:?}/{a:?}: {tag}")
+            format!("{:?}/{:?}: {tag}", attempt.value, attempt.activation)
         })
         .collect()
 }

@@ -23,11 +23,18 @@ fn setup_path(n: &vega_netlist::Netlist) -> AgingPath {
 #[test]
 fn failing_netlist_round_trips_through_verilog() {
     let n = build_paper_adder();
-    let failing =
-        build_failing_netlist(&n, setup_path(&n), FaultValue::One, FaultActivation::OnChange);
+    let failing = build_failing_netlist(
+        &n,
+        setup_path(&n),
+        FaultValue::One,
+        FaultActivation::OnChange,
+    );
     let text = write_verilog(&failing);
     assert!(text.contains("module adder_failing"));
-    assert!(text.contains("MUX2"), "the failure-model mux is in the artifact");
+    assert!(
+        text.contains("MUX2"),
+        "the failure-model mux is in the artifact"
+    );
     assert!(text.contains("TIEHI"), "the constant C is in the artifact");
 
     let parsed = parse_verilog(&text).expect("artifact parses");
@@ -52,10 +59,17 @@ fn failing_netlist_round_trips_through_verilog() {
 #[test]
 fn shadow_instrumented_netlist_round_trips_with_shadow_ports() {
     let n = build_paper_adder();
-    let instrumented =
-        instrument_with_shadow(&n, setup_path(&n), FaultValue::One, FaultActivation::OnChange);
+    let instrumented = instrument_with_shadow(
+        &n,
+        setup_path(&n),
+        FaultValue::One,
+        FaultActivation::OnChange,
+    );
     let text = write_verilog(&instrumented.netlist);
-    assert!(text.contains("output [1:0] o_s;"), "shadow outputs are ports");
+    assert!(
+        text.contains("output [1:0] o_s;"),
+        "shadow outputs are ports"
+    );
     let parsed = parse_verilog(&text).expect("shadow artifact parses");
     assert!(parsed.port("o_s").is_some());
     assert_eq!(parsed.cell_count(), instrumented.netlist.cell_count());
@@ -71,7 +85,10 @@ fn random_mode_failing_netlist_round_trips() {
         FaultActivation::OnChange,
     );
     let text = write_verilog(&failing);
-    assert!(text.contains("RANDOM"), "the nondeterministic C cell is explicit");
+    assert!(
+        text.contains("RANDOM"),
+        "the nondeterministic C cell is explicit"
+    );
     let parsed = parse_verilog(&text).expect("random artifact parses");
     // Same seed, same behaviour — the RANDOM cell is part of the model.
     let mut a_sim = Simulator::with_seed(&failing, 99);

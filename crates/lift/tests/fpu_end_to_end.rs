@@ -23,7 +23,11 @@ fn lift_one_fpu_path_end_to_end() {
         .find(|c| c.name.starts_with("fpu_r_q_"))
         .expect("r_q registers")
         .id;
-    let path = AgingPath { launch: a_q0, capture: r_q0, violation: ViolationKind::Setup };
+    let path = AgingPath {
+        launch: a_q0,
+        capture: r_q0,
+        violation: ViolationKind::Setup,
+    };
 
     let report = generate_suite(&netlist, ModuleKind::Fpu, &[path], &LiftConfig::default());
     let pair = &report.pairs[0];
@@ -34,13 +38,21 @@ fn lift_one_fpu_path_end_to_end() {
         eprintln!("FPU lift inconclusive under budget: {:?}", pair.class());
         return;
     }
-    for (value, activation, outcome) in &pair.attempts {
-        let ConstructionOutcome::Success(tc) = outcome else { continue };
+    for attempt in &pair.attempts {
+        let ConstructionOutcome::Success(tc) = &attempt.outcome else {
+            continue;
+        };
         let mut healthy = Simulator::new(&netlist);
-        assert_eq!(run_test_case(&mut healthy, ModuleKind::Fpu, tc), TestOutcome::Pass);
-        let failing = build_failing_netlist(&netlist, path, *value, *activation);
+        assert_eq!(
+            run_test_case(&mut healthy, ModuleKind::Fpu, tc),
+            TestOutcome::Pass
+        );
+        let failing = build_failing_netlist(&netlist, path, attempt.value, attempt.activation);
         let mut faulty = Simulator::new(&failing);
-        assert_ne!(run_test_case(&mut faulty, ModuleKind::Fpu, tc), TestOutcome::Pass);
+        assert_ne!(
+            run_test_case(&mut faulty, ModuleKind::Fpu, tc),
+            TestOutcome::Pass
+        );
     }
 }
 
@@ -62,9 +74,11 @@ fn handshake_fault_stalls() {
     }
     // Run any constructed test against the failing netlist with C = 0:
     // expect a stall (or at least a detection).
-    for (value, activation, outcome) in &pair.attempts {
-        let ConstructionOutcome::Success(tc) = outcome else { continue };
-        let failing = build_failing_netlist(&netlist, path, *value, *activation);
+    for attempt in &pair.attempts {
+        let ConstructionOutcome::Success(tc) = &attempt.outcome else {
+            continue;
+        };
+        let failing = build_failing_netlist(&netlist, path, attempt.value, attempt.activation);
         let mut faulty = Simulator::new(&failing);
         let result = run_test_case(&mut faulty, ModuleKind::Fpu, tc);
         assert_ne!(result, TestOutcome::Pass, "{}", tc.name);

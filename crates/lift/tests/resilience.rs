@@ -1,0 +1,189 @@
+//! Fault-injection tests for the resilient lifting driver: injected
+//! panics are isolated to their pair, injected budget exhaustions
+//! escalate per the retry policy and then degrade to the fuzzing
+//! fallback — and in every case the sibling pairs' results survive.
+
+use vega_circuits::adder_example::build_paper_adder;
+use vega_lift::{
+    generate_suite, generate_suite_parallel, AgingPath, ChaosHook, ConstructionOutcome, FuzzConfig,
+    LiftConfig, ModuleKind, PairClass, Provenance, RetryPolicy,
+};
+use vega_netlist::Netlist;
+use vega_sta::ViolationKind;
+
+fn adder_paths(n: &Netlist) -> Vec<AgingPath> {
+    [("dff4", "dff10"), ("dff2", "dff10"), ("dff1", "dff9")]
+        .iter()
+        .map(|(launch, capture)| AgingPath {
+            launch: n.cell_by_name(launch).unwrap().id,
+            capture: n.cell_by_name(capture).unwrap().id,
+            violation: ViolationKind::Setup,
+        })
+        .collect()
+}
+
+#[test]
+fn injected_panic_is_isolated_to_its_pair() {
+    let n = build_paper_adder();
+    let paths = adder_paths(&n);
+    let config = LiftConfig {
+        chaos: ChaosHook {
+            panic_at_pair: Some(1),
+            ..ChaosHook::default()
+        },
+        ..LiftConfig::default()
+    };
+    let report = generate_suite(&n, ModuleKind::PaperAdder, &paths, &config);
+
+    assert_eq!(report.pairs.len(), 3, "no sibling results are lost");
+    let crashed = &report.pairs[1];
+    assert!(crashed.crashed());
+    assert_eq!(
+        crashed.class(),
+        PairClass::FormalFailure,
+        "a crash is a give-up, not a proof"
+    );
+    for attempt in &crashed.attempts {
+        let ConstructionOutcome::Crashed { message } = &attempt.outcome else {
+            panic!(
+                "expected every attempt of pair 1 to crash, got {:?}",
+                attempt.outcome
+            );
+        };
+        assert!(
+            message.contains("chaos"),
+            "panic message is captured: {message}"
+        );
+    }
+    // The siblings lifted normally.
+    assert_eq!(report.pairs[0].class(), PairClass::Success);
+    assert_eq!(report.pairs[2].class(), PairClass::Success);
+    assert_eq!(report.crashed_pair_count(), 1);
+}
+
+#[test]
+fn injected_panic_is_isolated_in_the_parallel_driver_too() {
+    let n = build_paper_adder();
+    let paths = adder_paths(&n);
+    let config = LiftConfig {
+        chaos: ChaosHook {
+            panic_at_pair: Some(0),
+            ..ChaosHook::default()
+        },
+        ..LiftConfig::default()
+    };
+    let report = generate_suite_parallel(&n, ModuleKind::PaperAdder, &paths, &config, 3);
+    assert_eq!(report.pairs.len(), 3);
+    assert!(report.pairs[0].crashed());
+    assert_eq!(report.pairs[1].class(), PairClass::Success);
+    assert_eq!(report.pairs[2].class(), PairClass::Success);
+    // Input order is preserved even when a worker's pair crashes.
+    let clean = generate_suite(&n, ModuleKind::PaperAdder, &paths, &LiftConfig::default());
+    for (resilient, clean) in report.pairs.iter().zip(&clean.pairs).skip(1) {
+        assert_eq!(resilient.label, clean.label);
+    }
+}
+
+#[test]
+fn budget_exhaustion_escalates_and_records_every_round() {
+    let n = build_paper_adder();
+    let paths = adder_paths(&n);
+    let config = LiftConfig {
+        retry: RetryPolicy {
+            max_attempts: 3,
+            budget_growth: 2.0,
+        },
+        chaos: ChaosHook {
+            exhaust_budget_at_pair: Some(2),
+            ..ChaosHook::default()
+        },
+        ..LiftConfig::default()
+    };
+    let report = generate_suite(&n, ModuleKind::PaperAdder, &paths, &config);
+
+    let starved = &report.pairs[2];
+    assert_eq!(starved.class(), PairClass::FormalFailure);
+    for attempt in &starved.attempts {
+        assert!(matches!(
+            attempt.outcome,
+            ConstructionOutcome::FormalFailure
+        ));
+        assert_eq!(
+            attempt.rounds.len(),
+            3,
+            "every escalation round is recorded"
+        );
+        let base = attempt.rounds[0].budget;
+        assert_eq!(attempt.rounds[1].budget, base * 2);
+        assert_eq!(attempt.rounds[2].budget, base * 4);
+        assert!(
+            attempt.conflicts_spent() > 0,
+            "spend is observable in the report"
+        );
+    }
+    assert!(report.total_conflicts() >= starved.conflicts_spent());
+    // Unstarved pairs succeed on their first round.
+    assert_eq!(report.pairs[0].class(), PairClass::Success);
+    for attempt in &report.pairs[0].attempts {
+        assert_eq!(attempt.rounds.len(), 1);
+    }
+}
+
+#[test]
+fn exhausted_formal_search_degrades_to_the_fuzz_fallback() {
+    let n = build_paper_adder();
+    let paths = adder_paths(&n);
+    let config = LiftConfig {
+        retry: RetryPolicy {
+            max_attempts: 2,
+            budget_growth: 2.0,
+        },
+        fuzz_fallback: Some(FuzzConfig::default()),
+        chaos: ChaosHook {
+            exhaust_budget_at_pair: Some(0),
+            ..ChaosHook::default()
+        },
+        ..LiftConfig::default()
+    };
+    let report = generate_suite(&n, ModuleKind::PaperAdder, &paths, &config);
+
+    // The starved pair still produces a test case — via fuzzing, with the
+    // degradation recorded in its provenance.
+    let degraded = &report.pairs[0];
+    assert_eq!(
+        degraded.class(),
+        PairClass::Success,
+        "fallback rescues the pair"
+    );
+    for tc in degraded.test_cases() {
+        assert_eq!(tc.provenance, Provenance::Fuzzed);
+        assert!(tc.name.ends_with("_fuzzed"));
+    }
+    for attempt in &degraded.attempts {
+        assert_eq!(
+            attempt.rounds.len(),
+            2,
+            "formal retries ran before the fallback"
+        );
+    }
+    assert!(report.fallback_test_count() >= 1);
+    // The healthy pairs keep their proof-quality provenance.
+    for tc in report.pairs[1].test_cases() {
+        assert_eq!(tc.provenance, Provenance::Formal);
+    }
+}
+
+#[test]
+fn chaos_default_is_inert() {
+    let n = build_paper_adder();
+    let paths = adder_paths(&n);
+    assert!(!ChaosHook::default().armed());
+    let clean = generate_suite(&n, ModuleKind::PaperAdder, &paths, &LiftConfig::default());
+    assert_eq!(clean.crashed_pair_count(), 0);
+    assert_eq!(clean.fallback_test_count(), 0);
+    assert_eq!(
+        clean.table4_row().0,
+        100.0,
+        "all pairs succeed on the paper adder"
+    );
+}

@@ -78,7 +78,9 @@ impl NetlistBuilder {
         let bits = self.input(name, 1);
         let id = bits[0];
         if self.clock.is_some() {
-            self.record_error(NetlistError::DuplicateName { name: "clock".into() });
+            self.record_error(NetlistError::DuplicateName {
+                name: "clock".into(),
+            });
         }
         self.clock = Some(id);
         id
@@ -92,18 +94,30 @@ impl NetlistBuilder {
         let name = name.into();
         let bits: Vec<NetId> = (0..width)
             .map(|i| {
-                let bit_name = if width == 1 { name.clone() } else { format!("{name}[{i}]") };
+                let bit_name = if width == 1 {
+                    name.clone()
+                } else {
+                    format!("{name}[{i}]")
+                };
                 self.new_net(bit_name, NetDriver::Input)
             })
             .collect();
-        self.ports.push(Port { name, dir: PortDir::Input, bits: bits.clone() });
+        self.ports.push(Port {
+            name,
+            dir: PortDir::Input,
+            bits: bits.clone(),
+        });
         bits
     }
 
     /// Declare a `width`-bit output port driven by the given nets (LSB first).
     pub fn output(&mut self, name: impl Into<String>, bits: &[NetId]) {
         let name = name.into();
-        self.ports.push(Port { name, dir: PortDir::Output, bits: bits.to_vec() });
+        self.ports.push(Port {
+            name,
+            dir: PortDir::Output,
+            bits: bits.to_vec(),
+        });
     }
 
     /// Instantiate a combinational or pseudo cell; returns its output net.
@@ -124,7 +138,13 @@ impl NetlistBuilder {
         if self.cell_by_name.insert(name.clone(), id).is_some() {
             self.record_error(NetlistError::DuplicateName { name: name.clone() });
         }
-        self.cells.push(Cell { id, kind, name, inputs: inputs.to_vec(), output: out });
+        self.cells.push(Cell {
+            id,
+            kind,
+            name,
+            inputs: inputs.to_vec(),
+            output: out,
+        });
         out
     }
 
@@ -211,7 +231,10 @@ mod tests {
         let a = b.input("a", 1);
         b.cell(CellKind::Not, "x", &[a[0]]);
         b.cell(CellKind::Not, "x", &[a[0]]);
-        assert!(matches!(b.finish(), Err(NetlistError::DuplicateName { .. })));
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::DuplicateName { .. })
+        ));
     }
 
     #[test]

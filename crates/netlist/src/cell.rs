@@ -183,7 +183,10 @@ impl CellKind {
 
     /// Look up a kind from its Verilog library-cell name.
     pub fn from_verilog_name(name: &str) -> Option<CellKind> {
-        CellKind::ALL.iter().copied().find(|k| k.verilog_name() == name)
+        CellKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.verilog_name() == name)
     }
 
     /// Evaluate the combinational function of this kind.

@@ -60,8 +60,15 @@ impl fmt::Display for NetlistError {
             NetlistError::Undriven { net } => {
                 write!(f, "net `{net}` has no driver and is not a module input")
             }
-            NetlistError::BadArity { cell, expected, actual } => {
-                write!(f, "cell `{cell}` expects {expected} inputs but {actual} were connected")
+            NetlistError::BadArity {
+                cell,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "cell `{cell}` expects {expected} inputs but {actual} were connected"
+                )
             }
             NetlistError::CombinationalLoop { via } => {
                 write!(f, "combinational loop through cell `{via}`")

@@ -37,7 +37,10 @@ pub fn topo_order(netlist: &Netlist) -> Result<Vec<CellId>, NetlistError> {
         }
     }
 
-    let total_comb = netlist.cells().filter(|c| c.kind.is_combinational()).count();
+    let total_comb = netlist
+        .cells()
+        .filter(|c| c.kind.is_combinational())
+        .count();
     let mut order = Vec::with_capacity(total_comb);
     // readers[net] = combinational cells reading that net.
     let mut readers: Vec<Vec<CellId>> = vec![Vec::new(); netlist.net_count()];
@@ -67,7 +70,9 @@ pub fn topo_order(netlist: &Netlist) -> Result<Vec<CellId>, NetlistError> {
             .cells()
             .find(|c| c.kind.is_combinational() && pending[c.id.index()] > 0)
             .expect("loop implies a pending cell");
-        return Err(NetlistError::CombinationalLoop { via: on_loop.name.clone() });
+        return Err(NetlistError::CombinationalLoop {
+            via: on_loop.name.clone(),
+        });
     }
     Ok(order)
 }
@@ -97,7 +102,10 @@ pub struct ConeOptions {
 
 impl Default for ConeOptions {
     fn default() -> Self {
-        ConeOptions { cross_dffs: true, follow_clock: false }
+        ConeOptions {
+            cross_dffs: true,
+            follow_clock: false,
+        }
     }
 }
 
@@ -154,7 +162,9 @@ pub fn fanin_cone(netlist: &Netlist, start: NetId, options: ConeOptions) -> Vec<
     seen_nets.insert(start);
 
     while let Some(net) = queue.pop_front() {
-        let NetDriver::Cell(cell_id) = netlist.net(net).driver else { continue };
+        let NetDriver::Cell(cell_id) = netlist.net(net).driver else {
+            continue;
+        };
         let cell = netlist.cell(cell_id);
         if cell.kind.is_sequential() && !options.cross_dffs && net != start {
             continue;
@@ -287,10 +297,26 @@ mod tests {
     fn fanout_cone_crosses_dffs_when_asked() {
         let n = diamond();
         let a = n.net_by_name("a").unwrap().id;
-        let crossing = fanout_cone(&n, a, ConeOptions { cross_dffs: true, follow_clock: false });
-        let stopping = fanout_cone(&n, a, ConeOptions { cross_dffs: false, follow_clock: false });
+        let crossing = fanout_cone(
+            &n,
+            a,
+            ConeOptions {
+                cross_dffs: true,
+                follow_clock: false,
+            },
+        );
+        let stopping = fanout_cone(
+            &n,
+            a,
+            ConeOptions {
+                cross_dffs: false,
+                follow_clock: false,
+            },
+        );
         let names = |ids: &[CellId]| {
-            ids.iter().map(|&c| n.cell(c).name.clone()).collect::<Vec<_>>()
+            ids.iter()
+                .map(|&c| n.cell(c).name.clone())
+                .collect::<Vec<_>>()
         };
         assert!(names(&crossing).contains(&"n5".to_string()));
         assert!(!names(&stopping).contains(&"n5".to_string()));

@@ -27,8 +27,14 @@ impl CellTiming {
     /// A timing entry with the given max delay and a min delay at the
     /// given fraction of it.
     pub fn new(max_delay_ns: f64, min_delay_ns: f64) -> Self {
-        assert!(min_delay_ns <= max_delay_ns, "min delay must not exceed max");
-        CellTiming { max_delay_ns, min_delay_ns }
+        assert!(
+            min_delay_ns <= max_delay_ns,
+            "min delay must not exceed max"
+        );
+        CellTiming {
+            max_delay_ns,
+            min_delay_ns,
+        }
     }
 }
 

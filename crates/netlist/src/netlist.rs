@@ -195,9 +195,10 @@ impl Netlist {
         self.cells
             .iter()
             .filter(|c| {
-                c.inputs.iter().enumerate().any(|(pin, &n)| {
-                    n == net && !Self::is_clock_pin(c.kind, pin)
-                })
+                c.inputs
+                    .iter()
+                    .enumerate()
+                    .any(|(pin, &n)| n == net && !Self::is_clock_pin(c.kind, pin))
             })
             .map(|c| c.id)
             .collect()
@@ -242,9 +243,17 @@ impl Netlist {
         }
         for net in &self.nets {
             match driver_count[net.id.index()] {
-                0 => return Err(NetlistError::Undriven { net: net.name.clone() }),
+                0 => {
+                    return Err(NetlistError::Undriven {
+                        net: net.name.clone(),
+                    })
+                }
                 1 => {}
-                _ => return Err(NetlistError::MultipleDrivers { net: net.name.clone() }),
+                _ => {
+                    return Err(NetlistError::MultipleDrivers {
+                        net: net.name.clone(),
+                    })
+                }
             }
         }
         if self.cells.iter().any(|c| c.kind.is_sequential()) && self.clock.is_none() {
@@ -257,7 +266,11 @@ impl Netlist {
     /// A short human-readable summary, e.g. for logs and reports.
     pub fn summary(&self) -> String {
         let dffs = self.dffs().count();
-        let clock_cells = self.cells.iter().filter(|c| c.kind.is_clock_network()).count();
+        let clock_cells = self
+            .cells
+            .iter()
+            .filter(|c| c.kind.is_clock_network())
+            .count();
         format!(
             "{}: {} cells ({} DFFs, {} clock cells), {} nets, {} ports",
             self.name,
@@ -282,16 +295,29 @@ impl Netlist {
     ///
     /// Panics if `name` is already taken or the input count mismatches
     /// the kind's arity.
-    pub fn add_cell(&mut self, kind: CellKind, name: impl Into<String>, inputs: &[NetId]) -> CellId {
+    pub fn add_cell(
+        &mut self,
+        kind: CellKind,
+        name: impl Into<String>,
+        inputs: &[NetId],
+    ) -> CellId {
         let name = name.into();
-        assert_eq!(inputs.len(), kind.arity(), "cell `{name}`: wrong input count");
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "cell `{name}`: wrong input count"
+        );
         assert!(
             !self.cell_by_name.contains_key(&name) && !self.net_by_name.contains_key(&name),
             "name `{name}` already in use"
         );
         let cell_id = CellId(self.cells.len() as u32);
         let net_id = NetId(self.nets.len() as u32);
-        self.nets.push(Net { id: net_id, name: name.clone(), driver: NetDriver::Cell(cell_id) });
+        self.nets.push(Net {
+            id: net_id,
+            name: name.clone(),
+            driver: NetDriver::Cell(cell_id),
+        });
         self.net_by_name.insert(name.clone(), net_id);
         self.cells.push(Cell {
             id: cell_id,
@@ -348,7 +374,11 @@ impl Netlist {
     pub fn add_output_port(&mut self, name: impl Into<String>, bits: &[NetId]) {
         let name = name.into();
         assert!(self.port(&name).is_none(), "port `{name}` already exists");
-        self.ports.push(Port { name, dir: PortDir::Output, bits: bits.to_vec() });
+        self.ports.push(Port {
+            name,
+            dir: PortDir::Output,
+            bits: bits.to_vec(),
+        });
     }
 
     /// A fresh name with the given prefix, colliding with no existing net

@@ -65,13 +65,15 @@ fn fold_constants(netlist: &mut Netlist) -> usize {
     for index in 0..netlist.cell_count() {
         let id = CellId(index as u32);
         let cell = netlist.cell(id).clone();
-        if !cell.kind.is_combinational()
-            || matches!(cell.kind, CellKind::Const0 | CellKind::Const1)
+        if !cell.kind.is_combinational() || matches!(cell.kind, CellKind::Const0 | CellKind::Const1)
         {
             continue;
         }
-        let consts: Vec<Option<bool>> =
-            cell.inputs.iter().map(|&n| constant_of(netlist, n)).collect();
+        let consts: Vec<Option<bool>> = cell
+            .inputs
+            .iter()
+            .map(|&n| constant_of(netlist, n))
+            .collect();
         let value = if consts.iter().all(Option::is_some) {
             let bits: Vec<bool> = consts.iter().map(|c| c.unwrap()).collect();
             Some(cell.kind.eval(&bits))
@@ -80,7 +82,11 @@ fn fold_constants(netlist: &mut Netlist) -> usize {
         };
         let Some(value) = value else { continue };
         // Rewrite the cell into a tie of the right polarity.
-        let kind = if value { CellKind::Const1 } else { CellKind::Const0 };
+        let kind = if value {
+            CellKind::Const1
+        } else {
+            CellKind::Const0
+        };
         let slot = &mut netlist.cells[id.index()];
         slot.kind = kind;
         slot.inputs.clear();
@@ -139,7 +145,10 @@ fn sweep_dead_cells(netlist: &Netlist) -> (Netlist, usize) {
         }
     }
 
-    let removed = netlist.cells().filter(|c| !live_cells[c.id.index()]).count();
+    let removed = netlist
+        .cells()
+        .filter(|c| !live_cells[c.id.index()])
+        .count();
     if removed == 0 {
         return (netlist.clone(), 0);
     }
@@ -151,7 +160,11 @@ fn sweep_dead_cells(netlist: &Netlist) -> (Netlist, usize) {
         if live_nets[net.id.index()] {
             let new_id = NetId(nets.len() as u32);
             net_map.insert(net.id, new_id);
-            nets.push(Net { id: new_id, name: net.name.clone(), driver: net.driver });
+            nets.push(Net {
+                id: new_id,
+                name: net.name.clone(),
+                driver: net.driver,
+            });
         }
     }
     let mut cell_map: HashMap<CellId, CellId> = HashMap::new();
@@ -284,9 +297,11 @@ mod tests {
         use crate::netlist::{NetDriver, Netlist};
 
         pub fn check_equiv(a: &Netlist, b: &Netlist, inputs: &[&str], outputs: &[&str]) {
-            let total_bits: usize =
-                inputs.iter().map(|p| a.port(p).unwrap().width()).sum();
-            assert!(total_bits <= 16, "exhaustive check only for small interfaces");
+            let total_bits: usize = inputs.iter().map(|p| a.port(p).unwrap().width()).sum();
+            assert!(
+                total_bits <= 16,
+                "exhaustive check only for small interfaces"
+            );
             for pattern in 0..(1u32 << total_bits) {
                 for (port, expect_port) in outputs.iter().zip(outputs) {
                     let va = eval(a, inputs, pattern, port);
@@ -308,8 +323,7 @@ mod tests {
             }
             for id in topo_order(n).unwrap() {
                 let cell = n.cell(id);
-                let ins: Vec<bool> =
-                    cell.inputs.iter().map(|&i| values[i.index()]).collect();
+                let ins: Vec<bool> = cell.inputs.iter().map(|&i| values[i.index()]).collect();
                 values[cell.output.index()] = cell.kind.eval(&ins);
             }
             let port = n.port(output).unwrap();

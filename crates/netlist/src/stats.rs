@@ -65,7 +65,10 @@ impl NetlistStats {
             module: netlist.name().to_string(),
             total_cells: netlist.cell_count(),
             dffs: netlist.dffs().count(),
-            clock_cells: netlist.cells().filter(|c| c.kind.is_clock_network()).count(),
+            clock_cells: netlist
+                .cells()
+                .filter(|c| c.kind.is_clock_network())
+                .count(),
             cells_by_kind,
             area_ge: area,
             max_logic_depth,
@@ -76,7 +79,11 @@ impl NetlistStats {
 impl fmt::Display for NetlistStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "=== {} ===", self.module)?;
-        writeln!(f, "cells: {} ({} DFFs, {} clock)", self.total_cells, self.dffs, self.clock_cells)?;
+        writeln!(
+            f,
+            "cells: {} ({} DFFs, {} clock)",
+            self.total_cells, self.dffs, self.clock_cells
+        )?;
         writeln!(f, "area:  {:.0} GE", self.area_ge)?;
         writeln!(f, "depth: {} levels", self.max_logic_depth)?;
         for (kind, count) in &self.cells_by_kind {
@@ -135,7 +142,13 @@ pub fn to_dot(netlist: &Netlist) -> String {
             } else {
                 ""
             };
-            let _ = writeln!(out, "  {} -> \"{}\"{};", driver_label(input), cell.name, style);
+            let _ = writeln!(
+                out,
+                "  {} -> \"{}\"{};",
+                driver_label(input),
+                cell.name,
+                style
+            );
         }
     }
     for port in netlist.outputs() {
@@ -184,7 +197,10 @@ mod tests {
         assert!(dot.contains("\"inv\" [shape=ellipse"));
         assert!(dot.contains("\"q\" [shape=box"));
         assert!(dot.contains("\"in:a\" -> \"inv\";"));
-        assert!(dot.contains("-> \"q\" [style=dashed];"), "clock edge dashed");
+        assert!(
+            dot.contains("-> \"q\" [style=dashed];"),
+            "clock edge dashed"
+        );
         assert!(dot.contains("\"q\" -> \"out:y\";"));
         // Every non-brace line is a node or an edge statement.
         assert_eq!(dot.matches("->").count(), 6);

@@ -49,8 +49,7 @@ fn build(steps: &[Step]) -> Netlist {
             Step::Gate(k, a, bb, c) => {
                 let kind = GATE_KINDS[*k as usize % GATE_KINDS.len()];
                 let pick = |sel: &u8| nets[*sel as usize % nets.len()];
-                let ins: Vec<NetId> =
-                    [pick(a), pick(bb), pick(c)][..kind.arity()].to_vec();
+                let ins: Vec<NetId> = [pick(a), pick(bb), pick(c)][..kind.arity()].to_vec();
                 let out = b.cell(kind, format!("g{i}"), &ins);
                 nets.push(out);
             }

@@ -84,9 +84,14 @@ impl<'n> GateAlu<'n> {
     /// cells in failing netlists.
     pub fn with_seed(netlist: &'n Netlist, seed: u64) -> Self {
         for port in ["op", "a", "b", "r"] {
-            assert!(netlist.port(port).is_some(), "ALU netlist lacks port `{port}`");
+            assert!(
+                netlist.port(port).is_some(),
+                "ALU netlist lacks port `{port}`"
+            );
         }
-        GateAlu { sim: Simulator::with_seed(netlist, seed) }
+        GateAlu {
+            sim: Simulator::with_seed(netlist, seed),
+        }
     }
 }
 
@@ -125,9 +130,15 @@ impl<'n> GateFpu<'n> {
     /// cells in failing netlists.
     pub fn with_seed(netlist: &'n Netlist, seed: u64) -> Self {
         for port in ["op", "valid", "a", "b", "r", "flags", "out_valid"] {
-            assert!(netlist.port(port).is_some(), "FPU netlist lacks port `{port}`");
+            assert!(
+                netlist.port(port).is_some(),
+                "FPU netlist lacks port `{port}`"
+            );
         }
-        GateFpu { sim: Simulator::with_seed(netlist, seed), grace: 4 }
+        GateFpu {
+            sim: Simulator::with_seed(netlist, seed),
+            grace: 4,
+        }
     }
 }
 

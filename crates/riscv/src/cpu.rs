@@ -1,7 +1,5 @@
 //! The functional CPU.
 
-
-
 use crate::backend::{AluBackend, FpuBackend};
 use crate::isa::{BranchCond, Instr, LoadWidth, MulDivOp, Reg};
 
@@ -30,7 +28,9 @@ pub struct Memory {
 impl Memory {
     /// A zero-filled memory of `size` bytes.
     pub fn new(size: usize) -> Self {
-        Memory { bytes: vec![0; size] }
+        Memory {
+            bytes: vec![0; size],
+        }
     }
 
     /// Size in bytes.
@@ -215,7 +215,12 @@ impl<A: AluBackend, F: FpuBackend> Cpu<A, F> {
                     };
                     self.set_x(rd, r);
                 }
-                Instr::Branch { cond, rs1, rs2, offset } => {
+                Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    offset,
+                } => {
                     let a = self.x(rs1);
                     let b = self.x(rs2);
                     let taken = match cond {
@@ -236,7 +241,13 @@ impl<A: AluBackend, F: FpuBackend> Cpu<A, F> {
                     self.cycles += 1;
                     next_pc = pc + i64::from(offset / 4);
                 }
-                Instr::Load { width, signed, rd, rs1, offset } => {
+                Instr::Load {
+                    width,
+                    signed,
+                    rd,
+                    rs1,
+                    offset,
+                } => {
                     let addr = self.x(rs1).wrapping_add(offset as u32);
                     let raw = self.mem.read(addr, width);
                     let value = match (width, signed) {
@@ -247,7 +258,12 @@ impl<A: AluBackend, F: FpuBackend> Cpu<A, F> {
                     self.cycles += 1;
                     self.set_x(rd, value);
                 }
-                Instr::Store { width, rs2, rs1, offset } => {
+                Instr::Store {
+                    width,
+                    rs2,
+                    rs1,
+                    offset,
+                } => {
                     let addr = self.x(rs1).wrapping_add(offset as u32);
                     self.mem.write(addr, width, self.x(rs2));
                 }
@@ -333,9 +349,24 @@ mod tests {
     fn arithmetic_program() {
         let mut c = cpu();
         let program = [
-            Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: 40 },
-            Instr::AluImm { op: AluOp::Add, rd: Reg(2), rs1: Reg(0), imm: 2 },
-            Instr::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: 40,
+            },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(2),
+                rs1: Reg(0),
+                imm: 2,
+            },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg(3),
+                rs1: Reg(1),
+                rs2: Reg(2),
+            },
             Instr::Halt,
         ];
         assert_eq!(c.run(&program, 100), Exit::Halted);
@@ -349,16 +380,57 @@ mod tests {
         let mut c = cpu();
         let program = [
             // x1 = 0 (acc), x2 = 1 (i), x3 = 11 (limit)
-            Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: 0 },
-            Instr::AluImm { op: AluOp::Add, rd: Reg(2), rs1: Reg(0), imm: 1 },
-            Instr::AluImm { op: AluOp::Add, rd: Reg(3), rs1: Reg(0), imm: 11 },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: 0,
+            },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(2),
+                rs1: Reg(0),
+                imm: 1,
+            },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(3),
+                rs1: Reg(0),
+                imm: 11,
+            },
             // loop: acc += i; i += 1; if i != limit goto loop
-            Instr::Alu { op: AluOp::Add, rd: Reg(1), rs1: Reg(1), rs2: Reg(2) },
-            Instr::AluImm { op: AluOp::Add, rd: Reg(2), rs1: Reg(2), imm: 1 },
-            Instr::Branch { cond: BranchCond::Ne, rs1: Reg(2), rs2: Reg(3), offset: -8 },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(1),
+                rs2: Reg(2),
+            },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(2),
+                rs1: Reg(2),
+                imm: 1,
+            },
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg(2),
+                rs2: Reg(3),
+                offset: -8,
+            },
             // store acc at 100, load it back into x4
-            Instr::Store { width: LoadWidth::Word, rs2: Reg(1), rs1: Reg(0), offset: 100 },
-            Instr::Load { width: LoadWidth::Word, signed: false, rd: Reg(4), rs1: Reg(0), offset: 100 },
+            Instr::Store {
+                width: LoadWidth::Word,
+                rs2: Reg(1),
+                rs1: Reg(0),
+                offset: 100,
+            },
+            Instr::Load {
+                width: LoadWidth::Word,
+                signed: false,
+                rd: Reg(4),
+                rs1: Reg(0),
+                offset: 100,
+            },
             Instr::Halt,
         ];
         assert_eq!(c.run(&program, 1000), Exit::Halted);
@@ -369,8 +441,18 @@ mod tests {
     fn x0_is_hardwired_zero() {
         let mut c = cpu();
         let program = [
-            Instr::AluImm { op: AluOp::Add, rd: Reg(0), rs1: Reg(0), imm: 99 },
-            Instr::Alu { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), rs2: Reg(0) },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(0),
+                rs1: Reg(0),
+                imm: 99,
+            },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(0),
+                rs2: Reg(0),
+            },
             Instr::Halt,
         ];
         assert_eq!(c.run(&program, 10), Exit::Halted);
@@ -382,10 +464,23 @@ mod tests {
         let mut c = cpu();
         let one = 0x3F80_0000u32;
         let program = [
-            Instr::Lui { rd: Reg(1), imm20: one >> 12 },
+            Instr::Lui {
+                rd: Reg(1),
+                imm20: one >> 12,
+            },
             Instr::FmvWX { rd: 1, rs: Reg(1) },
-            Instr::Fpu { op: FpuOp::Add, rd: 2, rs1: 1, rs2: 1 }, // 2.0
-            Instr::Fpu { op: FpuOp::Mul, rd: 3, rs1: 2, rs2: 2 }, // 4.0
+            Instr::Fpu {
+                op: FpuOp::Add,
+                rd: 2,
+                rs1: 1,
+                rs2: 1,
+            }, // 2.0
+            Instr::Fpu {
+                op: FpuOp::Mul,
+                rd: 3,
+                rs1: 2,
+                rs2: 2,
+            }, // 4.0
             Instr::FmvXW { rd: Reg(2), rs: 3 },
             Instr::ReadClearFflags { rd: Reg(3) },
             Instr::Halt,
@@ -402,15 +497,25 @@ mod tests {
         assert_eq!(mul_div(MulDivOp::Rem, 7, 0), 7);
         assert_eq!(mul_div(MulDivOp::Div, 0x8000_0000, u32::MAX), 0x8000_0000);
         assert_eq!(mul_div(MulDivOp::Rem, 0x8000_0000, u32::MAX), 0);
-        assert_eq!(mul_div(MulDivOp::Mulh, u32::MAX, u32::MAX), 0, "(-1)*(-1)=1");
+        assert_eq!(
+            mul_div(MulDivOp::Mulh, u32::MAX, u32::MAX),
+            0,
+            "(-1)*(-1)=1"
+        );
     }
 
     #[test]
     fn step_limit_and_pc_range() {
         let mut c = cpu();
-        let spin = [Instr::Jal { rd: Reg(0), offset: 0 }];
+        let spin = [Instr::Jal {
+            rd: Reg(0),
+            offset: 0,
+        }];
         assert_eq!(c.run(&spin, 50), Exit::StepLimit);
-        let out = [Instr::Jal { rd: Reg(0), offset: -4 }];
+        let out = [Instr::Jal {
+            rd: Reg(0),
+            offset: -4,
+        }];
         assert_eq!(c.run(&out, 50), Exit::PcOutOfRange);
     }
 
@@ -418,7 +523,12 @@ mod tests {
     fn cycle_model_counts_unit_latency() {
         let mut c = cpu();
         let program = [
-            Instr::Fpu { op: FpuOp::Add, rd: 1, rs1: 0, rs2: 0 },
+            Instr::Fpu {
+                op: FpuOp::Add,
+                rd: 1,
+                rs1: 0,
+                rs2: 0,
+            },
             Instr::Halt,
         ];
         c.run(&program, 10);
@@ -453,9 +563,24 @@ mod encoded_tests {
     #[test]
     fn encoded_program_matches_direct_execution() {
         let program = vec![
-            Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: 21 },
-            Instr::Alu { op: AluOp::Add, rd: Reg(2), rs1: Reg(1), rs2: Reg(1) },
-            Instr::Store { width: LoadWidth::Word, rs2: Reg(2), rs1: Reg(0), offset: 8 },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: 21,
+            },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg(2),
+                rs1: Reg(1),
+                rs2: Reg(1),
+            },
+            Instr::Store {
+                width: LoadWidth::Word,
+                rs2: Reg(2),
+                rs1: Reg(0),
+                offset: 8,
+            },
             Instr::Halt,
         ];
         let words: Vec<u32> = program.iter().map(|i| i.encode()).collect();

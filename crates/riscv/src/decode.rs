@@ -53,7 +53,11 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
     let rs1 = Reg((word >> 15 & 0x1F) as u8);
     let rs2 = Reg((word >> 20 & 0x1F) as u8);
     let funct7 = word >> 25 & 0x7F;
-    let unknown = || DecodeError::UnknownFunction { opcode, funct3, funct7 };
+    let unknown = || DecodeError::UnknownFunction {
+        opcode,
+        funct3,
+        funct7,
+    };
 
     match opcode {
         0b0110011 => {
@@ -105,7 +109,10 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             };
             Ok(Instr::AluImm { op, rd, rs1, imm })
         }
-        0b0110111 => Ok(Instr::Lui { rd, imm20: word >> 12 }),
+        0b0110111 => Ok(Instr::Lui {
+            rd,
+            imm20: word >> 12,
+        }),
         0b1100011 => {
             let cond = match funct3 {
                 0b000 => BranchCond::Eq,
@@ -120,14 +127,22 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 | (word >> 8 & 0xF) << 1
                 | (word >> 25 & 0x3F) << 5
                 | (word >> 31) << 12;
-            Ok(Instr::Branch { cond, rs1, rs2, offset: sign_extend(imm, 13) })
+            Ok(Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset: sign_extend(imm, 13),
+            })
         }
         0b1101111 => {
             let imm = (word >> 12 & 0xFF) << 12
                 | (word >> 20 & 1) << 11
                 | (word >> 21 & 0x3FF) << 1
                 | (word >> 31) << 20;
-            Ok(Instr::Jal { rd, offset: sign_extend(imm, 21) })
+            Ok(Instr::Jal {
+                rd,
+                offset: sign_extend(imm, 21),
+            })
         }
         0b0000011 => {
             let (width, signed) = match funct3 {
@@ -138,7 +153,13 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 0b101 => (LoadWidth::Half, false),
                 _ => return Err(unknown()),
             };
-            Ok(Instr::Load { width, signed, rd, rs1, offset: sign_extend(word >> 20, 12) })
+            Ok(Instr::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset: sign_extend(word >> 20, 12),
+            })
         }
         0b0100011 => {
             let width = match funct3 {
@@ -148,7 +169,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 _ => return Err(unknown()),
             };
             let imm = (word >> 7 & 0x1F) | (word >> 25 & 0x7F) << 5;
-            Ok(Instr::Store { width, rs2, rs1, offset: sign_extend(imm, 12) })
+            Ok(Instr::Store {
+                width,
+                rs2,
+                rs1,
+                offset: sign_extend(imm, 12),
+            })
         }
         0b1010011 => {
             let frd = (word >> 7 & 0x1F) as u8;
@@ -167,7 +193,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 (0b1110000, 0b000) => return Ok(Instr::FmvXW { rd, rs: frs1 }),
                 _ => return Err(unknown()),
             };
-            Ok(Instr::Fpu { op, rd: frd, rs1: frs1, rs2: frs2 })
+            Ok(Instr::Fpu {
+                op,
+                rd: frd,
+                rs1: frs1,
+                rs2: frs2,
+            })
         }
         0b1110011 => {
             if word == 0b1110011 {
@@ -189,9 +220,19 @@ mod tests {
     fn all_sample_instructions() -> Vec<Instr> {
         let mut out = Vec::new();
         for op in AluOp::ALL {
-            out.push(Instr::Alu { op, rd: Reg(5), rs1: Reg(6), rs2: Reg(7) });
+            out.push(Instr::Alu {
+                op,
+                rd: Reg(5),
+                rs1: Reg(6),
+                rs2: Reg(7),
+            });
             if op != AluOp::Sub {
-                out.push(Instr::AluImm { op, rd: Reg(8), rs1: Reg(9), imm: -7 & 0xFFF_i32.min(31) });
+                out.push(Instr::AluImm {
+                    op,
+                    rd: Reg(8),
+                    rs1: Reg(9),
+                    imm: -7 & 31,
+                });
             }
         }
         for op in [
@@ -204,7 +245,12 @@ mod tests {
             MulDivOp::Rem,
             MulDivOp::Remu,
         ] {
-            out.push(Instr::MulDiv { op, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) });
+            out.push(Instr::MulDiv {
+                op,
+                rd: Reg(1),
+                rs1: Reg(2),
+                rs2: Reg(3),
+            });
         }
         for cond in [
             BranchCond::Eq,
@@ -214,12 +260,31 @@ mod tests {
             BranchCond::Ltu,
             BranchCond::Geu,
         ] {
-            out.push(Instr::Branch { cond, rs1: Reg(4), rs2: Reg(5), offset: -16 });
-            out.push(Instr::Branch { cond, rs1: Reg(4), rs2: Reg(5), offset: 2044 });
+            out.push(Instr::Branch {
+                cond,
+                rs1: Reg(4),
+                rs2: Reg(5),
+                offset: -16,
+            });
+            out.push(Instr::Branch {
+                cond,
+                rs1: Reg(4),
+                rs2: Reg(5),
+                offset: 2044,
+            });
         }
-        out.push(Instr::Jal { rd: Reg(1), offset: -2048 });
-        out.push(Instr::Jal { rd: Reg(0), offset: 4096 });
-        out.push(Instr::Lui { rd: Reg(15), imm20: 0xFFFFF });
+        out.push(Instr::Jal {
+            rd: Reg(1),
+            offset: -2048,
+        });
+        out.push(Instr::Jal {
+            rd: Reg(0),
+            offset: 4096,
+        });
+        out.push(Instr::Lui {
+            rd: Reg(15),
+            imm20: 0xFFFFF,
+        });
         for (width, signed) in [
             (LoadWidth::Byte, true),
             (LoadWidth::Half, true),
@@ -227,13 +292,29 @@ mod tests {
             (LoadWidth::Byte, false),
             (LoadWidth::Half, false),
         ] {
-            out.push(Instr::Load { width, signed, rd: Reg(3), rs1: Reg(2), offset: -32 });
+            out.push(Instr::Load {
+                width,
+                signed,
+                rd: Reg(3),
+                rs1: Reg(2),
+                offset: -32,
+            });
         }
         for width in [LoadWidth::Byte, LoadWidth::Half, LoadWidth::Word] {
-            out.push(Instr::Store { width, rs2: Reg(3), rs1: Reg(2), offset: 96 });
+            out.push(Instr::Store {
+                width,
+                rs2: Reg(3),
+                rs1: Reg(2),
+                offset: 96,
+            });
         }
         for op in FpuOp::ALL {
-            out.push(Instr::Fpu { op, rd: 10, rs1: 11, rs2: 12 });
+            out.push(Instr::Fpu {
+                op,
+                rd: 10,
+                rs1: 11,
+                rs2: 12,
+            });
         }
         out.push(Instr::FmvWX { rd: 4, rs: Reg(20) });
         out.push(Instr::FmvXW { rd: Reg(21), rs: 5 });
@@ -250,9 +331,19 @@ mod tests {
             // Loads always decode Word as signed (signed bit is
             // meaningless at 32 bits); normalize for comparison.
             let normalized = match instr {
-                Instr::Load { width: LoadWidth::Word, rd, rs1, offset, .. } => {
-                    Instr::Load { width: LoadWidth::Word, signed: true, rd, rs1, offset }
-                }
+                Instr::Load {
+                    width: LoadWidth::Word,
+                    rd,
+                    rs1,
+                    offset,
+                    ..
+                } => Instr::Load {
+                    width: LoadWidth::Word,
+                    signed: true,
+                    rd,
+                    rs1,
+                    offset,
+                },
                 other => other,
             };
             assert_eq!(back, normalized, "word {word:#010x}");
@@ -261,15 +352,26 @@ mod tests {
 
     #[test]
     fn unknown_words_are_rejected() {
-        assert!(matches!(decode(0x0000_007F), Err(DecodeError::UnknownOpcode(_))));
+        assert!(matches!(
+            decode(0x0000_007F),
+            Err(DecodeError::UnknownOpcode(_))
+        ));
         // fdiv.s (funct7 = 0001100) is not modeled.
         let fdiv = 0b0001100 << 25 | 0b1010011;
-        assert!(matches!(decode(fdiv), Err(DecodeError::UnknownFunction { .. })));
+        assert!(matches!(
+            decode(fdiv),
+            Err(DecodeError::UnknownFunction { .. })
+        ));
     }
 
     #[test]
     fn immediate_sign_extension() {
-        let i = Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: -2048 };
+        let i = Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs1: Reg(0),
+            imm: -2048,
+        };
         assert_eq!(decode(i.encode()).unwrap(), i);
         let b = Instr::Branch {
             cond: BranchCond::Eq,

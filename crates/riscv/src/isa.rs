@@ -14,9 +14,9 @@ impl Reg {
     /// ABI name (`zero`, `ra`, `sp`, `a0`, …).
     pub fn abi_name(self) -> &'static str {
         const NAMES: [&str; 32] = [
-            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2",
-            "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
-            "s10", "s11", "t3", "t4", "t5", "t6",
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
         ];
         NAMES[self.0 as usize & 31]
     }
@@ -212,7 +212,10 @@ impl Instr {
                 | (f7 << 25)
         };
         let i = |op: u32, rd: u8, f3: u32, rs1: u8, imm: i32| {
-            op | ((rd as u32) << 7) | (f3 << 12) | ((rs1 as u32) << 15) | ((imm as u32 & 0xFFF) << 20)
+            op | ((rd as u32) << 7)
+                | (f3 << 12)
+                | ((rs1 as u32) << 15)
+                | ((imm as u32 & 0xFFF) << 20)
         };
         match self {
             Instr::Alu { op, rd, rs1, rs2 } => {
@@ -263,7 +266,12 @@ impl Instr {
                 };
                 r(0b0110011, rd.0, f3, rs1.0, rs2.0, 0b0000001)
             }
-            Instr::Branch { cond, rs1, rs2, offset } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let f3 = match cond {
                     BranchCond::Eq => 0b000,
                     BranchCond::Ne => 0b001,
@@ -291,7 +299,13 @@ impl Instr {
                     | (((imm >> 1) & 0x3FF) << 21)
                     | (((imm >> 20) & 1) << 31)
             }
-            Instr::Load { width, signed, rd, rs1, offset } => {
+            Instr::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let f3 = match (width, signed) {
                     (LoadWidth::Byte, true) => 0b000,
                     (LoadWidth::Half, true) => 0b001,
@@ -301,7 +315,12 @@ impl Instr {
                 };
                 i(0b0000011, rd.0, f3, rs1.0, offset)
             }
-            Instr::Store { width, rs2, rs1, offset } => {
+            Instr::Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let f3 = match width {
                     LoadWidth::Byte => 0b000,
                     LoadWidth::Half => 0b001,
@@ -354,7 +373,12 @@ impl Instr {
                     AluOp::Or => "or",
                     AluOp::And => "and",
                 };
-                format!("{mnemonic} {}, {}, {}", rd.abi_name(), rs1.abi_name(), rs2.abi_name())
+                format!(
+                    "{mnemonic} {}, {}, {}",
+                    rd.abi_name(),
+                    rs1.abi_name(),
+                    rs2.abi_name()
+                )
             }
             Instr::AluImm { op, rd, rs1, imm } => {
                 let mnemonic = match op {
@@ -383,9 +407,19 @@ impl Instr {
                     MulDivOp::Rem => "rem",
                     MulDivOp::Remu => "remu",
                 };
-                format!("{mnemonic} {}, {}, {}", rd.abi_name(), rs1.abi_name(), rs2.abi_name())
+                format!(
+                    "{mnemonic} {}, {}, {}",
+                    rd.abi_name(),
+                    rs1.abi_name(),
+                    rs2.abi_name()
+                )
             }
-            Instr::Branch { cond, rs1, rs2, offset } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let mnemonic = match cond {
                     BranchCond::Eq => "beq",
                     BranchCond::Ne => "bne",
@@ -394,10 +428,20 @@ impl Instr {
                     BranchCond::Ltu => "bltu",
                     BranchCond::Geu => "bgeu",
                 };
-                format!("{mnemonic} {}, {}, {offset}", rs1.abi_name(), rs2.abi_name())
+                format!(
+                    "{mnemonic} {}, {}, {offset}",
+                    rs1.abi_name(),
+                    rs2.abi_name()
+                )
             }
             Instr::Jal { rd, offset } => format!("jal {}, {offset}", rd.abi_name()),
-            Instr::Load { width, signed, rd, rs1, offset } => {
+            Instr::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let mnemonic = match (width, signed) {
                     (LoadWidth::Byte, true) => "lb",
                     (LoadWidth::Half, true) => "lh",
@@ -407,13 +451,22 @@ impl Instr {
                 };
                 format!("{mnemonic} {}, {offset}({})", rd.abi_name(), rs1.abi_name())
             }
-            Instr::Store { width, rs2, rs1, offset } => {
+            Instr::Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let mnemonic = match width {
                     LoadWidth::Byte => "sb",
                     LoadWidth::Half => "sh",
                     LoadWidth::Word => "sw",
                 };
-                format!("{mnemonic} {}, {offset}({})", rs2.abi_name(), rs1.abi_name())
+                format!(
+                    "{mnemonic} {}, {offset}({})",
+                    rs2.abi_name(),
+                    rs1.abi_name()
+                )
             }
             Instr::Fpu { op, rd, rs1, rs2 } => {
                 let mnemonic = match op {
@@ -445,21 +498,46 @@ mod tests {
         // Cross-checked against the RISC-V spec / an external assembler.
         // add x3, x1, x2
         assert_eq!(
-            Instr::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) }.encode(),
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg(3),
+                rs1: Reg(1),
+                rs2: Reg(2)
+            }
+            .encode(),
             0x0020_81B3
         );
         // sub x3, x1, x2
         assert_eq!(
-            Instr::Alu { op: AluOp::Sub, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) }.encode(),
+            Instr::Alu {
+                op: AluOp::Sub,
+                rd: Reg(3),
+                rs1: Reg(1),
+                rs2: Reg(2)
+            }
+            .encode(),
             0x4020_81B3
         );
         // addi x1, x0, -1
         assert_eq!(
-            Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: -1 }.encode(),
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: -1
+            }
+            .encode(),
             0xFFF0_0093
         );
         // lui x5, 0x12345
-        assert_eq!(Instr::Lui { rd: Reg(5), imm20: 0x12345 }.encode(), 0x1234_52B7);
+        assert_eq!(
+            Instr::Lui {
+                rd: Reg(5),
+                imm20: 0x12345
+            }
+            .encode(),
+            0x1234_52B7
+        );
         // lw x6, 8(x2)
         assert_eq!(
             Instr::Load {
@@ -474,26 +552,55 @@ mod tests {
         );
         // sw x6, 8(x2)
         assert_eq!(
-            Instr::Store { width: LoadWidth::Word, rs2: Reg(6), rs1: Reg(2), offset: 8 }
-                .encode(),
+            Instr::Store {
+                width: LoadWidth::Word,
+                rs2: Reg(6),
+                rs1: Reg(2),
+                offset: 8
+            }
+            .encode(),
             0x0061_2423
         );
         // mul x3, x1, x2
         assert_eq!(
-            Instr::MulDiv { op: MulDivOp::Mul, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) }.encode(),
+            Instr::MulDiv {
+                op: MulDivOp::Mul,
+                rd: Reg(3),
+                rs1: Reg(1),
+                rs2: Reg(2)
+            }
+            .encode(),
             0x0220_81B3
         );
         // beq x1, x2, +8
         assert_eq!(
-            Instr::Branch { cond: BranchCond::Eq, rs1: Reg(1), rs2: Reg(2), offset: 8 }
-                .encode(),
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg(1),
+                rs2: Reg(2),
+                offset: 8
+            }
+            .encode(),
             0x0020_8463
         );
         // jal x0, -4
-        assert_eq!(Instr::Jal { rd: Reg(0), offset: -4 }.encode(), 0xFFDF_F06F);
+        assert_eq!(
+            Instr::Jal {
+                rd: Reg(0),
+                offset: -4
+            }
+            .encode(),
+            0xFFDF_F06F
+        );
         // fadd.s f3, f1, f2 (rm = 111 dynamic)
         assert_eq!(
-            Instr::Fpu { op: FpuOp::Add, rd: 3, rs1: 1, rs2: 2 }.encode(),
+            Instr::Fpu {
+                op: FpuOp::Add,
+                rd: 3,
+                rs1: 1,
+                rs2: 2
+            }
+            .encode(),
             0x0020_F1D3
         );
         // ecall
@@ -503,13 +610,34 @@ mod tests {
     #[test]
     fn asm_rendering() {
         assert_eq!(
-            Instr::Alu { op: AluOp::Add, rd: Reg(10), rs1: Reg(11), rs2: Reg(12) }.asm(),
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg(10),
+                rs1: Reg(11),
+                rs2: Reg(12)
+            }
+            .asm(),
             "add a0, a1, a2"
         );
         assert_eq!(
-            Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: -5 }.asm(),
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: -5
+            }
+            .asm(),
             "addi ra, zero, -5"
         );
-        assert_eq!(Instr::Fpu { op: FpuOp::Mul, rd: 1, rs1: 2, rs2: 3 }.asm(), "fmul.s f1, f2, f3");
+        assert_eq!(
+            Instr::Fpu {
+                op: FpuOp::Mul,
+                rd: 1,
+                rs1: 2,
+                rs2: 3
+            }
+            .asm(),
+            "fmul.s f1, f2, f3"
+        );
     }
 }

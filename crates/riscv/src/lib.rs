@@ -29,9 +29,9 @@ mod cpu;
 mod decode;
 mod isa;
 
-pub use decode::{decode, DecodeError};
 pub use backend::{AluBackend, FpuBackend, GateAlu, GateFpu, GoldenAlu, GoldenFpu, HwStall};
 pub use cpu::{Cpu, Exit, Memory};
+pub use decode::{decode, DecodeError};
 pub use isa::{BranchCond, Instr, LoadWidth, MulDivOp, Reg};
 
 /// How a failing netlist's wrong-value constant `C` behaves (paper §5.1).
@@ -47,7 +47,11 @@ pub enum FailureMode {
 
 impl FailureMode {
     /// All three evaluation modes.
-    pub const ALL: [FailureMode; 3] = [FailureMode::Const0, FailureMode::Const1, FailureMode::Random];
+    pub const ALL: [FailureMode; 3] = [
+        FailureMode::Const0,
+        FailureMode::Const1,
+        FailureMode::Random,
+    ];
 
     /// Short label used in experiment tables ("0", "1", "R").
     pub fn label(self) -> &'static str {

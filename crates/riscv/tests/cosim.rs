@@ -7,36 +7,93 @@
 use vega_circuits::alu::build_alu;
 use vega_circuits::fpu::build_fpu;
 use vega_circuits::golden::{AluOp, FpuOp};
-use vega_riscv::{
-    BranchCond, Cpu, Exit, GateAlu, GateFpu, GoldenAlu, GoldenFpu, Instr, Reg,
-};
+use vega_riscv::{BranchCond, Cpu, Exit, GateAlu, GateFpu, GoldenAlu, GoldenFpu, Instr, Reg};
 
 /// A small program mixing integer arithmetic, branching, memory, and
 /// floating point; returns its checksum in x10 and memory word 64.
 fn mixed_program() -> Vec<Instr> {
     vec![
         // x1 = 100, x2 = 3, x3 = x1 * ops...
-        Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: 100 },
-        Instr::AluImm { op: AluOp::Add, rd: Reg(2), rs1: Reg(0), imm: 3 },
+        Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs1: Reg(0),
+            imm: 100,
+        },
+        Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg(2),
+            rs1: Reg(0),
+            imm: 3,
+        },
         // loop: x1 = x1 - x2 until x1 < 10
-        Instr::Alu { op: AluOp::Sub, rd: Reg(1), rs1: Reg(1), rs2: Reg(2) },
-        Instr::AluImm { op: AluOp::Slt, rd: Reg(4), rs1: Reg(1), imm: 10 },
-        Instr::Branch { cond: BranchCond::Eq, rs1: Reg(4), rs2: Reg(0), offset: -8 },
+        Instr::Alu {
+            op: AluOp::Sub,
+            rd: Reg(1),
+            rs1: Reg(1),
+            rs2: Reg(2),
+        },
+        Instr::AluImm {
+            op: AluOp::Slt,
+            rd: Reg(4),
+            rs1: Reg(1),
+            imm: 10,
+        },
+        Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg(4),
+            rs2: Reg(0),
+            offset: -8,
+        },
         // Some shifts and logic.
-        Instr::AluImm { op: AluOp::Sll, rd: Reg(5), rs1: Reg(1), imm: 4 },
-        Instr::Alu { op: AluOp::Xor, rd: Reg(5), rs1: Reg(5), rs2: Reg(2) },
+        Instr::AluImm {
+            op: AluOp::Sll,
+            rd: Reg(5),
+            rs1: Reg(1),
+            imm: 4,
+        },
+        Instr::Alu {
+            op: AluOp::Xor,
+            rd: Reg(5),
+            rs1: Reg(5),
+            rs2: Reg(2),
+        },
         // Float: (1.5 + 2.5) * 0.5 = 2.0
-        Instr::Lui { rd: Reg(6), imm20: 0x3FC00 }, // 1.5
+        Instr::Lui {
+            rd: Reg(6),
+            imm20: 0x3FC00,
+        }, // 1.5
         Instr::FmvWX { rd: 1, rs: Reg(6) },
-        Instr::Lui { rd: Reg(6), imm20: 0x40200 }, // 2.5
+        Instr::Lui {
+            rd: Reg(6),
+            imm20: 0x40200,
+        }, // 2.5
         Instr::FmvWX { rd: 2, rs: Reg(6) },
-        Instr::Lui { rd: Reg(6), imm20: 0x3F000 }, // 0.5
+        Instr::Lui {
+            rd: Reg(6),
+            imm20: 0x3F000,
+        }, // 0.5
         Instr::FmvWX { rd: 3, rs: Reg(6) },
-        Instr::Fpu { op: FpuOp::Add, rd: 4, rs1: 1, rs2: 2 },
-        Instr::Fpu { op: FpuOp::Mul, rd: 5, rs1: 4, rs2: 3 },
+        Instr::Fpu {
+            op: FpuOp::Add,
+            rd: 4,
+            rs1: 1,
+            rs2: 2,
+        },
+        Instr::Fpu {
+            op: FpuOp::Mul,
+            rd: 5,
+            rs1: 4,
+            rs2: 3,
+        },
         Instr::FmvXW { rd: Reg(7), rs: 5 },
         // Checksum and store.
-        Instr::Alu { op: AluOp::Add, rd: Reg(10), rs1: Reg(5), rs2: Reg(7) },
+        Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(10),
+            rs1: Reg(5),
+            rs2: Reg(7),
+        },
         Instr::Store {
             width: vega_riscv::LoadWidth::Word,
             rs2: Reg(10),
@@ -98,7 +155,10 @@ fn failing_alu_corrupts_but_never_silently_diverges_control() {
     // The faulty CPU either diverges architecturally (an SDC the tests
     // exist to catch) or still halts with the right values (the fault
     // didn't activate on this program) — but it must terminate.
-    assert!(matches!(exit, Exit::Halted | Exit::Stalled | Exit::PcOutOfRange), "{exit:?}");
+    assert!(
+        matches!(exit, Exit::Halted | Exit::Stalled | Exit::PcOutOfRange),
+        "{exit:?}"
+    );
 }
 
 #[test]

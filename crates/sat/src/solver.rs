@@ -186,7 +186,11 @@ impl Solver {
     /// `solve` always returns with the trail backtracked to level 0, so
     /// interleaving `add_clause` and `solve` is fine).
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
-        assert_eq!(self.decision_level(), 0, "clauses must be added at the root level");
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "clauses must be added at the root level"
+        );
         if self.unsat {
             return false;
         }
@@ -230,9 +234,20 @@ impl Solver {
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len();
-        self.watches[(!lits[0]).index()].push(Watcher { cref, blocker: lits[1] });
-        self.watches[(!lits[1]).index()].push(Watcher { cref, blocker: lits[0] });
-        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
+        self.watches[(!lits[0]).index()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[(!lits[1]).index()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+        });
         if learnt {
             self.stats.learnt_clauses += 1;
         }
@@ -246,8 +261,11 @@ impl Solver {
     fn enqueue(&mut self, lit: Lit, reason: usize) {
         debug_assert_eq!(self.lit_value(lit), LBool::Undef);
         let var = lit.var();
-        self.values[var.index()] =
-            if lit.is_positive() { LBool::True } else { LBool::False };
+        self.values[var.index()] = if lit.is_positive() {
+            LBool::True
+        } else {
+            LBool::False
+        };
         self.level[var.index()] = self.decision_level() as u32;
         self.reason[var.index()] = reason;
         self.saved_phase[var.index()] = lit.is_positive();
@@ -298,8 +316,10 @@ impl Solver {
                     if self.lit_value(candidate) != LBool::False {
                         let clause = &mut self.clauses[watcher.cref];
                         clause.lits.swap(1, k);
-                        self.watches[(!candidate).index()]
-                            .push(Watcher { cref: watcher.cref, blocker: first });
+                        self.watches[(!candidate).index()].push(Watcher {
+                            cref: watcher.cref,
+                            blocker: first,
+                        });
                         watch_list.swap_remove(i);
                         continue 'watchers;
                     }
@@ -435,9 +455,9 @@ impl Solver {
         if reason == NO_REASON {
             return false;
         }
-        self.clauses[reason].lits[1..].iter().all(|&q| {
-            self.seen[q.var().index()] || self.level[q.var().index()] == 0
-        })
+        self.clauses[reason].lits[1..]
+            .iter()
+            .all(|&q| self.seen[q.var().index()] || self.level[q.var().index()] == 0)
     }
 
     fn backtrack_to(&mut self, level: usize) {
@@ -684,8 +704,9 @@ mod tests {
     /// Pigeonhole principle PHP(n+1, n): n+1 pigeons in n holes, UNSAT.
     fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
         let mut s = Solver::new();
-        let grid: Vec<Vec<Var>> =
-            (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
+        let grid: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
         // Each pigeon sits somewhere.
         for row in &grid {
             let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
@@ -794,7 +815,11 @@ mod tests {
             let result = s.solve();
             assert_eq!(
                 result,
-                if expected { SolveResult::Sat } else { SolveResult::Unsat },
+                if expected {
+                    SolveResult::Sat
+                } else {
+                    SolveResult::Unsat
+                },
                 "round {round}: vars={num_vars} clauses={clauses:?}"
             );
             if result == SolveResult::Sat {

@@ -76,9 +76,20 @@ impl SpCounters {
                     self.toggles[cell.id.index()] as f64 / self.cycles as f64,
                 )
             };
-            cells.insert(cell.name.clone(), CellSp { kind: cell.kind, sp, toggle_rate });
+            cells.insert(
+                cell.name.clone(),
+                CellSp {
+                    kind: cell.kind,
+                    sp,
+                    toggle_rate,
+                },
+            );
         }
-        SpProfile { module: netlist.name().to_string(), cycles: self.cycles, cells }
+        SpProfile {
+            module: netlist.name().to_string(),
+            cycles: self.cycles,
+            cells,
+        }
     }
 }
 
@@ -156,8 +167,8 @@ impl SpProfile {
                 .cells
                 .get(name)
                 .unwrap_or_else(|| panic!("cell `{name}` missing from merged profile"));
-            entry.sp = (entry.sp * self.cycles as f64 + theirs.sp * other.cycles as f64)
-                / total as f64;
+            entry.sp =
+                (entry.sp * self.cycles as f64 + theirs.sp * other.cycles as f64) / total as f64;
             entry.toggle_rate = (entry.toggle_rate * self.cycles as f64
                 + theirs.toggle_rate * other.cycles as f64)
                 / total as f64;
@@ -168,8 +179,11 @@ impl SpProfile {
     /// Cells sorted by how *extreme* their SP is (distance from 0.5,
     /// descending) — the cells under the most asymmetric BTI stress.
     pub fn most_extreme(&self) -> Vec<(&str, f64)> {
-        let mut v: Vec<(&str, f64)> =
-            self.cells.iter().map(|(name, c)| (name.as_str(), c.sp)).collect();
+        let mut v: Vec<(&str, f64)> = self
+            .cells
+            .iter()
+            .map(|(name, c)| (name.as_str(), c.sp))
+            .collect();
         v.sort_by(|a, b| {
             let ka = (a.1 - 0.5).abs();
             let kb = (b.1 - 0.5).abs();
@@ -190,7 +204,14 @@ mod tests {
             cells: cells
                 .iter()
                 .map(|&(name, sp)| {
-                    (name.to_string(), CellSp { kind: CellKind::Buf, sp, toggle_rate: 0.0 })
+                    (
+                        name.to_string(),
+                        CellSp {
+                            kind: CellKind::Buf,
+                            sp,
+                            toggle_rate: 0.0,
+                        },
+                    )
                 })
                 .collect(),
         }

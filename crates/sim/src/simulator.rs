@@ -188,8 +188,7 @@ impl<'n> Simulator<'n> {
             for (i, &net) in cell.inputs.iter().enumerate() {
                 inputs[i] = self.values[net.index()];
             }
-            self.values[cell.output.index()] =
-                cell.kind.eval(&inputs[..cell.inputs.len()]);
+            self.values[cell.output.index()] = cell.kind.eval(&inputs[..cell.inputs.len()]);
         }
     }
 

@@ -33,7 +33,10 @@ impl RandomStimulus {
             .filter(|p| Some(&p.name) != clock_name.as_ref())
             .map(|p| (p.name.clone(), p.width()))
             .collect();
-        RandomStimulus { ports, rng: StdRng::seed_from_u64(seed) }
+        RandomStimulus {
+            ports,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Produce the next cycle's input vector.
@@ -41,7 +44,11 @@ impl RandomStimulus {
         self.ports
             .iter()
             .map(|(name, width)| {
-                let mask = if *width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+                let mask = if *width >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << width) - 1
+                };
                 (name.clone(), self.rng.gen::<u64>() & mask)
             })
             .collect()

@@ -5,9 +5,7 @@ use vega_netlist::{CellId, NetId, Netlist, PortDir};
 use vega_sim::SpProfile;
 
 use crate::delay::DelayContext;
-use crate::report::{
-    ClockInsertion, Endpoint, StaConfig, TimingPath, TimingReport, ViolationKind,
-};
+use crate::report::{ClockInsertion, Endpoint, StaConfig, TimingPath, TimingReport, ViolationKind};
 
 const EPS: f64 = 1e-9;
 
@@ -67,7 +65,10 @@ fn launches(
                     continue;
                 }
                 out.push((
-                    Endpoint::Port { name: port.name.clone(), bit },
+                    Endpoint::Port {
+                        name: port.name.clone(),
+                        bit,
+                    },
                     net,
                     config.input_delay_ns,
                 ));
@@ -179,7 +180,11 @@ fn check(
     // from accumulated delay d exists iff d + pot[n] > 0. For hold the
     // analogous minimum, violating iff d + pot[n] < 0. We store the same
     // "d + pot compared against zero" convention for both by negating.
-    let no_pot = if is_setup { f64::NEG_INFINITY } else { f64::INFINITY };
+    let no_pot = if is_setup {
+        f64::NEG_INFINITY
+    } else {
+        f64::INFINITY
+    };
     let better = |a: f64, b: f64| if is_setup { a.max(b) } else { a.min(b) };
     let mut pot: Vec<f64> = vec![no_pot; netlist.net_count()];
     // Seed from capture pins, then sweep comb cells in reverse topo order.
@@ -378,8 +383,9 @@ pub fn calibrate_period(
                 continue;
             }
             if arr[input.index()].is_finite() {
-                best = best
-                    .max(arr[input.index()] + delays.max_ns[cell_id.index()] * config.derates.data_late);
+                best = best.max(
+                    arr[input.index()] + delays.max_ns[cell_id.index()] * config.derates.data_late,
+                );
             }
         }
         if best.is_finite() {
@@ -391,8 +397,8 @@ pub fn calibrate_period(
         let a = arr[dff.inputs[0].index()];
         if a.is_finite() {
             // period >= arrival + setup - early capture insertion
-            min_period = min_period
-                .max(a + delays.setup_ns - delays.insertion_early_ns[dff.id.index()]);
+            min_period =
+                min_period.max(a + delays.setup_ns - delays.insertion_early_ns[dff.id.index()]);
         }
     }
     min_period * (1.0 + guard_fraction)
@@ -539,7 +545,11 @@ mod tests {
         let n = paper_adder();
         let report = analyze(&n, &demo_lib(0.0), None, &nominal(1.0));
         assert_eq!(report.clock_insertions.len(), 6);
-        assert_eq!(report.max_clock_skew_ns(), 0.0, "no clock buffers -> no skew");
+        assert_eq!(
+            report.max_clock_skew_ns(),
+            0.0,
+            "no clock buffers -> no skew"
+        );
     }
 
     #[test]
@@ -567,10 +577,25 @@ mod tests {
         // at 0 (SP 0.0).
         let mut cells = std::collections::BTreeMap::new();
         for cell in n.cells() {
-            let sp = if cell.name.starts_with("cbuf") || cell.name == "icg" { 0.0 } else { 0.5 };
-            cells.insert(cell.name.clone(), vega_sim::CellSp { kind: cell.kind, sp, toggle_rate: 0.0 });
+            let sp = if cell.name.starts_with("cbuf") || cell.name == "icg" {
+                0.0
+            } else {
+                0.5
+            };
+            cells.insert(
+                cell.name.clone(),
+                vega_sim::CellSp {
+                    kind: cell.kind,
+                    sp,
+                    toggle_rate: 0.0,
+                },
+            );
         }
-        let profile = SpProfile { module: "skewed".into(), cycles: 1, cells };
+        let profile = SpProfile {
+            module: "skewed".into(),
+            cycles: 1,
+            cells,
+        };
 
         let aged = AgingAwareTimingLibrary::build(
             StdCellLibrary::cmos28(),
@@ -590,7 +615,10 @@ mod tests {
                 .unwrap()
                 .late_ns
         };
-        assert!(ins("capture") > ins("launch"), "aging must skew the gated branch");
+        assert!(
+            ins("capture") > ins("launch"),
+            "aging must skew the gated branch"
+        );
         assert!(report.max_clock_skew_ns() > 0.0);
     }
 

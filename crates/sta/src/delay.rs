@@ -148,9 +148,7 @@ mod tests {
         // Two buffers at 0.026 max each, with the late clock derate.
         let expected_late = 2.0 * 0.026 * config.derates.clock_late;
         assert!((delays.insertion_late_ns[deep.index()] - expected_late).abs() < 1e-12);
-        assert!(
-            delays.insertion_early_ns[deep.index()] < delays.insertion_late_ns[deep.index()]
-        );
+        assert!(delays.insertion_early_ns[deep.index()] < delays.insertion_late_ns[deep.index()]);
     }
 
     #[test]
@@ -188,9 +186,20 @@ mod tests {
         let mut cells = std::collections::BTreeMap::new();
         for cell in n.cells() {
             let sp = if cell.name == "ck1" { 0.0 } else { 0.5 };
-            cells.insert(cell.name.clone(), vega_sim::CellSp { kind: cell.kind, sp, toggle_rate: 0.0 });
+            cells.insert(
+                cell.name.clone(),
+                vega_sim::CellSp {
+                    kind: cell.kind,
+                    sp,
+                    toggle_rate: 0.0,
+                },
+            );
         }
-        let profile = vega_sim::SpProfile { module: "t".into(), cycles: 1, cells };
+        let profile = vega_sim::SpProfile {
+            module: "t".into(),
+            cycles: 1,
+            cells,
+        };
         let delays = DelayContext::resolve(&n, &aged, Some(&profile), &config);
         let ck1 = n.cell_by_name("ck1").unwrap().id;
         let ck2 = n.cell_by_name("ck2").unwrap().id;

@@ -42,11 +42,7 @@ pub fn fix_hold_violations(
         // One buffer per violating capture endpoint per iteration; a
         // deficit larger than one buffer's min delay resolves over
         // subsequent iterations.
-        let mut endpoints: Vec<_> = report
-            .hold_violations
-            .iter()
-            .map(|p| p.capture)
-            .collect();
+        let mut endpoints: Vec<_> = report.hold_violations.iter().map(|p| p.capture).collect();
         endpoints.sort_unstable();
         endpoints.dedup();
         for capture in endpoints {
@@ -97,7 +93,10 @@ mod tests {
         config.hold_margin_ns = 0.004;
 
         let before = analyze(&n, &lib, None, &config);
-        assert!(!before.hold_violations.is_empty(), "test needs a hold hazard");
+        assert!(
+            !before.hold_violations.is_empty(),
+            "test needs a hold hazard"
+        );
 
         let inserted = fix_hold_violations(&mut n, &lib, None, &config);
         assert!(inserted > 0);

@@ -21,7 +21,12 @@ pub struct Derates {
 
 impl Default for Derates {
     fn default() -> Self {
-        Derates { data_late: 1.05, data_early: 0.95, clock_late: 1.03, clock_early: 0.97 }
+        Derates {
+            data_late: 1.05,
+            data_early: 0.95,
+            clock_late: 1.03,
+            clock_early: 0.97,
+        }
     }
 }
 
@@ -29,7 +34,12 @@ impl Derates {
     /// No pessimism: nominal delays everywhere. Used by the derate
     /// ablation experiment.
     pub fn nominal() -> Self {
-        Derates { data_late: 1.0, data_early: 1.0, clock_late: 1.0, clock_early: 1.0 }
+        Derates {
+            data_late: 1.0,
+            data_early: 1.0,
+            clock_late: 1.0,
+            clock_early: 1.0,
+        }
     }
 }
 
@@ -150,10 +160,20 @@ impl TimingPath {
         let _ = writeln!(out, "  launch : {}", self.launch.label(netlist));
         for &cell_id in &self.cells {
             let cell = netlist.cell(cell_id);
-            let _ = writeln!(out, "  through: {} ({})", cell.name, cell.kind.verilog_name());
+            let _ = writeln!(
+                out,
+                "  through: {} ({})",
+                cell.name,
+                cell.kind.verilog_name()
+            );
         }
         let capture = netlist.cell(self.capture);
-        let _ = writeln!(out, "  capture: {} ({})", capture.name, capture.kind.verilog_name());
+        let _ = writeln!(
+            out,
+            "  capture: {} ({})",
+            capture.name,
+            capture.kind.verilog_name()
+        );
         out
     }
 
@@ -318,7 +338,10 @@ mod tests {
     fn endpoint_labels() {
         let (n, path) = sample_path();
         assert_eq!(path.launch.label(&n), "q1");
-        let port = Endpoint::Port { name: "a".into(), bit: 0 };
+        let port = Endpoint::Port {
+            name: "a".into(),
+            bit: 0,
+        };
         assert_eq!(port.label(&n), "a[0]");
     }
 
@@ -339,7 +362,11 @@ mod tests {
         };
         let _ = n;
         assert!(!report.is_clean());
-        assert_eq!(report.unique_setup_pairs().len(), 1, "identical paths collapse");
+        assert_eq!(
+            report.unique_setup_pairs().len(),
+            1,
+            "identical paths collapse"
+        );
         assert_eq!(report.table3_row(), "m: setup -100ps / 2 | hold - / 0");
         assert_eq!(report.max_clock_skew_ns(), 0.0);
     }

@@ -34,7 +34,8 @@ fn main() {
         "profiling workloads: {:?}",
         programs.iter().map(|p| p.name.clone()).collect::<Vec<_>>()
     );
-    let (alu_profile, _fpu_profile) = profile_units(&unit.netlist, &fpu_netlist, &programs, 3);
+    let (alu_profile, _fpu_profile) =
+        profile_units(&unit.netlist, &fpu_netlist, &programs, 3).expect("profiling enabled");
     println!("profiled {} cycles", alu_profile.cycles);
 
     let analysis = analyze_aging(&unit, &alu_profile, &config);
@@ -64,7 +65,11 @@ fn main() {
     let mut healthy = Simulator::new(&unit.netlist);
     println!(
         "healthy ALU: {}",
-        if library.run_checked(&mut healthy).is_ok() { "all tests pass" } else { "false positive!" }
+        if library.run_checked(&mut healthy).is_ok() {
+            "all tests pass"
+        } else {
+            "false positive!"
+        }
     );
     let mut detected = 0;
     let mut total = 0;
@@ -73,12 +78,8 @@ fn main() {
             continue;
         }
         for mode in [FaultValue::Zero, FaultValue::One, FaultValue::Random] {
-            let failing = build_failing_netlist(
-                &unit.netlist,
-                pair.path,
-                mode,
-                FaultActivation::OnChange,
-            );
+            let failing =
+                build_failing_netlist(&unit.netlist, pair.path, mode, FaultActivation::OnChange);
             let mut sim = Simulator::new(&failing);
             total += 1;
             if library.run_once(&mut sim).detected() {

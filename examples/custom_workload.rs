@@ -65,12 +65,16 @@ fn main() {
     // Build an ALU suite (phases 1-2).
     let config = WorkflowConfig::cmos28_10y();
     let unit = prepare_unit(build_alu(), ModuleKind::Alu, &config);
-    let profile = profile_standalone(&unit.netlist, 2_000, 77);
+    let profile = profile_standalone(&unit.netlist, 2_000, 77).expect("profiling enabled");
     let analysis = analyze_aging(&unit, &profile, &config);
     let pairs: Vec<AgingPath> = analysis.unique_pairs.iter().copied().take(3).collect();
     let report = lift_errors(&unit, &pairs, &config);
     let suite_cycles = report.suite_cpu_cycles();
-    println!("aging suite: {} tests, {} cycles", report.suite().len(), suite_cycles);
+    println!(
+        "aging suite: {} tests, {} cycles",
+        report.suite().len(),
+        suite_cycles
+    );
 
     // Phase 3: integrate into the user's application.
     let pgi = PgiConfig::default();
@@ -82,7 +86,11 @@ fn main() {
         integrated.estimated_overhead * 100.0
     );
     let (overhead, runs) = measured_overhead(&app, &integrated.program, 64);
-    println!("measured over 64 executions: {:+.2}% overhead, {} suite runs", overhead * 100.0, runs);
+    println!(
+        "measured over 64 executions: {:+.2}% overhead, {} suite runs",
+        overhead * 100.0,
+        runs
+    );
 
     // The instrumented application is itself expressible as IR text —
     // what "shipping the instrumented binary" looks like here.

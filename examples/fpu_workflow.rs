@@ -34,9 +34,13 @@ fn main() {
         workloads::mont32(),
         workloads::minver(), // some FP activity
     ];
-    let (_alu_profile, fpu_profile) = profile_units(&alu_netlist, &unit.netlist, &programs, 5);
+    let (_alu_profile, fpu_profile) =
+        profile_units(&alu_netlist, &unit.netlist, &programs, 5).expect("profiling enabled");
     let valid_sp = fpu_profile.sp("icg_out").unwrap_or(0.0);
-    println!("profiled {} cycles; output clock-gate SP = {valid_sp:.3}", fpu_profile.cycles);
+    println!(
+        "profiled {} cycles; output clock-gate SP = {valid_sp:.3}",
+        fpu_profile.cycles
+    );
 
     let analysis = analyze_aging(&unit, &fpu_profile, &config);
     println!("Table 3 row -> {}", analysis.report.table3_row());
@@ -67,7 +71,11 @@ fn main() {
     let mut healthy = Simulator::new(&unit.netlist);
     println!(
         "healthy FPU: {}",
-        if library.run_checked(&mut healthy).is_ok() { "all tests pass" } else { "false positive!" }
+        if library.run_checked(&mut healthy).is_ok() {
+            "all tests pass"
+        } else {
+            "false positive!"
+        }
     );
     for pair in &report.pairs {
         if pair.class() != PairClass::Success {

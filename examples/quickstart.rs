@@ -30,8 +30,11 @@ fn main() {
     // --- Phase 1: Aging Analysis (paper §3.2) ------------------------
     // Signal-probability simulation with a representative (random)
     // workload — the paper's Table 1.
-    let profile = profile_standalone(&unit.netlist, 5_000, 42);
-    println!("SP profile after {} cycles (cf. paper Table 1):", profile.cycles);
+    let profile = profile_standalone(&unit.netlist, 5_000, 42).expect("profiling enabled");
+    println!(
+        "SP profile after {} cycles (cf. paper Table 1):",
+        profile.cycles
+    );
     for (name, entry) in &profile.cells {
         println!("  {name:8} SP = {:.2}", entry.sp);
     }
@@ -69,7 +72,11 @@ fn main() {
     let (s, ur, ff, fc) = report.table4_row();
     println!("construction outcomes: S {s:.1}%  UR {ur:.1}%  FF {ff:.1}%  FC {fc:.1}%");
     let suite = report.suite();
-    println!("test suite: {} cases, {} CPU cycles total\n", suite.len(), report.suite_cpu_cycles());
+    println!(
+        "test suite: {} cases, {} CPU cycles total\n",
+        suite.len(),
+        report.suite_cpu_cycles()
+    );
     for test in &suite {
         println!(
             "  {} -> {} stimulus cycles, {} checks",
@@ -90,8 +97,12 @@ fn main() {
     // Age the chip: the $4 -> $10 setup path now violates timing. Build
     // the circuit-level failure model and run the same library.
     let target = pairs[0];
-    let failing =
-        build_failing_netlist(&unit.netlist, target, FaultValue::One, FaultActivation::OnChange);
+    let failing = build_failing_netlist(
+        &unit.netlist,
+        target,
+        FaultValue::One,
+        FaultActivation::OnChange,
+    );
     let mut aged_chip = Simulator::new(&failing);
     match library.run_checked(&mut aged_chip) {
         Ok(()) => println!("aged hardware slipped past the tests!?"),

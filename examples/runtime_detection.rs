@@ -22,7 +22,7 @@ fn main() {
     // --- Build the suite for the ALU ----------------------------------
     let config = WorkflowConfig::cmos28_10y();
     let unit = prepare_unit(build_alu(), ModuleKind::Alu, &config);
-    let profile = profile_standalone(&unit.netlist, 2_000, 9);
+    let profile = profile_standalone(&unit.netlist, 2_000, 9).expect("profiling enabled");
     let analysis = analyze_aging(&unit, &profile, &config);
     let pairs: Vec<AgingPath> = analysis.unique_pairs.iter().copied().take(4).collect();
     let report = lift_errors(&unit, &pairs, &config);
@@ -37,8 +37,8 @@ fn main() {
     // --- Profile-guided integration into minver -----------------------
     let app = workloads::minver();
     let pgi_config = PgiConfig::default();
-    let integrated = pgi_integrate(&app, suite_cycles, &pgi_config)
-        .expect("minver has a routine block");
+    let integrated =
+        pgi_integrate(&app, suite_cycles, &pgi_config).expect("minver has a routine block");
     println!(
         "integration point: block {} (`{}`), gate: every {} arrivals, estimated overhead {:.2}%",
         integrated.integration_point,
@@ -64,12 +64,19 @@ fn main() {
         "\nhealthy chip: app returned {:#x} in {} cycles; embedded tests: {}",
         result.value,
         result.cycles,
-        if detection.detected() { "FAULT!?" } else { "silent" }
+        if detection.detected() {
+            "FAULT!?"
+        } else {
+            "silent"
+        }
     );
 
     // Years later: transistor aging has broken the worst path. The same
     // embedded suite now fires.
-    let Some(success_pair) = report.pairs.iter().find(|p| p.class() == PairClass::Success)
+    let Some(success_pair) = report
+        .pairs
+        .iter()
+        .find(|p| p.class() == PairClass::Success)
     else {
         println!("(no lifted pair to demonstrate detection)");
         return;

@@ -10,11 +10,18 @@ fn full_workflow_on_the_paper_adder() {
     let unit = prepare_unit(netlist, ModuleKind::PaperAdder, &config);
 
     // Signoff leaves a ~1 GHz-class period: min period 0.96 ns + 2%.
-    assert!((unit.clock_period_ns - 0.9792).abs() < 1e-6, "{}", unit.clock_period_ns);
-    assert_eq!(unit.hold_buffers, 0, "the example adder has no hold hazards");
+    assert!(
+        (unit.clock_period_ns - 0.9792).abs() < 1e-6,
+        "{}",
+        unit.clock_period_ns
+    );
+    assert_eq!(
+        unit.hold_buffers, 0,
+        "the example adder has no hold hazards"
+    );
 
     // Phase 1 with a pessimistic profile: everything rests near 0.
-    let profile = profile_standalone(&unit.netlist, 500, 7);
+    let profile = profile_standalone(&unit.netlist, 500, 7).expect("profiling enabled");
     let analysis = analyze_aging(&unit, &profile, &config);
     assert!(
         !analysis.report.setup_violations.is_empty(),
@@ -48,12 +55,8 @@ fn full_workflow_on_the_paper_adder() {
             continue;
         }
         for value in [FaultValue::Zero, FaultValue::One, FaultValue::Random] {
-            let failing = build_failing_netlist(
-                &unit.netlist,
-                pair.path,
-                value,
-                FaultActivation::OnChange,
-            );
+            let failing =
+                build_failing_netlist(&unit.netlist, pair.path, value, FaultActivation::OnChange);
             let mut sim = vega_sim::Simulator::new(&failing);
             let detection = library.run_once(&mut sim);
             assert!(

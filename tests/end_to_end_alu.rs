@@ -12,7 +12,7 @@ fn full_workflow_on_the_real_alu() {
     // Phase 1: profile with the integer workloads (the FPU is not
     // involved; drive the ALU alone with random stimulus as a stand-in
     // representative workload for this test).
-    let profile = profile_standalone(&unit.netlist, 2_000, 11);
+    let profile = profile_standalone(&unit.netlist, 2_000, 11).expect("profiling enabled");
     let analysis = analyze_aging(&unit, &profile, &config);
     assert!(
         !analysis.report.setup_violations.is_empty(),
@@ -29,13 +29,19 @@ fn full_workflow_on_the_real_alu() {
     let pairs: Vec<AgingPath> = analysis.unique_pairs.iter().copied().take(3).collect();
     let report = lift_errors(&unit, &pairs, &config);
     let suite = report.suite();
-    assert!(!suite.is_empty(), "at least one of the worst pairs must lift");
+    assert!(
+        !suite.is_empty(),
+        "at least one of the worst pairs must lift"
+    );
 
     // Phase 3: detection check against one failing netlist per lifted
     // pair.
     let mut library = AgingLibrary::new(unit.module, suite, Schedule::Sequential);
     let mut healthy = vega_sim::Simulator::new(&unit.netlist);
-    assert!(library.run_checked(&mut healthy).is_ok(), "no false positives");
+    assert!(
+        library.run_checked(&mut healthy).is_ok(),
+        "no false positives"
+    );
 
     let mut checked = 0;
     for pair in &report.pairs {
@@ -53,5 +59,8 @@ fn full_workflow_on_the_real_alu() {
             checked += 1;
         }
     }
-    assert!(checked >= 1, "the suite detects at least one modeled failure");
+    assert!(
+        checked >= 1,
+        "the suite detects at least one modeled failure"
+    );
 }
