@@ -1,0 +1,205 @@
+//! Fleet-scale detection: scheduling policies compared at equal budget.
+//!
+//! Builds the ALU and FPU pools once (phases 1–2), then simulates the
+//! same seeded fleet under each scan policy — identical machines,
+//! identical faults, identical per-epoch cycle budget — and compares
+//! mean detection latency, coverage, and quarantine quality. Averaged
+//! over several seeds so no policy wins on a lucky draw.
+//!
+//! Writes the aggregate to `bench_results/fleet_detection.json` (via
+//! the fleet's canonical JSON writer, so the artifact is
+//! byte-reproducible) alongside the human-readable table on stdout.
+//!
+//! Run: `cargo run --release -p vega-bench --bin fleet_detection`
+//! (set `VEGA_QUICK=1` for a smoke-sized fleet)
+
+use vega::{build_unit_pool, Fleet, FleetConfig, Policy, UnitPool};
+use vega_bench::{lift, print_table, quick, setup_units};
+use vega_fleet::Json;
+
+struct PolicyAggregate {
+    policy: Policy,
+    latency: f64,
+    coverage: f64,
+    quarantined: f64,
+    false_quarantines: u64,
+    cleared: u64,
+    tests: u64,
+    cycles: u64,
+    per_seed: Vec<(u64, f64, f64)>,
+}
+
+fn main() {
+    println!("== Fleet detection: scheduling policies at equal budget ==\n");
+    let (alu, fpu) = setup_units();
+    let pools: Vec<UnitPool> = [&alu, &fpu]
+        .into_iter()
+        .map(|setup| {
+            let report = lift(setup, false);
+            build_unit_pool(setup.name, &setup.unit, &setup.analysis, &report)
+        })
+        .collect();
+    for pool in &pools {
+        println!(
+            "pool {}: {} tests, {} fault candidates",
+            pool.name,
+            pool.suite.len(),
+            pool.candidates.len()
+        );
+    }
+
+    let (machines, epochs, seeds): (usize, u64, Vec<u64>) = if quick() {
+        (16, 8, vec![1, 2])
+    } else {
+        (64, 32, vec![1, 2, 3])
+    };
+    // Equal budget for every policy: the default derivation depends only
+    // on the pools and fleet size, so pin it once explicitly.
+    let budget = {
+        let probe = FleetConfig::new(machines, epochs, Policy::RoundRobin, 1);
+        Fleet::build(pools.clone(), probe).budget_cycles()
+    };
+    println!(
+        "\nfleet: {machines} machines, {epochs} epochs, {budget} cycles/epoch, seeds {seeds:?}\n"
+    );
+
+    let mut aggregates = Vec::new();
+    for policy in Policy::ALL {
+        let mut agg = PolicyAggregate {
+            policy,
+            latency: 0.0,
+            coverage: 0.0,
+            quarantined: 0.0,
+            false_quarantines: 0,
+            cleared: 0,
+            tests: 0,
+            cycles: 0,
+            per_seed: Vec::new(),
+        };
+        for &seed in &seeds {
+            let mut config = FleetConfig::new(machines, epochs, policy, seed);
+            config.budget_cycles = Some(budget);
+            let mut fleet = Fleet::build(pools.clone(), config);
+            let telemetry = fleet.run();
+            let s = &telemetry.summary;
+            agg.latency += s.mean_detection_latency_epochs;
+            agg.coverage += s.detection_coverage;
+            agg.quarantined += s.quarantined_faulty as f64;
+            agg.false_quarantines += s.false_quarantines;
+            agg.cleared += s.cleared_suspects;
+            agg.tests += s.total_tests;
+            agg.cycles += s.total_cycles;
+            agg.per_seed
+                .push((seed, s.mean_detection_latency_epochs, s.detection_coverage));
+        }
+        let n = seeds.len() as f64;
+        agg.latency /= n;
+        agg.coverage /= n;
+        agg.quarantined /= n;
+        aggregates.push(agg);
+    }
+
+    let rows: Vec<Vec<String>> = aggregates
+        .iter()
+        .map(|a| {
+            vec![
+                a.policy.label().to_string(),
+                format!("{:.2}", a.latency),
+                format!("{:.0}%", a.coverage * 100.0),
+                format!("{:.1}", a.quarantined),
+                format!("{}", a.false_quarantines),
+                format!("{}", a.cleared),
+                format!("{}", a.tests),
+                format!("{}", a.cycles),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "policy",
+            "latency (epochs)",
+            "coverage",
+            "quarantined",
+            "false-q",
+            "cleared",
+            "tests",
+            "cycles",
+        ],
+        &rows,
+    );
+
+    let adaptive = aggregates
+        .iter()
+        .find(|a| a.policy == Policy::Adaptive)
+        .expect("adaptive aggregated");
+    let round_robin = aggregates
+        .iter()
+        .find(|a| a.policy == Policy::RoundRobin)
+        .expect("round-robin aggregated");
+    println!(
+        "\nadaptive vs round-robin: {:.2} vs {:.2} epochs mean detection latency ({})",
+        adaptive.latency,
+        round_robin.latency,
+        if adaptive.latency < round_robin.latency {
+            "adaptive wins"
+        } else {
+            "NO improvement — investigate"
+        }
+    );
+
+    let json = Json::obj(vec![
+        ("machines", Json::UInt(machines as u64)),
+        ("epochs", Json::UInt(epochs)),
+        ("budget_cycles", Json::UInt(budget)),
+        (
+            "seeds",
+            Json::Arr(seeds.iter().map(|&s| Json::UInt(s)).collect()),
+        ),
+        (
+            "policies",
+            Json::Arr(
+                aggregates
+                    .iter()
+                    .map(|a| {
+                        Json::obj(vec![
+                            ("policy", Json::Str(a.policy.label().to_string())),
+                            ("mean_detection_latency_epochs", Json::Float(a.latency)),
+                            ("detection_coverage", Json::Float(a.coverage)),
+                            ("quarantined_faulty_mean", Json::Float(a.quarantined)),
+                            ("false_quarantines", Json::UInt(a.false_quarantines)),
+                            ("cleared_suspects", Json::UInt(a.cleared)),
+                            ("total_tests", Json::UInt(a.tests)),
+                            ("total_cycles", Json::UInt(a.cycles)),
+                            (
+                                "per_seed",
+                                Json::Arr(
+                                    a.per_seed
+                                        .iter()
+                                        .map(|&(seed, latency, coverage)| {
+                                            Json::obj(vec![
+                                                ("seed", Json::UInt(seed)),
+                                                (
+                                                    "mean_detection_latency_epochs",
+                                                    Json::Float(latency),
+                                                ),
+                                                ("detection_coverage", Json::Float(coverage)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "adaptive_beats_round_robin",
+            Json::Bool(adaptive.latency < round_robin.latency),
+        ),
+    ]);
+    std::fs::create_dir_all("bench_results").expect("bench_results dir");
+    std::fs::write("bench_results/fleet_detection.json", json.to_pretty())
+        .expect("write fleet_detection.json");
+    println!("wrote bench_results/fleet_detection.json");
+}

@@ -7,6 +7,8 @@
 //! $ vega suite --unit alu --emit-c out.c    # phase 3: C aging library
 //! $ vega artifacts --unit alu --dir out/    # failing netlists as Verilog
 //! $ vega report --unit fpu                  # synthesis-style netlist report
+//! $ vega fleet --machines 64 --epochs 32 \
+//!        --policy adaptive --seed 1         # fleet-scale detection simulation
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency is in the offline
@@ -30,6 +32,8 @@ COMMANDS:
     suite       phases 1-3: build the suite; optionally emit the C library
     artifacts   export failing netlists as structural Verilog
     report      synthesis-style netlist statistics
+    fleet       simulate fleet-scale detection: scheduling, quarantine,
+                telemetry (phases 1-2 feed the machine population)
 
 COMMON OPTIONS:
     --unit <alu|fpu|adder>    unit under analysis     [default: alu]
@@ -46,6 +50,17 @@ COMMON OPTIONS:
     --stop-after <n>          (lift|suite) suspend after n new pairs
     --emit-c <path>           (suite) write the C aging library
     --dir <path>              (artifacts) output directory [default: .]
+
+FLEET OPTIONS:
+    --machines <n>            fleet size                     [default: 16]
+    --epochs <n>              epochs to simulate             [default: 8]
+    --budget <cycles>         per-epoch test-cycle budget
+                              [default: scans ~1/4 of the fleet]
+    --policy <name>           round-robin|random|adaptive    [default: adaptive]
+    --seed <u64>              master seed (fixes everything) [default: 1]
+    --fault-fraction <f64>    expected faulty fraction       [default: 0.25]
+    --out <path>              also write the telemetry JSON to a file
+                              (it always streams to stdout)
 "
 }
 
@@ -64,6 +79,13 @@ struct Options {
     stop_after: Option<usize>,
     emit_c: Option<String>,
     dir: String,
+    machines: usize,
+    epochs: u64,
+    budget: Option<u64>,
+    policy: Policy,
+    seed: u64,
+    fault_fraction: f64,
+    out: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -81,6 +103,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         stop_after: None,
         emit_c: None,
         dir: ".".into(),
+        machines: 16,
+        epochs: 8,
+        budget: None,
+        policy: Policy::Adaptive,
+        seed: 1,
+        fault_fraction: 0.25,
+        out: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -129,6 +158,35 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--emit-c" => options.emit_c = Some(value("--emit-c")?),
             "--dir" => options.dir = value("--dir")?,
+            "--machines" => {
+                options.machines = value("--machines")?
+                    .parse()
+                    .map_err(|e| format!("--machines: {e}"))?
+            }
+            "--epochs" => {
+                options.epochs = value("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--budget" => {
+                options.budget = Some(
+                    value("--budget")?
+                        .parse()
+                        .map_err(|e| format!("--budget: {e}"))?,
+                )
+            }
+            "--policy" => options.policy = value("--policy")?.parse()?,
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--fault-fraction" => {
+                options.fault_fraction = value("--fault-fraction")?
+                    .parse()
+                    .map_err(|e| format!("--fault-fraction: {e}"))?
+            }
+            "--out" => options.out = Some(value("--out")?),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown option `{other}`\n\n{}", usage())),
         }
@@ -341,7 +399,7 @@ fn cmd_artifacts(options: &Options) -> Result<(), String> {
     std::fs::create_dir_all(&options.dir).map_err(|e| format!("mkdir {}: {e}", options.dir))?;
     let mut written = BTreeMap::new();
     for (index, &path) in pairs.iter().enumerate() {
-        for value in [FaultValue::Zero, FaultValue::One, FaultValue::Random] {
+        for value in FaultValue::ALL {
             let failing =
                 build_failing_netlist(&unit.netlist, path, value, FaultActivation::OnChange);
             let file = format!(
@@ -349,11 +407,7 @@ fn cmd_artifacts(options: &Options) -> Result<(), String> {
                 options.dir,
                 unit.netlist.name(),
                 index,
-                match value {
-                    FaultValue::Zero => "c0",
-                    FaultValue::One => "c1",
-                    FaultValue::Random => "cr",
-                }
+                value.suffix()
             );
             std::fs::write(&file, vega_netlist::verilog::write_verilog(&failing))
                 .map_err(|e| format!("writing {file}: {e}"))?;
@@ -363,6 +417,69 @@ fn cmd_artifacts(options: &Options) -> Result<(), String> {
     for (file, target) in written {
         println!("{file}  # {target}");
     }
+    Ok(())
+}
+
+fn cmd_fleet(options: &Options) -> Result<(), String> {
+    let (unit, config, analysis) = phase1(options)?;
+    let pairs: Vec<AgingPath> = analysis
+        .unique_pairs
+        .iter()
+        .copied()
+        .take(options.pairs)
+        .collect();
+    let report = lift_errors(&unit, &pairs, &config);
+    let pool = build_unit_pool(&options.unit, &unit, &analysis, &report);
+    if pool.suite.is_empty() {
+        return Err(format!(
+            "unit `{}` lifted no test cases; a fleet without tests cannot detect anything \
+             (try more --pairs or --fuzz-fallback)",
+            options.unit
+        ));
+    }
+    eprintln!(
+        "pool `{}`: {} tests, {} fault candidates",
+        pool.name,
+        pool.suite.len(),
+        pool.candidates.len()
+    );
+    let mut fleet_config = FleetConfig::new(
+        options.machines,
+        options.epochs,
+        options.policy,
+        options.seed,
+    );
+    fleet_config.budget_cycles = options.budget;
+    fleet_config.fault_fraction = options.fault_fraction;
+    let mut fleet = Fleet::build(vec![pool], fleet_config);
+    eprintln!(
+        "fleet: {} machines, {} epochs, {} cycles/epoch, policy {}",
+        options.machines,
+        options.epochs,
+        fleet.budget_cycles(),
+        options.policy
+    );
+    let telemetry = fleet.run();
+    let s = &telemetry.summary;
+    eprintln!(
+        "faulty {}/{} | detected {} | quarantined {} (false: {}) | \
+         mean detection latency {:.2} epochs | coverage {:.0}% | {} tests, {} cycles",
+        s.faulty,
+        s.machines,
+        s.detected_faulty,
+        s.quarantined_faulty,
+        s.false_quarantines,
+        s.mean_detection_latency_epochs,
+        s.detection_coverage * 100.0,
+        s.total_tests,
+        s.total_cycles
+    );
+    let json = telemetry.to_json_string();
+    if let Some(path) = &options.out {
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote fleet telemetry to {path}");
+    }
+    print!("{json}");
     Ok(())
 }
 
@@ -391,6 +508,7 @@ fn main() -> ExitCode {
         "suite" => cmd_suite(&options),
         "artifacts" => cmd_artifacts(&options),
         "report" => cmd_report(&options),
+        "fleet" => cmd_fleet(&options),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())

@@ -61,6 +61,11 @@ pub mod persist;
 pub mod runner;
 
 pub use vega_aging::{AgingAwareTimingLibrary, AgingModel};
+pub use vega_fleet::{
+    adaptive_score, failure_mode_of, EpochTelemetry, FaultCandidate, Fleet, FleetConfig,
+    FleetSummary, FleetTelemetry, HealthState, InjectedFault, Machine, MachineId, MachineTelemetry,
+    OutcomeTally, Policy, PoolTelemetry, UnitPool,
+};
 pub use vega_integrate::{
     emit_c_library, integrate, AgingFault, AgingLibrary, DetectionReport, IntegratedProgram,
     PgiConfig, Schedule,
@@ -311,6 +316,64 @@ pub fn lift_errors(
         &lift_config(config),
         config.threads,
     )
+}
+
+/// Bridge phases 1–2 into the fleet simulation: package a prepared
+/// unit, its aging analysis, and its lifted suite as a
+/// [`vega_fleet::UnitPool`].
+///
+/// Per-test severities are the `|slack|` (ns) of each test's targeted
+/// pair in the aged timing report — the signal the adaptive policy's
+/// severity-ranked test ordering reuses. Fault candidates are the
+/// successfully lifted pairs, kept in the analysis' worst-slack order,
+/// so a fleet built from this pool only injects faults the suite can in
+/// principle detect.
+pub fn build_unit_pool(
+    name: &str,
+    unit: &PreparedUnit,
+    analysis: &AgingAnalysis,
+    report: &LiftReport,
+) -> UnitPool {
+    let mut severity_of: std::collections::HashMap<AgingPath, f64> =
+        std::collections::HashMap::new();
+    for path in analysis
+        .report
+        .setup_violations
+        .iter()
+        .chain(&analysis.report.hold_violations)
+    {
+        if let Some(aging_path) = AgingPath::from_timing_path(path) {
+            let severity = path.slack_ns.abs();
+            let entry = severity_of.entry(aging_path).or_insert(severity);
+            if severity > *entry {
+                *entry = severity;
+            }
+        }
+    }
+    let mut suite = Vec::new();
+    let mut severity_ns = Vec::new();
+    let mut candidates = Vec::new();
+    for pair in &report.pairs {
+        let severity = severity_of.get(&pair.path).copied().unwrap_or(0.0);
+        for test in pair.test_cases() {
+            suite.push(test.clone());
+            severity_ns.push(severity);
+        }
+        if pair.class() == PairClass::Success {
+            candidates.push(FaultCandidate {
+                path: pair.path,
+                severity_ns: severity,
+            });
+        }
+    }
+    UnitPool {
+        name: name.into(),
+        module: unit.module,
+        healthy: unit.netlist.clone(),
+        suite,
+        severity_ns,
+        candidates,
+    }
 }
 
 /// Gather an SP profile for a standalone unit by driving it with seeded

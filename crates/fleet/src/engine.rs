@@ -1,0 +1,679 @@
+//! The fleet engine: a deterministic, seeded discrete-event simulation
+//! of a machine fleet under proactive runtime SDC testing.
+//!
+//! Time advances in **epochs**. Each epoch the central scheduler spends
+//! a fixed CPU-cycle budget dispatching Phase-3 test visits across the
+//! fleet: first confirmation retests for machines already under
+//! suspicion, then policy-driven scan visits ([`Policy`]). Detections
+//! drive the quarantine state machine ([`HealthState`]); everything the
+//! fleet observes lands in [`FleetTelemetry`].
+//!
+//! The whole simulation is wall-clock-free and bit-reproducible: one
+//! seeded RNG drives fleet construction and scheduling noise, and each
+//! visit's gate-level simulator is seeded from a deterministic mix of
+//! `(fleet seed, machine, epoch, visit counter)` — the same discipline
+//! as the repo's experiment binaries.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use vega_integrate::{AgingLibrary, Schedule};
+use vega_lift::{build_failing_netlist, FaultActivation, FaultValue, ModuleKind, TestCase};
+use vega_sim::Simulator;
+
+use crate::machine::{
+    failure_mode_of, FaultCandidate, HealthState, InjectedFault, Machine, MachineId,
+};
+use crate::policy::{adaptive_score, Policy};
+use crate::telemetry::{
+    EpochTelemetry, FleetSummary, FleetTelemetry, MachineTelemetry, OutcomeTally, PoolTelemetry,
+};
+
+/// One module type's worth of fleet inventory: the healthy netlist, the
+/// Phase-3 suite machines of this type run, per-test severity from the
+/// aging-aware STA, and the lifted pairs usable as injected faults.
+#[derive(Debug, Clone)]
+pub struct UnitPool {
+    /// Pool name used in telemetry (e.g. `alu`).
+    pub name: String,
+    /// The module's port protocol.
+    pub module: ModuleKind,
+    /// The healthy signed-off netlist.
+    pub healthy: vega_netlist::Netlist,
+    /// The Phase-3 test suite for this unit.
+    pub suite: Vec<TestCase>,
+    /// Per-test severity: `|slack|` (ns) of the aging-prone path the
+    /// test targets. Parallel to `suite`; drives the adaptive policy's
+    /// severity-ranked test ordering.
+    pub severity_ns: Vec<f64>,
+    /// Lifted pairs a faulty machine of this pool may carry (worst
+    /// slack first, by convention).
+    pub candidates: Vec<FaultCandidate>,
+}
+
+impl UnitPool {
+    /// A pool with uniform (zero) severities — severity ranking then
+    /// degenerates to construction order.
+    pub fn uniform(
+        name: impl Into<String>,
+        module: ModuleKind,
+        healthy: vega_netlist::Netlist,
+        suite: Vec<TestCase>,
+        candidates: Vec<FaultCandidate>,
+    ) -> UnitPool {
+        let severity_ns = vec![0.0; suite.len()];
+        UnitPool {
+            name: name.into(),
+            module,
+            healthy,
+            suite,
+            severity_ns,
+            candidates,
+        }
+    }
+
+    /// Suite indices in descending severity (ties broken by index, so
+    /// the order is total and deterministic).
+    pub fn severity_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.suite.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.severity_ns[b]
+                .partial_cmp(&self.severity_ns[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order
+    }
+}
+
+/// Fleet-simulation configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of machines.
+    pub machines: usize,
+    /// Epochs to simulate.
+    pub epochs: u64,
+    /// Per-epoch CPU-cycle budget; `None` derives a default that visits
+    /// roughly a quarter of the fleet per epoch.
+    pub budget_cycles: Option<u64>,
+    /// Scan-scheduling policy.
+    pub policy: Policy,
+    /// Master seed; fixes fleet composition and every scheduling and
+    /// simulation decision.
+    pub seed: u64,
+    /// Target fraction of the fleet carrying an injected fault. Actual
+    /// faultiness is age-weighted: a machine's probability is
+    /// `2 * fault_fraction * age / max_age`, so old machines break more
+    /// often and the expectation over the fleet stays `fault_fraction`.
+    pub fault_fraction: f64,
+    /// Confirming retests (beyond the triggering detection) required to
+    /// quarantine.
+    pub confirmations: u32,
+    /// Tests per scan visit.
+    pub tests_per_visit: usize,
+    /// Per-visit probability of a spurious detection (test-environment
+    /// noise); exercises the false-quarantine defenses.
+    pub flake_probability: f64,
+    /// Oldest machine in the fleet, in years.
+    pub max_age_years: f64,
+}
+
+impl FleetConfig {
+    /// Defaults for everything but the dimensions the caller always
+    /// chooses.
+    pub fn new(machines: usize, epochs: u64, policy: Policy, seed: u64) -> FleetConfig {
+        FleetConfig {
+            machines,
+            epochs,
+            budget_cycles: None,
+            policy,
+            seed,
+            fault_fraction: 0.25,
+            confirmations: 2,
+            tests_per_visit: 4,
+            flake_probability: 0.002,
+            max_age_years: 12.0,
+        }
+    }
+}
+
+/// SplitMix64: decorrelates derived seeds from the master seed and the
+/// visit coordinates.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The explicit budget, or a default sized so one epoch scans roughly a
+/// quarter of the fleet at the mean per-test cost.
+fn resolve_budget(pools: &[UnitPool], config: &FleetConfig) -> u64 {
+    config.budget_cycles.unwrap_or_else(|| {
+        let total: u64 = pools
+            .iter()
+            .flat_map(|p| p.suite.iter())
+            .map(|t| t.cpu_cycles)
+            .sum();
+        let count: u64 = pools.iter().map(|p| p.suite.len() as u64).sum();
+        let mean = (total / count.max(1)).max(1);
+        mean * config.tests_per_visit.max(1) as u64 * (config.machines as u64 / 4).max(1)
+    })
+}
+
+/// What one visit observed, after the flake model.
+struct VisitResult {
+    /// The suite indices that ran.
+    tests: Vec<usize>,
+    /// Cycles charged against the epoch budget.
+    cycles: u64,
+    /// Whether a (real) test detected a fault.
+    detected: bool,
+    /// Whether the flake model injected a spurious detection.
+    flake: bool,
+}
+
+/// The fleet simulator. Build with [`Fleet::build`], run with
+/// [`Fleet::run`]; the machines remain inspectable afterwards.
+#[derive(Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+    pools: Vec<UnitPool>,
+    severity_orders: Vec<Vec<usize>>,
+    machines: Vec<Machine>,
+    rng: StdRng,
+    budget_cycles: u64,
+    rr_next: usize,
+    visit_seq: u64,
+    epoch: u64,
+    tally: OutcomeTally,
+    pool_detections: Vec<u64>,
+    per_epoch: Vec<EpochTelemetry>,
+}
+
+impl Fleet {
+    /// Sample a fleet: each machine gets a pool (round-robin across
+    /// pools), a seeded age, and — with age-weighted probability — one
+    /// of the pool's failing netlists at `C ∈ {0, 1, random}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pools` is empty, any pool's suite is empty, or
+    /// `config.machines` is zero.
+    pub fn build(pools: Vec<UnitPool>, config: FleetConfig) -> Fleet {
+        assert!(!pools.is_empty(), "a fleet needs at least one unit pool");
+        assert!(config.machines > 0, "a fleet needs at least one machine");
+        for pool in &pools {
+            assert!(
+                !pool.suite.is_empty(),
+                "pool `{}` has an empty test suite",
+                pool.name
+            );
+            assert_eq!(
+                pool.suite.len(),
+                pool.severity_ns.len(),
+                "pool `{}`: severity_ns must be parallel to suite",
+                pool.name
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(mix(config.seed));
+        let mut machines = Vec::with_capacity(config.machines);
+        for index in 0..config.machines {
+            let pool_index = index % pools.len();
+            let pool = &pools[pool_index];
+            let age_years = config.max_age_years * rng.gen::<f64>();
+            let p_fault = (2.0 * config.fault_fraction * age_years
+                / config.max_age_years.max(f64::MIN_POSITIVE))
+            .clamp(0.0, 1.0);
+            let is_faulty = rng.gen_bool(p_fault) && !pool.candidates.is_empty();
+            let (netlist, fault) = if is_faulty {
+                // Bias candidate choice toward the worst-slack pairs:
+                // those paths have the least margin and age out first.
+                let u = rng.gen::<f64>();
+                let candidate_index = ((u * u * pool.candidates.len() as f64) as usize)
+                    .min(pool.candidates.len() - 1);
+                let candidate = &pool.candidates[candidate_index];
+                let value = match rng.gen_range(0..3usize) {
+                    0 => FaultValue::Zero,
+                    1 => FaultValue::One,
+                    _ => FaultValue::Random,
+                };
+                let failing = build_failing_netlist(
+                    &pool.healthy,
+                    candidate.path,
+                    value,
+                    FaultActivation::OnChange,
+                );
+                let fault = InjectedFault {
+                    path_label: candidate.path.label(&pool.healthy),
+                    mode: failure_mode_of(value),
+                    severity_ns: candidate.severity_ns,
+                };
+                (failing, Some(fault))
+            } else {
+                (pool.healthy.clone(), None)
+            };
+            machines.push(Machine::new(
+                MachineId(index),
+                pool_index,
+                age_years,
+                netlist,
+                fault,
+            ));
+        }
+        let budget_cycles = resolve_budget(&pools, &config);
+        let severity_orders = pools.iter().map(UnitPool::severity_order).collect();
+        let pool_count = pools.len();
+        Fleet {
+            config,
+            pools,
+            severity_orders,
+            machines,
+            rng,
+            budget_cycles,
+            rr_next: 0,
+            visit_seq: 0,
+            epoch: 0,
+            tally: OutcomeTally::default(),
+            pool_detections: vec![0; pool_count],
+            per_epoch: Vec::new(),
+        }
+    }
+
+    /// Assemble a fleet from explicitly constructed machines instead of
+    /// seeded sampling — the hook for tests (and embedders) that need an
+    /// exact fleet composition. Scheduling remains seeded by
+    /// `config.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Same validation as [`Fleet::build`], plus every machine's `pool`
+    /// index must be in range.
+    pub fn from_machines(
+        pools: Vec<UnitPool>,
+        config: FleetConfig,
+        machines: Vec<Machine>,
+    ) -> Fleet {
+        assert!(!pools.is_empty(), "a fleet needs at least one unit pool");
+        assert!(!machines.is_empty(), "a fleet needs at least one machine");
+        for machine in &machines {
+            assert!(
+                machine.pool < pools.len(),
+                "machine {} references pool {} of {}",
+                machine.id,
+                machine.pool,
+                pools.len()
+            );
+        }
+        let mut config = config;
+        config.machines = machines.len();
+        let budget_cycles = resolve_budget(&pools, &config);
+        let severity_orders = pools.iter().map(UnitPool::severity_order).collect();
+        let pool_count = pools.len();
+        Fleet {
+            rng: StdRng::seed_from_u64(mix(config.seed)),
+            config,
+            pools,
+            severity_orders,
+            machines,
+            budget_cycles,
+            rr_next: 0,
+            visit_seq: 0,
+            epoch: 0,
+            tally: OutcomeTally::default(),
+            pool_detections: vec![0; pool_count],
+            per_epoch: Vec::new(),
+        }
+    }
+
+    /// The resolved per-epoch cycle budget.
+    pub fn budget_cycles(&self) -> u64 {
+        self.budget_cycles
+    }
+
+    /// The machines, in id order.
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// Run every configured epoch and aggregate the telemetry.
+    pub fn run(&mut self) -> FleetTelemetry {
+        while self.epoch < self.config.epochs {
+            let stats = self.run_epoch();
+            self.per_epoch.push(stats);
+            self.epoch += 1;
+        }
+        self.telemetry()
+    }
+
+    /// Simulate one epoch: confirmation retests first, then policy scan
+    /// visits, until the cycle budget runs out.
+    fn run_epoch(&mut self) -> EpochTelemetry {
+        let mut stats = EpochTelemetry {
+            epoch: self.epoch,
+            ..EpochTelemetry::default()
+        };
+        let mut remaining = self.budget_cycles;
+
+        // Pending confirmations carried over from earlier epochs are
+        // the most urgent work: a suspected machine is either failing
+        // (quarantine it) or healthy-but-suspect (clear it and return
+        // its capacity).
+        for index in 0..self.machines.len() {
+            if matches!(self.machines[index].health, HealthState::Suspected { .. }) {
+                self.confirmation_loop(index, &mut remaining, &mut stats);
+            }
+        }
+
+        let order = self.scan_order();
+        for index in order {
+            if remaining == 0 {
+                break;
+            }
+            if !self.machines[index].in_rotation()
+                || matches!(self.machines[index].health, HealthState::Suspected { .. })
+            {
+                continue;
+            }
+            let tests = self.tests_for_scan(index);
+            let Some((tests, cost)) = self.fit_budget(index, tests, remaining) else {
+                // Not even one test fits: the epoch is spent.
+                break;
+            };
+            let result = self.run_visit(index, &tests, cost);
+            remaining -= result.cycles;
+            stats.scan_visits += 1;
+            stats.tests_run += result.tests.len() as u64;
+            stats.cycles_spent += result.cycles;
+            self.machines[index].visits += 1;
+            self.machines[index].tests_run += result.tests.len() as u64;
+            self.rr_next = (index + 1) % self.machines.len();
+            self.apply_result(index, &result, &mut stats);
+            if matches!(self.machines[index].health, HealthState::Suspected { .. }) {
+                // Confirm or clear immediately while budget lasts.
+                self.confirmation_loop(index, &mut remaining, &mut stats);
+            }
+        }
+        stats
+    }
+
+    /// Re-run a suspected machine's triggering tests until it is
+    /// quarantined, cleared, or the budget runs out.
+    fn confirmation_loop(&mut self, index: usize, remaining: &mut u64, stats: &mut EpochTelemetry) {
+        loop {
+            let HealthState::Suspected { tests, .. } = self.machines[index].health.clone() else {
+                return;
+            };
+            let Some((tests, cost)) = self.fit_budget(index, tests, *remaining) else {
+                return; // stays suspected; retried next epoch
+            };
+            let result = self.run_visit(index, &tests, cost);
+            *remaining -= result.cycles;
+            stats.retest_visits += 1;
+            stats.tests_run += result.tests.len() as u64;
+            stats.cycles_spent += result.cycles;
+            self.machines[index].tests_run += result.tests.len() as u64;
+            self.apply_result(index, &result, stats);
+        }
+    }
+
+    /// Machine visit order for this epoch's scan phase.
+    fn scan_order(&mut self) -> Vec<usize> {
+        let in_rotation: Vec<usize> = (0..self.machines.len())
+            .filter(|&i| self.machines[i].in_rotation())
+            .collect();
+        match self.config.policy {
+            Policy::RoundRobin => {
+                let start = self.rr_next;
+                let mut order = in_rotation;
+                order.sort_by_key(|&i| (i + self.machines.len() - start) % self.machines.len());
+                order
+            }
+            Policy::Random => {
+                let mut order = in_rotation;
+                order.shuffle(&mut self.rng);
+                order
+            }
+            Policy::Adaptive => {
+                let mut order = in_rotation;
+                order.sort_by(|&a, &b| {
+                    self.machine_score(b)
+                        .partial_cmp(&self.machine_score(a))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                order
+            }
+        }
+    }
+
+    fn machine_score(&self, index: usize) -> f64 {
+        let machine = &self.machines[index];
+        let suite_len = self.pools[machine.pool].suite.len() as f64;
+        let covered = (machine.tests_run as f64 / suite_len.max(1.0)).min(1.0);
+        adaptive_score(machine.age_years, machine.flakes, covered)
+    }
+
+    /// The suite indices a scan visit of `machine` runs, per policy.
+    fn tests_for_scan(&mut self, index: usize) -> Vec<usize> {
+        let pool_index = self.machines[index].pool;
+        let suite_len = self.pools[pool_index].suite.len();
+        let take = self.config.tests_per_visit.max(1).min(suite_len);
+        let (base, start) = match self.config.policy {
+            // Construction order from the machine's rotating cursor.
+            Policy::RoundRobin => (None, self.machines[index].cursor),
+            // Construction order from a fresh random offset.
+            Policy::Random => (None, self.rng.gen_range(0..suite_len)),
+            // Severity order (worst STA slack first) from the cursor.
+            Policy::Adaptive => (Some(&self.severity_orders[pool_index]), {
+                self.machines[index].cursor
+            }),
+        };
+        let tests: Vec<usize> = (0..take)
+            .map(|k| {
+                let position = (start + k) % suite_len;
+                match base {
+                    Some(order) => order[position],
+                    None => position,
+                }
+            })
+            .collect();
+        if !matches!(self.config.policy, Policy::Random) {
+            self.machines[index].cursor = (start + take) % suite_len;
+        }
+        tests
+    }
+
+    /// Trim `tests` to the prefix that fits in `remaining` cycles.
+    /// Returns `None` when not even the first test fits.
+    fn fit_budget(
+        &self,
+        index: usize,
+        tests: Vec<usize>,
+        remaining: u64,
+    ) -> Option<(Vec<usize>, u64)> {
+        let pool = &self.pools[self.machines[index].pool];
+        let mut cost = 0u64;
+        let mut kept = Vec::with_capacity(tests.len());
+        for test in tests {
+            let cycles = pool.suite[test].cpu_cycles;
+            if cost + cycles > remaining {
+                break;
+            }
+            cost += cycles;
+            kept.push(test);
+        }
+        if kept.is_empty() {
+            None
+        } else {
+            Some((kept, cost))
+        }
+    }
+
+    /// Execute `tests` on `machine`'s own netlist through the Phase-3
+    /// aging library, then apply the flake model.
+    fn run_visit(&mut self, index: usize, tests: &[usize], cost: u64) -> VisitResult {
+        let machine = &self.machines[index];
+        let pool = &self.pools[machine.pool];
+        let selected: Vec<TestCase> = tests.iter().map(|&t| pool.suite[t].clone()).collect();
+        let mut library = AgingLibrary::new(pool.module, selected, Schedule::Sequential);
+        let seed = mix(self
+            .config
+            .seed
+            .wrapping_add(mix(machine.id.0 as u64))
+            .wrapping_add(mix(self.epoch << 20 | self.visit_seq)));
+        self.visit_seq += 1;
+        let mut sim = Simulator::with_seed(&machine.netlist, seed);
+        let report = library.run_once(&mut sim);
+        self.tally.ingest(&report);
+        let detected = report.detected();
+        if detected {
+            self.pool_detections[machine.pool] += 1;
+        }
+        let flake = !detected && self.rng.gen_bool(self.config.flake_probability);
+        VisitResult {
+            tests: tests.to_vec(),
+            cycles: cost,
+            detected,
+            flake,
+        }
+    }
+
+    /// Drive the quarantine state machine with one visit's outcome.
+    fn apply_result(&mut self, index: usize, result: &VisitResult, stats: &mut EpochTelemetry) {
+        let epoch = self.epoch;
+        let machine = &mut self.machines[index];
+        let observed_detection = result.detected || result.flake;
+        if result.flake {
+            stats.flakes_injected += 1;
+        }
+        if observed_detection {
+            stats.detections += 1;
+        }
+        if result.detected && machine.first_detection_epoch.is_none() {
+            machine.first_detection_epoch = Some(epoch);
+        }
+        match (&mut machine.health, observed_detection) {
+            (HealthState::Healthy, true) => {
+                machine.health = HealthState::Suspected {
+                    consecutive: 1,
+                    tests: result.tests.clone(),
+                };
+                stats.new_suspects += 1;
+            }
+            (HealthState::Suspected { consecutive, .. }, true) => {
+                *consecutive += 1;
+                if *consecutive > self.config.confirmations {
+                    machine.health = HealthState::Quarantined;
+                    machine.quarantine_epoch = Some(epoch);
+                    stats.new_quarantines += 1;
+                    if !machine.truly_faulty() {
+                        stats.false_quarantines += 1;
+                    }
+                }
+            }
+            (HealthState::Suspected { .. }, false) => {
+                machine.health = HealthState::Healthy;
+                machine.flakes += 1;
+                stats.cleared_suspects += 1;
+            }
+            (HealthState::Healthy, false) | (HealthState::Quarantined, _) => {}
+        }
+    }
+
+    /// Assemble the end-of-run telemetry artifact.
+    fn telemetry(&self) -> FleetTelemetry {
+        let horizon = self.config.epochs;
+        let faulty: Vec<&Machine> = self.machines.iter().filter(|m| m.truly_faulty()).collect();
+        let detected_faulty = faulty
+            .iter()
+            .filter(|m| m.first_detection_epoch.is_some())
+            .count() as u64;
+        let quarantined_faulty = faulty
+            .iter()
+            .filter(|m| matches!(m.health, HealthState::Quarantined))
+            .count() as u64;
+        let false_quarantines = self
+            .machines
+            .iter()
+            .filter(|m| !m.truly_faulty() && matches!(m.health, HealthState::Quarantined))
+            .count() as u64;
+        let latency_sum: u64 = faulty
+            .iter()
+            .map(|m| m.first_detection_epoch.unwrap_or(horizon))
+            .sum();
+        let mean_latency = if faulty.is_empty() {
+            0.0
+        } else {
+            latency_sum as f64 / faulty.len() as f64
+        };
+        let coverage = if faulty.is_empty() {
+            1.0
+        } else {
+            detected_faulty as f64 / faulty.len() as f64
+        };
+        let per_pool = self
+            .pools
+            .iter()
+            .enumerate()
+            .map(|(pi, pool)| PoolTelemetry {
+                pool: pool.name.clone(),
+                machines: self.machines.iter().filter(|m| m.pool == pi).count() as u64,
+                faulty: self
+                    .machines
+                    .iter()
+                    .filter(|m| m.pool == pi && m.truly_faulty())
+                    .count() as u64,
+                detections: self.pool_detections[pi],
+                quarantined: self
+                    .machines
+                    .iter()
+                    .filter(|m| m.pool == pi && matches!(m.health, HealthState::Quarantined))
+                    .count() as u64,
+            })
+            .collect();
+        let per_machine = self
+            .machines
+            .iter()
+            .map(|m| MachineTelemetry {
+                id: m.id.0,
+                pool: self.pools[m.pool].name.clone(),
+                age_years: m.age_years,
+                fault: m.fault.clone(),
+                final_health: m.health.label().to_string(),
+                flakes: m.flakes,
+                visits: m.visits,
+                tests_run: m.tests_run,
+                first_detection_epoch: m.first_detection_epoch,
+                quarantine_epoch: m.quarantine_epoch,
+            })
+            .collect();
+        let total_cycles: u64 = self.per_epoch.iter().map(|e| e.cycles_spent).sum();
+        let total_tests: u64 = self.per_epoch.iter().map(|e| e.tests_run).sum();
+        let cleared: u64 = self.per_epoch.iter().map(|e| e.cleared_suspects).sum();
+        FleetTelemetry {
+            machines: self.config.machines as u64,
+            epochs: self.config.epochs,
+            budget_cycles: self.budget_cycles,
+            policy: self.config.policy.label().to_string(),
+            seed: self.config.seed,
+            per_epoch: self.per_epoch.clone(),
+            per_pool,
+            per_machine,
+            summary: FleetSummary {
+                machines: self.config.machines as u64,
+                faulty: faulty.len() as u64,
+                detected_faulty,
+                quarantined_faulty,
+                false_quarantines,
+                cleared_suspects: cleared,
+                mean_detection_latency_epochs: mean_latency,
+                detection_coverage: coverage,
+                total_cycles,
+                total_tests,
+                outcomes: self.tally,
+            },
+        }
+    }
+}

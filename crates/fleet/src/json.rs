@@ -1,0 +1,191 @@
+//! A canonical JSON writer for telemetry artifacts.
+//!
+//! Fleet telemetry must be **byte-reproducible** under a fixed seed: two
+//! runs of the same configuration have to produce identical files so the
+//! CI determinism gate can diff them. This tiny value type guarantees
+//! that: object keys keep their insertion order (the telemetry types
+//! emit them in a fixed order), floats render through Rust's
+//! shortest-roundtrip `Display`, and the writer itself has no
+//! configuration. The telemetry types additionally derive
+//! `serde::Serialize`/`Deserialize`, so embedding applications can use
+//! any serde format; this writer is only the canonical file format.
+
+use std::fmt::Write as _;
+
+/// A JSON value with deterministic rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// An unsigned integer (renders without a decimal point).
+    UInt(u64),
+    /// A signed integer (renders without a decimal point).
+    Int(i64),
+    /// A float, rendered with Rust's shortest-roundtrip formatting.
+    /// Non-finite values render as `null` (like serde_json).
+    Float(f64),
+    /// A string, escaped per RFC 8259.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object members.
+    pub fn obj(members: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Render compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render pretty-printed with two-space indentation and a trailing
+    /// newline — the canonical artifact format.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // Keep integral floats visibly floats ("1.0", not
+                    // "1") so the field's type never flaps between runs.
+                    if f.fract() == 0.0 && f.abs() < 1e15 {
+                        let _ = write!(out, "{f:.1}");
+                    } else {
+                        let _ = write!(out, "{f}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1)
+            }),
+            Json::Obj(members) => {
+                write_seq(out, indent, depth, '{', '}', members.len(), |out, i| {
+                    let (key, value) = &members[i];
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1)
+                })
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..width * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_nesting() {
+        let v = Json::obj(vec![
+            ("n", Json::UInt(3)),
+            ("f", Json::Float(0.25)),
+            ("whole", Json::Float(2.0)),
+            ("s", Json::Str("a\"b\n".into())),
+            ("a", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        assert_eq!(
+            v.to_compact(),
+            r#"{"n":3,"f":0.25,"whole":2.0,"s":"a\"b\n","a":[true,null],"empty":[]}"#
+        );
+        let pretty = v.to_pretty();
+        assert!(pretty.starts_with("{\n  \"n\": 3,\n"));
+        assert!(pretty.ends_with("}\n"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let v = Json::obj(vec![
+            ("pi", Json::Float(std::f64::consts::PI)),
+            ("neg", Json::Int(-7)),
+        ]);
+        assert_eq!(v.to_pretty(), v.to_pretty());
+        assert_eq!(v.to_compact(), "{\"pi\":3.141592653589793,\"neg\":-7}");
+    }
+}

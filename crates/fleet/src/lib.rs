@@ -1,0 +1,52 @@
+//! # vega-fleet — fleet-scale runtime SDC detection
+//!
+//! The paper's pipeline (synthesize → lift → integrate) produces a
+//! Phase-3 test suite for *one* unit. Production deployment is a fleet
+//! problem: thousands of heterogeneously-aged machines, a bounded test
+//! budget, and an operator who must decide *which machine to test next*
+//! and *when to pull one out of service*. This crate closes that loop
+//! with a deterministic, seeded discrete-event simulation:
+//!
+//! - [`Machine`]: per-instance aging state — years in service, a
+//!   per-path severity draw, and (for a seeded minority) a Phase-2
+//!   failing netlist at `C ∈ {0, 1, random}` in place of the healthy
+//!   unit.
+//! - [`Policy`]: scan-scheduling policies (`round-robin`, `random`,
+//!   `adaptive`); the adaptive policy prioritizes machines by age,
+//!   flake history, and uncovered suite fraction, and orders each
+//!   visit's tests by STA-slack severity.
+//! - [`HealthState`]: the quarantine state machine
+//!   (healthy → suspected → quarantined) with confirmation retests, so
+//!   one flaky detection never costs fleet capacity.
+//! - [`FleetTelemetry`]: the aggregated artifact — per-epoch counters,
+//!   per-pool and per-machine breakdowns, detection latency and
+//!   coverage — rendered byte-reproducibly by [`crate::json::Json`]
+//!   and serde-serializable for external tooling.
+//!
+//! Everything is wall-clock-free: under a fixed seed two runs of the
+//! same configuration produce byte-identical telemetry.
+//!
+//! ```no_run
+//! use vega_fleet::{Fleet, FleetConfig, Policy, UnitPool};
+//! # fn pools() -> Vec<UnitPool> { unimplemented!() }
+//! let config = FleetConfig::new(64, 32, Policy::Adaptive, 1);
+//! let mut fleet = Fleet::build(pools(), config);
+//! let telemetry = fleet.run();
+//! println!("{}", telemetry.to_json_string());
+//! ```
+
+pub mod engine;
+pub mod json;
+pub mod machine;
+pub mod policy;
+pub mod telemetry;
+
+pub use engine::{Fleet, FleetConfig, UnitPool};
+pub use json::Json;
+pub use machine::{
+    failure_mode_of, FaultCandidate, HealthState, InjectedFault, Machine, MachineId,
+};
+pub use policy::{adaptive_score, Policy};
+pub use telemetry::{
+    EpochTelemetry, FleetSummary, FleetTelemetry, MachineTelemetry, OutcomeTally, PoolTelemetry,
+};

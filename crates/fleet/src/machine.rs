@@ -1,0 +1,171 @@
+//! Fleet machines: per-instance aging state and the quarantine state
+//! machine.
+//!
+//! Aging is strongly instance- and workload-dependent, so a fleet is a
+//! *population* of heterogeneously-aged machines: each carries its own
+//! years-in-service, and a seeded minority runs one of the Phase-2
+//! failing netlists (`C ∈ {0, 1, random}`) instead of the healthy one —
+//! the same fault population the paper's evaluation uses (§5.1).
+
+use serde::{Deserialize, Serialize};
+
+use vega_lift::{AgingPath, FaultValue};
+use vega_netlist::Netlist;
+use vega_riscv::FailureMode;
+
+/// Identifies one machine within a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineId(pub usize);
+
+impl std::fmt::Display for MachineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{:04}", self.0)
+    }
+}
+
+/// The quarantine state machine:
+///
+/// ```text
+///             detection                 `confirmations` consecutive
+///   Healthy ────────────▶ Suspected ──────────────────────────────▶ Quarantined
+///      ▲                      │            confirming retests
+///      └──────────────────────┘
+///        a confirming retest passes (the detection was a flake)
+/// ```
+///
+/// A single detection never quarantines: the controller re-runs the
+/// suspicious tests (`confirmations` times) before pulling a machine
+/// out of service, so transient flakes — and test-environment noise —
+/// cost retest cycles, not capacity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// No unresolved detection.
+    Healthy,
+    /// A detection awaits confirmation.
+    Suspected {
+        /// Consecutive detections so far (the triggering one included).
+        consecutive: u32,
+        /// Suite indices of the tests that fired, re-run on each
+        /// confirming retest.
+        tests: Vec<usize>,
+    },
+    /// Confirmed faulty; removed from the scan rotation.
+    Quarantined,
+}
+
+impl HealthState {
+    /// Short label for telemetry/tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspected { .. } => "suspected",
+            HealthState::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Ground truth about a machine's injected fault (hidden from the
+/// scheduler; used only to build the machine's netlist and to score the
+/// run afterwards).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// Human-readable label of the broken path (e.g. `dff4->dff10 (Setup)`).
+    pub path_label: String,
+    /// The wrong-value constant behaviour (`0`, `1`, or random).
+    pub mode: FailureMode,
+    /// Severity of the broken path: `|slack|` of the violated timing
+    /// check, in ns.
+    pub severity_ns: f64,
+}
+
+/// One machine of the fleet.
+///
+/// The machine owns the netlist it actually runs — the healthy unit or a
+/// failing variant — so a [`vega_sim::Simulator`] can be instantiated
+/// per visit without the fleet holding self-referential borrows.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Fleet-wide identity.
+    pub id: MachineId,
+    /// Index of the unit pool (module type) this machine belongs to.
+    pub pool: usize,
+    /// Years in service; sampled per machine at fleet construction.
+    pub age_years: f64,
+    /// The netlist this machine executes tests on.
+    pub netlist: Netlist,
+    /// Ground truth: `Some` iff the netlist is a failing variant.
+    pub fault: Option<InjectedFault>,
+    /// Current quarantine state.
+    pub health: HealthState,
+    /// Cleared suspicions (detections that did not confirm). Feeds the
+    /// adaptive policy: flaky machines get retested sooner.
+    pub flakes: u32,
+    /// Scan visits received so far.
+    pub visits: u64,
+    /// Individual test executions so far.
+    pub tests_run: u64,
+    /// Rotating position in this machine's test ordering, so successive
+    /// visits walk the whole suite instead of re-running a fixed prefix.
+    pub cursor: usize,
+    /// Epoch of the first detection on this machine, if any.
+    pub first_detection_epoch: Option<u64>,
+    /// Epoch the machine entered quarantine, if it did.
+    pub quarantine_epoch: Option<u64>,
+}
+
+impl Machine {
+    /// A fresh machine running `netlist` (healthy unless `fault` says
+    /// otherwise).
+    pub fn new(
+        id: MachineId,
+        pool: usize,
+        age_years: f64,
+        netlist: Netlist,
+        fault: Option<InjectedFault>,
+    ) -> Machine {
+        Machine {
+            id,
+            pool,
+            age_years,
+            netlist,
+            fault,
+            health: HealthState::Healthy,
+            flakes: 0,
+            visits: 0,
+            tests_run: 0,
+            cursor: 0,
+            first_detection_epoch: None,
+            quarantine_epoch: None,
+        }
+    }
+
+    /// Whether the machine still participates in the scan rotation.
+    pub fn in_rotation(&self) -> bool {
+        !matches!(self.health, HealthState::Quarantined)
+    }
+
+    /// Whether the machine truly carries a failing netlist.
+    pub fn truly_faulty(&self) -> bool {
+        self.fault.is_some()
+    }
+}
+
+/// Maps a lift-layer fault value to the evaluation's failure-mode
+/// vocabulary.
+pub fn failure_mode_of(value: FaultValue) -> FailureMode {
+    match value {
+        FaultValue::Zero => FailureMode::Const0,
+        FaultValue::One => FailureMode::Const1,
+        FaultValue::Random => FailureMode::Random,
+    }
+}
+
+/// A lifted pair that can serve as a machine's injected fault.
+#[derive(Debug, Clone)]
+pub struct FaultCandidate {
+    /// The aging-prone path to break.
+    pub path: AgingPath,
+    /// `|slack|` of the violated check, in ns (worst-slack candidates
+    /// first is the conventional ordering).
+    pub severity_ns: f64,
+}

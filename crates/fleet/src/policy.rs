@@ -1,0 +1,101 @@
+//! Fleet scan-scheduling policies.
+//!
+//! The scheduler spends a fixed per-epoch cycle budget visiting
+//! machines; a policy decides *which machines* get visited first and
+//! *which tests* a visit runs. Confirmation retests for suspected
+//! machines are **not** a policy decision — the quarantine controller
+//! schedules those ahead of scanning in every policy, so policies are
+//! compared purely on how fast they surface new faults.
+
+use serde::{Deserialize, Serialize};
+
+/// How the scheduler orders machines and tests within an epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// Visit machines cyclically in id order; each visit walks the suite
+    /// in construction order from the machine's rotating cursor.
+    RoundRobin,
+    /// Visit machines in a fresh seeded shuffle each epoch; each visit
+    /// starts at a random position in the suite.
+    Random,
+    /// Visit machines by descending risk score — years in service,
+    /// flake history, and uncovered suite fraction — and walk each
+    /// machine's tests in descending path severity (worst STA slack
+    /// first), so the tests most likely to expose aging run earliest.
+    Adaptive,
+}
+
+impl Policy {
+    /// Every policy, in comparison order.
+    pub const ALL: [Policy; 3] = [Policy::RoundRobin, Policy::Random, Policy::Adaptive];
+
+    /// The CLI/telemetry name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::RoundRobin => "round-robin",
+            Policy::Random => "random",
+            Policy::Adaptive => "adaptive",
+        }
+    }
+}
+
+impl std::str::FromStr for Policy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Policy, String> {
+        match s {
+            "round-robin" | "rr" => Ok(Policy::RoundRobin),
+            "random" => Ok(Policy::Random),
+            "adaptive" => Ok(Policy::Adaptive),
+            other => Err(format!(
+                "unknown policy `{other}` (round-robin|random|adaptive)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The adaptive policy's machine risk score. Pure function of observable
+/// state (ground-truth faultiness is invisible to the scheduler):
+/// machines with uncovered suite fraction hide undiscovered faults,
+/// older machines age out first, and flaky machines deserve
+/// re-examination.
+///
+/// The coverage term dominates (weight 16 vs. age capped at ~3 for a
+/// 12-year fleet), so the policy sweeps the fleet in rounds — no
+/// machine starves — while age and flake history order machines
+/// *within* a round. The severity-ranked test ordering then makes each
+/// visit count: the tests targeting the worst-slack paths run first.
+pub fn adaptive_score(age_years: f64, flakes: u32, covered_fraction: f64) -> f64 {
+    16.0 * (1.0 - covered_fraction.clamp(0.0, 1.0)) + age_years / 4.0 + f64::from(flakes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_labels() {
+        for policy in Policy::ALL {
+            assert_eq!(policy.label().parse::<Policy>().unwrap(), policy);
+        }
+        assert_eq!("rr".parse::<Policy>().unwrap(), Policy::RoundRobin);
+        assert!("nope".parse::<Policy>().is_err());
+    }
+
+    #[test]
+    fn adaptive_score_prefers_old_flaky_uncovered() {
+        let fresh = adaptive_score(1.0, 0, 1.0);
+        let old = adaptive_score(10.0, 0, 1.0);
+        let flaky = adaptive_score(1.0, 3, 1.0);
+        let uncovered = adaptive_score(1.0, 0, 0.0);
+        assert!(old > fresh);
+        assert!(flaky > fresh);
+        assert!(uncovered > fresh);
+    }
+}

@@ -1,0 +1,315 @@
+//! Fleet-wide telemetry: per-epoch counters, per-machine histories, and
+//! the aggregated summary a fleet operator would alert on.
+//!
+//! Everything here derives `serde::{Serialize, Deserialize}` so
+//! per-machine [`DetectionReport`]s and fleet roll-ups can be persisted
+//! and re-aggregated by external tooling; the canonical on-disk artifact
+//! is produced by [`FleetTelemetry::to_json_string`], which renders
+//! byte-reproducibly (see [`crate::json`]).
+
+use serde::{Deserialize, Serialize};
+
+use vega_integrate::DetectionReport;
+use vega_lift::TestOutcome;
+
+use crate::json::Json;
+use crate::machine::InjectedFault;
+
+/// Counters for one epoch of fleet operation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochTelemetry {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// Policy-driven scan visits performed.
+    pub scan_visits: u64,
+    /// Confirmation retest visits performed.
+    pub retest_visits: u64,
+    /// Individual test executions.
+    pub tests_run: u64,
+    /// CPU cycles spent out of the epoch budget.
+    pub cycles_spent: u64,
+    /// Detection events observed (confirmed or not, flakes included).
+    pub detections: u64,
+    /// Spurious detections injected by the flake model.
+    pub flakes_injected: u64,
+    /// Machines newly moved `Healthy -> Suspected`.
+    pub new_suspects: u64,
+    /// Suspicions cleared by a passing confirmation retest.
+    pub cleared_suspects: u64,
+    /// Machines newly quarantined.
+    pub new_quarantines: u64,
+    /// Newly quarantined machines that were actually healthy.
+    pub false_quarantines: u64,
+}
+
+/// Aggregate of every per-visit [`DetectionReport`] the fleet produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeTally {
+    /// Tests that passed.
+    pub passes: u64,
+    /// Tests that detected a mismatch.
+    pub detections: u64,
+    /// Tests that observed a result-handshake stall.
+    pub stalls: u64,
+    /// Tests skipped as unrunnable.
+    pub skips: u64,
+}
+
+impl OutcomeTally {
+    /// Fold one per-visit report into the tally.
+    pub fn ingest(&mut self, report: &DetectionReport) {
+        for (_, outcome) in &report.outcomes {
+            match outcome {
+                TestOutcome::Pass => self.passes += 1,
+                TestOutcome::Detected { .. } => self.detections += 1,
+                TestOutcome::Stall { .. } => self.stalls += 1,
+                TestOutcome::Skipped { .. } => self.skips += 1,
+            }
+        }
+    }
+
+    /// Total tests tallied.
+    pub fn total(&self) -> u64 {
+        self.passes + self.detections + self.stalls + self.skips
+    }
+
+    fn json(&self) -> Json {
+        Json::obj(vec![
+            ("passes", Json::UInt(self.passes)),
+            ("detections", Json::UInt(self.detections)),
+            ("stalls", Json::UInt(self.stalls)),
+            ("skips", Json::UInt(self.skips)),
+        ])
+    }
+}
+
+/// Per-module (unit-pool) breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolTelemetry {
+    /// Pool name (e.g. `alu`).
+    pub pool: String,
+    /// Machines in the pool.
+    pub machines: u64,
+    /// Machines carrying an injected fault.
+    pub faulty: u64,
+    /// Detection events attributed to the pool.
+    pub detections: u64,
+    /// Machines quarantined by the end of the run.
+    pub quarantined: u64,
+}
+
+/// One machine's end-of-run record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineTelemetry {
+    /// Machine index.
+    pub id: usize,
+    /// Pool name.
+    pub pool: String,
+    /// Sampled years in service.
+    pub age_years: f64,
+    /// Ground truth: the injected fault, if any.
+    pub fault: Option<InjectedFault>,
+    /// Final quarantine state label.
+    pub final_health: String,
+    /// Cleared suspicions.
+    pub flakes: u32,
+    /// Scan visits received.
+    pub visits: u64,
+    /// Tests executed.
+    pub tests_run: u64,
+    /// Epoch of the first detection on this machine.
+    pub first_detection_epoch: Option<u64>,
+    /// Epoch the machine entered quarantine.
+    pub quarantine_epoch: Option<u64>,
+}
+
+/// End-of-run aggregates.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// Fleet size.
+    pub machines: u64,
+    /// Machines with an injected fault (ground truth).
+    pub faulty: u64,
+    /// Faulty machines with at least one detection.
+    pub detected_faulty: u64,
+    /// Faulty machines quarantined.
+    pub quarantined_faulty: u64,
+    /// Healthy machines quarantined (must stay 0 under the default
+    /// confirmation-retest policy).
+    pub false_quarantines: u64,
+    /// Suspicions cleared fleet-wide.
+    pub cleared_suspects: u64,
+    /// Mean epochs from fleet start to first detection over *all* faulty
+    /// machines; undetected machines are censored at the horizon
+    /// (counted as `epochs`), so policies cannot cheat by never visiting
+    /// hard machines.
+    pub mean_detection_latency_epochs: f64,
+    /// `detected_faulty / faulty` (1.0 when there is nothing to find).
+    pub detection_coverage: f64,
+    /// Total CPU cycles spent across all epochs.
+    pub total_cycles: u64,
+    /// Total test executions.
+    pub total_tests: u64,
+    /// Outcome aggregate over every per-visit detection report.
+    pub outcomes: OutcomeTally,
+}
+
+/// The full telemetry artifact for one fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTelemetry {
+    /// Fleet size.
+    pub machines: u64,
+    /// Epochs simulated.
+    pub epochs: u64,
+    /// Per-epoch cycle budget.
+    pub budget_cycles: u64,
+    /// Scheduling policy label.
+    pub policy: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Per-epoch counters, in epoch order.
+    pub per_epoch: Vec<EpochTelemetry>,
+    /// Per-pool breakdown, in pool order.
+    pub per_pool: Vec<PoolTelemetry>,
+    /// Per-machine records, in id order.
+    pub per_machine: Vec<MachineTelemetry>,
+    /// End-of-run aggregates.
+    pub summary: FleetSummary,
+}
+
+fn opt_epoch(value: Option<u64>) -> Json {
+    match value {
+        Some(e) => Json::UInt(e),
+        None => Json::Null,
+    }
+}
+
+impl FleetTelemetry {
+    /// The canonical JSON value (fixed member order).
+    pub fn to_json(&self) -> Json {
+        let epochs = self
+            .per_epoch
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("epoch", Json::UInt(e.epoch)),
+                    ("scan_visits", Json::UInt(e.scan_visits)),
+                    ("retest_visits", Json::UInt(e.retest_visits)),
+                    ("tests_run", Json::UInt(e.tests_run)),
+                    ("cycles_spent", Json::UInt(e.cycles_spent)),
+                    ("detections", Json::UInt(e.detections)),
+                    ("flakes_injected", Json::UInt(e.flakes_injected)),
+                    ("new_suspects", Json::UInt(e.new_suspects)),
+                    ("cleared_suspects", Json::UInt(e.cleared_suspects)),
+                    ("new_quarantines", Json::UInt(e.new_quarantines)),
+                    ("false_quarantines", Json::UInt(e.false_quarantines)),
+                ])
+            })
+            .collect();
+        let pools = self
+            .per_pool
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("pool", Json::Str(p.pool.clone())),
+                    ("machines", Json::UInt(p.machines)),
+                    ("faulty", Json::UInt(p.faulty)),
+                    ("detections", Json::UInt(p.detections)),
+                    ("quarantined", Json::UInt(p.quarantined)),
+                ])
+            })
+            .collect();
+        let machines = self
+            .per_machine
+            .iter()
+            .map(|m| {
+                let fault = match &m.fault {
+                    None => Json::Null,
+                    Some(f) => Json::obj(vec![
+                        ("path", Json::Str(f.path_label.clone())),
+                        ("mode", Json::Str(f.mode.label().to_string())),
+                        ("severity_ns", Json::Float(f.severity_ns)),
+                    ]),
+                };
+                Json::obj(vec![
+                    ("id", Json::UInt(m.id as u64)),
+                    ("pool", Json::Str(m.pool.clone())),
+                    ("age_years", Json::Float(m.age_years)),
+                    ("fault", fault),
+                    ("final_health", Json::Str(m.final_health.clone())),
+                    ("flakes", Json::UInt(u64::from(m.flakes))),
+                    ("visits", Json::UInt(m.visits)),
+                    ("tests_run", Json::UInt(m.tests_run)),
+                    ("first_detection_epoch", opt_epoch(m.first_detection_epoch)),
+                    ("quarantine_epoch", opt_epoch(m.quarantine_epoch)),
+                ])
+            })
+            .collect();
+        let s = &self.summary;
+        let summary = Json::obj(vec![
+            ("machines", Json::UInt(s.machines)),
+            ("faulty", Json::UInt(s.faulty)),
+            ("detected_faulty", Json::UInt(s.detected_faulty)),
+            ("quarantined_faulty", Json::UInt(s.quarantined_faulty)),
+            ("false_quarantines", Json::UInt(s.false_quarantines)),
+            ("cleared_suspects", Json::UInt(s.cleared_suspects)),
+            (
+                "mean_detection_latency_epochs",
+                Json::Float(s.mean_detection_latency_epochs),
+            ),
+            ("detection_coverage", Json::Float(s.detection_coverage)),
+            ("total_cycles", Json::UInt(s.total_cycles)),
+            ("total_tests", Json::UInt(s.total_tests)),
+            ("outcomes", s.outcomes.json()),
+        ]);
+        Json::obj(vec![
+            ("machines", Json::UInt(self.machines)),
+            ("epochs", Json::UInt(self.epochs)),
+            ("budget_cycles", Json::UInt(self.budget_cycles)),
+            ("policy", Json::Str(self.policy.clone())),
+            ("seed", Json::UInt(self.seed)),
+            ("per_epoch", Json::Arr(epochs)),
+            ("per_pool", Json::Arr(pools)),
+            ("per_machine", Json::Arr(machines)),
+            ("summary", summary),
+        ])
+    }
+
+    /// The canonical pretty-printed JSON artifact (byte-reproducible
+    /// under a fixed seed).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_tally_ingests_reports() {
+        let report = DetectionReport {
+            outcomes: vec![
+                ("a".into(), TestOutcome::Pass),
+                (
+                    "b".into(),
+                    TestOutcome::Detected {
+                        cycle: 1,
+                        port: "o".into(),
+                    },
+                ),
+                ("c".into(), TestOutcome::Skipped { reason: "x".into() }),
+            ],
+            first_detection: None,
+            skipped: 1,
+        };
+        let mut tally = OutcomeTally::default();
+        tally.ingest(&report);
+        tally.ingest(&report);
+        assert_eq!(tally.passes, 2);
+        assert_eq!(tally.detections, 2);
+        assert_eq!(tally.skips, 2);
+        assert_eq!(tally.stalls, 0);
+        assert_eq!(tally.total(), 6);
+    }
+}

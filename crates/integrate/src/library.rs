@@ -5,12 +5,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use vega_lift::{run_test_case, validate_test_case, ModuleKind, TestCase, TestOutcome};
 use vega_sim::Simulator;
 
 /// Test scheduling strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Schedule {
     /// Run the suite in construction order.
     Sequential,
@@ -24,7 +25,7 @@ pub enum Schedule {
 /// A detected aging fault — the library's "exception". For languages
 /// with exceptions, the generated C library raises through a callback;
 /// in Rust the idiomatic equivalent is this error type.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AgingFault {
     /// Name of the detecting test case.
     pub test: String,
@@ -47,7 +48,7 @@ impl std::fmt::Display for AgingFault {
 impl std::error::Error for AgingFault {}
 
 /// What a full suite execution observed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DetectionReport {
     /// Per-test outcomes in the order executed.
     pub outcomes: Vec<(String, TestOutcome)>,
@@ -222,6 +223,43 @@ mod tests {
         // The exception-style entry point agrees: skips do not raise.
         let mut healthy = Simulator::new(&n);
         assert!(library.run_checked(&mut healthy).is_ok());
+    }
+
+    #[test]
+    fn report_fault_and_schedule_serde_round_trip() {
+        let (n, suite, _) = adder_suite();
+        let failing = {
+            let path = AgingPath {
+                launch: n.cell_by_name("dff4").unwrap().id,
+                capture: n.cell_by_name("dff10").unwrap().id,
+                violation: ViolationKind::Setup,
+            };
+            vega_lift::build_failing_netlist(
+                &n,
+                path,
+                vega_lift::FaultValue::One,
+                vega_lift::FaultActivation::OnChange,
+            )
+        };
+        let mut library = AgingLibrary::new(ModuleKind::PaperAdder, suite, Schedule::Sequential);
+        let mut sim = Simulator::new(&failing);
+        let report = library.run_once(&mut sim);
+        assert!(report.detected(), "the failing adder must be detected");
+
+        let encoded = serde_json::to_string(&report).expect("serialize report");
+        let decoded: DetectionReport = serde_json::from_str(&encoded).expect("deserialize report");
+        assert_eq!(decoded, report);
+
+        let fault = report.first_detection.expect("fault present");
+        let encoded = serde_json::to_string(&fault).expect("serialize fault");
+        let decoded: AgingFault = serde_json::from_str(&encoded).expect("deserialize fault");
+        assert_eq!(decoded, fault);
+
+        for schedule in [Schedule::Sequential, Schedule::Random { seed: 99 }] {
+            let encoded = serde_json::to_string(&schedule).expect("serialize schedule");
+            let decoded: Schedule = serde_json::from_str(&encoded).expect("deserialize schedule");
+            assert_eq!(decoded, schedule);
+        }
     }
 
     #[test]

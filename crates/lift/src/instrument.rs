@@ -60,6 +60,18 @@ pub enum FaultValue {
 impl FaultValue {
     /// The two constants the formal search explores.
     pub const FORMAL: [FaultValue; 2] = [FaultValue::Zero, FaultValue::One];
+
+    /// All three evaluation fault values (`C ∈ {0, 1, random}`).
+    pub const ALL: [FaultValue; 3] = [FaultValue::Zero, FaultValue::One, FaultValue::Random];
+
+    /// Short filename/label suffix (`c0`, `c1`, `cr`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            FaultValue::Zero => "c0",
+            FaultValue::One => "c1",
+            FaultValue::Random => "cr",
+        }
+    }
 }
 
 /// When the fault is active (paper §3.3.4's mitigation for initial-value

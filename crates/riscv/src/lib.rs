@@ -35,7 +35,7 @@ pub use decode::{decode, DecodeError};
 pub use isa::{BranchCond, Instr, LoadWidth, MulDivOp, Reg};
 
 /// How a failing netlist's wrong-value constant `C` behaves (paper §5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum FailureMode {
     /// The violated flip-flop samples a constant 0.
     Const0,

@@ -64,8 +64,71 @@ pub fn fix_hold_violations(
 mod tests {
     use super::*;
     use crate::report::Derates;
+    use proptest::prelude::*;
     use vega_aging::AgingModel;
     use vega_netlist::{NetlistBuilder, StdCellLibrary};
+
+    /// A `stages`-deep shift register whose downstream flops capture on a
+    /// clock delayed through `ck_bufs` buffers — the canonical hold hazard,
+    /// parameterised so property tests can sweep the skew.
+    fn skewed_shift_register(ck_bufs: usize, stages: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        let clk = b.clock("clk");
+        let d = b.input("d", 1)[0];
+        let mut late_ck = clk;
+        for i in 0..ck_bufs {
+            late_ck = b.clock_buf(format!("ck{i}"), late_ck);
+        }
+        let mut q = b.dff("q0", d, clk);
+        for s in 1..stages {
+            q = b.dff(format!("q{s}"), q, late_ck);
+        }
+        b.output("y", &[q]);
+        b.finish().unwrap()
+    }
+
+    fn unaged_library() -> AgingAwareTimingLibrary {
+        AgingAwareTimingLibrary::build(
+            StdCellLibrary::cmos28(),
+            AgingModel::cmos28_worst_case(),
+            0.0,
+        )
+    }
+
+    fn hold_config() -> StaConfig {
+        let mut config = StaConfig::with_period(4.0);
+        config.derates = Derates::nominal();
+        config.hold_margin_ns = 0.004;
+        config
+    }
+
+    #[test]
+    fn clean_design_needs_no_buffers() {
+        // Everything on one clock: no skew, no hold hazard, no repair.
+        let mut n = skewed_shift_register(0, 3);
+        let lib = unaged_library();
+        let config = hold_config();
+        assert!(analyze(&n, &lib, None, &config).hold_violations.is_empty());
+
+        let cells_before = n.cell_count();
+        assert_eq!(fix_hold_violations(&mut n, &lib, None, &config), 0);
+        assert_eq!(n.cell_count(), cells_before, "a clean pass must not edit");
+    }
+
+    #[test]
+    fn fixing_is_idempotent() {
+        let mut n = skewed_shift_register(4, 2);
+        let lib = unaged_library();
+        let config = hold_config();
+        assert!(fix_hold_violations(&mut n, &lib, None, &config) > 0);
+        let cells_after_first = n.cell_count();
+        assert_eq!(
+            fix_hold_violations(&mut n, &lib, None, &config),
+            0,
+            "a second pass over a fixed design must be a no-op"
+        );
+        assert_eq!(n.cell_count(), cells_after_first);
+    }
 
     #[test]
     fn fixes_a_shift_register_hold_violation() {
@@ -113,5 +176,43 @@ mod tests {
             !close.hold_violations.is_empty(),
             "hold fixing should leave only thin margin"
         );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// For any amount of clock skew and any register depth, the fixed
+        /// netlist passes hold STA, stays structurally valid, and a repeat
+        /// pass has nothing left to do.
+        #[test]
+        fn fixed_netlists_still_pass_sta(ck_bufs in 0usize..6, stages in 2usize..5) {
+            let mut n = skewed_shift_register(ck_bufs, stages);
+            let lib = unaged_library();
+            let config = hold_config();
+
+            let hazardous = !analyze(&n, &lib, None, &config).hold_violations.is_empty();
+            let inserted = fix_hold_violations(&mut n, &lib, None, &config);
+            prop_assert_eq!(
+                inserted > 0,
+                hazardous,
+                "buffers are inserted exactly when the design violates hold"
+            );
+
+            n.validate().expect("fixed netlist must stay valid");
+            let after = analyze(&n, &lib, None, &config);
+            prop_assert!(
+                after.hold_violations.is_empty(),
+                "{} hold violations survive the fix",
+                after.hold_violations.len()
+            );
+            // Hold fixing must not manufacture setup problems the
+            // unfixed design did not have: Delay cells sit on D pins,
+            // off the clock network, and the period is generous.
+            prop_assert_eq!(after.setup_violations.len(),
+                analyze(&skewed_shift_register(ck_bufs, stages), &lib, None, &config)
+                    .setup_violations
+                    .len());
+            prop_assert_eq!(fix_hold_violations(&mut n, &lib, None, &config), 0);
+        }
     }
 }
