@@ -1,0 +1,232 @@
+//! SP-profiling throughput: scalar vs the bit-parallel 64-lane backend,
+//! and thread-sharded scaling.
+//!
+//! Measures, for the ALU and FPU circuits:
+//!
+//! * the scalar baseline — `Simulator` + `RandomStimulus`, one stimulus
+//!   pattern per settle pass, profiling enabled;
+//! * the 64-lane backend at one thread — `profile_sharded(.., threads=1)`,
+//!   64 patterns per settle pass via word-level gate evaluation and
+//!   popcount SP counters;
+//! * the same run sharded over 1/2/4 threads, asserting the profiles are
+//!   byte-identical across thread counts (the determinism contract).
+//!
+//! Rates are lane-cycles per second, so the scalar and wide numbers are
+//! directly comparable. Thread scaling is wall-clock and therefore bounded
+//! by the cores actually available; `host_cpus` is recorded so a run on a
+//! starved machine (e.g. a 1-core CI container) is legible as such.
+//!
+//! Writes `bench_results/sp_profile_speedup.json` (via the fleet's
+//! canonical JSON writer) alongside a human-readable table on stdout.
+//!
+//! Run: `cargo run --release -p vega-bench --bin sp_profile_speedup`
+//! (set `VEGA_QUICK=1` for smoke sizes; `--out <path>` to redirect the
+//! artifact)
+
+use std::time::Instant;
+
+use vega_bench::{print_table, quick};
+use vega_circuits::{alu::build_alu, fpu::build_fpu};
+use vega_fleet::Json;
+use vega_netlist::Netlist;
+use vega_sim::{profile_sharded, RandomStimulus, Simulator, SpProfile};
+
+const SEED: u64 = 42;
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct Measurement {
+    /// Lane-cycles actually profiled.
+    cycles: u64,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn rate(&self) -> f64 {
+        self.cycles as f64 / self.seconds.max(1e-12)
+    }
+}
+
+fn bench_scalar(netlist: &Netlist, cycles: usize) -> (Measurement, SpProfile) {
+    let start = Instant::now();
+    let mut sim = Simulator::with_seed(netlist, SEED);
+    sim.enable_profiling();
+    let mut stimulus = RandomStimulus::new(netlist, SEED);
+    stimulus.drive(&mut sim, cycles);
+    let profile = sim.profile().expect("profiling enabled");
+    let seconds = start.elapsed().as_secs_f64();
+    (
+        Measurement {
+            cycles: profile.cycles,
+            seconds,
+        },
+        profile,
+    )
+}
+
+fn bench_wide(netlist: &Netlist, cycles: usize, threads: usize) -> (Measurement, SpProfile) {
+    let start = Instant::now();
+    let profile = profile_sharded(netlist, cycles, SEED, threads);
+    let seconds = start.elapsed().as_secs_f64();
+    (
+        Measurement {
+            cycles: profile.cycles,
+            seconds,
+        },
+        profile,
+    )
+}
+
+fn bench_circuit(
+    name: &str,
+    netlist: &Netlist,
+    scalar_cycles: usize,
+    wide_cycles: usize,
+    host_cpus: usize,
+    rows: &mut Vec<Vec<String>>,
+) -> Json {
+    let (scalar, _) = bench_scalar(netlist, scalar_cycles);
+    let mut wide_runs = Vec::new();
+    let mut reference: Option<SpProfile> = None;
+    let mut deterministic = true;
+    for &threads in &THREAD_COUNTS {
+        let (m, profile) = bench_wide(netlist, wide_cycles, threads);
+        match &reference {
+            None => reference = Some(profile),
+            Some(r) => deterministic &= *r == profile,
+        }
+        wide_runs.push((threads, m));
+    }
+    assert!(
+        deterministic,
+        "{name}: profiles must be identical across thread counts"
+    );
+    let wide1 = &wide_runs[0].1;
+    let speedup = wide1.rate() / scalar.rate();
+
+    rows.push(vec![
+        name.to_string(),
+        format!("{:.0}", scalar.rate()),
+        format!("{:.0}", wide1.rate()),
+        format!("{speedup:.1}x"),
+        wide_runs
+            .iter()
+            .map(|(t, m)| format!("{t}t:{:.2}s", m.seconds))
+            .collect::<Vec<_>>()
+            .join(" "),
+    ]);
+
+    let threads_json = wide_runs
+        .iter()
+        .map(|(threads, m)| {
+            // Wall-clock scaling cannot exceed the cores the host grants
+            // us; normalize against that bound so a starved host reads as
+            // full efficiency rather than a scaling failure.
+            let usable = (*threads).min(host_cpus) as f64;
+            Json::obj(vec![
+                ("threads", Json::UInt(*threads as u64)),
+                ("seconds", Json::Float(m.seconds)),
+                ("lane_cycles_per_sec", Json::Float(m.rate())),
+                ("speedup_vs_1_thread", Json::Float(m.rate() / wide1.rate())),
+                (
+                    "efficiency_vs_available_cores",
+                    Json::Float(m.rate() / wide1.rate() / usable),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("circuit", Json::Str(name.to_string())),
+        ("cells", Json::UInt(netlist.cell_count() as u64)),
+        (
+            "scalar",
+            Json::obj(vec![
+                ("cycles", Json::UInt(scalar.cycles)),
+                ("seconds", Json::Float(scalar.seconds)),
+                ("lane_cycles_per_sec", Json::Float(scalar.rate())),
+            ]),
+        ),
+        (
+            "wide_1_thread",
+            Json::obj(vec![
+                ("cycles", Json::UInt(wide1.cycles)),
+                ("seconds", Json::Float(wide1.seconds)),
+                ("lane_cycles_per_sec", Json::Float(wide1.rate())),
+            ]),
+        ),
+        ("speedup_wide_vs_scalar", Json::Float(speedup)),
+        ("threads", Json::Arr(threads_json)),
+        ("deterministic_across_threads", Json::Bool(deterministic)),
+    ])
+}
+
+fn main() {
+    let mut out_path = String::from("bench_results/sp_profile_speedup.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument `{other}` (supported: --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("== SP profiling: scalar vs bit-parallel 64-lane backend ==\n");
+    let (scalar_cycles, wide_cycles) = if quick() {
+        (4_000, 256_000)
+    } else {
+        (60_000, 3_840_000)
+    };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "scalar workload: {scalar_cycles} cycles; wide workload: {wide_cycles} lane-cycles; \
+         host cpus: {host_cpus}\n"
+    );
+
+    let mut rows = Vec::new();
+    let circuits = [("ALU", build_alu()), ("FPU", build_fpu())];
+    let circuit_json: Vec<Json> = circuits
+        .iter()
+        .map(|(name, netlist)| {
+            bench_circuit(
+                name,
+                netlist,
+                scalar_cycles,
+                wide_cycles,
+                host_cpus,
+                &mut rows,
+            )
+        })
+        .collect();
+
+    print_table(
+        &[
+            "circuit",
+            "scalar lc/s",
+            "wide lc/s (1t)",
+            "speedup",
+            "sharded wall",
+        ],
+        &rows,
+    );
+    println!("\n(lc/s = lane-cycles per second; thread scaling is wall-clock");
+    println!("and bounded by `host_cpus` — see the JSON artifact for details)");
+
+    let artifact = Json::obj(vec![
+        ("benchmark", Json::Str("sp_profile_speedup".to_string())),
+        ("quick", Json::Bool(quick())),
+        ("seed", Json::UInt(SEED)),
+        ("host_cpus", Json::UInt(host_cpus as u64)),
+        ("circuits", Json::Arr(circuit_json)),
+    ]);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, artifact.to_pretty()).expect("write artifact");
+    println!("\nwrote {out_path}");
+}

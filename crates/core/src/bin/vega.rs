@@ -237,7 +237,8 @@ fn phase1(options: &Options) -> Result<(PreparedUnit, WorkflowConfig, AgingAnaly
         unit.hold_buffers
     );
     let profile =
-        profile_standalone(&unit.netlist, options.profile_cycles, 42).map_err(|e| e.to_string())?;
+        profile_standalone_sharded(&unit.netlist, options.profile_cycles, 42, config.threads)
+            .map_err(|e| e.to_string())?;
     let analysis = analyze_aging(&unit, &profile, &config);
     Ok((unit, config, analysis))
 }

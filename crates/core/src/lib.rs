@@ -379,19 +379,34 @@ pub fn build_unit_pool(
 /// Gather an SP profile for a standalone unit by driving it with seeded
 /// random stimulus (for the worked example; the real units are profiled
 /// by running workloads through [`profile_units`]).
+///
+/// Single-threaded convenience wrapper around
+/// [`profile_standalone_sharded`]; both run on the bit-parallel 64-lane
+/// simulation backend.
 pub fn profile_standalone(
     netlist: &Netlist,
     cycles: usize,
     seed: u64,
 ) -> Result<SpProfile, VegaError> {
-    let mut sim = vega_sim::Simulator::with_seed(netlist, seed);
-    sim.enable_profiling();
-    let mut stimulus = vega_sim::RandomStimulus::new(netlist, seed);
-    stimulus.drive(&mut sim, cycles);
-    sim.profile()
-        .ok_or_else(|| VegaError::ProfilingUnavailable {
-            unit: netlist.name().to_string(),
-        })
+    profile_standalone_sharded(netlist, cycles, seed, 1)
+}
+
+/// Gather an SP profile for a standalone unit on the bit-parallel
+/// 64-lane backend, sharded across `threads` worker threads
+/// (`WorkflowConfig::threads`).
+///
+/// At least `cycles` lane-cycles of seeded random stimulus are
+/// simulated (rounded up to a multiple of 64). The result is
+/// byte-identical for a given `(netlist, cycles, seed)` regardless of
+/// `threads` — see `vega_sim::profile_sharded` for the determinism
+/// contract.
+pub fn profile_standalone_sharded(
+    netlist: &Netlist,
+    cycles: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<SpProfile, VegaError> {
+    Ok(vega_sim::profile_sharded(netlist, cycles, seed, threads))
 }
 
 /// Gather SP profiles for the ALU and FPU by executing the given mini-IR

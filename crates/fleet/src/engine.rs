@@ -18,9 +18,11 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use vega_integrate::{AgingLibrary, Schedule};
-use vega_lift::{build_failing_netlist, FaultActivation, FaultValue, ModuleKind, TestCase};
-use vega_sim::Simulator;
+use vega_integrate::{AgingFault, DetectionReport};
+use vega_lift::{
+    build_failing_netlist, run_suite_wide, FaultActivation, FaultValue, ModuleKind, TestCase,
+    TestOutcome,
+};
 
 use crate::machine::{
     failure_mode_of, FaultCandidate, HealthState, InjectedFault, Machine, MachineId,
@@ -511,21 +513,37 @@ impl Fleet {
         }
     }
 
-    /// Execute `tests` on `machine`'s own netlist through the Phase-3
-    /// aging library, then apply the flake model.
+    /// Execute `tests` on `machine`'s own netlist through the
+    /// bit-parallel suite runner (up to 64 tests per settle pass), then
+    /// apply the flake model.
     fn run_visit(&mut self, index: usize, tests: &[usize], cost: u64) -> VisitResult {
         let machine = &self.machines[index];
         let pool = &self.pools[machine.pool];
         let selected: Vec<TestCase> = tests.iter().map(|&t| pool.suite[t].clone()).collect();
-        let mut library = AgingLibrary::new(pool.module, selected, Schedule::Sequential);
         let seed = mix(self
             .config
             .seed
             .wrapping_add(mix(machine.id.0 as u64))
             .wrapping_add(mix(self.epoch << 20 | self.visit_seq)));
         self.visit_seq += 1;
-        let mut sim = Simulator::with_seed(&machine.netlist, seed);
-        let report = library.run_once(&mut sim);
+        let outcomes = run_suite_wide(&machine.netlist, pool.module, &selected, seed);
+        let mut report = DetectionReport {
+            outcomes: Vec::with_capacity(selected.len()),
+            first_detection: None,
+            skipped: 0,
+        };
+        for (test, outcome) in selected.iter().zip(outcomes) {
+            if matches!(outcome, TestOutcome::Skipped { .. }) {
+                report.skipped += 1;
+            } else if outcome != TestOutcome::Pass && report.first_detection.is_none() {
+                report.first_detection = Some(AgingFault {
+                    test: test.name.clone(),
+                    target: test.target.clone(),
+                    outcome: outcome.clone(),
+                });
+            }
+            report.outcomes.push((test.name.clone(), outcome));
+        }
         self.tally.ingest(&report);
         let detected = report.detected();
         if detected {

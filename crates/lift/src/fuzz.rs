@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use vega_formal::Trace;
-use vega_sim::Simulator;
+use vega_sim::{Simulator64, LANES};
 
 use crate::construct::{construct_test_case, ConversionError};
 use crate::instrument::ShadowInstrumented;
@@ -77,10 +77,13 @@ fn random_cycle(module: ModuleKind, rng: &mut StdRng) -> BTreeMap<String, u64> {
 }
 
 /// Search for a divergence-inducing stimulus by random simulation of the
-/// shadow-instrumented netlist. On a hit, the witness is truncated to
-/// its firing cycle and converted through the ordinary instruction-
-/// construction pipeline, so fuzzed and formal test cases are
-/// interchangeable artifacts.
+/// shadow-instrumented netlist, 64 candidates per pass on the
+/// bit-parallel [`Simulator64`]: every lane carries an independent
+/// random stimulus, divergence is a single XOR/OR word sweep over the
+/// observable pairs, and the first covering lane (lowest lane index,
+/// truncated to that lane's own firing cycle) is converted through the
+/// ordinary instruction-construction pipeline — so fuzzed and formal
+/// test cases are interchangeable artifacts.
 ///
 /// Returns the test case, the witness trace, and campaign statistics;
 /// `Ok(None)` means the budget ran out without a hit (which, unlike the
@@ -101,40 +104,68 @@ pub fn fuzz_test_case(
         return Ok(None);
     }
 
-    for _ in 0..config.candidates {
-        stats.candidates_tried += 1;
-        let mut sim = Simulator::with_seed(netlist, rng.gen());
-        let mut inputs = Vec::with_capacity(config.max_cycles);
-        let mut fire_cycle = None;
+    let passes = config.candidates.div_ceil(LANES);
+    for _ in 0..passes {
+        stats.candidates_tried += LANES;
+        let mut sim = Simulator64::with_seed(netlist, rng.gen());
+        let mut inputs: Vec<Vec<BTreeMap<String, u64>>> = (0..LANES)
+            .map(|_| Vec::with_capacity(config.max_cycles))
+            .collect();
+        let mut fire_cycle = [None::<usize>; LANES];
+        let mut fired_mask = 0u64;
         for t in 0..config.max_cycles {
-            let cycle = random_cycle(module, &mut rng);
-            for (port, value) in &cycle {
-                sim.set_input(port, *value);
+            let lane_cycles: Vec<BTreeMap<String, u64>> =
+                (0..LANES).map(|_| random_cycle(module, &mut rng)).collect();
+            for port in lane_cycles[0].keys() {
+                let mut lanes = [0u64; LANES];
+                for (lane, cycle) in lane_cycles.iter().enumerate() {
+                    lanes[lane] = cycle[port];
+                }
+                sim.set_input_lanes(port, &lanes);
             }
-            inputs.push(cycle);
+            for (lane, cycle) in lane_cycles.into_iter().enumerate() {
+                inputs[lane].push(cycle);
+            }
             sim.settle_inputs();
-            stats.cycles_simulated += 1;
-            let diverged = instrumented
+            stats.cycles_simulated += LANES as u64;
+            let diverged: u64 = instrumented
                 .observable_pairs
                 .iter()
-                .any(|&(orig, shadow)| sim.net_value(orig) != sim.net_value(shadow));
-            if diverged {
-                fire_cycle = Some(t);
+                .fold(0, |acc, &(orig, shadow)| {
+                    acc | (sim.net_word(orig) ^ sim.net_word(shadow))
+                });
+            let mut newly = diverged & !fired_mask;
+            while newly != 0 {
+                let lane = newly.trailing_zeros() as usize;
+                fire_cycle[lane] = Some(t);
+                newly &= newly - 1;
+            }
+            fired_mask |= diverged;
+            if fired_mask == u64::MAX {
                 break;
             }
             sim.step();
         }
-        let Some(fire_cycle) = fire_cycle else {
-            continue;
-        };
-        let trace = Trace { inputs, fire_cycle };
-        match construct_test_case(module, instrumented, &trace, name.clone(), target.clone()) {
-            Ok(mut test) => {
-                test.provenance = Provenance::Fuzzed;
-                return Ok(Some((test, trace, stats)));
+        // First covering lane wins; later lanes are fallbacks when the
+        // witness turns out unobservable at the instruction level.
+        for lane in 0..LANES {
+            let Some(fire_cycle) = fire_cycle[lane] else {
+                continue;
+            };
+            let mut lane_inputs = std::mem::take(&mut inputs[lane]);
+            lane_inputs.truncate(fire_cycle + 1);
+            let trace = Trace {
+                inputs: lane_inputs,
+                fire_cycle,
+            };
+            match construct_test_case(module, instrumented, &trace, name.clone(), target.clone()) {
+                Ok(mut test) => {
+                    test.provenance = Provenance::Fuzzed;
+                    return Ok(Some((test, trace, stats)));
+                }
+                Err(ConversionError::Unobservable) => continue, // keep fuzzing
+                Err(other) => return Err(other),
             }
-            Err(ConversionError::Unobservable) => continue, // keep fuzzing
-            Err(other) => return Err(other),
         }
     }
     Ok(None)
@@ -148,6 +179,7 @@ mod tests {
     };
     use crate::testcase::{run_test_case, TestOutcome};
     use vega_circuits::adder_example::build_paper_adder;
+    use vega_sim::Simulator;
     use vega_sta::ViolationKind;
 
     #[test]

@@ -1,12 +1,13 @@
 //! Runnable test cases and the module-level test runner.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use serde::{Deserialize, Serialize};
 
 use vega_netlist::Netlist;
 use vega_riscv::Instr;
-use vega_sim::Simulator;
+use vega_sim::{Simulator, Simulator64, LANES};
 
 use crate::module::ModuleKind;
 
@@ -221,6 +222,180 @@ pub fn run_test_case(sim: &mut Simulator<'_>, module: ModuleKind, test: &TestCas
     TestOutcome::Pass
 }
 
+/// Run a whole suite bit-parallel: up to 64 tests advance per settle
+/// pass, each in its own lane of a [`Simulator64`] with its own stimulus
+/// schedule (lanes are driven through a per-lane input mask).
+///
+/// Each test runs **from the reset state** of a fresh per-chunk
+/// simulator — unlike [`run_suite`], which chains leftover state from
+/// test to test on one scalar simulator (paper §3.3.4's initial-value
+/// dependency). Use this runner where throughput matters and the suite's
+/// tests were generated from reset anyway (fleet scan visits); use
+/// [`run_suite`] to model back-to-back embedded execution.
+///
+/// Per-test semantics otherwise match [`run_test_case`]: drain cycles
+/// drive `valid = 0` where the port exists, checks are evaluated in
+/// declaration order, `out_valid` mismatches report a stall, and sticky
+/// accumulations compare at the end of the test's own window. Unrunnable
+/// tests ([`validate_test_case`]) are reported as [`TestOutcome::Skipped`]
+/// without occupying a lane; a panicking chunk degrades to skips for the
+/// tests in it.
+///
+/// `seed` feeds any `Random` pseudo-cells in the netlist (per-lane
+/// streams, deterministic per `(seed, suite order)`).
+pub fn run_suite_wide(
+    netlist: &Netlist,
+    module: ModuleKind,
+    suite: &[TestCase],
+    seed: u64,
+) -> Vec<TestOutcome> {
+    let mut outcomes: Vec<Option<TestOutcome>> = suite
+        .iter()
+        .map(|test| {
+            validate_test_case(netlist, test)
+                .err()
+                .map(|reason| TestOutcome::Skipped { reason })
+        })
+        .collect();
+    let runnable: Vec<usize> = (0..suite.len())
+        .filter(|&index| outcomes[index].is_none())
+        .collect();
+    for (chunk_index, chunk) in runnable.chunks(LANES).enumerate() {
+        let chunk_seed =
+            seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chunk_index as u64));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_chunk_wide(netlist, module, suite, chunk, chunk_seed)
+        }));
+        match result {
+            Ok(chunk_outcomes) => {
+                for (lane, &index) in chunk.iter().enumerate() {
+                    outcomes[index] = Some(chunk_outcomes[lane].clone());
+                }
+            }
+            Err(_) => {
+                for &index in chunk {
+                    outcomes[index] = Some(TestOutcome::Skipped {
+                        reason: "test runner panicked".to_string(),
+                    });
+                }
+            }
+        }
+    }
+    outcomes
+        .into_iter()
+        .map(|outcome| outcome.expect("every test decided"))
+        .collect()
+}
+
+/// Run up to 64 validated tests, one per lane, on a fresh simulator.
+fn run_chunk_wide(
+    netlist: &Netlist,
+    module: ModuleKind,
+    suite: &[TestCase],
+    chunk: &[usize],
+    seed: u64,
+) -> Vec<TestOutcome> {
+    let mut sim = Simulator64::with_seed(netlist, seed);
+    let has_valid = netlist.port("valid").is_some();
+    let totals: Vec<usize> = chunk
+        .iter()
+        .map(|&index| suite[index].module_cycles(module))
+        .collect();
+    let max_total = totals.iter().copied().max().unwrap_or(0);
+    let mut decided: Vec<Option<TestOutcome>> = vec![None; chunk.len()];
+    let mut sticky: Vec<BTreeMap<usize, u64>> = vec![BTreeMap::new(); chunk.len()];
+
+    for cycle in 0..max_total {
+        // Gather this cycle's drives, port by port, across lanes whose
+        // test window is still open.
+        let mut drives: BTreeMap<&str, ([u64; LANES], u64)> = BTreeMap::new();
+        for (lane, &index) in chunk.iter().enumerate() {
+            if cycle >= totals[lane] {
+                continue;
+            }
+            let test = &suite[index];
+            if let Some(inputs) = test.stimulus.get(cycle) {
+                for (port, value) in inputs {
+                    let entry = drives.entry(port.as_str()).or_insert(([0; LANES], 0));
+                    entry.0[lane] = *value;
+                    entry.1 |= 1 << lane;
+                }
+            } else if has_valid {
+                // Drain window: no new operations in this lane.
+                let entry = drives.entry("valid").or_insert(([0; LANES], 0));
+                entry.0[lane] = 0;
+                entry.1 |= 1 << lane;
+            }
+        }
+        for (port, (values, mask)) in &drives {
+            sim.set_input_lanes_masked(port, values, *mask);
+        }
+        sim.settle_inputs();
+
+        for (lane, &index) in chunk.iter().enumerate() {
+            if decided[lane].is_some() || cycle >= totals[lane] {
+                continue;
+            }
+            let test = &suite[index];
+            for (check_index, check) in test.checks.iter().enumerate() {
+                match check {
+                    Check::PortAt {
+                        cycle: c,
+                        port,
+                        expected,
+                    } if *c == cycle => {
+                        let actual = sim.output_lane(port, lane);
+                        if actual != *expected {
+                            decided[lane] = Some(if port == "out_valid" {
+                                TestOutcome::Stall { cycle }
+                            } else {
+                                TestOutcome::Detected {
+                                    cycle,
+                                    port: port.clone(),
+                                }
+                            });
+                            break;
+                        }
+                    }
+                    Check::StickyOr { cycles, port, .. } if cycles.contains(&cycle) => {
+                        *sticky[lane].entry(check_index).or_insert(0) |=
+                            sim.output_lane(port, lane);
+                    }
+                    _ => {}
+                }
+            }
+            // The lane's window just closed: final sticky comparisons.
+            if decided[lane].is_none() && cycle + 1 == totals[lane] {
+                for (check_index, check) in test.checks.iter().enumerate() {
+                    if let Check::StickyOr {
+                        port,
+                        expected,
+                        cycles,
+                    } = check
+                    {
+                        let actual = sticky[lane].get(&check_index).copied().unwrap_or(0);
+                        if actual != *expected {
+                            decided[lane] = Some(TestOutcome::Detected {
+                                cycle: cycles.last().copied().unwrap_or(0),
+                                port: port.clone(),
+                            });
+                            break;
+                        }
+                    }
+                }
+                if decided[lane].is_none() {
+                    decided[lane] = Some(TestOutcome::Pass);
+                }
+            }
+        }
+        sim.step();
+    }
+    decided
+        .into_iter()
+        .map(|outcome| outcome.unwrap_or(TestOutcome::Pass))
+        .collect()
+}
+
 /// Run a whole suite in order on one simulator (no resets in between).
 /// Returns each test's outcome.
 pub fn run_suite(
@@ -328,6 +503,108 @@ mod tests {
             run_test_case(&mut sim, ModuleKind::PaperAdder, &wrong),
             TestOutcome::Detected { .. }
         ));
+    }
+
+    #[test]
+    fn wide_suite_matches_per_test_scalar_runs() {
+        let n = build_paper_adder();
+        // A mixed suite: a passing test, a failing one, a sticky pass, a
+        // sticky fail, and an unrunnable one — outcome order must match
+        // fresh scalar runs test-for-test.
+        let passing = TestCase {
+            name: "pass".into(),
+            target: "t".into(),
+            stimulus: vec![one_cycle(1, 2), one_cycle(3, 3)],
+            checks: vec![
+                Check::PortAt {
+                    cycle: 2,
+                    port: "o".into(),
+                    expected: 3,
+                },
+                Check::PortAt {
+                    cycle: 3,
+                    port: "o".into(),
+                    expected: 2,
+                },
+            ],
+            instructions: vec![],
+            cpu_cycles: 4,
+            provenance: Provenance::Formal,
+        };
+        let failing = TestCase {
+            name: "fail".into(),
+            checks: vec![Check::PortAt {
+                cycle: 2,
+                port: "o".into(),
+                expected: 0,
+            }],
+            ..passing.clone()
+        };
+        let sticky_pass = TestCase {
+            name: "sticky_pass".into(),
+            stimulus: vec![one_cycle(1, 0), one_cycle(2, 0)],
+            checks: vec![Check::StickyOr {
+                cycles: vec![2, 3],
+                port: "o".into(),
+                expected: 3,
+            }],
+            ..passing.clone()
+        };
+        let sticky_fail = TestCase {
+            name: "sticky_fail".into(),
+            checks: vec![Check::StickyOr {
+                cycles: vec![2, 3],
+                port: "o".into(),
+                expected: 1,
+            }],
+            ..sticky_pass.clone()
+        };
+        let mut unrunnable = passing.clone();
+        unrunnable.name = "unrunnable".into();
+        unrunnable.stimulus[0].insert("no_such_port".into(), 1);
+        let suite = vec![passing, failing, sticky_pass, sticky_fail, unrunnable];
+
+        let wide = run_suite_wide(&n, ModuleKind::PaperAdder, &suite, 7);
+        assert_eq!(wide.len(), suite.len());
+        for (test, wide_outcome) in suite.iter().zip(&wide) {
+            if test.name == "unrunnable" {
+                assert!(matches!(wide_outcome, TestOutcome::Skipped { .. }));
+                continue;
+            }
+            let mut sim = Simulator::new(&n);
+            let scalar = run_test_case(&mut sim, ModuleKind::PaperAdder, test);
+            assert_eq!(wide_outcome, &scalar, "test `{}`", test.name);
+        }
+    }
+
+    #[test]
+    fn wide_suite_chunks_past_64_tests() {
+        let n = build_paper_adder();
+        // 70 tests forces a second chunk; alternate pass/fail so both
+        // outcomes appear on both sides of the chunk boundary.
+        let suite: Vec<TestCase> = (0..70)
+            .map(|i| TestCase {
+                name: format!("t{i}"),
+                target: "t".into(),
+                stimulus: vec![one_cycle(1, 2)],
+                checks: vec![Check::PortAt {
+                    cycle: 2,
+                    port: "o".into(),
+                    expected: if i % 2 == 0 { 3 } else { 0 },
+                }],
+                instructions: vec![],
+                cpu_cycles: 2,
+                provenance: Provenance::Formal,
+            })
+            .collect();
+        let outcomes = run_suite_wide(&n, ModuleKind::PaperAdder, &suite, 1);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(outcome, &TestOutcome::Pass, "test {i}");
+            } else {
+                assert!(matches!(outcome, TestOutcome::Detected { .. }), "test {i}");
+            }
+        }
     }
 
     #[test]

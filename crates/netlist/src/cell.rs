@@ -229,6 +229,45 @@ impl CellKind {
             }
         }
     }
+
+    /// Evaluate the combinational function on 64 independent lanes at
+    /// once: bit *l* of every input word belongs to lane *l*, and bit *l*
+    /// of the result is what [`CellKind::eval`] would return for that
+    /// lane's inputs. This is the word-level kernel of the bit-parallel
+    /// simulator — one pass over the netlist advances 64 stimuli.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()` or if the kind is not
+    /// combinational (see [`CellKind::is_combinational`]).
+    pub fn eval_word(self, inputs: &[u64]) -> u64 {
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "{self:?} expects {} inputs, got {}",
+            self.arity(),
+            inputs.len()
+        );
+        match self {
+            CellKind::Const0 => 0,
+            CellKind::Const1 => !0,
+            CellKind::Buf | CellKind::Delay => inputs[0],
+            CellKind::Not => !inputs[0],
+            CellKind::And2 => inputs[0] & inputs[1],
+            CellKind::Or2 => inputs[0] | inputs[1],
+            CellKind::Nand2 => !(inputs[0] & inputs[1]),
+            CellKind::Nor2 => !(inputs[0] | inputs[1]),
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::Mux2 => (inputs[0] & !inputs[2]) | (inputs[1] & inputs[2]),
+            CellKind::Maj3 => {
+                (inputs[0] & inputs[1]) | (inputs[1] & inputs[2]) | (inputs[0] & inputs[2])
+            }
+            CellKind::Dff | CellKind::ClockBuf | CellKind::ClockGate | CellKind::Random => {
+                panic!("{self:?} is not combinational")
+            }
+        }
+    }
 }
 
 /// A cell instance inside a [`crate::Netlist`].

@@ -35,11 +35,15 @@
 #![warn(missing_docs)]
 
 mod profile;
+mod shard;
 mod simulator;
+mod simulator64;
 mod stimulus;
 mod waveform;
 
 pub use profile::{CellSp, SpProfile};
+pub use shard::profile_sharded;
 pub use simulator::Simulator;
-pub use stimulus::{InputVector, RandomStimulus};
+pub use simulator64::{lane_seed, Simulator64, LANES};
+pub use stimulus::{InputVector, RandomStimulus, WideRandomStimulus};
 pub use waveform::Waveform;

@@ -13,6 +13,13 @@ use vega_netlist::{CellKind, Netlist};
 /// half of every cycle high, earning 1; a gated-off (or paused) clock
 /// idles at `0` and earns nothing. Counting in half-cycles keeps the
 /// arithmetic exact in integers.
+///
+/// The counters serve both the scalar [`crate::Simulator`] (one lane,
+/// [`SpCounters::sample`]) and the bit-parallel [`crate::Simulator64`]
+/// (64 lanes per word, [`SpCounters::sample_wide`]): residency and
+/// toggles accumulate lane-summed, so a wide sample is exactly 64 scalar
+/// samples' worth of half-cycles. Both paths share one toggle-counting
+/// scheme — `prev ^ cur` with toggles suppressed on the first sample.
 #[derive(Debug, Clone)]
 pub(crate) struct SpCounters {
     /// Per-cell half-cycles spent at logical `1`, indexed by cell id.
@@ -20,49 +27,82 @@ pub(crate) struct SpCounters {
     /// Per-cell output transitions observed (toggle counter). For clock
     /// cells, a toggling cycle counts as one toggle event.
     toggles: Vec<u64>,
-    /// Previous sampled value per cell, for edge detection.
-    last: Vec<Option<bool>>,
-    /// Total profiled cycles (each contributes 2 half-cycles).
+    /// Previous sampled value per cell, for edge detection. Scalar
+    /// sampling uses bit 0; wide sampling uses all 64 lane bits.
+    last: Vec<u64>,
+    /// No sample taken yet, so the next sample has no edge to count.
+    first: bool,
+    /// Total profiled lane-cycles (each contributes 2 half-cycles).
     cycles: u64,
+    /// Clock-network cell ids, precomputed so sampling skips the kind
+    /// dispatch on the hot path.
+    clock_cells: Vec<usize>,
+    /// `(cell id, output net id)` for every non-clock cell.
+    data_cells: Vec<(usize, usize)>,
 }
 
 impl SpCounters {
     pub(crate) fn new(netlist: &Netlist) -> Self {
+        let mut clock_cells = Vec::new();
+        let mut data_cells = Vec::new();
+        for cell in netlist.cells() {
+            if cell.kind.is_clock_network() {
+                clock_cells.push(cell.id.index());
+            } else {
+                data_cells.push((cell.id.index(), cell.output.index()));
+            }
+        }
         SpCounters {
             ones_half_cycles: vec![0; netlist.cell_count()],
             toggles: vec![0; netlist.cell_count()],
-            last: vec![None; netlist.cell_count()],
+            last: vec![0; netlist.cell_count()],
+            first: true,
             cycles: 0,
+            clock_cells,
+            data_cells,
         }
     }
 
-    pub(crate) fn sample(
-        &mut self,
-        netlist: &Netlist,
-        values: &[bool],
-        clock_active: &[bool],
-        running: bool,
-    ) {
-        for cell in netlist.cells() {
-            let index = cell.id.index();
-            if cell.kind.is_clock_network() {
-                let active = running && clock_active[index];
-                if active {
-                    self.ones_half_cycles[index] += 1; // high half of the cycle
-                    self.toggles[index] += 1;
-                }
-            } else {
-                let value = values[cell.output.index()];
-                if value {
-                    self.ones_half_cycles[index] += 2;
-                }
-                if self.last[index] == Some(!value) {
-                    self.toggles[index] += 1;
-                }
-                self.last[index] = Some(value);
+    /// Accumulate one scalar cycle.
+    pub(crate) fn sample(&mut self, values: &[bool], clock_active: &[bool], running: bool) {
+        for &index in &self.clock_cells {
+            if running && clock_active[index] {
+                self.ones_half_cycles[index] += 1; // high half of the cycle
+                self.toggles[index] += 1;
             }
         }
+        for &(index, net) in &self.data_cells {
+            let value = u64::from(values[net]);
+            self.ones_half_cycles[index] += 2 * value;
+            if !self.first {
+                self.toggles[index] += (self.last[index] ^ value) & 1;
+            }
+            self.last[index] = value;
+        }
+        self.first = false;
         self.cycles += 1;
+    }
+
+    /// Accumulate one 64-lane cycle: every word carries 64 independent
+    /// lanes, so residency adds `2 * count_ones` half-cycles and toggles
+    /// add `count_ones(prev ^ cur)` — the lane-sum of what 64 scalar
+    /// samples would have added.
+    pub(crate) fn sample_wide(&mut self, values: &[u64], clock_active: &[u64], running_mask: u64) {
+        for &index in &self.clock_cells {
+            let active = u64::from((running_mask & clock_active[index]).count_ones());
+            self.ones_half_cycles[index] += active;
+            self.toggles[index] += active;
+        }
+        for &(index, net) in &self.data_cells {
+            let value = values[net];
+            self.ones_half_cycles[index] += 2 * u64::from(value.count_ones());
+            if !self.first {
+                self.toggles[index] += u64::from((self.last[index] ^ value).count_ones());
+            }
+            self.last[index] = value;
+        }
+        self.first = false;
+        self.cycles += 64;
     }
 
     pub(crate) fn snapshot(&self, netlist: &Netlist) -> SpProfile {

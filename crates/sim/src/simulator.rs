@@ -8,6 +8,99 @@ use vega_netlist::{CellId, CellKind, NetDriver, NetId, Netlist};
 
 use crate::profile::SpCounters;
 
+/// Where a clock pin's activity comes from, resolved once at
+/// construction so per-cycle evaluation is a single indexed load instead
+/// of a driver-chain walk.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ClockSource {
+    /// The root clock input: toggling iff the circuit clock runs.
+    Root,
+    /// Driven by a clock-network cell: read its `clock_active` slot.
+    ClockCell(CellId),
+    /// A clock pin driven by data logic: treat the current net value as a
+    /// level-sensitive enable on the running clock (a synthesized
+    /// clock-divider-free approximation).
+    DataNet(NetId),
+}
+
+impl ClockSource {
+    /// Resolve the driver of `net` into a cached clock source.
+    pub(crate) fn classify(netlist: &Netlist, net: NetId) -> ClockSource {
+        match netlist.net(net).driver {
+            NetDriver::Input => ClockSource::Root,
+            NetDriver::Cell(src) => {
+                if netlist.cell(src).kind.is_clock_network() {
+                    ClockSource::ClockCell(src)
+                } else {
+                    ClockSource::DataNet(net)
+                }
+            }
+        }
+    }
+}
+
+/// One clock-network cell with its construction-time-resolved upstream
+/// source and (for `ClockGate`) enable net.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ClockCellInfo {
+    /// The clock cell itself.
+    pub(crate) id: CellId,
+    /// Where its input clock comes from.
+    pub(crate) source: ClockSource,
+    /// `Some(enable net)` for a `ClockGate`, `None` for a `ClockBuf`.
+    pub(crate) enable: Option<NetId>,
+}
+
+/// One flip-flop with its clock source resolved at construction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DffInfo {
+    /// The `D` input net.
+    pub(crate) d: NetId,
+    /// The `Q` output net.
+    pub(crate) q: NetId,
+    /// Where the clock pin's activity comes from.
+    pub(crate) source: ClockSource,
+}
+
+/// Clock-network cells in root-to-leaf order with resolved sources, plus
+/// per-DFF resolved clock pins — the shared construction-time analysis
+/// behind both the scalar and the 64-lane simulator.
+pub(crate) fn resolve_clocking(netlist: &Netlist) -> (Vec<ClockCellInfo>, Vec<DffInfo>) {
+    // Clock cells ordered root-to-leaf: sort by clock-path depth.
+    let mut by_depth: Vec<(usize, CellId)> = netlist
+        .cells()
+        .filter(|c| c.kind.is_clock_network())
+        .map(|c| {
+            let depth = clock_path(netlist, c.id).map(|p| p.len()).unwrap_or(0);
+            (depth, c.id)
+        })
+        .collect();
+    by_depth.sort_unstable();
+    let clock_cells = by_depth
+        .into_iter()
+        .map(|(_, id)| {
+            let cell = netlist.cell(id);
+            ClockCellInfo {
+                id,
+                source: ClockSource::classify(netlist, cell.inputs[0]),
+                enable: match cell.kind {
+                    CellKind::ClockGate => Some(cell.inputs[1]),
+                    _ => None,
+                },
+            }
+        })
+        .collect();
+    let dffs = netlist
+        .dffs()
+        .map(|dff| DffInfo {
+            d: dff.inputs[0],
+            q: dff.output,
+            source: ClockSource::classify(netlist, dff.inputs[1]),
+        })
+        .collect();
+    (clock_cells, dffs)
+}
+
 /// A cycle-accurate, two-valued, levelized simulator for one netlist.
 ///
 /// Semantics per call to [`Simulator::step`]:
@@ -34,10 +127,16 @@ pub struct Simulator<'n> {
     comb_order: Vec<CellId>,
     /// Current value of every net.
     values: Vec<bool>,
-    /// Clock-network cells in root-to-leaf order.
-    clock_order: Vec<CellId>,
+    /// Clock-network cells in root-to-leaf order, sources pre-resolved.
+    clock_cells: Vec<ClockCellInfo>,
     /// Per-clock-cell "toggling this cycle" flag, indexed by cell id.
     clock_active: Vec<bool>,
+    /// Flip-flops with clock pins pre-resolved.
+    dffs: Vec<DffInfo>,
+    /// Output nets of `Random` pseudo-cells.
+    random_nets: Vec<NetId>,
+    /// Reusable capture buffer (cleared, never reallocated, per cycle).
+    captures: Vec<(NetId, bool)>,
     rng: StdRng,
     counters: Option<SpCounters>,
     cycle: u64,
@@ -53,22 +152,20 @@ impl<'n> Simulator<'n> {
     /// Create a simulator with an explicit seed for `Random` cells.
     pub fn with_seed(netlist: &'n Netlist, seed: u64) -> Self {
         let comb_order = graph::topo_order(netlist).expect("netlist validated");
-        // Clock cells ordered root-to-leaf: sort by clock-path depth.
-        let mut clock_order: Vec<(usize, CellId)> = netlist
-            .cells()
-            .filter(|c| c.kind.is_clock_network())
-            .map(|c| {
-                let depth = clock_path(netlist, c.id).map(|p| p.len()).unwrap_or(0);
-                (depth, c.id)
-            })
+        let (clock_cells, dffs) = resolve_clocking(netlist);
+        let random_nets = netlist
+            .cells_of_kind(CellKind::Random)
+            .map(|c| c.output)
             .collect();
-        clock_order.sort_unstable();
         let mut sim = Simulator {
             netlist,
             comb_order,
             values: vec![false; netlist.net_count()],
-            clock_order: clock_order.into_iter().map(|(_, id)| id).collect(),
+            clock_cells,
             clock_active: vec![false; netlist.cell_count()],
+            dffs,
+            random_nets,
+            captures: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             counters: None,
             cycle: 0,
@@ -196,37 +293,23 @@ impl<'n> Simulator<'n> {
     ///
     /// `running` is false for idle (paused-clock) cycles.
     fn evaluate_clock_network(&mut self, running: bool) {
-        for &id in &self.clock_order {
-            let cell = self.netlist.cell(id);
-            let upstream_active = match cell.kind {
-                CellKind::ClockBuf => self.clock_source_active(cell.inputs[0], running),
-                CellKind::ClockGate => {
-                    let up = self.clock_source_active(cell.inputs[0], running);
-                    let enable = self.values[cell.inputs[1].index()];
-                    up && enable
-                }
-                _ => unreachable!("clock_order only holds clock cells"),
+        for i in 0..self.clock_cells.len() {
+            let info = self.clock_cells[i];
+            let up = self.source_active(info.source, running);
+            let active = match info.enable {
+                Some(enable) => up && self.values[enable.index()],
+                None => up,
             };
-            self.clock_active[id.index()] = upstream_active;
+            self.clock_active[info.id.index()] = active;
         }
     }
 
-    /// Whether the clock arriving on `net` toggles this cycle.
-    fn clock_source_active(&self, net: NetId, running: bool) -> bool {
-        match self.netlist.net(net).driver {
-            // The root clock input: toggling iff the circuit clock runs.
-            NetDriver::Input => running,
-            NetDriver::Cell(src) => {
-                let src_cell = self.netlist.cell(src);
-                if src_cell.kind.is_clock_network() {
-                    self.clock_active[src.index()]
-                } else {
-                    // A clock pin driven by data logic: treat the current
-                    // net value as a level-sensitive enable on the running
-                    // clock (a synthesized clock-divider-free approximation).
-                    running && self.values[net.index()]
-                }
-            }
+    /// Whether the clock arriving from `source` toggles this cycle.
+    fn source_active(&self, source: ClockSource, running: bool) -> bool {
+        match source {
+            ClockSource::Root => running,
+            ClockSource::ClockCell(src) => self.clock_active[src.index()],
+            ClockSource::DataNet(net) => running && self.values[net.index()],
         }
     }
 
@@ -245,9 +328,9 @@ impl<'n> Simulator<'n> {
 
     fn step_inner(&mut self, running: bool) {
         // 1. Fresh random bits.
-        for cell in self.netlist.cells_of_kind(CellKind::Random) {
+        for i in 0..self.random_nets.len() {
             let bit = self.rng.gen::<bool>();
-            self.values[cell.output.index()] = bit;
+            self.values[self.random_nets[i].index()] = bit;
         }
         // 2. Combinational settle.
         self.settle();
@@ -255,28 +338,23 @@ impl<'n> Simulator<'n> {
         self.evaluate_clock_network(running);
         // 4. Profile.
         if let Some(counters) = &mut self.counters {
-            counters.sample(self.netlist, &self.values, &self.clock_active, running);
+            counters.sample(&self.values, &self.clock_active, running);
         }
-        // 5. Capture.
+        // 5. Capture, double-buffered so a Q→D chain reads pre-edge state.
         if running {
-            let mut captures: Vec<(NetId, bool)> = Vec::new();
-            for dff in self.netlist.dffs() {
-                if self.dff_clock_active(dff.id) {
-                    let d = self.values[dff.inputs[0].index()];
-                    captures.push((dff.output, d));
+            let mut captures = std::mem::take(&mut self.captures);
+            captures.clear();
+            for dff in &self.dffs {
+                if self.source_active(dff.source, true) {
+                    captures.push((dff.q, self.values[dff.d.index()]));
                 }
             }
-            for (net, value) in captures {
+            for &(net, value) in &captures {
                 self.values[net.index()] = value;
             }
+            self.captures = captures;
         }
         self.cycle += 1;
-    }
-
-    /// Whether the given flip-flop's clock toggles this cycle.
-    fn dff_clock_active(&self, dff: CellId) -> bool {
-        let cell = self.netlist.cell(dff);
-        self.clock_source_active(cell.inputs[1], true)
     }
 }
 

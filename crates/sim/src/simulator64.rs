@@ -1,0 +1,531 @@
+//! The bit-parallel 64-lane simulator.
+//!
+//! Classic pattern-parallel logic simulation: every net holds a `u64`
+//! whose bit *l* is the net's value in *lane l*, so one pass over the
+//! levelized netlist advances 64 independent stimuli. Gate evaluation is
+//! word-level bitwise arithmetic ([`vega_netlist::CellKind::eval_word`]),
+//! clock gating is a per-lane mask, and the signal-probability counters
+//! accumulate via popcount — 64 scalar cycles of residency per sample.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vega_netlist::graph;
+use vega_netlist::{CellKind, NetDriver, NetId, Netlist};
+
+use crate::profile::SpCounters;
+use crate::simulator::{resolve_clocking, ClockCellInfo, ClockSource, DffInfo};
+use crate::SpProfile;
+
+/// Number of stimulus lanes a [`Simulator64`] advances per step.
+pub const LANES: usize = 64;
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG seed lane `lane` of a 64-lane simulator seeded with `seed`
+/// uses for its `Random` pseudo-cells.
+///
+/// This is the lane-equivalence contract: lane `lane` of
+/// `Simulator64::with_seed(n, seed)` behaves exactly like a scalar
+/// `Simulator::with_seed(n, lane_seed(seed, lane))` driven with the same
+/// per-lane inputs.
+pub fn lane_seed(seed: u64, lane: usize) -> u64 {
+    mix(seed ^ mix(lane as u64))
+}
+
+/// One combinational cell flattened for the hot settle loop: no netlist
+/// lookups, just indexed loads and a word-level eval.
+#[derive(Debug, Clone, Copy)]
+struct CombOp {
+    kind: CellKind,
+    output: u32,
+    inputs: [u32; 3],
+    arity: u8,
+}
+
+/// A cycle-accurate, two-valued, bit-parallel simulator: 64 independent
+/// stimulus lanes per settle pass.
+///
+/// Semantics per [`Simulator64::step`] match the scalar
+/// [`crate::Simulator`] lane-for-lane (see [`lane_seed`] for the RNG
+/// contract): random bits, combinational settle, clock network, SP
+/// sampling, then flip-flop capture under a per-lane clock-active mask.
+///
+/// All lanes share one clock: [`Simulator64::step_idle`] pauses the
+/// circuit clock in every lane at once (the free-running profiling clock
+/// still counts 64 lane-cycles).
+#[derive(Debug)]
+pub struct Simulator64<'n> {
+    netlist: &'n Netlist,
+    comb: Vec<CombOp>,
+    /// Current value word of every net (bit *l* = lane *l*).
+    values: Vec<u64>,
+    /// Clock-network cells in root-to-leaf order, sources pre-resolved.
+    clock_cells: Vec<ClockCellInfo>,
+    /// Per-clock-cell "toggling this cycle" mask, indexed by cell id.
+    clock_active: Vec<u64>,
+    /// Flip-flops with clock pins pre-resolved.
+    dffs: Vec<DffInfo>,
+    /// Output nets of `Random` pseudo-cells.
+    random_nets: Vec<NetId>,
+    /// Per-lane RNGs, allocated only when `Random` cells exist.
+    lane_rngs: Option<Box<[StdRng; LANES]>>,
+    /// Reusable capture buffer (cleared, never reallocated, per step).
+    captures: Vec<(NetId, u64)>,
+    counters: Option<SpCounters>,
+    steps: u64,
+}
+
+impl<'n> Simulator64<'n> {
+    /// Create a simulator with all nets at `0` in every lane (the reset
+    /// state) and the default RNG seed for `Random` cells.
+    pub fn new(netlist: &'n Netlist) -> Self {
+        Self::with_seed(netlist, 0x5EED_CAFE)
+    }
+
+    /// Create a simulator with an explicit seed for `Random` cells; lane
+    /// `l` draws from a scalar-compatible stream seeded
+    /// [`lane_seed`]`(seed, l)`.
+    pub fn with_seed(netlist: &'n Netlist, seed: u64) -> Self {
+        let comb_order = graph::topo_order(netlist).expect("netlist validated");
+        let comb = comb_order
+            .into_iter()
+            .map(|id| {
+                let cell = netlist.cell(id);
+                let mut inputs = [0u32; 3];
+                for (i, &net) in cell.inputs.iter().enumerate() {
+                    inputs[i] = net.index() as u32;
+                }
+                CombOp {
+                    kind: cell.kind,
+                    output: cell.output.index() as u32,
+                    inputs,
+                    arity: cell.inputs.len() as u8,
+                }
+            })
+            .collect();
+        let (clock_cells, dffs) = resolve_clocking(netlist);
+        let random_nets: Vec<NetId> = netlist
+            .cells_of_kind(CellKind::Random)
+            .map(|c| c.output)
+            .collect();
+        let lane_rngs = if random_nets.is_empty() {
+            None
+        } else {
+            let rngs: Vec<StdRng> = (0..LANES)
+                .map(|lane| StdRng::seed_from_u64(lane_seed(seed, lane)))
+                .collect();
+            Some(rngs.try_into().map(Box::new).expect("exactly 64 RNGs"))
+        };
+        let mut sim = Simulator64 {
+            netlist,
+            comb,
+            values: vec![0; netlist.net_count()],
+            clock_cells,
+            clock_active: vec![0; netlist.cell_count()],
+            dffs,
+            random_nets,
+            lane_rngs,
+            captures: Vec::new(),
+            counters: None,
+            steps: 0,
+        };
+        sim.settle();
+        sim
+    }
+
+    /// The netlist under simulation.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// The number of 64-lane steps taken so far (idle steps included).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Attach signal-probability counters to every cell output. Residency
+    /// accumulates lane-summed: each step contributes 64 lane-cycles.
+    pub fn enable_profiling(&mut self) {
+        if self.counters.is_none() {
+            self.counters = Some(SpCounters::new(self.netlist));
+        }
+    }
+
+    /// The accumulated signal-probability profile, if profiling is
+    /// enabled. `cycles` counts lane-cycles (64 per step).
+    pub fn profile(&self) -> Option<SpProfile> {
+        self.counters.as_ref().map(|c| c.snapshot(self.netlist))
+    }
+
+    /// Set a multi-bit input port to the same value in **all** lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input port named `port` exists, or if `value` needs
+    /// more bits than the port has.
+    pub fn set_input(&mut self, port: &str, value: u64) {
+        let port = self
+            .netlist
+            .port(port)
+            .unwrap_or_else(|| panic!("no port named `{port}`"))
+            .clone();
+        assert!(
+            port.width() >= 64 - value.leading_zeros() as usize,
+            "value {value:#x} does not fit in {}-bit port `{}`",
+            port.width(),
+            port.name
+        );
+        for (i, &bit) in port.bits.iter().enumerate() {
+            self.values[bit.index()] = if (value >> i) & 1 == 1 { !0 } else { 0 };
+        }
+    }
+
+    /// Set a multi-bit input port per lane: lane `l` sees `values[l]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input port named `port` exists or any lane's value
+    /// needs more bits than the port has.
+    pub fn set_input_lanes(&mut self, port: &str, values: &[u64; LANES]) {
+        let port = self
+            .netlist
+            .port(port)
+            .unwrap_or_else(|| panic!("no port named `{port}`"))
+            .clone();
+        let width = port.width();
+        for (lane, &v) in values.iter().enumerate() {
+            assert!(
+                width >= 64 - v.leading_zeros() as usize,
+                "lane {lane} value {v:#x} does not fit in {width}-bit port `{}`",
+                port.name
+            );
+        }
+        for (i, &bit) in port.bits.iter().enumerate() {
+            // Transpose: bit `l` of the net word is bit `i` of lane `l`'s
+            // value.
+            let mut word = 0u64;
+            for (lane, &v) in values.iter().enumerate() {
+                word |= ((v >> i) & 1) << lane;
+            }
+            self.values[bit.index()] = word;
+        }
+    }
+
+    /// Set a multi-bit input port in the lanes selected by `lane_mask`
+    /// only: lane `l` sees `values[l]` if bit `l` of the mask is set and
+    /// keeps its current value otherwise. This is how heterogeneous
+    /// workloads (different tests per lane, each with its own stimulus
+    /// schedule) coexist in one simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input port named `port` exists or a selected lane's
+    /// value needs more bits than the port has.
+    pub fn set_input_lanes_masked(&mut self, port: &str, values: &[u64; LANES], lane_mask: u64) {
+        let port = self
+            .netlist
+            .port(port)
+            .unwrap_or_else(|| panic!("no port named `{port}`"))
+            .clone();
+        let width = port.width();
+        for (lane, &v) in values.iter().enumerate() {
+            assert!(
+                (lane_mask >> lane) & 1 == 0 || width >= 64 - v.leading_zeros() as usize,
+                "lane {lane} value {v:#x} does not fit in {width}-bit port `{}`",
+                port.name
+            );
+        }
+        for (i, &bit) in port.bits.iter().enumerate() {
+            let mut word = 0u64;
+            for (lane, &v) in values.iter().enumerate() {
+                word |= ((v >> i) & 1) << lane;
+            }
+            let old = self.values[bit.index()];
+            self.values[bit.index()] = (old & !lane_mask) | (word & lane_mask);
+        }
+    }
+
+    /// Set one bit of an input port to a full 64-lane word — the zero-
+    /// lookup fast path for wide stimulus generators.
+    pub fn set_input_bit_word(&mut self, port: &str, bit: usize, word: u64) {
+        let port = self
+            .netlist
+            .port(port)
+            .unwrap_or_else(|| panic!("no port named `{port}`"))
+            .clone();
+        self.values[port.bits[bit].index()] = word;
+    }
+
+    /// Set an input-driven net directly to a 64-lane word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not driven by a module input.
+    pub fn set_net_word(&mut self, net: NetId, word: u64) {
+        assert!(
+            matches!(self.netlist.net(net).driver, NetDriver::Input),
+            "net {net:?} is not an input-driven net"
+        );
+        self.values[net.index()] = word;
+    }
+
+    /// Read a multi-bit output (or any) port as an integer in lane
+    /// `lane`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no port named `port` exists, it is wider than 64 bits,
+    /// or `lane >= 64`.
+    pub fn output_lane(&self, port: &str, lane: usize) -> u64 {
+        assert!(lane < LANES);
+        let port = self
+            .netlist
+            .port(port)
+            .unwrap_or_else(|| panic!("no port named `{port}`"));
+        assert!(port.width() <= 64);
+        let mut value = 0u64;
+        for (i, &bit) in port.bits.iter().enumerate() {
+            value |= ((self.values[bit.index()] >> lane) & 1) << i;
+        }
+        value
+    }
+
+    /// The current 64-lane word of a single net.
+    pub fn net_word(&self, net: NetId) -> u64 {
+        self.values[net.index()]
+    }
+
+    /// The current value of a single net in lane `lane`.
+    pub fn net_value(&self, net: NetId, lane: usize) -> bool {
+        assert!(lane < LANES);
+        (self.values[net.index()] >> lane) & 1 == 1
+    }
+
+    /// Settle combinational logic under the current inputs without
+    /// advancing the clock, the profiling counters, or the step count.
+    pub fn settle_inputs(&mut self) {
+        self.settle();
+    }
+
+    /// Settle combinational logic given current inputs and register state.
+    fn settle(&mut self) {
+        let values = &mut self.values;
+        for op in &self.comb {
+            let mut inputs = [0u64; 3];
+            let arity = op.arity as usize;
+            for i in 0..arity {
+                inputs[i] = values[op.inputs[i] as usize];
+            }
+            values[op.output as usize] = op.kind.eval_word(&inputs[..arity]);
+        }
+    }
+
+    /// Per-lane mask of the clock arriving from `source` this step.
+    fn source_mask(&self, source: ClockSource, running_mask: u64) -> u64 {
+        match source {
+            ClockSource::Root => running_mask,
+            ClockSource::ClockCell(src) => self.clock_active[src.index()],
+            ClockSource::DataNet(net) => running_mask & self.values[net.index()],
+        }
+    }
+
+    /// Evaluate clock-gate enables and propagate per-lane clock activity.
+    fn evaluate_clock_network(&mut self, running_mask: u64) {
+        for i in 0..self.clock_cells.len() {
+            let info = self.clock_cells[i];
+            let up = self.source_mask(info.source, running_mask);
+            let active = match info.enable {
+                Some(enable) => up & self.values[enable.index()],
+                None => up,
+            };
+            self.clock_active[info.id.index()] = active;
+        }
+    }
+
+    /// Advance one clock cycle in all 64 lanes: settle, profile, capture.
+    pub fn step(&mut self) {
+        self.step_inner(true);
+    }
+
+    /// Advance one *profiling* cycle with the circuit clock paused in all
+    /// lanes: combinational logic still settles, the SP counters still
+    /// accumulate (64 lane-cycles), but no flip-flop captures.
+    pub fn step_idle(&mut self) {
+        self.step_inner(false);
+    }
+
+    fn step_inner(&mut self, running: bool) {
+        let running_mask = if running { !0u64 } else { 0 };
+        // 1. Fresh random bits, one per lane per cell. Lane RNGs draw in
+        //    cell order so lane `l` replays a scalar run seeded
+        //    `lane_seed(seed, l)`.
+        if let Some(rngs) = &mut self.lane_rngs {
+            for &net in &self.random_nets {
+                let mut word = 0u64;
+                for (lane, rng) in rngs.iter_mut().enumerate() {
+                    word |= u64::from(rng.gen::<bool>()) << lane;
+                }
+                self.values[net.index()] = word;
+            }
+        }
+        // 2. Combinational settle.
+        self.settle();
+        // 3. Clock network.
+        self.evaluate_clock_network(running_mask);
+        // 4. Profile.
+        if let Some(counters) = &mut self.counters {
+            counters.sample_wide(&self.values, &self.clock_active, running_mask);
+        }
+        // 5. Capture: lanes with an active clock take D, the rest keep Q.
+        //    Double-buffered so a Q→D chain reads pre-edge state.
+        if running {
+            let mut captures = std::mem::take(&mut self.captures);
+            captures.clear();
+            for dff in &self.dffs {
+                let mask = self.source_mask(dff.source, !0u64);
+                if mask != 0 {
+                    let q = self.values[dff.q.index()];
+                    let d = self.values[dff.d.index()];
+                    captures.push((dff.q, (q & !mask) | (d & mask)));
+                }
+            }
+            for &(net, word) in &captures {
+                self.values[net.index()] = word;
+            }
+            self.captures = captures;
+        }
+        self.steps += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_netlist::NetlistBuilder;
+
+    /// The paper's 2-bit pipelined adder (Listing 1 / Figure 3).
+    fn paper_adder() -> Netlist {
+        let mut b = NetlistBuilder::new("adder");
+        let clk = b.clock("clk");
+        let a = b.input("a", 2);
+        let bb = b.input("b", 2);
+        let aq0 = b.dff("dff1", a[0], clk);
+        let aq1 = b.dff("dff2", a[1], clk);
+        let bq0 = b.dff("dff3", bb[0], clk);
+        let bq1 = b.dff("dff4", bb[1], clk);
+        let s0 = b.cell(CellKind::Xor2, "xor5", &[aq0, bq0]);
+        let c0 = b.cell(CellKind::And2, "and6", &[aq0, bq0]);
+        let x7 = b.cell(CellKind::Xor2, "xor7", &[aq1, bq1]);
+        let s1 = b.cell(CellKind::Xor2, "xor8", &[x7, c0]);
+        let o0 = b.dff("dff9", s0, clk);
+        let o1 = b.dff("dff10", s1, clk);
+        b.output("o", &[o0, o1]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn all_16_adder_input_pairs_fit_in_one_pass() {
+        let n = paper_adder();
+        let mut sim = Simulator64::new(&n);
+        let mut a_lanes = [0u64; LANES];
+        let mut b_lanes = [0u64; LANES];
+        for lane in 0..LANES {
+            a_lanes[lane] = (lane as u64 / 4) % 4;
+            b_lanes[lane] = lane as u64 % 4;
+        }
+        sim.set_input_lanes("a", &a_lanes);
+        sim.set_input_lanes("b", &b_lanes);
+        sim.step();
+        sim.step();
+        for lane in 0..LANES {
+            assert_eq!(
+                sim.output_lane("o", lane),
+                (a_lanes[lane] + b_lanes[lane]) % 4,
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_input_matches_every_lane() {
+        let n = paper_adder();
+        let mut sim = Simulator64::new(&n);
+        sim.set_input("a", 3);
+        sim.set_input("b", 2);
+        sim.step();
+        sim.step();
+        for lane in 0..LANES {
+            assert_eq!(sim.output_lane("o", lane), 1, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn idle_steps_freeze_registers_but_count_lane_cycles() {
+        let n = paper_adder();
+        let mut sim = Simulator64::new(&n);
+        sim.enable_profiling();
+        sim.set_input("a", 3);
+        sim.set_input("b", 0);
+        sim.step();
+        sim.step();
+        assert_eq!(sim.output_lane("o", 17), 3);
+        sim.set_input("a", 0);
+        for _ in 0..10 {
+            sim.step_idle();
+        }
+        assert_eq!(
+            sim.output_lane("o", 17),
+            3,
+            "paused clock must freeze registers"
+        );
+        assert_eq!(sim.profile().unwrap().cycles, 12 * 64);
+    }
+
+    #[test]
+    fn gated_lanes_mask_capture_per_lane() {
+        let mut b = NetlistBuilder::new("gated");
+        let clk = b.clock("clk");
+        let en = b.input("en", 1)[0];
+        let d = b.input("d", 1)[0];
+        let root = b.clock_buf("ckroot", clk);
+        let gck = b.clock_gate("ckgate", root, en);
+        let leaf = b.clock_buf("ckleaf", gck);
+        let q = b.dff("q", d, leaf);
+        b.output("y", &[q]);
+        let n = b.finish().unwrap();
+
+        let mut sim = Simulator64::new(&n);
+        // Even lanes enabled, odd lanes gated off; all lanes drive d=1.
+        let mut en_lanes = [0u64; LANES];
+        for (lane, e) in en_lanes.iter_mut().enumerate() {
+            *e = u64::from(lane % 2 == 0);
+        }
+        sim.set_input_lanes("en", &en_lanes);
+        sim.set_input("d", 1);
+        sim.step();
+        for lane in 0..LANES {
+            assert_eq!(
+                sim.output_lane("y", lane),
+                u64::from(lane % 2 == 0),
+                "lane {lane}: only enabled lanes may capture"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_seeds_are_distinct_and_stable() {
+        let s: Vec<u64> = (0..LANES).map(|l| lane_seed(42, l)).collect();
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), LANES, "lane seeds must be distinct");
+        assert_eq!(s, (0..LANES).map(|l| lane_seed(42, l)).collect::<Vec<_>>());
+    }
+}

@@ -1,10 +1,12 @@
 //! Property tests for the gate-level simulator: arithmetic correctness
-//! on the example adder, SP accounting invariants, and determinism.
+//! on the example adder, SP accounting invariants, determinism, and
+//! lane-for-lane equivalence of the bit-parallel 64-lane backend with
+//! the scalar reference simulator.
 
 use proptest::prelude::*;
 
-use vega_netlist::{CellKind, Netlist, NetlistBuilder};
-use vega_sim::{RandomStimulus, Simulator};
+use vega_netlist::{CellKind, Netlist, NetlistBuilder, PortDir};
+use vega_sim::{lane_seed, RandomStimulus, Simulator, Simulator64, LANES};
 
 fn paper_adder() -> Netlist {
     let mut b = NetlistBuilder::new("adder");
@@ -23,6 +25,180 @@ fn paper_adder() -> Netlist {
     let o1 = b.dff("dff10", s1, clk);
     b.output("o", &[o0, o1]);
     b.finish().unwrap()
+}
+
+/// A clock-gated circuit exercising `ClockBuf`/`ClockGate` chains.
+fn gated_circuit() -> Netlist {
+    let mut b = NetlistBuilder::new("gated");
+    let clk = b.clock("clk");
+    let en = b.input("en", 1)[0];
+    let d = b.input("d", 2);
+    let root = b.clock_buf("ckroot", clk);
+    let gck = b.clock_gate("ckgate", root, en);
+    let leaf = b.clock_buf("ckleaf", gck);
+    let q0 = b.dff("q0", d[0], leaf);
+    let q1 = b.dff("q1", d[1], root);
+    let x = b.cell(CellKind::Xor2, "x", &[q0, q1]);
+    b.output("y", &[x]);
+    b.finish().unwrap()
+}
+
+/// A circuit with `Random` pseudo-cells, to pin the per-lane RNG contract.
+fn random_circuit() -> Netlist {
+    let mut b = NetlistBuilder::new("rng");
+    let clk = b.clock("clk");
+    let d = b.input("d", 1)[0];
+    let r = b.cell(CellKind::Random, "r", &[]);
+    let r2 = b.cell(CellKind::Random, "r2", &[]);
+    let x = b.cell(CellKind::Xor2, "x", &[r, d]);
+    let m = b.cell(CellKind::Mux2, "m", &[x, d, r2]);
+    let q = b.dff("q", m, clk);
+    b.output("y", &[q]);
+    b.finish().unwrap()
+}
+
+/// Hand-rolled SplitMix64 so stimulus derivation is independent of the
+/// `rand` crate (and of the simulators' own RNG streams).
+struct Sm(u64);
+
+impl Sm {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Drive a [`Simulator64`] and 64 scalar [`Simulator`]s with identical
+/// per-lane stimulus and assert full-state equivalence: every net in
+/// every lane after every cycle (which covers combinational values,
+/// captures, and clock gating), plus the SP/toggle profiles at the end
+/// (the wide profile must equal the lane-merged scalar profiles).
+///
+/// `idle_every = Some(k)` replaces every k-th step with an idle
+/// (paused-clock) profiling step on both backends.
+fn check_lane_equivalence(n: &Netlist, seed: u64, cycles: usize, idle_every: Option<usize>) {
+    let mut wide = Simulator64::with_seed(n, seed);
+    wide.enable_profiling();
+    let mut scalars: Vec<Simulator> = (0..LANES)
+        .map(|lane| {
+            let mut s = Simulator::with_seed(n, lane_seed(seed, lane));
+            s.enable_profiling();
+            s
+        })
+        .collect();
+    let clock_name = n.clock().map(|c| n.net(c).name.clone());
+    let ports: Vec<(String, u64)> = n
+        .ports()
+        .iter()
+        .filter(|p| p.dir == PortDir::Input)
+        .filter(|p| Some(&p.name) != clock_name.as_ref())
+        .map(|p| {
+            let mask = if p.width() >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << p.width()) - 1
+            };
+            (p.name.clone(), mask)
+        })
+        .collect();
+    let mut sm = Sm(seed ^ 0xC0FF_EE00);
+    for cycle in 0..cycles {
+        for (port, mask) in &ports {
+            let mut lanes = [0u64; LANES];
+            for v in &mut lanes {
+                *v = sm.next() & mask;
+            }
+            wide.set_input_lanes(port, &lanes);
+            for (lane, s) in scalars.iter_mut().enumerate() {
+                s.set_input(port, lanes[lane]);
+            }
+        }
+        let idle = idle_every.is_some_and(|k| cycle % k == k - 1);
+        if idle {
+            wide.step_idle();
+            scalars.iter_mut().for_each(|s| s.step_idle());
+        } else {
+            wide.step();
+            scalars.iter_mut().for_each(|s| s.step());
+        }
+        for net in n.nets() {
+            let mut scalar_word = 0u64;
+            for (lane, s) in scalars.iter().enumerate() {
+                scalar_word |= u64::from(s.net_value(net.id)) << lane;
+            }
+            assert_eq!(
+                wide.net_word(net.id),
+                scalar_word,
+                "net `{}` diverges at cycle {cycle} (seed {seed}, idle {idle})",
+                net.name
+            );
+        }
+    }
+    let wide_profile = wide.profile().unwrap();
+    let mut merged = scalars[0].profile().unwrap();
+    for s in &scalars[1..] {
+        merged.merge(&s.profile().unwrap());
+    }
+    assert_eq!(wide_profile.cycles, merged.cycles);
+    for (name, cell) in &wide_profile.cells {
+        let m = &merged.cells[name];
+        assert!(
+            (cell.sp - m.sp).abs() < 1e-9,
+            "sp(`{name}`): wide {} vs merged {}",
+            cell.sp,
+            m.sp
+        );
+        assert!(
+            (cell.toggle_rate - m.toggle_rate).abs() < 1e-9,
+            "toggle_rate(`{name}`): wide {} vs merged {}",
+            cell.toggle_rate,
+            m.toggle_rate
+        );
+    }
+}
+
+/// Deterministic seeds so lane equivalence is exercised even where the
+/// proptest runner is unavailable; the properties below widen coverage.
+#[test]
+fn wide_lane_equivalence_seeded_suite() {
+    for seed in [0, 1, 42, 0xDEAD_BEEF] {
+        check_lane_equivalence(&paper_adder(), seed, 33, None);
+        check_lane_equivalence(&paper_adder(), seed, 20, Some(3));
+        check_lane_equivalence(&gated_circuit(), seed, 40, None);
+        check_lane_equivalence(&gated_circuit(), seed, 24, Some(4));
+        check_lane_equivalence(&random_circuit(), seed, 25, None);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Lane *i* of the 64-lane simulator matches a scalar run with the
+    /// same per-lane inputs — values, captures, gating, and profiles.
+    #[test]
+    fn wide_lanes_match_scalar_adder(seed in any::<u64>(), cycles in 1usize..24) {
+        check_lane_equivalence(&paper_adder(), seed, cycles, None);
+    }
+
+    /// Same, through a gated clock tree with interleaved idle cycles.
+    #[test]
+    fn wide_lanes_match_scalar_gated(
+        seed in any::<u64>(),
+        cycles in 1usize..24,
+        idle in 2usize..5,
+    ) {
+        check_lane_equivalence(&gated_circuit(), seed, cycles, Some(idle));
+    }
+
+    /// Same, with `Random` pseudo-cells: lane `l` draws the stream of a
+    /// scalar simulator seeded `lane_seed(seed, l)`.
+    #[test]
+    fn wide_lanes_match_scalar_random(seed in any::<u64>(), cycles in 1usize..24) {
+        check_lane_equivalence(&random_circuit(), seed, cycles, None);
+    }
 }
 
 proptest! {
