@@ -1,0 +1,257 @@
+//! BMC engine cost: rebuild-per-depth vs the incremental session.
+//!
+//! For every lifted aging pair of the ALU and FPU, runs the same cover
+//! query (shadow-instrumented netlist, `any_differ` property, module
+//! assumptions and budget) through both engines:
+//!
+//! * the rebuild oracle — a fresh solver and a full re-encoding of
+//!   cycles `0..=t` at every depth `t` (`check_cover_rebuild_with_stats`);
+//! * the incremental session — one persistent unrolling per query,
+//!   cone-of-influence + polarity-pruned encoding, `fire@t` assumed and
+//!   `!fire@t` asserted on refutation, learned clauses kept throughout
+//!   (`check_cover_with_stats`).
+//!
+//! Both engines must agree on every outcome (same verdict, same minimal
+//! fire cycle); the artifact records per-pair and per-unit conflicts,
+//! propagations, encoded clauses, and wall-clock, plus the aggregate
+//! ratios. The FPU — deeper unrollings, harder cones — is where the
+//! incremental engine must show at least a 3x conflict reduction.
+//!
+//! Writes `bench_results/bmc_speedup.json` (via the fleet's canonical
+//! JSON writer) alongside a human-readable table on stdout.
+//!
+//! Run: `cargo run --release -p vega-bench --bin bmc_speedup`
+//! (set `VEGA_QUICK=1` for smoke sizes; `--out <path>` to redirect the
+//! artifact)
+
+use std::time::Instant;
+
+use vega_bench::{pairs_for_lifting, print_table, quick, setup_units, UnitSetup};
+use vega_fleet::Json;
+use vega_formal::{
+    check_cover_rebuild_with_stats, check_cover_with_stats, CoverOutcome, CoverStats, Property,
+};
+use vega_lift::{instrument_with_shadow, FaultActivation, FaultValue, ModuleKind};
+
+#[derive(Default)]
+struct EngineTotals {
+    conflicts: u64,
+    propagations: u64,
+    encoded_clauses: u64,
+    seconds: f64,
+}
+
+impl EngineTotals {
+    fn add(&mut self, stats: &CoverStats, seconds: f64) {
+        self.conflicts += stats.conflicts;
+        self.propagations += stats.propagations;
+        self.encoded_clauses += stats.encoded_clauses;
+        self.seconds += seconds;
+    }
+
+    fn json(&self) -> Json {
+        Json::obj(vec![
+            ("conflicts", Json::UInt(self.conflicts)),
+            ("propagations", Json::UInt(self.propagations)),
+            ("encoded_clauses", Json::UInt(self.encoded_clauses)),
+            ("seconds", Json::Float(self.seconds)),
+        ])
+    }
+}
+
+/// `a / b` with the zero-denominator convention that suits ratios of
+/// work counters: no work on either side is a neutral 1.0.
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        if a == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+fn outcome_name(outcome: &CoverOutcome) -> &'static str {
+    match outcome {
+        CoverOutcome::Trace(_) => "trace",
+        CoverOutcome::ProvedUnreachable { .. } => "proved_unreachable",
+        CoverOutcome::BoundedOnly { .. } => "bounded_only",
+        CoverOutcome::BudgetExhausted => "budget_exhausted",
+    }
+}
+
+fn bench_unit(setup: &UnitSetup, module: ModuleKind, rows: &mut Vec<Vec<String>>) -> (Json, f64) {
+    let netlist = &setup.unit.netlist;
+    let assumptions = module.assumptions(netlist);
+    let config = module.bmc_config();
+    let pairs = pairs_for_lifting(setup);
+    // The non-quick pair lists are large and each pair runs two fault
+    // values through two engines; a deterministic stride keeps the bench
+    // minutes-scale while still spanning the list — a prefix would sample
+    // one launch flop's easy SAT queries and miss the proved-unreachable
+    // pairs whose deep Unsat sweeps are where the engines differ most.
+    let cap = if quick() { 4 } else { 12 };
+    let stride = (pairs.len() / cap).max(1);
+    let pairs: Vec<_> = pairs.iter().step_by(stride).take(cap).copied().collect();
+
+    let mut rebuild = EngineTotals::default();
+    let mut incremental = EngineTotals::default();
+    let mut pair_json = Vec::new();
+    for &path in &pairs {
+        for value in FaultValue::FORMAL {
+            let instrumented =
+                instrument_with_shadow(netlist, path, value, FaultActivation::OnChange);
+            if instrumented.observable_pairs.is_empty() {
+                continue;
+            }
+            let property = Property::any_differ(instrumented.observable_pairs.clone());
+
+            let start = Instant::now();
+            let (reb_outcome, reb_stats) = check_cover_rebuild_with_stats(
+                &instrumented.netlist,
+                &property,
+                &assumptions,
+                &config,
+            );
+            let reb_seconds = start.elapsed().as_secs_f64();
+
+            let start = Instant::now();
+            let (inc_outcome, inc_stats) =
+                check_cover_with_stats(&instrumented.netlist, &property, &assumptions, &config);
+            let inc_seconds = start.elapsed().as_secs_f64();
+
+            // The engines must agree: same verdict, and for witnesses the
+            // same minimal fire cycle (input values may differ — both are
+            // valid witnesses of the same shallowest firing depth).
+            assert_eq!(
+                outcome_name(&inc_outcome),
+                outcome_name(&reb_outcome),
+                "{}: engines disagree on {} C={value:?}",
+                setup.name,
+                path.label(netlist),
+            );
+            if let (CoverOutcome::Trace(a), CoverOutcome::Trace(b)) = (&inc_outcome, &reb_outcome) {
+                assert_eq!(
+                    a.fire_cycle,
+                    b.fire_cycle,
+                    "{}: minimal fire cycle differs on {} C={value:?}",
+                    setup.name,
+                    path.label(netlist),
+                );
+            }
+
+            rebuild.add(&reb_stats, reb_seconds);
+            incremental.add(&inc_stats, inc_seconds);
+            pair_json.push(Json::obj(vec![
+                ("pair", Json::Str(path.label(netlist))),
+                ("fault_value", Json::Str(format!("{value:?}"))),
+                ("outcome", Json::Str(outcome_name(&inc_outcome).to_string())),
+                ("rebuild_conflicts", Json::UInt(reb_stats.conflicts)),
+                ("incremental_conflicts", Json::UInt(inc_stats.conflicts)),
+                ("rebuild_propagations", Json::UInt(reb_stats.propagations)),
+                (
+                    "incremental_propagations",
+                    Json::UInt(inc_stats.propagations),
+                ),
+                (
+                    "rebuild_encoded_clauses",
+                    Json::UInt(reb_stats.encoded_clauses),
+                ),
+                (
+                    "incremental_encoded_clauses",
+                    Json::UInt(inc_stats.encoded_clauses),
+                ),
+                ("rebuild_seconds", Json::Float(reb_seconds)),
+                ("incremental_seconds", Json::Float(inc_seconds)),
+            ]));
+        }
+    }
+
+    let conflict_ratio = ratio(rebuild.conflicts, incremental.conflicts);
+    let clause_ratio = ratio(rebuild.encoded_clauses, incremental.encoded_clauses);
+    let wall_ratio = rebuild.seconds / incremental.seconds.max(1e-12);
+    rows.push(vec![
+        setup.name.to_string(),
+        format!("{}", pair_json.len()),
+        format!("{}", rebuild.conflicts),
+        format!("{}", incremental.conflicts),
+        format!("{conflict_ratio:.1}x"),
+        format!("{clause_ratio:.1}x"),
+        format!("{wall_ratio:.1}x"),
+    ]);
+
+    let json = Json::obj(vec![
+        ("unit", Json::Str(setup.name.to_string())),
+        ("queries", Json::UInt(pair_json.len() as u64)),
+        ("rebuild", rebuild.json()),
+        ("incremental", incremental.json()),
+        ("conflict_reduction", Json::Float(conflict_ratio)),
+        ("propagation_reduction", {
+            Json::Float(ratio(rebuild.propagations, incremental.propagations))
+        }),
+        ("encoded_clause_reduction", Json::Float(clause_ratio)),
+        ("wall_clock_speedup", Json::Float(wall_ratio)),
+        ("outcomes_identical", Json::Bool(true)),
+        ("pairs", Json::Arr(pair_json)),
+    ]);
+    (json, conflict_ratio)
+}
+
+fn main() {
+    let mut out_path = String::from("bench_results/bmc_speedup.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument `{other}` (supported: --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("== BMC: rebuild-per-depth vs incremental session ==\n");
+    let (alu, fpu) = setup_units();
+
+    let mut rows = Vec::new();
+    let (alu_json, _) = bench_unit(&alu, ModuleKind::Alu, &mut rows);
+    let (fpu_json, fpu_ratio) = bench_unit(&fpu, ModuleKind::Fpu, &mut rows);
+
+    print_table(
+        &[
+            "unit",
+            "queries",
+            "rebuild cfl",
+            "incremental cfl",
+            "cfl ratio",
+            "clause ratio",
+            "wall ratio",
+        ],
+        &rows,
+    );
+    println!("\n(cfl = SAT conflicts summed over every cover query; ratios are");
+    println!("rebuild/incremental, so higher means the incremental engine wins)");
+
+    let artifact = Json::obj(vec![
+        ("benchmark", Json::Str("bmc_speedup".to_string())),
+        ("quick", Json::Bool(quick())),
+        ("units", Json::Arr(vec![alu_json, fpu_json])),
+    ]);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, artifact.to_pretty()).expect("write artifact");
+    println!("\nwrote {out_path}");
+
+    // The acceptance bar (checked after the artifact lands, so a failing
+    // run still leaves its numbers behind): the FPU's deep cones are
+    // where persistent learning and assumption solving must pay off.
+    assert!(
+        fpu_ratio >= 3.0,
+        "FPU conflict reduction {fpu_ratio:.2}x is below the 3x bar"
+    );
+}

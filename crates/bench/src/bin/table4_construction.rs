@@ -4,6 +4,11 @@
 //! waveform could not be converted (FC); with and without the mitigation
 //! for initial-value dependency.
 //!
+//! A second table reports the incremental formal engine's effort behind
+//! each row — conflicts, decisions, propagations, and encoded clauses
+//! summed over every pair, attempt, and budget-escalation round — so a
+//! construction-rate regression can be told apart from a solver-cost one.
+//!
 //! Run: `cargo run --release -p vega-bench --bin table4_construction`
 
 use vega_bench::{lift, print_table, setup_units};
@@ -13,6 +18,7 @@ fn main() {
     let (alu, fpu) = setup_units();
 
     let mut rows = Vec::new();
+    let mut effort_rows = Vec::new();
     for setup in [&alu, &fpu] {
         for mitigation in [false, true] {
             let report = lift(setup, mitigation);
@@ -26,11 +32,33 @@ fn main() {
                 format!("{fc:.1}"),
                 format!("{}", report.pairs.len()),
             ]);
+            let (conflicts, decisions, propagations, encoded) = report.solver_effort();
+            effort_rows.push(vec![
+                setup.name.to_string(),
+                if mitigation { "w/" } else { "w/o" }.to_string(),
+                format!("{conflicts}"),
+                format!("{decisions}"),
+                format!("{propagations}"),
+                format!("{encoded}"),
+            ]);
         }
     }
     print_table(
         &["unit", "mitigation", "S %", "UR %", "FF %", "FC %", "pairs"],
         &rows,
+    );
+
+    println!("\n== Solver effort behind each row (incremental engine) ==\n");
+    print_table(
+        &[
+            "unit",
+            "mitigation",
+            "conflicts",
+            "decisions",
+            "propagations",
+            "encoded clauses",
+        ],
+        &effort_rows,
     );
 
     println!("\nshape checks (cf. paper Table 4: ALU 66.7/33.3/0/0 w/o, 33.3/66.7/0/0 w/;");

@@ -257,8 +257,11 @@ fn arbitrary_attempt() -> impl Strategy<Value = Attempt> {
         ],
         arbitrary_outcome(),
         proptest::collection::vec(
-            (1u64..1_000_000, 0u64..1_000_000)
-                .prop_map(|(budget, spent)| BudgetRound { budget, spent }),
+            (1u64..1_000_000, 0u64..1_000_000).prop_map(|(budget, spent)| BudgetRound {
+                budget,
+                spent,
+                ..BudgetRound::default()
+            }),
             0..4,
         ),
     )

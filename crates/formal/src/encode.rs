@@ -1,37 +1,133 @@
-//! Tseitin encoding of a sequentially-unrolled netlist into CNF.
+//! Tseitin encoding of a sequentially-unrolled netlist into CNF, with
+//! cone-of-influence restriction and polarity-aware (Plaisted–Greenbaum)
+//! clause pruning for query-specific unrollings.
 
 use vega_sat::{Lit, Solver, Var};
 
-use vega_netlist::{CellKind, NetDriver, NetId, Netlist};
+use vega_netlist::{CellId, CellKind, NetDriver, NetId, Netlist, PortDir};
 
 use crate::property::{Assumption, Property, PropertyTerm};
 
+/// How a query uses the property's fire literals — this determines how
+/// much of the Tseitin encoding may be pruned (Plaisted–Greenbaum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FirePolarity {
+    /// Fire literals are only ever *required true* (assumed for the
+    /// current depth, or asserted). Gate clauses that would only justify
+    /// a net being false for the unused direction can be dropped: a
+    /// satisfying assignment still forces every cone net down to the
+    /// inputs, and an Unsat answer still proves no real behavior fires.
+    Positive,
+    /// Fire literals are used in both polarities (k-induction assumes
+    /// `!fire` for earlier cycles, which must genuinely force the circuit
+    /// not to fire): every cone gate keeps its full biconditional.
+    Both,
+}
+
+/// Usage-polarity bits per net: `POS` means some emitted clause contains
+/// the net's positive literal (so a model may set it true and the `net →
+/// gate-function` direction must be encoded to justify that), `NEG` the
+/// mirror image. `0` means the net is outside the cone of influence: no
+/// variable, no clauses.
+const POS: u8 = 0b01;
+const NEG: u8 = 0b10;
+const BOTH: u8 = 0b11;
+
+fn flip(p: u8) -> u8 {
+    ((p & POS) << 1) | ((p & NEG) >> 1)
+}
+
 /// A netlist unrolled over a number of clock cycles into one CNF formula.
 ///
-/// Cycle `t` holds a SAT variable for every net; combinational cells
-/// become Tseitin clauses within a cycle, and flip-flops become transition
-/// clauses between consecutive cycles. Flip-flops behind integrated clock
-/// gates hold their value in cycles where any gate on their clock path is
-/// disabled, matching the simulator's semantics.
+/// Cycle `t` holds a SAT variable for every net in scope; combinational
+/// cells become Tseitin clauses within a cycle, and flip-flops become
+/// transition clauses between consecutive cycles. Flip-flops behind
+/// integrated clock gates hold their value in cycles where any gate on
+/// their clock path is disabled, matching the simulator's semantics.
+///
+/// [`Unrolling::new`] encodes every net ([`FirePolarity::Both`] for all —
+/// the historical full encoding). [`Unrolling::for_query`] restricts the
+/// encoding to the transitive fanin of a specific property and assumption
+/// set, with per-net polarity tracking so monotone cone gates emit only
+/// the clause direction the query can observe.
 #[derive(Debug)]
 pub struct Unrolling<'n> {
     netlist: &'n Netlist,
     solver: Solver,
-    cycle_vars: Vec<Vec<Var>>,
+    cycle_vars: Vec<Vec<Option<Var>>>,
     /// Per-DFF: the clock-gate enable nets along its clock path.
-    dff_enables: Vec<(vega_netlist::CellId, Vec<NetId>)>,
+    dff_enables: Vec<(CellId, Vec<NetId>)>,
     free_initial_state: bool,
+    /// Per-net usage polarity (POS/NEG bits); 0 = outside the cone.
+    pol: Vec<u8>,
+    /// How fire literals built by [`Unrolling::fire_literal`] will be
+    /// used; governs which directions of their aux clauses are emitted.
+    fire_polarity: FirePolarity,
+    /// Tell the solver to branch on the query's real degrees of freedom
+    /// (primary inputs, free nets, and — for a free initial state — the
+    /// cycle-0 flops) before any internal variable. Enabled by
+    /// [`Unrolling::for_query`]; [`Unrolling::new`] keeps the solver's
+    /// generic heuristic so the rebuild baseline stays pre-incremental.
+    prefer_input_branching: bool,
 }
 
 impl<'n> Unrolling<'n> {
-    /// Start an unrolling with zero cycles.
+    /// Start an unrolling with zero cycles, encoding the whole netlist.
     ///
     /// With `free_initial_state` false, flip-flops start at the reset
     /// value `0` (the model checker's view after reset, paper §3.3.4);
     /// with true, the initial state is unconstrained — used for the
     /// inductive step of k-induction proofs.
     pub fn new(netlist: &'n Netlist, free_initial_state: bool) -> Self {
-        let dff_enables = netlist
+        let pol = vec![BOTH; netlist.net_count()];
+        Self::with_polarities(netlist, free_initial_state, pol)
+    }
+
+    /// Start an unrolling restricted to the cone of influence of
+    /// `property` and `assumptions`.
+    ///
+    /// Only nets in the transitive fanin of the property terms and
+    /// assumption nets get variables and clauses; monotone gates whose
+    /// output the query observes in one polarity only (per
+    /// `fire_polarity`) emit just that Tseitin direction. The contract:
+    /// for fire literals used as `fire_polarity` permits, satisfiability
+    /// and extracted witnesses are identical to the full encoding.
+    pub fn for_query(
+        netlist: &'n Netlist,
+        free_initial_state: bool,
+        property: &Property,
+        assumptions: &[Assumption],
+        fire_polarity: FirePolarity,
+    ) -> Self {
+        let dff_enables = Self::collect_dff_enables(netlist);
+        let pol = cone_polarities(netlist, &dff_enables, property, assumptions, fire_polarity);
+        Unrolling {
+            netlist,
+            solver: Solver::new(),
+            cycle_vars: Vec::new(),
+            dff_enables,
+            free_initial_state,
+            pol,
+            fire_polarity,
+            prefer_input_branching: true,
+        }
+    }
+
+    fn with_polarities(netlist: &'n Netlist, free_initial_state: bool, pol: Vec<u8>) -> Self {
+        Unrolling {
+            netlist,
+            solver: Solver::new(),
+            cycle_vars: Vec::new(),
+            dff_enables: Self::collect_dff_enables(netlist),
+            free_initial_state,
+            pol,
+            fire_polarity: FirePolarity::Both,
+            prefer_input_branching: false,
+        }
+    }
+
+    fn collect_dff_enables(netlist: &Netlist) -> Vec<(CellId, Vec<NetId>)> {
+        netlist
             .dffs()
             .map(|dff| {
                 let path = vega_netlist::graph::clock_path(netlist, dff.id)
@@ -43,14 +139,7 @@ impl<'n> Unrolling<'n> {
                     .collect();
                 (dff.id, enables)
             })
-            .collect();
-        Unrolling {
-            netlist,
-            solver: Solver::new(),
-            cycle_vars: Vec::new(),
-            dff_enables,
-            free_initial_state,
-        }
+            .collect()
     }
 
     /// The number of encoded cycles.
@@ -58,12 +147,24 @@ impl<'n> Unrolling<'n> {
         self.cycle_vars.len()
     }
 
+    /// The number of nets inside the cone of influence (every net for
+    /// [`Unrolling::new`], the property/assumption fanin for
+    /// [`Unrolling::for_query`]).
+    pub fn cone_size(&self) -> usize {
+        self.pol.iter().filter(|&&p| p != 0).count()
+    }
+
     /// The SAT variable of `net` at `cycle`.
     ///
     /// # Panics
     ///
-    /// Panics if the cycle has not been encoded yet.
+    /// Panics if the cycle has not been encoded yet, or if the net was
+    /// pruned by the cone-of-influence restriction.
     pub fn var(&self, net: NetId, cycle: usize) -> Var {
+        self.cycle_vars[cycle][net.index()].expect("net is outside the cone of influence")
+    }
+
+    fn var_opt(&self, net: NetId, cycle: usize) -> Option<Var> {
         self.cycle_vars[cycle][net.index()]
     }
 
@@ -80,20 +181,38 @@ impl<'n> Unrolling<'n> {
     /// Encode one more cycle, returning its index.
     pub fn add_cycle(&mut self) -> usize {
         let t = self.cycle_vars.len();
-        let vars: Vec<Var> = (0..self.netlist.net_count())
-            .map(|_| self.solver.new_var())
-            .collect();
+        let mut vars: Vec<Option<Var>> = Vec::with_capacity(self.pol.len());
+        for i in 0..self.pol.len() {
+            let in_cone = self.pol[i] != 0;
+            vars.push(in_cone.then(|| self.solver.new_var()));
+        }
         self.cycle_vars.push(vars);
+
+        if self.prefer_input_branching {
+            self.prefer_free_vars(t);
+        }
 
         // Combinational cells and constants.
         for cell in self.netlist.cells() {
+            let p = self.pol[cell.output.index()];
+            if p == 0 {
+                continue;
+            }
             let y = Lit::pos(self.var(cell.output, t));
             match cell.kind {
+                // A constant's positive direction is "y implies the
+                // constant value"; the other direction forces the value
+                // outright. Each is needed only if the query can observe
+                // that polarity.
                 CellKind::Const0 => {
-                    self.solver.add_clause(&[!y]);
+                    if p & POS != 0 {
+                        self.solver.add_clause(&[!y]);
+                    }
                 }
                 CellKind::Const1 => {
-                    self.solver.add_clause(&[y]);
+                    if p & NEG != 0 {
+                        self.solver.add_clause(&[y]);
+                    }
                 }
                 CellKind::Random => {
                     // Existentially free: no clauses.
@@ -101,14 +220,19 @@ impl<'n> Unrolling<'n> {
                 CellKind::Dff | CellKind::ClockBuf | CellKind::ClockGate => {
                     // Sequential/clock cells handled below or not data.
                 }
-                _ => self.encode_gate(cell, t),
+                _ => self.encode_gate(cell.id, t, p),
             }
         }
 
-        // Flip-flop transitions (or initial state).
+        // Flip-flop transitions (or initial state). State is always
+        // encoded exactly (both directions): a flop's value at t feeds
+        // t+1 in both polarities regardless of how the property uses it.
         let dff_enables = self.dff_enables.clone();
         for (dff_id, enables) in &dff_enables {
             let dff = self.netlist.cell(*dff_id);
+            if self.pol[dff.output.index()] == 0 {
+                continue;
+            }
             let q_now = Lit::pos(self.var(dff.output, t));
             if t == 0 {
                 if !self.free_initial_state {
@@ -148,71 +272,132 @@ impl<'n> Unrolling<'n> {
         t
     }
 
-    fn encode_gate(&mut self, cell: &vega_netlist::Cell, t: usize) {
-        let y = Lit::pos(self.var(cell.output, t));
+    /// Mark cycle `t`'s genuinely free variables — primary inputs,
+    /// `Random` nets, and (when the initial state is free) the cycle-0
+    /// flops — as preferred decisions. Every other cone variable is a
+    /// function of these through the gate and transition clauses, so
+    /// branching on them first confines the search to the circuit's
+    /// actual degrees of freedom; the solver's activity heap still covers
+    /// any variable the pruned encoding leaves unimplied.
+    fn prefer_free_vars(&mut self, t: usize) {
+        let mut free = Vec::new();
+        for port in self
+            .netlist
+            .ports()
+            .iter()
+            .filter(|p| p.dir == PortDir::Input)
+        {
+            for &net in &port.bits {
+                if self.is_clock_net(net) {
+                    continue;
+                }
+                if let Some(var) = self.var_opt(net, t) {
+                    free.push(var);
+                }
+            }
+        }
+        for cell in self.netlist.cells() {
+            if cell.kind == CellKind::Random {
+                if let Some(var) = self.var_opt(cell.output, t) {
+                    free.push(var);
+                }
+            }
+        }
+        if t == 0 && self.free_initial_state {
+            for dff in self.netlist.dffs() {
+                if let Some(var) = self.var_opt(dff.output, 0) {
+                    free.push(var);
+                }
+            }
+        }
+        self.solver.prefer_decisions(&free);
+    }
+
+    /// Emit one Tseitin clause of the gate defining `y_var`, unless the
+    /// output polarity `p` says the query cannot observe its direction.
+    ///
+    /// A clause containing `!y` is triggered by `y = true` — it encodes
+    /// the `y → f` direction, needed iff some emitted clause elsewhere
+    /// contains `y` positively (`p & POS`). A clause containing `y` is
+    /// the `f → y` direction, needed iff `p & NEG`.
+    fn emit(&mut self, y_var: Var, p: u8, lits: &[Lit]) {
+        let pos_direction = lits.contains(&!Lit::pos(y_var));
+        let needed = if pos_direction { p & POS } else { p & NEG };
+        if needed != 0 {
+            self.solver.add_clause(lits);
+        }
+    }
+
+    fn encode_gate(&mut self, cell: CellId, t: usize, p: u8) {
+        let cell = self.netlist.cell(cell);
+        let y_var = self.var(cell.output, t);
+        let y = Lit::pos(y_var);
         let input = |u: &Unrolling<'_>, i: usize| Lit::pos(u.var(cell.inputs[i], t));
         match cell.kind {
             CellKind::Buf | CellKind::Delay => {
                 let a = input(self, 0);
-                self.solver.add_clause(&[!a, y]);
-                self.solver.add_clause(&[a, !y]);
+                self.emit(y_var, p, &[!a, y]);
+                self.emit(y_var, p, &[a, !y]);
             }
             CellKind::Not => {
                 let a = input(self, 0);
-                self.solver.add_clause(&[!a, !y]);
-                self.solver.add_clause(&[a, y]);
+                self.emit(y_var, p, &[!a, !y]);
+                self.emit(y_var, p, &[a, y]);
             }
             CellKind::And2 | CellKind::Nand2 => {
                 let a = input(self, 0);
                 let b = input(self, 1);
                 let y = if cell.kind == CellKind::Nand2 { !y } else { y };
-                self.solver.add_clause(&[!a, !b, y]);
-                self.solver.add_clause(&[a, !y]);
-                self.solver.add_clause(&[b, !y]);
+                self.emit(y_var, p, &[!a, !b, y]);
+                self.emit(y_var, p, &[a, !y]);
+                self.emit(y_var, p, &[b, !y]);
             }
             CellKind::Or2 | CellKind::Nor2 => {
                 let a = input(self, 0);
                 let b = input(self, 1);
                 let y = if cell.kind == CellKind::Nor2 { !y } else { y };
-                self.solver.add_clause(&[a, b, !y]);
-                self.solver.add_clause(&[!a, y]);
-                self.solver.add_clause(&[!b, y]);
+                self.emit(y_var, p, &[a, b, !y]);
+                self.emit(y_var, p, &[!a, y]);
+                self.emit(y_var, p, &[!b, y]);
             }
             CellKind::Xor2 | CellKind::Xnor2 => {
                 let a = input(self, 0);
                 let b = input(self, 1);
                 let y = if cell.kind == CellKind::Xnor2 { !y } else { y };
-                self.solver.add_clause(&[!a, !b, !y]);
-                self.solver.add_clause(&[a, b, !y]);
-                self.solver.add_clause(&[!a, b, y]);
-                self.solver.add_clause(&[a, !b, y]);
+                self.emit(y_var, p, &[!a, !b, !y]);
+                self.emit(y_var, p, &[a, b, !y]);
+                self.emit(y_var, p, &[!a, b, y]);
+                self.emit(y_var, p, &[a, !b, y]);
             }
             CellKind::Mux2 => {
                 let a = input(self, 0);
                 let b = input(self, 1);
                 let s = input(self, 2);
-                self.solver.add_clause(&[s, !a, y]);
-                self.solver.add_clause(&[s, a, !y]);
-                self.solver.add_clause(&[!s, !b, y]);
-                self.solver.add_clause(&[!s, b, !y]);
+                self.emit(y_var, p, &[s, !a, y]);
+                self.emit(y_var, p, &[s, a, !y]);
+                self.emit(y_var, p, &[!s, !b, y]);
+                self.emit(y_var, p, &[!s, b, !y]);
             }
             CellKind::Maj3 => {
                 let a = input(self, 0);
                 let b = input(self, 1);
                 let c = input(self, 2);
-                self.solver.add_clause(&[!a, !b, y]);
-                self.solver.add_clause(&[!a, !c, y]);
-                self.solver.add_clause(&[!b, !c, y]);
-                self.solver.add_clause(&[a, b, !y]);
-                self.solver.add_clause(&[a, c, !y]);
-                self.solver.add_clause(&[b, c, !y]);
+                self.emit(y_var, p, &[!a, !b, y]);
+                self.emit(y_var, p, &[!a, !c, y]);
+                self.emit(y_var, p, &[!b, !c, y]);
+                self.emit(y_var, p, &[a, b, !y]);
+                self.emit(y_var, p, &[a, c, !y]);
+                self.emit(y_var, p, &[b, c, !y]);
             }
             other => unreachable!("{other:?} is not a combinational gate"),
         }
     }
 
-    /// A literal that is true iff `property` fires at `cycle`.
+    /// A literal that is true iff `property` fires at `cycle` (for
+    /// [`FirePolarity::Positive`] cones: a literal *implying* the
+    /// property fires — the only direction such a query observes).
     pub fn fire_literal(&mut self, property: &Property, cycle: usize) -> Lit {
+        let positive_only = self.positive_only();
         let term_lits: Vec<Lit> = property
             .terms
             .iter()
@@ -229,11 +414,14 @@ impl<'n> Unrolling<'n> {
                     let l = Lit::pos(self.var(left, cycle));
                     let r = Lit::pos(self.var(right, cycle));
                     let d = Lit::pos(self.solver.new_var());
-                    // d <-> l xor r
+                    // d -> l xor r
                     self.solver.add_clause(&[!l, !r, !d]);
                     self.solver.add_clause(&[l, r, !d]);
-                    self.solver.add_clause(&[!l, r, d]);
-                    self.solver.add_clause(&[l, !r, d]);
+                    if !positive_only {
+                        // l xor r -> d
+                        self.solver.add_clause(&[!l, r, d]);
+                        self.solver.add_clause(&[l, !r, d]);
+                    }
                     d
                 }
             })
@@ -244,11 +432,17 @@ impl<'n> Unrolling<'n> {
         let f = Lit::pos(self.solver.new_var());
         let mut any = vec![!f];
         for &term in &term_lits {
-            self.solver.add_clause(&[f, !term]);
+            if !positive_only {
+                self.solver.add_clause(&[f, !term]);
+            }
             any.push(term);
         }
         self.solver.add_clause(&any);
         f
+    }
+
+    fn positive_only(&self) -> bool {
+        self.fire_polarity == FirePolarity::Positive
     }
 
     /// Apply `assumption` at `cycle`.
@@ -282,9 +476,12 @@ impl<'n> Unrolling<'n> {
     }
 
     /// The model value of `net` at `cycle` after a SAT answer (false for
-    /// don't-care variables, matching the simulator's reset default).
+    /// don't-care variables and nets pruned from the cone, matching the
+    /// simulator's reset default).
     pub fn model_value(&self, net: NetId, cycle: usize) -> bool {
-        self.solver.value(self.var(net, cycle)).unwrap_or(false)
+        self.var_opt(net, cycle)
+            .and_then(|v| self.solver.value(v))
+            .unwrap_or(false)
     }
 
     /// The netlist being unrolled.
@@ -304,6 +501,133 @@ impl<'n> Unrolling<'n> {
             NetDriver::Input => false,
         }
     }
+}
+
+/// Compute per-net usage polarities for the cone of influence of
+/// `property` under `assumptions`: a backward traversal from the property
+/// and assumption nets through cell fanin, tracking in which polarities
+/// each net's literal can appear in emitted clauses.
+fn cone_polarities(
+    netlist: &Netlist,
+    dff_enables: &[(CellId, Vec<NetId>)],
+    property: &Property,
+    assumptions: &[Assumption],
+    fire_polarity: FirePolarity,
+) -> Vec<u8> {
+    let mut pol = vec![0u8; netlist.net_count()];
+    let mut work: Vec<(NetId, u8)> = Vec::new();
+
+    fn mark(pol: &mut [u8], work: &mut Vec<(NetId, u8)>, net: NetId, p: u8) {
+        let added = p & !pol[net.index()];
+        if added != 0 {
+            pol[net.index()] |= added;
+            work.push((net, added));
+        }
+    }
+
+    // Seeds: the property terms...
+    for term in &property.terms {
+        match *term {
+            PropertyTerm::NetEquals(net, value) => {
+                let p = match fire_polarity {
+                    FirePolarity::Both => BOTH,
+                    // fire == (net lit); required-true usage of the fire
+                    // literal is POS usage of the net when value, NEG
+                    // when !value.
+                    FirePolarity::Positive => {
+                        if value {
+                            POS
+                        } else {
+                            NEG
+                        }
+                    }
+                };
+                mark(&mut pol, &mut work, net, p);
+            }
+            PropertyTerm::NetsDiffer(left, right) => {
+                // The xor aux references both nets in both polarities in
+                // either fire-polarity mode.
+                mark(&mut pol, &mut work, left, BOTH);
+                mark(&mut pol, &mut work, right, BOTH);
+            }
+        }
+    }
+    // ...and the assumption nets (constrained in both directions).
+    for assumption in assumptions {
+        match assumption {
+            Assumption::NetAlways(net, _) => mark(&mut pol, &mut work, *net, BOTH),
+            Assumption::PortIn { port, .. } => {
+                let port = netlist
+                    .port(port)
+                    .unwrap_or_else(|| panic!("no port named `{port}`"));
+                for &bit in &port.bits {
+                    mark(&mut pol, &mut work, bit, BOTH);
+                }
+            }
+        }
+    }
+
+    // Per-DFF enable lookup for the traversal.
+    let enables_of: std::collections::BTreeMap<usize, &[NetId]> = dff_enables
+        .iter()
+        .map(|(id, ens)| (id.index(), ens.as_slice()))
+        .collect();
+
+    while let Some((net, p)) = work.pop() {
+        let NetDriver::Cell(cell_id) = netlist.net(net).driver else {
+            continue; // primary input: no fanin
+        };
+        let cell = netlist.cell(cell_id);
+        match cell.kind {
+            CellKind::Const0 | CellKind::Const1 | CellKind::Random => {}
+            // Clock-network cells are not data; their fanin (the clock
+            // tree) stays unencoded. DFF enables are pulled in via the
+            // explicit per-DFF enable list below, not the clock pin.
+            CellKind::ClockBuf | CellKind::ClockGate => {}
+            CellKind::Dff => {
+                // State is encoded exactly: data fanin, the flop's own
+                // previous value, and any clock-gate enables are all
+                // used in both polarities by the transition clauses.
+                mark(&mut pol, &mut work, cell.inputs[0], BOTH);
+                mark(&mut pol, &mut work, cell.output, BOTH);
+                if let Some(enables) = enables_of.get(&cell_id.index()) {
+                    for &en in *enables {
+                        mark(&mut pol, &mut work, en, BOTH);
+                    }
+                }
+            }
+            CellKind::Buf | CellKind::Delay => {
+                mark(&mut pol, &mut work, cell.inputs[0], p);
+            }
+            CellKind::Not => {
+                mark(&mut pol, &mut work, cell.inputs[0], flip(p));
+            }
+            // Monotone gates propagate the polarity unchanged...
+            CellKind::And2 | CellKind::Or2 | CellKind::Maj3 => {
+                for &i in &cell.inputs {
+                    mark(&mut pol, &mut work, i, p);
+                }
+            }
+            // ...inverting monotone gates flip it...
+            CellKind::Nand2 | CellKind::Nor2 => {
+                for &i in &cell.inputs {
+                    mark(&mut pol, &mut work, i, flip(p));
+                }
+            }
+            // ...and non-monotone gates need their inputs both ways.
+            CellKind::Xor2 | CellKind::Xnor2 => {
+                for &i in &cell.inputs {
+                    mark(&mut pol, &mut work, i, BOTH);
+                }
+            }
+            CellKind::Mux2 => {
+                mark(&mut pol, &mut work, cell.inputs[0], p);
+                mark(&mut pol, &mut work, cell.inputs[1], p);
+                mark(&mut pol, &mut work, cell.inputs[2], BOTH);
+            }
+        }
+    }
+    pol
 }
 
 #[cfg(test)]
@@ -412,6 +736,128 @@ mod tests {
             u.solver_mut().solve(),
             SolveResult::Unsat,
             "they always differ"
+        );
+    }
+
+    /// Two independent registered pipelines; a property over one must not
+    /// pull the other into the cone.
+    fn two_pipes() -> vega_netlist::Netlist {
+        let mut b = NetlistBuilder::new("m");
+        let clk = b.clock("clk");
+        let a = b.input("a", 1)[0];
+        let c = b.input("c", 1)[0];
+        let inv = b.cell(CellKind::Not, "inv", &[a]);
+        let q1 = b.dff("q1", inv, clk);
+        let x = b.cell(CellKind::Xor2, "x", &[c, q1]); // other pipe reads q1
+        let q2 = b.dff("q2", x, clk);
+        b.output("y1", &[q1]);
+        b.output("y2", &[q2]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn cone_prunes_unrelated_logic() {
+        let n = two_pipes();
+        let q1 = n.cell_by_name("q1").unwrap().output;
+        let property = Property::net_equals(q1, true);
+
+        let full = Unrolling::new(&n, false);
+        let mut coned = Unrolling::for_query(&n, false, &property, &[], FirePolarity::Positive);
+        assert!(
+            coned.cone_size() < full.cone_size(),
+            "q1's cone excludes c, x, q2: {} vs {}",
+            coned.cone_size(),
+            full.cone_size()
+        );
+        // The cone still answers the query: q1=1 needs a=0 one cycle
+        // earlier.
+        coned.add_cycle();
+        coned.add_cycle();
+        let fire = coned.fire_literal(&property, 1);
+        assert_eq!(
+            coned.solver_mut().solve_with_assumptions(&[fire]),
+            SolveResult::Sat
+        );
+        assert!(coned.model_value(q1, 1));
+        let a_net = n.port("a").unwrap().bits[0];
+        assert!(!coned.model_value(a_net, 0), "q1 <- !a forces a=0");
+        // Pruned nets read as the reset default, not a panic.
+        let q2 = n.cell_by_name("q2").unwrap().output;
+        assert!(!coned.model_value(q2, 1));
+    }
+
+    #[test]
+    fn positive_polarity_emits_fewer_clauses() {
+        // A monotone AND tree: a positive-polarity query needs only the
+        // `y -> inputs` direction of each gate. State (flip-flops) is
+        // always encoded exactly, so the property targets the tree's
+        // combinational root; the downstream flop falls out of the cone.
+        let mut b = NetlistBuilder::new("and_tree");
+        let clk = b.clock("clk");
+        let i = b.input("i", 4);
+        let a1 = b.cell(CellKind::And2, "a1", &[i[0], i[1]]);
+        let a2 = b.cell(CellKind::And2, "a2", &[i[2], i[3]]);
+        let a3 = b.cell(CellKind::And2, "a3", &[a1, a2]);
+        let q = b.dff("q", a3, clk);
+        b.output("y", &[q]);
+        let tree = b.finish().unwrap();
+        let a3_net = tree.cell_by_name("a3").unwrap().output;
+        let property = Property::net_equals(a3_net, true);
+
+        let mut full = Unrolling::new(&tree, false);
+        let mut coned = Unrolling::for_query(&tree, false, &property, &[], FirePolarity::Positive);
+        for u in [&mut full, &mut coned] {
+            u.add_cycle();
+            u.fire_literal(&property, 0);
+        }
+        let full_clauses = full.solver().stats().added_clauses;
+        let coned_clauses = coned.solver().stats().added_clauses;
+        assert!(
+            coned_clauses < full_clauses,
+            "PG keeps only the y->inputs direction: {coned_clauses} vs {full_clauses}"
+        );
+        // And the pruned encoding gives the same verdicts: a3=1
+        // reachable (forcing every input high), a3=1 with i[0] held low
+        // unreachable.
+        let fire = coned.fire_literal(&property, 0);
+        assert_eq!(
+            coned.solver_mut().solve_with_assumptions(&[fire]),
+            SolveResult::Sat
+        );
+        for bit in 0..4 {
+            assert!(
+                coned.model_value(tree.port("i").unwrap().bits[bit], 0),
+                "AND tree forces every input high"
+            );
+        }
+        let i0 = Lit::pos(coned.var(tree.port("i").unwrap().bits[0], 0));
+        assert_eq!(
+            coned.solver_mut().solve_with_assumptions(&[fire, !i0]),
+            SolveResult::Unsat
+        );
+    }
+
+    #[test]
+    fn negative_polarity_seeds_keep_constants_forced() {
+        // Cover `z == 0` where z is Const1: the NEG-polarity seed must
+        // keep the unit clause that makes the query Unsat.
+        let mut b = NetlistBuilder::new("m");
+        let clk = b.clock("clk");
+        let d = b.input("d", 1)[0];
+        let one = b.const1("one");
+        let z = b.cell(CellKind::And2, "z", &[d, one]);
+        let q = b.dff("q", z, clk);
+        b.output("y", &[q]);
+        let n = b.finish().unwrap();
+        let one_net = n.cell_by_name("one").unwrap().output;
+        let property = Property::net_equals(one_net, false);
+        let mut u = Unrolling::for_query(&n, false, &property, &[], FirePolarity::Positive);
+        u.add_cycle();
+        let fire = u.fire_literal(&property, 0);
+        assert_eq!(
+            u.solver_mut().solve_with_assumptions(&[fire]),
+            SolveResult::Unsat,
+            "a tie-high constant is never 0"
         );
     }
 }

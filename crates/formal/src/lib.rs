@@ -53,7 +53,10 @@ mod encode;
 mod property;
 mod trace;
 
-pub use bmc::{check_cover, check_cover_with_stats, BmcConfig, CoverOutcome, CoverStats};
-pub use encode::Unrolling;
+pub use bmc::{
+    check_cover, check_cover_rebuild_with_stats, check_cover_with_stats, BmcConfig, CoverOutcome,
+    CoverSession, CoverStats,
+};
+pub use encode::{FirePolarity, Unrolling};
 pub use property::{Assumption, Property};
 pub use trace::Trace;

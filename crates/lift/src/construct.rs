@@ -358,7 +358,21 @@ fn construct_adder(
     target: String,
 ) -> Result<TestCase, ConversionError> {
     let latency = ModuleKind::PaperAdder.latency();
-    let window: Vec<BTreeMap<String, u64>> = trace.inputs.clone();
+    // Soak repetition: the formal witness is *minimal* — often a single
+    // launch-flop toggle — which is enough for a constant wrong value C
+    // but gives a C=random fault only one coin-flip chance to corrupt a
+    // checked cycle. Tiling the witness re-triggers the same activation
+    // every repetition, so the deployed test samples the random fault
+    // several times per run (the adder is a feed-forward pipeline, so
+    // the per-cycle expected outputs stay valid across the seam).
+    const SOAK_REPEATS: usize = 4;
+    let window: Vec<BTreeMap<String, u64>> = trace
+        .inputs
+        .iter()
+        .cycle()
+        .take(trace.inputs.len() * SOAK_REPEATS)
+        .cloned()
+        .collect();
     let checks: Vec<(usize, String, u64)> = window
         .iter()
         .enumerate()

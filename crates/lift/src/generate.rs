@@ -14,7 +14,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use serde::{Deserialize, Serialize};
 
-use vega_formal::{check_cover_with_stats, BmcConfig, CoverOutcome, Property};
+use vega_formal::{BmcConfig, CoverOutcome, CoverSession, Property};
 use vega_netlist::Netlist;
 
 use crate::construct::construct_test_case;
@@ -140,12 +140,25 @@ pub enum ConstructionOutcome {
 /// retry after a budget exhaustion. Recording these makes the cost of a
 /// Table 4 "FF" verdict — and the escalation that recovered from it —
 /// observable in the lift report.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BudgetRound {
-    /// The conflict budget this round was allowed.
+    /// The conflict budget this round was allowed (cumulative across the
+    /// attempt: escalation grows the total, and the incremental session
+    /// only spends the difference).
     pub budget: u64,
     /// The conflicts the round actually spent.
     pub spent: u64,
+    /// Decisions the round took (0 in records from older versions).
+    #[serde(default)]
+    pub decisions: u64,
+    /// Literals the round propagated (0 in records from older versions).
+    #[serde(default)]
+    pub propagations: u64,
+    /// Problem clauses the round encoded — near zero for resumed rounds,
+    /// which is the observable signature of incremental resumption (0 in
+    /// records from older versions).
+    #[serde(default)]
+    pub encoded_clauses: u64,
 }
 
 /// One `(C, activation)` attempt of a pair, with its outcome and the
@@ -298,6 +311,27 @@ impl LiftReport {
         self.pairs.iter().map(PairResult::conflicts_spent).sum()
     }
 
+    /// Total solver effort across every pair, attempt, and escalation
+    /// round: `(conflicts, decisions, propagations, encoded_clauses)`.
+    /// The decision/propagation/clause counters exist only on reports
+    /// produced by the incremental engine; older (deserialized) reports
+    /// default them to zero.
+    pub fn solver_effort(&self) -> (u64, u64, u64, u64) {
+        let mut totals = (0u64, 0u64, 0u64, 0u64);
+        for round in self
+            .pairs
+            .iter()
+            .flat_map(|p| p.attempts.iter())
+            .flat_map(|a| a.rounds.iter())
+        {
+            totals.0 += round.spent;
+            totals.1 += round.decisions;
+            totals.2 += round.propagations;
+            totals.3 += round.encoded_clauses;
+        }
+        totals
+    }
+
     /// How many test cases in the suite came from the fuzzing fallback
     /// rather than a formal witness.
     pub fn fallback_test_count(&self) -> usize {
@@ -370,26 +404,39 @@ fn lift_attempt(
     let max_rounds = config.retry.max_attempts.max(1);
     let mut rounds = Vec::with_capacity(1);
     let mut outcome = ConstructionOutcome::FormalFailure;
+    // One incremental session serves every escalation round: a retry
+    // after a budget exhaustion resumes at the depth (and with the
+    // learned clauses) the previous round stopped at, instead of
+    // re-solving from conflict zero.
+    let mut session = (!forced_exhaustion)
+        .then(|| CoverSession::new(&instrumented.netlist, &property, assumptions, base_bmc));
+    let mut spent_total = 0u64;
     for round in 0..max_rounds {
-        let mut bmc = *base_bmc;
-        bmc.conflict_budget = config
+        let round_budget = config
             .retry
             .budget_for_round(base_bmc.conflict_budget, round);
         if forced_exhaustion {
             // Pretend the solver burned the whole budget without an
             // answer (deterministic stand-in for a hard cone).
             rounds.push(BudgetRound {
-                budget: bmc.conflict_budget,
-                spent: bmc.conflict_budget,
+                budget: round_budget,
+                spent: round_budget,
+                ..BudgetRound::default()
             });
             outcome = ConstructionOutcome::FormalFailure;
             continue;
         }
-        let (cover, stats) =
-            check_cover_with_stats(&instrumented.netlist, &property, assumptions, &bmc);
+        let session = session.as_mut().expect("built unless forced_exhaustion");
+        // The escalated budget is a total across rounds; earlier rounds'
+        // conflicts already happened and stay paid for.
+        let (cover, stats) = session.run(round_budget.saturating_sub(spent_total));
+        spent_total += stats.conflicts;
         rounds.push(BudgetRound {
-            budget: bmc.conflict_budget,
+            budget: round_budget,
             spent: stats.conflicts,
+            decisions: stats.decisions,
+            propagations: stats.propagations,
+            encoded_clauses: stats.encoded_clauses,
         });
         match cover {
             CoverOutcome::Trace(trace) => {

@@ -27,6 +27,9 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Learnt clauses currently in the database.
     pub learnt_clauses: u64,
+    /// Problem clauses handed to [`Solver::add_clause`] — the size of the
+    /// encoded formula, before learning.
+    pub added_clauses: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +45,11 @@ struct Clause {
     learnt: bool,
     activity: f64,
     deleted: bool,
+    /// Literal-block distance at learning time (distinct decision levels
+    /// in the clause); 0 for problem clauses. Low-LBD "glue" clauses are
+    /// what cross-depth reuse in incremental BMC depends on, so database
+    /// reduction never evicts them.
+    lbd: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +90,13 @@ pub struct Solver {
     stats: SolverStats,
     /// Scratch for conflict analysis.
     seen: Vec<bool>,
+    /// The subset of the last call's assumptions used to derive Unsat.
+    conflict_assumptions: Vec<Lit>,
+    /// Variables the decision heuristic branches on first (in activity
+    /// order); all remaining variables are decided only once every
+    /// preferred variable is assigned.
+    preferred: Vec<Var>,
+    is_preferred: Vec<bool>,
 }
 
 impl Default for Solver {
@@ -112,6 +127,9 @@ impl Solver {
             conflict_budget: None,
             stats: SolverStats::default(),
             seen: Vec::new(),
+            conflict_assumptions: Vec::new(),
+            preferred: Vec::new(),
+            is_preferred: Vec::new(),
         }
     }
 
@@ -133,6 +151,7 @@ impl Solver {
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.seen.push(false);
+        self.is_preferred.push(false);
         self.order.grow_to(self.values.len());
         var
     }
@@ -152,6 +171,25 @@ impl Solver {
     /// returns [`SolveResult::Unknown`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Mark `vars` as preferred decision variables: the solver branches
+    /// on unassigned preferred variables (most active first) before any
+    /// other variable. Idempotent per variable; calls accumulate.
+    ///
+    /// For circuit-shaped formulas this is input branching: when every
+    /// non-input variable is functionally implied by the inputs through
+    /// the gate clauses, preferring the inputs shrinks the search space
+    /// to the circuit's actual degrees of freedom. Completeness is
+    /// unaffected — once all preferred variables are assigned, the
+    /// activity-ordered heap decides the rest as usual.
+    pub fn prefer_decisions(&mut self, vars: &[Var]) {
+        for &var in vars {
+            if !self.is_preferred[var.index()] {
+                self.is_preferred[var.index()] = true;
+                self.preferred.push(var);
+            }
+        }
     }
 
     fn lit_value(&self, lit: Lit) -> LBool {
@@ -194,6 +232,7 @@ impl Solver {
         if self.unsat {
             return false;
         }
+        self.stats.added_clauses += 1;
         // Normalize: sort, dedupe, drop root-false literals, detect
         // tautologies and root-satisfied clauses.
         let mut lits: Vec<Lit> = lits.to_vec();
@@ -225,13 +264,13 @@ impl Solver {
                 }
             }
             _ => {
-                self.attach_clause(filtered, false);
+                self.attach_clause(filtered, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> usize {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len();
         self.watches[(!lits[0]).index()].push(Watcher {
@@ -247,6 +286,7 @@ impl Solver {
             learnt,
             activity: 0.0,
             deleted: false,
+            lbd,
         });
         if learnt {
             self.stats.learnt_clauses += 1;
@@ -479,6 +519,23 @@ impl Solver {
     }
 
     fn pick_decision(&mut self) -> Option<Lit> {
+        // Preferred variables first (the list stays small — circuit
+        // inputs — so a linear activity scan beats maintaining a second
+        // heap). Preferred decisions leave the variable in the main heap;
+        // the fallback loop below skips assigned entries lazily.
+        let mut best: Option<Var> = None;
+        for &var in &self.preferred {
+            if self.values[var.index()] == LBool::Undef
+                && best.map_or(true, |b| {
+                    self.activity[var.index()] > self.activity[b.index()]
+                })
+            {
+                best = Some(var);
+            }
+        }
+        if let Some(var) = best {
+            return Some(Lit::with_polarity(var, self.saved_phase[var.index()]));
+        }
         loop {
             let var = self.order.pop_max(&self.activity)?;
             if self.values[var.index()] == LBool::Undef {
@@ -487,22 +544,26 @@ impl Solver {
         }
     }
 
-    /// Reduce the learnt-clause database: drop the less active half.
+    /// Reduce the learnt-clause database: drop the worse half, ranked by
+    /// LBD first (higher is worse) and activity second (lower is worse).
+    /// Binary clauses and "glue" clauses (LBD <= 2) are never evicted —
+    /// they are the cross-depth bridges an incremental BMC session reuses,
+    /// and activity alone would age them out between depths.
     fn reduce_db(&mut self) {
         let mut learnt_refs: Vec<usize> = self
             .clauses
             .iter()
             .enumerate()
             .filter(|(cref, c)| {
-                c.learnt && !c.deleted && c.lits.len() > 2 && !self.is_reason(*cref)
+                c.learnt && !c.deleted && c.lits.len() > 2 && c.lbd > 2 && !self.is_reason(*cref)
             })
             .map(|(cref, _)| cref)
             .collect();
         learnt_refs.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
-                .unwrap()
+            let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).unwrap())
         });
         for &cref in learnt_refs.iter().take(learnt_refs.len() / 2) {
             self.clauses[cref].deleted = true;
@@ -532,6 +593,27 @@ impl Solver {
 
     /// Solve the formula.
     pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solve the formula under `assumptions` — extra literals that must
+    /// hold in this call only.
+    ///
+    /// Assumptions are enqueued as pseudo-decisions *below* every real
+    /// decision level, so conflict analysis, the learned-clause database,
+    /// and phase saving all remain valid across calls: a learnt clause is
+    /// implied by the problem clauses alone (assumptions are decisions,
+    /// never antecedent clauses), so it may be kept when the assumptions
+    /// change. The trail is backtracked to the root level on entry, which
+    /// is what makes interleaving `solve_with_assumptions`, `add_clause`,
+    /// and `new_var` an incremental session rather than a rebuild.
+    ///
+    /// On [`SolveResult::Unsat`], [`Solver::final_assumptions`] reports
+    /// which of the assumptions were actually used in the refutation; an
+    /// empty set means the formula is unsatisfiable on its own.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.conflict_assumptions.clear();
+        self.backtrack_to(0);
         if self.unsat {
             return SolveResult::Unsat;
         }
@@ -556,11 +638,12 @@ impl Solver {
                     return SolveResult::Unsat;
                 }
                 let (learnt, backtrack_level) = self.analyze(conflict);
+                let lbd = self.literal_block_distance(&learnt);
                 self.backtrack_to(backtrack_level);
                 if learnt.len() == 1 {
                     self.enqueue(learnt[0], NO_REASON);
                 } else {
-                    let cref = self.attach_clause(learnt.clone(), true);
+                    let cref = self.attach_clause(learnt.clone(), true, lbd);
                     self.bump_clause(cref);
                     self.enqueue(learnt[0], cref);
                 }
@@ -583,7 +666,33 @@ impl Solver {
                     self.reduce_db();
                     self.max_learnts *= 1.1;
                 }
-                match self.pick_decision() {
+                // (Re)establish assumptions as pseudo-decisions: one
+                // decision level per assumption, below all real decisions
+                // (restarts and deep backjumps strip them; this loop puts
+                // them back before any real decision is taken).
+                let mut forced_decision = None;
+                while self.decision_level() < assumptions.len() {
+                    let p = assumptions[self.decision_level()];
+                    match self.lit_value(p) {
+                        LBool::True => {
+                            // Already implied: dedicate an empty level so
+                            // levels keep mapping 1:1 to assumptions.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            // The other assumptions (and the formula)
+                            // refute this one.
+                            self.analyze_final(p);
+                            self.backtrack_to(0);
+                            return SolveResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            forced_decision = Some(p);
+                            break;
+                        }
+                    }
+                }
+                match forced_decision.or_else(|| self.pick_decision()) {
                     None => return SolveResult::Sat,
                     Some(lit) => {
                         self.stats.decisions += 1;
@@ -593,6 +702,66 @@ impl Solver {
                 }
             }
         }
+    }
+
+    /// Undo all decisions and assumptions, returning the trail to the
+    /// root level. Invalidates the model of a previous Sat answer;
+    /// required before [`Solver::add_clause`] in an incremental session
+    /// that continues past a Sat result.
+    pub fn backtrack_to_root(&mut self) {
+        self.backtrack_to(0);
+    }
+
+    /// The subset of the most recent call's assumptions that were used to
+    /// derive [`SolveResult::Unsat`] (the "failed assumptions" of an
+    /// incremental SAT core). Empty after Sat/Unknown results, and after
+    /// an Unsat that did not involve the assumptions at all.
+    pub fn final_assumptions(&self) -> &[Lit] {
+        &self.conflict_assumptions
+    }
+
+    /// Number of distinct decision levels among `lits` (the LBD / "glue"
+    /// metric), computed before backtracking.
+    fn literal_block_distance(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// Compute which assumptions imply the falsity of assumption `failed`:
+    /// walk the implication graph backward from `!failed`, collecting the
+    /// pseudo-decisions (assumptions) it rests on. Populates
+    /// [`Solver::final_assumptions`].
+    fn analyze_final(&mut self, failed: Lit) {
+        self.conflict_assumptions.clear();
+        self.conflict_assumptions.push(failed);
+        if self.decision_level() == 0 || self.level[failed.var().index()] == 0 {
+            return;
+        }
+        self.seen[failed.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let var = lit.var();
+            if !self.seen[var.index()] {
+                continue;
+            }
+            let reason = self.reason[var.index()];
+            if reason == NO_REASON {
+                // A pseudo-decision: an assumption this refutation uses
+                // (real decisions cannot be marked — the walk starts from
+                // an assumption-level conflict).
+                self.conflict_assumptions.push(lit);
+            } else {
+                for &q in &self.clauses[reason].lits[1..] {
+                    if self.level[q.var().index()] > 0 {
+                        self.seen[q.var().index()] = true;
+                    }
+                }
+            }
+            self.seen[var.index()] = false;
+        }
+        self.seen[failed.var().index()] = false;
     }
 
     /// The model value of `var` after a [`SolveResult::Sat`] outcome;
@@ -841,6 +1010,168 @@ mod tests {
     }
 
     #[test]
+    fn assumptions_scope_to_one_call() {
+        // (a ∨ b): assuming ¬a forces b; assuming ¬a ∧ ¬b is Unsat under
+        // assumptions only — the formula itself stays satisfiable.
+        let (mut s, v) = solver_with_vars(2);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, -1)]), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, -1), lit(&v, -2)]),
+            SolveResult::Unsat
+        );
+        // Not a root-level Unsat: the solver recovers without assumptions.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, 1)]), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+    }
+
+    #[test]
+    fn final_assumptions_name_the_culprits() {
+        // (¬a ∨ ¬b): assuming [a, c, b] fails because of a and b; c is
+        // innocent and must not be reported.
+        let (mut s, v) = solver_with_vars(3);
+        s.add_clause(&[lit(&v, -1), lit(&v, -2)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, 1), lit(&v, 3), lit(&v, 2)]),
+            SolveResult::Unsat
+        );
+        let used = s.final_assumptions().to_vec();
+        assert!(used.contains(&lit(&v, 1)), "{used:?}");
+        assert!(used.contains(&lit(&v, 2)), "{used:?}");
+        assert!(!used.contains(&lit(&v, 3)), "{used:?}");
+        // Sat calls clear the set.
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, 1)]), SolveResult::Sat);
+        assert!(s.final_assumptions().is_empty());
+    }
+
+    #[test]
+    fn contradictory_assumptions_are_reported() {
+        let (mut s, v) = solver_with_vars(2);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, 1), lit(&v, -1)]),
+            SolveResult::Unsat
+        );
+        let used = s.final_assumptions();
+        assert!(used.contains(&lit(&v, 1)) && used.contains(&lit(&v, -1)));
+    }
+
+    #[test]
+    fn root_unsat_reports_no_assumptions() {
+        let (mut s, v) = solver_with_vars(1);
+        s.add_clause(&[lit(&v, 1)]);
+        s.add_clause(&[lit(&v, -1)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, 1)]), SolveResult::Unsat);
+        // The formula alone is Unsat; depending on propagation order the
+        // failed-assumption set is empty or names the root-false literal,
+        // but it never invents an independent assumption.
+        assert!(s.final_assumptions().len() <= 1);
+    }
+
+    #[test]
+    fn learnt_clauses_survive_across_assumption_calls() {
+        // Solve the same hard Unsat core under a throwaway assumption
+        // twice: the second call must reuse the first call's learnt
+        // clauses and finish with strictly fewer conflicts.
+        let mut s = pigeonhole(7, 6);
+        let extra = s.new_var();
+        let before = s.stats().conflicts;
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::pos(extra)]),
+            SolveResult::Unsat
+        );
+        let first = s.stats().conflicts - before;
+        let mid = s.stats().conflicts;
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::neg(extra)]),
+            SolveResult::Unsat
+        );
+        let second = s.stats().conflicts - mid;
+        assert!(first > 0, "PHP(7,6) needs conflicts");
+        assert!(
+            second < first,
+            "incremental reuse must pay off: {second} vs {first}"
+        );
+    }
+
+    #[test]
+    fn assumptions_agree_with_unit_clauses_on_random_3sat() {
+        // For random instances, solving under assumption p must agree
+        // with solving a copy that has p as a unit clause.
+        let mut state = 0xC0FFEEu64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..100 {
+            let num_vars = 4 + (rand() % 5) as usize;
+            let num_clauses = 4 + (rand() % 30) as usize;
+            let clauses: Vec<Vec<i32>> = (0..num_clauses)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = 1 + (rand() % num_vars as u64) as i32;
+                            if rand() % 2 == 0 {
+                                v
+                            } else {
+                                -v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let assumption = {
+                let v = 1 + (rand() % num_vars as u64) as i32;
+                if rand() % 2 == 0 {
+                    v
+                } else {
+                    -v
+                }
+            };
+            let (mut incremental, vi) = solver_with_vars(num_vars);
+            let (mut reference, vr) = solver_with_vars(num_vars);
+            for clause in &clauses {
+                incremental.add_clause(&clause.iter().map(|&l| lit(&vi, l)).collect::<Vec<_>>());
+                reference.add_clause(&clause.iter().map(|&l| lit(&vr, l)).collect::<Vec<_>>());
+            }
+            reference.add_clause(&[lit(&vr, assumption)]);
+            assert_eq!(
+                incremental.solve_with_assumptions(&[lit(&vi, assumption)]),
+                reference.solve(),
+                "round {round}: assumption {assumption} clauses {clauses:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn glue_clauses_survive_db_reduction() {
+        // Drive a solver through enough conflicts to trigger reductions,
+        // then check every surviving learnt clause accounting is sane and
+        // that the database stayed bounded (reduce_db must keep up even
+        // though it never evicts binaries or glue).
+        let mut s = pigeonhole(9, 8);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let stats = s.stats();
+        assert!(stats.conflicts > 1000, "expected a hard instance");
+        assert!(
+            stats.learnt_clauses <= stats.conflicts,
+            "learnt DB must stay bounded: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn added_clauses_are_counted() {
+        let (mut s, v) = solver_with_vars(2);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        s.add_clause(&[lit(&v, -1), lit(&v, 2)]);
+        assert_eq!(s.stats().added_clauses, 2);
+    }
+
+    #[test]
     fn large_random_instance_terminates() {
         // A larger under-constrained instance (ratio ~3): SAT, and checks
         // the watch machinery under stress.
@@ -863,5 +1194,45 @@ mod tests {
             s.add_clause(&lits);
         }
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn preferred_decisions_branch_on_inputs_only() {
+        // c <-> a AND b (full Tseitin). With a and b preferred, c is
+        // always implied by propagation, so the whole search needs at
+        // most two decisions; an unrestricted heuristic may branch on c.
+        let (mut s, v) = solver_with_vars(3);
+        let (a, b, c) = (lit(&v, 1), lit(&v, 2), lit(&v, 3));
+        s.add_clause(&[!a, !b, c]);
+        s.add_clause(&[a, !c]);
+        s.add_clause(&[b, !c]);
+        s.prefer_decisions(&[a.var(), b.var()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(
+            s.stats().decisions <= 2,
+            "expected input-only branching, took {} decisions",
+            s.stats().decisions
+        );
+    }
+
+    #[test]
+    fn preferred_decisions_preserve_completeness() {
+        // An Unsat core over NON-preferred variables: preference must not
+        // stop the solver from deciding (and refuting) the rest.
+        let (mut s, v) = solver_with_vars(4);
+        s.prefer_decisions(&[lit(&v, 1).var()]);
+        s.add_clause(&[lit(&v, 3), lit(&v, 4)]);
+        s.add_clause(&[lit(&v, 3), lit(&v, -4)]);
+        s.add_clause(&[lit(&v, -3), lit(&v, 4)]);
+        s.add_clause(&[lit(&v, -3), lit(&v, -4)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // And a satisfiable leftover still gets a full model.
+        let (mut s, v) = solver_with_vars(3);
+        s.prefer_decisions(&[lit(&v, 1).var()]);
+        s.add_clause(&[lit(&v, 2), lit(&v, 3)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for i in 1..=3 {
+            assert!(s.value(lit(&v, i).var()).is_some(), "var {i} unassigned");
+        }
     }
 }
