@@ -13,7 +13,8 @@
 //! Run: `cargo run --release -p vega-bench --bin fleet_detection`
 //! (set `VEGA_QUICK=1` for a smoke-sized fleet)
 
-use vega::{build_unit_pool, Fleet, FleetConfig, Policy, UnitPool};
+use vega::obs::{Level, MetricsRegistry, TestRecorder};
+use vega::{build_unit_pool, Fleet, FleetConfig, Obs, Policy, UnitPool};
 use vega_bench::{lift, print_table, quick, setup_units};
 use vega_fleet::Json;
 
@@ -27,6 +28,21 @@ struct PolicyAggregate {
     tests: u64,
     cycles: u64,
     per_seed: Vec<(u64, f64, f64)>,
+    provenance: Option<EffortProvenance>,
+}
+
+/// Effort provenance for one policy, derived from the observability
+/// journal of its first-seed run (not from [`vega::FleetTelemetry`]) and
+/// cross-checked against the telemetry summary.
+struct EffortProvenance {
+    seed: u64,
+    journal_events: usize,
+    epochs: u64,
+    tests_run: u64,
+    cycles_spent: u64,
+    detections: u64,
+    journal_mean_latency: f64,
+    matches_telemetry: bool,
 }
 
 fn main() {
@@ -75,13 +91,44 @@ fn main() {
             tests: 0,
             cycles: 0,
             per_seed: Vec::new(),
+            provenance: None,
         };
         for &seed in &seeds {
             let mut config = FleetConfig::new(machines, epochs, policy, seed);
             config.budget_cycles = Some(budget);
             let mut fleet = Fleet::build(pools.clone(), config);
+            // Record the first seed's run through the observability layer
+            // so the JSON artifact carries journal-derived effort
+            // provenance alongside the telemetry-derived aggregates.
+            let recorder = (seed == seeds[0]).then(TestRecorder::new);
+            if let Some(recorder) = &recorder {
+                fleet.set_obs(Obs::new(Level::Summary, recorder.clone()));
+            }
             let telemetry = fleet.run();
             let s = &telemetry.summary;
+            if let Some(recorder) = &recorder {
+                recorder.assert_well_formed();
+                let mut registry = MetricsRegistry::new();
+                for event in recorder.events() {
+                    registry.absorb(&event);
+                }
+                let journal_mean_latency = registry
+                    .histogram("phase3.fleet.detection_latency_epochs")
+                    .and_then(|h| h.mean())
+                    .unwrap_or(0.0);
+                agg.provenance = Some(EffortProvenance {
+                    seed,
+                    journal_events: recorder.events().len(),
+                    epochs: registry.counter("phase3.fleet.epochs"),
+                    tests_run: registry.counter("phase3.fleet.tests_run"),
+                    cycles_spent: registry.counter("phase3.fleet.cycles_spent"),
+                    detections: registry.counter("phase3.fleet.detections"),
+                    journal_mean_latency,
+                    matches_telemetry: (journal_mean_latency - s.mean_detection_latency_epochs)
+                        .abs()
+                        < 1e-9,
+                });
+            }
             agg.latency += s.mean_detection_latency_epochs;
             agg.coverage += s.detection_coverage;
             agg.quarantined += s.quarantined_faulty as f64;
@@ -147,6 +194,30 @@ fn main() {
         }
     );
 
+    for agg in &aggregates {
+        let Some(p) = &agg.provenance else { continue };
+        println!(
+            "journal cross-check [{}, seed {}]: {} events, {} epochs, {} tests, \
+             latency {:.2} epochs ({})",
+            agg.policy.label(),
+            p.seed,
+            p.journal_events,
+            p.epochs,
+            p.tests_run,
+            p.journal_mean_latency,
+            if p.matches_telemetry {
+                "matches telemetry"
+            } else {
+                "DIVERGES from telemetry — investigate"
+            }
+        );
+        assert!(
+            p.matches_telemetry,
+            "{}: journal-derived detection latency diverges from telemetry",
+            agg.policy.label()
+        );
+    }
+
     let json = Json::obj(vec![
         ("machines", Json::UInt(machines as u64)),
         ("epochs", Json::UInt(epochs)),
@@ -161,6 +232,22 @@ fn main() {
                 aggregates
                     .iter()
                     .map(|a| {
+                        let effort = match &a.provenance {
+                            None => Json::Null,
+                            Some(p) => Json::obj(vec![
+                                ("seed", Json::UInt(p.seed)),
+                                ("journal_events", Json::UInt(p.journal_events as u64)),
+                                ("epochs", Json::UInt(p.epochs)),
+                                ("tests_run", Json::UInt(p.tests_run)),
+                                ("cycles_spent", Json::UInt(p.cycles_spent)),
+                                ("detections", Json::UInt(p.detections)),
+                                (
+                                    "journal_mean_detection_latency_epochs",
+                                    Json::Float(p.journal_mean_latency),
+                                ),
+                                ("matches_telemetry", Json::Bool(p.matches_telemetry)),
+                            ]),
+                        };
                         Json::obj(vec![
                             ("policy", Json::Str(a.policy.label().to_string())),
                             ("mean_detection_latency_epochs", Json::Float(a.latency)),
@@ -170,6 +257,7 @@ fn main() {
                             ("cleared_suspects", Json::UInt(a.cleared)),
                             ("total_tests", Json::UInt(a.tests)),
                             ("total_cycles", Json::UInt(a.cycles)),
+                            ("effort_provenance", effort),
                             (
                                 "per_seed",
                                 Json::Arr(

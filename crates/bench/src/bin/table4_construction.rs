@@ -8,10 +8,15 @@
 //! each row — conflicts, decisions, propagations, and encoded clauses
 //! summed over every pair, attempt, and budget-escalation round — so a
 //! construction-rate regression can be told apart from a solver-cost one.
+//! Each run is also recorded through the observability layer, and the
+//! journal-derived `phase2.bmc.*` counters are cross-checked against the
+//! report's own effort totals: two independent tallies of the same work.
 //!
 //! Run: `cargo run --release -p vega-bench --bin table4_construction`
 
-use vega_bench::{lift, print_table, setup_units};
+use vega::obs::{Level, MetricsRegistry, TestRecorder};
+use vega::Obs;
+use vega_bench::{lift_obs, print_table, setup_units};
 
 fn main() {
     println!("== Table 4: result of test case construction ==\n");
@@ -19,9 +24,12 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut effort_rows = Vec::new();
+    let mut cross_checked = 0usize;
     for setup in [&alu, &fpu] {
         for mitigation in [false, true] {
-            let report = lift(setup, mitigation);
+            let recorder = TestRecorder::new();
+            let obs = Obs::new(Level::Summary, recorder.clone());
+            let report = lift_obs(setup, mitigation, &obs);
             let (s, ur, ff, fc) = report.table4_row();
             rows.push(vec![
                 setup.name.to_string(),
@@ -41,6 +49,26 @@ fn main() {
                 format!("{propagations}"),
                 format!("{encoded}"),
             ]);
+            // The journal counts solver effort independently of the
+            // report (at emission time inside the cover session, not by
+            // summing persisted rounds); any divergence is a bug.
+            let mut registry = MetricsRegistry::new();
+            for event in recorder.events() {
+                registry.absorb(&event);
+            }
+            let journal = (
+                registry.counter("phase2.bmc.conflicts"),
+                registry.counter("phase2.bmc.decisions"),
+                registry.counter("phase2.bmc.propagations"),
+                registry.counter("phase2.bmc.encoded_clauses"),
+            );
+            assert_eq!(
+                journal,
+                (conflicts, decisions, propagations, encoded),
+                "{} (mitigation {mitigation}): journal effort diverges from the report",
+                setup.name
+            );
+            cross_checked += 1;
         }
     }
     print_table(
@@ -59,6 +87,10 @@ fn main() {
             "encoded clauses",
         ],
         &effort_rows,
+    );
+    println!(
+        "\njournal cross-check: {cross_checked}/{} rows' phase2.bmc.* counters match the report",
+        effort_rows.len()
     );
 
     println!("\nshape checks (cf. paper Table 4: ALU 66.7/33.3/0/0 w/o, 33.3/66.7/0/0 w/;");

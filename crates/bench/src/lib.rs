@@ -97,8 +97,16 @@ pub fn pairs_for_lifting(setup: &UnitSetup) -> Vec<AgingPath> {
 
 /// Run Error Lifting over the unit's unique pairs.
 pub fn lift(setup: &UnitSetup, mitigation: bool) -> LiftReport {
+    lift_obs(setup, mitigation, &Obs::null())
+}
+
+/// Like [`lift`], but with the run recorded to `obs`: `phase2.*` spans,
+/// per-outcome tallies, and the incremental solver's effort counters —
+/// the provenance the effort tables cross-check against each report.
+pub fn lift_obs(setup: &UnitSetup, mitigation: bool, obs: &Obs) -> LiftReport {
     let mut config = workflow_config();
     config.mitigation = mitigation;
+    config.obs = obs.clone();
     let pairs = pairs_for_lifting(setup);
     lift_errors(&setup.unit, &pairs, &config)
 }

@@ -3,12 +3,15 @@
 //!
 //! ```console
 //! $ vega analyze --unit alu                 # phase 1: SP profile + aging STA
+//! $ vega profile --unit alu                 # phase 1: SP profile only
 //! $ vega lift --unit fpu --pairs 4          # phase 2: test-case construction
 //! $ vega suite --unit alu --emit-c out.c    # phase 3: C aging library
 //! $ vega artifacts --unit alu --dir out/    # failing netlists as Verilog
 //! $ vega report --unit fpu                  # synthesis-style netlist report
 //! $ vega fleet --machines 64 --epochs 32 \
 //!        --policy adaptive --seed 1         # fleet-scale detection simulation
+//! $ vega lift --obs-journal run.jsonl       # record a structured run journal
+//! $ vega report run.jsonl                   # render phase timings + metrics
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency is in the offline
@@ -28,10 +31,13 @@ USAGE:
 
 COMMANDS:
     analyze     phase 1: profile + aging-aware STA (Table 3-style row)
+    profile     phase 1 (first half): SP profiling only
     lift        phase 2: construct test cases for the worst pairs
     suite       phases 1-3: build the suite; optionally emit the C library
     artifacts   export failing netlists as structural Verilog
-    report      synthesis-style netlist statistics
+    report      synthesis-style netlist statistics, or — given a journal
+                path — phase timings, solver effort, and fleet latency
+                from a recorded run (`vega report run.jsonl [--prom]`)
     fleet       simulate fleet-scale detection: scheduling, quarantine,
                 telemetry (phases 1-2 feed the machine population)
 
@@ -50,6 +56,10 @@ COMMON OPTIONS:
     --stop-after <n>          (lift|suite) suspend after n new pairs
     --emit-c <path>           (suite) write the C aging library
     --dir <path>              (artifacts) output directory [default: .]
+    --obs-journal <path>      record a schema-versioned JSONL run journal
+    --obs-level <level>       off|summary|detail         [default: summary]
+    --prom                    (report <journal>) print the metrics as
+                              Prometheus exposition text instead
 
 FLEET OPTIONS:
     --machines <n>            fleet size                     [default: 16]
@@ -86,6 +96,12 @@ struct Options {
     seed: u64,
     fault_fraction: f64,
     out: Option<String>,
+    obs_journal: Option<String>,
+    obs_level: obs::Level,
+    prom: bool,
+    /// First bare (non-flag) argument: the journal path for
+    /// `vega report <journal.jsonl>`.
+    journal: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -110,6 +126,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed: 1,
         fault_fraction: 0.25,
         out: None,
+        obs_journal: None,
+        obs_level: obs::Level::Summary,
+        prom: false,
+        journal: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -187,7 +207,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--fault-fraction: {e}"))?
             }
             "--out" => options.out = Some(value("--out")?),
+            "--obs-journal" => options.obs_journal = Some(value("--obs-journal")?),
+            "--obs-level" => {
+                options.obs_level = value("--obs-level")?
+                    .parse()
+                    .map_err(|e| format!("--obs-level: {e}"))?
+            }
+            "--prom" => options.prom = true,
             "--help" | "-h" => return Err(usage().to_string()),
+            other if !other.starts_with('-') && options.journal.is_none() => {
+                options.journal = Some(other.to_string())
+            }
             other => return Err(format!("unknown option `{other}`\n\n{}", usage())),
         }
     }
@@ -206,6 +236,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
+/// The observability sink the command-line flags imply: a JSONL journal
+/// recorder when `--obs-journal` was given, the null sink otherwise.
+fn build_obs(options: &Options) -> Result<Obs, String> {
+    let Some(path) = &options.obs_journal else {
+        return Ok(Obs::null());
+    };
+    let recorder = obs::JsonlRecorder::create(std::path::Path::new(path))
+        .map_err(|e| format!("creating journal {path}: {e}"))?;
+    Ok(Obs::new(options.obs_level, recorder))
+}
+
 fn build_unit(options: &Options) -> Result<(PreparedUnit, WorkflowConfig), String> {
     let mut config = match options.unit.as_str() {
         "adder" => WorkflowConfig::paper_demo(),
@@ -215,6 +256,7 @@ fn build_unit(options: &Options) -> Result<(PreparedUnit, WorkflowConfig), Strin
     config.mitigation = options.mitigation;
     config.threads = options.threads.max(1);
     config.retry = RetryPolicy::doubling(options.retries.max(1));
+    config.obs = build_obs(options)?;
     if options.fuzz_fallback {
         config.fuzz_fallback = Some(FuzzConfig::default());
     }
@@ -236,9 +278,14 @@ fn phase1(options: &Options) -> Result<(PreparedUnit, WorkflowConfig, AgingAnaly
         unit.frequency_mhz(),
         unit.hold_buffers
     );
-    let profile =
-        profile_standalone_sharded(&unit.netlist, options.profile_cycles, 42, config.threads)
-            .map_err(|e| e.to_string())?;
+    let profile = profile_standalone_obs(
+        &unit.netlist,
+        options.profile_cycles,
+        42,
+        config.threads,
+        &config.obs,
+    )
+    .map_err(|e| e.to_string())?;
     let analysis = analyze_aging(&unit, &profile, &config);
     Ok((unit, config, analysis))
 }
@@ -284,6 +331,27 @@ fn lift_resilient(
             Ok(None)
         }
     }
+}
+
+fn cmd_profile(options: &Options) -> Result<(), String> {
+    let (unit, config) = build_unit(options)?;
+    let profile = profile_standalone_obs(
+        &unit.netlist,
+        options.profile_cycles,
+        42,
+        config.threads,
+        &config.obs,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "profiled {}: {} lane-cycles over {} cells ({} threads)",
+        profile.module,
+        profile.cycles,
+        profile.cells.len(),
+        config.threads
+    );
+    config.obs.flush();
+    Ok(())
 }
 
 fn cmd_analyze(options: &Options) -> Result<(), String> {
@@ -354,6 +422,7 @@ fn cmd_lift(options: &Options) -> Result<(), String> {
             );
         }
     }
+    config.obs.flush();
     Ok(())
 }
 
@@ -453,6 +522,7 @@ fn cmd_fleet(options: &Options) -> Result<(), String> {
     fleet_config.budget_cycles = options.budget;
     fleet_config.fault_fraction = options.fault_fraction;
     let mut fleet = Fleet::build(vec![pool], fleet_config);
+    fleet.set_obs(config.obs.clone());
     eprintln!(
         "fleet: {} machines, {} epochs, {} cycles/epoch, policy {}",
         options.machines,
@@ -481,10 +551,24 @@ fn cmd_fleet(options: &Options) -> Result<(), String> {
         eprintln!("wrote fleet telemetry to {path}");
     }
     print!("{json}");
+    config.obs.flush();
     Ok(())
 }
 
 fn cmd_report(options: &Options) -> Result<(), String> {
+    // `vega report <journal.jsonl>` renders a recorded run journal;
+    // without a journal path the legacy netlist-statistics mode runs.
+    if let Some(path) = &options.journal {
+        let journal =
+            obs::Journal::load(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        if options.prom {
+            let registry = obs::MetricsRegistry::from_journal(&journal);
+            print!("{}", registry.to_prometheus());
+        } else {
+            print!("{}", obs::render_report(&journal));
+        }
+        return Ok(());
+    }
     let (unit, _) = build_unit(options)?;
     print!("{}", vega_netlist::stats::NetlistStats::of(&unit.netlist));
     Ok(())
@@ -505,6 +589,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "analyze" => cmd_analyze(&options),
+        "profile" => cmd_profile(&options),
         "lift" => cmd_lift(&options),
         "suite" => cmd_suite(&options),
         "artifacts" => cmd_artifacts(&options),

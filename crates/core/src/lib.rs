@@ -77,6 +77,8 @@ pub use vega_lift::{
     ModuleKind, PairClass, PairResult, Provenance, RetryPolicy, TestCase, TestOutcome,
 };
 pub use vega_netlist::{Netlist, StdCellLibrary};
+pub use vega_obs as obs;
+pub use vega_obs::Obs;
 pub use vega_sim::SpProfile;
 pub use vega_sta::{
     analyze, calibrate_period, fix_hold_violations, Derates, StaConfig, TimingReport, ViolationKind,
@@ -160,6 +162,9 @@ pub struct WorkflowConfig {
     /// Fall back to simulation-based fuzzing for pairs whose formal
     /// search (including retries) exhausts its budget.
     pub fuzz_fallback: Option<FuzzConfig>,
+    /// Observability sink: every phase's spans, counters, and events are
+    /// routed here (default: null, i.e. recording disabled at zero cost).
+    pub obs: Obs,
 }
 
 impl WorkflowConfig {
@@ -178,6 +183,7 @@ impl WorkflowConfig {
             threads: 1,
             retry: RetryPolicy::default(),
             fuzz_fallback: None,
+            obs: Obs::null(),
         }
     }
 
@@ -196,6 +202,7 @@ impl WorkflowConfig {
             threads: 1,
             retry: RetryPolicy::default(),
             fuzz_fallback: None,
+            obs: Obs::null(),
         }
     }
 
@@ -269,10 +276,17 @@ pub fn analyze_aging(
     profile: &SpProfile,
     config: &WorkflowConfig,
 ) -> AgingAnalysis {
+    let _span = obs::span!(
+        config.obs,
+        "phase1.sta",
+        module = unit.netlist.name(),
+        years = config.years,
+    );
     let aged =
         AgingAwareTimingLibrary::build(config.cell_library.clone(), config.model, config.years);
     let sta = config.sta_config(unit.clock_period_ns);
     let report = analyze(&unit.netlist, &aged, Some(profile), &sta);
+    report.record_obs(&config.obs);
     let mut unique_pairs = Vec::new();
     for path in report
         .setup_violations
@@ -285,6 +299,9 @@ pub fn analyze_aging(
             }
         }
     }
+    config
+        .obs
+        .counter("phase1.sta.unique_pairs", unique_pairs.len() as u64);
     AgingAnalysis {
         report,
         unique_pairs,
@@ -299,6 +316,7 @@ pub fn lift_config(config: &WorkflowConfig) -> LiftConfig {
         retry: config.retry,
         fuzz_fallback: config.fuzz_fallback,
         chaos: ChaosHook::default(),
+        obs: config.obs.clone(),
     }
 }
 
@@ -407,6 +425,20 @@ pub fn profile_standalone_sharded(
     threads: usize,
 ) -> Result<SpProfile, VegaError> {
     Ok(vega_sim::profile_sharded(netlist, cycles, seed, threads))
+}
+
+/// [`profile_standalone_sharded`] with the run recorded to `obs`: a
+/// `phase1.profile` span plus lane-cycle/shard/cell metrics.
+pub fn profile_standalone_obs(
+    netlist: &Netlist,
+    cycles: usize,
+    seed: u64,
+    threads: usize,
+    obs: &Obs,
+) -> Result<SpProfile, VegaError> {
+    Ok(vega_sim::profile_sharded_obs(
+        netlist, cycles, seed, threads, obs,
+    ))
 }
 
 /// Gather SP profiles for the ALU and FPU by executing the given mini-IR

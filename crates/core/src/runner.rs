@@ -111,6 +111,14 @@ pub fn lift_errors_resumable(
 ) -> Result<RunnerOutcome, VegaError> {
     let mut lift_config: LiftConfig = lift_config(config);
     lift_config.chaos = options.chaos;
+    let _span = crate::obs::span!(
+        config.obs,
+        "phase2.lift",
+        module = unit.netlist.name(),
+        pairs = pairs.len(),
+        threads = config.threads.max(1),
+    );
+    config.obs.counter("phase2.pairs", pairs.len() as u64);
     let mut checkpoint = CheckpointFile::new(
         unit.netlist.name().to_string(),
         unit.module,
@@ -136,6 +144,11 @@ pub fn lift_errors_resumable(
         }
     }
 
+    if resumed_pairs > 0 {
+        config
+            .obs
+            .counter("phase2.resumed_pairs", resumed_pairs as u64);
+    }
     let todo: Vec<usize> = (0..pairs.len())
         .filter(|&index| slots[index].is_none())
         .collect();
@@ -151,41 +164,50 @@ pub fn lift_errors_resumable(
     let state = Mutex::new((slots, checkpoint, None::<VegaError>));
     let threads = config.threads.max(1).min(todo.len().max(1));
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                if failed.load(Ordering::Relaxed)
-                    || tickets.fetch_add(1, Ordering::Relaxed) >= budget
-                {
-                    break;
-                }
-                let position = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&index) = todo.get(position) else {
-                    break;
-                };
-                let result = lift_pair(
-                    &unit.netlist,
-                    unit.module,
-                    pairs[index],
-                    index,
-                    &lift_config,
-                );
-                let mut state = state.lock().unwrap_or_else(|poison| poison.into_inner());
-                let (slots, checkpoint, error) = &mut *state;
-                slots[index] = Some(result.clone());
-                checkpoint.entries.push(CheckpointEntry {
-                    pair_index: index,
-                    result,
-                });
-                if let Some(path) = &options.checkpoint {
-                    if let Err(e) = save_checkpoint(path, checkpoint) {
-                        *error = Some(e.into());
-                        failed.store(true, Ordering::Relaxed);
-                    }
-                }
-            });
+    let worker = || loop {
+        if failed.load(Ordering::Relaxed) || tickets.fetch_add(1, Ordering::Relaxed) >= budget {
+            break;
         }
-    });
+        let position = next.fetch_add(1, Ordering::Relaxed);
+        let Some(&index) = todo.get(position) else {
+            break;
+        };
+        let result = lift_pair(
+            &unit.netlist,
+            unit.module,
+            pairs[index],
+            index,
+            &lift_config,
+        );
+        let mut state = state.lock().unwrap_or_else(|poison| poison.into_inner());
+        let (slots, checkpoint, error) = &mut *state;
+        slots[index] = Some(result.clone());
+        checkpoint.entries.push(CheckpointEntry {
+            pair_index: index,
+            result,
+        });
+        if let Some(path) = &options.checkpoint {
+            match save_checkpoint(path, checkpoint) {
+                Ok(()) => config.obs.counter("phase2.checkpoint.saves", 1),
+                Err(e) => {
+                    *error = Some(e.into());
+                    failed.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    };
+    if threads == 1 {
+        // Run on the calling thread: keeps the thread-local span stack
+        // intact (per-pair spans nest under `phase2.lift`) and makes the
+        // journal's event order a pure function of the inputs.
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(worker);
+            }
+        });
+    }
 
     let (slots, checkpoint, error) = state
         .into_inner()

@@ -192,6 +192,7 @@ pub struct Fleet {
     tally: OutcomeTally,
     pool_detections: Vec<u64>,
     per_epoch: Vec<EpochTelemetry>,
+    obs: vega_obs::Obs,
 }
 
 impl Fleet {
@@ -280,6 +281,7 @@ impl Fleet {
             tally: OutcomeTally::default(),
             pool_detections: vec![0; pool_count],
             per_epoch: Vec::new(),
+            obs: vega_obs::Obs::null(),
         }
     }
 
@@ -326,7 +328,14 @@ impl Fleet {
             tally: OutcomeTally::default(),
             pool_detections: vec![0; pool_count],
             per_epoch: Vec::new(),
+            obs: vega_obs::Obs::null(),
         }
+    }
+
+    /// Route this fleet's `phase3.fleet.*` spans and counters to `obs`
+    /// (the default sink is null: recording disabled at zero cost).
+    pub fn set_obs(&mut self, obs: vega_obs::Obs) {
+        self.obs = obs;
     }
 
     /// The resolved per-epoch cycle budget.
@@ -341,12 +350,51 @@ impl Fleet {
 
     /// Run every configured epoch and aggregate the telemetry.
     pub fn run(&mut self) -> FleetTelemetry {
+        let _span = vega_obs::span!(
+            self.obs,
+            "phase3.fleet.run",
+            machines = self.config.machines,
+            epochs = self.config.epochs,
+            policy = self.config.policy.label(),
+            seed = self.config.seed,
+        );
         while self.epoch < self.config.epochs {
+            let _epoch_span =
+                vega_obs::span!(self.obs.detail(), "phase3.fleet.epoch", epoch = self.epoch);
             let stats = self.run_epoch();
+            self.record_epoch_obs(&stats);
             self.per_epoch.push(stats);
             self.epoch += 1;
         }
-        self.telemetry()
+        let telemetry = self.telemetry();
+        telemetry.record_obs(&self.obs);
+        telemetry
+    }
+
+    /// Fold one epoch's counters into the observability stream. Zero
+    /// increments are skipped (except the epoch count itself) so quiet
+    /// epochs stay one journal line instead of eleven.
+    fn record_epoch_obs(&self, stats: &EpochTelemetry) {
+        if !self.obs.enabled() {
+            return;
+        }
+        self.obs.counter("phase3.fleet.epochs", 1);
+        for (name, value) in [
+            ("phase3.fleet.scan_visits", stats.scan_visits),
+            ("phase3.fleet.retest_visits", stats.retest_visits),
+            ("phase3.fleet.tests_run", stats.tests_run),
+            ("phase3.fleet.cycles_spent", stats.cycles_spent),
+            ("phase3.fleet.detections", stats.detections),
+            ("phase3.fleet.flakes_injected", stats.flakes_injected),
+            ("phase3.fleet.new_suspects", stats.new_suspects),
+            ("phase3.fleet.cleared_suspects", stats.cleared_suspects),
+            ("phase3.fleet.new_quarantines", stats.new_quarantines),
+            ("phase3.fleet.false_quarantines", stats.false_quarantines),
+        ] {
+            if value > 0 {
+                self.obs.counter(name, value);
+            }
+        }
     }
 
     /// Simulate one epoch: confirmation retests first, then policy scan

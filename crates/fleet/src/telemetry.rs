@@ -280,6 +280,35 @@ impl FleetTelemetry {
     pub fn to_json_string(&self) -> String {
         self.to_json().to_pretty()
     }
+
+    /// Emit this run's end-of-run aggregates as `phase3.fleet.*` metrics:
+    /// summary gauges plus a per-faulty-machine detection-latency
+    /// histogram. Undetected machines are censored at the horizon
+    /// (`epochs`), exactly like [`FleetSummary::mean_detection_latency_epochs`],
+    /// so the histogram's mean and the summary's mean agree and a journal
+    /// can be cross-checked against the persisted telemetry artifact.
+    pub fn record_obs(&self, obs: &vega_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        let s = &self.summary;
+        obs.gauge("phase3.fleet.machines", self.machines as f64);
+        obs.gauge("phase3.fleet.faulty_machines", s.faulty as f64);
+        obs.gauge("phase3.fleet.detected_faulty", s.detected_faulty as f64);
+        obs.gauge(
+            "phase3.fleet.quarantined_faulty",
+            s.quarantined_faulty as f64,
+        );
+        obs.gauge("phase3.fleet.detection_coverage", s.detection_coverage);
+        obs.gauge(
+            "phase3.fleet.mean_detection_latency_epochs",
+            s.mean_detection_latency_epochs,
+        );
+        for machine in self.per_machine.iter().filter(|m| m.fault.is_some()) {
+            let latency = machine.first_detection_epoch.unwrap_or(self.epochs);
+            obs.hist("phase3.fleet.detection_latency_epochs", latency as f64);
+        }
+    }
 }
 
 #[cfg(test)]

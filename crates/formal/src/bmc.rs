@@ -153,6 +153,9 @@ pub struct CoverSession<'n> {
     phase: Phase,
     finished: Option<CoverOutcome>,
     total: CoverStats,
+    /// Completed [`CoverSession::run`] calls, for resume accounting.
+    runs: u64,
+    obs: vega_obs::Obs,
 }
 
 impl<'n> CoverSession<'n> {
@@ -183,7 +186,17 @@ impl<'n> CoverSession<'n> {
             phase: Phase::Cover,
             finished: None,
             total: CoverStats::default(),
+            runs: 0,
+            obs: vega_obs::Obs::null(),
         }
+    }
+
+    /// Attach an observability handle: each [`CoverSession::run`] call then
+    /// records its solver-effort deltas as `phase2.bmc.*` counters
+    /// (queries, session resumes, conflicts, decisions, propagations,
+    /// encoded clauses).
+    pub fn set_obs(&mut self, obs: vega_obs::Obs) {
+        self.obs = obs;
     }
 
     /// Advance the session by up to `conflict_budget` conflicts,
@@ -192,6 +205,7 @@ impl<'n> CoverSession<'n> {
     /// A non-[`CoverOutcome::BudgetExhausted`] outcome is final; calling
     /// again returns it unchanged at zero cost.
     pub fn run(&mut self, conflict_budget: u64) -> (CoverOutcome, CoverStats) {
+        let already_finished = self.finished.is_some();
         let before = self.work_counters();
         let mut budget_left = conflict_budget;
         let outcome = self.advance(&mut budget_left);
@@ -203,6 +217,23 @@ impl<'n> CoverSession<'n> {
             encoded_clauses: after.encoded_clauses - before.encoded_clauses,
         };
         self.total.add(delta);
+        if !already_finished && self.obs.enabled() {
+            self.obs.counter("phase2.bmc.queries", 1);
+            if self.runs > 0 {
+                // A resumed round: the persistent unrolling and learnt
+                // clauses from earlier rounds are being reused.
+                self.obs.counter("phase2.bmc.session_resumes", 1);
+            }
+            self.obs.counter("phase2.bmc.conflicts", delta.conflicts);
+            self.obs.counter("phase2.bmc.decisions", delta.decisions);
+            self.obs
+                .counter("phase2.bmc.propagations", delta.propagations);
+            self.obs
+                .counter("phase2.bmc.encoded_clauses", delta.encoded_clauses);
+        }
+        if !already_finished {
+            self.runs += 1;
+        }
         (outcome, delta)
     }
 

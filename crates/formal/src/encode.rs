@@ -161,7 +161,15 @@ impl<'n> Unrolling<'n> {
     /// Panics if the cycle has not been encoded yet, or if the net was
     /// pruned by the cone-of-influence restriction.
     pub fn var(&self, net: NetId, cycle: usize) -> Var {
-        self.cycle_vars[cycle][net.index()].expect("net is outside the cone of influence")
+        let vars = self.cycle_vars.get(cycle).unwrap_or_else(|| {
+            panic!(
+                "cycle {cycle} not encoded yet (unrolling has {} cycles)",
+                self.cycle_vars.len()
+            )
+        });
+        vars[net.index()].unwrap_or_else(|| {
+            panic!("net {net:?} at cycle {cycle} is outside the cone of influence")
+        })
     }
 
     fn var_opt(&self, net: NetId, cycle: usize) -> Option<Var> {
@@ -643,14 +651,14 @@ mod tests {
         let inv = b.cell(CellKind::Not, "inv", &[a]);
         let q = b.dff("q", inv, clk);
         b.output("y", &[q]);
-        b.finish().unwrap()
+        b.finish().expect("test netlist builds")
     }
 
     #[test]
     fn unrolling_models_reset_and_transition() {
         let n = inverter_reg();
-        let q_net = n.cell_by_name("q").unwrap().output;
-        let a_net = n.port("a").unwrap().bits[0];
+        let q_net = n.cell_by_name("q").expect("cell `q` exists").output;
+        let a_net = n.port("a").expect("port `a` exists").bits[0];
 
         // Two cycles; force a=1 at cycle 0 and check q at cycle 1 must be
         // !a = 0 (any model claiming q=1 at cycle 1 is unsatisfiable).
@@ -686,7 +694,7 @@ mod tests {
         let v = b.input("v", 3);
         let q = b.dff("q", v[2], clk);
         b.output("y", &[q]);
-        let n = b.finish().unwrap();
+        let n = b.finish().expect("test netlist builds");
 
         let mut u = Unrolling::new(&n, false);
         u.add_cycle();
@@ -698,7 +706,7 @@ mod tests {
             0,
         );
         // v[2] = 1 implies v >= 4, which the assumption forbids.
-        let v2 = Lit::pos(u.var(n.port("v").unwrap().bits[2], 0));
+        let v2 = Lit::pos(u.var(n.port("v").expect("port `v` exists").bits[2], 0));
         u.solver_mut().add_clause(&[v2]);
         assert_eq!(u.solver_mut().solve(), SolveResult::Unsat);
     }
@@ -712,19 +720,19 @@ mod tests {
         let d = b.input("d", 1)[0];
         let q = b.dff("q", d, gck);
         b.output("y", &[q]);
-        let n = b.finish().unwrap();
+        let n = b.finish().expect("test netlist builds");
         let u = Unrolling::new(&n, false);
-        assert!(u.is_clock_net(n.clock().unwrap()));
-        assert!(u.is_clock_net(n.cell_by_name("icg").unwrap().output));
-        assert!(!u.is_clock_net(n.port("d").unwrap().bits[0]));
-        assert!(!u.is_clock_net(n.cell_by_name("q").unwrap().output));
+        assert!(u.is_clock_net(n.clock().expect("sequential netlist has a clock")));
+        assert!(u.is_clock_net(n.cell_by_name("icg").expect("cell `icg` exists").output));
+        assert!(!u.is_clock_net(n.port("d").expect("port `d` exists").bits[0]));
+        assert!(!u.is_clock_net(n.cell_by_name("q").expect("cell `q` exists").output));
     }
 
     #[test]
     fn fire_literal_encodes_terms() {
         let n = inverter_reg();
-        let a_net = n.port("a").unwrap().bits[0];
-        let inv_net = n.cell_by_name("inv").unwrap().output;
+        let a_net = n.port("a").expect("port `a` exists").bits[0];
+        let inv_net = n.cell_by_name("inv").expect("cell `inv` exists").output;
 
         // a and inv always differ combinationally: the differ-literal is
         // forced true once a cycle is encoded.
@@ -752,13 +760,13 @@ mod tests {
         let q2 = b.dff("q2", x, clk);
         b.output("y1", &[q1]);
         b.output("y2", &[q2]);
-        b.finish().unwrap()
+        b.finish().expect("test netlist builds")
     }
 
     #[test]
     fn cone_prunes_unrelated_logic() {
         let n = two_pipes();
-        let q1 = n.cell_by_name("q1").unwrap().output;
+        let q1 = n.cell_by_name("q1").expect("cell `q1` exists").output;
         let property = Property::net_equals(q1, true);
 
         let full = Unrolling::new(&n, false);
@@ -779,10 +787,10 @@ mod tests {
             SolveResult::Sat
         );
         assert!(coned.model_value(q1, 1));
-        let a_net = n.port("a").unwrap().bits[0];
+        let a_net = n.port("a").expect("port `a` exists").bits[0];
         assert!(!coned.model_value(a_net, 0), "q1 <- !a forces a=0");
         // Pruned nets read as the reset default, not a panic.
-        let q2 = n.cell_by_name("q2").unwrap().output;
+        let q2 = n.cell_by_name("q2").expect("cell `q2` exists").output;
         assert!(!coned.model_value(q2, 1));
     }
 
@@ -800,8 +808,8 @@ mod tests {
         let a3 = b.cell(CellKind::And2, "a3", &[a1, a2]);
         let q = b.dff("q", a3, clk);
         b.output("y", &[q]);
-        let tree = b.finish().unwrap();
-        let a3_net = tree.cell_by_name("a3").unwrap().output;
+        let tree = b.finish().expect("test netlist builds");
+        let a3_net = tree.cell_by_name("a3").expect("cell `a3` exists").output;
         let property = Property::net_equals(a3_net, true);
 
         let mut full = Unrolling::new(&tree, false);
@@ -826,11 +834,11 @@ mod tests {
         );
         for bit in 0..4 {
             assert!(
-                coned.model_value(tree.port("i").unwrap().bits[bit], 0),
+                coned.model_value(tree.port("i").expect("port `i` exists").bits[bit], 0),
                 "AND tree forces every input high"
             );
         }
-        let i0 = Lit::pos(coned.var(tree.port("i").unwrap().bits[0], 0));
+        let i0 = Lit::pos(coned.var(tree.port("i").expect("port `i` exists").bits[0], 0));
         assert_eq!(
             coned.solver_mut().solve_with_assumptions(&[fire, !i0]),
             SolveResult::Unsat
@@ -848,8 +856,8 @@ mod tests {
         let z = b.cell(CellKind::And2, "z", &[d, one]);
         let q = b.dff("q", z, clk);
         b.output("y", &[q]);
-        let n = b.finish().unwrap();
-        let one_net = n.cell_by_name("one").unwrap().output;
+        let n = b.finish().expect("test netlist builds");
+        let one_net = n.cell_by_name("one").expect("cell `one` exists").output;
         let property = Property::net_equals(one_net, false);
         let mut u = Unrolling::for_query(&n, false, &property, &[], FirePolarity::Positive);
         u.add_cycle();

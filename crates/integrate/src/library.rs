@@ -121,8 +121,11 @@ impl AgingLibrary {
             let outcome = match validate_test_case(sim.netlist(), test) {
                 Err(reason) => TestOutcome::Skipped { reason },
                 Ok(()) => catch_unwind(AssertUnwindSafe(|| run_test_case(sim, self.module, test)))
-                    .unwrap_or_else(|_| TestOutcome::Skipped {
-                        reason: "test runner panicked".to_string(),
+                    .unwrap_or_else(|payload| TestOutcome::Skipped {
+                        reason: format!(
+                            "test runner panicked: {}",
+                            vega_lift::panic_message(payload)
+                        ),
                     }),
             };
             if matches!(outcome, TestOutcome::Skipped { .. }) {

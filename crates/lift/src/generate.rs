@@ -104,6 +104,9 @@ pub struct LiftConfig {
     pub fuzz_fallback: Option<FuzzConfig>,
     /// Deterministic fault injection (tests only).
     pub chaos: ChaosHook,
+    /// Observability sink for `phase2.*` spans, counters, and events
+    /// (default: null, i.e. recording disabled at zero cost).
+    pub obs: vega_obs::Obs,
 }
 
 /// How one `(pair, C, activation)` attempt ended — the unit behind the
@@ -348,8 +351,9 @@ impl LiftReport {
 }
 
 /// Render a caught panic payload for a [`ConstructionOutcome::Crashed`]
-/// record.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// record (or any other caught-panic diagnostic that must not lose the
+/// message).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(message) = payload.downcast_ref::<&str>() {
         (*message).to_string()
     } else if let Some(message) = payload.downcast_ref::<String>() {
@@ -380,6 +384,7 @@ fn lift_attempt(
         panic!("chaos: injected panic while lifting pair {pair_index} ({label})");
     }
     let forced_exhaustion = config.chaos.exhaust_budget_at_pair == Some(pair_index);
+    config.obs.counter("phase2.attempts", 1);
 
     let instrumented = instrument_with_shadow(netlist, path, value, activation);
     if instrumented.observable_pairs.is_empty() {
@@ -408,10 +413,17 @@ fn lift_attempt(
     // after a budget exhaustion resumes at the depth (and with the
     // learned clauses) the previous round stopped at, instead of
     // re-solving from conflict zero.
-    let mut session = (!forced_exhaustion)
-        .then(|| CoverSession::new(&instrumented.netlist, &property, assumptions, base_bmc));
+    let mut session = (!forced_exhaustion).then(|| {
+        let mut session =
+            CoverSession::new(&instrumented.netlist, &property, assumptions, base_bmc);
+        session.set_obs(config.obs.clone());
+        session
+    });
     let mut spent_total = 0u64;
     for round in 0..max_rounds {
+        if round > 0 {
+            config.obs.counter("phase2.retry.rounds", 1);
+        }
         let round_budget = config
             .retry
             .budget_for_round(base_bmc.conflict_budget, round);
@@ -481,9 +493,13 @@ fn lift_attempt(
                 format!("{name}_fuzzed"),
                 label.to_string(),
             ) {
+                config.obs.counter("phase2.fuzz.fallback_tests", 1);
                 outcome = ConstructionOutcome::Success(Box::new(test));
             }
         }
+    }
+    if matches!(outcome, ConstructionOutcome::Success(_)) {
+        config.obs.counter("phase2.tests", 1);
     }
 
     Attempt {
@@ -507,9 +523,23 @@ pub fn lift_pair(
     pair_index: usize,
     config: &LiftConfig,
 ) -> PairResult {
-    // Even the label can panic on a forged path; keep the pair alive.
-    let label = catch_unwind(AssertUnwindSafe(|| path.label(netlist)))
-        .unwrap_or_else(|_| format!("cell{}->cell{} (?)", path.launch.0, path.capture.0));
+    // Even the label can panic on a forged path; keep the pair alive —
+    // but keep the panic message too, so the fallback label explains
+    // itself instead of silently degrading to "(?)".
+    let label = catch_unwind(AssertUnwindSafe(|| path.label(netlist))).unwrap_or_else(|payload| {
+        format!(
+            "cell{}->cell{} (label panicked: {})",
+            path.launch.0,
+            path.capture.0,
+            panic_message(payload)
+        )
+    });
+    let _span = vega_obs::span!(
+        config.obs.detail(),
+        "phase2.pair",
+        pair = pair_index,
+        label = label.as_str(),
+    );
     let base_bmc = config.bmc.unwrap_or_else(|| module.bmc_config());
     let assumptions = module.assumptions(netlist);
     let activations: &[FaultActivation] = if config.mitigation {
@@ -535,14 +565,27 @@ pub fn lift_pair(
                     pair_index,
                 )
             }))
-            .unwrap_or_else(|payload| Attempt {
-                value,
-                activation,
-                outcome: ConstructionOutcome::Crashed {
-                    message: panic_message(payload),
-                },
-                rounds: Vec::new(),
+            .unwrap_or_else(|payload| {
+                let message = panic_message(payload);
+                config.obs.event(
+                    "phase2.pair.crashed",
+                    vec![
+                        ("pair".to_string(), vega_obs::Value::from(pair_index)),
+                        ("label".to_string(), vega_obs::Value::from(label.as_str())),
+                        (
+                            "message".to_string(),
+                            vega_obs::Value::from(message.as_str()),
+                        ),
+                    ],
+                );
+                Attempt {
+                    value,
+                    activation,
+                    outcome: ConstructionOutcome::Crashed { message },
+                    rounds: Vec::new(),
+                }
             });
+            config.obs.counter(outcome_metric(&attempt.outcome), 1);
             attempts.push(attempt);
         }
     }
@@ -550,6 +593,18 @@ pub fn lift_pair(
         path,
         label,
         attempts,
+    }
+}
+
+/// The `phase2.outcome.*` counter a [`ConstructionOutcome`] increments.
+fn outcome_metric(outcome: &ConstructionOutcome) -> &'static str {
+    match outcome {
+        ConstructionOutcome::Success(_) => "phase2.outcome.success",
+        ConstructionOutcome::ProvenSafe { .. } => "phase2.outcome.proven_safe",
+        ConstructionOutcome::FormalFailure => "phase2.outcome.formal_failure",
+        ConstructionOutcome::ConversionFailure => "phase2.outcome.conversion_failure",
+        ConstructionOutcome::BoundedInconclusive => "phase2.outcome.bounded_inconclusive",
+        ConstructionOutcome::Crashed { .. } => "phase2.outcome.crashed",
     }
 }
 
@@ -561,6 +616,14 @@ pub fn generate_suite(
     paths: &[AgingPath],
     config: &LiftConfig,
 ) -> LiftReport {
+    let _span = vega_obs::span!(
+        config.obs,
+        "phase2.lift",
+        module = netlist.name(),
+        pairs = paths.len(),
+        threads = 1u64,
+    );
+    config.obs.counter("phase2.pairs", paths.len() as u64);
     let pairs = paths
         .iter()
         .enumerate()
@@ -589,6 +652,14 @@ pub fn generate_suite_parallel(
     if threads == 1 || paths.len() <= 1 {
         return generate_suite(netlist, module, paths, config);
     }
+    let _span = vega_obs::span!(
+        config.obs,
+        "phase2.lift",
+        module = netlist.name(),
+        pairs = paths.len(),
+        threads = threads,
+    );
+    config.obs.counter("phase2.pairs", paths.len() as u64);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<PairResult>> = Vec::new();
     slots.resize_with(paths.len(), || None);

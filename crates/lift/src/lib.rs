@@ -40,8 +40,8 @@ mod testcase;
 pub use construct::{construct_test_case, ConversionError};
 pub use fuzz::{fuzz_test_case, FuzzConfig, FuzzStats};
 pub use generate::{
-    generate_suite, generate_suite_parallel, lift_pair, Attempt, BudgetRound, ChaosHook,
-    ConstructionOutcome, LiftConfig, LiftReport, PairClass, PairResult, RetryPolicy,
+    generate_suite, generate_suite_parallel, lift_pair, panic_message, Attempt, BudgetRound,
+    ChaosHook, ConstructionOutcome, LiftConfig, LiftReport, PairClass, PairResult, RetryPolicy,
 };
 pub use instrument::{
     build_failing_netlist, instrument_with_shadow, AgingPath, FaultActivation, FaultValue,

@@ -1,0 +1,358 @@
+//! The journal event model and its canonical JSONL encoding.
+//!
+//! Every observable action in a Vega run becomes one [`Event`]. Events carry
+//! a schema version, a monotonically increasing sequence number, and a
+//! deterministic payload ([`EventKind`]). Wall-clock data — when the event
+//! happened and how long a span took — lives in a separate [`Wall`] field
+//! that is *excluded* from the canonical encoding, so two same-seed runs
+//! produce byte-identical deterministic streams even though their timestamps
+//! differ.
+
+use std::fmt::Write as _;
+
+/// Version stamped into the `v` field of every journal line.
+///
+/// Bump this when the event schema changes shape; the loader rejects
+/// journals written with a newer version than it understands.
+pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+
+/// A typed field value attached to spans and point events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer payload (counts, indices, seeds).
+    U64(u64),
+    /// Signed integer payload.
+    I64(i64),
+    /// Floating-point payload (slacks, rates).
+    F64(f64),
+    /// String payload (labels, messages).
+    Str(String),
+    /// Boolean payload (flags).
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Non-deterministic wall-clock annotations attached by recorders that
+/// observe real time. Stripped by the canonical encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Wall {
+    /// Microseconds since the UNIX epoch when the event was recorded.
+    pub wall_us: u64,
+    /// For `span_close` events: elapsed microseconds since the matching open.
+    pub dur_us: Option<u64>,
+}
+
+/// The deterministic payload of a journal event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A scoped timer opened. `span` ids are unique within a run and
+    /// allocated in deterministic order; `parent` is the enclosing span
+    /// on the same thread, if any.
+    SpanOpen {
+        /// Run-unique span id (allocated from 1 upward).
+        span: u64,
+        /// Enclosing span id, if this span was opened inside another.
+        parent: Option<u64>,
+        /// Dotted metric-style span name, e.g. `phase2.pair`.
+        name: String,
+        /// Structured fields captured at open time.
+        fields: Vec<(String, Value)>,
+    },
+    /// The matching close for a previously opened span.
+    SpanClose {
+        /// Id of the span being closed.
+        span: u64,
+        /// Name repeated from the open event for greppability.
+        name: String,
+    },
+    /// A monotonic counter increment.
+    Counter {
+        /// Dotted metric name, e.g. `phase2.bmc.conflicts`.
+        name: String,
+        /// Amount added to the counter.
+        add: u64,
+    },
+    /// A point-in-time gauge observation (last write wins).
+    Gauge {
+        /// Dotted metric name, e.g. `phase1.sta.wns_setup_ns`.
+        name: String,
+        /// Observed value.
+        value: f64,
+    },
+    /// A histogram sample.
+    Hist {
+        /// Dotted metric name, e.g. `phase3.fleet.detection_latency_epochs`.
+        name: String,
+        /// Sampled value.
+        value: f64,
+    },
+    /// A structured point event (e.g. a crash report) with free-form fields.
+    Message {
+        /// Dotted event name, e.g. `phase2.pair.crashed`.
+        name: String,
+        /// Structured fields describing the event.
+        fields: Vec<(String, Value)>,
+    },
+}
+
+impl EventKind {
+    /// The `kind` discriminator used on the wire.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            EventKind::SpanOpen { .. } => "span_open",
+            EventKind::SpanClose { .. } => "span_close",
+            EventKind::Counter { .. } => "counter",
+            EventKind::Gauge { .. } => "gauge",
+            EventKind::Hist { .. } => "hist",
+            EventKind::Message { .. } => "event",
+        }
+    }
+
+    /// The metric/span name carried by this event.
+    pub fn name(&self) -> &str {
+        match self {
+            EventKind::SpanOpen { name, .. }
+            | EventKind::SpanClose { name, .. }
+            | EventKind::Counter { name, .. }
+            | EventKind::Gauge { name, .. }
+            | EventKind::Hist { name, .. }
+            | EventKind::Message { name, .. } => name,
+        }
+    }
+}
+
+/// One journal event: schema version is implicit (the current
+/// [`JOURNAL_FORMAT_VERSION`]); `seq` orders events within a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number, contiguous from 0 within a journal.
+    pub seq: u64,
+    /// Deterministic payload.
+    pub kind: EventKind,
+    /// Wall-clock annotations, if the recorder observes real time.
+    pub wall: Option<Wall>,
+}
+
+fn escape_json(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => {
+            out.push('"');
+            escape_json(out, s);
+            out.push('"');
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+fn write_fields(out: &mut String, fields: &[(String, Value)]) {
+    // Canonical encoding sorts field keys so that a journal re-encoded after
+    // a parse round-trip (which loses insertion order) stays byte-identical.
+    let mut sorted: Vec<&(String, Value)> = fields.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    out.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(out, k);
+        out.push_str("\":");
+        write_value(out, v);
+    }
+    out.push('}');
+}
+
+impl Event {
+    /// Encode this event as one JSONL line (no trailing newline).
+    ///
+    /// When `include_wall` is false the output contains only deterministic
+    /// fields — this is the canonical form used for replay diffing. Wall
+    /// fields, when present and requested, are appended *after* every
+    /// deterministic field so the deterministic prefix is stable.
+    pub fn to_line(&self, include_wall: bool) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(out, "{{\"v\":{JOURNAL_FORMAT_VERSION},\"seq\":{}", self.seq);
+        let _ = write!(out, ",\"kind\":\"{}\"", self.kind.kind_str());
+        match &self.kind {
+            EventKind::SpanOpen {
+                span,
+                parent,
+                name,
+                fields,
+            } => {
+                let _ = write!(out, ",\"span\":{span},\"parent\":");
+                match parent {
+                    Some(p) => {
+                        let _ = write!(out, "{p}");
+                    }
+                    None => out.push_str("null"),
+                }
+                out.push_str(",\"name\":\"");
+                escape_json(&mut out, name);
+                out.push_str("\",\"fields\":");
+                write_fields(&mut out, fields);
+            }
+            EventKind::SpanClose { span, name } => {
+                let _ = write!(out, ",\"span\":{span},\"name\":\"");
+                escape_json(&mut out, name);
+                out.push('"');
+            }
+            EventKind::Counter { name, add } => {
+                out.push_str(",\"name\":\"");
+                escape_json(&mut out, name);
+                let _ = write!(out, "\",\"add\":{add}");
+            }
+            EventKind::Gauge { name, value } | EventKind::Hist { name, value } => {
+                out.push_str(",\"name\":\"");
+                escape_json(&mut out, name);
+                out.push_str("\",\"value\":");
+                write_f64(&mut out, *value);
+            }
+            EventKind::Message { name, fields } => {
+                out.push_str(",\"name\":\"");
+                escape_json(&mut out, name);
+                out.push_str("\",\"fields\":");
+                write_fields(&mut out, fields);
+            }
+        }
+        if include_wall {
+            if let Some(wall) = &self.wall {
+                let _ = write!(out, ",\"wall_us\":{}", wall.wall_us);
+                if let Some(dur) = wall.dur_us {
+                    let _ = write!(out, ",\"dur_us\":{dur}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_line_is_stable_and_sorted() {
+        let ev = Event {
+            seq: 3,
+            kind: EventKind::SpanOpen {
+                span: 1,
+                parent: None,
+                name: "phase2.pair".to_string(),
+                fields: vec![
+                    ("pair".to_string(), Value::U64(7)),
+                    ("label".to_string(), Value::Str("a\"b".to_string())),
+                ],
+            },
+            wall: Some(Wall {
+                wall_us: 123,
+                dur_us: None,
+            }),
+        };
+        assert_eq!(
+            ev.to_line(false),
+            "{\"v\":1,\"seq\":3,\"kind\":\"span_open\",\"span\":1,\"parent\":null,\
+             \"name\":\"phase2.pair\",\"fields\":{\"label\":\"a\\\"b\",\"pair\":7}}"
+        );
+        assert!(ev.to_line(true).contains("\"wall_us\":123"));
+    }
+
+    #[test]
+    fn wall_fields_follow_deterministic_prefix() {
+        let ev = Event {
+            seq: 0,
+            kind: EventKind::Counter {
+                name: "phase2.bmc.conflicts".to_string(),
+                add: 42,
+            },
+            wall: Some(Wall {
+                wall_us: 9,
+                dur_us: Some(4),
+            }),
+        };
+        let with_wall = ev.to_line(true);
+        let without = ev.to_line(false);
+        assert!(with_wall.starts_with(&without[..without.len() - 1]));
+    }
+}

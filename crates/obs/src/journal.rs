@@ -1,0 +1,305 @@
+//! Loading and validating run journals written by
+//! [`JsonlRecorder`](crate::JsonlRecorder).
+
+use std::fmt;
+use std::path::Path;
+
+use crate::event::{Event, EventKind, Value, Wall, JOURNAL_FORMAT_VERSION};
+use crate::json::{parse_json, Json};
+
+/// Why a journal failed to load or validate.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// A line was not valid JSON (1-based line number, parser message).
+    Parse(usize, String),
+    /// A line declared an unsupported schema version.
+    UnsupportedVersion {
+        /// 1-based line number.
+        line: usize,
+        /// The `v` the line declared.
+        found: u32,
+        /// The version this loader understands.
+        supported: u32,
+    },
+    /// A line is structurally invalid (missing/mistyped field, unknown
+    /// kind, sequence gap, unbalanced span).
+    Invalid(usize, String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "cannot read journal: {e}"),
+            JournalError::Parse(line, msg) => write!(f, "journal line {line}: bad JSON: {msg}"),
+            JournalError::UnsupportedVersion {
+                line,
+                found,
+                supported,
+            } => write!(
+                f,
+                "journal line {line}: schema version {found} unsupported (this build reads v{supported})"
+            ),
+            JournalError::Invalid(line, msg) => write!(f, "journal line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+fn field_u64(obj: &Json, key: &str, line: usize) -> Result<u64, JournalError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| JournalError::Invalid(line, format!("missing or non-integer `{key}`")))
+}
+
+fn field_f64(obj: &Json, key: &str, line: usize) -> Result<f64, JournalError> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| JournalError::Invalid(line, format!("missing or non-numeric `{key}`")))
+}
+
+fn field_str(obj: &Json, key: &str, line: usize) -> Result<String, JournalError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| JournalError::Invalid(line, format!("missing or non-string `{key}`")))
+}
+
+fn parse_fields(obj: &Json, line: usize) -> Result<Vec<(String, Value)>, JournalError> {
+    let entries = obj
+        .get("fields")
+        .and_then(Json::entries)
+        .ok_or_else(|| JournalError::Invalid(line, "missing or non-object `fields`".to_string()))?;
+    let mut out = Vec::with_capacity(entries.len());
+    for (k, v) in entries {
+        let value = match v {
+            Json::Bool(b) => Value::Bool(*b),
+            Json::Str(s) => Value::Str(s.clone()),
+            Json::U64(u) => Value::U64(*u),
+            Json::I64(i) => Value::I64(*i),
+            Json::F64(x) => Value::F64(*x),
+            other => {
+                return Err(JournalError::Invalid(
+                    line,
+                    format!("field `{k}` has unsupported type: {other}"),
+                ))
+            }
+        };
+        out.push((k.clone(), value));
+    }
+    Ok(out)
+}
+
+/// A parsed, validated run journal.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    /// Events in sequence order.
+    pub events: Vec<Event>,
+}
+
+impl Journal {
+    /// Read and validate the journal at `path`.
+    pub fn load(path: &Path) -> Result<Self, JournalError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::parse(&text)
+    }
+
+    /// Parse and validate journal text (one JSON object per line).
+    ///
+    /// Validation enforces: every line parses; the schema version is the
+    /// one this build understands; sequence numbers are contiguous from 0;
+    /// event kinds are known; every `span_close` matches an open span.
+    pub fn parse(text: &str) -> Result<Self, JournalError> {
+        let mut events = Vec::new();
+        let mut open_spans: Vec<u64> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let obj = parse_json(raw).map_err(|e| JournalError::Parse(line, e))?;
+            let v = field_u64(&obj, "v", line)? as u32;
+            if v != JOURNAL_FORMAT_VERSION {
+                return Err(JournalError::UnsupportedVersion {
+                    line,
+                    found: v,
+                    supported: JOURNAL_FORMAT_VERSION,
+                });
+            }
+            let seq = field_u64(&obj, "seq", line)?;
+            if seq != events.len() as u64 {
+                return Err(JournalError::Invalid(
+                    line,
+                    format!("sequence gap: expected seq {}, found {seq}", events.len()),
+                ));
+            }
+            let kind_str = field_str(&obj, "kind", line)?;
+            let kind = match kind_str.as_str() {
+                "span_open" => {
+                    let span = field_u64(&obj, "span", line)?;
+                    let parent = match obj.get("parent") {
+                        Some(Json::Null) | None => None,
+                        Some(p) => Some(p.as_u64().ok_or_else(|| {
+                            JournalError::Invalid(line, "non-integer `parent`".to_string())
+                        })?),
+                    };
+                    open_spans.push(span);
+                    EventKind::SpanOpen {
+                        span,
+                        parent,
+                        name: field_str(&obj, "name", line)?,
+                        fields: parse_fields(&obj, line)?,
+                    }
+                }
+                "span_close" => {
+                    let span = field_u64(&obj, "span", line)?;
+                    let pos = open_spans.iter().rposition(|&s| s == span).ok_or_else(|| {
+                        JournalError::Invalid(line, format!("close of unopened span {span}"))
+                    })?;
+                    open_spans.remove(pos);
+                    EventKind::SpanClose {
+                        span,
+                        name: field_str(&obj, "name", line)?,
+                    }
+                }
+                "counter" => EventKind::Counter {
+                    name: field_str(&obj, "name", line)?,
+                    add: field_u64(&obj, "add", line)?,
+                },
+                "gauge" => EventKind::Gauge {
+                    name: field_str(&obj, "name", line)?,
+                    value: field_f64(&obj, "value", line)?,
+                },
+                "hist" => EventKind::Hist {
+                    name: field_str(&obj, "name", line)?,
+                    value: field_f64(&obj, "value", line)?,
+                },
+                "event" => EventKind::Message {
+                    name: field_str(&obj, "name", line)?,
+                    fields: parse_fields(&obj, line)?,
+                },
+                other => {
+                    return Err(JournalError::Invalid(
+                        line,
+                        format!("unknown event kind `{other}`"),
+                    ))
+                }
+            };
+            let wall = obj
+                .get("wall_us")
+                .and_then(Json::as_u64)
+                .map(|wall_us| Wall {
+                    wall_us,
+                    dur_us: obj.get("dur_us").and_then(Json::as_u64),
+                });
+            events.push(Event { seq, kind, wall });
+        }
+        Ok(Self { events })
+    }
+
+    /// Re-encode every event in canonical form (wall-clock stripped), one
+    /// line each. Two same-seed runs must produce identical output here
+    /// even though their `wall_us` fields differ.
+    pub fn deterministic_lines(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_line(false));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Total wall-clock duration in microseconds of every closed span named
+    /// `name`, if the journal carries wall data.
+    pub fn span_duration_us(&self, name: &str) -> Option<u64> {
+        let mut total = None;
+        for e in &self.events {
+            if let EventKind::SpanClose { name: n, .. } = &e.kind {
+                if n == name {
+                    if let Some(Wall {
+                        dur_us: Some(d), ..
+                    }) = e.wall
+                    {
+                        *total.get_or_insert(0) += d;
+                    }
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{JsonlRecorder, Level, Obs};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("vega-obs-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_through_jsonl_recorder() {
+        let path = tmp("roundtrip.jsonl");
+        {
+            let obs = Obs::new(
+                Level::Detail,
+                JsonlRecorder::create(&path).expect("create journal"),
+            );
+            let _s = crate::span!(obs, "phase1.profile", cycles = 64u64);
+            obs.counter("phase1.profile.shards", 2);
+            obs.gauge("phase1.sta.wns_setup_ns", -0.25);
+            obs.hist("phase3.fleet.detection_latency_epochs", 3.0);
+            obs.event(
+                "phase2.pair.crashed",
+                vec![("message".to_string(), Value::Str("boom".to_string()))],
+            );
+            obs.flush();
+        }
+        let journal = Journal::load(&path).expect("journal loads");
+        assert_eq!(journal.events.len(), 6);
+        assert!(journal.events.iter().all(|e| e.wall.is_some()));
+        assert!(journal.span_duration_us("phase1.profile").is_some());
+        // Canonical re-encode strips wall and is parseable again.
+        let canon = journal.deterministic_lines();
+        assert!(!canon.contains("wall_us"));
+        let again = Journal::parse(&canon).expect("canonical form parses");
+        assert_eq!(again.deterministic_lines(), canon);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let err =
+            Journal::parse("{\"v\":99,\"seq\":0,\"kind\":\"counter\",\"name\":\"x\",\"add\":1}")
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            JournalError::UnsupportedVersion { found: 99, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_sequence_gap() {
+        let text = "{\"v\":1,\"seq\":0,\"kind\":\"counter\",\"name\":\"x\",\"add\":1}\n\
+                    {\"v\":1,\"seq\":2,\"kind\":\"counter\",\"name\":\"x\",\"add\":1}";
+        let err = Journal::parse(text).unwrap_err();
+        assert!(matches!(err, JournalError::Invalid(2, _)), "{err}");
+    }
+
+    #[test]
+    fn rejects_unbalanced_close_and_unknown_kind() {
+        let close_only = "{\"v\":1,\"seq\":0,\"kind\":\"span_close\",\"span\":4,\"name\":\"x\"}";
+        assert!(Journal::parse(close_only).is_err());
+        let unknown = "{\"v\":1,\"seq\":0,\"kind\":\"mystery\",\"name\":\"x\"}";
+        assert!(Journal::parse(unknown).is_err());
+    }
+}

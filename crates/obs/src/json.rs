@@ -1,0 +1,389 @@
+//! Minimal JSON parser for reading run journals.
+//!
+//! The journal format is plain JSON-lines, but this crate stays
+//! dependency-free (see the crate docs), so it carries its own small
+//! recursive-descent parser. It accepts the full JSON grammar; numbers
+//! keep unsigned/signed/float distinctions so 64-bit sequence numbers
+//! round-trip exactly.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer that fits in `u64`.
+    U64(u64),
+    /// Negative integer that fits in `i64`.
+    I64(i64),
+    /// Any other number.
+    F64(f64),
+    /// String (escapes resolved).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, entries in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Value as `f64`, for any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Value as `i64`, for integer variants that fit.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::U64(v) => i64::try_from(*v).ok(),
+            Json::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Value as `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object entries in document order, if this is an object.
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::U64(v) => write!(f, "{v}"),
+            Json::I64(v) => write!(f, "{v}"),
+            Json::F64(v) => write!(f, "{v}"),
+            Json::Str(s) => write!(f, "{s:?}"),
+            Json::Arr(_) => f.write_str("[...]"),
+            Json::Obj(_) => f.write_str("{...}"),
+        }
+    }
+}
+
+/// Parse one JSON document from `text`, requiring it to consume the whole
+/// input (modulo trailing whitespace).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err("unexpected end of input".to_string());
+    };
+    match b {
+        b'{' => parse_object(bytes, pos),
+        b'[' => parse_array(bytes, pos),
+        b'"' => Ok(Json::Str(parse_string(bytes, pos)?)),
+        b't' => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        b'f' => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        b'n' => parse_literal(bytes, pos, "null", Json::Null),
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        other => Err(format!("unexpected byte `{}` at {}", other as char, *pos)),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(bytes, pos, b'{')?;
+    let mut entries = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(entries));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect_byte(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        entries.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err("unterminated string".to_string());
+        };
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err("unterminated escape".to_string());
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hi = parse_hex4(bytes, pos)?;
+                        let code = if (0xd800..0xdc00).contains(&hi) {
+                            // Surrogate pair: expect \uXXXX low half.
+                            if bytes.get(*pos) == Some(&b'\\') && bytes.get(*pos + 1) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let lo = parse_hex4(bytes, pos)?;
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                return Err("lone high surrogate".to_string());
+                            }
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid codepoint {code:#x}"))?,
+                        );
+                    }
+                    other => return Err(format!("bad escape `\\{}`", other as char)),
+                }
+            }
+            _ => {
+                // Collect the full UTF-8 sequence starting at b.
+                let start = *pos - 1;
+                let len = utf8_len(b)?;
+                let end = start + len;
+                if end > bytes.len() {
+                    return Err("truncated UTF-8 sequence".to_string());
+                }
+                let s = std::str::from_utf8(&bytes[start..end])
+                    .map_err(|e| format!("invalid UTF-8: {e}"))?;
+                out.push_str(s);
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> Result<usize, String> {
+    match first {
+        0x00..=0x7f => Ok(1),
+        0xc0..=0xdf => Ok(2),
+        0xe0..=0xef => Ok(3),
+        0xf0..=0xf7 => Ok(4),
+        other => Err(format!("invalid UTF-8 lead byte {other:#x}")),
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    if *pos + 4 > bytes.len() {
+        return Err("truncated \\u escape".to_string());
+    }
+    let s = std::str::from_utf8(&bytes[*pos..*pos + 4])
+        .map_err(|_| "non-ASCII \\u escape".to_string())?;
+    let v = u32::from_str_radix(s, 16).map_err(|_| format!("bad \\u escape `{s}`"))?;
+    *pos += 4;
+    Ok(v)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    if bytes.get(*pos) == Some(&b'.') {
+        is_float = true;
+        *pos += 1;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e') | Some(b'E')) {
+        is_float = true;
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "non-ASCII number".to_string())?;
+    if !is_float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Json::U64(u));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Json::I64(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::F64)
+        .map_err(|_| format!("bad number `{text}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_journal_shaped_line() {
+        let line = "{\"v\":1,\"seq\":0,\"kind\":\"span_open\",\"span\":1,\"parent\":null,\
+                    \"name\":\"phase1.profile\",\"fields\":{\"cycles\":64,\"wns\":-0.25},\
+                    \"wall_us\":1754500000000000}";
+        let v = parse_json(line).expect("parses");
+        assert_eq!(v.get("v").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("parent"), Some(&Json::Null));
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("phase1.profile"));
+        let fields = v.get("fields").unwrap();
+        assert_eq!(fields.get("wns").and_then(Json::as_f64), Some(-0.25));
+        assert_eq!(
+            v.get("wall_us").and_then(Json::as_u64),
+            Some(1754500000000000)
+        );
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = parse_json("\"a\\\"b\\\\c\\n\\u00e9\\ud83d\\ude00\"").expect("parses");
+        assert_eq!(v.as_str(), Some("a\"b\\c\né😀"));
+    }
+
+    #[test]
+    fn parses_arrays_and_negative_numbers() {
+        let v = parse_json("[1, -2, 3.5, true, null, \"x\"]").expect("parses");
+        let Json::Arr(items) = v else {
+            panic!("not an array")
+        };
+        assert_eq!(items[0], Json::U64(1));
+        assert_eq!(items[1], Json::I64(-2));
+        assert_eq!(items[2], Json::F64(3.5));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("{\"a\":1,}").is_err());
+        assert!(parse_json("nul").is_err());
+        assert!(parse_json("{} extra").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn big_u64_round_trips_exactly() {
+        let v = parse_json("{\"seq\":18446744073709551615}").expect("parses");
+        assert_eq!(v.get("seq").and_then(Json::as_u64), Some(u64::MAX));
+    }
+}

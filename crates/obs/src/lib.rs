@@ -1,0 +1,45 @@
+//! # vega-obs — structured observability for the Vega pipeline
+//!
+//! A lightweight tracing/metrics layer threaded through all three phases of
+//! the pipeline (SP profiling + aging-aware STA, error lifting, fleet-scale
+//! detection). Three pieces:
+//!
+//! * **Recording** — the [`Obs`] handle and [`Recorder`] trait: span-style
+//!   scoped timers ([`span!`]), typed counters/gauges/histograms, and
+//!   structured point events. Backends: [`NullRecorder`] (free, default),
+//!   [`TestRecorder`] (in-memory, for assertions), and [`JsonlRecorder`]
+//!   (streams a schema-versioned `run.jsonl` journal).
+//! * **Journal** — [`Journal`] loads and validates a run journal
+//!   (version check, gap-free sequence numbers, balanced spans) and can
+//!   re-encode it canonically with wall-clock stripped, so two same-seed
+//!   runs diff byte-identically.
+//! * **Metrics** — [`MetricsRegistry`] folds journal events into one
+//!   namespaced tree (`phase1.*`, `phase2.*`, `phase3.fleet.*`),
+//!   exportable as Prometheus text exposition or canonical JSON;
+//!   [`render_report`] prints the operator-facing run summary.
+//!
+//! ## Determinism contract
+//!
+//! Every event carries only deterministic payload fields plus a monotonic
+//! `seq`; wall-clock data (`wall_us`, `dur_us`) is appended separately by
+//! recorders that observe real time and is excluded from the canonical
+//! encoding. With a single worker thread (the CLI default), the full
+//! deterministic stream is byte-identical across same-seed runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod journal;
+pub mod json;
+mod metrics;
+mod recorder;
+mod report;
+
+pub use event::{Event, EventKind, Value, Wall, JOURNAL_FORMAT_VERSION};
+pub use journal::{Journal, JournalError};
+pub use metrics::{
+    prometheus_name, validate_prometheus, Histogram, Metric, MetricsRegistry, DEFAULT_BUCKETS,
+};
+pub use recorder::{JsonlRecorder, Level, NullRecorder, Obs, Recorder, SpanGuard, TestRecorder};
+pub use report::render_report;

@@ -1,0 +1,425 @@
+//! A namespaced metrics registry built by replaying journal events.
+//!
+//! The registry is the single aggregation point for the pipeline's ad-hoc
+//! stats (shard throughput, STA path counts, `CoverStats`, lift retry
+//! provenance, fleet `EpochTelemetry`): producers emit journal events, and
+//! the registry folds those events into counters, gauges, and histograms
+//! that export as Prometheus text exposition or canonical JSON.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventKind};
+use crate::journal::Journal;
+
+/// Default histogram bucket upper bounds, tuned for epoch-latency style
+/// small-integer distributions while still covering effort counts.
+pub const DEFAULT_BUCKETS: [f64; 10] =
+    [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 256.0, 1024.0, 65536.0];
+
+/// A cumulative histogram plus the raw samples that produced it (journals
+/// are small, so exact percentiles are affordable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bucket upper bounds (ascending); an implicit `+Inf` bucket follows.
+    pub bounds: Vec<f64>,
+    /// Per-bucket sample counts, `bounds.len() + 1` entries.
+    pub counts: Vec<u64>,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Raw samples in observation order.
+    pub samples: Vec<f64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            bounds: DEFAULT_BUCKETS.to_vec(),
+            counts: vec![0; DEFAULT_BUCKETS.len() + 1],
+            sum: 0.0,
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.samples.push(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Mean of the samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.samples.len() as f64)
+        }
+    }
+
+    /// Exact percentile (nearest-rank) over the raw samples; `p` in 0..=100.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("histogram samples are finite"));
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic counter (sum of all `counter` events).
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Histogram of samples.
+    Hist(Histogram),
+}
+
+/// Namespaced metric tree keyed by dotted names (`phase2.bmc.conflicts`).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a registry by replaying every event in `journal`.
+    pub fn from_journal(journal: &Journal) -> Self {
+        let mut reg = Self::new();
+        for e in &journal.events {
+            reg.absorb(e);
+        }
+        reg
+    }
+
+    /// Fold one event into the registry. Span and message events are
+    /// ignored (spans are timing, not metrics).
+    pub fn absorb(&mut self, event: &Event) {
+        match &event.kind {
+            EventKind::Counter { name, add } => {
+                let entry = self
+                    .metrics
+                    .entry(name.clone())
+                    .or_insert(Metric::Counter(0));
+                if let Metric::Counter(total) = entry {
+                    *total += add;
+                }
+            }
+            EventKind::Gauge { name, value } => {
+                self.metrics.insert(name.clone(), Metric::Gauge(*value));
+            }
+            EventKind::Hist { name, value } => {
+                let entry = self
+                    .metrics
+                    .entry(name.clone())
+                    .or_insert_with(|| Metric::Hist(Histogram::default()));
+                if let Metric::Hist(h) = entry {
+                    h.observe(*value);
+                }
+            }
+            EventKind::SpanOpen { .. }
+            | EventKind::SpanClose { .. }
+            | EventKind::Message { .. } => {}
+        }
+    }
+
+    /// Look up a metric by dotted name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// Counter value, or 0 if absent (absent and zero are equivalent for
+    /// monotonic counters).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.metrics.get(name) {
+            Some(Metric::Hist(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// All registered metric names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.metrics.keys().map(String::as_str).collect()
+    }
+
+    /// Number of distinct metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Metric names grouped by their first dotted segment (the namespace
+    /// tree roots, e.g. `phase1`, `phase2`, `phase3`).
+    pub fn namespaces(&self) -> BTreeMap<&str, usize> {
+        let mut out = BTreeMap::new();
+        for name in self.metrics.keys() {
+            let root = name.split('.').next().unwrap_or(name);
+            *out.entry(root).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Render Prometheus text-format exposition. Dotted names become
+    /// underscore-separated with a `vega_` prefix.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in &self.metrics {
+            let prom = prometheus_name(name);
+            match metric {
+                Metric::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {prom} counter");
+                    let _ = writeln!(out, "{prom} {v}");
+                }
+                Metric::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {prom} gauge");
+                    let _ = writeln!(out, "{prom} {v}");
+                }
+                Metric::Hist(h) => {
+                    let _ = writeln!(out, "# TYPE {prom} histogram");
+                    let mut cumulative = 0u64;
+                    for (i, bound) in h.bounds.iter().enumerate() {
+                        cumulative += h.counts[i];
+                        let _ = writeln!(out, "{prom}_bucket{{le=\"{bound}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {}", h.count());
+                    let _ = writeln!(out, "{prom}_sum {}", h.sum);
+                    let _ = writeln!(out, "{prom}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the registry as canonical JSON (sorted keys, stable float
+    /// formatting) — suitable for committing alongside bench artifacts.
+    pub fn to_canonical_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, metric)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n  \"{name}\": ");
+            match metric {
+                Metric::Counter(v) => {
+                    let _ = write!(out, "{{\"type\": \"counter\", \"value\": {v}}}");
+                }
+                Metric::Gauge(v) => {
+                    let _ = write!(out, "{{\"type\": \"gauge\", \"value\": {v}}}");
+                }
+                Metric::Hist(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\": \"histogram\", \"count\": {}, \"sum\": {}}}",
+                        h.count(),
+                        h.sum
+                    );
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Convert a dotted metric name to a Prometheus-safe name with the `vega_`
+/// prefix: non-alphanumeric characters become underscores.
+pub fn prometheus_name(dotted: &str) -> String {
+    let mut out = String::with_capacity(dotted.len() + 5);
+    out.push_str("vega_");
+    for c in dotted.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Validate Prometheus text exposition: every non-comment line must be
+/// `name{labels} value` with a parseable numeric value, and every metric
+/// family must carry a `# TYPE` comment. Returns the number of distinct
+/// metric family names.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut typed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {}: TYPE without name", i + 1))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {}: TYPE without kind", i + 1))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {}: unknown TYPE kind `{kind}`", i + 1));
+            }
+            typed.insert(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: expected `name value`", i + 1))?;
+        value_part
+            .parse::<f64>()
+            .map_err(|_| format!("line {}: non-numeric value `{value_part}`", i + 1))?;
+        let bare = name_part.split('{').next().unwrap_or(name_part);
+        if bare.is_empty()
+            || !bare
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {}: invalid metric name `{bare}`", i + 1));
+        }
+        // Histogram series end in _bucket/_sum/_count; map back to family.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| bare.strip_suffix(suf))
+            .filter(|stem| typed.contains(*stem))
+            .unwrap_or(bare);
+        if !typed.contains(family) {
+            return Err(format!("line {}: metric `{family}` missing # TYPE", i + 1));
+        }
+        seen.insert(family.to_string());
+    }
+    Ok(seen.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn counter(seq: u64, name: &str, add: u64) -> Event {
+        Event {
+            seq,
+            kind: EventKind::Counter {
+                name: name.to_string(),
+                add,
+            },
+            wall: None,
+        }
+    }
+
+    #[test]
+    fn registry_folds_counters_gauges_hists() {
+        let mut reg = MetricsRegistry::new();
+        reg.absorb(&counter(0, "phase2.bmc.conflicts", 10));
+        reg.absorb(&counter(1, "phase2.bmc.conflicts", 5));
+        reg.absorb(&Event {
+            seq: 2,
+            kind: EventKind::Gauge {
+                name: "phase1.sta.wns_setup_ns".to_string(),
+                value: -0.5,
+            },
+            wall: None,
+        });
+        for (i, v) in [1.0, 3.0, 9.0].iter().enumerate() {
+            reg.absorb(&Event {
+                seq: 3 + i as u64,
+                kind: EventKind::Hist {
+                    name: "phase3.fleet.detection_latency_epochs".to_string(),
+                    value: *v,
+                },
+                wall: None,
+            });
+        }
+        assert_eq!(reg.counter("phase2.bmc.conflicts"), 15);
+        assert_eq!(reg.gauge("phase1.sta.wns_setup_ns"), Some(-0.5));
+        let h = reg
+            .histogram("phase3.fleet.detection_latency_epochs")
+            .unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.percentile(50.0), Some(3.0));
+        assert_eq!(h.percentile(100.0), Some(9.0));
+        assert_eq!(reg.namespaces().len(), 3);
+    }
+
+    #[test]
+    fn prometheus_export_validates() {
+        let mut reg = MetricsRegistry::new();
+        reg.absorb(&counter(0, "phase2.bmc.conflicts", 15));
+        reg.absorb(&Event {
+            seq: 1,
+            kind: EventKind::Hist {
+                name: "phase3.fleet.detection_latency_epochs".to_string(),
+                value: 2.0,
+            },
+            wall: None,
+        });
+        let text = reg.to_prometheus();
+        assert!(text.contains("vega_phase2_bmc_conflicts 15"));
+        assert!(text.contains("vega_phase3_fleet_detection_latency_epochs_bucket{le=\"+Inf\"} 1"));
+        let families = validate_prometheus(&text).expect("exposition is valid");
+        assert_eq!(families, 2);
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_prometheus("vega_x not-a-number").is_err());
+        assert!(validate_prometheus("vega_untyped_metric 1").is_err());
+    }
+
+    #[test]
+    fn canonical_json_is_sorted() {
+        let mut reg = MetricsRegistry::new();
+        reg.absorb(&counter(0, "b.two", 2));
+        reg.absorb(&counter(1, "a.one", 1));
+        let json = reg.to_canonical_json();
+        let a = json.find("a.one").unwrap();
+        let b = json.find("b.two").unwrap();
+        assert!(a < b);
+    }
+}

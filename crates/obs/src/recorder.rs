@@ -1,0 +1,500 @@
+//! Recorder backends and the cheap-clone [`Obs`] handle.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::event::{Event, EventKind, Value, Wall};
+
+/// Verbosity level for an [`Obs`] handle.
+///
+/// `Summary` records phase-level spans and aggregate metrics; `Detail`
+/// additionally records per-pair / per-epoch spans. `Off` records nothing
+/// (equivalent to [`Obs::null`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Record nothing.
+    Off,
+    /// Phase-level spans and aggregate metrics only.
+    Summary,
+    /// Everything, including per-item spans.
+    Detail,
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(Level::Off),
+            "summary" => Ok(Level::Summary),
+            "detail" => Ok(Level::Detail),
+            other => Err(format!(
+                "unknown obs level `{other}` (expected off|summary|detail)"
+            )),
+        }
+    }
+}
+
+/// A sink for journal events. Implementations must be thread-safe; the
+/// pipeline may record from worker threads.
+pub trait Recorder: Send + Sync {
+    /// Record one event. `event.wall` is `None` when it arrives; recorders
+    /// that observe real time fill it in themselves.
+    fn record(&self, event: &Event);
+
+    /// Flush any buffered output. The default implementation does nothing.
+    fn flush(&self) {}
+}
+
+/// Recorder that discards everything. [`Obs::null`] avoids even the
+/// virtual call, so this type mostly serves as an explicit placeholder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: &Event) {}
+}
+
+/// In-memory recorder for tests: keeps every event and offers helpers for
+/// asserting span nesting and counter totals.
+#[derive(Debug, Clone, Default)]
+pub struct TestRecorder {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl TestRecorder {
+    /// Create an empty test recorder. Clones share the same event buffer,
+    /// so keep one clone and hand another to [`Obs::new`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all recorded events in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("test recorder poisoned").clone()
+    }
+
+    /// Sum of all `Counter` increments recorded under `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Counter { name: n, add } if n == name => Some(*add),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Last `Gauge` value recorded under `name`, if any.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.events().iter().rev().find_map(|e| match &e.kind {
+            EventKind::Gauge { name: n, value } if n == name => Some(*value),
+            _ => None,
+        })
+    }
+
+    /// All `Hist` samples recorded under `name`, in order.
+    pub fn hist_samples(&self, name: &str) -> Vec<f64> {
+        self.events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Hist { name: n, value } if n == name => Some(*value),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `(name, parent_name)` for every span open, in open order. The parent
+    /// name is resolved through the open event's `parent` span id.
+    pub fn span_parents(&self) -> Vec<(String, Option<String>)> {
+        let events = self.events();
+        let mut names: HashMap<u64, String> = HashMap::new();
+        let mut out = Vec::new();
+        for e in &events {
+            if let EventKind::SpanOpen {
+                span, parent, name, ..
+            } = &e.kind
+            {
+                names.insert(*span, name.clone());
+                out.push((name.clone(), parent.and_then(|p| names.get(&p).cloned())));
+            }
+        }
+        out
+    }
+
+    /// Panics unless every opened span was closed exactly once, closes are
+    /// properly nested per the recorded parent links, and sequence numbers
+    /// are contiguous from 0.
+    pub fn assert_well_formed(&self) {
+        let events = self.events();
+        let mut open: HashMap<u64, String> = HashMap::new();
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "sequence gap at event {i}");
+            match &e.kind {
+                EventKind::SpanOpen { span, name, .. } => {
+                    let prev = open.insert(*span, name.clone());
+                    assert!(prev.is_none(), "span {span} opened twice");
+                }
+                EventKind::SpanClose { span, name } => {
+                    let opened = open.remove(span);
+                    assert_eq!(
+                        opened.as_deref(),
+                        Some(name.as_str()),
+                        "span {span} closed without matching open"
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty(), "spans left open: {open:?}");
+    }
+}
+
+impl Recorder for TestRecorder {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("test recorder poisoned")
+            .push(event.clone());
+    }
+}
+
+struct JsonlState {
+    writer: BufWriter<File>,
+    /// Open wall-clock per span id, for computing close durations.
+    span_opened: HashMap<u64, Instant>,
+}
+
+/// Recorder that streams events to a JSONL run journal.
+///
+/// Each line carries the deterministic fields first, then the
+/// non-deterministic `wall_us` (and `dur_us` for span closes) — see
+/// [`Event::to_line`]. The file is flushed on [`Recorder::flush`] and when
+/// the recorder is dropped.
+pub struct JsonlRecorder {
+    state: Mutex<JsonlState>,
+}
+
+impl JsonlRecorder {
+    /// Create (truncating) the journal file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            state: Mutex::new(JsonlState {
+                writer: BufWriter::new(file),
+                span_opened: HashMap::new(),
+            }),
+        })
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, event: &Event) {
+        let now = Instant::now();
+        let wall_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let mut state = self.state.lock().expect("journal writer poisoned");
+        let mut stamped = event.clone();
+        let mut wall = Wall {
+            wall_us,
+            dur_us: None,
+        };
+        match &event.kind {
+            EventKind::SpanOpen { span, .. } => {
+                state.span_opened.insert(*span, now);
+            }
+            EventKind::SpanClose { span, .. } => {
+                if let Some(opened) = state.span_opened.remove(span) {
+                    wall.dur_us = Some(now.duration_since(opened).as_micros() as u64);
+                }
+            }
+            _ => {}
+        }
+        stamped.wall = Some(wall);
+        let line = stamped.to_line(true);
+        let _ = writeln!(state.writer, "{line}");
+    }
+
+    fn flush(&self) {
+        let mut state = self.state.lock().expect("journal writer poisoned");
+        let _ = state.writer.flush();
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        if let Ok(mut state) = self.state.lock() {
+            let _ = state.writer.flush();
+        }
+    }
+}
+
+struct ObsInner {
+    level: Level,
+    seq: AtomicU64,
+    next_span: AtomicU64,
+    recorder: Box<dyn Recorder>,
+}
+
+thread_local! {
+    /// Stack of currently open span ids on this thread, used to link child
+    /// spans to their parent. Guards keep it balanced.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Cheap-clone handle to a recorder. The default handle is *null*: every
+/// operation is a no-op costing one branch, so instrumented code paths can
+/// keep an `Obs` unconditionally.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Obs(null)"),
+            Some(inner) => write!(f, "Obs({:?})", inner.level),
+        }
+    }
+}
+
+impl Obs {
+    /// The no-op handle.
+    pub fn null() -> Self {
+        Self::default()
+    }
+
+    /// Wrap `recorder` at the given verbosity. `Level::Off` yields a null
+    /// handle.
+    pub fn new(level: Level, recorder: impl Recorder + 'static) -> Self {
+        if level == Level::Off {
+            return Self::null();
+        }
+        Self {
+            inner: Some(Arc::new(ObsInner {
+                level,
+                seq: AtomicU64::new(0),
+                next_span: AtomicU64::new(1),
+                recorder: Box::new(recorder),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything at all.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A handle that records only if this one is at `Level::Detail`;
+    /// otherwise the null handle. Use for per-item instrumentation that
+    /// would swamp a summary journal.
+    pub fn detail(&self) -> Obs {
+        match &self.inner {
+            Some(inner) if inner.level >= Level::Detail => self.clone(),
+            _ => Self::null(),
+        }
+    }
+
+    fn record(&self, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+            inner.recorder.record(&Event {
+                seq,
+                kind,
+                wall: None,
+            });
+        }
+    }
+
+    /// Open a scoped timer span. Prefer the [`crate::span!`] macro for
+    /// ergonomic field capture. The returned guard closes the span when
+    /// dropped.
+    pub fn span(&self, name: &str, fields: Vec<(String, Value)>) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { closer: None };
+        };
+        let span = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(span);
+            parent
+        });
+        self.record(EventKind::SpanOpen {
+            span,
+            parent,
+            name: name.to_string(),
+            fields,
+        });
+        SpanGuard {
+            closer: Some((self.clone(), span, name.to_string())),
+        }
+    }
+
+    /// Add `add` to the counter `name`.
+    pub fn counter(&self, name: &str, add: u64) {
+        if self.enabled() {
+            self.record(EventKind::Counter {
+                name: name.to_string(),
+                add,
+            });
+        }
+    }
+
+    /// Set the gauge `name` to `value`.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if self.enabled() {
+            self.record(EventKind::Gauge {
+                name: name.to_string(),
+                value,
+            });
+        }
+    }
+
+    /// Record one histogram sample for `name`.
+    pub fn hist(&self, name: &str, value: f64) {
+        if self.enabled() {
+            self.record(EventKind::Hist {
+                name: name.to_string(),
+                value,
+            });
+        }
+    }
+
+    /// Record a structured point event.
+    pub fn event(&self, name: &str, fields: Vec<(String, Value)>) {
+        if self.enabled() {
+            self.record(EventKind::Message {
+                name: name.to_string(),
+                fields,
+            });
+        }
+    }
+
+    /// Flush the underlying recorder (e.g. the journal file buffer).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.flush();
+        }
+    }
+}
+
+/// RAII guard returned by [`Obs::span`]; emits the matching `span_close`
+/// when dropped.
+pub struct SpanGuard {
+    closer: Option<(Obs, u64, String)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((obs, span, name)) = self.closer.take() {
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if stack.last() == Some(&span) {
+                    stack.pop();
+                } else {
+                    // Out-of-order drop (should not happen with lexical
+                    // guards); remove wherever it is to stay balanced.
+                    stack.retain(|&s| s != span);
+                }
+            });
+            obs.record(EventKind::SpanClose { span, name });
+        }
+    }
+}
+
+/// Open a scoped span on an [`Obs`] handle with optional structured fields.
+///
+/// ```
+/// use vega_obs::{span, Level, Obs, TestRecorder};
+/// let rec = TestRecorder::new();
+/// let obs = Obs::new(Level::Detail, rec.clone());
+/// {
+///     let _outer = span!(obs, "phase1.profile", cycles = 64u64);
+///     let _inner = span!(obs, "phase1.profile.shard");
+/// }
+/// rec.assert_well_formed();
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $name:expr) => {
+        $obs.span($name, ::std::vec::Vec::new())
+    };
+    ($obs:expr, $name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $obs.span(
+            $name,
+            ::std::vec![$((
+                ::std::string::String::from(stringify!($key)),
+                $crate::Value::from($value),
+            )),+],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_handle_is_free_and_silent() {
+        let obs = Obs::null();
+        assert!(!obs.enabled());
+        let _g = span!(obs, "phase1.profile", cycles = 10u64);
+        obs.counter("x", 1);
+        obs.gauge("y", 1.0);
+        obs.hist("z", 1.0);
+        obs.flush();
+    }
+
+    #[test]
+    fn spans_nest_and_sequence_is_contiguous() {
+        let rec = TestRecorder::new();
+        let obs = Obs::new(Level::Detail, rec.clone());
+        {
+            let _outer = span!(obs, "phase2.lift", pairs = 2u64);
+            obs.counter("phase2.pairs", 2);
+            {
+                let _inner = span!(obs, "phase2.pair", pair = 0u64);
+                obs.counter("phase2.bmc.conflicts", 17);
+            }
+        }
+        rec.assert_well_formed();
+        let parents = rec.span_parents();
+        assert_eq!(parents.len(), 2);
+        assert_eq!(parents[0], ("phase2.lift".to_string(), None));
+        assert_eq!(
+            parents[1],
+            ("phase2.pair".to_string(), Some("phase2.lift".to_string()))
+        );
+        assert_eq!(rec.counter_total("phase2.bmc.conflicts"), 17);
+    }
+
+    #[test]
+    fn detail_handle_filters_below_detail() {
+        let rec = TestRecorder::new();
+        let obs = Obs::new(Level::Summary, rec.clone());
+        assert!(!obs.detail().enabled());
+        obs.detail().counter("phase2.pair.only", 1);
+        assert_eq!(rec.counter_total("phase2.pair.only"), 0);
+        let detailed = Obs::new(Level::Detail, TestRecorder::new());
+        assert!(detailed.detail().enabled());
+    }
+
+    #[test]
+    fn level_parses() {
+        assert_eq!("detail".parse::<Level>().unwrap(), Level::Detail);
+        assert_eq!("summary".parse::<Level>().unwrap(), Level::Summary);
+        assert_eq!("off".parse::<Level>().unwrap(), Level::Off);
+        assert!("verbose".parse::<Level>().is_err());
+    }
+}

@@ -1,0 +1,326 @@
+//! Human-readable rendering of a run journal: phase-time breakdown,
+//! solver-effort table, and fleet detection-latency summary. This is what
+//! `vega report <journal>` prints.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::EventKind;
+use crate::journal::Journal;
+use crate::metrics::MetricsRegistry;
+
+struct SpanAgg {
+    count: u64,
+    total_us: Option<u64>,
+}
+
+fn span_aggregates(journal: &Journal) -> BTreeMap<String, SpanAgg> {
+    let mut out: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    for e in &journal.events {
+        if let EventKind::SpanClose { name, .. } = &e.kind {
+            let agg = out.entry(name.clone()).or_insert(SpanAgg {
+                count: 0,
+                total_us: None,
+            });
+            agg.count += 1;
+            if let Some(wall) = &e.wall {
+                if let Some(d) = wall.dur_us {
+                    *agg.total_us.get_or_insert(0) += d;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn fmt_ms(us: u64) -> String {
+    format!("{:.2}", us as f64 / 1000.0)
+}
+
+fn render_table(out: &mut String, headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(line, "  {:<w$}", h, w = widths[i]);
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(line, "  {:<w$}", cell, w = widths[i]);
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+}
+
+fn render_phase_times(out: &mut String, journal: &Journal) {
+    let aggs = span_aggregates(journal);
+    out.push_str("== Phase-time breakdown ==\n");
+    if aggs.is_empty() {
+        out.push_str("  (no closed spans in journal)\n");
+        return;
+    }
+    let has_wall = aggs.values().any(|a| a.total_us.is_some());
+    let mut rows: Vec<(String, SpanAgg)> = aggs.into_iter().collect();
+    // Largest total time first; journals without wall data stay name-sorted.
+    rows.sort_by(|a, b| b.1.total_us.cmp(&a.1.total_us).then(a.0.cmp(&b.0)));
+    let mut table = Vec::new();
+    for (name, agg) in &rows {
+        let (total, mean) = match agg.total_us {
+            Some(us) => (fmt_ms(us), fmt_ms(us / agg.count.max(1))),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        table.push(vec![name.clone(), agg.count.to_string(), total, mean]);
+    }
+    render_table(out, &["span", "count", "total ms", "mean ms"], &table);
+    if !has_wall {
+        out.push_str("  (wall-clock stripped: timings unavailable, counts only)\n");
+    }
+}
+
+fn render_solver_effort(out: &mut String, reg: &MetricsRegistry) {
+    out.push_str("\n== Solver effort (phase 2) ==\n");
+    let pairs = reg.counter("phase2.pairs");
+    if pairs == 0 && reg.counter("phase2.bmc.queries") == 0 {
+        out.push_str("  (no phase-2 activity in journal)\n");
+        return;
+    }
+    let rows = vec![
+        vec!["pairs".to_string(), pairs.to_string()],
+        vec![
+            "attempts".to_string(),
+            reg.counter("phase2.attempts").to_string(),
+        ],
+        vec![
+            "tests generated".to_string(),
+            reg.counter("phase2.tests").to_string(),
+        ],
+        vec![
+            "bmc queries".to_string(),
+            reg.counter("phase2.bmc.queries").to_string(),
+        ],
+        vec![
+            "session resumes".to_string(),
+            reg.counter("phase2.bmc.session_resumes").to_string(),
+        ],
+        vec![
+            "conflicts".to_string(),
+            reg.counter("phase2.bmc.conflicts").to_string(),
+        ],
+        vec![
+            "decisions".to_string(),
+            reg.counter("phase2.bmc.decisions").to_string(),
+        ],
+        vec![
+            "propagations".to_string(),
+            reg.counter("phase2.bmc.propagations").to_string(),
+        ],
+        vec![
+            "encoded clauses".to_string(),
+            reg.counter("phase2.bmc.encoded_clauses").to_string(),
+        ],
+        vec![
+            "retry rounds".to_string(),
+            reg.counter("phase2.retry.rounds").to_string(),
+        ],
+        vec![
+            "fuzz-fallback tests".to_string(),
+            reg.counter("phase2.fuzz.fallback_tests").to_string(),
+        ],
+    ];
+    render_table(out, &["metric", "value"], &rows);
+    let outcomes: Vec<Vec<String>> = reg
+        .names()
+        .iter()
+        .filter(|n| n.starts_with("phase2.outcome."))
+        .map(|n| {
+            vec![
+                n.trim_start_matches("phase2.outcome.").to_string(),
+                reg.counter(n).to_string(),
+            ]
+        })
+        .collect();
+    if !outcomes.is_empty() {
+        out.push_str("  outcomes:\n");
+        render_table(out, &["outcome", "attempts"], &outcomes);
+    }
+}
+
+fn render_fleet(out: &mut String, reg: &MetricsRegistry) {
+    let latency = reg.histogram("phase3.fleet.detection_latency_epochs");
+    let has_fleet = latency.is_some() || reg.names().iter().any(|n| n.starts_with("phase3.fleet."));
+    if !has_fleet {
+        return;
+    }
+    out.push_str("\n== Fleet detection (phase 3) ==\n");
+    let rows = vec![
+        vec![
+            "epochs".to_string(),
+            reg.counter("phase3.fleet.epochs").to_string(),
+        ],
+        vec![
+            "scan visits".to_string(),
+            reg.counter("phase3.fleet.scan_visits").to_string(),
+        ],
+        vec![
+            "retest visits".to_string(),
+            reg.counter("phase3.fleet.retest_visits").to_string(),
+        ],
+        vec![
+            "tests run".to_string(),
+            reg.counter("phase3.fleet.tests_run").to_string(),
+        ],
+        vec![
+            "cycles spent".to_string(),
+            reg.counter("phase3.fleet.cycles_spent").to_string(),
+        ],
+        vec![
+            "detections".to_string(),
+            reg.counter("phase3.fleet.detections").to_string(),
+        ],
+        vec![
+            "new quarantines".to_string(),
+            reg.counter("phase3.fleet.new_quarantines").to_string(),
+        ],
+        vec![
+            "false quarantines".to_string(),
+            reg.counter("phase3.fleet.false_quarantines").to_string(),
+        ],
+    ];
+    render_table(out, &["metric", "value"], &rows);
+    if let Some(cov) = reg.gauge("phase3.fleet.detection_coverage") {
+        let _ = writeln!(out, "  detection coverage: {:.3}", cov);
+    }
+    if let Some(h) = latency {
+        out.push_str("  detection latency (epochs, horizon-censored):\n");
+        let mean = h.mean().unwrap_or(0.0);
+        let _ = writeln!(out, "    count {}  mean {:.2}", h.count(), mean);
+        let _ = writeln!(
+            out,
+            "    p50 {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}",
+            h.percentile(50.0).unwrap_or(0.0),
+            h.percentile(90.0).unwrap_or(0.0),
+            h.percentile(99.0).unwrap_or(0.0),
+            h.percentile(100.0).unwrap_or(0.0),
+        );
+        out.push_str("    histogram:\n");
+        let mut cumulative = 0u64;
+        for (i, bound) in h.bounds.iter().enumerate() {
+            if h.counts[i] == 0 && cumulative > 0 && cumulative == h.count() {
+                break;
+            }
+            cumulative += h.counts[i];
+            if h.counts[i] > 0 || cumulative < h.count() {
+                let _ = writeln!(out, "      le {:>7}: {}", bound, cumulative);
+            }
+            if cumulative == h.count() {
+                break;
+            }
+        }
+    }
+}
+
+fn render_crashes(out: &mut String, journal: &Journal) {
+    let crashes: Vec<&crate::event::Event> = journal
+        .events
+        .iter()
+        .filter(
+            |e| matches!(&e.kind, EventKind::Message { name, .. } if name.ends_with(".crashed")),
+        )
+        .collect();
+    if crashes.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n== Crashes ({}) ==", crashes.len());
+    for e in crashes {
+        if let EventKind::Message { name, fields } = &e.kind {
+            let msg = fields
+                .iter()
+                .find(|(k, _)| k == "message")
+                .map(|(_, v)| format!("{v:?}"))
+                .unwrap_or_else(|| "(no message)".to_string());
+            let _ = writeln!(out, "  seq {} {name}: {msg}", e.seq);
+        }
+    }
+}
+
+/// Render the full human-readable report for a journal.
+pub fn render_report(journal: &Journal) -> String {
+    let reg = MetricsRegistry::from_journal(journal);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "journal: {} events, {} metrics across {} namespaces",
+        journal.events.len(),
+        reg.len(),
+        reg.namespaces().len()
+    );
+    render_phase_times(&mut out, journal);
+    render_solver_effort(&mut out, &reg);
+    render_fleet(&mut out, &reg);
+    render_crashes(&mut out, journal);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Level, Obs, TestRecorder};
+
+    #[test]
+    fn report_renders_all_sections() {
+        let rec = TestRecorder::new();
+        let obs = Obs::new(Level::Detail, rec.clone());
+        {
+            let _p1 = crate::span!(obs, "phase1.profile");
+        }
+        {
+            let _p2 = crate::span!(obs, "phase2.lift");
+            obs.counter("phase2.pairs", 3);
+            obs.counter("phase2.bmc.conflicts", 100);
+            obs.counter("phase2.outcome.success", 2);
+            obs.event(
+                "phase2.pair.crashed",
+                vec![(
+                    "message".to_string(),
+                    crate::Value::Str("induced panic".to_string()),
+                )],
+            );
+        }
+        obs.counter("phase3.fleet.detections", 4);
+        for v in [1.0, 2.0, 5.0] {
+            obs.hist("phase3.fleet.detection_latency_epochs", v);
+        }
+        let journal = Journal {
+            events: rec.events(),
+        };
+        let report = render_report(&journal);
+        assert!(report.contains("Phase-time breakdown"));
+        assert!(report.contains("phase1.profile"));
+        assert!(report.contains("Solver effort"));
+        assert!(report.contains("conflicts"));
+        assert!(report.contains("Fleet detection"));
+        assert!(report.contains("p50 2.0"));
+        assert!(report.contains("Crashes (1)"));
+        assert!(report.contains("induced panic"));
+    }
+
+    #[test]
+    fn lift_only_journal_omits_fleet_section() {
+        let rec = TestRecorder::new();
+        let obs = Obs::new(Level::Summary, rec.clone());
+        obs.counter("phase2.pairs", 1);
+        let journal = Journal {
+            events: rec.events(),
+        };
+        let report = render_report(&journal);
+        assert!(!report.contains("Fleet detection"));
+    }
+}

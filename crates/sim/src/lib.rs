@@ -42,7 +42,7 @@ mod stimulus;
 mod waveform;
 
 pub use profile::{CellSp, SpProfile};
-pub use shard::profile_sharded;
+pub use shard::{profile_sharded, profile_sharded_obs};
 pub use simulator::Simulator;
 pub use simulator64::{lane_seed, Simulator64, LANES};
 pub use stimulus::{InputVector, RandomStimulus, WideRandomStimulus};

@@ -11,6 +11,7 @@
 use std::thread;
 
 use vega_netlist::Netlist;
+use vega_obs::Obs;
 
 use crate::simulator64::{lane_seed, Simulator64, LANES};
 use crate::stimulus::WideRandomStimulus;
@@ -50,6 +51,40 @@ fn profile_shard(netlist: &Netlist, steps: usize, seed: u64) -> SpProfile {
 /// depend only on the run seed and shard index, and merging happens in
 /// shard-index order on the calling thread.
 pub fn profile_sharded(netlist: &Netlist, cycles: usize, seed: u64, threads: usize) -> SpProfile {
+    profile_sharded_obs(netlist, cycles, seed, threads, &Obs::null())
+}
+
+/// [`profile_sharded`] with observability: wraps the run in a
+/// `phase1.profile` span and records shard/cycle counters plus the
+/// profiled-cell count through `obs`.
+pub fn profile_sharded_obs(
+    netlist: &Netlist,
+    cycles: usize,
+    seed: u64,
+    threads: usize,
+    obs: &Obs,
+) -> SpProfile {
+    let _span = vega_obs::span!(
+        obs,
+        "phase1.profile",
+        module = netlist.name(),
+        cycles = cycles,
+        seed = seed,
+        threads = threads,
+    );
+    let profile = profile_sharded_inner(netlist, cycles, seed, threads, obs);
+    obs.counter("phase1.profile.lane_cycles", profile.cycles);
+    obs.gauge("phase1.profile.cells", profile.cells.len() as f64);
+    profile
+}
+
+fn profile_sharded_inner(
+    netlist: &Netlist,
+    cycles: usize,
+    seed: u64,
+    threads: usize,
+    obs: &Obs,
+) -> SpProfile {
     let steps_total = cycles.div_ceil(LANES);
     if steps_total == 0 {
         let mut sim = Simulator64::with_seed(netlist, seed);
@@ -57,6 +92,7 @@ pub fn profile_sharded(netlist: &Netlist, cycles: usize, seed: u64, threads: usi
         return sim.profile().expect("profiling enabled");
     }
     let shards = steps_total.div_ceil(SHARD_STEPS);
+    obs.counter("phase1.profile.shards", shards as u64);
     let steps_of = |shard: usize| -> usize {
         if shard + 1 == shards {
             steps_total - shard * SHARD_STEPS

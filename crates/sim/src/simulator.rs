@@ -220,13 +220,25 @@ impl<'n> Simulator<'n> {
     }
 
     /// Set a single bit of an input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input port named `port` exists, or if `bit` is outside
+    /// the port's width.
     pub fn set_input_bit(&mut self, port: &str, bit: usize, value: bool) {
         let port = self
             .netlist
             .port(port)
             .unwrap_or_else(|| panic!("no port named `{port}`"))
             .clone();
-        self.values[port.bits[bit].index()] = value;
+        let net = *port.bits.get(bit).unwrap_or_else(|| {
+            panic!(
+                "bit {bit} is outside {}-bit port `{}`",
+                port.width(),
+                port.name
+            )
+        });
+        self.values[net.index()] = value;
     }
 
     /// Read a multi-bit output (or any) port as an integer, LSB first.
@@ -380,7 +392,7 @@ mod tests {
         let o0 = b.dff("dff9", s0, clk);
         let o1 = b.dff("dff10", s1, clk);
         b.output("o", &[o0, o1]);
-        b.finish().unwrap()
+        b.finish().expect("test netlist builds")
     }
 
     #[test]
@@ -409,11 +421,11 @@ mod tests {
         for _ in 0..100 {
             sim.step();
         }
-        let p = sim.profile().unwrap();
-        assert!(p.sp("dff1").unwrap() > 0.95);
-        assert!(p.sp("dff3").unwrap() < 0.05);
-        assert!(p.sp("xor5").unwrap() > 0.95);
-        assert!(p.sp("and6").unwrap() < 0.05);
+        let p = sim.profile().expect("profiling enabled");
+        assert!(p.sp("dff1").expect("dff1 profiled") > 0.95);
+        assert!(p.sp("dff3").expect("dff3 profiled") < 0.05);
+        assert!(p.sp("xor5").expect("xor5 profiled") > 0.95);
+        assert!(p.sp("and6").expect("and6 profiled") < 0.05);
         assert_eq!(p.cycles, 100);
     }
 
@@ -434,7 +446,7 @@ mod tests {
             sim.step_idle();
         }
         assert_eq!(sim.output("o"), 3, "paused clock must freeze registers");
-        assert_eq!(sim.profile().unwrap().cycles, 12);
+        assert_eq!(sim.profile().expect("profiling enabled").cycles, 12);
     }
 
     #[test]
@@ -448,7 +460,7 @@ mod tests {
         let leaf = b.clock_buf("ckleaf", gck);
         let q = b.dff("q", d, leaf);
         b.output("y", &[q]);
-        let n = b.finish().unwrap();
+        let n = b.finish().expect("test netlist builds");
 
         let mut sim = Simulator::new(&n);
         sim.enable_profiling();
@@ -463,12 +475,12 @@ mod tests {
             sim.step();
         }
         assert_eq!(sim.output("y"), 1, "ungated DFF captures");
-        let p = sim.profile().unwrap();
+        let p = sim.profile().expect("profiling enabled");
         // Root buffer toggled every cycle: SP 0.5. The gated leaf toggled
         // half the time: SP 0.25.
-        assert!((p.sp("ckroot").unwrap() - 0.5).abs() < 1e-9);
-        assert!((p.sp("ckleaf").unwrap() - 0.25).abs() < 1e-9);
-        assert!((p.sp("ckgate").unwrap() - 0.25).abs() < 1e-9);
+        assert!((p.sp("ckroot").expect("ckroot profiled") - 0.5).abs() < 1e-9);
+        assert!((p.sp("ckleaf").expect("ckleaf profiled") - 0.25).abs() < 1e-9);
+        assert!((p.sp("ckgate").expect("ckgate profiled") - 0.25).abs() < 1e-9);
     }
 
     #[test]
@@ -478,7 +490,7 @@ mod tests {
         let r = b.cell(CellKind::Random, "r", &[]);
         let q = b.dff("q", r, clk);
         b.output("y", &[q]);
-        let n = b.finish().unwrap();
+        let n = b.finish().expect("test netlist builds");
 
         let collect = |seed: u64| -> Vec<u64> {
             let mut sim = Simulator::with_seed(&n, seed);
@@ -520,7 +532,7 @@ mod toggle_tests {
         let inv = b.cell(CellKind::Not, "follow", &[q]);
         let hold = b.dff("steady", inv, clk); // sampled but d alternates...
         b.output("y", &[hold]);
-        let n = b.finish().unwrap();
+        let n = b.finish().expect("test netlist builds");
 
         let mut sim = Simulator::new(&n);
         sim.enable_profiling();
@@ -528,10 +540,10 @@ mod toggle_tests {
             sim.set_input("d", u64::from(cycle % 2 == 0));
             sim.step();
         }
-        let p = sim.profile().unwrap();
+        let p = sim.profile().expect("profiling enabled");
         // `toggler` alternates every cycle: toggle rate ~1.
-        assert!(p.toggle_rate("toggler").unwrap() > 0.95);
-        assert!(p.toggle_rate("follow").unwrap() > 0.95);
+        assert!(p.toggle_rate("toggler").expect("toggler profiled") > 0.95);
+        assert!(p.toggle_rate("follow").expect("follow profiled") > 0.95);
         // A constant input would toggle ~0; check via a fresh run.
         let mut still = Simulator::new(&n);
         still.enable_profiling();
@@ -539,10 +551,10 @@ mod toggle_tests {
         for _ in 0..100 {
             still.step();
         }
-        let ps = still.profile().unwrap();
-        assert!(ps.toggle_rate("toggler").unwrap() < 0.05);
+        let ps = still.profile().expect("profiling enabled");
+        assert!(ps.toggle_rate("toggler").expect("toggler profiled") < 0.05);
         // `busiest` ranks the alternating run's toggler on top.
         let busiest = p.busiest();
-        assert!(busiest[0].1 >= busiest.last().unwrap().1);
+        assert!(busiest[0].1 >= busiest.last().expect("busiest is non-empty").1);
     }
 }

@@ -277,6 +277,33 @@ impl TimingReport {
         }
     }
 
+    /// Record this report's headline numbers as `phase1.sta.*` metrics:
+    /// path counts and stored-violation counts as counters, worst slacks,
+    /// clock period, and max clock skew as gauges.
+    pub fn record_obs(&self, obs: &vega_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        obs.counter("phase1.sta.setup_paths", self.setup_path_count);
+        obs.counter("phase1.sta.hold_paths", self.hold_path_count);
+        obs.counter(
+            "phase1.sta.setup_violations_stored",
+            self.setup_violations.len() as u64,
+        );
+        obs.counter(
+            "phase1.sta.hold_violations_stored",
+            self.hold_violations.len() as u64,
+        );
+        obs.gauge("phase1.sta.clock_period_ns", self.clock_period_ns);
+        obs.gauge("phase1.sta.wns_setup_ns", self.wns_setup_ns);
+        obs.gauge("phase1.sta.wns_hold_ns", self.wns_hold_ns);
+        obs.gauge("phase1.sta.max_clock_skew_ns", self.max_clock_skew_ns());
+        obs.gauge(
+            "phase1.sta.truncated",
+            if self.truncated { 1.0 } else { 0.0 },
+        );
+    }
+
     /// A one-line summary in the spirit of the paper's Table 3 rows:
     /// `WNS / number of violated paths` for setup and hold.
     pub fn table3_row(&self) -> String {

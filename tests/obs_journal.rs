@@ -1,0 +1,207 @@
+//! End-to-end tests of the observability layer: span nesting and counter
+//! accounting for a full resumable lifting run, byte-identical journals
+//! across same-seed runs, and a three-phase metrics registry that
+//! renders valid Prometheus exposition text.
+
+use vega::obs::{Journal, JsonlRecorder, Level, MetricsRegistry, Obs, TestRecorder};
+use vega::*;
+use vega_circuits::adder_example::build_paper_adder;
+
+/// Phases 1–2 on the paper adder with `obs` attached: profile, aging
+/// STA, then Error Lifting through the resumable runner.
+fn run_lift_pipeline(
+    obs: &Obs,
+    checkpoint: Option<std::path::PathBuf>,
+) -> (AgingAnalysis, LiftReport) {
+    let mut config = WorkflowConfig::paper_demo();
+    config.obs = obs.clone();
+    let unit = prepare_unit(build_paper_adder(), ModuleKind::PaperAdder, &config);
+    let profile = profile_standalone_obs(&unit.netlist, 2_000, 42, config.threads, &config.obs)
+        .expect("profiling enabled");
+    let analysis = analyze_aging(&unit, &profile, &config);
+    assert!(
+        !analysis.unique_pairs.is_empty(),
+        "the paper adder must yield aging-prone pairs"
+    );
+    let options = runner::RunnerOptions {
+        checkpoint,
+        resume: false,
+        stop_after: None,
+        chaos: ChaosHook::default(),
+    };
+    let outcome = runner::lift_errors_resumable(&unit, &analysis.unique_pairs, &config, &options)
+        .expect("resumable lift succeeds");
+    let runner::RunnerOutcome::Complete { report, .. } = outcome else {
+        panic!("run without stop_after must complete");
+    };
+    (analysis, report)
+}
+
+/// Phases 1–3 on the paper adder with `obs` attached: the lift pipeline
+/// above plus a small seeded fleet simulation.
+fn run_full_pipeline(obs: &Obs) {
+    let mut config = WorkflowConfig::paper_demo();
+    config.obs = obs.clone();
+    let unit = prepare_unit(build_paper_adder(), ModuleKind::PaperAdder, &config);
+    let profile = profile_standalone_obs(&unit.netlist, 2_000, 42, config.threads, &config.obs)
+        .expect("profiling enabled");
+    let analysis = analyze_aging(&unit, &profile, &config);
+    let options = runner::RunnerOptions::default();
+    let outcome = runner::lift_errors_resumable(&unit, &analysis.unique_pairs, &config, &options)
+        .expect("resumable lift succeeds");
+    let runner::RunnerOutcome::Complete { report, .. } = outcome else {
+        panic!("run without stop_after must complete");
+    };
+    let pool = build_unit_pool("adder", &unit, &analysis, &report);
+    assert!(!pool.suite.is_empty(), "the adder suite must not be empty");
+    let mut fleet_config = FleetConfig::new(8, 4, Policy::RoundRobin, 1);
+    fleet_config.fault_fraction = 0.5;
+    let mut fleet = Fleet::build(vec![pool], fleet_config);
+    fleet.set_obs(config.obs.clone());
+    fleet.run();
+    config.obs.flush();
+}
+
+#[test]
+fn resumable_lift_run_records_nested_spans_and_exact_counters() {
+    let recorder = TestRecorder::new();
+    let obs = Obs::new(Level::Detail, recorder.clone());
+    let (analysis, report) = run_lift_pipeline(&obs, None);
+    recorder.assert_well_formed();
+
+    // Span nesting: the pipeline's phase spans are roots; every per-pair
+    // detail span nests under the lifting span.
+    let parents = recorder.span_parents();
+    let parent_of = |name: &str| {
+        parents
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, p)| p.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(parent_of("phase1.profile"), vec![None]);
+    assert_eq!(parent_of("phase1.sta"), vec![None]);
+    assert_eq!(parent_of("phase2.lift"), vec![None]);
+    let pair_parents = parent_of("phase2.pair");
+    assert_eq!(
+        pair_parents.len(),
+        report.pairs.len(),
+        "one detail span per lifted pair"
+    );
+    for parent in &pair_parents {
+        assert_eq!(parent.as_deref(), Some("phase2.lift"));
+    }
+
+    // Counter accounting: the journal's tallies must agree exactly with
+    // the report assembled from the same run.
+    let pairs = report.pairs.len() as u64;
+    let attempts: u64 = report.pairs.iter().map(|p| p.attempts.len() as u64).sum();
+    let successes: u64 = report
+        .pairs
+        .iter()
+        .flat_map(|p| p.attempts.iter())
+        .filter(|a| matches!(a.outcome, ConstructionOutcome::Success(_)))
+        .count() as u64;
+    let (conflicts, decisions, propagations, encoded) = report.solver_effort();
+    assert_eq!(recorder.counter_total("phase2.pairs"), pairs);
+    assert_eq!(
+        recorder.counter_total("phase1.sta.unique_pairs"),
+        analysis.unique_pairs.len() as u64,
+        "every unique pair was handed to lifting"
+    );
+    assert_eq!(recorder.counter_total("phase2.attempts"), attempts);
+    assert_eq!(recorder.counter_total("phase2.outcome.success"), successes);
+    assert_eq!(
+        recorder.counter_total("phase2.tests"),
+        report.suite().len() as u64
+    );
+    assert_eq!(recorder.counter_total("phase2.bmc.conflicts"), conflicts);
+    assert_eq!(recorder.counter_total("phase2.bmc.decisions"), decisions);
+    assert_eq!(
+        recorder.counter_total("phase2.bmc.propagations"),
+        propagations
+    );
+    assert_eq!(
+        recorder.counter_total("phase2.bmc.encoded_clauses"),
+        encoded
+    );
+    assert!(recorder.counter_total("phase2.bmc.queries") >= 1);
+    assert_eq!(
+        recorder.counter_total("phase2.checkpoint.saves"),
+        0,
+        "no checkpoint configured, so no saves may be recorded"
+    );
+}
+
+#[test]
+fn checkpointed_run_counts_one_save_per_lifted_pair() {
+    let dir = std::env::temp_dir().join("vega_obs_checkpoint");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let checkpoint = dir.join("lift.checkpoint");
+    let _ = std::fs::remove_file(&checkpoint);
+
+    let recorder = TestRecorder::new();
+    let obs = Obs::new(Level::Summary, recorder.clone());
+    let (_, report) = run_lift_pipeline(&obs, Some(checkpoint));
+    recorder.assert_well_formed();
+    assert_eq!(
+        recorder.counter_total("phase2.checkpoint.saves"),
+        report.pairs.len() as u64,
+        "one atomic checkpoint rewrite per newly lifted pair"
+    );
+}
+
+#[test]
+fn journal_is_byte_identical_across_same_seed_runs() {
+    let dir = std::env::temp_dir().join("vega_obs_determinism");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let mut lines = Vec::new();
+    for run in 0..2 {
+        let journal_path = dir.join(format!("run{run}.jsonl"));
+        let recorder = JsonlRecorder::create(&journal_path).expect("create journal");
+        let obs = Obs::new(Level::Detail, recorder);
+        run_full_pipeline(&obs);
+        drop(obs); // flush + close the journal file
+
+        let journal = Journal::load(&journal_path).expect("journal parses and validates");
+        assert!(!journal.events.is_empty());
+        lines.push(journal.deterministic_lines());
+    }
+    assert_eq!(
+        lines[0], lines[1],
+        "same-seed runs must produce byte-identical journals once wall-clock fields are stripped"
+    );
+}
+
+#[test]
+fn metrics_registry_spans_all_three_phases_and_renders_prometheus() {
+    let recorder = TestRecorder::new();
+    let obs = Obs::new(Level::Summary, recorder.clone());
+    run_full_pipeline(&obs);
+
+    let mut registry = MetricsRegistry::new();
+    for event in recorder.events() {
+        registry.absorb(&event);
+    }
+    assert!(
+        registry.len() >= 20,
+        "expected >= 20 distinct metrics, got {}: {:?}",
+        registry.len(),
+        registry.names()
+    );
+    let namespaces = registry.namespaces();
+    for phase in ["phase1", "phase2", "phase3"] {
+        assert!(
+            namespaces.contains_key(phase),
+            "metric tree must span {phase}; namespaces: {namespaces:?}"
+        );
+    }
+
+    let text = registry.to_prometheus();
+    let families = vega::obs::validate_prometheus(&text).expect("exposition text parses");
+    assert!(
+        families >= 20,
+        "expected >= 20 Prometheus families, got {families}"
+    );
+}
