@@ -12,6 +12,7 @@
 //!        --policy adaptive --seed 1         # fleet-scale detection simulation
 //! $ vega lift --obs-journal run.jsonl       # record a structured run journal
 //! $ vega report run.jsonl                   # render phase timings + metrics
+//! $ vega serve --state-dir state/           # crash-recoverable daemon mode
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency is in the offline
@@ -40,6 +41,9 @@ COMMANDS:
                 from a recorded run (`vega report run.jsonl [--prom]`)
     fleet       simulate fleet-scale detection: scheduling, quarantine,
                 telemetry (phases 1-2 feed the machine population)
+    serve       crash-recoverable service mode: run phases 2-3 under a
+                write-ahead log; a killed run resumes exactly where it
+                stopped (same --state-dir, same arguments)
 
 COMMON OPTIONS:
     --unit <alu|fpu|adder>    unit under analysis     [default: alu]
@@ -71,6 +75,15 @@ FLEET OPTIONS:
     --fault-fraction <f64>    expected faulty fraction       [default: 0.25]
     --out <path>              also write the telemetry JSON to a file
                               (it always streams to stdout)
+
+SERVE OPTIONS:
+    --state-dir <dir>         (serve, required) directory holding the WAL
+                              (wal.jsonl), the lifting checkpoint, and the
+                              final telemetry artifact
+    --chaos-kill-seq <n>      (serve, tests) abort the process while
+                              appending WAL sequence number n
+    --chaos-torn              (serve, tests) make that abort tear the WAL
+                              line mid-write
 "
 }
 
@@ -99,6 +112,9 @@ struct Options {
     obs_journal: Option<String>,
     obs_level: obs::Level,
     prom: bool,
+    state_dir: Option<String>,
+    chaos_kill_seq: Option<u64>,
+    chaos_torn: bool,
     /// First bare (non-flag) argument: the journal path for
     /// `vega report <journal.jsonl>`.
     journal: Option<String>,
@@ -129,6 +145,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         obs_journal: None,
         obs_level: obs::Level::Summary,
         prom: false,
+        state_dir: None,
+        chaos_kill_seq: None,
+        chaos_torn: false,
         journal: None,
     };
     let mut iter = args.iter();
@@ -214,6 +233,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--obs-level: {e}"))?
             }
             "--prom" => options.prom = true,
+            "--state-dir" => options.state_dir = Some(value("--state-dir")?),
+            "--chaos-kill-seq" => {
+                options.chaos_kill_seq = Some(
+                    value("--chaos-kill-seq")?
+                        .parse()
+                        .map_err(|e| format!("--chaos-kill-seq: {e}"))?,
+                )
+            }
+            "--chaos-torn" => options.chaos_torn = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other if !other.starts_with('-') && options.journal.is_none() => {
                 options.journal = Some(other.to_string())
@@ -247,7 +275,8 @@ fn build_obs(options: &Options) -> Result<Obs, String> {
     Ok(Obs::new(options.obs_level, recorder))
 }
 
-fn build_unit(options: &Options) -> Result<(PreparedUnit, WorkflowConfig), String> {
+/// The workflow configuration the command-line flags imply.
+fn build_config(options: &Options) -> Result<WorkflowConfig, String> {
     let mut config = match options.unit.as_str() {
         "adder" => WorkflowConfig::paper_demo(),
         _ => WorkflowConfig::cmos28_10y(),
@@ -260,6 +289,11 @@ fn build_unit(options: &Options) -> Result<(PreparedUnit, WorkflowConfig), Strin
     if options.fuzz_fallback {
         config.fuzz_fallback = Some(FuzzConfig::default());
     }
+    Ok(config)
+}
+
+fn build_unit(options: &Options) -> Result<(PreparedUnit, WorkflowConfig), String> {
+    let config = build_config(options)?;
     let (netlist, module) = match options.unit.as_str() {
         "alu" => (build_alu(), ModuleKind::Alu),
         "fpu" => (build_fpu(), ModuleKind::Fpu),
@@ -306,6 +340,10 @@ fn lift_resilient(
         resume: options.resume,
         stop_after: options.stop_after,
         chaos: ChaosHook::default(),
+        // SIGINT/SIGTERM suspend the run between pairs; the checkpoint
+        // stays valid and `--resume` continues it (handlers are only
+        // installed when a checkpoint is in play — see `main`).
+        interrupt: Some(serve::shutdown::flag()),
     };
     match runner::lift_errors_resumable(unit, pairs, config, &runner_options)
         .map_err(|e| e.to_string())?
@@ -555,6 +593,68 @@ fn cmd_fleet(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(options: &Options) -> Result<(), String> {
+    let Some(state_dir) = &options.state_dir else {
+        return Err("serve needs --state-dir <dir> to keep its WAL and artifacts".to_string());
+    };
+    if !matches!(options.unit.as_str(), "alu" | "fpu" | "adder") {
+        return Err(format!("unknown unit `{}` (alu|fpu|adder)", options.unit));
+    }
+    let state_dir = std::path::PathBuf::from(state_dir);
+    let config = build_config(options)?;
+    let params = ServeParams {
+        unit: options.unit.clone(),
+        years: options.years,
+        pairs: options.pairs,
+        profile_cycles: options.profile_cycles,
+        mitigation: options.mitigation,
+        machines: options.machines,
+        epochs: options.epochs,
+        budget: options.budget,
+        policy: options.policy,
+        seed: options.seed,
+        fault_fraction: options.fault_fraction,
+        threads: options.threads.max(1),
+    };
+    let mut service =
+        VegaService::new(params, &state_dir, config.clone()).map_err(|e| e.to_string())?;
+    let mut server =
+        serve::Server::new(&service.wal_path()).with_shutdown_flag(serve::shutdown::flag());
+    if let Some(seq) = options.chaos_kill_seq {
+        server = server.with_writer_chaos(serve::WriterChaos {
+            abort_at_seq: Some(seq),
+            torn: options.chaos_torn,
+        });
+    }
+    let outcome = server.run(&mut service).map_err(|e| e.to_string())?;
+    let report = outcome.report();
+    if report.resumed_pairs + report.resumed_epochs + report.reexecuted > 0 || report.torn_bytes > 0
+    {
+        eprintln!(
+            "recovered: {} pairs + {} epochs restored, {} ops re-executed, {} torn bytes \
+             truncated",
+            report.resumed_pairs, report.resumed_epochs, report.reexecuted, report.torn_bytes
+        );
+    }
+    match outcome {
+        serve::ServeOutcome::Completed(_) => {
+            eprintln!(
+                "serve complete; telemetry at {}",
+                service.telemetry_path().display()
+            );
+        }
+        serve::ServeOutcome::Interrupted(_) => {
+            eprintln!(
+                "serve interrupted cleanly; re-run with the same arguments and \
+                 --state-dir {} to resume",
+                state_dir.display()
+            );
+        }
+    }
+    config.obs.flush();
+    Ok(())
+}
+
 fn cmd_report(options: &Options) -> Result<(), String> {
     // `vega report <journal.jsonl>` renders a recorded run journal;
     // without a journal path the legacy netlist-statistics mode runs.
@@ -587,6 +687,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Graceful shutdown applies where there is durable state to keep
+    // consistent: `serve` always, `lift`/`suite` when checkpointing.
+    // (Without a checkpoint, Ctrl-C keeps its default kill behavior.)
+    if command == "serve"
+        || (matches!(command.as_str(), "lift" | "suite") && options.checkpoint.is_some())
+    {
+        serve::shutdown::install();
+    }
     let result = match command.as_str() {
         "analyze" => cmd_analyze(&options),
         "profile" => cmd_profile(&options),
@@ -595,6 +703,7 @@ fn main() -> ExitCode {
         "artifacts" => cmd_artifacts(&options),
         "report" => cmd_report(&options),
         "fleet" => cmd_fleet(&options),
+        "serve" => cmd_serve(&options),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())

@@ -59,7 +59,9 @@
 
 pub mod persist;
 pub mod runner;
+pub mod service;
 
+pub use service::{ServeParams, VegaService};
 pub use vega_aging::{AgingAwareTimingLibrary, AgingModel};
 pub use vega_fleet::{
     adaptive_score, failure_mode_of, EpochTelemetry, FaultCandidate, Fleet, FleetConfig,
@@ -79,6 +81,7 @@ pub use vega_lift::{
 pub use vega_netlist::{Netlist, StdCellLibrary};
 pub use vega_obs as obs;
 pub use vega_obs::Obs;
+pub use vega_serve as serve;
 pub use vega_sim::SpProfile;
 pub use vega_sta::{
     analyze, calibrate_period, fix_hold_violations, Derates, StaConfig, TimingReport, ViolationKind,

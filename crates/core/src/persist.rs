@@ -135,22 +135,75 @@ pub fn save_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> Result<(), 
     Ok(())
 }
 
-/// Write any serializable artifact as pretty JSON, atomically: the JSON
-/// goes to a sibling temp file first and is renamed into place, so a
-/// crash (or power cut) mid-write leaves either the previous artifact or
-/// the new one — never a truncated hybrid. This is how checkpoints are
-/// written, since a half-written checkpoint would defeat its purpose.
+/// Write any serializable artifact as pretty JSON, atomically and
+/// durably: the JSON goes to a sibling temp file first, is fsynced, and
+/// is renamed into place, so a crash (or power cut) mid-write leaves
+/// either the previous artifact or the new one — never a truncated
+/// hybrid. After the rename the parent directory is fsynced too;
+/// without that, a power cut can lose the rename itself and resurrect
+/// the old file (or none) even though the rename "succeeded". This is
+/// how checkpoints are written, since a half-written checkpoint would
+/// defeat its purpose.
 pub fn save_json_atomic<T: Serialize>(
     path: impl AsRef<Path>,
     value: &T,
 ) -> Result<(), PersistError> {
+    use std::io::Write;
+
     let path = path.as_ref();
     let json = serde_json::to_string_pretty(value)?;
     let mut tmp = path.as_os_str().to_os_string();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, json)?;
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(json.as_bytes())?;
+        file.sync_all()?;
+    }
     std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)?;
+    Ok(())
+}
+
+/// Write pre-rendered text with the same atomic + durable discipline as
+/// [`save_json_atomic`]. Used for artifacts whose byte-exact rendering
+/// is produced elsewhere (e.g. canonical fleet-telemetry JSON), where a
+/// re-serialization round-trip could change the bytes.
+pub fn save_text_atomic(path: impl AsRef<Path>, text: &str) -> Result<(), PersistError> {
+    use std::io::Write;
+
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)?;
+    Ok(())
+}
+
+/// Fsync the directory containing `path`, making a just-completed
+/// rename durable. Directory fds are a Unix notion; elsewhere this is a
+/// no-op (the rename is still atomic, just not power-cut durable).
+#[cfg(unix)]
+fn sync_parent_dir(path: &Path) -> Result<(), PersistError> {
+    if let Some(parent) = path.parent() {
+        let parent = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn sync_parent_dir(_path: &Path) -> Result<(), PersistError> {
     Ok(())
 }
 

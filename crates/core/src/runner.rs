@@ -39,6 +39,11 @@ pub struct RunnerOptions {
     /// (tests only). Pair indices are run-global, so an injection site
     /// keeps its meaning across suspend/resume.
     pub chaos: vega_lift::ChaosHook,
+    /// A cooperative interrupt flag (typically wired to SIGINT/SIGTERM
+    /// by `vega serve`). When it reads `true`, workers stop taking new
+    /// pairs and the run suspends with the checkpoint intact — the same
+    /// clean exit `stop_after` produces, but demand-driven.
+    pub interrupt: Option<&'static AtomicBool>,
 }
 
 /// The result of one resumable run.
@@ -165,7 +170,12 @@ pub fn lift_errors_resumable(
     let threads = config.threads.max(1).min(todo.len().max(1));
 
     let worker = || loop {
-        if failed.load(Ordering::Relaxed) || tickets.fetch_add(1, Ordering::Relaxed) >= budget {
+        if failed.load(Ordering::Relaxed)
+            || options
+                .interrupt
+                .is_some_and(|flag| flag.load(Ordering::Relaxed))
+            || tickets.fetch_add(1, Ordering::Relaxed) >= budget
+        {
             break;
         }
         let position = next.fetch_add(1, Ordering::Relaxed);

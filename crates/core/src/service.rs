@@ -1,0 +1,366 @@
+//! The crash-recoverable service: the real pipeline behind `vega serve`.
+//!
+//! [`VegaService`] implements [`vega_serve::ServiceState`] over the
+//! actual workflow — Phase 2 Error Lifting as the pair operations,
+//! Phase 3 fleet epochs as the epoch operations — so the generic WAL
+//! server in `vega-serve` can drive it with crash recovery:
+//!
+//! * each lifted pair is persisted into the run's [`CheckpointFile`]
+//!   (atomically, fsynced) and journaled with a digest of its JSON
+//!   form, so recovery restores finished pairs from disk and
+//!   cross-checks them against the WAL;
+//! * fleet epochs have no per-epoch artifact — the fleet is a seeded
+//!   deterministic simulation — so recovery *re-executes* completed
+//!   epochs from a fresh same-seed fleet and cross-checks each epoch's
+//!   [`Fleet::state_digest`] against the digest journaled at first
+//!   execution. Any divergence is a hard error, never silent drift.
+//!
+//! Phase 1 (profiling + aging STA) runs at construction time: it is
+//! fast, deterministic, and its outputs are inputs to everything else,
+//! so re-deriving it on every start is simpler and safer than
+//! persisting it.
+//!
+//! The state directory layout:
+//!
+//! ```text
+//! <state-dir>/wal.jsonl        the write-ahead log (vega-serve)
+//! <state-dir>/checkpoint.json  finished PairResults (Phase 2)
+//! <state-dir>/telemetry.json   final fleet telemetry (written by finalize)
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use vega_serve::{digest_bytes, ServiceState, WalNote};
+
+use crate::persist::{load_checkpoint, save_checkpoint, CheckpointEntry, CheckpointFile};
+use crate::{
+    analyze_aging, build_unit_pool, lift_config, prepare_unit, profile_standalone_obs, AgingPath,
+    Fleet, FleetConfig, LiftReport, ModuleKind, PairResult, Policy, PreparedUnit, VegaError,
+    WorkflowConfig,
+};
+
+/// Everything that identifies one `vega serve` run. The config digest
+/// journaled in the WAL's `wal.run_start` record is computed over these
+/// fields (except `threads`, which changes only scheduling, never
+/// results), so a WAL can never be resumed under different parameters.
+#[derive(Debug, Clone)]
+pub struct ServeParams {
+    /// Unit under analysis (`alu`, `fpu`, or `adder`).
+    pub unit: String,
+    /// Mission lifetime in years.
+    pub years: f64,
+    /// Unique pairs to lift (capped by how many Phase 1 finds).
+    pub pairs: usize,
+    /// Random profiling cycles for Phase 1.
+    pub profile_cycles: usize,
+    /// Enable the §3.3.4 mitigation during lifting.
+    pub mitigation: bool,
+    /// Fleet size.
+    pub machines: usize,
+    /// Fleet epochs to simulate.
+    pub epochs: u64,
+    /// Per-epoch test-cycle budget (None = the fleet's default).
+    pub budget: Option<u64>,
+    /// Scan-scheduling policy.
+    pub policy: Policy,
+    /// Master seed for the fleet simulation.
+    pub seed: u64,
+    /// Expected faulty fraction of the fleet.
+    pub fault_fraction: f64,
+    /// Lifting worker threads (not part of the config digest).
+    pub threads: usize,
+}
+
+impl ServeParams {
+    /// The canonical string the config digest is computed over. Field
+    /// order and formatting are part of the WAL compatibility contract:
+    /// change them and every existing state directory is (correctly)
+    /// rejected as a different run.
+    fn digest_string(&self) -> String {
+        format!(
+            "unit={};years={};pairs={};profile_cycles={};mitigation={};machines={};\
+             epochs={};budget={:?};policy={};seed={};fault_fraction={}",
+            self.unit,
+            self.years,
+            self.pairs,
+            self.profile_cycles,
+            self.mitigation,
+            self.machines,
+            self.epochs,
+            self.budget,
+            self.policy,
+            self.seed,
+            self.fault_fraction
+        )
+    }
+}
+
+/// The real pipeline as a crash-recoverable [`ServiceState`].
+pub struct VegaService {
+    params: ServeParams,
+    state_dir: PathBuf,
+    config: WorkflowConfig,
+    unit: PreparedUnit,
+    analysis: crate::AgingAnalysis,
+    pairs: Vec<AgingPath>,
+    results: Vec<Option<PairResult>>,
+    fleet: Option<Fleet>,
+}
+
+impl VegaService {
+    /// Run Phase 1 (prepare, profile, aging STA) and set up the service
+    /// over `state_dir`. Deterministic: the same `params` always
+    /// produce the same prepared unit and pair list.
+    pub fn new(
+        params: ServeParams,
+        state_dir: &Path,
+        config: WorkflowConfig,
+    ) -> Result<VegaService, VegaError> {
+        std::fs::create_dir_all(state_dir).map_err(crate::persist::PersistError::Io)?;
+        let (netlist, module) = match params.unit.as_str() {
+            "alu" => (vega_circuits::alu::build_alu(), ModuleKind::Alu),
+            "fpu" => (vega_circuits::fpu::build_fpu(), ModuleKind::Fpu),
+            _ => (
+                vega_circuits::adder_example::build_paper_adder(),
+                ModuleKind::PaperAdder,
+            ),
+        };
+        let unit = prepare_unit(netlist, module, &config);
+        let profile = profile_standalone_obs(
+            &unit.netlist,
+            params.profile_cycles,
+            42,
+            config.threads,
+            &config.obs,
+        )?;
+        let analysis = analyze_aging(&unit, &profile, &config);
+        let pairs: Vec<AgingPath> = analysis
+            .unique_pairs
+            .iter()
+            .copied()
+            .take(params.pairs)
+            .collect();
+        let results = vec![None; pairs.len()];
+        Ok(VegaService {
+            params,
+            state_dir: state_dir.to_path_buf(),
+            config,
+            unit,
+            analysis,
+            pairs,
+            results,
+            fleet: None,
+        })
+    }
+
+    /// Path of the WAL inside the state directory.
+    pub fn wal_path(&self) -> PathBuf {
+        self.state_dir.join("wal.jsonl")
+    }
+
+    fn checkpoint_path(&self) -> PathBuf {
+        self.state_dir.join("checkpoint.json")
+    }
+
+    /// Path of the final telemetry artifact.
+    pub fn telemetry_path(&self) -> PathBuf {
+        self.state_dir.join("telemetry.json")
+    }
+
+    fn empty_checkpoint(&self) -> CheckpointFile {
+        CheckpointFile::new(
+            self.unit.netlist.name().to_string(),
+            self.unit.module,
+            self.config.mitigation,
+            self.pairs.len(),
+        )
+    }
+
+    /// The digest journaled for a pair: FNV over its canonical JSON.
+    /// Stable across a save/load round-trip because serde_json's f64
+    /// rendering is shortest-round-trip and struct field order is
+    /// fixed.
+    fn pair_digest(result: &PairResult) -> Result<u64, String> {
+        let json = serde_json::to_string(result).map_err(|e| e.to_string())?;
+        Ok(digest_bytes(json.as_bytes()))
+    }
+
+    fn fleet(&mut self) -> Result<&mut Fleet, String> {
+        self.fleet
+            .as_mut()
+            .ok_or_else(|| "epoch operation before start_epochs".to_string())
+    }
+
+    /// Step the fleet once and check it advanced to `epoch + 1`; the
+    /// serve loop and the fleet must agree on where the run is.
+    fn step_checked(&mut self, epoch: u64) -> Result<(), String> {
+        let fleet = self.fleet()?;
+        if fleet.current_epoch() != epoch {
+            return Err(format!(
+                "fleet is at epoch {} but the WAL asked for {epoch}",
+                fleet.current_epoch()
+            ));
+        }
+        if !fleet.step_epoch() {
+            return Err(format!("fleet refused to step epoch {epoch}"));
+        }
+        Ok(())
+    }
+}
+
+impl ServiceState for VegaService {
+    fn label(&self) -> String {
+        format!("vega-serve/{}", self.params.unit)
+    }
+
+    fn config_digest(&self) -> u64 {
+        digest_bytes(self.params.digest_string().as_bytes())
+    }
+
+    fn pair_count(&self) -> u64 {
+        self.pairs.len() as u64
+    }
+
+    fn epoch_count(&self) -> u64 {
+        self.params.epochs
+    }
+
+    fn restore_pair(&mut self, index: u64) -> Result<Option<u64>, String> {
+        let path = self.checkpoint_path();
+        if !path.exists() {
+            return Ok(None);
+        }
+        // An unreadable checkpoint is treated as artifact loss (the WAL
+        // will drive re-execution), not as a hard error.
+        let Ok(checkpoint) = load_checkpoint(&path) else {
+            return Ok(None);
+        };
+        let Some(entry) = checkpoint
+            .entries
+            .iter()
+            .find(|e| e.pair_index == index as usize)
+        else {
+            return Ok(None);
+        };
+        let digest = Self::pair_digest(&entry.result)?;
+        self.results[index as usize] = Some(entry.result.clone());
+        Ok(Some(digest))
+    }
+
+    fn apply_pair(&mut self, index: u64) -> Result<(u64, Vec<WalNote>), String> {
+        let lift_config = lift_config(&self.config);
+        let result = crate::lift_pair(
+            &self.unit.netlist,
+            self.unit.module,
+            self.pairs[index as usize],
+            index as usize,
+            &lift_config,
+        );
+
+        // Persist into the checkpoint before the completion record is
+        // journaled: on recovery the artifact must exist whenever the
+        // WAL says the pair completed. Re-execution of an in-doubt pair
+        // replaces any half-recorded entry for the same index.
+        let mut checkpoint = if self.checkpoint_path().exists() {
+            load_checkpoint(self.checkpoint_path()).unwrap_or_else(|_| self.empty_checkpoint())
+        } else {
+            self.empty_checkpoint()
+        };
+        checkpoint
+            .entries
+            .retain(|e| e.pair_index != index as usize);
+        checkpoint.entries.push(CheckpointEntry {
+            pair_index: index as usize,
+            result: result.clone(),
+        });
+        save_checkpoint(self.checkpoint_path(), &checkpoint).map_err(|e| e.to_string())?;
+
+        // Journal the in-flight budget rounds: the WAL's account of
+        // *how* the pair was lifted, not just that it finished.
+        let mut notes = Vec::new();
+        for (attempt_index, attempt) in result.attempts.iter().enumerate() {
+            for (round_index, round) in attempt.rounds.iter().enumerate() {
+                notes.push(WalNote {
+                    name: "round".to_string(),
+                    fields: vec![
+                        ("pair".to_string(), index.into()),
+                        ("attempt".to_string(), (attempt_index as u64).into()),
+                        ("round".to_string(), (round_index as u64).into()),
+                        ("budget".to_string(), round.budget.into()),
+                        ("spent".to_string(), round.spent.into()),
+                    ],
+                });
+            }
+        }
+
+        let digest = Self::pair_digest(&result)?;
+        self.results[index as usize] = Some(result);
+        Ok((digest, notes))
+    }
+
+    fn start_epochs(&mut self) -> Result<(), String> {
+        let pairs: Vec<PairResult> = self
+            .results
+            .iter()
+            .map(|r| r.clone().ok_or_else(|| "missing pair result".to_string()))
+            .collect::<Result<_, _>>()?;
+        let report = LiftReport {
+            module: self.unit.module,
+            mitigation: self.config.mitigation,
+            pairs,
+        };
+        let pool = build_unit_pool(&self.params.unit, &self.unit, &self.analysis, &report);
+        if pool.suite.is_empty() {
+            return Err(format!(
+                "unit `{}` lifted no test cases; a fleet without tests cannot detect anything",
+                self.params.unit
+            ));
+        }
+        let mut fleet_config = FleetConfig::new(
+            self.params.machines,
+            self.params.epochs,
+            self.params.policy,
+            self.params.seed,
+        );
+        fleet_config.budget_cycles = self.params.budget;
+        fleet_config.fault_fraction = self.params.fault_fraction;
+        let mut fleet = Fleet::build(vec![pool], fleet_config);
+        fleet.set_obs(self.config.obs.clone());
+        self.fleet = Some(fleet);
+        Ok(())
+    }
+
+    fn replay_epoch(&mut self, epoch: u64) -> Result<u64, String> {
+        self.step_checked(epoch)?;
+        let fleet = self.fleet()?;
+        // Transitions were journaled at first execution; drain them so
+        // replayed and fresh epochs leave identical fleet state.
+        let _ = fleet.take_transitions();
+        Ok(fleet.state_digest())
+    }
+
+    fn apply_epoch(&mut self, epoch: u64) -> Result<(u64, Vec<WalNote>), String> {
+        self.step_checked(epoch)?;
+        let fleet = self.fleet()?;
+        let notes = fleet
+            .take_transitions()
+            .into_iter()
+            .map(|t| WalNote {
+                name: "transition".to_string(),
+                fields: vec![
+                    ("machine".to_string(), (t.machine.0 as u64).into()),
+                    ("epoch".to_string(), t.epoch.into()),
+                    ("from".to_string(), t.from.into()),
+                    ("to".to_string(), t.to.into()),
+                ],
+            })
+            .collect();
+        Ok((fleet.state_digest(), notes))
+    }
+
+    fn finalize(&mut self) -> Result<(), String> {
+        let fleet = self.fleet()?;
+        let json = fleet.telemetry().to_json_string();
+        crate::persist::save_text_atomic(self.telemetry_path(), &json).map_err(|e| e.to_string())
+    }
+}

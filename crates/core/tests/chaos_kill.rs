@@ -1,0 +1,165 @@
+//! Out-of-process chaos: kill the real `vega serve` binary at random
+//! WAL sequence numbers (via `--chaos-kill-seq`, which `process::abort`s
+//! mid-append), restart it, and repeat — at least ten kills per seed,
+//! some of them tearing the WAL line mid-write. After the final clean
+//! run the state directory must be byte-identical to an uncrashed
+//! same-seed run: telemetry, checkpoint, and the WAL's completed-op
+//! digest map, with no in-doubt residue.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use vega::serve::{read_wal, wal_status, WalRecord};
+
+const BIN: &str = env!("CARGO_BIN_EXE_vega");
+const KILLS_PER_SEED: u64 = 10;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vega-chaos-kill-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn serve_command(dir: &Path, seed: u64) -> Command {
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "serve",
+        "--state-dir",
+        dir.to_str().expect("utf8 dir"),
+        "--unit",
+        "adder",
+        "--pairs",
+        "2",
+        "--profile-cycles",
+        "256",
+        "--machines",
+        "8",
+        "--epochs",
+        "6",
+        "--seed",
+        &seed.to_string(),
+    ]);
+    cmd
+}
+
+fn run_clean(dir: &Path, seed: u64) {
+    let out = serve_command(dir, seed).output().expect("spawn vega serve");
+    assert!(
+        out.status.success(),
+        "clean serve failed (seed {seed}): {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn read_artifacts(dir: &Path) -> (String, String) {
+    let telemetry = std::fs::read_to_string(dir.join("telemetry.json")).expect("telemetry");
+    let checkpoint = std::fs::read_to_string(dir.join("checkpoint.json")).expect("checkpoint");
+    (telemetry, checkpoint)
+}
+
+#[test]
+fn kill_at_random_seqs_converges_to_the_uncrashed_run() {
+    for seed in [1u64, 2, 3] {
+        // Uncrashed baseline.
+        let baseline = fresh_dir(&format!("baseline-{seed}"));
+        run_clean(&baseline, seed);
+        let (want_telemetry, want_checkpoint) = read_artifacts(&baseline);
+        let want_ops = wal_status(&baseline.join("wal.jsonl"))
+            .expect("baseline wal")
+            .completed;
+
+        // Chaos runs: kill at a seeded-random WAL sequence, restart,
+        // until at least KILLS_PER_SEED kills actually landed.
+        let dir = fresh_dir(&format!("chaos-{seed}"));
+        let wal = dir.join("wal.jsonl");
+        let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut kills = 0u64;
+        let mut iterations = 0u64;
+        while kills < KILLS_PER_SEED {
+            iterations += 1;
+            assert!(
+                iterations < 100,
+                "seed {seed}: {kills} kills after {iterations} runs — not converging"
+            );
+            let status = wal
+                .exists()
+                .then(|| wal_status(&wal).expect("wal readable"));
+            let next_seq = status.as_ref().map_or(0, |s| s.next_seq);
+            let complete = status.as_ref().is_some_and(|s| s.run_complete);
+            // Once the run has completed, each re-invocation appends
+            // exactly recovery + clean-shutdown; only next_seq + 1 can
+            // still be hit. Mid-run, spread kills over the next records
+            // (the range outspans any single op, so every op can
+            // eventually complete and the chain always makes progress).
+            let arm = if complete {
+                next_seq + 1
+            } else {
+                next_seq + 1 + xorshift(&mut rng) % 16
+            };
+            let torn = kills % 3 == 2;
+            let mut cmd = serve_command(&dir, seed);
+            cmd.args(["--chaos-kill-seq", &arm.to_string()]);
+            if torn {
+                cmd.arg("--chaos-torn");
+            }
+            let out = cmd.output().expect("spawn vega serve");
+            if out.status.success() {
+                // The armed seq was never written: the run finished.
+                continue;
+            }
+            kills += 1;
+        }
+
+        // Final clean run: recovery must finish the job.
+        run_clean(&dir, seed);
+
+        let (telemetry, checkpoint) = read_artifacts(&dir);
+        assert_eq!(
+            telemetry, want_telemetry,
+            "seed {seed}: telemetry diverged after {kills} kills"
+        );
+        assert_eq!(
+            checkpoint, want_checkpoint,
+            "seed {seed}: checkpoint diverged after {kills} kills"
+        );
+
+        // WAL invariants: schema version and gapless seq are enforced
+        // by the loader; on top of that, every intent is paired with a
+        // completion, the op digests match the uncrashed run, and the
+        // log ends in a clean shutdown.
+        let (records, torn) = read_wal(&wal).expect("final wal parses");
+        assert!(torn.is_none(), "seed {seed}: torn tail survived recovery");
+        assert!(
+            matches!(records.first(), Some(WalRecord::RunStart { .. })),
+            "seed {seed}: wal does not begin with run_start"
+        );
+        let status = wal_status(&wal).expect("final wal");
+        assert!(
+            status.in_doubt.is_empty(),
+            "seed {seed}: in-doubt residue {:?}",
+            status.in_doubt
+        );
+        assert!(status.run_complete, "seed {seed}: run never completed");
+        assert!(status.clean_shutdown, "seed {seed}: no clean shutdown");
+        assert_eq!(
+            status.completed, want_ops,
+            "seed {seed}: completed-op digests diverged"
+        );
+        assert!(
+            status.recoveries >= kills,
+            "seed {seed}: {} recoveries recorded for {kills} kills",
+            status.recoveries
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&baseline).ok();
+    }
+}

@@ -1,0 +1,179 @@
+//! Crash recovery of the real pipeline: drive [`vega::VegaService`]
+//! (phase-2 lifting + phase-3 fleet epochs on the worked-example adder)
+//! through the `vega-serve` WAL loop, kill it at every in-process chaos
+//! site, and assert that crash → restart → converge reproduces the
+//! uncrashed run byte-for-byte — telemetry, checkpoint, and WAL digests.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use vega::serve::{ServeChaos, ServeError, ServeOutcome, Server, Site};
+use vega::{ServeParams, VegaService, WorkflowConfig};
+
+const PAIRS: usize = 2;
+const EPOCHS: u64 = 4;
+
+fn params(seed: u64) -> ServeParams {
+    ServeParams {
+        unit: "adder".into(),
+        years: 10.0,
+        pairs: PAIRS,
+        profile_cycles: 300,
+        mitigation: false,
+        machines: 8,
+        epochs: EPOCHS,
+        budget: None,
+        policy: vega::Policy::Adaptive,
+        seed,
+        fault_fraction: 0.25,
+        threads: 1,
+    }
+}
+
+fn service(dir: &Path, seed: u64) -> VegaService {
+    VegaService::new(params(seed), dir, WorkflowConfig::paper_demo()).expect("service")
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("vega-serve-recovery-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn read_artifacts(dir: &Path) -> (String, String) {
+    let telemetry = std::fs::read_to_string(dir.join("telemetry.json")).expect("telemetry");
+    let checkpoint = std::fs::read_to_string(dir.join("checkpoint.json")).expect("checkpoint");
+    (telemetry, checkpoint)
+}
+
+#[test]
+fn crash_at_every_site_converges_to_the_uncrashed_run() {
+    let baseline = fresh_dir("baseline");
+    let mut svc = service(&baseline, 7);
+    let outcome = Server::new(&svc.wal_path())
+        .run(&mut svc)
+        .expect("baseline");
+    assert!(matches!(outcome, ServeOutcome::Completed(_)));
+    let (want_telemetry, want_checkpoint) = read_artifacts(&baseline);
+    let want_ops = vega::serve::wal_status(&baseline.join("wal.jsonl"))
+        .expect("status")
+        .completed;
+    assert_eq!(want_ops.len(), PAIRS + EPOCHS as usize);
+
+    // 2 pairs + 4 epochs = 6 ops, each passing every site once.
+    for site in Site::ALL {
+        for occurrence in 0..(PAIRS as u64 + EPOCHS) {
+            let dir = fresh_dir(&format!("kill-{}-{occurrence}", site.label()));
+            let wal = dir.join("wal.jsonl");
+            let mut svc = service(&dir, 7);
+            let err = Server::new(&wal)
+                .with_chaos(ServeChaos::kill(site, occurrence))
+                .run(&mut svc)
+                .expect_err("chaos must fire");
+            assert!(
+                matches!(err, ServeError::SimulatedCrash { .. }),
+                "unexpected error at {} #{occurrence}: {err}",
+                site.label()
+            );
+
+            // Restart from scratch: a brand-new process would see
+            // exactly this state object.
+            let mut svc = service(&dir, 7);
+            let outcome = Server::new(&wal).run(&mut svc).expect("recovery");
+            assert!(matches!(outcome, ServeOutcome::Completed(_)));
+
+            let (telemetry, checkpoint) = read_artifacts(&dir);
+            assert_eq!(
+                telemetry,
+                want_telemetry,
+                "telemetry diverged after crash at {} #{occurrence}",
+                site.label()
+            );
+            assert_eq!(
+                checkpoint,
+                want_checkpoint,
+                "checkpoint diverged after crash at {} #{occurrence}",
+                site.label()
+            );
+            let status = vega::serve::wal_status(&wal).expect("status");
+            assert!(status.in_doubt.is_empty(), "in-doubt residue");
+            assert!(status.clean_shutdown);
+            assert!(status.run_complete);
+            assert_eq!(status.completed, want_ops, "op digests diverged");
+            assert_eq!(status.recoveries, 1);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    // Re-invoking a completed run restores everything and re-executes
+    // nothing; artifacts stay byte-identical.
+    let mut svc = service(&baseline, 7);
+    let outcome = Server::new(&svc.wal_path())
+        .run(&mut svc)
+        .expect("idempotent");
+    let report = outcome.report();
+    assert_eq!(report.resumed_pairs, PAIRS as u64);
+    assert_eq!(report.resumed_epochs, EPOCHS);
+    assert_eq!(report.reexecuted, 0);
+    let (telemetry, checkpoint) = read_artifacts(&baseline);
+    assert_eq!(telemetry, want_telemetry);
+    assert_eq!(checkpoint, want_checkpoint);
+    std::fs::remove_dir_all(&baseline).ok();
+}
+
+#[test]
+fn shutdown_flag_suspends_and_resumes_to_identical_artifacts() {
+    static FLAG: AtomicBool = AtomicBool::new(false);
+
+    let baseline = fresh_dir("shutdown-baseline");
+    let mut svc = service(&baseline, 11);
+    Server::new(&svc.wal_path())
+        .run(&mut svc)
+        .expect("baseline");
+    let (want_telemetry, _) = read_artifacts(&baseline);
+
+    let dir = fresh_dir("shutdown");
+    let wal = dir.join("wal.jsonl");
+    FLAG.store(true, Ordering::SeqCst);
+    let mut svc = service(&dir, 11);
+    let outcome = Server::new(&wal)
+        .with_shutdown_flag(&FLAG)
+        .run(&mut svc)
+        .expect("interrupt");
+    assert!(matches!(outcome, ServeOutcome::Interrupted(_)));
+    let status = vega::serve::wal_status(&wal).expect("status");
+    assert!(status.clean_shutdown, "clean-shutdown record written");
+    assert!(
+        status.in_doubt.is_empty(),
+        "clean shutdown leaves no in-doubt ops"
+    );
+
+    FLAG.store(false, Ordering::SeqCst);
+    let mut svc = service(&dir, 11);
+    let outcome = Server::new(&wal)
+        .with_shutdown_flag(&FLAG)
+        .run(&mut svc)
+        .expect("resume");
+    assert!(matches!(outcome, ServeOutcome::Completed(_)));
+    let (telemetry, _) = read_artifacts(&dir);
+    assert_eq!(telemetry, want_telemetry, "resumed run diverged");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&baseline).ok();
+}
+
+#[test]
+fn mismatched_parameters_are_rejected() {
+    let dir = fresh_dir("mismatch");
+    let mut svc = service(&dir, 3);
+    Server::new(&svc.wal_path()).run(&mut svc).expect("first");
+    // Same state dir, different seed: the config digest differs and the
+    // WAL must refuse to be resumed under it.
+    let mut other = service(&dir, 4);
+    let err = Server::new(&other.wal_path())
+        .run(&mut other)
+        .expect_err("mismatch");
+    assert!(matches!(err, ServeError::RunMismatch { .. }));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -25,7 +25,8 @@ use vega_lift::{
 };
 
 use crate::machine::{
-    failure_mode_of, FaultCandidate, HealthState, InjectedFault, Machine, MachineId,
+    failure_mode_of, FaultCandidate, HealthState, HealthTransition, InjectedFault, Machine,
+    MachineId,
 };
 use crate::policy::{adaptive_score, Policy};
 use crate::telemetry::{
@@ -192,6 +193,7 @@ pub struct Fleet {
     tally: OutcomeTally,
     pool_detections: Vec<u64>,
     per_epoch: Vec<EpochTelemetry>,
+    transitions: Vec<HealthTransition>,
     obs: vega_obs::Obs,
 }
 
@@ -281,6 +283,7 @@ impl Fleet {
             tally: OutcomeTally::default(),
             pool_detections: vec![0; pool_count],
             per_epoch: Vec::new(),
+            transitions: Vec::new(),
             obs: vega_obs::Obs::null(),
         }
     }
@@ -328,6 +331,7 @@ impl Fleet {
             tally: OutcomeTally::default(),
             pool_detections: vec![0; pool_count],
             per_epoch: Vec::new(),
+            transitions: Vec::new(),
             obs: vega_obs::Obs::null(),
         }
     }
@@ -358,17 +362,80 @@ impl Fleet {
             policy = self.config.policy.label(),
             seed = self.config.seed,
         );
-        while self.epoch < self.config.epochs {
-            let _epoch_span =
-                vega_obs::span!(self.obs.detail(), "phase3.fleet.epoch", epoch = self.epoch);
-            let stats = self.run_epoch();
-            self.record_epoch_obs(&stats);
-            self.per_epoch.push(stats);
-            self.epoch += 1;
-        }
+        while self.step_epoch() {}
         let telemetry = self.telemetry();
         telemetry.record_obs(&self.obs);
         telemetry
+    }
+
+    /// Simulate the next epoch, if any remain. Returns whether an epoch
+    /// ran — `false` once all configured epochs are done.
+    ///
+    /// This is the resumable entry point `vega serve` drives: each call
+    /// is one durable operation, and the fleet's evolution is identical
+    /// whether epochs run in one [`Fleet::run`] loop or across process
+    /// restarts (re-stepped from a fresh same-seed fleet).
+    pub fn step_epoch(&mut self) -> bool {
+        if self.epoch >= self.config.epochs {
+            return false;
+        }
+        let _epoch_span =
+            vega_obs::span!(self.obs.detail(), "phase3.fleet.epoch", epoch = self.epoch);
+        let stats = self.run_epoch();
+        self.record_epoch_obs(&stats);
+        self.per_epoch.push(stats);
+        self.epoch += 1;
+        true
+    }
+
+    /// Epochs simulated so far.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Drain the health transitions recorded since the last drain (or
+    /// construction), in occurrence order.
+    pub fn take_transitions(&mut self) -> Vec<HealthTransition> {
+        std::mem::take(&mut self.transitions)
+    }
+
+    /// FNV-1a 64 digest over the scheduler-visible simulation state:
+    /// epoch and visit counters, outcome tally, per-pool detections, and
+    /// every machine's health/cursor/counters. Two fleets that evolved
+    /// through the same epochs (in one process or across restarts)
+    /// digest identically; any divergence during crash recovery is
+    /// caught by comparing this against the WAL's journaled digest.
+    pub fn state_digest(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut enc = String::with_capacity(64 * self.machines.len());
+        let _ = write!(
+            enc,
+            "epoch={};visit_seq={};rr_next={};tally={:?};pools={:?};",
+            self.epoch, self.visit_seq, self.rr_next, self.tally, self.pool_detections
+        );
+        if let Some(last) = self.per_epoch.last() {
+            let _ = write!(enc, "last={last:?};");
+        }
+        for m in &self.machines {
+            let _ = write!(
+                enc,
+                "m{}:health={:?},flakes={},visits={},tests={},cursor={},first={:?},quar={:?};",
+                m.id.0,
+                m.health,
+                m.flakes,
+                m.visits,
+                m.tests_run,
+                m.cursor,
+                m.first_detection_epoch,
+                m.quarantine_epoch
+            );
+        }
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in enc.as_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
     }
 
     /// Fold one epoch's counters into the observability stream. Zero
@@ -610,6 +677,7 @@ impl Fleet {
     fn apply_result(&mut self, index: usize, result: &VisitResult, stats: &mut EpochTelemetry) {
         let epoch = self.epoch;
         let machine = &mut self.machines[index];
+        let from = machine.health.label();
         let observed_detection = result.detected || result.flake;
         if result.flake {
             stats.flakes_injected += 1;
@@ -646,10 +714,22 @@ impl Fleet {
             }
             (HealthState::Healthy, false) | (HealthState::Quarantined, _) => {}
         }
+        let to = machine.health.label();
+        if from != to {
+            let machine_id = machine.id;
+            self.transitions.push(HealthTransition {
+                machine: machine_id,
+                epoch,
+                from,
+                to,
+            });
+        }
     }
 
-    /// Assemble the end-of-run telemetry artifact.
-    fn telemetry(&self) -> FleetTelemetry {
+    /// Assemble the end-of-run telemetry artifact. Callable mid-run as
+    /// well (per-epoch rows cover only the epochs stepped so far), but
+    /// the canonical artifact is the one taken after the final epoch.
+    pub fn telemetry(&self) -> FleetTelemetry {
         let horizon = self.config.epochs;
         let faulty: Vec<&Machine> = self.machines.iter().filter(|m| m.truly_faulty()).collect();
         let detected_faulty = faulty

@@ -44,7 +44,8 @@ pub mod telemetry;
 pub use engine::{Fleet, FleetConfig, UnitPool};
 pub use json::Json;
 pub use machine::{
-    failure_mode_of, FaultCandidate, HealthState, InjectedFault, Machine, MachineId,
+    failure_mode_of, FaultCandidate, HealthState, HealthTransition, InjectedFault, Machine,
+    MachineId,
 };
 pub use policy::{adaptive_score, Policy};
 pub use telemetry::{

@@ -64,6 +64,22 @@ impl HealthState {
     }
 }
 
+/// One machine's quarantine-state change, recorded by the engine as it
+/// happens. `vega serve` drains these each epoch and journals them as
+/// WAL `transition` notes, so the log carries every state-machine move
+/// (`healthy→suspected→quarantined`) the fleet made.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// The machine that moved.
+    pub machine: MachineId,
+    /// Epoch the move happened in.
+    pub epoch: u64,
+    /// State label before the move (see [`HealthState::label`]).
+    pub from: &'static str,
+    /// State label after the move.
+    pub to: &'static str,
+}
+
 /// Ground truth about a machine's injected fault (hidden from the
 /// scheduler; used only to build the machine's netlist and to score the
 /// run afterwards).

@@ -312,3 +312,77 @@ fn fleet_telemetry_serde_round_trips() {
     let decoded: vega_fleet::FleetTelemetry = serde_json::from_str(&encoded).expect("deserialize");
     assert_eq!(decoded, telemetry);
 }
+
+#[test]
+fn stepped_epochs_match_run_exactly() {
+    for policy in Policy::ALL {
+        let config = FleetConfig::new(12, 6, policy, 41);
+        let want = Fleet::build(vec![adder_pool()], config.clone())
+            .run()
+            .to_json_string();
+        let mut stepped = Fleet::build(vec![adder_pool()], config);
+        let mut epochs = 0;
+        while stepped.step_epoch() {
+            epochs += 1;
+        }
+        assert_eq!(epochs, 6);
+        assert!(!stepped.step_epoch(), "no epochs past the horizon");
+        assert_eq!(
+            stepped.telemetry().to_json_string(),
+            want,
+            "policy {policy}: stepping must equal the run() loop"
+        );
+    }
+}
+
+#[test]
+fn state_digest_is_deterministic_and_tracks_evolution() {
+    let config = FleetConfig::new(12, 4, Policy::Adaptive, 17);
+    let mut a = Fleet::build(vec![adder_pool()], config.clone());
+    let mut b = Fleet::build(vec![adder_pool()], config);
+    assert_eq!(a.state_digest(), b.state_digest(), "same seed, same start");
+    let mut digests = vec![a.state_digest()];
+    while a.step_epoch() {
+        b.step_epoch();
+        assert_eq!(
+            a.state_digest(),
+            b.state_digest(),
+            "same-seed fleets must agree after every epoch"
+        );
+        digests.push(a.state_digest());
+    }
+    digests.dedup();
+    assert!(
+        digests.len() > 1,
+        "the digest must actually change as the fleet evolves"
+    );
+}
+
+#[test]
+fn health_transitions_are_recorded_and_drained() {
+    let mut config = FleetConfig::new(2, 8, Policy::RoundRobin, 5);
+    config.flake_probability = 0.0;
+    config.budget_cycles = Some(100_000);
+    let machines = vec![
+        healthy_machine(0, 3.0),
+        faulty_machine(1, 9.0, "dff3", "dff9"),
+    ];
+    let mut fleet = Fleet::from_machines(vec![adder_pool()], config, machines);
+    fleet.run();
+    let transitions = fleet.take_transitions();
+    assert!(!transitions.is_empty(), "the faulty machine must move");
+    // The faulty machine's history reads healthy→suspected→quarantined.
+    let m1: Vec<(&str, &str)> = transitions
+        .iter()
+        .filter(|t| t.machine == MachineId(1))
+        .map(|t| (t.from, t.to))
+        .collect();
+    assert_eq!(m1.first(), Some(&("healthy", "suspected")));
+    assert_eq!(m1.last(), Some(&("suspected", "quarantined")));
+    for t in &transitions {
+        assert!(t.epoch < 8);
+        assert_ne!(t.from, t.to);
+    }
+    // Draining empties the buffer.
+    assert!(fleet.take_transitions().is_empty());
+}

@@ -109,6 +109,23 @@ pub fn check_cover_with_stats(
     session.run(config.conflict_budget)
 }
 
+/// A journal-friendly snapshot of an in-flight [`CoverSession`]'s
+/// logical position (see [`CoverSession::snapshot`]). Everything here is
+/// schema-stable and tiny — what `vega serve` persists so a crashed
+/// lifting pair can resume its BMC search without repeating refuted
+/// depths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionSnapshot {
+    /// The next cover depth to query; all earlier depths (from the
+    /// property's earliest cycle) stand refuted.
+    pub next_depth: usize,
+    /// The next induction step `k` to attempt.
+    pub next_k: usize,
+    /// Whether cover depths were exhausted and the session had moved to
+    /// k-induction.
+    pub in_induction: bool,
+}
+
 /// Where an in-flight session stands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -235,6 +252,64 @@ impl<'n> CoverSession<'n> {
             self.runs += 1;
         }
         (outcome, delta)
+    }
+
+    /// Capture the session's logical position for crash recovery:
+    /// which cover depths stand refuted, which induction step is next,
+    /// and which phase the search is in. Learnt clauses and solver
+    /// internals are deliberately *not* captured — a resumed session
+    /// re-derives them, trading some re-search for a snapshot that is
+    /// tiny, schema-stable, and safe to journal.
+    ///
+    /// Returns `None` once the session is finished (a final outcome
+    /// needs no resumption).
+    pub fn snapshot(&self) -> Option<SessionSnapshot> {
+        if self.finished.is_some() {
+            return None;
+        }
+        Some(SessionSnapshot {
+            next_depth: self.next_depth,
+            next_k: self.next_k,
+            in_induction: self.phase == Phase::Induction,
+        })
+    }
+
+    /// Rebuild a session at a journaled [`SessionSnapshot`] position.
+    ///
+    /// Every cover depth below `snapshot.next_depth` was proven Unsat
+    /// before the snapshot, so `!fire@t` is entailed for each and is
+    /// re-asserted permanently here — sound by the same argument as the
+    /// live search, and it restores the depth-pruning the crashed
+    /// session had earned. The solver then continues exactly where the
+    /// snapshot says, modulo re-deriving learnt clauses.
+    pub fn resume_from(
+        netlist: &'n Netlist,
+        property: &Property,
+        assumptions: &[Assumption],
+        config: &BmcConfig,
+        snapshot: &SessionSnapshot,
+    ) -> Self {
+        let mut session = CoverSession::new(netlist, property, assumptions, config);
+        for t in property.earliest_cycle..snapshot.next_depth {
+            while session.cover.cycles() <= t {
+                let tq = session.cover.add_cycle();
+                for assumption in &session.assumptions {
+                    session.cover.apply_assumption(assumption, tq);
+                }
+            }
+            if session.cover_fires.len() <= t {
+                session.cover_fires.resize(t + 1, None);
+            }
+            let fire = session.cover.fire_literal(&session.property, t);
+            session.cover_fires[t] = Some(fire);
+            session.cover.solver_mut().add_clause(&[!fire]);
+        }
+        session.next_depth = snapshot.next_depth;
+        session.next_k = snapshot.next_k;
+        if snapshot.in_induction {
+            session.phase = Phase::Induction;
+        }
+        session
     }
 
     /// Cumulative work over every [`CoverSession::run`] call so far.

@@ -55,7 +55,7 @@ mod trace;
 
 pub use bmc::{
     check_cover, check_cover_rebuild_with_stats, check_cover_with_stats, BmcConfig, CoverOutcome,
-    CoverSession, CoverStats,
+    CoverSession, CoverStats, SessionSnapshot,
 };
 pub use encode::{FirePolarity, Unrolling};
 pub use property::{Assumption, Property};

@@ -11,7 +11,7 @@ use vega_netlist::Netlist;
 /// knowledge — valid operation encodings for `assume property`
 /// constraints, pipeline latency, which output ports are observable from
 /// software, and how a cycle of module inputs becomes an instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum ModuleKind {
     /// The RV32I ALU of `vega-circuits` (`op`/`a`/`b` → `r`).
     Alu,

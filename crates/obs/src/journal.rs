@@ -98,6 +98,19 @@ fn parse_fields(obj: &Json, line: usize) -> Result<Vec<(String, Value)>, Journal
     Ok(out)
 }
 
+/// Diagnostic for a truncated final journal line — the torn-write state
+/// a kill mid-append produces. The journal's first `valid_bytes` bytes
+/// form a well-formed journal; everything after is the torn fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// 1-based line number of the torn line.
+    pub line: usize,
+    /// Byte offset where the valid prefix ends (= where to truncate).
+    pub valid_bytes: u64,
+    /// The torn fragment (clipped to 120 bytes), for diagnostics.
+    pub fragment: String,
+}
+
 /// A parsed, validated run journal.
 #[derive(Debug, Clone, Default)]
 pub struct Journal {
@@ -112,20 +125,66 @@ impl Journal {
         Self::parse(&text)
     }
 
+    /// Like [`Journal::load`], but tolerate a truncated final line.
+    pub fn load_tolerant(path: &Path) -> Result<(Self, Option<TornTail>), JournalError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::parse_tolerant(&text)
+    }
+
     /// Parse and validate journal text (one JSON object per line).
     ///
     /// Validation enforces: every line parses; the schema version is the
     /// one this build understands; sequence numbers are contiguous from 0;
     /// event kinds are known; every `span_close` matches an open span.
     pub fn parse(text: &str) -> Result<Self, JournalError> {
+        let (journal, torn) = Self::parse_inner(text, false)?;
+        debug_assert!(torn.is_none());
+        Ok(journal)
+    }
+
+    /// Like [`Journal::parse`], but a **final** line that fails to parse
+    /// as JSON — the torn-write signature of a kill mid-append — is
+    /// returned as a typed [`TornTail`] diagnostic alongside the valid
+    /// prefix instead of an error. A malformed line *followed by more
+    /// lines* is corruption, not a torn tail, and stays an error.
+    pub fn parse_tolerant(text: &str) -> Result<(Self, Option<TornTail>), JournalError> {
+        Self::parse_inner(text, true)
+    }
+
+    fn parse_inner(
+        text: &str,
+        tolerate_tail: bool,
+    ) -> Result<(Self, Option<TornTail>), JournalError> {
         let mut events = Vec::new();
         let mut open_spans: Vec<u64> = Vec::new();
-        for (i, raw) in text.lines().enumerate() {
-            let line = i + 1;
+        let mut offset = 0usize;
+        let mut line = 0usize;
+        let mut chunks = text.split_inclusive('\n').peekable();
+        while let Some(chunk) = chunks.next() {
+            line += 1;
+            let start = offset;
+            offset += chunk.len();
+            let raw = chunk.trim_end_matches(['\n', '\r']);
             if raw.trim().is_empty() {
                 continue;
             }
-            let obj = parse_json(raw).map_err(|e| JournalError::Parse(line, e))?;
+            let is_last = chunks.peek().is_none() || text[offset..].trim().is_empty();
+            let obj = match parse_json(raw) {
+                Ok(obj) => obj,
+                Err(_) if tolerate_tail && is_last => {
+                    let mut fragment = raw.to_string();
+                    fragment.truncate(120);
+                    return Ok((
+                        Self { events },
+                        Some(TornTail {
+                            line,
+                            valid_bytes: start as u64,
+                            fragment,
+                        }),
+                    ));
+                }
+                Err(e) => return Err(JournalError::Parse(line, e)),
+            };
             let v = field_u64(&obj, "v", line)? as u32;
             if v != JOURNAL_FORMAT_VERSION {
                 return Err(JournalError::UnsupportedVersion {
@@ -202,7 +261,7 @@ impl Journal {
                 });
             events.push(Event { seq, kind, wall });
         }
-        Ok(Self { events })
+        Ok((Self { events }, None))
     }
 
     /// Re-encode every event in canonical form (wall-clock stripped), one
@@ -293,6 +352,39 @@ mod tests {
                     {\"v\":1,\"seq\":2,\"kind\":\"counter\",\"name\":\"x\",\"add\":1}";
         let err = Journal::parse(text).unwrap_err();
         assert!(matches!(err, JournalError::Invalid(2, _)), "{err}");
+    }
+
+    #[test]
+    fn tolerant_parse_returns_prefix_and_torn_tail() {
+        let whole = "{\"v\":1,\"seq\":0,\"kind\":\"counter\",\"name\":\"x\",\"add\":1}\n\
+                     {\"v\":1,\"seq\":1,\"kind\":\"counter\",\"name\":\"x\",\"add\":2}\n";
+        // Tear the final line mid-write.
+        let torn_text = &whole[..whole.len() - 10];
+        assert!(Journal::parse(torn_text).is_err(), "strict parse rejects");
+        let (journal, torn) = Journal::parse_tolerant(torn_text).expect("tolerant parse");
+        let torn = torn.expect("torn tail detected");
+        assert_eq!(journal.events.len(), 1);
+        assert_eq!(torn.line, 2);
+        // valid_bytes is exactly the byte length of the intact prefix.
+        let prefix = &torn_text[..torn.valid_bytes as usize];
+        assert!(prefix.ends_with('\n'));
+        let again = Journal::parse(prefix).expect("prefix is a valid journal");
+        assert_eq!(again.events.len(), 1);
+        // An intact journal reports no torn tail.
+        let (journal, none) = Journal::parse_tolerant(whole).expect("parses");
+        assert_eq!(journal.events.len(), 2);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn tolerant_parse_still_rejects_mid_file_corruption() {
+        let text = "{\"v\":1,\"seq\":0,\"kind\":\"counter\",\"name\":\"x\",\"add\":1}\n\
+                    {\"v\":1,\"seq\":1,\"kind\":\"coun\n\
+                    {\"v\":1,\"seq\":2,\"kind\":\"counter\",\"name\":\"x\",\"add\":3}\n";
+        assert!(matches!(
+            Journal::parse_tolerant(text),
+            Err(JournalError::Parse(2, _))
+        ));
     }
 
     #[test]

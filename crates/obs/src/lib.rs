@@ -37,7 +37,7 @@ mod recorder;
 mod report;
 
 pub use event::{Event, EventKind, Value, Wall, JOURNAL_FORMAT_VERSION};
-pub use journal::{Journal, JournalError};
+pub use journal::{Journal, JournalError, TornTail};
 pub use metrics::{
     prometheus_name, validate_prometheus, Histogram, Metric, MetricsRegistry, DEFAULT_BUCKETS,
 };

@@ -227,6 +227,9 @@ impl Recorder for JsonlRecorder {
     fn flush(&self) {
         let mut state = self.state.lock().expect("journal writer poisoned");
         let _ = state.writer.flush();
+        // Crash consistency: a flushed journal must survive power loss,
+        // not just process death — push the pages to stable storage too.
+        let _ = state.writer.get_ref().sync_data();
     }
 }
 

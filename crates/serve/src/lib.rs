@@ -1,0 +1,47 @@
+//! # vega-serve — crash-recoverable service machinery
+//!
+//! The paper's end goal is *continuous* runtime detection across a
+//! fleet, which means the detector itself must survive the failures it
+//! hunts: a monitor that loses scheduler state or half-finished BMC
+//! work on a crash silently degrades coverage. This crate provides the
+//! generic machinery behind `vega serve`:
+//!
+//! * [`wal`] — a schema-versioned JSONL **write-ahead log** (the
+//!   `wal.*` record family, extending the `vega-obs` journal idiom)
+//!   with a commit/apply discipline: intent record → fsync → apply →
+//!   completion record. The loader tolerates the torn final line a
+//!   mid-append kill produces ([`wal::TornTail`]).
+//! * [`server`] — the recovery-aware service loop: replays the WAL on
+//!   startup, restores completed operations (cross-checking result
+//!   digests), re-executes only in-doubt ones, and journals every
+//!   state transition of a [`server::ServiceState`] implementation.
+//! * [`shutdown`] — SIGINT/SIGTERM → orderly stop (flush WAL, write a
+//!   clean-shutdown record, exit 0) without new dependencies.
+//!
+//! The crate is deliberately pipeline-agnostic: it depends only on
+//! `vega-obs` (for the JSON parser) and drives any [`server::ServiceState`].
+//! `vega` (the core crate) implements that trait over the real
+//! pipeline — phase-2 lifting pairs and phase-3 fleet epochs — and the
+//! chaos harness kills the loop at every distinguishable point to
+//! prove crash→restart→converge is byte-identical to an uncrashed run.
+//!
+//! Unlike the rest of the workspace this crate contains one small
+//! `unsafe` block (the raw `signal(2)` registration in [`shutdown`]);
+//! everything else is forbidden from using unsafe by the workspace
+//! convention.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod server;
+pub mod shutdown;
+pub mod wal;
+
+pub use server::{
+    digest_bytes, wal_status, RecoveryReport, ServeChaos, ServeError, ServeOutcome, Server,
+    ServiceState, Site,
+};
+pub use wal::{
+    fnv1a64, parse_wal, read_wal, replay, truncate_torn, OpId, OpKind, TornTail, WalError, WalNote,
+    WalRecord, WalReplay, WalValue, WalWriter, WriterChaos, WAL_FORMAT_VERSION,
+};

@@ -1,0 +1,752 @@
+//! The crash-recoverable service loop.
+//!
+//! [`Server`] drives a [`ServiceState`] implementation through its durable
+//! operations (lifting pairs, then fleet epochs) under the WAL
+//! commit/apply discipline, and on startup replays an existing WAL to
+//! reconstruct exactly where a crashed predecessor stopped:
+//!
+//! * **completed** operations are *restored* (pairs from their persisted
+//!   artifacts, epochs by deterministic re-execution) and their result
+//!   digests cross-checked against the WAL — any divergence is a hard
+//!   error, never silent drift;
+//! * **in-doubt** operations (intent journaled, completion missing) are
+//!   re-executed from scratch — sound because every operation is
+//!   deterministic and idempotent over its artifacts;
+//! * a torn final line (kill mid-append) is truncated away first.
+//!
+//! In-process chaos sites ([`Site`]) let tests kill the loop at every
+//! point of the discipline; the out-of-process variant lives in
+//! [`crate::wal::WriterChaos`].
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::wal::{
+    fnv1a64, read_wal, replay, truncate_torn, OpId, WalError, WalNote, WalRecord, WalReplay,
+    WalWriter, WriterChaos,
+};
+
+/// The points in the commit/apply discipline where the in-process chaos
+/// harness can kill the loop. Together with `WriterChaos` (which kills
+/// *inside* the append, optionally tearing the line) these cover every
+/// distinguishable crash state of one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// After the intent record is durable, before the operation runs:
+    /// recovery must see the op as in-doubt and re-execute it.
+    AfterIntent,
+    /// After the operation applied (artifacts written) but before the
+    /// completion record: still in-doubt; re-execution must converge.
+    AfterApply,
+    /// After the completion record is durable: recovery must restore,
+    /// not re-execute.
+    AfterComplete,
+}
+
+impl Site {
+    /// All sites, in protocol order.
+    pub const ALL: [Site; 3] = [Site::AfterIntent, Site::AfterApply, Site::AfterComplete];
+
+    /// Stable label for logs and test names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Site::AfterIntent => "after_intent",
+            Site::AfterApply => "after_apply",
+            Site::AfterComplete => "after_complete",
+        }
+    }
+}
+
+/// Deterministic in-process kill points: the `n`-th time (0-based) the
+/// protocol passes `site`, the server returns
+/// [`ServeError::SimulatedCrash`] instead of continuing — state on disk
+/// is exactly what a hard kill at that point would leave.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeChaos {
+    /// Kill at the n-th occurrence of this site, if set.
+    pub kill_at: Option<(Site, u64)>,
+    hits: [u64; 3],
+}
+
+impl ServeChaos {
+    /// Chaos armed to kill at occurrence `n` of `site`.
+    pub fn kill(site: Site, n: u64) -> ServeChaos {
+        ServeChaos {
+            kill_at: Some((site, n)),
+            hits: [0; 3],
+        }
+    }
+
+    fn check(&mut self, site: Site) -> bool {
+        let idx = match site {
+            Site::AfterIntent => 0,
+            Site::AfterApply => 1,
+            Site::AfterComplete => 2,
+        };
+        let hit = self.hits[idx];
+        self.hits[idx] += 1;
+        self.kill_at == Some((site, hit))
+    }
+}
+
+/// Service-loop failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// WAL could not be read, parsed, or validated.
+    Wal(WalError),
+    /// Filesystem failure outside the WAL itself.
+    Io(std::io::Error),
+    /// The WAL on disk belongs to a different run configuration.
+    RunMismatch {
+        /// Label + config digest found in the WAL.
+        found: (String, u64),
+        /// Label + config digest of the requested run.
+        requested: (String, u64),
+    },
+    /// A restored operation's digest diverged from the WAL record —
+    /// deterministic replay no longer reproduces the pre-crash state.
+    DigestMismatch {
+        /// The operation that diverged.
+        op: OpId,
+        /// Digest journaled at completion time.
+        journaled: u64,
+        /// Digest produced by restore/replay.
+        restored: u64,
+    },
+    /// The underlying service failed.
+    State(String),
+    /// The in-process chaos harness killed the loop (tests only).
+    SimulatedCrash {
+        /// The site that fired.
+        site: Site,
+        /// WAL sequence number that would be written next.
+        next_seq: u64,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Wal(e) => write!(f, "{e}"),
+            ServeError::Io(e) => write!(f, "serve i/o error: {e}"),
+            ServeError::RunMismatch { found, requested } => write!(
+                f,
+                "wal belongs to run `{}` (config {:#018x}) but this invocation is `{}` \
+                 (config {:#018x}); delete the state dir or match the configuration",
+                found.0, found.1, requested.0, requested.1
+            ),
+            ServeError::DigestMismatch {
+                op,
+                journaled,
+                restored,
+            } => write!(
+                f,
+                "recovery divergence on {op}: wal journaled digest {journaled:#018x} but \
+                 restore produced {restored:#018x}"
+            ),
+            ServeError::State(msg) => write!(f, "service error: {msg}"),
+            ServeError::SimulatedCrash { site, next_seq } => {
+                write!(
+                    f,
+                    "simulated crash at {} (next seq {next_seq})",
+                    site.label()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WalError> for ServeError {
+    fn from(e: WalError) -> Self {
+        ServeError::Wal(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// What recovery found and did on startup.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Completed pair operations restored from artifacts.
+    pub resumed_pairs: u64,
+    /// Completed epoch operations restored by deterministic replay.
+    pub resumed_epochs: u64,
+    /// In-doubt operations that were re-executed.
+    pub reexecuted: u64,
+    /// Bytes of torn tail truncated from the WAL, 0 if none.
+    pub torn_bytes: u64,
+    /// Whether the prior process shut down cleanly (no in-doubt ops).
+    pub prior_clean_shutdown: bool,
+    /// How many prior recoveries the WAL already recorded.
+    pub prior_recoveries: u64,
+}
+
+/// How a [`Server::run`] invocation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// Every operation completed; artifacts are final.
+    Completed(RecoveryReport),
+    /// A shutdown signal arrived; the WAL carries a clean-shutdown
+    /// record and a restart will resume exactly here.
+    Interrupted(RecoveryReport),
+}
+
+impl ServeOutcome {
+    /// The recovery report, regardless of outcome.
+    pub fn report(&self) -> &RecoveryReport {
+        match self {
+            ServeOutcome::Completed(r) | ServeOutcome::Interrupted(r) => r,
+        }
+    }
+}
+
+/// The state a crash-recoverable service must expose.
+///
+/// Operations run in a fixed order — all pairs (index `0..pair_count`),
+/// then all epochs (`0..epoch_count`) — and every operation must be
+/// **deterministic** (same inputs → same result digest) and
+/// **idempotent** over its artifacts (re-execution after a partial
+/// apply converges to the same on-disk state).
+pub trait ServiceState {
+    /// Human-readable run label journaled in `wal.run_start`.
+    fn label(&self) -> String;
+
+    /// Digest over every configuration knob that affects results; a WAL
+    /// written under a different digest is rejected, never merged.
+    fn config_digest(&self) -> u64;
+
+    /// Number of pair operations in this run.
+    fn pair_count(&self) -> u64;
+
+    /// Number of epoch operations in this run.
+    fn epoch_count(&self) -> u64;
+
+    /// Restore a completed pair from its persisted artifact, returning
+    /// the artifact's digest, or `Ok(None)` if the artifact is missing
+    /// (the pair is then re-executed — artifact loss is recoverable).
+    fn restore_pair(&mut self, index: u64) -> Result<Option<u64>, String>;
+
+    /// Execute pair `index`, persist its artifact, and return the
+    /// result digest plus any in-flight notes to journal.
+    fn apply_pair(&mut self, index: u64) -> Result<(u64, Vec<WalNote>), String>;
+
+    /// Called once after all pairs resolve, before the first epoch —
+    /// the point where fleet state is constructed from pair results.
+    fn start_epochs(&mut self) -> Result<(), String>;
+
+    /// Deterministically re-execute a completed epoch during recovery,
+    /// returning its state digest for cross-checking against the WAL.
+    fn replay_epoch(&mut self, epoch: u64) -> Result<u64, String>;
+
+    /// Execute epoch `epoch`, returning the post-epoch state digest and
+    /// in-flight notes (health transitions) to journal.
+    fn apply_epoch(&mut self, epoch: u64) -> Result<(u64, Vec<WalNote>), String>;
+
+    /// Called after the final epoch: write final artifacts (telemetry).
+    fn finalize(&mut self) -> Result<(), String>;
+}
+
+/// Drives a [`ServiceState`] under the WAL discipline.
+pub struct Server {
+    wal_path: PathBuf,
+    chaos: ServeChaos,
+    writer_chaos: WriterChaos,
+    shutdown: Option<&'static AtomicBool>,
+}
+
+impl Server {
+    /// A server journaling to `wal_path` (conventionally
+    /// `<state-dir>/wal.jsonl`).
+    pub fn new(wal_path: &Path) -> Server {
+        Server {
+            wal_path: wal_path.to_path_buf(),
+            chaos: ServeChaos::default(),
+            writer_chaos: WriterChaos::default(),
+            shutdown: None,
+        }
+    }
+
+    /// Arm in-process chaos (tests).
+    pub fn with_chaos(mut self, chaos: ServeChaos) -> Server {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Arm out-of-process chaos: abort while appending a given seq.
+    pub fn with_writer_chaos(mut self, chaos: WriterChaos) -> Server {
+        self.writer_chaos = chaos;
+        self
+    }
+
+    /// Observe a shutdown flag between operations; when it flips, the
+    /// server journals a clean shutdown and returns
+    /// [`ServeOutcome::Interrupted`].
+    pub fn with_shutdown_flag(mut self, flag: &'static AtomicBool) -> Server {
+        self.shutdown = Some(flag);
+        self
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown
+            .map(|f| f.load(Ordering::SeqCst))
+            .unwrap_or(false)
+    }
+
+    fn crash_if_armed(&mut self, site: Site, writer: &WalWriter) -> Result<(), ServeError> {
+        if self.chaos.check(site) {
+            return Err(ServeError::SimulatedCrash {
+                site,
+                next_seq: writer.next_seq(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Run `state` to completion (or clean interruption) under the WAL.
+    pub fn run<S: ServiceState>(&mut self, state: &mut S) -> Result<ServeOutcome, ServeError> {
+        let requested = (state.label(), state.config_digest());
+        let mut report = RecoveryReport::default();
+
+        let (mut writer, view) = if self.wal_path.exists() {
+            let (records, torn) = read_wal(&self.wal_path)?;
+            let torn_bytes = match &torn {
+                Some(t) => {
+                    let len = std::fs::metadata(&self.wal_path)?.len();
+                    truncate_torn(&self.wal_path, t)?;
+                    len - t.valid_bytes
+                }
+                None => 0,
+            };
+            let view = replay(records, torn);
+            if let Some(found) = &view.run_start {
+                if *found != requested {
+                    return Err(ServeError::RunMismatch {
+                        found: found.clone(),
+                        requested,
+                    });
+                }
+            }
+            report.torn_bytes = torn_bytes;
+            report.prior_clean_shutdown = view.clean_shutdown;
+            report.prior_recoveries = view.recoveries;
+            let writer = WalWriter::append_to(&self.wal_path, view.next_seq)?;
+            (writer, Some(view))
+        } else {
+            (WalWriter::create(&self.wal_path)?, None)
+        };
+        writer.set_chaos(self.writer_chaos);
+
+        match &view {
+            Some(v) if v.run_start.is_some() => {
+                writer.append(&WalRecord::Recovery {
+                    resumed: v.completed.len() as u64,
+                    in_doubt: v.in_doubt.len() as u64,
+                    torn_bytes: report.torn_bytes,
+                })?;
+                writer.sync()?;
+            }
+            _ => {
+                writer.append(&WalRecord::RunStart {
+                    label: requested.0.clone(),
+                    config_digest: requested.1,
+                })?;
+                writer.sync()?;
+            }
+        }
+        let view = view.unwrap_or_default();
+
+        // ---- Phase 2: lifting pairs --------------------------------
+        for index in 0..state.pair_count() {
+            let op = OpId::pair(index);
+            if let Some(&journaled) = view.completed.get(&op) {
+                match state.restore_pair(index).map_err(ServeError::State)? {
+                    Some(restored) => {
+                        if restored != journaled {
+                            return Err(ServeError::DigestMismatch {
+                                op,
+                                journaled,
+                                restored,
+                            });
+                        }
+                        report.resumed_pairs += 1;
+                        continue;
+                    }
+                    // Artifact lost: fall through and re-execute.
+                    None => {}
+                }
+            }
+            if self.shutdown_requested() {
+                return self.clean_shutdown(&mut writer, report);
+            }
+            if view.in_doubt.contains(&op) || view.completed.contains_key(&op) {
+                report.reexecuted += 1;
+            }
+            self.execute(&mut writer, op, || state.apply_pair(index))?;
+        }
+
+        if self.shutdown_requested() {
+            return self.clean_shutdown(&mut writer, report);
+        }
+        state.start_epochs().map_err(ServeError::State)?;
+
+        // ---- Phase 3: fleet epochs ---------------------------------
+        for epoch in 0..state.epoch_count() {
+            let op = OpId::epoch(epoch);
+            if let Some(&journaled) = view.completed.get(&op) {
+                let restored = state.replay_epoch(epoch).map_err(ServeError::State)?;
+                if restored != journaled {
+                    return Err(ServeError::DigestMismatch {
+                        op,
+                        journaled,
+                        restored,
+                    });
+                }
+                report.resumed_epochs += 1;
+                continue;
+            }
+            if self.shutdown_requested() {
+                return self.clean_shutdown(&mut writer, report);
+            }
+            if view.in_doubt.contains(&op) {
+                report.reexecuted += 1;
+            }
+            self.execute(&mut writer, op, || state.apply_epoch(epoch))?;
+        }
+
+        state.finalize().map_err(ServeError::State)?;
+        if !view.run_complete {
+            writer.append(&WalRecord::RunComplete)?;
+        }
+        writer.append(&WalRecord::CleanShutdown)?;
+        writer.sync()?;
+        Ok(ServeOutcome::Completed(report))
+    }
+
+    fn clean_shutdown(
+        &mut self,
+        writer: &mut WalWriter,
+        report: RecoveryReport,
+    ) -> Result<ServeOutcome, ServeError> {
+        writer.append(&WalRecord::CleanShutdown)?;
+        writer.sync()?;
+        Ok(ServeOutcome::Interrupted(report))
+    }
+
+    fn execute<F>(&mut self, writer: &mut WalWriter, op: OpId, apply: F) -> Result<(), ServeError>
+    where
+        F: FnOnce() -> Result<(u64, Vec<WalNote>), String>,
+    {
+        writer.append(&WalRecord::Intent { op })?;
+        writer.sync()?;
+        self.crash_if_armed(Site::AfterIntent, writer)?;
+
+        let (digest, notes) = apply().map_err(ServeError::State)?;
+        self.crash_if_armed(Site::AfterApply, writer)?;
+
+        // Notes land before the completion record so the WAL's account
+        // of in-flight work is durable no later than the op itself.
+        for note in notes {
+            writer.append(&WalRecord::Note(note))?;
+        }
+        writer.append(&WalRecord::Complete { op, digest })?;
+        writer.sync()?;
+        self.crash_if_armed(Site::AfterComplete, writer)?;
+        Ok(())
+    }
+}
+
+/// Convenience: digest helper re-exported for `ServiceState` impls.
+pub fn digest_bytes(bytes: &[u8]) -> u64 {
+    fnv1a64(bytes)
+}
+
+/// Summarize a WAL for validation tooling: returns `(ops_completed,
+/// in_doubt, clean_shutdown, run_complete)` after full replay.
+pub fn wal_status(path: &Path) -> Result<WalReplay, WalError> {
+    let (records, torn) = read_wal(path)?;
+    Ok(replay(records, torn))
+}
+
+#[allow(unused_imports)]
+#[cfg(test)]
+pub(crate) mod toy {
+    //! A minimal deterministic `ServiceState` used by the crash-point
+    //! matrix tests: "pairs" square their index, "epochs" fold results
+    //! into an accumulator, artifacts are tiny files.
+
+    use super::*;
+    use std::fs;
+
+    pub struct ToyService {
+        pub dir: PathBuf,
+        pub pairs: u64,
+        pub epochs: u64,
+        pub results: Vec<Option<u64>>,
+        pub acc: u64,
+        pub applies: u64,
+    }
+
+    impl ToyService {
+        pub fn new(dir: &Path, pairs: u64, epochs: u64) -> ToyService {
+            ToyService {
+                dir: dir.to_path_buf(),
+                pairs,
+                epochs,
+                results: vec![None; pairs as usize],
+                acc: 0,
+                applies: 0,
+            }
+        }
+
+        fn pair_path(&self, index: u64) -> PathBuf {
+            self.dir.join(format!("pair-{index}.txt"))
+        }
+
+        fn epoch_digest(&self) -> u64 {
+            fnv1a64(format!("acc={}", self.acc).as_bytes())
+        }
+    }
+
+    impl ServiceState for ToyService {
+        fn label(&self) -> String {
+            "toy".to_string()
+        }
+
+        fn config_digest(&self) -> u64 {
+            fnv1a64(format!("pairs={},epochs={}", self.pairs, self.epochs).as_bytes())
+        }
+
+        fn pair_count(&self) -> u64 {
+            self.pairs
+        }
+
+        fn epoch_count(&self) -> u64 {
+            self.epochs
+        }
+
+        fn restore_pair(&mut self, index: u64) -> Result<Option<u64>, String> {
+            let path = self.pair_path(index);
+            if !path.exists() {
+                return Ok(None);
+            }
+            let text = fs::read_to_string(&path).map_err(|e| e.to_string())?;
+            let value: u64 = text
+                .trim()
+                .parse()
+                .map_err(|_| "bad artifact".to_string())?;
+            self.results[index as usize] = Some(value);
+            Ok(Some(fnv1a64(text.as_bytes())))
+        }
+
+        fn apply_pair(&mut self, index: u64) -> Result<(u64, Vec<WalNote>), String> {
+            self.applies += 1;
+            let value = index * index + 1;
+            let text = format!("{value}\n");
+            fs::write(self.pair_path(index), &text).map_err(|e| e.to_string())?;
+            self.results[index as usize] = Some(value);
+            let note = WalNote {
+                name: "round".to_string(),
+                fields: vec![("pair".to_string(), index.into())],
+            };
+            Ok((fnv1a64(text.as_bytes()), vec![note]))
+        }
+
+        fn start_epochs(&mut self) -> Result<(), String> {
+            self.acc = self.results.iter().map(|r| r.unwrap_or(0)).sum();
+            Ok(())
+        }
+
+        fn replay_epoch(&mut self, _epoch: u64) -> Result<u64, String> {
+            self.acc = self.acc.wrapping_mul(31).wrapping_add(7);
+            Ok(self.epoch_digest())
+        }
+
+        fn apply_epoch(&mut self, _epoch: u64) -> Result<(u64, Vec<WalNote>), String> {
+            self.applies += 1;
+            self.acc = self.acc.wrapping_mul(31).wrapping_add(7);
+            let note = WalNote {
+                name: "transition".to_string(),
+                fields: vec![("acc".to_string(), self.acc.into())],
+            };
+            Ok((self.epoch_digest(), vec![note]))
+        }
+
+        fn finalize(&mut self) -> Result<(), String> {
+            fs::write(self.dir.join("final.txt"), format!("{}\n", self.acc))
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::toy::ToyService;
+    use super::*;
+    use std::fs;
+
+    fn fresh_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("vega-serve-server-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn run_clean(dir: &Path) -> (ServeOutcome, String) {
+        let mut svc = ToyService::new(dir, 3, 4);
+        let mut server = Server::new(&dir.join("wal.jsonl"));
+        let outcome = server.run(&mut svc).expect("run");
+        let final_txt = fs::read_to_string(dir.join("final.txt")).expect("final");
+        (outcome, final_txt)
+    }
+
+    #[test]
+    fn clean_run_completes_with_no_residue() {
+        let dir = fresh_dir("clean");
+        let (outcome, _) = run_clean(&dir);
+        assert!(matches!(outcome, ServeOutcome::Completed(_)));
+        let status = wal_status(&dir.join("wal.jsonl")).expect("status");
+        assert!(status.in_doubt.is_empty());
+        assert!(status.clean_shutdown);
+        assert!(status.run_complete);
+        assert_eq!(status.completed.len(), 3 + 4);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_at_every_site_then_recover_converges() {
+        let baseline_dir = fresh_dir("matrix-baseline");
+        let (_, want_final) = run_clean(&baseline_dir);
+        let want_wal_ops = wal_status(&baseline_dir.join("wal.jsonl"))
+            .expect("status")
+            .completed;
+
+        // Kill at every site × every occurrence within the run (3 pairs
+        // + 4 epochs = 7 ops, each passing all 3 sites once).
+        for site in Site::ALL {
+            for occurrence in 0..7 {
+                let dir = fresh_dir(&format!("matrix-{}-{occurrence}", site.label()));
+                let wal = dir.join("wal.jsonl");
+                let mut svc = ToyService::new(&dir, 3, 4);
+                let err = Server::new(&wal)
+                    .with_chaos(ServeChaos::kill(site, occurrence))
+                    .run(&mut svc)
+                    .expect_err("chaos must fire");
+                assert!(
+                    matches!(err, ServeError::SimulatedCrash { .. }),
+                    "unexpected error at {} #{occurrence}: {err}",
+                    site.label()
+                );
+
+                // Restart with a fresh state object: recovery must
+                // reconstruct everything and converge.
+                let mut svc = ToyService::new(&dir, 3, 4);
+                let outcome = Server::new(&wal).run(&mut svc).expect("recovery run");
+                assert!(matches!(outcome, ServeOutcome::Completed(_)));
+                let got_final = fs::read_to_string(dir.join("final.txt")).expect("final");
+                assert_eq!(
+                    got_final,
+                    want_final,
+                    "final artifact diverged after crash at {} #{occurrence}",
+                    site.label()
+                );
+                let status = wal_status(&wal).expect("status");
+                assert!(status.in_doubt.is_empty(), "in-doubt residue");
+                assert!(status.clean_shutdown);
+                assert_eq!(status.completed, want_wal_ops, "op digests diverged");
+                assert_eq!(status.recoveries, 1);
+                fs::remove_dir_all(&dir).ok();
+            }
+        }
+        fs::remove_dir_all(&baseline_dir).ok();
+    }
+
+    #[test]
+    fn after_complete_crash_restores_without_reexecution() {
+        let dir = fresh_dir("restore");
+        let wal = dir.join("wal.jsonl");
+        let mut svc = ToyService::new(&dir, 3, 2);
+        // Crash right after pair 1 completed (occurrence 1 of the site).
+        let _ = Server::new(&wal)
+            .with_chaos(ServeChaos::kill(Site::AfterComplete, 1))
+            .run(&mut svc)
+            .expect_err("chaos");
+        let mut svc = ToyService::new(&dir, 3, 2);
+        let outcome = Server::new(&wal).run(&mut svc).expect("recover");
+        let report = outcome.report().clone();
+        assert_eq!(
+            report.resumed_pairs, 2,
+            "pairs 0 and 1 restore from artifacts"
+        );
+        assert_eq!(report.reexecuted, 0);
+        // Restored pairs must not re-run apply: only pair 2 + 2 epochs.
+        assert_eq!(svc.applies, 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_config_is_rejected() {
+        let dir = fresh_dir("mismatch");
+        let wal = dir.join("wal.jsonl");
+        let mut svc = ToyService::new(&dir, 3, 2);
+        Server::new(&wal).run(&mut svc).expect("first run");
+        let mut other = ToyService::new(&dir, 4, 2);
+        let err = Server::new(&wal).run(&mut other).expect_err("mismatch");
+        assert!(matches!(err, ServeError::RunMismatch { .. }));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shutdown_flag_interrupts_cleanly_and_resumes() {
+        static FLAG: AtomicBool = AtomicBool::new(false);
+        let dir = fresh_dir("shutdown");
+        let wal = dir.join("wal.jsonl");
+        FLAG.store(true, Ordering::SeqCst);
+        let mut svc = ToyService::new(&dir, 3, 2);
+        let outcome = Server::new(&wal)
+            .with_shutdown_flag(&FLAG)
+            .run(&mut svc)
+            .expect("interrupt");
+        assert!(matches!(outcome, ServeOutcome::Interrupted(_)));
+        let status = wal_status(&wal).expect("status");
+        assert!(status.clean_shutdown);
+        assert!(
+            status.in_doubt.is_empty(),
+            "clean shutdown leaves no in-doubt ops"
+        );
+        // Resume without the flag: completes from where it stopped.
+        FLAG.store(false, Ordering::SeqCst);
+        let mut svc = ToyService::new(&dir, 3, 2);
+        let outcome = Server::new(&wal).run(&mut svc).expect("resume");
+        assert!(matches!(outcome, ServeOutcome::Completed(_)));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let dir = fresh_dir("torn");
+        let wal = dir.join("wal.jsonl");
+        let mut svc = ToyService::new(&dir, 2, 1);
+        Server::new(&wal)
+            .with_chaos(ServeChaos::kill(Site::AfterIntent, 1))
+            .run(&mut svc)
+            .expect_err("chaos");
+        // Tear the final line by hand (simulate a mid-append kill).
+        let bytes = fs::read(&wal).expect("read");
+        fs::write(&wal, &bytes[..bytes.len() - 7]).expect("tear");
+        let mut svc = ToyService::new(&dir, 2, 1);
+        let outcome = Server::new(&wal).run(&mut svc).expect("recover");
+        let report = outcome.report();
+        assert!(report.torn_bytes > 0, "torn tail measured");
+        let status = wal_status(&wal).expect("status");
+        assert!(status.torn.is_none(), "file is whole again");
+        assert!(status.in_doubt.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,84 @@
+//! Graceful-shutdown signal plumbing.
+//!
+//! `vega serve` (and the long-running `lift`/`suite` subcommands) must
+//! turn SIGINT/SIGTERM into an orderly stop: finish the in-flight
+//! operation, flush the WAL, append a clean-shutdown record, exit 0.
+//! The handler here is the smallest async-signal-safe thing that works
+//! without adding a dependency: a `static AtomicBool` flipped from a
+//! raw `signal(2)` handler. Long-running loops poll [`flag`] between
+//! operations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide shutdown flag. Loops should poll this between
+/// durable operations and stop cleanly when it reads true.
+pub fn flag() -> &'static AtomicBool {
+    &SHUTDOWN
+}
+
+/// Whether a shutdown signal has been observed.
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Reset the flag (tests only — signals are process-global).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // POSIX signal(2); the only libc symbol we need, declared by
+        // hand to avoid pulling in the libc crate.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work: a relaxed atomic store.
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the POSIX libc entry point with the
+        // declared signature; the handler only touches an atomic.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install SIGINT/SIGTERM handlers that flip the shutdown flag.
+/// Idempotent; a no-op on non-unix targets.
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_is_settable() {
+        install();
+        reset();
+        assert!(!requested());
+        flag().store(true, std::sync::atomic::Ordering::SeqCst);
+        assert!(requested());
+        reset();
+    }
+}

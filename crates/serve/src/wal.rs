@@ -1,0 +1,815 @@
+//! The `wal.*` record family: a schema-versioned JSONL write-ahead log.
+//!
+//! The WAL extends the `vega-obs` journal idiom — one JSON object per
+//! line, a `v` schema version and a gapless `seq` on every line, a
+//! canonical (sorted-field) encoding — with a **commit/apply discipline**
+//! for durable operations:
+//!
+//! 1. append an [`WalRecord::Intent`] record and fsync (*commit point*:
+//!    after this, a restarted process knows the operation may have had
+//!    effects),
+//! 2. apply the operation (mutate state, write artifacts),
+//! 3. append the matching [`WalRecord::Complete`] record carrying a
+//!    digest of the operation's result, and fsync.
+//!
+//! An operation whose intent is on disk but whose completion is not is
+//! **in doubt**: after a crash it must be re-executed (operations are
+//! deterministic, so re-execution converges on the same state — the
+//! "detectable recoverability" discipline). [`read_wal`] tolerates the
+//! torn final line a mid-append kill produces, returning the valid
+//! prefix plus a typed [`TornTail`] diagnostic.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+
+use vega_obs::json::{parse_json, Json};
+
+/// Version stamped into the `v` field of every WAL line. Bump on any
+/// change to the record shapes; the loader rejects newer versions.
+pub const WAL_FORMAT_VERSION: u32 = 1;
+
+/// The operation families a WAL journals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// One Error-Lifting pair (Phase 2).
+    Pair,
+    /// One fleet scheduler epoch (Phase 3).
+    Epoch,
+}
+
+impl OpKind {
+    /// Wire name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OpKind::Pair => "pair",
+            OpKind::Epoch => "epoch",
+        }
+    }
+
+    fn parse(s: &str) -> Option<OpKind> {
+        match s {
+            "pair" => Some(OpKind::Pair),
+            "epoch" => Some(OpKind::Epoch),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Identifies one durable operation within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId {
+    /// The operation family.
+    pub kind: OpKind,
+    /// Index within the family (pair index, epoch number).
+    pub index: u64,
+}
+
+impl OpId {
+    /// A pair operation.
+    pub fn pair(index: u64) -> OpId {
+        OpId {
+            kind: OpKind::Pair,
+            index,
+        }
+    }
+
+    /// An epoch operation.
+    pub fn epoch(index: u64) -> OpId {
+        OpId {
+            kind: OpKind::Epoch,
+            index,
+        }
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.kind, self.index)
+    }
+}
+
+/// A typed field value on a [`WalNote`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalValue {
+    /// Unsigned integer payload (indices, budgets, counts).
+    U64(u64),
+    /// String payload (labels, state names).
+    Str(String),
+}
+
+impl From<u64> for WalValue {
+    fn from(v: u64) -> Self {
+        WalValue::U64(v)
+    }
+}
+
+impl From<&str> for WalValue {
+    fn from(v: &str) -> Self {
+        WalValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for WalValue {
+    fn from(v: String) -> Self {
+        WalValue::Str(v)
+    }
+}
+
+/// An informational record journaled *between* an operation's intent and
+/// completion: in-flight budget rounds, per-machine health transitions.
+/// Notes are never required for recovery (the operation re-executes as a
+/// whole), but they make the WAL an exact account of what was in flight
+/// when a crash hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalNote {
+    /// Note family, e.g. `round` or `transition`.
+    pub name: String,
+    /// Structured fields (canonically sorted by key when encoded).
+    pub fields: Vec<(String, WalValue)>,
+}
+
+/// One write-ahead-log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// First record of a run: names the run and fingerprints its
+    /// configuration so a restart can refuse to mix incompatible state.
+    RunStart {
+        /// Human-readable run label (unit name etc.).
+        label: String,
+        /// Digest of every configuration knob that affects results.
+        config_digest: u64,
+    },
+    /// Commit point of one operation (written *before* any effect).
+    Intent {
+        /// The operation being started.
+        op: OpId,
+    },
+    /// In-flight annotation (see [`WalNote`]).
+    Note(WalNote),
+    /// The operation applied fully; `digest` fingerprints its result.
+    Complete {
+        /// The operation that finished.
+        op: OpId,
+        /// Digest of the operation's durable result.
+        digest: u64,
+    },
+    /// Written by a restarted process after replaying the WAL.
+    Recovery {
+        /// Operations restored from prior completions.
+        resumed: u64,
+        /// Operations found in doubt (intent without completion).
+        in_doubt: u64,
+        /// Bytes of torn tail truncated from the file, 0 if none.
+        torn_bytes: u64,
+    },
+    /// Every configured operation completed and artifacts are final.
+    RunComplete,
+    /// The process exited deliberately with no operation in flight.
+    CleanShutdown,
+}
+
+impl WalRecord {
+    /// The `kind` discriminator used on the wire.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            WalRecord::RunStart { .. } => "wal.run_start",
+            WalRecord::Intent { .. } => "wal.intent",
+            WalRecord::Note(_) => "wal.note",
+            WalRecord::Complete { .. } => "wal.complete",
+            WalRecord::Recovery { .. } => "wal.recovery",
+            WalRecord::RunComplete => "wal.run_complete",
+            WalRecord::CleanShutdown => "wal.clean_shutdown",
+        }
+    }
+
+    /// Encode this record as one canonical JSONL line (no newline).
+    pub fn to_line(&self, seq: u64) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"v\":{WAL_FORMAT_VERSION},\"seq\":{seq},\"kind\":\"{}\"",
+            self.kind_str()
+        );
+        match self {
+            WalRecord::RunStart {
+                label,
+                config_digest,
+            } => {
+                out.push_str(",\"label\":\"");
+                escape_json(&mut out, label);
+                let _ = write!(out, "\",\"config_digest\":{config_digest}");
+            }
+            WalRecord::Intent { op } => {
+                let _ = write!(out, ",\"op\":\"{}\",\"index\":{}", op.kind, op.index);
+            }
+            WalRecord::Note(note) => {
+                out.push_str(",\"name\":\"");
+                escape_json(&mut out, &note.name);
+                out.push_str("\",\"fields\":{");
+                let mut sorted: Vec<&(String, WalValue)> = note.fields.iter().collect();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                for (i, (k, v)) in sorted.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_json(&mut out, k);
+                    out.push_str("\":");
+                    match v {
+                        WalValue::U64(n) => {
+                            let _ = write!(out, "{n}");
+                        }
+                        WalValue::Str(s) => {
+                            out.push('"');
+                            escape_json(&mut out, s);
+                            out.push('"');
+                        }
+                    }
+                }
+                out.push('}');
+            }
+            WalRecord::Complete { op, digest } => {
+                let _ = write!(
+                    out,
+                    ",\"op\":\"{}\",\"index\":{},\"digest\":{digest}",
+                    op.kind, op.index
+                );
+            }
+            WalRecord::Recovery {
+                resumed,
+                in_doubt,
+                torn_bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"resumed\":{resumed},\"in_doubt\":{in_doubt},\"torn_bytes\":{torn_bytes}"
+                );
+            }
+            WalRecord::RunComplete | WalRecord::CleanShutdown => {}
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn escape_json(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Why a WAL failed to load or validate.
+#[derive(Debug)]
+pub enum WalError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// A non-final line was not valid JSON (1-based line, message).
+    Parse(usize, String),
+    /// A line declared a schema version newer than this build reads.
+    UnsupportedVersion {
+        /// 1-based line number.
+        line: usize,
+        /// The `v` the line declared.
+        found: u32,
+        /// The version this loader understands.
+        supported: u32,
+    },
+    /// A line is structurally invalid (missing field, unknown kind,
+    /// sequence gap).
+    Invalid(usize, String),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "cannot read WAL: {e}"),
+            WalError::Parse(line, msg) => write!(f, "wal line {line}: bad JSON: {msg}"),
+            WalError::UnsupportedVersion {
+                line,
+                found,
+                supported,
+            } => write!(
+                f,
+                "wal line {line}: schema version {found} unsupported (this build reads v{supported})"
+            ),
+            WalError::Invalid(line, msg) => write!(f, "wal line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Diagnostic for a truncated final line — the torn-write state a kill
+/// mid-append produces. The file's first `valid_bytes` bytes form a
+/// well-formed WAL; everything after is the torn fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// 1-based line number of the torn line.
+    pub line: usize,
+    /// Byte offset where the valid prefix ends (= where to truncate).
+    pub valid_bytes: u64,
+    /// The torn fragment (possibly clipped), for diagnostics.
+    pub fragment: String,
+}
+
+fn field_u64(obj: &Json, key: &str, line: usize) -> Result<u64, WalError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| WalError::Invalid(line, format!("missing or non-integer `{key}`")))
+}
+
+fn field_str(obj: &Json, key: &str, line: usize) -> Result<String, WalError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| WalError::Invalid(line, format!("missing or non-string `{key}`")))
+}
+
+fn field_op(obj: &Json, line: usize) -> Result<OpId, WalError> {
+    let kind_str = field_str(obj, "op", line)?;
+    let kind = OpKind::parse(&kind_str)
+        .ok_or_else(|| WalError::Invalid(line, format!("unknown op kind `{kind_str}`")))?;
+    Ok(OpId {
+        kind,
+        index: field_u64(obj, "index", line)?,
+    })
+}
+
+fn parse_record(obj: &Json, line: usize) -> Result<WalRecord, WalError> {
+    let kind = field_str(obj, "kind", line)?;
+    match kind.as_str() {
+        "wal.run_start" => Ok(WalRecord::RunStart {
+            label: field_str(obj, "label", line)?,
+            config_digest: field_u64(obj, "config_digest", line)?,
+        }),
+        "wal.intent" => Ok(WalRecord::Intent {
+            op: field_op(obj, line)?,
+        }),
+        "wal.note" => {
+            let entries = obj.get("fields").and_then(Json::entries).ok_or_else(|| {
+                WalError::Invalid(line, "missing or non-object `fields`".to_string())
+            })?;
+            let mut fields = Vec::with_capacity(entries.len());
+            for (k, v) in entries {
+                let value = match v {
+                    Json::U64(n) => WalValue::U64(*n),
+                    Json::Str(s) => WalValue::Str(s.clone()),
+                    other => {
+                        return Err(WalError::Invalid(
+                            line,
+                            format!("note field `{k}` has unsupported type: {other}"),
+                        ))
+                    }
+                };
+                fields.push((k.clone(), value));
+            }
+            Ok(WalRecord::Note(WalNote {
+                name: field_str(obj, "name", line)?,
+                fields,
+            }))
+        }
+        "wal.complete" => Ok(WalRecord::Complete {
+            op: field_op(obj, line)?,
+            digest: field_u64(obj, "digest", line)?,
+        }),
+        "wal.recovery" => Ok(WalRecord::Recovery {
+            resumed: field_u64(obj, "resumed", line)?,
+            in_doubt: field_u64(obj, "in_doubt", line)?,
+            torn_bytes: field_u64(obj, "torn_bytes", line)?,
+        }),
+        "wal.run_complete" => Ok(WalRecord::RunComplete),
+        "wal.clean_shutdown" => Ok(WalRecord::CleanShutdown),
+        other => Err(WalError::Invalid(
+            line,
+            format!("unknown record kind `{other}`"),
+        )),
+    }
+}
+
+/// Parse WAL text, tolerating a torn final line.
+///
+/// Validation enforces: every complete line parses, declares a supported
+/// schema version, and carries a contiguous `seq` from 0. A **final**
+/// line that fails to parse as JSON is the torn-write signature and is
+/// returned as a [`TornTail`] instead of an error; a malformed line
+/// *followed by further lines* is corruption and stays an error.
+pub fn parse_wal(text: &str) -> Result<(Vec<WalRecord>, Option<TornTail>), WalError> {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    let mut line_no = 0usize;
+    let mut chunks = text.split_inclusive('\n').peekable();
+    while let Some(raw) = chunks.next() {
+        line_no += 1;
+        let start = offset;
+        offset += raw.len();
+        let content = raw.trim_end_matches(['\n', '\r']);
+        if content.trim().is_empty() {
+            continue;
+        }
+        let is_last = chunks.peek().is_none() || text[offset..].trim().is_empty();
+        let obj = match parse_json(content) {
+            Ok(obj) => obj,
+            Err(_) if is_last => {
+                let mut fragment = content.to_string();
+                fragment.truncate(120);
+                return Ok((
+                    records,
+                    Some(TornTail {
+                        line: line_no,
+                        valid_bytes: start as u64,
+                        fragment,
+                    }),
+                ));
+            }
+            Err(e) => return Err(WalError::Parse(line_no, e)),
+        };
+        let v = field_u64(&obj, "v", line_no)? as u32;
+        if v != WAL_FORMAT_VERSION {
+            return Err(WalError::UnsupportedVersion {
+                line: line_no,
+                found: v,
+                supported: WAL_FORMAT_VERSION,
+            });
+        }
+        let seq = field_u64(&obj, "seq", line_no)?;
+        if seq != records.len() as u64 {
+            return Err(WalError::Invalid(
+                line_no,
+                format!("sequence gap: expected seq {}, found {seq}", records.len()),
+            ));
+        }
+        records.push(parse_record(&obj, line_no)?);
+    }
+    Ok((records, None))
+}
+
+/// Read and parse the WAL at `path` (see [`parse_wal`]).
+pub fn read_wal(path: &Path) -> Result<(Vec<WalRecord>, Option<TornTail>), WalError> {
+    let bytes = std::fs::read(path)?;
+    let text = String::from_utf8_lossy(&bytes);
+    parse_wal(&text)
+}
+
+/// Truncate the torn fragment off the end of the WAL file, restoring the
+/// well-formed prefix [`parse_wal`] identified.
+pub fn truncate_torn(path: &Path, torn: &TornTail) -> std::io::Result<()> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(torn.valid_bytes)?;
+    file.sync_all()?;
+    Ok(())
+}
+
+/// Everything a restarted process learns from replaying the WAL.
+#[derive(Debug, Clone, Default)]
+pub struct WalReplay {
+    /// Parsed records, in sequence order (torn tail excluded).
+    pub records: Vec<WalRecord>,
+    /// The torn tail, if the file ends mid-line.
+    pub torn: Option<TornTail>,
+    /// The sequence number the next appended record must carry.
+    pub next_seq: u64,
+    /// The run identity, if a `wal.run_start` record exists.
+    pub run_start: Option<(String, u64)>,
+    /// Digest per completed operation (last completion wins).
+    pub completed: BTreeMap<OpId, u64>,
+    /// Operations with an intent but no completion: must re-execute.
+    pub in_doubt: BTreeSet<OpId>,
+    /// Whether the final record is a clean-shutdown marker.
+    pub clean_shutdown: bool,
+    /// Whether a `wal.run_complete` record exists.
+    pub run_complete: bool,
+    /// How many `wal.recovery` records exist (= prior restarts).
+    pub recoveries: u64,
+}
+
+/// Replay parsed records into the aggregate view recovery needs.
+pub fn replay(records: Vec<WalRecord>, torn: Option<TornTail>) -> WalReplay {
+    let mut out = WalReplay {
+        next_seq: records.len() as u64,
+        clean_shutdown: matches!(records.last(), Some(WalRecord::CleanShutdown)),
+        torn,
+        ..WalReplay::default()
+    };
+    for record in &records {
+        match record {
+            WalRecord::RunStart {
+                label,
+                config_digest,
+            } => {
+                out.run_start = Some((label.clone(), *config_digest));
+            }
+            WalRecord::Intent { op } => {
+                out.in_doubt.insert(*op);
+            }
+            WalRecord::Complete { op, digest } => {
+                out.in_doubt.remove(op);
+                out.completed.insert(*op, *digest);
+            }
+            WalRecord::Recovery { .. } => out.recoveries += 1,
+            WalRecord::RunComplete => out.run_complete = true,
+            WalRecord::Note(_) | WalRecord::CleanShutdown => {}
+        }
+    }
+    out
+}
+
+/// Chaos injection for the WAL appender: abort the whole process while
+/// (or right after) writing the record with a given sequence number —
+/// the out-of-process half of the kill-at-random-points harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriterChaos {
+    /// Abort while appending this sequence number.
+    pub abort_at_seq: Option<u64>,
+    /// Tear the write: emit only a prefix of the line, then abort —
+    /// produces exactly the truncated-final-line state recovery must
+    /// tolerate. When false the full line (and fsync) lands first, so
+    /// the crash point is *after* the record is durable.
+    pub torn: bool,
+}
+
+/// Appends records to a WAL file with explicit fsync control.
+///
+/// The writer holds no buffer: every append goes straight to the file
+/// descriptor, so the on-disk state after a kill is exactly the sequence
+/// of appends that happened (plus at most one torn line).
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    next_seq: u64,
+    chaos: WriterChaos,
+}
+
+impl WalWriter {
+    /// Create (truncating) a fresh WAL at `path`.
+    pub fn create(path: &Path) -> std::io::Result<WalWriter> {
+        let file = File::create(path)?;
+        Ok(WalWriter {
+            file,
+            next_seq: 0,
+            chaos: WriterChaos::default(),
+        })
+    }
+
+    /// Open an existing WAL for appending; `next_seq` must be the value
+    /// [`WalReplay::next_seq`] reported (after any torn-tail truncation).
+    pub fn append_to(path: &Path, next_seq: u64) -> std::io::Result<WalWriter> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(WalWriter {
+            file,
+            next_seq,
+            chaos: WriterChaos::default(),
+        })
+    }
+
+    /// Arm chaos injection (see [`WriterChaos`]).
+    pub fn set_chaos(&mut self, chaos: WriterChaos) {
+        self.chaos = chaos;
+    }
+
+    /// The sequence number the next append will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Append one record, returning its sequence number. Does **not**
+    /// fsync — call [`WalWriter::sync`] at commit points.
+    pub fn append(&mut self, record: &WalRecord) -> std::io::Result<u64> {
+        let seq = self.next_seq;
+        let line = record.to_line(seq);
+        if self.chaos.abort_at_seq == Some(seq) {
+            if self.chaos.torn {
+                // Tear the line mid-write: half the bytes, no newline.
+                let half = &line.as_bytes()[..line.len() / 2];
+                self.file.write_all(half)?;
+            } else {
+                self.file.write_all(line.as_bytes())?;
+                self.file.write_all(b"\n")?;
+            }
+            let _ = self.file.sync_data();
+            std::process::abort();
+        }
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// fsync the WAL file (the commit point of the discipline).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — the digest used to fingerprint operation
+/// results and run configurations in WAL records. Not cryptographic;
+/// chosen for determinism and zero dependencies.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("vega-serve-wal-{}-{name}", std::process::id()))
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::RunStart {
+                label: "adder".into(),
+                config_digest: 0xdead_beef,
+            },
+            WalRecord::Intent { op: OpId::pair(0) },
+            // Fields in sorted-key order: the canonical encoding sorts
+            // keys, so parse round-trips return them in this order.
+            WalRecord::Note(WalNote {
+                name: "round".into(),
+                fields: vec![
+                    ("budget".into(), WalValue::U64(256)),
+                    ("pair".into(), WalValue::U64(0)),
+                ],
+            }),
+            WalRecord::Complete {
+                op: OpId::pair(0),
+                digest: 42,
+            },
+            WalRecord::Intent { op: OpId::epoch(0) },
+            WalRecord::Note(WalNote {
+                name: "transition".into(),
+                fields: vec![
+                    ("from".into(), WalValue::Str("healthy".into())),
+                    ("machine".into(), WalValue::U64(3)),
+                    ("to".into(), WalValue::Str("suspected".into())),
+                ],
+            }),
+            WalRecord::Complete {
+                op: OpId::epoch(0),
+                digest: 7,
+            },
+            WalRecord::Recovery {
+                resumed: 1,
+                in_doubt: 0,
+                torn_bytes: 17,
+            },
+            WalRecord::RunComplete,
+            WalRecord::CleanShutdown,
+        ]
+    }
+
+    fn encode(records: &[WalRecord]) -> String {
+        let mut text = String::new();
+        for (i, r) in records.iter().enumerate() {
+            text.push_str(&r.to_line(i as u64));
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn records_round_trip_through_lines() {
+        let records = sample_records();
+        let (parsed, torn) = parse_wal(&encode(&records)).expect("parses");
+        assert!(torn.is_none());
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn torn_final_line_returns_valid_prefix() {
+        let records = sample_records();
+        let text = encode(&records);
+        // Truncate mid-way through the final line.
+        let cut = text.len() - 12;
+        let (parsed, torn) = parse_wal(&text[..cut]).expect("tolerates torn tail");
+        let torn = torn.expect("torn tail detected");
+        assert_eq!(parsed.len(), records.len() - 1);
+        assert_eq!(torn.line, records.len());
+        // valid_bytes points exactly at the start of the torn line.
+        assert!(text[..torn.valid_bytes as usize].ends_with('\n'));
+        let (again, none) = parse_wal(&text[..torn.valid_bytes as usize]).expect("prefix parses");
+        assert_eq!(again.len(), records.len() - 1);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn torn_middle_line_is_an_error() {
+        let records = sample_records();
+        let mut text = String::new();
+        text.push_str(&records[0].to_line(0));
+        text.push('\n');
+        text.push_str("{\"v\":1,\"seq\":1,\"kind\":\"wal.int"); // torn, but not final
+        text.push('\n');
+        text.push_str(&records[1].to_line(2));
+        text.push('\n');
+        assert!(matches!(parse_wal(&text), Err(WalError::Parse(2, _))));
+    }
+
+    #[test]
+    fn rejects_future_version_and_seq_gap() {
+        let future = "{\"v\":9,\"seq\":0,\"kind\":\"wal.clean_shutdown\"}";
+        assert!(matches!(
+            parse_wal(future),
+            Err(WalError::UnsupportedVersion { found: 9, .. })
+        ));
+        let gap = "{\"v\":1,\"seq\":0,\"kind\":\"wal.clean_shutdown\"}\n\
+                   {\"v\":1,\"seq\":2,\"kind\":\"wal.clean_shutdown\"}";
+        assert!(matches!(parse_wal(gap), Err(WalError::Invalid(2, _))));
+    }
+
+    #[test]
+    fn replay_tracks_completion_and_doubt() {
+        let records = vec![
+            WalRecord::RunStart {
+                label: "x".into(),
+                config_digest: 1,
+            },
+            WalRecord::Intent { op: OpId::pair(0) },
+            WalRecord::Complete {
+                op: OpId::pair(0),
+                digest: 5,
+            },
+            WalRecord::Intent { op: OpId::pair(1) },
+        ];
+        let view = replay(records, None);
+        assert_eq!(view.completed.get(&OpId::pair(0)), Some(&5));
+        assert!(view.in_doubt.contains(&OpId::pair(1)));
+        assert!(!view.clean_shutdown);
+        assert_eq!(view.next_seq, 4);
+        assert_eq!(view.run_start, Some(("x".to_string(), 1)));
+    }
+
+    #[test]
+    fn writer_appends_and_reloads() {
+        let path = tmp("writer.jsonl");
+        {
+            let mut w = WalWriter::create(&path).expect("create");
+            for r in sample_records() {
+                w.append(&r).expect("append");
+            }
+            w.sync().expect("sync");
+        }
+        let (records, torn) = read_wal(&path).expect("reload");
+        assert!(torn.is_none());
+        assert_eq!(records, sample_records());
+        // Append more after reopening.
+        let mut w = WalWriter::append_to(&path, records.len() as u64).expect("reopen");
+        w.append(&WalRecord::CleanShutdown).expect("append");
+        w.sync().expect("sync");
+        let (records, _) = read_wal(&path).expect("reload");
+        assert_eq!(records.len(), sample_records().len() + 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncate_torn_restores_prefix() {
+        let path = tmp("truncate.jsonl");
+        let records = sample_records();
+        let text = encode(&records);
+        std::fs::write(&path, &text[..text.len() - 9]).expect("write torn");
+        let (_, torn) = read_wal(&path).expect("read");
+        let torn = torn.expect("torn");
+        truncate_torn(&path, &torn).expect("truncate");
+        let (records_after, none) = read_wal(&path).expect("read clean");
+        assert!(none.is_none());
+        assert_eq!(records_after.len(), records.len() - 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+}

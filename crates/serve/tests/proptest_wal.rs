@@ -1,0 +1,110 @@
+//! Property tests for the WAL: arbitrary record streams survive an
+//! encode → parse round-trip, and truncating the encoded text at any
+//! byte either yields the full valid prefix plus a torn-tail
+//! diagnostic or (on a line boundary) a shorter valid WAL.
+
+use proptest::prelude::*;
+
+use vega_serve::wal::{parse_wal, OpId, OpKind, WalNote, WalRecord, WalValue};
+
+fn arb_op() -> impl Strategy<Value = OpId> {
+    (
+        prop_oneof![Just(OpKind::Pair), Just(OpKind::Epoch)],
+        0u64..1000,
+    )
+        .prop_map(|(kind, index)| match kind {
+            OpKind::Pair => OpId::pair(index),
+            OpKind::Epoch => OpId::epoch(index),
+        })
+}
+
+fn arb_value() -> impl Strategy<Value = WalValue> {
+    prop_oneof![
+        any::<u64>().prop_map(WalValue::U64),
+        // Printable-plus-escapes strings exercise the JSON escaper.
+        "[ -~\\n\\t\"\\\\]{0,24}".prop_map(WalValue::Str),
+    ]
+}
+
+fn arb_note() -> impl Strategy<Value = WalNote> {
+    (
+        "[a-z][a-z0-9_.]{0,15}",
+        proptest::collection::btree_map("[a-z][a-z0-9_]{0,7}", arb_value(), 0..5),
+    )
+        .prop_map(|(name, fields)| WalNote {
+            // BTreeMap keys are unique and sorted — the canonical field
+            // order the encoder emits, so round-trips compare equal.
+            name,
+            fields: fields.into_iter().collect(),
+        })
+}
+
+fn arb_record() -> impl Strategy<Value = WalRecord> {
+    prop_oneof![
+        ("[ -~]{0,24}", any::<u64>()).prop_map(|(label, config_digest)| WalRecord::RunStart {
+            label,
+            config_digest,
+        }),
+        arb_op().prop_map(|op| WalRecord::Intent { op }),
+        arb_note().prop_map(WalRecord::Note),
+        (arb_op(), any::<u64>()).prop_map(|(op, digest)| WalRecord::Complete { op, digest }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(resumed, in_doubt, torn_bytes)| {
+            WalRecord::Recovery {
+                resumed,
+                in_doubt,
+                torn_bytes,
+            }
+        }),
+        Just(WalRecord::RunComplete),
+        Just(WalRecord::CleanShutdown),
+    ]
+}
+
+fn encode(records: &[WalRecord]) -> String {
+    let mut text = String::new();
+    for (i, r) in records.iter().enumerate() {
+        text.push_str(&r.to_line(i as u64));
+        text.push('\n');
+    }
+    text
+}
+
+proptest! {
+    #[test]
+    fn records_round_trip(records in proptest::collection::vec(arb_record(), 0..20)) {
+        let text = encode(&records);
+        let (parsed, torn) = parse_wal(&text).expect("encoded WAL parses");
+        prop_assert!(torn.is_none());
+        prop_assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn any_truncation_yields_valid_prefix(
+        records in proptest::collection::vec(arb_record(), 1..12),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let text = encode(&records);
+        let mut cut = ((text.len() as f64) * cut_frac) as usize;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &text[..cut];
+        let (parsed, torn) = parse_wal(truncated).expect("truncation is tolerated");
+        match torn {
+            Some(t) => {
+                // The reported valid prefix must itself parse cleanly and
+                // agree with the already-returned records.
+                let prefix = &truncated[..t.valid_bytes as usize];
+                let (again, none) = parse_wal(prefix).expect("valid prefix parses");
+                prop_assert!(none.is_none());
+                prop_assert_eq!(again.len(), parsed.len());
+            }
+            None => {
+                // Cut landed on a line boundary: a shorter valid WAL.
+                prop_assert!(parsed.len() <= records.len());
+            }
+        }
+        // Parsed records are always a prefix of the originals.
+        prop_assert_eq!(&records[..parsed.len()], &parsed[..]);
+    }
+}
