@@ -40,10 +40,14 @@ COMMANDS:
                 path — phase timings, solver effort, and fleet latency
                 from a recorded run (`vega report run.jsonl [--prom]`)
     fleet       simulate fleet-scale detection: scheduling, quarantine,
-                telemetry (phases 1-2 feed the machine population)
+                telemetry (phases 1-2 feed the machine population);
+                --sp-mode picks how Phase-1 SP assessment is obtained
+    predict     train/eval/inspect the SP predictor that replaces exact
+                Phase-1 profiling (`vega predict train|eval|inspect`)
     serve       crash-recoverable service mode: run phases 2-3 under a
                 write-ahead log; a killed run resumes exactly where it
-                stopped (same --state-dir, same arguments)
+                stopped (same --state-dir, same arguments);
+                --status prints the WAL state read-only instead
 
 COMMON OPTIONS:
     --unit <alu|fpu|adder>    unit under analysis     [default: alu]
@@ -75,11 +79,28 @@ FLEET OPTIONS:
     --fault-fraction <f64>    expected faulty fraction       [default: 0.25]
     --out <path>              also write the telemetry JSON to a file
                               (it always streams to stdout)
+    --sp-mode <mode>          exact|predicted|predicted-fallback: how each
+                              machine's Phase-1 SP assessment is obtained
+                              [default: no assessment]
+    --guard-band <ns>         (predicted-fallback) escalate a machine to
+                              exact profiling when its predicted worst
+                              margin is within this band of zero slack
+                              [default: 0.005]
+
+PREDICT OPTIONS (also apply to fleet --sp-mode):
+    --trainer <name>          ridge|boosted                  [default: ridge]
+    --holdout <f64>           holdout fraction for eval      [default: 0.25]
+    --probe-cycles <n>        probe-profile cycles feeding the stimulus
+                              summary features               [default: 256]
+    --model <path>            (eval|inspect) saved model JSON to load
 
 SERVE OPTIONS:
     --state-dir <dir>         (serve, required) directory holding the WAL
                               (wal.jsonl), the lifting checkpoint, and the
                               final telemetry artifact
+    --status                  print the WAL's recovery state (last sequence,
+                              completed/in-doubt ops, clean-shutdown flag)
+                              without running or mutating anything
     --chaos-kill-seq <n>      (serve, tests) abort the process while
                               appending WAL sequence number n
     --chaos-torn              (serve, tests) make that abort tear the WAL
@@ -115,8 +136,16 @@ struct Options {
     state_dir: Option<String>,
     chaos_kill_seq: Option<u64>,
     chaos_torn: bool,
+    sp_mode: Option<SpMode>,
+    guard_band: f64,
+    trainer: TrainerKind,
+    holdout: f64,
+    probe_cycles: usize,
+    model: Option<String>,
+    status: bool,
     /// First bare (non-flag) argument: the journal path for
-    /// `vega report <journal.jsonl>`.
+    /// `vega report <journal.jsonl>`, or the action for
+    /// `vega predict <train|eval|inspect>`.
     journal: Option<String>,
 }
 
@@ -148,6 +177,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         state_dir: None,
         chaos_kill_seq: None,
         chaos_torn: false,
+        sp_mode: None,
+        guard_band: 0.005,
+        trainer: TrainerKind::Ridge,
+        holdout: 0.25,
+        probe_cycles: 256,
+        model: None,
+        status: false,
         journal: None,
     };
     let mut iter = args.iter();
@@ -242,6 +278,25 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--chaos-torn" => options.chaos_torn = true,
+            "--sp-mode" => options.sp_mode = Some(value("--sp-mode")?.parse()?),
+            "--guard-band" => {
+                options.guard_band = value("--guard-band")?
+                    .parse()
+                    .map_err(|e| format!("--guard-band: {e}"))?
+            }
+            "--trainer" => options.trainer = value("--trainer")?.parse()?,
+            "--holdout" => {
+                options.holdout = value("--holdout")?
+                    .parse()
+                    .map_err(|e| format!("--holdout: {e}"))?
+            }
+            "--probe-cycles" => {
+                options.probe_cycles = value("--probe-cycles")?
+                    .parse()
+                    .map_err(|e| format!("--probe-cycles: {e}"))?
+            }
+            "--model" => options.model = Some(value("--model")?),
+            "--status" => options.status = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other if !other.starts_with('-') && options.journal.is_none() => {
                 options.journal = Some(other.to_string())
@@ -537,7 +592,7 @@ fn cmd_fleet(options: &Options) -> Result<(), String> {
         .take(options.pairs)
         .collect();
     let report = lift_errors(&unit, &pairs, &config);
-    let pool = build_unit_pool(&options.unit, &unit, &analysis, &report);
+    let mut pool = build_unit_pool(&options.unit, &unit, &analysis, &report);
     if pool.suite.is_empty() {
         return Err(format!(
             "unit `{}` lifted no test cases; a fleet without tests cannot detect anything \
@@ -546,10 +601,11 @@ fn cmd_fleet(options: &Options) -> Result<(), String> {
         ));
     }
     eprintln!(
-        "pool `{}`: {} tests, {} fault candidates",
+        "pool `{}`: {} tests, {} fault candidates, {} risk paths",
         pool.name,
         pool.suite.len(),
-        pool.candidates.len()
+        pool.candidates.len(),
+        pool.risk.len()
     );
     let mut fleet_config = FleetConfig::new(
         options.machines,
@@ -559,6 +615,33 @@ fn cmd_fleet(options: &Options) -> Result<(), String> {
     );
     fleet_config.budget_cycles = options.budget;
     fleet_config.fault_fraction = options.fault_fraction;
+    if let Some(mode) = options.sp_mode {
+        let train_options = TrainOptions {
+            trainer: options.trainer,
+            seed: options.seed,
+            holdout_fraction: options.holdout,
+            ..TrainOptions::default()
+        };
+        let eval = attach_sp_predictor(
+            &mut pool,
+            &unit,
+            &analysis,
+            &config,
+            options.probe_cycles,
+            &train_options,
+        )
+        .map_err(|e| e.to_string())?;
+        eprintln!(
+            "sp predictor ({}): holdout MAE {:.4}, spearman {:.2} over {} nets",
+            options.trainer.label(),
+            eval.mae_holdout,
+            eval.spearman_holdout,
+            eval.n_train + eval.n_holdout
+        );
+        fleet_config.sp_mode = Some(mode);
+        fleet_config.sp_guard_band_ns = options.guard_band;
+        fleet_config.sp_profile_cycles = options.profile_cycles;
+    }
     let mut fleet = Fleet::build(vec![pool], fleet_config);
     fleet.set_obs(config.obs.clone());
     eprintln!(
@@ -583,6 +666,17 @@ fn cmd_fleet(options: &Options) -> Result<(), String> {
         s.total_tests,
         s.total_cycles
     );
+    if s.sp_mode != "none" {
+        eprintln!(
+            "phase1 sp: mode {} | {} exact profiles, {} predicted, {} escalations | \
+             {} simulation cycles",
+            s.sp_mode,
+            s.phase1_exact_profiles,
+            s.phase1_predicted,
+            s.phase1_escalations,
+            s.phase1_cycles
+        );
+    }
     let json = telemetry.to_json_string();
     if let Some(path) = &options.out {
         std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
@@ -593,10 +687,180 @@ fn cmd_fleet(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// The feature matrix, ground-truth SP targets, and training options the
+/// `predict` subcommands share: Phase-1 profiles the unit's workload for
+/// the targets, a short decorrelated uniform-random probe supplies the
+/// stimulus-distribution summary features.
+fn predict_dataset(
+    options: &Options,
+) -> Result<(WorkflowConfig, FeatureMatrix, Vec<f64>, TrainOptions), String> {
+    let (unit, config, analysis) = phase1(options)?;
+    let probe =
+        vega_sim::profile_sharded(&unit.netlist, options.probe_cycles, 0xA11CE, config.threads);
+    let features = extract_features(&unit.netlist, Some(&probe), config.threads, &config.obs)
+        .map_err(|e| e.to_string())?;
+    let targets = features.targets_from(&analysis.profile);
+    let train_options = TrainOptions {
+        trainer: options.trainer,
+        seed: options.seed,
+        holdout_fraction: options.holdout,
+        ..TrainOptions::default()
+    };
+    Ok((config, features, targets, train_options))
+}
+
+fn load_model(options: &Options) -> Result<SpModel, String> {
+    let Some(path) = &options.model else {
+        return Err("this predict action needs --model <path> (a saved model JSON)".to_string());
+    };
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    SpModel::from_json(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+fn print_eval(eval: &predict::EvalReport) {
+    eprintln!(
+        "train {} nets | holdout {} nets | MAE train {:.4} holdout {:.4} | \
+         RMSE {:.4} | max |err| {:.4} | spearman {:.3}",
+        eval.n_train,
+        eval.n_holdout,
+        eval.mae_train,
+        eval.mae_holdout,
+        eval.rmse_holdout,
+        eval.max_abs_err_holdout,
+        eval.spearman_holdout
+    );
+    for (net, err) in &eval.worst_nets {
+        eprintln!("  worst: {net}  |err| {err:.4}");
+    }
+}
+
+fn cmd_predict(options: &Options) -> Result<(), String> {
+    let action = options.journal.as_deref().unwrap_or("train");
+    match action {
+        "train" => {
+            let (config, features, targets, train_options) = predict_dataset(options)?;
+            let trained = predict::train(&features, &targets, &train_options, &config.obs)
+                .map_err(|e| e.to_string())?;
+            print_eval(&trained.eval);
+            let json = trained.model.to_canonical_json();
+            if let Some(path) = &options.out {
+                std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("wrote model to {path}");
+            } else {
+                print!("{json}");
+            }
+            config.obs.flush();
+            Ok(())
+        }
+        "eval" => {
+            // Evaluate a saved model against freshly extracted features
+            // and ground truth (the whole dataset counts as holdout).
+            let model = load_model(options)?;
+            let (config, features, targets, _) = predict_dataset(options)?;
+            // Surface schema/column mismatches as a CLI error instead of
+            // the neutral-prediction fallback inside `evaluate`.
+            model.predict(&features).map_err(|e| e.to_string())?;
+            let eval = predict::evaluate(&model, &features, &targets);
+            print_eval(&eval);
+            config.obs.flush();
+            Ok(())
+        }
+        "inspect" => {
+            let model = load_model(options)?;
+            println!(
+                "model: {} | module {} | schema v{} (features v{}) | {} columns",
+                model.trainer,
+                model.module,
+                model.schema_version,
+                model.feature_schema,
+                model.columns.len()
+            );
+            if let Some(ridge) = &model.ridge {
+                println!(
+                    "ridge: lambda {} | intercept {:.4}",
+                    ridge.lambda, ridge.intercept
+                );
+                let mut ranked: Vec<(usize, f64)> =
+                    ridge.weights.iter().copied().enumerate().collect();
+                ranked.sort_by(|a, b| {
+                    b.1.abs()
+                        .partial_cmp(&a.1.abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                for (index, weight) in ranked.into_iter().take(8) {
+                    println!("  {:>28}  {weight:+.5}", model.columns[index]);
+                }
+            }
+            if let Some(boosted) = &model.boosted {
+                println!(
+                    "boosted: base {:.4} | {} stumps | learning rate {}",
+                    boosted.base,
+                    boosted.stumps.len(),
+                    boosted.learning_rate
+                );
+                let mut used: BTreeMap<&str, usize> = BTreeMap::new();
+                for stump in &boosted.stumps {
+                    *used
+                        .entry(model.columns[stump.feature].as_str())
+                        .or_default() += 1;
+                }
+                let mut ranked: Vec<(&str, usize)> = used.into_iter().collect();
+                ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+                for (column, count) in ranked.into_iter().take(8) {
+                    println!("  {column:>28}  split on {count}x");
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown predict action `{other}` (train|eval|inspect)"
+        )),
+    }
+}
+
+/// `vega serve --status`: read-only WAL inspection — what the recovery
+/// scan would conclude, without constructing the service or mutating the
+/// state directory.
+fn cmd_serve_status(state_dir: &std::path::Path) -> Result<(), String> {
+    let wal_path = state_dir.join("wal.jsonl");
+    if !wal_path.exists() {
+        println!("no WAL at {} (fresh state directory)", wal_path.display());
+        return Ok(());
+    }
+    let replay = serve::wal_status(&wal_path).map_err(|e| e.to_string())?;
+    println!("wal: {}", wal_path.display());
+    println!("  records:        {}", replay.records.len());
+    println!("  next sequence:  {}", replay.next_seq);
+    println!("  completed ops:  {}", replay.completed.len());
+    println!("  in-doubt ops:   {}", replay.in_doubt.len());
+    for op in &replay.in_doubt {
+        println!("    in doubt: {op}");
+    }
+    println!("  recoveries:     {}", replay.recoveries);
+    println!(
+        "  torn tail:      {}",
+        match &replay.torn {
+            Some(tail) => format!(
+                "line {} (valid prefix {} bytes)",
+                tail.line, tail.valid_bytes
+            ),
+            None => "none".to_string(),
+        }
+    );
+    println!("  run started:    {}", replay.run_start.is_some());
+    println!("  run complete:   {}", replay.run_complete);
+    println!("  clean shutdown: {}", replay.clean_shutdown);
+    Ok(())
+}
+
 fn cmd_serve(options: &Options) -> Result<(), String> {
     let Some(state_dir) = &options.state_dir else {
         return Err("serve needs --state-dir <dir> to keep its WAL and artifacts".to_string());
     };
+    if options.status {
+        return cmd_serve_status(std::path::Path::new(state_dir));
+    }
     if !matches!(options.unit.as_str(), "alu" | "fpu" | "adder") {
         return Err(format!("unknown unit `{}` (alu|fpu|adder)", options.unit));
     }
@@ -703,6 +967,7 @@ fn main() -> ExitCode {
         "artifacts" => cmd_artifacts(&options),
         "report" => cmd_report(&options),
         "fleet" => cmd_fleet(&options),
+        "predict" => cmd_predict(&options),
         "serve" => cmd_serve(&options),
         "--help" | "-h" | "help" => {
             println!("{}", usage());

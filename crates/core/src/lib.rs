@@ -66,7 +66,7 @@ pub use vega_aging::{AgingAwareTimingLibrary, AgingModel};
 pub use vega_fleet::{
     adaptive_score, failure_mode_of, EpochTelemetry, FaultCandidate, Fleet, FleetConfig,
     FleetSummary, FleetTelemetry, HealthState, InjectedFault, Machine, MachineId, MachineTelemetry,
-    OutcomeTally, Policy, PoolTelemetry, UnitPool,
+    OutcomeTally, Policy, PoolTelemetry, SpMode, UnitPool,
 };
 pub use vega_integrate::{
     emit_c_library, integrate, AgingFault, AgingLibrary, DetectionReport, IntegratedProgram,
@@ -81,6 +81,11 @@ pub use vega_lift::{
 pub use vega_netlist::{Netlist, StdCellLibrary};
 pub use vega_obs as obs;
 pub use vega_obs::Obs;
+pub use vega_predict as predict;
+pub use vega_predict::{
+    extract_features, FeatureMatrix, RiskPath, RiskScorer, SpModel, SpPoolPredictor, TrainOptions,
+    TrainerKind,
+};
 pub use vega_serve as serve;
 pub use vega_sim::SpProfile;
 pub use vega_sta::{
@@ -107,6 +112,8 @@ pub enum VegaError {
         /// What differed.
         reason: String,
     },
+    /// Training or applying the SP predictor failed.
+    Predict(String),
 }
 
 impl std::fmt::Display for VegaError {
@@ -119,6 +126,7 @@ impl std::fmt::Display for VegaError {
             VegaError::CheckpointMismatch { reason } => {
                 write!(f, "checkpoint belongs to a different run: {reason}")
             }
+            VegaError::Predict(e) => write!(f, "sp prediction: {e}"),
         }
     }
 }
@@ -268,6 +276,14 @@ pub struct AgingAnalysis {
     /// Violating paths collapsed to unique `(launch, capture)` pairs, in
     /// worst-slack order (setup first, then hold).
     pub unique_pairs: Vec<AgingPath>,
+    /// The SP profile the STA derated with — Phase 1's ground truth,
+    /// kept so downstream consumers (SP-predictor training, risk
+    /// scoring) don't have to re-profile.
+    pub profile: SpProfile,
+    /// The worst aging-prone paths distilled into the name-keyed form
+    /// `vega_predict`'s per-machine risk scorer consumes (one entry per
+    /// unique setup endpoint pair, worst slack first).
+    pub risk: Vec<RiskPath>,
 }
 
 /// Phase 1: aging-aware static timing analysis under the workload's SP
@@ -305,10 +321,71 @@ pub fn analyze_aging(
     config
         .obs
         .counter("phase1.sta.unique_pairs", unique_pairs.len() as u64);
+    let risk = distill_risk_paths(&unit.netlist, &report, profile, config);
+    config
+        .obs
+        .counter("phase1.predict.risk_paths", risk.len() as u64);
     AgingAnalysis {
         report,
         unique_pairs,
+        profile: profile.clone(),
+        risk,
     }
+}
+
+/// How many aged paths [`analyze_aging`] distills into risk paths for
+/// the per-machine scorer (one per unique setup endpoint pair).
+const MAX_RISK_PATHS: usize = 32;
+
+/// Distill the aged report's worst setup paths into the name-keyed
+/// [`RiskPath`] form `vega_predict`'s scorer consumes. Setup paths
+/// only: BTI-induced slowdown erodes setup margins, while hold margins
+/// only grow with it (§ aging model).
+fn distill_risk_paths(
+    netlist: &Netlist,
+    report: &TimingReport,
+    profile: &SpProfile,
+    config: &WorkflowConfig,
+) -> Vec<RiskPath> {
+    let mut seen: std::collections::HashSet<AgingPath> = std::collections::HashSet::new();
+    let mut risk = Vec::new();
+    for path in &report.setup_violations {
+        let Some(pair) = AgingPath::from_timing_path(path) else {
+            continue;
+        };
+        if !seen.insert(pair) {
+            continue;
+        }
+        let cells: Vec<String> = path
+            .cells
+            .iter()
+            .map(|&id| netlist.cell(id).name.clone())
+            .collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let ref_degradation = cells
+            .iter()
+            .map(|name| {
+                config
+                    .model
+                    .delay_degradation(profile.sp(name).unwrap_or(0.5), config.years)
+            })
+            .sum::<f64>()
+            / cells.len() as f64;
+        risk.push(RiskPath {
+            label: pair.label(netlist),
+            cells,
+            arrival_ns: path.arrival_ns,
+            required_ns: path.required_ns,
+            slack_ns: path.slack_ns,
+            ref_degradation,
+        });
+        if risk.len() >= MAX_RISK_PATHS {
+            break;
+        }
+    }
+    risk
 }
 
 /// The Error Lifting configuration a [`WorkflowConfig`] implies.
@@ -394,7 +471,44 @@ pub fn build_unit_pool(
         suite,
         severity_ns,
         candidates,
+        risk: analysis.risk.clone(),
+        sp: None,
     }
+}
+
+/// Train a pool's SP predictor from Phase-1 artifacts and attach it:
+/// a short uniform-random probe supplies the stimulus-distribution
+/// summary features, `analysis.profile` supplies the exact ground
+/// truth, and the unit's risk paths plus the workflow's aging model
+/// form the per-machine scorer. Returns the holdout evaluation.
+///
+/// Deterministic for a given `(unit, analysis, options, probe_cycles)`
+/// at any thread count.
+pub fn attach_sp_predictor(
+    pool: &mut UnitPool,
+    unit: &PreparedUnit,
+    analysis: &AgingAnalysis,
+    config: &WorkflowConfig,
+    probe_cycles: usize,
+    options: &TrainOptions,
+) -> Result<vega_predict::EvalReport, VegaError> {
+    // A fixed probe seed decorrelated from the profiling seeds: the
+    // probe must stay the same stimulus across train and fleet time.
+    let probe = vega_sim::profile_sharded(&unit.netlist, probe_cycles, 0xA11CE, config.threads);
+    let features = extract_features(&unit.netlist, Some(&probe), config.threads, &config.obs)
+        .map_err(|e| VegaError::Predict(e.to_string()))?;
+    let targets = features.targets_from(&analysis.profile);
+    let trained = vega_predict::train(&features, &targets, options, &config.obs)
+        .map_err(|e| VegaError::Predict(e.to_string()))?;
+    pool.sp = Some(SpPoolPredictor {
+        model: trained.model,
+        probe,
+        scorer: RiskScorer {
+            aging: config.model,
+            paths: analysis.risk.clone(),
+        },
+    });
+    Ok(trained.eval)
 }
 
 /// Gather an SP profile for a standalone unit by driving it with seeded

@@ -413,7 +413,7 @@ mod tests {
 
         // Not JSON at all.
         let garbage = dir.join("garbage.json");
-        std::fs::write(&garbage, b"\x00\xffnot json")?;
+        std::fs::write(&garbage, b"@@ not json at all @@")?;
         assert!(matches!(load_suite(&garbage), Err(PersistError::Json(_))));
 
         // Truncated mid-document (a crash while writing non-atomically).

@@ -23,6 +23,7 @@ use vega_lift::{
     build_failing_netlist, run_suite_wide, FaultActivation, FaultValue, ModuleKind, TestCase,
     TestOutcome,
 };
+use vega_predict::{RiskPath, SpAssessment, SpPoolPredictor, SpSource};
 
 use crate::machine::{
     failure_mode_of, FaultCandidate, HealthState, HealthTransition, InjectedFault, Machine,
@@ -53,6 +54,13 @@ pub struct UnitPool {
     /// Lifted pairs a faulty machine of this pool may carry (worst
     /// slack first, by convention).
     pub candidates: Vec<FaultCandidate>,
+    /// The unit's aging-prone paths distilled from Phase-1's aged
+    /// timing report; what the SP-driven risk scorer evaluates.
+    pub risk: Vec<RiskPath>,
+    /// The trained SP predictor (with probe profile and risk scorer)
+    /// for `predicted`/`predicted-fallback` profiling modes; `None`
+    /// keeps the pool exact-only.
+    pub sp: Option<SpPoolPredictor>,
 }
 
 impl UnitPool {
@@ -73,6 +81,8 @@ impl UnitPool {
             suite,
             severity_ns,
             candidates,
+            risk: Vec::new(),
+            sp: None,
         }
     }
 
@@ -87,6 +97,58 @@ impl UnitPool {
                 .then(a.cmp(&b))
         });
         order
+    }
+}
+
+/// How the fleet obtains each machine's Phase-1 SP assessment.
+///
+/// Exact profiling replays a stimulus on every machine's own netlist —
+/// `sp_profile_cycles` simulation lane-cycles per machine, the fleet's
+/// dominant Phase-1 cost. The predicted modes replace that with the
+/// trained per-pool [`SpPoolPredictor`] at zero simulation cycles;
+/// `PredictedFallback` additionally re-profiles exactly those machines
+/// whose predicted worst margin lands inside the guard band around the
+/// STA violation threshold, where a prediction error could flip the
+/// at-risk verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpMode {
+    /// Exact `profile_sharded` on every machine.
+    Exact,
+    /// Predictor only; no machine is ever re-profiled.
+    Predicted,
+    /// Predictor everywhere, exact profiling for guard-band machines.
+    PredictedFallback,
+}
+
+impl SpMode {
+    /// The CLI/telemetry name.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpMode::Exact => "exact",
+            SpMode::Predicted => "predicted",
+            SpMode::PredictedFallback => "predicted-fallback",
+        }
+    }
+}
+
+impl std::str::FromStr for SpMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SpMode, String> {
+        match s {
+            "exact" => Ok(SpMode::Exact),
+            "predicted" => Ok(SpMode::Predicted),
+            "predicted-fallback" | "fallback" => Ok(SpMode::PredictedFallback),
+            other => Err(format!(
+                "unknown sp mode `{other}` (exact|predicted|predicted-fallback)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for SpMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -120,6 +182,14 @@ pub struct FleetConfig {
     pub flake_probability: f64,
     /// Oldest machine in the fleet, in years.
     pub max_age_years: f64,
+    /// Phase-1 SP assessment mode; `None` skips assessment entirely
+    /// (the pre-prediction behaviour).
+    pub sp_mode: Option<SpMode>,
+    /// Simulation lane-cycles one exact per-machine SP profile costs.
+    pub sp_profile_cycles: usize,
+    /// Half-width (ns) of the guard band around zero slack inside which
+    /// a predicted assessment escalates to exact profiling.
+    pub sp_guard_band_ns: f64,
 }
 
 impl FleetConfig {
@@ -137,6 +207,9 @@ impl FleetConfig {
             tests_per_visit: 4,
             flake_probability: 0.002,
             max_age_years: 12.0,
+            sp_mode: None,
+            sp_profile_cycles: 2000,
+            sp_guard_band_ns: 0.005,
         }
     }
 }
@@ -194,6 +267,11 @@ pub struct Fleet {
     pool_detections: Vec<u64>,
     per_epoch: Vec<EpochTelemetry>,
     transitions: Vec<HealthTransition>,
+    sp_assessed: bool,
+    phase1_cycles: u64,
+    sp_exact: u64,
+    sp_predicted: u64,
+    sp_escalations: u64,
     obs: vega_obs::Obs,
 }
 
@@ -284,6 +362,11 @@ impl Fleet {
             pool_detections: vec![0; pool_count],
             per_epoch: Vec::new(),
             transitions: Vec::new(),
+            sp_assessed: false,
+            phase1_cycles: 0,
+            sp_exact: 0,
+            sp_predicted: 0,
+            sp_escalations: 0,
             obs: vega_obs::Obs::null(),
         }
     }
@@ -332,6 +415,11 @@ impl Fleet {
             pool_detections: vec![0; pool_count],
             per_epoch: Vec::new(),
             transitions: Vec::new(),
+            sp_assessed: false,
+            phase1_cycles: 0,
+            sp_exact: 0,
+            sp_predicted: 0,
+            sp_escalations: 0,
             obs: vega_obs::Obs::null(),
         }
     }
@@ -379,6 +467,7 @@ impl Fleet {
         if self.epoch >= self.config.epochs {
             return false;
         }
+        self.ensure_sp_assessed();
         let _epoch_span =
             vega_obs::span!(self.obs.detail(), "phase3.fleet.epoch", epoch = self.epoch);
         let stats = self.run_epoch();
@@ -391,6 +480,102 @@ impl Fleet {
     /// Epochs simulated so far.
     pub fn current_epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Run the one-shot Phase-1 SP assessment of every machine, if an SP
+    /// mode is configured and it has not run yet.
+    ///
+    /// Deliberately lazy — first [`Fleet::step_epoch`] rather than
+    /// construction — so it happens after [`Fleet::set_obs`] and at the
+    /// same point whether the fleet runs in one process or is re-stepped
+    /// from a fresh same-seed fleet during crash recovery. It never
+    /// touches the scheduling RNG (per-machine profile seeds are mixed
+    /// from the master seed and machine id), so the epoch-by-epoch
+    /// evolution is identical across all SP modes.
+    fn ensure_sp_assessed(&mut self) {
+        if self.sp_assessed {
+            return;
+        }
+        self.sp_assessed = true;
+        let Some(mode) = self.config.sp_mode else {
+            return;
+        };
+        let _span = vega_obs::span!(
+            self.obs,
+            "phase1.predict.assess",
+            mode = mode.label(),
+            machines = self.machines.len(),
+            guard_band_ns = self.config.sp_guard_band_ns,
+        );
+        let detail = self.obs.detail();
+        for index in 0..self.machines.len() {
+            let machine = &self.machines[index];
+            let pool = &self.pools[machine.pool];
+            let Some(sp) = &pool.sp else {
+                continue;
+            };
+            let age = machine.age_years;
+            let assessment = match mode {
+                SpMode::Exact => {
+                    self.sp_exact += 1;
+                    self.exact_assessment(sp, index, age)
+                }
+                SpMode::Predicted => {
+                    self.sp_predicted += 1;
+                    match sp.assess_predicted(&machine.netlist, age, &detail) {
+                        Ok(a) => a,
+                        // A schema/feature mismatch is a configuration
+                        // error; fail safe to exact rather than guess.
+                        Err(_) => {
+                            self.sp_predicted -= 1;
+                            self.sp_exact += 1;
+                            self.exact_assessment(sp, index, age)
+                        }
+                    }
+                }
+                SpMode::PredictedFallback => {
+                    match sp.assess_predicted(&machine.netlist, age, &detail) {
+                        Ok(a) if !sp.needs_escalation(&a, self.config.sp_guard_band_ns) => {
+                            self.sp_predicted += 1;
+                            a
+                        }
+                        // Guard-band hit (or predictor error): pay for
+                        // the exact profile on this machine only.
+                        _ => {
+                            self.sp_escalations += 1;
+                            self.sp_exact += 1;
+                            let mut exact = self.exact_assessment(sp, index, age);
+                            exact.escalated = true;
+                            exact
+                        }
+                    }
+                }
+            };
+            self.phase1_cycles += assessment.phase1_cycles;
+            self.machines[index].sp = Some(assessment);
+        }
+        self.obs
+            .counter("phase1.predict.exact_profiles", self.sp_exact);
+        self.obs
+            .counter("phase1.predict.predicted", self.sp_predicted);
+        self.obs
+            .counter("phase1.predict.escalations", self.sp_escalations);
+        self.obs
+            .counter("phase1.predict.cycles", self.phase1_cycles);
+    }
+
+    /// Exact per-machine assessment: profile the machine's own netlist
+    /// for `sp_profile_cycles` under a seed mixed from the master seed
+    /// and the machine id (stable across epochs, modes, and restarts).
+    fn exact_assessment(&self, sp: &SpPoolPredictor, index: usize, age_years: f64) -> SpAssessment {
+        let machine = &self.machines[index];
+        let cycles = self.config.sp_profile_cycles;
+        let seed = mix(self
+            .config
+            .seed
+            .wrapping_add(mix(0x5bad_c0de ^ machine.id.0 as u64)));
+        let profile = vega_sim::profile_sharded(&machine.netlist, cycles, seed, 1);
+        sp.assess_exact(&profile, age_years, cycles as u64)
     }
 
     /// Drain the health transitions recorded since the last drain (or
@@ -419,7 +604,7 @@ impl Fleet {
         for m in &self.machines {
             let _ = write!(
                 enc,
-                "m{}:health={:?},flakes={},visits={},tests={},cursor={},first={:?},quar={:?};",
+                "m{}:health={:?},flakes={},visits={},tests={},cursor={},first={:?},quar={:?}",
                 m.id.0,
                 m.health,
                 m.flakes,
@@ -429,6 +614,20 @@ impl Fleet {
                 m.first_detection_epoch,
                 m.quarantine_epoch
             );
+            // Folded only when present so digests of SP-less runs stay
+            // comparable with pre-prediction WALs.
+            if let Some(sp) = &m.sp {
+                let _ = write!(
+                    enc,
+                    ",sp={}:{:016x}:{:016x}:{}:{}",
+                    sp.source.label(),
+                    sp.aging_score.to_bits(),
+                    sp.worst_margin_ns.to_bits(),
+                    sp.phase1_cycles,
+                    sp.escalated
+                );
+            }
+            enc.push(';');
         }
         let mut hash = 0xcbf2_9ce4_8422_2325u64;
         for &b in enc.as_bytes() {
@@ -569,7 +768,17 @@ impl Fleet {
         let machine = &self.machines[index];
         let suite_len = self.pools[machine.pool].suite.len() as f64;
         let covered = (machine.tests_run as f64 / suite_len.max(1.0)).min(1.0);
-        adaptive_score(machine.age_years, machine.flakes, covered)
+        let base = adaptive_score(machine.age_years, machine.flakes, covered);
+        // SP-driven risk: rank machines whose risk paths have consumed
+        // the most margin first. Bounded at 3.0 — below the coverage
+        // term's weight of 16 — so prediction error can only reorder
+        // machines *within* a sweep round, never starve one of visits;
+        // detection coverage is unchanged by construction.
+        let risk = match &machine.sp {
+            Some(assessment) => 1.5 * assessment.aging_score.clamp(0.0, 2.0),
+            None => 0.0,
+        };
+        base + risk
     }
 
     /// The suite indices a scan visit of `machine` runs, per policy.
@@ -793,6 +1002,12 @@ impl Fleet {
                 tests_run: m.tests_run,
                 first_detection_epoch: m.first_detection_epoch,
                 quarantine_epoch: m.quarantine_epoch,
+                sp_source: m
+                    .sp
+                    .as_ref()
+                    .map(|a| a.source.label())
+                    .unwrap_or(SpSource::Exact.label())
+                    .to_string(),
             })
             .collect();
         let total_cycles: u64 = self.per_epoch.iter().map(|e| e.cycles_spent).sum();
@@ -818,6 +1033,16 @@ impl Fleet {
                 detection_coverage: coverage,
                 total_cycles,
                 total_tests,
+                sp_mode: self
+                    .config
+                    .sp_mode
+                    .map(SpMode::label)
+                    .unwrap_or("none")
+                    .to_string(),
+                phase1_cycles: self.phase1_cycles,
+                phase1_exact_profiles: self.sp_exact,
+                phase1_predicted: self.sp_predicted,
+                phase1_escalations: self.sp_escalations,
                 outcomes: self.tally,
             },
         }

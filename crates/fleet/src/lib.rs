@@ -41,7 +41,7 @@ pub mod machine;
 pub mod policy;
 pub mod telemetry;
 
-pub use engine::{Fleet, FleetConfig, UnitPool};
+pub use engine::{Fleet, FleetConfig, SpMode, UnitPool};
 pub use json::Json;
 pub use machine::{
     failure_mode_of, FaultCandidate, HealthState, HealthTransition, InjectedFault, Machine,
@@ -51,3 +51,4 @@ pub use policy::{adaptive_score, Policy};
 pub use telemetry::{
     EpochTelemetry, FleetSummary, FleetTelemetry, MachineTelemetry, OutcomeTally, PoolTelemetry,
 };
+pub use vega_predict::{RiskPath, SpAssessment, SpPoolPredictor, SpSource};

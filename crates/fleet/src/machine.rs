@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use vega_lift::{AgingPath, FaultValue};
 use vega_netlist::Netlist;
+use vega_predict::SpAssessment;
 use vega_riscv::FailureMode;
 
 /// Identifies one machine within a fleet.
@@ -127,6 +128,9 @@ pub struct Machine {
     pub first_detection_epoch: Option<u64>,
     /// Epoch the machine entered quarantine, if it did.
     pub quarantine_epoch: Option<u64>,
+    /// Phase-1 SP assessment (predicted or exact), once the fleet has
+    /// run it; `None` until then, or when no SP mode is configured.
+    pub sp: Option<SpAssessment>,
 }
 
 impl Machine {
@@ -152,6 +156,7 @@ impl Machine {
             cursor: 0,
             first_detection_epoch: None,
             quarantine_epoch: None,
+            sp: None,
         }
     }
 

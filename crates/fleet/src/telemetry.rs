@@ -121,6 +121,26 @@ pub struct MachineTelemetry {
     pub first_detection_epoch: Option<u64>,
     /// Epoch the machine entered quarantine.
     pub quarantine_epoch: Option<u64>,
+    /// Provenance of the machine's Phase-1 SP assessment: `"exact"` or
+    /// `"predicted"`. Artifacts written before SP prediction existed
+    /// parse with the historical behaviour, `"exact"`.
+    #[serde(default = "default_sp_source")]
+    pub sp_source: String,
+}
+
+/// Pre-prediction artifacts were always exactly profiled.
+fn default_sp_source() -> String {
+    "exact".to_string()
+}
+
+/// SP-less runs report a `"none"` SP mode.
+fn default_sp_mode() -> String {
+    "none".to_string()
+}
+
+/// Pre-prediction artifacts carry no Phase-1 profiling counters.
+fn default_zero() -> u64 {
+    0
 }
 
 /// End-of-run aggregates.
@@ -150,6 +170,21 @@ pub struct FleetSummary {
     pub total_cycles: u64,
     /// Total test executions.
     pub total_tests: u64,
+    /// Phase-1 SP assessment mode (`none` when assessment never ran).
+    #[serde(default = "default_sp_mode")]
+    pub sp_mode: String,
+    /// Simulation lane-cycles spent on exact Phase-1 SP profiling.
+    #[serde(default = "default_zero")]
+    pub phase1_cycles: u64,
+    /// Machines assessed by exact profiling (escalations included).
+    #[serde(default = "default_zero")]
+    pub phase1_exact_profiles: u64,
+    /// Machines assessed by the predictor alone.
+    #[serde(default = "default_zero")]
+    pub phase1_predicted: u64,
+    /// Predicted assessments escalated to exact by the guard band.
+    #[serde(default = "default_zero")]
+    pub phase1_escalations: u64,
     /// Outcome aggregate over every per-visit detection report.
     pub outcomes: OutcomeTally,
 }
@@ -242,6 +277,7 @@ impl FleetTelemetry {
                     ("tests_run", Json::UInt(m.tests_run)),
                     ("first_detection_epoch", opt_epoch(m.first_detection_epoch)),
                     ("quarantine_epoch", opt_epoch(m.quarantine_epoch)),
+                    ("sp_source", Json::Str(m.sp_source.clone())),
                 ])
             })
             .collect();
@@ -260,6 +296,11 @@ impl FleetTelemetry {
             ("detection_coverage", Json::Float(s.detection_coverage)),
             ("total_cycles", Json::UInt(s.total_cycles)),
             ("total_tests", Json::UInt(s.total_tests)),
+            ("sp_mode", Json::Str(s.sp_mode.clone())),
+            ("phase1_cycles", Json::UInt(s.phase1_cycles)),
+            ("phase1_exact_profiles", Json::UInt(s.phase1_exact_profiles)),
+            ("phase1_predicted", Json::UInt(s.phase1_predicted)),
+            ("phase1_escalations", Json::UInt(s.phase1_escalations)),
             ("outcomes", s.outcomes.json()),
         ]);
         Json::obj(vec![

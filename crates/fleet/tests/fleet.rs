@@ -85,6 +85,8 @@ fn adder_pool() -> UnitPool {
         suite,
         severity_ns,
         candidates,
+        risk: Vec::new(),
+        sp: None,
     }
 }
 

@@ -1,0 +1,263 @@
+//! SP-prediction integration tests: telemetry provenance (`sp_source`),
+//! parse compatibility with pre-prediction artifacts, determinism of the
+//! predicted modes, and the guard-band fallback's coverage guarantee.
+
+use std::collections::BTreeMap;
+
+use vega_circuits::adder_example::build_paper_adder;
+use vega_fleet::{
+    Fleet, FleetConfig, FleetSummary, FleetTelemetry, MachineTelemetry, Policy, RiskPath, SpMode,
+    SpPoolPredictor, SpSource, UnitPool,
+};
+use vega_lift::{AgingPath, Check, ModuleKind, Provenance, TestCase};
+use vega_obs::Obs;
+use vega_predict::{extract_features, train, RiskScorer, TrainOptions};
+use vega_sta::ViolationKind;
+
+fn one_cycle(a: u64, b: u64) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    m.insert("a".into(), a);
+    m.insert("b".into(), b);
+    m
+}
+
+fn adder_suite() -> Vec<TestCase> {
+    let mut suite = Vec::new();
+    for a in 0..4u64 {
+        for b in 0..4u64 {
+            suite.push(TestCase {
+                name: format!("add_{a}_{b}"),
+                target: format!("pair_{a}_{b}"),
+                stimulus: vec![one_cycle(a, b)],
+                checks: vec![Check::PortAt {
+                    cycle: 2,
+                    port: "o".into(),
+                    expected: (a + b) % 4,
+                }],
+                instructions: Vec::new(),
+                cpu_cycles: 8,
+                provenance: Provenance::Fuzzed,
+            });
+        }
+    }
+    suite
+}
+
+/// Risk paths spanning the guard-band boundary: at machine ages in
+/// [0, 12] years some machines predict clearly-safe margins, some
+/// clearly-at-risk, and some land inside the band.
+fn risk_paths(netlist: &vega_netlist::Netlist) -> Vec<RiskPath> {
+    let cells: Vec<String> = netlist
+        .cells()
+        .filter(|c| !c.name.is_empty())
+        .take(4)
+        .map(|c| c.name.clone())
+        .collect();
+    vec![RiskPath {
+        label: "dff3 -> dff9 (Setup)".into(),
+        cells,
+        arrival_ns: 1.0,
+        required_ns: 1.002,
+        slack_ns: 0.002,
+        ref_degradation: 0.002,
+    }]
+}
+
+/// An adder pool with a predictor trained on a short uniform-random
+/// profile of the healthy netlist (probe decorrelated from the target
+/// profile, as in production training).
+fn predictive_pool() -> UnitPool {
+    let healthy = build_paper_adder();
+    let obs = Obs::null();
+    let probe = vega_sim::profile_sharded(&healthy, 64, 0xA11CE, 1);
+    let target = vega_sim::profile_sharded(&healthy, 512, 7, 1);
+    let features = extract_features(&healthy, Some(&probe), 1, &obs).expect("extract");
+    let targets = features.targets_from(&target);
+    let trained = train(&features, &targets, &TrainOptions::default(), &obs).expect("train");
+    let risk = risk_paths(&healthy);
+    let candidates = [("dff3", "dff9", 0.4), ("dff4", "dff10", 0.2)]
+        .into_iter()
+        .map(
+            |(launch, capture, severity_ns)| vega_fleet::FaultCandidate {
+                path: AgingPath {
+                    launch: healthy.cell_by_name(launch).expect("launch exists").id,
+                    capture: healthy.cell_by_name(capture).expect("capture exists").id,
+                    violation: ViolationKind::Setup,
+                },
+                severity_ns,
+            },
+        )
+        .collect();
+    let mut pool = UnitPool::uniform(
+        "adder",
+        ModuleKind::PaperAdder,
+        healthy,
+        adder_suite(),
+        candidates,
+    );
+    pool.risk = risk.clone();
+    pool.sp = Some(SpPoolPredictor {
+        model: trained.model,
+        probe,
+        scorer: RiskScorer {
+            aging: vega_aging_model(),
+            paths: risk,
+        },
+    });
+    pool
+}
+
+fn vega_aging_model() -> vega_aging::AgingModel {
+    vega_aging::AgingModel::cmos28_worst_case()
+}
+
+fn config(mode: Option<SpMode>, seed: u64) -> FleetConfig {
+    let mut config = FleetConfig::new(12, 6, Policy::Adaptive, seed);
+    config.sp_mode = mode;
+    config.sp_profile_cycles = 128;
+    config.sp_guard_band_ns = 0.0005;
+    config
+}
+
+fn run(mode: Option<SpMode>, seed: u64) -> FleetTelemetry {
+    Fleet::build(vec![predictive_pool()], config(mode, seed)).run()
+}
+
+#[test]
+fn predicted_runs_are_byte_identical() {
+    for mode in [SpMode::Exact, SpMode::Predicted, SpMode::PredictedFallback] {
+        let first = run(Some(mode), 41).to_json_string();
+        let second = run(Some(mode), 41).to_json_string();
+        assert_eq!(first, second, "mode {mode} must be deterministic");
+    }
+}
+
+#[test]
+fn sp_source_provenance_matches_mode() {
+    let exact = run(Some(SpMode::Exact), 41);
+    assert!(exact
+        .per_machine
+        .iter()
+        .all(|m| m.sp_source == SpSource::Exact.label()));
+    assert_eq!(exact.summary.sp_mode, "exact");
+    assert_eq!(exact.summary.phase1_exact_profiles, 12);
+    assert_eq!(exact.summary.phase1_predicted, 0);
+    assert_eq!(exact.summary.phase1_cycles, 12 * 128);
+
+    let predicted = run(Some(SpMode::Predicted), 41);
+    assert!(predicted
+        .per_machine
+        .iter()
+        .all(|m| m.sp_source == SpSource::Predicted.label()));
+    assert_eq!(predicted.summary.phase1_cycles, 0);
+
+    let fallback = run(Some(SpMode::PredictedFallback), 41);
+    assert_eq!(fallback.summary.sp_mode, "predicted-fallback");
+    assert_eq!(
+        fallback.summary.phase1_exact_profiles + fallback.summary.phase1_predicted,
+        12
+    );
+    assert_eq!(
+        fallback.summary.phase1_exact_profiles,
+        fallback.summary.phase1_escalations
+    );
+    // Escalated machines report exact provenance, the rest predicted.
+    let exact_sources = fallback
+        .per_machine
+        .iter()
+        .filter(|m| m.sp_source == "exact")
+        .count() as u64;
+    assert_eq!(exact_sources, fallback.summary.phase1_escalations);
+
+    let none = run(None, 41);
+    assert_eq!(none.summary.sp_mode, "none");
+    assert_eq!(none.summary.phase1_cycles, 0);
+    assert!(none.per_machine.iter().all(|m| m.sp_source == "exact"));
+}
+
+/// The SP ranking term must only reorder scans, never change what gets
+/// detected: every mode agrees on the final health of every machine.
+#[test]
+fn sp_modes_preserve_detection_outcomes() {
+    let baseline = run(None, 41);
+    for mode in [SpMode::Exact, SpMode::Predicted, SpMode::PredictedFallback] {
+        let telemetry = run(Some(mode), 41);
+        assert_eq!(
+            telemetry.summary.detection_coverage, baseline.summary.detection_coverage,
+            "mode {mode} changed coverage"
+        );
+        assert_eq!(
+            telemetry.summary.false_quarantines, baseline.summary.false_quarantines,
+            "mode {mode} changed false quarantines"
+        );
+        for (a, b) in telemetry.per_machine.iter().zip(&baseline.per_machine) {
+            assert_eq!(
+                a.final_health, b.final_health,
+                "mode {mode} changed machine {} outcome",
+                a.id
+            );
+        }
+    }
+}
+
+#[test]
+fn telemetry_serde_round_trips_with_sp_fields() {
+    let telemetry = run(Some(SpMode::PredictedFallback), 43);
+    let encoded = serde_json::to_string(&telemetry).expect("serialize");
+    let decoded: FleetTelemetry = serde_json::from_str(&encoded).expect("deserialize");
+    assert_eq!(decoded, telemetry);
+    // Canonical JSON carries the new members.
+    let json = telemetry.to_json_string();
+    for key in [
+        "\"sp_source\"",
+        "\"sp_mode\"",
+        "\"phase1_cycles\"",
+        "\"phase1_exact_profiles\"",
+        "\"phase1_predicted\"",
+        "\"phase1_escalations\"",
+    ] {
+        assert!(json.contains(key), "missing {key}");
+    }
+}
+
+/// Artifacts serialized before SP prediction existed must still parse:
+/// a machine record without `sp_source` defaults to the historical
+/// behaviour (`"exact"`), and a summary without the phase1 counters
+/// defaults to an SP-less run.
+#[test]
+fn pre_prediction_artifacts_parse_with_defaults() {
+    let machine_json = r#"{
+        "id": 3,
+        "pool": "adder",
+        "age_years": 4.5,
+        "fault": null,
+        "final_health": "healthy",
+        "flakes": 0,
+        "visits": 2,
+        "tests_run": 8,
+        "first_detection_epoch": null,
+        "quarantine_epoch": null
+    }"#;
+    let machine: MachineTelemetry = serde_json::from_str(machine_json).expect("old machine parses");
+    assert_eq!(machine.sp_source, "exact");
+
+    let summary_json = r#"{
+        "machines": 4,
+        "faulty": 1,
+        "detected_faulty": 1,
+        "quarantined_faulty": 1,
+        "false_quarantines": 0,
+        "cleared_suspects": 0,
+        "mean_detection_latency_epochs": 1.5,
+        "detection_coverage": 1.0,
+        "total_cycles": 100,
+        "total_tests": 12,
+        "outcomes": {"passes": 10, "detections": 2, "stalls": 0, "skips": 0}
+    }"#;
+    let summary: FleetSummary = serde_json::from_str(summary_json).expect("old summary parses");
+    assert_eq!(summary.sp_mode, "none");
+    assert_eq!(summary.phase1_cycles, 0);
+    assert_eq!(summary.phase1_exact_profiles, 0);
+    assert_eq!(summary.phase1_predicted, 0);
+    assert_eq!(summary.phase1_escalations, 0);
+}

@@ -1,0 +1,66 @@
+//! Minimal canonical-JSON emission helpers shared by the feature-matrix
+//! and model serializers.
+//!
+//! Canonical means: fields in a fixed declaration order, floats rendered
+//! with Rust's shortest-roundtrip `Display` (integral values forced to
+//! `x.0` so a field's JSON type never flaps between runs), strings
+//! escaped per RFC 8259, two-space indentation, trailing newline. Same
+//! value in, same bytes out — on every platform and thread count.
+
+use std::fmt::Write as _;
+
+/// Render a float canonically; non-finite values become `null`.
+pub(crate) fn float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        if f.fract() == 0.0 && f.abs() < 1e15 {
+            let _ = write!(out, "{f:.1}");
+        } else {
+            let _ = write!(out, "{f}");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Render a string literal with RFC 8259 escaping.
+pub(crate) fn string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render `["a", "b", ...]` on one line.
+pub(crate) fn string_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        string(out, s);
+    }
+    out.push(']');
+}
+
+/// Render `[1.0, 2.5, ...]` on one line.
+pub(crate) fn float_array(out: &mut String, items: &[f64]) {
+    out.push('[');
+    for (i, &f) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        float(out, f);
+    }
+    out.push(']');
+}

@@ -1,0 +1,442 @@
+//! Schema-versioned feature extraction over [`vega_netlist::Netlist`].
+//!
+//! One row per cell, in cell-id order (the netlist's construction order,
+//! which is itself deterministic), with columns fixed by
+//! [`FEATURE_SCHEMA_VERSION`]:
+//!
+//! - the cell's own kind as a one-hot over [`CellKind::ALL`];
+//! - *structural* features: logic depth (normalized longest-path level),
+//!   fan-out of the output net, fan-in cone size, the cone's cell-kind
+//!   histogram, and the composition of the cone frontier (primary-input
+//!   vs. flip-flop sources);
+//! - *clocking* features: whether the cell sits behind a clock gate;
+//! - *stimulus-distribution summary* features: the cell's and its cone's
+//!   signal probability and toggle rate under a short, cheap probe
+//!   profile (orders of magnitude fewer cycles than exact Phase-1
+//!   profiling), plus netlist-global probe aggregates.
+//!
+//! Extraction shards rows across worker threads in contiguous chunks and
+//! reassembles them in chunk order, so the resulting matrix — and its
+//! canonical JSON — is byte-identical at any thread count.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use vega_netlist::graph::{clock_path, fanin_cone, levelize, ConeOptions};
+use vega_netlist::{CellKind, Netlist};
+use vega_obs::Obs;
+use vega_sim::SpProfile;
+
+use crate::{canon, PredictError};
+
+/// Version of the feature schema; bump when columns change.
+pub const FEATURE_SCHEMA_VERSION: u32 = 1;
+
+/// SP assumed for cells missing from the probe profile (e.g. fault
+/// instrumentation added after the probe was gathered).
+const DEFAULT_PROBE_SP: f64 = 0.5;
+/// Toggle rate assumed for cells missing from the probe profile.
+const DEFAULT_PROBE_TOGGLE: f64 = 0.25;
+
+/// The fixed column names of feature-schema v1, in column order.
+pub fn feature_columns() -> Vec<String> {
+    let mut columns = Vec::new();
+    for kind in CellKind::ALL {
+        columns.push(format!("kind_{}", kind_label(kind)));
+    }
+    columns.push("depth_norm".to_string());
+    columns.push("fanout_log".to_string());
+    columns.push("cone_size_log".to_string());
+    for kind in CellKind::ALL {
+        columns.push(format!("cone_kind_{}", kind_label(kind)));
+    }
+    columns.push("cone_input_frac".to_string());
+    columns.push("cone_dff_frac".to_string());
+    columns.push("clock_gated".to_string());
+    columns.push("probe_sp_self".to_string());
+    columns.push("probe_toggle_self".to_string());
+    columns.push("probe_sp_cone_mean".to_string());
+    columns.push("probe_sp_cone_min".to_string());
+    columns.push("probe_sp_cone_max".to_string());
+    columns.push("probe_toggle_cone_mean".to_string());
+    columns.push("global_cells_log".to_string());
+    columns.push("global_dff_frac".to_string());
+    columns.push("global_probe_sp_mean".to_string());
+    columns
+}
+
+fn kind_label(kind: CellKind) -> String {
+    format!("{kind:?}").to_lowercase()
+}
+
+/// A stable, schema-versioned feature matrix: one row per cell of one
+/// netlist, in cell-id order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMatrix {
+    /// The feature schema the columns follow.
+    pub schema_version: u32,
+    /// The profiled module's name.
+    pub module: String,
+    /// Column names, parallel to every row.
+    pub columns: Vec<String>,
+    /// Cell instance names, parallel to `rows`.
+    pub cells: Vec<String>,
+    /// Feature rows, one per cell.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl FeatureMatrix {
+    /// Canonical JSON rendering (see [`crate::model::SpModel`] for the
+    /// canonicalization rules): byte-identical for identical matrices.
+    pub fn to_canonical_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema_version\": ");
+        out.push_str(&self.schema_version.to_string());
+        out.push_str(",\n  \"module\": ");
+        canon::string(&mut out, &self.module);
+        out.push_str(",\n  \"columns\": ");
+        canon::string_array(&mut out, &self.columns);
+        out.push_str(",\n  \"cells\": ");
+        canon::string_array(&mut out, &self.cells);
+        out.push_str(",\n  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    ");
+            canon::float_array(&mut out, row);
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Ground-truth targets aligned to the rows: the exact SP of each
+    /// cell from `profile`, or `DEFAULT_PROBE_SP` for cells the
+    /// profile does not cover.
+    pub fn targets_from(&self, profile: &SpProfile) -> Vec<f64> {
+        self.cells
+            .iter()
+            .map(|name| profile.sp(name).unwrap_or(DEFAULT_PROBE_SP))
+            .collect()
+    }
+
+    /// The predicted SP per cell as a name-keyed map, given one
+    /// prediction per row.
+    pub fn sp_map(&self, predictions: &[f64]) -> BTreeMap<String, f64> {
+        self.cells
+            .iter()
+            .cloned()
+            .zip(predictions.iter().copied())
+            .collect()
+    }
+}
+
+/// Per-netlist context shared by every row, computed once up front.
+struct ExtractContext<'a> {
+    netlist: &'a Netlist,
+    /// Cells in id order, indexable without re-walking the iterator.
+    cells: Vec<&'a vega_netlist::Cell>,
+    probe: Option<&'a SpProfile>,
+    /// Longest-path logic level per cell id.
+    levels: Vec<u32>,
+    /// `1 + max(levels)` so `depth_norm` stays in `[0, 1)`.
+    depth_scale: f64,
+    /// Number of data-pin readers per net id.
+    fanout: Vec<u32>,
+    /// Whether a clock gate sits on the cell's clock path (flip-flops
+    /// and clock-network cells; `false` for combinational logic).
+    gated: Vec<bool>,
+    global_cells_log: f64,
+    global_dff_frac: f64,
+    global_probe_sp_mean: f64,
+}
+
+impl<'a> ExtractContext<'a> {
+    fn build(netlist: &'a Netlist, probe: Option<&'a SpProfile>) -> Result<Self, PredictError> {
+        let levels = levelize(netlist).map_err(|e| PredictError::Netlist(e.to_string()))?;
+        let depth_scale = (levels.iter().copied().max().unwrap_or(0) + 1) as f64;
+        let mut fanout = vec![0u32; netlist.net_count()];
+        for cell in netlist.cells() {
+            for (pin, &input) in cell.inputs.iter().enumerate() {
+                if !Netlist::is_clock_pin(cell.kind, pin) {
+                    fanout[input.index()] += 1;
+                }
+            }
+        }
+        let mut gated = vec![false; netlist.cell_count()];
+        for cell in netlist.cells() {
+            if cell.kind == CellKind::ClockGate {
+                gated[cell.id.index()] = true;
+                continue;
+            }
+            if matches!(cell.kind, CellKind::Dff | CellKind::ClockBuf) {
+                if let Some(path) = clock_path(netlist, cell.id) {
+                    gated[cell.id.index()] = path
+                        .iter()
+                        .any(|&id| netlist.cell(id).kind == CellKind::ClockGate);
+                }
+            }
+        }
+        let cell_count = netlist.cell_count().max(1);
+        let dff_count = netlist.dffs().count();
+        let global_probe_sp_mean = match probe {
+            Some(p) if !p.cells.is_empty() => {
+                p.cells.values().map(|c| c.sp).sum::<f64>() / p.cells.len() as f64
+            }
+            _ => DEFAULT_PROBE_SP,
+        };
+        Ok(ExtractContext {
+            netlist,
+            cells: netlist.cells().collect(),
+            probe,
+            levels,
+            depth_scale,
+            fanout,
+            gated,
+            global_cells_log: (1.0 + cell_count as f64).ln(),
+            global_dff_frac: dff_count as f64 / cell_count as f64,
+            global_probe_sp_mean,
+        })
+    }
+
+    fn probe_sp(&self, name: &str) -> f64 {
+        self.probe
+            .and_then(|p| p.sp(name))
+            .unwrap_or(DEFAULT_PROBE_SP)
+    }
+
+    fn probe_toggle(&self, name: &str) -> f64 {
+        self.probe
+            .and_then(|p| p.toggle_rate(name))
+            .unwrap_or(DEFAULT_PROBE_TOGGLE)
+    }
+
+    /// One feature row, in [`feature_columns`] order.
+    fn row(&self, cell_index: usize) -> Vec<f64> {
+        let netlist = self.netlist;
+        let cell = self.cells[cell_index];
+        let mut row = Vec::with_capacity(17 * 2 + 15);
+
+        let kind_slot = CellKind::ALL
+            .iter()
+            .position(|&k| k == cell.kind)
+            .expect("kind in ALL");
+        for slot in 0..CellKind::ALL.len() {
+            row.push(if slot == kind_slot { 1.0 } else { 0.0 });
+        }
+
+        row.push(f64::from(self.levels[cell.id.index()]) / self.depth_scale);
+        row.push((1.0 + f64::from(self.fanout[cell.output.index()])).ln());
+
+        // The fan-in cone, not crossing flip-flops or the clock network:
+        // the combinational logic whose stimulus shapes this output.
+        let cone = fanin_cone(
+            netlist,
+            cell.output,
+            ConeOptions {
+                cross_dffs: false,
+                follow_clock: false,
+            },
+        );
+        row.push((1.0 + cone.len() as f64).ln());
+        let mut histogram = [0u32; CellKind::ALL.len()];
+        for &id in &cone {
+            let slot = CellKind::ALL
+                .iter()
+                .position(|&k| k == netlist.cell(id).kind)
+                .expect("kind in ALL");
+            histogram[slot] += 1;
+        }
+        let cone_len = cone.len().max(1) as f64;
+        for count in histogram {
+            row.push(f64::from(count) / cone_len);
+        }
+
+        // Frontier composition: where the cone's signals originate.
+        let mut frontier_inputs = 0u32;
+        let mut frontier_dffs = 0u32;
+        for &id in &cone {
+            let member = netlist.cell(id);
+            for (pin, &input) in member.inputs.iter().enumerate() {
+                if Netlist::is_clock_pin(member.kind, pin) {
+                    continue;
+                }
+                match netlist.net(input).driver {
+                    vega_netlist::NetDriver::Input => frontier_inputs += 1,
+                    vega_netlist::NetDriver::Cell(src) => {
+                        if netlist.cell(src).kind.is_sequential() {
+                            frontier_dffs += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let frontier = (frontier_inputs + frontier_dffs).max(1) as f64;
+        row.push(f64::from(frontier_inputs) / frontier);
+        row.push(f64::from(frontier_dffs) / frontier);
+        row.push(if self.gated[cell.id.index()] {
+            1.0
+        } else {
+            0.0
+        });
+
+        // Stimulus-distribution summary from the probe profile.
+        row.push(self.probe_sp(&cell.name));
+        row.push(self.probe_toggle(&cell.name));
+        let mut sp_sum = 0.0;
+        let mut sp_min = f64::INFINITY;
+        let mut sp_max = f64::NEG_INFINITY;
+        let mut toggle_sum = 0.0;
+        for &id in &cone {
+            let name = &netlist.cell(id).name;
+            let sp = self.probe_sp(name);
+            sp_sum += sp;
+            sp_min = sp_min.min(sp);
+            sp_max = sp_max.max(sp);
+            toggle_sum += self.probe_toggle(name);
+        }
+        if cone.is_empty() {
+            sp_min = DEFAULT_PROBE_SP;
+            sp_max = DEFAULT_PROBE_SP;
+        }
+        row.push(sp_sum / cone_len);
+        row.push(sp_min);
+        row.push(sp_max);
+        row.push(toggle_sum / cone_len);
+
+        row.push(self.global_cells_log);
+        row.push(self.global_dff_frac);
+        row.push(self.global_probe_sp_mean);
+        row
+    }
+}
+
+/// Extract the schema-v1 feature matrix for `netlist`.
+///
+/// `probe` supplies the stimulus-distribution summary features — a
+/// short, cheap SP profile (any number of cycles; the columns carry
+/// rates, not counts). Pass `None` to fall back to neutral defaults.
+///
+/// Rows are sharded across `threads` workers in contiguous chunks and
+/// reassembled in chunk order: the result is byte-identical for a given
+/// `(netlist, probe)` at any `threads`.
+pub fn extract_features(
+    netlist: &Netlist,
+    probe: Option<&SpProfile>,
+    threads: usize,
+    obs: &Obs,
+) -> Result<FeatureMatrix, PredictError> {
+    let _span = vega_obs::span!(
+        obs,
+        "phase1.predict.features",
+        module = netlist.name(),
+        cells = netlist.cell_count() as u64,
+    );
+    let context = ExtractContext::build(netlist, probe)?;
+    let n = netlist.cell_count();
+    let threads = threads.clamp(1, n.max(1));
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+
+    let rows: Vec<Vec<f64>> = if threads <= 1 || n <= 1 {
+        (0..n).map(|i| context.row(i)).collect()
+    } else {
+        let context = &context;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(n);
+                    scope.spawn(move || (start..end).map(|i| context.row(i)).collect::<Vec<_>>())
+                })
+                .collect();
+            let mut rows = Vec::with_capacity(n);
+            for handle in handles {
+                rows.extend(handle.join().expect("feature shard panicked"));
+            }
+            rows
+        })
+    };
+
+    obs.counter("phase1.predict.rows", rows.len() as u64);
+    Ok(FeatureMatrix {
+        schema_version: FEATURE_SCHEMA_VERSION,
+        module: netlist.name().to_string(),
+        columns: feature_columns(),
+        cells: netlist.cells().map(|c| c.name.clone()).collect(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_netlist::NetlistBuilder;
+
+    fn small_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("toy");
+        let clk = b.clock("clk");
+        let en = b.input("en", 1)[0];
+        let a = b.input("a", 2);
+        let x = b.cell(CellKind::Xor2, "x", &[a[0], a[1]]);
+        let y = b.cell(CellKind::And2, "y", &[x, a[0]]);
+        let gclk = b.clock_gate("gate", clk, en);
+        let q = b.dff("q", y, gclk);
+        let q2 = b.dff("q2", x, clk);
+        let z = b.cell(CellKind::Or2, "z", &[q, q2]);
+        b.output("o", &[z]);
+        b.finish().expect("valid netlist")
+    }
+
+    #[test]
+    fn columns_match_rows_and_schema() {
+        let netlist = small_netlist();
+        let m = extract_features(&netlist, None, 1, &Obs::null()).expect("extract");
+        assert_eq!(m.schema_version, FEATURE_SCHEMA_VERSION);
+        assert_eq!(m.columns, feature_columns());
+        assert_eq!(m.cells.len(), netlist.cell_count());
+        for row in &m.rows {
+            assert_eq!(row.len(), m.columns.len());
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn clock_gating_membership_is_detected() {
+        let netlist = small_netlist();
+        let m = extract_features(&netlist, None, 1, &Obs::null()).expect("extract");
+        let gated_col = m.columns.iter().position(|c| c == "clock_gated").unwrap();
+        let row_of = |name: &str| {
+            let i = m.cells.iter().position(|c| c == name).unwrap();
+            &m.rows[i]
+        };
+        assert_eq!(row_of("gate")[gated_col], 1.0, "the clock gate itself");
+        assert_eq!(row_of("q")[gated_col], 1.0, "DFF behind the gate");
+        assert_eq!(row_of("q2")[gated_col], 0.0, "DFF on the free clock");
+        assert_eq!(row_of("x")[gated_col], 0.0, "combinational logic");
+    }
+
+    #[test]
+    fn probe_features_default_without_probe() {
+        let netlist = small_netlist();
+        let m = extract_features(&netlist, None, 1, &Obs::null()).expect("extract");
+        let sp_col = m.columns.iter().position(|c| c == "probe_sp_self").unwrap();
+        assert!(m.rows.iter().all(|r| r[sp_col] == DEFAULT_PROBE_SP));
+    }
+
+    #[test]
+    fn extraction_is_thread_count_invariant() {
+        let netlist = small_netlist();
+        let probe = vega_sim::profile_sharded(&netlist, 256, 7, 1);
+        let base = extract_features(&netlist, Some(&probe), 1, &Obs::null()).expect("extract");
+        for threads in [2, 3, 8] {
+            let other =
+                extract_features(&netlist, Some(&probe), threads, &Obs::null()).expect("extract");
+            assert_eq!(
+                base.to_canonical_json(),
+                other.to_canonical_json(),
+                "threads={threads}"
+            );
+        }
+    }
+}

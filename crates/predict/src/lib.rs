@@ -1,0 +1,124 @@
+//! ML-guided signal-probability prediction (`vega-predict`).
+//!
+//! Phase 1 of the paper's bottom-up pipeline — signal-probability (SP)
+//! profiling — is the most cycle-hungry per-machine step: exact
+//! profiling simulates thousands of cycles per netlist before the
+//! aging-aware STA can rank paths. At fleet scale that cost is paid per
+//! machine, and it is the wall the 1M-machine north star hits first.
+//!
+//! This crate replaces most exact profiles with a *learned* estimate, in
+//! the monitor-budget architecture surveyed by Juracy et al. (cheap
+//! estimators steering scarce exact monitors) and with the learnable
+//! workload-dependency demonstrated by Genssler et al.:
+//!
+//! 1. [`features`] — a deterministic, schema-versioned feature extractor
+//!    over [`vega_netlist::Netlist`]: cell-kind one-hots and fan-in-cone
+//!    histograms, logic depth, fan-out, clock-gating membership, and
+//!    stimulus-distribution summary features taken from a short *probe*
+//!    profile.
+//! 2. [`model`] — two from-scratch trainers behind one
+//!    [`model::Predictor`] trait: closed-form ridge regression and
+//!    seeded, depth-limited gradient-boosted stumps, with canonical-JSON
+//!    model serialization, a deterministic train/holdout split, and
+//!    per-net absolute-error metrics.
+//! 3. [`score`] — converts per-cell SP (predicted or exact) into
+//!    path-aging scores over the unit's risk paths via the
+//!    reaction–diffusion [`vega_aging::AgingModel`], and decides when a
+//!    predicted margin is too close to the STA violation threshold to
+//!    trust (uncertainty-gated escalation to exact profiling).
+//!
+//! Everything is deterministic: same inputs and seeds produce
+//! byte-identical feature matrices, models, and scores at any thread
+//! count, so fleet runs that consume predictions stay replayable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod canon;
+pub mod features;
+pub mod model;
+pub mod score;
+
+pub use features::{extract_features, feature_columns, FeatureMatrix, FEATURE_SCHEMA_VERSION};
+pub use model::{
+    evaluate, mean_absolute_error, spearman_rank_correlation, train, BoostedModel, EvalReport,
+    Predictor, RidgeModel, SpModel, Stump, TrainOptions, TrainedModel, TrainerKind,
+    MODEL_SCHEMA_VERSION,
+};
+pub use score::{RiskPath, RiskScorer, SpAssessment, SpPoolPredictor, SpSource};
+
+/// Errors surfaced by feature extraction, training, and model I/O.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictError {
+    /// The netlist failed a graph invariant (e.g. a combinational loop).
+    Netlist(String),
+    /// A model was applied to features from a different schema.
+    SchemaMismatch {
+        /// Schema version the model was trained on.
+        model: u32,
+        /// Schema version of the features it was applied to.
+        features: u32,
+    },
+    /// A model's column list disagrees with the feature matrix.
+    ColumnMismatch {
+        /// Number of columns the model expects.
+        model: usize,
+        /// Number of columns the matrix carries.
+        features: usize,
+    },
+    /// The training set was empty (or became empty after the split).
+    EmptyTrainingSet,
+    /// A model file failed to parse.
+    Json(String),
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::Netlist(e) => write!(f, "netlist error: {e}"),
+            PredictError::SchemaMismatch { model, features } => write!(
+                f,
+                "feature schema mismatch: model trained on v{model}, features are v{features}"
+            ),
+            PredictError::ColumnMismatch { model, features } => write!(
+                f,
+                "feature column mismatch: model has {model} columns, matrix has {features}"
+            ),
+            PredictError::EmptyTrainingSet => write!(f, "training set is empty"),
+            PredictError::Json(e) => write!(f, "model JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+/// SplitMix64 — the same deterministic seed mixer the fleet engine uses,
+/// reused here for seeded subsampling and the train/holdout split.
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A tiny deterministic generator over [`mix`], for seeded shuffles.
+#[derive(Debug, Clone)]
+pub(crate) struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    pub(crate) fn new(seed: u64) -> SmallRng {
+        SmallRng { state: mix(seed) }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
+    }
+
+    /// Uniform index below `bound` (bound > 0).
+    pub(crate) fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+}

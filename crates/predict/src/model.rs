@@ -1,0 +1,884 @@
+//! From-scratch deterministic trainers behind one [`Predictor`] trait.
+//!
+//! Two model families, both trained on [`crate::FeatureMatrix`] rows
+//! against exact-profile SP targets:
+//!
+//! - **Ridge regression** ([`RidgeModel`]): the closed-form normal
+//!   equations `(XᵀX + λI)w = Xᵀy` (intercept unpenalized), solved by
+//!   Gaussian elimination with partial pivoting. Columns are
+//!   standardized internally and the scaling folded back into the
+//!   weights, so the stored model applies directly to raw features.
+//! - **Gradient-boosted stumps** ([`BoostedModel`]): squared-error
+//!   boosting of depth-1 regression trees. Each round scans a seeded
+//!   subsample of the columns, finds the exact best single split per
+//!   column by a prefix-sum sweep over a presorted order, and keeps the
+//!   best stump at a fixed learning rate. Ties break toward the lowest
+//!   column and earliest split, so training is fully deterministic.
+//!
+//! Models serialize to canonical JSON ([`SpModel::to_canonical_json`]):
+//! fixed member order, shortest-roundtrip float rendering, two-space
+//! indentation, trailing newline — byte-identical across runs, thread
+//! counts, and platforms. [`SpModel::from_json`] round-trips exactly
+//! (train → save → load → identical predictions).
+
+use serde::{Deserialize, Serialize};
+use vega_obs::Obs;
+
+use crate::features::{FeatureMatrix, FEATURE_SCHEMA_VERSION};
+use crate::{canon, mix, PredictError, SmallRng};
+
+/// Version of the model file format; bump when fields change.
+pub const MODEL_SCHEMA_VERSION: u32 = 1;
+
+/// Anything that maps a feature row to a predicted signal probability.
+pub trait Predictor {
+    /// A short, stable trainer name (`"ridge"` / `"boosted"`).
+    fn name(&self) -> &'static str;
+    /// Predict one raw (unclamped) value for a feature row.
+    fn predict_row(&self, row: &[f64]) -> f64;
+}
+
+/// Closed-form ridge/linear model over raw feature columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RidgeModel {
+    /// The L2 penalty the model was solved with.
+    pub lambda: f64,
+    /// Intercept term.
+    pub intercept: f64,
+    /// Per-column weights, parallel to the model's column list.
+    pub weights: Vec<f64>,
+}
+
+impl Predictor for RidgeModel {
+    fn name(&self) -> &'static str {
+        "ridge"
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut y = self.intercept;
+        for (w, x) in self.weights.iter().zip(row) {
+            y += w * x;
+        }
+        y
+    }
+}
+
+/// One depth-1 split: `row[feature] <= threshold ? left : right`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stump {
+    /// Column index the stump splits on.
+    pub feature: usize,
+    /// Split threshold (midpoint between adjacent training values).
+    pub threshold: f64,
+    /// Leaf value for `row[feature] <= threshold`.
+    pub left: f64,
+    /// Leaf value for `row[feature] > threshold`.
+    pub right: f64,
+}
+
+/// Seeded, depth-limited gradient-boosted stump ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoostedModel {
+    /// Prediction before any stump: the training-set mean target.
+    pub base: f64,
+    /// Shrinkage applied to every stump's contribution.
+    pub learning_rate: f64,
+    /// Tree depth (always 1: stumps).
+    pub depth: u32,
+    /// Seed of the per-round column subsampler.
+    pub seed: u64,
+    /// The boosted rounds, in training order.
+    pub stumps: Vec<Stump>,
+}
+
+impl Predictor for BoostedModel {
+    fn name(&self) -> &'static str {
+        "boosted"
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut y = self.base;
+        for stump in &self.stumps {
+            let leaf = if row[stump.feature] <= stump.threshold {
+                stump.left
+            } else {
+                stump.right
+            };
+            y += self.learning_rate * leaf;
+        }
+        y
+    }
+}
+
+/// A serialized SP predictor: exactly one trainer payload, plus the
+/// schema metadata needed to reject mismatched feature matrices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpModel {
+    /// Model file format version.
+    pub schema_version: u32,
+    /// Feature schema the model was trained on.
+    pub feature_schema: u32,
+    /// Trainer name (`"ridge"` / `"boosted"`).
+    pub trainer: String,
+    /// Module the training matrix came from (informational).
+    pub module: String,
+    /// Column names the weights/stumps index into.
+    pub columns: Vec<String>,
+    /// Present iff `trainer == "ridge"`.
+    pub ridge: Option<RidgeModel>,
+    /// Present iff `trainer == "boosted"`.
+    pub boosted: Option<BoostedModel>,
+}
+
+impl SpModel {
+    /// Predict one raw value for a feature row (no schema check).
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        match (&self.ridge, &self.boosted) {
+            (Some(m), _) => m.predict_row(row),
+            (_, Some(m)) => m.predict_row(row),
+            _ => 0.5,
+        }
+    }
+
+    /// Predict SP for every row of `matrix`, clamped to `[0, 1]`.
+    ///
+    /// Fails if the matrix was extracted under a different feature
+    /// schema or with a different column set.
+    pub fn predict(&self, matrix: &FeatureMatrix) -> Result<Vec<f64>, PredictError> {
+        if self.feature_schema != matrix.schema_version {
+            return Err(PredictError::SchemaMismatch {
+                model: self.feature_schema,
+                features: matrix.schema_version,
+            });
+        }
+        if self.columns.len() != matrix.columns.len() {
+            return Err(PredictError::ColumnMismatch {
+                model: self.columns.len(),
+                features: matrix.columns.len(),
+            });
+        }
+        Ok(matrix
+            .rows
+            .iter()
+            .map(|row| self.predict_row(row).clamp(0.0, 1.0))
+            .collect())
+    }
+
+    /// Canonical JSON: fixed member order, shortest-roundtrip floats
+    /// (integral values rendered `x.0`), two-space indent, trailing
+    /// newline. Byte-identical for identical models.
+    pub fn to_canonical_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema_version\": ");
+        out.push_str(&self.schema_version.to_string());
+        out.push_str(",\n  \"feature_schema\": ");
+        out.push_str(&self.feature_schema.to_string());
+        out.push_str(",\n  \"trainer\": ");
+        canon::string(&mut out, &self.trainer);
+        out.push_str(",\n  \"module\": ");
+        canon::string(&mut out, &self.module);
+        out.push_str(",\n  \"columns\": ");
+        canon::string_array(&mut out, &self.columns);
+        out.push_str(",\n  \"ridge\": ");
+        match &self.ridge {
+            None => out.push_str("null"),
+            Some(m) => {
+                out.push_str("{\n    \"lambda\": ");
+                canon::float(&mut out, m.lambda);
+                out.push_str(",\n    \"intercept\": ");
+                canon::float(&mut out, m.intercept);
+                out.push_str(",\n    \"weights\": ");
+                canon::float_array(&mut out, &m.weights);
+                out.push_str("\n  }");
+            }
+        }
+        out.push_str(",\n  \"boosted\": ");
+        match &self.boosted {
+            None => out.push_str("null"),
+            Some(m) => {
+                out.push_str("{\n    \"base\": ");
+                canon::float(&mut out, m.base);
+                out.push_str(",\n    \"learning_rate\": ");
+                canon::float(&mut out, m.learning_rate);
+                out.push_str(",\n    \"depth\": ");
+                out.push_str(&m.depth.to_string());
+                out.push_str(",\n    \"seed\": ");
+                out.push_str(&m.seed.to_string());
+                out.push_str(",\n    \"stumps\": [\n");
+                for (i, s) in m.stumps.iter().enumerate() {
+                    out.push_str("      {\"feature\": ");
+                    out.push_str(&s.feature.to_string());
+                    out.push_str(", \"threshold\": ");
+                    canon::float(&mut out, s.threshold);
+                    out.push_str(", \"left\": ");
+                    canon::float(&mut out, s.left);
+                    out.push_str(", \"right\": ");
+                    canon::float(&mut out, s.right);
+                    out.push('}');
+                    if i + 1 < m.stumps.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str("    ]\n  }");
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parse a model file written by [`SpModel::to_canonical_json`].
+    pub fn from_json(text: &str) -> Result<SpModel, PredictError> {
+        serde_json::from_str(text).map_err(|e| PredictError::Json(e.to_string()))
+    }
+}
+
+/// Which trainer [`train`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainerKind {
+    /// Closed-form ridge regression.
+    Ridge,
+    /// Gradient-boosted stumps.
+    Boosted,
+}
+
+impl TrainerKind {
+    /// Stable label, also used as the model file's `trainer` field.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrainerKind::Ridge => "ridge",
+            TrainerKind::Boosted => "boosted",
+        }
+    }
+}
+
+impl std::str::FromStr for TrainerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ridge" | "linear" => Ok(TrainerKind::Ridge),
+            "boosted" | "stumps" | "gbm" => Ok(TrainerKind::Boosted),
+            other => Err(format!("unknown trainer `{other}` (ridge|boosted)")),
+        }
+    }
+}
+
+/// Knobs for [`train`]; the defaults are what the CLI and fleet use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainOptions {
+    /// Which trainer to run.
+    pub trainer: TrainerKind,
+    /// Seed for the holdout split and the boosted column subsampler.
+    pub seed: u64,
+    /// Fraction of rows held out for evaluation (0 disables).
+    pub holdout_fraction: f64,
+    /// Ridge L2 penalty.
+    pub lambda: f64,
+    /// Boosting rounds.
+    pub rounds: usize,
+    /// Boosting shrinkage.
+    pub learning_rate: f64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            trainer: TrainerKind::Ridge,
+            seed: 42,
+            holdout_fraction: 0.25,
+            lambda: 1e-3,
+            rounds: 200,
+            learning_rate: 0.1,
+        }
+    }
+}
+
+/// Per-net absolute-error metrics of a trained model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Rows used for fitting.
+    pub n_train: usize,
+    /// Rows held out for the metrics below (0 ⇒ metrics are in-sample).
+    pub n_holdout: usize,
+    /// Mean absolute error on the training rows.
+    pub mae_train: f64,
+    /// Mean absolute error on the holdout rows (in-sample if none).
+    pub mae_holdout: f64,
+    /// Root-mean-square error on the holdout rows.
+    pub rmse_holdout: f64,
+    /// Worst per-net absolute error on the holdout rows.
+    pub max_abs_err_holdout: f64,
+    /// Spearman rank correlation between predicted and exact SP on the
+    /// holdout rows — the quantity path *ranking* depends on.
+    pub spearman_holdout: f64,
+    /// The worst-predicted nets `(cell, |error|)`, largest first.
+    pub worst_nets: Vec<(String, f64)>,
+}
+
+/// A trained model plus the metrics of its train/holdout evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainedModel {
+    /// The serializable predictor.
+    pub model: SpModel,
+    /// Split sizes and error metrics.
+    pub eval: EvalReport,
+}
+
+/// Deterministic row split: `true` ⇒ the row is held out.
+fn holdout_mask(n: usize, fraction: f64, seed: u64) -> Vec<bool> {
+    if fraction <= 0.0 || n < 8 {
+        return vec![false; n];
+    }
+    let mut mask: Vec<bool> = (0..n)
+        .map(|i| {
+            let u = mix(seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+            (u >> 11) as f64 / (1u64 << 53) as f64 // uniform in [0, 1)
+        })
+        .map(|u| u < fraction)
+        .collect();
+    // Never let either side go empty.
+    if mask.iter().all(|&h| h) {
+        mask[0] = false;
+    }
+    if mask.iter().all(|&h| !h) {
+        mask[n - 1] = true;
+    }
+    mask
+}
+
+/// Train a predictor on `matrix` against `targets` (one per row) and
+/// evaluate it on a deterministic holdout split.
+///
+/// Records a `phase1.predict.train` span and per-trainer counters to
+/// `obs`. Same matrix, targets, and options ⇒ byte-identical model.
+pub fn train(
+    matrix: &FeatureMatrix,
+    targets: &[f64],
+    options: &TrainOptions,
+    obs: &Obs,
+) -> Result<TrainedModel, PredictError> {
+    assert_eq!(
+        matrix.rows.len(),
+        targets.len(),
+        "one target per feature row"
+    );
+    if matrix.rows.is_empty() {
+        return Err(PredictError::EmptyTrainingSet);
+    }
+    let _span = vega_obs::span!(
+        obs,
+        "phase1.predict.train",
+        trainer = options.trainer.label(),
+        rows = matrix.rows.len() as u64,
+    );
+    let mask = holdout_mask(matrix.rows.len(), options.holdout_fraction, options.seed);
+    let train_rows: Vec<&[f64]> = matrix
+        .rows
+        .iter()
+        .zip(&mask)
+        .filter(|(_, &h)| !h)
+        .map(|(r, _)| r.as_slice())
+        .collect();
+    let train_targets: Vec<f64> = targets
+        .iter()
+        .zip(&mask)
+        .filter(|(_, &h)| !h)
+        .map(|(&t, _)| t)
+        .collect();
+    if train_rows.is_empty() {
+        return Err(PredictError::EmptyTrainingSet);
+    }
+
+    let (ridge, boosted) = match options.trainer {
+        TrainerKind::Ridge => (
+            Some(fit_ridge(&train_rows, &train_targets, options.lambda)),
+            None,
+        ),
+        TrainerKind::Boosted => (
+            None,
+            Some(fit_boosted(&train_rows, &train_targets, options)),
+        ),
+    };
+    let model = SpModel {
+        schema_version: MODEL_SCHEMA_VERSION,
+        feature_schema: FEATURE_SCHEMA_VERSION,
+        trainer: options.trainer.label().to_string(),
+        module: matrix.module.clone(),
+        columns: matrix.columns.clone(),
+        ridge,
+        boosted,
+    };
+    let eval = evaluate_split(&model, matrix, targets, &mask);
+    obs.counter("phase1.predict.trained_models", 1);
+    obs.gauge("phase1.predict.mae_holdout", eval.mae_holdout);
+    obs.gauge("phase1.predict.spearman_holdout", eval.spearman_holdout);
+    Ok(TrainedModel { model, eval })
+}
+
+/// Evaluate an existing model against a matrix and exact targets, with
+/// every row treated as holdout (e.g. cross-unit generalization).
+pub fn evaluate(model: &SpModel, matrix: &FeatureMatrix, targets: &[f64]) -> EvalReport {
+    evaluate_split(model, matrix, targets, &vec![true; matrix.rows.len()])
+}
+
+fn evaluate_split(
+    model: &SpModel,
+    matrix: &FeatureMatrix,
+    targets: &[f64],
+    mask: &[bool],
+) -> EvalReport {
+    let predict = |row: &[f64]| model.predict_row(row).clamp(0.0, 1.0);
+    let mut train_err = Vec::new();
+    let mut holdout: Vec<(usize, f64, f64)> = Vec::new();
+    for (i, (row, &target)) in matrix.rows.iter().zip(targets).enumerate() {
+        let p = predict(row);
+        if mask[i] {
+            holdout.push((i, p, target));
+        } else {
+            train_err.push((p - target).abs());
+        }
+    }
+    // With no holdout rows, report in-sample metrics rather than NaNs.
+    let scored: Vec<(usize, f64, f64)> = if holdout.is_empty() {
+        matrix
+            .rows
+            .iter()
+            .zip(targets)
+            .enumerate()
+            .map(|(i, (row, &t))| (i, predict(row), t))
+            .collect()
+    } else {
+        holdout.clone()
+    };
+    let abs_errors: Vec<f64> = scored.iter().map(|&(_, p, t)| (p - t).abs()).collect();
+    let predictions: Vec<f64> = scored.iter().map(|&(_, p, _)| p).collect();
+    let exact: Vec<f64> = scored.iter().map(|&(_, _, t)| t).collect();
+    let mut worst: Vec<(String, f64)> = scored
+        .iter()
+        .map(|&(i, p, t)| (matrix.cells[i].clone(), (p - t).abs()))
+        .collect();
+    worst.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    worst.truncate(8);
+    EvalReport {
+        n_train: train_err.len(),
+        n_holdout: holdout.len(),
+        mae_train: mean(&train_err),
+        mae_holdout: mean(&abs_errors),
+        rmse_holdout: (abs_errors.iter().map(|e| e * e).sum::<f64>()
+            / abs_errors.len().max(1) as f64)
+            .sqrt(),
+        max_abs_err_holdout: abs_errors.iter().copied().fold(0.0, f64::max),
+        spearman_holdout: spearman_rank_correlation(&predictions, &exact),
+        worst_nets: worst,
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Mean absolute error between two equal-length series.
+pub fn mean_absolute_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    mean(
+        &a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Spearman rank correlation with average ranks for ties; 0 for
+/// degenerate inputs (fewer than two points, or a constant series).
+pub fn spearman_rank_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Average ranks (1-based) with ties sharing their mean rank.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap().then_with(|| i.cmp(&j)));
+    let mut out = vec![0.0; xs.len()];
+    let mut k = 0;
+    while k < order.len() {
+        let mut j = k;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[k]] {
+            j += 1;
+        }
+        let rank = (k + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[k..=j] {
+            out[idx] = rank;
+        }
+        k = j + 1;
+    }
+    out
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Closed-form ridge fit with internal column standardization.
+fn fit_ridge(rows: &[&[f64]], targets: &[f64], lambda: f64) -> RidgeModel {
+    let n = rows.len();
+    let d = rows[0].len();
+    // Standardize columns so one penalty fits all scales; constant
+    // columns keep weight 0.
+    let mut col_mean = vec![0.0; d];
+    let mut col_std = vec![0.0; d];
+    for row in rows {
+        for (j, &x) in row.iter().enumerate() {
+            col_mean[j] += x;
+        }
+    }
+    for m in &mut col_mean {
+        *m /= n as f64;
+    }
+    for row in rows {
+        for (j, &x) in row.iter().enumerate() {
+            col_std[j] += (x - col_mean[j]) * (x - col_mean[j]);
+        }
+    }
+    for s in &mut col_std {
+        *s = (*s / n as f64).sqrt();
+        if *s < 1e-12 {
+            *s = 0.0;
+        }
+    }
+    let standardized = |row: &[f64], j: usize| {
+        if col_std[j] == 0.0 {
+            0.0
+        } else {
+            (row[j] - col_mean[j]) / col_std[j]
+        }
+    };
+
+    // Normal equations over [standardized columns | 1].
+    let dim = d + 1;
+    let mut xtx = vec![vec![0.0; dim]; dim];
+    let mut xty = vec![0.0; dim];
+    for (row, &y) in rows.iter().zip(targets) {
+        let mut z = Vec::with_capacity(dim);
+        for j in 0..d {
+            z.push(standardized(row, j));
+        }
+        z.push(1.0);
+        for (j, &zj) in z.iter().enumerate() {
+            xty[j] += zj * y;
+            for (k, &zk) in z.iter().enumerate() {
+                xtx[j][k] += zj * zk;
+            }
+        }
+    }
+    for (j, row) in xtx.iter_mut().enumerate().take(d) {
+        row[j] += lambda * n as f64;
+    }
+    let w = solve_linear(&mut xtx, &mut xty);
+
+    // Fold the standardization back into raw-feature weights.
+    let mut weights = vec![0.0; d];
+    let mut intercept = w[d];
+    for j in 0..d {
+        if col_std[j] > 0.0 {
+            weights[j] = w[j] / col_std[j];
+            intercept -= w[j] * col_mean[j] / col_std[j];
+        }
+    }
+    RidgeModel {
+        lambda,
+        intercept,
+        weights,
+    }
+}
+
+/// Gaussian elimination with partial pivoting; `a` and `b` are consumed.
+/// Singular pivots leave that unknown at 0 (the ridge term keeps the
+/// system well-conditioned in practice).
+fn solve_linear(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        if a[pivot][col].abs() < 1e-12 {
+            continue;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        if a[col][col].abs() < 1e-12 {
+            continue;
+        }
+        let mut sum = b[col];
+        for k in col + 1..n {
+            sum -= a[col][k] * x[k];
+        }
+        x[col] = sum / a[col][col];
+    }
+    x
+}
+
+/// Squared-error gradient boosting of depth-1 stumps.
+fn fit_boosted(rows: &[&[f64]], targets: &[f64], options: &TrainOptions) -> BoostedModel {
+    let n = rows.len();
+    let d = rows[0].len();
+    let base = targets.iter().sum::<f64>() / n as f64;
+    let mut predictions = vec![base; n];
+    let mut residuals = vec![0.0; n];
+
+    // Presort each column once; every round's split sweep reuses it.
+    let sorted: Vec<Vec<usize>> = (0..d)
+        .map(|j| {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&i, &k| {
+                rows[i][j]
+                    .partial_cmp(&rows[k][j])
+                    .unwrap()
+                    .then_with(|| i.cmp(&k))
+            });
+            order
+        })
+        .collect();
+
+    let mut rng = SmallRng::new(options.seed ^ 0xB005_7ED5);
+    let subsample = d.max(1).saturating_mul(4) / 5; // 80% of columns/round
+    let subsample = subsample.max(1.min(d));
+    let mut columns: Vec<usize> = (0..d).collect();
+    let mut stumps = Vec::with_capacity(options.rounds);
+
+    for _ in 0..options.rounds {
+        for (i, (&y, &p)) in targets.iter().zip(&predictions).enumerate() {
+            residuals[i] = y - p;
+        }
+        // Seeded Fisher–Yates prefix: this round's column subsample.
+        for i in 0..subsample {
+            let j = i + rng.below(d - i);
+            columns.swap(i, j);
+        }
+        let mut chosen = columns[..subsample].to_vec();
+        chosen.sort_unstable(); // low column wins ties deterministically
+
+        let total: f64 = residuals.iter().sum();
+        let mut best: Option<(f64, Stump)> = None;
+        for &j in &chosen {
+            let order = &sorted[j];
+            let mut left_sum = 0.0;
+            for (count, window) in order.windows(2).enumerate() {
+                left_sum += residuals[window[0]];
+                let (lo, hi) = (rows[window[0]][j], rows[window[1]][j]);
+                if lo == hi {
+                    continue; // can't split between equal values
+                }
+                let left_n = (count + 1) as f64;
+                let right_n = (n - count - 1) as f64;
+                let right_sum = total - left_sum;
+                let gain = left_sum * left_sum / left_n + right_sum * right_sum / right_n;
+                if best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                    best = Some((
+                        gain,
+                        Stump {
+                            feature: j,
+                            threshold: lo + (hi - lo) / 2.0,
+                            left: left_sum / left_n,
+                            right: right_sum / right_n,
+                        },
+                    ));
+                }
+            }
+        }
+        let Some((_, stump)) = best else {
+            break; // every candidate column is constant: nothing to fit
+        };
+        for (i, row) in rows.iter().enumerate() {
+            let leaf = if row[stump.feature] <= stump.threshold {
+                stump.left
+            } else {
+                stump.right
+            };
+            predictions[i] += options.learning_rate * leaf;
+        }
+        stumps.push(stump);
+    }
+
+    BoostedModel {
+        base,
+        learning_rate: options.learning_rate,
+        depth: 1,
+        seed: options.seed,
+        stumps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_matrix(n: usize) -> (FeatureMatrix, Vec<f64>) {
+        // y = 0.3*x0 - 0.2*x1 + 0.4, plus a constant column.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let x0 = (mix(i as u64) % 1000) as f64 / 1000.0;
+                let x1 = (mix(i as u64 ^ 0xDEAD) % 1000) as f64 / 1000.0;
+                vec![x0, x1, 1.0]
+            })
+            .collect();
+        let targets = rows.iter().map(|r| 0.3 * r[0] - 0.2 * r[1] + 0.4).collect();
+        let matrix = FeatureMatrix {
+            schema_version: FEATURE_SCHEMA_VERSION,
+            module: "toy".into(),
+            columns: vec!["x0".into(), "x1".into(), "const".into()],
+            cells: (0..n).map(|i| format!("c{i}")).collect(),
+            rows,
+        };
+        (matrix, targets)
+    }
+
+    #[test]
+    fn ridge_recovers_a_linear_function() {
+        let (matrix, targets) = toy_matrix(200);
+        let options = TrainOptions {
+            lambda: 1e-9,
+            ..TrainOptions::default()
+        };
+        let trained = train(&matrix, &targets, &options, &Obs::null()).expect("train");
+        assert!(
+            trained.eval.mae_holdout < 1e-6,
+            "exact linear fit expected, mae {}",
+            trained.eval.mae_holdout
+        );
+        assert!(trained.eval.spearman_holdout > 0.999);
+        let ridge = trained.model.ridge.as_ref().unwrap();
+        assert!((ridge.weights[0] - 0.3).abs() < 1e-4);
+        assert!((ridge.weights[1] + 0.2).abs() < 1e-4);
+        assert_eq!(ridge.weights[2], 0.0, "constant column gets zero weight");
+    }
+
+    #[test]
+    fn boosting_reduces_error_over_the_mean_baseline() {
+        let (matrix, targets) = toy_matrix(200);
+        let options = TrainOptions {
+            trainer: TrainerKind::Boosted,
+            rounds: 120,
+            ..TrainOptions::default()
+        };
+        let trained = train(&matrix, &targets, &options, &Obs::null()).expect("train");
+        let mean_target = targets.iter().sum::<f64>() / targets.len() as f64;
+        let baseline = mean_absolute_error(&vec![mean_target; targets.len()], &targets);
+        assert!(
+            trained.eval.mae_holdout < baseline / 3.0,
+            "boosting mae {} vs baseline {}",
+            trained.eval.mae_holdout,
+            baseline
+        );
+    }
+
+    #[test]
+    fn canonical_json_round_trips_to_identical_predictions() {
+        let (matrix, targets) = toy_matrix(64);
+        for trainer in [TrainerKind::Ridge, TrainerKind::Boosted] {
+            let options = TrainOptions {
+                trainer,
+                rounds: 40,
+                ..TrainOptions::default()
+            };
+            let trained = train(&matrix, &targets, &options, &Obs::null()).expect("train");
+            let json = trained.model.to_canonical_json();
+            let reloaded = SpModel::from_json(&json).expect("parse");
+            assert_eq!(reloaded, trained.model);
+            assert_eq!(
+                reloaded.predict(&matrix).unwrap(),
+                trained.model.predict(&matrix).unwrap(),
+                "{} predictions must round-trip bitwise",
+                trainer.label()
+            );
+            assert_eq!(json, reloaded.to_canonical_json());
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (matrix, targets) = toy_matrix(100);
+        for trainer in [TrainerKind::Ridge, TrainerKind::Boosted] {
+            let options = TrainOptions {
+                trainer,
+                rounds: 30,
+                ..TrainOptions::default()
+            };
+            let a = train(&matrix, &targets, &options, &Obs::null()).expect("train");
+            let b = train(&matrix, &targets, &options, &Obs::null()).expect("train");
+            assert_eq!(
+                a.model.to_canonical_json(),
+                b.model.to_canonical_json(),
+                "{}",
+                trainer.label()
+            );
+        }
+    }
+
+    #[test]
+    fn spearman_handles_ties_and_degenerate_series() {
+        assert_eq!(spearman_rank_correlation(&[1.0], &[2.0]), 0.0);
+        assert_eq!(spearman_rank_correlation(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        let a = [0.1, 0.4, 0.2, 0.9];
+        let up = [1.0, 3.0, 2.0, 4.0];
+        assert!((spearman_rank_correlation(&a, &up) - 1.0).abs() < 1e-12);
+        let down = [4.0, 2.0, 3.0, 1.0];
+        assert!((spearman_rank_correlation(&a, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let (matrix, targets) = toy_matrix(32);
+        let trained = train(&matrix, &targets, &TrainOptions::default(), &Obs::null()).unwrap();
+        let mut other = matrix.clone();
+        other.schema_version += 1;
+        assert!(matches!(
+            trained.model.predict(&other),
+            Err(PredictError::SchemaMismatch { .. })
+        ));
+        let mut fewer = matrix.clone();
+        fewer.columns.pop();
+        assert!(matches!(
+            trained.model.predict(&fewer),
+            Err(PredictError::ColumnMismatch { .. })
+        ));
+    }
+}

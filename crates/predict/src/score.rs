@@ -1,0 +1,301 @@
+//! Path-aging risk scoring and uncertainty-gated escalation.
+//!
+//! Phase 1's STA ranks paths by aged slack, which needs per-cell SP.
+//! This module turns an SP estimate — predicted or exact — into the two
+//! quantities the fleet scheduler consumes:
+//!
+//! - an **aging score**: the worst fraction of any risk path's timing
+//!   margin consumed by BTI-induced delay degradation at the machine's
+//!   age (higher ⇒ scan sooner);
+//! - a **worst margin** (ns): the smallest projected slack across the
+//!   risk paths. When the *predicted* margin falls within a configurable
+//!   guard band of the STA violation threshold (slack 0), the
+//!   prediction cannot be trusted to clear the machine and the fleet
+//!   escalates to an exact `profile_sharded` — the monitor-budget
+//!   pattern: cheap estimators everywhere, exact monitors where it is
+//!   tight.
+//!
+//! The delay model mirrors the aging-aware STA to first order: a path's
+//! unaged arrival is scaled by the mean per-cell delay degradation
+//! `AgingModel::delay_degradation(sp, years)` along the path. Risk
+//! paths are distilled from the unit's aged timing report (see
+//! `vega::analyze_aging`), so the fleet never re-runs STA per machine.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use vega_aging::AgingModel;
+use vega_netlist::Netlist;
+use vega_obs::Obs;
+use vega_sim::SpProfile;
+
+use crate::features::extract_features;
+use crate::model::SpModel;
+use crate::PredictError;
+
+/// One aging-prone path distilled from the unit's aged timing report,
+/// in the form the per-machine scorer needs: cell instance names (so SP
+/// maps key directly) plus the reference-timing aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RiskPath {
+    /// Human-readable endpoint label (`launch -> capture`).
+    pub label: String,
+    /// Instance names along the path, launch to capture.
+    pub cells: Vec<String>,
+    /// Aged arrival time at the reference age and profile, ns.
+    pub arrival_ns: f64,
+    /// Required time (capture edge minus setup), ns.
+    pub required_ns: f64,
+    /// Aged slack at the reference age and profile, ns.
+    pub slack_ns: f64,
+    /// Mean per-cell delay degradation baked into `arrival_ns` — used
+    /// to recover the unaged arrival before re-aging at machine age.
+    pub ref_degradation: f64,
+}
+
+impl RiskPath {
+    /// The path's arrival time with aging backed out.
+    pub fn unaged_arrival_ns(&self) -> f64 {
+        self.arrival_ns / (1.0 + self.ref_degradation.max(0.0))
+    }
+}
+
+/// Where a machine's SP estimate came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpSource {
+    /// Exact `profile_sharded` simulation.
+    Exact,
+    /// The trained predictor (no simulation).
+    Predicted,
+}
+
+impl SpSource {
+    /// Stable telemetry label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpSource::Exact => "exact",
+            SpSource::Predicted => "predicted",
+        }
+    }
+}
+
+/// The per-machine outcome of Phase-1 SP assessment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpAssessment {
+    /// Provenance of the SP estimate behind the score.
+    pub source: SpSource,
+    /// Worst margin-consumption fraction across the risk paths (≥ 0;
+    /// > 1 means the path is projected past its required time).
+    pub aging_score: f64,
+    /// Smallest projected slack across the risk paths, ns
+    /// (`+∞` when the unit has no risk paths).
+    pub worst_margin_ns: f64,
+    /// Simulation lane-cycles this assessment cost (0 when predicted).
+    pub phase1_cycles: u64,
+    /// Whether a predicted assessment was escalated to exact because
+    /// its margin fell inside the guard band.
+    pub escalated: bool,
+}
+
+/// Scores SP maps against a unit's risk paths under an aging model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskScorer {
+    /// The reaction–diffusion aging model (the STA's parameters).
+    pub aging: AgingModel,
+    /// The unit's distilled aging-prone paths.
+    pub paths: Vec<RiskPath>,
+}
+
+impl RiskScorer {
+    /// Score an SP lookup at `age_years`: returns
+    /// `(aging_score, worst_margin_ns)`. Cells without an SP estimate
+    /// score at the neutral 0.5.
+    pub fn score(&self, sp_of: &dyn Fn(&str) -> Option<f64>, age_years: f64) -> (f64, f64) {
+        let mut worst_score = 0.0f64;
+        let mut worst_margin = f64::INFINITY;
+        for path in &self.paths {
+            if path.cells.is_empty() {
+                continue;
+            }
+            let mean_degradation = path
+                .cells
+                .iter()
+                .map(|cell| {
+                    let sp = sp_of(cell).unwrap_or(0.5);
+                    self.aging.delay_degradation(sp, age_years)
+                })
+                .sum::<f64>()
+                / path.cells.len() as f64;
+            let unaged = path.unaged_arrival_ns();
+            let aged = unaged * (1.0 + mean_degradation);
+            let margin = path.required_ns - aged;
+            let headroom = (path.required_ns - unaged).max(1e-9);
+            let consumed = (aged - unaged) / headroom;
+            worst_score = worst_score.max(consumed);
+            worst_margin = worst_margin.min(margin);
+        }
+        (worst_score, worst_margin)
+    }
+}
+
+/// Everything a fleet pool needs to assess its machines: the trained
+/// predictor, the probe profile its stimulus features came from, and
+/// the risk-path scorer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpPoolPredictor {
+    /// The trained SP model.
+    pub model: SpModel,
+    /// The short probe profile used for stimulus summary features.
+    /// Machine netlists share instance names with the pool's healthy
+    /// netlist, so the pool-level probe transfers; instrumentation
+    /// cells absent from it fall back to neutral defaults.
+    pub probe: SpProfile,
+    /// The unit's risk paths and aging model.
+    pub scorer: RiskScorer,
+}
+
+impl SpPoolPredictor {
+    /// Assess a machine from its netlist alone: extract features,
+    /// predict per-cell SP, score the risk paths. Costs zero
+    /// simulation cycles.
+    pub fn assess_predicted(
+        &self,
+        netlist: &Netlist,
+        age_years: f64,
+        obs: &Obs,
+    ) -> Result<SpAssessment, PredictError> {
+        let matrix = extract_features(netlist, Some(&self.probe), 1, obs)?;
+        let predictions = self.model.predict(&matrix)?;
+        let sp_map: BTreeMap<String, f64> = matrix.sp_map(&predictions);
+        let (aging_score, worst_margin_ns) = self
+            .scorer
+            .score(&|cell| sp_map.get(cell).copied(), age_years);
+        Ok(SpAssessment {
+            source: SpSource::Predicted,
+            aging_score,
+            worst_margin_ns,
+            phase1_cycles: 0,
+            escalated: false,
+        })
+    }
+
+    /// Assess a machine from an exact SP profile that cost
+    /// `phase1_cycles` simulation lane-cycles.
+    pub fn assess_exact(
+        &self,
+        profile: &SpProfile,
+        age_years: f64,
+        phase1_cycles: u64,
+    ) -> SpAssessment {
+        let (aging_score, worst_margin_ns) = self.scorer.score(&|cell| profile.sp(cell), age_years);
+        SpAssessment {
+            source: SpSource::Exact,
+            aging_score,
+            worst_margin_ns,
+            phase1_cycles,
+            escalated: false,
+        }
+    }
+
+    /// Uncertainty gate: a predicted margin inside the guard band —
+    /// within `guard_band_ns` of the zero-slack violation threshold on
+    /// *either* side — is too close to trust, because a small SP
+    /// prediction error could flip the at-risk verdict. Margins deep in
+    /// either direction are safe to act on as predicted: clearly
+    /// healthy machines wait their turn, clearly at-risk machines rank
+    /// high without re-measurement.
+    pub fn needs_escalation(&self, assessment: &SpAssessment, guard_band_ns: f64) -> bool {
+        assessment.source == SpSource::Predicted
+            && assessment.worst_margin_ns.is_finite()
+            && assessment.worst_margin_ns.abs() < guard_band_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scorer(paths: Vec<RiskPath>) -> RiskScorer {
+        RiskScorer {
+            aging: AgingModel::cmos28_worst_case(),
+            paths,
+        }
+    }
+
+    fn path(cells: &[&str], arrival: f64, required: f64, ref_degradation: f64) -> RiskPath {
+        RiskPath {
+            label: "launch -> capture".into(),
+            cells: cells.iter().map(|s| s.to_string()).collect(),
+            arrival_ns: arrival,
+            required_ns: required,
+            slack_ns: required - arrival,
+            ref_degradation,
+        }
+    }
+
+    #[test]
+    fn no_risk_paths_scores_neutral() {
+        let (score, margin) = scorer(Vec::new()).score(&|_| None, 10.0);
+        assert_eq!(score, 0.0);
+        assert_eq!(margin, f64::INFINITY);
+    }
+
+    #[test]
+    fn static_stress_ages_faster_than_toggling() {
+        let s = scorer(vec![path(&["a", "b"], 1.0, 1.2, 0.02)]);
+        let (static_score, static_margin) = s.score(&|_| Some(0.0), 10.0);
+        let (ac_score, ac_margin) = s.score(&|_| Some(0.5), 10.0);
+        assert!(
+            static_score > ac_score,
+            "SP 0 (DC stress) must out-age SP 0.5: {static_score} vs {ac_score}"
+        );
+        assert!(static_margin < ac_margin);
+    }
+
+    #[test]
+    fn older_machines_consume_more_margin() {
+        let s = scorer(vec![path(&["a"], 1.0, 1.15, 0.02)]);
+        let (young, _) = s.score(&|_| Some(0.3), 2.0);
+        let (old, _) = s.score(&|_| Some(0.3), 12.0);
+        assert!(old > young, "{old} vs {young}");
+    }
+
+    #[test]
+    fn escalation_fires_only_inside_the_guard_band_and_only_for_predictions() {
+        let pool = SpPoolPredictor {
+            model: SpModel {
+                schema_version: crate::MODEL_SCHEMA_VERSION,
+                feature_schema: crate::FEATURE_SCHEMA_VERSION,
+                trainer: "ridge".into(),
+                module: "toy".into(),
+                columns: Vec::new(),
+                ridge: None,
+                boosted: None,
+            },
+            probe: SpProfile {
+                module: "toy".into(),
+                cycles: 0,
+                cells: BTreeMap::new(),
+            },
+            scorer: scorer(Vec::new()),
+        };
+        let mut assessment = SpAssessment {
+            source: SpSource::Predicted,
+            aging_score: 0.5,
+            worst_margin_ns: 0.1,
+            phase1_cycles: 0,
+            escalated: false,
+        };
+        assert!(pool.needs_escalation(&assessment, 0.25));
+        assert!(!pool.needs_escalation(&assessment, 0.05));
+        // Deep on either side of the threshold the verdict is clear —
+        // no re-measurement.
+        assessment.worst_margin_ns = -5.0;
+        assert!(!pool.needs_escalation(&assessment, 0.25));
+        assessment.worst_margin_ns = f64::INFINITY;
+        assert!(!pool.needs_escalation(&assessment, 0.25));
+        assessment.worst_margin_ns = 0.1;
+        assessment.source = SpSource::Exact;
+        assert!(!pool.needs_escalation(&assessment, 0.25));
+    }
+}

@@ -1,0 +1,193 @@
+//! Property tests for the predictor stack's determinism guarantees:
+//! feature extraction must be byte-identical across thread counts and
+//! repeated runs, and a model must survive save/load with bit-identical
+//! predictions. These are the properties `vega fleet --sp-mode
+//! predicted` leans on for reproducible telemetry.
+
+use proptest::prelude::*;
+
+use vega_netlist::{CellKind, NetId, Netlist, NetlistBuilder};
+use vega_obs::Obs;
+use vega_predict::{
+    extract_features, train, SpModel, TrainOptions, TrainerKind, FEATURE_SCHEMA_VERSION,
+};
+
+/// Construction script: each step adds one cell whose inputs are chosen
+/// (by index) among already-existing nets, guaranteeing a DAG — the same
+/// idiom as the netlist crate's own property tests.
+#[derive(Debug, Clone)]
+enum Step {
+    Gate(u8, u8, u8, u8), // kind selector, three input selectors
+    Dff(u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(k, a, b, c)| Step::Gate(k, a, b, c)),
+        any::<u8>().prop_map(Step::Dff),
+    ]
+}
+
+const GATE_KINDS: [CellKind; 10] = [
+    CellKind::Buf,
+    CellKind::Not,
+    CellKind::And2,
+    CellKind::Or2,
+    CellKind::Nand2,
+    CellKind::Nor2,
+    CellKind::Xor2,
+    CellKind::Xnor2,
+    CellKind::Mux2,
+    CellKind::Maj3,
+];
+
+fn build(steps: &[Step]) -> Netlist {
+    let mut b = NetlistBuilder::new("prop");
+    let clk = b.clock("clk");
+    let inputs = b.input("in", 4);
+    let mut nets: Vec<NetId> = inputs.clone();
+    for (i, step) in steps.iter().enumerate() {
+        match step {
+            Step::Gate(k, a, bb, c) => {
+                let kind = GATE_KINDS[*k as usize % GATE_KINDS.len()];
+                let pick = |sel: &u8| nets[*sel as usize % nets.len()];
+                let ins: Vec<NetId> = [pick(a), pick(bb), pick(c)][..kind.arity()].to_vec();
+                let out = b.cell(kind, format!("g{i}"), &ins);
+                nets.push(out);
+            }
+            Step::Dff(d) => {
+                let src = nets[*d as usize % nets.len()];
+                let out = b.dff(format!("q{i}"), src, clk);
+                nets.push(out);
+            }
+        }
+    }
+    let last = *nets.last().expect("at least the inputs exist");
+    b.output("o", &[last]);
+    b.finish().expect("script builds a valid DAG")
+}
+
+/// Deterministic pseudo-targets in [0, 1] so training needs no
+/// simulation: a cheap hash of the row index and a seed.
+fn synthetic_targets(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let mut z = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ((z >> 11) as f64 / (1u64 << 53) as f64).clamp(0.0, 1.0)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Feature extraction is a pure function of the netlist: any thread
+    /// count, any repetition, the same canonical bytes.
+    #[test]
+    fn extraction_is_deterministic_across_threads_and_runs(
+        steps in proptest::collection::vec(step_strategy(), 1..40)
+    ) {
+        let netlist = build(&steps);
+        let obs = Obs::null();
+        let reference = extract_features(&netlist, None, 1, &obs)
+            .expect("extraction succeeds")
+            .to_canonical_json();
+        for threads in [1usize, 2, 3, 7] {
+            for _run in 0..2 {
+                let matrix = extract_features(&netlist, None, threads, &obs)
+                    .expect("extraction succeeds");
+                prop_assert_eq!(matrix.schema_version, FEATURE_SCHEMA_VERSION);
+                prop_assert_eq!(
+                    matrix.to_canonical_json(),
+                    reference.clone(),
+                    "threads={} must not change the bytes",
+                    threads
+                );
+            }
+        }
+    }
+
+    /// Both trainers survive save -> load with bit-identical predictions
+    /// and byte-identical re-serialization.
+    #[test]
+    fn models_round_trip_through_json(
+        steps in proptest::collection::vec(step_strategy(), 12..48),
+        target_seed in any::<u64>(),
+    ) {
+        let netlist = build(&steps);
+        let obs = Obs::null();
+        let matrix = extract_features(&netlist, None, 1, &obs).expect("extraction succeeds");
+        let targets = synthetic_targets(matrix.rows.len(), target_seed);
+        for trainer in [TrainerKind::Ridge, TrainerKind::Boosted] {
+            let options = TrainOptions {
+                trainer,
+                seed: 7,
+                rounds: 40,
+                ..TrainOptions::default()
+            };
+            let trained = train(&matrix, &targets, &options, &obs).expect("training succeeds");
+            let json = trained.model.to_canonical_json();
+            let loaded = SpModel::from_json(&json).expect("model parses back");
+            prop_assert_eq!(
+                loaded.to_canonical_json(),
+                json,
+                "re-serialization must be byte-identical ({})",
+                trainer.label()
+            );
+            let before = trained.model.predict(&matrix).expect("predict");
+            let after = loaded.predict(&matrix).expect("predict");
+            for (b, a) in before.iter().zip(&after) {
+                prop_assert_eq!(
+                    b.to_bits(),
+                    a.to_bits(),
+                    "loaded model must predict bit-identically ({})",
+                    trainer.label()
+                );
+            }
+        }
+    }
+}
+
+/// The `vega predict train` path at library level: the same seed and
+/// inputs produce byte-identical model JSON on repeated runs, including
+/// the probe-profile features.
+#[test]
+fn same_seed_training_is_byte_identical() {
+    let steps: Vec<Step> = (0..30u8)
+        .map(|i| {
+            if i % 5 == 4 {
+                Step::Dff(i)
+            } else {
+                Step::Gate(i, i.wrapping_mul(3), i.wrapping_mul(7), i.wrapping_mul(11))
+            }
+        })
+        .collect();
+    let netlist = build(&steps);
+    let obs = Obs::null();
+    let run = |trainer| {
+        let probe = vega_sim::profile_sharded(&netlist, 64, 0xA11CE, 2);
+        let matrix = extract_features(&netlist, Some(&probe), 3, &obs).expect("extract");
+        let targets = synthetic_targets(matrix.rows.len(), 99);
+        let options = TrainOptions {
+            trainer,
+            seed: 42,
+            rounds: 60,
+            ..TrainOptions::default()
+        };
+        train(&matrix, &targets, &options, &obs)
+            .expect("train")
+            .model
+            .to_canonical_json()
+    };
+    for trainer in [TrainerKind::Ridge, TrainerKind::Boosted] {
+        assert_eq!(
+            run(trainer),
+            run(trainer),
+            "same-seed training must be byte-identical ({})",
+            trainer.label()
+        );
+    }
+}

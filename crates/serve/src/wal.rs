@@ -536,6 +536,7 @@ pub fn replay(records: Vec<WalRecord>, torn: Option<TornTail>) -> WalReplay {
             WalRecord::Note(_) | WalRecord::CleanShutdown => {}
         }
     }
+    out.records = records;
     out
 }
 

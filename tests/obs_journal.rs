@@ -25,9 +25,7 @@ fn run_lift_pipeline(
     );
     let options = runner::RunnerOptions {
         checkpoint,
-        resume: false,
-        stop_after: None,
-        chaos: ChaosHook::default(),
+        ..runner::RunnerOptions::default()
     };
     let outcome = runner::lift_errors_resumable(&unit, &analysis.unique_pairs, &config, &options)
         .expect("resumable lift succeeds");
