@@ -1,0 +1,346 @@
+//! Fleet scale-out: the SoA + sharded-epoch engine from 1k to 1M
+//! machines.
+//!
+//! One adder pool (phases 1–2 run once) is fanned out across four fleet
+//! tiers — 1k, 10k, 100k, 1M machines — under every combination of
+//! scheduler (`central`, `hierarchical`) and worker-thread count
+//! (1 and 8). For each run the harness records:
+//!
+//! * **machine-epochs/sec** — wall-clock throughput of the epoch loop;
+//! * **bytes/machine** — live heap delta of `Fleet::build` measured by
+//!   a counting global allocator, asserted ≤ 128 at the largest tier
+//!   (the SoA contract: a machine is a row of columns, not a heap
+//!   object graph);
+//! * **detection latency and coverage** — the quality metrics, proving
+//!   scale-out does not degrade what the fleet is for;
+//! * **state digest** — asserted byte-identical across thread counts
+//!   for every (tier, scheduler), unconditionally.
+//!
+//! The 8-vs-1-thread speedup at the 100k tier is asserted ≥ 5× only
+//! when the host actually has ≥ 8 CPUs (`host_cpus` is recorded in the
+//! artifact either way — a 1-CPU container produces honest ≈1× numbers,
+//! not fabricated ones). A separate 64-machine comparison asserts the
+//! hierarchical scheduler's mean detection latency stays within a small
+//! factor of central-adaptive, so the O(regions + scanned) selection
+//! never silently costs detection quality.
+//!
+//! Writes `bench_results/fleet_scale.json`.
+//!
+//! Run: `cargo run --release -p vega-bench --bin fleet_scale`
+//! (pass `--quick` or set `VEGA_QUICK=1` for a CI-sized sweep, < 60 s)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use vega::{
+    analyze_aging, build_unit_pool, lift_errors, prepare_unit, profile_standalone, Fleet,
+    FleetConfig, ModuleKind, Policy, Scheduler, UnitPool, WorkflowConfig,
+};
+use vega_fleet::Json;
+
+/// Counts live heap bytes so `bytes/machine` is a measurement, not an
+/// estimate. Allocation size is tracked at alloc/dealloc/realloc; the
+/// counter is read before and after `Fleet::build`.
+struct CountingAllocator;
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            LIVE_BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE_BYTES.fetch_add(new_size, Ordering::Relaxed);
+            LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn live_bytes() -> usize {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// One measured fleet run.
+struct RunResult {
+    scheduler: Scheduler,
+    threads: usize,
+    wall_seconds: f64,
+    machine_epochs_per_sec: f64,
+    bytes_per_machine: f64,
+    latency: f64,
+    coverage: f64,
+    digest: u64,
+}
+
+fn adder_pool() -> UnitPool {
+    let netlist = vega_circuits::adder_example::build_paper_adder();
+    let config = WorkflowConfig::paper_demo();
+    let unit = prepare_unit(netlist, ModuleKind::PaperAdder, &config);
+    let profile = profile_standalone(&unit.netlist, 300, 42).expect("profile");
+    let analysis = analyze_aging(&unit, &profile, &config);
+    let pairs: Vec<_> = analysis.unique_pairs.iter().copied().take(2).collect();
+    let report = lift_errors(&unit, &pairs, &config);
+    let pool = build_unit_pool("adder", &unit, &analysis, &report);
+    assert!(!pool.suite.is_empty(), "adder must lift test cases");
+    pool
+}
+
+fn measure(
+    pool: &UnitPool,
+    machines: usize,
+    epochs: u64,
+    scheduler: Scheduler,
+    threads: usize,
+) -> RunResult {
+    let mut config = FleetConfig::new(machines, epochs, Policy::Adaptive, 1);
+    config.scheduler = scheduler;
+    config.threads = threads;
+    let before = live_bytes();
+    let mut fleet = Fleet::build(vec![pool.clone()], config);
+    let after = live_bytes();
+    let start = Instant::now();
+    let telemetry = fleet.run();
+    let wall = start.elapsed().as_secs_f64();
+    let s = &telemetry.summary;
+    RunResult {
+        scheduler,
+        threads,
+        wall_seconds: wall,
+        machine_epochs_per_sec: (machines as u64 * epochs) as f64 / wall.max(1e-9),
+        bytes_per_machine: after.saturating_sub(before) as f64 / machines as f64,
+        latency: s.mean_detection_latency_epochs,
+        coverage: s.detection_coverage,
+        digest: fleet.state_digest(),
+    }
+}
+
+/// 64-machine quality gate: hierarchical scheduling (8 regions of 8)
+/// vs the central adaptive baseline, averaged over seeds.
+fn quality_gate(pool: &UnitPool, seeds: &[u64]) -> (f64, f64) {
+    let mut latency = [0.0f64; 2];
+    for (slot, scheduler) in [Scheduler::Central, Scheduler::Hierarchical]
+        .into_iter()
+        .enumerate()
+    {
+        for &seed in seeds {
+            let mut config = FleetConfig::new(64, 32, Policy::Adaptive, seed);
+            config.scheduler = scheduler;
+            config.regions = Some(8);
+            let telemetry = Fleet::build(vec![pool.clone()], config).run();
+            latency[slot] += telemetry.summary.mean_detection_latency_epochs;
+        }
+        latency[slot] /= seeds.len() as f64;
+    }
+    (latency[0], latency[1])
+}
+
+fn main() {
+    let quick = vega_bench::quick() || std::env::args().any(|a| a == "--quick");
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("== Fleet scale-out: SoA + sharded epochs, 1k → 1M machines ==");
+    println!("host cpus: {host_cpus}, quick: {quick}\n");
+
+    let pool = adder_pool();
+    println!(
+        "pool adder: {} tests, {} fault candidates\n",
+        pool.suite.len(),
+        pool.candidates.len()
+    );
+
+    // Epochs shrink as machines grow so every tier finishes in sane
+    // wall-clock; machine-epochs/sec normalizes the comparison.
+    let tiers: &[(usize, u64)] = if quick {
+        &[(1_000, 4), (10_000, 2)]
+    } else {
+        &[(1_000, 16), (10_000, 8), (100_000, 4), (1_000_000, 2)]
+    };
+    let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 8] };
+
+    let mut tier_json = Vec::new();
+    let mut speedups = Vec::new();
+    for &(machines, epochs) in tiers {
+        println!("-- tier: {machines} machines, {epochs} epochs --");
+        let mut runs = Vec::new();
+        for scheduler in Scheduler::ALL {
+            for &threads in thread_counts {
+                let r = measure(&pool, machines, epochs, scheduler, threads);
+                println!(
+                    "  {:>12} x{} threads: {:>12.0} machine-epochs/s, {:>6.1} B/machine, \
+                     latency {:.2} epochs, coverage {:.0}%, {:.2}s",
+                    scheduler.label(),
+                    r.threads,
+                    r.machine_epochs_per_sec,
+                    r.bytes_per_machine,
+                    r.latency,
+                    r.coverage * 100.0,
+                    r.wall_seconds
+                );
+                runs.push(r);
+            }
+            // Determinism is unconditional: every thread count must land
+            // on the same digest, latency, and coverage per scheduler.
+            let of_sched: Vec<&RunResult> =
+                runs.iter().filter(|r| r.scheduler == scheduler).collect();
+            for r in &of_sched[1..] {
+                assert_eq!(
+                    r.digest,
+                    of_sched[0].digest,
+                    "{machines} machines / {}: digest diverges between {} and {} threads",
+                    scheduler.label(),
+                    of_sched[0].threads,
+                    r.threads
+                );
+            }
+        }
+        // The SoA contract, measured where fixed pool overhead has
+        // amortized away: the largest tiers must cost ≤ 128 B/machine.
+        if machines >= 100_000 || (quick && machines >= 10_000) {
+            for r in &runs {
+                assert!(
+                    r.bytes_per_machine <= 128.0,
+                    "{machines} machines / {} x{}: {:.1} bytes/machine exceeds the 128-byte \
+                     SoA budget",
+                    r.scheduler.label(),
+                    r.threads,
+                    r.bytes_per_machine
+                );
+            }
+        }
+        let max_threads = *thread_counts.last().expect("thread counts");
+        for scheduler in Scheduler::ALL {
+            let at = |t: usize| {
+                runs.iter()
+                    .find(|r| r.scheduler == scheduler && r.threads == t)
+                    .expect("run recorded")
+            };
+            let speedup = at(max_threads).machine_epochs_per_sec / at(1).machine_epochs_per_sec;
+            if machines == 100_000 {
+                speedups.push((scheduler, speedup));
+            }
+            println!(
+                "  {:>12}: {max_threads}-thread speedup {speedup:.2}x",
+                scheduler.label()
+            );
+        }
+        tier_json.push(Json::obj(vec![
+            ("machines", Json::UInt(machines as u64)),
+            ("epochs", Json::UInt(epochs)),
+            (
+                "runs",
+                Json::Arr(
+                    runs.iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("scheduler", Json::Str(r.scheduler.label().to_string())),
+                                ("threads", Json::UInt(r.threads as u64)),
+                                ("wall_seconds", Json::Float(r.wall_seconds)),
+                                (
+                                    "machine_epochs_per_sec",
+                                    Json::Float(r.machine_epochs_per_sec),
+                                ),
+                                ("bytes_per_machine", Json::Float(r.bytes_per_machine)),
+                                ("mean_detection_latency_epochs", Json::Float(r.latency)),
+                                ("detection_coverage", Json::Float(r.coverage)),
+                                ("state_digest", Json::Str(format!("{:016x}", r.digest))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+        println!();
+    }
+
+    // The ≥5× scale-out claim is only assertable on a host that can
+    // actually run 8 workers; elsewhere the honest numbers are recorded
+    // and the assertion is skipped (and flagged in the artifact).
+    let speedup_asserted = host_cpus >= 8 && !quick;
+    for &(scheduler, speedup) in &speedups {
+        if speedup_asserted {
+            assert!(
+                speedup >= 5.0,
+                "100k tier / {}: 8-thread speedup {speedup:.2}x < 5x on a {host_cpus}-cpu host",
+                scheduler.label()
+            );
+        } else {
+            println!(
+                "note: 100k-tier speedup assertion skipped ({}): host has {host_cpus} cpus{}",
+                scheduler.label(),
+                if quick { ", quick mode" } else { "" }
+            );
+        }
+    }
+
+    let gate_seeds: &[u64] = if quick { &[1, 2] } else { &[1, 2, 3] };
+    let (central_latency, hierarchical_latency) = quality_gate(&pool, gate_seeds);
+    let latency_factor = hierarchical_latency / central_latency.max(1e-9);
+    println!(
+        "\n64-machine quality gate: hierarchical {hierarchical_latency:.2} vs central \
+         {central_latency:.2} epochs mean detection latency ({latency_factor:.2}x)"
+    );
+    assert!(
+        latency_factor <= 1.5,
+        "hierarchical scheduling costs {latency_factor:.2}x central-adaptive detection \
+         latency at 64 machines — the quality gate allows at most 1.5x"
+    );
+
+    let json = Json::obj(vec![
+        ("host_cpus", Json::UInt(host_cpus as u64)),
+        ("quick", Json::Bool(quick)),
+        ("tiers", Json::Arr(tier_json)),
+        (
+            "speedup_at_100k",
+            Json::Arr(
+                speedups
+                    .iter()
+                    .map(|&(scheduler, speedup)| {
+                        Json::obj(vec![
+                            ("scheduler", Json::Str(scheduler.label().to_string())),
+                            ("speedup_vs_1_thread", Json::Float(speedup)),
+                            ("asserted_ge_5x", Json::Bool(speedup_asserted)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "quality_gate_64_machines",
+            Json::obj(vec![
+                (
+                    "central_mean_detection_latency_epochs",
+                    Json::Float(central_latency),
+                ),
+                (
+                    "hierarchical_mean_detection_latency_epochs",
+                    Json::Float(hierarchical_latency),
+                ),
+                ("latency_factor", Json::Float(latency_factor)),
+                ("max_allowed_factor", Json::Float(1.5)),
+            ]),
+        ),
+        ("digests_thread_invariant", Json::Bool(true)),
+    ]);
+    std::fs::create_dir_all("bench_results").expect("bench_results dir");
+    std::fs::write("bench_results/fleet_scale.json", json.to_pretty())
+        .expect("write fleet_scale.json");
+    println!("wrote bench_results/fleet_scale.json");
+}

@@ -55,7 +55,8 @@ COMMON OPTIONS:
     --pairs <n>               unique pairs to lift    [default: 4]
     --mitigation              enable the \u{a7}3.3.4 edge-gated mitigation
     --profile-cycles <n>      random profiling cycles [default: 2000]
-    --threads <n>             lifting worker threads  [default: 1]
+    --threads <n>             worker threads for lifting and fleet
+                              epochs (never changes results) [default: 1]
     --retries <n>             formal tries per attempt, doubling the
                               conflict budget each time [default: 1]
     --fuzz-fallback           degrade budget-exhausted pairs to fuzzing
@@ -77,6 +78,10 @@ FLEET OPTIONS:
     --policy <name>           round-robin|random|adaptive    [default: adaptive]
     --seed <u64>              master seed (fixes everything) [default: 1]
     --fault-fraction <f64>    expected faulty fraction       [default: 0.25]
+    --regions <n>             shard the fleet into n contiguous regions
+                              [default: one region per ~1k machines]
+    --scheduler <name>        central|hierarchical: how the epoch budget
+                              is split across regions [default: central]
     --out <path>              also write the telemetry JSON to a file
                               (it always streams to stdout)
     --sp-mode <mode>          exact|predicted|predicted-fallback: how each
@@ -129,6 +134,8 @@ struct Options {
     policy: Policy,
     seed: u64,
     fault_fraction: f64,
+    regions: Option<usize>,
+    scheduler: Scheduler,
     out: Option<String>,
     obs_journal: Option<String>,
     obs_level: obs::Level,
@@ -170,6 +177,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         policy: Policy::Adaptive,
         seed: 1,
         fault_fraction: 0.25,
+        regions: None,
+        scheduler: Scheduler::Central,
         out: None,
         obs_journal: None,
         obs_level: obs::Level::Summary,
@@ -261,6 +270,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--fault-fraction: {e}"))?
             }
+            "--regions" => {
+                options.regions = Some(
+                    value("--regions")?
+                        .parse()
+                        .map_err(|e| format!("--regions: {e}"))?,
+                )
+            }
+            "--scheduler" => options.scheduler = value("--scheduler")?.parse()?,
             "--out" => options.out = Some(value("--out")?),
             "--obs-journal" => options.obs_journal = Some(value("--obs-journal")?),
             "--obs-level" => {
@@ -615,6 +632,9 @@ fn cmd_fleet(options: &Options) -> Result<(), String> {
     );
     fleet_config.budget_cycles = options.budget;
     fleet_config.fault_fraction = options.fault_fraction;
+    fleet_config.threads = options.threads.max(1);
+    fleet_config.regions = options.regions;
+    fleet_config.scheduler = options.scheduler;
     if let Some(mode) = options.sp_mode {
         let train_options = TrainOptions {
             trainer: options.trainer,
@@ -645,11 +665,15 @@ fn cmd_fleet(options: &Options) -> Result<(), String> {
     let mut fleet = Fleet::build(vec![pool], fleet_config);
     fleet.set_obs(config.obs.clone());
     eprintln!(
-        "fleet: {} machines, {} epochs, {} cycles/epoch, policy {}",
+        "fleet: {} machines, {} epochs, {} cycles/epoch, policy {}, \
+         scheduler {}, {} regions, {} threads",
         options.machines,
         options.epochs,
         fleet.budget_cycles(),
-        options.policy
+        options.policy,
+        options.scheduler,
+        fleet.region_count(),
+        options.threads.max(1)
     );
     let telemetry = fleet.run();
     let s = &telemetry.summary;
@@ -878,6 +902,8 @@ fn cmd_serve(options: &Options) -> Result<(), String> {
         policy: options.policy,
         seed: options.seed,
         fault_fraction: options.fault_fraction,
+        regions: options.regions,
+        scheduler: options.scheduler,
         threads: options.threads.max(1),
     };
     let mut service =

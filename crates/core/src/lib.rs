@@ -66,7 +66,7 @@ pub use vega_aging::{AgingAwareTimingLibrary, AgingModel};
 pub use vega_fleet::{
     adaptive_score, failure_mode_of, EpochTelemetry, FaultCandidate, Fleet, FleetConfig,
     FleetSummary, FleetTelemetry, HealthState, InjectedFault, Machine, MachineId, MachineTelemetry,
-    OutcomeTally, Policy, PoolTelemetry, SpMode, UnitPool,
+    MachineView, OutcomeTally, Policy, PoolTelemetry, Scheduler, SpMode, UnitPool,
 };
 pub use vega_integrate::{
     emit_c_library, integrate, AgingFault, AgingLibrary, DetectionReport, IntegratedProgram,

@@ -35,8 +35,8 @@ use vega_serve::{digest_bytes, ServiceState, WalNote};
 use crate::persist::{load_checkpoint, save_checkpoint, CheckpointEntry, CheckpointFile};
 use crate::{
     analyze_aging, build_unit_pool, lift_config, prepare_unit, profile_standalone_obs, AgingPath,
-    Fleet, FleetConfig, LiftReport, ModuleKind, PairResult, Policy, PreparedUnit, VegaError,
-    WorkflowConfig,
+    Fleet, FleetConfig, LiftReport, ModuleKind, PairResult, Policy, PreparedUnit, Scheduler,
+    VegaError, WorkflowConfig,
 };
 
 /// Everything that identifies one `vega serve` run. The config digest
@@ -67,7 +67,16 @@ pub struct ServeParams {
     pub seed: u64,
     /// Expected faulty fraction of the fleet.
     pub fault_fraction: f64,
-    /// Lifting worker threads (not part of the config digest).
+    /// Region count for the fleet's sharded epochs (None = one region
+    /// per ~1k machines). Region boundaries shape the per-region RNG
+    /// streams, so this IS part of the config digest.
+    pub regions: Option<usize>,
+    /// How the fleet's top-level allocator splits the epoch budget
+    /// across regions; changes results, so part of the config digest.
+    pub scheduler: Scheduler,
+    /// Worker threads for lifting and fleet epochs (not part of the
+    /// config digest: regions are striped across workers and merged in
+    /// region order, so results are thread-count-invariant).
     pub threads: usize,
 }
 
@@ -79,7 +88,8 @@ impl ServeParams {
     fn digest_string(&self) -> String {
         format!(
             "unit={};years={};pairs={};profile_cycles={};mitigation={};machines={};\
-             epochs={};budget={:?};policy={};seed={};fault_fraction={}",
+             epochs={};budget={:?};policy={};seed={};fault_fraction={};scheduler={};\
+             regions={:?}",
             self.unit,
             self.years,
             self.pairs,
@@ -90,7 +100,9 @@ impl ServeParams {
             self.budget,
             self.policy,
             self.seed,
-            self.fault_fraction
+            self.fault_fraction,
+            self.scheduler,
+            self.regions
         )
     }
 }
@@ -324,6 +336,9 @@ impl ServiceState for VegaService {
         );
         fleet_config.budget_cycles = self.params.budget;
         fleet_config.fault_fraction = self.params.fault_fraction;
+        fleet_config.threads = self.params.threads.max(1);
+        fleet_config.regions = self.params.regions;
+        fleet_config.scheduler = self.params.scheduler;
         let mut fleet = Fleet::build(vec![pool], fleet_config);
         fleet.set_obs(self.config.obs.clone());
         self.fleet = Some(fleet);

@@ -1,0 +1,109 @@
+//! Crash recovery at fleet scale with the sharded engine: a 10k-machine
+//! `vega serve` run is killed mid-epoch while running on 4 worker
+//! threads, then recovered on 1 thread — and must converge to the
+//! byte-identical artifacts of an uncrashed single-threaded baseline.
+//!
+//! This is the end-to-end form of the thread-invariance contract: WAL
+//! replay re-executes completed epochs from a fresh same-seed fleet and
+//! cross-checks each epoch's `state_digest` against the digest
+//! journaled at first execution. Recovery deliberately runs at a
+//! *different* `--threads` than the crashed process, so any
+//! thread-count dependence in the sharded epoch loop shows up as a
+//! hard `ReplayDivergence`, not a silent pass.
+
+use std::path::{Path, PathBuf};
+
+use vega::serve::{ServeChaos, ServeError, ServeOutcome, Server, Site};
+use vega::{Scheduler, ServeParams, VegaService, WorkflowConfig};
+
+const PAIRS: usize = 2;
+const EPOCHS: u64 = 3;
+const MACHINES: usize = 10_000;
+
+fn params(threads: usize) -> ServeParams {
+    ServeParams {
+        unit: "adder".into(),
+        years: 10.0,
+        pairs: PAIRS,
+        profile_cycles: 300,
+        mitigation: false,
+        machines: MACHINES,
+        epochs: EPOCHS,
+        budget: None,
+        policy: vega::Policy::Adaptive,
+        seed: 9,
+        fault_fraction: 0.25,
+        regions: None, // one region per ~1k machines => 10 regions
+        scheduler: Scheduler::Hierarchical,
+        // NOT in the config digest: the crashed run and its recovery
+        // may (and here, do) use different worker counts.
+        threads,
+    }
+}
+
+fn service(dir: &Path, threads: usize) -> VegaService {
+    VegaService::new(params(threads), dir, WorkflowConfig::paper_demo()).expect("service")
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vega-chaos-scale-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn sharded_10k_fleet_recovers_across_thread_counts() {
+    // Uncrashed single-threaded baseline.
+    let baseline = fresh_dir("baseline");
+    let mut svc = service(&baseline, 1);
+    let outcome = Server::new(&svc.wal_path())
+        .run(&mut svc)
+        .expect("baseline");
+    assert!(matches!(outcome, ServeOutcome::Completed(_)));
+    let want_telemetry =
+        std::fs::read_to_string(baseline.join("telemetry.json")).expect("telemetry");
+    let want_ops = vega::serve::wal_status(&baseline.join("wal.jsonl"))
+        .expect("status")
+        .completed;
+    assert_eq!(want_ops.len(), PAIRS + EPOCHS as usize);
+
+    // Crash a 4-thread run mid-way through the second fleet epoch (op
+    // index PAIRS + 1), after the epoch applied but before its
+    // completion record — the op is in-doubt and must be re-executed.
+    let dir = fresh_dir("kill");
+    let wal = dir.join("wal.jsonl");
+    let mut svc = service(&dir, 4);
+    let err = Server::new(&wal)
+        .with_chaos(ServeChaos::kill(Site::AfterApply, PAIRS as u64 + 1))
+        .run(&mut svc)
+        .expect_err("chaos must fire");
+    assert!(
+        matches!(err, ServeError::SimulatedCrash { .. }),
+        "unexpected error: {err}"
+    );
+
+    // Recover on 1 thread: replay cross-checks the digests the 4-thread
+    // process journaled, then finishes the run.
+    let mut svc = service(&dir, 1);
+    let outcome = Server::new(&wal).run(&mut svc).expect("recovery");
+    assert!(matches!(outcome, ServeOutcome::Completed(_)));
+
+    let telemetry = std::fs::read_to_string(dir.join("telemetry.json")).expect("telemetry");
+    assert_eq!(
+        telemetry, want_telemetry,
+        "10k-machine telemetry diverged across crash + thread-count change"
+    );
+    let status = vega::serve::wal_status(&wal).expect("status");
+    assert!(status.in_doubt.is_empty(), "in-doubt residue");
+    assert!(status.clean_shutdown);
+    assert!(status.run_complete);
+    assert_eq!(
+        status.completed, want_ops,
+        "per-op digests diverged from the single-threaded baseline"
+    );
+    assert_eq!(status.recoveries, 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&baseline).ok();
+}

@@ -26,6 +26,8 @@ fn params(seed: u64) -> ServeParams {
         policy: vega::Policy::Adaptive,
         seed,
         fault_fraction: 0.25,
+        regions: None,
+        scheduler: vega::Scheduler::Central,
         threads: 1,
     }
 }

@@ -1,35 +1,45 @@
 //! The fleet engine: a deterministic, seeded discrete-event simulation
 //! of a machine fleet under proactive runtime SDC testing.
 //!
-//! Time advances in **epochs**. Each epoch the central scheduler spends
-//! a fixed CPU-cycle budget dispatching Phase-3 test visits across the
-//! fleet: first confirmation retests for machines already under
-//! suspicion, then policy-driven scan visits ([`Policy`]). Detections
-//! drive the quarantine state machine ([`HealthState`]); everything the
-//! fleet observes lands in [`FleetTelemetry`].
+//! Time advances in **epochs**. Machines live in a structure-of-arrays
+//! [`MachineTable`] and are partitioned into fixed contiguous regions
+//! (~1k machines each). Every epoch the top-level allocator splits the
+//! fleet-wide CPU-cycle budget across regions ([`Scheduler`]), then each
+//! region runs independently — confirmation retests first, then
+//! policy-driven scan visits ([`Policy`]) — on its own slice of the
+//! state columns with its own `(seed, region, epoch)`-derived RNG
+//! stream. Region results merge in region-index order, so telemetry,
+//! health transitions, and [`Fleet::state_digest`] are byte-identical
+//! at any thread count.
 //!
-//! The whole simulation is wall-clock-free and bit-reproducible: one
-//! seeded RNG drives fleet construction and scheduling noise, and each
-//! visit's gate-level simulator is seeded from a deterministic mix of
-//! `(fleet seed, machine, epoch, visit counter)` — the same discipline
-//! as the repo's experiment binaries.
+//! The whole simulation is wall-clock-free and bit-reproducible: fleet
+//! construction is seeded, scheduling noise comes from the per-region
+//! streams, and each visit's gate-level simulator is seeded from a
+//! deterministic mix of `(fleet seed, machine, epoch, region visit
+//! counter)` — the same discipline as the repo's experiment binaries.
+
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use vega_integrate::{AgingFault, DetectionReport};
 use vega_lift::{
-    build_failing_netlist, run_suite_wide, FaultActivation, FaultValue, ModuleKind, TestCase,
+    build_failing_netlist, run_selected_wide, FaultActivation, FaultValue, ModuleKind, TestCase,
     TestOutcome,
 };
-use vega_predict::{RiskPath, SpAssessment, SpPoolPredictor, SpSource};
+use vega_predict::{risk_term, RiskPath, SpAssessment, SpPoolPredictor, SpSource};
 
 use crate::machine::{
     failure_mode_of, FaultCandidate, HealthState, HealthTransition, InjectedFault, Machine,
-    MachineId,
+    MachineId, MachineView,
 };
-use crate::policy::{adaptive_score, Policy};
+use crate::policy::{adaptive_score, Policy, Scheduler};
+use crate::region::{apportion, run_striped, RegionState};
+use crate::table::{
+    health_label, MachineTable, PoolVariant, SpColumns, HEALTH_HEALTHY, HEALTH_QUARANTINED,
+    HEALTH_SUSPECTED, NO_EPOCH, SP_ASSESSED, SP_ESCALATED, SP_PREDICTED,
+};
 use crate::telemetry::{
     EpochTelemetry, FleetSummary, FleetTelemetry, MachineTelemetry, OutcomeTally, PoolTelemetry,
 };
@@ -152,6 +162,13 @@ impl std::fmt::Display for SpMode {
     }
 }
 
+/// Machines per region when the caller does not choose a region count.
+const DEFAULT_REGION_MACHINES: usize = 1024;
+
+/// Per-machine detail rows kept in [`FleetTelemetry::per_machine`] when
+/// the caller does not choose a cap.
+const DEFAULT_DETAIL_MACHINES: usize = 4096;
+
 /// Fleet-simulation configuration.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -190,6 +207,25 @@ pub struct FleetConfig {
     /// Half-width (ns) of the guard band around zero slack inside which
     /// a predicted assessment escalates to exact profiling.
     pub sp_guard_band_ns: f64,
+    /// Worker threads for epoch execution and Phase-1 assessment. Has
+    /// **no effect on results** — regions are statically striped across
+    /// workers and merged in region order, so any thread count produces
+    /// byte-identical telemetry and digests.
+    pub threads: usize,
+    /// Region count; `None` derives one region per ~1k machines.
+    /// Region boundaries are part of the configuration (they shape the
+    /// per-region RNG streams), so changing this changes results —
+    /// unlike `threads`.
+    pub regions: Option<usize>,
+    /// How the top-level allocator splits the epoch budget across
+    /// regions.
+    pub scheduler: Scheduler,
+    /// Per-machine detail rows retained in telemetry. Fleets at or
+    /// under the cap report every machine (the historical behaviour);
+    /// larger fleets keep the interesting rows — faulty, non-healthy,
+    /// flaky, or detected machines — plus healthy filler up to the cap,
+    /// all in id order. `0` means unlimited.
+    pub detail_machines: usize,
 }
 
 impl FleetConfig {
@@ -210,6 +246,10 @@ impl FleetConfig {
             sp_mode: None,
             sp_profile_cycles: 2000,
             sp_guard_band_ns: 0.005,
+            threads: 1,
+            regions: None,
+            scheduler: Scheduler::Central,
+            detail_machines: DEFAULT_DETAIL_MACHINES,
         }
     }
 }
@@ -221,6 +261,12 @@ fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Chained SplitMix64 stream head for one region's epoch: decorrelated
+/// across regions and epochs, independent of the thread count.
+fn region_epoch_seed(seed: u64, region: u64, epoch: u64) -> u64 {
+    mix(mix(mix(seed ^ 0x5E61_0D5E_ED00_0001) ^ region) ^ epoch)
 }
 
 /// The explicit budget, or a default sized so one epoch scans roughly a
@@ -238,6 +284,21 @@ fn resolve_budget(pools: &[UnitPool], config: &FleetConfig) -> u64 {
     })
 }
 
+/// `(region_size, region_count)` for a fleet of `machines`.
+fn region_layout(machines: usize, requested: Option<usize>) -> (usize, usize) {
+    let default_regions = machines.div_ceil(DEFAULT_REGION_MACHINES);
+    let count = requested
+        .unwrap_or(default_regions)
+        .clamp(1, machines.max(1));
+    let size = machines.div_ceil(count).max(1);
+    (size, machines.div_ceil(size).max(1))
+}
+
+/// `u32` epoch column value as the public `Option<u64>`.
+fn epoch_opt(value: u32) -> Option<u64> {
+    (value != NO_EPOCH).then_some(u64::from(value))
+}
+
 /// What one visit observed, after the flake model.
 struct VisitResult {
     /// The suite indices that ran.
@@ -250,21 +311,97 @@ struct VisitResult {
     flake: bool,
 }
 
+/// The immutable world one epoch's region workers share.
+struct EpochShared<'a> {
+    config: &'a FleetConfig,
+    pools: &'a [UnitPool],
+    severity_orders: &'a [Vec<usize>],
+    variants: &'a [Vec<PoolVariant>],
+    pool: &'a [u32],
+    variant: &'a [u32],
+    age_years: &'a [f64],
+    sp: Option<&'a SpColumns>,
+    epoch: u64,
+    /// Estimated cycles per scan visit; sizes hierarchical top-k
+    /// batches.
+    est_visit_cost: u64,
+}
+
+/// One region's mutable slice of the fleet for one epoch.
+struct RegionTask<'a> {
+    index: usize,
+    start: usize,
+    budget: u64,
+    health: &'a mut [u8],
+    consecutive: &'a mut [u32],
+    suspect_tests: &'a mut [Vec<u16>],
+    flakes: &'a mut [u32],
+    visits: &'a mut [u32],
+    tests_run: &'a mut [u32],
+    cursor: &'a mut [u16],
+    first_detection: &'a mut [u32],
+    quarantine_epoch: &'a mut [u32],
+    state: &'a mut RegionState,
+}
+
+/// Everything one region produced in one epoch, merged into the fleet
+/// in region-index order.
+struct RegionOutput {
+    stats: EpochTelemetry,
+    tally: OutcomeTally,
+    pool_detections: Vec<u64>,
+    pool_quarantined: Vec<u64>,
+    transitions: Vec<HealthTransition>,
+    detected_faulty: u64,
+    latency_sum: u64,
+    quarantined_faulty: u64,
+}
+
+impl RegionOutput {
+    fn new(pool_count: usize) -> RegionOutput {
+        RegionOutput {
+            stats: EpochTelemetry::default(),
+            tally: OutcomeTally::default(),
+            pool_detections: vec![0; pool_count],
+            pool_quarantined: vec![0; pool_count],
+            transitions: Vec::new(),
+            detected_faulty: 0,
+            latency_sum: 0,
+            quarantined_faulty: 0,
+        }
+    }
+}
+
 /// The fleet simulator. Build with [`Fleet::build`], run with
-/// [`Fleet::run`]; the machines remain inspectable afterwards.
+/// [`Fleet::run`]; per-machine state remains inspectable afterwards
+/// through [`Fleet::machines`].
 #[derive(Debug)]
 pub struct Fleet {
     config: FleetConfig,
     pools: Vec<UnitPool>,
     severity_orders: Vec<Vec<usize>>,
-    machines: Vec<Machine>,
-    rng: StdRng,
+    /// Deduplicated netlist variants per pool; machines reference these
+    /// by `(pool, variant)` index instead of owning netlist clones.
+    variants: Vec<Vec<PoolVariant>>,
+    table: MachineTable,
+    regions: Vec<RegionState>,
+    region_size: usize,
     budget_cycles: u64,
-    rr_next: usize,
-    visit_seq: u64,
+    mean_visit_cost: u64,
     epoch: u64,
     tally: OutcomeTally,
     pool_detections: Vec<u64>,
+    pool_quarantined: Vec<u64>,
+    pool_machines: Vec<u64>,
+    pool_faulty: Vec<u64>,
+    faulty_total: u64,
+    detected_faulty: u64,
+    /// Sum of first-detection epochs over detected faulty machines;
+    /// undetected machines are censored at the horizon in
+    /// [`Fleet::telemetry`].
+    latency_sum: u64,
+    quarantined_faulty: u64,
+    false_quarantines: u64,
     per_epoch: Vec<EpochTelemetry>,
     transitions: Vec<HealthTransition>,
     sp_assessed: bool,
@@ -280,6 +417,9 @@ impl Fleet {
     /// pools), a seeded age, and — with age-weighted probability — one
     /// of the pool's failing netlists at `C ∈ {0, 1, random}`.
     ///
+    /// Failing netlists are deduplicated per `(candidate, value)` pair,
+    /// so a million-machine fleet holds a handful of netlists per pool.
+    ///
     /// # Panics
     ///
     /// Panics if `pools` is empty, any pool's suite is empty, or
@@ -287,21 +427,19 @@ impl Fleet {
     pub fn build(pools: Vec<UnitPool>, config: FleetConfig) -> Fleet {
         assert!(!pools.is_empty(), "a fleet needs at least one unit pool");
         assert!(config.machines > 0, "a fleet needs at least one machine");
-        for pool in &pools {
-            assert!(
-                !pool.suite.is_empty(),
-                "pool `{}` has an empty test suite",
-                pool.name
-            );
-            assert_eq!(
-                pool.suite.len(),
-                pool.severity_ns.len(),
-                "pool `{}`: severity_ns must be parallel to suite",
-                pool.name
-            );
-        }
         let mut rng = StdRng::seed_from_u64(mix(config.seed));
-        let mut machines = Vec::with_capacity(config.machines);
+        let mut variants: Vec<Vec<PoolVariant>> = pools
+            .iter()
+            .map(|pool| {
+                vec![PoolVariant {
+                    netlist: pool.healthy.clone(),
+                    fault: None,
+                }]
+            })
+            .collect();
+        let mut variant_keys: Vec<BTreeMap<(usize, u8), u32>> =
+            pools.iter().map(|_| BTreeMap::new()).collect();
+        let mut table = MachineTable::with_capacity(config.machines);
         for index in 0..config.machines {
             let pool_index = index % pools.len();
             let pool = &pools[pool_index];
@@ -310,71 +448,54 @@ impl Fleet {
                 / config.max_age_years.max(f64::MIN_POSITIVE))
             .clamp(0.0, 1.0);
             let is_faulty = rng.gen_bool(p_fault) && !pool.candidates.is_empty();
-            let (netlist, fault) = if is_faulty {
+            let variant = if is_faulty {
                 // Bias candidate choice toward the worst-slack pairs:
                 // those paths have the least margin and age out first.
                 let u = rng.gen::<f64>();
                 let candidate_index = ((u * u * pool.candidates.len() as f64) as usize)
                     .min(pool.candidates.len() - 1);
-                let candidate = &pool.candidates[candidate_index];
-                let value = match rng.gen_range(0..3usize) {
-                    0 => FaultValue::Zero,
-                    1 => FaultValue::One,
-                    _ => FaultValue::Random,
+                let (value_code, value) = match rng.gen_range(0..3usize) {
+                    0 => (0u8, FaultValue::Zero),
+                    1 => (1u8, FaultValue::One),
+                    _ => (2u8, FaultValue::Random),
                 };
-                let failing = build_failing_netlist(
-                    &pool.healthy,
-                    candidate.path,
-                    value,
-                    FaultActivation::OnChange,
-                );
-                let fault = InjectedFault {
-                    path_label: candidate.path.label(&pool.healthy),
-                    mode: failure_mode_of(value),
-                    severity_ns: candidate.severity_ns,
-                };
-                (failing, Some(fault))
+                match variant_keys[pool_index].get(&(candidate_index, value_code)) {
+                    Some(&v) => v,
+                    None => {
+                        let candidate = &pool.candidates[candidate_index];
+                        let failing = build_failing_netlist(
+                            &pool.healthy,
+                            candidate.path,
+                            value,
+                            FaultActivation::OnChange,
+                        );
+                        let fault = InjectedFault {
+                            path_label: candidate.path.label(&pool.healthy),
+                            mode: failure_mode_of(value),
+                            severity_ns: candidate.severity_ns,
+                        };
+                        let v = variants[pool_index].len() as u32;
+                        variants[pool_index].push(PoolVariant {
+                            netlist: failing,
+                            fault: Some(fault),
+                        });
+                        variant_keys[pool_index].insert((candidate_index, value_code), v);
+                        v
+                    }
+                }
             } else {
-                (pool.healthy.clone(), None)
+                0 // the healthy variant
             };
-            machines.push(Machine::new(
-                MachineId(index),
-                pool_index,
-                age_years,
-                netlist,
-                fault,
-            ));
+            table.push_new(pool_index as u32, variant, age_years);
         }
-        let budget_cycles = resolve_budget(&pools, &config);
-        let severity_orders = pools.iter().map(UnitPool::severity_order).collect();
-        let pool_count = pools.len();
-        Fleet {
-            config,
-            pools,
-            severity_orders,
-            machines,
-            rng,
-            budget_cycles,
-            rr_next: 0,
-            visit_seq: 0,
-            epoch: 0,
-            tally: OutcomeTally::default(),
-            pool_detections: vec![0; pool_count],
-            per_epoch: Vec::new(),
-            transitions: Vec::new(),
-            sp_assessed: false,
-            phase1_cycles: 0,
-            sp_exact: 0,
-            sp_predicted: 0,
-            sp_escalations: 0,
-            obs: vega_obs::Obs::null(),
-        }
+        Fleet::assemble(pools, config, variants, table)
     }
 
     /// Assemble a fleet from explicitly constructed machines instead of
     /// seeded sampling — the hook for tests (and embedders) that need an
-    /// exact fleet composition. Scheduling remains seeded by
-    /// `config.seed`.
+    /// exact fleet composition. Each machine becomes its own netlist
+    /// variant (no deduplication is attempted). Scheduling remains
+    /// seeded by `config.seed`.
     ///
     /// # Panics
     ///
@@ -398,21 +519,170 @@ impl Fleet {
         }
         let mut config = config;
         config.machines = machines.len();
+        let mut variants: Vec<Vec<PoolVariant>> = pools.iter().map(|_| Vec::new()).collect();
+        let mut table = MachineTable::with_capacity(machines.len());
+        let any_sp = machines.iter().any(|m| m.sp.is_some());
+        if any_sp {
+            table.sp = Some(SpColumns::unassessed(0));
+        }
+        for machine in machines {
+            let pool_index = machine.pool;
+            let variant = variants[pool_index].len() as u32;
+            variants[pool_index].push(PoolVariant {
+                netlist: machine.netlist,
+                fault: machine.fault,
+            });
+            table.push_new(pool_index as u32, variant, machine.age_years);
+            let row = table.len() - 1;
+            match machine.health {
+                HealthState::Healthy => {}
+                HealthState::Suspected { consecutive, tests } => {
+                    table.health[row] = HEALTH_SUSPECTED;
+                    table.consecutive[row] = consecutive;
+                    table.suspect_tests[row] = tests.iter().map(|&t| t as u16).collect();
+                }
+                HealthState::Quarantined => table.health[row] = HEALTH_QUARANTINED,
+            }
+            table.flakes[row] = machine.flakes;
+            table.visits[row] =
+                u32::try_from(machine.visits).expect("per-machine visit counter fits u32");
+            table.tests_run[row] =
+                u32::try_from(machine.tests_run).expect("per-machine test counter fits u32");
+            table.cursor[row] = u16::try_from(machine.cursor).expect("suite cursor fits u16");
+            table.first_detection[row] = machine
+                .first_detection_epoch
+                .map(|e| u32::try_from(e).expect("epoch fits u32"))
+                .unwrap_or(NO_EPOCH);
+            table.quarantine_epoch[row] = machine
+                .quarantine_epoch
+                .map(|e| u32::try_from(e).expect("epoch fits u32"))
+                .unwrap_or(NO_EPOCH);
+            if let Some(cols) = table.sp.as_mut() {
+                let (score, margin, flags) = match &machine.sp {
+                    Some(sp) => {
+                        let mut flags = SP_ASSESSED;
+                        if sp.source == SpSource::Predicted {
+                            flags |= SP_PREDICTED;
+                        }
+                        if sp.escalated {
+                            flags |= SP_ESCALATED;
+                        }
+                        (sp.aging_score, sp.worst_margin_ns, flags)
+                    }
+                    None => (0.0, 0.0, 0),
+                };
+                cols.score.push(score);
+                cols.margin.push(margin);
+                cols.flags.push(flags);
+            }
+        }
+        Fleet::assemble(pools, config, variants, table)
+    }
+
+    /// The shared tail of both constructors: validate dimensions, fix
+    /// the region layout, and fold imported machine state into the
+    /// fleet's running aggregates.
+    fn assemble(
+        pools: Vec<UnitPool>,
+        config: FleetConfig,
+        variants: Vec<Vec<PoolVariant>>,
+        table: MachineTable,
+    ) -> Fleet {
+        for pool in &pools {
+            assert!(
+                !pool.suite.is_empty(),
+                "pool `{}` has an empty test suite",
+                pool.name
+            );
+            assert_eq!(
+                pool.suite.len(),
+                pool.severity_ns.len(),
+                "pool `{}`: severity_ns must be parallel to suite",
+                pool.name
+            );
+            assert!(
+                pool.suite.len() <= usize::from(u16::MAX),
+                "pool `{}`: suite exceeds the u16 cursor range",
+                pool.name
+            );
+        }
+        assert!(
+            config.epochs < u64::from(NO_EPOCH),
+            "epoch horizon exceeds the u32 epoch-column range"
+        );
         let budget_cycles = resolve_budget(&pools, &config);
-        let severity_orders = pools.iter().map(UnitPool::severity_order).collect();
+        let severity_orders: Vec<Vec<usize>> = pools.iter().map(UnitPool::severity_order).collect();
+        let total: u64 = pools
+            .iter()
+            .flat_map(|p| p.suite.iter())
+            .map(|t| t.cpu_cycles)
+            .sum();
+        let count: u64 = pools.iter().map(|p| p.suite.len() as u64).sum();
+        let mean_visit_cost = (total / count.max(1)).max(1) * config.tests_per_visit.max(1) as u64;
+        let n = table.len();
+        let (region_size, region_count) = region_layout(n, config.regions);
+        let mut regions = Vec::with_capacity(region_count);
+        for r in 0..region_count {
+            let start = r * region_size;
+            let end = (start + region_size).min(n);
+            let in_rotation = table.health[start..end]
+                .iter()
+                .filter(|&&h| h != HEALTH_QUARANTINED)
+                .count() as u32;
+            regions.push(RegionState::new(in_rotation));
+        }
         let pool_count = pools.len();
+        let mut pool_machines = vec![0u64; pool_count];
+        let mut pool_faulty = vec![0u64; pool_count];
+        let mut pool_quarantined = vec![0u64; pool_count];
+        let mut faulty_total = 0u64;
+        let mut detected_faulty = 0u64;
+        let mut latency_sum = 0u64;
+        let mut quarantined_faulty = 0u64;
+        let mut false_quarantines = 0u64;
+        for i in 0..n {
+            let p = table.pool[i] as usize;
+            pool_machines[p] += 1;
+            let faulty = variants[p][table.variant[i] as usize].fault.is_some();
+            let quarantined = table.health[i] == HEALTH_QUARANTINED;
+            if faulty {
+                pool_faulty[p] += 1;
+                faulty_total += 1;
+                if table.first_detection[i] != NO_EPOCH {
+                    detected_faulty += 1;
+                    latency_sum += u64::from(table.first_detection[i]);
+                }
+                if quarantined {
+                    quarantined_faulty += 1;
+                }
+            } else if quarantined {
+                false_quarantines += 1;
+            }
+            if quarantined {
+                pool_quarantined[p] += 1;
+            }
+        }
         Fleet {
-            rng: StdRng::seed_from_u64(mix(config.seed)),
             config,
             pools,
             severity_orders,
-            machines,
+            variants,
+            table,
+            regions,
+            region_size,
             budget_cycles,
-            rr_next: 0,
-            visit_seq: 0,
+            mean_visit_cost,
             epoch: 0,
             tally: OutcomeTally::default(),
             pool_detections: vec![0; pool_count],
+            pool_quarantined,
+            pool_machines,
+            pool_faulty,
+            faulty_total,
+            detected_faulty,
+            latency_sum,
+            quarantined_faulty,
+            false_quarantines,
             per_epoch: Vec::new(),
             transitions: Vec::new(),
             sp_assessed: false,
@@ -435,9 +705,66 @@ impl Fleet {
         self.budget_cycles
     }
 
-    /// The machines, in id order.
-    pub fn machines(&self) -> &[Machine] {
-        &self.machines
+    /// The region count the fleet was laid out with.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Lightweight per-machine views, in id order. Materialized on
+    /// demand from the state columns; netlists are borrowed from the
+    /// shared pool variants.
+    pub fn machines(&self) -> Vec<MachineView<'_>> {
+        (0..self.table.len())
+            .map(|i| self.machine_view(i))
+            .collect()
+    }
+
+    /// The view of machine `i`.
+    pub fn machine_view(&self, i: usize) -> MachineView<'_> {
+        let p = self.table.pool[i] as usize;
+        let variant = &self.variants[p][self.table.variant[i] as usize];
+        MachineView {
+            id: MachineId(i),
+            pool: p,
+            age_years: self.table.age_years[i],
+            netlist: &variant.netlist,
+            fault: variant.fault.as_ref(),
+            health: self.table.health_state(i),
+            flakes: self.table.flakes[i],
+            visits: u64::from(self.table.visits[i]),
+            tests_run: u64::from(self.table.tests_run[i]),
+            cursor: usize::from(self.table.cursor[i]),
+            first_detection_epoch: epoch_opt(self.table.first_detection[i]),
+            quarantine_epoch: epoch_opt(self.table.quarantine_epoch[i]),
+            sp: self.sp_view(i),
+        }
+    }
+
+    /// Machine `i`'s SP assessment, reconstructed from the flag
+    /// columns. `phase1_cycles` is derived: exact assessments cost
+    /// `sp_profile_cycles`, predicted ones zero.
+    fn sp_view(&self, i: usize) -> Option<SpAssessment> {
+        let cols = self.table.sp.as_ref()?;
+        let flags = cols.flags[i];
+        if flags & SP_ASSESSED == 0 {
+            return None;
+        }
+        let predicted = flags & SP_PREDICTED != 0;
+        Some(SpAssessment {
+            source: if predicted {
+                SpSource::Predicted
+            } else {
+                SpSource::Exact
+            },
+            aging_score: cols.score[i],
+            worst_margin_ns: cols.margin[i],
+            phase1_cycles: if predicted {
+                0
+            } else {
+                self.config.sp_profile_cycles as u64
+            },
+            escalated: flags & SP_ESCALATED != 0,
+        })
     }
 
     /// Run every configured epoch and aggregate the telemetry.
@@ -489,9 +816,14 @@ impl Fleet {
     /// construction — so it happens after [`Fleet::set_obs`] and at the
     /// same point whether the fleet runs in one process or is re-stepped
     /// from a fresh same-seed fleet during crash recovery. It never
-    /// touches the scheduling RNG (per-machine profile seeds are mixed
-    /// from the master seed and machine id), so the epoch-by-epoch
+    /// touches the scheduling RNG streams (per-machine profile seeds are
+    /// mixed from the master seed and machine id), so the epoch-by-epoch
     /// evolution is identical across all SP modes.
+    ///
+    /// Two-phase at fleet scale: predicted SP maps are computed once per
+    /// `(pool, variant)` netlist (sequential — there are only a handful),
+    /// then per-machine scoring and guard-band escalation runs sharded
+    /// over regions with counters merged in region order.
     fn ensure_sp_assessed(&mut self) {
         if self.sp_assessed {
             return;
@@ -504,55 +836,69 @@ impl Fleet {
             self.obs,
             "phase1.predict.assess",
             mode = mode.label(),
-            machines = self.machines.len(),
+            machines = self.table.len(),
             guard_band_ns = self.config.sp_guard_band_ns,
         );
+        if self.table.sp.is_none() {
+            self.table.sp = Some(SpColumns::unassessed(self.table.len()));
+        }
         let detail = self.obs.detail();
-        for index in 0..self.machines.len() {
-            let machine = &self.machines[index];
-            let pool = &self.pools[machine.pool];
-            let Some(sp) = &pool.sp else {
-                continue;
-            };
-            let age = machine.age_years;
-            let assessment = match mode {
-                SpMode::Exact => {
-                    self.sp_exact += 1;
-                    self.exact_assessment(sp, index, age)
+        let predictive = !matches!(mode, SpMode::Exact);
+        // Phase A: one predicted SP map per (pool, variant) netlist.
+        // `None` at the pool level means "no predictor / exact mode";
+        // `None` at the variant level records a predictor error, which
+        // fails safe to exact profiling per machine below.
+        let caches: Vec<Option<VariantSpMaps>> = self
+            .pools
+            .iter()
+            .enumerate()
+            .map(|(p, pool)| {
+                if !predictive {
+                    return None;
                 }
-                SpMode::Predicted => {
-                    self.sp_predicted += 1;
-                    match sp.assess_predicted(&machine.netlist, age, &detail) {
-                        Ok(a) => a,
-                        // A schema/feature mismatch is a configuration
-                        // error; fail safe to exact rather than guess.
-                        Err(_) => {
-                            self.sp_predicted -= 1;
-                            self.sp_exact += 1;
-                            self.exact_assessment(sp, index, age)
-                        }
-                    }
-                }
-                SpMode::PredictedFallback => {
-                    match sp.assess_predicted(&machine.netlist, age, &detail) {
-                        Ok(a) if !sp.needs_escalation(&a, self.config.sp_guard_band_ns) => {
-                            self.sp_predicted += 1;
-                            a
-                        }
-                        // Guard-band hit (or predictor error): pay for
-                        // the exact profile on this machine only.
-                        _ => {
-                            self.sp_escalations += 1;
-                            self.sp_exact += 1;
-                            let mut exact = self.exact_assessment(sp, index, age);
-                            exact.escalated = true;
-                            exact
-                        }
-                    }
-                }
-            };
-            self.phase1_cycles += assessment.phase1_cycles;
-            self.machines[index].sp = Some(assessment);
+                let sp = pool.sp.as_ref()?;
+                Some(
+                    self.variants[p]
+                        .iter()
+                        .map(|v| sp.predicted_sp_map(&v.netlist, &detail).ok())
+                        .collect(),
+                )
+            })
+            .collect();
+        // Phase B: per-machine assessment, sharded over regions.
+        let shared = SpShared {
+            config: &self.config,
+            pools: &self.pools,
+            variants: &self.variants,
+            pool: &self.table.pool,
+            variant: &self.table.variant,
+            age_years: &self.table.age_years,
+            caches: &caches,
+            mode,
+        };
+        let rs = self.region_size;
+        let cols = self.table.sp.as_mut().expect("sp columns allocated above");
+        let mut score = cols.score.chunks_mut(rs);
+        let mut margin = cols.margin.chunks_mut(rs);
+        let mut flags = cols.flags.chunks_mut(rs);
+        let mut tasks = Vec::with_capacity(self.regions.len());
+        for r in 0..self.regions.len() {
+            tasks.push(SpTask {
+                start: r * rs,
+                score: score.next().expect("sp score chunk per region"),
+                margin: margin.next().expect("sp margin chunk per region"),
+                flags: flags.next().expect("sp flags chunk per region"),
+            });
+        }
+        let shared = &shared;
+        let outputs = run_striped(tasks, self.config.threads, move |_, task| {
+            assess_region(shared, task)
+        });
+        for out in outputs {
+            self.sp_exact += out.exact;
+            self.sp_predicted += out.predicted;
+            self.sp_escalations += out.escalations;
+            self.phase1_cycles += out.cycles;
         }
         self.obs
             .counter("phase1.predict.exact_profiles", self.sp_exact);
@@ -564,61 +910,64 @@ impl Fleet {
             .counter("phase1.predict.cycles", self.phase1_cycles);
     }
 
-    /// Exact per-machine assessment: profile the machine's own netlist
-    /// for `sp_profile_cycles` under a seed mixed from the master seed
-    /// and the machine id (stable across epochs, modes, and restarts).
-    fn exact_assessment(&self, sp: &SpPoolPredictor, index: usize, age_years: f64) -> SpAssessment {
-        let machine = &self.machines[index];
-        let cycles = self.config.sp_profile_cycles;
-        let seed = mix(self
-            .config
-            .seed
-            .wrapping_add(mix(0x5bad_c0de ^ machine.id.0 as u64)));
-        let profile = vega_sim::profile_sharded(&machine.netlist, cycles, seed, 1);
-        sp.assess_exact(&profile, age_years, cycles as u64)
-    }
-
     /// Drain the health transitions recorded since the last drain (or
-    /// construction), in occurrence order.
+    /// construction), in occurrence order (regions merge in index
+    /// order within each epoch).
     pub fn take_transitions(&mut self) -> Vec<HealthTransition> {
         std::mem::take(&mut self.transitions)
     }
 
     /// FNV-1a 64 digest over the scheduler-visible simulation state:
-    /// epoch and visit counters, outcome tally, per-pool detections, and
-    /// every machine's health/cursor/counters. Two fleets that evolved
-    /// through the same epochs (in one process or across restarts)
-    /// digest identically; any divergence during crash recovery is
-    /// caught by comparing this against the WAL's journaled digest.
+    /// epoch counter, outcome tally, per-pool detections, per-region
+    /// scheduler state (round-robin cursor, visit counter, rotation
+    /// count, pressure), and every machine's health/cursor/counters.
+    /// Folded streamingly — no intermediate encoding of the fleet is
+    /// materialized. Two fleets that evolved through the same epochs
+    /// (at any thread count, in one process or across restarts) digest
+    /// identically; any divergence during crash recovery is caught by
+    /// comparing this against the WAL's journaled digest.
     pub fn state_digest(&self) -> u64 {
         use std::fmt::Write as _;
-        let mut enc = String::with_capacity(64 * self.machines.len());
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
         let _ = write!(
-            enc,
-            "epoch={};visit_seq={};rr_next={};tally={:?};pools={:?};",
-            self.epoch, self.visit_seq, self.rr_next, self.tally, self.pool_detections
+            h,
+            "epoch={};regions={};tally={:?};pools={:?};",
+            self.epoch,
+            self.regions.len(),
+            self.tally,
+            self.pool_detections
         );
-        if let Some(last) = self.per_epoch.last() {
-            let _ = write!(enc, "last={last:?};");
-        }
-        for m in &self.machines {
+        for (r, state) in self.regions.iter().enumerate() {
             let _ = write!(
-                enc,
+                h,
+                "r{r}:rr={},seq={},rot={},press={:016x};",
+                state.rr_next,
+                state.visit_seq,
+                state.in_rotation,
+                state.pressure.to_bits()
+            );
+        }
+        if let Some(last) = self.per_epoch.last() {
+            let _ = write!(h, "last={last:?};");
+        }
+        for i in 0..self.table.len() {
+            let _ = write!(
+                h,
                 "m{}:health={:?},flakes={},visits={},tests={},cursor={},first={:?},quar={:?}",
-                m.id.0,
-                m.health,
-                m.flakes,
-                m.visits,
-                m.tests_run,
-                m.cursor,
-                m.first_detection_epoch,
-                m.quarantine_epoch
+                i,
+                self.table.health_state(i),
+                self.table.flakes[i],
+                self.table.visits[i],
+                self.table.tests_run[i],
+                self.table.cursor[i],
+                epoch_opt(self.table.first_detection[i]),
+                epoch_opt(self.table.quarantine_epoch[i])
             );
             // Folded only when present so digests of SP-less runs stay
             // comparable with pre-prediction WALs.
-            if let Some(sp) = &m.sp {
+            if let Some(sp) = self.sp_view(i) {
                 let _ = write!(
-                    enc,
+                    h,
                     ",sp={}:{:016x}:{:016x}:{}:{}",
                     sp.source.label(),
                     sp.aging_score.to_bits(),
@@ -627,14 +976,9 @@ impl Fleet {
                     sp.escalated
                 );
             }
-            enc.push(';');
+            let _ = h.write_str(";");
         }
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        for &b in enc.as_bytes() {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash
+        h.0
     }
 
     /// Fold one epoch's counters into the observability stream. Zero
@@ -663,310 +1007,128 @@ impl Fleet {
         }
     }
 
-    /// Simulate one epoch: confirmation retests first, then policy scan
-    /// visits, until the cycle budget runs out.
+    /// This epoch's per-region budget split, by the configured
+    /// scheduler: central weighs regions by in-rotation machine count;
+    /// hierarchical by the scan pressure each region reported after its
+    /// last epoch (suspicion + adaptive scores + SP risk), so budget
+    /// flows toward regions with suspects and uncovered machines.
+    fn allocate_budgets(&self) -> Vec<u64> {
+        let weights: Vec<u64> = match self.config.scheduler {
+            Scheduler::Central => self
+                .regions
+                .iter()
+                .map(|r| u64::from(r.in_rotation))
+                .collect(),
+            Scheduler::Hierarchical => self
+                .regions
+                .iter()
+                .map(|r| {
+                    if r.in_rotation == 0 {
+                        0
+                    } else {
+                        ((r.pressure * 1024.0).round() as u64).max(1)
+                    }
+                })
+                .collect(),
+        };
+        apportion(self.budget_cycles, &weights)
+    }
+
+    /// Simulate one epoch: apportion the budget, run every region on
+    /// its own column slice (striped across workers), and merge the
+    /// outputs in region-index order.
     fn run_epoch(&mut self) -> EpochTelemetry {
         let mut stats = EpochTelemetry {
             epoch: self.epoch,
             ..EpochTelemetry::default()
         };
-        let mut remaining = self.budget_cycles;
-
-        // Pending confirmations carried over from earlier epochs are
-        // the most urgent work: a suspected machine is either failing
-        // (quarantine it) or healthy-but-suspect (clear it and return
-        // its capacity).
-        for index in 0..self.machines.len() {
-            if matches!(self.machines[index].health, HealthState::Suspected { .. }) {
-                self.confirmation_loop(index, &mut remaining, &mut stats);
-            }
-        }
-
-        let order = self.scan_order();
-        for index in order {
-            if remaining == 0 {
-                break;
-            }
-            if !self.machines[index].in_rotation()
-                || matches!(self.machines[index].health, HealthState::Suspected { .. })
-            {
-                continue;
-            }
-            let tests = self.tests_for_scan(index);
-            let Some((tests, cost)) = self.fit_budget(index, tests, remaining) else {
-                // Not even one test fits: the epoch is spent.
-                break;
+        let budgets = self.allocate_budgets();
+        let rs = self.region_size;
+        let pool_count = self.pools.len();
+        let outputs = {
+            let shared = EpochShared {
+                config: &self.config,
+                pools: &self.pools,
+                severity_orders: &self.severity_orders,
+                variants: &self.variants,
+                pool: &self.table.pool,
+                variant: &self.table.variant,
+                age_years: &self.table.age_years,
+                sp: self.table.sp.as_ref(),
+                epoch: self.epoch,
+                est_visit_cost: self.mean_visit_cost,
             };
-            let result = self.run_visit(index, &tests, cost);
-            remaining -= result.cycles;
-            stats.scan_visits += 1;
-            stats.tests_run += result.tests.len() as u64;
-            stats.cycles_spent += result.cycles;
-            self.machines[index].visits += 1;
-            self.machines[index].tests_run += result.tests.len() as u64;
-            self.rr_next = (index + 1) % self.machines.len();
-            self.apply_result(index, &result, &mut stats);
-            if matches!(self.machines[index].health, HealthState::Suspected { .. }) {
-                // Confirm or clear immediately while budget lasts.
-                self.confirmation_loop(index, &mut remaining, &mut stats);
+            let mut health = self.table.health.chunks_mut(rs);
+            let mut consecutive = self.table.consecutive.chunks_mut(rs);
+            let mut suspect_tests = self.table.suspect_tests.chunks_mut(rs);
+            let mut flakes = self.table.flakes.chunks_mut(rs);
+            let mut visits = self.table.visits.chunks_mut(rs);
+            let mut tests_run = self.table.tests_run.chunks_mut(rs);
+            let mut cursor = self.table.cursor.chunks_mut(rs);
+            let mut first_detection = self.table.first_detection.chunks_mut(rs);
+            let mut quarantine_epoch = self.table.quarantine_epoch.chunks_mut(rs);
+            let mut states = self.regions.iter_mut();
+            let mut tasks = Vec::with_capacity(budgets.len());
+            for (r, &budget) in budgets.iter().enumerate() {
+                tasks.push(RegionTask {
+                    index: r,
+                    start: r * rs,
+                    budget,
+                    health: health.next().expect("health chunk per region"),
+                    consecutive: consecutive.next().expect("consecutive chunk per region"),
+                    suspect_tests: suspect_tests.next().expect("suspect chunk per region"),
+                    flakes: flakes.next().expect("flakes chunk per region"),
+                    visits: visits.next().expect("visits chunk per region"),
+                    tests_run: tests_run.next().expect("tests chunk per region"),
+                    cursor: cursor.next().expect("cursor chunk per region"),
+                    first_detection: first_detection.next().expect("first chunk per region"),
+                    quarantine_epoch: quarantine_epoch.next().expect("quar chunk per region"),
+                    state: states.next().expect("state per region"),
+                });
             }
+            let shared = &shared;
+            run_striped(tasks, self.config.threads, move |_, task| {
+                run_region_epoch(shared, task, pool_count)
+            })
+        };
+        for out in outputs {
+            stats.absorb(&out.stats);
+            self.tally.merge(&out.tally);
+            for (p, v) in out.pool_detections.iter().enumerate() {
+                self.pool_detections[p] += v;
+            }
+            for (p, v) in out.pool_quarantined.iter().enumerate() {
+                self.pool_quarantined[p] += v;
+            }
+            self.detected_faulty += out.detected_faulty;
+            self.latency_sum += out.latency_sum;
+            self.quarantined_faulty += out.quarantined_faulty;
+            self.false_quarantines += out.stats.false_quarantines;
+            self.transitions.extend(out.transitions);
         }
         stats
     }
 
-    /// Re-run a suspected machine's triggering tests until it is
-    /// quarantined, cleared, or the budget runs out.
-    fn confirmation_loop(&mut self, index: usize, remaining: &mut u64, stats: &mut EpochTelemetry) {
-        loop {
-            let HealthState::Suspected { tests, .. } = self.machines[index].health.clone() else {
-                return;
-            };
-            let Some((tests, cost)) = self.fit_budget(index, tests, *remaining) else {
-                return; // stays suspected; retried next epoch
-            };
-            let result = self.run_visit(index, &tests, cost);
-            *remaining -= result.cycles;
-            stats.retest_visits += 1;
-            stats.tests_run += result.tests.len() as u64;
-            stats.cycles_spent += result.cycles;
-            self.machines[index].tests_run += result.tests.len() as u64;
-            self.apply_result(index, &result, stats);
-        }
-    }
-
-    /// Machine visit order for this epoch's scan phase.
-    fn scan_order(&mut self) -> Vec<usize> {
-        let in_rotation: Vec<usize> = (0..self.machines.len())
-            .filter(|&i| self.machines[i].in_rotation())
-            .collect();
-        match self.config.policy {
-            Policy::RoundRobin => {
-                let start = self.rr_next;
-                let mut order = in_rotation;
-                order.sort_by_key(|&i| (i + self.machines.len() - start) % self.machines.len());
-                order
-            }
-            Policy::Random => {
-                let mut order = in_rotation;
-                order.shuffle(&mut self.rng);
-                order
-            }
-            Policy::Adaptive => {
-                let mut order = in_rotation;
-                order.sort_by(|&a, &b| {
-                    self.machine_score(b)
-                        .partial_cmp(&self.machine_score(a))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.cmp(&b))
-                });
-                order
-            }
-        }
-    }
-
-    fn machine_score(&self, index: usize) -> f64 {
-        let machine = &self.machines[index];
-        let suite_len = self.pools[machine.pool].suite.len() as f64;
-        let covered = (machine.tests_run as f64 / suite_len.max(1.0)).min(1.0);
-        let base = adaptive_score(machine.age_years, machine.flakes, covered);
-        // SP-driven risk: rank machines whose risk paths have consumed
-        // the most margin first. Bounded at 3.0 — below the coverage
-        // term's weight of 16 — so prediction error can only reorder
-        // machines *within* a sweep round, never starve one of visits;
-        // detection coverage is unchanged by construction.
-        let risk = match &machine.sp {
-            Some(assessment) => 1.5 * assessment.aging_score.clamp(0.0, 2.0),
-            None => 0.0,
-        };
-        base + risk
-    }
-
-    /// The suite indices a scan visit of `machine` runs, per policy.
-    fn tests_for_scan(&mut self, index: usize) -> Vec<usize> {
-        let pool_index = self.machines[index].pool;
-        let suite_len = self.pools[pool_index].suite.len();
-        let take = self.config.tests_per_visit.max(1).min(suite_len);
-        let (base, start) = match self.config.policy {
-            // Construction order from the machine's rotating cursor.
-            Policy::RoundRobin => (None, self.machines[index].cursor),
-            // Construction order from a fresh random offset.
-            Policy::Random => (None, self.rng.gen_range(0..suite_len)),
-            // Severity order (worst STA slack first) from the cursor.
-            Policy::Adaptive => (Some(&self.severity_orders[pool_index]), {
-                self.machines[index].cursor
-            }),
-        };
-        let tests: Vec<usize> = (0..take)
-            .map(|k| {
-                let position = (start + k) % suite_len;
-                match base {
-                    Some(order) => order[position],
-                    None => position,
-                }
-            })
-            .collect();
-        if !matches!(self.config.policy, Policy::Random) {
-            self.machines[index].cursor = (start + take) % suite_len;
-        }
-        tests
-    }
-
-    /// Trim `tests` to the prefix that fits in `remaining` cycles.
-    /// Returns `None` when not even the first test fits.
-    fn fit_budget(
-        &self,
-        index: usize,
-        tests: Vec<usize>,
-        remaining: u64,
-    ) -> Option<(Vec<usize>, u64)> {
-        let pool = &self.pools[self.machines[index].pool];
-        let mut cost = 0u64;
-        let mut kept = Vec::with_capacity(tests.len());
-        for test in tests {
-            let cycles = pool.suite[test].cpu_cycles;
-            if cost + cycles > remaining {
-                break;
-            }
-            cost += cycles;
-            kept.push(test);
-        }
-        if kept.is_empty() {
-            None
-        } else {
-            Some((kept, cost))
-        }
-    }
-
-    /// Execute `tests` on `machine`'s own netlist through the
-    /// bit-parallel suite runner (up to 64 tests per settle pass), then
-    /// apply the flake model.
-    fn run_visit(&mut self, index: usize, tests: &[usize], cost: u64) -> VisitResult {
-        let machine = &self.machines[index];
-        let pool = &self.pools[machine.pool];
-        let selected: Vec<TestCase> = tests.iter().map(|&t| pool.suite[t].clone()).collect();
-        let seed = mix(self
-            .config
-            .seed
-            .wrapping_add(mix(machine.id.0 as u64))
-            .wrapping_add(mix(self.epoch << 20 | self.visit_seq)));
-        self.visit_seq += 1;
-        let outcomes = run_suite_wide(&machine.netlist, pool.module, &selected, seed);
-        let mut report = DetectionReport {
-            outcomes: Vec::with_capacity(selected.len()),
-            first_detection: None,
-            skipped: 0,
-        };
-        for (test, outcome) in selected.iter().zip(outcomes) {
-            if matches!(outcome, TestOutcome::Skipped { .. }) {
-                report.skipped += 1;
-            } else if outcome != TestOutcome::Pass && report.first_detection.is_none() {
-                report.first_detection = Some(AgingFault {
-                    test: test.name.clone(),
-                    target: test.target.clone(),
-                    outcome: outcome.clone(),
-                });
-            }
-            report.outcomes.push((test.name.clone(), outcome));
-        }
-        self.tally.ingest(&report);
-        let detected = report.detected();
-        if detected {
-            self.pool_detections[machine.pool] += 1;
-        }
-        let flake = !detected && self.rng.gen_bool(self.config.flake_probability);
-        VisitResult {
-            tests: tests.to_vec(),
-            cycles: cost,
-            detected,
-            flake,
-        }
-    }
-
-    /// Drive the quarantine state machine with one visit's outcome.
-    fn apply_result(&mut self, index: usize, result: &VisitResult, stats: &mut EpochTelemetry) {
-        let epoch = self.epoch;
-        let machine = &mut self.machines[index];
-        let from = machine.health.label();
-        let observed_detection = result.detected || result.flake;
-        if result.flake {
-            stats.flakes_injected += 1;
-        }
-        if observed_detection {
-            stats.detections += 1;
-        }
-        if result.detected && machine.first_detection_epoch.is_none() {
-            machine.first_detection_epoch = Some(epoch);
-        }
-        match (&mut machine.health, observed_detection) {
-            (HealthState::Healthy, true) => {
-                machine.health = HealthState::Suspected {
-                    consecutive: 1,
-                    tests: result.tests.clone(),
-                };
-                stats.new_suspects += 1;
-            }
-            (HealthState::Suspected { consecutive, .. }, true) => {
-                *consecutive += 1;
-                if *consecutive > self.config.confirmations {
-                    machine.health = HealthState::Quarantined;
-                    machine.quarantine_epoch = Some(epoch);
-                    stats.new_quarantines += 1;
-                    if !machine.truly_faulty() {
-                        stats.false_quarantines += 1;
-                    }
-                }
-            }
-            (HealthState::Suspected { .. }, false) => {
-                machine.health = HealthState::Healthy;
-                machine.flakes += 1;
-                stats.cleared_suspects += 1;
-            }
-            (HealthState::Healthy, false) | (HealthState::Quarantined, _) => {}
-        }
-        let to = machine.health.label();
-        if from != to {
-            let machine_id = machine.id;
-            self.transitions.push(HealthTransition {
-                machine: machine_id,
-                epoch,
-                from,
-                to,
-            });
-        }
-    }
-
-    /// Assemble the end-of-run telemetry artifact. Callable mid-run as
-    /// well (per-epoch rows cover only the epochs stepped so far), but
-    /// the canonical artifact is the one taken after the final epoch.
+    /// Assemble the telemetry artifact from the fleet's running
+    /// aggregates. Callable mid-run as well (per-epoch rows cover only
+    /// the epochs stepped so far) — this is a fold over counters the
+    /// epochs maintained incrementally, not a fleet-wide scan, so
+    /// mid-run calls cost O(pools + detail rows) and agree exactly with
+    /// the end-of-run artifact on everything already observed.
     pub fn telemetry(&self) -> FleetTelemetry {
         let horizon = self.config.epochs;
-        let faulty: Vec<&Machine> = self.machines.iter().filter(|m| m.truly_faulty()).collect();
-        let detected_faulty = faulty
-            .iter()
-            .filter(|m| m.first_detection_epoch.is_some())
-            .count() as u64;
-        let quarantined_faulty = faulty
-            .iter()
-            .filter(|m| matches!(m.health, HealthState::Quarantined))
-            .count() as u64;
-        let false_quarantines = self
-            .machines
-            .iter()
-            .filter(|m| !m.truly_faulty() && matches!(m.health, HealthState::Quarantined))
-            .count() as u64;
-        let latency_sum: u64 = faulty
-            .iter()
-            .map(|m| m.first_detection_epoch.unwrap_or(horizon))
-            .sum();
-        let mean_latency = if faulty.is_empty() {
+        let faulty = self.faulty_total;
+        // Undetected faulty machines are censored at the horizon.
+        let latency_sum = self.latency_sum + (faulty - self.detected_faulty) * horizon;
+        let mean_latency = if faulty == 0 {
             0.0
         } else {
-            latency_sum as f64 / faulty.len() as f64
+            latency_sum as f64 / faulty as f64
         };
-        let coverage = if faulty.is_empty() {
+        let coverage = if faulty == 0 {
             1.0
         } else {
-            detected_faulty as f64 / faulty.len() as f64
+            self.detected_faulty as f64 / faulty as f64
         };
         let per_pool = self
             .pools
@@ -974,40 +1136,10 @@ impl Fleet {
             .enumerate()
             .map(|(pi, pool)| PoolTelemetry {
                 pool: pool.name.clone(),
-                machines: self.machines.iter().filter(|m| m.pool == pi).count() as u64,
-                faulty: self
-                    .machines
-                    .iter()
-                    .filter(|m| m.pool == pi && m.truly_faulty())
-                    .count() as u64,
+                machines: self.pool_machines[pi],
+                faulty: self.pool_faulty[pi],
                 detections: self.pool_detections[pi],
-                quarantined: self
-                    .machines
-                    .iter()
-                    .filter(|m| m.pool == pi && matches!(m.health, HealthState::Quarantined))
-                    .count() as u64,
-            })
-            .collect();
-        let per_machine = self
-            .machines
-            .iter()
-            .map(|m| MachineTelemetry {
-                id: m.id.0,
-                pool: self.pools[m.pool].name.clone(),
-                age_years: m.age_years,
-                fault: m.fault.clone(),
-                final_health: m.health.label().to_string(),
-                flakes: m.flakes,
-                visits: m.visits,
-                tests_run: m.tests_run,
-                first_detection_epoch: m.first_detection_epoch,
-                quarantine_epoch: m.quarantine_epoch,
-                sp_source: m
-                    .sp
-                    .as_ref()
-                    .map(|a| a.source.label())
-                    .unwrap_or(SpSource::Exact.label())
-                    .to_string(),
+                quarantined: self.pool_quarantined[pi],
             })
             .collect();
         let total_cycles: u64 = self.per_epoch.iter().map(|e| e.cycles_spent).sum();
@@ -1021,13 +1153,13 @@ impl Fleet {
             seed: self.config.seed,
             per_epoch: self.per_epoch.clone(),
             per_pool,
-            per_machine,
+            per_machine: self.detail_rows(),
             summary: FleetSummary {
                 machines: self.config.machines as u64,
-                faulty: faulty.len() as u64,
-                detected_faulty,
-                quarantined_faulty,
-                false_quarantines,
+                faulty,
+                detected_faulty: self.detected_faulty,
+                quarantined_faulty: self.quarantined_faulty,
+                false_quarantines: self.false_quarantines,
                 cleared_suspects: cleared,
                 mean_detection_latency_epochs: mean_latency,
                 detection_coverage: coverage,
@@ -1045,6 +1177,588 @@ impl Fleet {
                 phase1_escalations: self.sp_escalations,
                 outcomes: self.tally,
             },
+        }
+    }
+
+    /// The ids whose detail rows the telemetry keeps: everyone at or
+    /// under the cap; above it, interesting machines first (faulty,
+    /// non-healthy, flaky, or detected — the rows analyses key on),
+    /// healthy filler after, final ids sorted so the artifact stays in
+    /// id order.
+    fn detail_rows(&self) -> Vec<MachineTelemetry> {
+        let n = self.table.len();
+        let cap = self.config.detail_machines;
+        let ids: Vec<usize> = if cap == 0 || n <= cap {
+            (0..n).collect()
+        } else {
+            let interesting = |i: usize| {
+                self.variants[self.table.pool[i] as usize][self.table.variant[i] as usize]
+                    .fault
+                    .is_some()
+                    || self.table.health[i] != HEALTH_HEALTHY
+                    || self.table.flakes[i] > 0
+                    || self.table.first_detection[i] != NO_EPOCH
+            };
+            let mut ids: Vec<usize> = (0..n).filter(|&i| interesting(i)).take(cap).collect();
+            if ids.len() < cap {
+                let mut keep: Vec<bool> = vec![false; n];
+                for &i in &ids {
+                    keep[i] = true;
+                }
+                let missing = cap - ids.len();
+                ids.extend((0..n).filter(|&i| !keep[i]).take(missing));
+                ids.sort_unstable();
+            }
+            ids
+        };
+        ids.into_iter()
+            .map(|i| {
+                let p = self.table.pool[i] as usize;
+                let variant = &self.variants[p][self.table.variant[i] as usize];
+                MachineTelemetry {
+                    id: i,
+                    pool: self.pools[p].name.clone(),
+                    age_years: self.table.age_years[i],
+                    fault: variant.fault.clone(),
+                    final_health: health_label(self.table.health[i]).to_string(),
+                    flakes: self.table.flakes[i],
+                    visits: u64::from(self.table.visits[i]),
+                    tests_run: u64::from(self.table.tests_run[i]),
+                    first_detection_epoch: epoch_opt(self.table.first_detection[i]),
+                    quarantine_epoch: epoch_opt(self.table.quarantine_epoch[i]),
+                    sp_source: self
+                        .sp_view(i)
+                        .map(|a| a.source.label())
+                        .unwrap_or(SpSource::Exact.label())
+                        .to_string(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Streaming FNV-1a 64 sink: hashes formatted fragments as they are
+/// written instead of materializing the encoded fleet state.
+struct Fnv(u64);
+
+impl std::fmt::Write for Fnv {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for &b in s.as_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+/// Exact per-machine assessment: profile the machine's netlist for
+/// `sp_profile_cycles` under a seed mixed from the master seed and the
+/// machine id (stable across epochs, modes, and restarts).
+fn exact_assessment(
+    config: &FleetConfig,
+    sp: &SpPoolPredictor,
+    netlist: &vega_netlist::Netlist,
+    machine: usize,
+    age_years: f64,
+) -> SpAssessment {
+    let cycles = config.sp_profile_cycles;
+    let seed = mix(config.seed.wrapping_add(mix(0x5bad_c0de ^ machine as u64)));
+    let profile = vega_sim::profile_sharded(netlist, cycles, seed, 1);
+    sp.assess_exact(&profile, age_years, cycles as u64)
+}
+
+/// One pool's predicted SP maps, indexed by variant; `None` records a
+/// predictor error for that variant (fails safe to exact profiling).
+type VariantSpMaps = Vec<Option<BTreeMap<String, f64>>>;
+
+/// The immutable world Phase-1 assessment workers share.
+struct SpShared<'a> {
+    config: &'a FleetConfig,
+    pools: &'a [UnitPool],
+    variants: &'a [Vec<PoolVariant>],
+    pool: &'a [u32],
+    variant: &'a [u32],
+    age_years: &'a [f64],
+    /// Per-pool, per-variant predicted SP maps (`None` = exact mode,
+    /// no predictor, or predictor error).
+    caches: &'a [Option<VariantSpMaps>],
+    mode: SpMode,
+}
+
+/// One region's mutable slice of the SP columns.
+struct SpTask<'a> {
+    start: usize,
+    score: &'a mut [f64],
+    margin: &'a mut [f64],
+    flags: &'a mut [u8],
+}
+
+/// Phase-1 counters one region produced.
+#[derive(Default)]
+struct SpOutput {
+    exact: u64,
+    predicted: u64,
+    escalations: u64,
+    cycles: u64,
+}
+
+/// Assess one region's machines (Phase B of `ensure_sp_assessed`).
+fn assess_region(shared: &SpShared<'_>, task: SpTask<'_>) -> SpOutput {
+    let mut out = SpOutput::default();
+    for l in 0..task.score.len() {
+        let g = task.start + l;
+        let p = shared.pool[g] as usize;
+        let Some(sp) = shared.pools[p].sp.as_ref() else {
+            continue;
+        };
+        let age = shared.age_years[g];
+        let v = shared.variant[g] as usize;
+        let netlist = &shared.variants[p][v].netlist;
+        let cached = shared.caches[p].as_ref().and_then(|maps| maps[v].as_ref());
+        let assessment = match shared.mode {
+            SpMode::Exact => {
+                out.exact += 1;
+                exact_assessment(shared.config, sp, netlist, g, age)
+            }
+            SpMode::Predicted => match cached {
+                Some(map) => {
+                    out.predicted += 1;
+                    sp.assess_sp_map(map, age)
+                }
+                // A schema/feature mismatch is a configuration error;
+                // fail safe to exact rather than guess.
+                None => {
+                    out.exact += 1;
+                    exact_assessment(shared.config, sp, netlist, g, age)
+                }
+            },
+            SpMode::PredictedFallback => {
+                let predicted = cached.map(|map| sp.assess_sp_map(map, age));
+                match predicted {
+                    Some(a) if !sp.needs_escalation(&a, shared.config.sp_guard_band_ns) => {
+                        out.predicted += 1;
+                        a
+                    }
+                    // Guard-band hit (or predictor error): pay for the
+                    // exact profile on this machine only.
+                    _ => {
+                        out.escalations += 1;
+                        out.exact += 1;
+                        let mut exact = exact_assessment(shared.config, sp, netlist, g, age);
+                        exact.escalated = true;
+                        exact
+                    }
+                }
+            }
+        };
+        out.cycles += assessment.phase1_cycles;
+        task.score[l] = assessment.aging_score;
+        task.margin[l] = assessment.worst_margin_ns;
+        let mut flags = SP_ASSESSED;
+        if assessment.source == SpSource::Predicted {
+            flags |= SP_PREDICTED;
+        }
+        if assessment.escalated {
+            flags |= SP_ESCALATED;
+        }
+        task.flags[l] = flags;
+    }
+    out
+}
+
+/// Run one region's epoch on its own RNG stream.
+fn run_region_epoch(
+    shared: &EpochShared<'_>,
+    task: RegionTask<'_>,
+    pool_count: usize,
+) -> RegionOutput {
+    let seed = region_epoch_seed(shared.config.seed, task.index as u64, shared.epoch);
+    let remaining = task.budget;
+    let mut run = RegionRun {
+        shared,
+        rng: StdRng::seed_from_u64(seed),
+        remaining,
+        out: RegionOutput::new(pool_count),
+        t: task,
+    };
+    run.execute();
+    run.out
+}
+
+/// One region's epoch in flight: the shared world, the region's column
+/// slices, its RNG stream, and its remaining budget.
+struct RegionRun<'s, 'e, 't> {
+    shared: &'s EpochShared<'e>,
+    t: RegionTask<'t>,
+    rng: StdRng,
+    remaining: u64,
+    out: RegionOutput,
+}
+
+impl RegionRun<'_, '_, '_> {
+    fn len(&self) -> usize {
+        self.t.health.len()
+    }
+
+    /// Region-local index to fleet-wide machine id.
+    fn g(&self, l: usize) -> usize {
+        self.t.start + l
+    }
+
+    /// Confirmation retests first (a suspected machine is either
+    /// failing — quarantine it — or healthy-but-suspect — clear it and
+    /// return its capacity), then policy scan visits, then report the
+    /// region's scan pressure for the next epoch's allocator.
+    fn execute(&mut self) {
+        for l in 0..self.len() {
+            if self.t.health[l] == HEALTH_SUSPECTED {
+                self.confirmation_loop(l);
+            }
+        }
+        match (self.shared.config.scheduler, self.shared.config.policy) {
+            (Scheduler::Hierarchical, Policy::Adaptive) => self.scan_hierarchical(),
+            _ => {
+                let order = self.scan_order();
+                let _ = self.scan_in_order(&order);
+            }
+        }
+        self.t.state.pressure = self.compute_pressure();
+    }
+
+    /// Machine visit order for this epoch's scan phase (region-local
+    /// indices).
+    fn scan_order(&mut self) -> Vec<usize> {
+        let len = self.len();
+        let in_rotation: Vec<usize> = (0..len)
+            .filter(|&l| self.t.health[l] != HEALTH_QUARANTINED)
+            .collect();
+        match self.shared.config.policy {
+            Policy::RoundRobin => {
+                let start = self.t.state.rr_next as usize % len.max(1);
+                let mut order = in_rotation;
+                order.sort_by_key(|&l| (l + len - start) % len);
+                order
+            }
+            Policy::Random => {
+                let mut order = in_rotation;
+                order.shuffle(&mut self.rng);
+                order
+            }
+            Policy::Adaptive => {
+                let mut order = in_rotation;
+                order.sort_by(|&a, &b| self.score_cmp(a, b));
+                order
+            }
+        }
+    }
+
+    /// Hierarchical-adaptive scan: instead of fully sorting the region,
+    /// repeatedly select the top-k scoring healthy machines (k sized to
+    /// the remaining budget at the estimated per-visit cost) via
+    /// `select_nth_unstable`, and scan each batch in score order. Cost
+    /// is O(region + scanned·log(scanned)) instead of a full
+    /// O(region·log(region)) sort per epoch.
+    fn scan_hierarchical(&mut self) {
+        let mut candidates: Vec<usize> = (0..self.len())
+            .filter(|&l| self.t.health[l] == HEALTH_HEALTHY)
+            .collect();
+        let est = self.shared.est_visit_cost.max(1);
+        while !candidates.is_empty() && self.remaining > 0 {
+            let k = usize::try_from(self.remaining / est)
+                .unwrap_or(usize::MAX)
+                .saturating_add(1)
+                .min(candidates.len());
+            if k < candidates.len() {
+                candidates.select_nth_unstable_by(k - 1, |&a, &b| self.score_cmp(a, b));
+            }
+            let mut batch: Vec<usize> = candidates.drain(..k).collect();
+            batch.sort_by(|&a, &b| self.score_cmp(a, b));
+            if self.scan_in_order(&batch) {
+                break;
+            }
+        }
+    }
+
+    /// Scan the given machines in order. Returns `true` when the budget
+    /// is exhausted (nothing further can run this epoch).
+    fn scan_in_order(&mut self, order: &[usize]) -> bool {
+        for &l in order {
+            if self.remaining == 0 {
+                return true;
+            }
+            // Quarantined machines are out of rotation; suspected ones
+            // are handled by the confirmation loop, not scans.
+            if self.t.health[l] != HEALTH_HEALTHY {
+                continue;
+            }
+            let tests = self.tests_for_scan(l);
+            let Some((tests, cost)) = self.fit_budget(l, tests) else {
+                // Not even one test fits: the region's epoch is spent.
+                return true;
+            };
+            let result = self.run_visit(l, &tests, cost);
+            self.remaining -= result.cycles;
+            self.out.stats.scan_visits += 1;
+            self.out.stats.tests_run += result.tests.len() as u64;
+            self.out.stats.cycles_spent += result.cycles;
+            self.t.visits[l] += 1;
+            self.t.tests_run[l] += result.tests.len() as u32;
+            self.t.state.rr_next = ((l + 1) % self.len()) as u32;
+            self.apply_result(l, &result);
+            if self.t.health[l] == HEALTH_SUSPECTED {
+                // Confirm or clear immediately while budget lasts.
+                self.confirmation_loop(l);
+            }
+        }
+        false
+    }
+
+    /// Re-run a suspected machine's triggering tests until it is
+    /// quarantined, cleared, or the budget runs out.
+    fn confirmation_loop(&mut self, l: usize) {
+        loop {
+            if self.t.health[l] != HEALTH_SUSPECTED {
+                return;
+            }
+            let tests: Vec<usize> = self.t.suspect_tests[l]
+                .iter()
+                .map(|&t| t as usize)
+                .collect();
+            let Some((tests, cost)) = self.fit_budget(l, tests) else {
+                return; // stays suspected; retried next epoch
+            };
+            let result = self.run_visit(l, &tests, cost);
+            self.remaining -= result.cycles;
+            self.out.stats.retest_visits += 1;
+            self.out.stats.tests_run += result.tests.len() as u64;
+            self.out.stats.cycles_spent += result.cycles;
+            self.t.tests_run[l] += result.tests.len() as u32;
+            self.apply_result(l, &result);
+        }
+    }
+
+    /// Descending adaptive score, ties by region-local index — the
+    /// total order both the adaptive sort and the hierarchical top-k
+    /// selection use.
+    fn score_cmp(&self, a: usize, b: usize) -> std::cmp::Ordering {
+        self.machine_score(b)
+            .partial_cmp(&self.machine_score(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    }
+
+    fn machine_score(&self, l: usize) -> f64 {
+        let g = self.g(l);
+        let suite_len = self.shared.pools[self.shared.pool[g] as usize].suite.len() as f64;
+        let covered = (f64::from(self.t.tests_run[l]) / suite_len.max(1.0)).min(1.0);
+        let base = adaptive_score(self.shared.age_years[g], self.t.flakes[l], covered);
+        // SP-driven risk: rank machines whose risk paths have consumed
+        // the most margin first. Bounded below the coverage term's
+        // weight so prediction error can only reorder machines *within*
+        // a sweep round, never starve one of visits.
+        let risk = match self.shared.sp {
+            Some(cols) if cols.flags[g] & SP_ASSESSED != 0 => risk_term(cols.score[g]),
+            _ => 0.0,
+        };
+        base + risk
+    }
+
+    /// The region's scan pressure: adaptive scores (plus a suspicion
+    /// surcharge) summed over in-rotation machines. The hierarchical
+    /// allocator weighs next epoch's budget split by this.
+    fn compute_pressure(&self) -> f64 {
+        let mut pressure = 0.0;
+        for l in 0..self.len() {
+            if self.t.health[l] == HEALTH_QUARANTINED {
+                continue;
+            }
+            let mut score = self.machine_score(l);
+            if self.t.health[l] == HEALTH_SUSPECTED {
+                score += 8.0;
+            }
+            pressure += score;
+        }
+        pressure
+    }
+
+    /// The suite indices a scan visit of machine `l` runs, per policy.
+    fn tests_for_scan(&mut self, l: usize) -> Vec<usize> {
+        let pool_index = self.shared.pool[self.g(l)] as usize;
+        let suite_len = self.shared.pools[pool_index].suite.len();
+        let take = self.shared.config.tests_per_visit.max(1).min(suite_len);
+        let (base, start) = match self.shared.config.policy {
+            // Construction order from the machine's rotating cursor.
+            Policy::RoundRobin => (None, usize::from(self.t.cursor[l])),
+            // Construction order from a fresh random offset.
+            Policy::Random => (None, self.rng.gen_range(0..suite_len)),
+            // Severity order (worst STA slack first) from the cursor.
+            Policy::Adaptive => (
+                Some(&self.shared.severity_orders[pool_index]),
+                usize::from(self.t.cursor[l]),
+            ),
+        };
+        let tests: Vec<usize> = (0..take)
+            .map(|k| {
+                let position = (start + k) % suite_len;
+                match base {
+                    Some(order) => order[position],
+                    None => position,
+                }
+            })
+            .collect();
+        if !matches!(self.shared.config.policy, Policy::Random) {
+            self.t.cursor[l] = ((start + take) % suite_len) as u16;
+        }
+        tests
+    }
+
+    /// Trim `tests` to the prefix that fits in the remaining budget.
+    /// Returns `None` when not even the first test fits.
+    fn fit_budget(&self, l: usize, tests: Vec<usize>) -> Option<(Vec<usize>, u64)> {
+        let pool = &self.shared.pools[self.shared.pool[self.g(l)] as usize];
+        let mut cost = 0u64;
+        let mut kept = Vec::with_capacity(tests.len());
+        for test in tests {
+            let cycles = pool.suite[test].cpu_cycles;
+            if cost + cycles > self.remaining {
+                break;
+            }
+            cost += cycles;
+            kept.push(test);
+        }
+        if kept.is_empty() {
+            None
+        } else {
+            Some((kept, cost))
+        }
+    }
+
+    /// Execute `tests` on machine `l`'s shared variant netlist through
+    /// the bit-parallel selected-suite runner (up to 64 tests per settle
+    /// pass, no per-visit test-case clones), then apply the flake model.
+    fn run_visit(&mut self, l: usize, tests: &[usize], cost: u64) -> VisitResult {
+        let g = self.g(l);
+        let pool_index = self.shared.pool[g] as usize;
+        let pool = &self.shared.pools[pool_index];
+        let netlist = &self.shared.variants[pool_index][self.shared.variant[g] as usize].netlist;
+        let seed = mix(self
+            .shared
+            .config
+            .seed
+            .wrapping_add(mix(g as u64))
+            .wrapping_add(mix(self.shared.epoch << 20 | self.t.state.visit_seq)));
+        self.t.state.visit_seq += 1;
+        let outcomes = run_selected_wide(netlist, pool.module, &pool.suite, tests, seed);
+        let mut detected = false;
+        for outcome in &outcomes {
+            self.out.tally.ingest_outcome(outcome);
+            if !matches!(outcome, TestOutcome::Pass | TestOutcome::Skipped { .. }) {
+                detected = true;
+            }
+        }
+        if detected {
+            self.out.pool_detections[pool_index] += 1;
+        }
+        let flake = !detected && self.rng.gen_bool(self.shared.config.flake_probability);
+        VisitResult {
+            tests: tests.to_vec(),
+            cycles: cost,
+            detected,
+            flake,
+        }
+    }
+
+    /// Drive the quarantine state machine with one visit's outcome.
+    fn apply_result(&mut self, l: usize, result: &VisitResult) {
+        let g = self.g(l);
+        let epoch = self.shared.epoch;
+        let pool_index = self.shared.pool[g] as usize;
+        let truly_faulty = self.shared.variants[pool_index][self.shared.variant[g] as usize]
+            .fault
+            .is_some();
+        let from = health_label(self.t.health[l]);
+        let observed_detection = result.detected || result.flake;
+        if result.flake {
+            self.out.stats.flakes_injected += 1;
+        }
+        if observed_detection {
+            self.out.stats.detections += 1;
+        }
+        if result.detected && self.t.first_detection[l] == NO_EPOCH {
+            self.t.first_detection[l] = epoch as u32;
+            if truly_faulty {
+                self.out.detected_faulty += 1;
+                self.out.latency_sum += epoch;
+            }
+        }
+        match (self.t.health[l], observed_detection) {
+            (HEALTH_HEALTHY, true) => {
+                self.t.health[l] = HEALTH_SUSPECTED;
+                self.t.consecutive[l] = 1;
+                self.t.suspect_tests[l] = result.tests.iter().map(|&t| t as u16).collect();
+                self.out.stats.new_suspects += 1;
+            }
+            (HEALTH_SUSPECTED, true) => {
+                self.t.consecutive[l] += 1;
+                if self.t.consecutive[l] > self.shared.config.confirmations {
+                    self.t.health[l] = HEALTH_QUARANTINED;
+                    self.t.consecutive[l] = 0;
+                    self.t.suspect_tests[l] = Vec::new();
+                    self.t.quarantine_epoch[l] = epoch as u32;
+                    self.t.state.in_rotation -= 1;
+                    self.out.pool_quarantined[pool_index] += 1;
+                    self.out.stats.new_quarantines += 1;
+                    if truly_faulty {
+                        self.out.quarantined_faulty += 1;
+                    } else {
+                        self.out.stats.false_quarantines += 1;
+                    }
+                }
+            }
+            (HEALTH_SUSPECTED, false) => {
+                self.t.health[l] = HEALTH_HEALTHY;
+                self.t.consecutive[l] = 0;
+                self.t.suspect_tests[l] = Vec::new();
+                self.t.flakes[l] += 1;
+                self.out.stats.cleared_suspects += 1;
+            }
+            _ => {}
+        }
+        let to = health_label(self.t.health[l]);
+        if from != to {
+            self.out.transitions.push(HealthTransition {
+                machine: MachineId(g),
+                epoch,
+                from,
+                to,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_layout_defaults_and_clamps() {
+        assert_eq!(region_layout(1, None), (1, 1));
+        assert_eq!(region_layout(1024, None), (1024, 1));
+        assert_eq!(region_layout(1025, None), (513, 2));
+        assert_eq!(region_layout(1_000_000, None), (1024, 977));
+        assert_eq!(region_layout(10, Some(4)), (3, 4));
+        // More regions than machines clamps to one machine per region.
+        assert_eq!(region_layout(3, Some(8)), (1, 3));
+        assert_eq!(region_layout(5, Some(0)), (5, 1));
+    }
+
+    #[test]
+    fn region_epoch_seeds_are_decorrelated() {
+        let mut seen = std::collections::BTreeSet::new();
+        for region in 0..16 {
+            for epoch in 0..16 {
+                assert!(seen.insert(region_epoch_seed(42, region, epoch)));
+            }
         }
     }
 }

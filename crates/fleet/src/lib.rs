@@ -39,15 +39,18 @@ pub mod engine;
 pub mod json;
 pub mod machine;
 pub mod policy;
+pub(crate) mod region;
+pub mod table;
 pub mod telemetry;
 
 pub use engine::{Fleet, FleetConfig, SpMode, UnitPool};
 pub use json::Json;
 pub use machine::{
     failure_mode_of, FaultCandidate, HealthState, HealthTransition, InjectedFault, Machine,
-    MachineId,
+    MachineId, MachineView,
 };
-pub use policy::{adaptive_score, Policy};
+pub use policy::{adaptive_score, Policy, Scheduler};
+pub use table::{MachineTable, PoolVariant, NO_EPOCH};
 pub use telemetry::{
     EpochTelemetry, FleetSummary, FleetTelemetry, MachineTelemetry, OutcomeTally, PoolTelemetry,
 };

@@ -171,6 +171,55 @@ impl Machine {
     }
 }
 
+/// A lightweight read-only view of one machine, materialized on demand
+/// from the fleet's structure-of-arrays [`crate::MachineTable`].
+///
+/// This is what [`crate::Fleet::machines`] hands out: the same shape as
+/// the old per-machine [`Machine`] object (so existing call sites read
+/// `view.health`, `view.flakes`, … unchanged) but borrowing the shared
+/// pool-variant netlist instead of owning a clone.
+#[derive(Debug, Clone)]
+pub struct MachineView<'a> {
+    /// Fleet-wide identity.
+    pub id: MachineId,
+    /// Index of the unit pool this machine belongs to.
+    pub pool: usize,
+    /// Years in service.
+    pub age_years: f64,
+    /// The (shared) netlist this machine executes tests on.
+    pub netlist: &'a Netlist,
+    /// Ground truth: `Some` iff the netlist is a failing variant.
+    pub fault: Option<&'a InjectedFault>,
+    /// Current quarantine state.
+    pub health: HealthState,
+    /// Cleared suspicions.
+    pub flakes: u32,
+    /// Scan visits received so far.
+    pub visits: u64,
+    /// Individual test executions so far.
+    pub tests_run: u64,
+    /// Rotating position in this machine's test ordering.
+    pub cursor: usize,
+    /// Epoch of the first detection on this machine, if any.
+    pub first_detection_epoch: Option<u64>,
+    /// Epoch the machine entered quarantine, if it did.
+    pub quarantine_epoch: Option<u64>,
+    /// Phase-1 SP assessment, once the fleet has run it.
+    pub sp: Option<SpAssessment>,
+}
+
+impl MachineView<'_> {
+    /// Whether the machine still participates in the scan rotation.
+    pub fn in_rotation(&self) -> bool {
+        !matches!(self.health, HealthState::Quarantined)
+    }
+
+    /// Whether the machine truly carries a failing netlist.
+    pub fn truly_faulty(&self) -> bool {
+        self.fault.is_some()
+    }
+}
+
 /// Maps a lift-layer fault value to the evaluation's failure-mode
 /// vocabulary.
 pub fn failure_mode_of(value: FaultValue) -> FailureMode {

@@ -60,6 +60,61 @@ impl std::fmt::Display for Policy {
     }
 }
 
+/// How the per-epoch cycle budget is distributed across regions.
+///
+/// Orthogonal to [`Policy`]: the policy orders machines *within* a
+/// region; the scheduler decides how much budget each region gets. Both
+/// schedulers apportion by largest remainder, so budgets are exact and
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheduler {
+    /// Budget proportional to each region's in-rotation machine count —
+    /// the flat scheduler every pre-region fleet ran (with one region
+    /// it degenerates to the original central scan loop).
+    Central,
+    /// Two-level scheduling: budget proportional to each region's scan
+    /// *pressure* (coverage deficit, age, flake history, suspicion, and
+    /// SP risk folded over its machines after the previous epoch), and
+    /// — under the adaptive policy — top-k partial selection inside the
+    /// region instead of a full sort, so scan selection stays
+    /// O(regions + scanned · log scanned) rather than O(fleet · log
+    /// fleet) per epoch.
+    Hierarchical,
+}
+
+impl Scheduler {
+    /// Every scheduler, in comparison order.
+    pub const ALL: [Scheduler; 2] = [Scheduler::Central, Scheduler::Hierarchical];
+
+    /// The CLI/telemetry name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheduler::Central => "central",
+            Scheduler::Hierarchical => "hierarchical",
+        }
+    }
+}
+
+impl std::str::FromStr for Scheduler {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Scheduler, String> {
+        match s {
+            "central" => Ok(Scheduler::Central),
+            "hierarchical" | "hier" => Ok(Scheduler::Hierarchical),
+            other => Err(format!(
+                "unknown scheduler `{other}` (central|hierarchical)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The adaptive policy's machine risk score. Pure function of observable
 /// state (ground-truth faultiness is invisible to the scheduler):
 /// machines with uncovered suite fraction hide undiscovered faults,
@@ -86,6 +141,14 @@ mod tests {
         }
         assert_eq!("rr".parse::<Policy>().unwrap(), Policy::RoundRobin);
         assert!("nope".parse::<Policy>().is_err());
+        for scheduler in Scheduler::ALL {
+            assert_eq!(scheduler.label().parse::<Scheduler>().unwrap(), scheduler);
+        }
+        assert_eq!(
+            "hier".parse::<Scheduler>().unwrap(),
+            Scheduler::Hierarchical
+        );
+        assert!("flat".parse::<Scheduler>().is_err());
     }
 
     #[test]

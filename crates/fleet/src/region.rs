@@ -1,0 +1,160 @@
+//! Regions: the fleet's unit of sharded execution and hierarchical
+//! scheduling.
+//!
+//! Machines are split into fixed contiguous regions (~1k machines by
+//! default) whose boundaries depend only on the configuration — never
+//! on the thread count. Each epoch every region runs independently:
+//! its own slice of the machine-state columns, its own persistent
+//! scheduler state ([`RegionState`]), and its own RNG stream seeded
+//! from `(master seed, region index, epoch)` by chained SplitMix64.
+//! Region results merge in region-index order — the same determinism
+//! discipline `vega_sim::profile_sharded` established — so telemetry,
+//! transitions, and `state_digest()` are byte-identical at any thread
+//! count.
+//!
+//! The per-epoch cycle budget is apportioned across regions by the
+//! largest-remainder method over integer weights: exact (budgets sum to
+//! the total), deterministic (ties break by region index), and
+//! scheduler-pluggable (central weighs regions by in-rotation machine
+//! count; hierarchical by scan pressure).
+
+/// Persistent per-region scheduler state.
+#[derive(Debug, Clone)]
+pub(crate) struct RegionState {
+    /// Round-robin resume point, as a region-local machine index.
+    pub rr_next: u32,
+    /// Visits dispatched by this region so far (seeds visit RNGs).
+    pub visit_seq: u64,
+    /// Machines still in scan rotation (not quarantined).
+    pub in_rotation: u32,
+    /// Scan pressure after the last completed epoch: the sum of
+    /// adaptive scores (plus suspicion and SP-risk terms) over the
+    /// region's in-rotation machines. Drives the hierarchical
+    /// allocator's next-epoch budget split.
+    pub pressure: f64,
+}
+
+impl RegionState {
+    /// Fresh state for a region with `in_rotation` scannable machines.
+    /// Initial pressure weighs regions by machine count, so the
+    /// hierarchical allocator's epoch-0 split matches the central one.
+    pub fn new(in_rotation: u32) -> RegionState {
+        RegionState {
+            rr_next: 0,
+            visit_seq: 0,
+            in_rotation,
+            pressure: in_rotation as f64,
+        }
+    }
+}
+
+/// Split `total` across `weights` by largest remainder: each region
+/// gets `floor(total * w / sum)` plus one of the leftover units, in
+/// descending fractional-remainder order (ties by region index). The
+/// result sums to `total` exactly unless every weight is zero.
+pub(crate) fn apportion(total: u64, weights: &[u64]) -> Vec<u64> {
+    let sum: u128 = weights.iter().map(|&w| w as u128).sum();
+    if sum == 0 {
+        return vec![0; weights.len()];
+    }
+    let mut shares = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(weights.len());
+    let mut allocated = 0u64;
+    for (index, &w) in weights.iter().enumerate() {
+        let product = total as u128 * w as u128;
+        let share = (product / sum) as u64;
+        shares.push(share);
+        allocated += share;
+        remainders.push((product % sum, index));
+    }
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut leftover = total - allocated;
+    for &(_, index) in &remainders {
+        if leftover == 0 {
+            break;
+        }
+        shares[index] += 1;
+        leftover -= 1;
+    }
+    shares
+}
+
+/// Run `tasks` (one per region, in region-index order) and return their
+/// results in the same order, regardless of `threads`.
+///
+/// Tasks are statically striped across scoped worker threads — worker
+/// `w` of `W` takes tasks `w, w+W, w+2W, …` — exactly the
+/// `profile_sharded` pattern, so the work split is deterministic and
+/// the merge (slotting results back by task index) restores region
+/// order. With `threads <= 1` everything runs inline on the caller.
+pub(crate) fn run_striped<T, R, F>(tasks: Vec<T>, threads: usize, run: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = threads.max(1).min(tasks.len().max(1));
+    if workers <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(index, task)| run(index, task))
+            .collect();
+    }
+    let count = tasks.len();
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (index, task) in tasks.into_iter().enumerate() {
+        buckets[index % workers].push((index, task));
+    }
+    let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    let run = &run;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(index, task)| (index, run(index, task)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, result) in handle.join().expect("region worker panicked") {
+                slots[index] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every region task produces a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apportion_is_exact_and_deterministic() {
+        let shares = apportion(100, &[1, 1, 1]);
+        assert_eq!(shares.iter().sum::<u64>(), 100);
+        assert_eq!(shares, vec![34, 33, 33]); // tie broken by index
+        assert_eq!(apportion(7, &[0, 0]), vec![0, 0]);
+        assert_eq!(apportion(10, &[3, 0, 1]), vec![8, 0, 2]);
+        let uneven = apportion(1000, &[7, 13, 1, 0, 5]);
+        assert_eq!(uneven.iter().sum::<u64>(), 1000);
+        assert_eq!(uneven[3], 0);
+    }
+
+    #[test]
+    fn striped_runner_preserves_order_at_any_width() {
+        let tasks: Vec<usize> = (0..17).collect();
+        let single = run_striped(tasks.clone(), 1, |index, task| index * 100 + task);
+        for threads in [2, 4, 8] {
+            let multi = run_striped(tasks.clone(), threads, |index, task| index * 100 + task);
+            assert_eq!(single, multi, "threads={threads}");
+        }
+    }
+}

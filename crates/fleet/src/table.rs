@@ -1,0 +1,180 @@
+//! Structure-of-arrays machine state.
+//!
+//! A fleet of a million machines cannot afford a heap-allocated
+//! [`crate::Machine`] per instance — the netlist clone alone dwarfs the
+//! scheduler state, and pointer-chasing per-machine objects defeats the
+//! cache on every epoch sweep. [`MachineTable`] stores each scalar of
+//! machine state in its own parallel column, so:
+//!
+//! - per-machine memory is tens of bytes (the bench asserts ≤ 128
+//!   including allocator overhead), independent of netlist size;
+//! - epoch sweeps (scoring, pressure folds, digesting) are linear scans
+//!   over contiguous arrays;
+//! - netlists are shared per *variant*: every machine stores a
+//!   `(pool, variant)` pair indexing into the fleet's deduplicated
+//!   [`PoolVariant`] list instead of owning a netlist clone.
+//!
+//! The public API still hands out [`crate::MachineView`]s that look
+//! like the old `Machine` for existing call sites.
+
+use vega_netlist::Netlist;
+
+use crate::machine::{HealthState, InjectedFault};
+
+/// Sentinel for "no epoch recorded" in the `u32` epoch columns.
+pub const NO_EPOCH: u32 = u32::MAX;
+
+/// `health` column code for [`HealthState::Healthy`].
+pub(crate) const HEALTH_HEALTHY: u8 = 0;
+/// `health` column code for [`HealthState::Suspected`].
+pub(crate) const HEALTH_SUSPECTED: u8 = 1;
+/// `health` column code for [`HealthState::Quarantined`].
+pub(crate) const HEALTH_QUARANTINED: u8 = 2;
+
+/// `sp_flags` bit: the machine has a Phase-1 SP assessment.
+pub(crate) const SP_ASSESSED: u8 = 1 << 0;
+/// `sp_flags` bit: the assessment's SP came from the predictor.
+pub(crate) const SP_PREDICTED: u8 = 1 << 1;
+/// `sp_flags` bit: a predicted assessment escalated to exact.
+pub(crate) const SP_ESCALATED: u8 = 1 << 2;
+
+/// One distinct netlist a pool's machines may run: the healthy netlist
+/// (variant 0 by convention) or a Phase-2 failing netlist with its
+/// injected-fault ground truth. Machines reference variants by index,
+/// so a million-machine fleet holds a handful of netlists per pool
+/// instead of a netlist clone per machine.
+#[derive(Debug, Clone)]
+pub struct PoolVariant {
+    /// The netlist machines of this variant simulate.
+    pub netlist: Netlist,
+    /// Ground truth: the injected fault, `None` for the healthy
+    /// variant.
+    pub fault: Option<InjectedFault>,
+}
+
+/// Parallel per-machine state columns; row `i` is machine `i`.
+///
+/// Columns are sized to realistic fleet horizons: epochs and per-machine
+/// counters fit `u32`, suite cursors fit `u16` (suites longer than
+/// 65 535 tests are rejected at fleet construction).
+#[derive(Debug, Default)]
+pub struct MachineTable {
+    /// Pool index.
+    pub pool: Vec<u32>,
+    /// Variant index within the pool's [`PoolVariant`] list.
+    pub variant: Vec<u32>,
+    /// Sampled years in service.
+    pub age_years: Vec<f64>,
+    /// Health code (`HEALTH_*`).
+    pub health: Vec<u8>,
+    /// Consecutive confirming detections while suspected.
+    pub consecutive: Vec<u32>,
+    /// The triggering suite indices a suspected machine retests.
+    /// Empty unless suspected.
+    pub suspect_tests: Vec<Vec<u16>>,
+    /// Cleared suspicions (spurious detections survived).
+    pub flakes: Vec<u32>,
+    /// Scan visits received.
+    pub visits: Vec<u32>,
+    /// Individual tests executed.
+    pub tests_run: Vec<u32>,
+    /// Rotating suite cursor.
+    pub cursor: Vec<u16>,
+    /// Epoch of first real detection ([`NO_EPOCH`] = none).
+    pub first_detection: Vec<u32>,
+    /// Epoch of quarantine ([`NO_EPOCH`] = none).
+    pub quarantine_epoch: Vec<u32>,
+    /// Phase-1 SP assessment columns; allocated only when an SP mode is
+    /// configured (or machines were imported with assessments).
+    pub sp: Option<SpColumns>,
+}
+
+/// SP-assessment columns, parallel to the machine table.
+#[derive(Debug, Default)]
+pub struct SpColumns {
+    /// Worst margin-consumption fraction across the risk paths.
+    pub score: Vec<f64>,
+    /// Smallest projected slack across the risk paths, ns.
+    pub margin: Vec<f64>,
+    /// `SP_*` flag bits; 0 = unassessed.
+    pub flags: Vec<u8>,
+}
+
+impl SpColumns {
+    /// All-unassessed columns for `n` machines.
+    pub(crate) fn unassessed(n: usize) -> SpColumns {
+        SpColumns {
+            score: vec![0.0; n],
+            margin: vec![0.0; n],
+            flags: vec![0; n],
+        }
+    }
+}
+
+impl MachineTable {
+    /// An empty table with capacity for `n` machines.
+    pub(crate) fn with_capacity(n: usize) -> MachineTable {
+        MachineTable {
+            pool: Vec::with_capacity(n),
+            variant: Vec::with_capacity(n),
+            age_years: Vec::with_capacity(n),
+            health: Vec::with_capacity(n),
+            consecutive: Vec::with_capacity(n),
+            suspect_tests: Vec::with_capacity(n),
+            flakes: Vec::with_capacity(n),
+            visits: Vec::with_capacity(n),
+            tests_run: Vec::with_capacity(n),
+            cursor: Vec::with_capacity(n),
+            first_detection: Vec::with_capacity(n),
+            quarantine_epoch: Vec::with_capacity(n),
+            sp: None,
+        }
+    }
+
+    /// Machines in the table.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// Append one freshly built (healthy-state) machine row.
+    pub(crate) fn push_new(&mut self, pool: u32, variant: u32, age_years: f64) {
+        self.pool.push(pool);
+        self.variant.push(variant);
+        self.age_years.push(age_years);
+        self.health.push(HEALTH_HEALTHY);
+        self.consecutive.push(0);
+        self.suspect_tests.push(Vec::new());
+        self.flakes.push(0);
+        self.visits.push(0);
+        self.tests_run.push(0);
+        self.cursor.push(0);
+        self.first_detection.push(NO_EPOCH);
+        self.quarantine_epoch.push(NO_EPOCH);
+    }
+
+    /// Reconstruct the enum health state of machine `i`.
+    pub(crate) fn health_state(&self, i: usize) -> HealthState {
+        match self.health[i] {
+            HEALTH_HEALTHY => HealthState::Healthy,
+            HEALTH_SUSPECTED => HealthState::Suspected {
+                consecutive: self.consecutive[i],
+                tests: self.suspect_tests[i].iter().map(|&t| t as usize).collect(),
+            },
+            _ => HealthState::Quarantined,
+        }
+    }
+}
+
+/// Label for a `health` column code; matches [`HealthState::label`].
+pub(crate) fn health_label(code: u8) -> &'static str {
+    match code {
+        HEALTH_HEALTHY => "healthy",
+        HEALTH_SUSPECTED => "suspected",
+        _ => "quarantined",
+    }
+}

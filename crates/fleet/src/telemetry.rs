@@ -42,6 +42,23 @@ pub struct EpochTelemetry {
     pub false_quarantines: u64,
 }
 
+impl EpochTelemetry {
+    /// Add another epoch record's counters (the per-region → per-epoch
+    /// merge); `epoch` itself is left untouched.
+    pub fn absorb(&mut self, other: &EpochTelemetry) {
+        self.scan_visits += other.scan_visits;
+        self.retest_visits += other.retest_visits;
+        self.tests_run += other.tests_run;
+        self.cycles_spent += other.cycles_spent;
+        self.detections += other.detections;
+        self.flakes_injected += other.flakes_injected;
+        self.new_suspects += other.new_suspects;
+        self.cleared_suspects += other.cleared_suspects;
+        self.new_quarantines += other.new_quarantines;
+        self.false_quarantines += other.false_quarantines;
+    }
+}
+
 /// Aggregate of every per-visit [`DetectionReport`] the fleet produced.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OutcomeTally {
@@ -59,13 +76,28 @@ impl OutcomeTally {
     /// Fold one per-visit report into the tally.
     pub fn ingest(&mut self, report: &DetectionReport) {
         for (_, outcome) in &report.outcomes {
-            match outcome {
-                TestOutcome::Pass => self.passes += 1,
-                TestOutcome::Detected { .. } => self.detections += 1,
-                TestOutcome::Stall { .. } => self.stalls += 1,
-                TestOutcome::Skipped { .. } => self.skips += 1,
-            }
+            self.ingest_outcome(outcome);
         }
+    }
+
+    /// Fold one raw test outcome into the tally — the allocation-free
+    /// path the fleet engine uses per visit (no `DetectionReport`
+    /// construction, no test-name clones).
+    pub fn ingest_outcome(&mut self, outcome: &TestOutcome) {
+        match outcome {
+            TestOutcome::Pass => self.passes += 1,
+            TestOutcome::Detected { .. } => self.detections += 1,
+            TestOutcome::Stall { .. } => self.stalls += 1,
+            TestOutcome::Skipped { .. } => self.skips += 1,
+        }
+    }
+
+    /// Add another tally's counts (sharded-epoch merge).
+    pub fn merge(&mut self, other: &OutcomeTally) {
+        self.passes += other.passes;
+        self.detections += other.detections;
+        self.stalls += other.stalls;
+        self.skips += other.skips;
     }
 
     /// Total tests tallied.

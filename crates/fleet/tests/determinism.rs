@@ -1,0 +1,241 @@
+//! Thread-count invariance of the sharded fleet engine: for every
+//! `(seed, policy, scheduler, sp_mode)` the per-epoch `state_digest`
+//! and the final telemetry JSON must be byte-identical at 1, 2, 4, and
+//! 8 worker threads. `vega serve` leans on exactly this property — WAL
+//! replay cross-checks digests journaled at first execution, possibly
+//! under a different `--threads` — so any divergence here is a crash
+//! -recovery bug, not just a flaky test.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use vega_circuits::adder_example::build_paper_adder;
+use vega_fleet::{Fleet, FleetConfig, Policy, RiskPath, Scheduler, SpMode, UnitPool};
+use vega_lift::{AgingPath, Check, ModuleKind, Provenance, TestCase};
+use vega_obs::Obs;
+use vega_predict::{extract_features, train, RiskScorer, SpPoolPredictor, TrainOptions};
+use vega_sta::ViolationKind;
+
+fn one_cycle(a: u64, b: u64) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    m.insert("a".into(), a);
+    m.insert("b".into(), b);
+    m
+}
+
+fn adder_suite() -> Vec<TestCase> {
+    let mut suite = Vec::new();
+    for a in 0..4u64 {
+        for b in 0..4u64 {
+            suite.push(TestCase {
+                name: format!("add_{a}_{b}"),
+                target: format!("pair_{a}_{b}"),
+                stimulus: vec![one_cycle(a, b)],
+                checks: vec![Check::PortAt {
+                    cycle: 2,
+                    port: "o".into(),
+                    expected: (a + b) % 4,
+                }],
+                instructions: Vec::new(),
+                cpu_cycles: 8,
+                provenance: Provenance::Fuzzed,
+            });
+        }
+    }
+    suite
+}
+
+/// One risk path whose margin straddles zero across machine ages, so
+/// `predicted-fallback` genuinely escalates some machines and not
+/// others (the hardest case for cross-thread SP counter parity).
+fn risk_paths(netlist: &vega_netlist::Netlist) -> Vec<RiskPath> {
+    let cells: Vec<String> = netlist
+        .cells()
+        .filter(|c| !c.name.is_empty())
+        .take(4)
+        .map(|c| c.name.clone())
+        .collect();
+    vec![RiskPath {
+        label: "dff3 -> dff9 (Setup)".into(),
+        cells,
+        arrival_ns: 1.0,
+        required_ns: 1.002,
+        slack_ns: 0.002,
+        ref_degradation: 0.002,
+    }]
+}
+
+/// The adder pool with a trained SP predictor attached — built once and
+/// cloned per run, the way `vega fleet` reuses one pool across configs.
+fn predictive_pool() -> UnitPool {
+    let healthy = build_paper_adder();
+    let obs = Obs::null();
+    let probe = vega_sim::profile_sharded(&healthy, 64, 0xA11CE, 1);
+    let target = vega_sim::profile_sharded(&healthy, 512, 7, 1);
+    let features = extract_features(&healthy, Some(&probe), 1, &obs).expect("extract");
+    let targets = features.targets_from(&target);
+    let trained = train(&features, &targets, &TrainOptions::default(), &obs).expect("train");
+    let risk = risk_paths(&healthy);
+    let candidates = [("dff3", "dff9", 0.4), ("dff4", "dff10", 0.2)]
+        .into_iter()
+        .map(
+            |(launch, capture, severity_ns)| vega_fleet::FaultCandidate {
+                path: AgingPath {
+                    launch: healthy.cell_by_name(launch).expect("launch exists").id,
+                    capture: healthy.cell_by_name(capture).expect("capture exists").id,
+                    violation: ViolationKind::Setup,
+                },
+                severity_ns,
+            },
+        )
+        .collect();
+    let mut pool = UnitPool::uniform(
+        "adder",
+        ModuleKind::PaperAdder,
+        healthy,
+        adder_suite(),
+        candidates,
+    );
+    pool.risk = risk.clone();
+    pool.sp = Some(SpPoolPredictor {
+        model: trained.model,
+        probe,
+        scorer: RiskScorer {
+            aging: vega_aging::AgingModel::cmos28_worst_case(),
+            paths: risk,
+        },
+    });
+    pool
+}
+
+const MACHINES: usize = 24;
+const EPOCHS: u64 = 5;
+
+fn config(
+    seed: u64,
+    policy: Policy,
+    scheduler: Scheduler,
+    sp_mode: Option<SpMode>,
+    threads: usize,
+) -> FleetConfig {
+    let mut config = FleetConfig::new(MACHINES, EPOCHS, policy, seed);
+    config.threads = threads;
+    config.regions = Some(4);
+    config.scheduler = scheduler;
+    config.sp_mode = sp_mode;
+    config.sp_profile_cycles = 128;
+    // Inside the margin spread of `risk_paths`, so fallback splits the
+    // fleet into escalated and predicted machines.
+    config.sp_guard_band_ns = 0.0005;
+    config
+}
+
+/// Step a fleet to completion, collecting the digest after every epoch
+/// and the final telemetry JSON.
+fn trace(pool: &UnitPool, config: FleetConfig) -> (Vec<u64>, String) {
+    let mut fleet = Fleet::build(vec![pool.clone()], config);
+    let mut digests = Vec::new();
+    while fleet.step_epoch() {
+        digests.push(fleet.state_digest());
+    }
+    (digests, fleet.telemetry().to_json_string())
+}
+
+fn assert_thread_invariant(
+    pool: &UnitPool,
+    seed: u64,
+    policy: Policy,
+    scheduler: Scheduler,
+    sp_mode: Option<SpMode>,
+) {
+    let label = format!(
+        "seed={seed} policy={policy} scheduler={scheduler} sp_mode={:?}",
+        sp_mode.map(|m| m.label())
+    );
+    let (base_digests, base_json) = trace(pool, config(seed, policy, scheduler, sp_mode, 1));
+    for threads in [2, 4, 8] {
+        let (digests, json) = trace(pool, config(seed, policy, scheduler, sp_mode, threads));
+        assert_eq!(
+            base_digests, digests,
+            "{label}: per-epoch digests diverge at {threads} threads"
+        );
+        assert_eq!(
+            base_json, json,
+            "{label}: telemetry JSON diverges at {threads} threads"
+        );
+    }
+}
+
+/// The full acceptance grid: every policy × scheduler × SP mode at a
+/// fixed seed, 1 vs 2/4/8 threads.
+#[test]
+fn digests_and_telemetry_are_thread_invariant_across_grid() {
+    let pool = predictive_pool();
+    for policy in [Policy::RoundRobin, Policy::Random, Policy::Adaptive] {
+        for scheduler in [Scheduler::Central, Scheduler::Hierarchical] {
+            for sp_mode in [
+                None,
+                Some(SpMode::Exact),
+                Some(SpMode::Predicted),
+                Some(SpMode::PredictedFallback),
+            ] {
+                assert_thread_invariant(&pool, 41, policy, scheduler, sp_mode);
+            }
+        }
+    }
+}
+
+// Random seeds keep the grid honest: the property must hold for any
+// seed, not just the one the grid test bakes in.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn digests_are_thread_invariant_for_any_seed(
+        seed in 1u64..10_000,
+        policy_sel in 0usize..3,
+        scheduler_sel in 0usize..2,
+        mode_sel in 0usize..4,
+    ) {
+        let pool = predictive_pool();
+        let policy = [Policy::RoundRobin, Policy::Random, Policy::Adaptive][policy_sel];
+        let scheduler = [Scheduler::Central, Scheduler::Hierarchical][scheduler_sel];
+        let sp_mode = [
+            None,
+            Some(SpMode::Exact),
+            Some(SpMode::Predicted),
+            Some(SpMode::PredictedFallback),
+        ][mode_sel];
+        assert_thread_invariant(&pool, seed, policy, scheduler, sp_mode);
+    }
+}
+
+/// Regression for the telemetry full-clone fix: `telemetry()` is a pure
+/// read. Calling it after every epoch must neither perturb the run nor
+/// disagree with the end-of-run artifact — the mid-run snapshot at the
+/// final epoch IS the final artifact, byte for byte.
+#[test]
+fn mid_run_telemetry_agrees_with_end_of_run() {
+    let pool = predictive_pool();
+    let observed = config(41, Policy::Adaptive, Scheduler::Hierarchical, None, 2);
+    let undisturbed = observed.clone();
+
+    let mut fleet = Fleet::build(vec![pool.clone()], observed);
+    let mut last_json = String::new();
+    while fleet.step_epoch() {
+        last_json = fleet.telemetry().to_json_string();
+    }
+    let final_json = fleet.telemetry().to_json_string();
+    assert_eq!(
+        last_json, final_json,
+        "snapshot after the last epoch must equal the end-of-run artifact"
+    );
+
+    let mut quiet = Fleet::build(vec![pool], undisturbed);
+    let quiet_json = quiet.run().to_json_string();
+    assert_eq!(
+        final_json, quiet_json,
+        "mid-run telemetry() calls must not perturb the simulation"
+    );
+}

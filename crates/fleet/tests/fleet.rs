@@ -175,8 +175,8 @@ fn faulty_machine_is_confirmed_then_quarantined() {
     let mut fleet = Fleet::from_machines(vec![adder_pool()], config.clone(), machines);
     let telemetry = fleet.run();
 
-    let healthy = &fleet.machines()[0];
-    let faulty = &fleet.machines()[1];
+    let healthy = fleet.machine_view(0);
+    let faulty = fleet.machine_view(1);
     assert_eq!(healthy.health, HealthState::Healthy);
     assert_eq!(healthy.flakes, 0, "no noise, no suspicion");
     assert_eq!(faulty.health, HealthState::Quarantined);
@@ -215,7 +215,7 @@ fn pure_noise_is_eventually_quarantined_but_counted_false() {
     let mut fleet = Fleet::from_machines(vec![adder_pool()], config, vec![healthy_machine(0, 2.0)]);
     let telemetry = fleet.run();
     assert_eq!(telemetry.summary.false_quarantines, 1);
-    assert_eq!(fleet.machines()[0].health, HealthState::Quarantined);
+    assert_eq!(fleet.machine_view(0).health, HealthState::Quarantined);
 }
 
 #[test]

@@ -49,6 +49,6 @@ pub use instrument::{
 };
 pub use module::ModuleKind;
 pub use testcase::{
-    run_suite, run_suite_wide, run_test_case, validate_test_case, Check, Provenance, TestCase,
-    TestOutcome,
+    run_selected_wide, run_suite, run_suite_wide, run_test_case, validate_test_case, Check,
+    Provenance, TestCase, TestOutcome,
 };

@@ -249,32 +249,54 @@ pub fn run_suite_wide(
     suite: &[TestCase],
     seed: u64,
 ) -> Vec<TestOutcome> {
-    let mut outcomes: Vec<Option<TestOutcome>> = suite
+    let all: Vec<usize> = (0..suite.len()).collect();
+    run_selected_wide(netlist, module, suite, &all, seed)
+}
+
+/// [`run_suite_wide`] over a *selection* of suite indices, without
+/// cloning the selected tests into a temporary suite. Outcomes are
+/// returned parallel to `selected`. This is the fleet's per-visit entry
+/// point: a visit runs a handful of tests out of a shared pool suite,
+/// and at a million machines the per-visit `TestCase` clones the naive
+/// path would make dominate the scheduler.
+///
+/// Seeding matches [`run_suite_wide`] run on the selection as its own
+/// suite: chunking (and thus the per-chunk seed offset) is over the
+/// selection's runnable tests, in selection order.
+pub fn run_selected_wide(
+    netlist: &Netlist,
+    module: ModuleKind,
+    suite: &[TestCase],
+    selected: &[usize],
+    seed: u64,
+) -> Vec<TestOutcome> {
+    let mut outcomes: Vec<Option<TestOutcome>> = selected
         .iter()
-        .map(|test| {
-            validate_test_case(netlist, test)
+        .map(|&index| {
+            validate_test_case(netlist, &suite[index])
                 .err()
                 .map(|reason| TestOutcome::Skipped { reason })
         })
         .collect();
-    let runnable: Vec<usize> = (0..suite.len())
-        .filter(|&index| outcomes[index].is_none())
+    let runnable: Vec<usize> = (0..selected.len())
+        .filter(|&position| outcomes[position].is_none())
         .collect();
     for (chunk_index, chunk) in runnable.chunks(LANES).enumerate() {
         let chunk_seed =
             seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chunk_index as u64));
+        let suite_indices: Vec<usize> = chunk.iter().map(|&position| selected[position]).collect();
         let result = catch_unwind(AssertUnwindSafe(|| {
-            run_chunk_wide(netlist, module, suite, chunk, chunk_seed)
+            run_chunk_wide(netlist, module, suite, &suite_indices, chunk_seed)
         }));
         match result {
             Ok(chunk_outcomes) => {
-                for (lane, &index) in chunk.iter().enumerate() {
-                    outcomes[index] = Some(chunk_outcomes[lane].clone());
+                for (lane, &position) in chunk.iter().enumerate() {
+                    outcomes[position] = Some(chunk_outcomes[lane].clone());
                 }
             }
             Err(_) => {
-                for &index in chunk {
-                    outcomes[index] = Some(TestOutcome::Skipped {
+                for &position in chunk {
+                    outcomes[position] = Some(TestOutcome::Skipped {
                         reason: "test runner panicked".to_string(),
                     });
                 }

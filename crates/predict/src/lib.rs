@@ -45,7 +45,7 @@ pub use model::{
     Predictor, RidgeModel, SpModel, Stump, TrainOptions, TrainedModel, TrainerKind,
     MODEL_SCHEMA_VERSION,
 };
-pub use score::{RiskPath, RiskScorer, SpAssessment, SpPoolPredictor, SpSource};
+pub use score::{risk_term, RiskPath, RiskScorer, SpAssessment, SpPoolPredictor, SpSource};
 
 /// Errors surfaced by feature extraction, training, and model I/O.
 #[derive(Debug, Clone, PartialEq)]

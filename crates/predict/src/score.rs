@@ -138,6 +138,16 @@ impl RiskScorer {
     }
 }
 
+/// The bounded scheduling weight an SP-derived aging score contributes
+/// to scan priority — used both for per-machine adaptive ordering and
+/// for the hierarchical scheduler's per-region pressure. Capped at 3.0,
+/// below the adaptive policy's coverage-term weight of 16, so SP
+/// prediction error can only reorder machines *within* a sweep round
+/// (or shift budget between regions), never starve a machine of visits.
+pub fn risk_term(aging_score: f64) -> f64 {
+    1.5 * aging_score.clamp(0.0, 2.0)
+}
+
 /// Everything a fleet pool needs to assess its machines: the trained
 /// predictor, the probe profile its stimulus features came from, and
 /// the risk-path scorer.
@@ -164,19 +174,38 @@ impl SpPoolPredictor {
         age_years: f64,
         obs: &Obs,
     ) -> Result<SpAssessment, PredictError> {
+        let sp_map = self.predicted_sp_map(netlist, obs)?;
+        Ok(self.assess_sp_map(&sp_map, age_years))
+    }
+
+    /// The netlist-dependent half of [`Self::assess_predicted`]:
+    /// extract features and predict per-cell SP. Machines sharing a
+    /// netlist variant share this map, so a fleet computes it once per
+    /// variant and scores each machine's age against the cache.
+    pub fn predicted_sp_map(
+        &self,
+        netlist: &Netlist,
+        obs: &Obs,
+    ) -> Result<BTreeMap<String, f64>, PredictError> {
         let matrix = extract_features(netlist, Some(&self.probe), 1, obs)?;
         let predictions = self.model.predict(&matrix)?;
-        let sp_map: BTreeMap<String, f64> = matrix.sp_map(&predictions);
+        Ok(matrix.sp_map(&predictions))
+    }
+
+    /// The age-dependent half of [`Self::assess_predicted`]: score a
+    /// predicted SP map against the risk paths at `age_years`. Costs
+    /// zero simulation cycles.
+    pub fn assess_sp_map(&self, sp_map: &BTreeMap<String, f64>, age_years: f64) -> SpAssessment {
         let (aging_score, worst_margin_ns) = self
             .scorer
             .score(&|cell| sp_map.get(cell).copied(), age_years);
-        Ok(SpAssessment {
+        SpAssessment {
             source: SpSource::Predicted,
             aging_score,
             worst_margin_ns,
             phase1_cycles: 0,
             escalated: false,
-        })
+        }
     }
 
     /// Assess a machine from an exact SP profile that cost
