@@ -17,21 +17,40 @@
 //! ratios. The FPU — deeper unrollings, harder cones — is where the
 //! incremental engine must show at least a 3x conflict reduction.
 //!
+//! A third column measures **portfolio racing** (`--portfolio N`, default
+//! 4): each query additionally runs every roster backend solo (the honest
+//! "best single backend" baseline) and then races the whole roster via
+//! [`race_round`], recording per-query race wall-clock, the winning
+//! backend, and the per-unit winner distribution. On multi-core hosts the
+//! race must land within an overhead allowance of the best solo backend;
+//! on a 1-CPU host (or under `VEGA_QUICK=1`) the numbers are recorded
+//! honestly but not asserted, mirroring `fleet_scale` — the artifact's
+//! `portfolio.asserted` flag says which happened.
+//!
 //! Writes `bench_results/bmc_speedup.json` (via the fleet's canonical
 //! JSON writer) alongside a human-readable table on stdout.
 //!
 //! Run: `cargo run --release -p vega-bench --bin bmc_speedup`
 //! (set `VEGA_QUICK=1` for smoke sizes; `--out <path>` to redirect the
-//! artifact)
+//! artifact; `--portfolio N` to size the race roster)
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use vega_bench::{pairs_for_lifting, print_table, quick, setup_units, UnitSetup};
 use vega_fleet::Json;
 use vega_formal::{
-    check_cover_rebuild_with_stats, check_cover_with_stats, CoverOutcome, CoverStats, Property,
+    check_cover_rebuild_with_stats, check_cover_with_stats, race_round, CoverOutcome, CoverStats,
+    Property, SessionSnapshot,
 };
 use vega_lift::{instrument_with_shadow, FaultActivation, FaultValue, ModuleKind};
+use vega_sat::SolverConfig;
+
+/// Wall-clock allowance for a race over the best solo backend: thread
+/// spawn/teardown plus cache contention. Generous on purpose — the bar
+/// is "racing never costs more than a constant", not a microbenchmark.
+const RACE_OVERHEAD_FACTOR: f64 = 1.5;
+const RACE_OVERHEAD_SECONDS: f64 = 0.25;
 
 #[derive(Default)]
 struct EngineTotals {
@@ -82,7 +101,13 @@ fn outcome_name(outcome: &CoverOutcome) -> &'static str {
     }
 }
 
-fn bench_unit(setup: &UnitSetup, module: ModuleKind, rows: &mut Vec<Vec<String>>) -> (Json, f64) {
+fn bench_unit(
+    setup: &UnitSetup,
+    module: ModuleKind,
+    racers: &[SolverConfig],
+    assert_race_wall: bool,
+    rows: &mut Vec<Vec<String>>,
+) -> (Json, f64) {
     let netlist = &setup.unit.netlist;
     let assumptions = module.assumptions(netlist);
     let config = module.bmc_config();
@@ -98,6 +123,9 @@ fn bench_unit(setup: &UnitSetup, module: ModuleKind, rows: &mut Vec<Vec<String>>
 
     let mut rebuild = EngineTotals::default();
     let mut incremental = EngineTotals::default();
+    let mut portfolio = EngineTotals::default();
+    let mut best_solo_total = 0.0_f64;
+    let mut winners: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut pair_json = Vec::new();
     for &path in &pairs {
         for value in FaultValue::FORMAL {
@@ -142,8 +170,92 @@ fn bench_unit(setup: &UnitSetup, module: ModuleKind, rows: &mut Vec<Vec<String>>
                 );
             }
 
+            // Portfolio column. Every roster backend solo first — the
+            // "best single backend" baseline must be measured, not
+            // assumed, because which configuration is fastest varies per
+            // query (that variance is the whole reason racing pays).
+            let snapshot = SessionSnapshot {
+                next_depth: property.earliest_cycle,
+                next_k: 1,
+                in_induction: false,
+            };
+            let mut best_solo = f64::INFINITY;
+            let mut best_solo_backend = "";
+            for backend in racers {
+                let start = Instant::now();
+                let solo = race_round(
+                    &instrumented.netlist,
+                    &property,
+                    &assumptions,
+                    &config,
+                    &snapshot,
+                    config.conflict_budget,
+                    std::slice::from_ref(backend),
+                    None,
+                );
+                let solo_seconds = start.elapsed().as_secs_f64();
+                assert_eq!(
+                    outcome_name(&solo.outcome),
+                    outcome_name(&inc_outcome),
+                    "{}: backend {} disagrees on {} C={value:?}",
+                    setup.name,
+                    backend.name,
+                    path.label(netlist),
+                );
+                if solo_seconds < best_solo {
+                    best_solo = solo_seconds;
+                    best_solo_backend = backend.name;
+                }
+            }
+
+            let start = Instant::now();
+            let race = race_round(
+                &instrumented.netlist,
+                &property,
+                &assumptions,
+                &config,
+                &snapshot,
+                config.conflict_budget,
+                racers,
+                None,
+            );
+            let race_seconds = start.elapsed().as_secs_f64();
+            assert_eq!(
+                outcome_name(&race.outcome),
+                outcome_name(&inc_outcome),
+                "{}: portfolio disagrees on {} C={value:?}",
+                setup.name,
+                path.label(netlist),
+            );
+            if let (CoverOutcome::Trace(a), CoverOutcome::Trace(b)) = (&race.outcome, &inc_outcome)
+            {
+                // Witness content may differ between backends (each is
+                // replay-validated in the lift pipeline and the
+                // equivalence grid); the minimal fire cycle may not.
+                assert_eq!(
+                    a.fire_cycle,
+                    b.fire_cycle,
+                    "{}: portfolio minimal fire cycle differs on {} C={value:?}",
+                    setup.name,
+                    path.label(netlist),
+                );
+            }
+            let winner_name = race.winner.map_or("(inconclusive)", |(name, _)| name);
+            *winners.entry(winner_name).or_insert(0) += 1;
+            if assert_race_wall {
+                assert!(
+                    race_seconds <= best_solo * RACE_OVERHEAD_FACTOR + RACE_OVERHEAD_SECONDS,
+                    "{}: race took {race_seconds:.3}s on {} C={value:?}, \
+                     best solo ({best_solo_backend}) took {best_solo:.3}s",
+                    setup.name,
+                    path.label(netlist),
+                );
+            }
+
             rebuild.add(&reb_stats, reb_seconds);
             incremental.add(&inc_stats, inc_seconds);
+            portfolio.add(&race.stats, race_seconds);
+            best_solo_total += best_solo;
             pair_json.push(Json::obj(vec![
                 ("pair", Json::Str(path.label(netlist))),
                 ("fault_value", Json::Str(format!("{value:?}"))),
@@ -165,6 +277,14 @@ fn bench_unit(setup: &UnitSetup, module: ModuleKind, rows: &mut Vec<Vec<String>>
                 ),
                 ("rebuild_seconds", Json::Float(reb_seconds)),
                 ("incremental_seconds", Json::Float(inc_seconds)),
+                ("portfolio_seconds", Json::Float(race_seconds)),
+                ("portfolio_conflicts", Json::UInt(race.stats.conflicts)),
+                ("portfolio_winner", Json::Str(winner_name.to_string())),
+                ("best_solo_seconds", Json::Float(best_solo)),
+                (
+                    "best_solo_backend",
+                    Json::Str(best_solo_backend.to_string()),
+                ),
             ]));
         }
     }
@@ -172,6 +292,7 @@ fn bench_unit(setup: &UnitSetup, module: ModuleKind, rows: &mut Vec<Vec<String>>
     let conflict_ratio = ratio(rebuild.conflicts, incremental.conflicts);
     let clause_ratio = ratio(rebuild.encoded_clauses, incremental.encoded_clauses);
     let wall_ratio = rebuild.seconds / incremental.seconds.max(1e-12);
+    let race_vs_best = portfolio.seconds / best_solo_total.max(1e-12);
     rows.push(vec![
         setup.name.to_string(),
         format!("{}", pair_json.len()),
@@ -180,13 +301,31 @@ fn bench_unit(setup: &UnitSetup, module: ModuleKind, rows: &mut Vec<Vec<String>>
         format!("{conflict_ratio:.1}x"),
         format!("{clause_ratio:.1}x"),
         format!("{wall_ratio:.1}x"),
+        format!("{race_vs_best:.2}"),
     ]);
 
+    let winners_json = winners
+        .iter()
+        .map(|(name, count)| ((*name).to_string(), Json::UInt(*count)))
+        .collect();
     let json = Json::obj(vec![
         ("unit", Json::Str(setup.name.to_string())),
         ("queries", Json::UInt(pair_json.len() as u64)),
         ("rebuild", rebuild.json()),
         ("incremental", incremental.json()),
+        (
+            "portfolio",
+            Json::obj(vec![
+                ("racers", Json::UInt(racers.len() as u64)),
+                ("conflicts", Json::UInt(portfolio.conflicts)),
+                ("propagations", Json::UInt(portfolio.propagations)),
+                ("seconds", Json::Float(portfolio.seconds)),
+                ("best_solo_seconds", Json::Float(best_solo_total)),
+                ("race_wall_vs_best_solo", Json::Float(race_vs_best)),
+                ("asserted", Json::Bool(assert_race_wall)),
+                ("winners", Json::Obj(winners_json)),
+            ]),
+        ),
         ("conflict_reduction", Json::Float(conflict_ratio)),
         ("propagation_reduction", {
             Json::Float(ratio(rebuild.propagations, incremental.propagations))
@@ -201,23 +340,44 @@ fn bench_unit(setup: &UnitSetup, module: ModuleKind, rows: &mut Vec<Vec<String>>
 
 fn main() {
     let mut out_path = String::from("bench_results/bmc_speedup.json");
+    let mut racer_count = 4usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--portfolio" => {
+                racer_count = args
+                    .next()
+                    .expect("--portfolio needs a count")
+                    .parse()
+                    .expect("--portfolio count must be a positive integer");
+                assert!(racer_count >= 1, "--portfolio needs at least 1 racer");
+            }
             other => {
-                eprintln!("unknown argument `{other}` (supported: --out <path>)");
+                eprintln!("unknown argument `{other}` (supported: --out <path>, --portfolio <n>)");
                 std::process::exit(2);
             }
         }
     }
 
-    println!("== BMC: rebuild-per-depth vs incremental session ==\n");
+    let racers = SolverConfig::portfolio(racer_count);
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    // Same honesty contract as `fleet_scale`: wall-clock claims about
+    // parallel speed are only asserted where parallelism exists (and not
+    // under quick smoke sizes, where per-query time is all overhead).
+    let assert_race_wall = host_cpus >= 2 && !quick();
+
+    println!("== BMC: rebuild-per-depth vs incremental session vs portfolio ==\n");
+    println!(
+        "portfolio roster: {} racer(s), host cpus: {host_cpus}, race wall asserted: {assert_race_wall}\n",
+        racers.len()
+    );
     let (alu, fpu) = setup_units();
 
     let mut rows = Vec::new();
-    let (alu_json, _) = bench_unit(&alu, ModuleKind::Alu, &mut rows);
-    let (fpu_json, fpu_ratio) = bench_unit(&fpu, ModuleKind::Fpu, &mut rows);
+    let (alu_json, _) = bench_unit(&alu, ModuleKind::Alu, &racers, assert_race_wall, &mut rows);
+    let (fpu_json, fpu_ratio) =
+        bench_unit(&fpu, ModuleKind::Fpu, &racers, assert_race_wall, &mut rows);
 
     print_table(
         &[
@@ -228,15 +388,21 @@ fn main() {
             "cfl ratio",
             "clause ratio",
             "wall ratio",
+            "race/best",
         ],
         &rows,
     );
     println!("\n(cfl = SAT conflicts summed over every cover query; ratios are");
-    println!("rebuild/incremental, so higher means the incremental engine wins)");
+    println!("rebuild/incremental, so higher means the incremental engine wins;");
+    println!("race/best is portfolio race wall over the best solo backend's — ");
+    println!("near 1.0 means racing costs no more than the per-query best config)");
 
     let artifact = Json::obj(vec![
         ("benchmark", Json::Str("bmc_speedup".to_string())),
         ("quick", Json::Bool(quick())),
+        ("host_cpus", Json::UInt(host_cpus as u64)),
+        ("portfolio_racers", Json::UInt(racers.len() as u64)),
+        ("portfolio_asserted", Json::Bool(assert_race_wall)),
         ("units", Json::Arr(vec![alu_json, fpu_json])),
     ]);
     if let Some(dir) = std::path::Path::new(&out_path).parent() {

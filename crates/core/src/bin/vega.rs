@@ -59,6 +59,16 @@ COMMON OPTIONS:
                               epochs (never changes results) [default: 1]
     --retries <n>             formal tries per attempt, doubling the
                               conflict budget each time [default: 1]
+    --lift-budget <c>         (lift|suite|serve) override the per-attempt
+                              formal conflict budget
+                              [default: module-specific]
+    --portfolio <n>           (lift|suite|serve) race n solver backends
+                              when a formal attempt exhausts its budget;
+                              first definitive answer wins, losers are
+                              cancelled (0 or 1 = off)   [default: 0]
+    --portfolio-threshold <c> conflicts an exhausted round must have
+                              spent before the attempt escalates to
+                              racing                     [default: 0]
     --fuzz-fallback           degrade budget-exhausted pairs to fuzzing
     --checkpoint <path>       (lift|suite) record per-pair progress
     --resume                  (lift|suite) continue from the checkpoint
@@ -122,6 +132,9 @@ struct Options {
     profile_cycles: usize,
     threads: usize,
     retries: usize,
+    lift_budget: Option<u64>,
+    portfolio: usize,
+    portfolio_threshold: u64,
     fuzz_fallback: bool,
     checkpoint: Option<String>,
     resume: bool,
@@ -165,6 +178,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         profile_cycles: 2000,
         threads: 1,
         retries: 1,
+        lift_budget: None,
+        portfolio: 0,
+        portfolio_threshold: 0,
         fuzz_fallback: false,
         checkpoint: None,
         resume: false,
@@ -229,6 +245,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 options.retries = value("--retries")?
                     .parse()
                     .map_err(|e| format!("--retries: {e}"))?
+            }
+            "--lift-budget" => {
+                options.lift_budget = Some(
+                    value("--lift-budget")?
+                        .parse()
+                        .map_err(|e| format!("--lift-budget: {e}"))?,
+                )
+            }
+            "--portfolio" => {
+                options.portfolio = value("--portfolio")?
+                    .parse()
+                    .map_err(|e| format!("--portfolio: {e}"))?
+            }
+            "--portfolio-threshold" => {
+                options.portfolio_threshold = value("--portfolio-threshold")?
+                    .parse()
+                    .map_err(|e| format!("--portfolio-threshold: {e}"))?
             }
             "--fuzz-fallback" => options.fuzz_fallback = true,
             "--checkpoint" => options.checkpoint = Some(value("--checkpoint")?),
@@ -357,6 +390,9 @@ fn build_config(options: &Options) -> Result<WorkflowConfig, String> {
     config.mitigation = options.mitigation;
     config.threads = options.threads.max(1);
     config.retry = RetryPolicy::doubling(options.retries.max(1));
+    config.portfolio.racers = options.portfolio;
+    config.portfolio.threshold = options.portfolio_threshold;
+    config.lift_budget = options.lift_budget;
     config.obs = build_obs(options)?;
     if options.fuzz_fallback {
         config.fuzz_fallback = Some(FuzzConfig::default());
@@ -902,6 +938,9 @@ fn cmd_serve(options: &Options) -> Result<(), String> {
         policy: options.policy,
         seed: options.seed,
         fault_fraction: options.fault_fraction,
+        lift_budget: options.lift_budget,
+        portfolio_racers: options.portfolio,
+        portfolio_threshold: options.portfolio_threshold,
         regions: options.regions,
         scheduler: options.scheduler,
         threads: options.threads.max(1),

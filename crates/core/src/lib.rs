@@ -75,8 +75,9 @@ pub use vega_integrate::{
 pub use vega_lift::{
     build_failing_netlist, generate_suite, generate_suite_parallel, lift_pair, run_suite,
     run_test_case, validate_test_case, AgingPath, Attempt, BudgetRound, ChaosHook, Check,
-    ConstructionOutcome, FaultActivation, FaultValue, FuzzConfig, LiftConfig, LiftReport,
-    ModuleKind, PairClass, PairResult, Provenance, RetryPolicy, TestCase, TestOutcome,
+    ConstructionOutcome, FaultActivation, FaultValue, FuzzConfig, Interrupt, LiftConfig,
+    LiftReport, ModuleKind, PairClass, PairResult, PortfolioSettings, Provenance, RetryPolicy,
+    SolverConfig, TestCase, TestOutcome,
 };
 pub use vega_netlist::{Netlist, StdCellLibrary};
 pub use vega_obs as obs;
@@ -170,6 +171,12 @@ pub struct WorkflowConfig {
     pub threads: usize,
     /// Budget escalation on formal failures during Error Lifting.
     pub retry: RetryPolicy,
+    /// Portfolio racing for budget-exhausted formal attempts (default:
+    /// disabled; see [`PortfolioSettings`]).
+    pub portfolio: PortfolioSettings,
+    /// Override of the per-attempt formal conflict budget (None = the
+    /// module's default `BmcConfig` budget) — what `--lift-budget` sets.
+    pub lift_budget: Option<u64>,
     /// Fall back to simulation-based fuzzing for pairs whose formal
     /// search (including retries) exhausts its budget.
     pub fuzz_fallback: Option<FuzzConfig>,
@@ -193,6 +200,8 @@ impl WorkflowConfig {
             max_paths: 100_000,
             threads: 1,
             retry: RetryPolicy::default(),
+            portfolio: PortfolioSettings::default(),
+            lift_budget: None,
             fuzz_fallback: None,
             obs: Obs::null(),
         }
@@ -212,6 +221,8 @@ impl WorkflowConfig {
             max_paths: 100_000,
             threads: 1,
             retry: RetryPolicy::default(),
+            portfolio: PortfolioSettings::default(),
+            lift_budget: None,
             fuzz_fallback: None,
             obs: Obs::null(),
         }
@@ -393,7 +404,10 @@ pub fn lift_config(config: &WorkflowConfig) -> LiftConfig {
     LiftConfig {
         mitigation: config.mitigation,
         bmc: None,
+        conflict_budget: config.lift_budget,
         retry: config.retry,
+        portfolio: config.portfolio.clone(),
+        interrupt: None,
         fuzz_fallback: config.fuzz_fallback,
         chaos: ChaosHook::default(),
         obs: config.obs.clone(),

@@ -67,6 +67,18 @@ pub struct ServeParams {
     pub seed: u64,
     /// Expected faulty fraction of the fleet.
     pub fault_fraction: f64,
+    /// Override for the per-attempt formal conflict budget (None = the
+    /// module's default [`vega_formal::BmcConfig`]). Changes round
+    /// boundaries and outcomes — part of the config digest.
+    pub lift_budget: Option<u64>,
+    /// Portfolio racers for budget-exhausted Phase-2 attempts (0 or 1 =
+    /// racing disabled). Changes which solver answers each round, the
+    /// recorded winners, and hence pair digests — part of the config
+    /// digest.
+    pub portfolio_racers: usize,
+    /// Conflict threshold before an exhausted attempt escalates to
+    /// racing; part of the config digest for the same reason.
+    pub portfolio_threshold: u64,
     /// Region count for the fleet's sharded epochs (None = one region
     /// per ~1k machines). Region boundaries shape the per-region RNG
     /// streams, so this IS part of the config digest.
@@ -89,7 +101,7 @@ impl ServeParams {
         format!(
             "unit={};years={};pairs={};profile_cycles={};mitigation={};machines={};\
              epochs={};budget={:?};policy={};seed={};fault_fraction={};scheduler={};\
-             regions={:?}",
+             regions={:?};lift_budget={:?};portfolio={};portfolio_threshold={}",
             self.unit,
             self.years,
             self.pairs,
@@ -102,7 +114,10 @@ impl ServeParams {
             self.seed,
             self.fault_fraction,
             self.scheduler,
-            self.regions
+            self.regions,
+            self.lift_budget,
+            self.portfolio_racers,
+            self.portfolio_threshold
         )
     }
 }
@@ -137,6 +152,13 @@ impl VegaService {
                 ModuleKind::PaperAdder,
             ),
         };
+        // The serve params are authoritative for the portfolio and
+        // budget knobs: they are part of the config digest, so behaviour
+        // and digest can never disagree.
+        let mut config = config;
+        config.portfolio.racers = params.portfolio_racers;
+        config.portfolio.threshold = params.portfolio_threshold;
+        config.lift_budget = params.lift_budget;
         let unit = prepare_unit(netlist, module, &config);
         let profile = profile_standalone_obs(
             &unit.netlist,
@@ -259,8 +281,60 @@ impl ServiceState for VegaService {
         Ok(Some(digest))
     }
 
+    fn observe_recovery(&mut self, view: &vega_serve::WalReplay) -> Result<(), String> {
+        // Mine the journaled `round` notes for recorded portfolio-race
+        // results: re-execution of an in-doubt (or artifact-lost) pair
+        // then replays each raced round by running the recorded winner
+        // alone, reproducing the pre-crash run byte-identically instead
+        // of racing again (whose winner is scheduling-dependent).
+        for record in &view.records {
+            let vega_serve::WalRecord::Note(note) = record else {
+                continue;
+            };
+            if note.name != "round" {
+                continue;
+            }
+            let u64_field = |key: &str| {
+                note.fields.iter().find_map(|(k, v)| match v {
+                    vega_serve::WalValue::U64(n) if k == key => Some(*n),
+                    _ => None,
+                })
+            };
+            let str_field = |key: &str| {
+                note.fields.iter().find_map(|(k, v)| match v {
+                    vega_serve::WalValue::Str(s) if k == key => Some(s.clone()),
+                    _ => None,
+                })
+            };
+            if u64_field("raced") != Some(1) {
+                continue;
+            }
+            let (Some(pair), Some(attempt), Some(round)) =
+                (u64_field("pair"), u64_field("attempt"), u64_field("round"))
+            else {
+                continue;
+            };
+            let winner = match str_field("winner_backend") {
+                Some(name) if !name.is_empty() && name != "-" => {
+                    Some((name, u64_field("winner_seed").unwrap_or(0)))
+                }
+                _ => None,
+            };
+            self.config
+                .portfolio
+                .pinned
+                .insert((pair as usize, attempt as usize, round as usize), winner);
+        }
+        Ok(())
+    }
+
     fn apply_pair(&mut self, index: u64) -> Result<(u64, Vec<WalNote>), String> {
-        let lift_config = lift_config(&self.config);
+        let mut lift_config = lift_config(&self.config);
+        // SIGINT/SIGTERM reaches into an in-flight solve: the cover
+        // session (and any portfolio race) aborts cooperatively, the
+        // serve loop journals a clean shutdown, and a restart re-lifts
+        // the interrupted pair from scratch.
+        lift_config.interrupt = Some(crate::Interrupt::watching(vega_serve::shutdown::flag()));
         let result = crate::lift_pair(
             &self.unit.netlist,
             self.unit.module,
@@ -292,15 +366,28 @@ impl ServiceState for VegaService {
         let mut notes = Vec::new();
         for (attempt_index, attempt) in result.attempts.iter().enumerate() {
             for (round_index, round) in attempt.rounds.iter().enumerate() {
+                let mut fields = vec![
+                    ("pair".to_string(), index.into()),
+                    ("attempt".to_string(), (attempt_index as u64).into()),
+                    ("round".to_string(), (round_index as u64).into()),
+                    ("budget".to_string(), round.budget.into()),
+                    ("spent".to_string(), round.spent.into()),
+                    ("raced".to_string(), u64::from(round.raced).into()),
+                ];
+                if round.raced {
+                    // "-" marks a raced-but-inconclusive round; recovery
+                    // replays it as racer 0 solo.
+                    let winner = if round.winner_backend.is_empty() {
+                        "-".to_string()
+                    } else {
+                        round.winner_backend.clone()
+                    };
+                    fields.push(("winner_backend".to_string(), winner.into()));
+                    fields.push(("winner_seed".to_string(), round.winner_seed.into()));
+                }
                 notes.push(WalNote {
                     name: "round".to_string(),
-                    fields: vec![
-                        ("pair".to_string(), index.into()),
-                        ("attempt".to_string(), (attempt_index as u64).into()),
-                        ("round".to_string(), (round_index as u64).into()),
-                        ("budget".to_string(), round.budget.into()),
-                        ("spent".to_string(), round.spent.into()),
-                    ],
+                    fields,
                 });
             }
         }

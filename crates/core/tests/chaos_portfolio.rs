@@ -1,0 +1,246 @@
+//! Crash recovery of a portfolio race: kill the real `vega serve`
+//! binary while it appends (and tears) the completion record of a pair
+//! whose lifting escalated to portfolio racing. The WAL then holds the
+//! raced rounds' `round` notes — including each recorded winning
+//! `(backend, seed)` — but the pair itself is in doubt.
+//!
+//! Recovery must re-execute the pair by replaying every recorded winner
+//! *alone* (`race_round_pinned`) instead of racing again: a fresh race's
+//! winner is scheduling-dependent, so only the pinned replay makes
+//! re-execution deterministic. The test proves that by recovering two
+//! independent copies of the killed state directory and demanding
+//! byte-identical artifacts, and by checking the recovered checkpoint
+//! records exactly the winners the pre-crash WAL journaled.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use vega::serve::{wal_status, WalRecord, WalValue};
+
+const BIN: &str = env!("CARGO_BIN_EXE_vega");
+
+/// A conflict budget small enough that the adder's cover sessions
+/// exhaust their first rounds (escalating to racing), large enough that
+/// doubling retries still resolve every pair.
+const LIFT_BUDGET: u64 = 1;
+const RACERS: usize = 3;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "vega-chaos-portfolio-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn serve_command(dir: &Path) -> Command {
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "serve",
+        "--state-dir",
+        dir.to_str().expect("utf8 dir"),
+        "--unit",
+        "adder",
+        "--pairs",
+        "2",
+        "--profile-cycles",
+        "256",
+        "--machines",
+        "8",
+        "--epochs",
+        "4",
+        "--seed",
+        "5",
+        "--retries",
+        "8",
+        "--lift-budget",
+        &LIFT_BUDGET.to_string(),
+        "--portfolio",
+        &RACERS.to_string(),
+        "--portfolio-threshold",
+        "0",
+    ]);
+    cmd
+}
+
+fn run_clean(dir: &Path) {
+    let out = serve_command(dir).output().expect("spawn vega serve");
+    assert!(
+        out.status.success(),
+        "clean serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).expect("mkdir copy");
+    for entry in std::fs::read_dir(from).expect("read_dir") {
+        let entry = entry.expect("entry");
+        std::fs::copy(entry.path(), to.join(entry.file_name())).expect("copy");
+    }
+}
+
+fn note_u64(fields: &[(String, WalValue)], key: &str) -> Option<u64> {
+    fields.iter().find_map(|(k, v)| match v {
+        WalValue::U64(n) if k == key => Some(*n),
+        _ => None,
+    })
+}
+
+fn note_str(fields: &[(String, WalValue)], key: &str) -> Option<String> {
+    fields.iter().find_map(|(k, v)| match v {
+        WalValue::Str(s) if k == key => Some(s.clone()),
+        _ => None,
+    })
+}
+
+/// `(pair, attempt, round) → (winner_backend, winner_seed)` for every
+/// raced round note in the WAL, plus the WAL seq of each pair's
+/// completion record.
+fn scan_wal(wal: &Path) -> (BTreeMap<(u64, u64, u64), (String, u64)>, BTreeMap<u64, u64>) {
+    let status = wal_status(wal).expect("wal readable");
+    let mut raced = BTreeMap::new();
+    let mut complete_seqs = BTreeMap::new();
+    for (seq, record) in status.records.iter().enumerate() {
+        match record {
+            WalRecord::Note(note) if note.name == "round" => {
+                if note_u64(&note.fields, "raced") != Some(1) {
+                    continue;
+                }
+                let key = (
+                    note_u64(&note.fields, "pair").expect("pair field"),
+                    note_u64(&note.fields, "attempt").expect("attempt field"),
+                    note_u64(&note.fields, "round").expect("round field"),
+                );
+                let winner = note_str(&note.fields, "winner_backend").expect("winner field");
+                let seed = note_u64(&note.fields, "winner_seed").unwrap_or(0);
+                raced.insert(key, (winner, seed));
+            }
+            WalRecord::Complete { op, .. } if op.kind == vega::serve::OpKind::Pair => {
+                complete_seqs.insert(op.index, seq as u64);
+            }
+            _ => {}
+        }
+    }
+    (raced, complete_seqs)
+}
+
+fn read_artifacts(dir: &Path) -> (String, String) {
+    let telemetry = std::fs::read_to_string(dir.join("telemetry.json")).expect("telemetry");
+    let checkpoint = std::fs::read_to_string(dir.join("checkpoint.json")).expect("checkpoint");
+    (telemetry, checkpoint)
+}
+
+#[test]
+fn killed_mid_race_recovers_by_replaying_the_recorded_winners() {
+    // Reference run: learn the WAL layout. The record *layout* is
+    // deterministic even though race winners are not — racers agree on
+    // every outcome, so the attempt/round structure (and hence the
+    // sequence numbers) is schedule-invariant.
+    let reference = fresh_dir("reference");
+    run_clean(&reference);
+    let (ref_raced, ref_completes) = scan_wal(&reference.join("wal.jsonl"));
+    assert!(
+        !ref_raced.is_empty(),
+        "no round escalated to racing — the chaos test is vacuous; shrink LIFT_BUDGET"
+    );
+    // Kill while appending the completion record of the first pair that
+    // raced, tearing the line: its round notes (with recorded winners)
+    // are durable, the completion is not — the pair is left in doubt.
+    let raced_pair = ref_raced.keys().next().expect("raced round").0;
+    let kill_seq = *ref_completes.get(&raced_pair).expect("pair completion");
+
+    let killed = fresh_dir("killed");
+    let out = serve_command(&killed)
+        .args(["--chaos-kill-seq", &kill_seq.to_string(), "--chaos-torn"])
+        .output()
+        .expect("spawn vega serve");
+    assert!(!out.status.success(), "armed kill must abort the process");
+
+    let status = wal_status(&killed.join("wal.jsonl")).expect("killed wal");
+    assert!(status.torn.is_some(), "the kill must tear the final line");
+    let (killed_raced, killed_completes) = scan_wal(&killed.join("wal.jsonl"));
+    let recorded: Vec<(&(u64, u64, u64), &(String, u64))> = killed_raced
+        .iter()
+        .filter(|((pair, _, _), _)| *pair == raced_pair)
+        .collect();
+    assert!(
+        !recorded.is_empty(),
+        "the in-doubt pair's raced round notes must be durable"
+    );
+    assert!(
+        !killed_completes.contains_key(&raced_pair),
+        "the killed pair must not have a durable completion"
+    );
+
+    // Recover two independent copies of the killed state. Each replays
+    // the recorded winners solo, so both must converge byte-identically
+    // — a fresh race could not guarantee that.
+    let recover_a = fresh_dir("recover-a");
+    let recover_b = fresh_dir("recover-b");
+    copy_dir(&killed, &recover_a);
+    copy_dir(&killed, &recover_b);
+    run_clean(&recover_a);
+    run_clean(&recover_b);
+
+    let (telemetry_a, checkpoint_a) = read_artifacts(&recover_a);
+    let (telemetry_b, checkpoint_b) = read_artifacts(&recover_b);
+    assert_eq!(
+        telemetry_a, telemetry_b,
+        "two recoveries of the same killed state diverged (telemetry)"
+    );
+    assert_eq!(
+        checkpoint_a, checkpoint_b,
+        "two recoveries of the same killed state diverged (checkpoint)"
+    );
+
+    // The recovered checkpoint must record exactly the winners the
+    // pre-crash WAL journaled: pinned replay, not a fresh race.
+    let checkpoint =
+        vega::persist::load_checkpoint(recover_a.join("checkpoint.json")).expect("checkpoint");
+    let entry = checkpoint
+        .entries
+        .iter()
+        .find(|e| e.pair_index == raced_pair as usize)
+        .expect("recovered pair entry");
+    for ((pair, attempt, round), (winner, seed)) in &killed_raced {
+        if *pair != raced_pair {
+            continue;
+        }
+        let round_record = &entry.result.attempts[*attempt as usize].rounds[*round as usize];
+        assert!(round_record.raced, "recovered round {round} must be raced");
+        let got = if round_record.winner_backend.is_empty() {
+            "-".to_string()
+        } else {
+            round_record.winner_backend.clone()
+        };
+        assert_eq!(
+            (&got, &round_record.winner_seed),
+            (winner, seed),
+            "recovered winner diverged from the journaled one (attempt {attempt}, round {round})"
+        );
+    }
+
+    // Both recovered WALs settle clean: no in-doubt residue, identical
+    // completed-op digests.
+    for dir in [&recover_a, &recover_b] {
+        let status = wal_status(&dir.join("wal.jsonl")).expect("recovered wal");
+        assert!(status.in_doubt.is_empty(), "in-doubt residue");
+        assert!(status.run_complete);
+        assert!(status.clean_shutdown);
+    }
+    let ops_a = wal_status(&recover_a.join("wal.jsonl"))
+        .expect("a")
+        .completed;
+    let ops_b = wal_status(&recover_b.join("wal.jsonl"))
+        .expect("b")
+        .completed;
+    assert_eq!(ops_a, ops_b, "recovered op digests diverged");
+
+    for dir in [&reference, &killed, &recover_a, &recover_b] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

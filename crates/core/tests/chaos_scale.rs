@@ -33,6 +33,9 @@ fn params(threads: usize) -> ServeParams {
         policy: vega::Policy::Adaptive,
         seed: 9,
         fault_fraction: 0.25,
+        lift_budget: None,
+        portfolio_racers: 0,
+        portfolio_threshold: 0,
         regions: None, // one region per ~1k machines => 10 regions
         scheduler: Scheduler::Hierarchical,
         // NOT in the config digest: the crashed run and its recovery

@@ -26,6 +26,9 @@ fn params(seed: u64) -> ServeParams {
         policy: vega::Policy::Adaptive,
         seed,
         fault_fraction: 0.25,
+        lift_budget: None,
+        portfolio_racers: 0,
+        portfolio_threshold: 0,
         regions: None,
         scheduler: vega::Scheduler::Central,
         threads: 1,

@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use vega_netlist::{Netlist, PortDir};
-use vega_sat::{Lit, SolveResult};
+use vega_sat::{IncrementalSolver, Interrupt, Lit, SolveResult, Solver, SolverConfig};
 
 use crate::encode::{FirePolarity, Unrolling};
 use crate::property::{Assumption, Property};
@@ -153,16 +153,18 @@ enum Phase {
 /// exactly where it stopped, which is what makes escalating-budget
 /// retries cheap — earlier rounds' work is never repeated.
 #[derive(Debug)]
-pub struct CoverSession<'n> {
+pub struct CoverSession<'n, S: IncrementalSolver = Solver> {
     property: Property,
     assumptions: Vec<Assumption>,
     config: BmcConfig,
-    cover: Unrolling<'n>,
+    /// The backend configuration both unrollings' solvers are built from.
+    backend: SolverConfig,
+    cover: Unrolling<'n, S>,
     /// Fire literal per encoded depth (index = depth), created lazily.
     cover_fires: Vec<Option<Lit>>,
     /// The next cover depth to query.
     next_depth: usize,
-    step: Option<Unrolling<'n>>,
+    step: Option<Unrolling<'n, S>>,
     /// Fire literal per induction cycle (index = cycle).
     step_fires: Vec<Lit>,
     /// The next induction depth `k` to attempt.
@@ -172,28 +174,75 @@ pub struct CoverSession<'n> {
     total: CoverStats,
     /// Completed [`CoverSession::run`] calls, for resume accounting.
     runs: u64,
+    /// Installed on both solvers (including a lazily created step
+    /// unrolling's), so a portfolio loser or a SIGINT can cancel any
+    /// query the session issues.
+    interrupt: Option<Interrupt>,
     obs: vega_obs::Obs,
 }
 
-impl<'n> CoverSession<'n> {
-    /// Open a session for one property. No solving happens yet.
+impl<'n> CoverSession<'n, Solver> {
+    /// Open a session for one property on the default CDCL backend. No
+    /// solving happens yet.
     pub fn new(
         netlist: &'n Netlist,
         property: &Property,
         assumptions: &[Assumption],
         config: &BmcConfig,
     ) -> Self {
-        let cover = Unrolling::for_query(
+        CoverSession::with_backend(
+            netlist,
+            property,
+            assumptions,
+            config,
+            &SolverConfig::default(),
+        )
+    }
+
+    /// Rebuild a session at a journaled [`SessionSnapshot`] position on
+    /// the default backend (see [`CoverSession::resume_with_backend`]).
+    pub fn resume_from(
+        netlist: &'n Netlist,
+        property: &Property,
+        assumptions: &[Assumption],
+        config: &BmcConfig,
+        snapshot: &SessionSnapshot,
+    ) -> Self {
+        CoverSession::resume_with_backend(
+            netlist,
+            property,
+            assumptions,
+            config,
+            &SolverConfig::default(),
+            snapshot,
+        )
+    }
+}
+
+impl<'n, S: IncrementalSolver> CoverSession<'n, S> {
+    /// Open a session whose solvers are built from `backend` — the entry
+    /// point the portfolio runner uses to race one query across distinct
+    /// configurations. No solving happens yet.
+    pub fn with_backend(
+        netlist: &'n Netlist,
+        property: &Property,
+        assumptions: &[Assumption],
+        config: &BmcConfig,
+        backend: &SolverConfig,
+    ) -> Self {
+        let cover = Unrolling::for_query_with_backend(
             netlist,
             false,
             property,
             assumptions,
             FirePolarity::Positive,
+            backend,
         );
         CoverSession {
             property: property.clone(),
             assumptions: assumptions.to_vec(),
             config: *config,
+            backend: backend.clone(),
             cover,
             cover_fires: Vec::new(),
             next_depth: property.earliest_cycle,
@@ -204,8 +253,31 @@ impl<'n> CoverSession<'n> {
             finished: None,
             total: CoverStats::default(),
             runs: 0,
+            interrupt: None,
             obs: vega_obs::Obs::null(),
         }
+    }
+
+    /// The name of the backend configuration this session solves with.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name
+    }
+
+    /// The randomization seed of this session's backend configuration.
+    pub fn backend_seed(&self) -> u64 {
+        self.backend.seed
+    }
+
+    /// Install a cooperative cancellation handle on every solver the
+    /// session owns (now or later). A tripped handle makes the current
+    /// [`CoverSession::run`] return [`CoverOutcome::BudgetExhausted`];
+    /// the session stays resumable.
+    pub fn set_interrupt(&mut self, interrupt: Interrupt) {
+        self.cover.solver_mut().set_interrupt(interrupt.clone());
+        if let Some(step) = self.step.as_mut() {
+            step.solver_mut().set_interrupt(interrupt.clone());
+        }
+        self.interrupt = Some(interrupt);
     }
 
     /// Attach an observability handle: each [`CoverSession::run`] call then
@@ -274,7 +346,8 @@ impl<'n> CoverSession<'n> {
         })
     }
 
-    /// Rebuild a session at a journaled [`SessionSnapshot`] position.
+    /// Rebuild a session at a journaled [`SessionSnapshot`] position on
+    /// an explicit backend configuration.
     ///
     /// Every cover depth below `snapshot.next_depth` was proven Unsat
     /// before the snapshot, so `!fire@t` is entailed for each and is
@@ -282,14 +355,23 @@ impl<'n> CoverSession<'n> {
     /// live search, and it restores the depth-pruning the crashed
     /// session had earned. The solver then continues exactly where the
     /// snapshot says, modulo re-deriving learnt clauses.
-    pub fn resume_from(
+    ///
+    /// This is also how each portfolio racer starts: the same snapshot,
+    /// a different `(backend, seed)`. The rebuild itself issues no
+    /// solver queries beyond unit propagation, so a racer's subsequent
+    /// run is exactly the run a solo session of the same backend would
+    /// perform from this snapshot — the property the serve-mode
+    /// winner-replay recovery relies on.
+    pub fn resume_with_backend(
         netlist: &'n Netlist,
         property: &Property,
         assumptions: &[Assumption],
         config: &BmcConfig,
+        backend: &SolverConfig,
         snapshot: &SessionSnapshot,
     ) -> Self {
-        let mut session = CoverSession::new(netlist, property, assumptions, config);
+        let mut session: CoverSession<'n, S> =
+            CoverSession::with_backend(netlist, property, assumptions, config, backend);
         for t in property.earliest_cycle..snapshot.next_depth {
             while session.cover.cycles() <= t {
                 let tq = session.cover.add_cycle();
@@ -419,13 +501,18 @@ impl<'n> CoverSession<'n> {
             }
             let k = self.next_k;
             if self.step.is_none() {
-                self.step = Some(Unrolling::for_query(
+                let mut step: Unrolling<'n, S> = Unrolling::for_query_with_backend(
                     self.cover.netlist(),
                     true,
                     &self.property,
                     &self.assumptions,
                     FirePolarity::Both,
-                ));
+                    &self.backend,
+                );
+                if let Some(interrupt) = &self.interrupt {
+                    step.solver_mut().set_interrupt(interrupt.clone());
+                }
+                self.step = Some(step);
             }
             let step = self.step.as_mut().expect("created above");
             while step.cycles() <= k {
@@ -567,7 +654,7 @@ pub fn check_cover_rebuild_with_stats(
 }
 
 /// Read the witness inputs out of a satisfied unrolling.
-fn extract_trace(unrolling: &Unrolling<'_>, fire_cycle: usize) -> Trace {
+fn extract_trace<S: IncrementalSolver>(unrolling: &Unrolling<'_, S>, fire_cycle: usize) -> Trace {
     let netlist = unrolling.netlist();
     let clock = netlist.clock();
     let mut inputs = Vec::with_capacity(fire_cycle + 1);

@@ -2,7 +2,7 @@
 //! cone-of-influence restriction and polarity-aware (Plaisted–Greenbaum)
 //! clause pruning for query-specific unrollings.
 
-use vega_sat::{Lit, Solver, Var};
+use vega_sat::{IncrementalSolver, Lit, Solver, SolverConfig, Var};
 
 use vega_netlist::{CellId, CellKind, NetDriver, NetId, Netlist, PortDir};
 
@@ -50,10 +50,15 @@ fn flip(p: u8) -> u8 {
 /// encoding to the transitive fanin of a specific property and assumption
 /// set, with per-net polarity tracking so monotone cone gates emit only
 /// the clause direction the query can observe.
+/// The struct is generic over the [`IncrementalSolver`] backend (the
+/// portfolio seam); `S` defaults to the in-tree CDCL [`Solver`], and the
+/// plain [`Unrolling::new`] / [`Unrolling::for_query`] constructors pin
+/// that default so existing call sites stay unchanged. Use
+/// [`Unrolling::for_query_with_backend`] to pick a configured backend.
 #[derive(Debug)]
-pub struct Unrolling<'n> {
+pub struct Unrolling<'n, S: IncrementalSolver = Solver> {
     netlist: &'n Netlist,
-    solver: Solver,
+    solver: S,
     cycle_vars: Vec<Vec<Option<Var>>>,
     /// Per-DFF: the clock-gate enable nets along its clock path.
     dff_enables: Vec<(CellId, Vec<NetId>)>,
@@ -71,7 +76,7 @@ pub struct Unrolling<'n> {
     prefer_input_branching: bool,
 }
 
-impl<'n> Unrolling<'n> {
+impl<'n> Unrolling<'n, Solver> {
     /// Start an unrolling with zero cycles, encoding the whole netlist.
     ///
     /// With `free_initial_state` false, flip-flops start at the reset
@@ -84,14 +89,7 @@ impl<'n> Unrolling<'n> {
     }
 
     /// Start an unrolling restricted to the cone of influence of
-    /// `property` and `assumptions`.
-    ///
-    /// Only nets in the transitive fanin of the property terms and
-    /// assumption nets get variables and clauses; monotone gates whose
-    /// output the query observes in one polarity only (per
-    /// `fire_polarity`) emit just that Tseitin direction. The contract:
-    /// for fire literals used as `fire_polarity` permits, satisfiability
-    /// and extracted witnesses are identical to the full encoding.
+    /// `property` and `assumptions`, on the default backend.
     pub fn for_query(
         netlist: &'n Netlist,
         free_initial_state: bool,
@@ -99,18 +97,14 @@ impl<'n> Unrolling<'n> {
         assumptions: &[Assumption],
         fire_polarity: FirePolarity,
     ) -> Self {
-        let dff_enables = Self::collect_dff_enables(netlist);
-        let pol = cone_polarities(netlist, &dff_enables, property, assumptions, fire_polarity);
-        Unrolling {
+        Self::for_query_with_backend(
             netlist,
-            solver: Solver::new(),
-            cycle_vars: Vec::new(),
-            dff_enables,
             free_initial_state,
-            pol,
+            property,
+            assumptions,
             fire_polarity,
-            prefer_input_branching: true,
-        }
+            &SolverConfig::default(),
+        )
     }
 
     fn with_polarities(netlist: &'n Netlist, free_initial_state: bool, pol: Vec<u8>) -> Self {
@@ -118,28 +112,46 @@ impl<'n> Unrolling<'n> {
             netlist,
             solver: Solver::new(),
             cycle_vars: Vec::new(),
-            dff_enables: Self::collect_dff_enables(netlist),
+            dff_enables: collect_dff_enables(netlist),
             free_initial_state,
             pol,
             fire_polarity: FirePolarity::Both,
             prefer_input_branching: false,
         }
     }
+}
 
-    fn collect_dff_enables(netlist: &Netlist) -> Vec<(CellId, Vec<NetId>)> {
-        netlist
-            .dffs()
-            .map(|dff| {
-                let path = vega_netlist::graph::clock_path(netlist, dff.id)
-                    .expect("sequential netlist has a clock");
-                let enables = path
-                    .iter()
-                    .filter(|&&c| netlist.cell(c).kind == CellKind::ClockGate)
-                    .map(|&c| netlist.cell(c).inputs[1])
-                    .collect();
-                (dff.id, enables)
-            })
-            .collect()
+impl<'n, S: IncrementalSolver> Unrolling<'n, S> {
+    /// Start an unrolling restricted to the cone of influence of
+    /// `property` and `assumptions`, on a configured backend.
+    ///
+    /// Only nets in the transitive fanin of the property terms and
+    /// assumption nets get variables and clauses; monotone gates whose
+    /// output the query observes in one polarity only (per
+    /// `fire_polarity`) emit just that Tseitin direction. The contract:
+    /// for fire literals used as `fire_polarity` permits, satisfiability
+    /// and extracted witnesses are identical to the full encoding — for
+    /// *any* backend, which is what portfolio racing relies on.
+    pub fn for_query_with_backend(
+        netlist: &'n Netlist,
+        free_initial_state: bool,
+        property: &Property,
+        assumptions: &[Assumption],
+        fire_polarity: FirePolarity,
+        config: &SolverConfig,
+    ) -> Self {
+        let dff_enables = collect_dff_enables(netlist);
+        let pol = cone_polarities(netlist, &dff_enables, property, assumptions, fire_polarity);
+        Unrolling {
+            netlist,
+            solver: S::from_config(config),
+            cycle_vars: Vec::new(),
+            dff_enables,
+            free_initial_state,
+            pol,
+            fire_polarity,
+            prefer_input_branching: true,
+        }
     }
 
     /// The number of encoded cycles.
@@ -177,12 +189,12 @@ impl<'n> Unrolling<'n> {
     }
 
     /// Access the underlying solver (to solve, set budgets, read models).
-    pub fn solver_mut(&mut self) -> &mut Solver {
+    pub fn solver_mut(&mut self) -> &mut S {
         &mut self.solver
     }
 
     /// Read-only access to the underlying solver.
-    pub fn solver(&self) -> &Solver {
+    pub fn solver(&self) -> &S {
         &self.solver
     }
 
@@ -340,7 +352,7 @@ impl<'n> Unrolling<'n> {
         let cell = self.netlist.cell(cell);
         let y_var = self.var(cell.output, t);
         let y = Lit::pos(y_var);
-        let input = |u: &Unrolling<'_>, i: usize| Lit::pos(u.var(cell.inputs[i], t));
+        let input = |u: &Unrolling<'_, S>, i: usize| Lit::pos(u.var(cell.inputs[i], t));
         match cell.kind {
             CellKind::Buf | CellKind::Delay => {
                 let a = input(self, 0);
@@ -488,7 +500,7 @@ impl<'n> Unrolling<'n> {
     /// simulator's reset default).
     pub fn model_value(&self, net: NetId, cycle: usize) -> bool {
         self.var_opt(net, cycle)
-            .and_then(|v| self.solver.value(v))
+            .and_then(|v| self.solver.model_value(v))
             .unwrap_or(false)
     }
 
@@ -509,6 +521,23 @@ impl<'n> Unrolling<'n> {
             NetDriver::Input => false,
         }
     }
+}
+
+/// Per-DFF: the clock-gate enable nets along its clock path.
+fn collect_dff_enables(netlist: &Netlist) -> Vec<(CellId, Vec<NetId>)> {
+    netlist
+        .dffs()
+        .map(|dff| {
+            let path = vega_netlist::graph::clock_path(netlist, dff.id)
+                .expect("sequential netlist has a clock");
+            let enables = path
+                .iter()
+                .filter(|&&c| netlist.cell(c).kind == CellKind::ClockGate)
+                .map(|&c| netlist.cell(c).inputs[1])
+                .collect();
+            (dff.id, enables)
+        })
+        .collect()
 }
 
 /// Compute per-net usage polarities for the cone of influence of

@@ -50,6 +50,7 @@
 
 mod bmc;
 mod encode;
+mod portfolio;
 mod property;
 mod trace;
 
@@ -58,5 +59,6 @@ pub use bmc::{
     CoverSession, CoverStats, SessionSnapshot,
 };
 pub use encode::{FirePolarity, Unrolling};
+pub use portfolio::{race_round, race_round_pinned, RaceResult, RacerReport};
 pub use property::{Assumption, Property};
 pub use trace::Trace;

@@ -1,0 +1,438 @@
+//! Portfolio racing: one cover query, several solver backends, first
+//! definitive answer wins.
+//!
+//! A race takes the *logical position* of a stuck query (a
+//! [`SessionSnapshot`]) and resumes it on N scoped threads, each with a
+//! distinct [`SolverConfig`] `(backend, seed)`. All racers share a
+//! private stop flag (an [`Interrupt::child`] of the caller's handle, so
+//! an outer SIGINT still cancels the whole race): the first racer to
+//! reach a definitive outcome — a witness trace, an unreachability
+//! proof, or bounded exhaustion — trips it, and the losers abandon their
+//! searches at the next propagation-loop poll.
+//!
+//! # Determinism by construction
+//!
+//! *Which* racer wins a wall-clock race is scheduling-dependent, but
+//! every quantity the rest of the pipeline consumes is not:
+//!
+//! * **Answers are backend-invariant.** Sound solvers cannot disagree on
+//!   Sat/Unsat, so all definitive racers report the same outcome kind;
+//!   the race asserts this. Witness *traces* may differ between
+//!   backends — each is independently valid, which is why traces are
+//!   validated by replay downstream, never compared byte-for-byte.
+//! * **A definitive racer's run is its solo run.** The interrupt poll
+//!   never mutates solver state, so a racer that finished without
+//!   observing a trip behaved byte-identically to the same `(backend,
+//!   seed)` resumed from the same snapshot with the same budget and no
+//!   race at all. Re-running the recorded winner alone therefore
+//!   reproduces the winning round exactly — the property serve-mode
+//!   crash recovery relies on ([`race_round_pinned`]).
+//! * **Inconclusive rounds are deterministic for every racer.** The stop
+//!   flag is only tripped by a definitive outcome, so if no racer
+//!   answers, each ran its full conflict budget undisturbed. The race
+//!   then continues from racer 0 (always the caller's first
+//!   configuration), making the no-winner path as replayable as the
+//!   winner path.
+
+use vega_netlist::Netlist;
+use vega_sat::{Interrupt, SolverConfig};
+
+use crate::bmc::{BmcConfig, CoverOutcome, CoverSession, CoverStats, SessionSnapshot};
+use crate::property::{Assumption, Property};
+
+/// What one racer did during a [`race_round`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RacerReport {
+    /// The racer's backend configuration name.
+    pub backend: &'static str,
+    /// The racer's randomization seed.
+    pub seed: u64,
+    /// The racer's outcome for the round ([`CoverOutcome::BudgetExhausted`]
+    /// if it was cancelled or genuinely exhausted its budget).
+    pub outcome: CoverOutcome,
+    /// Solver work the racer performed before answering or being
+    /// cancelled. Only the continuation racer's numbers are
+    /// deterministic; losers' depend on when the trip landed.
+    pub stats: CoverStats,
+}
+
+impl RacerReport {
+    /// Whether this racer reached a definitive (non-budget) outcome.
+    pub fn definitive(&self) -> bool {
+        !matches!(self.outcome, CoverOutcome::BudgetExhausted)
+    }
+}
+
+/// The result of one raced budget round.
+#[derive(Debug)]
+pub struct RaceResult<'n> {
+    /// The round's outcome: the winner's definitive answer, or
+    /// [`CoverOutcome::BudgetExhausted`] if every racer ran dry.
+    pub outcome: CoverOutcome,
+    /// The continuation racer's solver work for this round — the
+    /// deterministic spend the caller should account against its budget
+    /// escalation, identical to what a pinned replay reports.
+    pub stats: CoverStats,
+    /// The `(backend_name, seed)` of the winning racer, or `None` for an
+    /// inconclusive round. This is what gets journaled so recovery can
+    /// re-run the winner alone.
+    pub winner: Option<(&'static str, u64)>,
+    /// The session to continue the search from: the winner's (finished)
+    /// session, or racer 0's for an inconclusive round.
+    pub session: CoverSession<'n>,
+    /// Every racer's report, in roster order — for observability, not
+    /// for control flow.
+    pub reports: Vec<RacerReport>,
+}
+
+/// Race one budget round across `racers` backend configurations, all
+/// resumed from `snapshot`.
+///
+/// Requires at least one racer; with exactly one this degenerates to a
+/// solo round (which is precisely what [`race_round_pinned`] exploits).
+/// Racer 0 is the continuation backend for inconclusive rounds, so
+/// callers should put their default configuration first.
+///
+/// `cancel`, when given, cancels the entire race from outside (e.g. the
+/// serve-mode SIGINT handle); the race's internal winner-cancellation
+/// never trips it.
+#[allow(clippy::too_many_arguments)]
+pub fn race_round<'n>(
+    netlist: &'n Netlist,
+    property: &Property,
+    assumptions: &[Assumption],
+    config: &BmcConfig,
+    snapshot: &SessionSnapshot,
+    budget: u64,
+    racers: &[SolverConfig],
+    cancel: Option<&Interrupt>,
+) -> RaceResult<'n> {
+    assert!(!racers.is_empty(), "a race needs at least one racer");
+    let stop = match cancel {
+        Some(outer) => outer.child(),
+        None => Interrupt::new(),
+    };
+    // usize::MAX = no winner yet; first definitive racer CASes its index.
+    let winner_slot = std::sync::atomic::AtomicUsize::new(usize::MAX);
+
+    let mut runs: Vec<Option<(CoverSession<'n>, CoverOutcome, CoverStats)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = racers
+                .iter()
+                .enumerate()
+                .map(|(me, backend)| {
+                    let stop = stop.clone();
+                    let winner_slot = &winner_slot;
+                    scope.spawn(move || {
+                        let mut session = CoverSession::resume_with_backend(
+                            netlist,
+                            property,
+                            assumptions,
+                            config,
+                            backend,
+                            snapshot,
+                        );
+                        session.set_interrupt(stop.clone());
+                        let (outcome, stats) = session.run(budget);
+                        if !matches!(outcome, CoverOutcome::BudgetExhausted) {
+                            // First definitive answer wins; everyone else
+                            // gets cancelled at their next poll.
+                            if winner_slot
+                                .compare_exchange(
+                                    usize::MAX,
+                                    me,
+                                    std::sync::atomic::Ordering::AcqRel,
+                                    std::sync::atomic::Ordering::Acquire,
+                                )
+                                .is_ok()
+                            {
+                                stop.trip();
+                            }
+                        }
+                        (session, outcome, stats)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().ok()).collect()
+        });
+
+    let reports: Vec<RacerReport> = runs
+        .iter()
+        .map(|run| {
+            let (session, outcome, stats) = run.as_ref().expect("racer thread panicked");
+            RacerReport {
+                backend: session.backend_name(),
+                seed: session.backend_seed(),
+                outcome: outcome.clone(),
+                stats: *stats,
+            }
+        })
+        .collect();
+
+    let winner_index = match winner_slot.load(std::sync::atomic::Ordering::Acquire) {
+        usize::MAX => None,
+        i => Some(i),
+    };
+
+    // Soundness cross-check: definitive racers must agree on the outcome
+    // kind. (Traces may differ in content — each is validated by replay
+    // downstream — but Sat/Unsat/bounded verdicts are backend-invariant.)
+    let kinds: Vec<&str> = reports
+        .iter()
+        .filter(|r| r.definitive())
+        .map(|r| outcome_kind(&r.outcome))
+        .collect();
+    assert!(
+        kinds.windows(2).all(|w| w[0] == w[1]),
+        "portfolio backends disagree on a definitive outcome: {kinds:?}"
+    );
+
+    let continue_from = winner_index.unwrap_or(0);
+    let (session, outcome, stats) = runs
+        .get_mut(continue_from)
+        .and_then(Option::take)
+        .expect("continuation racer exists");
+    RaceResult {
+        winner: winner_index.map(|_| (session.backend_name(), session.backend_seed())),
+        outcome,
+        stats,
+        session,
+        reports,
+    }
+}
+
+/// Replay a journaled raced round deterministically: run the recorded
+/// winner (or, for an inconclusive round, the roster's racer 0) *alone*
+/// from the same snapshot with the same budget.
+///
+/// Because a definitive racer's race run is byte-identical to its solo
+/// run (see the module docs), this reproduces the original round's
+/// outcome, stats, and continuation state exactly — without spawning a
+/// single extra thread.
+#[allow(clippy::too_many_arguments)]
+pub fn race_round_pinned<'n>(
+    netlist: &'n Netlist,
+    property: &Property,
+    assumptions: &[Assumption],
+    config: &BmcConfig,
+    snapshot: &SessionSnapshot,
+    budget: u64,
+    pinned: &SolverConfig,
+    was_winner: bool,
+    cancel: Option<&Interrupt>,
+) -> RaceResult<'n> {
+    let mut result = race_round(
+        netlist,
+        property,
+        assumptions,
+        config,
+        snapshot,
+        budget,
+        std::slice::from_ref(pinned),
+        cancel,
+    );
+    if !was_winner {
+        // The original round was inconclusive: the replayed racer 0
+        // must run dry too, and the round stays winner-less.
+        result.winner = None;
+    }
+    result
+}
+
+fn outcome_kind(outcome: &CoverOutcome) -> &'static str {
+    match outcome {
+        CoverOutcome::Trace(_) => "trace",
+        CoverOutcome::ProvedUnreachable { .. } => "unreachable",
+        CoverOutcome::BoundedOnly { .. } => "bounded",
+        CoverOutcome::BudgetExhausted => "exhausted",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_netlist::{CellKind, NetlistBuilder};
+
+    /// The paper's 2-bit pipelined adder.
+    fn paper_adder() -> Netlist {
+        let mut b = NetlistBuilder::new("adder");
+        let clk = b.clock("clk");
+        let a = b.input("a", 2);
+        let bb = b.input("b", 2);
+        let aq0 = b.dff("dff1", a[0], clk);
+        let aq1 = b.dff("dff2", a[1], clk);
+        let bq0 = b.dff("dff3", bb[0], clk);
+        let bq1 = b.dff("dff4", bb[1], clk);
+        let s0 = b.cell(CellKind::Xor2, "xor5", &[aq0, bq0]);
+        let c0 = b.cell(CellKind::And2, "and6", &[aq0, bq0]);
+        let x7 = b.cell(CellKind::Xor2, "xor7", &[aq1, bq1]);
+        let s1 = b.cell(CellKind::Xor2, "xor8", &[x7, c0]);
+        let o0 = b.dff("dff9", s0, clk);
+        let o1 = b.dff("dff10", s1, clk);
+        b.output("o", &[o0, o1]);
+        b.finish().unwrap()
+    }
+
+    fn fresh_snapshot(property: &Property) -> SessionSnapshot {
+        SessionSnapshot {
+            next_depth: property.earliest_cycle,
+            next_k: 1,
+            in_induction: false,
+        }
+    }
+
+    #[test]
+    fn race_finds_the_same_answer_as_solo() {
+        let n = paper_adder();
+        let o = n.port("o").unwrap().bits.clone();
+        let property = Property::net_equals(o[0], true);
+        let config = BmcConfig::default();
+        let (solo, _) = crate::check_cover_with_stats(&n, &property, &[], &config);
+
+        let racers = SolverConfig::portfolio(3);
+        let result = race_round(
+            &n,
+            &property,
+            &[],
+            &config,
+            &fresh_snapshot(&property),
+            config.conflict_budget,
+            &racers,
+            None,
+        );
+        let winner = result.winner.expect("ample budget must produce a winner");
+        assert!(SolverConfig::by_name(winner.0).is_some());
+        match (&result.outcome, &solo) {
+            (CoverOutcome::Trace(_), CoverOutcome::Trace(_)) => {}
+            (a, b) => assert_eq!(a, b),
+        }
+        assert_eq!(result.reports.len(), 3);
+    }
+
+    #[test]
+    fn pinned_replay_reproduces_winner_run_exactly() {
+        let n = paper_adder();
+        let o = n.port("o").unwrap().bits.clone();
+        let property = Property::net_equals(o[0], true);
+        // Unreachable under even-only inputs: drives a full proof search.
+        let assumptions = vec![
+            Assumption::PortIn {
+                port: "a".into(),
+                allowed: vec![0, 2],
+            },
+            Assumption::PortIn {
+                port: "b".into(),
+                allowed: vec![0, 2],
+            },
+        ];
+        let config = BmcConfig::default();
+        let snapshot = fresh_snapshot(&property);
+        let racers = SolverConfig::portfolio(3);
+        let result = race_round(
+            &n,
+            &property,
+            &assumptions,
+            &config,
+            &snapshot,
+            config.conflict_budget,
+            &racers,
+            None,
+        );
+        let (name, seed) = result.winner.expect("winner");
+        let pinned_config = SolverConfig::by_name(name).unwrap().with_seed(seed);
+
+        let replay = race_round_pinned(
+            &n,
+            &property,
+            &assumptions,
+            &config,
+            &snapshot,
+            config.conflict_budget,
+            &pinned_config,
+            true,
+            None,
+        );
+        assert_eq!(replay.outcome, result.outcome);
+        assert_eq!(replay.stats, result.stats, "winner stats must replay");
+        assert_eq!(replay.winner, result.winner);
+    }
+
+    #[test]
+    fn inconclusive_round_continues_from_racer_zero_deterministically() {
+        let n = paper_adder();
+        let o = n.port("o").unwrap().bits.clone();
+        let property = Property::net_equals(o[0], true);
+        let assumptions = vec![
+            Assumption::PortIn {
+                port: "a".into(),
+                allowed: vec![0, 2],
+            },
+            Assumption::PortIn {
+                port: "b".into(),
+                allowed: vec![0, 2],
+            },
+        ];
+        let config = BmcConfig::default();
+        let snapshot = fresh_snapshot(&property);
+        let racers = SolverConfig::portfolio(3);
+        // Budget too small for anyone to answer.
+        let result = race_round(
+            &n,
+            &property,
+            &assumptions,
+            &config,
+            &snapshot,
+            2,
+            &racers,
+            None,
+        );
+        assert_eq!(result.outcome, CoverOutcome::BudgetExhausted);
+        assert!(result.winner.is_none());
+        assert_eq!(result.session.backend_name(), racers[0].name);
+
+        // The inconclusive continuation replays exactly as racer 0 solo.
+        let replay = race_round_pinned(
+            &n,
+            &property,
+            &assumptions,
+            &config,
+            &snapshot,
+            2,
+            &racers[0],
+            false,
+            None,
+        );
+        assert_eq!(replay.outcome, CoverOutcome::BudgetExhausted);
+        assert!(replay.winner.is_none());
+        assert_eq!(replay.stats, result.stats);
+    }
+
+    #[test]
+    fn external_cancel_aborts_the_race_without_a_winner() {
+        let n = paper_adder();
+        let o = n.port("o").unwrap().bits.clone();
+        let property = Property::net_equals(o[0], true);
+        let config = BmcConfig::default();
+        let cancel = Interrupt::new();
+        cancel.trip();
+        let racers = SolverConfig::portfolio(2);
+        let result = race_round(
+            &n,
+            &property,
+            &[],
+            &config,
+            &fresh_snapshot(&property),
+            config.conflict_budget,
+            &racers,
+            Some(&cancel),
+        );
+        // A pre-tripped cancel may still lose the race to a solve that
+        // finishes before its first poll on this tiny netlist; what must
+        // hold is that the race returns and the cancel handle itself was
+        // never tripped *by* the race.
+        assert!(cancel.is_tripped());
+        if result.winner.is_none() {
+            assert_eq!(result.outcome, CoverOutcome::BudgetExhausted);
+        }
+    }
+}

@@ -5,10 +5,11 @@
 //! corpus is stable and the failures name their seed.
 
 use vega_formal::{
-    check_cover_rebuild_with_stats, check_cover_with_stats, BmcConfig, CoverOutcome, CoverSession,
-    Property,
+    check_cover_rebuild_with_stats, check_cover_with_stats, Assumption, BmcConfig, CoverOutcome,
+    CoverSession, Property,
 };
 use vega_netlist::{CellKind, NetId, Netlist, NetlistBuilder};
+use vega_sat::SolverConfig;
 use vega_sim::Simulator;
 
 fn xorshift(state: &mut u64) -> u64 {
@@ -202,4 +203,166 @@ fn snapshot_resume_reaches_the_uninterrupted_outcome() {
     }
     // The tiny budget must actually interrupt (else this tests nothing).
     assert!(interrupted >= 10, "only {interrupted} interruptions");
+}
+
+/// One cover query of the cross-backend grid: a real unit, a property
+/// over its outputs, and a simulator-side check of what "fire" means.
+struct GridSample {
+    name: &'static str,
+    netlist: Netlist,
+    property: Property,
+    assumptions: Vec<Assumption>,
+    /// Evaluates the fire condition on a settled simulator cycle.
+    fired: fn(&mut Simulator) -> bool,
+}
+
+fn grid_samples() -> Vec<GridSample> {
+    let alu = vega_circuits::alu::build_alu();
+    let fpu = vega_circuits::fpu::build_fpu();
+    let alu_r = alu.port("r").unwrap().bits.clone();
+    let fpu_valid_out = fpu.port("out_valid").unwrap().bits[0];
+    let fpu_valid_in = fpu.port("valid").unwrap().bits[0];
+    let fpu_tag = fpu.port("tag_out").unwrap().bits.clone();
+    vec![
+        GridSample {
+            name: "alu-low-bits-differ",
+            property: Property::any_differ(vec![(alu_r[0], alu_r[1])]),
+            assumptions: vec![],
+            fired: |sim| {
+                let r = sim.output("r");
+                (r & 1) != ((r >> 1) & 1)
+            },
+            netlist: vega_circuits::alu::build_alu(),
+        },
+        GridSample {
+            name: "alu-sign-bit-covered",
+            property: Property::net_equals(alu_r[31], true),
+            assumptions: vec![],
+            fired: |sim| (sim.output("r") >> 31) & 1 == 1,
+            netlist: vega_circuits::alu::build_alu(),
+        },
+        GridSample {
+            name: "alu-zero-operands-prove-zero",
+            property: Property::net_equals(alu_r[5], true),
+            assumptions: vec![
+                Assumption::PortIn {
+                    port: "a".into(),
+                    allowed: vec![0],
+                },
+                Assumption::PortIn {
+                    port: "b".into(),
+                    allowed: vec![0],
+                },
+                Assumption::PortIn {
+                    port: "op".into(),
+                    allowed: vec![vega_circuits::golden::AluOp::Add.encoding()],
+                },
+            ],
+            fired: |sim| (sim.output("r") >> 5) & 1 == 1,
+            netlist: vega_circuits::alu::build_alu(),
+        },
+        GridSample {
+            name: "fpu-handshake-covered",
+            property: Property::net_equals(fpu_valid_out, true),
+            assumptions: vec![],
+            fired: |sim| sim.output("out_valid") == 1,
+            netlist: vega_circuits::fpu::build_fpu(),
+        },
+        GridSample {
+            name: "fpu-tag-bits-differ",
+            property: Property::any_differ(vec![(fpu_tag[0], fpu_tag[1])]),
+            assumptions: vec![],
+            fired: |sim| {
+                let t = sim.output("tag_out");
+                (t & 1) != ((t >> 1) & 1)
+            },
+            netlist: vega_circuits::fpu::build_fpu(),
+        },
+        GridSample {
+            name: "fpu-idle-proves-no-handshake",
+            property: Property::net_equals(fpu_valid_out, true),
+            assumptions: vec![Assumption::NetAlways(fpu_valid_in, false)],
+            fired: |sim| sim.output("out_valid") == 1,
+            netlist: vega_circuits::fpu::build_fpu(),
+        },
+    ]
+}
+
+/// Replay a trace against `sample.fired` and report whether the fire
+/// condition holds at the trace's fire cycle.
+fn trace_fires(sample: &GridSample, trace: &vega_formal::Trace) -> bool {
+    let mut sim = Simulator::new(&sample.netlist);
+    let mut fired = false;
+    for (t, cycle) in trace.inputs.iter().enumerate() {
+        for (port, value) in cycle {
+            sim.set_input(port, *value);
+        }
+        sim.settle_inputs();
+        if t == trace.fire_cycle {
+            fired = (sample.fired)(&mut sim);
+        }
+        sim.step();
+    }
+    fired
+}
+
+/// The portfolio's soundness contract, exhaustively: every roster
+/// backend must reach the same Sat/Unsat verdict as `cdcl-default` on
+/// every (ALU, FPU) sample query, and every witness trace — whichever
+/// backend produced it — must replay in the simulator. Witness *content*
+/// is allowed to differ between backends; validity is not.
+#[test]
+fn all_backends_agree_on_alu_and_fpu_sample_pairs() {
+    let config = BmcConfig {
+        max_cycles: 4,
+        max_induction: 3,
+        conflict_budget: 2_000_000,
+    };
+    let mut traces = 0;
+    let mut proofs = 0;
+    for sample in grid_samples() {
+        let mut reference: Option<CoverOutcome> = None;
+        for name in SolverConfig::BACKEND_NAMES {
+            let backend = SolverConfig::by_name(name).unwrap().with_seed(11);
+            let mut session: CoverSession<'_> = CoverSession::with_backend(
+                &sample.netlist,
+                &sample.property,
+                &sample.assumptions,
+                &config,
+                &backend,
+            );
+            let (outcome, _) = session.run(config.conflict_budget);
+            if let CoverOutcome::Trace(trace) = &outcome {
+                assert!(
+                    trace_fires(&sample, trace),
+                    "{}: {name} witness does not replay: {trace}",
+                    sample.name
+                );
+                traces += 1;
+            }
+            match &reference {
+                None => reference = Some(outcome),
+                Some(want) => match (want, &outcome) {
+                    (CoverOutcome::Trace(a), CoverOutcome::Trace(b)) => {
+                        assert_eq!(
+                            a.fire_cycle, b.fire_cycle,
+                            "{}: {name} minimal fire cycle differs",
+                            sample.name
+                        );
+                    }
+                    _ => assert_eq!(
+                        want, &outcome,
+                        "{}: {name} disagrees with the default backend",
+                        sample.name
+                    ),
+                },
+            }
+        }
+        if matches!(reference, Some(CoverOutcome::ProvedUnreachable { .. })) {
+            proofs += 1;
+        }
+    }
+    // The grid must exercise both verdict shapes on both units.
+    assert!(traces >= 2 * SolverConfig::BACKEND_NAMES.len(), "{traces}");
+    assert!(proofs >= 2, "only {proofs} proof samples");
 }

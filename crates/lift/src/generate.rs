@@ -10,12 +10,14 @@
 //! rather than nothing. A deterministic fault-injection hook
 //! ([`ChaosHook`]) exercises all of these paths in tests.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use serde::{Deserialize, Serialize};
 
-use vega_formal::{BmcConfig, CoverOutcome, CoverSession, Property};
+use vega_formal::{race_round, race_round_pinned, BmcConfig, CoverOutcome, CoverSession, Property};
 use vega_netlist::Netlist;
+use vega_sat::{Interrupt, SolverConfig};
 
 use crate::construct::construct_test_case;
 use crate::fuzz::{fuzz_test_case, FuzzConfig};
@@ -65,6 +67,51 @@ impl RetryPolicy {
     }
 }
 
+/// Portfolio-racing settings for Phase-2 BMC: when an attempt's first
+/// budget rounds exhaust with at least `threshold` conflicts of real
+/// work, subsequent rounds race `racers` solver backends from the
+/// session's logical snapshot and take the first definitive answer.
+///
+/// `pinned` is the crash-recovery override: raced rounds journaled by a
+/// previous (crashed) run are replayed by running the recorded winner
+/// alone — deterministically reproducing the round instead of racing
+/// again (see `vega_formal::race_round_pinned`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PortfolioSettings {
+    /// Number of racing backends (0 or 1 = portfolio disabled).
+    pub racers: usize,
+    /// Minimum conflicts an exhausted round must have spent before the
+    /// attempt escalates to racing (filters out trivially tiny rounds).
+    pub threshold: u64,
+    /// Offset added to every racer's seed, so fleets can decorrelate
+    /// their portfolios without changing the roster.
+    pub seed_base: u64,
+    /// `(pair_index, attempt_index, round)` → recorded race result:
+    /// `Some((backend_name, seed))` for a definitive winner, `None` for
+    /// a raced-but-inconclusive round (replayed as racer 0 solo).
+    pub pinned: BTreeMap<(usize, usize, usize), Option<(String, u64)>>,
+}
+
+impl PortfolioSettings {
+    /// Whether racing is enabled (needs at least two racers).
+    pub fn enabled(&self) -> bool {
+        self.racers >= 2
+    }
+
+    /// The racer roster: `racers` distinct `(backend, seed)` configs,
+    /// racer 0 always the default backend (the inconclusive-round
+    /// continuation and the solo baseline).
+    pub fn roster(&self) -> Vec<SolverConfig> {
+        SolverConfig::portfolio(self.racers.max(1))
+            .into_iter()
+            .map(|c| {
+                let seed = c.seed.wrapping_add(self.seed_base);
+                c.with_seed(seed)
+            })
+            .collect()
+    }
+}
+
 /// Deterministic fault injection for resilience testing: make the pair
 /// with a given run-global index panic mid-lift, or force all of its
 /// formal queries to report budget exhaustion. Production runs leave
@@ -95,6 +142,10 @@ pub struct LiftConfig {
     /// Override the module's default BMC limits (None = per-module
     /// defaults, whose budgets reproduce the paper's timeout rates).
     pub bmc: Option<BmcConfig>,
+    /// Scalar override of just the per-attempt conflict budget, applied
+    /// on top of `bmc` (or the module default) — what `--lift-budget`
+    /// sets (None = keep the structural config's budget).
+    pub conflict_budget: Option<u64>,
     /// Budget escalation on formal failures (default: no retries).
     pub retry: RetryPolicy,
     /// When the formal search (including retries) exhausts its budget,
@@ -104,6 +155,12 @@ pub struct LiftConfig {
     pub fuzz_fallback: Option<FuzzConfig>,
     /// Deterministic fault injection (tests only).
     pub chaos: ChaosHook,
+    /// Portfolio racing for budget-exhausted attempts (default: off).
+    pub portfolio: PortfolioSettings,
+    /// Cooperative cancellation installed on every formal session this
+    /// run creates — how serve-mode SIGINT reaches an in-flight solve
+    /// (default: none).
+    pub interrupt: Option<Interrupt>,
     /// Observability sink for `phase2.*` spans, counters, and events
     /// (default: null, i.e. recording disabled at zero cost).
     pub obs: vega_obs::Obs,
@@ -143,7 +200,7 @@ pub enum ConstructionOutcome {
 /// retry after a budget exhaustion. Recording these makes the cost of a
 /// Table 4 "FF" verdict — and the escalation that recovered from it —
 /// observable in the lift report.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BudgetRound {
     /// The conflict budget this round was allowed (cumulative across the
     /// attempt: escalation grows the total, and the incremental session
@@ -162,6 +219,32 @@ pub struct BudgetRound {
     /// records from older versions).
     #[serde(default)]
     pub encoded_clauses: u64,
+    /// Whether this round was a portfolio race (false in records from
+    /// pre-portfolio versions and for all solo rounds).
+    #[serde(default)]
+    pub raced: bool,
+    /// The winning backend's name for a raced round with a definitive
+    /// answer; empty for solo rounds and inconclusive races.
+    #[serde(default)]
+    pub winner_backend: String,
+    /// The winning backend's seed (0 unless `winner_backend` is set).
+    #[serde(default)]
+    pub winner_seed: u64,
+}
+
+impl BudgetRound {
+    /// The recorded race result in the shape [`PortfolioSettings::pinned`]
+    /// consumes: `None` for solo rounds, `Some(None)` for a raced round
+    /// without a winner, `Some(Some((backend, seed)))` for a won round.
+    pub fn race_record(&self) -> Option<Option<(String, u64)>> {
+        if !self.raced {
+            None
+        } else if self.winner_backend.is_empty() {
+            Some(None)
+        } else {
+            Some(Some((self.winner_backend.clone(), self.winner_seed)))
+        }
+    }
 }
 
 /// One `(C, activation)` attempt of a pair, with its outcome and the
@@ -363,6 +446,33 @@ pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Replay a witness trace on the shadow-instrumented netlist and check
+/// that some observable pair genuinely differs at the fire cycle — the
+/// acceptance gate for traces produced by non-default portfolio
+/// backends. Mirrors the unrolling's view of a cycle: inputs settled,
+/// registers not yet captured.
+fn trace_replays(
+    instrumented: &crate::instrument::ShadowInstrumented,
+    trace: &vega_formal::Trace,
+) -> bool {
+    let mut sim = vega_sim::Simulator::new(&instrumented.netlist);
+    let mut fired = false;
+    for (t, cycle) in trace.inputs.iter().enumerate() {
+        for (port, value) in cycle {
+            sim.set_input(port, *value);
+        }
+        sim.settle_inputs();
+        if t == trace.fire_cycle {
+            fired = instrumented
+                .observable_pairs
+                .iter()
+                .any(|&(a, b)| sim.net_value(a) != sim.net_value(b));
+        }
+        sim.step();
+    }
+    fired
+}
+
 /// One `(C, activation)` attempt: instrument, run the formal search with
 /// budget escalation, construct instructions — falling back to fuzzing
 /// when every formal round exhausts its budget. Runs inside the caller's
@@ -379,6 +489,7 @@ fn lift_attempt(
     base_bmc: &BmcConfig,
     config: &LiftConfig,
     pair_index: usize,
+    attempt_index: usize,
 ) -> Attempt {
     if config.chaos.panic_at_pair == Some(pair_index) {
         panic!("chaos: injected panic while lifting pair {pair_index} ({label})");
@@ -417,9 +528,16 @@ fn lift_attempt(
         let mut session =
             CoverSession::new(&instrumented.netlist, &property, assumptions, base_bmc);
         session.set_obs(config.obs.clone());
+        if let Some(interrupt) = &config.interrupt {
+            session.set_interrupt(interrupt.clone());
+        }
         session
     });
     let mut spent_total = 0u64;
+    // Once an exhausted round has done `threshold` conflicts of real
+    // work, subsequent rounds race the portfolio roster instead of
+    // resuming the solo session.
+    let mut racing = false;
     for round in 0..max_rounds {
         if round > 0 {
             config.obs.counter("phase2.retry.rounds", 1);
@@ -438,10 +556,84 @@ fn lift_attempt(
             outcome = ConstructionOutcome::FormalFailure;
             continue;
         }
-        let session = session.as_mut().expect("built unless forced_exhaustion");
         // The escalated budget is a total across rounds; earlier rounds'
         // conflicts already happened and stay paid for.
-        let (cover, stats) = session.run(round_budget.saturating_sub(spent_total));
+        let slice = round_budget.saturating_sub(spent_total);
+        let pinned = config
+            .portfolio
+            .pinned
+            .get(&(pair_index, attempt_index, round));
+        let (cover, stats, raced, winner) = if pinned.is_some() || racing {
+            // A raced round (live, or a pinned crash-recovery replay):
+            // the solo session's solver state is abandoned and every
+            // racer resumes from its logical snapshot. Trading learnt
+            // clauses away here is what makes the round replayable.
+            let snapshot = session
+                .as_ref()
+                .and_then(|s| s.snapshot())
+                .expect("racing implies an unfinished session");
+            let roster = config.portfolio.roster();
+            config.obs.counter("phase2.portfolio.races", 1);
+            let race = match pinned {
+                Some(Some((backend_name, seed))) => {
+                    let backend = SolverConfig::by_name(backend_name)
+                        .unwrap_or_default()
+                        .with_seed(*seed);
+                    race_round_pinned(
+                        &instrumented.netlist,
+                        &property,
+                        assumptions,
+                        base_bmc,
+                        &snapshot,
+                        slice,
+                        &backend,
+                        true,
+                        config.interrupt.as_ref(),
+                    )
+                }
+                Some(None) => race_round_pinned(
+                    &instrumented.netlist,
+                    &property,
+                    assumptions,
+                    base_bmc,
+                    &snapshot,
+                    slice,
+                    &roster[0],
+                    false,
+                    config.interrupt.as_ref(),
+                ),
+                None => race_round(
+                    &instrumented.netlist,
+                    &property,
+                    assumptions,
+                    base_bmc,
+                    &snapshot,
+                    slice,
+                    &roster,
+                    config.interrupt.as_ref(),
+                ),
+            };
+            match race.winner {
+                Some((backend_name, _)) => {
+                    config
+                        .obs
+                        .counter(&format!("phase2.portfolio.winner.{backend_name}"), 1);
+                    let cancelled = race.reports.iter().filter(|r| !r.definitive()).count();
+                    config
+                        .obs
+                        .counter("phase2.portfolio.cancelled", cancelled as u64);
+                }
+                None => config.obs.counter("phase2.portfolio.inconclusive", 1),
+            }
+            let mut continuation = race.session;
+            continuation.set_obs(config.obs.clone());
+            session = Some(continuation);
+            (race.outcome, race.stats, true, race.winner)
+        } else {
+            let session = session.as_mut().expect("built unless forced_exhaustion");
+            let (cover, stats) = session.run(slice);
+            (cover, stats, false, None)
+        };
         spent_total += stats.conflicts;
         rounds.push(BudgetRound {
             budget: round_budget,
@@ -449,9 +641,20 @@ fn lift_attempt(
             decisions: stats.decisions,
             propagations: stats.propagations,
             encoded_clauses: stats.encoded_clauses,
+            raced,
+            winner_backend: winner.map(|(n, _)| n.to_string()).unwrap_or_default(),
+            winner_seed: winner.map(|(_, s)| s).unwrap_or(0),
         });
         match cover {
             CoverOutcome::Trace(trace) => {
+                // A raced witness may come from any backend; validate it
+                // by replay before trusting it (solo witnesses are
+                // replay-checked again inside construction).
+                if raced && !trace_replays(&instrumented, &trace) {
+                    config.obs.counter("phase2.portfolio.rejected_traces", 1);
+                    outcome = ConstructionOutcome::ConversionFailure;
+                    break;
+                }
                 outcome = match construct_test_case(
                     module,
                     &instrumented,
@@ -469,7 +672,15 @@ fn lift_attempt(
                 break;
             }
             CoverOutcome::BudgetExhausted => {
-                // Escalate and retry (the loop applies the growth).
+                // Escalate and retry (the loop applies the growth);
+                // sufficiently hard rounds escalate to a portfolio race.
+                if config.portfolio.enabled()
+                    && !racing
+                    && stats.conflicts >= config.portfolio.threshold
+                {
+                    racing = true;
+                    config.obs.counter("phase2.portfolio.escalations", 1);
+                }
                 outcome = ConstructionOutcome::FormalFailure;
             }
             CoverOutcome::BoundedOnly { .. } => {
@@ -540,7 +751,10 @@ pub fn lift_pair(
         pair = pair_index,
         label = label.as_str(),
     );
-    let base_bmc = config.bmc.unwrap_or_else(|| module.bmc_config());
+    let mut base_bmc = config.bmc.unwrap_or_else(|| module.bmc_config());
+    if let Some(budget) = config.conflict_budget {
+        base_bmc.conflict_budget = budget;
+    }
     let assumptions = module.assumptions(netlist);
     let activations: &[FaultActivation] = if config.mitigation {
         &FaultActivation::MITIGATED
@@ -551,6 +765,7 @@ pub fn lift_pair(
     let mut attempts = Vec::new();
     for &value in &FaultValue::FORMAL {
         for &activation in activations {
+            let attempt_index = attempts.len();
             let attempt = catch_unwind(AssertUnwindSafe(|| {
                 lift_attempt(
                     netlist,
@@ -563,6 +778,7 @@ pub fn lift_pair(
                     &base_bmc,
                     config,
                     pair_index,
+                    attempt_index,
                 )
             }))
             .unwrap_or_else(|payload| {

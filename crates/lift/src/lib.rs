@@ -41,7 +41,8 @@ pub use construct::{construct_test_case, ConversionError};
 pub use fuzz::{fuzz_test_case, FuzzConfig, FuzzStats};
 pub use generate::{
     generate_suite, generate_suite_parallel, lift_pair, panic_message, Attempt, BudgetRound,
-    ChaosHook, ConstructionOutcome, LiftConfig, LiftReport, PairClass, PairResult, RetryPolicy,
+    ChaosHook, ConstructionOutcome, LiftConfig, LiftReport, PairClass, PairResult,
+    PortfolioSettings, RetryPolicy,
 };
 pub use instrument::{
     build_failing_netlist, instrument_with_shadow, AgingPath, FaultActivation, FaultValue,
@@ -52,3 +53,4 @@ pub use testcase::{
     run_selected_wide, run_suite, run_suite_wide, run_test_case, validate_test_case, Check,
     Provenance, TestCase, TestOutcome,
 };
+pub use vega_sat::{Interrupt, SolverConfig};

@@ -151,6 +151,53 @@ fn render_solver_effort(out: &mut String, reg: &MetricsRegistry) {
         out.push_str("  outcomes:\n");
         render_table(out, &["outcome", "attempts"], &outcomes);
     }
+    render_portfolio(out, reg);
+}
+
+/// The portfolio-racing subsection of the solver-effort report: how many
+/// attempts escalated to racing, and which backend won how often
+/// (counters under `phase2.portfolio.*`, emitted by the lift engine).
+fn render_portfolio(out: &mut String, reg: &MetricsRegistry) {
+    let races = reg.counter("phase2.portfolio.races");
+    if races == 0 {
+        return;
+    }
+    out.push_str("  portfolio racing:\n");
+    let rows = vec![
+        vec!["raced rounds".to_string(), races.to_string()],
+        vec![
+            "escalations".to_string(),
+            reg.counter("phase2.portfolio.escalations").to_string(),
+        ],
+        vec![
+            "inconclusive rounds".to_string(),
+            reg.counter("phase2.portfolio.inconclusive").to_string(),
+        ],
+        vec![
+            "losers cancelled".to_string(),
+            reg.counter("phase2.portfolio.cancelled").to_string(),
+        ],
+        vec![
+            "rejected traces".to_string(),
+            reg.counter("phase2.portfolio.rejected_traces").to_string(),
+        ],
+    ];
+    render_table(out, &["metric", "value"], &rows);
+    let winners: Vec<Vec<String>> = reg
+        .names()
+        .iter()
+        .filter(|n| n.starts_with("phase2.portfolio.winner."))
+        .map(|n| {
+            vec![
+                n.trim_start_matches("phase2.portfolio.winner.").to_string(),
+                reg.counter(n).to_string(),
+            ]
+        })
+        .collect();
+    if !winners.is_empty() {
+        out.push_str("  race winners:\n");
+        render_table(out, &["backend", "wins"], &winners);
+    }
 }
 
 fn render_fleet(out: &mut String, reg: &MetricsRegistry) {
@@ -286,6 +333,9 @@ mod tests {
             obs.counter("phase2.pairs", 3);
             obs.counter("phase2.bmc.conflicts", 100);
             obs.counter("phase2.outcome.success", 2);
+            obs.counter("phase2.portfolio.races", 2);
+            obs.counter("phase2.portfolio.escalations", 1);
+            obs.counter("phase2.portfolio.winner.cdcl-aggressive-restart", 2);
             obs.event(
                 "phase2.pair.crashed",
                 vec![(
@@ -310,6 +360,21 @@ mod tests {
         assert!(report.contains("p50 2.0"));
         assert!(report.contains("Crashes (1)"));
         assert!(report.contains("induced panic"));
+        assert!(report.contains("portfolio racing"));
+        assert!(report.contains("race winners"));
+        assert!(report.contains("cdcl-aggressive-restart"));
+    }
+
+    #[test]
+    fn journal_without_races_omits_the_portfolio_subsection() {
+        let rec = TestRecorder::new();
+        let obs = Obs::new(Level::Summary, rec.clone());
+        obs.counter("phase2.pairs", 1);
+        let journal = Journal {
+            events: rec.events(),
+        };
+        let report = render_report(&journal);
+        assert!(!report.contains("portfolio racing"));
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! The backend seam: an incremental-SAT trait that decouples the BMC
+//! layers from any one solver implementation.
+
+use crate::config::SolverConfig;
+use crate::interrupt::Interrupt;
+use crate::lit::{Lit, Var};
+use crate::solver::{SolveResult, Solver, SolverStats};
+
+/// An incremental SAT solver usable as a Phase-2 BMC backend.
+///
+/// The contract mirrors the assumption-based incremental interface of
+/// MiniSat-family solvers: variables and clauses accumulate across
+/// calls, learnt clauses persist, and per-call assumptions scope to a
+/// single [`IncrementalSolver::solve_with_assumptions`] invocation.
+/// `vega-formal`'s `Unrolling` and `CoverSession` are generic over this
+/// trait, and the portfolio runner races differently-configured
+/// instances of it against each other.
+///
+/// Implementations must be *deterministic*: a fixed `(config, formula,
+/// call sequence)` must produce identical outcomes and [`SolverStats`],
+/// with no dependence on wall-clock, thread identity, or address space.
+/// That invariant is what makes a recorded race winner replayable
+/// byte-identically during crash recovery.
+pub trait IncrementalSolver {
+    /// Construct a backend instance from a configuration.
+    fn from_config(config: &SolverConfig) -> Self
+    where
+        Self: Sized;
+
+    /// Stable name of this backend (`cdcl-default`, ...), recorded in
+    /// budget rounds, WAL notes, and obs journals.
+    fn backend_name(&self) -> &'static str;
+
+    /// The seed this instance was configured with.
+    fn backend_seed(&self) -> u64;
+
+    /// Create a fresh variable.
+    fn new_var(&mut self) -> Var;
+
+    /// Number of variables created.
+    fn num_vars(&self) -> usize;
+
+    /// Add a clause; `false` means the formula is now root-unsatisfiable.
+    fn add_clause(&mut self, lits: &[Lit]) -> bool;
+
+    /// Solve under per-call assumptions.
+    fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult;
+
+    /// Solve without assumptions.
+    fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// The subset of the last call's assumptions used to derive Unsat.
+    fn final_assumptions(&self) -> &[Lit];
+
+    /// The model value of `var` after a Sat answer.
+    fn model_value(&self, var: Var) -> Option<bool>;
+
+    /// Branch on `vars` before all other variables.
+    fn prefer_decisions(&mut self, vars: &[Var]);
+
+    /// Cumulative work counters.
+    fn stats(&self) -> SolverStats;
+
+    /// Limit conflicts for subsequent solves (`None` = unlimited).
+    fn set_conflict_budget(&mut self, budget: Option<u64>);
+
+    /// Install a cooperative cancellation handle polled during search.
+    fn set_interrupt(&mut self, interrupt: Interrupt);
+
+    /// Undo all decisions and assumptions, returning to the root level.
+    fn backtrack_to_root(&mut self);
+}
+
+impl IncrementalSolver for Solver {
+    fn from_config(config: &SolverConfig) -> Self {
+        Solver::with_config(config.clone())
+    }
+
+    fn backend_name(&self) -> &'static str {
+        self.config().name
+    }
+
+    fn backend_seed(&self) -> u64 {
+        self.config().seed
+    }
+
+    fn new_var(&mut self) -> Var {
+        Solver::new_var(self)
+    }
+
+    fn num_vars(&self) -> usize {
+        Solver::num_vars(self)
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        Solver::add_clause(self, lits)
+    }
+
+    fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        Solver::solve_with_assumptions(self, assumptions)
+    }
+
+    fn final_assumptions(&self) -> &[Lit] {
+        Solver::final_assumptions(self)
+    }
+
+    fn model_value(&self, var: Var) -> Option<bool> {
+        Solver::value(self, var)
+    }
+
+    fn prefer_decisions(&mut self, vars: &[Var]) {
+        Solver::prefer_decisions(self, vars)
+    }
+
+    fn stats(&self) -> SolverStats {
+        Solver::stats(self)
+    }
+
+    fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        Solver::set_conflict_budget(self, budget)
+    }
+
+    fn set_interrupt(&mut self, interrupt: Interrupt) {
+        Solver::set_interrupt(self, interrupt)
+    }
+
+    fn backtrack_to_root(&mut self) {
+        Solver::backtrack_to_root(self)
+    }
+}

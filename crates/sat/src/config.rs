@@ -1,0 +1,200 @@
+//! Backend configuration: the tunables that turn the single CDCL core
+//! into a roster of genuinely distinct solver backends.
+//!
+//! Every knob here defaults to the value that was previously hard-coded
+//! in `solver.rs`, so [`SolverConfig::default`] reproduces the historical
+//! solver byte-for-byte (asserted by the `default_config_is_byte_identical`
+//! regression test). The named constructors define the portfolio roster
+//! that `vega-formal`'s race runner draws from.
+
+/// Initial decision-phase policy for freshly created variables.
+///
+/// Phase *saving* (remembering the last assigned polarity) is always on;
+/// this only selects the phase a variable starts with before it has ever
+/// been assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhasePolicy {
+    /// A deterministic hash of the variable index (the historical
+    /// default): avoids the all-zero-model bias of constant-false phases
+    /// without any randomness.
+    HashInit,
+    /// The complement of [`PhasePolicy::HashInit`] — same distribution,
+    /// opposite polarity per variable, so the two explore the model
+    /// space from opposite corners.
+    InvertedHash,
+    /// Seeded pseudo-random initial phases drawn from the solver's
+    /// xorshift stream (deterministic per [`SolverConfig::seed`]).
+    RandomInit,
+}
+
+/// Tunable parameters of the CDCL core.
+///
+/// A `(SolverConfig, seed)` pair fully determines a solver run on a
+/// fixed formula: there is no wall-clock or address-space dependence
+/// anywhere in the core, which is what lets portfolio racing record a
+/// winner and replay it byte-identically during crash recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverConfig {
+    /// Stable backend identifier (recorded in budget rounds, the serve
+    /// WAL, and obs journals).
+    pub name: &'static str,
+    /// Luby restart base: restart after `restart_base * luby(i)`
+    /// conflicts. Historically hard-coded at 100.
+    pub restart_base: u64,
+    /// VSIDS activity decay: `var_inc /= var_decay` per conflict.
+    pub var_decay: f64,
+    /// Clause activity decay: `cla_inc /= clause_decay` per conflict.
+    pub clause_decay: f64,
+    /// Learnt-DB capacity starts at `added_clauses / db_init_divisor`.
+    pub db_init_divisor: f64,
+    /// Lower bound on the learnt-DB capacity.
+    pub db_floor: f64,
+    /// Learnt-DB capacity growth factor applied after each reduction.
+    pub db_growth: f64,
+    /// Initial decision-phase policy for new variables.
+    pub phase: PhasePolicy,
+    /// Probability in `[0, 1)` that a decision picks a pseudo-random
+    /// unassigned variable instead of the VSIDS maximum (0 = pure
+    /// VSIDS, the historical behavior).
+    pub random_decision_freq: f64,
+    /// Seed for the solver's deterministic xorshift stream (used only
+    /// by [`PhasePolicy::RandomInit`] and `random_decision_freq`).
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            name: "cdcl-default",
+            restart_base: 100,
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            db_init_divisor: 3.0,
+            db_floor: 1000.0,
+            db_growth: 1.1,
+            phase: PhasePolicy::HashInit,
+            random_decision_freq: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The full backend roster, in portfolio order. Index 0 is always
+    /// `cdcl-default` so single-backend and racer-0 behavior coincide.
+    pub const BACKEND_NAMES: [&'static str; 4] = [
+        "cdcl-default",
+        "cdcl-aggressive-restart",
+        "cdcl-random-phase",
+        "cdcl-focused",
+    ];
+
+    /// Rapid Luby restarts with fast VSIDS decay: jumps around the
+    /// search space aggressively, good on instances where the default
+    /// gets stuck in one region.
+    pub fn aggressive_restart() -> Self {
+        SolverConfig {
+            name: "cdcl-aggressive-restart",
+            restart_base: 32,
+            var_decay: 0.90,
+            ..SolverConfig::default()
+        }
+    }
+
+    /// Seeded random initial phases plus occasional random decisions:
+    /// the diversification backend — differently-seeded instances are
+    /// effectively independent samples of the runtime distribution.
+    pub fn random_phase() -> Self {
+        SolverConfig {
+            name: "cdcl-random-phase",
+            phase: PhasePolicy::RandomInit,
+            random_decision_freq: 0.02,
+            ..SolverConfig::default()
+        }
+    }
+
+    /// Slow restarts, slow decay, inverted initial phases: stays focused
+    /// on one part of the search space, the opposite temperament of
+    /// [`SolverConfig::aggressive_restart`].
+    pub fn focused() -> Self {
+        SolverConfig {
+            name: "cdcl-focused",
+            restart_base: 400,
+            var_decay: 0.99,
+            phase: PhasePolicy::InvertedHash,
+            ..SolverConfig::default()
+        }
+    }
+
+    /// Look a backend up by its stable name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "cdcl-default" => Some(SolverConfig::default()),
+            "cdcl-aggressive-restart" => Some(SolverConfig::aggressive_restart()),
+            "cdcl-random-phase" => Some(SolverConfig::random_phase()),
+            "cdcl-focused" => Some(SolverConfig::focused()),
+            _ => None,
+        }
+    }
+
+    /// Replace the seed (the backend name is unchanged: a seed is an
+    /// instance of a backend, not a different backend).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The portfolio roster for an `n`-way race: the named backends in
+    /// order, cycling with distinct seeds when `n` exceeds the roster.
+    /// Racer 0 is always `cdcl-default` with seed 0.
+    pub fn portfolio(n: usize) -> Vec<Self> {
+        (0..n)
+            .map(|i| {
+                let base = Self::by_name(Self::BACKEND_NAMES[i % Self::BACKEND_NAMES.len()])
+                    .expect("roster names are valid");
+                base.with_seed(i as u64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_round_trips_by_name() {
+        for name in SolverConfig::BACKEND_NAMES {
+            let config = SolverConfig::by_name(name).expect(name);
+            assert_eq!(config.name, name);
+        }
+        assert!(SolverConfig::by_name("no-such-backend").is_none());
+    }
+
+    #[test]
+    fn portfolio_starts_with_default_and_diversifies() {
+        let configs = SolverConfig::portfolio(6);
+        assert_eq!(configs.len(), 6);
+        assert_eq!(configs[0].name, "cdcl-default");
+        assert_eq!(configs[0].seed, 0);
+        // Beyond the roster it cycles with fresh seeds.
+        assert_eq!(configs[4].name, "cdcl-default");
+        assert_eq!(configs[4].seed, 4);
+        // At least three genuinely distinct parameterizations.
+        let distinct: std::collections::BTreeSet<&str> = configs.iter().map(|c| c.name).collect();
+        assert!(distinct.len() >= 3, "{distinct:?}");
+    }
+
+    #[test]
+    fn default_matches_historical_constants() {
+        let config = SolverConfig::default();
+        assert_eq!(config.restart_base, 100);
+        assert_eq!(config.var_decay, 0.95);
+        assert_eq!(config.clause_decay, 0.999);
+        assert_eq!(config.db_init_divisor, 3.0);
+        assert_eq!(config.db_floor, 1000.0);
+        assert_eq!(config.db_growth, 1.1);
+        assert_eq!(config.phase, PhasePolicy::HashInit);
+        assert_eq!(config.random_decision_freq, 0.0);
+    }
+}

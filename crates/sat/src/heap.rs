@@ -137,3 +137,101 @@ mod tests {
         assert_eq!(heap.pop_max(&activity), None);
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    const VARS: usize = 16;
+
+    /// One scripted operation against the heap: insert, bump, pop, or a
+    /// solver-style uniform rescale of every activity.
+    fn apply(
+        op: (u8, usize, u16),
+        heap: &mut ActivityHeap,
+        activity: &mut [f64],
+        members: &mut BTreeSet<usize>,
+    ) -> Result<(), proptest::test_runner::TestCaseError> {
+        let (kind, var, amount) = op;
+        let var = var % VARS;
+        match kind % 4 {
+            0 => {
+                heap.insert(Var::from_index(var), activity);
+                members.insert(var);
+            }
+            1 => {
+                // Bump: grow the activity (as conflict analysis does)
+                // and restore heap order in place.
+                activity[var] += f64::from(amount);
+                heap.bumped(Var::from_index(var), activity);
+            }
+            2 => {
+                let popped = heap.pop_max(activity);
+                match popped {
+                    None => prop_assert!(members.is_empty()),
+                    Some(v) => {
+                        prop_assert!(members.remove(&v.index()), "popped non-member");
+                        let max = members
+                            .iter()
+                            .map(|&m| activity[m])
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        prop_assert!(
+                            activity[v.index()] >= max,
+                            "popped activity {} below remaining max {}",
+                            activity[v.index()],
+                            max
+                        );
+                    }
+                }
+            }
+            _ => {
+                // Rescale, as the solver does when activities overflow:
+                // a uniform positive scale preserves relative order, so
+                // the heap needs no fixing.
+                for a in activity.iter_mut() {
+                    *a *= 1e-3;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Under any interleaving of insert / bump / pop / rescale, every
+        /// pop returns a current member with maximal activity, and
+        /// membership bookkeeping never drifts from a reference set.
+        #[test]
+        fn pops_are_always_max_activity(
+            ops in prop::collection::vec((0u8..4, 0usize..VARS, 1u16..1000), 1..200),
+        ) {
+            let mut heap = ActivityHeap::default();
+            heap.grow_to(VARS);
+            let mut activity = [0.0f64; VARS];
+            let mut members: BTreeSet<usize> = BTreeSet::new();
+            for op in ops {
+                apply(op, &mut heap, &mut activity, &mut members)?;
+                for var in 0..VARS {
+                    prop_assert_eq!(
+                        heap.contains(Var::from_index(var)),
+                        members.contains(&var),
+                        "membership drift at var {}",
+                        var
+                    );
+                }
+            }
+            // Drain: the remaining pops must come out in non-increasing
+            // activity order and empty the reference set exactly.
+            let mut last = f64::INFINITY;
+            while let Some(v) = heap.pop_max(&activity) {
+                prop_assert!(activity[v.index()] <= last);
+                last = activity[v.index()];
+                prop_assert!(members.remove(&v.index()));
+            }
+            prop_assert!(members.is_empty());
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Cooperative solver cancellation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative stop flag the solver polls in its propagation loop.
+///
+/// Tripping the flag makes the next poll abandon the current search and
+/// return [`SolveResult::Unknown`](crate::SolveResult::Unknown), leaving
+/// the solver at the root level with all clauses (including learnt ones)
+/// intact — the same observable state as a conflict-budget exhaustion.
+///
+/// Three sources can trip one handle:
+///
+/// * its own shared flag ([`Interrupt::trip`]) — how a portfolio race
+///   cancels the losers once a winner answers,
+/// * an optional *watched* static flag ([`Interrupt::watching`]) — how
+///   the serve-mode SIGINT handler reaches into an in-flight solve
+///   without the solver crate knowing about signals, and
+/// * an optional *parent* handle ([`Interrupt::child`]) — how a race's
+///   private stop flag stays subordinate to an outer cancellation
+///   (tripping the child never trips the parent, but a tripped parent
+///   cancels every child).
+///
+/// Polls never mutate solver state or statistics, so a solver whose
+/// interrupt is never tripped behaves byte-identically to one without a
+/// handle installed.
+#[derive(Debug, Clone, Default)]
+pub struct Interrupt {
+    flag: Arc<AtomicBool>,
+    watched: Option<&'static AtomicBool>,
+    parent: Option<Box<Interrupt>>,
+}
+
+impl Interrupt {
+    /// A fresh, untripped handle. Clones share the same flag.
+    pub fn new() -> Self {
+        Interrupt::default()
+    }
+
+    /// A handle that also reports tripped whenever `flag` is set —
+    /// typically a process-wide shutdown flag owned by a signal handler.
+    pub fn watching(flag: &'static AtomicBool) -> Self {
+        Interrupt {
+            flag: Arc::new(AtomicBool::new(false)),
+            watched: Some(flag),
+            parent: None,
+        }
+    }
+
+    /// A fresh handle that additionally reports tripped whenever `self`
+    /// (or anything `self` observes) is tripped. Tripping the child does
+    /// not trip `self` — a portfolio race uses this so the winner can
+    /// cancel its siblings without cancelling the caller's handle.
+    pub fn child(&self) -> Self {
+        Interrupt {
+            flag: Arc::new(AtomicBool::new(false)),
+            watched: None,
+            parent: Some(Box::new(self.clone())),
+        }
+    }
+
+    /// Request cancellation on every clone of this handle.
+    pub fn trip(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested (by [`Interrupt::trip`]
+    /// on any clone, by the watched flag, or by a tripped parent).
+    pub fn is_tripped(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+            || self.watched.is_some_and(|w| w.load(Ordering::Acquire))
+            || self.parent.as_deref().is_some_and(Interrupt::is_tripped)
+    }
+
+    /// Clear this handle's own flag (the watched flag and the parent, if
+    /// any, are not touched — a shutdown request cannot be un-asked from
+    /// here).
+    pub fn clear(&self) {
+        self.flag.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = Interrupt::new();
+        let b = a.clone();
+        assert!(!a.is_tripped() && !b.is_tripped());
+        b.trip();
+        assert!(a.is_tripped() && b.is_tripped());
+        a.clear();
+        assert!(!b.is_tripped());
+    }
+
+    #[test]
+    fn watched_flag_trips_but_cannot_be_cleared() {
+        static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+        let int = Interrupt::watching(&SHUTDOWN);
+        assert!(!int.is_tripped());
+        SHUTDOWN.store(true, Ordering::Release);
+        assert!(int.is_tripped());
+        int.clear();
+        assert!(int.is_tripped(), "watched flags are not clearable");
+        SHUTDOWN.store(false, Ordering::Release);
+        assert!(!int.is_tripped());
+    }
+
+    #[test]
+    fn child_observes_parent_but_not_vice_versa() {
+        static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+        let parent = Interrupt::watching(&SHUTDOWN);
+        let child = parent.child();
+
+        child.trip();
+        assert!(child.is_tripped());
+        assert!(!parent.is_tripped(), "child trips stay local");
+        child.clear();
+
+        parent.trip();
+        assert!(child.is_tripped(), "parent trips cancel the child");
+        parent.clear();
+        assert!(!child.is_tripped());
+
+        // The watched flag reaches through the parent chain too.
+        SHUTDOWN.store(true, Ordering::Release);
+        assert!(child.is_tripped());
+        SHUTDOWN.store(false, Ordering::Release);
+    }
+}

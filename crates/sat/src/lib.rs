@@ -10,10 +10,18 @@
 //! * VSIDS variable ordering with phase saving,
 //! * Luby-sequence restarts,
 //! * activity-based learned-clause database reduction,
-//! * incremental solving under assumptions, and
+//! * incremental solving under assumptions,
 //! * a conflict budget, which `vega-formal` uses to reproduce the
 //!   formal-tool timeouts the paper reports (the "FF" rows of Table 4)
-//!   deterministically.
+//!   deterministically,
+//! * a [`SolverConfig`] parameterizing restarts, decays, clause-DB
+//!   cadence, phase policy, and seeded randomization — the same core
+//!   becomes a roster of distinct backends (`cdcl-default`,
+//!   `cdcl-aggressive-restart`, `cdcl-random-phase`, `cdcl-focused`),
+//! * the [`IncrementalSolver`] trait, the backend seam `vega-formal`'s
+//!   portfolio runner races configurations across, and
+//! * a cooperative [`Interrupt`] handle polled in the propagation loop,
+//!   used to cancel portfolio losers and to honor SIGINT in serve mode.
 //!
 //! # Example
 //!
@@ -35,9 +43,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
+mod config;
 mod heap;
+mod interrupt;
 mod lit;
 mod solver;
 
+pub use backend::IncrementalSolver;
+pub use config::{PhasePolicy, SolverConfig};
+pub use interrupt::Interrupt;
 pub use lit::{Lit, Var};
 pub use solver::{SolveResult, Solver, SolverStats};

@@ -98,3 +98,35 @@ mod tests {
         assert_eq!(n.to_string(), "¬x3");
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// The `2·var + sign` encoding round-trips through every public
+        /// conversion, and negation is a sign-only involution.
+        #[test]
+        fn encode_decode_round_trips(index in 0usize..(1 << 31), polarity in any::<bool>()) {
+            let var = Var::from_index(index);
+            prop_assert_eq!(var.index(), index);
+
+            let lit = Lit::with_polarity(var, polarity);
+            prop_assert_eq!(lit.var(), var);
+            prop_assert_eq!(lit.is_positive(), polarity);
+            prop_assert_eq!(lit.index(), 2 * index + usize::from(!polarity));
+            prop_assert_eq!(
+                lit,
+                if polarity { Lit::pos(var) } else { Lit::neg(var) }
+            );
+
+            let negated = !lit;
+            prop_assert_eq!(negated.var(), var);
+            prop_assert_eq!(negated.is_positive(), !polarity);
+            prop_assert_eq!(!negated, lit);
+        }
+    }
+}

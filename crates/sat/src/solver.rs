@@ -1,6 +1,8 @@
 //! The CDCL solver.
 
+use crate::config::{PhasePolicy, SolverConfig};
 use crate::heap::ActivityHeap;
+use crate::interrupt::Interrupt;
 use crate::lit::{Lit, Var};
 
 /// Result of a [`Solver::solve`] call.
@@ -97,6 +99,14 @@ pub struct Solver {
     /// preferred variable is assigned.
     preferred: Vec<Var>,
     is_preferred: Vec<bool>,
+    /// Backend tunables (restart base, decays, DB cadence, phases, ...).
+    config: SolverConfig,
+    /// Deterministic xorshift64 state, seeded from the config; consumed
+    /// only by the randomized phase/decision policies, so the default
+    /// config never touches it.
+    rng: u64,
+    /// Cooperative cancellation, polled in the propagation loop.
+    interrupt: Option<Interrupt>,
 }
 
 impl Default for Solver {
@@ -105,9 +115,21 @@ impl Default for Solver {
     }
 }
 
+/// How often (in propagations) the inner propagation loop polls the
+/// interrupt flag — a power-of-two mask keeps the check off the hot
+/// path while still bounding cancellation latency.
+const INTERRUPT_POLL_MASK: u64 = 0xFFF;
+
 impl Solver {
-    /// An empty solver.
+    /// An empty solver with the default (historical) configuration.
     pub fn new() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
+
+    /// An empty solver with the given backend configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        // Any seed must yield a non-zero xorshift state.
+        let rng = (config.seed ^ 0x9E37_79B9_7F4A_7C15) | 1;
         Solver {
             clauses: Vec::new(),
             watches: Vec::new(),
@@ -130,7 +152,36 @@ impl Solver {
             conflict_assumptions: Vec::new(),
             preferred: Vec::new(),
             is_preferred: Vec::new(),
+            config,
+            rng,
+            interrupt: None,
         }
+    }
+
+    /// The configuration this solver was built with.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Install a cooperative cancellation handle: when tripped, the
+    /// current (and any subsequent) solve abandons its search and
+    /// returns [`SolveResult::Unknown`], leaving the solver at the root
+    /// level with all clauses intact. Polling never mutates state, so an
+    /// untripped handle leaves behavior byte-identical.
+    pub fn set_interrupt(&mut self, interrupt: Interrupt) {
+        self.interrupt = Some(interrupt);
+    }
+
+    fn interrupted(&self) -> bool {
+        self.interrupt.as_ref().is_some_and(Interrupt::is_tripped)
+    }
+
+    /// The next value of the solver's deterministic xorshift64 stream.
+    fn next_rand(&mut self) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        self.rng
     }
 
     /// Create a fresh variable.
@@ -143,11 +194,16 @@ impl Solver {
     pub fn new_var(&mut self) -> Var {
         let var = Var::from_index(self.values.len());
         let phase_hash = (self.values.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let initial_phase = match self.config.phase {
+            PhasePolicy::HashInit => phase_hash >> 63 == 1,
+            PhasePolicy::InvertedHash => phase_hash >> 63 == 0,
+            PhasePolicy::RandomInit => self.next_rand() >> 63 == 1,
+        };
         self.values.push(LBool::Undef);
         self.level.push(0);
         self.reason.push(NO_REASON);
         self.activity.push(0.0);
-        self.saved_phase.push(phase_hash >> 63 == 1);
+        self.saved_phase.push(initial_phase);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.seen.push(false);
@@ -315,6 +371,14 @@ impl Solver {
     /// Unit propagation; returns the conflicting clause if any.
     fn propagate(&mut self) -> Option<usize> {
         while self.qhead < self.trail.len() {
+            // Cooperative cancellation: a masked poll so long propagation
+            // chains cannot delay a portfolio loser's exit. Leaving the
+            // queue partially processed is safe — the solve loop notices
+            // the trip, backtracks, and forces full re-propagation on the
+            // next call.
+            if self.stats.propagations & INTERRUPT_POLL_MASK == 0 && self.interrupted() {
+                return None;
+            }
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
@@ -518,7 +582,34 @@ impl Solver {
         self.qhead = self.trail.len();
     }
 
+    /// A pseudo-random unassigned variable, or `None` if a short probe
+    /// from a random start finds only assigned ones (the caller then
+    /// falls back to the activity heap — completeness never depends on
+    /// this path).
+    fn random_unassigned(&mut self) -> Option<Var> {
+        let n = self.values.len();
+        if n == 0 {
+            return None;
+        }
+        let start = (self.next_rand() % n as u64) as usize;
+        (0..64.min(n))
+            .map(|offset| (start + offset) % n)
+            .find(|&i| self.values[i] == LBool::Undef)
+            .map(Var::from_index)
+    }
+
     fn pick_decision(&mut self) -> Option<Lit> {
+        // Seeded random tie-breaking: occasionally decide a random
+        // unassigned variable instead of the VSIDS maximum. Off (freq 0)
+        // in the default config, so the rng is never consumed there.
+        if self.config.random_decision_freq > 0.0 {
+            let roll = (self.next_rand() >> 11) as f64 / (1u64 << 53) as f64;
+            if roll < self.config.random_decision_freq {
+                if let Some(var) = self.random_unassigned() {
+                    return Some(Lit::with_polarity(var, self.saved_phase[var.index()]));
+                }
+            }
+        }
         // Preferred variables first (the list stays small — circuit
         // inputs — so a linear activity scan beats maintaining a second
         // heap). Preferred decisions leave the variable in the main heap;
@@ -624,12 +715,21 @@ impl Solver {
                 self.order.insert(var, &self.activity);
             }
         }
-        self.max_learnts = (self.clauses.len() as f64 / 3.0).max(1000.0);
+        self.max_learnts =
+            (self.clauses.len() as f64 / self.config.db_init_divisor).max(self.config.db_floor);
         let budget_start = self.stats.conflicts;
         let mut restart_count: u64 = 0;
-        let mut conflicts_until_restart = 100 * Self::luby(restart_count);
+        let mut conflicts_until_restart = self.config.restart_base * Self::luby(restart_count);
 
         loop {
+            if self.interrupted() {
+                // Cancelled: abandon the search, keep every clause. The
+                // queue may be partially propagated, so force a full
+                // root re-propagation on the next solve.
+                self.backtrack_to(0);
+                self.qhead = 0;
+                return SolveResult::Unknown;
+            }
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
@@ -647,8 +747,8 @@ impl Solver {
                     self.bump_clause(cref);
                     self.enqueue(learnt[0], cref);
                 }
-                self.var_inc /= 0.95;
-                self.cla_inc /= 0.999;
+                self.var_inc /= self.config.var_decay;
+                self.cla_inc /= self.config.clause_decay;
                 if let Some(budget) = self.conflict_budget {
                     if self.stats.conflicts - budget_start >= budget {
                         self.backtrack_to(0);
@@ -659,12 +759,12 @@ impl Solver {
                 if conflicts_until_restart == 0 {
                     restart_count += 1;
                     self.stats.restarts += 1;
-                    conflicts_until_restart = 100 * Self::luby(restart_count);
+                    conflicts_until_restart = self.config.restart_base * Self::luby(restart_count);
                     self.backtrack_to(0);
                 }
                 if self.stats.learnt_clauses as f64 > self.max_learnts {
                     self.reduce_db();
-                    self.max_learnts *= 1.1;
+                    self.max_learnts *= self.config.db_growth;
                 }
                 // (Re)establish assumptions as pseudo-decisions: one
                 // decision level per assumption, below all real decisions

@@ -1,0 +1,187 @@
+//! Backend regression and divergence tests.
+//!
+//! The pinned numbers below were captured from the solver *before* the
+//! hard-coded restart base / decay / clause-DB constants moved into
+//! [`SolverConfig`]: the default configuration must keep reproducing
+//! them byte-for-byte, on every platform, forever. Any drift means the
+//! refactor (or a later change) silently altered default behavior.
+
+use vega_sat::{
+    IncrementalSolver, Interrupt, Lit, SolveResult, Solver, SolverConfig, SolverStats, Var,
+};
+
+fn pigeonhole(pigeons: usize, holes: usize, config: &SolverConfig) -> Solver {
+    let mut s = Solver::with_config(config.clone());
+    let grid: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &grid {
+        let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for (p1, row1) in grid.iter().enumerate() {
+            for row2 in grid.iter().skip(p1 + 1) {
+                s.add_clause(&[Lit::neg(row1[h]), Lit::neg(row2[h])]);
+            }
+        }
+    }
+    s
+}
+
+fn random_3sat(config: &SolverConfig) -> Solver {
+    let mut state = 0xABCDEFu64;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut s = Solver::with_config(config.clone());
+    let vars: Vec<_> = (0..150).map(|_| s.new_var()).collect();
+    for _ in 0..640 {
+        let mut clause = Vec::new();
+        for _ in 0..3 {
+            let v = vars[(rand() % 150) as usize];
+            clause.push(if rand() % 2 == 0 {
+                Lit::pos(v)
+            } else {
+                Lit::neg(v)
+            });
+        }
+        s.add_clause(&clause);
+    }
+    s
+}
+
+/// The exact stats the pre-SolverConfig solver produced on three fixed
+/// instances. `Solver::new()` and the explicit default config must both
+/// match them.
+#[test]
+fn default_config_is_byte_identical_to_head() {
+    let expected_php98 = SolverStats {
+        conflicts: 35760,
+        decisions: 43358,
+        propagations: 466719,
+        restarts: 125,
+        learnt_clauses: 3831,
+        added_clauses: 297,
+    };
+    let expected_php88 = SolverStats {
+        conflicts: 100,
+        decisions: 166,
+        propagations: 1474,
+        restarts: 1,
+        learnt_clauses: 100,
+        added_clauses: 232,
+    };
+    let expected_rand = SolverStats {
+        conflicts: 1274,
+        decisions: 1554,
+        propagations: 38169,
+        restarts: 7,
+        learnt_clauses: 780,
+        added_clauses: 640,
+    };
+
+    for config in [
+        SolverConfig::default(),
+        SolverConfig::default().with_seed(7),
+    ] {
+        let mut s = pigeonhole(9, 8, &config);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.stats(), expected_php98, "php(9,8) with {}", config.name);
+
+        let mut s = pigeonhole(8, 8, &config);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats(), expected_php88, "php(8,8) with {}", config.name);
+
+        let mut s = random_3sat(&config);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.stats(), expected_rand, "rand3sat with {}", config.name);
+    }
+
+    // An armed-but-untripped interrupt must not perturb anything either.
+    let mut s = pigeonhole(9, 8, &SolverConfig::default());
+    s.set_interrupt(Interrupt::new());
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    assert_eq!(s.stats(), expected_php98, "untripped interrupt");
+}
+
+/// Every roster backend reaches the same Sat/Unsat answers, and the
+/// non-default ones genuinely diverge from the default in the work they
+/// do (otherwise the portfolio would be racing clones).
+#[test]
+fn backends_agree_on_answers_but_diverge_in_work() {
+    let mut default_stats = None;
+    let mut divergent = 0usize;
+    for name in SolverConfig::BACKEND_NAMES {
+        let config = SolverConfig::by_name(name).unwrap().with_seed(3);
+        let mut s = pigeonhole(9, 8, &config);
+        assert_eq!(s.solve(), SolveResult::Unsat, "{name}");
+        assert_eq!(IncrementalSolver::backend_name(&s), name);
+        assert_eq!(IncrementalSolver::backend_seed(&s), 3);
+
+        let mut s = pigeonhole(8, 8, &config);
+        assert_eq!(s.solve(), SolveResult::Sat, "{name}");
+        let stats = s.stats();
+        match default_stats {
+            None => default_stats = Some(stats),
+            Some(reference) => {
+                if stats != reference {
+                    divergent += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        divergent >= 2,
+        "expected at least two backends to search differently, got {divergent}"
+    );
+}
+
+/// Two seeds of the randomized backend are distinct samples, and a
+/// fixed seed reproduces itself exactly.
+#[test]
+fn random_phase_backend_is_seed_deterministic() {
+    let run = |seed: u64| {
+        let mut s = pigeonhole(8, 8, &SolverConfig::random_phase().with_seed(seed));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.stats()
+    };
+    assert_eq!(run(1), run(1), "same seed, same work");
+    assert_ne!(run(1), run(2), "different seeds, different search");
+}
+
+/// A pre-tripped interrupt cancels a solve immediately; clearing it lets
+/// the same solver finish with all learnt clauses intact.
+#[test]
+fn interrupt_cancels_and_resumes() {
+    let mut s = pigeonhole(9, 8, &SolverConfig::default());
+    let interrupt = Interrupt::new();
+    s.set_interrupt(interrupt.clone());
+    interrupt.trip();
+    assert_eq!(s.solve(), SolveResult::Unknown, "tripped flag cancels");
+    interrupt.clear();
+    assert_eq!(s.solve(), SolveResult::Unsat, "clear resumes to the answer");
+}
+
+/// Cancellation from another thread lands while a long solve is running.
+#[test]
+fn interrupt_cancels_cross_thread() {
+    // Large enough that the solve outlives the trip below.
+    let mut s = pigeonhole(11, 10, &SolverConfig::default());
+    let interrupt = Interrupt::new();
+    s.set_interrupt(interrupt.clone());
+    let result = std::thread::scope(|scope| {
+        let canceller = interrupt.clone();
+        scope.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            canceller.trip();
+        });
+        s.solve()
+    });
+    // Either the trip landed (Unknown) or the instance finished first
+    // (Unsat) — both are sound; what must never happen is Sat.
+    assert_ne!(result, SolveResult::Sat);
+}

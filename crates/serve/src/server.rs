@@ -227,6 +227,15 @@ pub trait ServiceState {
     /// Number of epoch operations in this run.
     fn epoch_count(&self) -> u64;
 
+    /// Observe the replayed WAL before any operation runs. Services can
+    /// mine journaled notes — e.g. recorded portfolio-race winners — so
+    /// re-execution of in-doubt (or artifact-lost) operations reproduces
+    /// the pre-crash run exactly instead of merely converging on the
+    /// same answers. The default implementation ignores the view.
+    fn observe_recovery(&mut self, _view: &WalReplay) -> Result<(), String> {
+        Ok(())
+    }
+
     /// Restore a completed pair from its persisted artifact, returning
     /// the artifact's digest, or `Ok(None)` if the artifact is missing
     /// (the pair is then re-executed — artifact loss is recoverable).
@@ -360,6 +369,7 @@ impl Server {
             }
         }
         let view = view.unwrap_or_default();
+        state.observe_recovery(&view).map_err(ServeError::State)?;
 
         // ---- Phase 2: lifting pairs --------------------------------
         for index in 0..state.pair_count() {
