@@ -1,0 +1,352 @@
+//! Observability overhead: what does recording cost the pipeline?
+//!
+//! Two workloads — the adder lift pipeline (phases 1–2) and a
+//! 10k-machine fleet simulation (phase 3) — are each run under four
+//! observability configurations:
+//!
+//! * **off** — `Obs::null()`, the zero-cost baseline;
+//! * **summary** — JSONL journal at `Level::Summary`;
+//! * **detail** — JSONL journal at `Level::Detail` (per-pair spans);
+//! * **summary+live** — the `--listen` configuration: a summary journal
+//!   teed with in-process [`LiveRecorder`] folding.
+//!
+//! Each configuration is repeated and the **median** wall time kept, so
+//! one slow repeat (page cache, scheduler) cannot skew a mode. The
+//! headline claim — live folding adds **< 5 %** wall over the summary
+//! journal alone — is asserted in full mode; in `--quick`/`VEGA_QUICK=1`
+//! runs the workloads are too short for a stable ratio, so the numbers
+//! are recorded but the assertion is skipped (and flagged in the
+//! artifact). The bench also re-checks the equivalence contract on real
+//! work: the live registry must equal the registry folded from the
+//! journal of the same run, byte-for-byte in canonical JSON.
+//!
+//! Writes `bench_results/obs_overhead.json`.
+//!
+//! Run: `cargo run --release -p vega-bench --bin obs_overhead`
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use vega::obs::{Journal, JsonlRecorder, Level, LiveMetrics, LiveRecorder, Obs, TeeRecorder};
+use vega::*;
+use vega_fleet::Json;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Off,
+    Summary,
+    Detail,
+    SummaryLive,
+}
+
+impl Mode {
+    const ALL: [Mode; 4] = [Mode::Off, Mode::Summary, Mode::Detail, Mode::SummaryLive];
+
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Off => "off",
+            Mode::Summary => "summary",
+            Mode::Detail => "detail",
+            Mode::SummaryLive => "summary+live",
+        }
+    }
+}
+
+/// The observability sink a mode implies. The journal path keeps each
+/// repeat's file separate so creation cost is paid identically.
+fn build_obs(mode: Mode, journal: &Path) -> (Obs, Option<LiveMetrics>) {
+    match mode {
+        Mode::Off => (Obs::null(), None),
+        Mode::Summary => (
+            Obs::new(
+                Level::Summary,
+                JsonlRecorder::create(journal).expect("create journal"),
+            ),
+            None,
+        ),
+        Mode::Detail => (
+            Obs::new(
+                Level::Detail,
+                JsonlRecorder::create(journal).expect("create journal"),
+            ),
+            None,
+        ),
+        Mode::SummaryLive => {
+            let live = LiveRecorder::new();
+            let metrics = live.metrics();
+            (
+                Obs::new(
+                    Level::Summary,
+                    TeeRecorder::new(
+                        JsonlRecorder::create(journal).expect("create journal"),
+                        live,
+                    ),
+                ),
+                Some(metrics),
+            )
+        }
+    }
+}
+
+struct ModeResult {
+    mode: Mode,
+    median_wall_seconds: f64,
+    walls: Vec<f64>,
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    repeats: usize,
+    modes: Vec<ModeResult>,
+    live_overhead_vs_summary: f64,
+    live_equals_journal_fold: bool,
+}
+
+fn median(walls: &[f64]) -> f64 {
+    let mut sorted = walls.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite wall time"));
+    sorted[sorted.len() / 2]
+}
+
+/// Run `work` under every mode, `repeats` times each, and verify the
+/// live-equals-journal contract on the `summary+live` runs.
+///
+/// Repeats are interleaved round-robin across the modes (off, summary,
+/// detail, summary+live, off, summary, ...) so slow machine drift —
+/// thermal state, page cache, a background daemon — lands on every mode
+/// evenly instead of biasing whichever mode ran last.
+fn bench_workload(
+    name: &'static str,
+    dir: &Path,
+    repeats: usize,
+    mut work: impl FnMut(&Obs),
+) -> WorkloadResult {
+    // Warm caches and the branch predictor outside the measurement.
+    work(&Obs::null());
+    let mut walls: Vec<Vec<f64>> = vec![Vec::new(); Mode::ALL.len()];
+    let mut live_equals_journal_fold = true;
+    for repeat in 0..repeats {
+        for (slot, mode) in Mode::ALL.into_iter().enumerate() {
+            let journal = dir.join(format!("{name}-{}-{repeat}.jsonl", mode.label()));
+            let (obs, live) = build_obs(mode, &journal);
+            let start = Instant::now();
+            work(&obs);
+            obs.flush();
+            walls[slot].push(start.elapsed().as_secs_f64());
+            drop(obs); // close the journal file before reading it back
+            if let Some(live) = live {
+                let loaded = Journal::load(&journal).expect("journal parses");
+                let folded = vega::obs::MetricsRegistry::from_journal(&loaded);
+                if live.to_canonical_json() != folded.to_canonical_json() {
+                    live_equals_journal_fold = false;
+                }
+            }
+            let _ = std::fs::remove_file(&journal);
+        }
+    }
+    let modes: Vec<ModeResult> = Mode::ALL
+        .into_iter()
+        .zip(walls)
+        .map(|(mode, walls)| ModeResult {
+            mode,
+            median_wall_seconds: median(&walls),
+            walls,
+        })
+        .collect();
+    let of = |mode: Mode| {
+        modes
+            .iter()
+            .find(|r| r.mode == mode)
+            .expect("mode measured")
+            .median_wall_seconds
+    };
+    let summary = of(Mode::Summary);
+    let result = WorkloadResult {
+        name,
+        repeats,
+        live_overhead_vs_summary: (of(Mode::SummaryLive) - summary) / summary.max(1e-9),
+        modes,
+        live_equals_journal_fold,
+    };
+    println!("-- workload: {name} ({repeats} repeats) --");
+    for r in &result.modes {
+        println!(
+            "  {:>13}: median {:8.4}s  (runs: {})",
+            r.mode.label(),
+            r.median_wall_seconds,
+            r.walls
+                .iter()
+                .map(|w| format!("{w:.4}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    println!(
+        "  summary+live vs summary: {:+.2}% | live == journal fold: {}\n",
+        result.live_overhead_vs_summary * 100.0,
+        result.live_equals_journal_fold
+    );
+    result
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vega-obs-overhead-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn main() {
+    let quick = vega_bench::quick() || std::env::args().any(|a| a == "--quick");
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("== Observability overhead: off / summary / detail / summary+live ==");
+    println!("host cpus: {host_cpus}, quick: {quick}\n");
+    let dir = temp_dir();
+    let repeats = if quick { 3 } else { 9 };
+
+    // Workload 1: phases 1–2 on the paper adder — profile, aging STA,
+    // error lifting — iterated enough times per measurement that the
+    // summary-mode wall is well above timer noise (the adder is tiny).
+    let (profile_cycles, pairs, iters) = if quick {
+        (2_000, 2, 1)
+    } else {
+        (60_000, 4, 50)
+    };
+    let lift = bench_workload("adder_lift", &dir, repeats, |obs| {
+        for _ in 0..iters {
+            let mut config = WorkflowConfig::paper_demo();
+            config.obs = obs.clone();
+            let unit = prepare_unit(
+                vega_circuits::adder_example::build_paper_adder(),
+                ModuleKind::PaperAdder,
+                &config,
+            );
+            let profile = profile_standalone_obs(
+                &unit.netlist,
+                profile_cycles,
+                42,
+                config.threads,
+                &config.obs,
+            )
+            .expect("profiling enabled");
+            let analysis = analyze_aging(&unit, &profile, &config);
+            let pairs: Vec<_> = analysis.unique_pairs.iter().copied().take(pairs).collect();
+            let report = lift_errors(&unit, &pairs, &config);
+            assert!(!report.pairs.is_empty());
+        }
+    });
+
+    // Workload 2: a 10k-machine fleet run — the phase-3 hot loop, where
+    // per-epoch telemetry and detection-latency histograms are recorded.
+    let pool = {
+        let config = WorkflowConfig::paper_demo();
+        let unit = prepare_unit(
+            vega_circuits::adder_example::build_paper_adder(),
+            ModuleKind::PaperAdder,
+            &config,
+        );
+        let profile = profile_standalone(&unit.netlist, 300, 42).expect("profile");
+        let analysis = analyze_aging(&unit, &profile, &config);
+        let pairs: Vec<_> = analysis.unique_pairs.iter().copied().take(2).collect();
+        let report = lift_errors(&unit, &pairs, &config);
+        build_unit_pool("adder", &unit, &analysis, &report)
+    };
+    assert!(!pool.suite.is_empty(), "adder must lift test cases");
+    let (machines, epochs) = if quick { (2_000, 2) } else { (10_000, 8) };
+    let fleet = bench_workload("fleet_10k", &dir, repeats, |obs| {
+        let config = FleetConfig::new(machines, epochs, Policy::Adaptive, 1);
+        let mut fleet = Fleet::build(vec![pool.clone()], config);
+        fleet.set_obs(obs.clone());
+        fleet.run();
+    });
+
+    let results = [lift, fleet];
+    for r in &results {
+        assert!(
+            r.live_equals_journal_fold,
+            "{}: live registry diverged from the journal fold",
+            r.name
+        );
+    }
+    // The < 5 % claim is asserted only in full mode: quick workloads
+    // finish in milliseconds, where timer noise swamps the ratio. The
+    // quick numbers are still recorded honestly in the artifact.
+    let overhead_asserted = !quick;
+    for r in &results {
+        if overhead_asserted {
+            assert!(
+                r.live_overhead_vs_summary < 0.05,
+                "{}: live folding costs {:+.2}% over the summary journal (budget < 5%)",
+                r.name,
+                r.live_overhead_vs_summary * 100.0
+            );
+        } else {
+            println!(
+                "note: {}: < 5% assertion skipped in quick mode ({:+.2}% measured)",
+                r.name,
+                r.live_overhead_vs_summary * 100.0
+            );
+        }
+    }
+
+    let json = Json::obj(vec![
+        ("host_cpus", Json::UInt(host_cpus as u64)),
+        ("quick", Json::Bool(quick)),
+        (
+            "workloads",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("name", Json::Str(r.name.to_string())),
+                            ("repeats", Json::UInt(r.repeats as u64)),
+                            (
+                                "modes",
+                                Json::Arr(
+                                    r.modes
+                                        .iter()
+                                        .map(|m| {
+                                            Json::obj(vec![
+                                                ("mode", Json::Str(m.mode.label().to_string())),
+                                                (
+                                                    "median_wall_seconds",
+                                                    Json::Float(m.median_wall_seconds),
+                                                ),
+                                                (
+                                                    "walls",
+                                                    Json::Arr(
+                                                        m.walls
+                                                            .iter()
+                                                            .map(|&w| Json::Float(w))
+                                                            .collect(),
+                                                    ),
+                                                ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "live_overhead_vs_summary",
+                                Json::Float(r.live_overhead_vs_summary),
+                            ),
+                            (
+                                "live_equals_journal_fold",
+                                Json::Bool(r.live_equals_journal_fold),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("live_overhead_budget", Json::Float(0.05)),
+        ("overhead_asserted", Json::Bool(overhead_asserted)),
+    ]);
+    std::fs::create_dir_all("bench_results").expect("bench_results dir");
+    std::fs::write("bench_results/obs_overhead.json", json.to_pretty())
+        .expect("write obs_overhead.json");
+    println!("wrote bench_results/obs_overhead.json");
+    let _ = std::fs::remove_dir_all(&dir);
+}

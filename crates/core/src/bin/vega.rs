@@ -48,6 +48,10 @@ COMMANDS:
                 write-ahead log; a killed run resumes exactly where it
                 stopped (same --state-dir, same arguments);
                 --status prints the WAL state read-only instead
+    top         poll a live process's telemetry endpoints and render a
+                terminal dashboard (`vega top http://127.0.0.1:PORT`):
+                phase progress, solver-effort rates, fleet health, and
+                detection-latency percentiles
 
 COMMON OPTIONS:
     --unit <alu|fpu|adder>    unit under analysis     [default: alu]
@@ -77,6 +81,13 @@ COMMON OPTIONS:
     --dir <path>              (artifacts) output directory [default: .]
     --obs-journal <path>      record a schema-versioned JSONL run journal
     --obs-level <level>       off|summary|detail         [default: summary]
+    --listen <addr>           (serve|fleet|suite) serve live telemetry over
+                              HTTP while the run executes: GET /metrics
+                              (Prometheus), /status (JSON), /healthz
+                              (200/503); e.g. --listen 127.0.0.1:9090
+                              (port 0 picks an ephemeral port, printed on
+                              stderr and — under serve — written to
+                              <state-dir>/http.addr)
     --prom                    (report <journal>) print the metrics as
                               Prometheus exposition text instead
 
@@ -120,6 +131,12 @@ SERVE OPTIONS:
                               appending WAL sequence number n
     --chaos-torn              (serve, tests) make that abort tear the WAL
                               line mid-write
+
+TOP OPTIONS:
+    --interval-ms <n>         poll interval                  [default: 500]
+    --samples <n>             stop after n polls   [default: run until done]
+    --plain                   append one block per sample instead of
+                              redrawing the screen (for logs and tests)
 "
 }
 
@@ -152,6 +169,10 @@ struct Options {
     out: Option<String>,
     obs_journal: Option<String>,
     obs_level: obs::Level,
+    listen: Option<String>,
+    interval_ms: u64,
+    samples: Option<usize>,
+    plain: bool,
     prom: bool,
     state_dir: Option<String>,
     chaos_kill_seq: Option<u64>,
@@ -198,6 +219,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         out: None,
         obs_journal: None,
         obs_level: obs::Level::Summary,
+        listen: None,
+        interval_ms: 500,
+        samples: None,
+        plain: false,
         prom: false,
         state_dir: None,
         chaos_kill_seq: None,
@@ -318,6 +343,20 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--obs-level: {e}"))?
             }
+            "--listen" => options.listen = Some(value("--listen")?),
+            "--interval-ms" => {
+                options.interval_ms = value("--interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--interval-ms: {e}"))?
+            }
+            "--samples" => {
+                options.samples = Some(
+                    value("--samples")?
+                        .parse()
+                        .map_err(|e| format!("--samples: {e}"))?,
+                )
+            }
+            "--plain" => options.plain = true,
             "--prom" => options.prom = true,
             "--state-dir" => options.state_dir = Some(value("--state-dir")?),
             "--chaos-kill-seq" => {
@@ -369,19 +408,48 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
-/// The observability sink the command-line flags imply: a JSONL journal
-/// recorder when `--obs-journal` was given, the null sink otherwise.
-fn build_obs(options: &Options) -> Result<Obs, String> {
-    let Some(path) = &options.obs_journal else {
-        return Ok(Obs::null());
+/// The observability sink the command-line flags imply, plus the live
+/// read handle when `--listen` asked for in-process folding: a JSONL
+/// journal recorder for `--obs-journal`, a live-folding recorder for
+/// `--listen`, a tee of both when both are given (sequence numbers are
+/// assigned before the tee, so the journal stays byte-identical), the
+/// null sink otherwise.
+fn build_obs(options: &Options) -> Result<(Obs, Option<obs::LiveMetrics>), String> {
+    let live = if options.listen.is_some() {
+        if matches!(options.obs_level, obs::Level::Off) {
+            return Err("--listen has nothing to export with --obs-level off; \
+                 use --obs-level summary|detail"
+                .to_string());
+        }
+        Some(obs::LiveMetrics::new())
+    } else {
+        None
     };
-    let recorder = obs::JsonlRecorder::create(std::path::Path::new(path))
-        .map_err(|e| format!("creating journal {path}: {e}"))?;
-    Ok(Obs::new(options.obs_level, recorder))
+    let journal = |path: &String| {
+        obs::JsonlRecorder::create(std::path::Path::new(path))
+            .map_err(|e| format!("creating journal {path}: {e}"))
+    };
+    let obs = match (&options.obs_journal, &live) {
+        (None, None) => Obs::null(),
+        (Some(path), None) => Obs::new(options.obs_level, journal(path)?),
+        (None, Some(live)) => Obs::new(
+            options.obs_level,
+            obs::LiveRecorder::with_metrics(live.clone()),
+        ),
+        (Some(path), Some(live)) => Obs::new(
+            options.obs_level,
+            obs::TeeRecorder::new(
+                journal(path)?,
+                obs::LiveRecorder::with_metrics(live.clone()),
+            ),
+        ),
+    };
+    Ok((obs, live))
 }
 
-/// The workflow configuration the command-line flags imply.
-fn build_config(options: &Options) -> Result<WorkflowConfig, String> {
+/// The workflow configuration the command-line flags imply, plus the
+/// live-metrics handle when `--listen` was given.
+fn build_config(options: &Options) -> Result<(WorkflowConfig, Option<obs::LiveMetrics>), String> {
     let mut config = match options.unit.as_str() {
         "adder" => WorkflowConfig::paper_demo(),
         _ => WorkflowConfig::cmos28_10y(),
@@ -393,26 +461,36 @@ fn build_config(options: &Options) -> Result<WorkflowConfig, String> {
     config.portfolio.racers = options.portfolio;
     config.portfolio.threshold = options.portfolio_threshold;
     config.lift_budget = options.lift_budget;
-    config.obs = build_obs(options)?;
+    let (obs, live) = build_obs(options)?;
+    config.obs = obs;
     if options.fuzz_fallback {
         config.fuzz_fallback = Some(FuzzConfig::default());
     }
-    Ok(config)
+    Ok((config, live))
 }
 
-fn build_unit(options: &Options) -> Result<(PreparedUnit, WorkflowConfig), String> {
-    let config = build_config(options)?;
+type UnitConfig = (PreparedUnit, WorkflowConfig, Option<obs::LiveMetrics>);
+
+fn build_unit(options: &Options) -> Result<UnitConfig, String> {
+    let (config, live) = build_config(options)?;
     let (netlist, module) = match options.unit.as_str() {
         "alu" => (build_alu(), ModuleKind::Alu),
         "fpu" => (build_fpu(), ModuleKind::Fpu),
         "adder" => (build_paper_adder(), ModuleKind::PaperAdder),
         other => return Err(format!("unknown unit `{other}` (alu|fpu|adder)")),
     };
-    Ok((prepare_unit(netlist, module, &config), config))
+    Ok((prepare_unit(netlist, module, &config), config, live))
 }
 
-fn phase1(options: &Options) -> Result<(PreparedUnit, WorkflowConfig, AgingAnalysis), String> {
-    let (unit, config) = build_unit(options)?;
+type Phase1 = (
+    PreparedUnit,
+    WorkflowConfig,
+    AgingAnalysis,
+    Option<obs::LiveMetrics>,
+);
+
+fn phase1(options: &Options) -> Result<Phase1, String> {
+    let (unit, config, live) = build_unit(options)?;
     eprintln!(
         "prepared {}: {} cells, {:.1} MHz, {} hold buffers",
         unit.netlist.name(),
@@ -429,7 +507,63 @@ fn phase1(options: &Options) -> Result<(PreparedUnit, WorkflowConfig, AgingAnaly
     )
     .map_err(|e| e.to_string())?;
     let analysis = analyze_aging(&unit, &profile, &config);
-    Ok((unit, config, analysis))
+    Ok((unit, config, analysis, live))
+}
+
+/// Start the embedded HTTP exporter when `--listen` was given: the
+/// returned guard keeps the background server alive and carries the
+/// [`serve::Health`] handle the run should drive. `wal_path` (serve
+/// only) makes `/status` include the WAL recovery scan; runs without a
+/// WAL report `run_label` instead.
+fn start_exporter(
+    options: &Options,
+    live: &Option<obs::LiveMetrics>,
+    wal_path: Option<std::path::PathBuf>,
+    run_label: &str,
+) -> Result<Option<(serve::HttpExporter, serve::Health)>, String> {
+    use std::sync::Arc;
+    let Some(listen) = &options.listen else {
+        return Ok(None);
+    };
+    let live = live.clone().expect("--listen implies a live registry");
+    let health = serve::Health::new();
+    let started = std::time::Instant::now();
+    let endpoints = serve::Endpoints {
+        metrics: {
+            let live = live.clone();
+            Arc::new(move || live.to_prometheus())
+        },
+        status: {
+            let health = health.clone();
+            let live = live.clone();
+            let label = run_label.to_string();
+            Arc::new(move || {
+                let mut report = match &wal_path {
+                    Some(wal) => {
+                        serve::status_report(wal).unwrap_or_else(|_| serve::StatusReport {
+                            wal_path: wal.display().to_string(),
+                            ..serve::StatusReport::default()
+                        })
+                    }
+                    None => serve::StatusReport::default(),
+                };
+                if report.run_label.is_none() {
+                    report.run_label = Some(label.clone());
+                }
+                report
+                    .with_live(&health, started.elapsed().as_secs(), &live.snapshot())
+                    .to_json()
+            })
+        },
+        health: health.clone(),
+    };
+    let exporter = serve::HttpExporter::start(listen, endpoints)
+        .map_err(|e| format!("binding --listen {listen}: {e}"))?;
+    eprintln!(
+        "telemetry: http://{0}/metrics  http://{0}/status  http://{0}/healthz",
+        exporter.addr()
+    );
+    Ok(Some((exporter, health)))
 }
 
 /// Lift through the resumable runner when checkpointing is requested;
@@ -480,7 +614,7 @@ fn lift_resilient(
 }
 
 fn cmd_profile(options: &Options) -> Result<(), String> {
-    let (unit, config) = build_unit(options)?;
+    let (unit, config, _live) = build_unit(options)?;
     let profile = profile_standalone_obs(
         &unit.netlist,
         options.profile_cycles,
@@ -501,7 +635,7 @@ fn cmd_profile(options: &Options) -> Result<(), String> {
 }
 
 fn cmd_analyze(options: &Options) -> Result<(), String> {
-    let (unit, config, analysis) = phase1(options)?;
+    let (unit, config, analysis, _live) = phase1(options)?;
     println!("{}", analysis.report.table3_row());
     println!(
         "unique pairs: {} | aged clock skew: {:.1} ps | lifetime: {} y",
@@ -519,7 +653,7 @@ fn cmd_analyze(options: &Options) -> Result<(), String> {
 }
 
 fn cmd_lift(options: &Options) -> Result<(), String> {
-    let (unit, config, analysis) = phase1(options)?;
+    let (unit, config, analysis, _live) = phase1(options)?;
     let pairs: Vec<AgingPath> = analysis
         .unique_pairs
         .iter()
@@ -573,7 +707,11 @@ fn cmd_lift(options: &Options) -> Result<(), String> {
 }
 
 fn cmd_suite(options: &Options) -> Result<(), String> {
-    let (unit, config, analysis) = phase1(options)?;
+    let (unit, config, analysis, live) = phase1(options)?;
+    let exporter = start_exporter(options, &live, None, &format!("suite/{}", options.unit))?;
+    if let Some((_, health)) = &exporter {
+        health.set(serve::HealthState::Serving);
+    }
     let pairs: Vec<AgingPath> = analysis
         .unique_pairs
         .iter()
@@ -600,11 +738,15 @@ fn cmd_suite(options: &Options) -> Result<(), String> {
         std::fs::write(path, source).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote C aging library to {path}");
     }
+    if let Some((_, health)) = &exporter {
+        health.set(serve::HealthState::Draining);
+    }
+    config.obs.flush();
     Ok(())
 }
 
 fn cmd_artifacts(options: &Options) -> Result<(), String> {
-    let (unit, config, analysis) = phase1(options)?;
+    let (unit, config, analysis, _live) = phase1(options)?;
     let pairs: Vec<AgingPath> = analysis
         .unique_pairs
         .iter()
@@ -637,7 +779,11 @@ fn cmd_artifacts(options: &Options) -> Result<(), String> {
 }
 
 fn cmd_fleet(options: &Options) -> Result<(), String> {
-    let (unit, config, analysis) = phase1(options)?;
+    let (unit, config, analysis, live) = phase1(options)?;
+    let exporter = start_exporter(options, &live, None, &format!("fleet/{}", options.unit))?;
+    if let Some((_, health)) = &exporter {
+        health.set(serve::HealthState::Serving);
+    }
     let pairs: Vec<AgingPath> = analysis
         .unique_pairs
         .iter()
@@ -743,6 +889,9 @@ fn cmd_fleet(options: &Options) -> Result<(), String> {
         eprintln!("wrote fleet telemetry to {path}");
     }
     print!("{json}");
+    if let Some((_, health)) = &exporter {
+        health.set(serve::HealthState::Draining);
+    }
     config.obs.flush();
     Ok(())
 }
@@ -754,7 +903,7 @@ fn cmd_fleet(options: &Options) -> Result<(), String> {
 fn predict_dataset(
     options: &Options,
 ) -> Result<(WorkflowConfig, FeatureMatrix, Vec<f64>, TrainOptions), String> {
-    let (unit, config, analysis) = phase1(options)?;
+    let (unit, config, analysis, _live) = phase1(options)?;
     let probe =
         vega_sim::profile_sharded(&unit.netlist, options.probe_cycles, 0xA11CE, config.threads);
     let features = extract_features(&unit.netlist, Some(&probe), config.threads, &config.obs)
@@ -881,36 +1030,12 @@ fn cmd_predict(options: &Options) -> Result<(), String> {
 
 /// `vega serve --status`: read-only WAL inspection — what the recovery
 /// scan would conclude, without constructing the service or mutating the
-/// state directory.
+/// state directory. Renders the same [`serve::StatusReport`] the HTTP
+/// `/status` endpoint serves, so the two views cannot drift apart.
 fn cmd_serve_status(state_dir: &std::path::Path) -> Result<(), String> {
     let wal_path = state_dir.join("wal.jsonl");
-    if !wal_path.exists() {
-        println!("no WAL at {} (fresh state directory)", wal_path.display());
-        return Ok(());
-    }
-    let replay = serve::wal_status(&wal_path).map_err(|e| e.to_string())?;
-    println!("wal: {}", wal_path.display());
-    println!("  records:        {}", replay.records.len());
-    println!("  next sequence:  {}", replay.next_seq);
-    println!("  completed ops:  {}", replay.completed.len());
-    println!("  in-doubt ops:   {}", replay.in_doubt.len());
-    for op in &replay.in_doubt {
-        println!("    in doubt: {op}");
-    }
-    println!("  recoveries:     {}", replay.recoveries);
-    println!(
-        "  torn tail:      {}",
-        match &replay.torn {
-            Some(tail) => format!(
-                "line {} (valid prefix {} bytes)",
-                tail.line, tail.valid_bytes
-            ),
-            None => "none".to_string(),
-        }
-    );
-    println!("  run started:    {}", replay.run_start.is_some());
-    println!("  run complete:   {}", replay.run_complete);
-    println!("  clean shutdown: {}", replay.clean_shutdown);
+    let report = serve::status_report(&wal_path).map_err(|e| e.to_string())?;
+    print!("{}", report.render_text());
     Ok(())
 }
 
@@ -925,7 +1050,22 @@ fn cmd_serve(options: &Options) -> Result<(), String> {
         return Err(format!("unknown unit `{}` (alu|fpu|adder)", options.unit));
     }
     let state_dir = std::path::PathBuf::from(state_dir);
-    let config = build_config(options)?;
+    let (config, live) = build_config(options)?;
+    // The exporter comes up before the service so /healthz answers
+    // (`starting`, then `recovering`) while the WAL replay runs.
+    let exporter = start_exporter(
+        options,
+        &live,
+        Some(state_dir.join("wal.jsonl")),
+        &format!("serve/{}", options.unit),
+    )?;
+    if let Some((exp, _)) = &exporter {
+        std::fs::create_dir_all(&state_dir)
+            .map_err(|e| format!("mkdir {}: {e}", state_dir.display()))?;
+        let addr_file = state_dir.join("http.addr");
+        std::fs::write(&addr_file, format!("http://{}\n", exp.addr()))
+            .map_err(|e| format!("writing {}: {e}", addr_file.display()))?;
+    }
     let params = ServeParams {
         unit: options.unit.clone(),
         years: options.years,
@@ -947,8 +1087,12 @@ fn cmd_serve(options: &Options) -> Result<(), String> {
     };
     let mut service =
         VegaService::new(params, &state_dir, config.clone()).map_err(|e| e.to_string())?;
-    let mut server =
-        serve::Server::new(&service.wal_path()).with_shutdown_flag(serve::shutdown::flag());
+    let mut server = serve::Server::new(&service.wal_path())
+        .with_shutdown_flag(serve::shutdown::flag())
+        .with_obs(config.obs.clone());
+    if let Some((_, health)) = &exporter {
+        server = server.with_health(health.clone());
+    }
     if let Some(seq) = options.chaos_kill_seq {
         server = server.with_writer_chaos(serve::WriterChaos {
             abort_at_seq: Some(seq),
@@ -988,8 +1132,20 @@ fn cmd_report(options: &Options) -> Result<(), String> {
     // `vega report <journal.jsonl>` renders a recorded run journal;
     // without a journal path the legacy netlist-statistics mode runs.
     if let Some(path) = &options.journal {
-        let journal =
-            obs::Journal::load(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        // Tolerate a torn final line (a kill mid-append can cut the last
+        // record anywhere, including inside a UTF-8 sequence): report on
+        // the valid prefix and note the truncation on stderr.
+        let (journal, torn) = obs::Journal::load_tolerant(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        if let Some(tail) = &torn {
+            eprintln!(
+                "note: journal tail is torn at line {} (valid prefix {} bytes); \
+                 reporting on the {} complete events",
+                tail.line,
+                tail.valid_bytes,
+                journal.events.len()
+            );
+        }
         if options.prom {
             let registry = obs::MetricsRegistry::from_journal(&journal);
             print!("{}", registry.to_prometheus());
@@ -998,9 +1154,192 @@ fn cmd_report(options: &Options) -> Result<(), String> {
         }
         return Ok(());
     }
-    let (unit, _) = build_unit(options)?;
+    let (unit, _, _) = build_unit(options)?;
     print!("{}", vega_netlist::stats::NetlistStats::of(&unit.netlist));
     Ok(())
+}
+
+/// Reduce `http://HOST:PORT[/...]` to the `HOST:PORT` a TCP connect
+/// needs.
+fn parse_exporter_url(url: &str) -> Result<String, String> {
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    let host = rest.split('/').next().unwrap_or("");
+    if host.is_empty() || !host.contains(':') {
+        return Err(format!(
+            "cannot parse exporter URL `{url}` (expected http://HOST:PORT)"
+        ));
+    }
+    Ok(host.to_string())
+}
+
+/// One blocking HTTP/1.0 GET against the exporter; returns the body of
+/// a 200 response.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let timeout = std::time::Duration::from_secs(5);
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).ok();
+    stream.set_write_timeout(Some(timeout)).ok();
+    write!(
+        stream,
+        "GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("requesting {addr}{path}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("reading {addr}{path}: {e}"))?;
+    let Some((head, body)) = response.split_once("\r\n\r\n") else {
+        return Err(format!("{addr}{path}: malformed HTTP response"));
+    };
+    let status_line = head.lines().next().unwrap_or_default();
+    if !status_line.contains(" 200") {
+        return Err(format!("{addr}{path}: {status_line}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Parse Prometheus text exposition into `name → value`, skipping
+/// comment lines and labelled series (histogram buckets carry
+/// `{le="..."}`; the paired `_count`/`_sum` series remain).
+fn parse_prometheus(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.contains('{') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(name), Some(value)) = (parts.next(), parts.next()) {
+            if let Ok(value) = value.parse::<f64>() {
+                out.insert(name.to_string(), value);
+            }
+        }
+    }
+    out
+}
+
+/// Render one `vega top` frame from a `/status` JSON document, the
+/// current `/metrics` sample, and (after the first poll) the previous
+/// sample for per-second rates.
+fn render_top(
+    status: &obs::json::Json,
+    metrics: &BTreeMap<String, f64>,
+    previous: Option<(f64, &BTreeMap<String, f64>)>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let str_of = |key: &str| status.get(key).and_then(|v| v.as_str()).unwrap_or("-");
+    let _ = writeln!(
+        out,
+        "vega top — {} | health {} | up {}s",
+        str_of("run_label"),
+        str_of("health"),
+        status
+            .get("uptime_secs")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    );
+    if status.get("wal_exists").and_then(|v| v.as_bool()) == Some(true) {
+        let u64_of = |key: &str| status.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "wal: {} records, {} completed ops, {} in doubt, {} recoveries",
+            u64_of("records"),
+            u64_of("completed_ops"),
+            status
+                .get("in_doubt")
+                .and_then(|v| v.items().map(|items| items.len()))
+                .unwrap_or(0),
+            u64_of("recoveries"),
+        );
+    }
+    if let Some(progress) = status.get("progress").and_then(|v| v.entries()) {
+        for (name, value) in progress {
+            if let Some(value) = value.as_f64() {
+                let _ = writeln!(out, "  {name:<28} {value}");
+            }
+        }
+    }
+    if let Some(portfolio) = status.get("portfolio").and_then(|v| v.entries()) {
+        for (name, value) in portfolio {
+            if let Some(value) = value.as_u64() {
+                let _ = writeln!(out, "  {name:<28} {value}");
+            }
+        }
+    }
+    if let Some(latency) = status.get("latency").and_then(|v| v.entries()) {
+        let rendered: Vec<String> = latency
+            .iter()
+            .filter_map(|(label, v)| v.as_f64().map(|v| format!("{label} {v:.1}")))
+            .collect();
+        if !rendered.is_empty() {
+            let _ = writeln!(out, "  detection latency (epochs): {}", rendered.join("  "));
+        }
+    }
+    if let Some((dt, prev)) = previous {
+        if dt > 0.0 {
+            let mut rates: Vec<(&str, f64)> = metrics
+                .iter()
+                .filter_map(|(name, value)| {
+                    let delta = value - prev.get(name).copied().unwrap_or(0.0);
+                    (delta > 0.0).then_some((name.as_str(), delta / dt))
+                })
+                .collect();
+            rates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            if !rates.is_empty() {
+                let _ = writeln!(out, "rates:");
+                for (name, rate) in rates.into_iter().take(8) {
+                    let _ = writeln!(out, "  {name:<40} {rate:>10.1}/s");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `vega top <url>`: poll a live process's `/status` and `/metrics`
+/// endpoints and render a terminal dashboard until the run drains (or
+/// `--samples` polls have been taken).
+fn cmd_top(options: &Options) -> Result<(), String> {
+    let Some(url) = &options.journal else {
+        return Err("top needs the exporter URL: vega top http://127.0.0.1:PORT".to_string());
+    };
+    let addr = parse_exporter_url(url)?;
+    let interval = std::time::Duration::from_millis(options.interval_ms.max(1));
+    let mut previous: Option<(std::time::Instant, BTreeMap<String, f64>)> = None;
+    let mut sample = 0usize;
+    loop {
+        sample += 1;
+        let status_body = http_get(&addr, "/status")?;
+        let metrics_body = http_get(&addr, "/metrics").unwrap_or_default();
+        let status = obs::json::parse_json(status_body.trim())
+            .map_err(|e| format!("/status is not valid JSON: {e}"))?;
+        let metrics = parse_prometheus(&metrics_body);
+        let now = std::time::Instant::now();
+        let frame = render_top(
+            &status,
+            &metrics,
+            previous
+                .as_ref()
+                .map(|(t, m)| (now.duration_since(*t).as_secs_f64(), m)),
+        );
+        if options.plain {
+            print!("{frame}");
+        } else {
+            // Redraw in place: clear screen, home the cursor.
+            print!("\x1b[2J\x1b[H{frame}");
+        }
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        let drained = status.get("run_complete").and_then(|v| v.as_bool()) == Some(true)
+            || status.get("health").and_then(|v| v.as_str()) == Some("draining");
+        if drained || options.samples.is_some_and(|n| sample >= n) {
+            return Ok(());
+        }
+        previous = Some((now, metrics));
+        std::thread::sleep(interval);
+    }
 }
 
 fn main() -> ExitCode {
@@ -1016,6 +1355,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if options.listen.is_some() && !matches!(command.as_str(), "serve" | "fleet" | "suite") {
+        eprintln!("--listen is supported on serve|fleet|suite (long-running commands)");
+        return ExitCode::FAILURE;
+    }
     // Graceful shutdown applies where there is durable state to keep
     // consistent: `serve` always, `lift`/`suite` when checkpointing.
     // (Without a checkpoint, Ctrl-C keeps its default kill behavior.)
@@ -1034,6 +1377,7 @@ fn main() -> ExitCode {
         "fleet" => cmd_fleet(&options),
         "predict" => cmd_predict(&options),
         "serve" => cmd_serve(&options),
+        "top" => cmd_top(&options),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())

@@ -154,6 +154,8 @@ pub fn lift_errors_resumable(
             .obs
             .counter("phase2.resumed_pairs", resumed_pairs as u64);
     }
+    config.obs.gauge("phase2.pairs_total", pairs.len() as f64);
+    config.obs.gauge("phase2.pairs_done", resumed_pairs as f64);
     let todo: Vec<usize> = (0..pairs.len())
         .filter(|&index| slots[index].is_none())
         .collect();
@@ -196,6 +198,11 @@ pub fn lift_errors_resumable(
             pair_index: index,
             result,
         });
+        // Progress gauge under the completion mutex: monotonic, and at
+        // threads=1 a pure function of the inputs (journal determinism).
+        config
+            .obs
+            .gauge("phase2.pairs_done", checkpoint.entries.len() as f64);
         if let Some(path) = &options.checkpoint {
             match save_checkpoint(path, checkpoint) {
                 Ok(()) => config.obs.counter("phase2.checkpoint.saves", 1),

@@ -97,10 +97,15 @@ fn note_str(fields: &[(String, WalValue)], key: &str) -> Option<String> {
     })
 }
 
+/// `(pair, attempt, round)` — the identity of one raced budget round.
+type RoundKey = (u64, u64, u64);
+/// `(winner_backend, winner_seed)` journaled for a raced round.
+type RoundWinner = (String, u64);
+
 /// `(pair, attempt, round) → (winner_backend, winner_seed)` for every
 /// raced round note in the WAL, plus the WAL seq of each pair's
 /// completion record.
-fn scan_wal(wal: &Path) -> (BTreeMap<(u64, u64, u64), (String, u64)>, BTreeMap<u64, u64>) {
+fn scan_wal(wal: &Path) -> (BTreeMap<RoundKey, RoundWinner>, BTreeMap<u64, u64>) {
     let status = wal_status(wal).expect("wal readable");
     let mut raced = BTreeMap::new();
     let mut complete_seqs = BTreeMap::new();
@@ -163,7 +168,7 @@ fn killed_mid_race_recovers_by_replaying_the_recorded_winners() {
     let status = wal_status(&killed.join("wal.jsonl")).expect("killed wal");
     assert!(status.torn.is_some(), "the kill must tear the final line");
     let (killed_raced, killed_completes) = scan_wal(&killed.join("wal.jsonl"));
-    let recorded: Vec<(&(u64, u64, u64), &(String, u64))> = killed_raced
+    let recorded: Vec<(&RoundKey, &RoundWinner)> = killed_raced
         .iter()
         .filter(|((pair, _, _), _)| *pair == raced_pair)
         .collect();

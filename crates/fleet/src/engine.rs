@@ -989,6 +989,21 @@ impl Fleet {
             return;
         }
         self.obs.counter("phase3.fleet.epochs", 1);
+        // Run-progress gauges for the live telemetry plane. Emitted on
+        // the coordinating thread after the epoch's merge, so the values
+        // (and their journal order) are deterministic at any thread
+        // count. `self.epoch` still holds the just-finished epoch index.
+        if self.epoch == 0 {
+            self.obs
+                .gauge("phase3.fleet.epochs_total", self.config.epochs as f64);
+            self.obs
+                .gauge("phase3.fleet.machines", self.table.len() as f64);
+        }
+        self.obs
+            .gauge("phase3.fleet.epoch", (self.epoch + 1) as f64);
+        let in_rotation: u64 = self.regions.iter().map(|r| u64::from(r.in_rotation)).sum();
+        self.obs
+            .gauge("phase3.fleet.machines_in_rotation", in_rotation as f64);
         for (name, value) in [
             ("phase3.fleet.scan_visits", stats.scan_visits),
             ("phase3.fleet.retest_visits", stats.retest_visits),

@@ -840,10 +840,16 @@ pub fn generate_suite(
         threads = 1u64,
     );
     config.obs.counter("phase2.pairs", paths.len() as u64);
+    config.obs.gauge("phase2.pairs_total", paths.len() as f64);
+    config.obs.gauge("phase2.pairs_done", 0.0);
     let pairs = paths
         .iter()
         .enumerate()
-        .map(|(index, &path)| lift_pair(netlist, module, path, index, config))
+        .map(|(index, &path)| {
+            let pair = lift_pair(netlist, module, path, index, config);
+            config.obs.gauge("phase2.pairs_done", (index + 1) as f64);
+            pair
+        })
         .collect();
     LiftReport {
         module,
@@ -876,7 +882,10 @@ pub fn generate_suite_parallel(
         threads = threads,
     );
     config.obs.counter("phase2.pairs", paths.len() as u64);
+    config.obs.gauge("phase2.pairs_total", paths.len() as f64);
+    config.obs.gauge("phase2.pairs_done", 0.0);
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let done = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<PairResult>> = Vec::new();
     slots.resize_with(paths.len(), || None);
     let slots = std::sync::Mutex::new(slots);
@@ -891,6 +900,8 @@ pub fn generate_suite_parallel(
                 // sibling results must survive, so shrug the poison off.
                 let mut slots = slots.lock().unwrap_or_else(|poison| poison.into_inner());
                 slots[index] = Some(pair);
+                let finished = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                config.obs.gauge("phase2.pairs_done", finished as f64);
             });
         }
     });

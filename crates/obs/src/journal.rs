@@ -126,8 +126,16 @@ impl Journal {
     }
 
     /// Like [`Journal::load`], but tolerate a truncated final line.
+    ///
+    /// A kill mid-append can tear the last line anywhere — including in
+    /// the middle of a multi-byte UTF-8 sequence — so the file is read
+    /// as bytes and decoded lossily. The valid prefix is valid UTF-8
+    /// written by [`crate::JsonlRecorder`], so lossy replacement only
+    /// ever alters bytes inside the torn fragment and `valid_bytes`
+    /// stays an exact truncation offset.
     pub fn load_tolerant(path: &Path) -> Result<(Self, Option<TornTail>), JournalError> {
-        let text = std::fs::read_to_string(path)?;
+        let bytes = std::fs::read(path)?;
+        let text = String::from_utf8_lossy(&bytes);
         Self::parse_tolerant(&text)
     }
 
@@ -374,6 +382,35 @@ mod tests {
         let (journal, none) = Journal::parse_tolerant(whole).expect("parses");
         assert_eq!(journal.events.len(), 2);
         assert!(none.is_none());
+    }
+
+    #[test]
+    fn load_tolerant_survives_tail_torn_mid_utf8() {
+        // A kill mid-append can cut a multi-byte UTF-8 sequence in half,
+        // leaving a file that is not valid UTF-8 at all. load_tolerant
+        // must still recover the valid prefix instead of erroring.
+        let path = tmp("torn-utf8.jsonl");
+        let prefix = "{\"v\":1,\"seq\":0,\"kind\":\"counter\",\"name\":\"x\",\"add\":1}\n";
+        let tail = "{\"v\":1,\"seq\":1,\"kind\":\"message\",\"name\":\"phase2.pair.crashed\",\
+                    \"fields\":{\"message\":\"caf\u{e9}\"}}\n";
+        let mut bytes = prefix.as_bytes().to_vec();
+        // Keep only part of the tail, cutting inside the 2-byte 'é'.
+        let cut = tail.find('\u{e9}').unwrap() + 1;
+        bytes.extend_from_slice(&tail.as_bytes()[..cut]);
+        assert!(
+            std::str::from_utf8(&bytes).is_err(),
+            "fixture must be invalid UTF-8"
+        );
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(Journal::load(&path).is_err(), "strict load rejects");
+        let (journal, torn) = Journal::load_tolerant(&path).expect("tolerant load");
+        let torn = torn.expect("torn tail detected");
+        assert_eq!(journal.events.len(), 1);
+        assert_eq!(torn.line, 2);
+        // valid_bytes is an exact byte offset into the original file,
+        // unaffected by lossy decoding of the torn fragment.
+        assert_eq!(torn.valid_bytes as usize, prefix.len());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

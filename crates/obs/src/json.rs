@@ -88,6 +88,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Array items in document order, if this is an array.
+    pub fn items(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Json {

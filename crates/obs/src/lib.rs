@@ -7,8 +7,11 @@
 //! * **Recording** — the [`Obs`] handle and [`Recorder`] trait: span-style
 //!   scoped timers ([`span!`]), typed counters/gauges/histograms, and
 //!   structured point events. Backends: [`NullRecorder`] (free, default),
-//!   [`TestRecorder`] (in-memory, for assertions), and [`JsonlRecorder`]
-//!   (streams a schema-versioned `run.jsonl` journal).
+//!   [`TestRecorder`] (in-memory, for assertions), [`JsonlRecorder`]
+//!   (streams a schema-versioned `run.jsonl` journal), [`LiveRecorder`]
+//!   (folds metric events into a shared [`MetricsRegistry`] as they
+//!   happen), and [`TeeRecorder`] (fans one stream out to two backends,
+//!   e.g. journal + live).
 //! * **Journal** — [`Journal`] loads and validates a run journal
 //!   (version check, gap-free sequence numbers, balanced spans) and can
 //!   re-encode it canonically with wall-clock stripped, so two same-seed
@@ -32,12 +35,14 @@
 mod event;
 mod journal;
 pub mod json;
+mod live;
 mod metrics;
 mod recorder;
 mod report;
 
 pub use event::{Event, EventKind, Value, Wall, JOURNAL_FORMAT_VERSION};
 pub use journal::{Journal, JournalError, TornTail};
+pub use live::{LiveMetrics, LiveRecorder, TeeRecorder};
 pub use metrics::{
     prometheus_name, validate_prometheus, Histogram, Metric, MetricsRegistry, DEFAULT_BUCKETS,
 };

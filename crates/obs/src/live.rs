@@ -1,0 +1,236 @@
+//! Live metric folding: recorders that maintain a [`MetricsRegistry`]
+//! in-process, as events happen, instead of (or in addition to) writing
+//! them to a journal for post-mortem folding.
+//!
+//! Composition rules:
+//!
+//! * [`LiveRecorder`] folds every metric event (`counter` / `gauge` /
+//!   `hist`) into a shared registry under a mutex. Span and message
+//!   events are ignored without taking the lock, so the hot span path
+//!   stays cheap. Because folding applies the exact same
+//!   [`MetricsRegistry::absorb`] used by journal folding, the live
+//!   registry of a run equals the registry folded from that run's
+//!   journal — asserted by tests below.
+//! * [`TeeRecorder`] fans one event stream out to two recorders.
+//!   Sequence numbers are assigned once by [`crate::Obs`] *before*
+//!   dispatch, so both children observe the identical deterministic
+//!   stream and a journal written through a tee is byte-identical to a
+//!   journal written directly.
+//! * [`LiveMetrics`] is the cheap-clone read side: hand it to an HTTP
+//!   exporter or a progress UI and call [`LiveMetrics::snapshot`].
+
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, EventKind};
+use crate::metrics::MetricsRegistry;
+use crate::recorder::Recorder;
+
+/// Cheap-clone read handle onto the registry a [`LiveRecorder`] folds
+/// into. Clones share the same registry.
+#[derive(Debug, Clone, Default)]
+pub struct LiveMetrics {
+    registry: Arc<Mutex<MetricsRegistry>>,
+}
+
+impl LiveMetrics {
+    /// Create a handle over a fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of the registry as of now. Folding continues concurrently;
+    /// the snapshot is a consistent point-in-time view.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.registry
+            .lock()
+            .expect("live registry poisoned")
+            .clone()
+    }
+
+    /// Prometheus text exposition of the current registry.
+    pub fn to_prometheus(&self) -> String {
+        self.snapshot().to_prometheus()
+    }
+
+    /// Canonical JSON encoding of the current registry.
+    pub fn to_canonical_json(&self) -> String {
+        self.snapshot().to_canonical_json()
+    }
+}
+
+/// Recorder that folds metric events into a shared [`MetricsRegistry`]
+/// as they are recorded. Span open/close and message events are dropped
+/// without locking — the live view is summary-level by design; the
+/// journal keeps the full stream.
+#[derive(Debug, Default)]
+pub struct LiveRecorder {
+    metrics: LiveMetrics,
+}
+
+impl LiveRecorder {
+    /// Create a recorder over a fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a recorder folding into the registry behind `metrics`.
+    pub fn with_metrics(metrics: LiveMetrics) -> Self {
+        Self { metrics }
+    }
+
+    /// The read handle for this recorder's registry.
+    pub fn metrics(&self) -> LiveMetrics {
+        self.metrics.clone()
+    }
+}
+
+impl Recorder for LiveRecorder {
+    fn record(&self, event: &Event) {
+        match event.kind {
+            EventKind::Counter { .. } | EventKind::Gauge { .. } | EventKind::Hist { .. } => {
+                self.metrics
+                    .registry
+                    .lock()
+                    .expect("live registry poisoned")
+                    .absorb(event);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Recorder that forwards every event to two child recorders, in order.
+///
+/// The [`crate::Obs`] handle assigns each event's `seq` exactly once
+/// before calling [`Recorder::record`], so both children see the same
+/// deterministic stream: teeing a [`crate::JsonlRecorder`] with a
+/// [`LiveRecorder`] leaves the journal byte-identical to an un-teed run.
+pub struct TeeRecorder {
+    first: Box<dyn Recorder>,
+    second: Box<dyn Recorder>,
+}
+
+impl TeeRecorder {
+    /// Tee `first` and `second`; events reach `first` first.
+    pub fn new(first: impl Recorder + 'static, second: impl Recorder + 'static) -> Self {
+        Self {
+            first: Box::new(first),
+            second: Box::new(second),
+        }
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn record(&self, event: &Event) {
+        self.first.record(event);
+        self.second.record(event);
+    }
+
+    fn flush(&self) {
+        self.first.flush();
+        self.second.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Journal;
+    use crate::recorder::{Level, Obs, TestRecorder};
+    use crate::span;
+
+    /// Drive one synthetic workload through `obs`. Deterministic: same
+    /// events in the same order every call.
+    fn workload(obs: &Obs) {
+        let _run = span!(obs, "phase2.lift", pairs = 3u64);
+        obs.counter("phase2.pairs", 3);
+        obs.gauge("phase2.pairs_total", 3.0);
+        for pair in 0..3u64 {
+            let _pair = span!(obs, "phase2.pair", pair = pair);
+            obs.counter("phase2.bmc.conflicts", 10 + pair);
+            obs.hist("phase2.bmc.frames", (pair + 1) as f64);
+            obs.gauge("phase2.pairs_done", (pair + 1) as f64);
+        }
+        obs.event("phase2.note", vec![]);
+    }
+
+    #[test]
+    fn live_folding_matches_journal_folding() {
+        let live = LiveRecorder::new();
+        let metrics = live.metrics();
+        let journal_rec = TestRecorder::new();
+        let obs = Obs::new(Level::Detail, TeeRecorder::new(journal_rec.clone(), live));
+        workload(&obs);
+
+        // Fold the journal side by replaying its events through absorb,
+        // exactly as `MetricsRegistry::from_journal` does.
+        let mut folded = MetricsRegistry::new();
+        for event in journal_rec.events() {
+            folded.absorb(&event);
+        }
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot, folded, "live registry diverged from journal fold");
+        assert_eq!(snapshot.to_canonical_json(), folded.to_canonical_json());
+    }
+
+    #[test]
+    fn tee_leaves_stream_identical_to_untee() {
+        let plain_rec = TestRecorder::new();
+        let plain = Obs::new(Level::Detail, plain_rec.clone());
+        workload(&plain);
+
+        let teed_rec = TestRecorder::new();
+        let teed = Obs::new(
+            Level::Detail,
+            TeeRecorder::new(teed_rec.clone(), LiveRecorder::new()),
+        );
+        workload(&teed);
+
+        let plain_lines: Vec<String> = plain_rec
+            .events()
+            .iter()
+            .map(|e| e.to_line(false))
+            .collect();
+        let teed_lines: Vec<String> = teed_rec.events().iter().map(|e| e.to_line(false)).collect();
+        assert_eq!(plain_lines, teed_lines, "tee disturbed the event stream");
+        teed_rec.assert_well_formed();
+    }
+
+    #[test]
+    fn tee_flush_reaches_both_children() {
+        // A LiveRecorder ignores flush; pair two TestRecorders and check
+        // both see every event through the tee.
+        let a = TestRecorder::new();
+        let b = TestRecorder::new();
+        let obs = Obs::new(Level::Summary, TeeRecorder::new(a.clone(), b.clone()));
+        obs.counter("x", 7);
+        obs.flush();
+        assert_eq!(a.counter_total("x"), 7);
+        assert_eq!(b.counter_total("x"), 7);
+    }
+
+    #[test]
+    fn live_matches_journal_file_roundtrip() {
+        // End-to-end: tee a real JSONL journal with a live recorder, then
+        // fold the journal from disk and compare canonical JSON.
+        let dir = std::env::temp_dir().join(format!("vega-live-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live-roundtrip.jsonl");
+        let live = LiveRecorder::new();
+        let metrics = live.metrics();
+        {
+            let jsonl = crate::recorder::JsonlRecorder::create(&path).unwrap();
+            let obs = Obs::new(Level::Detail, TeeRecorder::new(jsonl, live));
+            workload(&obs);
+            obs.flush();
+        }
+        let journal = Journal::load(&path).expect("journal loads");
+        let folded = MetricsRegistry::from_journal(&journal);
+        assert_eq!(
+            metrics.to_canonical_json(),
+            folded.to_canonical_json(),
+            "live registry diverged from on-disk journal fold"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

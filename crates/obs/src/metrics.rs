@@ -93,7 +93,7 @@ pub enum Metric {
 }
 
 /// Namespaced metric tree keyed by dotted names (`phase2.bmc.conflicts`).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
     metrics: BTreeMap<String, Metric>,
 }
@@ -316,7 +316,13 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
             .parse::<f64>()
             .map_err(|_| format!("line {}: non-numeric value `{value_part}`", i + 1))?;
         let bare = name_part.split('{').next().unwrap_or(name_part);
-        if bare.is_empty()
+        // Prometheus names match [a-zA-Z_:][a-zA-Z0-9_:]* — digits are
+        // legal everywhere except the first character.
+        let first_ok = bare
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+        if !first_ok
             || !bare
                 .chars()
                 .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
@@ -410,6 +416,89 @@ mod tests {
     fn validator_rejects_garbage() {
         assert!(validate_prometheus("vega_x not-a-number").is_err());
         assert!(validate_prometheus("vega_untyped_metric 1").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_leading_digit_names() {
+        // [a-zA-Z_:][a-zA-Z0-9_:]* — a digit may not start a name even if
+        // the rest of the charset is fine.
+        assert!(validate_prometheus("# TYPE 9lives counter\n9lives 1").is_err());
+        // Digits elsewhere are legal.
+        assert!(validate_prometheus("# TYPE vega_9lives counter\nvega_9lives 1").is_ok());
+        // Leading underscore and colon are legal first characters.
+        assert!(validate_prometheus("# TYPE _x counter\n_x 1").is_ok());
+        assert!(validate_prometheus("# TYPE :x counter\n:x 1").is_ok());
+    }
+
+    #[test]
+    fn prometheus_name_handles_separator_edge_cases() {
+        // Leading digit in the dotted name: the vega_ prefix keeps the
+        // exported name legal.
+        assert_eq!(prometheus_name("9lives.count"), "vega_9lives_count");
+        // Consecutive separators map one-to-one (consecutive underscores
+        // are legal in Prometheus) rather than collapsing.
+        assert_eq!(prometheus_name("a..b"), "vega_a__b");
+        // Trailing separator becomes a trailing underscore, still legal.
+        assert_eq!(prometheus_name("a.b."), "vega_a_b_");
+        // Empty segment at the front.
+        assert_eq!(prometheus_name(".x"), "vega__x");
+        // Empty input degenerates to the bare prefix — legal, if useless.
+        assert_eq!(prometheus_name(""), "vega_");
+        // Non-alphanumeric punctuation is sanitised too.
+        assert_eq!(prometheus_name("a-b/c"), "vega_a_b_c");
+        // Every output above validates as a metric name.
+        for dotted in ["9lives.count", "a..b", "a.b.", ".x", "a-b/c"] {
+            let prom = prometheus_name(dotted);
+            let text = format!("# TYPE {prom} counter\n{prom} 1");
+            validate_prometheus(&text).expect("sanitised name validates");
+        }
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_monotone() {
+        let mut reg = MetricsRegistry::new();
+        // Samples spread across several buckets, including one beyond the
+        // largest bound (lands only in +Inf).
+        for v in [0.5, 1.0, 3.0, 3.0, 30.0, 1e9] {
+            reg.absorb(&Event {
+                seq: 0,
+                kind: EventKind::Hist {
+                    name: "phase3.fleet.detection_latency_epochs".to_string(),
+                    value: v,
+                },
+                wall: None,
+            });
+        }
+        let text = reg.to_prometheus();
+        let mut bucket_counts: Vec<u64> = Vec::new();
+        let mut inf_count = None;
+        let mut total_count = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("vega_phase3_fleet_detection_latency_epochs") {
+                if let Some(bucket) = rest.strip_prefix("_bucket{le=\"") {
+                    let (le, count) = bucket.split_once("\"} ").expect("bucket line shape");
+                    let count: u64 = count.parse().expect("bucket count");
+                    if le == "+Inf" {
+                        inf_count = Some(count);
+                    } else {
+                        bucket_counts.push(count);
+                    }
+                } else if let Some(c) = rest.strip_prefix("_count ") {
+                    total_count = Some(c.parse::<u64>().expect("count value"));
+                }
+            }
+        }
+        assert_eq!(bucket_counts.len(), DEFAULT_BUCKETS.len());
+        // Buckets are cumulative: each count >= the previous.
+        for pair in bucket_counts.windows(2) {
+            assert!(pair[0] <= pair[1], "bucket counts not monotone: {pair:?}");
+        }
+        // The +Inf bucket equals _count exactly (all samples), and is >=
+        // the last finite bucket.
+        assert_eq!(inf_count, Some(6));
+        assert_eq!(inf_count, total_count);
+        assert!(inf_count.unwrap() >= *bucket_counts.last().unwrap());
+        validate_prometheus(&text).expect("histogram exposition validates");
     }
 
     #[test]

@@ -636,6 +636,9 @@ fn solve_linear(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
             if factor == 0.0 {
                 continue;
             }
+            // Two rows of `a` are read and written at once; an iterator
+            // can't borrow both, so index.
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 a[row][k] -= factor * a[col][k];
             }
@@ -711,7 +714,7 @@ fn fit_boosted(rows: &[&[f64]], targets: &[f64], options: &TrainOptions) -> Boos
                 let right_n = (n - count - 1) as f64;
                 let right_sum = total - left_sum;
                 let gain = left_sum * left_sum / left_n + right_sum * right_sum / right_n;
-                if best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                if best.as_ref().map_or(true, |(g, _)| gain > *g) {
                     best = Some((
                         gain,
                         Stump {

@@ -1,0 +1,410 @@
+//! Embedded HTTP exporter: a zero-dependency, blocking HTTP/1.0 server
+//! on a background thread, serving the live-observability endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the live registry
+//! * `GET /status` — canonical JSON status report
+//! * `GET /healthz` — 200/503 readiness derived from a [`Health`]
+//!   state machine (`starting → serving → recovering → draining`)
+//!
+//! Design constraints, in order: no new dependencies (raw
+//! `std::net::TcpListener`), no interference with the run being
+//! observed (the accept loop runs on its own thread and reads the
+//! shared state only through cheap-clone handles), and prompt shutdown
+//! (the listener polls non-blocking so a stop flag is honoured within
+//! one poll interval, integrating with SIGINT/SIGTERM graceful stop).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Lifecycle state of the service, as exported by `/healthz`.
+///
+/// The machine moves `Starting → (Recovering →) Serving → Draining`;
+/// `Recovering` re-enters from `Serving` only via process restart (the
+/// WAL replay on the next boot), never in-process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Process is up but the run has not reached its main loop yet.
+    Starting,
+    /// Main loop is executing new work; `/healthz` returns 200.
+    Serving,
+    /// WAL replay in progress after a restart: previously completed
+    /// operations are being restored, no new work yet.
+    Recovering,
+    /// Graceful shutdown: no new work will start.
+    Draining,
+}
+
+impl HealthState {
+    /// Lower-case wire label, used by `/healthz` bodies and `/status`.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::Starting => "starting",
+            HealthState::Serving => "serving",
+            HealthState::Recovering => "recovering",
+            HealthState::Draining => "draining",
+        }
+    }
+
+    fn from_u8(v: u8) -> HealthState {
+        match v {
+            1 => HealthState::Serving,
+            2 => HealthState::Recovering,
+            3 => HealthState::Draining,
+            _ => HealthState::Starting,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            HealthState::Starting => 0,
+            HealthState::Serving => 1,
+            HealthState::Recovering => 2,
+            HealthState::Draining => 3,
+        }
+    }
+}
+
+struct HealthInner {
+    state: AtomicU8,
+    /// Every state the machine has passed through, in order (starting
+    /// with `Starting`). Lets tests assert the full trajectory instead
+    /// of racing a poll against a short-lived state.
+    history: Mutex<Vec<HealthState>>,
+}
+
+/// Cheap-clone handle on the service lifecycle state. Clones share one
+/// underlying state machine.
+#[derive(Clone)]
+pub struct Health {
+    inner: Arc<HealthInner>,
+}
+
+impl Default for Health {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Health {
+    /// New state machine in [`HealthState::Starting`].
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(HealthInner {
+                state: AtomicU8::new(HealthState::Starting.as_u8()),
+                history: Mutex::new(vec![HealthState::Starting]),
+            }),
+        }
+    }
+
+    /// Move to `state`. Setting the current state again is a no-op (no
+    /// duplicate history entry), so call sites can set unconditionally.
+    pub fn set(&self, state: HealthState) {
+        let prev = self.inner.state.swap(state.as_u8(), Ordering::SeqCst);
+        if prev != state.as_u8() {
+            self.inner
+                .history
+                .lock()
+                .expect("health history poisoned")
+                .push(state);
+        }
+    }
+
+    /// Current state.
+    pub fn get(&self) -> HealthState {
+        HealthState::from_u8(self.inner.state.load(Ordering::SeqCst))
+    }
+
+    /// All states passed through so far, in order.
+    pub fn history(&self) -> Vec<HealthState> {
+        self.inner
+            .history
+            .lock()
+            .expect("health history poisoned")
+            .clone()
+    }
+}
+
+impl std::fmt::Debug for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Health({})", self.get().label())
+    }
+}
+
+/// Renderer for one endpoint body, evaluated per request.
+pub type Render = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// The three endpoint renderers plus the health handle the exporter
+/// serves from.
+#[derive(Clone)]
+pub struct Endpoints {
+    /// Body for `GET /metrics` (Prometheus text exposition).
+    pub metrics: Render,
+    /// Body for `GET /status` (canonical JSON).
+    pub status: Render,
+    /// State machine backing `GET /healthz`.
+    pub health: Health,
+}
+
+/// Handle on a running background exporter. Dropping it (or calling
+/// [`HttpExporter::shutdown`]) stops the accept loop and joins the
+/// thread.
+pub struct HttpExporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl HttpExporter {
+    /// Bind `listen` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// start serving on a background thread.
+    pub fn start(listen: &str, endpoints: Endpoints) -> std::io::Result<HttpExporter> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("vega-http".to_string())
+            .spawn(move || accept_loop(&listener, &endpoints, &stop_thread))?;
+        Ok(HttpExporter {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for HttpExporter {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, endpoints: &Endpoints, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Serve inline: bodies are small and renderers cheap, so
+                // one connection at a time keeps the exporter simple and
+                // bounds its resource use.
+                let _ = handle_connection(stream, endpoints);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, endpoints: &Endpoints) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let request_line = read_request_line(&mut stream)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (code, reason, content_type, body) = if method != "GET" {
+        (
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "GET only\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                200,
+                "OK",
+                // The exposition-format version label Prometheus expects.
+                "text/plain; version=0.0.4",
+                (endpoints.metrics)(),
+            ),
+            "/status" => (200, "OK", "application/json", (endpoints.status)()),
+            "/healthz" => {
+                let state = endpoints.health.get();
+                let body = format!("{}\n", state.label());
+                if state == HealthState::Serving {
+                    (200, "OK", "text/plain", body)
+                } else {
+                    (503, "Service Unavailable", "text/plain", body)
+                }
+            }
+            _ => (404, "Not Found", "text/plain", "not found\n".to_string()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.0 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Read the whole request head (request line + headers, up to the
+/// blank line) and return the request line. Consuming the full head
+/// before responding matters: closing a socket with unread input
+/// pending triggers a TCP reset that can discard the buffered
+/// response on the client side. GET has no body, so after the blank
+/// line the request is fully drained.
+fn read_request_line(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    while head.len() < 16 * 1024 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&chunk[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                    || head.windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    Ok(text
+        .lines()
+        .next()
+        .unwrap_or_default()
+        .trim_end_matches('\r')
+        .to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let status_line = response.lines().next().expect("status line");
+        let code: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric code");
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (code, body)
+    }
+
+    fn test_endpoints(health: Health) -> Endpoints {
+        Endpoints {
+            metrics: Arc::new(|| "# TYPE vega_up gauge\nvega_up 1\n".to_string()),
+            status: Arc::new(|| "{\"ok\": true}".to_string()),
+            health,
+        }
+    }
+
+    #[test]
+    fn serves_metrics_status_health_and_404() {
+        let health = Health::new();
+        let exporter =
+            HttpExporter::start("127.0.0.1:0", test_endpoints(health.clone())).expect("bind");
+        let addr = exporter.addr();
+
+        let (code, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("vega_up 1"));
+
+        let (code, body) = get(addr, "/status");
+        assert_eq!(code, 200);
+        assert_eq!(body, "{\"ok\": true}");
+
+        // Health starts in `starting` → 503, flips to 200 on `serving`,
+        // back to 503 on `draining`.
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!((code, body.trim()), (503, "starting"));
+        health.set(HealthState::Serving);
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!((code, body.trim()), (200, "serving"));
+        health.set(HealthState::Draining);
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!((code, body.trim()), (503, "draining"));
+
+        let (code, _) = get(addr, "/nope");
+        assert_eq!(code, 404);
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let exporter =
+            HttpExporter::start("127.0.0.1:0", test_endpoints(Health::new())).expect("bind");
+        let mut stream = TcpStream::connect(exporter.addr()).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.0\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.0 405"), "{response}");
+    }
+
+    #[test]
+    fn health_history_records_each_transition_once() {
+        let health = Health::new();
+        health.set(HealthState::Recovering);
+        health.set(HealthState::Recovering); // duplicate: no new entry
+        health.set(HealthState::Serving);
+        health.set(HealthState::Draining);
+        assert_eq!(
+            health.history(),
+            vec![
+                HealthState::Starting,
+                HealthState::Recovering,
+                HealthState::Serving,
+                HealthState::Draining,
+            ]
+        );
+        assert_eq!(health.get(), HealthState::Draining);
+    }
+
+    #[test]
+    fn shutdown_joins_promptly() {
+        let exporter =
+            HttpExporter::start("127.0.0.1:0", test_endpoints(Health::new())).expect("bind");
+        let addr = exporter.addr();
+        exporter.shutdown();
+        // The listener is closed: a fresh connect must fail or be reset.
+        let refused = match TcpStream::connect(addr) {
+            Err(_) => true,
+            Ok(mut s) => {
+                let _ = write!(s, "GET /healthz HTTP/1.0\r\n\r\n");
+                let mut out = String::new();
+                s.read_to_string(&mut out)
+                    .map(|_| out.is_empty())
+                    .unwrap_or(true)
+            }
+        };
+        assert!(refused, "exporter still serving after shutdown");
+    }
+}

@@ -17,6 +17,14 @@
 //!   state transition of a [`server::ServiceState`] implementation.
 //! * [`shutdown`] — SIGINT/SIGTERM → orderly stop (flush WAL, write a
 //!   clean-shutdown record, exit 0) without new dependencies.
+//! * [`http`] — a zero-dependency blocking HTTP/1.0 exporter on a
+//!   background thread serving `/metrics` (Prometheus exposition),
+//!   `/status` (canonical JSON), and `/healthz` (200/503 from the
+//!   [`http::Health`] state machine `starting → serving → recovering →
+//!   draining`).
+//! * [`status`] — the shared [`status::StatusReport`]: one struct with
+//!   a text rendering (`vega serve --status`) and a JSON rendering
+//!   (`GET /status`), so CLI and endpoint can never drift apart.
 //!
 //! The crate is deliberately pipeline-agnostic: it depends only on
 //! `vega-obs` (for the JSON parser) and drives any [`server::ServiceState`].
@@ -33,14 +41,18 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod http;
 pub mod server;
 pub mod shutdown;
+pub mod status;
 pub mod wal;
 
+pub use http::{Endpoints, Health, HealthState, HttpExporter};
 pub use server::{
     digest_bytes, wal_status, RecoveryReport, ServeChaos, ServeError, ServeOutcome, Server,
     ServiceState, Site,
 };
+pub use status::{status_report, StatusReport};
 pub use wal::{
     fnv1a64, parse_wal, read_wal, replay, truncate_torn, OpId, OpKind, TornTail, WalError, WalNote,
     WalRecord, WalReplay, WalValue, WalWriter, WriterChaos, WAL_FORMAT_VERSION,

@@ -21,6 +21,9 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use vega_obs::Obs;
+
+use crate::http::{Health, HealthState};
 use crate::wal::{
     fnv1a64, read_wal, replay, truncate_torn, OpId, WalError, WalNote, WalRecord, WalReplay,
     WalWriter, WriterChaos,
@@ -267,6 +270,8 @@ pub struct Server {
     chaos: ServeChaos,
     writer_chaos: WriterChaos,
     shutdown: Option<&'static AtomicBool>,
+    health: Option<Health>,
+    obs: Obs,
 }
 
 impl Server {
@@ -278,6 +283,8 @@ impl Server {
             chaos: ServeChaos::default(),
             writer_chaos: WriterChaos::default(),
             shutdown: None,
+            health: None,
+            obs: Obs::null(),
         }
     }
 
@@ -299,6 +306,29 @@ impl Server {
     pub fn with_shutdown_flag(mut self, flag: &'static AtomicBool) -> Server {
         self.shutdown = Some(flag);
         self
+    }
+
+    /// Drive a [`Health`] state machine through the run lifecycle:
+    /// `Recovering` while a prior WAL is being replayed, `Serving` once
+    /// new work executes, `Draining` on (clean) shutdown.
+    pub fn with_health(mut self, health: Health) -> Server {
+        self.health = Some(health);
+        self
+    }
+
+    /// Emit WAL-level progress gauges (`serve.wal.ops_total`,
+    /// `serve.wal.ops_completed`) through an observability handle —
+    /// the same handle the pipeline journals to, so the live view and
+    /// the journal agree.
+    pub fn with_obs(mut self, obs: Obs) -> Server {
+        self.obs = obs;
+        self
+    }
+
+    fn set_health(&self, state: HealthState) {
+        if let Some(health) = &self.health {
+            health.set(state);
+        }
     }
 
     fn shutdown_requested(&self) -> bool {
@@ -353,6 +383,9 @@ impl Server {
 
         match &view {
             Some(v) if v.run_start.is_some() => {
+                // A prior run's WAL exists: everything until the first
+                // freshly-executed operation is recovery replay.
+                self.set_health(HealthState::Recovering);
                 writer.append(&WalRecord::Recovery {
                     resumed: v.completed.len() as u64,
                     in_doubt: v.in_doubt.len() as u64,
@@ -371,24 +404,28 @@ impl Server {
         let view = view.unwrap_or_default();
         state.observe_recovery(&view).map_err(ServeError::State)?;
 
+        let ops_total = state.pair_count() + state.epoch_count();
+        let mut ops_done = 0u64;
+        self.obs.gauge("serve.wal.ops_total", ops_total as f64);
+        self.obs.gauge("serve.wal.ops_completed", 0.0);
+
         // ---- Phase 2: lifting pairs --------------------------------
         for index in 0..state.pair_count() {
             let op = OpId::pair(index);
             if let Some(&journaled) = view.completed.get(&op) {
-                match state.restore_pair(index).map_err(ServeError::State)? {
-                    Some(restored) => {
-                        if restored != journaled {
-                            return Err(ServeError::DigestMismatch {
-                                op,
-                                journaled,
-                                restored,
-                            });
-                        }
-                        report.resumed_pairs += 1;
-                        continue;
+                // A lost artifact falls through and re-executes.
+                if let Some(restored) = state.restore_pair(index).map_err(ServeError::State)? {
+                    if restored != journaled {
+                        return Err(ServeError::DigestMismatch {
+                            op,
+                            journaled,
+                            restored,
+                        });
                     }
-                    // Artifact lost: fall through and re-execute.
-                    None => {}
+                    report.resumed_pairs += 1;
+                    ops_done += 1;
+                    self.obs.gauge("serve.wal.ops_completed", ops_done as f64);
+                    continue;
                 }
             }
             if self.shutdown_requested() {
@@ -397,7 +434,10 @@ impl Server {
             if view.in_doubt.contains(&op) || view.completed.contains_key(&op) {
                 report.reexecuted += 1;
             }
+            self.set_health(HealthState::Serving);
             self.execute(&mut writer, op, || state.apply_pair(index))?;
+            ops_done += 1;
+            self.obs.gauge("serve.wal.ops_completed", ops_done as f64);
         }
 
         if self.shutdown_requested() {
@@ -418,6 +458,8 @@ impl Server {
                     });
                 }
                 report.resumed_epochs += 1;
+                ops_done += 1;
+                self.obs.gauge("serve.wal.ops_completed", ops_done as f64);
                 continue;
             }
             if self.shutdown_requested() {
@@ -426,15 +468,22 @@ impl Server {
             if view.in_doubt.contains(&op) {
                 report.reexecuted += 1;
             }
+            self.set_health(HealthState::Serving);
             self.execute(&mut writer, op, || state.apply_epoch(epoch))?;
+            ops_done += 1;
+            self.obs.gauge("serve.wal.ops_completed", ops_done as f64);
         }
 
+        // Covers the fully-restored path (no op freshly executed): the
+        // run converged, so it did serve before draining.
+        self.set_health(HealthState::Serving);
         state.finalize().map_err(ServeError::State)?;
         if !view.run_complete {
             writer.append(&WalRecord::RunComplete)?;
         }
         writer.append(&WalRecord::CleanShutdown)?;
         writer.sync()?;
+        self.set_health(HealthState::Draining);
         Ok(ServeOutcome::Completed(report))
     }
 
@@ -443,6 +492,7 @@ impl Server {
         writer: &mut WalWriter,
         report: RecoveryReport,
     ) -> Result<ServeOutcome, ServeError> {
+        self.set_health(HealthState::Draining);
         writer.append(&WalRecord::CleanShutdown)?;
         writer.sync()?;
         Ok(ServeOutcome::Interrupted(report))
@@ -735,6 +785,71 @@ mod tests {
         let mut svc = ToyService::new(&dir, 3, 2);
         let outcome = Server::new(&wal).run(&mut svc).expect("resume");
         assert!(matches!(outcome, ServeOutcome::Completed(_)));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn health_walks_starting_serving_draining_on_clean_run() {
+        let dir = fresh_dir("health-clean");
+        let health = Health::new();
+        let rec = vega_obs::TestRecorder::new();
+        let obs = Obs::new(vega_obs::Level::Summary, rec.clone());
+        let mut svc = ToyService::new(&dir, 2, 2);
+        let outcome = Server::new(&dir.join("wal.jsonl"))
+            .with_health(health.clone())
+            .with_obs(obs)
+            .run(&mut svc)
+            .expect("run");
+        assert!(matches!(outcome, ServeOutcome::Completed(_)));
+        assert_eq!(
+            health.history(),
+            vec![
+                HealthState::Starting,
+                HealthState::Serving,
+                HealthState::Draining,
+            ]
+        );
+        // WAL op gauges track completion exactly.
+        assert_eq!(rec.gauge_value("serve.wal.ops_total"), Some(4.0));
+        assert_eq!(rec.gauge_value("serve.wal.ops_completed"), Some(4.0));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn health_reports_recovering_after_crash_then_converges() {
+        // The in-process half of the chaos contract for /healthz: kill
+        // mid-run, restart, the health machine must pass through
+        // Recovering before Serving and end Draining.
+        let dir = fresh_dir("health-recover");
+        let wal = dir.join("wal.jsonl");
+        let mut svc = ToyService::new(&dir, 3, 2);
+        let _ = Server::new(&wal)
+            .with_chaos(ServeChaos::kill(Site::AfterComplete, 2))
+            .run(&mut svc)
+            .expect_err("chaos");
+
+        let health = Health::new();
+        let rec = vega_obs::TestRecorder::new();
+        let obs = Obs::new(vega_obs::Level::Summary, rec.clone());
+        let mut svc = ToyService::new(&dir, 3, 2);
+        let outcome = Server::new(&wal)
+            .with_health(health.clone())
+            .with_obs(obs)
+            .run(&mut svc)
+            .expect("recovery run");
+        assert!(matches!(outcome, ServeOutcome::Completed(_)));
+        assert_eq!(
+            health.history(),
+            vec![
+                HealthState::Starting,
+                HealthState::Recovering,
+                HealthState::Serving,
+                HealthState::Draining,
+            ]
+        );
+        // Restored ops count toward completion gauges too.
+        assert_eq!(rec.gauge_value("serve.wal.ops_total"), Some(5.0));
+        assert_eq!(rec.gauge_value("serve.wal.ops_completed"), Some(5.0));
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,423 @@
+//! The shared status report: one struct, two renderings.
+//!
+//! `vega serve --status` (CLI text) and the HTTP `/status` endpoint
+//! (canonical JSON) both derive from [`StatusReport`], so the two views
+//! can never drift apart. The WAL half is filled by [`status_report`];
+//! a live process adds health, uptime, per-phase progress, portfolio
+//! counters, and detection-latency percentiles via
+//! [`StatusReport::with_live`].
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use vega_obs::{Metric, MetricsRegistry};
+
+use crate::http::Health;
+use crate::wal::{WalError, WalReplay};
+
+/// Gauge names `with_live` surfaces as per-phase progress, in render
+/// order. Shared between the report and its tests.
+pub const PROGRESS_GAUGES: [&str; 7] = [
+    "phase1.progress",
+    "phase2.pairs_done",
+    "phase2.pairs_total",
+    "phase3.fleet.epoch",
+    "phase3.fleet.epochs_total",
+    "serve.wal.ops_completed",
+    "serve.wal.ops_total",
+];
+
+/// Everything `/status` and `vega serve --status` report. WAL-derived
+/// fields are always present; live-only fields (`health`, `uptime_secs`,
+/// `progress`, `portfolio`, `latency`) stay `None`/empty for the
+/// offline `--status` inspection.
+#[derive(Debug, Clone, Default)]
+pub struct StatusReport {
+    /// Path of the WAL that was inspected.
+    pub wal_path: String,
+    /// Whether a WAL file exists at all (fresh state dir: `false`).
+    pub wal_exists: bool,
+    /// Parsed WAL records (torn tail excluded).
+    pub records: u64,
+    /// Sequence number the next appended record must carry.
+    pub next_seq: u64,
+    /// Operations with a durable completion record.
+    pub completed_ops: u64,
+    /// Operations with an intent but no completion (re-execute on boot).
+    pub in_doubt: Vec<String>,
+    /// Prior restarts recorded in the WAL.
+    pub recoveries: u64,
+    /// 1-based line of a torn final line, if any.
+    pub torn_line: Option<u64>,
+    /// Valid-prefix byte count when the tail is torn.
+    pub torn_valid_bytes: Option<u64>,
+    /// Run label from `wal.run_start`.
+    pub run_label: Option<String>,
+    /// Config digest from `wal.run_start`.
+    pub config_digest: Option<u64>,
+    /// Whether a `wal.run_complete` record exists.
+    pub run_complete: bool,
+    /// Whether the final record is a clean-shutdown marker.
+    pub clean_shutdown: bool,
+    /// Current health state label (live only).
+    pub health: Option<String>,
+    /// Seconds since the process started (live only).
+    pub uptime_secs: Option<u64>,
+    /// Per-phase progress gauges `(name, value)` (live only).
+    pub progress: Vec<(String, f64)>,
+    /// `phase2.portfolio.*` counters `(name, value)` (live only).
+    pub portfolio: Vec<(String, u64)>,
+    /// Detection-latency percentiles `(label, epochs)` (live only).
+    pub latency: Vec<(String, f64)>,
+}
+
+/// Build the WAL half of a [`StatusReport`] — what a recovery scan
+/// would conclude, without mutating the state directory.
+pub fn status_report(wal_path: &Path) -> Result<StatusReport, WalError> {
+    let mut report = StatusReport {
+        wal_path: wal_path.display().to_string(),
+        ..StatusReport::default()
+    };
+    if !wal_path.exists() {
+        return Ok(report);
+    }
+    report.wal_exists = true;
+    let replay = crate::server::wal_status(wal_path)?;
+    report.absorb_replay(&replay);
+    Ok(report)
+}
+
+impl StatusReport {
+    /// Fill the WAL-derived fields from a replay view.
+    pub fn absorb_replay(&mut self, replay: &WalReplay) {
+        self.records = replay.records.len() as u64;
+        self.next_seq = replay.next_seq;
+        self.completed_ops = replay.completed.len() as u64;
+        self.in_doubt = replay.in_doubt.iter().map(|op| op.to_string()).collect();
+        self.recoveries = replay.recoveries;
+        self.torn_line = replay.torn.as_ref().map(|t| t.line as u64);
+        self.torn_valid_bytes = replay.torn.as_ref().map(|t| t.valid_bytes);
+        if let Some((label, digest)) = &replay.run_start {
+            self.run_label = Some(label.clone());
+            self.config_digest = Some(*digest);
+        }
+        self.run_complete = replay.run_complete;
+        self.clean_shutdown = replay.clean_shutdown;
+    }
+
+    /// Add the live-process fields: health state, uptime, progress
+    /// gauges, portfolio race counters, and detection-latency
+    /// percentiles from the live metrics registry.
+    pub fn with_live(mut self, health: &Health, uptime_secs: u64, reg: &MetricsRegistry) -> Self {
+        self.health = Some(health.get().label().to_string());
+        self.uptime_secs = Some(uptime_secs);
+        self.progress = PROGRESS_GAUGES
+            .iter()
+            .filter_map(|name| reg.gauge(name).map(|v| (name.to_string(), v)))
+            .collect();
+        self.portfolio = reg
+            .names()
+            .into_iter()
+            .filter(|n| n.starts_with("phase2.portfolio."))
+            .filter_map(|n| match reg.get(n) {
+                Some(Metric::Counter(v)) => Some((n.to_string(), *v)),
+                _ => None,
+            })
+            .collect();
+        if let Some(h) = reg.histogram("phase3.fleet.detection_latency_epochs") {
+            for (label, p) in [("p50", 50.0), ("p90", 90.0), ("p99", 99.0)] {
+                if let Some(v) = h.percentile(p) {
+                    self.latency.push((label.to_string(), v));
+                }
+            }
+        }
+        self
+    }
+
+    /// The operator-facing text rendering (`vega serve --status`).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.wal_exists {
+            let _ = writeln!(out, "no WAL at {} (fresh state directory)", self.wal_path);
+            return out;
+        }
+        let _ = writeln!(out, "wal: {}", self.wal_path);
+        let _ = writeln!(out, "  records:        {}", self.records);
+        let _ = writeln!(out, "  next sequence:  {}", self.next_seq);
+        let _ = writeln!(out, "  completed ops:  {}", self.completed_ops);
+        let _ = writeln!(out, "  in-doubt ops:   {}", self.in_doubt.len());
+        for op in &self.in_doubt {
+            let _ = writeln!(out, "    in doubt: {op}");
+        }
+        let _ = writeln!(out, "  recoveries:     {}", self.recoveries);
+        let torn = match (self.torn_line, self.torn_valid_bytes) {
+            (Some(line), Some(bytes)) => format!("line {line} (valid prefix {bytes} bytes)"),
+            _ => "none".to_string(),
+        };
+        let _ = writeln!(out, "  torn tail:      {torn}");
+        let _ = writeln!(out, "  run started:    {}", self.run_label.is_some());
+        if let Some(digest) = self.config_digest {
+            let _ = writeln!(out, "  config digest:  {digest:016x}");
+        }
+        let _ = writeln!(out, "  run complete:   {}", self.run_complete);
+        let _ = writeln!(out, "  clean shutdown: {}", self.clean_shutdown);
+        if let Some(health) = &self.health {
+            let _ = writeln!(out, "  health:         {health}");
+        }
+        if let Some(uptime) = self.uptime_secs {
+            let _ = writeln!(out, "  uptime:         {uptime}s");
+        }
+        for (name, value) in &self.progress {
+            let _ = writeln!(out, "  progress {name}: {value}");
+        }
+        for (name, value) in &self.portfolio {
+            let _ = writeln!(out, "  {name}: {value}");
+        }
+        for (label, value) in &self.latency {
+            let _ = writeln!(out, "  detection latency {label}: {value} epochs");
+        }
+        out
+    }
+
+    /// The wire rendering (`GET /status`): canonical JSON with a fixed
+    /// key order, hand-rolled (this crate takes no serializer
+    /// dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        let mut field = |out: &mut String, key: &str, value: String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n  \"{key}\": {value}");
+        };
+        field(&mut out, "wal_path", json_string(&self.wal_path));
+        field(&mut out, "wal_exists", self.wal_exists.to_string());
+        field(&mut out, "records", self.records.to_string());
+        field(&mut out, "next_seq", self.next_seq.to_string());
+        field(&mut out, "completed_ops", self.completed_ops.to_string());
+        let in_doubt: Vec<String> = self.in_doubt.iter().map(|s| json_string(s)).collect();
+        field(&mut out, "in_doubt", format!("[{}]", in_doubt.join(", ")));
+        field(&mut out, "recoveries", self.recoveries.to_string());
+        field(&mut out, "torn_line", json_opt_u64(self.torn_line));
+        field(
+            &mut out,
+            "torn_valid_bytes",
+            json_opt_u64(self.torn_valid_bytes),
+        );
+        field(
+            &mut out,
+            "run_label",
+            match &self.run_label {
+                Some(label) => json_string(label),
+                None => "null".to_string(),
+            },
+        );
+        field(&mut out, "config_digest", json_opt_u64(self.config_digest));
+        field(&mut out, "run_complete", self.run_complete.to_string());
+        field(&mut out, "clean_shutdown", self.clean_shutdown.to_string());
+        field(
+            &mut out,
+            "health",
+            match &self.health {
+                Some(h) => json_string(h),
+                None => "null".to_string(),
+            },
+        );
+        field(&mut out, "uptime_secs", json_opt_u64(self.uptime_secs));
+        field(&mut out, "progress", json_f64_map(&self.progress));
+        let portfolio: Vec<String> = self
+            .portfolio
+            .iter()
+            .map(|(name, value)| format!("{}: {value}", json_string(name)))
+            .collect();
+        field(
+            &mut out,
+            "portfolio",
+            format!("{{{}}}", portfolio.join(", ")),
+        );
+        field(&mut out, "latency", json_f64_map(&self.latency));
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn json_f64_map(entries: &[(String, f64)]) -> String {
+    let body: Vec<String> = entries
+        .iter()
+        .map(|(name, value)| format!("{}: {value}", json_string(name)))
+        .collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::HealthState;
+    use vega_obs::{Event, EventKind};
+
+    fn live_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let mut seq = 0;
+        let mut push = |reg: &mut MetricsRegistry, kind: EventKind| {
+            reg.absorb(&Event {
+                seq,
+                kind,
+                wall: None,
+            });
+            seq += 1;
+        };
+        push(
+            &mut reg,
+            EventKind::Gauge {
+                name: "phase2.pairs_done".to_string(),
+                value: 3.0,
+            },
+        );
+        push(
+            &mut reg,
+            EventKind::Gauge {
+                name: "phase2.pairs_total".to_string(),
+                value: 4.0,
+            },
+        );
+        push(
+            &mut reg,
+            EventKind::Counter {
+                name: "phase2.portfolio.races".to_string(),
+                add: 7,
+            },
+        );
+        for v in [1.0, 2.0, 8.0] {
+            push(
+                &mut reg,
+                EventKind::Hist {
+                    name: "phase3.fleet.detection_latency_epochs".to_string(),
+                    value: v,
+                },
+            );
+        }
+        reg
+    }
+
+    #[test]
+    fn text_and_json_derive_from_the_same_struct() {
+        // Parity: every fact the text rendering shows must appear in the
+        // JSON rendering with the same value — both are projections of
+        // one StatusReport.
+        let health = Health::new();
+        health.set(HealthState::Serving);
+        let report = StatusReport {
+            wal_path: "/tmp/wal.jsonl".to_string(),
+            wal_exists: true,
+            records: 12,
+            next_seq: 12,
+            completed_ops: 5,
+            in_doubt: vec!["pair[3]".to_string()],
+            recoveries: 2,
+            run_label: Some("serve/adder".to_string()),
+            config_digest: Some(0xabcd),
+            ..StatusReport::default()
+        }
+        .with_live(&health, 42, &live_registry());
+
+        let text = report.render_text();
+        let json_text = report.to_json();
+        let json = vega_obs::json::parse_json(json_text.trim()).expect("status JSON parses");
+
+        // WAL facts.
+        assert!(text.contains("records:        12"));
+        assert_eq!(json.get("records").and_then(|v| v.as_u64()), Some(12));
+        assert!(text.contains("in doubt: pair[3]") || text.contains("in-doubt ops:   1"));
+        assert_eq!(json.get("recoveries").and_then(|v| v.as_u64()), Some(2));
+        assert!(text.contains("recoveries:     2"));
+        assert_eq!(
+            json.get("run_label")
+                .and_then(|v| v.as_str().map(String::from)),
+            Some("serve/adder".to_string())
+        );
+
+        // Live facts.
+        assert!(text.contains("health:         serving"));
+        assert_eq!(
+            json.get("health")
+                .and_then(|v| v.as_str().map(String::from)),
+            Some("serving".to_string())
+        );
+        assert!(text.contains("uptime:         42s"));
+        assert_eq!(json.get("uptime_secs").and_then(|v| v.as_u64()), Some(42));
+        let progress = json.get("progress").expect("progress object");
+        assert_eq!(
+            progress.get("phase2.pairs_done").and_then(|v| v.as_f64()),
+            Some(3.0)
+        );
+        assert!(text.contains("progress phase2.pairs_done: 3"));
+        let portfolio = json.get("portfolio").expect("portfolio object");
+        assert_eq!(
+            portfolio
+                .get("phase2.portfolio.races")
+                .and_then(|v| v.as_u64()),
+            Some(7)
+        );
+        assert!(text.contains("phase2.portfolio.races: 7"));
+        let latency = json.get("latency").expect("latency object");
+        assert_eq!(latency.get("p50").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(latency.get("p99").and_then(|v| v.as_f64()), Some(8.0));
+        assert!(text.contains("detection latency p50: 2 epochs"));
+    }
+
+    #[test]
+    fn missing_wal_renders_fresh_state() {
+        let report = status_report(Path::new("/nonexistent/deep/wal.jsonl")).expect("report");
+        assert!(!report.wal_exists);
+        assert!(report.render_text().contains("fresh state directory"));
+        let json = vega_obs::json::parse_json(report.to_json().trim()).expect("parses");
+        assert_eq!(
+            json.get("wal_exists").and_then(|v| v.as_bool()),
+            Some(false)
+        );
+        assert!(json.get("health").is_some(), "health key present (null)");
+    }
+
+    #[test]
+    fn json_escapes_paths() {
+        let report = StatusReport {
+            wal_path: "a\"b\\c\n".to_string(),
+            ..StatusReport::default()
+        };
+        let json = vega_obs::json::parse_json(report.to_json().trim()).expect("parses");
+        assert_eq!(
+            json.get("wal_path")
+                .and_then(|v| v.as_str().map(String::from)),
+            Some("a\"b\\c\n".to_string())
+        );
+    }
+}

@@ -72,9 +72,11 @@ pub fn profile_sharded_obs(
         seed = seed,
         threads = threads,
     );
+    obs.gauge("phase1.progress", 0.0);
     let profile = profile_sharded_inner(netlist, cycles, seed, threads, obs);
     obs.counter("phase1.profile.lane_cycles", profile.cycles);
     obs.gauge("phase1.profile.cells", profile.cells.len() as f64);
+    obs.gauge("phase1.progress", 1.0);
     profile
 }
 

@@ -1,0 +1,306 @@
+//! Out-of-process tests of the live telemetry plane: the `vega` binary
+//! run with `--listen`, its HTTP endpoints polled over real sockets.
+//!
+//! Covered contracts:
+//! * `--listen` must leave the `--obs-journal` byte-identical (the live
+//!   fold rides a tee; sequence numbers are assigned before the tee).
+//! * A crash-recovered `vega serve --listen` run reports the recovery:
+//!   `/healthz` passes through `recovering` (when the replay window is
+//!   long enough to observe) and the WAL records `recoveries >= 1`.
+//! * `vega top` renders a dashboard frame from a live process.
+//! * `vega report` tolerates a journal whose tail was torn mid-UTF-8.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+use vega::obs::Journal;
+
+fn vega() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vega"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vega_live_obs_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// One blocking HTTP/1.0 GET against `addr` (host:port); returns
+/// `(status code, body)`.
+fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    let timeout = Duration::from_secs(5);
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).ok();
+    stream.set_write_timeout(Some(timeout)).ok();
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n").map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| e.to_string())?;
+    let code: u16 = response
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("malformed response: {response:?}"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((code, body))
+}
+
+/// The `host:port` a `vega serve --listen` run wrote to its state dir,
+/// once the file exists.
+fn read_addr(state_dir: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(state_dir.join("http.addr")).ok()?;
+    let addr = text.trim().strip_prefix("http://")?.to_string();
+    (!addr.is_empty()).then_some(addr)
+}
+
+/// Shared serve arguments: a small adder run, deterministic under
+/// `--seed 1`.
+fn serve_args(state_dir: &Path) -> Vec<String> {
+    [
+        "serve",
+        "--state-dir",
+        state_dir.to_str().unwrap(),
+        "--unit",
+        "adder",
+        "--pairs",
+        "2",
+        "--profile-cycles",
+        "256",
+        "--machines",
+        "8",
+        "--epochs",
+        "6",
+        "--seed",
+        "1",
+    ]
+    .map(String::from)
+    .to_vec()
+}
+
+#[test]
+fn listen_leaves_journal_byte_identical() {
+    let dir = temp_dir("tee");
+    let run = |journal: &Path, listen: bool| {
+        let mut cmd = vega();
+        cmd.args([
+            "suite",
+            "--unit",
+            "adder",
+            "--pairs",
+            "2",
+            "--profile-cycles",
+            "256",
+            "--obs-level",
+            "detail",
+            "--obs-journal",
+            journal.to_str().unwrap(),
+        ]);
+        if listen {
+            cmd.arg("--listen").arg("127.0.0.1:0");
+        }
+        let output = cmd.output().expect("vega suite runs");
+        assert!(
+            output.status.success(),
+            "vega suite failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    };
+    let plain_path = dir.join("plain.jsonl");
+    let teed_path = dir.join("teed.jsonl");
+    run(&plain_path, false);
+    run(&teed_path, true);
+    let plain = Journal::load(&plain_path).expect("plain journal parses");
+    let teed = Journal::load(&teed_path).expect("teed journal parses");
+    assert!(!plain.events.is_empty());
+    assert_eq!(
+        plain.deterministic_lines(),
+        teed.deterministic_lines(),
+        "--listen must not disturb the journal"
+    );
+}
+
+#[test]
+fn recovered_serve_run_reports_recovery_over_http() {
+    let dir = temp_dir("recovery");
+    let state_dir = dir.join("state");
+
+    // Run 1: killed while appending WAL sequence 12 (mid pair/epoch
+    // execution). The abort leaves completed ops behind to restore.
+    let output = vega()
+        .args(serve_args(&state_dir))
+        .args(["--chaos-kill-seq", "12"])
+        .output()
+        .expect("vega serve runs");
+    assert!(
+        !output.status.success(),
+        "chaos kill must abort the process"
+    );
+
+    // Run 2: same arguments plus --listen; poll /healthz and /status
+    // while the replay and the rest of the run execute.
+    let mut child = vega()
+        .args(serve_args(&state_dir))
+        .args(["--listen", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("vega serve spawns");
+    let mut health_labels: Vec<String> = Vec::new();
+    let mut status_bodies: Vec<String> = Vec::new();
+    let exit = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        if let Some(addr) = read_addr(&state_dir) {
+            if let Ok((_, body)) = http_get(&addr, "/healthz") {
+                let label = body.trim().to_string();
+                if health_labels.last() != Some(&label) {
+                    health_labels.push(label);
+                }
+            }
+            if let Ok((code, body)) = http_get(&addr, "/status") {
+                assert_eq!(code, 200, "/status must always answer 200");
+                status_bodies.push(body);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert!(exit.success(), "recovered run must complete cleanly");
+
+    // Every label /healthz served is a valid lifecycle state.
+    for label in &health_labels {
+        assert!(
+            ["starting", "recovering", "serving", "draining"].contains(&label.as_str()),
+            "unexpected health label {label:?}"
+        );
+    }
+    // The recovery is observable. The `recovering` /healthz window can
+    // be shorter than one poll interval, so the durable signal is the
+    // WAL's restart record, which /status also reports.
+    let replay = vega::serve::wal_status(&state_dir.join("wal.jsonl")).expect("wal readable");
+    assert!(replay.recoveries >= 1, "WAL must record the restart");
+    assert!(replay.run_complete && replay.clean_shutdown);
+    if let Some(last) = status_bodies.last() {
+        assert!(
+            last.contains("\"recoveries\": 1"),
+            "/status must report the recovery: {last}"
+        );
+    }
+}
+
+#[test]
+fn top_renders_a_dashboard_frame_from_a_live_run() {
+    let dir = temp_dir("top");
+    let state_dir = dir.join("state");
+    // A run long enough (hundreds of epochs over a few thousand
+    // machines) that `vega top` comfortably gets its polls in.
+    let mut child = vega()
+        .args([
+            "serve",
+            "--state-dir",
+            state_dir.to_str().unwrap(),
+            "--unit",
+            "adder",
+            "--pairs",
+            "2",
+            "--profile-cycles",
+            "256",
+            "--machines",
+            "2000",
+            "--epochs",
+            "120",
+            "--seed",
+            "1",
+            "--listen",
+            "127.0.0.1:0",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("vega serve spawns");
+    let addr = loop {
+        if let Some(addr) = read_addr(&state_dir) {
+            break addr;
+        }
+        assert!(
+            child.try_wait().expect("try_wait").is_none(),
+            "serve exited before publishing http.addr"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    let output = vega()
+        .args([
+            "top",
+            &format!("http://{addr}"),
+            "--plain",
+            "--samples",
+            "2",
+            "--interval-ms",
+            "50",
+        ])
+        .output()
+        .expect("vega top runs");
+    let _ = child.kill();
+    let _ = child.wait();
+    assert!(
+        output.status.success(),
+        "vega top failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("vega top"), "frame header: {stdout}");
+    assert!(stdout.contains("health"), "health line: {stdout}");
+}
+
+#[test]
+fn report_tolerates_a_journal_tail_torn_mid_utf8() {
+    let dir = temp_dir("torn");
+    let journal = dir.join("run.jsonl");
+    let output = vega()
+        .args([
+            "lift",
+            "--unit",
+            "adder",
+            "--pairs",
+            "1",
+            "--profile-cycles",
+            "256",
+            "--obs-journal",
+            journal.to_str().unwrap(),
+        ])
+        .output()
+        .expect("vega lift runs");
+    assert!(output.status.success());
+
+    // Tear the tail inside a 2-byte UTF-8 sequence ("é" cut after its
+    // lead byte) — the worst case a kill mid-append can produce.
+    let mut bytes = std::fs::read(&journal).expect("journal readable");
+    bytes.extend_from_slice(b"{\"v\":1,\"seq\":999,\"kind\":\"counter\",\"name\":\"caf\xc3");
+    let torn = dir.join("torn.jsonl");
+    std::fs::write(&torn, bytes).expect("write torn journal");
+
+    let output = vega()
+        .args(["report", torn.to_str().unwrap()])
+        .output()
+        .expect("vega report runs");
+    assert!(
+        output.status.success(),
+        "report must tolerate the torn tail: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("torn"), "truncation note missing: {stderr}");
+    assert!(
+        !output.stdout.is_empty(),
+        "report body must render from the valid prefix"
+    );
+}

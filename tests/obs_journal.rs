@@ -3,7 +3,9 @@
 //! across same-seed runs, and a three-phase metrics registry that
 //! renders valid Prometheus exposition text.
 
-use vega::obs::{Journal, JsonlRecorder, Level, MetricsRegistry, Obs, TestRecorder};
+use vega::obs::{
+    Journal, JsonlRecorder, Level, LiveRecorder, MetricsRegistry, Obs, TeeRecorder, TestRecorder,
+};
 use vega::*;
 use vega_circuits::adder_example::build_paper_adder;
 
@@ -169,6 +171,76 @@ fn journal_is_byte_identical_across_same_seed_runs() {
     assert_eq!(
         lines[0], lines[1],
         "same-seed runs must produce byte-identical journals once wall-clock fields are stripped"
+    );
+}
+
+#[test]
+fn live_registry_equals_journal_fold_and_preserves_journal_bytes() {
+    let dir = std::env::temp_dir().join("vega_obs_live_equiv");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Reference: the full pipeline journaled directly, no tee.
+    let plain_path = dir.join("plain.jsonl");
+    {
+        let obs = Obs::new(
+            Level::Detail,
+            JsonlRecorder::create(&plain_path).expect("create journal"),
+        );
+        run_full_pipeline(&obs);
+    }
+    let plain = Journal::load(&plain_path).expect("plain journal parses");
+
+    // Same pipeline through Tee(journal, live folding).
+    let teed_path = dir.join("teed.jsonl");
+    let live_recorder = LiveRecorder::new();
+    let live = live_recorder.metrics();
+    {
+        let obs = Obs::new(
+            Level::Detail,
+            TeeRecorder::new(
+                JsonlRecorder::create(&teed_path).expect("create journal"),
+                live_recorder,
+            ),
+        );
+        run_full_pipeline(&obs);
+    }
+    let teed = Journal::load(&teed_path).expect("teed journal parses");
+
+    // Teeing must not disturb the deterministic journal stream.
+    assert_eq!(
+        plain.deterministic_lines(),
+        teed.deterministic_lines(),
+        "live folding through a tee must leave the journal byte-identical"
+    );
+
+    // The live registry must equal the registry folded from the journal
+    // — same metric tree, summary level, down to canonical JSON.
+    let folded = MetricsRegistry::from_journal(&teed);
+    let snapshot = live.snapshot();
+    assert_eq!(
+        snapshot.to_canonical_json(),
+        folded.to_canonical_json(),
+        "live registry diverged from the journal fold of the same run"
+    );
+
+    // The run-progress gauges land in the live registry and read
+    // "complete" after the run.
+    for (gauge, expected) in [
+        ("phase1.progress", 1.0),
+        ("phase3.fleet.epochs_total", 4.0),
+        ("phase3.fleet.epoch", 4.0),
+    ] {
+        assert_eq!(
+            snapshot.gauge(gauge),
+            Some(expected),
+            "gauge {gauge} after a complete run"
+        );
+    }
+    let total = snapshot.gauge("phase2.pairs_total").expect("pairs_total");
+    assert_eq!(
+        snapshot.gauge("phase2.pairs_done"),
+        Some(total),
+        "all pairs done at the end of the run"
     );
 }
 
